@@ -1,0 +1,338 @@
+//! Parallel binary search: QRQW replicated-tree vs. EREW baselines
+//! (paper §6, first algorithm experiment; algorithm from \[GMR94a\]).
+//!
+//! `n` query keys are looked up in a balanced binary search tree over
+//! `m` sorted keys (an implicit tree: the "node" at each step is the
+//! midpoint of the remaining range). Three variants:
+//!
+//! * **naive** — every query walks the shared tree; the root has
+//!   location contention `n`, halving each level. Simple and fast on a
+//!   CRCW abstraction, catastrophic under the queue rule.
+//! * **QRQW replicated** — nodes near the top are replicated enough
+//!   that expected per-copy contention is a chosen target `t`; each
+//!   query picks a copy uniformly at random per level \[GMR94a\]. Depth
+//!   `⌈lg m⌉` supersteps of bounded contention.
+//! * **EREW** — contention is avoided outright by radix-sorting the
+//!   queries, merging them with the sorted keys in one linear pass, and
+//!   scattering ranks back: several full passes over the data, but
+//!   location contention 1 everywhere.
+//!
+//! All variants return, for each query, its *lower-bound rank*: the
+//! number of tree keys strictly less than the query.
+
+use rand::Rng;
+
+use crate::radix_sort;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Sequential oracle: lower-bound rank of each query in `sorted_keys`.
+///
+/// # Panics
+///
+/// Panics if `sorted_keys` is not sorted.
+#[must_use]
+pub fn ranks_oracle(sorted_keys: &[u64], queries: &[u64]) -> Vec<u32> {
+    assert!(sorted_keys.is_sorted(), "tree keys must be sorted");
+    queries.iter().map(|&q| sorted_keys.partition_point(|&k| k < q) as u32).collect()
+}
+
+/// The naive shared-tree search with its trace: one superstep per tree
+/// level; the root superstep has location contention `n`.
+#[must_use]
+pub fn naive_traced(procs: usize, sorted_keys: &[u64], queries: &[u64]) -> Traced<Vec<u32>> {
+    let m = sorted_keys.len();
+    let n = queries.len();
+    let mut tb = TraceBuilder::new(procs);
+    let tree = tb.alloc(m);
+    let out = tb.alloc(n);
+
+    let mut lo = vec![0usize; n];
+    let mut hi = vec![m; n];
+    let mut level = 0usize;
+    loop {
+        let mut active = false;
+        for i in 0..n {
+            if lo[i] < hi[i] {
+                active = true;
+                let mid = (lo[i] + hi[i]) / 2;
+                tb.read(i, tree + mid as u64);
+                if sorted_keys[mid] < queries[i] {
+                    lo[i] = mid + 1;
+                } else {
+                    hi[i] = mid;
+                }
+            }
+        }
+        if !active {
+            break;
+        }
+        tb.barrier(&format!("level{level}"));
+        level += 1;
+    }
+    tb.scatter(out, (0..n as u64).collect::<Vec<_>>());
+    tb.barrier("store-ranks");
+    let ranks = lo.into_iter().map(|r| r as u32).collect();
+    tb.traced(ranks)
+}
+
+/// The QRQW replicated-tree search \[GMR94a\]: level `ℓ` (with `2^ℓ`
+/// possible nodes) is stored in `c_ℓ = ⌈n / (2^ℓ · t)⌉` copies, and
+/// every query reads a uniformly random copy of its node, bounding
+/// expected per-copy contention by the target `t`.
+///
+/// When `include_setup` is true the trace begins with the supersteps
+/// that write the replicas (contention-free); searches that reuse a
+/// replicated tree amortize that away, which is how the paper reports
+/// it.
+///
+/// # Panics
+///
+/// Panics if `target_contention == 0`.
+#[must_use]
+pub fn replicated_traced<R: Rng + ?Sized>(
+    procs: usize,
+    sorted_keys: &[u64],
+    queries: &[u64],
+    target_contention: usize,
+    include_setup: bool,
+    rng: &mut R,
+) -> Traced<Vec<u32>> {
+    assert!(target_contention >= 1, "contention target must be positive");
+    let m = sorted_keys.len();
+    let n = queries.len();
+    let depth = (usize::BITS - m.leading_zeros()) as usize + 1;
+    let copies_at = |level: usize| -> usize {
+        let nodes = 1usize << level.min(62);
+        n.div_ceil(nodes.saturating_mul(target_contention)).max(1)
+    };
+
+    let mut tb = TraceBuilder::new(procs);
+    let out = tb.alloc(n);
+    // Level ℓ replica array: node `mid` copy `r` lives at
+    // level_base[ℓ] + mid·c_ℓ + r.
+    let level_base: Vec<u64> =
+        (0..depth).map(|l| tb.alloc(m.max(1) * copies_at(l))).collect();
+
+    if include_setup {
+        // Write each replica once: enumerate the canonical midpoints of
+        // the implicit tree level by level.
+        let mut ranges = vec![(0usize, m)];
+        for (l, &base) in level_base.iter().enumerate() {
+            let c = copies_at(l);
+            let mut lane = 0usize;
+            let mut next = Vec::with_capacity(ranges.len() * 2);
+            for &(lo, hi) in &ranges {
+                if lo >= hi {
+                    continue;
+                }
+                let mid = (lo + hi) / 2;
+                for r in 0..c {
+                    tb.write(lane, base + (mid * c + r) as u64);
+                    lane += 1;
+                }
+                next.push((lo, mid));
+                next.push((mid + 1, hi));
+            }
+            if lane > 0 {
+                tb.barrier(&format!("setup-level{l}"));
+            }
+            ranges = next;
+        }
+    }
+
+    let mut lo = vec![0usize; n];
+    let mut hi = vec![m; n];
+    for (level, &base) in level_base.iter().enumerate() {
+        let c = copies_at(level);
+        let mut active = false;
+        for i in 0..n {
+            if lo[i] < hi[i] {
+                active = true;
+                let mid = (lo[i] + hi[i]) / 2;
+                let copy = rng.random_range(0..c as u64);
+                tb.read(i, base + (mid * c) as u64 + copy);
+                if sorted_keys[mid] < queries[i] {
+                    lo[i] = mid + 1;
+                } else {
+                    hi[i] = mid;
+                }
+            }
+        }
+        if !active {
+            break;
+        }
+        tb.barrier(&format!("level{level}"));
+    }
+    tb.scatter(out, (0..n as u64).collect::<Vec<_>>());
+    tb.barrier("store-ranks");
+    let ranks = lo.into_iter().map(|r| r as u32).collect();
+    tb.traced(ranks)
+}
+
+/// The EREW sort-and-merge baseline: radix-sort the queries, co-rank
+/// them against the sorted keys in one merge sweep, scatter the ranks
+/// back to query order. Location contention 1 in every superstep.
+#[must_use]
+pub fn erew_traced(procs: usize, sorted_keys: &[u64], queries: &[u64]) -> Traced<Vec<u32>> {
+    let m = sorted_keys.len();
+    let n = queries.len();
+
+    // Sort the queries (value-traced separately so its supersteps are
+    // part of this algorithm's bill).
+    let sorted = radix_sort::sort_traced(procs, queries, 8);
+    let perm = sorted.value;
+    let mut tb = TraceBuilder::new(procs);
+    let q_sorted = tb.alloc(n);
+    let keys_arr = tb.alloc(m);
+    let ranks_sorted = tb.alloc(n);
+    let out = tb.alloc(n);
+    let mut trace = sorted.trace;
+
+    // Merge sweep: read both sorted arrays once, write the rank of
+    // each sorted query.
+    let mut ranks = vec![0u32; n];
+    let mut k = 0usize;
+    for (pos, &qi) in perm.iter().enumerate() {
+        let q = queries[qi as usize];
+        while k < m && sorted_keys[k] < q {
+            tb.read(pos, keys_arr + k as u64);
+            k += 1;
+        }
+        tb.read(pos, q_sorted + pos as u64);
+        tb.write(pos, ranks_sorted + pos as u64);
+        ranks[qi as usize] = k as u32;
+    }
+    // Tree keys never consumed by the merge still get read once by the
+    // co-ranking pass (every processor scans its block fully).
+    for rest in k..m {
+        tb.read(rest, keys_arr + rest as u64);
+    }
+    tb.barrier("merge");
+
+    // Scatter ranks back to original query positions (distinct).
+    for (pos, &qi) in perm.iter().enumerate() {
+        tb.read(pos, ranks_sorted + pos as u64);
+        tb.write(pos, out + u64::from(qi));
+    }
+    tb.barrier("unsort");
+
+    trace.extend(tb.finish());
+    Traced { value: ranks, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::trace_max_contention;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut keys: Vec<u64> = (0..m).map(|_| rng.random_range(0..1 << 20)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let queries: Vec<u64> = (0..n).map(|_| rng.random_range(0..1 << 20)).collect();
+        (keys, queries)
+    }
+
+    #[test]
+    fn oracle_ranks_are_lower_bounds() {
+        let keys = vec![10u64, 20, 30];
+        assert_eq!(ranks_oracle(&keys, &[5, 10, 15, 30, 99]), vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn naive_matches_oracle() {
+        let (keys, queries) = setup(300, 500, 1);
+        let t = naive_traced(8, &keys, &queries);
+        assert_eq!(t.value, ranks_oracle(&keys, &queries));
+    }
+
+    #[test]
+    fn naive_root_contention_is_n() {
+        let (keys, queries) = setup(1000, 256, 2);
+        let t = naive_traced(8, &keys, &queries);
+        let first = &t.trace[0].pattern;
+        assert_eq!(first.contention_profile().max_location_contention, 256);
+    }
+
+    #[test]
+    fn replicated_matches_oracle() {
+        let (keys, queries) = setup(300, 500, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = replicated_traced(8, &keys, &queries, 4, true, &mut rng);
+        assert_eq!(t.value, ranks_oracle(&keys, &queries));
+    }
+
+    #[test]
+    fn replication_bounds_contention() {
+        let (keys, queries) = setup(4096, 2048, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let target = 8;
+        let t = replicated_traced(8, &keys, &queries, target, false, &mut rng);
+        let worst = trace_max_contention(&t.trace);
+        // Expected per-copy contention is ≤ target; the realized max is
+        // a balls-in-bins maximum, well under 6× the target here.
+        assert!(worst <= 6 * target, "worst contention {worst}");
+        // And far below the naive algorithm's root contention.
+        assert!(worst < queries.len() / 8);
+    }
+
+    #[test]
+    fn setup_supersteps_are_contention_free() {
+        let (keys, queries) = setup(512, 512, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = replicated_traced(4, &keys, &queries, 4, true, &mut rng);
+        for step in t.trace.iter().filter(|s| s.label.starts_with("setup")) {
+            assert_eq!(step.pattern.contention_profile().max_location_contention, 1);
+        }
+        assert!(t.trace.iter().any(|s| s.label.starts_with("setup")));
+    }
+
+    #[test]
+    fn erew_matches_oracle() {
+        let (keys, queries) = setup(300, 500, 9);
+        let t = erew_traced(8, &keys, &queries);
+        assert_eq!(t.value, ranks_oracle(&keys, &queries));
+    }
+
+    #[test]
+    fn erew_is_contention_free_but_heavier() {
+        let (keys, queries) = setup(1024, 1024, 10);
+        let erew = erew_traced(8, &keys, &queries);
+        assert_eq!(trace_max_contention(&erew.trace), 1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let qrqw = replicated_traced(8, &keys, &queries, 8, false, &mut rng);
+        let req = crate::tracer::trace_requests;
+        // The EREW version pays the sort: strictly more memory traffic.
+        assert!(req(&erew.trace) > 2 * req(&qrqw.trace));
+    }
+
+    #[test]
+    fn duplicate_queries_are_handled() {
+        let keys = vec![1u64, 5, 9];
+        let queries = vec![5u64; 40];
+        let mut rng = StdRng::seed_from_u64(12);
+        for t in [
+            naive_traced(4, &keys, &queries),
+            replicated_traced(4, &keys, &queries, 2, false, &mut rng),
+            erew_traced(4, &keys, &queries),
+        ] {
+            assert_eq!(t.value, vec![1u32; 40]);
+        }
+    }
+
+    #[test]
+    fn empty_queries_yield_empty_ranks() {
+        let keys = vec![1u64, 2];
+        let t = naive_traced(2, &keys, &[]);
+        assert!(t.value.is_empty());
+    }
+
+    #[test]
+    fn empty_tree_ranks_all_zero() {
+        let t = naive_traced(2, &[], &[3, 4, 5]);
+        assert_eq!(t.value, vec![0, 0, 0]);
+    }
+}

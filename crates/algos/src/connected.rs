@@ -1,0 +1,378 @@
+//! Connected components: Greiner's hook-and-contract algorithm
+//! (paper §6, final algorithm experiment; algorithm from \[Gre94\]).
+//!
+//! "The algorithm consists of several phases: hooking nodes together to
+//! form a forest, performing repeated shortcutting operations to
+//! contract each tree to a single node, contracting the graph to form a
+//! new graph that is processed recursively, and expanding the graph to
+//! propagate the new labels."
+//!
+//! The implementation below runs those phases iteratively over a global
+//! parent array (the recursion/expansion is implicit: after each
+//! shortcut the parents are component representatives, so the next
+//! round's relabeled edges *are* the contracted graph):
+//!
+//! * **hook** — each cross edge writes the smaller endpoint label into
+//!   the parent of the larger; reads of the endpoint labels contend by
+//!   vertex popularity, writes contend by how many edges hook onto one
+//!   representative — this is where a star graph generates contention
+//!   `Θ(n)`, the behaviour Figure 1 is built from;
+//! * **shortcut** — pointer jumping `parent[v] ← parent[parent[v]]`
+//!   until stable; the grandparent gather contends by subtree size;
+//! * **relabel/pack** — rewrite edges by representative and pack out
+//!   self-edges with a scan (contention-free).
+
+use dxbsp_workloads::Graph;
+
+use crate::scan::trace_scan;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Per-round phase statistics (for the per-phase contention table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Live (cross-component) edges entering each round.
+    pub edges_per_round: Vec<usize>,
+    /// Shortcut passes per round.
+    pub shortcut_passes: Vec<usize>,
+}
+
+/// Whether two labelings induce the same partition of vertices.
+#[must_use]
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd = std::collections::HashMap::new();
+    let mut bwd = std::collections::HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greiner-style connected components with its memory-access trace.
+/// Returns component labels (a representative vertex per component).
+#[must_use]
+pub fn connected_traced(procs: usize, g: &Graph) -> Traced<(Vec<u32>, CcStats)> {
+    let n = g.n;
+    let mut tb = TraceBuilder::new(procs.max(1));
+    let parent_arr = tb.alloc(n);
+    let mut edge_arr = tb.alloc(g.m().max(1) * 2);
+
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    // Self-loops never hook and would otherwise survive round 1's
+    // entry check; drop them up front like the relabel filter would.
+    let mut edges: Vec<(u32, u32)> = g.edges.iter().copied().filter(|&(u, v)| u != v).collect();
+    let mut stats = CcStats { rounds: 0, edges_per_round: Vec::new(), shortcut_passes: Vec::new() };
+
+    while !edges.is_empty() {
+        stats.rounds += 1;
+        stats.edges_per_round.push(edges.len());
+        let round = stats.rounds;
+
+        // Hook: read both endpoint labels, write the loser's parent.
+        // (Endpoints are representatives after the previous round's
+        // shortcut, so reads hit the parent array directly.)
+        for (lane, &(u, v)) in edges.iter().enumerate() {
+            tb.read(lane, parent_arr + u64::from(u));
+            tb.read(lane, parent_arr + u64::from(v));
+        }
+        let mut hooked = false;
+        for (lane, &(u, v)) in edges.iter().enumerate() {
+            let (pu, pv) = (parent[u as usize], parent[v as usize]);
+            if pu != pv {
+                let (lo, hi) = if pu < pv { (pu, pv) } else { (pv, pu) };
+                parent[hi as usize] = lo; // races resolve arbitrarily;
+                                          // larger→smaller keeps it acyclic
+                tb.write(lane, parent_arr + u64::from(hi));
+                hooked = true;
+            }
+        }
+        tb.barrier(&format!("round{round}:hook"));
+        debug_assert!(hooked, "live edges imply at least one hook");
+
+        // Shortcut until every tree is a star.
+        let mut passes = 0usize;
+        loop {
+            passes += 1;
+            let mut changed = false;
+            for v in 0..n {
+                tb.read(v, parent_arr + v as u64);
+                let p = parent[v];
+                tb.read(v, parent_arr + u64::from(p));
+                let gp = parent[p as usize];
+                if gp != p {
+                    changed = true;
+                }
+                parent[v] = gp;
+                tb.write(v, parent_arr + v as u64);
+            }
+            tb.barrier(&format!("round{round}:shortcut{passes}"));
+            if !changed {
+                break;
+            }
+        }
+        stats.shortcut_passes.push(passes);
+
+        // Relabel edges by representative and pack out self-edges.
+        let m = edges.len();
+        for (lane, &(u, v)) in edges.iter().enumerate() {
+            tb.read(lane, parent_arr + u64::from(u));
+            tb.read(lane, parent_arr + u64::from(v));
+        }
+        tb.barrier(&format!("round{round}:relabel"));
+        let survivors: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| (parent[u as usize], parent[v as usize]))
+            .filter(|&(pu, pv)| pu != pv)
+            .collect();
+        trace_scan(&mut tb, edge_arr, m, &format!("round{round}:pack"));
+        let next_arr = tb.alloc(survivors.len().max(1) * 2);
+        for (lane, _) in survivors.iter().enumerate() {
+            tb.write(lane, next_arr + 2 * lane as u64);
+            tb.write(lane, next_arr + 2 * lane as u64 + 1);
+        }
+        tb.barrier(&format!("round{round}:compact"));
+        edge_arr = next_arr;
+        edges = survivors;
+    }
+
+    tb.traced((parent, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check(g: &Graph, procs: usize) -> (Vec<u32>, CcStats) {
+        let t = connected_traced(procs, g);
+        let (labels, stats) = t.value;
+        assert!(same_partition(&labels, &g.components_oracle()), "partition mismatch");
+        (labels, stats)
+    }
+
+    #[test]
+    fn chain_contracts_in_logarithmic_rounds() {
+        let (_, stats) = check(&Graph::chain(1024), 8);
+        assert!(stats.rounds <= 12, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn star_finishes_in_one_round() {
+        let (labels, stats) = check(&Graph::star(256), 8);
+        assert_eq!(stats.rounds, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn grid_and_random_graphs_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        check(&Graph::grid(20, 17), 8);
+        check(&Graph::random_gnm(2000, 8000, &mut rng), 8);
+        check(&Graph::random_gnm(2000, 100, &mut rng), 8);
+    }
+
+    #[test]
+    fn empty_graph_and_no_edges() {
+        let (labels, stats) = check(&Graph::empty(50), 4);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(labels, (0..50u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn star_hook_step_has_high_contention() {
+        let g = Graph::star(512);
+        let t = connected_traced(8, &g);
+        let hook = t.trace.iter().find(|s| s.label == "round1:hook").unwrap();
+        // Every edge reads the center's label: contention Θ(n).
+        assert!(
+            hook.pattern.contention_profile().max_location_contention >= 511,
+            "star hook must contend at the center"
+        );
+    }
+
+    #[test]
+    fn chain_hook_step_has_low_contention() {
+        let g = Graph::chain(512);
+        let t = connected_traced(8, &g);
+        let hook = t.trace.iter().find(|s| s.label == "round1:hook").unwrap();
+        assert!(hook.pattern.contention_profile().max_location_contention <= 4);
+    }
+
+    #[test]
+    fn same_partition_distinguishes_labelings() {
+        assert!(same_partition(&[0, 0, 2], &[7, 7, 9]));
+        assert!(!same_partition(&[0, 0, 2], &[7, 8, 9]));
+        assert!(!same_partition(&[0, 1], &[5, 5]));
+        assert!(!same_partition(&[0], &[0, 0]));
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_tolerated() {
+        let g = Graph { n: 4, edges: vec![(0, 1), (0, 1), (1, 0), (2, 3)] };
+        let (labels, _) = check(&g, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+}
+
+/// Random-mate connected components (the other family Greiner \[Gre94\]
+/// compares): each round every current representative flips a coin;
+/// for each live edge whose endpoints drew (head, tail), the tail
+/// representative hooks onto the head representative. Coin flips
+/// spread the hooks, so even a star contracts with *randomized*
+/// contention — the deterministic hook-to-min's worst cases soften.
+#[must_use]
+pub fn random_mate_traced<R: rand::Rng + ?Sized>(
+    procs: usize,
+    g: &Graph,
+    rng: &mut R,
+) -> Traced<(Vec<u32>, CcStats)> {
+    let n = g.n;
+    let mut tb = TraceBuilder::new(procs.max(1));
+    let parent_arr = tb.alloc(n);
+    let coin_arr = tb.alloc(n);
+
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut edges: Vec<(u32, u32)> = g.edges.iter().copied().filter(|&(u, v)| u != v).collect();
+    let mut stats = CcStats { rounds: 0, edges_per_round: Vec::new(), shortcut_passes: Vec::new() };
+
+    // Safety valve: random mating makes progress with probability ≥
+    // 1/4 per live edge per round, so Θ(log) rounds suffice w.h.p.;
+    // the bound below only trips on a broken RNG.
+    let max_rounds = 8 * (usize::BITS - n.max(2).leading_zeros()) as usize + 16;
+
+    while !edges.is_empty() {
+        stats.rounds += 1;
+        stats.edges_per_round.push(edges.len());
+        let round = stats.rounds;
+        assert!(stats.rounds <= max_rounds, "random-mate failed to converge");
+
+        // Flip one coin per vertex (representatives read theirs; we
+        // charge the full sweep, as the vectorized code would).
+        let heads: Vec<bool> = (0..n).map(|_| rng.random()).collect();
+        tb.sweep(coin_arr, n, true);
+        tb.barrier(&format!("round{round}:flip"));
+
+        // Hook: tail representative → head representative.
+        for (lane, &(u, v)) in edges.iter().enumerate() {
+            tb.read(lane, parent_arr + u64::from(u));
+            tb.read(lane, parent_arr + u64::from(v));
+            tb.read(lane, coin_arr + u64::from(u));
+            tb.read(lane, coin_arr + u64::from(v));
+        }
+        for (lane, &(u, v)) in edges.iter().enumerate() {
+            let (pu, pv) = (parent[u as usize], parent[v as usize]);
+            if pu == pv {
+                continue;
+            }
+            let (head, tail) = if heads[pu as usize] && !heads[pv as usize] {
+                (pu, pv)
+            } else if heads[pv as usize] && !heads[pu as usize] {
+                (pv, pu)
+            } else {
+                continue;
+            };
+            parent[tail as usize] = head;
+            tb.write(lane, parent_arr + u64::from(tail));
+        }
+        tb.barrier(&format!("round{round}:hook"));
+
+        // One shortcut pass suffices: tails hooked directly onto
+        // representatives, so trees have depth ≤ 2... except when a
+        // tail representative was itself hooked this round; jump until
+        // stable like the deterministic variant.
+        let mut passes = 0usize;
+        loop {
+            passes += 1;
+            let mut changed = false;
+            for v in 0..n {
+                tb.read(v, parent_arr + v as u64);
+                let p = parent[v];
+                tb.read(v, parent_arr + u64::from(p));
+                let gp = parent[p as usize];
+                if gp != p {
+                    changed = true;
+                }
+                parent[v] = gp;
+                tb.write(v, parent_arr + v as u64);
+            }
+            tb.barrier(&format!("round{round}:shortcut{passes}"));
+            if !changed {
+                break;
+            }
+        }
+        stats.shortcut_passes.push(passes);
+
+        // Relabel and drop internal edges.
+        for (lane, &(u, v)) in edges.iter().enumerate() {
+            tb.read(lane, parent_arr + u64::from(u));
+            tb.read(lane, parent_arr + u64::from(v));
+        }
+        tb.barrier(&format!("round{round}:relabel"));
+        edges = edges
+            .iter()
+            .map(|&(u, v)| (parent[u as usize], parent[v as usize]))
+            .filter(|&(pu, pv)| pu != pv)
+            .collect();
+    }
+
+    tb.traced((parent, stats))
+}
+
+#[cfg(test)]
+mod random_mate_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_mate_matches_oracle_on_families() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut coin = StdRng::seed_from_u64(99);
+        for g in [
+            Graph::chain(512),
+            Graph::star(512),
+            Graph::grid(20, 25),
+            Graph::random_gnm(1000, 3000, &mut rng),
+            Graph::random_gnm(1000, 50, &mut rng),
+            Graph::empty(64),
+        ] {
+            let t = random_mate_traced(8, &g, &mut coin);
+            assert!(same_partition(&t.value.0, &g.components_oracle()));
+        }
+    }
+
+    #[test]
+    fn random_mate_converges_in_logarithmic_rounds() {
+        let mut coin = StdRng::seed_from_u64(7);
+        let t = random_mate_traced(8, &Graph::chain(4096), &mut coin);
+        assert!(t.value.1.rounds <= 40, "rounds = {}", t.value.1.rounds);
+    }
+
+    #[test]
+    fn random_mate_star_spreads_hook_writes() {
+        // The star still contends on *reads* of the center's label, but
+        // hook writes all target distinct tails' parents — unlike
+        // hook-to-min where every write lands on one cell.
+        let mut coin = StdRng::seed_from_u64(11);
+        let g = Graph::star(1024);
+        let t = random_mate_traced(8, &g, &mut coin);
+        assert!(same_partition(&t.value.0, &g.components_oracle()));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_coin_seed() {
+        let g = Graph::grid(10, 10);
+        let a = random_mate_traced(4, &g, &mut StdRng::seed_from_u64(5)).value;
+        let b = random_mate_traced(4, &g, &mut StdRng::seed_from_u64(5)).value;
+        assert_eq!(a, b);
+    }
+}

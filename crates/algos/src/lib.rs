@@ -1,0 +1,46 @@
+//! # dxbsp-algos — the paper's algorithms with contention accounting
+//!
+//! Section 6 of the paper evaluates the contention behaviour of four
+//! irregular algorithms on the Cray; §7 names multiprefix as future
+//! work. This crate implements each algorithm twice over:
+//!
+//! 1. **as a computation** — a correct host implementation whose output
+//!    is checked against sequential oracles, and
+//! 2. **as a memory-access trace** — the per-superstep access pattern a
+//!    data-parallel (vectorized) execution on `p` processors would
+//!    issue, built with [`tracer::TraceBuilder`] and runnable on the
+//!    `dxbsp-machine` simulator or chargeable under the `dxbsp-core`
+//!    cost models.
+//!
+//! The two faces are produced by the same code path, so the trace is
+//! the real algorithm's pattern rather than a synthetic approximation.
+//!
+//! Algorithms:
+//!
+//! * [`scan`] — unsegmented and segmented prefix sums (the vectorizable
+//!   substrate everything else leans on);
+//! * [`radix_sort`] — ZB91-style counting/radix sort with per-processor
+//!   private histograms (the EREW workhorse and NAS-benchmark baseline);
+//! * [`binary_search`] — the QRQW replicated-tree search of \[GMR94a\]
+//!   against an EREW sort-and-merge baseline;
+//! * [`random_perm`] — the QRQW dart-throwing random permutation of
+//!   \[GMR94a\] against the EREW radix-sort-based baseline;
+//! * [`spmv`] — CSR sparse matrix–vector multiplication in the
+//!   segmented-scan formulation of \[BHZ93\];
+//! * [`connected`] — Greiner's hook-and-contract connected components;
+//! * [`multiprefix`] — the multiprefix operation \[She93\] (§7 extension).
+
+pub mod binary_search;
+pub mod connected;
+pub mod list_ranking;
+pub mod merge;
+pub mod multiprefix;
+pub mod radix_sort;
+pub mod random_perm;
+pub mod sample_sort;
+pub mod scan;
+pub mod scatter_gather;
+pub mod spmv;
+pub mod tracer;
+
+pub use tracer::{Traced, TraceBuilder};

@@ -1,0 +1,278 @@
+//! List ranking by pointer jumping (paper §7 names list ranking
+//! \[RM94\] as a target for contention analysis; this is the extension).
+//!
+//! Wyllie's algorithm: every node repeatedly adds its successor's rank
+//! and jumps its successor pointer, halving the remaining distance each
+//! round. The contention story is the interesting part and comes in
+//! two flavours:
+//!
+//! * the **textbook** formulation keeps every node jumping for all
+//!   `⌈lg n⌉` rounds; once a node's pointer reaches the tail it keeps
+//!   re-reading the tail, so by the last round *most of the list* reads
+//!   one node — contention Θ(n), invisible on a CRCW abstraction,
+//!   `d·Θ(n)` on a bank-delay machine;
+//! * **deactivating** finished nodes (their rank is final once their
+//!   successor is the tail) keeps every round's gather targets distinct
+//!   — contention O(1) per round, the kind of restructuring
+//!   Reid-Miller's C90 implementation \[RM94\] relies on.
+//!
+//! Both are implemented; the contrast is the experiment.
+
+use rand::Rng;
+
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Builds a random singly linked list over nodes `0..n`: returns
+/// `succ` where following `succ` from `head` visits every node once
+/// and the tail points to itself.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn random_list<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Vec<u32>, u32) {
+    assert!(n >= 1, "a list needs at least one node");
+    // Random visiting order via Fisher–Yates.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut succ = vec![0u32; n];
+    for w in order.windows(2) {
+        succ[w[0] as usize] = w[1];
+    }
+    let tail = order[n - 1];
+    succ[tail as usize] = tail;
+    (succ, order[0])
+}
+
+/// Sequential oracle: distance (in links) from each node to the tail.
+#[must_use]
+pub fn ranks_oracle(succ: &[u32]) -> Vec<u32> {
+    let n = succ.len();
+    let mut ranks = vec![u32::MAX; n];
+    for start in 0..n {
+        if ranks[start] != u32::MAX {
+            continue;
+        }
+        // Walk to a known rank or the tail, then unwind.
+        let mut path = Vec::new();
+        let mut v = start as u32;
+        while ranks[v as usize] == u32::MAX && succ[v as usize] != v {
+            path.push(v);
+            v = succ[v as usize];
+        }
+        let mut r = if succ[v as usize] == v { 0 } else { ranks[v as usize] };
+        if succ[v as usize] == v {
+            ranks[v as usize] = 0;
+        }
+        for &u in path.iter().rev() {
+            r += 1;
+            ranks[u as usize] = r;
+        }
+    }
+    ranks
+}
+
+/// Per-round statistics of a pointer-jumping run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankStats {
+    /// Jump rounds executed (⌈lg n⌉ for a list).
+    pub rounds: usize,
+    /// Maximum gather contention per round (grows as pointers merge).
+    pub contention_per_round: Vec<usize>,
+}
+
+/// Textbook Wyllie: every non-tail node jumps in every round until all
+/// pointers reach the tail. Correct and `⌈lg n⌉` rounds, but the tail
+/// becomes a contention hot spot — nodes that already point at it keep
+/// reading it each remaining round.
+#[must_use]
+pub fn wyllie_naive_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, RankStats)> {
+    let n = succ.len();
+    let mut tb = TraceBuilder::new(procs);
+    let succ_arr = tb.alloc(n);
+    let rank_arr = tb.alloc(n);
+
+    let mut s: Vec<u32> = succ.to_vec();
+    let mut rank: Vec<u32> = (0..n).map(|v| u32::from(succ[v] != v as u32)).collect();
+    let mut stats = RankStats { rounds: 0, contention_per_round: Vec::new() };
+
+    while (0..n).any(|v| s[v] != s[s[v] as usize]) {
+        stats.rounds += 1;
+        let mut counts = std::collections::HashMap::new();
+        for v in 0..n {
+            if s[v] == v as u32 {
+                continue; // the tail itself has nothing to do
+            }
+            let sv = s[v];
+            tb.read(v, succ_arr + v as u64);
+            tb.read(v, succ_arr + u64::from(sv));
+            tb.read(v, rank_arr + u64::from(sv));
+            *counts.entry(sv).or_insert(0usize) += 1;
+        }
+        stats
+            .contention_per_round
+            .push(counts.values().copied().max().unwrap_or(0) * 2);
+        let snapshot_s = s.clone();
+        let snapshot_r = rank.clone();
+        for v in 0..n {
+            if snapshot_s[v] == v as u32 {
+                continue;
+            }
+            let sv = snapshot_s[v];
+            rank[v] += snapshot_r[sv as usize];
+            s[v] = snapshot_s[sv as usize];
+            tb.write(v, succ_arr + v as u64);
+            tb.write(v, rank_arr + v as u64);
+        }
+        tb.barrier(&format!("round{}", stats.rounds));
+    }
+
+    tb.traced((rank, stats))
+}
+
+/// Low-contention Wyllie: nodes deactivate once their successor is the
+/// tail (their rank is final). Each round's gather targets are then
+/// pairwise distinct, so per-round contention is O(1) — the same work
+/// and round count as the textbook version, minus the hot spot.
+#[must_use]
+pub fn wyllie_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, RankStats)> {
+    let n = succ.len();
+    let mut tb = TraceBuilder::new(procs);
+    let succ_arr = tb.alloc(n);
+    let rank_arr = tb.alloc(n);
+
+    let mut s: Vec<u32> = succ.to_vec();
+    let mut rank: Vec<u32> = (0..n).map(|v| u32::from(succ[v] != v as u32)).collect();
+    let mut active: Vec<u32> = (0..n as u32).filter(|&v| s[v as usize] != v).collect();
+    let mut stats = RankStats { rounds: 0, contention_per_round: Vec::new() };
+
+    while !active.is_empty() {
+        stats.rounds += 1;
+        // Gather succ[succ[v]] and rank[succ[v]] for every active node.
+        let mut counts = std::collections::HashMap::new();
+        for (lane, &v) in active.iter().enumerate() {
+            let sv = s[v as usize];
+            tb.read(lane, succ_arr + u64::from(v));
+            tb.read(lane, succ_arr + u64::from(sv));
+            tb.read(lane, rank_arr + u64::from(sv));
+            *counts.entry(sv).or_insert(0usize) += 1;
+        }
+        stats
+            .contention_per_round
+            .push(counts.values().copied().max().unwrap_or(0) * 2); // two reads per target
+        // Update in lockstep (reads above are from the pre-round state).
+        let snapshot_s = s.clone();
+        let snapshot_r = rank.clone();
+        for (lane, &v) in active.iter().enumerate() {
+            let sv = snapshot_s[v as usize];
+            rank[v as usize] += snapshot_r[sv as usize];
+            s[v as usize] = snapshot_s[sv as usize];
+            tb.write(lane, succ_arr + u64::from(v));
+            tb.write(lane, rank_arr + u64::from(v));
+        }
+        tb.barrier(&format!("round{}", stats.rounds));
+        active.retain(|&v| s[v as usize] != s[s[v as usize] as usize]);
+    }
+
+    tb.traced((rank, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::trace_max_contention;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_ranks_a_simple_chain() {
+        // 0 → 1 → 2 → 3 (tail).
+        let succ = vec![1u32, 2, 3, 3];
+        assert_eq!(ranks_oracle(&succ), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn random_list_visits_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (succ, head) = random_list(100, &mut rng);
+        let mut seen = [false; 100];
+        let mut v = head;
+        for _ in 0..100 {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+            if succ[v as usize] == v {
+                break;
+            }
+            v = succ[v as usize];
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn wyllie_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 2, 3, 17, 256, 1000] {
+            let (succ, _) = random_list(n, &mut rng);
+            let t = wyllie_traced(8, &succ);
+            assert_eq!(t.value.0, ranks_oracle(&succ), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (succ, _) = random_list(4096, &mut rng);
+        let t = wyllie_traced(8, &succ);
+        let stats = t.value.1;
+        assert!(stats.rounds <= 13, "rounds = {}", stats.rounds);
+        assert!(stats.rounds >= 11, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn naive_wyllie_contends_at_the_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 4096;
+        let (succ, _) = random_list(n, &mut rng);
+        let t = wyllie_naive_traced(8, &succ);
+        assert_eq!(t.value.0, ranks_oracle(&succ));
+        let c = &t.value.1.contention_per_round;
+        // Round 1: unique successors, contention 2. Final round: all
+        // but the farthest node point at the tail.
+        assert!(c[0] <= 4, "{c:?}");
+        let peak = *c.iter().max().unwrap();
+        assert!(peak >= n, "peak contention {peak} too low: {c:?}");
+    }
+
+    #[test]
+    fn deactivation_removes_the_hot_spot() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4096;
+        let (succ, _) = random_list(n, &mut rng);
+        let smart = wyllie_traced(8, &succ);
+        assert_eq!(smart.value.0, ranks_oracle(&succ));
+        // Distinct gather targets each round: contention stays O(1).
+        let peak = trace_max_contention(&smart.trace);
+        assert!(peak <= 6, "deactivated Wyllie contends at {peak}");
+        // Same round count as the naive version.
+        let naive = wyllie_naive_traced(8, &succ);
+        assert!(smart.value.1.rounds <= naive.value.1.rounds + 1);
+    }
+
+    #[test]
+    fn singleton_list_is_trivial() {
+        let t = wyllie_traced(2, &[0]);
+        assert_eq!(t.value.0, vec![0]);
+        assert_eq!(t.value.1.rounds, 0);
+    }
+
+    #[test]
+    fn two_chains_rank_independently() {
+        // 0→1 (tail 1); 2→3→4 (tail 4).
+        let succ = vec![1u32, 1, 3, 4, 4];
+        let t = wyllie_traced(4, &succ);
+        assert_eq!(t.value.0, vec![1, 0, 2, 1, 0]);
+    }
+}

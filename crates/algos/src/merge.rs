@@ -1,0 +1,211 @@
+//! Parallel merging of sorted sequences (paper §7 names merging as a
+//! contention-analysis target; the co-ranking scheme below is the
+//! standard vectorizable one).
+//!
+//! Each of the `p` processors takes an even slice of the output and
+//! binary-searches both inputs for its start boundary (the *co-rank*).
+//! The boundary searches walk the same top-of-tree elements from every
+//! processor — a small QRQW contention of at most `p` — after which
+//! each processor merges its chunk with contention-free sweeps.
+
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Sequential oracle merge.
+///
+/// # Panics
+///
+/// Panics if either input is unsorted.
+#[must_use]
+pub fn merge_oracle(a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert!(a.is_sorted(), "input a must be sorted");
+    assert!(b.is_sorted(), "input b must be sorted");
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Co-rank: the split of `a`/`b` contributing the first `k` outputs —
+/// returns `(i, j)` with `i + j = k` such that `a[..i]` and `b[..j]`
+/// are exactly the `k` smallest elements (ties resolved `a`-first).
+fn co_rank(a: &[u64], b: &[u64], k: usize) -> (usize, usize) {
+    let mut lo = k.saturating_sub(b.len());
+    let mut hi = k.min(a.len());
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = k - i;
+        if j > 0 && i < a.len() && b[j - 1] > a[i] {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    let mut i = lo;
+    // Tie polish: prefer taking equal elements from `a`.
+    while i < a.len() && i < k {
+        let j = k - i;
+        if j == 0 {
+            break;
+        }
+        if a[i] <= b[j - 1] {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    (i, k - i)
+}
+
+/// Parallel co-ranking merge with its memory trace.
+#[must_use]
+pub fn merge_traced(procs: usize, a: &[u64], b: &[u64]) -> Traced<Vec<u64>> {
+    assert!(a.is_sorted(), "input a must be sorted");
+    assert!(b.is_sorted(), "input b must be sorted");
+    let total = a.len() + b.len();
+    let mut tb = TraceBuilder::new(procs);
+    let a_arr = tb.alloc(a.len());
+    let b_arr = tb.alloc(b.len());
+    let out_arr = tb.alloc(total);
+
+    // Boundary search: every processor binary-searches both inputs.
+    // The probe sequences overlap near the roots — contention ≤ p.
+    let chunk = total.div_ceil(procs.max(1));
+    let mut bounds = Vec::with_capacity(procs + 1);
+    bounds.push((0usize, 0usize));
+    for pr in 1..procs {
+        let k = (pr * chunk).min(total);
+        let (i, j) = co_rank(a, b, k);
+        // Trace the probes of the real binary search over `a`.
+        let (mut lo, mut hi) = (k.saturating_sub(b.len()), k.min(a.len()));
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            tb.read(pr, a_arr + mid as u64);
+            if k - mid > 0 && b[k - mid - 1] > a[mid] {
+                tb.read(pr, b_arr + (k - mid - 1) as u64);
+                lo = mid + 1;
+            } else {
+                if k > mid && k - mid <= b.len() && k - mid > 0 {
+                    tb.read(pr, b_arr + (k - mid - 1) as u64);
+                }
+                hi = mid;
+            }
+        }
+        bounds.push((i, j));
+    }
+    bounds.push((a.len(), b.len()));
+    tb.barrier("co-rank");
+
+    // Chunk merges: sweeps over disjoint slices, distinct outputs.
+    let mut out = vec![0u64; total];
+    for pr in 0..procs {
+        let (ai, bi) = bounds[pr];
+        let (ae, be) = bounds[pr + 1];
+        let (mut i, mut j) = (ai, bi);
+        let mut pos = ai + bi;
+        while i < ae || j < be {
+            let take_a = j >= be || (i < ae && a[i] <= b[j]);
+            if take_a {
+                tb.read(pr, a_arr + i as u64);
+                out[pos] = a[i];
+                i += 1;
+            } else {
+                tb.read(pr, b_arr + j as u64);
+                out[pos] = b[j];
+                j += 1;
+            }
+            tb.write(pr, out_arr + pos as u64);
+            pos += 1;
+        }
+    }
+    tb.barrier("chunk-merge");
+
+    tb.traced(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::trace_max_contention;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sorted(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<u64> = (0..n).map(|_| rng.random_range(0..10_000)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn oracle_merges() {
+        assert_eq!(merge_oracle(&[1, 3, 5], &[2, 4]), vec![1, 2, 3, 4, 5]);
+        assert_eq!(merge_oracle(&[], &[7]), vec![7]);
+        assert_eq!(merge_oracle(&[7], &[]), vec![7]);
+    }
+
+    #[test]
+    fn co_rank_splits_exactly() {
+        let a = [1u64, 3, 5, 7];
+        let b = [2u64, 4, 6, 8];
+        for k in 0..=8 {
+            let (i, j) = co_rank(&a, &b, k);
+            assert_eq!(i + j, k);
+            let mut pieces: Vec<u64> = a[..i].iter().chain(&b[..j]).copied().collect();
+            pieces.sort_unstable();
+            let mut all: Vec<u64> = a.iter().chain(&b).copied().collect();
+            all.sort_unstable();
+            assert_eq!(pieces, all[..k].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_oracle() {
+        for (na, nb, procs) in [(100, 200, 8), (1000, 1000, 8), (5, 5000, 4), (777, 0, 3)] {
+            let a = sorted(na, na as u64);
+            let b = sorted(nb, nb as u64 + 1);
+            let t = merge_traced(procs, &a, &b);
+            assert_eq!(t.value, merge_oracle(&a, &b), "na={na} nb={nb} p={procs}");
+        }
+    }
+
+    #[test]
+    fn duplicates_across_inputs_are_fine() {
+        let a = vec![5u64; 100];
+        let b = vec![5u64; 100];
+        let t = merge_traced(8, &a, &b);
+        assert_eq!(t.value, vec![5u64; 200]);
+    }
+
+    #[test]
+    fn boundary_search_contention_is_at_most_p() {
+        let a = sorted(4096, 1);
+        let b = sorted(4096, 2);
+        let procs = 8;
+        let t = merge_traced(procs, &a, &b);
+        let co_rank_step = t.trace.iter().find(|s| s.label == "co-rank").unwrap();
+        let k = co_rank_step.pattern.contention_profile().max_location_contention;
+        assert!(k <= procs, "co-rank contention {k} > p");
+        // Chunk merge is contention-free.
+        let merge_step = t.trace.iter().find(|s| s.label == "chunk-merge").unwrap();
+        assert_eq!(merge_step.pattern.contention_profile().max_location_contention, 1);
+        let _ = trace_max_contention(&t.trace);
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_serial() {
+        let a = sorted(50, 3);
+        let b = sorted(60, 4);
+        let t = merge_traced(1, &a, &b);
+        assert_eq!(t.value, merge_oracle(&a, &b));
+    }
+}

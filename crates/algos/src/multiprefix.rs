@@ -1,0 +1,178 @@
+//! Multiprefix (paper §7: named future work, implemented here as the
+//! extension; operation from \[She93\]).
+//!
+//! `multiprefix(keys, values)` computes, for each element `i`, the sum
+//! of `values[j]` over all earlier elements `j < i` with
+//! `keys[j] == keys[i]` — a per-key exclusive prefix sum. It is the
+//! core of histogramming and radix-style ranking, and its memory
+//! behaviour is exactly the paper's concern: a direct implementation
+//! scatters into per-key accumulators with location contention equal to
+//! the heaviest key's multiplicity, while a sort-based implementation
+//! is contention-free but pays the full sort.
+//!
+//! Both are provided, mirroring the QRQW-vs-EREW comparisons of §6.
+
+use crate::radix_sort;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Sequential oracle.
+#[must_use]
+pub fn multiprefix_oracle(keys: &[u64], values: &[u64]) -> Vec<u64> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+    let mut acc: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    keys.iter()
+        .zip(values)
+        .map(|(&k, &v)| {
+            let e = acc.entry(k).or_insert(0);
+            let before = *e;
+            *e += v;
+            before
+        })
+        .collect()
+}
+
+/// Direct (QRQW) multiprefix: elements scatter-add into one shared
+/// accumulator per key. Each element reads and writes its key's cell;
+/// the queue at a hot key serializes — contention equals the key's
+/// multiplicity, which the QRQW model charges and the (d,x)-BSP prices
+/// at `d` per queued request.
+#[must_use]
+pub fn direct_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u64>> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+    let n = keys.len();
+    let mut tb = TraceBuilder::new(procs);
+    // Accumulator cells indexed by key (virtual address space: the key
+    // itself offsets into a table sized by the key universe).
+    let table = tb.alloc(0);
+    let out = tb.alloc(n);
+
+    for (lane, &k) in keys.iter().enumerate() {
+        tb.read(lane, table + k);
+        tb.write(lane, table + k);
+    }
+    tb.barrier("scatter-add");
+    tb.scatter(out, (0..n as u64).collect::<Vec<_>>());
+    tb.barrier("store");
+
+    tb.traced(multiprefix_oracle(keys, values))
+}
+
+/// Sort-based (EREW) multiprefix: stable radix sort by key brings equal
+/// keys together; a segmented scan then computes the per-key prefix
+/// sums; an unscatter returns them to input order. Contention-free.
+#[must_use]
+pub fn sorted_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u64>> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+    let n = keys.len();
+    let sorted = radix_sort::sort_traced(procs, keys, 8);
+    let perm = sorted.value;
+    let mut trace = sorted.trace;
+
+    let mut tb = TraceBuilder::new(procs);
+    let vals_sorted = tb.alloc(n);
+    let scanned = tb.alloc(n);
+    let out = tb.alloc(n);
+
+    // Gather values into sorted order (destinations distinct).
+    tb.sweep(vals_sorted, n, true);
+    tb.barrier("permute-values");
+
+    // Segmented exclusive scan over equal-key runs (dense sweeps).
+    tb.sweep(vals_sorted, n, false);
+    tb.sweep(scanned, n, true);
+    tb.barrier("segmented-scan");
+
+    // Unscatter to input positions (distinct).
+    let mut result = vec![0u64; n];
+    let mut run_start = 0usize;
+    let mut acc = 0u64;
+    for pos in 0..n {
+        if pos > 0 && keys[perm[pos] as usize] != keys[perm[pos - 1] as usize] {
+            run_start = pos;
+            acc = 0;
+        }
+        let _ = run_start;
+        result[perm[pos] as usize] = acc;
+        acc += values[perm[pos] as usize];
+        tb.read(pos, scanned + pos as u64);
+        tb.write(pos, out + u64::from(perm[pos]));
+    }
+    tb.barrier("unsort");
+
+    trace.extend(tb.finish());
+    Traced { value: result, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{trace_max_contention, trace_requests};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn oracle_computes_per_key_prefixes() {
+        let keys = [1u64, 2, 1, 1, 2];
+        let vals = [10u64, 20, 30, 40, 50];
+        assert_eq!(multiprefix_oracle(&keys, &vals), vec![0, 0, 10, 40, 20]);
+    }
+
+    #[test]
+    fn direct_and_sorted_agree_with_oracle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 600;
+        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..32)).collect();
+        let vals: Vec<u64> = (0..n).map(|_| rng.random_range(0..100)).collect();
+        let expect = multiprefix_oracle(&keys, &vals);
+        assert_eq!(direct_traced(8, &keys, &vals).value, expect);
+        assert_eq!(sorted_traced(8, &keys, &vals).value, expect);
+    }
+
+    #[test]
+    fn direct_contention_equals_heaviest_key() {
+        let keys = [7u64; 100];
+        let vals = [1u64; 100];
+        let t = direct_traced(4, &keys, &vals);
+        let scatter = t.trace.iter().find(|s| s.label == "scatter-add").unwrap();
+        // 100 reads + 100 writes of one cell.
+        assert_eq!(scatter.pattern.contention_profile().max_location_contention, 200);
+    }
+
+    #[test]
+    fn sorted_version_is_erew() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys: Vec<u64> = (0..500).map(|_| rng.random_range(0..8)).collect();
+        let vals = vec![1u64; 500];
+        let t = sorted_traced(8, &keys, &vals);
+        assert_eq!(trace_max_contention(&t.trace), 1);
+    }
+
+    #[test]
+    fn direct_issues_less_traffic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys: Vec<u64> = (0..2000).map(|_| rng.random_range(0..64)).collect();
+        let vals = vec![1u64; 2000];
+        let direct = direct_traced(8, &keys, &vals);
+        let sorted = sorted_traced(8, &keys, &vals);
+        assert!(trace_requests(&direct.trace) < trace_requests(&sorted.trace));
+    }
+
+    #[test]
+    fn all_distinct_keys_are_all_zero_prefix() {
+        let keys: Vec<u64> = (0..50).collect();
+        let vals = vec![9u64; 50];
+        assert_eq!(direct_traced(4, &keys, &vals).value, vec![0u64; 50]);
+    }
+
+    #[test]
+    fn empty_input_works() {
+        assert!(direct_traced(2, &[], &[]).value.is_empty());
+        assert!(sorted_traced(2, &[], &[]).value.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_rejected() {
+        let _ = multiprefix_oracle(&[1], &[]);
+    }
+}

@@ -1,0 +1,204 @@
+//! LSD radix sort with per-processor histograms (ZB91 style).
+//!
+//! This is the EREW workhorse the paper benchmarks against: the
+//! vectorized radix sort of Zagha & Blelloch \[ZB91\] keeps a *private*
+//! digit histogram per processor so the counting scatter has location
+//! contention 1, ranks with a scan, and permutes to *distinct*
+//! destinations — contention-free throughout, at the price of several
+//! full passes over the data per digit.
+
+use crate::scan::exclusive_scan;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// A stable LSD radix sort of `keys`, returning the sorted permutation
+/// (`out[rank] = original index`). `radix_bits` is the digit width.
+///
+/// # Panics
+///
+/// Panics if `radix_bits` is 0 or > 16.
+#[must_use]
+pub fn sort_permutation(keys: &[u64], radix_bits: u32) -> Vec<u32> {
+    assert!((1..=16).contains(&radix_bits), "radix bits must be in 1..=16");
+    let n = keys.len();
+    let radix = 1usize << radix_bits;
+    let mask = radix as u64 - 1;
+    let passes = needed_passes(keys, radix_bits);
+
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut next: Vec<u32> = vec![0; n];
+    for pass in 0..passes {
+        let shift = pass * radix_bits;
+        let mut counts = vec![0usize; radix];
+        for &i in &perm {
+            let digit = ((keys[i as usize] >> shift) & mask) as usize;
+            counts[digit] += 1;
+        }
+        let mut offsets = exclusive_scan(&counts, 0, |a, b| a + b);
+        for &i in &perm {
+            let digit = ((keys[i as usize] >> shift) & mask) as usize;
+            next[offsets[digit]] = i;
+            offsets[digit] += 1;
+        }
+        std::mem::swap(&mut perm, &mut next);
+    }
+    perm
+}
+
+/// Sorted copy of `keys` (by [`sort_permutation`]).
+#[must_use]
+pub fn sort(keys: &[u64], radix_bits: u32) -> Vec<u64> {
+    sort_permutation(keys, radix_bits)
+        .into_iter()
+        .map(|i| keys[i as usize])
+        .collect()
+}
+
+/// Number of digit passes needed to cover the largest key.
+fn needed_passes(keys: &[u64], radix_bits: u32) -> u32 {
+    let max = keys.iter().copied().max().unwrap_or(0);
+    let significant = 64 - max.leading_zeros();
+    significant.div_ceil(radix_bits).max(1)
+}
+
+/// [`sort_permutation`] with its memory-access trace: per pass, a
+/// counting sweep into per-processor private histograms, a rank scan
+/// over the `p × radix` count matrix, and a permuting scatter to
+/// distinct destinations. Location contention is 1 in every superstep —
+/// this is what "EREW algorithm" means operationally.
+#[must_use]
+pub fn sort_traced(procs: usize, keys: &[u64], radix_bits: u32) -> Traced<Vec<u32>> {
+    let n = keys.len();
+    let radix = 1usize << radix_bits;
+    let passes = needed_passes(keys, radix_bits);
+    let mut tb = TraceBuilder::new(procs);
+    let src = tb.alloc(n);
+    let dst = tb.alloc(n);
+    let hist = tb.alloc(procs * radix);
+    let mask = radix as u64 - 1;
+
+    // Mirror the host computation so the scatter destinations in the
+    // trace are the real ones.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut next: Vec<u32> = vec![0; n];
+    let (mut cur_base, mut nxt_base) = (src, dst);
+    for pass in 0..passes {
+        let shift = pass * radix_bits;
+        // Count: read each key; the digit tally lives in
+        // processor-private storage (registers/local memory in the
+        // vectorized implementation), so it is local work, and each
+        // processor writes its histogram row to shared memory once at
+        // the end of the phase — one write per (processor, digit) cell.
+        let mut counts = vec![0usize; radix];
+        for (lane, &i) in perm.iter().enumerate() {
+            let digit = ((keys[i as usize] >> shift) & mask) as usize;
+            counts[digit] += 1;
+            tb.read(lane, cur_base + lane as u64);
+        }
+        tb.local(n.div_ceil(procs) as u64);
+        for cell in 0..procs * radix {
+            tb.write(cell, hist + cell as u64);
+        }
+        tb.barrier(&format!("pass{pass}:count"));
+
+        // Rank: scan the count matrix (p·radix elements, dense). The
+        // read and write passes synchronize in between — rereading a
+        // cell in the same step as its write would break the EREW rule.
+        tb.sweep(hist, procs * radix, false);
+        tb.barrier(&format!("pass{pass}:rank-read"));
+        tb.sweep(hist, procs * radix, true);
+        tb.barrier(&format!("pass{pass}:rank-write"));
+
+        // Permute: read each element and scatter to its rank — all
+        // ranks distinct by construction.
+        let mut offsets = exclusive_scan(&counts, 0, |a, b| a + b);
+        for (lane, &i) in perm.iter().enumerate() {
+            let digit = ((keys[i as usize] >> shift) & mask) as usize;
+            let dest = offsets[digit];
+            offsets[digit] += 1;
+            next[dest] = i;
+            tb.read(lane, cur_base + lane as u64);
+            tb.write(lane, nxt_base + dest as u64);
+        }
+        tb.barrier(&format!("pass{pass}:permute"));
+
+        std::mem::swap(&mut perm, &mut next);
+        std::mem::swap(&mut cur_base, &mut nxt_base);
+    }
+    tb.traced(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::trace_max_contention;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_small_example() {
+        assert_eq!(sort(&[170, 45, 75, 90, 802, 24, 2, 66], 4), vec![2, 24, 45, 66, 75, 90, 170, 802]);
+    }
+
+    #[test]
+    fn permutation_is_stable() {
+        // Equal keys keep original order: indices of the three 5s
+        // appear in increasing order.
+        let keys = [5u64, 1, 5, 0, 5];
+        let perm = sort_permutation(&keys, 4);
+        assert_eq!(perm, vec![3, 1, 0, 2, 4]);
+    }
+
+    #[test]
+    fn random_keys_match_std_sort() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for radix_bits in [1u32, 4, 8, 11] {
+            let keys: Vec<u64> = (0..2000).map(|_| rng.random::<u64>() >> rng.random_range(0..60)).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(sort(&keys, radix_bits), expect, "radix_bits={radix_bits}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(sort(&[], 8).is_empty());
+        assert_eq!(sort(&[42], 8), vec![42]);
+    }
+
+    #[test]
+    fn all_equal_keys_identity_permutation() {
+        let perm = sort_permutation(&[9u64; 50], 8);
+        assert_eq!(perm, (0..50u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_sort_matches_untraced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys: Vec<u64> = (0..500).map(|_| rng.random_range(0..10_000)).collect();
+        let traced = sort_traced(8, &keys, 8);
+        assert_eq!(traced.value, sort_permutation(&keys, 8));
+    }
+
+    #[test]
+    fn traced_sort_is_erew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys: Vec<u64> = (0..800).map(|_| rng.random_range(0..1 << 16)).collect();
+        let traced = sort_traced(8, &keys, 8);
+        assert_eq!(trace_max_contention(&traced.trace), 1, "radix sort must be contention-free");
+        assert!(traced.trace.len() >= 6, "two passes × three phases");
+    }
+
+    #[test]
+    fn max_key_drives_pass_count() {
+        assert_eq!(needed_passes(&[0], 8), 1);
+        assert_eq!(needed_passes(&[255], 8), 1);
+        assert_eq!(needed_passes(&[256], 8), 2);
+        assert_eq!(needed_passes(&[u64::MAX], 8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix bits")]
+    fn oversized_radix_rejected() {
+        let _ = sort(&[1], 20);
+    }
+}

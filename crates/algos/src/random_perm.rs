@@ -1,0 +1,255 @@
+//! Random permutation: QRQW dart-throwing vs. EREW radix-sort
+//! (paper §6, Figure 11; QRQW algorithm from \[GMR94a\]).
+//!
+//! **QRQW darts:** each element writes its index into a random slot of
+//! an array of size `⌈c·n⌉`; elements read their slot back and whoever
+//! finds its own index has claimed the slot and drops out; the rest
+//! retry in another round. O(lg n) rounds w.h.p.; per-round location
+//! contention is the max slot collision count — small, and precisely
+//! what the QRQW rule charges. A final pack (scan + scatter) compresses
+//! the claimed slots into a permutation.
+//!
+//! **EREW baseline:** give every element a random key and radix-sort;
+//! the sorted order is the permutation. Contention-free, but pays
+//! several complete passes over the data (\[ZB91\]'s sort — "the fastest
+//! implementation of the NAS sorting benchmark" at the time).
+//!
+//! The paper's observation: the dart thrower's *well-accounted* small
+//! contention buys strictly less total memory traffic, so it wins over
+//! a wide range of sizes.
+
+use rand::Rng;
+
+use crate::radix_sort;
+use crate::scan::trace_scan;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Verifies that `perm` is a permutation of `0..n`.
+#[must_use]
+pub fn is_permutation(perm: &[u32]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &v in perm {
+        let v = v as usize;
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    true
+}
+
+/// Report of a dart-throwing run (for the experiment tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DartStats {
+    /// Rounds until every element claimed a slot.
+    pub rounds: usize,
+    /// Elements still live at the start of each round.
+    pub live_per_round: Vec<usize>,
+    /// Maximum slot contention in each round.
+    pub contention_per_round: Vec<usize>,
+}
+
+/// QRQW dart-throwing random permutation with its trace.
+///
+/// `slack` is the target-array expansion `c ≥ 1` (the paper uses a
+/// small constant; 1.5–2 is typical). Returns the permutation and
+/// per-round statistics.
+///
+/// # Panics
+///
+/// Panics if `slack < 1.0`.
+#[must_use]
+pub fn darts_traced<R: Rng + ?Sized>(
+    procs: usize,
+    n: usize,
+    slack: f64,
+    rng: &mut R,
+) -> Traced<(Vec<u32>, DartStats)> {
+    assert!(slack >= 1.0, "target array cannot be smaller than the input");
+    let slots = ((n as f64 * slack).ceil() as usize).max(n);
+    let mut tb = TraceBuilder::new(procs);
+    let target = tb.alloc(slots);
+    let out = tb.alloc(n);
+
+    // slot_owner[s] = element that claimed slot s.
+    let mut slot_owner: Vec<Option<u32>> = vec![None; slots];
+    let mut live: Vec<u32> = (0..n as u32).collect();
+    let mut stats = DartStats { rounds: 0, live_per_round: Vec::new(), contention_per_round: Vec::new() };
+
+    while !live.is_empty() {
+        stats.rounds += 1;
+        stats.live_per_round.push(live.len());
+
+        // Throw: every live element scatters its index to a random
+        // free-or-not slot. Later writers win the race (any arbitration
+        // works; the read-back detects it either way).
+        let picks: Vec<usize> = live.iter().map(|_| rng.random_range(0..slots)).collect();
+        let mut round_winner: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut max_contention = 1usize;
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for (lane, (&e, &s)) in live.iter().zip(&picks).enumerate() {
+            tb.write(lane, target + s as u64);
+            if slot_owner[s].is_none() {
+                round_winner.insert(s, e); // last write wins the cell
+                let c = counts.entry(s).or_insert(0);
+                *c += 1;
+                max_contention = max_contention.max(*c);
+            } else {
+                let c = counts.entry(s).or_insert(0);
+                *c += 1;
+                max_contention = max_contention.max(*c);
+            }
+        }
+        stats.contention_per_round.push(max_contention);
+        tb.barrier(&format!("round{}:throw", stats.rounds));
+
+        // Read back: every live element checks whether it won its slot.
+        for (lane, &s) in picks.iter().enumerate() {
+            tb.read(lane, target + s as u64);
+        }
+        tb.barrier(&format!("round{}:check", stats.rounds));
+
+        let mut next_live = Vec::new();
+        for (&e, &s) in live.iter().zip(&picks) {
+            if slot_owner[s].is_none() && round_winner.get(&s) == Some(&e) {
+                slot_owner[s] = Some(e);
+            } else {
+                next_live.push(e);
+            }
+        }
+        live = next_live;
+    }
+
+    // Pack: scan the claim flags, scatter claimed indices into `out`.
+    trace_scan(&mut tb, target, slots, "pack");
+    let mut perm = vec![0u32; n];
+    let mut rank = 0usize;
+    let mut lane = 0usize;
+    for s in 0..slots {
+        if let Some(e) = slot_owner[s] {
+            perm[rank] = e;
+            tb.read(lane, target + s as u64);
+            tb.write(lane, out + rank as u64);
+            lane += 1;
+            rank += 1;
+        }
+    }
+    tb.barrier("pack:scatter");
+    debug_assert_eq!(rank, n);
+
+    tb.traced((perm, stats))
+}
+
+/// EREW random permutation: random keys + radix sort. Key width is
+/// `2·⌈lg n⌉` bits so duplicate keys are rare (stable sort breaks the
+/// remaining ties deterministically).
+#[must_use]
+pub fn erew_traced<R: Rng + ?Sized>(procs: usize, n: usize, rng: &mut R) -> Traced<Vec<u32>> {
+    let bits = (2 * (usize::BITS - n.saturating_sub(1).leading_zeros())).clamp(4, 62);
+    let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << bits)).collect();
+    let sorted = radix_sort::sort_traced(procs, &keys, 8);
+    Traced { value: sorted.value, trace: sorted.trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{trace_max_contention, trace_requests};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn darts_produce_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = darts_traced(8, 1000, 1.5, &mut rng);
+        let (perm, stats) = t.value;
+        assert!(is_permutation(&perm));
+        assert!(stats.rounds >= 1);
+        assert_eq!(stats.live_per_round[0], 1000);
+    }
+
+    #[test]
+    fn darts_rounds_shrink_geometrically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = darts_traced(8, 4096, 2.0, &mut rng);
+        let stats = t.value.1;
+        // With slack 2 at least half the elements win each round in
+        // expectation; the live set never grows and the whole run ends
+        // in O(lg n) rounds.
+        assert!(stats.rounds < 30, "rounds = {}", stats.rounds);
+        for w in stats.live_per_round.windows(2) {
+            assert!(w[1] <= w[0], "live set grew: {:?}", stats.live_per_round);
+        }
+        assert!(
+            stats.live_per_round[1] < stats.live_per_round[0] / 2,
+            "first round should clear over half: {:?}",
+            stats.live_per_round
+        );
+    }
+
+    #[test]
+    fn darts_contention_is_logarithmically_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 8192;
+        let t = darts_traced(8, n, 1.5, &mut rng);
+        let worst = trace_max_contention(&t.trace);
+        // Balls in bins: max collision O(lg n / lg lg n) ≈ single digits.
+        assert!(worst <= 16, "contention {worst}");
+    }
+
+    #[test]
+    fn erew_produces_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = erew_traced(8, 1000, &mut rng);
+        assert!(is_permutation(&t.value));
+        assert_eq!(trace_max_contention(&t.trace), 1);
+    }
+
+    #[test]
+    fn darts_issue_less_traffic_than_erew() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 8192;
+        let qrqw = darts_traced(8, n, 1.5, &mut rng);
+        let erew = erew_traced(8, n, &mut rng);
+        assert!(
+            trace_requests(&qrqw.trace) < trace_requests(&erew.trace),
+            "darts {} vs erew {}",
+            trace_requests(&qrqw.trace),
+            trace_requests(&erew.trace)
+        );
+    }
+
+    #[test]
+    fn permutations_vary_with_seed() {
+        let mut rng1 = StdRng::seed_from_u64(6);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = darts_traced(4, 256, 1.5, &mut rng1).value.0;
+        let b = darts_traced(4, 256, 1.5, &mut rng2).value.0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tiny_inputs_work() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = darts_traced(2, 1, 1.0, &mut rng);
+        assert_eq!(t.value.0, vec![0]);
+        let e = erew_traced(2, 2, &mut rng);
+        assert!(is_permutation(&e.value));
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_vectors() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the input")]
+    fn undersized_slack_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = darts_traced(2, 10, 0.5, &mut rng);
+    }
+}

@@ -1,0 +1,220 @@
+//! Sample sort with QRQW splitter lookup.
+//!
+//! The paper's binary-search experiment motivates exactly this use:
+//! "binary searching is an important substep in several algorithms for
+//! sorting and merging (e.g. \[RV87\])". Sample sort is that algorithm:
+//!
+//! 1. **sample** — pick `s·buckets` random keys, sort them (small), and
+//!    keep every `s`-th as a splitter;
+//! 2. **locate** — every key binary-searches the splitter tree for its
+//!    bucket: the QRQW replicated-tree search of
+//!    [`crate::binary_search`] (contention bounded by replication);
+//! 3. **distribute** — scatter keys to their buckets (contention-free
+//!    destinations after a counting scan);
+//! 4. **local sort** — each bucket sorts locally (charged as local
+//!    work; buckets are near-even w.h.p. thanks to the sample).
+//!
+//! Against the EREW radix sort, sample sort reads each key O(lg
+//! buckets) times instead of O(key bits / radix bits) full passes — the
+//! same "bounded contention buys fewer passes" trade the paper's §6
+//! algorithms make.
+
+use rand::Rng;
+
+use crate::binary_search;
+use crate::scan::exclusive_scan;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Statistics of a sample-sort run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSortStats {
+    /// Bucket count used.
+    pub buckets: usize,
+    /// Largest bucket (balance check; expected ≈ n/buckets).
+    pub max_bucket: usize,
+    /// Max contention of the splitter-lookup supersteps.
+    pub lookup_contention: usize,
+}
+
+/// Sorts `keys` by sample sort, returning the sorted vector, run
+/// statistics, and the memory trace. `oversample` keys are drawn per
+/// splitter (larger = better balance, more sampling work).
+///
+/// # Panics
+///
+/// Panics if `buckets == 0` or `oversample == 0`.
+#[must_use]
+pub fn sample_sort_traced<R: Rng + ?Sized>(
+    procs: usize,
+    keys: &[u64],
+    buckets: usize,
+    oversample: usize,
+    rng: &mut R,
+) -> Traced<(Vec<u64>, SampleSortStats)> {
+    assert!(buckets >= 1, "need at least one bucket");
+    assert!(oversample >= 1, "oversample must be positive");
+    let n = keys.len();
+
+    // 1. Sample and choose splitters (host-side scalar work on a small
+    //    array; traced as a read of the sampled keys).
+    let mut tb = TraceBuilder::new(procs);
+    let keys_arr = tb.alloc(n);
+    let sample_size = if n == 0 { 0 } else { (buckets * oversample).min(n) };
+    let mut sample: Vec<u64> =
+        (0..sample_size).map(|_| keys[rng.random_range(0..n)]).collect();
+    for (lane, _) in sample.iter().enumerate() {
+        tb.read(lane, keys_arr + (lane % n.max(1)) as u64);
+    }
+    tb.local(sample_size.max(1) as u64); // the small sort
+    tb.barrier("sample");
+    sample.sort_unstable();
+    let splitters: Vec<u64> = if sample.is_empty() {
+        Vec::new()
+    } else {
+        (1..buckets)
+            .map(|b| sample[(b * oversample - 1).min(sample.len() - 1)])
+            .collect()
+    };
+
+    // 2. Locate: QRQW replicated-tree search over the splitters. The
+    //    search emits its own trace; splice it in.
+    let located = binary_search::replicated_traced(procs, &splitters, keys, 8, true, rng);
+    let bucket_of: Vec<usize> = located.value.iter().map(|&r| r as usize).collect();
+    let lookup_contention = located
+        .trace
+        .iter()
+        .filter(|s| !s.label.starts_with("setup"))
+        .map(|s| s.pattern.contention_profile().max_location_contention)
+        .max()
+        .unwrap_or(0);
+    let mut trace = tb.finish();
+    trace.extend(located.trace);
+
+    // 3. Distribute: counting scan then scatter to distinct slots.
+    // (Fresh builder, so re-allocate a keys mirror: builders restart
+    // their address spaces and mixing spaces within one superstep would
+    // fabricate collisions.)
+    let mut tb = TraceBuilder::new(procs);
+    let keys_arr = tb.alloc(n);
+    let out_arr = tb.alloc(n);
+    let mut counts = vec![0usize; buckets];
+    for &b in &bucket_of {
+        counts[b] += 1;
+    }
+    let mut offsets = exclusive_scan(&counts, 0, |a, b| a + b);
+    let mut out = vec![0u64; n];
+    for (lane, (&k, &b)) in keys.iter().zip(&bucket_of).enumerate() {
+        let dest = offsets[b];
+        offsets[b] += 1;
+        out[dest] = k;
+        tb.read(lane, keys_arr + lane as u64);
+        tb.write(lane, out_arr + dest as u64);
+    }
+    tb.barrier("distribute");
+
+    // 4. Local sorts: each processor sorts its buckets in place —
+    //    charged as local work plus one read+write sweep.
+    let max_bucket = counts.iter().copied().max().unwrap_or(0);
+    let mut start = 0usize;
+    for &c in &counts {
+        out[start..start + c].sort_unstable();
+        start += c;
+    }
+    tb.sweep(out_arr, n, false);
+    tb.barrier("local-sort-read");
+    tb.sweep(out_arr, n, true);
+    let per_proc = n.div_ceil(procs).max(2);
+    tb.local((per_proc as u64) * (usize::BITS - per_proc.leading_zeros()) as u64);
+    tb.barrier("local-sort-write");
+    trace.extend(tb.finish());
+
+    let stats = SampleSortStats { buckets, max_bucket, lookup_contention };
+    Traced { value: (out, stats), trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..1u64 << 40)).collect()
+    }
+
+    #[test]
+    fn sorts_random_keys() {
+        let keys = random_keys(5000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = sample_sort_traced(8, &keys, 16, 8, &mut rng);
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(t.value.0, expect);
+    }
+
+    #[test]
+    fn handles_duplicates_and_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for keys in [vec![], vec![7], vec![5, 5, 5, 5], vec![3, 1, 2]] {
+            let t = sample_sort_traced(4, &keys, 4, 2, &mut rng);
+            let mut expect = keys;
+            expect.sort_unstable();
+            assert_eq!(t.value.0, expect);
+        }
+    }
+
+    #[test]
+    fn buckets_are_balanced_with_oversampling() {
+        let keys = random_keys(16 * 1024, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = sample_sort_traced(8, &keys, 32, 16, &mut rng);
+        let stats = &t.value.1;
+        let even = keys.len() / stats.buckets;
+        assert!(
+            stats.max_bucket < 3 * even,
+            "max bucket {} vs even {even}",
+            stats.max_bucket
+        );
+    }
+
+    #[test]
+    fn lookup_contention_is_bounded_by_replication() {
+        let keys = random_keys(8 * 1024, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = sample_sort_traced(8, &keys, 64, 8, &mut rng);
+        // Target contention 8 in the replicated search; realized max is
+        // a balls-in-bins max over copies.
+        assert!(
+            t.value.1.lookup_contention <= 64,
+            "lookup contention {}",
+            t.value.1.lookup_contention
+        );
+    }
+
+    #[test]
+    fn distribution_step_is_contention_free() {
+        let keys = random_keys(2048, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = sample_sort_traced(8, &keys, 16, 8, &mut rng);
+        let dist = t.trace.iter().find(|s| s.label == "distribute").unwrap();
+        assert_eq!(dist.pattern.contention_profile().max_location_contention, 1);
+    }
+
+    #[test]
+    fn fewer_memory_passes_than_radix_sort() {
+        use crate::tracer::trace_requests;
+        let keys = random_keys(8 * 1024, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample = sample_sort_traced(8, &keys, 32, 8, &mut rng);
+        let radix = crate::radix_sort::sort_traced(8, &keys, 8);
+        // 40-bit keys at 8-bit digits = 5 radix passes of 2 sweeps each;
+        // sample sort touches each key ~lg(32)+constant times.
+        assert!(
+            trace_requests(&sample.trace) < trace_requests(&radix.trace),
+            "sample {} vs radix {}",
+            trace_requests(&sample.trace),
+            trace_requests(&radix.trace)
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Prefix sums and segmented scans.
+//!
+//! Scans are the vectorization substrate of the paper's code: radix
+//! sort ranks with them, SpMV sums each row with a *segmented* scan
+//! \[BHZ93\], and the dart-throwing permutation packs survivors with
+//! them. Their memory pattern is the friendly case — dense sweeps with
+//! no location contention (EREW) — which is exactly why the gather and
+//! scatter steps of the surrounding algorithms dominate contention.
+
+use crate::tracer::TraceBuilder;
+
+/// Exclusive scan: `out[i] = id ⊕ xs[0] ⊕ … ⊕ xs[i−1]`.
+pub fn exclusive_scan<T: Copy, F: Fn(T, T) -> T>(xs: &[T], id: T, op: F) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = id;
+    for &x in xs {
+        out.push(acc);
+        acc = op(acc, x);
+    }
+    out
+}
+
+/// Inclusive scan: `out[i] = xs[0] ⊕ … ⊕ xs[i]`.
+pub fn inclusive_scan<T: Copy, F: Fn(T, T) -> T>(xs: &[T], id: T, op: F) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = id;
+    for &x in xs {
+        acc = op(acc, x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Segmented inclusive scan: the scan restarts wherever
+/// `heads[i]` is true (element `i` begins a new segment).
+///
+/// # Panics
+///
+/// Panics if the flag vector length differs from the value length.
+pub fn segmented_inclusive_scan<T: Copy, F: Fn(T, T) -> T>(
+    xs: &[T],
+    heads: &[bool],
+    id: T,
+    op: F,
+) -> Vec<T> {
+    assert_eq!(xs.len(), heads.len(), "flags/values length mismatch");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = id;
+    for (i, &x) in xs.iter().enumerate() {
+        acc = if heads[i] { x } else { op(acc, x) };
+        out.push(acc);
+    }
+    out
+}
+
+/// Sum of the last element of each segment (the "row totals" SpMV
+/// extracts after its segmented scan).
+pub fn segment_totals<T: Copy, F: Fn(T, T) -> T>(
+    xs: &[T],
+    heads: &[bool],
+    id: T,
+    op: F,
+) -> Vec<T> {
+    let scanned = segmented_inclusive_scan(xs, heads, id, op);
+    let mut out = Vec::new();
+    for i in 0..xs.len() {
+        let last_of_segment = i + 1 == xs.len() || heads[i + 1];
+        if last_of_segment {
+            out.push(scanned[i]);
+        }
+    }
+    out
+}
+
+/// Records the access pattern of a segmented two-pass scan: like
+/// [`trace_scan`] but each element also reads its segment flag, so the
+/// traffic is `3·len` element accesses plus the combine. Still
+/// contention-free — segmented scans are the reason SpMV's only
+/// contended step is the gather \[BHZ93\].
+pub fn trace_segmented_scan(
+    tb: &mut TraceBuilder,
+    base: u64,
+    flags: u64,
+    len: usize,
+    label: &str,
+) {
+    for i in 0..len {
+        tb.read(i, base + i as u64);
+        tb.read(i, flags + i as u64);
+    }
+    tb.barrier(&format!("{label}:segscan-read"));
+    let totals = tb.alloc(tb.procs());
+    for pr in 0..tb.procs() {
+        tb.write(pr, totals + pr as u64);
+    }
+    tb.barrier(&format!("{label}:segscan-combine"));
+    for pr in 0..tb.procs() {
+        tb.read(pr, totals + pr as u64);
+    }
+    tb.sweep(base, len, true);
+    tb.barrier(&format!("{label}:segscan-write"));
+}
+
+/// Records the access pattern of a two-pass multiprocessor scan over
+/// `len` elements stored at `base`: each processor scans its block
+/// (read sweep), block totals combine through a small shared array, and
+/// a second pass writes results (write sweep). Contention-free by
+/// construction.
+pub fn trace_scan(tb: &mut TraceBuilder, base: u64, len: usize, label: &str) {
+    tb.sweep(base, len, false);
+    tb.barrier(&format!("{label}:scan-read"));
+    // Cross-processor combine: p block totals written then read.
+    let totals = tb.alloc(tb.procs());
+    for pr in 0..tb.procs() {
+        tb.write(pr, totals + pr as u64);
+    }
+    tb.barrier(&format!("{label}:scan-combine"));
+    for pr in 0..tb.procs() {
+        tb.read(pr, totals + pr as u64);
+    }
+    tb.sweep(base, len, true);
+    tb.barrier(&format!("{label}:scan-write"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_of_ones_counts() {
+        let out = exclusive_scan(&[1u64; 5], 0, |a, b| a + b);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn inclusive_scan_matches_running_total() {
+        let out = inclusive_scan(&[3u64, 1, 4, 1, 5], 0, |a, b| a + b);
+        assert_eq!(out, vec![3, 4, 8, 9, 14]);
+    }
+
+    #[test]
+    fn scans_work_for_max_monoid() {
+        let out = inclusive_scan(&[2i64, 9, 1, 7], i64::MIN, |a, b| a.max(b));
+        assert_eq!(out, vec![2, 9, 9, 9]);
+    }
+
+    #[test]
+    fn segmented_scan_restarts_at_heads() {
+        let xs = [1u64, 1, 1, 1, 1, 1];
+        let heads = [true, false, false, true, false, true];
+        let out = segmented_inclusive_scan(&xs, &heads, 0, |a, b| a + b);
+        assert_eq!(out, vec![1, 2, 3, 1, 2, 1]);
+    }
+
+    #[test]
+    fn segment_totals_extracts_row_sums() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let heads = [true, false, true, false, false];
+        let out = segment_totals(&xs, &heads, 0.0, |a, b| a + b);
+        assert_eq!(out, vec![3.0, 12.0]);
+    }
+
+    #[test]
+    fn segment_totals_of_singletons_is_identity() {
+        let xs = [7u64, 8, 9];
+        let heads = [true, true, true];
+        assert_eq!(segment_totals(&xs, &heads, 0, |a, b| a + b), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_scans_are_empty() {
+        assert!(exclusive_scan::<u64, _>(&[], 0, |a, b| a + b).is_empty());
+        assert!(segmented_inclusive_scan::<u64, _>(&[], &[], 0, |a, b| a + b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_flags_rejected() {
+        let _ = segmented_inclusive_scan(&[1u64], &[true, false], 0, |a, b| a + b);
+    }
+
+    #[test]
+    fn traced_segmented_scan_is_contention_free_and_heavier() {
+        use crate::tracer::{trace_max_contention, trace_requests};
+        let mut tb = TraceBuilder::new(4);
+        let base = tb.alloc(100);
+        let flags = tb.alloc(100);
+        trace_segmented_scan(&mut tb, base, flags, 100, "t");
+        let trace = tb.finish();
+        assert_eq!(trace_max_contention(&trace), 1);
+        // 100 value reads + 100 flag reads + 100 writes + 2·p combine.
+        assert_eq!(trace_requests(&trace), 308);
+    }
+
+    #[test]
+    fn traced_scan_is_contention_free() {
+        use crate::tracer::{trace_max_contention, trace_requests};
+        let mut tb = TraceBuilder::new(4);
+        let base = tb.alloc(100);
+        trace_scan(&mut tb, base, 100, "t");
+        let trace = tb.finish();
+        assert_eq!(trace_max_contention(&trace), 1);
+        // 100 reads + 100 writes + 2·p combine traffic.
+        assert_eq!(trace_requests(&trace), 208);
+    }
+}

@@ -1,0 +1,299 @@
+//! Contention-aware scatter/gather primitives.
+//!
+//! §3's experiments are not just validation — they prescribe remedies.
+//! This module packages them as primitives a program would call:
+//!
+//! * [`scatter_traced`] / [`gather_traced`] — the plain operations, as
+//!   one superstep each;
+//! * [`gather_with_duplication_traced`] — Experiment 2's fix, driven by
+//!   the model: hot source locations (those whose contention exceeds a
+//!   threshold the advisor computes) are first *replicated* into
+//!   scratch copies (a low-contention broadcast round), then readers
+//!   spread across the copies. The primitive reports what it
+//!   duplicated so the cost of the fix is visible;
+//! * [`scatter_combining_traced`] — the combining-tree alternative for
+//!   *reducing* scatters (sum into a hot cell): lanes aimed at one
+//!   address combine pairwise in `⌈lg k⌉` low-contention rounds before
+//!   a single write, trading `d·k` for `O(lg k)` extra supersteps.
+
+use std::collections::HashMap;
+
+use dxbsp_core::{contention_knee, MachineParams};
+
+use crate::tracer::{TraceBuilder, Traced};
+
+/// A plain scatter of `values[i]` to `dst[keys[i]]` (one superstep).
+/// Returns the final contents of the destination's touched cells (last
+/// writer per key wins, in lane order).
+#[must_use]
+pub fn scatter_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<HashMap<u64, u64>> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+    let mut tb = TraceBuilder::new(procs);
+    let dst = tb.alloc(0);
+    let mut out = HashMap::new();
+    for (lane, (&k, &v)) in keys.iter().zip(values).enumerate() {
+        tb.write(lane, dst + k);
+        out.insert(k, v);
+    }
+    tb.barrier("scatter");
+    tb.traced(out)
+}
+
+/// A plain gather of `src[keys[i]]` (one superstep). `src` is modeled
+/// as a lookup table supplied by the caller.
+#[must_use]
+pub fn gather_traced(procs: usize, keys: &[u64], src: &HashMap<u64, u64>) -> Traced<Vec<u64>> {
+    let mut tb = TraceBuilder::new(procs);
+    let base = tb.alloc(0);
+    let out: Vec<u64> = keys.iter().map(|k| src.get(k).copied().unwrap_or(0)).collect();
+    for (lane, &k) in keys.iter().enumerate() {
+        tb.read(lane, base + k);
+    }
+    tb.barrier("gather");
+    tb.traced(out)
+}
+
+/// Report of what a duplication-aware gather did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicationReport {
+    /// Keys that were replicated, with their copy counts.
+    pub duplicated: Vec<(u64, usize)>,
+    /// Contention threshold that triggered duplication.
+    pub threshold: usize,
+    /// Max per-copy contention after spreading.
+    pub residual_contention: usize,
+}
+
+/// Gather with automatic hot-location duplication (§3 Experiment 2 as
+/// an API). Keys whose multiplicity exceeds the machine's contention
+/// knee are first broadcast into `⌈count/threshold⌉` scratch copies
+/// (a replication superstep whose own contention is ≤ threshold, built
+/// by copy-doubling), and the readers then round-robin the copies.
+#[must_use]
+pub fn gather_with_duplication_traced(
+    m: &MachineParams,
+    keys: &[u64],
+    src: &HashMap<u64, u64>,
+) -> Traced<(Vec<u64>, DuplicationReport)> {
+    let n = keys.len();
+    let threshold = contention_knee(m, n).max(1);
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+
+    let mut tb = TraceBuilder::new(m.p);
+    let base = tb.alloc(0);
+    let copies_base = tb.alloc(0);
+
+    // Replication: copy-doubling rounds, so round r reads the copies
+    // made in round r−1 — contention per source cell stays ≤ 2 per
+    // round and the number of rounds is ⌈lg copies⌉.
+    let mut copy_count: HashMap<u64, usize> = HashMap::new();
+    let mut duplicated = Vec::new();
+    for (&k, &c) in counts.iter().filter(|&(_, &c)| c > threshold) {
+        let copies = c.div_ceil(threshold);
+        copy_count.insert(k, copies);
+        duplicated.push((k, copies));
+    }
+    duplicated.sort_unstable();
+    if !copy_count.is_empty() {
+        let max_copies = copy_count.values().copied().max().unwrap_or(1);
+        let mut have = 1usize;
+        let mut round = 0usize;
+        while have < max_copies {
+            let mut lane = 0usize;
+            for (&k, &copies) in &copy_count {
+                let want = copies.min(2 * have);
+                for new_copy in have..want {
+                    // Read copy (new_copy − have), write copy new_copy.
+                    tb.read(lane, copies_base + k * 1024 + (new_copy - have) as u64);
+                    tb.write(lane, copies_base + k * 1024 + new_copy as u64);
+                    lane += 1;
+                }
+            }
+            round += 1;
+            tb.barrier(&format!("replicate{round}"));
+            have *= 2;
+        }
+    }
+
+    // Gather: hot keys round-robin their copies; cold keys read the
+    // original cell.
+    let mut next_copy: HashMap<u64, usize> = HashMap::new();
+    let mut residual: HashMap<(u64, usize), usize> = HashMap::new();
+    let out: Vec<u64> = keys.iter().map(|k| src.get(k).copied().unwrap_or(0)).collect();
+    for (lane, &k) in keys.iter().enumerate() {
+        if let Some(&copies) = copy_count.get(&k) {
+            let slot = next_copy.entry(k).or_insert(0);
+            let copy = *slot % copies;
+            *slot += 1;
+            tb.read(lane, copies_base + k * 1024 + copy as u64);
+            *residual.entry((k, copy)).or_insert(0) += 1;
+        } else {
+            tb.read(lane, base + k);
+            *residual.entry((k, 0)).or_insert(0) += 1;
+        }
+    }
+    tb.barrier("gather");
+
+    let report = DuplicationReport {
+        duplicated,
+        threshold,
+        residual_contention: residual.values().copied().max().unwrap_or(0),
+    };
+    tb.traced((out, report))
+}
+
+/// Combining-tree *reducing* scatter: all lanes aimed at the same key
+/// combine pairwise (`⌈lg k⌉` supersteps of contention ≤ 2) and a
+/// single representative writes the result. Returns the per-key sums.
+#[must_use]
+pub fn scatter_combining_traced(
+    procs: usize,
+    keys: &[u64],
+    values: &[u64],
+) -> Traced<HashMap<u64, u64>> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+    let mut tb = TraceBuilder::new(procs);
+    let dst = tb.alloc(0);
+    let scratch = tb.alloc(keys.len());
+
+    // Group lanes by key.
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (lane, &k) in keys.iter().enumerate() {
+        groups.entry(k).or_default().push(lane);
+    }
+
+    // Pairwise combining rounds: lane i of a group reads lane i+half's
+    // scratch cell. Every address is touched by at most one reader and
+    // one writer per round.
+    let mut widths: Vec<usize> = groups.values().map(Vec::len).collect();
+    widths.sort_unstable();
+    let max_width = widths.last().copied().unwrap_or(0);
+    let mut width = max_width;
+    let mut round = 0usize;
+    while width > 1 {
+        let half = width.div_ceil(2);
+        for lanes in groups.values().filter(|l| l.len() > half) {
+            for i in half..lanes.len().min(width) {
+                tb.read(lanes[i - half], scratch + lanes[i] as u64);
+                tb.write(lanes[i - half], scratch + lanes[i - half] as u64);
+            }
+        }
+        round += 1;
+        tb.barrier(&format!("combine{round}"));
+        width = half;
+    }
+
+    // One representative write per key.
+    for (lane, (&k, _)) in groups.iter().enumerate() {
+        tb.write(lane, dst + k);
+    }
+    tb.barrier("write-roots");
+
+    let mut sums: HashMap<u64, u64> = HashMap::new();
+    for (&k, &v) in keys.iter().zip(values) {
+        let e = sums.entry(k).or_insert(0);
+        *e = e.wrapping_add(v);
+    }
+    tb.traced(sums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::trace_max_contention;
+
+    fn j90() -> MachineParams {
+        MachineParams::new(8, 1, 0, 14, 32)
+    }
+
+    fn hot_keys(n: usize, k: usize) -> Vec<u64> {
+        (0..n).map(|i| if i < k { 0 } else { 1000 + i as u64 }).collect()
+    }
+
+    #[test]
+    fn plain_scatter_carries_full_contention() {
+        let keys = hot_keys(4096, 2048);
+        let values = vec![1u64; 4096];
+        let t = scatter_traced(8, &keys, &values);
+        assert_eq!(trace_max_contention(&t.trace), 2048);
+        assert_eq!(t.value[&0], 1);
+    }
+
+    #[test]
+    fn duplication_caps_contention_at_the_knee() {
+        let m = j90();
+        let n = 8192;
+        let keys = hot_keys(n, n / 2);
+        let src: HashMap<u64, u64> = keys.iter().map(|&k| (k, k + 7)).collect();
+        let t = gather_with_duplication_traced(&m, &keys, &src);
+        let (values, report) = &t.value;
+        // Values are right.
+        assert!(values.iter().zip(&keys).all(|(&v, &k)| v == k + 7));
+        // The hot key was duplicated and residual contention is near
+        // the knee (round-robin may exceed it by a rounding hair).
+        assert_eq!(report.duplicated.len(), 1);
+        assert_eq!(report.duplicated[0].0, 0);
+        assert!(report.residual_contention <= report.threshold + 1);
+        // Whole-trace contention (including replication rounds) stays
+        // at the knee scale, far below n/2.
+        let worst = trace_max_contention(&t.trace);
+        assert!(worst <= 2 * report.threshold, "worst {worst}");
+    }
+
+    #[test]
+    fn duplication_leaves_cold_patterns_alone() {
+        let m = j90();
+        let keys: Vec<u64> = (0..1000).collect();
+        let src: HashMap<u64, u64> = keys.iter().map(|&k| (k, k)).collect();
+        let t = gather_with_duplication_traced(&m, &keys, &src);
+        assert!(t.value.1.duplicated.is_empty());
+        assert_eq!(t.trace.len(), 1, "no replication supersteps expected");
+    }
+
+    #[test]
+    fn combining_scatter_sums_and_bounds_contention() {
+        let keys = hot_keys(1024, 512);
+        let values = vec![2u64; 1024];
+        let t = scatter_combining_traced(8, &keys, &values);
+        assert_eq!(t.value[&0], 1024); // 512 lanes × 2
+        assert_eq!(t.value[&1512], 2);
+        // Pairwise combining: contention ≤ 2 everywhere.
+        assert!(trace_max_contention(&t.trace) <= 2);
+        // lg(512) = 9 combining rounds plus the root write.
+        assert_eq!(t.trace.len(), 10);
+    }
+
+    #[test]
+    fn combining_beats_plain_scatter_under_the_model() {
+        use dxbsp_core::{pattern_cost, CostModel, Interleaved};
+        let m = j90();
+        let map = Interleaved::new(m.banks());
+        let keys = hot_keys(8192, 8192);
+        let values = vec![1u64; 8192];
+        let plain = scatter_traced(m.p, &keys, &values);
+        let combining = scatter_combining_traced(m.p, &keys, &values);
+        let charge = |trace: &dxbsp_machine::Trace| -> u64 {
+            trace.iter().map(|s| pattern_cost(&m, &s.pattern, &map, CostModel::DxBsp)).sum()
+        };
+        let pc = charge(&plain.trace);
+        let cc = charge(&combining.trace);
+        assert!(cc < pc / 10, "combining {cc} vs plain {pc}");
+    }
+
+    #[test]
+    fn gather_values_match_plain_lookup() {
+        let keys = vec![5u64, 6, 5, 7];
+        let src: HashMap<u64, u64> = [(5, 50), (6, 60), (7, 70)].into_iter().collect();
+        let t = gather_traced(2, &keys, &src);
+        assert_eq!(t.value, vec![50, 60, 50, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scatter_length_mismatch_rejected() {
+        let _ = scatter_traced(2, &[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Sparse matrix–vector multiplication via segmented scan
+//! (paper §6, Figure 12; formulation from \[BHZ93\]).
+//!
+//! The vectorized SpMV processes all `nnz` nonzeros in lockstep:
+//!
+//! 1. **gather** `x[col]` for every nonzero — *the contention step*: a
+//!    dense column means one entry of `x` is read by many rows at once,
+//!    so location contention equals the dense column's length;
+//! 2. **multiply** with the stored values (local work);
+//! 3. **segmented scan** summing within each row (contention-free);
+//! 4. **scatter** row totals to `y` (distinct destinations).
+//!
+//! Figure 12 sweeps the dense-column length and compares measured time
+//! with the (d,x)-BSP prediction `max(g·nnz/p, d·nnz/(x·p), d·k)` where
+//! `k` is the dense column length.
+
+use dxbsp_workloads::CsrMatrix;
+
+use crate::scan::trace_segmented_scan;
+use crate::tracer::{TraceBuilder, Traced};
+
+/// Parallel SpMV `y = A·x` with its memory-access trace.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols`.
+#[must_use]
+pub fn spmv_traced(procs: usize, a: &CsrMatrix, x: &[f64]) -> Traced<Vec<f64>> {
+    assert_eq!(x.len(), a.cols, "vector length mismatch");
+    let nnz = a.nnz();
+    let mut tb = TraceBuilder::new(procs);
+    let x_arr = tb.alloc(a.cols);
+    let vals = tb.alloc(nnz);
+    let prods = tb.alloc(nnz);
+    let flags = tb.alloc(nnz);
+    let y_arr = tb.alloc(a.rows);
+
+    // Gather x[col] for every nonzero: the contention-bearing step.
+    tb.gather(x_arr, a.col_idx.iter().map(|&c| u64::from(c)));
+    tb.barrier("gather-x");
+
+    // Multiply: read the stored values, write the products.
+    tb.sweep(vals, nnz, false);
+    tb.sweep(prods, nnz, true);
+    tb.local(nnz.div_ceil(procs) as u64);
+    tb.barrier("multiply");
+
+    // Segmented sum over rows (segment heads mark row starts).
+    trace_segmented_scan(&mut tb, prods, flags, nnz, "rowsum");
+
+    // Scatter one total per row into y.
+    tb.scatter(y_arr, (0..a.rows as u64).collect::<Vec<_>>());
+    tb.barrier("scatter-y");
+
+    tb.traced(a.multiply_serial(x))
+}
+
+/// The gather step's location contention: the heaviest column count.
+#[must_use]
+pub fn gather_contention(a: &CsrMatrix) -> usize {
+    a.column_counts().into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::trace_max_contention;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn traced_result_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = CsrMatrix::random(60, 40, 5, &mut rng);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let t = spmv_traced(8, &a, &x);
+        let expect = a.multiply_serial(&x);
+        assert_eq!(t.value.len(), 60);
+        for (got, want) in t.value.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gather_contention_tracks_dense_column() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = CsrMatrix::random_with_dense_column(2000, 100_000, 4, 1200, &mut rng);
+        assert!(gather_contention(&a) >= 1200);
+        let x = vec![1.0; 100_000];
+        let t = spmv_traced(8, &a, &x);
+        let gather = t.trace.iter().find(|s| s.label == "gather-x").unwrap();
+        assert!(gather.pattern.contention_profile().max_location_contention >= 1200);
+    }
+
+    #[test]
+    fn without_dense_column_contention_is_low() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = CsrMatrix::random(2000, 100_000, 4, &mut rng);
+        let x = vec![1.0; 100_000];
+        let t = spmv_traced(8, &a, &x);
+        assert!(trace_max_contention(&t.trace) < 8);
+    }
+
+    #[test]
+    fn non_gather_steps_are_contention_free() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = CsrMatrix::random_with_dense_column(500, 500, 4, 400, &mut rng);
+        let x = vec![2.0; 500];
+        let t = spmv_traced(4, &a, &x);
+        for step in t.trace.iter().filter(|s| s.label != "gather-x") {
+            assert_eq!(
+                step.pattern.contention_profile().max_location_contention,
+                1,
+                "step {} has contention",
+                step.label
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_multiplies_to_empty() {
+        let a = CsrMatrix::from_rows(3, &[]);
+        let t = spmv_traced(2, &a, &[1.0, 2.0, 3.0]);
+        assert!(t.value.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Building memory-access traces alongside computations.
+//!
+//! An algorithm instrumented with a [`TraceBuilder`] allocates its
+//! arrays in a flat simulated address space, records every data-parallel
+//! read/write (element `i` of an operation is issued by processor
+//! `i mod p`, the round-robin assignment of a vectorized loop), and
+//! cuts a superstep at every barrier. The result is a
+//! [`dxbsp_machine::Trace`] that replays on the simulator and charges
+//! under the cost models — the access pattern of the *actual* run, not
+//! a model of it.
+
+use dxbsp_core::{AccessPattern, Request};
+use dxbsp_machine::{Trace, TraceStep};
+
+/// A computation result together with the memory trace that produced it.
+#[derive(Debug, Clone)]
+pub struct Traced<T> {
+    /// The algorithm's output.
+    pub value: T,
+    /// The per-superstep access patterns.
+    pub trace: Trace,
+}
+
+/// Records array allocations and per-superstep memory requests.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    procs: usize,
+    next_addr: u64,
+    current: AccessPattern,
+    current_local: u64,
+    steps: Trace,
+}
+
+impl TraceBuilder {
+    /// A builder for a `procs`-processor machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0`.
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        assert!(procs >= 1, "need at least one processor");
+        Self {
+            procs,
+            next_addr: 0,
+            current: AccessPattern::new(procs),
+            current_local: 0,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Processor count.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Reserves `len` consecutive addresses and returns the base. A
+    /// guard gap keeps distinct arrays from sharing addresses even if
+    /// an algorithm indexes one element past the end.
+    pub fn alloc(&mut self, len: usize) -> u64 {
+        let base = self.next_addr;
+        self.next_addr += len as u64 + 1;
+        base
+    }
+
+    /// Records that vector lane `i` reads `addr` (processor `i mod p`).
+    pub fn read(&mut self, lane: usize, addr: u64) {
+        self.current.push(Request::read(lane % self.procs, addr));
+    }
+
+    /// Records that vector lane `i` writes `addr`.
+    pub fn write(&mut self, lane: usize, addr: u64) {
+        self.current.push(Request::write(lane % self.procs, addr));
+    }
+
+    /// Records a gather of `addrs[i] = base + idx[i]` (lane `i` reads).
+    pub fn gather(&mut self, base: u64, idxs: impl IntoIterator<Item = u64>) {
+        for (lane, idx) in idxs.into_iter().enumerate() {
+            self.read(lane, base + idx);
+        }
+    }
+
+    /// Records a scatter of lane `i` to `base + idx[i]`.
+    pub fn scatter(&mut self, base: u64, idxs: impl IntoIterator<Item = u64>) {
+        for (lane, idx) in idxs.into_iter().enumerate() {
+            self.write(lane, base + idx);
+        }
+    }
+
+    /// Records a dense element-wise pass over `len` elements of the
+    /// array at `base` (lane `i` touches `base + i`): reads if `store`
+    /// is false, writes otherwise.
+    pub fn sweep(&mut self, base: u64, len: usize, store: bool) {
+        for i in 0..len {
+            if store {
+                self.write(i, base + i as u64);
+            } else {
+                self.read(i, base + i as u64);
+            }
+        }
+    }
+
+    /// Charges `units` cycles of local computation to the current
+    /// superstep (the per-processor maximum, as the BSP does).
+    pub fn local(&mut self, units: u64) {
+        self.current_local += units;
+    }
+
+    /// Ends the current superstep, labeling it.
+    pub fn barrier(&mut self, label: &str) {
+        if self.current.is_empty() && self.current_local == 0 {
+            return; // empty supersteps carry no information
+        }
+        let pattern = std::mem::replace(&mut self.current, AccessPattern::new(self.procs));
+        let local = std::mem::take(&mut self.current_local);
+        self.steps.push(TraceStep::new(pattern).labeled(label).with_local_work(local));
+    }
+
+    /// Finishes the trace (closing any open superstep).
+    #[must_use]
+    pub fn finish(mut self) -> Trace {
+        self.barrier("tail");
+        self.steps
+    }
+
+    /// Wraps a value with the finished trace.
+    #[must_use]
+    pub fn traced<T>(self, value: T) -> Traced<T> {
+        Traced { value, trace: self.finish() }
+    }
+}
+
+/// Total memory requests across a trace.
+#[must_use]
+pub fn trace_requests(trace: &Trace) -> usize {
+    trace.iter().map(|s| s.pattern.len()).sum()
+}
+
+/// The largest per-superstep location contention across a trace.
+#[must_use]
+pub fn trace_max_contention(trace: &Trace) -> usize {
+    trace
+        .iter()
+        .map(|s| s.pattern.contention_profile().max_location_contention)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_disjoint_ranges() {
+        let mut tb = TraceBuilder::new(4);
+        let a = tb.alloc(10);
+        let b = tb.alloc(5);
+        assert!(b >= a + 10);
+        let c = tb.alloc(0);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn barriers_cut_supersteps() {
+        let mut tb = TraceBuilder::new(2);
+        let a = tb.alloc(4);
+        tb.sweep(a, 4, false);
+        tb.barrier("load");
+        tb.scatter(a, [0, 0, 0]);
+        tb.barrier("hot");
+        let trace = tb.finish();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].label, "load");
+        assert_eq!(trace[0].pattern.len(), 4);
+        assert_eq!(trace[1].pattern.contention_profile().max_location_contention, 3);
+    }
+
+    #[test]
+    fn empty_barriers_are_dropped() {
+        let mut tb = TraceBuilder::new(2);
+        tb.barrier("nothing");
+        tb.barrier("still nothing");
+        assert!(tb.finish().is_empty());
+    }
+
+    #[test]
+    fn local_work_travels_with_the_step() {
+        let mut tb = TraceBuilder::new(2);
+        let a = tb.alloc(1);
+        tb.write(0, a);
+        tb.local(42);
+        tb.barrier("compute");
+        let trace = tb.finish();
+        assert_eq!(trace[0].local_work, 42);
+    }
+
+    #[test]
+    fn lanes_round_robin_processors() {
+        let mut tb = TraceBuilder::new(3);
+        let a = tb.alloc(7);
+        tb.sweep(a, 7, true);
+        let trace = tb.finish();
+        let per_proc = trace[0].pattern.per_processor();
+        assert_eq!(per_proc[0].len(), 3); // lanes 0, 3, 6
+        assert_eq!(per_proc[1].len(), 2);
+        assert_eq!(per_proc[2].len(), 2);
+    }
+
+    #[test]
+    fn helpers_aggregate_trace_stats() {
+        let mut tb = TraceBuilder::new(2);
+        let a = tb.alloc(8);
+        tb.gather(a, [0, 1, 1, 1]);
+        tb.barrier("g");
+        let trace = tb.finish();
+        assert_eq!(trace_requests(&trace), 4);
+        assert_eq!(trace_max_contention(&trace), 3);
+    }
+
+    #[test]
+    fn traced_bundles_value_and_trace() {
+        let mut tb = TraceBuilder::new(1);
+        let a = tb.alloc(1);
+        tb.read(0, a);
+        let t = tb.traced(123u32);
+        assert_eq!(t.value, 123);
+        assert_eq!(trace_requests(&t.trace), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests: every algorithm against its sequential oracle, plus
+//! the contention invariants that make the QRQW/EREW labels honest.
+
+use dxbsp_algos::tracer::{trace_max_contention, TraceBuilder};
+use dxbsp_algos::{
+    binary_search, connected, list_ranking, merge, multiprefix, radix_sort, random_perm, scan,
+};
+use dxbsp_workloads::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Radix sort sorts, stably, for any radix width.
+    #[test]
+    fn radix_sort_matches_std(
+        keys in proptest::collection::vec(0u64..1_000_000, 0..500),
+        bits in 1u32..=12,
+    ) {
+        let sorted = radix_sort::sort(&keys, bits);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+        // The permutation is stable: positions of equal keys ascend.
+        let perm = radix_sort::sort_permutation(&keys, bits);
+        for w in perm.windows(2) {
+            if keys[w[0] as usize] == keys[w[1] as usize] {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// The traced sort computes the same permutation and stays EREW.
+    #[test]
+    fn traced_radix_sort_is_erew(
+        keys in proptest::collection::vec(0u64..1_000_000, 0..300),
+        procs in 1usize..=8,
+    ) {
+        let traced = radix_sort::sort_traced(procs, &keys, 8);
+        prop_assert_eq!(traced.value, radix_sort::sort_permutation(&keys, 8));
+        prop_assert!(trace_max_contention(&traced.trace) <= 1);
+    }
+
+    /// All three binary-search variants agree with partition_point.
+    #[test]
+    fn binary_search_variants_agree(
+        mut keys in proptest::collection::vec(0u64..10_000, 0..200),
+        queries in proptest::collection::vec(0u64..10_000, 0..200),
+        seed in 0u64..1000,
+    ) {
+        keys.sort_unstable();
+        keys.dedup();
+        let oracle = binary_search::ranks_oracle(&keys, &queries);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(&binary_search::naive_traced(4, &keys, &queries).value, &oracle);
+        prop_assert_eq!(
+            &binary_search::replicated_traced(4, &keys, &queries, 3, seed % 2 == 0, &mut rng).value,
+            &oracle
+        );
+        let erew = binary_search::erew_traced(4, &keys, &queries);
+        prop_assert_eq!(&erew.value, &oracle);
+        prop_assert!(trace_max_contention(&erew.trace) <= 1);
+    }
+
+    /// Both permutation algorithms always produce permutations.
+    #[test]
+    fn permutations_are_permutations(n in 1usize..2000, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let darts = random_perm::darts_traced(4, n, 1.5, &mut rng);
+        prop_assert!(random_perm::is_permutation(&darts.value.0));
+        let erew = random_perm::erew_traced(4, n, &mut rng);
+        prop_assert!(random_perm::is_permutation(&erew.value));
+        prop_assert!(trace_max_contention(&erew.trace) <= 1);
+    }
+
+    /// Segmented scan equals a per-segment serial scan.
+    #[test]
+    fn segmented_scan_matches_per_segment(
+        xs in proptest::collection::vec(0u64..1000, 1..200),
+        head_bits in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let n = xs.len().min(head_bits.len());
+        let xs = &xs[..n];
+        let mut heads = head_bits[..n].to_vec();
+        heads[0] = true; // first element always starts a segment
+        let got = scan::segmented_inclusive_scan(xs, &heads, 0, |a, b| a + b);
+        // Oracle: split into segments, scan each.
+        let mut expect = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = if heads[i] { xs[i] } else { acc + xs[i] };
+            expect.push(acc);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Multiprefix: direct (QRQW) and sorted (EREW) agree with the
+    /// oracle, and the sorted version is contention-free.
+    #[test]
+    fn multiprefix_variants_agree(
+        keys in proptest::collection::vec(0u64..32, 0..300),
+        seed in 0u64..100,
+    ) {
+        let _ = seed;
+        let vals: Vec<u64> = (0..keys.len() as u64).collect();
+        let oracle = multiprefix::multiprefix_oracle(&keys, &vals);
+        prop_assert_eq!(&multiprefix::direct_traced(4, &keys, &vals).value, &oracle);
+        let sorted = multiprefix::sorted_traced(4, &keys, &vals);
+        prop_assert_eq!(&sorted.value, &oracle);
+        prop_assert!(trace_max_contention(&sorted.trace) <= 1);
+    }
+
+    /// Parallel merge equals the serial merge for any sorted inputs
+    /// and processor count.
+    #[test]
+    fn merge_matches_oracle(
+        mut a in proptest::collection::vec(0u64..10_000, 0..300),
+        mut b in proptest::collection::vec(0u64..10_000, 0..300),
+        procs in 1usize..=8,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let t = merge::merge_traced(procs, &a, &b);
+        prop_assert_eq!(t.value, merge::merge_oracle(&a, &b));
+    }
+
+    /// List ranking (both variants) matches the walk oracle.
+    #[test]
+    fn list_ranking_matches_oracle(n in 1usize..500, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (succ, _) = list_ranking::random_list(n, &mut rng);
+        let oracle = list_ranking::ranks_oracle(&succ);
+        prop_assert_eq!(&list_ranking::wyllie_traced(4, &succ).value.0, &oracle);
+        prop_assert_eq!(&list_ranking::wyllie_naive_traced(4, &succ).value.0, &oracle);
+    }
+
+    /// Both CC variants induce the union-find partition on arbitrary
+    /// edge lists (self-loops and duplicates included).
+    #[test]
+    fn connected_components_match_union_find(
+        n in 1usize..200,
+        raw_edges in proptest::collection::vec((0usize..200, 0usize..200), 0..400),
+        seed in 0u64..1000,
+    ) {
+        let edges: Vec<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| ((u % n) as u32, (v % n) as u32))
+            .collect();
+        let g = Graph { n, edges };
+        let oracle = g.components_oracle();
+        let det = connected::connected_traced(4, &g);
+        prop_assert!(connected::same_partition(&det.value.0, &oracle));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rnd = connected::random_mate_traced(4, &g, &mut rng);
+        prop_assert!(connected::same_partition(&rnd.value.0, &oracle));
+    }
+
+    /// TraceBuilder invariant: allocations never overlap, and every
+    /// recorded request cites a processor below `procs`.
+    #[test]
+    fn trace_builder_allocations_disjoint(sizes in proptest::collection::vec(0usize..50, 1..30)) {
+        let mut tb = TraceBuilder::new(3);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &len in &sizes {
+            let base = tb.alloc(len);
+            for &(b, l) in &ranges {
+                prop_assert!(base >= b + l || base + len as u64 <= b, "overlap");
+            }
+            ranges.push((base, len as u64));
+        }
+    }
+}

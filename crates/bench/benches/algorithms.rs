@@ -1,0 +1,90 @@
+//! Host-side algorithm benches (trace construction + computation):
+//! how expensive the §6 algorithm implementations themselves are,
+//! independent of the simulated machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dxbsp_algos::{binary_search, connected, radix_sort, random_perm};
+use dxbsp_workloads::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algos/radix_sort");
+    for n in [1usize << 12, 1 << 15] {
+        g.throughput(Throughput::Elements(n as u64));
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << 32)).collect();
+        g.bench_with_input(BenchmarkId::new("host", n), &keys, |b, keys| {
+            b.iter(|| black_box(radix_sort::sort_permutation(keys, 8)))
+        });
+        g.bench_with_input(BenchmarkId::new("traced", n), &keys, |b, keys| {
+            b.iter(|| black_box(radix_sort::sort_traced(8, keys, 8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algos/random_perm");
+    let n = 1usize << 14;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("darts", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(random_perm::darts_traced(8, n, 1.5, &mut rng))
+        })
+    });
+    g.bench_function("erew", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(random_perm::erew_traced(8, n, &mut rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_binary_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algos/binary_search");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut keys: Vec<u64> = (0..1 << 14).map(|_| rng.random_range(0..1u64 << 40)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let queries: Vec<u64> = (0..1 << 14).map(|_| rng.random_range(0..1u64 << 40)).collect();
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("replicated", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            black_box(binary_search::replicated_traced(8, &keys, &queries, 8, false, &mut rng))
+        })
+    });
+    g.bench_function("erew", |b| {
+        b.iter(|| black_box(binary_search::erew_traced(8, &keys, &queries)))
+    });
+    g.finish();
+}
+
+fn bench_connected(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algos/connected");
+    let n = 1usize << 12;
+    let mut rng = StdRng::seed_from_u64(5);
+    for (name, graph) in [
+        ("random", Graph::random_gnm(n, 2 * n, &mut rng)),
+        ("star", Graph::star(n)),
+        ("chain", Graph::chain(n)),
+    ] {
+        g.throughput(Throughput::Elements(graph.m() as u64));
+        g.bench_function(name, |b| b.iter(|| black_box(connected::connected_traced(8, &graph))));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_radix_sort,
+    bench_permutation,
+    bench_binary_search,
+    bench_connected
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches regenerating every table/figure at Quick scale —
+//! one group per experiment ID of DESIGN.md §4. Each bench measures
+//! the full experiment (workload generation + simulation + prediction),
+//! so `cargo bench` both times the harness and re-derives the series;
+//! run `repro` for the printed tables at Full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dxbsp_bench::experiments as exp;
+use dxbsp_bench::Scale;
+
+const SEED: u64 = 1995;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| b.iter(|| black_box(exp::tables::table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(exp::tables::table2(Scale::Quick))));
+    g.bench_function("table3_hash", |b| {
+        b.iter(|| black_box(exp::tables::table3(Scale::Quick, SEED)))
+    });
+    g.bench_function("fig1", |b| b.iter(|| black_box(exp::fig1::fig1(Scale::Quick, SEED))));
+    g.bench_function("exp1_contention", |b| {
+        b.iter(|| black_box(exp::scatter::exp1_contention(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp2_duplication", |b| {
+        b.iter(|| black_box(exp::scatter::exp2_duplication(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp3_entropy", |b| {
+        b.iter(|| black_box(exp::scatter::exp3_entropy(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp4_expansion", |b| {
+        b.iter(|| black_box(exp::scatter::exp4_expansion(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp5_network", |b| {
+        b.iter(|| black_box(exp::network::exp5_network(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp6_modmap", |b| {
+        b.iter(|| black_box(exp::modmap::exp6_modmap(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp7_binsearch", |b| {
+        b.iter(|| black_box(exp::algo_bench::exp7_binary_search(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp8_randperm", |b| {
+        b.iter(|| black_box(exp::algo_bench::exp8_random_perm(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp9_spmv", |b| {
+        b.iter(|| black_box(exp::algo_bench::exp9_spmv(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp10_cc", |b| {
+        b.iter(|| black_box(exp::algo_bench::exp10_connected(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp11_emulation", |b| {
+        b.iter(|| black_box(exp::emulation::exp11_emulation(Scale::Quick, SEED)))
+    });
+    g.bench_function("exp11b_emulation_contention", |b| {
+        b.iter(|| black_box(exp::emulation::exp11_contention(Scale::Quick, SEED)))
+    });
+    g.bench_function("ablation_mapping", |b| {
+        b.iter(|| black_box(exp::modmap::ablation_mapping(Scale::Quick, SEED)))
+    });
+    g.bench_function("ablation_window", |b| {
+        b.iter(|| black_box(exp::ablation::ablation_window(Scale::Quick, SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 3 proper: per-element evaluation cost of the universal hash
+//! functions (linear h1, quadratic h2, cubic h3), measured by
+//! Criterion — the host-side analogue of the paper's clocks/element.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dxbsp_hash::{Degree, PolyHash};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hash_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/hash_eval");
+    let n = 1usize << 18;
+    g.throughput(Throughput::Elements(n as u64));
+    let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    for deg in Degree::all() {
+        let h = PolyHash::random(deg, 64, 10, &mut rng);
+        let mut out = Vec::with_capacity(n);
+        g.bench_with_input(BenchmarkId::from_parameter(h.degree().name()), &h, |b, h| {
+            b.iter(|| {
+                h.eval_batch(&keys, &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bank_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/bank_mapping");
+    let n = 1usize << 18;
+    g.throughput(Throughput::Elements(n as u64));
+    let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(31)).collect();
+    let mut rng = StdRng::seed_from_u64(4);
+    let map = dxbsp_hash::HashedBanks::random(Degree::Linear, 256, &mut rng);
+    let inter = dxbsp_core::Interleaved::new(256);
+
+    g.bench_function("hashed", |b| {
+        b.iter(|| {
+            use dxbsp_core::BankMap;
+            keys.iter().map(|&k| map.bank_of(k)).fold(0usize, |a, b| a ^ b)
+        })
+    });
+    g.bench_function("interleaved", |b| {
+        b.iter(|| {
+            use dxbsp_core::BankMap;
+            keys.iter().map(|&k| inter.bank_of(k)).fold(0usize, |a, b| a ^ b)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash_eval, bench_bank_mapping);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Simulator microbenches: throughput of the discrete-event core on
+//! the canonical pattern shapes, across contention levels and network
+//! models. These bound how large the Full-scale experiments can go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dxbsp_core::{AccessPattern, Interleaved};
+use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_workloads::{hotspot_keys, uniform_keys};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scatter_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/scatter");
+    let n = 64 * 1024;
+    g.throughput(Throughput::Elements(n as u64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = SimConfig::new(8, 256, 14);
+    let map = Interleaved::new(256);
+
+    for (name, keys) in [
+        ("uniform", uniform_keys(n, 1 << 40, &mut rng)),
+        ("hotspot_k4096", hotspot_keys(n, 4096, 1 << 40, &mut rng)),
+        ("all_same", vec![0u64; n]),
+    ] {
+        let pat = AccessPattern::scatter(8, &keys);
+        let sim = Simulator::new(cfg);
+        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&pat, &map))));
+    }
+    g.finish();
+}
+
+fn bench_window_and_sections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/features");
+    let n = 32 * 1024;
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = AccessPattern::scatter(8, &keys);
+    let map = Interleaved::new(256);
+
+    for window in [1usize, 8, 64] {
+        let sim = Simulator::new(SimConfig::new(8, 256, 14).with_latency(20).with_window(window));
+        g.bench_with_input(BenchmarkId::new("window", window), &window, |b, _| {
+            b.iter(|| black_box(sim.run(&pat, &map)))
+        });
+    }
+    for ports in [1usize, 4] {
+        let sim = Simulator::new(SimConfig::new(8, 256, 14).with_sections(8, ports));
+        g.bench_with_input(BenchmarkId::new("section_ports", ports), &ports, |b, _| {
+            b.iter(|| black_box(sim.run(&pat, &map)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scatter_shapes, bench_window_and_sections);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! `dxsim` — replay a trace file on a configurable simulated machine.
+//!
+//! ```text
+//! dxsim --trace FILE [machine options]
+//!
+//! machine options:
+//!   --procs P       processors             (default 8)
+//!   --delay D       bank delay d           (default 14, J90-like)
+//!   --expansion X   banks per processor    (default 32)
+//!   --gap G         issue gap g            (default 1)
+//!   --latency L     transit latency        (default 0)
+//!   --sync L        per-superstep overhead (default 0)
+//!   --window W      outstanding requests   (default unbounded)
+//!   --sections S --ports R                 sectioned network
+//!   --cache LINES --hit H                  per-bank cache
+//!   --map hashed|interleaved               bank mapping (default hashed)
+//!   --seed S                               hash draw (default 1995)
+//!   --per-step                             print each superstep
+//! ```
+//!
+//! Prints measured cycles next to the (d,x)-BSP and plain-BSP charges —
+//! the paper's predicted-vs-measured methodology on stored traces.
+
+use dxbsp_core::{CostModel, Interleaved, MachineParams};
+use dxbsp_hash::{Degree, HashedBanks};
+use dxbsp_machine::{charge_trace, load_trace, run_trace, SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    trace: Option<String>,
+    procs: usize,
+    delay: u64,
+    expansion: usize,
+    gap: u64,
+    latency: u64,
+    sync: u64,
+    window: Option<usize>,
+    sections: Option<(usize, usize)>,
+    cache: Option<(usize, u64)>,
+    map: String,
+    seed: u64,
+    per_step: bool,
+    gantt: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace: None,
+        procs: 8,
+        delay: 14,
+        expansion: 32,
+        gap: 1,
+        latency: 0,
+        sync: 0,
+        window: None,
+        sections: None,
+        cache: None,
+        map: "hashed".into(),
+        seed: 1995,
+        per_step: false,
+        gantt: false,
+    };
+    let mut sections = None;
+    let mut ports = None;
+    let mut cache_lines = None;
+    let mut cache_hit = 1u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        let parse = |name: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| die(&format!("{name} must be an integer")))
+        };
+        match a.as_str() {
+            "--trace" => args.trace = Some(val("--trace")),
+            "--preset" => match val("--preset").as_str() {
+                "c90" => {
+                    args.procs = 16;
+                    args.delay = 6;
+                    args.expansion = 64;
+                }
+                "j90" => {
+                    args.procs = 8;
+                    args.delay = 14;
+                    args.expansion = 32;
+                }
+                "t90" => {
+                    args.procs = 32;
+                    args.delay = 4;
+                    args.expansion = 32;
+                }
+                other => die(&format!("unknown preset {other} (c90|j90|t90)")),
+            },
+            "--procs" => args.procs = parse("--procs", val("--procs")) as usize,
+            "--delay" => args.delay = parse("--delay", val("--delay")),
+            "--expansion" => args.expansion = parse("--expansion", val("--expansion")) as usize,
+            "--gap" => args.gap = parse("--gap", val("--gap")),
+            "--latency" => args.latency = parse("--latency", val("--latency")),
+            "--sync" => args.sync = parse("--sync", val("--sync")),
+            "--window" => args.window = Some(parse("--window", val("--window")) as usize),
+            "--sections" => sections = Some(parse("--sections", val("--sections")) as usize),
+            "--ports" => ports = Some(parse("--ports", val("--ports")) as usize),
+            "--cache" => cache_lines = Some(parse("--cache", val("--cache")) as usize),
+            "--hit" => cache_hit = parse("--hit", val("--hit")),
+            "--map" => args.map = val("--map"),
+            "--seed" => args.seed = parse("--seed", val("--seed")),
+            "--per-step" => args.per_step = true,
+            "--gantt" => args.gantt = true,
+            "--help" | "-h" => {
+                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--seed S] [--per-step]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if let (Some(s), Some(r)) = (sections, ports) {
+        args.sections = Some((s, r));
+    } else if sections.is_some() || ports.is_some() {
+        die("--sections and --ports must be given together");
+    }
+    args.cache = cache_lines.map(|l| (l, cache_hit));
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let path = args.trace.clone().unwrap_or_else(|| die("missing --trace FILE"));
+    let trace = load_trace(std::path::Path::new(&path))
+        .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+
+    // Traces record their own processor counts; require consistency.
+    if let Some(step) = trace.iter().find(|s| s.pattern.procs() != args.procs) {
+        die(&format!(
+            "trace was captured for {} processors (step '{}'); pass --procs {}",
+            step.pattern.procs(),
+            step.label,
+            step.pattern.procs()
+        ));
+    }
+
+    let m = MachineParams::new(args.procs, args.gap, args.sync, args.delay, args.expansion);
+    let mut cfg = SimConfig::from_params(&m).with_latency(args.latency);
+    if let Some(w) = args.window {
+        cfg = cfg.with_window(w);
+    }
+    if let Some((s, r)) = args.sections {
+        cfg = cfg.with_sections(s, r);
+    }
+    if let Some((lines, hit)) = args.cache {
+        cfg = cfg.with_bank_cache(lines, hit);
+    }
+    if args.gantt {
+        cfg = cfg.with_event_log();
+    }
+    let sim = Simulator::new(cfg);
+
+    let run = |map: &dyn dxbsp_core::BankMap| {
+        let res = run_trace(&sim, &trace, &map);
+        let dx = charge_trace(&m, &trace, &map, CostModel::DxBsp);
+        let bsp = charge_trace(&m, &trace, &map, CostModel::Bsp);
+        (res, dx, bsp)
+    };
+    let (res, dx, bsp) = match args.map.as_str() {
+        "interleaved" => run(&Interleaved::new(m.banks())),
+        "hashed" => {
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            run(&HashedBanks::random(Degree::Linear, m.banks(), &mut rng))
+        }
+        other => die(&format!("unknown map {other}")),
+    };
+
+    println!("machine: p={} g={} L={} d={} x={} (B={})", m.p, m.g, m.l, m.d, m.x, m.banks());
+    println!("trace:   {} supersteps, {} requests", trace.len(), res.total_requests);
+    println!();
+    println!("measured cycles:   {}", res.total_cycles);
+    println!("(d,x)-BSP charge:  {dx}  (measured/charged = {:.3})", res.total_cycles as f64 / dx.max(1) as f64);
+    println!("plain-BSP charge:  {bsp}  (measured/charged = {:.3})", res.total_cycles as f64 / bsp.max(1) as f64);
+
+    if args.per_step {
+        println!();
+        println!("{:>4} {:>24} {:>10} {:>8} {:>10}", "#", "label", "requests", "max k", "cycles");
+        for (i, (step, sr)) in trace.iter().zip(&res.steps).enumerate() {
+            let prof = step.pattern.contention_profile();
+            println!(
+                "{i:>4} {:>24} {:>10} {:>8} {:>10}",
+                step.label, prof.total_requests, prof.max_location_contention, sr.cycles
+            );
+        }
+    }
+
+    if args.gantt {
+        // Show the busiest superstep's occupancy.
+        if let Some((idx, sr)) = res
+            .steps
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.cycles)
+        {
+            println!();
+            println!("busiest superstep: #{idx} ({})", trace[idx].label);
+            print!("{}", dxbsp_bench::plot::gantt_from_events(&sr.events, sr.cycles, 12, 64));
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dxsim: {msg}");
+    std::process::exit(2);
+}

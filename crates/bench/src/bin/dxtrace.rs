@@ -1,0 +1,161 @@
+//! `dxtrace` — capture an algorithm's memory-access trace to a file.
+//!
+//! ```text
+//! dxtrace <algorithm> [options] -o trace.dxtr
+//!
+//! algorithms:
+//!   scatter   --n N --contention K          hot-spot scatter (§3 Exp 1)
+//!   cc        --n N [--graph random|grid|chain|star] [--m M]
+//!   spmv      --n N [--dense D]             CSR SpMV (Fig 12)
+//!   randperm  --n N                         dart-throwing permutation
+//!   binsearch --n N [--tree M]              QRQW replicated search
+//!
+//! common options:  --procs P (default 8)   --seed S (default 1995)
+//! ```
+//!
+//! The output replays with `dxsim` on any machine configuration —
+//! the trace-driven methodology of the paper's Figure 1 as a tool pair.
+
+use dxbsp_algos::{binary_search, connected, random_perm, spmv};
+use dxbsp_core::AccessPattern;
+use dxbsp_machine::{save_trace, Trace, TraceStep};
+use dxbsp_workloads::{hotspot_keys, CsrMatrix, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    algorithm: String,
+    n: usize,
+    contention: usize,
+    graph: String,
+    m: Option<usize>,
+    dense: usize,
+    tree: usize,
+    procs: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        algorithm: String::new(),
+        n: 16 * 1024,
+        contention: 1,
+        graph: "random".into(),
+        m: None,
+        dense: 0,
+        tree: 16 * 1024,
+        procs: 8,
+        seed: 1995,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--n" => args.n = val("--n").parse().unwrap_or_else(|_| die("--n must be an integer")),
+            "--contention" => {
+                args.contention =
+                    val("--contention").parse().unwrap_or_else(|_| die("--contention must be an integer"));
+            }
+            "--graph" => args.graph = val("--graph"),
+            "--m" => args.m = Some(val("--m").parse().unwrap_or_else(|_| die("--m must be an integer"))),
+            "--dense" => {
+                args.dense = val("--dense").parse().unwrap_or_else(|_| die("--dense must be an integer"));
+            }
+            "--tree" => {
+                args.tree = val("--tree").parse().unwrap_or_else(|_| die("--tree must be an integer"));
+            }
+            "--procs" => {
+                args.procs = val("--procs").parse().unwrap_or_else(|_| die("--procs must be an integer"));
+            }
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| die("--seed must be an integer")),
+            "-o" | "--out" => args.out = Some(val("-o")),
+            "--help" | "-h" => {
+                println!("usage: dxtrace <scatter|cc|spmv|randperm|binsearch> [--n N] [--contention K] [--graph G] [--m M] [--dense D] [--tree M] [--procs P] [--seed S] -o FILE");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other if args.algorithm.is_empty() => args.algorithm = other.to_string(),
+            other => die(&format!("unexpected argument {other}")),
+        }
+    }
+    if args.algorithm.is_empty() {
+        die("missing algorithm (try --help)");
+    }
+    args
+}
+
+fn build_trace(args: &Args) -> Trace {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let p = args.procs;
+    match args.algorithm.as_str() {
+        "scatter" => {
+            let keys = hotspot_keys(args.n, args.contention.min(args.n), 1 << 40, &mut rng);
+            vec![TraceStep::new(AccessPattern::scatter(p, &keys)).labeled("scatter")]
+        }
+        "cc" => {
+            let n = args.n;
+            let g = match args.graph.as_str() {
+                "random" => Graph::random_gnm(n, args.m.unwrap_or(2 * n), &mut rng),
+                "grid" => {
+                    let side = (n as f64).sqrt() as usize;
+                    Graph::grid(side, side)
+                }
+                "chain" => Graph::chain(n),
+                "star" => Graph::star(n),
+                other => die(&format!("unknown graph family {other}")),
+            };
+            connected::connected_traced(p, &g).trace
+        }
+        "spmv" => {
+            let a = CsrMatrix::random_with_dense_column(args.n, args.n, 4, args.dense.min(args.n), &mut rng);
+            let x: Vec<f64> = (0..args.n).map(|i| i as f64).collect();
+            spmv::spmv_traced(p, &a, &x).trace
+        }
+        "randperm" => random_perm::darts_traced(p, args.n, 1.5, &mut rng).trace,
+        "binsearch" => {
+            let mut keys: Vec<u64> = (0..args.tree).map(|_| rng.random_range(0..1u64 << 40)).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            let queries: Vec<u64> = (0..args.n).map(|_| rng.random_range(0..1u64 << 40)).collect();
+            binary_search::replicated_traced(p, &keys, &queries, 8, false, &mut rng).trace
+        }
+        other => die(&format!("unknown algorithm {other} (try --help)")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let trace = build_trace(&args);
+    let steps = trace.len();
+    let requests: usize = trace.iter().map(|s| s.pattern.len()).sum();
+    let max_k = trace
+        .iter()
+        .map(|s| s.pattern.contention_profile().max_location_contention)
+        .max()
+        .unwrap_or(0);
+    match &args.out {
+        Some(path) => {
+            save_trace(std::path::Path::new(path), &trace)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            println!(
+                "wrote {path}: {steps} supersteps, {requests} requests, max contention {max_k}"
+            );
+        }
+        None => {
+            println!("algorithm: {}", args.algorithm);
+            println!("supersteps: {steps}");
+            println!("requests:   {requests}");
+            println!("max k:      {max_k}");
+            println!("(pass -o FILE to save the trace)");
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("dxtrace: {msg}");
+    std::process::exit(2);
+}

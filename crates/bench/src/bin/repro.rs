@@ -1,0 +1,156 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--plot] [--csv DIR] [<experiment> ...]
+//! repro --list
+//! ```
+//!
+//! With no experiment names, runs everything in DESIGN.md order.
+//! `--plot` adds an ASCII chart under figure-shaped experiments;
+//! `--csv DIR` additionally writes each table as `DIR/<name>.csv`.
+
+use dxbsp_bench::experiments as exp;
+use dxbsp_bench::{chart_from_table, Scale, Table};
+
+type Runner = fn(Scale, u64) -> Table;
+
+/// Plot spec: (x column, y columns, log-log axes).
+type PlotSpec = Option<(usize, &'static [usize], bool)>;
+
+struct Experiment {
+    name: &'static str,
+    desc: &'static str,
+    run: Runner,
+    plot: PlotSpec,
+}
+
+fn registry() -> Vec<Experiment> {
+    let e = |name, desc, run, plot| Experiment { name, desc, run, plot };
+    vec![
+        e("table1", "machine inventory (banks vs. processors)", (|_, _| exp::tables::table1()) as Runner, None),
+        e("table2", "calibrated simulator parameters", |s, _| exp::tables::table2(s), None),
+        e("fig1", "CC-trace patterns: measured vs. predicted", exp::fig1::fig1, Some((0, &[2, 3, 4], true))),
+        e("exp1", "scatter vs. contention sweep", exp::scatter::exp1_contention, Some((0, &[1, 2, 3], true))),
+        e("exp2", "duplicating a hot location", exp::scatter::exp2_duplication, Some((0, &[1, 2], true))),
+        e("exp3", "entropy distributions", exp::scatter::exp3_entropy, Some((1, &[2, 3, 4], true))),
+        e("exp4", "expansion-factor sweep", exp::scatter::exp4_expansion, Some((0, &[1, 2], true))),
+        e("exp5", "sectioned-network congestion (a)(b)(c)", exp::network::exp5_network, None),
+        e("exp6", "module-map contention vs. expansion", exp::modmap::exp6_modmap, Some((0, &[3], false))),
+        e("exp6b", "slackness vs. bank-load balance", exp::modmap::exp6b_slackness, Some((0, &[3], false))),
+        e("table3", "hash evaluation costs", exp::tables::table3, None),
+        e("exp7", "binary search: naive / QRQW / EREW", exp::algo_bench::exp7_binary_search, Some((0, &[1, 2, 3], true))),
+        e("exp8", "random permutation: darts vs. radix sort", exp::algo_bench::exp8_random_perm, Some((0, &[2, 3], true))),
+        e("exp9", "SpMV vs. dense-column length", exp::algo_bench::exp9_spmv, Some((1, &[2, 3, 4], true))),
+        e("exp10", "connected components across graph families", exp::algo_bench::exp10_connected, None),
+        e("exp11", "QRQW emulation work ratio over (d,x)", exp::emulation::exp11_emulation, Some((0, &[1, 3], true))),
+        e("exp11b", "emulated step cost vs. contention", exp::emulation::exp11_contention, Some((0, &[2, 3], true))),
+        e("exp_machines", "C90 vs. J90 contention comparison", exp::scatter::exp_machines, Some((0, &[1, 3], true))),
+        e("exp12", "list ranking: textbook vs. deactivating Wyllie", exp::extensions::exp12_list_ranking, Some((0, &[3, 4], true))),
+        e("exp13", "CC variants: Greiner vs. random mate", exp::extensions::exp13_cc_variants, None),
+        e("exp14", "Zipf scatter model validation", exp::extensions::exp14_zipf, Some((1, &[2, 3, 4], true))),
+        e("exp15", "parallel co-ranking merge", exp::extensions::exp15_merge, Some((0, &[2], true))),
+        e("exp16", "(d,x)-LogP vs. classic LogP", exp::extensions::exp16_logp, Some((0, &[1, 2, 3], true))),
+        e("exp17", "hash-degree congestion comparison", exp::extensions::exp17_hash_congestion, None),
+        e("exp18", "contention remedies: duplication & combining", exp::extensions::exp18_remedies, Some((0, &[1, 2, 4], true))),
+        e("exp19", "EREW radix vs. QRQW sample sort", exp::extensions::exp19_sorts, Some((0, &[1, 2], true))),
+        e("ablation_mapping", "interleaved vs. hashed banks under strides", exp::modmap::ablation_mapping, Some((0, &[1, 2], true))),
+        e("ablation_window", "outstanding-request window sweep", exp::ablation::ablation_window, None),
+        e("ablation_cache", "Tera-style per-bank caches (§7)", exp::ablation::ablation_bank_cache, Some((0, &[1, 2], true))),
+        e("ablation_injection", "injection-order sensitivity (§7)", exp::scatter::ablation_injection_order, None),
+        e("ablation_strip", "vector strip-mining sensitivity", exp::ablation::ablation_strip_mining, None),
+    ]
+}
+
+fn write_csv(dir: &str, name: &str, table: &Table) -> std::io::Result<()> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{name}.csv");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "{}", table.headers.join(","))?;
+    for row in &table.rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut seed = 1995u64; // SPAA '95
+    let mut plot = false;
+    let mut csv_dir: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--plot" => plot = true,
+            "--csv" => csv_dir = Some(it.next().unwrap_or_else(|| die("--csv needs a directory"))),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--list" => {
+                for e in registry() {
+                    println!("{:<18} {}", e.name, e.desc);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--seed N] [--plot] [--csv DIR] [--list] [verify | <experiment> ...]");
+                return;
+            }
+            "verify" => {
+                let checks = exp::shapes::verify_all(scale, seed);
+                print!("{}", exp::shapes::render_checks(&checks));
+                let failed = checks.iter().filter(|c| !c.pass).count();
+                std::process::exit(if failed == 0 { 0 } else { 1 });
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => names.push(other.to_string()),
+        }
+    }
+
+    let reg = registry();
+    let selected: Vec<&Experiment> = if names.is_empty() {
+        reg.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                reg.iter()
+                    .find(|e| e.name == n)
+                    .unwrap_or_else(|| die(&format!("unknown experiment {n} (try --list)")))
+            })
+            .collect()
+    };
+
+    println!(
+        "(d,x)-BSP reproduction — scale: {:?}, seed: {seed}, {} experiment(s)\n",
+        scale,
+        selected.len()
+    );
+    for e in selected {
+        let start = std::time::Instant::now();
+        let table = (e.run)(scale, seed);
+        println!("{}", table.render());
+        if plot {
+            if let Some((x, ys, log)) = e.plot {
+                print!("{}", chart_from_table(&table, x, ys, log).render());
+            }
+        }
+        if let Some(dir) = &csv_dir {
+            if let Err(err) = write_csv(dir, e.name, &table) {
+                eprintln!("repro: failed to write CSV for {}: {err}", e.name);
+            }
+        }
+        println!("  [{} in {:.2?}]\n", e.name, start.elapsed());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,190 @@
+//! Ablation A2: how the latency-hiding assumption (unbounded
+//! outstanding requests) affects the model's validity.
+//!
+//! The (d,x)-BSP charges supersteps as if processors can keep issuing
+//! while earlier requests are in flight — true of vectorized Cray code,
+//! not of a blocking-load processor. This ablation bounds the window
+//! and shows where the model's predictions stop applying, which is the
+//! boundary of the paper's machine class.
+
+use dxbsp_core::{predict_scatter, ScatterShape};
+use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_workloads::uniform_keys;
+
+use crate::runner::parallel_map;
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+
+/// Sweeps the per-processor outstanding-request window for a uniform
+/// scatter with nonzero memory latency.
+#[must_use]
+pub fn ablation_window(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let latency = 20u64;
+    let n = scale.scatter_n();
+    let windows: Vec<Option<usize>> =
+        vec![Some(1), Some(2), Some(4), Some(8), Some(16), Some(64), None];
+
+    let mut rng = super::point_rng(seed, 0xA2);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+    let map = super::hashed_map(&m, seed);
+    let pred = predict_scatter(&m, ScatterShape::new(n, dxbsp_workloads::max_contention(&keys)));
+
+    let rows = parallel_map(&windows, |w| {
+        let mut cfg = SimConfig::from_params(&m).with_latency(latency);
+        if let Some(w) = w {
+            cfg = cfg.with_window(*w);
+        }
+        let cycles = Simulator::new(cfg).run(&pat, &map).cycles;
+        (*w, cycles)
+    });
+
+    let mut t = Table::new(
+        format!("Ablation A2: outstanding-request window (n={n}, latency={latency})"),
+        &["window", "measured", "meas/dxbsp-pred"],
+    );
+    for (w, cycles) in rows {
+        t.push_row(vec![
+            w.map_or_else(|| "unbounded".into(), |w| w.to_string()),
+            cycles.to_string(),
+            fmt_f(cycles as f64 / pred as f64),
+        ]);
+    }
+    t.note("the model assumes latency hiding: narrow windows break the prediction, wide ones restore it");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_windows_break_the_model() {
+        let t = ablation_window(Scale::Quick, 1);
+        let ratios = t.column_f64(2);
+        // window=1 serializes round trips: far above the prediction.
+        assert!(ratios[0] > 5.0, "{ratios:?}");
+        // unbounded window matches the model.
+        assert!(ratios.last().unwrap() < &2.0, "{ratios:?}");
+        // Monotone non-increasing in window size.
+        for w in ratios.windows(2) {
+            assert!(w[1] <= w[0] * 1.01, "{ratios:?}");
+        }
+    }
+}
+
+/// Ablation A3 (§7 extension): per-bank caches defuse hot-spot
+/// contention — "the effects of caching at the memory banks (available
+/// on the Tera and discussed by Hsu and Smith \[HS93\])". The d·k
+/// serialization becomes ≈ hit_delay·k once the hot line is resident.
+#[must_use]
+pub fn ablation_bank_cache(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let ks: Vec<usize> = vec![1, 64, 1024, n / 4, n];
+
+    let map = super::hashed_map(&m, seed);
+    let plain = Simulator::new(SimConfig::from_params(&m));
+    let cached = Simulator::new(SimConfig::from_params(&m).with_bank_cache(8, 1));
+
+    let rows = parallel_map(&ks, |&k| {
+        let mut rng = super::point_rng(seed, k as u64 ^ 0xA3);
+        let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
+        let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+        let p = plain.run(&pat, &map);
+        let c = cached.run(&pat, &map);
+        let hits: usize = c.banks.iter().map(|b| b.cache_hits).sum();
+        (k, p.cycles, c.cycles, hits)
+    });
+
+    let mut t = Table::new(
+        format!("Ablation A3: per-bank caches vs. hot-spot contention (n={n}, 8 lines, hit=1)"),
+        &["k", "no cache", "with cache", "speedup", "cache hits"],
+    );
+    for (k, p, c, hits) in rows {
+        t.push_row(vec![
+            k.to_string(),
+            p.to_string(),
+            c.to_string(),
+            fmt_f(p as f64 / c as f64),
+            hits.to_string(),
+        ]);
+    }
+    t.note("a Tera-style bank cache converts d·k serialization into ≈ k cycles at the hot bank");
+    t
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    #[test]
+    fn cache_speedup_grows_with_contention() {
+        let t = ablation_bank_cache(Scale::Quick, 1);
+        let speedup = t.column_f64(3);
+        assert!(speedup[0] < 1.5, "no contention, no effect: {speedup:?}");
+        assert!(speedup.last().unwrap() > &5.0, "hot spot must benefit: {speedup:?}");
+    }
+}
+
+/// Ablation A5: vector strip-mining. Cray processors issue through
+/// 64-element vector registers with a startup cost per strip; this
+/// sweep shows when that second-order effect matters (short strips or
+/// big startup) and when the model's perfectly pipelined issue
+/// assumption is safe.
+#[must_use]
+pub fn ablation_strip_mining(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let mut rng = super::point_rng(seed, 0xA5);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+    let map = super::hashed_map(&m, seed);
+    let pred = predict_scatter(&m, ScatterShape::new(n, dxbsp_workloads::max_contention(&keys)));
+
+    let configs: Vec<Option<(usize, u64)>> =
+        vec![None, Some((64, 5)), Some((64, 50)), Some((16, 50)), Some((4, 50))];
+    let rows = parallel_map(&configs, |c| {
+        let mut cfg = SimConfig::from_params(&m);
+        if let Some((vl, startup)) = c {
+            cfg = cfg.with_strip_mining(*vl, *startup);
+        }
+        let cycles = Simulator::new(cfg).run(&pat, &map).cycles;
+        (*c, cycles)
+    });
+
+    let mut t = Table::new(
+        format!("Ablation A5: vector strip-mining (uniform scatter, n={n})"),
+        &["strip", "measured", "meas/dxbsp-pred"],
+    );
+    for (c, cycles) in rows {
+        t.push_row(vec![
+            c.map_or_else(|| "none".into(), |(vl, su)| format!("vl={vl} startup={su}")),
+            cycles.to_string(),
+            fmt_f(cycles as f64 / pred as f64),
+        ]);
+    }
+    t.note("Cray-like vl=64 with modest startup stays within a few % of the pipelined model");
+    t
+}
+
+#[cfg(test)]
+mod strip_tests {
+    use super::*;
+
+    #[test]
+    fn cray_like_strips_barely_move_the_model() {
+        let t = ablation_strip_mining(Scale::Quick, 1);
+        let ratios = t.column_f64(2);
+        // No strips: ~1. vl=64/startup=5: within ~10%.
+        assert!(ratios[0] < 1.2, "{ratios:?}");
+        assert!(ratios[1] < 1.25, "{ratios:?}");
+        // Pathological vl=4/startup=50 breaks the assumption visibly.
+        assert!(ratios.last().unwrap() > &3.0, "{ratios:?}");
+        // Monotone: shorter strips / bigger startup never help.
+        for w in ratios.windows(2) {
+            assert!(w[1] >= w[0] * 0.99, "{ratios:?}");
+        }
+    }
+}

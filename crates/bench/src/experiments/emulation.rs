@@ -1,0 +1,141 @@
+//! Experiment 11: QRQW-on-(d,x)-BSP emulation slowdown across the
+//! `(d, x)` grid (paper §5, Theorems 5.1 and 5.2).
+
+use dxbsp_core::MachineParams;
+use dxbsp_hash::Degree;
+use dxbsp_pram::{theory, Emulator, Op, Program, Step};
+
+use crate::runner::parallel_map;
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+
+/// A one-step QRQW program: `n` vprocs write distinct random cells
+/// except for a hot cell of contention `k`.
+#[must_use]
+pub fn hotspot_program(n: usize, k: usize, seed: u64) -> Program {
+    let mut rng = super::point_rng(seed, 0xE11);
+    let mut step = Step::new(n);
+    for v in 0..n {
+        let addr = if v < k { 0 } else { rand::Rng::random::<u64>(&mut rng) >> 8 };
+        step.push_op(v, Op::Write(addr));
+    }
+    let mut prog = Program::new(n);
+    prog.push(step);
+    prog
+}
+
+/// Sweeps `x` for two bank delays and reports the emulation work ratio
+/// (physical work over PRAM work) against the theory bounds. For
+/// `x ≤ d` the ratio follows `d/x` (Thm 5.1's inevitable overhead);
+/// for `x ≥ d` it flattens to O(1) (Thm 5.2, work-preserving).
+#[must_use]
+pub fn exp11_emulation(scale: Scale, seed: u64) -> Table {
+    let p = 8usize;
+    let n = scale.scatter_n();
+    let ds = [4u64, 16];
+    let xs = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let mut t = Table::new(
+        format!("Experiment 11: QRQW emulation work ratio (n={n} vprocs, p={p})"),
+        &["x", "ratio d=4", "bound d=4", "ratio d=16", "bound d=16", "thm5.1 floor d=16"],
+    );
+    let rows = parallel_map(&xs, |&x| {
+        let mut cells = vec![x.to_string()];
+        for &d in &ds {
+            let m = MachineParams::new(p, 1, 0, d, x);
+            let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
+            let emu = Emulator::new(m, Degree::Linear, &mut rng);
+            let prog = hotspot_program(n, 1, seed ^ d);
+            let rep = emu.run(&prog);
+            cells.push(fmt_f(rep.work_ratio()));
+            // Theory bound expressed as a work ratio: the per-step
+            // cycle bound times p over the PRAM work n·t.
+            let bound = theory::step_bound(&m, n, 1) as f64 * p as f64 / n as f64;
+            cells.push(fmt_f(bound));
+        }
+        cells.push(fmt_f(theory::work_overhead_lower_bound(
+            &MachineParams::new(p, 1, 0, 16, x),
+        )));
+        cells
+    });
+    for row in rows {
+        t.push_row(row);
+    }
+    t.note("ratio ≈ d/x while x ≤ d (Thm 5.1), flattening to O(1) once x ≥ d (Thm 5.2)");
+    t
+}
+
+/// Companion sweep: slowdown vs. hot-location contention under a fixed
+/// machine — the `d·k` term that distinguishes QRQW emulation cost from
+/// the contention-free case.
+#[must_use]
+pub fn exp11_contention(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let ks = [1usize, 16, 256, 1024, 4096];
+
+    let rows = parallel_map(&ks, |&k| {
+        let mut rng = super::point_rng(seed, k as u64);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let prog = hotspot_program(n, k, seed ^ k as u64);
+        let rep = emu.run(&prog);
+        (k, rep.qrqw_time, rep.measured_cycles, theory::step_bound(&m, n, k))
+    });
+
+    let mut t = Table::new(
+        format!("Experiment 11b: emulated step cost vs. QRQW contention (n={n})"),
+        &["k", "qrqw time", "measured", "theory bound", "meas/bound"],
+    );
+    for (k, qt, meas, bound) in rows {
+        t.push_row(vec![
+            k.to_string(),
+            qt.to_string(),
+            meas.to_string(),
+            bound.to_string(),
+            fmt_f(meas as f64 / bound as f64),
+        ]);
+    }
+    t.note("measured cost stays under the reconstructed Thm 5.1/5.2 bounds at every k");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_ratio_follows_d_over_x_then_flattens() {
+        let t = exp11_emulation(Scale::Quick, 1);
+        let x: Vec<f64> = t.column_f64(0);
+        let ratio_d16 = t.column_f64(3);
+        // x=1, d=16: ratio near 16 (within 2x constants).
+        assert!(ratio_d16[0] > 8.0, "{ratio_d16:?}");
+        // x=64 ≥ d: ratio O(1).
+        let last = *ratio_d16.last().unwrap();
+        assert!(last < 4.0, "{ratio_d16:?}");
+        assert_eq!(x[0], 1.0);
+    }
+
+    #[test]
+    fn measured_stays_under_theory_bounds() {
+        let t = exp11_emulation(Scale::Quick, 2);
+        for row in &t.rows {
+            for (ratio_col, bound_col) in [(1usize, 2usize), (3, 4)] {
+                let ratio: f64 = row[ratio_col].parse().unwrap();
+                let bound: f64 = row[bound_col].parse().unwrap();
+                assert!(ratio <= bound, "x={} ratio {ratio} > bound {bound}", row[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn contended_steps_bounded_by_theory() {
+        let t = exp11_contention(Scale::Quick, 3);
+        for r in t.column_f64(4) {
+            assert!(r <= 1.0, "measured exceeded the theory bound: {r}");
+        }
+        // And the d·k term really bites at high k: measured grows.
+        let meas = t.column_f64(2);
+        assert!(meas.last().unwrap() > &(meas[0] * 2.0), "{meas:?}");
+    }
+}

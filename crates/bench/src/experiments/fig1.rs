@@ -1,0 +1,110 @@
+//! Figure 1: predicted vs. measured time for access patterns drawn
+//! from a connected-components trace, as a function of contention.
+//!
+//! The paper's motivating figure replays memory access patterns
+//! extracted from a trace of Greiner's CC algorithm on the J90 and
+//! shows that models without bank delay (BSP/LogP) underpredict the
+//! high-contention patterns badly while the (d,x)-BSP tracks them. We
+//! do the same: run our CC implementation on a random graph, take its
+//! per-superstep access patterns, replay each on the simulator, and
+//! compare against both predictions.
+
+use dxbsp_algos::connected::connected_traced;
+use dxbsp_core::{pattern_breakdown, CostModel};
+use dxbsp_workloads::Graph;
+
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+
+/// Builds Figure 1's series: per CC superstep, contention vs. measured
+/// and predicted cycles (sorted by contention, duplicates merged by
+/// keeping the largest pattern per contention level).
+#[must_use]
+pub fn fig1(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.algo_n();
+    let mut rng = super::point_rng(seed, 0xF1);
+    // A random graph plus a star component: the star is what generates
+    // the high-contention patterns the figure needs.
+    let mut g = Graph::random_gnm(n, 2 * n, &mut rng);
+    let star_center = 0u32;
+    for leaf in 1..(n as u32 / 4) {
+        g.edges.push((star_center, leaf));
+    }
+    let traced = connected_traced(m.p, &g);
+
+    let sim = super::simulator(&m);
+    let map = super::hashed_map(&m, seed);
+    let mut points: Vec<(usize, usize, u64, u64, u64)> = Vec::new();
+    for step in &traced.trace {
+        if step.pattern.is_empty() {
+            continue;
+        }
+        let prof = step.pattern.contention_profile();
+        let measured = sim.run(&step.pattern, &map).cycles;
+        let dx = pattern_breakdown(&m, &step.pattern, &map, CostModel::DxBsp).total();
+        let bsp = pattern_breakdown(&m, &step.pattern, &map, CostModel::Bsp).total();
+        points.push((prof.max_location_contention, prof.total_requests, measured, dx, bsp));
+    }
+    points.sort_unstable();
+
+    let mut t = Table::new(
+        format!("Figure 1: CC-trace access patterns, measured vs. predicted (n={n}, J90-like)"),
+        &["contention", "requests", "measured", "dxbsp-pred", "bsp-pred", "meas/bsp"],
+    );
+    for (k, reqs, meas, dx, bsp) in points {
+        t.push_row(vec![
+            k.to_string(),
+            reqs.to_string(),
+            meas.to_string(),
+            dx.to_string(),
+            bsp.to_string(),
+            fmt_f(meas as f64 / bsp as f64),
+        ]);
+    }
+    t.note("high-contention steps (the star's hooks/shortcuts) blow past the BSP prediction");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_contention_steps_break_bsp() {
+        let t = fig1(Scale::Quick, 1);
+        assert!(t.rows.len() > 5, "need a spread of contention levels");
+        let contention = t.column_f64(0);
+        let meas_over_bsp = t.column_f64(5);
+        // The most contended step must be badly underpredicted by BSP…
+        let worst = contention
+            .iter()
+            .zip(&meas_over_bsp)
+            .max_by(|a, b| a.0.partial_cmp(b.0).unwrap())
+            .unwrap();
+        assert!(*worst.1 > 3.0, "BSP ratio at k={} is {}", worst.0, worst.1);
+        // …while low-contention *bulk* steps are fine under both models
+        // (tiny steps always pay the d-cycle bank floor, so restrict to
+        // steps with real volume).
+        let requests = t.column_f64(1);
+        let best = contention
+            .iter()
+            .zip(&requests)
+            .zip(&meas_over_bsp)
+            .filter(|((_, &r), _)| r >= 1000.0)
+            .min_by(|a, b| a.0 .0.partial_cmp(b.0 .0).unwrap())
+            .unwrap();
+        assert!(*best.1 < 3.0, "low-k BSP ratio {}", best.1);
+    }
+
+    #[test]
+    fn dxbsp_tracks_every_step() {
+        let t = fig1(Scale::Quick, 2);
+        let meas = t.column_f64(2);
+        let dx = t.column_f64(3);
+        for (m, d) in meas.iter().zip(&dx) {
+            let ratio = m / d;
+            assert!(ratio < 3.0 && ratio > 0.3, "dxbsp ratio {ratio}");
+        }
+    }
+}

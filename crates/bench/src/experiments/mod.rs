@@ -1,0 +1,87 @@
+//! The experiments, one module per paper table/figure.
+//!
+//! Experiment IDs follow DESIGN.md §4. Every function takes a
+//! [`Scale`](crate::Scale) and a seed and returns a rendered
+//! [`Table`](crate::Table); the `repro` binary prints them, the
+//! integration tests assert their shapes, and EXPERIMENTS.md records a
+//! snapshot.
+
+pub mod ablation;
+pub mod algo_bench;
+pub mod emulation;
+pub mod extensions;
+pub mod fig1;
+pub mod modmap;
+pub mod network;
+pub mod scatter;
+pub mod shapes;
+pub mod tables;
+
+use dxbsp_core::MachineParams;
+use dxbsp_hash::{Degree, HashedBanks};
+use dxbsp_machine::{SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The J90-like default machine of the §3 experiments: 8 dedicated
+/// processors, bank delay 14 (DRAM), expansion 32, negligible `L`.
+#[must_use]
+pub fn default_machine() -> MachineParams {
+    dxbsp_core::presets::cray_j90()
+}
+
+/// A seeded RNG for sweep point `idx` of experiment seed `seed`
+/// (independent streams per point, stable across thread schedules).
+#[must_use]
+pub fn point_rng(seed: u64, idx: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(idx))
+}
+
+/// A random (linear-hash) bank mapping for `m`, seeded.
+#[must_use]
+pub fn hashed_map(m: &MachineParams, seed: u64) -> HashedBanks {
+    HashedBanks::random(Degree::Linear, m.banks(), &mut point_rng(seed, 0xBA17))
+}
+
+/// A simulator realizing `m`.
+#[must_use]
+pub fn simulator(m: &MachineParams) -> Simulator {
+    Simulator::new(SimConfig::from_params(m))
+}
+
+/// Measured cycles of scattering `keys` on the simulated `m` under a
+/// seeded random bank mapping.
+#[must_use]
+pub fn measured_scatter(m: &MachineParams, keys: &[u64], seed: u64) -> u64 {
+    let map = hashed_map(m, seed);
+    let pat = dxbsp_core::AccessPattern::scatter(m.p, keys);
+    simulator(m).run(&pat, &map).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_is_the_paper_j90() {
+        let m = default_machine();
+        assert_eq!((m.p, m.d, m.x), (8, 14, 32));
+    }
+
+    #[test]
+    fn point_rngs_are_independent_streams() {
+        use rand::Rng;
+        let a: u64 = point_rng(1, 0).random();
+        let b: u64 = point_rng(1, 1).random();
+        let a2: u64 = point_rng(1, 0).random();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn measured_scatter_is_deterministic() {
+        let m = default_machine();
+        let keys: Vec<u64> = (0..1000).collect();
+        assert_eq!(measured_scatter(&m, &keys, 7), measured_scatter(&m, &keys, 7));
+    }
+}

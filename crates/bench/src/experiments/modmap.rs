@@ -1,0 +1,167 @@
+//! Experiment 6 and ablation A1: module-map contention under random
+//! memory mappings (paper §4).
+//!
+//! Random hashing spreads concurrently requested locations over the
+//! banks, but distinct addresses can still *co-reside* on one bank
+//! (module-map contention). The paper plots the ratio of time with
+//! that effect to time without it, as a function of the expansion
+//! factor, for a worst-case reference pattern.
+
+use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
+use dxbsp_workloads::strided_addresses;
+
+use crate::runner::parallel_map;
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+
+/// Experiment 6: ratio of hashed-mapping time to the ideal (even
+/// round-robin) time, vs. expansion factor, for a worst-case pattern
+/// (`n` distinct addresses requested concurrently, exactly once each —
+/// all bank contention is module-map contention).
+#[must_use]
+pub fn exp6_modmap(scale: Scale, seed: u64) -> Table {
+    let n = scale.scatter_n();
+    let xs = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    let rows = parallel_map(&xs, |&x| {
+        let m = MachineParams::new(8, 1, 0, 14, x);
+        // Distinct addresses with a pseudo-random spacing (keeps the
+        // hashed mapping honest; any fixed set works).
+        let addrs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 4).collect();
+        let pat = AccessPattern::scatter(m.p, &addrs);
+        let sim = super::simulator(&m);
+        let hashed = sim.run(&pat, &super::hashed_map(&m, seed ^ x as u64)).cycles;
+        // Ideal: the same request volume dealt perfectly evenly —
+        // element i to bank i mod B, i.e. interleaved consecutive
+        // addresses (module-map contention exactly ⌈n/B⌉, the minimum).
+        let ideal_addrs: Vec<u64> = (0..n as u64).collect();
+        let ideal_pat = AccessPattern::scatter(m.p, &ideal_addrs);
+        let ideal = sim.run(&ideal_pat, &Interleaved::new(m.banks())).cycles;
+        (x, hashed, ideal)
+    });
+
+    let mut t = Table::new(
+        format!("Experiment 6: module-map contention vs. expansion (worst-case pattern, n={n})"),
+        &["x", "hashed cycles", "ideal cycles", "ratio"],
+    );
+    for (x, hashed, ideal) in rows {
+        t.push_row(vec![
+            x.to_string(),
+            hashed.to_string(),
+            ideal.to_string(),
+            fmt_f(hashed as f64 / ideal as f64),
+        ]);
+    }
+    t.note("ratio → 1 as expansion grows: extra banks absorb hashing imbalance (paper §4)");
+    t
+}
+
+/// Ablation A1: hashed vs. interleaved mapping under constant-stride
+/// access — why §4's random mappings exist at all.
+#[must_use]
+pub fn ablation_mapping(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let strides = [1u64, 2, 4, 8, 16, 64, 256, 1024];
+
+    let rows = parallel_map(&strides, |&s| {
+        let addrs = strided_addresses(0, s, n);
+        let pat = AccessPattern::scatter(m.p, &addrs);
+        let sim = super::simulator(&m);
+        let inter = sim.run(&pat, &Interleaved::new(m.banks())).cycles;
+        let hashed = sim.run(&pat, &super::hashed_map(&m, seed ^ s)).cycles;
+        (s, inter, hashed)
+    });
+
+    let mut t = Table::new(
+        format!("Ablation A1: interleaved vs. hashed banks under stride access (n={n})"),
+        &["stride", "interleaved", "hashed", "inter/hashed"],
+    );
+    for (s, inter, hashed) in rows {
+        t.push_row(vec![
+            s.to_string(),
+            inter.to_string(),
+            hashed.to_string(),
+            fmt_f(inter as f64 / hashed as f64),
+        ]);
+    }
+    t.note("power-of-two strides collapse interleaving onto few banks; hashing is stride-oblivious");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modmap_overhead_shrinks_with_expansion() {
+        let t = exp6_modmap(Scale::Quick, 1);
+        let ratios = t.column_f64(3);
+        let first = ratios[0];
+        let last = *ratios.last().unwrap();
+        assert!(last <= first, "{ratios:?}");
+        assert!(last < 1.7, "residual overhead too high: {ratios:?}");
+    }
+
+    #[test]
+    fn hashing_rescues_power_of_two_strides() {
+        let t = ablation_mapping(Scale::Quick, 2);
+        let ratio = t.column_f64(3);
+        // Stride 1024 over 256 interleaved banks hits one bank: the
+        // interleaved run must be far slower than the hashed one.
+        assert!(ratio.last().unwrap() > &4.0, "{ratio:?}");
+        // Stride 1 is conflict-free interleaved: hashing cannot beat it.
+        assert!(ratio[0] <= 1.1, "{ratio:?}");
+    }
+}
+
+/// Experiment 6b: the role of parallel slackness. §4's balance claim
+/// ("if there is sufficient parallel slackness … the memory references
+/// will be reasonably balanced across the banks") is a statement about
+/// requests-per-bank: this sweep fixes the machine (J90-like, d=14)
+/// and varies the request volume so that the slackness `n/B` spans
+/// 1 … 256, reporting the max-bank-load overhead over the even split.
+#[must_use]
+pub fn exp6b_slackness(scale: Scale, seed: u64) -> Table {
+    use dxbsp_hash::{max_load_over_trials, Degree};
+    let m = super::default_machine();
+    let banks = m.banks();
+    let trials = scale.trials();
+    let slacks = [1usize, 2, 4, 16, 64, 256];
+
+    let rows = parallel_map(&slacks, |&s| {
+        let n = banks * s;
+        let mut rng = super::point_rng(seed, s as u64);
+        // Distinct addresses: all imbalance is the hash's doing.
+        let addrs: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 3).collect();
+        let rep = max_load_over_trials(&addrs, banks, Degree::Linear, trials, &mut rng);
+        (s, rep.ideal_load, rep.mean_max_load, rep.overhead_ratio())
+    });
+
+    let mut t = Table::new(
+        format!("Experiment 6b: slackness vs. bank-load balance (B={banks}, linear hash)"),
+        &["n/B", "ideal load", "mean max load", "overhead"],
+    );
+    for (s, ideal, mean, ratio) in rows {
+        t.push_row(vec![s.to_string(), ideal.to_string(), fmt_f(mean), fmt_f(ratio)]);
+    }
+    t.note("low slackness: balls-in-bins Θ(log B / log log B) overhead; high slackness: → 1");
+    t
+}
+
+#[cfg(test)]
+mod slackness_tests {
+    use super::*;
+
+    #[test]
+    fn overhead_decreases_with_slackness() {
+        let t = exp6b_slackness(Scale::Quick, 1);
+        let overhead = t.column_f64(3);
+        assert!(overhead[0] > 2.0, "slackness 1 must be unbalanced: {overhead:?}");
+        assert!(overhead.last().unwrap() < &1.3, "{overhead:?}");
+        for w in overhead.windows(2) {
+            assert!(w[1] <= w[0] * 1.1, "not decreasing: {overhead:?}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! §3 scatter experiments: contention sweep (Exp 1), duplication
+//! (Exp 2), entropy distributions (Exp 3), expansion sweep (Exp 4).
+
+use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
+use dxbsp_workloads::{duplicated_hotspot, entropy_family, hotspot_keys, max_contention};
+
+use crate::runner::parallel_map;
+use crate::table::{fmt_f, Table};
+use crate::Scale;
+
+/// Experiment 1: scatter time vs. maximum location contention `k`.
+/// Measured cycles against the (d,x)-BSP and plain-BSP predictions:
+/// flat until the knee `d·k > max(g·n/p, d·n/(x·p))`, then slope `d`.
+#[must_use]
+pub fn exp1_contention(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let ks: Vec<usize> = std::iter::successors(Some(1usize), |&k| Some(k * 4))
+        .take_while(|&k| k <= n)
+        .chain(std::iter::once(n))
+        .collect();
+
+    let rows = parallel_map(&ks, |&k| {
+        let mut rng = super::point_rng(seed, k as u64);
+        let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
+        let k_real = max_contention(&keys);
+        let measured = super::measured_scatter(&m, &keys, seed ^ k as u64);
+        let shape = ScatterShape::new(n, k_real);
+        (k, k_real, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
+    });
+
+    let mut t = Table::new(
+        format!("Experiment 1: scatter vs. contention (n={n}, p={}, d={}, x={})", m.p, m.d, m.x),
+        &["k", "measured", "dxbsp-pred", "bsp-pred", "meas/dxbsp", "meas/bsp"],
+    );
+    for (k, _k_real, meas, dx, bsp) in rows {
+        t.push_row(vec![
+            k.to_string(),
+            meas.to_string(),
+            dx.to_string(),
+            bsp.to_string(),
+            fmt_f(meas as f64 / dx as f64),
+            fmt_f(meas as f64 / bsp as f64),
+        ]);
+    }
+    t.note("paper Fig: BSP stays flat while measured time grows with slope d·k past the knee");
+    t
+}
+
+/// Experiment 2: duplicating the hot location into `c` copies recovers
+/// performance (`k` effective contention drops to `⌈k/c⌉`).
+#[must_use]
+pub fn exp2_duplication(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let k = n / 8;
+    let copies: Vec<usize> = std::iter::successors(Some(1usize), |&c| Some(c * 2))
+        .take_while(|&c| c <= k)
+        .collect();
+
+    let rows = parallel_map(&copies, |&c| {
+        let mut rng = super::point_rng(seed, c as u64);
+        let keys = duplicated_hotspot(n, k, c, 1 << 40, &mut rng);
+        let measured = super::measured_scatter(&m, &keys, seed ^ c as u64);
+        let predicted = predict_scatter(&m, ScatterShape::new(n, k.div_ceil(c)));
+        (c, measured, predicted)
+    });
+
+    let mut t = Table::new(
+        format!("Experiment 2: duplicating a contention-{k} location (n={n})"),
+        &["copies", "measured", "dxbsp-pred", "meas/pred"],
+    );
+    for (c, meas, pred) in rows {
+        t.push_row(vec![
+            c.to_string(),
+            meas.to_string(),
+            pred.to_string(),
+            fmt_f(meas as f64 / pred as f64),
+        ]);
+    }
+    t.note("each copy absorbs ⌈k/c⌉ requests; enough copies restores the flat regime");
+    t
+}
+
+/// Experiment 3: Thearling–Smith entropy distributions — predicted vs.
+/// measured as the AND-iterations concentrate the key distribution.
+#[must_use]
+pub fn exp3_entropy(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let iterations = 8usize;
+    let mut rng = super::point_rng(seed, 0xE27);
+    let family = entropy_family(n, 22, iterations, &mut rng);
+
+    let idx: Vec<usize> = (0..family.len()).collect();
+    let rows = parallel_map(&idx, |&i| {
+        let keys = &family[i];
+        let k = max_contention(keys);
+        let measured = super::measured_scatter(&m, keys, seed ^ i as u64);
+        let shape = ScatterShape::new(n, k);
+        (i, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
+    });
+
+    let mut t = Table::new(
+        format!("Experiment 3: entropy distributions (n={n}, iterated AND)"),
+        &["iters", "max k", "measured", "dxbsp-pred", "bsp-pred", "meas/dxbsp"],
+    );
+    for (i, k, meas, dx, bsp) in rows {
+        t.push_row(vec![
+            i.to_string(),
+            k.to_string(),
+            meas.to_string(),
+            dx.to_string(),
+            bsp.to_string(),
+            fmt_f(meas as f64 / dx as f64),
+        ]);
+    }
+    t.note("contention rises with each AND iteration; the (d,x)-BSP keeps tracking it");
+    t
+}
+
+/// Experiment 4: effect of the expansion factor — cycles per element of
+/// a uniform random scatter as `x` grows, for both Cray bank delays.
+/// Banks keep helping beyond `x = d` (queueing variance), the paper's
+/// second headline result.
+#[must_use]
+pub fn exp4_expansion(scale: Scale, seed: u64) -> Table {
+    let n = scale.scatter_n();
+    let xs: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128].to_vec();
+    let ds = [6u64, 14];
+
+    let mut t = Table::new(
+        format!("Experiment 4: expansion sweep (uniform scatter, n={n}, p=8)"),
+        &["x", "cyc/elem d=6", "cyc/elem d=14", "pred d=6", "pred d=14"],
+    );
+    let rows = parallel_map(&xs, |&x| {
+        let mut cells = vec![x.to_string()];
+        let mut meas = Vec::new();
+        let mut pred = Vec::new();
+        for &d in &ds {
+            let m = dxbsp_core::MachineParams::new(8, 1, 0, d, x);
+            let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
+            let keys = dxbsp_workloads::uniform_keys(n, 1 << 40, &mut rng);
+            let cycles = super::measured_scatter(&m, &keys, seed ^ (x as u64 * d));
+            meas.push(cycles as f64 / n as f64);
+            let k = max_contention(&keys);
+            pred.push(predict_scatter(&m, ScatterShape::new(n, k)) as f64 / n as f64);
+        }
+        cells.extend(meas.iter().map(|&c| fmt_f(c)));
+        cells.extend(pred.iter().map(|&c| fmt_f(c)));
+        cells
+    });
+    for row in rows {
+        t.push_row(row);
+    }
+    t.note("the model's even-spread term flattens at x = d; measured time keeps improving a little past it");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp1_bsp_misses_high_contention() {
+        let t = exp1_contention(Scale::Quick, 1);
+        let meas_over_bsp = t.column_f64(5);
+        // At k = n the BSP misprediction is enormous.
+        assert!(meas_over_bsp.last().unwrap() > &10.0, "{meas_over_bsp:?}");
+        // While the (d,x)-BSP stays within a small constant everywhere.
+        for r in t.column_f64(4) {
+            assert!(r < 3.0 && r > 0.5, "dxbsp ratio {r}");
+        }
+    }
+
+    #[test]
+    fn exp2_duplication_recovers_flat_time() {
+        let t = exp2_duplication(Scale::Quick, 2);
+        let measured = t.column_f64(1);
+        let first = measured[0];
+        let last = *measured.last().unwrap();
+        assert!(last < first / 4.0, "duplication did not help: {measured:?}");
+    }
+
+    #[test]
+    fn exp3_contention_grows_along_family() {
+        let t = exp3_entropy(Scale::Quick, 3);
+        let k = t.column_f64(1);
+        assert!(k.last().unwrap() > &(k[0] * 4.0), "{k:?}");
+        for r in t.column_f64(5) {
+            assert!(r < 3.0, "dxbsp ratio {r}");
+        }
+    }
+
+    #[test]
+    fn exp4_expansion_improves_underbanked_machines() {
+        let t = exp4_expansion(Scale::Quick, 4);
+        let d14 = t.column_f64(2);
+        // Cycles per scattered element across the whole machine: x=1 is
+        // memory-bound near d/(x·p) = 14/8 = 1.75; x=128 approaches the
+        // processor floor g/p = 0.125.
+        assert!(d14[0] > 1.5, "{d14:?}");
+        assert!(d14.last().unwrap() < &0.2, "{d14:?}");
+        // Monotone non-increasing (within small noise).
+        for w in d14.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "{d14:?}");
+        }
+    }
+}
+
+/// Machine comparison: the same contention sweep on the C90-like
+/// (SRAM, d=6, x=64) and J90-like (DRAM, d=14, x=32) presets — the
+/// paper validates its model on both and notes "cray C90 results are
+/// qualitatively similar".
+#[must_use]
+pub fn exp_machines(scale: Scale, seed: u64) -> Table {
+    use dxbsp_core::presets;
+    let n = scale.scatter_n();
+    let machines = [("C90", presets::cray_c90()), ("J90", presets::cray_j90())];
+    let ks: Vec<usize> = vec![1, 64, 1024, n / 4, n];
+
+    let mut t = Table::new(
+        format!("Machine comparison: contention sweep on both Cray presets (n={n})"),
+        &["k", "C90 measured", "C90 pred", "J90 measured", "J90 pred", "J90/C90"],
+    );
+    let rows = parallel_map(&ks, |&k| {
+        let mut cells = vec![k.to_string()];
+        let mut measured = Vec::new();
+        for (_, m) in &machines {
+            let mut rng = super::point_rng(seed, (k as u64) << 8 | m.d);
+            let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
+            let k_real = max_contention(&keys);
+            let meas = super::measured_scatter(m, &keys, seed ^ (k as u64 * m.d));
+            measured.push(meas);
+            cells.push(meas.to_string());
+            cells.push(predict_scatter(m, ScatterShape::new(n, k_real)).to_string());
+        }
+        cells.push(fmt_f(measured[1] as f64 / measured[0] as f64));
+        cells
+    });
+    for row in rows {
+        t.push_row(row);
+    }
+    t.note("at high contention the J90 pays d=14 per hot request vs the C90's d=6: ratio → 14/6");
+    t
+}
+
+/// Ablation A4 (§7): the order of injecting messages into the network.
+/// The same multiset of requests is issued (a) in workload order,
+/// (b) sorted by destination bank — maximal burstiness per bank — and
+/// (c) bank-interleaved (round-robin over banks) — minimal burstiness.
+#[must_use]
+pub fn ablation_injection_order(scale: Scale, seed: u64) -> Table {
+    let m = super::default_machine();
+    let n = scale.scatter_n();
+    let mut rng = super::point_rng(seed, 0xA4);
+    let keys = dxbsp_workloads::uniform_keys(n, 1 << 24, &mut rng);
+    let map = super::hashed_map(&m, seed);
+    let sim = super::simulator(&m);
+
+    // Per-processor reorderings of the same element set.
+    let original = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+    let mut sorted_keys = keys.clone();
+    sorted_keys.sort_unstable_by_key(|&a| {
+        use dxbsp_core::BankMap;
+        map.bank_of(a)
+    });
+    let sorted = dxbsp_core::AccessPattern::scatter(m.p, &sorted_keys);
+    // Round-robin over banks: take one element per bank in rotation.
+    let mut by_bank: Vec<Vec<u64>> = vec![Vec::new(); m.banks()];
+    for &a in &keys {
+        use dxbsp_core::BankMap;
+        by_bank[map.bank_of(a)].push(a);
+    }
+    let mut interleaved_keys = Vec::with_capacity(n);
+    let mut level = 0usize;
+    while interleaved_keys.len() < n {
+        for bank in &by_bank {
+            if let Some(&a) = bank.get(level) {
+                interleaved_keys.push(a);
+            }
+        }
+        level += 1;
+    }
+    let interleaved = dxbsp_core::AccessPattern::scatter(m.p, &interleaved_keys);
+
+    let mut t = Table::new(
+        format!("Ablation A4: injection order of the same request multiset (n={n})"),
+        &["order", "measured", "total queue wait"],
+    );
+    for (name, pat) in [
+        ("workload order", &original),
+        ("sorted by bank", &sorted),
+        ("bank-interleaved", &interleaved),
+    ] {
+        let res = sim.run(pat, &map);
+        t.push_row(vec![
+            name.into(),
+            res.cycles.to_string(),
+            res.total_queue_wait().to_string(),
+        ]);
+    }
+    t.note("§7: the (d,x)-BSP ignores injection order; this bounds how much that can matter");
+    t
+}
+
+#[cfg(test)]
+mod machine_cmp_tests {
+    use super::*;
+
+    #[test]
+    fn j90_pays_more_per_hot_request() {
+        let t = exp_machines(Scale::Quick, 1);
+        let ratio = t.column_f64(5);
+        // At k=n the ratio approaches d_J90/d_C90 = 14/6 ≈ 2.33.
+        let last = *ratio.last().unwrap();
+        assert!(last > 1.8 && last < 3.0, "{ratio:?}");
+    }
+
+    #[test]
+    fn injection_order_moves_queueing_not_throughput_much() {
+        let t = ablation_injection_order(Scale::Quick, 2);
+        let cycles = t.column_f64(1);
+        // All three orders drain within 2x of each other on a balanced
+        // machine: the model's order-obliviousness is justified here.
+        let max = cycles.iter().cloned().fold(0.0, f64::max);
+        let min = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "{cycles:?}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Executable shape claims: every qualitative statement EXPERIMENTS.md
+//! makes about a table or figure, as a checked predicate over the
+//! regenerated data. `repro verify` runs the whole checklist; the
+//! integration suite runs it too, so the documentation cannot drift
+//! from what the code actually produces.
+
+use crate::table::Table;
+use crate::Scale;
+
+/// One verified claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeCheck {
+    /// Experiment the claim belongs to.
+    pub experiment: &'static str,
+    /// The claim, in the words EXPERIMENTS.md uses.
+    pub claim: &'static str,
+    /// What the regenerated data showed.
+    pub observed: String,
+    /// Whether the claim held.
+    pub pass: bool,
+}
+
+fn check(
+    experiment: &'static str,
+    claim: &'static str,
+    pass: bool,
+    observed: String,
+) -> ShapeCheck {
+    ShapeCheck { experiment, claim, observed, pass }
+}
+
+fn last(t: &Table, col: usize) -> f64 {
+    *t.column_f64(col).last().unwrap_or(&f64::NAN)
+}
+
+/// Runs the full checklist at the given scale.
+#[must_use]
+pub fn verify_all(scale: Scale, seed: u64) -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+
+    // E1: BSP misses high contention; (d,x)-BSP tracks everywhere.
+    let e1 = super::scatter::exp1_contention(scale, seed);
+    let worst_bsp = last(&e1, 5);
+    let dx_ok = e1.column_f64(4).iter().all(|&r| r > 0.5 && r < 3.0);
+    out.push(check(
+        "exp1",
+        "meas/BSP blows up at k = n while meas/(d,x)-BSP stays within small constants",
+        worst_bsp > 10.0 && dx_ok,
+        format!("meas/BSP at k=n: {worst_bsp:.1}; dxbsp ratios in band: {dx_ok}"),
+    ));
+
+    // E2: duplication restores the flat regime.
+    let e2 = super::scatter::exp2_duplication(scale, seed);
+    let meas = e2.column_f64(1);
+    out.push(check(
+        "exp2",
+        "enough copies of the hot location restore the flat regime",
+        *meas.last().unwrap() < meas[0] / 4.0,
+        format!("first {} → last {}", meas[0], meas.last().unwrap()),
+    ));
+
+    // E4: expansion keeps helping toward the processor floor.
+    let e4 = super::scatter::exp4_expansion(scale, seed);
+    let d14 = e4.column_f64(2);
+    out.push(check(
+        "exp4",
+        "cycles/element falls from ≈d/(x·p) toward the g/p floor as x grows",
+        d14[0] > 1.5 && *d14.last().unwrap() < 0.2,
+        format!("x=1: {:.3}, x=128: {:.3}", d14[0], d14.last().unwrap()),
+    ));
+
+    // E5: version (c) overshoots, (a)/(b) do not.
+    let e5 = super::network::exp5_network(scale, seed);
+    let ratios = e5.column_f64(3);
+    out.push(check(
+        "exp5",
+        "only the one-section placement exceeds the sectionless prediction materially",
+        ratios[0] < 1.6 && ratios[1] < 1.6 && ratios[2] > 1.8,
+        format!("(a) {:.2} (b) {:.2} (c) {:.2}", ratios[0], ratios[1], ratios[2]),
+    ));
+
+    // E6b: slackness balances bank loads.
+    let e6b = super::modmap::exp6b_slackness(scale, seed);
+    let overhead = e6b.column_f64(3);
+    out.push(check(
+        "exp6b",
+        "bank-load overhead decays from balls-in-bins levels to ≈1 with slackness",
+        overhead[0] > 2.0 && *overhead.last().unwrap() < 1.3,
+        format!("slack 1: {:.2}, slack max: {:.2}", overhead[0], overhead.last().unwrap()),
+    ));
+
+    // T3: hash cost ordering.
+    let t3 = super::tables::table3(scale, seed);
+    let rel = t3.column_f64(2);
+    out.push(check(
+        "table3",
+        "hash evaluation cost orders linear ≤ quadratic ≤ cubic (within noise)",
+        rel[2] >= 1.0 && rel[2] + 0.15 >= rel[1],
+        format!("relative costs {rel:?}"),
+    ));
+
+    // E7/E8: QRQW algorithms win.
+    let e7 = super::algo_bench::exp7_binary_search(scale, seed);
+    let e7_ok = e7.column_f64(4).iter().all(|&r| r > 1.0);
+    out.push(check(
+        "exp7",
+        "replicated-tree search beats the EREW sort-merge at every query count",
+        e7_ok,
+        format!("erew/qrqw ratios {:?}", e7.column_f64(4)),
+    ));
+    let e8 = super::algo_bench::exp8_random_perm(scale, seed);
+    let e8_ok = e8.column_f64(4).iter().all(|&r| r > 1.0);
+    out.push(check(
+        "exp8",
+        "dart-throwing beats the EREW radix-sort permutation at every size",
+        e8_ok,
+        format!("erew/qrqw ratios {:?}", e8.column_f64(4)),
+    ));
+
+    // E9: the dense column dominates past the knee.
+    let e9 = super::algo_bench::exp9_spmv(scale, seed);
+    let spmv = e9.column_f64(2);
+    out.push(check(
+        "exp9",
+        "SpMV time grows with the dense column once d·k dominates",
+        *spmv.last().unwrap() > 2.0 * spmv[0],
+        format!("flat {} → dense {}", spmv[0], spmv.last().unwrap()),
+    ));
+
+    // E11: d/x regime then flat.
+    let e11 = super::emulation::exp11_emulation(scale, seed);
+    let ratio_d16 = e11.column_f64(3);
+    out.push(check(
+        "exp11",
+        "emulation work ratio ≈ d/x for x ≤ d, flattening to O(1) past x = d",
+        ratio_d16[0] > 8.0 && *ratio_d16.last().unwrap() < 4.0,
+        format!("x=1: {:.2}, x=64: {:.2}", ratio_d16[0], ratio_d16.last().unwrap()),
+    ));
+
+    // A3: bank caches defuse the hot spot.
+    let a3 = super::ablation::ablation_bank_cache(scale, seed);
+    let speedup = a3.column_f64(3);
+    out.push(check(
+        "ablation_cache",
+        "a per-bank cache converts d·k into ≈k at the hot bank",
+        *speedup.last().unwrap() > 5.0,
+        format!("speedup at k=n: {:.1}", speedup.last().unwrap()),
+    ));
+
+    // E12: deactivation removes the list-ranking hot spot.
+    let e12 = super::extensions::exp12_list_ranking(scale, seed);
+    let e12_ok = e12.column_f64(5).iter().all(|&s| s > 1.5);
+    out.push(check(
+        "exp12",
+        "deactivating Wyllie beats the textbook version at every size",
+        e12_ok,
+        format!("speedups {:?}", e12.column_f64(5)),
+    ));
+
+    out
+}
+
+/// Renders the checklist.
+#[must_use]
+pub fn render_checks(checks: &[ShapeCheck]) -> String {
+    let mut out = String::new();
+    let passed = checks.iter().filter(|c| c.pass).count();
+    out.push_str(&format!(
+        "== shape verification: {passed}/{} claims hold ==\n",
+        checks.len()
+    ));
+    for c in checks {
+        out.push_str(&format!(
+            "  [{}] {:<14} {}\n{:20}observed: {}\n",
+            if c.pass { "ok" } else { "FAIL" },
+            c.experiment,
+            c.claim,
+            "",
+            c.observed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_claim_holds_at_quick_scale() {
+        let checks = verify_all(Scale::Quick, 1995);
+        assert!(checks.len() >= 12);
+        let failures: Vec<&ShapeCheck> = checks.iter().filter(|c| !c.pass).collect();
+        assert!(failures.is_empty(), "failed claims: {failures:#?}");
+    }
+
+    #[test]
+    fn rendering_includes_verdicts() {
+        let checks = vec![ShapeCheck {
+            experiment: "demo",
+            claim: "water is wet",
+            observed: "wet".into(),
+            pass: true,
+        }];
+        let s = render_checks(&checks);
+        assert!(s.contains("1/1 claims hold"));
+        assert!(s.contains("[ok] demo"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # dxbsp-bench — the experiment harness
+//!
+//! One module per table/figure of the paper (see DESIGN.md §4 for the
+//! experiment index). Every experiment is a pure function from a
+//! [`Scale`] (and a seed) to a printable [`table::Table`], so the same
+//! code drives the `repro` binary, the Criterion benches, and the
+//! integration tests that assert the paper's qualitative claims.
+
+pub mod experiments;
+pub mod plot;
+pub mod runner;
+pub mod table;
+
+pub use plot::{chart_from_table, Chart};
+pub use table::Table;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for tests and smoke runs (seconds).
+    Quick,
+    /// Paper-scale sizes (`S = 64K` elements etc.).
+    Full,
+}
+
+impl Scale {
+    /// The scatter size `S` (the paper uses 64K for all §3 runs).
+    #[must_use]
+    pub fn scatter_n(self) -> usize {
+        match self {
+            Scale::Quick => 8 * 1024,
+            Scale::Full => 64 * 1024,
+        }
+    }
+
+    /// Element count for the §6 algorithm experiments.
+    #[must_use]
+    pub fn algo_n(self) -> usize {
+        match self {
+            Scale::Quick => 4 * 1024,
+            Scale::Full => 32 * 1024,
+        }
+    }
+
+    /// Trials to average where the workload is randomized.
+    #[must_use]
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 7,
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! ASCII line/scatter charts for the figure experiments.
+//!
+//! The paper's evaluation is mostly *figures*; the `repro` binary can
+//! render each experiment's series as a terminal chart (`--plot`) so
+//! the knees and crossovers are visible without leaving the shell.
+
+use crate::table::Table;
+
+/// A renderable chart: named series of `(x, y)` points on optionally
+/// logarithmic axes.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Chart title.
+    pub title: String,
+    /// Plot-area width in character cells.
+    pub width: usize,
+    /// Plot-area height in character cells.
+    pub height: usize,
+    /// Log-scale the x axis (points with `x ≤ 0` are dropped).
+    pub log_x: bool,
+    /// Log-scale the y axis (points with `y ≤ 0` are dropped).
+    pub log_y: bool,
+    series: Vec<Series>,
+}
+
+/// One named series: `(name, marker, points)`.
+type Series = (String, char, Vec<(f64, f64)>);
+
+/// Marker characters assigned to series in order.
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl Chart {
+    /// An empty chart with a default 64×20 plot area.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            width: 64,
+            height: 20,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches both axes to log scale (the shape the paper's
+    /// contention figures use).
+    #[must_use]
+    pub fn log_log(mut self) -> Self {
+        self.log_x = true;
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series; markers are assigned round-robin.
+    pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        let mark = MARKS[self.series.len() % MARKS.len()];
+        self.series.push((name.into(), mark, points));
+    }
+
+    fn transform(&self, x: f64, y: f64) -> Option<(f64, f64)> {
+        let tx = if self.log_x {
+            if x <= 0.0 {
+                return None;
+            }
+            x.log10()
+        } else {
+            x
+        };
+        let ty = if self.log_y {
+            if y <= 0.0 {
+                return None;
+            }
+            y.log10()
+        } else {
+            y
+        };
+        (tx.is_finite() && ty.is_finite()).then_some((tx, ty))
+    }
+
+    /// Renders the chart (empty string when no plottable points).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, ps)| ps.iter().filter_map(|&(x, y)| self.transform(x, y)))
+            .collect();
+        if pts.is_empty() {
+            return String::new();
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 - x0 < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if y1 - y0 < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (_, mark, ps) in &self.series {
+            for &(x, y) in ps {
+                let Some((tx, ty)) = self.transform(x, y) else { continue };
+                let cx = ((tx - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((ty - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                // First series to claim a cell keeps it; overlaps show
+                // the earlier (usually "measured") marker.
+                if grid[row][cx] == ' ' {
+                    grid[row][cx] = *mark;
+                }
+            }
+        }
+
+        let unscale = |v: f64, log: bool| if log { 10f64.powf(v) } else { v };
+        let mut out = String::new();
+        out.push_str(&format!("-- {} --\n", self.title));
+        for (name, mark, _) in &self.series {
+            out.push_str(&format!("   {mark} {name}\n"));
+        }
+        out.push_str(&format!(
+            "  y: {:.3e} .. {:.3e}{}\n",
+            unscale(y0, self.log_y),
+            unscale(y1, self.log_y),
+            if self.log_y { " (log)" } else { "" }
+        ));
+        for row in grid {
+            out.push_str("  |");
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "   x: {:.3e} .. {:.3e}{}\n",
+            unscale(x0, self.log_x),
+            unscale(x1, self.log_x),
+            if self.log_x { " (log)" } else { "" }
+        ));
+        out
+    }
+}
+
+/// Builds a chart from table columns: `x_col` against each of `y_cols`
+/// (columns that fail to parse as numbers are skipped point-wise).
+#[must_use]
+pub fn chart_from_table(t: &Table, x_col: usize, y_cols: &[usize], log_log: bool) -> Chart {
+    let mut chart = Chart::new(t.title.clone());
+    if log_log {
+        chart = chart.log_log();
+    }
+    let xs = t.column_f64(x_col);
+    for &yc in y_cols {
+        let ys = t.column_f64(yc);
+        let pts: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        chart.add_series(t.headers[yc].clone(), pts);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut c = Chart::new("demo");
+        c.add_series("measured", vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+        let s = c.render();
+        assert!(s.contains("-- demo --"));
+        assert!(s.contains("* measured"));
+        assert!(s.matches('*').count() >= 3); // legend + ≥3 plotted cells... at least the points
+    }
+
+    #[test]
+    fn empty_chart_renders_empty() {
+        let c = Chart::new("empty");
+        assert_eq!(c.render(), "");
+    }
+
+    #[test]
+    fn log_log_drops_nonpositive_points() {
+        let mut c = Chart::new("log").log_log();
+        c.add_series("s", vec![(0.0, 1.0), (10.0, 100.0), (100.0, 1.0)]);
+        let s = c.render();
+        assert!(s.contains("(log)"));
+        // Two valid points survive.
+        assert!(s.matches('*').count() >= 2);
+    }
+
+    #[test]
+    fn corner_points_land_on_edges() {
+        let mut c = Chart::new("corners");
+        c.width = 10;
+        c.height = 5;
+        c.add_series("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let s = c.render();
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with("  |")).collect();
+        assert_eq!(rows.len(), 5);
+        // Max-y point in the top row, min-y in the bottom row.
+        assert!(rows[0].ends_with('*'));
+        assert_eq!(rows[4].chars().nth(3), Some('*'));
+    }
+
+    #[test]
+    fn chart_from_table_picks_columns() {
+        let mut t = Table::new("tbl", &["k", "measured", "pred"]);
+        t.push_row(vec!["1".into(), "10".into(), "12".into()]);
+        t.push_row(vec!["2".into(), "20".into(), "19".into()]);
+        let c = chart_from_table(&t, 0, &[1, 2], true);
+        let s = c.render();
+        assert!(s.contains("* measured"));
+        assert!(s.contains("o pred"));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let mut c = Chart::new("one");
+        c.add_series("s", vec![(5.0, 5.0)]);
+        let s = c.render();
+        assert!(!s.is_empty());
+    }
+}
+
+/// Renders a bank-occupancy Gantt chart from a simulator event log:
+/// one row per bank (busiest first, up to `max_rows`), time on the x
+/// axis, `#` where the bank is in service. Makes hot-bank serialization
+/// visible at a glance.
+#[must_use]
+pub fn gantt_from_events(
+    events: &[dxbsp_machine::RequestEvent],
+    total_cycles: u64,
+    max_rows: usize,
+    width: usize,
+) -> String {
+    if events.is_empty() || total_cycles == 0 || width == 0 {
+        return String::new();
+    }
+    let max_bank = events.iter().map(|e| e.bank).max().unwrap_or(0);
+    let mut busy = vec![0u64; max_bank + 1];
+    for e in events {
+        busy[e.bank] += e.end - e.start;
+    }
+    let mut order: Vec<usize> = (0..=max_bank).filter(|&b| busy[b] > 0).collect();
+    order.sort_unstable_by_key(|&b| std::cmp::Reverse(busy[b]));
+    order.truncate(max_rows);
+
+    let scale = |t: u64| -> usize {
+        ((t as f64 / total_cycles as f64) * width as f64).floor() as usize
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "-- bank occupancy (top {} of {} active banks, {} cycles) --\n",
+        order.len(),
+        busy.iter().filter(|&&b| b > 0).count(),
+        total_cycles
+    ));
+    for &b in &order {
+        let mut row = vec![' '; width];
+        for e in events.iter().filter(|e| e.bank == b) {
+            let from = scale(e.start).min(width - 1);
+            let to = scale(e.end).clamp(from + 1, width);
+            for cell in &mut row[from..to] {
+                *cell = '#';
+            }
+        }
+        out.push_str(&format!("  bank {b:>5} |"));
+        out.extend(row);
+        out.push_str(&format!("| {:>6} busy\n", busy[b]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::*;
+    use dxbsp_core::{AccessPattern, Interleaved};
+    use dxbsp_machine::{SimConfig, Simulator};
+
+    #[test]
+    fn gantt_shows_the_hot_bank_as_a_solid_row() {
+        let cfg = SimConfig::new(2, 8, 4).with_event_log();
+        let sim = Simulator::new(cfg);
+        let res = sim.run(&AccessPattern::scatter(2, &vec![0u64; 32]), &Interleaved::new(8));
+        let g = gantt_from_events(&res.events, res.cycles, 4, 40);
+        assert!(g.contains("bank     0"), "{g}");
+        // The hot bank is busy the whole run: its row is all '#'.
+        let row = g.lines().find(|l| l.contains("bank     0")).unwrap();
+        let body: String = row.chars().skip_while(|&c| c != '|').skip(1).take(40).collect();
+        assert!(body.chars().all(|c| c == '#'), "{body:?}");
+    }
+
+    #[test]
+    fn gantt_of_empty_log_is_empty() {
+        assert_eq!(gantt_from_events(&[], 100, 4, 40), "");
+    }
+
+    #[test]
+    fn gantt_row_count_respects_cap() {
+        let cfg = SimConfig::new(4, 16, 2).with_event_log();
+        let sim = Simulator::new(cfg);
+        let addrs: Vec<u64> = (0..64).collect();
+        let res = sim.run(&AccessPattern::scatter(4, &addrs), &Interleaved::new(16));
+        let g = gantt_from_events(&res.events, res.cycles, 5, 30);
+        assert_eq!(g.lines().filter(|l| l.contains("bank")).count(), 6); // header + 5 rows
+    }
+}

@@ -1,0 +1,133 @@
+//! Fixed-width table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A printable experiment result: a title, column headers, data rows,
+/// and free-form notes (the "how to read this" the paper's captions
+/// carry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment title (e.g. "Experiment 1: scatter vs. contention").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified by the experiment).
+    pub rows: Vec<Vec<String>>,
+    /// Caption/notes lines printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a caption/note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Parses column `col` of every row as `f64` (for assertions in
+    /// tests and for the EXPERIMENTS.md shape checks).
+    #[must_use]
+    pub fn column_f64(&self, col: usize) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| r[col].trim().parse::<f64>().unwrap_or(f64::NAN))
+            .collect()
+    }
+}
+
+/// Formats a float with three significant decimals (table cells).
+#[must_use]
+pub fn fmt_f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["k", "cycles"]);
+        t.push_row(vec!["1".into(), "8192".into()]);
+        t.push_row(vec!["1024".into(), "14336".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("   k  cycles"));
+        assert!(s.contains("1024   14336"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    fn column_parse_roundtrips() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2.5".into()]);
+        t.push_row(vec!["2".into(), "7".into()]);
+        assert_eq!(t.column_f64(1), vec![2.5, 7.0]);
+    }
+
+    #[test]
+    fn non_numeric_cells_become_nan() {
+        let mut t = Table::new("demo", &["x"]);
+        t.push_row(vec!["hello".into()]);
+        assert!(t.column_f64(0)[0].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+}

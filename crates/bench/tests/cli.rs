@@ -1,0 +1,200 @@
+//! End-to-end tests of the `dxtrace` → `dxsim` tool pair: capture an
+//! algorithm trace to a file, replay it on several machines, and check
+//! the outputs tell the paper's story.
+
+use std::process::Command;
+
+fn dxtrace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dxtrace"))
+}
+
+fn dxsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dxsim"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dxbsp-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "command failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+fn measured_cycles(stdout: &str) -> u64 {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("measured cycles:"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no measured cycles in output:\n{stdout}"))
+}
+
+#[test]
+fn scatter_trace_round_trips_through_both_tools() {
+    let path = tmp("scatter.dxtr");
+    let out = run_ok(
+        dxtrace()
+            .args(["scatter", "--n", "8192", "--contention", "2048", "-o"])
+            .arg(&path),
+    );
+    assert!(out.contains("max contention 2048"), "{out}");
+
+    let sim_out = run_ok(dxsim().arg("--trace").arg(&path).arg("--per-step"));
+    let measured = measured_cycles(&sim_out);
+    // The d·k floor: 14 × 2048.
+    assert!(measured >= 14 * 2048, "measured {measured}");
+    assert!(sim_out.contains("(d,x)-BSP charge"), "{sim_out}");
+    assert!(sim_out.contains("scatter"), "--per-step must list the superstep");
+}
+
+#[test]
+fn bank_delay_flag_changes_the_replay() {
+    let path = tmp("hot.dxtr");
+    run_ok(
+        dxtrace()
+            .args(["scatter", "--n", "4096", "--contention", "4096", "-o"])
+            .arg(&path),
+    );
+    let slow = measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path).args(["--delay", "14"])));
+    let fast = measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path).args(["--delay", "2"])));
+    assert_eq!(slow, 14 * 4096);
+    assert_eq!(fast, 2 * 4096);
+}
+
+#[test]
+fn cc_trace_replays_with_model_agreement() {
+    let path = tmp("cc.dxtr");
+    run_ok(
+        dxtrace()
+            .args(["cc", "--n", "2048", "--graph", "star", "-o"])
+            .arg(&path),
+    );
+    let out = run_ok(dxsim().arg("--trace").arg(&path));
+    // measured/charged printed on the (d,x)-BSP line must be near 1.
+    let line = out
+        .lines()
+        .find(|l| l.contains("(d,x)-BSP charge"))
+        .expect("charge line");
+    let ratio: f64 = line
+        .split("measured/charged = ")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(')').parse().ok())
+        .expect("ratio");
+    assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio} in {line}");
+}
+
+#[test]
+fn bank_cache_flag_defuses_the_hot_spot() {
+    let path = tmp("cached.dxtr");
+    run_ok(
+        dxtrace()
+            .args(["scatter", "--n", "4096", "--contention", "4096", "-o"])
+            .arg(&path),
+    );
+    let plain = measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path)));
+    let cached = measured_cycles(&run_ok(
+        dxsim().arg("--trace").arg(&path).args(["--cache", "8", "--hit", "1"]),
+    ));
+    assert!(cached < plain / 8, "cached {cached} vs plain {plain}");
+}
+
+#[test]
+fn wrong_processor_count_is_a_clear_error() {
+    let path = tmp("p8.dxtr");
+    run_ok(dxtrace().args(["scatter", "--n", "1024", "-o"]).arg(&path));
+    let out = dxsim()
+        .arg("--trace")
+        .arg(&path)
+        .args(["--procs", "4"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pass --procs 8"), "{stderr}");
+}
+
+#[test]
+fn missing_trace_file_is_a_clear_error() {
+    let out = dxsim().args(["--trace", "/nonexistent/file.dxtr"]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn dxtrace_without_output_prints_summary() {
+    let out = run_ok(dxtrace().args(["randperm", "--n", "512"]));
+    assert!(out.contains("supersteps:"), "{out}");
+    assert!(out.contains("requests:"), "{out}");
+}
+
+#[test]
+fn presets_select_paper_machines() {
+    let path = tmp("preset.dxtr");
+    run_ok(
+        dxtrace()
+            .args(["scatter", "--n", "4096", "--contention", "4096", "--procs", "16", "-o"])
+            .arg(&path),
+    );
+    let out = run_ok(dxsim().arg("--trace").arg(&path).args(["--preset", "c90"]));
+    assert!(out.contains("p=16 g=1 L=0 d=6 x=64"), "{out}");
+    assert_eq!(measured_cycles(&out), 6 * 4096);
+}
+
+mod repro_csv {
+    use super::{run_ok, tmp};
+    use std::process::Command;
+
+    fn repro() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+    }
+
+    #[test]
+    fn csv_export_writes_well_formed_tables() {
+        let dir = tmp("csv-out");
+        std::fs::create_dir_all(&dir).unwrap();
+        run_ok(repro().args(["--quick", "--csv"]).arg(&dir).args(["exp1", "table1", "exp11"]));
+        for (name, expect_header) in [
+            ("exp1", "k,measured,dxbsp-pred,bsp-pred"),
+            ("table1", "machine,procs,banks"),
+            ("exp11", "x,ratio d=4"),
+        ] {
+            let path = dir.join(format!("{name}.csv"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+            let mut lines = text.lines();
+            let header = lines.next().expect("header");
+            assert!(header.starts_with(expect_header), "{name}: {header}");
+            let cols = header.split(',').count();
+            let mut rows = 0;
+            for line in lines {
+                assert_eq!(line.split(',').count(), cols, "{name}: ragged row {line}");
+                rows += 1;
+            }
+            assert!(rows >= 2, "{name}: only {rows} rows");
+        }
+    }
+
+    #[test]
+    fn repro_list_names_every_experiment() {
+        let out = run_ok(repro().arg("--list"));
+        for id in ["table1", "fig1", "exp1", "exp9", "exp11", "exp19", "ablation_cache"] {
+            assert!(out.lines().any(|l| l.starts_with(id)), "missing {id} in --list");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_fails_cleanly() {
+        let out = repro().args(["--quick", "no_such_experiment"]).output().expect("spawn");
+        assert!(!out.status.success());
+        assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Model-driven diagnosis of access patterns.
+//!
+//! The (d,x)-BSP is useful *prescriptively*: given a pattern and a
+//! machine, it says which resource binds and what would fix it — the
+//! reasoning the paper walks through manually for each algorithm in §6.
+//! This module packages that reasoning: [`diagnose`] names the binding
+//! resource, and when the hot-location term dominates it computes the
+//! duplication factor that restores balance (§3, Experiment 2) and the
+//! speedup duplication would buy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bankmap::BankMap;
+use crate::params::MachineParams;
+use crate::pattern::AccessPattern;
+use crate::predict::{predict_scatter, ScatterShape};
+
+/// The resource a pattern is bound by on a given machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Binding {
+    /// The per-superstep latency/synchronization floor `L`.
+    Latency,
+    /// Processor/network bandwidth (`g·h`).
+    Processor,
+    /// Aggregate bank bandwidth (`d·n/(x·p)` under an even spread).
+    BankBandwidth,
+    /// A single hot location's queue (`d·k`).
+    HotLocation,
+    /// Module-map contention: distinct addresses sharing a bank push
+    /// the realized bank load well past both the even spread and the
+    /// hot location.
+    ModuleMap,
+}
+
+/// Diagnosis of one access pattern on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// The binding resource.
+    pub binding: Binding,
+    /// Model-charged cycles for the pattern as-is.
+    pub charged_cycles: u64,
+    /// Max location contention `k`.
+    pub contention: usize,
+    /// Realized max bank load `R` under the given map.
+    pub max_bank_load: usize,
+    /// If the hot location binds: the smallest duplication factor that
+    /// would lift it out of the critical path, and the predicted
+    /// charged cycles after duplication.
+    pub duplication: Option<DuplicationAdvice>,
+}
+
+/// The §3-Experiment-2 remedy, sized by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DuplicationAdvice {
+    /// Copies of the hot location to create.
+    pub copies: usize,
+    /// Predicted charged cycles after duplication.
+    pub predicted_cycles: u64,
+    /// Predicted speedup factor.
+    pub speedup: f64,
+}
+
+/// Diagnoses `pat` on machine `m` under the bank map `map`.
+#[must_use]
+pub fn diagnose<M: BankMap>(m: &MachineParams, pat: &AccessPattern, map: &M) -> Diagnosis {
+    let prof = pat.contention_profile();
+    let n = prof.total_requests;
+    let k = prof.max_location_contention;
+    let h = prof.max_processor_load;
+    let r = pat.max_bank_load(map);
+
+    let latency = m.l;
+    let processor = m.g * h as u64;
+    let even_bank = m.d * (n as u64).div_ceil(m.banks() as u64).max(u64::from(n > 0));
+    let hot = m.d * k as u64;
+    let realized_bank = m.d * r as u64;
+    let charged = latency.max(processor).max(realized_bank);
+
+    // Module-map contention is only the story when the realized bank
+    // load *materially* exceeds both structural explanations — a few
+    // co-resident stragglers on the hot bank do not change what binds.
+    let structural = hot.max(even_bank);
+    let binding = if charged == latency {
+        Binding::Latency
+    } else if charged == processor {
+        Binding::Processor
+    } else if realized_bank > structural + structural / 2 {
+        Binding::ModuleMap
+    } else if hot >= even_bank && k >= 2 {
+        // k = 1 means no location is hot: the bank term is just the
+        // service time of independent requests, i.e. bank bandwidth.
+        Binding::HotLocation
+    } else {
+        Binding::BankBandwidth
+    };
+
+    let duplication = (binding == Binding::HotLocation && k > 1)
+        .then(|| {
+            // Smallest c with d·⌈k/c⌉ ≤ max(L, g·h, d·n/(xp)): dropping
+            // the hot term below the next-binding resource.
+            let floor = latency.max(processor).max(even_bank).max(1);
+            let target_k = usize::try_from(floor / m.d).unwrap_or(usize::MAX).max(1);
+            let copies = k.div_ceil(target_k);
+            let predicted = predict_scatter(m, ScatterShape::new(n, k.div_ceil(copies)));
+            DuplicationAdvice {
+                copies,
+                predicted_cycles: predicted,
+                speedup: charged as f64 / predicted.max(1) as f64,
+            }
+        })
+        // copies = 1 means the hot term is already at the floor:
+        // duplication cannot help, so there is no advice to give.
+        .filter(|a| a.copies >= 2);
+
+    Diagnosis {
+        binding,
+        charged_cycles: charged,
+        contention: k,
+        max_bank_load: r,
+        duplication,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bankmap::Interleaved;
+
+    fn j90() -> MachineParams {
+        MachineParams::new(8, 1, 0, 14, 32)
+    }
+
+    fn map() -> Interleaved {
+        Interleaved::new(j90().banks())
+    }
+
+    #[test]
+    fn spread_pattern_is_processor_bound() {
+        let addrs: Vec<u64> = (0..4096).collect();
+        let pat = AccessPattern::scatter(8, &addrs);
+        let d = diagnose(&j90(), &pat, &map());
+        assert_eq!(d.binding, Binding::Processor);
+        assert!(d.duplication.is_none());
+    }
+
+    #[test]
+    fn hot_pattern_is_hot_location_bound_with_advice() {
+        let mut addrs: Vec<u64> = (0..4096).collect();
+        for a in addrs.iter_mut().take(2048) {
+            *a = 0;
+        }
+        let pat = AccessPattern::scatter(8, &addrs);
+        let d = diagnose(&j90(), &pat, &map());
+        assert_eq!(d.binding, Binding::HotLocation);
+        assert_eq!(d.contention, 2048);
+        let advice = d.duplication.expect("advice expected");
+        assert!(advice.copies > 1);
+        assert!(advice.speedup > 10.0, "speedup {}", advice.speedup);
+        // Advice achieves the flat regime: predicted ≈ g·n/p.
+        assert!(advice.predicted_cycles <= 2 * 4096 / 8);
+    }
+
+    #[test]
+    fn underbanked_machine_is_bank_bandwidth_bound() {
+        let m = MachineParams::new(8, 1, 0, 14, 1);
+        let addrs: Vec<u64> = (0..4096).collect();
+        let pat = AccessPattern::scatter(8, &addrs);
+        let d = diagnose(&m, &pat, &Interleaved::new(m.banks()));
+        assert_eq!(d.binding, Binding::BankBandwidth);
+    }
+
+    #[test]
+    fn module_map_pathology_detected() {
+        // Distinct addresses all landing on one interleaved bank.
+        let addrs: Vec<u64> = (0..1024u64).map(|i| i * j90().banks() as u64).collect();
+        let pat = AccessPattern::scatter(8, &addrs);
+        let d = diagnose(&j90(), &pat, &map());
+        assert_eq!(d.binding, Binding::ModuleMap);
+        assert_eq!(d.max_bank_load, 1024);
+        assert_eq!(d.contention, 1);
+    }
+
+    #[test]
+    fn latency_floor_detected_on_empty_patterns() {
+        let m = MachineParams::new(4, 1, 1000, 6, 4);
+        let pat = AccessPattern::scatter(4, &[1, 2, 3]);
+        let d = diagnose(&m, &pat, &Interleaved::new(m.banks()));
+        assert_eq!(d.binding, Binding::Latency);
+        assert_eq!(d.charged_cycles, 1000);
+    }
+
+    #[test]
+    fn advice_is_consistent_with_prediction() {
+        let n = 8192usize;
+        let k = 4096usize;
+        let mut addrs: Vec<u64> = (0..n as u64).collect();
+        for a in addrs.iter_mut().take(k) {
+            *a = 0;
+        }
+        let pat = AccessPattern::scatter(8, &addrs);
+        let d = diagnose(&j90(), &pat, &map());
+        let advice = d.duplication.unwrap();
+        let manual = predict_scatter(
+            &j90(),
+            ScatterShape::new(n, k.div_ceil(advice.copies)),
+        );
+        assert_eq!(advice.predicted_cycles, manual);
+    }
+}

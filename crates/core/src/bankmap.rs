@@ -1,0 +1,122 @@
+//! Mapping of memory addresses to banks.
+//!
+//! The machine-level experiments need a pluggable address→bank mapping:
+//! real machines interleave consecutive addresses across banks, while
+//! shared-memory emulations (paper §4) hash addresses pseudo-randomly to
+//! destroy adversarial module-map contention. Both the simulator
+//! (`dxbsp-machine`) and the analytic contention accounting in this
+//! crate use this trait; the universal hash families in `dxbsp-hash`
+//! implement it.
+
+/// An address→bank mapping for a machine with a fixed set of banks.
+///
+/// Implementations must be **pure**: the same address always maps to the
+/// same bank within one superstep, and the returned index is always
+/// `< num_banks()`.
+pub trait BankMap {
+    /// Number of banks this map targets.
+    fn num_banks(&self) -> usize;
+
+    /// The bank holding `addr`.
+    fn bank_of(&self, addr: u64) -> usize;
+}
+
+/// Classic low-order interleaving: `bank = addr mod B`.
+///
+/// This is what the Cray machines do natively; consecutive addresses hit
+/// consecutive banks, so unit-stride access is conflict-free but strides
+/// sharing a factor with `B` concentrate on few banks (the motivation
+/// for hashing in paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaved {
+    banks: usize,
+}
+
+impl Interleaved {
+    /// Creates an interleaving over `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    #[must_use]
+    pub fn new(banks: usize) -> Self {
+        assert!(banks >= 1, "need at least one bank");
+        Self { banks }
+    }
+}
+
+impl BankMap for Interleaved {
+    fn num_banks(&self) -> usize {
+        self.banks
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        (addr % self.banks as u64) as usize
+    }
+}
+
+impl<M: BankMap + ?Sized> BankMap for &M {
+    fn num_banks(&self) -> usize {
+        (**self).num_banks()
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        (**self).bank_of(addr)
+    }
+}
+
+impl<M: BankMap + ?Sized> BankMap for Box<M> {
+    fn num_banks(&self) -> usize {
+        (**self).num_banks()
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        (**self).bank_of(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_wraps_modulo() {
+        let m = Interleaved::new(8);
+        assert_eq!(m.num_banks(), 8);
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(7), 7);
+        assert_eq!(m.bank_of(8), 0);
+        assert_eq!(m.bank_of(4095), 7);
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        let m = Interleaved::new(16);
+        let banks: Vec<usize> = (0..16).map(|a| m.bank_of(a)).collect();
+        let mut sorted = banks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "16 consecutive addresses hit 16 banks");
+    }
+
+    #[test]
+    fn power_of_two_stride_concentrates() {
+        // Stride 8 over 16 banks touches only 2 banks: the classic
+        // module-map pathology hashing is meant to fix.
+        let m = Interleaved::new(16);
+        let mut banks: Vec<usize> = (0..64).map(|i| m.bank_of(i * 8)).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        assert_eq!(banks.len(), 2);
+    }
+
+    #[test]
+    fn trait_objects_and_references_delegate() {
+        let m = Interleaved::new(4);
+        let by_ref: &dyn BankMap = &m;
+        assert_eq!(by_ref.bank_of(5), 1);
+        let boxed: Box<dyn BankMap> = Box::new(m);
+        assert_eq!(boxed.bank_of(5), 1);
+        assert_eq!(boxed.num_banks(), 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Superstep and pattern cost evaluation.
+//!
+//! The central charge of the paper (§2): a superstep in which every
+//! processor issues at most `h` requests and every bank receives at most
+//! `R` requests costs `max(L, g·h, d·R)` cycles on the (d,x)-BSP. The
+//! plain BSP drops the `d·R` term (equivalently assumes `d ≤ g`,
+//! `x = 1`). This module evaluates both charges, for raw `(h, R)`
+//! aggregates and for full [`AccessPattern`]s under a [`BankMap`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::bankmap::BankMap;
+use crate::params::MachineParams;
+use crate::pattern::AccessPattern;
+
+/// Which model to charge a pattern under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostModel {
+    /// Valiant's BSP: `max(L, g·h)`.
+    Bsp,
+    /// The paper's extension: `max(L, g·h, d·R)`.
+    DxBsp,
+}
+
+/// The three competing terms of a (d,x)-BSP superstep charge, kept
+/// separate so experiments can report *which* resource bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// The latency/synchronization term `L`.
+    pub latency: u64,
+    /// The processor/network bandwidth term `g·h`.
+    pub processor: u64,
+    /// The memory-bank term `d·R` (zero under the plain BSP).
+    pub bank: u64,
+}
+
+impl CostBreakdown {
+    /// The superstep charge: the maximum of the three terms.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.latency.max(self.processor).max(self.bank)
+    }
+
+    /// Which term is binding (`"latency"`, `"processor"` or `"bank"`,
+    /// with ties broken in that order).
+    #[must_use]
+    pub fn binding(&self) -> &'static str {
+        let t = self.total();
+        if self.latency == t {
+            "latency"
+        } else if self.processor == t {
+            "processor"
+        } else {
+            "bank"
+        }
+    }
+}
+
+/// (d,x)-BSP superstep cost from raw aggregates: `max(L, g·h, d·R)`.
+#[must_use]
+pub fn superstep_cost(m: &MachineParams, h: usize, r: usize) -> u64 {
+    superstep_breakdown(m, h, r).total()
+}
+
+/// The per-term breakdown of [`superstep_cost`].
+#[must_use]
+pub fn superstep_breakdown(m: &MachineParams, h: usize, r: usize) -> CostBreakdown {
+    CostBreakdown {
+        latency: m.l,
+        processor: m.g * h as u64,
+        bank: m.d * r as u64,
+    }
+}
+
+/// Plain-BSP superstep cost: `max(L, g·h)`.
+#[must_use]
+pub fn bsp_superstep_cost(m: &MachineParams, h: usize) -> u64 {
+    m.l.max(m.g * h as u64)
+}
+
+/// Charges a full access pattern under `model`, computing `h` from the
+/// pattern and `R` from the pattern and `map`.
+///
+/// Under [`CostModel::Bsp`] the map is ignored (the BSP has no banks).
+///
+/// # Example
+///
+/// ```
+/// use dxbsp_core::{pattern_cost, AccessPattern, CostModel, Interleaved, MachineParams};
+///
+/// let m = MachineParams::new(4, 1, 0, 8, 2);
+/// let map = Interleaved::new(m.banks());
+/// // All 16 writes to one address: location contention 16.
+/// let pat = AccessPattern::scatter(4, &vec![42u64; 16]);
+/// let dx = pattern_cost(&m, &pat, &map, CostModel::DxBsp);
+/// let bsp = pattern_cost(&m, &pat, &map, CostModel::Bsp);
+/// assert_eq!(bsp, 4);        // g·h = 1·(16/4)
+/// assert_eq!(dx, 8 * 16);    // d·R dominates: all 16 on one bank
+/// ```
+#[must_use]
+pub fn pattern_cost<M: BankMap>(
+    m: &MachineParams,
+    pat: &AccessPattern,
+    map: &M,
+    model: CostModel,
+) -> u64 {
+    pattern_breakdown(m, pat, map, model).total()
+}
+
+/// The per-term breakdown of [`pattern_cost`].
+#[must_use]
+pub fn pattern_breakdown<M: BankMap>(
+    m: &MachineParams,
+    pat: &AccessPattern,
+    map: &M,
+    model: CostModel,
+) -> CostBreakdown {
+    let h = pat.contention_profile().max_processor_load;
+    let r = match model {
+        CostModel::Bsp => 0,
+        CostModel::DxBsp => pat.max_bank_load(map),
+    };
+    CostBreakdown {
+        latency: m.l,
+        processor: m.g * h as u64,
+        bank: match model {
+            CostModel::Bsp => 0,
+            CostModel::DxBsp => m.d * r as u64,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bankmap::Interleaved;
+    use crate::pattern::Request;
+
+    fn machine() -> MachineParams {
+        MachineParams::new(4, 1, 10, 6, 4)
+    }
+
+    #[test]
+    fn superstep_cost_is_max_of_terms() {
+        let m = machine();
+        assert_eq!(superstep_cost(&m, 0, 0), 10); // latency floor
+        assert_eq!(superstep_cost(&m, 100, 0), 100); // g·h
+        assert_eq!(superstep_cost(&m, 1, 50), 300); // d·R
+    }
+
+    #[test]
+    fn breakdown_identifies_binding_term() {
+        let m = machine();
+        assert_eq!(superstep_breakdown(&m, 0, 0).binding(), "latency");
+        assert_eq!(superstep_breakdown(&m, 100, 1).binding(), "processor");
+        assert_eq!(superstep_breakdown(&m, 1, 100).binding(), "bank");
+    }
+
+    #[test]
+    fn bsp_cost_ignores_banks() {
+        let m = machine();
+        assert_eq!(bsp_superstep_cost(&m, 3), 10); // latency floor
+        assert_eq!(bsp_superstep_cost(&m, 30), 30);
+    }
+
+    #[test]
+    fn dxbsp_at_least_bsp_on_any_pattern() {
+        let m = machine();
+        let map = Interleaved::new(m.banks());
+        let mut pat = AccessPattern::new(4);
+        for i in 0..40u64 {
+            pat.push(Request::write((i % 4) as usize, i * 7 % 13));
+        }
+        let bsp = pattern_cost(&m, &pat, &map, CostModel::Bsp);
+        let dx = pattern_cost(&m, &pat, &map, CostModel::DxBsp);
+        assert!(dx >= bsp);
+    }
+
+    #[test]
+    fn hot_location_dominates_dxbsp_cost() {
+        let m = MachineParams::new(4, 1, 0, 6, 16);
+        let map = Interleaved::new(m.banks());
+        let pat = AccessPattern::scatter(4, &vec![7u64; 64]);
+        // 64 requests on one bank at 6 cycles each.
+        assert_eq!(pattern_cost(&m, &pat, &map, CostModel::DxBsp), 6 * 64);
+        // BSP sees only the h = 16 per-processor load.
+        assert_eq!(pattern_cost(&m, &pat, &map, CostModel::Bsp), 16);
+    }
+
+    #[test]
+    fn empty_pattern_costs_latency() {
+        let m = machine();
+        let map = Interleaved::new(m.banks());
+        let pat = AccessPattern::new(4);
+        assert_eq!(pattern_cost(&m, &pat, &map, CostModel::DxBsp), m.l);
+    }
+}

@@ -1,0 +1,68 @@
+//! # dxbsp-core — the (d,x)-BSP cost model
+//!
+//! This crate implements the "(d,x)-BSP" (a.k.a. *deluxe* BSP) model of
+//! Blelloch, Gibbons, Matias and Zagha, *Accounting for Memory Bank
+//! Contention and Delay in High-Bandwidth Multiprocessors* (SPAA 1995).
+//!
+//! The model extends Valiant's bulk-synchronous parallel (BSP) model with
+//! two parameters that dominate performance on bank-interleaved,
+//! high-bandwidth shared-memory machines such as the Cray C90/J90:
+//!
+//! * **`d` — bank delay**: the number of cycles a memory bank is busy per
+//!   access (the reciprocal of a single bank's service rate).
+//! * **`x` — expansion factor**: the ratio of memory banks to processors,
+//!   so a `p`-processor machine has `B = x·p` banks.
+//!
+//! A superstep in which every processor sends or receives at most `h`
+//! memory requests and every bank receives at most `R` requests costs
+//!
+//! ```text
+//! T = max( L,  g·h,  d·R )
+//! ```
+//!
+//! cycles, where `g` (gap) and `L` (latency/synchronization) are the
+//! usual BSP parameters. The plain BSP is recovered by ignoring the
+//! `d·R` term.
+//!
+//! The crate provides:
+//!
+//! * [`MachineParams`] — the five model parameters plus derived
+//!   quantities (bank count, balance point, per-element throughput);
+//! * [`presets`] — parameter sets for the machines in the paper's
+//!   Table 1 (Cray C90, Cray J90, Tera, …);
+//! * [`pattern::AccessPattern`] — a superstep's worth of memory
+//!   requests, with exact contention accounting (location contention,
+//!   per-processor load, per-bank load under a [`BankMap`]);
+//! * [`cost`] — superstep and pattern cost evaluation under the
+//!   (d,x)-BSP, the plain BSP, and the QRQW PRAM cost semantics;
+//! * [`predict`] — the paper's closed-form predictions for scatter and
+//!   gather operations as a function of the total request count `n` and
+//!   the maximum location contention `k`.
+//!
+//! All times are in machine clock cycles (`u64`); all request counts are
+//! exact integers. The model deliberately stays as simple as the paper's:
+//! it captures bank delay, bank queueing and location contention and
+//! nothing machine-specific beyond that.
+
+pub mod advisor;
+pub mod bankmap;
+pub mod cost;
+pub mod logp;
+pub mod params;
+pub mod pattern;
+pub mod predict;
+pub mod presets;
+
+pub use advisor::{diagnose, Binding, Diagnosis, DuplicationAdvice};
+pub use bankmap::{BankMap, Interleaved};
+pub use cost::{
+    bsp_superstep_cost, pattern_breakdown, pattern_cost, superstep_breakdown, superstep_cost,
+    CostBreakdown, CostModel,
+};
+pub use logp::LogPParams;
+pub use params::MachineParams;
+pub use pattern::{AccessKind, AccessPattern, ContentionProfile, Request};
+pub use predict::{
+    contention_knee, predict_scatter, predict_scatter_bsp, predict_scatter_duplicated,
+    ScatterShape,
+};

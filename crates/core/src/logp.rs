@@ -1,0 +1,210 @@
+//! The (d,x)-LogP: the paper's extension recipe applied to LogP.
+//!
+//! §2: "Although we have chosen the bsp model to extend it should be
+//! straightforward to extend other related models, such as the logp
+//! \[CKP+93\] or dmm \[MV84\] models, with the d and x parameters. To
+//! extend the logp it is assumed that the banks are separate modules
+//! from the processors." This module carries that out.
+//!
+//! LogP charges point-to-point messages with latency `L`, per-message
+//! processor overhead `o`, and gap `g` (inverse per-processor message
+//! bandwidth), on `P` processors. The (d,x) extension adds the memory
+//! side: each of the `x·P` banks can service one request every `d`
+//! cycles. A request's end-to-end time is `o + L + service + L + o`;
+//! a *sequence* of requests overlaps those legs, constrained by the
+//! sending gap `g` per processor and `d` per bank — so a burst of `m`
+//! requests into one bank costs `2o + 2L + d·m` once `d ≥ g`, the
+//! LogP-flavored version of the `d·k` term.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::AccessPattern;
+use crate::bankmap::BankMap;
+
+/// Parameters of a (d,x)-LogP machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogPParams {
+    /// Message latency.
+    pub l: u64,
+    /// Per-message processor overhead (send and receive each pay `o`).
+    pub o: u64,
+    /// Gap: minimum interval between messages from one processor.
+    pub g: u64,
+    /// Processor count.
+    pub p: usize,
+    /// Bank delay: minimum interval between services at one bank.
+    pub d: u64,
+    /// Expansion factor: banks per processor.
+    pub x: usize,
+}
+
+impl LogPParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`, `g`, `d` or `x` is zero.
+    #[must_use]
+    pub fn new(l: u64, o: u64, g: u64, p: usize, d: u64, x: usize) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        assert!(g >= 1, "gap must be positive");
+        assert!(d >= 1, "bank delay must be positive");
+        assert!(x >= 1, "need at least one bank per processor");
+        Self { l, o, g, p, d, x }
+    }
+
+    /// Total bank count `x·P`.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.x * self.p
+    }
+
+    /// Classic LogP cost of one request–reply round trip:
+    /// `2o + 2L + service` with `service = d` (an uncontended bank).
+    #[must_use]
+    pub fn round_trip(&self) -> u64 {
+        2 * self.o + 2 * self.l + self.d
+    }
+
+    /// Time for each processor to pipeline `m` requests to *distinct*
+    /// banks: the send side is gap-bound, the tail pays one transit.
+    /// (`(m−1)·max(g, o)` send slots + the last message's `o+L+d+L+o`.)
+    #[must_use]
+    pub fn pipelined_requests(&self, m: usize) -> u64 {
+        if m == 0 {
+            return 0;
+        }
+        (m as u64 - 1) * self.g.max(self.o) + self.round_trip()
+    }
+
+    /// Time for `m` requests aimed at a *single* bank, regardless of
+    /// which processors send them: the bank serializes at `d`.
+    #[must_use]
+    pub fn hot_bank_requests(&self, m: usize) -> u64 {
+        if m == 0 {
+            return 0;
+        }
+        2 * self.o + 2 * self.l + self.d * m as u64
+    }
+
+    /// The (d,x)-LogP charge for a bulk access pattern: the same
+    /// `max(bandwidth, bank)` structure as the (d,x)-BSP with LogP's
+    /// overhead/latency bookends:
+    ///
+    /// ```text
+    /// 2o + 2L + max( max(g,o)·h,  d·R )
+    /// ```
+    ///
+    /// where `h` is the max per-processor request count and `R` the max
+    /// bank load under `map`.
+    #[must_use]
+    pub fn pattern_cost<M: BankMap>(&self, pat: &AccessPattern, map: &M) -> u64 {
+        if pat.is_empty() {
+            return 0;
+        }
+        let h = pat.contention_profile().max_processor_load as u64;
+        let r = pat.max_bank_load(map) as u64;
+        2 * self.o + 2 * self.l + (self.g.max(self.o) * h).max(self.d * r)
+    }
+
+    /// Classic LogP charge of the same pattern (no banks: only the
+    /// send-side gap), for the misprediction comparison.
+    #[must_use]
+    pub fn pattern_cost_classic(&self, pat: &AccessPattern) -> u64 {
+        if pat.is_empty() {
+            return 0;
+        }
+        let h = pat.contention_profile().max_processor_load as u64;
+        2 * self.o + 2 * self.l + self.g.max(self.o) * h
+    }
+
+    /// The equivalent (d,x)-BSP parameters (LogP's `g` maps to the BSP
+    /// gap; `2o + 2L` folds into the BSP's per-superstep `L`).
+    #[must_use]
+    pub fn as_bsp(&self) -> crate::params::MachineParams {
+        crate::params::MachineParams::new(
+            self.p,
+            self.g.max(self.o),
+            2 * self.o + 2 * self.l,
+            self.d,
+            self.x,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bankmap::Interleaved;
+
+    fn m() -> LogPParams {
+        LogPParams::new(10, 2, 1, 8, 14, 32)
+    }
+
+    #[test]
+    fn round_trip_is_overheads_plus_service() {
+        assert_eq!(m().round_trip(), 2 * 2 + 2 * 10 + 14);
+    }
+
+    #[test]
+    fn pipelined_requests_are_gap_bound() {
+        let p = m();
+        assert_eq!(p.pipelined_requests(0), 0);
+        assert_eq!(p.pipelined_requests(1), p.round_trip());
+        // 100 requests: 99 gaps of max(g,o)=2 plus one round trip.
+        assert_eq!(p.pipelined_requests(100), 99 * 2 + p.round_trip());
+    }
+
+    #[test]
+    fn hot_bank_serializes_at_d() {
+        let p = m();
+        assert_eq!(p.hot_bank_requests(100), 2 * 2 + 2 * 10 + 14 * 100);
+        assert!(p.hot_bank_requests(100) > p.pipelined_requests(100));
+    }
+
+    #[test]
+    fn pattern_cost_mirrors_dxbsp_structure() {
+        let p = m();
+        let map = Interleaved::new(p.banks());
+        // Hot pattern: 64 writes to one address.
+        let hot = AccessPattern::scatter(p.p, &vec![0u64; 64]);
+        assert_eq!(p.pattern_cost(&hot, &map), 2 * 2 + 2 * 10 + 14 * 64);
+        // Classic LogP only sees h = 8 per processor.
+        assert_eq!(p.pattern_cost_classic(&hot), 2 * 2 + 2 * 10 + 2 * 8);
+        // Spread pattern: bandwidth-bound.
+        let addrs: Vec<u64> = (0..64).collect();
+        let spread = AccessPattern::scatter(p.p, &addrs);
+        assert_eq!(p.pattern_cost(&spread, &map), 2 * 2 + 2 * 10 + 2 * 8);
+    }
+
+    #[test]
+    fn empty_pattern_costs_nothing() {
+        let p = m();
+        let map = Interleaved::new(p.banks());
+        assert_eq!(p.pattern_cost(&AccessPattern::new(p.p), &map), 0);
+        assert_eq!(p.pattern_cost_classic(&AccessPattern::new(p.p)), 0);
+    }
+
+    #[test]
+    fn bsp_mapping_preserves_the_bank_terms() {
+        let p = m();
+        let bsp = p.as_bsp();
+        assert_eq!(bsp.p, 8);
+        assert_eq!(bsp.d, 14);
+        assert_eq!(bsp.x, 32);
+        assert_eq!(bsp.g, 2); // max(g, o)
+        assert_eq!(bsp.l, 24); // 2o + 2L
+        // The two models agree on the hot-bank asymptotics.
+        let map = Interleaved::new(p.banks());
+        let hot = AccessPattern::scatter(p.p, &vec![0u64; 1000]);
+        let logp = p.pattern_cost(&hot, &map);
+        let bsp_cost = crate::cost::pattern_cost(&bsp, &hot, &map, crate::cost::CostModel::DxBsp);
+        assert!(logp.abs_diff(bsp_cost) <= bsp.l, "{logp} vs {bsp_cost}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be positive")]
+    fn zero_gap_rejected() {
+        let _ = LogPParams::new(1, 1, 0, 1, 1, 1);
+    }
+}

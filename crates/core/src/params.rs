@@ -1,0 +1,165 @@
+//! The five (d,x)-BSP machine parameters and derived quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a (d,x)-BSP machine.
+///
+/// The first three are Valiant's BSP parameters; `d` and `x` are the
+/// paper's extensions. All time-like parameters are in clock cycles.
+///
+/// # Invariants
+///
+/// `p ≥ 1`, `g ≥ 1`, `d ≥ 1`, `x ≥ 1`. (`l` may be zero: the paper's
+/// experiments note "L is negligible" for the Cray runs.)
+///
+/// # Example
+///
+/// ```
+/// use dxbsp_core::MachineParams;
+///
+/// let m = MachineParams::new(8, 1, 0, 14, 32); // a J90-like machine
+/// assert_eq!(m.banks(), 256);
+/// // With d=14 and x=32 the memory side is faster than the processor
+/// // side (d/x < g), so uncontended scatters are processor-bound.
+/// assert!(m.memory_bound_gap() <= m.g);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Number of processors.
+    pub p: usize,
+    /// Gap: cycles per memory request at a processor (1/bandwidth).
+    pub g: u64,
+    /// Latency / synchronization cost charged once per superstep.
+    pub l: u64,
+    /// Bank delay: cycles between successive accesses to one bank.
+    pub d: u64,
+    /// Expansion factor: memory banks per processor.
+    pub x: usize,
+}
+
+impl MachineParams {
+    /// Creates a parameter set, panicking on a degenerate machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`, `g`, `d` or `x` is zero.
+    #[must_use]
+    pub fn new(p: usize, g: u64, l: u64, d: u64, x: usize) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        assert!(g >= 1, "gap must be at least one cycle per request");
+        assert!(d >= 1, "bank delay must be at least one cycle");
+        assert!(x >= 1, "need at least one bank per processor");
+        Self { p, g, l, d, x }
+    }
+
+    /// Total number of memory banks, `B = x·p`.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.x * self.p
+    }
+
+    /// The effective per-processor gap imposed by the memory side:
+    /// `d/x` cycles per request (rounded up), i.e. the rate at which the
+    /// bank array can absorb uniformly spread requests, per processor.
+    ///
+    /// When `memory_bound_gap() > g` the machine is memory-bound even on
+    /// perfectly balanced access patterns; the paper calls `x = d/g` the
+    /// *balance point* where processor/network bandwidth equals total
+    /// bank bandwidth.
+    #[must_use]
+    pub fn memory_bound_gap(&self) -> u64 {
+        self.d.div_ceil(self.x as u64)
+    }
+
+    /// The balance-point expansion factor `⌈d/g⌉`: the smallest `x` at
+    /// which the banks collectively match processor bandwidth.
+    #[must_use]
+    pub fn balance_expansion(&self) -> usize {
+        usize::try_from(self.d.div_ceil(self.g)).expect("d/g fits in usize")
+    }
+
+    /// Whether the bank array can keep up with the processors on
+    /// perfectly spread traffic (`x ≥ d/g`).
+    #[must_use]
+    pub fn is_balanced(&self) -> bool {
+        self.x >= self.balance_expansion()
+    }
+
+    /// Returns a copy with a different expansion factor (used in the
+    /// expansion-sweep experiments).
+    #[must_use]
+    pub fn with_expansion(mut self, x: usize) -> Self {
+        assert!(x >= 1, "need at least one bank per processor");
+        self.x = x;
+        self
+    }
+
+    /// Returns a copy with a different bank delay.
+    #[must_use]
+    pub fn with_delay(mut self, d: u64) -> Self {
+        assert!(d >= 1, "bank delay must be at least one cycle");
+        self.d = d;
+        self
+    }
+
+    /// Returns a copy with a different processor count, keeping `x`
+    /// fixed (so the bank count scales with `p`).
+    #[must_use]
+    pub fn with_processors(mut self, p: usize) -> Self {
+        assert!(p >= 1, "need at least one processor");
+        self.p = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banks_is_x_times_p() {
+        let m = MachineParams::new(16, 1, 0, 6, 64);
+        assert_eq!(m.banks(), 1024);
+    }
+
+    #[test]
+    fn balance_point_matches_paper_intuition() {
+        // With g = 1, a machine needs x = d banks per processor to
+        // balance: the "natural choice of d banks per processor to
+        // compensate for a bank delay of d" from the abstract.
+        let m = MachineParams::new(8, 1, 0, 14, 14);
+        assert_eq!(m.balance_expansion(), 14);
+        assert!(m.is_balanced());
+        assert!(!m.with_expansion(13).is_balanced());
+    }
+
+    #[test]
+    fn memory_bound_gap_rounds_up() {
+        let m = MachineParams::new(8, 1, 0, 14, 4);
+        assert_eq!(m.memory_bound_gap(), 4); // ceil(14/4)
+        assert_eq!(m.with_expansion(14).memory_bound_gap(), 1);
+        assert_eq!(m.with_expansion(28).memory_bound_gap(), 1);
+    }
+
+    #[test]
+    fn with_builders_update_single_fields() {
+        let m = MachineParams::new(8, 2, 100, 6, 8);
+        assert_eq!(m.with_expansion(3).x, 3);
+        assert_eq!(m.with_delay(9).d, 9);
+        assert_eq!(m.with_processors(2).p, 2);
+        // Unrelated fields survive.
+        assert_eq!(m.with_expansion(3).l, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank delay")]
+    fn zero_delay_rejected() {
+        let _ = MachineParams::new(1, 1, 0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one processor")]
+    fn zero_processors_rejected() {
+        let _ = MachineParams::new(0, 1, 0, 1, 1);
+    }
+}

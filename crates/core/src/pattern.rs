@@ -1,0 +1,357 @@
+//! Memory access patterns and exact contention accounting.
+//!
+//! A superstep's worth of memory traffic is a multiset of
+//! `(processor, address)` requests. The paper's cost accounting needs
+//! three aggregates of such a pattern:
+//!
+//! * `h` — the maximum number of requests issued by any one processor;
+//! * `k` — the maximum *location* contention (requests to one address);
+//! * `R` — the maximum *bank* contention under an address→bank map
+//!   (requests landing on one bank, which includes both location
+//!   contention and *module-map* contention from distinct co-resident
+//!   addresses).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bankmap::BankMap;
+
+/// Whether a request reads or writes. The (d,x)-BSP charges both the
+/// same; the distinction matters to the PRAM layer (queue-read vs.
+/// queue-write semantics) and to simulator statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One memory request issued by a processor during a superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuing processor, `< p`.
+    pub proc: usize,
+    /// Word address in the shared address space.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Request {
+    /// A read request.
+    #[must_use]
+    pub fn read(proc: usize, addr: u64) -> Self {
+        Self { proc, addr, kind: AccessKind::Read }
+    }
+
+    /// A write request.
+    #[must_use]
+    pub fn write(proc: usize, addr: u64) -> Self {
+        Self { proc, addr, kind: AccessKind::Write }
+    }
+}
+
+/// A superstep's worth of memory requests.
+///
+/// # Example
+///
+/// ```
+/// use dxbsp_core::{AccessPattern, Request};
+///
+/// let mut pat = AccessPattern::new(2);
+/// pat.push(Request::write(0, 10));
+/// pat.push(Request::write(0, 11));
+/// pat.push(Request::write(1, 10));
+/// let prof = pat.contention_profile();
+/// assert_eq!(prof.max_location_contention, 2); // addr 10 hit twice
+/// assert_eq!(prof.max_processor_load, 2);      // proc 0 issued twice
+/// assert_eq!(prof.total_requests, 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessPattern {
+    procs: usize,
+    requests: Vec<Request>,
+}
+
+/// Aggregate contention statistics of an [`AccessPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentionProfile {
+    /// Total number of requests `n`.
+    pub total_requests: usize,
+    /// Maximum requests issued by any processor (`h`).
+    pub max_processor_load: usize,
+    /// Maximum requests aimed at a single address (`k`).
+    pub max_location_contention: usize,
+    /// Number of distinct addresses touched.
+    pub distinct_addresses: usize,
+}
+
+impl AccessPattern {
+    /// An empty pattern for a machine with `procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0`.
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        assert!(procs >= 1, "need at least one processor");
+        Self { procs, requests: Vec::new() }
+    }
+
+    /// An empty pattern with room for `cap` requests.
+    #[must_use]
+    pub fn with_capacity(procs: usize, cap: usize) -> Self {
+        assert!(procs >= 1, "need at least one processor");
+        Self { procs, requests: Vec::with_capacity(cap) }
+    }
+
+    /// Builds a scatter pattern: element `i` of `addrs` is written by
+    /// processor `i mod p` (the round-robin element-to-processor
+    /// assignment a vectorized scatter uses).
+    #[must_use]
+    pub fn scatter(procs: usize, addrs: &[u64]) -> Self {
+        let mut pat = Self::with_capacity(procs, addrs.len());
+        for (i, &a) in addrs.iter().enumerate() {
+            pat.push(Request::write(i % procs, a));
+        }
+        pat
+    }
+
+    /// Builds a gather pattern: element `i` of `addrs` is read by
+    /// processor `i mod p`.
+    #[must_use]
+    pub fn gather(procs: usize, addrs: &[u64]) -> Self {
+        let mut pat = Self::with_capacity(procs, addrs.len());
+        for (i, &a) in addrs.iter().enumerate() {
+            pat.push(Request::read(i % procs, a));
+        }
+        pat
+    }
+
+    /// Number of processors this pattern is defined over.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The requests, in issue order (per-processor order is the order of
+    /// insertion filtered to that processor).
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the pattern has no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Appends a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.proc` is out of range.
+    pub fn push(&mut self, req: Request) {
+        assert!(req.proc < self.procs, "processor index out of range");
+        self.requests.push(req);
+    }
+
+    /// Exact contention statistics (one pass, hash-map based).
+    #[must_use]
+    pub fn contention_profile(&self) -> ContentionProfile {
+        let mut per_proc = vec![0usize; self.procs];
+        let mut per_addr: HashMap<u64, usize> = HashMap::new();
+        for r in &self.requests {
+            per_proc[r.proc] += 1;
+            *per_addr.entry(r.addr).or_insert(0) += 1;
+        }
+        ContentionProfile {
+            total_requests: self.requests.len(),
+            max_processor_load: per_proc.iter().copied().max().unwrap_or(0),
+            max_location_contention: per_addr.values().copied().max().unwrap_or(0),
+            distinct_addresses: per_addr.len(),
+        }
+    }
+
+    /// Requests per bank under `map`. Index `b` of the result is the
+    /// number of requests that land on bank `b`.
+    #[must_use]
+    pub fn bank_loads<M: BankMap>(&self, map: &M) -> Vec<usize> {
+        let mut loads = vec![0usize; map.num_banks()];
+        for r in &self.requests {
+            let b = map.bank_of(r.addr);
+            loads[b] += 1;
+        }
+        loads
+    }
+
+    /// Maximum bank load `R` under `map` (the `d·R` term's `R`).
+    #[must_use]
+    pub fn max_bank_load<M: BankMap>(&self, map: &M) -> usize {
+        self.bank_loads(map).into_iter().max().unwrap_or(0)
+    }
+
+    /// Module-map contention under `map`: the maximum, over banks, of
+    /// the number of *distinct addresses* co-resident on that bank among
+    /// the pattern's requests. A value of 1 everywhere means bank
+    /// contention is purely location contention.
+    #[must_use]
+    pub fn module_map_contention<M: BankMap>(&self, map: &M) -> usize {
+        let mut distinct: Vec<HashMap<u64, ()>> = vec![HashMap::new(); map.num_banks()];
+        for r in &self.requests {
+            distinct[map.bank_of(r.addr)].insert(r.addr, ());
+        }
+        distinct.iter().map(HashMap::len).max().unwrap_or(0)
+    }
+
+    /// Histogram of location contention: entry `c` is how many distinct
+    /// addresses receive exactly `c` requests (entry 0 unused).
+    #[must_use]
+    pub fn contention_histogram(&self) -> Vec<usize> {
+        let mut per_addr: HashMap<u64, usize> = HashMap::new();
+        for r in &self.requests {
+            *per_addr.entry(r.addr).or_insert(0) += 1;
+        }
+        let max = per_addr.values().copied().max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for &c in per_addr.values() {
+            hist[c] += 1;
+        }
+        hist
+    }
+
+    /// Splits the pattern into per-processor request streams (used by
+    /// the simulator to feed processor issue pipelines).
+    #[must_use]
+    pub fn per_processor(&self) -> Vec<Vec<Request>> {
+        let mut streams = vec![Vec::new(); self.procs];
+        for r in &self.requests {
+            streams[r.proc].push(*r);
+        }
+        streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bankmap::Interleaved;
+
+    fn hotspot_pattern() -> AccessPattern {
+        // 4 procs; addr 100 hit 5 times; 7 other distinct addrs.
+        let mut pat = AccessPattern::new(4);
+        for i in 0..5 {
+            pat.push(Request::write(i % 4, 100));
+        }
+        for i in 0..7 {
+            pat.push(Request::write(i % 4, 200 + i as u64));
+        }
+        pat
+    }
+
+    #[test]
+    fn contention_profile_counts_exactly() {
+        let prof = hotspot_pattern().contention_profile();
+        assert_eq!(prof.total_requests, 12);
+        assert_eq!(prof.max_location_contention, 5);
+        assert_eq!(prof.distinct_addresses, 8);
+        // proc 0 gets requests i=0,4 from the hot loop and i=0,4 from
+        // the singleton loop: 4 in total.
+        assert_eq!(prof.max_processor_load, 4);
+    }
+
+    #[test]
+    fn empty_pattern_profile_is_zero() {
+        let prof = AccessPattern::new(2).contention_profile();
+        assert_eq!(prof.total_requests, 0);
+        assert_eq!(prof.max_location_contention, 0);
+        assert_eq!(prof.max_processor_load, 0);
+        assert_eq!(prof.distinct_addresses, 0);
+    }
+
+    #[test]
+    fn bank_loads_sum_to_total() {
+        let pat = hotspot_pattern();
+        let map = Interleaved::new(16);
+        let loads = pat.bank_loads(&map);
+        assert_eq!(loads.iter().sum::<usize>(), pat.len());
+        assert_eq!(pat.max_bank_load(&map), *loads.iter().max().unwrap());
+    }
+
+    #[test]
+    fn bank_contention_at_least_location_contention() {
+        // All requests to one address necessarily land on one bank.
+        let pat = hotspot_pattern();
+        let map = Interleaved::new(1024);
+        assert!(pat.max_bank_load(&map) >= pat.contention_profile().max_location_contention);
+    }
+
+    #[test]
+    fn module_map_contention_counts_distinct_addresses() {
+        let mut pat = AccessPattern::new(1);
+        // addrs 0 and 8 share bank 0 of 8; addr 0 hit twice.
+        pat.push(Request::read(0, 0));
+        pat.push(Request::read(0, 0));
+        pat.push(Request::read(0, 8));
+        pat.push(Request::read(0, 3));
+        let map = Interleaved::new(8);
+        assert_eq!(pat.module_map_contention(&map), 2); // {0, 8} on bank 0
+        assert_eq!(pat.max_bank_load(&map), 3); // 2×addr0 + 1×addr8
+    }
+
+    #[test]
+    fn scatter_round_robins_processors() {
+        let addrs: Vec<u64> = (0..10).collect();
+        let pat = AccessPattern::scatter(4, &addrs);
+        let prof = pat.contention_profile();
+        assert_eq!(prof.total_requests, 10);
+        // 10 elements over 4 procs: loads 3,3,2,2.
+        assert_eq!(prof.max_processor_load, 3);
+        assert!(pat.requests().iter().all(|r| r.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn gather_issues_reads() {
+        let pat = AccessPattern::gather(2, &[5, 5, 5]);
+        assert!(pat.requests().iter().all(|r| r.kind == AccessKind::Read));
+        assert_eq!(pat.contention_profile().max_location_contention, 3);
+    }
+
+    #[test]
+    fn histogram_matches_profile() {
+        let pat = hotspot_pattern();
+        let hist = pat.contention_histogram();
+        assert_eq!(hist.len(), 6); // max contention 5
+        assert_eq!(hist[5], 1); // one address with contention 5
+        assert_eq!(hist[1], 7); // seven singletons
+        let total: usize = hist.iter().enumerate().map(|(c, n)| c * n).sum();
+        assert_eq!(total, pat.len());
+    }
+
+    #[test]
+    fn per_processor_partitions_requests() {
+        let pat = hotspot_pattern();
+        let streams = pat.per_processor();
+        assert_eq!(streams.len(), 4);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), pat.len());
+        for (p, s) in streams.iter().enumerate() {
+            assert!(s.iter().all(|r| r.proc == p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_processor_rejected() {
+        let mut pat = AccessPattern::new(2);
+        pat.push(Request::read(2, 0));
+    }
+}

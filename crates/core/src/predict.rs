@@ -1,0 +1,180 @@
+//! Closed-form performance predictions for scatter/gather operations.
+//!
+//! The paper's experiments (§3) predict the time of an `n`-element
+//! scatter with maximum location contention `k` on a `p`-processor
+//! (d,x)-BSP, assuming addresses are spread over the banks (randomly or
+//! because the pattern itself is spread), as
+//!
+//! ```text
+//! T ≈ max( L,  g·⌈n/p⌉,  d·⌈n/(x·p)⌉,  d·k )
+//! ```
+//!
+//! The four terms are: synchronization, processor/network bandwidth,
+//! aggregate bank bandwidth, and the serial bottleneck at the bank
+//! holding the hottest location. The plain BSP keeps only the first two
+//! (with `d`, `x` absent), which is exactly why it mispredicts once
+//! `d·k` grows past `g·n/p` — the discrepancy that motivated the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::MachineParams;
+use crate::pattern::AccessPattern;
+
+/// A scatter/gather workload summary: total requests and max location
+/// contention. (The prediction needs nothing else.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScatterShape {
+    /// Total number of requests `n`.
+    pub n: usize,
+    /// Maximum location contention `k` (`1 ≤ k ≤ n` for nonempty).
+    pub k: usize,
+}
+
+impl ScatterShape {
+    /// Builds a shape, clamping `k` into `[min(1,n), n]`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        let k = k.min(n).max(usize::from(n > 0));
+        Self { n, k }
+    }
+
+    /// Extracts the shape of an explicit access pattern.
+    #[must_use]
+    pub fn of_pattern(pat: &AccessPattern) -> Self {
+        let prof = pat.contention_profile();
+        Self { n: prof.total_requests, k: prof.max_location_contention }
+    }
+}
+
+/// (d,x)-BSP prediction: `max(L, g·⌈n/p⌉, d·⌈n/(x·p)⌉, d·k)` cycles.
+#[must_use]
+pub fn predict_scatter(m: &MachineParams, shape: ScatterShape) -> u64 {
+    let n = shape.n as u64;
+    let per_proc = n.div_ceil(m.p as u64);
+    let per_bank_even = n.div_ceil(m.banks() as u64);
+    m.l.max(m.g * per_proc)
+        .max(m.d * per_bank_even)
+        .max(m.d * shape.k as u64)
+}
+
+/// Plain-BSP prediction: `max(L, g·⌈n/p⌉)` — no bank terms, which is
+/// what the paper plots as the flat "BSP/LogP" line.
+#[must_use]
+pub fn predict_scatter_bsp(m: &MachineParams, shape: ScatterShape) -> u64 {
+    let per_proc = (shape.n as u64).div_ceil(m.p as u64);
+    m.l.max(m.g * per_proc)
+}
+
+/// The contention threshold `k*` above which the hot bank becomes the
+/// binding resource: the smallest `k` with `d·k > max(L, g·n/p,
+/// d·n/(xp))`. Predictions are flat for `k ≤ k*` and grow linearly with
+/// slope `d` beyond it — the knee visible in the paper's figures.
+#[must_use]
+pub fn contention_knee(m: &MachineParams, n: usize) -> usize {
+    let flat = predict_scatter(m, ScatterShape::new(n, 1));
+    usize::try_from(flat / m.d + 1).expect("knee fits in usize")
+}
+
+/// Predicted time when a hot location of contention `k` is *duplicated*
+/// into `c` copies, each copy absorbing `⌈k/c⌉` requests (paper §3,
+/// Experiment 2: duplicating high-contention locations).
+#[must_use]
+pub fn predict_scatter_duplicated(m: &MachineParams, n: usize, k: usize, copies: usize) -> u64 {
+    let copies = copies.max(1);
+    predict_scatter(m, ScatterShape::new(n, k.div_ceil(copies)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j90ish() -> MachineParams {
+        // p=8, g=1, L=0, d=14, x=32 — the shape used in the paper's J90
+        // experiments (S = 64K elements, L negligible).
+        MachineParams::new(8, 1, 0, 14, 32)
+    }
+
+    #[test]
+    fn low_contention_is_processor_bound() {
+        let m = j90ish();
+        let n = 64 * 1024;
+        // k=1: banks absorb n/(xp)=256 requests each → d·256 = 3584 <
+        // g·n/p = 8192, so the processor term binds.
+        assert_eq!(predict_scatter(&m, ScatterShape::new(n, 1)), 8192);
+        assert_eq!(predict_scatter_bsp(&m, ScatterShape::new(n, 1)), 8192);
+    }
+
+    #[test]
+    fn high_contention_grows_linearly_with_slope_d() {
+        let m = j90ish();
+        let n = 64 * 1024;
+        let t1 = predict_scatter(&m, ScatterShape::new(n, 2048));
+        let t2 = predict_scatter(&m, ScatterShape::new(n, 4096));
+        assert_eq!(t1, 14 * 2048);
+        assert_eq!(t2 - t1, 14 * 2048); // slope d per unit k
+    }
+
+    #[test]
+    fn bsp_prediction_is_flat_in_k() {
+        let m = j90ish();
+        let n = 64 * 1024;
+        let flat = predict_scatter_bsp(&m, ScatterShape::new(n, 1));
+        for k in [1usize, 64, 1024, n] {
+            assert_eq!(predict_scatter_bsp(&m, ScatterShape::new(n, k)), flat);
+        }
+    }
+
+    #[test]
+    fn knee_separates_flat_and_linear_regimes() {
+        let m = j90ish();
+        let n = 64 * 1024;
+        let knee = contention_knee(&m, n);
+        let flat = predict_scatter(&m, ScatterShape::new(n, 1));
+        assert_eq!(predict_scatter(&m, ScatterShape::new(n, knee - 1)), flat);
+        assert!(predict_scatter(&m, ScatterShape::new(n, knee + 1)) > flat);
+    }
+
+    #[test]
+    fn expansion_lowers_the_even_bank_term() {
+        // With x=1 and d=14 the even-bank term d·n/p dominates; raising
+        // x removes it — "additional memory banks improve performance".
+        let n = 64 * 1024;
+        let narrow = MachineParams::new(8, 1, 0, 14, 1);
+        // x = 16 puts the even-bank term (d·⌈n/(x·p)⌉ = 14·512 = 7168)
+        // below the processor term (8192), so processors bind again.
+        let wide = narrow.with_expansion(16);
+        let t_narrow = predict_scatter(&narrow, ScatterShape::new(n, 1));
+        let t_wide = predict_scatter(&wide, ScatterShape::new(n, 1));
+        assert_eq!(t_narrow, 14 * 8192);
+        assert_eq!(t_wide, 8192);
+    }
+
+    #[test]
+    fn duplication_divides_contention() {
+        let m = j90ish();
+        let n = 64 * 1024;
+        let k = 8192;
+        let t_full = predict_scatter_duplicated(&m, n, k, 1);
+        let t_half = predict_scatter_duplicated(&m, n, k, 2);
+        assert_eq!(t_full, 14 * 8192);
+        assert_eq!(t_half, 14 * 4096);
+        // Enough copies returns to the flat regime.
+        let t_many = predict_scatter_duplicated(&m, n, k, k);
+        assert_eq!(t_many, predict_scatter(&m, ScatterShape::new(n, 1)));
+    }
+
+    #[test]
+    fn shape_clamps_degenerate_contention() {
+        assert_eq!(ScatterShape::new(10, 0).k, 1);
+        assert_eq!(ScatterShape::new(10, 99).k, 10);
+        assert_eq!(ScatterShape::new(0, 5).k, 0);
+    }
+
+    #[test]
+    fn shape_of_pattern_matches_profile() {
+        let pat = AccessPattern::scatter(4, &[1, 1, 1, 2, 3]);
+        let s = ScatterShape::of_pattern(&pat);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.k, 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Machine presets and the paper's Table 1 inventory.
+//!
+//! Table 1 of the paper lists commercial high-bandwidth machines and
+//! their bank counts, motivating expansion factors far above 1. The
+//! archive copy of the paper lost the table body, so the rows below are
+//! reconstructed from the surviving text (C90/J90 parameters are stated
+//! explicitly in §1–§3) and public machine documentation of the era;
+//! each row is marked with how it was sourced. The *model* parameters
+//! (`d`, `x`) for the two Cray machines are the ones the paper states:
+//! bank delay 6 clocks (C90, SRAM) and 14 clocks (J90, DRAM).
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::MachineParams;
+
+/// How a Table-1 row was sourced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Stated explicitly in the surviving paper text.
+    PaperText,
+    /// Reconstructed from era documentation; marked in DESIGN.md.
+    Reconstructed,
+}
+
+/// One row of the machine inventory (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineRow {
+    /// Machine name.
+    pub name: &'static str,
+    /// Maximum processor count of the configuration.
+    pub processors: usize,
+    /// Memory bank count of the configuration.
+    pub banks: usize,
+    /// Bank delay in clock cycles, if known.
+    pub bank_delay: Option<u64>,
+    /// Row sourcing.
+    pub provenance: Provenance,
+}
+
+impl MachineRow {
+    /// Expansion factor `banks / processors` (rounded down).
+    #[must_use]
+    pub fn expansion(&self) -> usize {
+        self.banks / self.processors
+    }
+}
+
+/// The machine inventory used for Table 1 of the reproduction.
+#[must_use]
+pub fn table1_inventory() -> Vec<MachineRow> {
+    vec![
+        MachineRow {
+            name: "Cray C90",
+            processors: 16,
+            banks: 1024,
+            bank_delay: Some(6),
+            provenance: Provenance::PaperText,
+        },
+        MachineRow {
+            name: "Cray J90",
+            processors: 32,
+            banks: 1024,
+            bank_delay: Some(14),
+            provenance: Provenance::Reconstructed,
+        },
+        MachineRow {
+            name: "Cray T90",
+            processors: 32,
+            banks: 1024,
+            bank_delay: Some(4),
+            provenance: Provenance::Reconstructed,
+        },
+        MachineRow {
+            name: "Tera MTA",
+            processors: 256,
+            banks: 512,
+            bank_delay: None,
+            provenance: Provenance::Reconstructed,
+        },
+        MachineRow {
+            name: "NEC SX-4",
+            processors: 32,
+            banks: 16384,
+            bank_delay: None,
+            provenance: Provenance::Reconstructed,
+        },
+        MachineRow {
+            name: "Fujitsu VPP500",
+            processors: 222,
+            banks: 28416,
+            bank_delay: None,
+            provenance: Provenance::Reconstructed,
+        },
+    ]
+}
+
+/// A C90-like machine: 16 processors, SRAM banks with `d = 6`,
+/// expansion 64, gap 1 request/cycle/processor, negligible `L`.
+#[must_use]
+pub fn cray_c90() -> MachineParams {
+    MachineParams::new(16, 1, 0, 6, 64)
+}
+
+/// A J90-like machine as used in the paper's experiments: the paper ran
+/// on a dedicated 8-processor J90 with DRAM banks (`d = 14`). The J90
+/// memory system provides 1024 banks in the 32-CPU configuration; an
+/// 8-CPU system sees expansion 32 with respect to its own processor
+/// count. `L` is negligible per §3.
+#[must_use]
+pub fn cray_j90() -> MachineParams {
+    MachineParams::new(8, 1, 0, 14, 32)
+}
+
+/// A deliberately under-banked machine (`x < d`) for exercising the
+/// memory-bound regime and the Theorem 5.1 (`x ≤ d`) emulation case.
+#[must_use]
+pub fn underbanked(p: usize, d: u64, x: usize) -> MachineParams {
+    MachineParams::new(p, 1, 0, d, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_rows_have_positive_expansion() {
+        for row in table1_inventory() {
+            assert!(row.expansion() >= 1, "{} has x < 1", row.name);
+        }
+    }
+
+    #[test]
+    fn cray_rows_match_paper_delays() {
+        let rows = table1_inventory();
+        let c90 = rows.iter().find(|r| r.name == "Cray C90").unwrap();
+        let j90 = rows.iter().find(|r| r.name == "Cray J90").unwrap();
+        assert_eq!(c90.bank_delay, Some(6));
+        assert_eq!(j90.bank_delay, Some(14));
+        assert_eq!(c90.provenance, Provenance::PaperText);
+    }
+
+    #[test]
+    fn presets_are_balanced_machines() {
+        // Both Cray presets have x ≥ d/g: bank bandwidth matches or
+        // exceeds processor bandwidth, the "high-bandwidth" premise.
+        assert!(cray_c90().is_balanced());
+        assert!(cray_j90().is_balanced());
+    }
+
+    #[test]
+    fn c90_has_higher_expansion_than_balance() {
+        // The C90's x = 64 is far beyond its balance point d/g = 6 —
+        // the paper's point that real machines over-provision banks.
+        let m = cray_c90();
+        assert!(m.x > m.balance_expansion() * 10);
+    }
+
+    #[test]
+    fn underbanked_is_memory_bound() {
+        let m = underbanked(8, 14, 2);
+        assert!(!m.is_balanced());
+        assert!(m.memory_bound_gap() > m.g);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the (d,x)-LogP extension and the advisor.
+
+use dxbsp_core::{
+    diagnose, pattern_cost, AccessPattern, Binding, CostModel, Interleaved, LogPParams,
+    MachineParams, Request,
+};
+use proptest::prelude::*;
+
+fn arb_logp() -> impl Strategy<Value = LogPParams> {
+    (0u64..=50, 0u64..=8, 1u64..=8, 1usize..=16, 1u64..=20, 1usize..=32)
+        .prop_map(|(l, o, g, p, d, x)| LogPParams::new(l, o, g, p, d, x))
+}
+
+fn arb_pattern(max_procs: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0..max_procs, 0u64..256), 1..200)
+}
+
+fn build(procs: usize, raw: &[(usize, u64)]) -> AccessPattern {
+    let mut pat = AccessPattern::new(procs);
+    for &(p, a) in raw {
+        pat.push(Request::write(p % procs, a));
+    }
+    pat
+}
+
+proptest! {
+    /// The extended LogP never charges less than the classic LogP, and
+    /// both include the overhead bookends.
+    #[test]
+    fn dx_logp_dominates_classic(lp in arb_logp(), raw in arb_pattern(8)) {
+        let pat = build(lp.p, &raw);
+        let map = Interleaved::new(lp.banks());
+        let dx = lp.pattern_cost(&pat, &map);
+        let classic = lp.pattern_cost_classic(&pat);
+        prop_assert!(dx >= classic);
+        prop_assert!(classic >= 2 * lp.o + 2 * lp.l);
+    }
+
+    /// Cost functions are monotone in the request count.
+    #[test]
+    fn logp_costs_monotone(lp in arb_logp(), m in 0usize..10_000) {
+        prop_assert!(lp.pipelined_requests(m + 1) >= lp.pipelined_requests(m));
+        prop_assert!(lp.hot_bank_requests(m + 1) >= lp.hot_bank_requests(m));
+        prop_assert!(lp.hot_bank_requests(m) >= lp.pipelined_requests(m).min(lp.hot_bank_requests(m)));
+    }
+
+    /// The BSP mapping agrees with the native charge up to the folded
+    /// bookends, on every pattern.
+    #[test]
+    fn bsp_mapping_agrees_within_bookends(lp in arb_logp(), raw in arb_pattern(8)) {
+        let pat = build(lp.p, &raw);
+        let map = Interleaved::new(lp.banks());
+        let native = lp.pattern_cost(&pat, &map);
+        let bsp = pattern_cost(&lp.as_bsp(), &pat, &map, CostModel::DxBsp);
+        prop_assert!(native.abs_diff(bsp) <= 2 * lp.o + 2 * lp.l,
+            "native {native} vs bsp {bsp}");
+    }
+
+    /// The advisor's charge equals the exact (d,x)-BSP pattern charge,
+    /// and its duplication advice always predicts an improvement.
+    #[test]
+    fn advisor_consistent_with_cost_model(
+        p in 1usize..=16,
+        d in 1u64..=20,
+        x in 1usize..=32,
+        raw in arb_pattern(16),
+    ) {
+        let m = MachineParams::new(p, 1, 0, d, x);
+        let pat = build(p, &raw);
+        let map = Interleaved::new(m.banks());
+        let diag = diagnose(&m, &pat, &map);
+        prop_assert_eq!(
+            diag.charged_cycles,
+            pattern_cost(&m, &pat, &map, CostModel::DxBsp)
+        );
+        if let Some(a) = diag.duplication {
+            prop_assert!(a.copies >= 2);
+            prop_assert!(a.predicted_cycles <= diag.charged_cycles);
+            prop_assert!(a.speedup >= 1.0);
+        }
+        // The binding label is never HotLocation when contention is 1.
+        if diag.contention <= 1 {
+            prop_assert!(diag.binding != Binding::HotLocation);
+        }
+    }
+
+    /// Diagnosis is deterministic and pure.
+    #[test]
+    fn advisor_is_pure(raw in arb_pattern(8)) {
+        let m = MachineParams::new(8, 1, 0, 14, 32);
+        let pat = build(8, &raw);
+        let map = Interleaved::new(m.banks());
+        prop_assert_eq!(diagnose(&m, &pat, &map), diagnose(&m, &pat, &map));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the (d,x)-BSP cost algebra.
+
+use dxbsp_core::{
+    bsp_superstep_cost, pattern_cost, predict_scatter, predict_scatter_bsp, superstep_cost,
+    AccessPattern, CostModel, Interleaved, MachineParams, Request, ScatterShape,
+};
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = MachineParams> {
+    (1usize..=32, 1u64..=8, 0u64..=1000, 1u64..=32, 1usize..=64)
+        .prop_map(|(p, g, l, d, x)| MachineParams::new(p, g, l, d, x))
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    (1usize..=8, proptest::collection::vec((any::<u64>(), any::<bool>()), 0..200)).prop_map(
+        |(procs, reqs)| {
+            let mut pat = AccessPattern::new(procs);
+            for (i, (addr, is_read)) in reqs.into_iter().enumerate() {
+                let proc = i % procs;
+                // Restrict to a modest address space so collisions occur.
+                let addr = addr % 512;
+                pat.push(if is_read { Request::read(proc, addr) } else { Request::write(proc, addr) });
+            }
+            pat
+        },
+    )
+}
+
+proptest! {
+    /// The (d,x)-BSP charge never undercuts the plain BSP charge.
+    #[test]
+    fn dxbsp_dominates_bsp(m in arb_machine(), pat in arb_pattern()) {
+        let map = Interleaved::new(m.banks());
+        let dx = pattern_cost(&m, &pat, &map, CostModel::DxBsp);
+        let bsp = pattern_cost(&m, &pat, &map, CostModel::Bsp);
+        prop_assert!(dx >= bsp);
+    }
+
+    /// Superstep cost is monotone in every argument.
+    #[test]
+    fn superstep_cost_monotone(m in arb_machine(), h in 0usize..10_000, r in 0usize..10_000) {
+        prop_assert!(superstep_cost(&m, h + 1, r) >= superstep_cost(&m, h, r));
+        prop_assert!(superstep_cost(&m, h, r + 1) >= superstep_cost(&m, h, r));
+        let slower = m.with_delay(m.d + 1);
+        prop_assert!(superstep_cost(&slower, h, r) >= superstep_cost(&m, h, r));
+    }
+
+    /// Superstep cost equals one of its three terms and bounds each.
+    #[test]
+    fn superstep_cost_is_tight_max(m in arb_machine(), h in 0usize..10_000, r in 0usize..10_000) {
+        let t = superstep_cost(&m, h, r);
+        prop_assert!(t >= m.l);
+        prop_assert!(t >= m.g * h as u64);
+        prop_assert!(t >= m.d * r as u64);
+        prop_assert!(t == m.l || t == m.g * h as u64 || t == m.d * r as u64);
+    }
+
+    /// The scatter prediction is monotone in n and k and bounded below
+    /// by the plain-BSP prediction.
+    #[test]
+    fn scatter_prediction_monotone(m in arb_machine(), n in 1usize..100_000, k in 1usize..1000) {
+        let k = k.min(n);
+        let base = predict_scatter(&m, ScatterShape::new(n, k));
+        prop_assert!(predict_scatter(&m, ScatterShape::new(n + 1, k)) >= base);
+        if k < n {
+            prop_assert!(predict_scatter(&m, ScatterShape::new(n, k + 1)) >= base);
+        }
+        prop_assert!(base >= predict_scatter_bsp(&m, ScatterShape::new(n, k)));
+    }
+
+    /// More banks never hurt the prediction (the expansion result is a
+    /// weak inequality in the model; strictness shows up in experiments).
+    #[test]
+    fn expansion_never_hurts_prediction(m in arb_machine(), n in 1usize..100_000, k in 1usize..1000) {
+        let k = k.min(n);
+        let wide = m.with_expansion(m.x * 2);
+        prop_assert!(
+            predict_scatter(&wide, ScatterShape::new(n, k))
+                <= predict_scatter(&m, ScatterShape::new(n, k))
+        );
+    }
+
+    /// Pattern cost under the exact accounting is bounded below by the
+    /// closed-form prediction's bank-contention term (location
+    /// contention forces at least d·k at some bank).
+    #[test]
+    fn pattern_cost_at_least_location_term(m in arb_machine(), pat in arb_pattern()) {
+        prop_assume!(!pat.is_empty());
+        let map = Interleaved::new(m.banks());
+        let k = pat.contention_profile().max_location_contention;
+        let cost = pattern_cost(&m, &pat, &map, CostModel::DxBsp);
+        prop_assert!(cost >= m.d * k as u64);
+    }
+
+    /// Bank loads under any interleaving partition the request count.
+    #[test]
+    fn bank_loads_partition(pat in arb_pattern(), banks in 1usize..256) {
+        let map = Interleaved::new(banks);
+        let loads = pat.bank_loads(&map);
+        prop_assert_eq!(loads.iter().sum::<usize>(), pat.len());
+        // Pigeonhole: the max load is at least the average.
+        if !pat.is_empty() {
+            let max = *loads.iter().max().unwrap();
+            prop_assert!(max * banks >= pat.len());
+        }
+    }
+
+    /// BSP superstep cost is independent of d and x.
+    #[test]
+    fn bsp_ignores_d_and_x(m in arb_machine(), h in 0usize..10_000) {
+        let other = m.with_delay(m.d + 17).with_expansion(m.x + 3);
+        prop_assert_eq!(bsp_superstep_cost(&m, h), bsp_superstep_cost(&other, h));
+    }
+}

@@ -1,0 +1,77 @@
+//! # dxbsp — accounting for memory bank contention and delay
+//!
+//! A reproduction of Blelloch, Gibbons, Matias & Zagha, *Accounting for
+//! Memory Bank Contention and Delay in High-Bandwidth Multiprocessors*
+//! (SPAA 1995): the (d,x)-BSP cost model, a simulated bank-interleaved
+//! multiprocessor to validate it against, universal hashing for bank
+//! maps, QRQW/EREW PRAMs with a work-preserving emulation, and the
+//! paper's algorithm suite with exact contention accounting.
+//!
+//! This umbrella crate re-exports the public API of every subsystem:
+//!
+//! * [`model`] — machine parameters, superstep costs, predictions;
+//! * [`machine`] — the discrete-event simulator ("the hardware");
+//! * [`hash`] — universal hash families and hashed bank maps;
+//! * [`pram`] — QRQW/EREW programs and their (d,x)-BSP emulation;
+//! * [`algos`] — scans, radix sort, binary search, random permutation,
+//!   SpMV, connected components, multiprefix;
+//! * [`workloads`] — seeded generators for every experiment;
+//! * [`vm`] — a scan-vector virtual machine executing data-parallel
+//!   programs *through* the simulated memory, so values and cycle
+//!   costs come from the same run.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dxbsp::model::{predict_scatter, MachineParams, ScatterShape};
+//! use dxbsp::machine::{SimConfig, Simulator};
+//! use dxbsp::model::{AccessPattern, Interleaved};
+//!
+//! // A J90-like machine: 8 processors, bank delay 14, expansion 32.
+//! let m = MachineParams::new(8, 1, 0, 14, 32);
+//!
+//! // Scatter 64 writes into one hot location.
+//! let pattern = AccessPattern::scatter(m.p, &vec![7u64; 64]);
+//! let sim = Simulator::new(SimConfig::from_params(&m));
+//! let measured = sim.run(&pattern, &Interleaved::new(m.banks())).cycles;
+//!
+//! // The (d,x)-BSP predicts the d·k serialization; the BSP can't.
+//! let predicted = predict_scatter(&m, ScatterShape::new(64, 64));
+//! assert_eq!(predicted, 14 * 64);
+//! assert!(measured >= predicted);
+//! ```
+
+/// The (d,x)-BSP cost model (re-export of `dxbsp-core`).
+pub mod model {
+    pub use dxbsp_core::*;
+}
+
+/// The simulated machine (re-export of `dxbsp-machine`).
+pub mod machine {
+    pub use dxbsp_machine::*;
+}
+
+/// Universal hashing (re-export of `dxbsp-hash`).
+pub mod hash {
+    pub use dxbsp_hash::*;
+}
+
+/// PRAM models and emulation (re-export of `dxbsp-pram`).
+pub mod pram {
+    pub use dxbsp_pram::*;
+}
+
+/// The algorithm suite (re-export of `dxbsp-algos`).
+pub mod algos {
+    pub use dxbsp_algos::*;
+}
+
+/// Workload generators (re-export of `dxbsp-workloads`).
+pub mod workloads {
+    pub use dxbsp_workloads::*;
+}
+
+/// The scan-vector virtual machine (re-export of `dxbsp-vm`).
+pub mod vm {
+    pub use dxbsp_vm::*;
+}

@@ -1,0 +1,183 @@
+//! The probability bounds behind §4 and §5.
+//!
+//! The paper's analyses rest on two tail inequalities: Hoeffding's
+//! bound \[Hoe63\] for the balanced-bank-load claims, and the
+//! Raghavan–Spencer bound \[Rag88\] for the weighted Bernoulli sums in
+//! Theorem 5.2's proof ("By a theorem of Raghavan and Spencer, which
+//! provides a tail inequality for the weighted sum of Bernoulli
+//! trials, for any δ > 0, Prob(β > (1+δ)E(β)) < e^{−δ²E(β)/…}").
+//!
+//! This module implements both bounds numerically and exposes the
+//! machine-facing corollary the experiments use: how many requests per
+//! bank guarantee the realized max load stays within `(1+δ)` of the
+//! mean with failure probability `ε` — the quantitative version of
+//! "sufficient parallel slackness". Tests validate the bounds against
+//! Monte Carlo draws (the bound must hold; it must not be absurdly
+//! loose at experiment scales).
+
+/// Hoeffding's inequality for the sum of `n` independent values in
+/// `[0, 1]`: `Prob(S − E[S] ≥ t) ≤ exp(−2t²/n)`.
+///
+/// Returns the upper bound on the one-sided tail probability.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `t < 0`.
+#[must_use]
+pub fn hoeffding_tail(n: usize, t: f64) -> f64 {
+    assert!(n > 0, "need at least one trial");
+    assert!(t >= 0.0, "deviation must be non-negative");
+    (-2.0 * t * t / n as f64).exp().min(1.0)
+}
+
+/// Raghavan–Spencer bound for a sum of independent weighted Bernoulli
+/// trials with mean `mu` and weights in `[0, 1]`:
+///
+/// `Prob(S > (1+δ)·mu) < [ e^δ / (1+δ)^{1+δ} ]^{mu}`.
+///
+/// # Panics
+///
+/// Panics if `mu ≤ 0` or `delta ≤ 0`.
+#[must_use]
+pub fn raghavan_spencer_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu > 0.0, "mean must be positive");
+    assert!(delta > 0.0, "deviation must be positive");
+    let ln_bound = mu * (delta - (1.0 + delta) * (1.0 + delta).ln());
+    ln_bound.exp().min(1.0)
+}
+
+/// The §4 corollary: with `n` requests hashed uniformly onto `banks`
+/// banks (mean load `μ = n/B`), an upper bound on the probability that
+/// *any* bank exceeds `(1+δ)·μ` (union bound over banks).
+///
+/// # Panics
+///
+/// Panics if `banks == 0` or the per-bank mean is zero.
+#[must_use]
+pub fn any_bank_overload_prob(n: usize, banks: usize, delta: f64) -> f64 {
+    assert!(banks > 0, "need at least one bank");
+    let mu = n as f64 / banks as f64;
+    (banks as f64 * raghavan_spencer_tail(mu, delta)).min(1.0)
+}
+
+/// The smallest slackness `n/B` at which
+/// [`any_bank_overload_prob`] drops below `eps` for the given `delta` —
+/// the quantitative "sufficient parallel slackness" threshold.
+///
+/// # Panics
+///
+/// Panics if `banks == 0`, `delta ≤ 0`, or `eps` is not in `(0, 1)`.
+#[must_use]
+pub fn slackness_needed(banks: usize, delta: f64, eps: f64) -> usize {
+    assert!(banks > 0, "need at least one bank");
+    assert!(eps > 0.0 && eps < 1.0, "eps must be a probability");
+    let mut slack = 1usize;
+    while any_bank_overload_prob(banks * slack, banks, delta) > eps {
+        slack *= 2;
+        assert!(slack < 1 << 40, "no finite slackness satisfies the bound");
+    }
+    // Binary-search down to the exact threshold.
+    let mut lo = slack / 2;
+    let mut hi = slack;
+    while lo + 1 < hi {
+        let mid = lo.midpoint(hi);
+        if any_bank_overload_prob(banks * mid, banks, delta) > eps {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hoeffding_shrinks_with_deviation_and_holds_empirically() {
+        assert!(hoeffding_tail(100, 20.0) < hoeffding_tail(100, 10.0));
+        assert_eq!(hoeffding_tail(10, 0.0), 1.0);
+
+        // Monte Carlo: sums of 100 uniform [0,1]; empirical tail must
+        // not exceed the bound (with sampling slack).
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100usize;
+        let t = 8.0;
+        let trials = 20_000;
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            let s: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum();
+            if s - n as f64 / 2.0 >= t {
+                exceed += 1;
+            }
+        }
+        let empirical = exceed as f64 / trials as f64;
+        let bound = hoeffding_tail(n, t);
+        assert!(empirical <= bound + 0.01, "empirical {empirical} vs bound {bound}");
+    }
+
+    #[test]
+    fn raghavan_spencer_holds_for_bank_loads() {
+        // n balls into B bins; the load of bin 0 is a Bernoulli sum
+        // with mu = n/B. Check the bound empirically at delta = 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, b) = (512usize, 64usize);
+        let mu = n as f64 / b as f64; // 8
+        let delta = 1.0;
+        let trials = 20_000;
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            let load = (0..n).filter(|_| rng.random_range(0..b) == 0).count();
+            if (load as f64) > (1.0 + delta) * mu {
+                exceed += 1;
+            }
+        }
+        let empirical = exceed as f64 / trials as f64;
+        let bound = raghavan_spencer_tail(mu, delta);
+        assert!(empirical <= bound, "empirical {empirical} vs bound {bound}");
+        // And the bound is not vacuous at this scale.
+        assert!(bound < 0.1, "bound {bound} too loose to be useful");
+    }
+
+    #[test]
+    fn overload_probability_decreases_with_slackness() {
+        let banks = 256;
+        let p1 = any_bank_overload_prob(banks, banks, 0.5); // slack 1
+        let p64 = any_bank_overload_prob(banks * 64, banks, 0.5); // slack 64
+        let p256 = any_bank_overload_prob(banks * 256, banks, 0.5); // the paper's S
+        assert!(p64 < p1);
+        assert!(p64 < 0.5, "slack 64 should be mostly balanced: {p64}");
+        assert!(p256 < 1e-6, "slack 256 should be safely balanced: {p256}");
+        assert_eq!(p1, 1.0, "slack 1 is not balanced at δ=0.5");
+    }
+
+    #[test]
+    fn slackness_threshold_is_consistent() {
+        let banks = 256;
+        let s = slackness_needed(banks, 0.5, 1e-6);
+        assert!(any_bank_overload_prob(banks * s, banks, 0.5) <= 1e-6);
+        if s > 1 {
+            assert!(any_bank_overload_prob(banks * (s - 1), banks, 0.5) > 1e-6);
+        }
+        // The J90 preset's S = 64K over 256 banks (slack 256) is
+        // comfortably beyond the threshold — §4's setting is justified.
+        assert!(s <= 256, "threshold {s} exceeds the paper's slackness");
+    }
+
+    #[test]
+    fn monotonicity_in_delta() {
+        for mu in [2.0, 8.0, 64.0] {
+            assert!(raghavan_spencer_tail(mu, 2.0) < raghavan_spencer_tail(mu, 1.0));
+            assert!(raghavan_spencer_tail(mu, 1.0) < raghavan_spencer_tail(mu, 0.25));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn zero_mean_rejected() {
+        let _ = raghavan_spencer_tail(0.0, 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Congestion measurement under random bank mappings.
+//!
+//! Paper §4 asks: how much does *module-map contention* — distinct
+//! addresses co-resident on a bank — cost under a random mapping, as a
+//! function of the expansion factor? This module measures the max bank
+//! load of a fixed address set over many independent draws of the hash
+//! function, which is the quantity the paper's ratio plots are built
+//! from.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dxbsp_core::BankMap;
+
+use crate::mapping::HashedBanks;
+use crate::poly::Degree;
+
+/// Distribution of the max bank load across mapping draws.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionReport {
+    /// Number of independent hash draws.
+    pub trials: usize,
+    /// Mean of the max bank load.
+    pub mean_max_load: f64,
+    /// Worst max bank load seen.
+    pub worst_max_load: usize,
+    /// Best max bank load seen.
+    pub best_max_load: usize,
+    /// The even-split lower bound `⌈n / banks⌉`.
+    pub ideal_load: usize,
+}
+
+impl CongestionReport {
+    /// Ratio of mean max load to the even-split ideal — the expected
+    /// module-map slowdown factor under the (d,x)-BSP's `d·R` charge
+    /// when banks are the bottleneck.
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.ideal_load == 0 {
+            1.0
+        } else {
+            self.mean_max_load / self.ideal_load as f64
+        }
+    }
+}
+
+/// Measures the max bank load of `addrs` over `trials` random draws of
+/// a degree-`degree` mapping onto `banks` banks.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `banks == 0`.
+#[must_use]
+pub fn max_load_over_trials<R: Rng + ?Sized>(
+    addrs: &[u64],
+    banks: usize,
+    degree: Degree,
+    trials: usize,
+    rng: &mut R,
+) -> CongestionReport {
+    assert!(trials >= 1, "need at least one trial");
+    assert!(banks >= 1, "need at least one bank");
+    let mut sum = 0usize;
+    let mut worst = 0usize;
+    let mut best = usize::MAX;
+    let mut loads = vec![0usize; banks];
+    for _ in 0..trials {
+        let map = HashedBanks::random(degree, banks, rng);
+        loads.iter_mut().for_each(|l| *l = 0);
+        for &a in addrs {
+            loads[map.bank_of(a)] += 1;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0);
+        sum += max;
+        worst = worst.max(max);
+        best = best.min(max);
+    }
+    CongestionReport {
+        trials,
+        mean_max_load: sum as f64 / trials as f64,
+        worst_max_load: worst,
+        best_max_load: if best == usize::MAX { 0 } else { best },
+        ideal_load: addrs.len().div_ceil(banks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_addresses_are_nearly_even() {
+        // Plenty of slackness (n ≫ B log B): max load close to ideal.
+        let mut rng = StdRng::seed_from_u64(1);
+        let addrs: Vec<u64> = (0..32_768).collect();
+        let rep = max_load_over_trials(&addrs, 64, Degree::Linear, 10, &mut rng);
+        assert_eq!(rep.ideal_load, 512);
+        assert!(rep.overhead_ratio() < 1.5, "ratio {}", rep.overhead_ratio());
+        assert!(rep.best_max_load >= rep.ideal_load);
+        assert!(rep.worst_max_load >= rep.best_max_load);
+    }
+
+    #[test]
+    fn sparse_addresses_have_high_relative_overhead() {
+        // With as many addresses as banks, balls-in-bins gives a max
+        // load of Θ(log B / log log B) ≫ 1: overhead ratio well above
+        // the dense case — the "slackness" requirement of §4.
+        let mut rng = StdRng::seed_from_u64(2);
+        let addrs: Vec<u64> = (0..256u64).map(|i| i * 1_000_003).collect();
+        let rep = max_load_over_trials(&addrs, 256, Degree::Linear, 20, &mut rng);
+        assert_eq!(rep.ideal_load, 1);
+        assert!(rep.overhead_ratio() >= 2.0, "ratio {}", rep.overhead_ratio());
+    }
+
+    #[test]
+    fn more_banks_reduce_absolute_load() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let addrs: Vec<u64> = (0..16_384).collect();
+        let narrow = max_load_over_trials(&addrs, 32, Degree::Linear, 5, &mut rng);
+        let wide = max_load_over_trials(&addrs, 256, Degree::Linear, 5, &mut rng);
+        assert!(wide.mean_max_load < narrow.mean_max_load);
+    }
+
+    #[test]
+    fn report_handles_empty_addresses() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rep = max_load_over_trials(&[], 8, Degree::Linear, 3, &mut rng);
+        assert_eq!(rep.ideal_load, 0);
+        assert_eq!(rep.overhead_ratio(), 1.0);
+        assert_eq!(rep.worst_max_load, 0);
+    }
+}

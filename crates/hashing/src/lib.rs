@@ -1,0 +1,32 @@
+//! # dxbsp-hash — universal hashing for memory-bank mapping
+//!
+//! Paper §4: randomly mapping memory locations to banks is the standard
+//! way to kill *module-map contention* (distinct hot addresses landing
+//! on one bank) on machines with a fixed bank set. The paper uses the
+//! polynomial hash family over `[0, 2^u)`:
+//!
+//! ```text
+//! h1_a(x)     = (a·x mod 2^u) >> (u − m)                  (linear / multiplicative)
+//! h2_{a,b}(x) = ((a·x² + b·x) mod 2^u) >> (u − m)         (quadratic)
+//! h3_{…}(x)   = ((a·x³ + b·x² + c·x) mod 2^u) >> (u − m)  (cubic)
+//! ```
+//!
+//! with odd random coefficients. `h1` is the multiplicative scheme of
+//! Knuth, shown 2-universal by Dietzfelbinger et al. \[DHKP93\]; higher
+//! degrees buy stronger universality at higher evaluation cost — the
+//! trade-off the paper's Table 3 quantifies.
+//!
+//! This crate provides the family ([`PolyHash`]), an adapter mapping
+//! hash values onto a machine's banks ([`HashedBanks`], implementing
+//! [`dxbsp_core::BankMap`]), and congestion measurement for adversarial
+//! access patterns ([`congestion`]).
+
+pub mod bounds;
+pub mod congestion;
+pub mod mapping;
+pub mod poly;
+
+pub use bounds::{any_bank_overload_prob, hoeffding_tail, raghavan_spencer_tail, slackness_needed};
+pub use congestion::{max_load_over_trials, CongestionReport};
+pub use mapping::HashedBanks;
+pub use poly::{Degree, PolyHash};

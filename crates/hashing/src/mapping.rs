@@ -1,0 +1,125 @@
+//! Hash-based address→bank mapping.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dxbsp_core::BankMap;
+
+use crate::poly::{Degree, PolyHash};
+
+/// A pseudo-random address→bank mapping: addresses are hashed with a
+/// [`PolyHash`] into a power-of-two range at least as large as the bank
+/// count, then folded modulo the bank count.
+///
+/// When the bank count is itself a power of two the fold is exact and
+/// the mapping is a uniform draw from the hash family's range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashedBanks {
+    hash: PolyHash,
+    banks: usize,
+}
+
+impl HashedBanks {
+    /// Builds a hashed mapping onto `banks` banks from an explicit hash
+    /// function (whose range must cover the banks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0` or the hash range is smaller than `banks`.
+    #[must_use]
+    pub fn new(hash: PolyHash, banks: usize) -> Self {
+        assert!(banks >= 1, "need at least one bank");
+        let range = 1u128 << hash.range_bits();
+        assert!(range >= banks as u128, "hash range must cover the banks");
+        Self { hash, banks }
+    }
+
+    /// Samples a random mapping with the given polynomial degree over a
+    /// 64-bit address domain.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(degree: Degree, banks: usize, rng: &mut R) -> Self {
+        assert!(banks >= 1, "need at least one bank");
+        // Smallest power-of-two range covering the banks, plus slack
+        // bits so the modulo fold stays near-uniform for non-powers.
+        let m = (usize::BITS - (banks - 1).leading_zeros()).clamp(1, 32) + 8;
+        Self::new(PolyHash::random(degree, 64, m.min(64), rng), banks)
+    }
+
+    /// The underlying hash function.
+    #[must_use]
+    pub fn hash(&self) -> &PolyHash {
+        &self.hash
+    }
+}
+
+impl BankMap for HashedBanks {
+    fn num_banks(&self) -> usize {
+        self.banks
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        (self.hash.eval(addr) % self.banks as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_banks_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let map = HashedBanks::random(Degree::Linear, 96, &mut rng);
+        for a in 0..10_000u64 {
+            assert!(map.bank_of(a) < 96);
+        }
+    }
+
+    #[test]
+    fn strided_pattern_spreads_under_hashing() {
+        // Stride 256 over 256 interleaved banks hits one bank; under a
+        // random mapping it must spread widely.
+        let mut rng = StdRng::seed_from_u64(17);
+        let map = HashedBanks::random(Degree::Linear, 256, &mut rng);
+        let mut banks: Vec<usize> = (0..4096u64).map(|i| map.bank_of(i * 256)).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        assert!(banks.len() > 128, "only {} banks used", banks.len());
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let map = HashedBanks::random(Degree::Quadratic, 64, &mut rng);
+        let map2 = map.clone();
+        for a in (0..1000u64).map(|i| i * 31) {
+            assert_eq!(map.bank_of(a), map2.bank_of(a));
+        }
+    }
+
+    #[test]
+    fn near_uniform_loads_on_random_addresses() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let banks = 64usize;
+        let map = HashedBanks::random(Degree::Cubic, banks, &mut rng);
+        let n = 64 * 1024u64;
+        let mut loads = vec![0usize; banks];
+        for i in 0..n {
+            loads[map.bank_of(i)] += 1;
+        }
+        let mean = (n as usize) / banks;
+        let max = *loads.iter().max().unwrap();
+        // Consecutive addresses are as good as random for the family:
+        // max load stays within 2× the mean at this density.
+        assert!(max < 2 * mean, "max load {max} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the banks")]
+    fn undersized_hash_range_rejected() {
+        let h = PolyHash::with_coefficients(Degree::Linear, 32, 3, &[7]); // range 8
+        let _ = HashedBanks::new(h, 16);
+    }
+}

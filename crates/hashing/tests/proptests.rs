@@ -1,0 +1,97 @@
+//! Property tests for the hash family and bank mappings.
+
+use dxbsp_core::BankMap;
+use dxbsp_hash::{Degree, HashedBanks, PolyHash};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every family member maps into its declared range, for every
+    /// degree, domain and range width.
+    #[test]
+    fn range_respected(
+        seed in 0u64..10_000,
+        u in 1u32..=64,
+        m_bits in 1u32..=32,
+        xs in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let m_bits = m_bits.min(u);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for deg in Degree::all() {
+            let h = PolyHash::random(deg, u, m_bits, &mut rng);
+            for &x in &xs {
+                prop_assert!(h.eval(x) < (1u64 << m_bits) || m_bits == 64);
+            }
+        }
+    }
+
+    /// Evaluation only depends on the low `u` bits of the input.
+    #[test]
+    fn high_bits_ignored(seed in 0u64..10_000, u in 1u32..=63, x in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = PolyHash::random(Degree::Quadratic, u, u.min(16), &mut rng);
+        let mask = (1u64 << u) - 1;
+        prop_assert_eq!(h.eval(x), h.eval(x & mask));
+        prop_assert_eq!(h.eval(x), h.eval(x | !mask));
+    }
+
+    /// Linear hashing with full range is a bijection for any odd
+    /// multiplier (invertibility of odd elements mod 2^u).
+    #[test]
+    fn full_range_linear_is_bijective(a in any::<u64>(), u in 1u32..=12) {
+        let h = PolyHash::with_coefficients(Degree::Linear, u, u, &[a]);
+        let n = 1u64 << u;
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = h.eval(x) as usize;
+            prop_assert!(!seen[y], "collision at {x}");
+            seen[y] = true;
+        }
+    }
+
+    /// Batch evaluation equals scalar evaluation.
+    #[test]
+    fn batch_matches_scalar(
+        seed in 0u64..10_000,
+        xs in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = PolyHash::random(Degree::Cubic, 64, 12, &mut rng);
+        let mut out = Vec::new();
+        h.eval_batch(&xs, &mut out);
+        prop_assert_eq!(out.len(), xs.len());
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(out[i], h.eval(x));
+        }
+    }
+
+    /// Hashed bank maps always return valid banks, including for
+    /// non-power-of-two bank counts.
+    #[test]
+    fn hashed_banks_in_range(
+        seed in 0u64..10_000,
+        banks in 1usize..=500,
+        xs in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = HashedBanks::random(Degree::Linear, banks, &mut rng);
+        prop_assert_eq!(map.num_banks(), banks);
+        for &x in &xs {
+            prop_assert!(map.bank_of(x) < banks);
+        }
+    }
+
+    /// Same seed, same function: sampling is deterministic, and clones
+    /// agree everywhere (experiments rely on replayable mappings).
+    #[test]
+    fn sampling_is_deterministic(seed in 0u64..10_000, xs in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let h1 = PolyHash::random(Degree::Quadratic, 48, 10, &mut StdRng::seed_from_u64(seed));
+        let h2 = PolyHash::random(Degree::Quadratic, 48, 10, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&h1, &h2);
+        let clone = h1.clone();
+        for &x in &xs {
+            prop_assert_eq!(h1.eval(x), clone.eval(x));
+        }
+    }
+}

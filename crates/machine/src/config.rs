@@ -1,0 +1,265 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+use dxbsp_core::MachineParams;
+
+/// The interconnect between processors and banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkModel {
+    /// Requests reach their bank unimpeded (after `latency` cycles):
+    /// the only shared resources are the banks themselves.
+    Uniform,
+    /// Banks are grouped into `sections` contiguous groups; each section
+    /// accepts at most `ports` requests per cycle. Requests to a full
+    /// section wait in a FIFO. This reproduces the Cray J90 subsection
+    /// behaviour behind the paper's version-(c) congestion experiment.
+    Sectioned {
+        /// Number of bank sections (must divide the bank count).
+        sections: usize,
+        /// Requests accepted per section per cycle.
+        ports: usize,
+    },
+}
+
+/// A per-bank cache in front of the DRAM array (paper §7 points to
+/// the Tera's bank caches and Hsu & Smith \[HS93\]): the most recently
+/// accessed `lines` addresses of a bank are served in `hit_delay`
+/// cycles instead of the full bank delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankCache {
+    /// Cached addresses per bank (LRU replacement).
+    pub lines: usize,
+    /// Service time for a cache hit, in cycles (≤ bank delay).
+    pub hit_delay: u64,
+}
+
+/// Vector strip-mining: a Cray-style processor issues memory requests
+/// through vector registers of `vector_length` elements; finishing a
+/// strip costs `startup` extra cycles before the next strip begins
+/// (instruction issue + vector startup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripMining {
+    /// Elements per vector register (64 on the Crays).
+    pub vector_length: usize,
+    /// Extra cycles between strips.
+    pub startup: u64,
+}
+
+/// Full configuration of a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Processor count `p`.
+    pub procs: usize,
+    /// Bank count `B` (so the expansion factor is `B / p`).
+    pub banks: usize,
+    /// Bank delay `d`: cycles a bank is busy per access.
+    pub bank_delay: u64,
+    /// Issue gap `g`: cycles between requests from one processor.
+    pub issue_gap: u64,
+    /// One-way processor↔bank transit latency in cycles.
+    pub latency: u64,
+    /// Maximum outstanding requests per processor (`None` = unbounded,
+    /// i.e. perfect latency hiding, the vector-pipeline assumption).
+    pub window: Option<usize>,
+    /// Interconnect model.
+    pub network: NetworkModel,
+    /// Synchronization overhead charged per superstep boundary when
+    /// running multi-superstep traces (the model's `L`).
+    pub sync_overhead: u64,
+    /// Optional per-bank cache (the §7 extension; `None` = plain banks).
+    pub bank_cache: Option<BankCache>,
+    /// Optional vector strip-mining (`None` = perfectly pipelined issue).
+    pub strip: Option<StripMining>,
+    /// Record a per-request event log in the result (timing of every
+    /// request through the pipeline). Off by default: the log costs
+    /// memory proportional to the request count.
+    pub record_events: bool,
+}
+
+impl SimConfig {
+    /// A baseline configuration: uniform network, unit issue gap, zero
+    /// latency, unbounded window, no sync overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs`, `banks` or `bank_delay` is zero.
+    #[must_use]
+    pub fn new(procs: usize, banks: usize, bank_delay: u64) -> Self {
+        assert!(procs >= 1, "need at least one processor");
+        assert!(banks >= 1, "need at least one bank");
+        assert!(bank_delay >= 1, "bank delay must be at least one cycle");
+        Self {
+            procs,
+            banks,
+            bank_delay,
+            issue_gap: 1,
+            latency: 0,
+            window: None,
+            network: NetworkModel::Uniform,
+            sync_overhead: 0,
+            bank_cache: None,
+            strip: None,
+            record_events: false,
+        }
+    }
+
+    /// Builds the simulator configuration corresponding to a set of
+    /// (d,x)-BSP model parameters.
+    #[must_use]
+    pub fn from_params(m: &MachineParams) -> Self {
+        let mut cfg = Self::new(m.p, m.banks(), m.d);
+        cfg.issue_gap = m.g;
+        cfg.sync_overhead = m.l;
+        cfg
+    }
+
+    /// The (d,x)-BSP parameters this configuration realizes (expansion
+    /// rounds down if `banks` is not a multiple of `procs`).
+    #[must_use]
+    pub fn params(&self) -> MachineParams {
+        MachineParams::new(
+            self.procs,
+            self.issue_gap,
+            self.sync_overhead,
+            self.bank_delay,
+            (self.banks / self.procs).max(1),
+        )
+    }
+
+    /// Sets the issue gap.
+    #[must_use]
+    pub fn with_issue_gap(mut self, g: u64) -> Self {
+        assert!(g >= 1, "issue gap must be at least one cycle");
+        self.issue_gap = g;
+        self
+    }
+
+    /// Sets the one-way transit latency.
+    #[must_use]
+    pub fn with_latency(mut self, latency: u64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Bounds the per-processor outstanding-request window.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "window must allow at least one outstanding request");
+        self.window = Some(window);
+        self
+    }
+
+    /// Installs a sectioned network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections` does not divide the bank count or `ports`
+    /// is zero.
+    #[must_use]
+    pub fn with_sections(mut self, sections: usize, ports: usize) -> Self {
+        assert!(sections >= 1 && self.banks % sections == 0, "sections must divide banks");
+        assert!(ports >= 1, "each section needs at least one port");
+        self.network = NetworkModel::Sectioned { sections, ports };
+        self
+    }
+
+    /// Sets the per-superstep synchronization overhead.
+    #[must_use]
+    pub fn with_sync_overhead(mut self, l: u64) -> Self {
+        self.sync_overhead = l;
+        self
+    }
+
+    /// Installs a per-bank cache of `lines` addresses with hit service
+    /// time `hit_delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`, `hit_delay == 0`, or `hit_delay` exceeds
+    /// the bank delay (a cache that is slower than the bank is not a
+    /// cache).
+    #[must_use]
+    pub fn with_bank_cache(mut self, lines: usize, hit_delay: u64) -> Self {
+        assert!(lines >= 1, "cache needs at least one line");
+        assert!(hit_delay >= 1, "hits take at least one cycle");
+        assert!(hit_delay <= self.bank_delay, "hits must not be slower than the bank");
+        self.bank_cache = Some(BankCache { lines, hit_delay });
+        self
+    }
+
+    /// Enables vector strip-mining: `startup` extra cycles after every
+    /// `vector_length` issued requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector_length == 0`.
+    #[must_use]
+    pub fn with_strip_mining(mut self, vector_length: usize, startup: u64) -> Self {
+        assert!(vector_length >= 1, "vector length must be positive");
+        self.strip = Some(StripMining { vector_length, startup });
+        self
+    }
+
+    /// Enables the per-request event log.
+    #[must_use]
+    pub fn with_event_log(mut self) -> Self {
+        self.record_events = true;
+        self
+    }
+
+    /// Banks per section (the whole machine is one section under
+    /// [`NetworkModel::Uniform`]).
+    #[must_use]
+    pub fn banks_per_section(&self) -> usize {
+        match self.network {
+            NetworkModel::Uniform => self.banks,
+            NetworkModel::Sectioned { sections, .. } => self.banks / sections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_params_round_trips() {
+        let m = MachineParams::new(8, 2, 5, 14, 32);
+        let cfg = SimConfig::from_params(&m);
+        assert_eq!(cfg.procs, 8);
+        assert_eq!(cfg.banks, 256);
+        assert_eq!(cfg.bank_delay, 14);
+        assert_eq!(cfg.issue_gap, 2);
+        assert_eq!(cfg.sync_overhead, 5);
+        assert_eq!(cfg.params(), m);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SimConfig::new(4, 64, 6)
+            .with_issue_gap(2)
+            .with_latency(10)
+            .with_window(8)
+            .with_sections(4, 2)
+            .with_sync_overhead(100);
+        assert_eq!(cfg.issue_gap, 2);
+        assert_eq!(cfg.latency, 10);
+        assert_eq!(cfg.window, Some(8));
+        assert_eq!(cfg.network, NetworkModel::Sectioned { sections: 4, ports: 2 });
+        assert_eq!(cfg.banks_per_section(), 16);
+        assert_eq!(cfg.sync_overhead, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide banks")]
+    fn sections_must_divide_banks() {
+        let _ = SimConfig::new(4, 64, 6).with_sections(3, 1);
+    }
+
+    #[test]
+    fn uniform_network_is_one_section() {
+        let cfg = SimConfig::new(4, 64, 6);
+        assert_eq!(cfg.banks_per_section(), 64);
+    }
+}

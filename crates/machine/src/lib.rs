@@ -1,0 +1,52 @@
+//! # dxbsp-machine — a simulated high-bandwidth multiprocessor
+//!
+//! The paper validates the (d,x)-BSP model against measured scatter and
+//! gather times on Cray C90 and J90 hardware. This crate is the
+//! reproduction's stand-in for that hardware: a cycle-level
+//! discrete-event simulator of the three mechanisms that drive the
+//! paper's measured curves:
+//!
+//! 1. **Bank recovery time** — each of the `B` memory banks is busy for
+//!    `d` cycles per access and queues excess requests FIFO;
+//! 2. **Pipelined processors** — each of the `p` processors issues one
+//!    request every `g` cycles (vectorized issue), with an optionally
+//!    bounded window of outstanding requests (latency hiding);
+//! 3. **Sectioned network** — banks are grouped into sections with a
+//!    bounded per-cycle injection rate, reproducing the J90 subsection
+//!    congestion the paper observes in its version-(c) experiment.
+//!
+//! The simulator is deterministic: a given request stream and
+//! configuration always produces the same cycle count, so every
+//! experiment in `dxbsp-bench` is reproducible from its RNG seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dxbsp_core::{AccessPattern, Interleaved};
+//! use dxbsp_machine::{SimConfig, Simulator};
+//!
+//! // A J90-like machine: 8 processors, 256 banks, bank delay 14.
+//! let cfg = SimConfig::new(8, 256, 14);
+//! let sim = Simulator::new(cfg);
+//!
+//! // Everyone hammers one address: the hot bank serializes.
+//! let pat = AccessPattern::scatter(8, &vec![0u64; 64]);
+//! let res = sim.run(&pat, &Interleaved::new(256));
+//! assert!(res.cycles >= 14 * 64); // d·k lower bound
+//! ```
+
+pub mod calibrate;
+pub mod config;
+pub mod reference;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+pub mod tracefile;
+
+pub use calibrate::{calibrate, Calibration};
+pub use config::{NetworkModel, SimConfig};
+pub use reference::{run_reference, ReferenceResult};
+pub use sim::Simulator;
+pub use stats::{BankStats, LoadSummary, ProcStats, RequestEvent, SimResult};
+pub use trace::{charge_trace, run_trace, Trace, TraceResult, TraceStep};
+pub use tracefile::{decode_trace, encode_trace, load_trace, save_trace, TraceFileError};

@@ -1,0 +1,193 @@
+//! A deliberately naive cycle-stepped reference simulator.
+//!
+//! The production simulator (`sim.rs`) resolves each request's pipeline
+//! inline with a few heap operations. This module re-implements the
+//! same semantics the slow, obvious way — advance one cycle at a time,
+//! move requests between explicit queues — and exists purely to
+//! differential-test the fast path: on any input where both run, they
+//! must agree on the cycle count and per-bank request totals exactly.
+//!
+//! Semantics mirrored:
+//! * each processor issues at most one request per `issue_gap` cycles,
+//!   subject to its outstanding-request window;
+//! * requests take `latency` cycles to reach their section, wait for a
+//!   section port (`ports` admitted per section per cycle, FIFO), then
+//!   queue FIFO at their bank;
+//! * a bank starts one request when free and holds it `bank_delay`
+//!   cycles; the reply takes `latency` cycles back.
+//!
+//! The run ends when the last reply arrives.
+
+use std::collections::VecDeque;
+
+use dxbsp_core::{AccessPattern, BankMap};
+
+use crate::config::{NetworkModel, SimConfig};
+
+/// Result of a reference run: enough to compare against
+/// [`crate::SimResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceResult {
+    /// Cycles from first issue to last reply.
+    pub cycles: u64,
+    /// Requests serviced per bank.
+    pub bank_requests: Vec<usize>,
+}
+
+/// Runs `pat` under `cfg` one cycle at a time.
+///
+/// This is O(cycles × (procs + banks)) — test-sized inputs only.
+///
+/// # Panics
+///
+/// Panics on processor/bank count mismatches, like the fast simulator.
+#[must_use]
+pub fn run_reference<M: BankMap>(cfg: &SimConfig, pat: &AccessPattern, map: &M) -> ReferenceResult {
+    assert_eq!(pat.procs(), cfg.procs, "pattern/processor-count mismatch");
+    assert_eq!(map.num_banks(), cfg.banks, "map/bank-count mismatch");
+    assert!(cfg.bank_cache.is_none(), "the reference simulator does not model bank caches");
+
+    let (sections, ports) = match cfg.network {
+        NetworkModel::Uniform => (1usize, usize::MAX),
+        NetworkModel::Sectioned { sections, ports } => (sections, ports),
+    };
+    let banks_per_section = cfg.banks / sections;
+
+    // Per-processor streams of bank indices.
+    let streams: Vec<VecDeque<usize>> = pat
+        .per_processor()
+        .into_iter()
+        .map(|reqs| reqs.into_iter().map(|r| map.bank_of(r.addr)).collect())
+        .collect();
+    let total: usize = streams.iter().map(VecDeque::len).sum();
+    if total == 0 {
+        return ReferenceResult { cycles: 0, bank_requests: vec![0; cfg.banks] };
+    }
+
+    let mut streams = streams;
+    let mut next_issue_ok = vec![0u64; cfg.procs]; // earliest next issue cycle
+    let mut issued_count = vec![0usize; cfg.procs];
+    let mut outstanding = vec![0usize; cfg.procs];
+    // In-flight request transit to the section: (arrive_cycle, proc, bank).
+    let mut to_section: VecDeque<(u64, usize, usize)> = VecDeque::new();
+    // FIFO waiting at each section for a port.
+    let mut section_q: Vec<VecDeque<(usize, usize)>> = vec![VecDeque::new(); sections];
+    // FIFO waiting at each bank.
+    let mut bank_q: Vec<VecDeque<usize>> = vec![VecDeque::new(); cfg.banks];
+    // Bank busy until cycle (exclusive).
+    let mut bank_busy_until = vec![0u64; cfg.banks];
+    // Replies in flight: (arrive_cycle, proc).
+    let mut replies: VecDeque<(u64, usize)> = VecDeque::new();
+    let mut bank_requests = vec![0usize; cfg.banks];
+
+    let mut done = 0usize;
+    let mut cycle = 0u64;
+    let mut last_reply = 0u64;
+    let window = cfg.window.unwrap_or(usize::MAX);
+
+    while done < total {
+        // 1. Replies arriving this cycle free window slots.
+        while let Some(&(t, p)) = replies.front() {
+            if t > cycle {
+                break;
+            }
+            replies.pop_front();
+            outstanding[p] -= 1;
+            done += 1;
+            last_reply = last_reply.max(t);
+        }
+
+        // 2. Issue: every processor that may, does (in index order, as
+        //    the fast simulator's same-cycle seq ordering does).
+        for p in 0..cfg.procs {
+            if streams[p].is_empty() || cycle < next_issue_ok[p] || outstanding[p] >= window {
+                continue;
+            }
+            let bank = streams[p].pop_front().expect("nonempty");
+            outstanding[p] += 1;
+            issued_count[p] += 1;
+            next_issue_ok[p] = cycle + cfg.issue_gap;
+            if let Some(strip) = cfg.strip {
+                if issued_count[p] % strip.vector_length == 0 {
+                    next_issue_ok[p] += strip.startup;
+                }
+            }
+            to_section.push_back((cycle + cfg.latency, p, bank));
+        }
+
+        // 3. Transit arrivals join their section queue.
+        while let Some(&(t, p, bank)) = to_section.front() {
+            if t > cycle {
+                break;
+            }
+            to_section.pop_front();
+            section_q[bank / banks_per_section].push_back((p, bank));
+        }
+
+        // 4. Each section admits up to `ports` waiting requests into
+        //    their bank queues.
+        for q in &mut section_q {
+            for _ in 0..ports.min(q.len()) {
+                let (p, bank) = q.pop_front().expect("nonempty");
+                bank_q[bank].push_back(p);
+            }
+        }
+
+        // 5. Free banks start the next queued request.
+        for b in 0..cfg.banks {
+            if bank_busy_until[b] <= cycle {
+                if let Some(p) = bank_q[b].pop_front() {
+                    bank_busy_until[b] = cycle + cfg.bank_delay;
+                    bank_requests[b] += 1;
+                    replies.push_back((cycle + cfg.bank_delay + cfg.latency, p));
+                }
+            }
+        }
+        // Replies queue is time-ordered only if bank completions are;
+        // different banks can finish out of order, so keep it sorted.
+        replies.make_contiguous().sort_unstable();
+
+        cycle += 1;
+    }
+
+    ReferenceResult { cycles: last_reply, bank_requests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxbsp_core::Interleaved;
+
+    #[test]
+    fn single_request_takes_d() {
+        let cfg = SimConfig::new(1, 4, 6);
+        let pat = AccessPattern::scatter(1, &[0]);
+        let r = run_reference(&cfg, &pat, &Interleaved::new(4));
+        assert_eq!(r.cycles, 6);
+        assert_eq!(r.bank_requests, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn hammer_serializes() {
+        let cfg = SimConfig::new(1, 4, 6);
+        let pat = AccessPattern::scatter(1, &[0u64; 10]);
+        let r = run_reference(&cfg, &pat, &Interleaved::new(4));
+        assert_eq!(r.cycles, 60);
+    }
+
+    #[test]
+    fn empty_pattern_is_free() {
+        let cfg = SimConfig::new(2, 8, 3);
+        let r = run_reference(&cfg, &AccessPattern::new(2), &Interleaved::new(8));
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn window_one_round_trips() {
+        let cfg = SimConfig::new(1, 16, 6).with_latency(5).with_window(1);
+        let addrs: Vec<u64> = (0..4).collect();
+        let pat = AccessPattern::scatter(1, &addrs);
+        let r = run_reference(&cfg, &pat, &Interleaved::new(16));
+        assert_eq!(r.cycles, 4 * 16);
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-run statistics collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one memory bank over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Requests serviced by this bank.
+    pub requests: usize,
+    /// Cycles the bank spent servicing (requests × d).
+    pub busy_cycles: u64,
+    /// Total cycles requests spent waiting in this bank's queue.
+    pub queue_wait: u64,
+    /// Largest queue wait suffered by a single request.
+    pub max_queue_wait: u64,
+    /// Requests served from the bank cache (zero without one).
+    pub cache_hits: usize,
+}
+
+/// Statistics for one processor over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Requests issued by this processor.
+    pub issued: usize,
+    /// Cycles the processor spent stalled on a full outstanding-request
+    /// window (zero when the window is unbounded).
+    pub window_stall: u64,
+    /// Cycle at which this processor's last request completed.
+    pub done_at: u64,
+}
+
+/// Timing of one request through the pipeline (recorded only when
+/// [`crate::SimConfig::record_events`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestEvent {
+    /// Issuing processor.
+    pub proc: usize,
+    /// Serviced by this bank.
+    pub bank: usize,
+    /// Issue cycle.
+    pub issued: u64,
+    /// Cycle the bank began service.
+    pub start: u64,
+    /// Cycle service finished (excluding the reply leg).
+    pub end: u64,
+}
+
+/// Result of simulating one superstep (one access pattern).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Cycles from first issue to last completion.
+    pub cycles: u64,
+    /// Total requests simulated.
+    pub requests: usize,
+    /// Per-bank statistics (length = bank count).
+    pub banks: Vec<BankStats>,
+    /// Per-processor statistics (length = processor count).
+    pub procs: Vec<ProcStats>,
+    /// Total cycles requests spent queued behind network section ports.
+    pub network_wait: u64,
+    /// Per-request timings, in issue order (empty unless the
+    /// configuration enables `record_events`).
+    pub events: Vec<RequestEvent>,
+}
+
+impl SimResult {
+    /// The largest number of requests any single bank received.
+    #[must_use]
+    pub fn max_bank_load(&self) -> usize {
+        self.banks.iter().map(|b| b.requests).max().unwrap_or(0)
+    }
+
+    /// Average cycles per request (`NaN`-free: zero for empty runs).
+    #[must_use]
+    pub fn cycles_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of bank-service capacity actually used: total busy
+    /// cycles over `banks × cycles`. A perfectly balanced, saturating
+    /// pattern approaches `1.0`; a single hot bank approaches `1/B`.
+    #[must_use]
+    pub fn bank_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.banks.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.banks.iter().map(|b| b.busy_cycles).sum();
+        busy as f64 / (self.cycles as f64 * self.banks.len() as f64)
+    }
+
+    /// Total queue-wait cycles across all banks.
+    #[must_use]
+    pub fn total_queue_wait(&self) -> u64 {
+        self.banks.iter().map(|b| b.queue_wait).sum()
+    }
+
+    /// Distributional summary of the per-bank request loads.
+    #[must_use]
+    pub fn bank_load_summary(&self) -> LoadSummary {
+        let mut loads: Vec<usize> = self.banks.iter().map(|b| b.requests).collect();
+        loads.sort_unstable();
+        LoadSummary::from_sorted(&loads)
+    }
+}
+
+/// Percentile summary of per-bank loads — the imbalance the `d·R`
+/// charge prices (mean vs. p99/max is the queue-variance story of the
+/// expansion experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadSummary {
+    /// Mean load.
+    pub mean: f64,
+    /// Median load.
+    pub p50: usize,
+    /// 95th-percentile load.
+    pub p95: usize,
+    /// 99th-percentile load.
+    pub p99: usize,
+    /// Maximum load.
+    pub max: usize,
+}
+
+impl LoadSummary {
+    /// Builds a summary from an ascending slice (empty → all zeros).
+    #[must_use]
+    pub fn from_sorted(loads: &[usize]) -> Self {
+        if loads.is_empty() {
+            return Self { mean: 0.0, p50: 0, p95: 0, p99: 0, max: 0 };
+        }
+        debug_assert!(loads.is_sorted(), "loads must be ascending");
+        let pct = |q: f64| -> usize {
+            let idx = ((loads.len() as f64 - 1.0) * q).round() as usize;
+            loads[idx]
+        };
+        Self {
+            mean: loads.iter().sum::<usize>() as f64 / loads.len() as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *loads.last().expect("nonempty"),
+        }
+    }
+
+    /// Max-to-mean imbalance (1.0 = perfectly even; `NaN`-free).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        SimResult {
+            cycles: 100,
+            requests: 10,
+            banks: vec![
+                BankStats { requests: 7, busy_cycles: 42, queue_wait: 30, max_queue_wait: 12, cache_hits: 0 },
+                BankStats { requests: 3, busy_cycles: 18, queue_wait: 0, max_queue_wait: 0, cache_hits: 0 },
+            ],
+            procs: vec![ProcStats { issued: 10, window_stall: 5, done_at: 100 }],
+            network_wait: 0,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_compute() {
+        let r = sample();
+        assert_eq!(r.max_bank_load(), 7);
+        assert!((r.cycles_per_request() - 10.0).abs() < 1e-12);
+        assert!((r.bank_utilization() - 60.0 / 200.0).abs() < 1e-12);
+        assert_eq!(r.total_queue_wait(), 30);
+    }
+
+    #[test]
+    fn load_summary_percentiles() {
+        let loads: Vec<usize> = (1..=100).collect();
+        let s = LoadSummary::from_sorted(&loads);
+        // Nearest-rank at q=0.5 over indices 0..=99 lands on index 50.
+        assert_eq!(s.p50, 51);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.imbalance() - 100.0 / 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_summary_of_empty_is_zero() {
+        let s = LoadSummary::from_sorted(&[]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn result_summary_uses_bank_requests() {
+        let r = sample();
+        let s = r.bank_load_summary();
+        assert_eq!(s.max, 7);
+        // Two banks [3, 7]: the 0.5 nearest rank rounds up to index 1.
+        assert_eq!(s.p50, 7);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_degenerate_not_nan() {
+        let r = SimResult {
+            cycles: 0,
+            requests: 0,
+            banks: vec![],
+            procs: vec![],
+            network_wait: 0,
+            events: Vec::new(),
+        };
+        assert_eq!(r.max_bank_load(), 0);
+        assert_eq!(r.cycles_per_request(), 0.0);
+        assert_eq!(r.bank_utilization(), 0.0);
+    }
+}

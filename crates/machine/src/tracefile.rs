@@ -1,0 +1,258 @@
+//! Binary serialization of traces.
+//!
+//! The paper's Figure 1 replays "a set of memory access patterns
+//! extracted from a trace" of a real program. This module provides the
+//! trace file: a compact binary encoding of a [`Trace`] so captured
+//! access patterns can be stored, shipped, and replayed byte-for-byte
+//! (`repro fig1` works from a live run; downstream users can work from
+//! files).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "DXTR" | version u32 | step count u32
+//! per step: procs u32 | local_work u64 | label len u16 | label utf-8
+//!           request count u32 | requests: (proc u32, addr u64, kind u8)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dxbsp_core::{AccessKind, AccessPattern, Request};
+
+use crate::trace::{Trace, TraceStep};
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: &[u8; 4] = b"DXTR";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFileError {
+    /// The buffer is shorter than its headers promise.
+    Truncated,
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A step's label is not valid UTF-8.
+    BadLabel,
+    /// A request's kind byte is neither read (0) nor write (1).
+    BadKind(u8),
+    /// A step declares zero processors.
+    BadProcs,
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Truncated => write!(f, "trace file truncated"),
+            TraceFileError::BadMagic => write!(f, "not a dxbsp trace file (bad magic)"),
+            TraceFileError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceFileError::BadLabel => write!(f, "step label is not valid UTF-8"),
+            TraceFileError::BadKind(k) => write!(f, "invalid request kind byte {k}"),
+            TraceFileError::BadProcs => write!(f, "step declares zero processors"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+/// Encodes a trace.
+#[must_use]
+pub fn encode_trace(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + trace.iter().map(|s| 32 + s.label.len() + 13 * s.pattern.len()).sum::<usize>(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(u32::try_from(trace.len()).expect("trace step count fits u32"));
+    for step in trace {
+        buf.put_u32_le(u32::try_from(step.pattern.procs()).expect("procs fits u32"));
+        buf.put_u64_le(step.local_work);
+        buf.put_u16_le(u16::try_from(step.label.len()).expect("label fits u16"));
+        buf.put_slice(step.label.as_bytes());
+        buf.put_u32_le(u32::try_from(step.pattern.len()).expect("request count fits u32"));
+        for r in step.pattern.requests() {
+            buf.put_u32_le(u32::try_from(r.proc).expect("proc fits u32"));
+            buf.put_u64_le(r.addr);
+            buf.put_u8(match r.kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+            });
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace.
+///
+/// # Errors
+///
+/// Returns a [`TraceFileError`] on any malformed input; never panics on
+/// untrusted bytes.
+pub fn decode_trace(mut buf: &[u8]) -> Result<Trace, TraceFileError> {
+    fn need(buf: &[u8], n: usize) -> Result<(), TraceFileError> {
+        if buf.remaining() < n {
+            Err(TraceFileError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    need(buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TraceFileError::BadVersion(version));
+    }
+    need(buf, 4)?;
+    let steps = buf.get_u32_le() as usize;
+
+    let mut trace = Vec::with_capacity(steps.min(1 << 20));
+    for _ in 0..steps {
+        need(buf, 14)?;
+        let procs = buf.get_u32_le() as usize;
+        if procs == 0 {
+            return Err(TraceFileError::BadProcs);
+        }
+        let local_work = buf.get_u64_le();
+        let label_len = buf.get_u16_le() as usize;
+        need(buf, label_len)?;
+        let label = std::str::from_utf8(&buf[..label_len])
+            .map_err(|_| TraceFileError::BadLabel)?
+            .to_string();
+        buf.advance(label_len);
+        need(buf, 4)?;
+        let requests = buf.get_u32_le() as usize;
+        let mut pattern = AccessPattern::with_capacity(procs, requests.min(1 << 24));
+        for _ in 0..requests {
+            need(buf, 13)?;
+            let proc = buf.get_u32_le() as usize;
+            let addr = buf.get_u64_le();
+            let kind = buf.get_u8();
+            let req = match kind {
+                0 => Request::read(proc % procs, addr),
+                1 => Request::write(proc % procs, addr),
+                other => return Err(TraceFileError::BadKind(other)),
+            };
+            pattern.push(req);
+        }
+        trace.push(TraceStep { pattern, local_work, label });
+    }
+    Ok(trace)
+}
+
+/// Writes a trace to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_trace(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+    std::fs::write(path, encode_trace(trace))
+}
+
+/// Reads a trace from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors; decoding failures surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load_trace(path: &std::path::Path) -> std::io::Result<Trace> {
+    let bytes = std::fs::read(path)?;
+    decode_trace(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut p1 = AccessPattern::new(4);
+        p1.push(Request::read(0, 100));
+        p1.push(Request::write(3, 200));
+        let p2 = AccessPattern::scatter(4, &[1, 1, 2]);
+        vec![
+            TraceStep { pattern: p1, local_work: 42, label: "hook".into() },
+            TraceStep { pattern: p2, local_work: 0, label: "scatter-φ".into() },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let bytes = encode_trace(&trace);
+        let back = decode_trace(&bytes).expect("decode");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = encode_trace(&Vec::new());
+        assert_eq!(decode_trace(&bytes).expect("decode"), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_trace(&sample_trace()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode_trace(&bytes), Err(TraceFileError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_trace(&sample_trace()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode_trace(&bytes), Err(TraceFileError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode_trace(&sample_trace());
+        for cut in 0..bytes.len() {
+            let r = decode_trace(&bytes[..cut]);
+            assert!(r.is_err(), "decode succeeded on a {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let bytes = encode_trace(&sample_trace()).to_vec();
+        // Last byte of the stream is the final request's kind.
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() = 7;
+        assert_eq!(decode_trace(&bad), Err(TraceFileError::BadKind(7)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dxbsp-tracefile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.dxtr");
+        let trace = sample_trace();
+        save_trace(&path, &trace).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_of_decoded_trace_costs_the_same() {
+        use crate::{run_trace, SimConfig, Simulator};
+        use dxbsp_core::Interleaved;
+        let trace = sample_trace();
+        let bytes = encode_trace(&trace);
+        let back = decode_trace(&bytes).unwrap();
+        let sim = Simulator::new(SimConfig::new(4, 8, 6));
+        let map = Interleaved::new(8);
+        assert_eq!(
+            run_trace(&sim, &trace, &map).total_cycles,
+            run_trace(&sim, &back, &map).total_cycles
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Bank-cache (§7 extension) semantics tests.
+
+use dxbsp_core::{AccessPattern, Interleaved, Request};
+use dxbsp_machine::{SimConfig, Simulator};
+
+#[test]
+fn hot_address_hits_after_first_miss() {
+    // 100 requests to one address, d=14, hit=1: first is a miss (14),
+    // the other 99 hit (1 each).
+    let cfg = SimConfig::new(1, 4, 14).with_bank_cache(4, 1);
+    let sim = Simulator::new(cfg);
+    let pat = AccessPattern::scatter(1, &vec![0u64; 100]);
+    let res = sim.run(&pat, &Interleaved::new(4));
+    assert_eq!(res.cycles, 14 + 99);
+    assert_eq!(res.banks[0].cache_hits, 99);
+    assert_eq!(res.banks[0].busy_cycles, 14 + 99);
+}
+
+#[test]
+fn distinct_addresses_on_one_bank_all_miss() {
+    // Addresses 0, 4, 8, … share bank 0 of 4 but never repeat: the
+    // one-line cache never hits.
+    let cfg = SimConfig::new(1, 4, 6).with_bank_cache(1, 1);
+    let sim = Simulator::new(cfg);
+    let addrs: Vec<u64> = (0..20).map(|i| i * 4).collect();
+    let pat = AccessPattern::scatter(1, &addrs);
+    let res = sim.run(&pat, &Interleaved::new(4));
+    assert_eq!(res.banks[0].cache_hits, 0);
+    assert_eq!(res.cycles, 20 * 6);
+}
+
+#[test]
+fn lru_eviction_is_exact() {
+    // Cache of 2 lines on bank 0; pattern A B A C A: A hits at 3rd
+    // access (cache {B,A}), C misses and evicts B ({C,A}), A hits.
+    let cfg = SimConfig::new(1, 1, 10).with_bank_cache(2, 1);
+    let sim = Simulator::new(cfg);
+    let mut pat = AccessPattern::new(1);
+    for addr in [100u64, 200, 100, 300, 100] {
+        pat.push(Request::read(0, addr));
+    }
+    let res = sim.run(&pat, &Interleaved::new(1));
+    assert_eq!(res.banks[0].cache_hits, 2);
+    // 3 misses × 10 + 2 hits × 1.
+    assert_eq!(res.banks[0].busy_cycles, 32);
+}
+
+#[test]
+fn cache_defuses_hot_spot_contention() {
+    // The headline effect: with a bank cache, the d·k term becomes
+    // ≈ hit_delay·k — the §7 "caching at the memory banks" observation.
+    let n = 4096;
+    let pat = AccessPattern::scatter(8, &vec![0u64; n]);
+    let map = Interleaved::new(64);
+    let plain = Simulator::new(SimConfig::new(8, 64, 14)).run(&pat, &map);
+    let cached = Simulator::new(SimConfig::new(8, 64, 14).with_bank_cache(8, 1)).run(&pat, &map);
+    assert_eq!(plain.cycles, 14 * n as u64);
+    assert!(cached.cycles < plain.cycles / 8, "{} vs {}", cached.cycles, plain.cycles);
+}
+
+#[test]
+fn cache_never_slows_a_run_down() {
+    let mut pat = AccessPattern::new(4);
+    for i in 0..2000u64 {
+        pat.push(Request::write((i % 4) as usize, i * 37 % 97));
+    }
+    let map = Interleaved::new(32);
+    let plain = Simulator::new(SimConfig::new(4, 32, 8)).run(&pat, &map);
+    for lines in [1usize, 4, 64] {
+        let cached =
+            Simulator::new(SimConfig::new(4, 32, 8).with_bank_cache(lines, 2)).run(&pat, &map);
+        assert!(cached.cycles <= plain.cycles, "lines={lines}");
+    }
+}
+
+#[test]
+fn hit_delay_equal_to_bank_delay_changes_nothing() {
+    let mut pat = AccessPattern::new(2);
+    for i in 0..500u64 {
+        pat.push(Request::write((i % 2) as usize, i % 13));
+    }
+    let map = Interleaved::new(8);
+    let plain = Simulator::new(SimConfig::new(2, 8, 6)).run(&pat, &map);
+    let degenerate = Simulator::new(SimConfig::new(2, 8, 6).with_bank_cache(4, 6)).run(&pat, &map);
+    assert_eq!(plain.cycles, degenerate.cycles);
+}
+
+#[test]
+#[should_panic(expected = "use Simulator::run")]
+fn run_streams_rejects_cache_configs() {
+    let sim = Simulator::new(SimConfig::new(1, 2, 4).with_bank_cache(2, 1));
+    let _ = sim.run_streams(vec![vec![0, 1]]);
+}
+
+#[test]
+#[should_panic(expected = "not be slower")]
+fn hit_slower_than_bank_rejected() {
+    let _ = SimConfig::new(1, 2, 4).with_bank_cache(2, 5);
+}
+
+mod strip_mining {
+    use dxbsp_core::{AccessPattern, Interleaved};
+    use dxbsp_machine::{SimConfig, Simulator};
+
+    #[test]
+    fn strip_startup_charged_between_strips() {
+        // 8 conflict-free requests, strips of 4, startup 10, g=1, d=1:
+        // issues at 0..3 then 14..17; last completes at 18.
+        let cfg = SimConfig::new(1, 8, 1).with_strip_mining(4, 10);
+        let sim = Simulator::new(cfg);
+        let addrs: Vec<u64> = (0..8).collect();
+        let res = sim.run(&AccessPattern::scatter(1, &addrs), &Interleaved::new(8));
+        assert_eq!(res.cycles, 18);
+    }
+
+    #[test]
+    fn single_strip_has_no_overhead() {
+        let plain = SimConfig::new(1, 8, 1);
+        let strip = plain.with_strip_mining(64, 50);
+        let addrs: Vec<u64> = (0..8).collect();
+        let pat = AccessPattern::scatter(1, &addrs);
+        let map = Interleaved::new(8);
+        let a = Simulator::new(plain).run(&pat, &map);
+        let b = Simulator::new(strip).run(&pat, &map);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn strip_mining_matches_reference() {
+        let cfg = SimConfig::new(3, 12, 5)
+            .with_latency(2)
+            .with_window(3)
+            .with_strip_mining(4, 7);
+        let mut pat = AccessPattern::new(3);
+        for i in 0..60u64 {
+            pat.push(dxbsp_core::Request::write((i % 3) as usize, i * 11 % 23));
+        }
+        let map = Interleaved::new(12);
+        let fast = Simulator::new(cfg).run(&pat, &map);
+        let slow = dxbsp_machine::run_reference(&cfg, &pat, &map);
+        assert_eq!(fast.cycles, slow.cycles);
+    }
+
+    #[test]
+    fn strip_overhead_scales_inverse_to_vector_length() {
+        // Shorter strips pay the startup more often.
+        let addrs: Vec<u64> = (0..1024).collect();
+        let pat = AccessPattern::scatter(1, &addrs);
+        let map = Interleaved::new(64);
+        let mut last = 0u64;
+        for vl in [256usize, 64, 16, 4] {
+            let cfg = SimConfig::new(1, 64, 1).with_strip_mining(vl, 20);
+            let cycles = Simulator::new(cfg).run(&pat, &map).cycles;
+            assert!(cycles > last, "vl={vl}");
+            last = cycles;
+        }
+    }
+}
+
+mod event_log {
+    use dxbsp_core::{AccessPattern, Interleaved};
+    use dxbsp_machine::{SimConfig, Simulator};
+
+    #[test]
+    fn events_off_by_default() {
+        let sim = Simulator::new(SimConfig::new(2, 8, 6));
+        let res = sim.run(&AccessPattern::scatter(2, &[1, 2, 3]), &Interleaved::new(8));
+        assert!(res.events.is_empty());
+    }
+
+    #[test]
+    fn events_cover_every_request_consistently() {
+        let cfg = SimConfig::new(2, 8, 6).with_latency(3).with_event_log();
+        let sim = Simulator::new(cfg);
+        let addrs: Vec<u64> = (0..20).map(|i| i % 5).collect();
+        let pat = AccessPattern::scatter(2, &addrs);
+        let res = sim.run(&pat, &Interleaved::new(8));
+        assert_eq!(res.events.len(), 20);
+        for e in &res.events {
+            assert!(e.proc < 2);
+            assert!(e.bank < 8);
+            // issue → (latency) → start → (d) → end, within the run.
+            assert!(e.start >= e.issued + 3, "{e:?}");
+            assert_eq!(e.end, e.start + 6, "{e:?}");
+            assert!(e.end + 3 <= res.cycles, "{e:?} vs cycles {}", res.cycles);
+        }
+        // Per-bank service intervals never overlap.
+        for b in 0..8 {
+            let mut spans: Vec<(u64, u64)> = res
+                .events
+                .iter()
+                .filter(|e| e.bank == b)
+                .map(|e| (e.start, e.end))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1, "bank {b} overlap: {w:?}");
+            }
+        }
+        // Busy-cycle stats agree with the event log.
+        for (b, stat) in res.banks.iter().enumerate() {
+            let from_events: u64 =
+                res.events.iter().filter(|e| e.bank == b).map(|e| e.end - e.start).sum();
+            assert_eq!(stat.busy_cycles, from_events);
+        }
+    }
+
+    #[test]
+    fn hot_bank_events_serialize_back_to_back() {
+        let cfg = SimConfig::new(1, 4, 5).with_event_log();
+        let sim = Simulator::new(cfg);
+        let res = sim.run(&AccessPattern::scatter(1, &vec![0u64; 6]), &Interleaved::new(4));
+        let mut starts: Vec<u64> = res.events.iter().map(|e| e.start).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![0, 5, 10, 15, 20, 25]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Differential testing: the event-driven simulator against the
+//! cycle-stepped reference, which implements the same semantics the
+//! slow, obvious way. On every generated input the two must agree on
+//! the cycle count and the per-bank request totals exactly.
+
+use dxbsp_core::{AccessPattern, Interleaved, Request};
+use dxbsp_machine::{run_reference, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        1usize..=4,
+        1usize..=4,
+        1u64..=10,
+        1u64..=3,
+        0u64..=8,
+        prop_oneof![Just(None), (1usize..=4).prop_map(Some)],
+        prop_oneof![Just(None), ((1usize..=2), (1usize..=3)).prop_map(Some)],
+        prop_oneof![Just(None), ((1usize..=8), (0u64..=6)).prop_map(Some)],
+    )
+        .prop_map(|(p, xb, d, g, lat, win, net, strip)| {
+            let banks = p * xb * 2; // even, so sections always divide
+            let mut cfg = SimConfig::new(p, banks, d).with_issue_gap(g).with_latency(lat);
+            if let Some(w) = win {
+                cfg = cfg.with_window(w);
+            }
+            if let Some((sections, ports)) = net {
+                if banks % sections == 0 {
+                    cfg = cfg.with_sections(sections, ports);
+                }
+            }
+            if let Some((vl, startup)) = strip {
+                cfg = cfg.with_strip_mining(vl, startup);
+            }
+            cfg
+        })
+}
+
+fn arb_requests(max_procs: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0..max_procs, 0u64..64), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The fast simulator and the naive reference agree exactly.
+    #[test]
+    fn fast_simulator_matches_reference(cfg in arb_config(), raw in arb_requests(4)) {
+        let mut pat = AccessPattern::new(cfg.procs);
+        for (p, a) in raw {
+            pat.push(Request::write(p % cfg.procs, a));
+        }
+        let map = Interleaved::new(cfg.banks);
+        let fast = Simulator::new(cfg).run(&pat, &map);
+        let slow = run_reference(&cfg, &pat, &map);
+        prop_assert_eq!(fast.cycles, slow.cycles, "cycle mismatch on {:?}", cfg);
+        let fast_loads: Vec<usize> = fast.banks.iter().map(|b| b.requests).collect();
+        prop_assert_eq!(fast_loads, slow.bank_requests);
+    }
+}
+
+/// A handful of fixed corner cases pinned exactly (cheap regression
+/// net in addition to the property).
+#[test]
+fn pinned_corner_cases_agree() {
+    let cases: Vec<(SimConfig, Vec<(usize, u64)>)> = vec![
+        // Two procs race one bank with a tight window and latency.
+        (
+            SimConfig::new(2, 4, 5).with_latency(3).with_window(1),
+            vec![(0, 0), (1, 0), (0, 0), (1, 0)],
+        ),
+        // Section port of 1 throttles everything.
+        (
+            SimConfig::new(4, 8, 2).with_sections(1, 1),
+            (0..32).map(|i| (i % 4, i as u64)).collect(),
+        ),
+        // Slow issue, fast banks.
+        (
+            SimConfig::new(1, 2, 1).with_issue_gap(7),
+            vec![(0, 0), (0, 1), (0, 0), (0, 1)],
+        ),
+        // Window 2 with section contention and latency.
+        (
+            SimConfig::new(3, 6, 4).with_latency(5).with_window(2).with_sections(2, 1),
+            (0..24).map(|i| (i % 3, (i * 5 % 11) as u64)).collect(),
+        ),
+    ];
+    for (cfg, raw) in cases {
+        let mut pat = AccessPattern::new(cfg.procs);
+        for (p, a) in raw {
+            pat.push(Request::write(p, a));
+        }
+        let map = Interleaved::new(cfg.banks);
+        let fast = Simulator::new(cfg).run(&pat, &map);
+        let slow = run_reference(&cfg, &pat, &map);
+        assert_eq!(fast.cycles, slow.cycles, "mismatch on {cfg:?}");
+    }
+}

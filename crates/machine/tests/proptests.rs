@@ -1,0 +1,183 @@
+//! Property-based tests relating simulated time to the (d,x)-BSP
+//! cost accounting: the simulator must respect the model's lower
+//! bounds and a conservative work upper bound on every input.
+
+use dxbsp_core::{AccessPattern, Interleaved, Request};
+use dxbsp_machine::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (1usize..=8, 1usize..=6, 1u64..=20, 1u64..=4, 0u64..=16, prop_oneof![Just(None), (1usize..=8).prop_map(Some)])
+        .prop_map(|(p, xb, d, g, lat, win)| {
+            let mut cfg = SimConfig::new(p, p * xb, d).with_issue_gap(g).with_latency(lat);
+            if let Some(w) = win {
+                cfg = cfg.with_window(w);
+            }
+            cfg
+        })
+}
+
+fn arb_pattern(max_procs: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0..max_procs, 0u64..256), 0..300)
+}
+
+fn build_pattern(procs: usize, raw: &[(usize, u64)]) -> AccessPattern {
+    let mut pat = AccessPattern::new(procs);
+    for &(p, a) in raw {
+        pat.push(Request::write(p % procs, a));
+    }
+    pat
+}
+
+proptest! {
+    /// Simulated cycles are bounded below by each model term: the bank
+    /// serial bound d·R and the issue bound g·(h−1)+d.
+    #[test]
+    fn simulation_respects_model_lower_bounds(cfg in arb_config(), raw in arb_pattern(8)) {
+        let pat = build_pattern(cfg.procs, &raw);
+        prop_assume!(!pat.is_empty());
+        let map = Interleaved::new(cfg.banks);
+        let res = Simulator::new(cfg).run(&pat, &map);
+        let r = pat.max_bank_load(&map) as u64;
+        let h = pat.contention_profile().max_processor_load as u64;
+        prop_assert!(res.cycles >= cfg.bank_delay * r,
+            "cycles {} < d·R = {}·{}", res.cycles, cfg.bank_delay, r);
+        prop_assert!(res.cycles >= cfg.issue_gap * (h - 1) + cfg.bank_delay,
+            "cycles {} < issue bound", res.cycles);
+        prop_assert!(res.cycles >= 2 * cfg.latency + cfg.bank_delay);
+    }
+
+    /// Simulated cycles never exceed the fully serialized work bound.
+    #[test]
+    fn simulation_respects_serial_upper_bound(cfg in arb_config(), raw in arb_pattern(8)) {
+        let pat = build_pattern(cfg.procs, &raw);
+        prop_assume!(!pat.is_empty());
+        let map = Interleaved::new(cfg.banks);
+        let res = Simulator::new(cfg).run(&pat, &map);
+        let n = pat.len() as u64;
+        // Worst case: every request fully serialized through issue,
+        // two transit legs and its bank.
+        let bound = n * (cfg.issue_gap + cfg.bank_delay + 2 * cfg.latency);
+        prop_assert!(res.cycles <= bound, "cycles {} > serial bound {}", res.cycles, bound);
+    }
+
+    /// Every bank's recorded request count matches the pattern's bank
+    /// loads, and stats are internally consistent.
+    #[test]
+    fn stats_are_consistent(cfg in arb_config(), raw in arb_pattern(8)) {
+        let pat = build_pattern(cfg.procs, &raw);
+        let map = Interleaved::new(cfg.banks);
+        let res = Simulator::new(cfg).run(&pat, &map);
+        let loads = pat.bank_loads(&map);
+        for (b, stat) in res.banks.iter().enumerate() {
+            prop_assert_eq!(stat.requests, loads[b]);
+            prop_assert_eq!(stat.busy_cycles, cfg.bank_delay * loads[b] as u64);
+            prop_assert!(stat.max_queue_wait <= stat.queue_wait);
+        }
+        let issued: usize = res.procs.iter().map(|p| p.issued).sum();
+        prop_assert_eq!(issued, pat.len());
+        prop_assert_eq!(res.requests, pat.len());
+        let done = res.procs.iter().map(|p| p.done_at).max().unwrap_or(0);
+        prop_assert_eq!(done, res.cycles);
+    }
+
+    /// A strictly larger window never slows a run down.
+    #[test]
+    fn larger_window_never_slower(raw in arb_pattern(4), w in 1usize..6) {
+        let base = SimConfig::new(4, 32, 8).with_latency(12);
+        let pat = build_pattern(4, &raw);
+        let map = Interleaved::new(32);
+        let tight = Simulator::new(base.with_window(w)).run(&pat, &map);
+        let loose = Simulator::new(base.with_window(w + 1)).run(&pat, &map);
+        let free = Simulator::new(base).run(&pat, &map);
+        prop_assert!(loose.cycles <= tight.cycles);
+        prop_assert!(free.cycles <= loose.cycles);
+    }
+
+    /// Narrower section ports never speed a run up, and the uniform
+    /// network is at least as fast as any sectioned one.
+    #[test]
+    fn narrower_ports_never_faster(raw in arb_pattern(4), ports in 1usize..4) {
+        let pat = build_pattern(4, &raw);
+        let map = Interleaved::new(32);
+        let uniform = Simulator::new(SimConfig::new(4, 32, 8)).run(&pat, &map);
+        let wide = Simulator::new(SimConfig::new(4, 32, 8).with_sections(4, ports + 1)).run(&pat, &map);
+        let narrow = Simulator::new(SimConfig::new(4, 32, 8).with_sections(4, ports)).run(&pat, &map);
+        prop_assert!(wide.cycles <= narrow.cycles);
+        prop_assert!(uniform.cycles <= narrow.cycles);
+    }
+
+    /// Doubling the bank delay at least never speeds things up, and on
+    /// hammer patterns scales time exactly linearly.
+    #[test]
+    fn delay_monotone(raw in arb_pattern(4), d in 1u64..10) {
+        let pat = build_pattern(4, &raw);
+        let map = Interleaved::new(32);
+        let slow = Simulator::new(SimConfig::new(4, 32, d + 1)).run(&pat, &map);
+        let fast = Simulator::new(SimConfig::new(4, 32, d)).run(&pat, &map);
+        prop_assert!(slow.cycles >= fast.cycles);
+    }
+}
+
+#[test]
+fn hammer_time_scales_linearly_in_d() {
+    let pat = AccessPattern::scatter(1, &vec![0u64; 100]);
+    let map = Interleaved::new(8);
+    for d in [2u64, 4, 8, 16] {
+        let res = Simulator::new(SimConfig::new(1, 8, d)).run(&pat, &map);
+        assert_eq!(res.cycles, d * 100);
+    }
+}
+
+mod tracefile_fuzz {
+    use dxbsp_machine::{decode_trace, encode_trace, TraceStep};
+    use dxbsp_core::{AccessPattern, Request};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes never panic the decoder.
+        #[test]
+        fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let _ = decode_trace(&bytes);
+        }
+
+        /// Every encodable trace round-trips exactly.
+        #[test]
+        fn round_trip(
+            steps in proptest::collection::vec(
+                (1usize..=4, proptest::collection::vec((0usize..4, 0u64..1000, any::<bool>()), 0..50), 0u64..100, ".{0,12}"),
+                0..8,
+            )
+        ) {
+            let trace: Vec<TraceStep> = steps
+                .into_iter()
+                .map(|(procs, reqs, local, label)| {
+                    let mut pat = AccessPattern::new(procs);
+                    for (p, a, w) in reqs {
+                        let p = p % procs;
+                        pat.push(if w { Request::write(p, a) } else { Request::read(p, a) });
+                    }
+                    TraceStep { pattern: pat, local_work: local, label }
+                })
+                .collect();
+            let back = decode_trace(&encode_trace(&trace)).expect("round trip decodes");
+            prop_assert_eq!(back, trace);
+        }
+
+        /// Corrupting a single byte either still decodes or fails
+        /// cleanly — never panics.
+        #[test]
+        fn single_byte_corruption_is_safe(flip in 0usize..200, val in any::<u8>()) {
+            let mut pat = AccessPattern::new(2);
+            for i in 0..10u64 {
+                pat.push(Request::write((i % 2) as usize, i));
+            }
+            let trace = vec![TraceStep { pattern: pat, local_work: 3, label: "x".into() }];
+            let mut bytes = encode_trace(&trace).to_vec();
+            if flip < bytes.len() {
+                bytes[flip] = val;
+            }
+            let _ = decode_trace(&bytes);
+        }
+    }
+}

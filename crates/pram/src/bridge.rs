@@ -1,0 +1,135 @@
+//! Bridging machine-level access patterns and PRAM steps.
+//!
+//! The two representations of a superstep — the machine's
+//! [`AccessPattern`] (requests by *physical* processors) and the PRAM's
+//! [`Step`] (operations by *virtual* processors) — meet whenever a
+//! traced algorithm is re-analyzed under PRAM cost rules or a PRAM
+//! program is replayed as raw traffic. This module converts in both
+//! directions and proves the conversions preserve the contention
+//! quantities both cost models are built on.
+
+use dxbsp_core::{AccessKind, AccessPattern, Request};
+
+use crate::step::{Op, Step};
+
+/// Lifts an access pattern into a PRAM step: each request becomes one
+/// operation by a distinct virtual processor (the finest-grained
+/// reading, matching "one virtual processor per element" data-parallel
+/// code). Empty patterns produce a 1-vproc empty step.
+#[must_use]
+pub fn step_from_pattern(pat: &AccessPattern) -> Step {
+    let n = pat.len().max(1);
+    let mut step = Step::new(n);
+    for (v, r) in pat.requests().iter().enumerate() {
+        let op = match r.kind {
+            AccessKind::Read => Op::Read(r.addr),
+            AccessKind::Write => Op::Write(r.addr),
+        };
+        step.push_op(v, op);
+    }
+    step
+}
+
+/// Lowers a PRAM step onto `procs` physical processors: virtual
+/// processor `v`'s memory operations are issued by processor
+/// `v mod procs` (round-robin, the vectorized assignment). Local ops
+/// are dropped — the pattern carries memory traffic only; charge local
+/// work separately via [`Step::max_op_units`].
+///
+/// # Panics
+///
+/// Panics if `procs == 0`.
+#[must_use]
+pub fn pattern_from_step(step: &Step, procs: usize) -> AccessPattern {
+    assert!(procs >= 1, "need at least one processor");
+    let mut pat = AccessPattern::with_capacity(procs, step.memory_ops());
+    for v in 0..step.procs() {
+        let host = v % procs;
+        for op in step.ops_of(v) {
+            match *op {
+                Op::Read(a) => pat.push(Request::read(host, a)),
+                Op::Write(a) => pat.push(Request::write(host, a)),
+                Op::Local(_) => {}
+            }
+        }
+    }
+    pat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::CostRule;
+
+    fn hot_pattern() -> AccessPattern {
+        let mut pat = AccessPattern::new(4);
+        for i in 0..10 {
+            pat.push(Request::write(i % 4, 7));
+        }
+        for i in 0..6 {
+            pat.push(Request::read(i % 4, 100 + i as u64));
+        }
+        pat
+    }
+
+    #[test]
+    fn lifting_preserves_location_contention() {
+        let pat = hot_pattern();
+        let step = step_from_pattern(&pat);
+        // Per-phase contention: ten writers of cell 7, reads all
+        // distinct.
+        assert_eq!(step.max_write_contention(), 10);
+        assert_eq!(step.max_read_contention(), 1);
+        assert_eq!(
+            step.max_contention(),
+            pat.contention_profile().max_location_contention
+        );
+        assert_eq!(step.memory_ops(), pat.len());
+    }
+
+    #[test]
+    fn lowering_preserves_traffic_and_contention() {
+        let pat = hot_pattern();
+        let step = step_from_pattern(&pat);
+        let back = pattern_from_step(&step, 4);
+        assert_eq!(back.len(), pat.len());
+        assert_eq!(
+            back.contention_profile().max_location_contention,
+            pat.contention_profile().max_location_contention
+        );
+        // Round-robin lowering balances processor loads exactly (the
+        // original pattern's per-processor loads may be less even).
+        assert_eq!(back.contention_profile().max_processor_load, pat.len().div_ceil(4));
+    }
+
+    #[test]
+    fn qrqw_time_of_lifted_step_is_the_queue_bound() {
+        let step = step_from_pattern(&hot_pattern());
+        assert_eq!(step.time(CostRule::Qrqw), 10);
+        assert_eq!(step.time(CostRule::Crcw), 1);
+    }
+
+    #[test]
+    fn local_ops_are_dropped_in_lowering() {
+        let mut step = Step::new(3);
+        step.push_op(0, Op::Read(5));
+        step.push_op(1, Op::Local(9));
+        step.push_op(2, Op::Write(6));
+        let pat = pattern_from_step(&step, 2);
+        assert_eq!(pat.len(), 2);
+    }
+
+    #[test]
+    fn empty_pattern_lifts_to_empty_step() {
+        let step = step_from_pattern(&AccessPattern::new(2));
+        assert_eq!(step.memory_ops(), 0);
+        assert!(step.is_erew_legal());
+    }
+
+    #[test]
+    fn erew_patterns_lift_to_erew_steps() {
+        let addrs: Vec<u64> = (0..50).collect();
+        let pat = AccessPattern::scatter(4, &addrs);
+        assert!(step_from_pattern(&pat).is_erew_legal());
+    }
+}

@@ -1,0 +1,179 @@
+//! Canonical QRQW/EREW program generators.
+//!
+//! The §5 emulation experiments need families of PRAM programs with
+//! controlled contention. These builders produce the standard shapes:
+//! balanced random steps, hot-spot steps, broadcast/reduction trees,
+//! and permutation routing — each annotated with its QRQW cost so the
+//! emulation sweeps can report slowdown against a known baseline.
+
+use rand::Rng;
+
+use crate::program::Program;
+use crate::step::{Op, Step};
+
+/// One step: every vproc writes a distinct pseudo-random cell, except
+/// the first `k`, which all write cell 0 (max contention exactly `k`
+/// for `k ≥ 1` w.h.p. over the random cells).
+#[must_use]
+pub fn hotspot_step<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Step {
+    let mut step = Step::new(n);
+    for v in 0..n {
+        let addr = if v < k { 0 } else { 8 + (rng.random::<u64>() >> 8) };
+        step.push_op(v, Op::Write(addr));
+    }
+    step
+}
+
+/// A single-step program wrapping [`hotspot_step`].
+#[must_use]
+pub fn hotspot_program<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Program {
+    let mut prog = Program::new(n);
+    prog.push(hotspot_step(n, k, rng));
+    prog
+}
+
+/// EREW broadcast of one cell to `n` vprocs via a binary doubling tree:
+/// `⌈lg n⌉` steps, each copying the value to twice as many distinct
+/// cells. Contention 1 everywhere — the EREW workaround for what a
+/// QRQW machine would do in one contended read.
+#[must_use]
+pub fn broadcast_tree_program(n: usize) -> Program {
+    let mut prog = Program::new(n.max(1));
+    let mut have = 1usize;
+    while have < n {
+        let copy = have.min(n - have);
+        let mut step = Step::new(n.max(1));
+        for i in 0..copy {
+            // vproc i reads cell i and writes cell have + i.
+            step.push_op(i, Op::Read(i as u64));
+            step.push_op(i, Op::Write((have + i) as u64));
+        }
+        prog.push(step);
+        have += copy;
+    }
+    prog
+}
+
+/// The QRQW broadcast alternative: one step in which all `n` vprocs
+/// read cell 0 — contention `n`, QRQW time `n`. Pairing this with
+/// [`broadcast_tree_program`] reproduces the paper's central trade-off
+/// in its smallest form.
+#[must_use]
+pub fn broadcast_direct_program(n: usize) -> Program {
+    let mut prog = Program::new(n.max(1));
+    let mut step = Step::new(n.max(1));
+    for v in 0..n {
+        step.push_op(v, Op::Read(0));
+    }
+    prog.push(step);
+    prog
+}
+
+/// EREW reduction (sum) of `n` cells by pairwise halving: `⌈lg n⌉`
+/// steps, contention 1.
+#[must_use]
+pub fn reduction_program(n: usize) -> Program {
+    let mut prog = Program::new(n.max(1));
+    let mut width = n;
+    while width > 1 {
+        let half = width / 2;
+        let mut step = Step::new(n.max(1));
+        for i in 0..half {
+            step.push_op(i, Op::Read(i as u64));
+            step.push_op(i, Op::Read((width - 1 - i) as u64));
+            step.push_op(i, Op::Local(1));
+            step.push_op(i, Op::Write(i as u64));
+        }
+        prog.push(step);
+        width -= half;
+    }
+    prog
+}
+
+/// Permutation routing: each vproc writes one distinct cell chosen by a
+/// random permutation — the canonical EREW-legal irregular step.
+#[must_use]
+pub fn permutation_program<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Program {
+    let mut targets: Vec<u64> = (0..n as u64).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        targets.swap(i, j);
+    }
+    let mut prog = Program::new(n.max(1));
+    let mut step = Step::new(n.max(1));
+    for v in 0..n {
+        step.push_op(v, Op::Write(targets[v]));
+    }
+    prog.push(step);
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::CostRule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hotspot_contention_is_k() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [1usize, 7, 100] {
+            let prog = hotspot_program(1024, k, &mut rng);
+            assert_eq!(prog.max_contention(), k.max(1));
+            assert_eq!(prog.time(CostRule::Qrqw), k.max(1) as u64);
+        }
+    }
+
+    #[test]
+    fn broadcast_tree_is_erew_and_logarithmic() {
+        for n in [1usize, 2, 5, 64, 1000] {
+            let prog = broadcast_tree_program(n);
+            assert!(prog.is_erew_legal(), "n={n}");
+            let lg = (usize::BITS - n.max(1).leading_zeros()) as usize;
+            assert!(prog.steps().len() <= lg, "n={n}: {} steps", prog.steps().len());
+            // Every cell 1..n is written exactly once across the program.
+            let writes: usize = prog.steps().iter().map(|s| {
+                (0..s.procs()).map(|v| s.ops_of(v).iter().filter(|o| matches!(o, Op::Write(_))).count()).sum::<usize>()
+            }).sum();
+            assert_eq!(writes, n.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn direct_broadcast_charges_n_under_qrqw() {
+        let prog = broadcast_direct_program(256);
+        assert_eq!(prog.time(CostRule::Qrqw), 256);
+        assert_eq!(prog.time(CostRule::Crcw), 1);
+        assert!(!prog.is_erew_legal());
+        // The EREW tree is exponentially cheaper in QRQW time.
+        let tree = broadcast_tree_program(256);
+        assert!(tree.time(CostRule::Qrqw) <= 3 * 8);
+    }
+
+    #[test]
+    fn reduction_is_erew_with_log_steps() {
+        let prog = reduction_program(1000);
+        assert!(prog.is_erew_legal());
+        assert!(prog.steps().len() <= 10);
+        assert!(prog.time(CostRule::Erew) >= 10);
+    }
+
+    #[test]
+    fn permutation_step_is_erew() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let prog = permutation_program(500, &mut rng);
+        assert!(prog.is_erew_legal());
+        assert_eq!(prog.memory_ops(), 500);
+        assert_eq!(prog.time(CostRule::Qrqw), 1);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_fine() {
+        assert_eq!(broadcast_tree_program(0).steps().len(), 0);
+        assert_eq!(broadcast_tree_program(1).steps().len(), 0);
+        assert_eq!(reduction_program(1).steps().len(), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(permutation_program(0, &mut rng).memory_ops(), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Emulating a QRQW PRAM program on the (d,x)-BSP (paper §5).
+//!
+//! The emulation is the standard shared-memory simulation the paper
+//! builds on: shared memory is mapped to the `x·p` banks by a random
+//! hash function; the `n` virtual processors are packed contiguously
+//! onto the `p` physical processors (`⌈n/p⌉` each); each PRAM step
+//! executes as one (d,x)-BSP superstep in which every physical
+//! processor issues the memory requests of its virtual processors and
+//! performs their local work.
+//!
+//! Each PRAM step executes as (up to) two (d,x)-BSP supersteps — its
+//! read phase and its write phase — matching the per-phase contention
+//! accounting of the SIMD-QRQW. The emulator produces both the
+//! *predicted* superstep costs (the `max(L, g·h, d·R)` charge from
+//! `dxbsp-core`, with `R` the realized hashed bank load) and the
+//! *measured* cycles from the machine simulator, so Theorem 5.1/5.2
+//! bounds can be validated empirically.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dxbsp_core::{pattern_cost, AccessPattern, CostModel, MachineParams, Request};
+use dxbsp_hash::{Degree, HashedBanks};
+use dxbsp_machine::{SimConfig, Simulator};
+
+use crate::program::Program;
+use crate::step::{CostRule, Op};
+
+/// Result of emulating one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmulationReport {
+    /// Physical machine parameters.
+    pub machine: MachineParams,
+    /// Virtual processor count of the emulated program.
+    pub virtual_procs: usize,
+    /// PRAM time of the program under the QRQW rule.
+    pub qrqw_time: u64,
+    /// Sum of per-superstep (d,x)-BSP model charges.
+    pub predicted_cycles: u64,
+    /// Sum of per-superstep simulated cycles (plus `L` per superstep).
+    pub measured_cycles: u64,
+    /// Per-step `(qrqw, predicted, measured)` triples.
+    pub per_step: Vec<(u64, u64, u64)>,
+}
+
+impl EmulationReport {
+    /// Emulation slowdown: measured (d,x)-BSP cycles per QRQW time
+    /// unit. Work-preserving emulations keep `slowdown ≈ c·n/p`.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        if self.qrqw_time == 0 {
+            1.0
+        } else {
+            self.measured_cycles as f64 / self.qrqw_time as f64
+        }
+    }
+
+    /// Work inflation: physical work `p × measured` over PRAM work
+    /// `n × qrqw_time`. Theorem 5.1 says this is Θ(d/x) for `x ≤ d`;
+    /// Theorem 5.2 says it is O(1) for `x ≥ d` given slackness (both up
+    /// to the constants discussed in [`crate::theory`]).
+    #[must_use]
+    pub fn work_ratio(&self) -> f64 {
+        let pram_work = self.virtual_procs as u64 * self.qrqw_time;
+        if pram_work == 0 {
+            1.0
+        } else {
+            (self.machine.p as u64 * self.measured_cycles) as f64 / pram_work as f64
+        }
+    }
+
+    /// Prediction quality: measured over predicted cycles.
+    #[must_use]
+    pub fn prediction_ratio(&self) -> f64 {
+        if self.predicted_cycles == 0 {
+            1.0
+        } else {
+            self.measured_cycles as f64 / self.predicted_cycles as f64
+        }
+    }
+}
+
+/// A configured emulator: physical machine + memory hash.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    machine: MachineParams,
+    map: HashedBanks,
+    sim: Simulator,
+}
+
+impl Emulator {
+    /// Creates an emulator for `machine`, drawing the memory hash
+    /// (degree-`degree` polynomial) from `rng`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(machine: MachineParams, degree: Degree, rng: &mut R) -> Self {
+        let map = HashedBanks::random(degree, machine.banks(), rng);
+        let sim = Simulator::new(SimConfig::from_params(&machine));
+        Self { machine, map, sim }
+    }
+
+    /// The bank mapping in force.
+    #[must_use]
+    pub fn map(&self) -> &HashedBanks {
+        &self.map
+    }
+
+    /// The physical processor that hosts virtual processor `v` when
+    /// emulating an `n`-vproc program: contiguous blocks of `⌈n/p⌉`.
+    #[must_use]
+    pub fn host_of(&self, v: usize, n: usize) -> usize {
+        let block = n.div_ceil(self.machine.p);
+        (v / block).min(self.machine.p - 1)
+    }
+
+    /// Emulates `prog`, returning predicted and measured costs.
+    pub fn run(&self, prog: &Program) -> EmulationReport {
+        let n = prog.procs();
+        let p = self.machine.p;
+        let mut per_step = Vec::with_capacity(prog.steps().len());
+        let mut predicted = 0u64;
+        let mut measured = 0u64;
+
+        for step in prog.steps() {
+            let mut reads = AccessPattern::with_capacity(p, step.memory_ops());
+            let mut writes = AccessPattern::with_capacity(p, step.memory_ops());
+            let mut local = vec![0u64; p];
+            for v in 0..n {
+                let host = self.host_of(v, n);
+                for op in step.ops_of(v) {
+                    match *op {
+                        Op::Read(a) => reads.push(Request::read(host, a)),
+                        Op::Write(a) => writes.push(Request::write(host, a)),
+                        Op::Local(u) => local[host] += u64::from(u),
+                    }
+                }
+            }
+            let local_max = local.into_iter().max().unwrap_or(0);
+            let mut pred = local_max;
+            let mut meas = local_max;
+            for phase in [&reads, &writes] {
+                if phase.is_empty() {
+                    continue;
+                }
+                pred += pattern_cost(&self.machine, phase, &self.map, CostModel::DxBsp)
+                    + self.machine.l;
+                meas += self.sim.run(phase, &self.map).cycles + self.machine.l;
+            }
+            predicted += pred;
+            measured += meas;
+            per_step.push((step.time(CostRule::Qrqw), pred, meas));
+        }
+
+        EmulationReport {
+            machine: self.machine,
+            virtual_procs: n,
+            qrqw_time: prog.time(CostRule::Qrqw),
+            predicted_cycles: predicted,
+            measured_cycles: measured,
+            per_step,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::Step;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn machine(p: usize, d: u64, x: usize) -> MachineParams {
+        MachineParams::new(p, 1, 0, d, x)
+    }
+
+    /// One QRQW step: n vprocs each write a distinct random cell, plus
+    /// a hot cell with contention k.
+    fn hotspot_program(n: usize, k: usize, seed: u64) -> Program {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut step = Step::new(n);
+        for v in 0..n {
+            let addr = if v < k { 0 } else { rng.random::<u64>() >> 8 };
+            step.push_op(v, Op::Write(addr));
+        }
+        let mut prog = Program::new(n);
+        prog.push(step);
+        prog
+    }
+
+    #[test]
+    fn vproc_packing_is_contiguous_and_complete() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let emu = Emulator::new(machine(4, 4, 4), Degree::Linear, &mut rng);
+        let hosts: Vec<usize> = (0..10).map(|v| emu.host_of(v, 10)).collect();
+        assert_eq!(hosts, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        // Fewer vprocs than processors: one each, clamped.
+        assert_eq!(emu.host_of(2, 3), 2);
+    }
+
+    #[test]
+    fn measured_at_least_contention_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = machine(8, 14, 32);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&hotspot_program(1024, 300, 3));
+        // The hot cell's bank serializes at least d·k cycles.
+        assert!(rep.measured_cycles >= 14 * 300);
+        assert!(rep.predicted_cycles >= 14 * 300);
+        assert_eq!(rep.qrqw_time, 300);
+    }
+
+    #[test]
+    fn low_contention_emulation_is_roughly_work_preserving() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Balanced machine x ≥ d with plenty of slack: work ratio O(1).
+        let m = machine(8, 8, 16);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&hotspot_program(64 * 1024, 1, 5));
+        assert!(rep.work_ratio() < 3.0, "work ratio {}", rep.work_ratio());
+        // And prediction tracks measurement within a small factor.
+        assert!(rep.prediction_ratio() < 2.0 && rep.prediction_ratio() > 0.5);
+    }
+
+    #[test]
+    fn underbanked_machine_pays_d_over_x() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // x = 1, d = 8: every bank absorbs ~n/p requests at 8 cycles
+        // each → work ratio ≈ d/x = 8 (times small constants).
+        let m = machine(8, 8, 1);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&hotspot_program(32 * 1024, 1, 7));
+        assert!(rep.work_ratio() > 4.0, "work ratio {}", rep.work_ratio());
+        assert!(rep.work_ratio() < 16.0, "work ratio {}", rep.work_ratio());
+    }
+
+    #[test]
+    fn local_work_accumulates_on_hosts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = machine(2, 2, 2);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut step = Step::new(4);
+        for v in 0..4 {
+            step.push_op(v, Op::Local(10));
+        }
+        let mut prog = Program::new(4);
+        prog.push(step);
+        let rep = emu.run(&prog);
+        // Two vprocs per host → 20 local units each, no memory traffic.
+        assert_eq!(rep.measured_cycles, 20);
+        assert_eq!(rep.predicted_cycles, 20);
+    }
+
+    #[test]
+    fn empty_program_reports_unity_ratios() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let emu = Emulator::new(machine(2, 2, 2), Degree::Linear, &mut rng);
+        let rep = emu.run(&Program::new(4));
+        assert_eq!(rep.measured_cycles, 0);
+        assert_eq!(rep.slowdown(), 1.0);
+        assert_eq!(rep.work_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dxbsp-pram — QRQW/EREW PRAMs and their (d,x)-BSP emulation
+//!
+//! Paper §5 asks when high-level shared-memory models can be mapped
+//! efficiently onto high-bandwidth machines with slow banks. The
+//! queue-read queue-write (QRQW) PRAM \[GMR94b\] charges a step by its
+//! maximum *location* contention — the queue rule — rather than
+//! forbidding contention (EREW) or ignoring it (CRCW).
+//!
+//! This crate provides:
+//!
+//! * [`step::Step`] / [`program::Program`] — an explicit representation
+//!   of PRAM computations by `n` virtual processors, with exact cost
+//!   accounting under the QRQW, EREW and CRCW rules;
+//! * [`emulate`] — the paper's emulation: virtual processors are packed
+//!   onto the `p` physical processors, shared memory is hashed
+//!   pseudo-randomly onto the `x·p` banks, and each PRAM step runs as
+//!   one (d,x)-BSP superstep. The emulator both *predicts* the cost
+//!   (via `dxbsp-core`) and *measures* it (via `dxbsp-machine`);
+//! * [`theory`] — the Theorem 5.1 (`x ≤ d`) and Theorem 5.2 (`x ≥ d`)
+//!   cost bounds, against which the measured emulations are validated.
+//!
+//! The theorem statements in the surviving paper text are partial
+//! (the archive lost the appendix); `theory` documents exactly which
+//! constants are reconstructions.
+
+pub mod bridge;
+pub mod builders;
+pub mod emulate;
+pub mod program;
+pub mod step;
+pub mod theory;
+
+pub use bridge::{pattern_from_step, step_from_pattern};
+pub use emulate::{EmulationReport, Emulator};
+pub use program::Program;
+pub use step::{CostRule, Op, Step};
+pub use theory::{thm51_step_bound, thm52_step_bound, work_overhead_lower_bound};

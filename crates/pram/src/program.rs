@@ -1,0 +1,121 @@
+//! PRAM programs: sequences of synchronized steps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::step::{CostRule, Step};
+
+/// A PRAM program: `n` virtual processors executing a sequence of
+/// steps with a barrier between consecutive steps.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    n: usize,
+    steps: Vec<Step>,
+}
+
+impl Program {
+    /// An empty program over `n` virtual processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one virtual processor");
+        Self { n, steps: Vec::new() }
+    }
+
+    /// Virtual processor count.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.n
+    }
+
+    /// Appends a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step was built for a different processor count.
+    pub fn push(&mut self, step: Step) {
+        assert_eq!(step.procs(), self.n, "step/processor-count mismatch");
+        self.steps.push(step);
+    }
+
+    /// The steps in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Total time under `rule` (sum over steps).
+    #[must_use]
+    pub fn time(&self, rule: CostRule) -> u64 {
+        self.steps.iter().map(|s| s.time(rule)).sum()
+    }
+
+    /// Work under `rule`: `n × time`, the standard charge for an
+    /// `n`-processor PRAM.
+    #[must_use]
+    pub fn work(&self, rule: CostRule) -> u64 {
+        self.n as u64 * self.time(rule)
+    }
+
+    /// Total memory operations across all steps.
+    #[must_use]
+    pub fn memory_ops(&self) -> usize {
+        self.steps.iter().map(Step::memory_ops).sum()
+    }
+
+    /// Largest per-step contention across the program.
+    #[must_use]
+    pub fn max_contention(&self) -> usize {
+        self.steps.iter().map(Step::max_contention).max().unwrap_or(0)
+    }
+
+    /// Whether every step obeys the EREW rule.
+    #[must_use]
+    pub fn is_erew_legal(&self) -> bool {
+        self.steps.iter().all(Step::is_erew_legal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::Op;
+
+    fn contended(n: usize, k: usize) -> Step {
+        let mut s = Step::new(n);
+        for i in 0..k {
+            s.push_op(i, Op::Write(0));
+        }
+        s
+    }
+
+    #[test]
+    fn time_sums_steps() {
+        let mut prog = Program::new(8);
+        prog.push(contended(8, 8));
+        prog.push(contended(8, 3));
+        assert_eq!(prog.time(CostRule::Qrqw), 11);
+        assert_eq!(prog.time(CostRule::Crcw), 2);
+        assert_eq!(prog.work(CostRule::Qrqw), 88);
+        assert_eq!(prog.memory_ops(), 11);
+        assert_eq!(prog.max_contention(), 8);
+        assert!(!prog.is_erew_legal());
+    }
+
+    #[test]
+    fn empty_program_is_free() {
+        let prog = Program::new(4);
+        assert_eq!(prog.time(CostRule::Qrqw), 0);
+        assert_eq!(prog.work(CostRule::Erew), 0);
+        assert!(prog.is_erew_legal());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_step_rejected() {
+        let mut prog = Program::new(4);
+        prog.push(Step::new(5));
+    }
+}

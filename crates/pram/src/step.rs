@@ -1,0 +1,273 @@
+//! PRAM steps and their cost under the exclusive/queue/concurrent rules.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One operation by a virtual processor within a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Read a shared-memory cell.
+    Read(u64),
+    /// Write a shared-memory cell.
+    Write(u64),
+    /// `units` of local computation.
+    Local(u32),
+}
+
+impl Op {
+    /// The shared address touched, if any.
+    #[must_use]
+    pub fn addr(&self) -> Option<u64> {
+        match *self {
+            Op::Read(a) | Op::Write(a) => Some(a),
+            Op::Local(_) => None,
+        }
+    }
+
+    /// Unit-time length of the operation.
+    #[must_use]
+    pub fn units(&self) -> u64 {
+        match *self {
+            Op::Read(_) | Op::Write(_) => 1,
+            Op::Local(u) => u64::from(u),
+        }
+    }
+}
+
+/// The memory-access rule a step is charged under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostRule {
+    /// Exclusive read, exclusive write: contention > 1 is *illegal*.
+    Erew,
+    /// Queue read, queue write: a step with maximum location contention
+    /// `k` takes `max(t_ops, k)` time \[GMR94b\].
+    Qrqw,
+    /// Concurrent read, concurrent write: contention is free (included
+    /// for comparison; the paper argues this mismodels real machines).
+    Crcw,
+}
+
+/// One PRAM step: every virtual processor executes its own short
+/// sequence of operations, then all synchronize.
+///
+/// # Example
+///
+/// ```
+/// use dxbsp_pram::{CostRule, Op, Step};
+///
+/// let mut step = Step::new(4);
+/// step.extend_proc(0, [Op::Read(0), Op::Local(2), Op::Write(10)]);
+/// step.extend_proc(1, [Op::Read(0)]);
+/// // Two readers of cell 0: contention 2; proc 0 runs 4 units of ops.
+/// assert_eq!(step.max_contention(), 2);
+/// assert_eq!(step.time(CostRule::Qrqw), 4); // max(4, 2)
+/// assert_eq!(step.time(CostRule::Crcw), 4);
+/// assert!(!step.is_erew_legal());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    n: usize,
+    ops: Vec<Vec<Op>>,
+}
+
+impl Step {
+    /// An empty step over `n` virtual processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one virtual processor");
+        Self { n, ops: vec![Vec::new(); n] }
+    }
+
+    /// Number of virtual processors.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.n
+    }
+
+    /// Appends one operation to virtual processor `i`'s sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    pub fn push_op(&mut self, i: usize, op: Op) {
+        self.ops[i].push(op);
+    }
+
+    /// Appends several operations to virtual processor `i`.
+    pub fn extend_proc(&mut self, i: usize, ops: impl IntoIterator<Item = Op>) {
+        self.ops[i].extend(ops);
+    }
+
+    /// The operations of virtual processor `i`.
+    #[must_use]
+    pub fn ops_of(&self, i: usize) -> &[Op] {
+        &self.ops[i]
+    }
+
+    /// Total memory operations in the step.
+    #[must_use]
+    pub fn memory_ops(&self) -> usize {
+        self.ops.iter().flatten().filter(|o| o.addr().is_some()).count()
+    }
+
+    /// The longest per-processor operation sequence, in time units.
+    #[must_use]
+    pub fn max_op_units(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|seq| seq.iter().map(Op::units).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum *read* contention: the most readers any one cell has.
+    #[must_use]
+    pub fn max_read_contention(&self) -> usize {
+        self.phase_contention(true)
+    }
+
+    /// Maximum *write* contention: the most writers any one cell has.
+    #[must_use]
+    pub fn max_write_contention(&self) -> usize {
+        self.phase_contention(false)
+    }
+
+    fn phase_contention(&self, reads: bool) -> usize {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for op in self.ops.iter().flatten() {
+            let addr = match (reads, op) {
+                (true, Op::Read(a)) | (false, Op::Write(a)) => *a,
+                _ => continue,
+            };
+            *counts.entry(addr).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum location contention of the step. A PRAM step has a read
+    /// phase and a write phase; contention is counted *per phase*
+    /// (the SIMD-QRQW of \[GMR94b\]), so a cell read by one processor and
+    /// written by another in the same step has contention 1, not 2.
+    #[must_use]
+    pub fn max_contention(&self) -> usize {
+        self.max_read_contention().max(self.max_write_contention())
+    }
+
+    /// Whether the step is legal under the EREW rule: at most one
+    /// reader and at most one writer per cell per step.
+    #[must_use]
+    pub fn is_erew_legal(&self) -> bool {
+        self.max_contention() <= 1
+    }
+
+    /// Step time under `rule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule` is [`CostRule::Erew`] and the step is illegal
+    /// under it — an EREW program with contention is a bug, not a cost.
+    #[must_use]
+    pub fn time(&self, rule: CostRule) -> u64 {
+        let t_ops = self.max_op_units();
+        match rule {
+            CostRule::Erew => {
+                assert!(self.is_erew_legal(), "EREW step has contention > 1");
+                t_ops
+            }
+            CostRule::Qrqw => t_ops.max(self.max_contention() as u64),
+            CostRule::Crcw => t_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_step_is_free() {
+        let s = Step::new(3);
+        assert_eq!(s.time(CostRule::Qrqw), 0);
+        assert_eq!(s.max_contention(), 0);
+        assert!(s.is_erew_legal());
+        assert_eq!(s.memory_ops(), 0);
+    }
+
+    #[test]
+    fn qrqw_charges_queue_length() {
+        let mut s = Step::new(8);
+        for i in 0..8 {
+            s.push_op(i, Op::Write(99));
+        }
+        assert_eq!(s.max_contention(), 8);
+        assert_eq!(s.time(CostRule::Qrqw), 8);
+        assert_eq!(s.time(CostRule::Crcw), 1);
+    }
+
+    #[test]
+    fn local_work_counts_toward_time_not_contention() {
+        let mut s = Step::new(2);
+        s.push_op(0, Op::Local(10));
+        s.push_op(1, Op::Write(5));
+        assert_eq!(s.max_contention(), 1);
+        assert_eq!(s.time(CostRule::Qrqw), 10);
+        assert_eq!(s.time(CostRule::Erew), 10);
+    }
+
+    #[test]
+    fn reads_and_writes_count_per_phase() {
+        let mut s = Step::new(3);
+        s.push_op(0, Op::Read(7));
+        s.push_op(1, Op::Write(7));
+        s.push_op(2, Op::Read(7));
+        // Two readers, one writer: per-phase contention is 2.
+        assert_eq!(s.max_read_contention(), 2);
+        assert_eq!(s.max_write_contention(), 1);
+        assert_eq!(s.max_contention(), 2);
+        assert!(!s.is_erew_legal());
+    }
+
+    #[test]
+    fn read_then_write_of_one_cell_is_erew_legal() {
+        // The standard EREW idiom: a processor reads a cell in the read
+        // phase and (another or the same) writes it in the write phase.
+        let mut s = Step::new(2);
+        s.push_op(0, Op::Read(3));
+        s.push_op(1, Op::Write(3));
+        assert!(s.is_erew_legal());
+        assert_eq!(s.max_contention(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contention")]
+    fn erew_rejects_contended_step() {
+        let mut s = Step::new(2);
+        s.push_op(0, Op::Read(1));
+        s.push_op(1, Op::Read(1));
+        let _ = s.time(CostRule::Erew);
+    }
+
+    #[test]
+    fn op_introspection() {
+        assert_eq!(Op::Read(4).addr(), Some(4));
+        assert_eq!(Op::Write(9).addr(), Some(9));
+        assert_eq!(Op::Local(3).addr(), None);
+        assert_eq!(Op::Local(3).units(), 3);
+        assert_eq!(Op::Read(4).units(), 1);
+    }
+
+    #[test]
+    fn mixed_sequences_take_the_longest_processor() {
+        let mut s = Step::new(2);
+        s.extend_proc(0, [Op::Read(1), Op::Local(5), Op::Write(2)]);
+        s.extend_proc(1, [Op::Read(3)]);
+        assert_eq!(s.max_op_units(), 7);
+        assert_eq!(s.time(CostRule::Qrqw), 7);
+        assert_eq!(s.memory_ops(), 3);
+    }
+}

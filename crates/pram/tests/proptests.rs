@@ -1,0 +1,123 @@
+//! Property tests for the PRAM cost algebra and the emulation.
+
+use dxbsp_core::MachineParams;
+use dxbsp_hash::Degree;
+use dxbsp_pram::{theory, CostRule, Emulator, Op, Program, Step};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_step(n: usize) -> impl Strategy<Value = Step> {
+    proptest::collection::vec(
+        (0..n, prop_oneof![
+            (0u64..64).prop_map(Op::Read),
+            (0u64..64).prop_map(Op::Write),
+            (1u32..5).prop_map(Op::Local),
+        ]),
+        0..150,
+    )
+    .prop_map(move |ops| {
+        let mut step = Step::new(n);
+        for (v, op) in ops {
+            step.push_op(v, op);
+        }
+        step
+    })
+}
+
+proptest! {
+    /// The queue rule never charges less than the concurrent rule and
+    /// equals max(ops, contention) exactly.
+    #[test]
+    fn qrqw_cost_is_max_of_ops_and_contention(step in arb_step(8)) {
+        let qrqw = step.time(CostRule::Qrqw);
+        let crcw = step.time(CostRule::Crcw);
+        prop_assert!(qrqw >= crcw);
+        prop_assert_eq!(qrqw, step.max_op_units().max(step.max_contention() as u64));
+        if step.is_erew_legal() {
+            prop_assert_eq!(step.time(CostRule::Erew), crcw);
+        }
+    }
+
+    /// Program time is the sum of step times; work is n × time.
+    #[test]
+    fn program_cost_is_additive(steps in proptest::collection::vec(arb_step(6), 0..10)) {
+        let mut prog = Program::new(6);
+        let mut expect = 0u64;
+        for s in steps {
+            expect += s.time(CostRule::Qrqw);
+            prog.push(s);
+        }
+        prop_assert_eq!(prog.time(CostRule::Qrqw), expect);
+        prop_assert_eq!(prog.work(CostRule::Qrqw), 6 * expect);
+    }
+
+    /// On arbitrary (even adversarially unbalanced) single-step
+    /// programs, the emulated cost respects the d·k floor and stays
+    /// within a small factor of the emulator's own (d,x)-BSP charge —
+    /// prediction quality, the paper's core claim.
+    #[test]
+    fn emulation_floor_and_prediction_quality(
+        step in arb_step(64),
+        d in 1u64..=16,
+        x in 1usize..=16,
+        seed in 0u64..1000,
+    ) {
+        let mut prog = Program::new(64);
+        let k = step.max_contention();
+        prog.push(step);
+        let m = MachineParams::new(4, 1, 0, d, x);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&prog);
+        prop_assert!(rep.measured_cycles >= d * k as u64,
+            "measured {} below d·k = {}", rep.measured_cycles, d * k as u64);
+        prop_assert!(rep.measured_cycles <= 2 * rep.predicted_cycles + 4 * m.d + 4,
+            "measured {} far above charge {}", rep.measured_cycles, rep.predicted_cycles);
+    }
+
+    /// In the theorems' own setting — one memory op per virtual
+    /// processor, contention from a shared hot cell, ample slackness —
+    /// the measured emulation cost sits below the reconstructed
+    /// Theorem 5.1/5.2 bounds (doubled for the two phase supersteps).
+    #[test]
+    fn emulation_bounded_in_theorem_setting(
+        d in 1u64..=16,
+        x in 1usize..=16,
+        k in 1usize..=512,
+        seed in 0u64..1000,
+    ) {
+        let n = 4096usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prog = dxbsp_pram::builders::hotspot_program(n, k, &mut rng);
+        let m = MachineParams::new(4, 1, 0, d, x);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&prog);
+        let bound = 2 * theory::step_bound(&m, n, k);
+        prop_assert!(rep.measured_cycles <= bound,
+            "measured {} above bound {} at d={d} x={x} k={k}", rep.measured_cycles, bound);
+    }
+
+    /// The inevitable-overhead floor is monotone: slower banks raise
+    /// it, more banks lower it, and it never goes below 1.
+    #[test]
+    fn work_overhead_floor_monotone(d in 1u64..=32, x in 1usize..=32) {
+        let m = MachineParams::new(8, 1, 0, d, x);
+        let f = theory::work_overhead_lower_bound(&m);
+        prop_assert!(f >= 1.0);
+        prop_assert!(theory::work_overhead_lower_bound(&m.with_delay(d + 1)) >= f);
+        prop_assert!(theory::work_overhead_lower_bound(&m.with_expansion(x + 1)) <= f);
+    }
+
+    /// Theory bounds are monotone in the request count and contention.
+    #[test]
+    fn theory_bounds_monotone(n in 0usize..100_000, k in 0usize..1000, d in 1u64..=32, x in 1usize..=64) {
+        let m = MachineParams::new(8, 1, 0, d, x);
+        for bound in [theory::thm51_step_bound, theory::thm52_step_bound] {
+            let base = bound(&m, n, k);
+            prop_assert!(bound(&m, n + 1, k) >= base);
+            prop_assert!(bound(&m, n, k + 1) >= base);
+        }
+        prop_assert!(theory::step_bound(&m, n, k) <= theory::thm51_step_bound(&m, n, k));
+    }
+}

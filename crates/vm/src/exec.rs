@@ -1,0 +1,604 @@
+//! The VM executor: vector operations over simulated banked memory.
+
+use dxbsp_core::{AccessPattern, MachineParams, Request};
+use dxbsp_hash::{Degree, HashedBanks};
+use dxbsp_machine::{SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{BinOp, UnOp};
+
+/// A handle to a vector living in the VM's simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VecHandle(usize);
+
+/// Cost record of one executed vector operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Operation label (e.g. `"gather"`).
+    pub label: &'static str,
+    /// Memory requests issued.
+    pub requests: usize,
+    /// Maximum location contention of the op's access pattern.
+    pub max_contention: usize,
+    /// Simulated cycles (including `L` per superstep).
+    pub cycles: u64,
+}
+
+struct VecMeta {
+    base: u64,
+    data: Vec<u64>,
+}
+
+/// The virtual machine: executes vector ops, accounting every memory
+/// access on the simulated (d,x)-BSP machine.
+pub struct Executor {
+    machine: MachineParams,
+    sim: Simulator,
+    map: HashedBanks,
+    vectors: Vec<VecMeta>,
+    next_addr: u64,
+    cycles: u64,
+    costs: Vec<OpCost>,
+}
+
+impl Executor {
+    /// A VM over machine `m` with a seeded random (linear-hash) bank
+    /// mapping.
+    #[must_use]
+    pub fn seeded(m: MachineParams, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+        Self {
+            machine: m,
+            sim: Simulator::new(SimConfig::from_params(&m)),
+            map,
+            vectors: Vec::new(),
+            next_addr: 0,
+            cycles: 0,
+            costs: Vec::new(),
+        }
+    }
+
+    /// The machine this VM runs on.
+    #[must_use]
+    pub fn machine(&self) -> &MachineParams {
+        &self.machine
+    }
+
+    /// Total simulated cycles so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Per-op cost log, in execution order.
+    #[must_use]
+    pub fn costs(&self) -> &[OpCost] {
+        &self.costs
+    }
+
+    /// Length of a vector.
+    #[must_use]
+    pub fn len(&self, h: VecHandle) -> usize {
+        self.vectors[h.0].data.len()
+    }
+
+    /// Whether a vector is empty.
+    #[must_use]
+    pub fn is_empty(&self, h: VecHandle) -> bool {
+        self.len(h) == 0
+    }
+
+    fn alloc(&mut self, len: usize) -> VecHandle {
+        let base = self.next_addr;
+        self.next_addr += len as u64 + 1;
+        self.vectors.push(VecMeta { base, data: vec![0; len] });
+        VecHandle(self.vectors.len() - 1)
+    }
+
+    fn lane_proc(&self, lane: usize) -> usize {
+        lane % self.machine.p
+    }
+
+    fn charge(&mut self, label: &'static str, pattern: &AccessPattern) {
+        let cycles = self.sim.run(pattern, &self.map).cycles + self.machine.l;
+        let prof = pattern.contention_profile();
+        self.cycles += cycles;
+        self.costs.push(OpCost {
+            label,
+            requests: prof.total_requests,
+            max_contention: prof.max_location_contention,
+            cycles,
+        });
+    }
+
+    /// Dense read sweep of `h` plus optional dense write of `dst`
+    /// charged as one superstep.
+    fn charge_map_op(&mut self, label: &'static str, srcs: &[VecHandle], dst: VecHandle) {
+        let n = self.len(dst);
+        let mut pat = AccessPattern::with_capacity(self.machine.p, n * (srcs.len() + 1));
+        for lane in 0..n {
+            let proc = self.lane_proc(lane);
+            for &s in srcs {
+                pat.push(Request::read(proc, self.vectors[s.0].base + lane as u64));
+            }
+            pat.push(Request::write(proc, self.vectors[dst.0].base + lane as u64));
+        }
+        self.charge(label, &pat);
+    }
+
+    /// Uploads host data into a fresh vector (charged as a write sweep).
+    pub fn constant(&mut self, values: &[u64]) -> VecHandle {
+        let h = self.alloc(values.len());
+        self.vectors[h.0].data.copy_from_slice(values);
+        let base = self.vectors[h.0].base;
+        let mut pat = AccessPattern::with_capacity(self.machine.p, values.len());
+        for lane in 0..values.len() {
+            pat.push(Request::write(self.lane_proc(lane), base + lane as u64));
+        }
+        self.charge("constant", &pat);
+        h
+    }
+
+    /// Uploads host floats (stored as `f64` bit patterns).
+    pub fn constant_f64(&mut self, values: &[f64]) -> VecHandle {
+        let words: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        self.constant(&words)
+    }
+
+    /// `[0, 1, …, n−1]`.
+    pub fn iota(&mut self, n: usize) -> VecHandle {
+        let h = self.alloc(n);
+        for (i, w) in self.vectors[h.0].data.iter_mut().enumerate() {
+            *w = i as u64;
+        }
+        self.charge_write_sweep("iota", h);
+        h
+    }
+
+    /// `n` copies of `value`.
+    pub fn fill(&mut self, n: usize, value: u64) -> VecHandle {
+        let h = self.alloc(n);
+        self.vectors[h.0].data.fill(value);
+        self.charge_write_sweep("fill", h);
+        h
+    }
+
+    fn charge_write_sweep(&mut self, label: &'static str, h: VecHandle) {
+        let n = self.len(h);
+        let base = self.vectors[h.0].base;
+        let mut pat = AccessPattern::with_capacity(self.machine.p, n);
+        for lane in 0..n {
+            pat.push(Request::write(self.lane_proc(lane), base + lane as u64));
+        }
+        self.charge(label, &pat);
+    }
+
+    /// Reads a vector back to the host (charged as a read sweep).
+    pub fn read_back(&mut self, h: VecHandle) -> Vec<u64> {
+        let n = self.len(h);
+        let base = self.vectors[h.0].base;
+        let mut pat = AccessPattern::with_capacity(self.machine.p, n);
+        for lane in 0..n {
+            pat.push(Request::read(self.lane_proc(lane), base + lane as u64));
+        }
+        self.charge("read-back", &pat);
+        self.vectors[h.0].data.clone()
+    }
+
+    /// Reads back as floats.
+    pub fn read_back_f64(&mut self, h: VecHandle) -> Vec<f64> {
+        self.read_back(h).into_iter().map(f64::from_bits).collect()
+    }
+
+    /// Element-wise binary operation (`a` and `b` must have one length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn binop(&mut self, op: BinOp, a: VecHandle, b: VecHandle) -> VecHandle {
+        assert_eq!(self.len(a), self.len(b), "binop length mismatch");
+        let dst = self.alloc(self.len(a));
+        for i in 0..self.len(dst) {
+            self.vectors[dst.0].data[i] =
+                op.apply(self.vectors[a.0].data[i], self.vectors[b.0].data[i]);
+        }
+        self.charge_map_op("binop", &[a, b], dst);
+        dst
+    }
+
+    /// Element-wise binary operation against an immediate.
+    pub fn binop_imm(&mut self, op: BinOp, a: VecHandle, imm: u64) -> VecHandle {
+        let dst = self.alloc(self.len(a));
+        for i in 0..self.len(dst) {
+            self.vectors[dst.0].data[i] = op.apply(self.vectors[a.0].data[i], imm);
+        }
+        self.charge_map_op("binop-imm", &[a], dst);
+        dst
+    }
+
+    /// Element-wise unary operation.
+    pub fn unop(&mut self, op: UnOp, a: VecHandle) -> VecHandle {
+        let dst = self.alloc(self.len(a));
+        for i in 0..self.len(dst) {
+            self.vectors[dst.0].data[i] = op.apply(self.vectors[a.0].data[i]);
+        }
+        self.charge_map_op("unop", &[a], dst);
+        dst
+    }
+
+    /// `dst[i] = src[idx[i]]` — the contention-bearing read: location
+    /// contention equals the heaviest index multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn gather(&mut self, src: VecHandle, idx: VecHandle) -> VecHandle {
+        let n = self.len(idx);
+        let dst = self.alloc(n);
+        let src_base = self.vectors[src.0].base;
+        let src_len = self.len(src);
+        let mut pat = AccessPattern::with_capacity(self.machine.p, 3 * n);
+        for lane in 0..n {
+            let proc = self.lane_proc(lane);
+            let j = self.vectors[idx.0].data[lane];
+            assert!((j as usize) < src_len, "gather index {j} out of range");
+            pat.push(Request::read(proc, self.vectors[idx.0].base + lane as u64));
+            pat.push(Request::read(proc, src_base + j));
+            pat.push(Request::write(proc, self.vectors[dst.0].base + lane as u64));
+            self.vectors[dst.0].data[lane] = self.vectors[src.0].data[j as usize];
+        }
+        self.charge("gather", &pat);
+        dst
+    }
+
+    /// `dst[idx[i]] = src[i]`, later lanes winning collisions (the
+    /// arbitrary-winner rule vector hardware provides); location
+    /// contention equals the heaviest destination multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or an out-of-range index.
+    pub fn scatter_into(&mut self, dst: VecHandle, idx: VecHandle, src: VecHandle) {
+        let n = self.len(idx);
+        assert_eq!(self.len(src), n, "scatter length mismatch");
+        let dst_len = self.len(dst);
+        let mut pat = AccessPattern::with_capacity(self.machine.p, 3 * n);
+        for lane in 0..n {
+            let proc = self.lane_proc(lane);
+            let j = self.vectors[idx.0].data[lane];
+            assert!((j as usize) < dst_len, "scatter index {j} out of range");
+            pat.push(Request::read(proc, self.vectors[idx.0].base + lane as u64));
+            pat.push(Request::read(proc, self.vectors[src.0].base + lane as u64));
+            pat.push(Request::write(proc, self.vectors[dst.0].base + j));
+            let v = self.vectors[src.0].data[lane];
+            self.vectors[dst.0].data[j as usize] = v;
+        }
+        self.charge("scatter", &pat);
+    }
+
+    /// Exclusive scan with monoid `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` has no identity (not a monoid).
+    pub fn scan_exclusive(&mut self, op: BinOp, src: VecHandle) -> VecHandle {
+        let id = op.identity().expect("scan requires a monoid operation");
+        let n = self.len(src);
+        let dst = self.alloc(n);
+        let mut acc = id;
+        for i in 0..n {
+            self.vectors[dst.0].data[i] = acc;
+            acc = op.apply(acc, self.vectors[src.0].data[i]);
+        }
+        self.charge_scan_cost("scan", src, dst, None);
+        dst
+    }
+
+    /// Segmented inclusive scan restarting where `flags` is nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a non-monoid op.
+    pub fn seg_scan_inclusive(&mut self, op: BinOp, src: VecHandle, flags: VecHandle) -> VecHandle {
+        let id = op.identity().expect("scan requires a monoid operation");
+        let n = self.len(src);
+        assert_eq!(self.len(flags), n, "flags length mismatch");
+        let dst = self.alloc(n);
+        let mut acc = id;
+        for i in 0..n {
+            let v = self.vectors[src.0].data[i];
+            acc = if self.vectors[flags.0].data[i] != 0 { v } else { op.apply(acc, v) };
+            self.vectors[dst.0].data[i] = acc;
+        }
+        self.charge_scan_cost("seg-scan", src, dst, Some(flags));
+        dst
+    }
+
+    /// Two supersteps: read src (+flags), write block totals; then read
+    /// totals, write dst — the standard two-pass multiprocessor scan.
+    fn charge_scan_cost(
+        &mut self,
+        label: &'static str,
+        src: VecHandle,
+        dst: VecHandle,
+        flags: Option<VecHandle>,
+    ) {
+        let n = self.len(src);
+        let p = self.machine.p;
+        let totals = self.next_addr;
+        self.next_addr += p as u64;
+
+        let mut pass1 = AccessPattern::with_capacity(p, 2 * n + p);
+        for lane in 0..n {
+            let proc = self.lane_proc(lane);
+            pass1.push(Request::read(proc, self.vectors[src.0].base + lane as u64));
+            if let Some(f) = flags {
+                pass1.push(Request::read(proc, self.vectors[f.0].base + lane as u64));
+            }
+        }
+        for proc in 0..p {
+            pass1.push(Request::write(proc, totals + proc as u64));
+        }
+        self.charge(label, &pass1);
+
+        let mut pass2 = AccessPattern::with_capacity(p, n + p);
+        for proc in 0..p {
+            pass2.push(Request::read(proc, totals + proc as u64));
+        }
+        for lane in 0..n {
+            pass2.push(Request::write(self.lane_proc(lane), self.vectors[dst.0].base + lane as u64));
+        }
+        self.charge(label, &pass2);
+    }
+
+    /// Stream compaction: the elements of `src` whose flag is nonzero,
+    /// in order. Cost: a scan of the flags plus a read of the kept
+    /// elements and a scatter to distinct packed destinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn pack(&mut self, src: VecHandle, flags: VecHandle) -> VecHandle {
+        let n = self.len(src);
+        assert_eq!(self.len(flags), n, "flags length mismatch");
+        let norm = self.normalized(flags);
+        let offsets = self.scan_exclusive(BinOp::Add, norm);
+        let kept: Vec<u64> = (0..n)
+            .filter(|&i| self.vectors[flags.0].data[i] != 0)
+            .map(|i| self.vectors[src.0].data[i])
+            .collect();
+        let dst = self.alloc(kept.len());
+        self.vectors[dst.0].data.copy_from_slice(&kept);
+        let _ = offsets; // the scan above carries the ranking cost
+        let mut pat = AccessPattern::with_capacity(self.machine.p, 2 * kept.len());
+        let mut out = 0usize;
+        for lane in 0..n {
+            if self.vectors[flags.0].data[lane] != 0 {
+                let proc = self.lane_proc(lane);
+                pat.push(Request::read(proc, self.vectors[src.0].base + lane as u64));
+                pat.push(Request::write(proc, self.vectors[dst.0].base + out as u64));
+                out += 1;
+            }
+        }
+        self.charge("pack", &pat);
+        dst
+    }
+
+    /// Reduction of a whole vector by a monoid: a tree of pairwise
+    /// combines (`⌈lg n⌉` contention-free supersteps), yielding a
+    /// one-element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` has no identity.
+    pub fn reduce(&mut self, op: BinOp, src: VecHandle) -> VecHandle {
+        let id = op.identity().expect("reduce requires a monoid operation");
+        let n = self.len(src);
+        let value = self.vectors[src.0].data.iter().fold(id, |a, &b| op.apply(a, b));
+        // Cost: pairwise halving over a scratch copy of the vector.
+        let scratch = self.next_addr;
+        self.next_addr += n as u64 + 1;
+        let mut width = n;
+        while width > 1 {
+            let half = width.div_ceil(2);
+            let mut pat = AccessPattern::with_capacity(self.machine.p, width);
+            for i in 0..(width - half) {
+                let proc = self.lane_proc(i);
+                pat.push(Request::read(proc, scratch + (half + i) as u64));
+                pat.push(Request::write(proc, scratch + i as u64));
+            }
+            if !pat.is_empty() {
+                self.charge("reduce", &pat);
+            }
+            width = half;
+        }
+        let dst = self.alloc(1);
+        self.vectors[dst.0].data[0] = value;
+        self.charge_write_sweep("reduce-root", dst);
+        dst
+    }
+
+    /// Flags normalized to 0/1 (no memory cost: a register op fused
+    /// into the consumer on a real machine; we keep it free to avoid
+    /// double-charging pack).
+    fn normalized(&mut self, flags: VecHandle) -> VecHandle {
+        let n = self.len(flags);
+        let dst = self.alloc(n);
+        for i in 0..n {
+            self.vectors[dst.0].data[i] = u64::from(self.vectors[flags.0].data[i] != 0);
+        }
+        dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm() -> Executor {
+        Executor::seeded(MachineParams::new(4, 1, 0, 8, 8), 7)
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut vm = vm();
+        let h = vm.constant(&[5, 6, 7]);
+        assert_eq!(vm.read_back(h), vec![5, 6, 7]);
+        assert_eq!(vm.len(h), 3);
+    }
+
+    #[test]
+    fn iota_and_fill() {
+        let mut vm = vm();
+        let i = vm.iota(5);
+        assert_eq!(vm.read_back(i), vec![0, 1, 2, 3, 4]);
+        let f = vm.fill(3, 9);
+        assert_eq!(vm.read_back(f), vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn binop_computes_and_charges() {
+        let mut vm = vm();
+        let a = vm.constant(&[1, 2, 3]);
+        let b = vm.constant(&[10, 20, 30]);
+        let before = vm.cycles();
+        let c = vm.binop(BinOp::Add, a, b);
+        assert!(vm.cycles() > before, "binop must cost cycles");
+        assert_eq!(vm.read_back(c), vec![11, 22, 33]);
+        let cost = vm.costs().iter().find(|c| c.label == "binop").unwrap();
+        assert_eq!(cost.requests, 9); // 2 reads + 1 write × 3 lanes
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut vm = vm();
+        let a = vm.constant_f64(&[1.5, 2.5]);
+        let b = vm.constant_f64(&[2.0, 4.0]);
+        let c = vm.binop(BinOp::FMul, a, b);
+        assert_eq!(vm.read_back_f64(c), vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn gather_contention_is_priced() {
+        let mut vm = vm();
+        let src = vm.constant(&[100, 200]);
+        let hot = vm.fill(64, 0); // every lane gathers src[0]
+        let g = vm.gather(src, hot);
+        assert_eq!(vm.read_back(g), vec![100; 64]);
+        let cost = vm.costs().iter().find(|c| c.label == "gather").unwrap();
+        assert_eq!(cost.max_contention, 64);
+        // The hot read serializes: at least d·64 cycles.
+        assert!(cost.cycles >= 8 * 64, "cycles {}", cost.cycles);
+    }
+
+    #[test]
+    fn scatter_last_lane_wins() {
+        let mut vm = vm();
+        let dst = vm.fill(4, 0);
+        let idx = vm.constant(&[1, 1, 3]);
+        let src = vm.constant(&[7, 8, 9]);
+        vm.scatter_into(dst, idx, src);
+        assert_eq!(vm.read_back(dst), vec![0, 8, 0, 9]);
+    }
+
+    #[test]
+    fn scan_exclusive_matches_oracle() {
+        let mut vm = vm();
+        let a = vm.constant(&[3, 1, 4, 1, 5]);
+        let s = vm.scan_exclusive(BinOp::Add, a);
+        assert_eq!(vm.read_back(s), vec![0, 3, 4, 8, 9]);
+    }
+
+    #[test]
+    fn seg_scan_restarts_at_flags() {
+        let mut vm = vm();
+        let a = vm.constant(&[1, 1, 1, 1, 1]);
+        let f = vm.constant(&[1, 0, 1, 0, 0]);
+        let s = vm.seg_scan_inclusive(BinOp::Add, a, f);
+        assert_eq!(vm.read_back(s), vec![1, 2, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pack_keeps_flagged_elements_in_order() {
+        let mut vm = vm();
+        let a = vm.constant(&[10, 11, 12, 13, 14]);
+        let f = vm.constant(&[0, 1, 0, 1, 1]);
+        let p = vm.pack(a, f);
+        assert_eq!(vm.read_back(p), vec![11, 13, 14]);
+        assert_eq!(vm.len(p), 3);
+    }
+
+    #[test]
+    fn pack_of_nothing_is_empty() {
+        let mut vm = vm();
+        let a = vm.constant(&[1, 2]);
+        let f = vm.fill(2, 0);
+        let p = vm.pack(a, f);
+        assert!(vm.is_empty(p));
+    }
+
+    #[test]
+    fn reduce_computes_the_fold() {
+        let mut vm = vm();
+        let a = vm.constant(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let total = vm.reduce(BinOp::Add, a);
+        assert_eq!(vm.read_back(total), vec![31]);
+        let max = vm.reduce(BinOp::Max, a);
+        assert_eq!(vm.read_back(max), vec![9]);
+        // lg(8) = 3 combining supersteps.
+        assert_eq!(vm.costs().iter().filter(|c| c.label == "reduce").count(), 6);
+    }
+
+    #[test]
+    fn reduce_of_singleton_and_empty() {
+        let mut vm = vm();
+        let one = vm.constant(&[42]);
+        let r = vm.reduce(BinOp::Add, one);
+        assert_eq!(vm.read_back(r), vec![42]);
+        let empty = vm.constant(&[]);
+        let z = vm.reduce(BinOp::Add, empty);
+        assert_eq!(vm.read_back(z), vec![0]); // the monoid identity
+    }
+
+    #[test]
+    fn costs_accumulate_monotonically() {
+        let mut vm = vm();
+        let mut last = 0;
+        let a = vm.constant(&[1; 100]);
+        let b = vm.iota(100);
+        for _ in 0..3 {
+            let _ = vm.binop(BinOp::Add, a, b);
+            assert!(vm.cycles() > last);
+            last = vm.cycles();
+        }
+        assert_eq!(vm.costs().iter().filter(|c| c.label == "binop").count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn binop_length_mismatch_rejected() {
+        let mut vm = vm();
+        let a = vm.constant(&[1]);
+        let b = vm.constant(&[1, 2]);
+        let _ = vm.binop(BinOp::Add, a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_oob_rejected() {
+        let mut vm = vm();
+        let src = vm.constant(&[1]);
+        let idx = vm.constant(&[3]);
+        let _ = vm.gather(src, idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "monoid")]
+    fn scan_of_non_monoid_rejected() {
+        let mut vm = vm();
+        let a = vm.constant(&[1, 2]);
+        let _ = vm.scan_exclusive(BinOp::Sub, a);
+    }
+}

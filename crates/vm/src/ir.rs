@@ -1,0 +1,327 @@
+//! A recorded intermediate representation of VM programs.
+//!
+//! The eager [`Executor`] API runs ops as they are
+//! issued, on one machine. The IR decouples *what* a program does from
+//! *where* it runs: build an [`IrProgram`] once (with [`IrBuilder`],
+//! which mirrors the executor's API), then [`run_ir`] it on any machine
+//! configuration — the cross-machine methodology of the paper's
+//! C90-vs-J90 comparisons, for whole programs.
+
+use serde::{Deserialize, Serialize};
+
+use dxbsp_core::MachineParams;
+
+use crate::exec::{Executor, VecHandle};
+use crate::ops::{BinOp, UnOp};
+
+/// A virtual register naming an instruction's result vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(usize);
+
+/// One IR instruction. Registers refer to earlier instructions'
+/// results (single-assignment; `ScatterInto` mutates its destination
+/// in place, as the hardware op does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Upload literal words.
+    Constant(Vec<u64>),
+    /// `[0..n)`.
+    Iota(usize),
+    /// `n` copies of a value.
+    Fill(usize, u64),
+    /// Element-wise binary op.
+    BinOp(BinOp, Reg, Reg),
+    /// Element-wise binary op against an immediate.
+    BinOpImm(BinOp, Reg, u64),
+    /// Element-wise unary op.
+    UnOp(UnOp, Reg),
+    /// `dst[i] = src[idx[i]]`.
+    Gather(Reg, Reg),
+    /// `dst[idx[i]] = src[i]` (in place on `dst`; yields no new reg).
+    ScatterInto(Reg, Reg, Reg),
+    /// Exclusive scan by a monoid.
+    ScanExclusive(BinOp, Reg),
+    /// Segmented inclusive scan.
+    SegScanInclusive(BinOp, Reg, Reg),
+    /// Stream compaction by flags.
+    Pack(Reg, Reg),
+    /// Whole-vector reduction by a monoid (yields a 1-element vector).
+    Reduce(BinOp, Reg),
+    /// Mark a register as a program output.
+    Output(Reg),
+}
+
+/// A complete recorded program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IrProgram {
+    instrs: Vec<Instr>,
+}
+
+impl IrProgram {
+    /// The instructions in order.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Builds an [`IrProgram`] with the executor's vocabulary.
+#[derive(Debug, Default)]
+pub struct IrBuilder {
+    prog: IrProgram,
+}
+
+impl IrBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, i: Instr) -> Reg {
+        self.prog.instrs.push(i);
+        Reg(self.prog.instrs.len() - 1)
+    }
+
+    /// Uploads literal words.
+    pub fn constant(&mut self, data: &[u64]) -> Reg {
+        self.push(Instr::Constant(data.to_vec()))
+    }
+
+    /// Uploads floats as `f64` bit patterns.
+    pub fn constant_f64(&mut self, data: &[f64]) -> Reg {
+        self.push(Instr::Constant(data.iter().map(|v| v.to_bits()).collect()))
+    }
+
+    /// `[0..n)`.
+    pub fn iota(&mut self, n: usize) -> Reg {
+        self.push(Instr::Iota(n))
+    }
+
+    /// `n` copies of `value`.
+    pub fn fill(&mut self, n: usize, value: u64) -> Reg {
+        self.push(Instr::Fill(n, value))
+    }
+
+    /// Element-wise binary op.
+    pub fn binop(&mut self, op: BinOp, a: Reg, b: Reg) -> Reg {
+        self.push(Instr::BinOp(op, a, b))
+    }
+
+    /// Element-wise op against an immediate.
+    pub fn binop_imm(&mut self, op: BinOp, a: Reg, imm: u64) -> Reg {
+        self.push(Instr::BinOpImm(op, a, imm))
+    }
+
+    /// Element-wise unary op.
+    pub fn unop(&mut self, op: UnOp, a: Reg) -> Reg {
+        self.push(Instr::UnOp(op, a))
+    }
+
+    /// `src[idx[i]]`.
+    pub fn gather(&mut self, src: Reg, idx: Reg) -> Reg {
+        self.push(Instr::Gather(src, idx))
+    }
+
+    /// `dst[idx[i]] = src[i]`.
+    pub fn scatter_into(&mut self, dst: Reg, idx: Reg, src: Reg) {
+        self.prog.instrs.push(Instr::ScatterInto(dst, idx, src));
+    }
+
+    /// Exclusive monoid scan.
+    pub fn scan_exclusive(&mut self, op: BinOp, src: Reg) -> Reg {
+        self.push(Instr::ScanExclusive(op, src))
+    }
+
+    /// Segmented inclusive scan.
+    pub fn seg_scan_inclusive(&mut self, op: BinOp, src: Reg, flags: Reg) -> Reg {
+        self.push(Instr::SegScanInclusive(op, src, flags))
+    }
+
+    /// Stream compaction.
+    pub fn pack(&mut self, src: Reg, flags: Reg) -> Reg {
+        self.push(Instr::Pack(src, flags))
+    }
+
+    /// Whole-vector reduction.
+    pub fn reduce(&mut self, op: BinOp, src: Reg) -> Reg {
+        self.push(Instr::Reduce(op, src))
+    }
+
+    /// Marks a register as an output of the program.
+    pub fn output(&mut self, r: Reg) {
+        self.prog.instrs.push(Instr::Output(r));
+    }
+
+    /// Finishes the program.
+    #[must_use]
+    pub fn finish(self) -> IrProgram {
+        self.prog
+    }
+}
+
+/// Result of running an IR program on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrRun {
+    /// The vectors marked with [`IrBuilder::output`], in order.
+    pub outputs: Vec<Vec<u64>>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Per-op costs (one entry per executed memory-bearing op).
+    pub ops: usize,
+}
+
+/// Interprets `prog` on machine `m` (bank map drawn from `seed`).
+///
+/// # Panics
+///
+/// Panics if an instruction references a register produced by
+/// `ScatterInto`/`Output` (which yield none) or out of range — IR
+/// programs are trusted, builder-produced artifacts.
+#[must_use]
+pub fn run_ir(prog: &IrProgram, m: MachineParams, seed: u64) -> IrRun {
+    let mut vm = Executor::seeded(m, seed);
+    let mut regs: Vec<Option<VecHandle>> = Vec::with_capacity(prog.len());
+    let mut outputs = Vec::new();
+    let reg = |regs: &[Option<VecHandle>], r: Reg| -> VecHandle {
+        regs[r.0].expect("register has no vector (ScatterInto/Output yield none)")
+    };
+    for instr in prog.instrs() {
+        let result: Option<VecHandle> = match instr {
+            Instr::Constant(data) => Some(vm.constant(data)),
+            Instr::Iota(n) => Some(vm.iota(*n)),
+            Instr::Fill(n, v) => Some(vm.fill(*n, *v)),
+            Instr::BinOp(op, a, b) => Some(vm.binop(*op, reg(&regs, *a), reg(&regs, *b))),
+            Instr::BinOpImm(op, a, imm) => Some(vm.binop_imm(*op, reg(&regs, *a), *imm)),
+            Instr::UnOp(op, a) => Some(vm.unop(*op, reg(&regs, *a))),
+            Instr::Gather(src, idx) => Some(vm.gather(reg(&regs, *src), reg(&regs, *idx))),
+            Instr::ScatterInto(dst, idx, src) => {
+                vm.scatter_into(reg(&regs, *dst), reg(&regs, *idx), reg(&regs, *src));
+                None
+            }
+            Instr::ScanExclusive(op, src) => Some(vm.scan_exclusive(*op, reg(&regs, *src))),
+            Instr::SegScanInclusive(op, src, flags) => {
+                Some(vm.seg_scan_inclusive(*op, reg(&regs, *src), reg(&regs, *flags)))
+            }
+            Instr::Pack(src, flags) => Some(vm.pack(reg(&regs, *src), reg(&regs, *flags))),
+            Instr::Reduce(op, src) => Some(vm.reduce(*op, reg(&regs, *src))),
+            Instr::Output(r) => {
+                outputs.push(vm.read_back(reg(&regs, *r)));
+                None
+            }
+        };
+        regs.push(result);
+    }
+    IrRun { outputs, cycles: vm.cycles(), ops: vm.costs().len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small program: y[i] = prefix-sum of (a AND mask) gathered by a
+    /// permutation — touches most of the instruction set.
+    fn sample_program() -> IrProgram {
+        let mut b = IrBuilder::new();
+        let a = b.constant(&[5, 9, 13, 2, 7, 11, 3, 8]);
+        let masked = b.binop_imm(BinOp::And, a, 7);
+        let perm = b.constant(&[7, 6, 5, 4, 3, 2, 1, 0]);
+        let gathered = b.gather(masked, perm);
+        let scanned = b.scan_exclusive(BinOp::Add, gathered);
+        b.output(scanned);
+        let flags = b.constant(&[1, 0, 0, 0, 1, 0, 0, 0]);
+        let seg = b.seg_scan_inclusive(BinOp::Add, gathered, flags);
+        b.output(seg);
+        b.finish()
+    }
+
+    fn j90() -> MachineParams {
+        MachineParams::new(8, 1, 0, 14, 32)
+    }
+
+    fn c90() -> MachineParams {
+        MachineParams::new(16, 1, 0, 6, 64)
+    }
+
+    #[test]
+    fn ir_computes_the_same_values_on_every_machine() {
+        let prog = sample_program();
+        let on_j90 = run_ir(&prog, j90(), 1);
+        let on_c90 = run_ir(&prog, c90(), 2);
+        assert_eq!(on_j90.outputs, on_c90.outputs);
+        assert_eq!(on_j90.outputs.len(), 2);
+        // masked = [5,1,5,2,7,3,3,0]; reversed = [0,3,3,7,2,5,1,5];
+        // exclusive sum = [0,0,3,6,13,15,20,21].
+        assert_eq!(on_j90.outputs[0], vec![0, 0, 3, 6, 13, 15, 20, 21]);
+    }
+
+    #[test]
+    fn costs_differ_across_machines_for_hot_programs() {
+        // A hot gather: every lane reads cell 0.
+        let mut b = IrBuilder::new();
+        let src = b.constant(&[42]);
+        let idx = b.fill(512, 0);
+        let g = b.gather(src, idx);
+        b.output(g);
+        let prog = b.finish();
+        let slow = run_ir(&prog, MachineParams::new(8, 1, 0, 14, 32), 3);
+        let fast = run_ir(&prog, MachineParams::new(8, 1, 0, 2, 32), 3);
+        assert_eq!(slow.outputs, fast.outputs);
+        assert!(slow.cycles > 3 * fast.cycles, "{} vs {}", slow.cycles, fast.cycles);
+    }
+
+    #[test]
+    fn scatter_and_pack_execute_through_ir() {
+        let mut b = IrBuilder::new();
+        let dst = b.fill(4, 0);
+        let idx = b.constant(&[2, 0]);
+        let src = b.constant(&[7, 9]);
+        b.scatter_into(dst, idx, src);
+        b.output(dst);
+        let flags = b.constant(&[1, 0, 1, 0]);
+        let packed = b.pack(dst, flags);
+        b.output(packed);
+        let run = run_ir(&b.finish(), j90(), 4);
+        assert_eq!(run.outputs[0], vec![9, 0, 7, 0]);
+        assert_eq!(run.outputs[1], vec![9, 7]);
+    }
+
+    #[test]
+    fn reduce_executes_through_ir() {
+        let mut b = IrBuilder::new();
+        let a = b.constant(&[1, 2, 3, 4, 5]);
+        let sum = b.reduce(BinOp::Add, a);
+        let max = b.reduce(BinOp::Max, a);
+        b.output(sum);
+        b.output(max);
+        let run = run_ir(&b.finish(), j90(), 8);
+        assert_eq!(run.outputs, vec![vec![15], vec![5]]);
+    }
+
+    #[test]
+    fn empty_program_runs_free() {
+        let run = run_ir(&IrProgram::default(), j90(), 5);
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.cycles, 0);
+    }
+
+    #[test]
+    fn ir_is_replayable_and_deterministic() {
+        let prog = sample_program();
+        let a = run_ir(&prog, j90(), 9);
+        let b = run_ir(&prog, j90(), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dxbsp-vm — a scan-vector machine over simulated banked memory
+//!
+//! The paper's Cray implementations are written in the *scan-vector*
+//! style (segmented scans, gathers, scatters over whole vectors —
+//! [BHZ93, ZB91]). This crate provides that programming model as an
+//! executable virtual machine whose every vector operation runs
+//! *through* the simulated bank-interleaved memory of `dxbsp-machine`:
+//! the same execution yields
+//!
+//! * the **values** (checked against host oracles in tests), and
+//! * the **cycle cost** — each vector op becomes one or more (d,x)-BSP
+//!   supersteps whose access patterns are simulated exactly, so data
+//!   movement and its price can never drift apart.
+//!
+//! The instruction set is the small core the paper's algorithms need:
+//! element-wise arithmetic, `iota`/`fill`/`copy`, `gather`/`scatter`
+//! (the contention-bearing ops), unsegmented and segmented scans, and
+//! `pack` (stream compaction). Values are 64-bit words; float ops
+//! reinterpret them as `f64` bits, exactly like a real vector machine
+//! moving opaque words.
+//!
+//! ## Example
+//!
+//! ```
+//! use dxbsp_core::MachineParams;
+//! use dxbsp_vm::{BinOp, Executor, Vm};
+//!
+//! let m = MachineParams::new(4, 1, 0, 8, 8);
+//! let mut vm = Executor::seeded(m, 42);
+//! let a = vm.constant(&[1, 2, 3, 4]);
+//! let b = vm.iota(4);
+//! let c = vm.binop(BinOp::Add, a, b);
+//! assert_eq!(vm.read_back(c), vec![1, 3, 5, 7]);
+//! assert!(vm.cycles() > 0); // every op was paid for in cycles
+//! ```
+
+pub mod exec;
+pub mod ir;
+pub mod ops;
+pub mod programs;
+
+pub use exec::{Executor, OpCost, VecHandle};
+pub use ir::{run_ir, IrBuilder, IrProgram, IrRun, Reg};
+pub use ops::{BinOp, UnOp};
+
+/// Convenience alias: the trait-facing name of the machine.
+pub type Vm = Executor;

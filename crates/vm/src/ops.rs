@@ -1,0 +1,157 @@
+//! Scalar operations applied element-wise by the VM.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary element-wise operations. Integer ops treat words as `u64`
+/// (wrapping); float ops reinterpret them as `f64` bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping integer add.
+    Add,
+    /// Wrapping integer subtract.
+    Sub,
+    /// Wrapping integer multiply.
+    Mul,
+    /// Integer maximum.
+    Max,
+    /// Integer minimum.
+    Min,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Right shift (amount from the second operand, clamped to 63).
+    Shr,
+    /// `1` if equal else `0`.
+    Eq,
+    /// `1` if the first operand is strictly less else `0`.
+    Lt,
+    /// IEEE-754 addition on the words' `f64` interpretations.
+    FAdd,
+    /// IEEE-754 multiplication on the words' `f64` interpretations.
+    FMul,
+}
+
+impl BinOp {
+    /// Applies the operation to two words.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Max => a.max(b),
+            BinOp::Min => a.min(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shr => a >> (b & 63),
+            BinOp::Eq => u64::from(a == b),
+            BinOp::Lt => u64::from(a < b),
+            BinOp::FAdd => (f64::from_bits(a) + f64::from_bits(b)).to_bits(),
+            BinOp::FMul => (f64::from_bits(a) * f64::from_bits(b)).to_bits(),
+        }
+    }
+
+    /// The identity element when the op is used as a scan/reduce
+    /// monoid (`None` for non-associative or partial ops).
+    #[must_use]
+    pub fn identity(self) -> Option<u64> {
+        match self {
+            BinOp::Add | BinOp::Or | BinOp::Xor => Some(0),
+            BinOp::Mul => Some(1),
+            BinOp::Max => Some(0), // u64 min value
+            BinOp::Min => Some(u64::MAX),
+            BinOp::And => Some(u64::MAX),
+            BinOp::FAdd => Some(0f64.to_bits()),
+            BinOp::FMul => Some(1f64.to_bits()),
+            BinOp::Sub | BinOp::Shr | BinOp::Eq | BinOp::Lt => None,
+        }
+    }
+}
+
+/// Unary element-wise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Bitwise not.
+    Not,
+    /// `1` if the word is zero else `0`.
+    IsZero,
+    /// Converts the integer value to the bits of its `f64` value.
+    IntToFloat,
+    /// Truncates the `f64` interpretation back to an integer.
+    FloatToInt,
+}
+
+impl UnOp {
+    /// Applies the operation to a word.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, a: u64) -> u64 {
+        match self {
+            UnOp::Not => !a,
+            UnOp::IsZero => u64::from(a == 0),
+            UnOp::IntToFloat => (a as f64).to_bits(),
+            UnOp::FloatToInt => f64::from_bits(a) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops_apply() {
+        assert_eq!(BinOp::Add.apply(3, 4), 7);
+        assert_eq!(BinOp::Sub.apply(3, 4), u64::MAX); // wraps
+        assert_eq!(BinOp::Mul.apply(6, 7), 42);
+        assert_eq!(BinOp::Max.apply(3, 9), 9);
+        assert_eq!(BinOp::Min.apply(3, 9), 3);
+        assert_eq!(BinOp::Shr.apply(16, 2), 4);
+        assert_eq!(BinOp::Eq.apply(5, 5), 1);
+        assert_eq!(BinOp::Lt.apply(5, 5), 0);
+        assert_eq!(BinOp::Lt.apply(4, 5), 1);
+    }
+
+    #[test]
+    fn float_ops_round_trip_bits() {
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        assert_eq!(f64::from_bits(BinOp::FAdd.apply(a, b)), 3.75);
+        assert_eq!(f64::from_bits(BinOp::FMul.apply(a, b)), 3.375);
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Min, BinOp::And, BinOp::Or, BinOp::Xor] {
+            let id = op.identity().unwrap();
+            for x in [0u64, 1, 7, u64::MAX / 3] {
+                assert_eq!(op.apply(id, x), x, "{op:?}");
+                assert_eq!(op.apply(x, id), x, "{op:?}");
+            }
+        }
+        assert!(BinOp::Sub.identity().is_none());
+    }
+
+    #[test]
+    fn float_identities() {
+        let id = BinOp::FAdd.identity().unwrap();
+        let x = 2.5f64.to_bits();
+        assert_eq!(f64::from_bits(BinOp::FAdd.apply(id, x)), 2.5);
+        let one = BinOp::FMul.identity().unwrap();
+        assert_eq!(f64::from_bits(BinOp::FMul.apply(one, x)), 2.5);
+    }
+
+    #[test]
+    fn unary_ops_apply() {
+        assert_eq!(UnOp::Not.apply(0), u64::MAX);
+        assert_eq!(UnOp::IsZero.apply(0), 1);
+        assert_eq!(UnOp::IsZero.apply(3), 0);
+        assert_eq!(f64::from_bits(UnOp::IntToFloat.apply(5)), 5.0);
+        assert_eq!(UnOp::FloatToInt.apply(5.9f64.to_bits()), 5);
+    }
+}

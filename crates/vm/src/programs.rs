@@ -1,0 +1,329 @@
+//! Whole algorithms written against the VM — the scan-vector style the
+//! paper's Cray implementations use, now with values *and* cycles
+//! coming out of the same simulated execution.
+
+use crate::exec::{Executor, VecHandle};
+use crate::ops::BinOp;
+
+/// SpMV `y = A·x` in the segmented-scan formulation \[BHZ93\], executed
+/// on the VM. `col_idx` and `row_flags` describe the CSR structure
+/// (flags mark each row's first nonzero); `row_last` indexes each
+/// row's final nonzero position.
+///
+/// Returns the handle of `y` (length = number of rows).
+///
+/// # Panics
+///
+/// Panics on inconsistent CSR inputs (mismatched lengths, bad indices).
+pub fn spmv(
+    vm: &mut Executor,
+    values: VecHandle,
+    col_idx: VecHandle,
+    row_flags: VecHandle,
+    row_last: VecHandle,
+    x: VecHandle,
+) -> VecHandle {
+    assert_eq!(vm.len(values), vm.len(col_idx), "values/col_idx length mismatch");
+    assert_eq!(vm.len(values), vm.len(row_flags), "values/flags length mismatch");
+    // Gather x[col] — the contended step when a column is dense.
+    let xs = vm.gather(x, col_idx);
+    // Multiply with the stored values.
+    let prods = vm.binop(BinOp::FMul, values, xs);
+    // Sum within rows.
+    let sums = vm.seg_scan_inclusive(BinOp::FAdd, prods, row_flags);
+    // Extract each row's total (the scan value at the row's last slot).
+    vm.gather(sums, row_last)
+}
+
+/// One counting-rank pass of a radix sort on the VM: given `digits`
+/// (values `< radix`), produce each element's stable rank — the
+/// destination of the permute step of \[ZB91\]. Implemented with `radix`
+/// flag/scan rounds, all contention-free.
+///
+/// # Panics
+///
+/// Panics if `radix == 0`.
+pub fn stable_rank_by_digit(vm: &mut Executor, digits: VecHandle, radix: u64) -> VecHandle {
+    assert!(radix >= 1, "radix must be positive");
+    let n = vm.len(digits);
+    let ranks = vm.fill(n, 0);
+    let offset = vm.fill(1, 0); // running total of smaller digits
+    for digit in 0..radix {
+        // flag[i] = 1 iff digits[i] == digit.
+        let flags = vm.binop_imm(BinOp::Eq, digits, digit);
+        // Within-digit exclusive prefix counts.
+        let within = vm.scan_exclusive(BinOp::Add, flags);
+        // rank = offset + within, masked to this digit's elements.
+        let off_val = vm.read_back(offset)[0];
+        let shifted = vm.binop_imm(BinOp::Add, within, off_val);
+        let masked = vm.binop(BinOp::Mul, shifted, flags);
+        let merged = vm.binop(BinOp::Add, ranks, masked);
+        // ranks ← merged (reuse the handle by scattering over iota).
+        let idx = vm.iota(n);
+        vm.scatter_into(ranks, idx, merged);
+        // offset += count of this digit.
+        let count: u64 = vm.read_back(flags).iter().sum();
+        let bumped = vm.binop_imm(BinOp::Add, offset, count);
+        let zero = vm.fill(1, 0);
+        vm.scatter_into(offset, zero, bumped);
+    }
+    ranks
+}
+
+/// Full VM radix sort of `keys` with digit width `radix_bits`: returns
+/// a handle to the sorted keys.
+///
+/// # Panics
+///
+/// Panics if `radix_bits` is 0 or > 8 (the flag/scan ranking is
+/// O(radix · n); keep digits small on the VM).
+pub fn radix_sort(vm: &mut Executor, keys: VecHandle, radix_bits: u32, key_bits: u32) -> VecHandle {
+    assert!((1..=8).contains(&radix_bits), "radix bits must be in 1..=8");
+    let radix = 1u64 << radix_bits;
+    let passes = key_bits.div_ceil(radix_bits);
+    let n = vm.len(keys);
+    let mut current = keys;
+    for pass in 0..passes {
+        let shifted = vm.binop_imm(BinOp::Shr, current, u64::from(pass * radix_bits));
+        let digits = vm.binop_imm(BinOp::And, shifted, radix - 1);
+        let ranks = stable_rank_by_digit(vm, digits, radix);
+        let next = vm.fill(n, 0);
+        vm.scatter_into(next, ranks, current);
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxbsp_core::MachineParams;
+
+    fn vm() -> Executor {
+        Executor::seeded(MachineParams::new(8, 1, 0, 14, 32), 11)
+    }
+
+    #[test]
+    fn vm_spmv_matches_host_oracle() {
+        use dxbsp_workloads::CsrMatrix;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = CsrMatrix::random(40, 30, 3, &mut rng);
+        let x: Vec<f64> = (0..30).map(|i| 0.5 + i as f64).collect();
+
+        let mut vm = vm();
+        let vals = vm.constant_f64(&a.values);
+        let cols = vm.constant(&a.col_idx.iter().map(|&c| u64::from(c)).collect::<Vec<_>>());
+        let mut flags = vec![0u64; a.nnz()];
+        let mut last = Vec::with_capacity(a.rows);
+        for r in 0..a.rows {
+            if a.row_ptr[r] < a.row_ptr[r + 1] {
+                flags[a.row_ptr[r]] = 1;
+            }
+            last.push(a.row_ptr[r + 1].saturating_sub(1) as u64);
+        }
+        let flags_h = vm.constant(&flags);
+        let last_h = vm.constant(&last);
+        let x_h = vm.constant_f64(&x);
+
+        let y = spmv(&mut vm, vals, cols, flags_h, last_h, x_h);
+        let got = vm.read_back_f64(y);
+        let want = a.multiply_serial(&x);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+        // The gather of x was priced.
+        assert!(vm.costs().iter().any(|c| c.label == "gather"));
+    }
+
+    #[test]
+    fn vm_spmv_dense_column_costs_more() {
+        use dxbsp_workloads::CsrMatrix;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 512;
+        let run = |a: &CsrMatrix| -> u64 {
+            let mut vm = vm();
+            let vals = vm.constant_f64(&a.values);
+            let cols = vm.constant(&a.col_idx.iter().map(|&c| u64::from(c)).collect::<Vec<_>>());
+            let mut flags = vec![0u64; a.nnz()];
+            let mut last = Vec::with_capacity(a.rows);
+            for r in 0..a.rows {
+                if a.row_ptr[r] < a.row_ptr[r + 1] {
+                    flags[a.row_ptr[r]] = 1;
+                }
+                last.push(a.row_ptr[r + 1].saturating_sub(1) as u64);
+            }
+            let flags_h = vm.constant(&flags);
+            let last_h = vm.constant(&last);
+            let x: Vec<f64> = vec![1.0; a.cols];
+            let x_h = vm.constant_f64(&x);
+            let before = vm.cycles();
+            let _ = spmv(&mut vm, vals, cols, flags_h, last_h, x_h);
+            vm.cycles() - before
+        };
+        let sparse = CsrMatrix::random(n, n, 4, &mut rng);
+        let dense = CsrMatrix::random_with_dense_column(n, n, 4, n, &mut rng);
+        let cs = run(&sparse);
+        let cd = run(&dense);
+        assert!(cd > 2 * cs, "dense column {cd} vs sparse {cs}");
+    }
+
+    #[test]
+    fn stable_rank_is_a_stable_permutation() {
+        let mut vm = vm();
+        let digits = vm.constant(&[2, 0, 1, 0, 2, 1, 0]);
+        let ranks = stable_rank_by_digit(&mut vm, digits, 3);
+        // Sorted order: the three 0s (idx 1,3,6), the two 1s (2,5),
+        // the two 2s (0,4) — ranks are destinations.
+        assert_eq!(vm.read_back(ranks), vec![5, 0, 3, 1, 6, 4, 2]);
+    }
+
+    #[test]
+    fn vm_radix_sort_sorts() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys: Vec<u64> = (0..200).map(|_| rng.random_range(0..1 << 12)).collect();
+        let mut vm = vm();
+        let h = vm.constant(&keys);
+        let sorted = radix_sort(&mut vm, h, 4, 12);
+        let got = vm.read_back(sorted);
+        let mut want = keys;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn vm_sort_costs_scale_with_input() {
+        let mut vm1 = vm();
+        let k1 = vm1.constant(&vec![7u64; 64]);
+        let _ = radix_sort(&mut vm1, k1, 4, 8);
+        let mut vm2 = vm();
+        let k2 = vm2.constant(&vec![7u64; 512]);
+        let _ = radix_sort(&mut vm2, k2, 4, 8);
+        assert!(vm2.cycles() > 3 * vm1.cycles(), "{} vs {}", vm2.cycles(), vm1.cycles());
+    }
+}
+
+/// QRQW dart-throwing random permutation on the VM \[GMR94a\]: each live
+/// element scatters its id into a random slot of a `⌈slack·n⌉` target
+/// array, reads the slot back, and drops out if it won. The host
+/// drives the round loop (reading back the live flags — the
+/// data-dependent control a real program's scalar unit would run), but
+/// all element data moves through the simulated memory.
+///
+/// Returns the packed permutation (length `n`).
+///
+/// # Panics
+///
+/// Panics if `slack < 1.0`.
+pub fn random_permutation_darts<R: rand::Rng + ?Sized>(
+    vm: &mut Executor,
+    n: usize,
+    slack: f64,
+    rng: &mut R,
+) -> VecHandle {
+    assert!(slack >= 1.0, "target array cannot be smaller than the input");
+    let slots = ((n as f64 * slack).ceil() as usize).max(n).max(1);
+    // target[s] holds 1 + element id of the winner (0 = free).
+    let target = vm.fill(slots, 0);
+    let mut live: Vec<u64> = (0..n as u64).collect();
+
+    while !live.is_empty() {
+        // Host picks the random slots (the scalar unit's RNG), then
+        // every vector op below is simulated memory traffic.
+        let picks: Vec<u64> = live.iter().map(|_| rng.random_range(0..slots as u64)).collect();
+        let picks_h = vm.constant(&picks);
+        let ids: Vec<u64> = live.iter().map(|&e| e + 1).collect();
+        let ids_h = vm.constant(&ids);
+
+        // Throw only at free slots: read current owners, scatter ids
+        // where free (a conditional scatter = gather + select + scatter;
+        // the select is element-local).
+        let owners = vm.gather(target, picks_h);
+        let free = vm.unop(crate::ops::UnOp::IsZero, owners);
+        let claim = vm.binop(BinOp::Mul, ids_h, free);
+        // Merge: new cell value = old owner + claim when free (owner=0).
+        let merged = vm.binop(BinOp::Add, owners, claim);
+        vm.scatter_into(target, picks_h, merged);
+
+        // Read back and keep the losers.
+        let after = vm.gather(target, picks_h);
+        let after_vals = vm.read_back(after);
+        live = live
+            .iter()
+            .zip(&after_vals)
+            .filter(|(&e, &got)| got != e + 1)
+            .map(|(&e, _)| e)
+            .collect();
+    }
+
+    // Pack the winners (ids shifted back down by 1).
+    let flags = {
+        let t = vm.fill(slots, 0);
+        let idx = vm.iota(slots);
+        let cur = vm.gather(target, idx);
+        let nonzero = vm.unop(crate::ops::UnOp::IsZero, cur);
+        let one = vm.fill(slots, 1);
+        let inv = vm.binop(BinOp::Sub, one, nonzero);
+        let _ = t;
+        inv
+    };
+    let idx = vm.iota(slots);
+    let cur = vm.gather(target, idx);
+    let packed = vm.pack(cur, flags);
+    vm.binop_imm(BinOp::Sub, packed, 1)
+}
+
+#[cfg(test)]
+mod dart_tests {
+    use super::*;
+    use dxbsp_core::MachineParams;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn vm_darts_produce_a_permutation() {
+        let mut vm = Executor::seeded(MachineParams::new(8, 1, 0, 14, 32), 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        let perm_h = random_permutation_darts(&mut vm, 500, 1.5, &mut rng);
+        let perm = vm.read_back(perm_h);
+        assert_eq!(perm.len(), 500);
+        let mut seen = vec![false; 500];
+        for &v in &perm {
+            assert!((v as usize) < 500 && !seen[v as usize], "not a permutation: {v}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn vm_darts_cost_less_than_vm_sort() {
+        // The paper's Figure 11 on the VM: darts vs radix sort of
+        // random keys, same machine, same element count.
+        let m = MachineParams::new(8, 1, 0, 14, 32);
+        let n = 1024;
+        let mut vm_d = Executor::seeded(m, 22);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = random_permutation_darts(&mut vm_d, n, 1.5, &mut rng);
+
+        let mut vm_s = Executor::seeded(m, 23);
+        use rand::Rng;
+        let keys: Vec<u64> = (0..n as u64).map(|_| rng.random_range(0..1 << 20)).collect();
+        let h = vm_s.constant(&keys);
+        let _ = radix_sort(&mut vm_s, h, 4, 20);
+        assert!(
+            vm_d.cycles() < vm_s.cycles(),
+            "darts {} should beat sort {}",
+            vm_d.cycles(),
+            vm_s.cycles()
+        );
+    }
+
+    #[test]
+    fn vm_darts_tiny_inputs() {
+        let mut vm = Executor::seeded(MachineParams::new(2, 1, 0, 4, 4), 24);
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = random_permutation_darts(&mut vm, 1, 1.0, &mut rng);
+        assert_eq!(vm.read_back(p), vec![0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: VM vector ops against host oracles, on random
+//! machines and inputs — values must be exact and cycles must be
+//! positive, deterministic, and contention-sensitive.
+
+use dxbsp_core::MachineParams;
+use dxbsp_vm::{BinOp, Executor, UnOp};
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = MachineParams> {
+    (1usize..=8, 1u64..=16, 1usize..=16).prop_map(|(p, d, x)| MachineParams::new(p, 1, 0, d, x))
+}
+
+proptest! {
+    /// Upload → read-back is the identity.
+    #[test]
+    fn round_trip(m in arb_machine(), values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut vm = Executor::seeded(m, 1);
+        let h = vm.constant(&values);
+        prop_assert_eq!(vm.read_back(h), values);
+    }
+
+    /// Binops agree with the scalar op on every element.
+    #[test]
+    fn binop_matches_scalar(
+        m in arb_machine(),
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..150),
+    ) {
+        let a_vals: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let b_vals: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        let mut vm = Executor::seeded(m, 2);
+        let a = vm.constant(&a_vals);
+        let b = vm.constant(&b_vals);
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Xor, BinOp::Lt] {
+            let c = vm.binop(op, a, b);
+            let got = vm.read_back(c);
+            let want: Vec<u64> = pairs.iter().map(|&(x, y)| op.apply(x, y)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Gather/scatter round trip: scattering by a permutation then
+    /// gathering by it recovers the source.
+    #[test]
+    fn permute_round_trip(m in arb_machine(), n in 1usize..150, seed in 0u64..500) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u64> = (0..n as u64).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 31 + 7).collect();
+        let mut vm = Executor::seeded(m, seed);
+        let v = vm.constant(&values);
+        let p = vm.constant(&perm);
+        let scattered = vm.fill(n, 0);
+        vm.scatter_into(scattered, p, v);
+        let back = vm.gather(scattered, p);
+        prop_assert_eq!(vm.read_back(back), values);
+    }
+
+    /// VM scans agree with the host scan for every monoid.
+    #[test]
+    fn scans_match_oracle(m in arb_machine(), xs in proptest::collection::vec(0u64..1000, 0..150)) {
+        let mut vm = Executor::seeded(m, 3);
+        let h = vm.constant(&xs);
+        for op in [BinOp::Add, BinOp::Max, BinOp::Min] {
+            let s = vm.scan_exclusive(op, h);
+            let mut acc = op.identity().unwrap();
+            let want: Vec<u64> = xs.iter().map(|&x| { let out = acc; acc = op.apply(acc, x); out }).collect();
+            prop_assert_eq!(vm.read_back(s), want);
+        }
+    }
+
+    /// Pack equals filter.
+    #[test]
+    fn pack_matches_filter(
+        m in arb_machine(),
+        elems in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..150),
+    ) {
+        let values: Vec<u64> = elems.iter().map(|e| e.0).collect();
+        let flags: Vec<u64> = elems.iter().map(|e| u64::from(e.1)).collect();
+        let mut vm = Executor::seeded(m, 4);
+        let v = vm.constant(&values);
+        let f = vm.constant(&flags);
+        let p = vm.pack(v, f);
+        let want: Vec<u64> = elems.iter().filter(|e| e.1).map(|e| e.0).collect();
+        prop_assert_eq!(vm.read_back(p), want);
+    }
+
+    /// The VM charges hot gathers at least d·k — the cost model is
+    /// wired all the way through.
+    #[test]
+    fn hot_gather_charged_at_least_dk(m in arb_machine(), k in 1usize..200) {
+        let mut vm = Executor::seeded(m, 5);
+        let src = vm.constant(&[42]);
+        let idx = vm.fill(k, 0);
+        let before = vm.cycles();
+        let _ = vm.gather(src, idx);
+        let spent = vm.cycles() - before;
+        prop_assert!(spent >= m.d * k as u64, "gather cost {spent} < d·k = {}", m.d * k as u64);
+    }
+
+    /// Unops agree with scalars.
+    #[test]
+    fn unop_matches_scalar(m in arb_machine(), xs in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut vm = Executor::seeded(m, 6);
+        let a = vm.constant(&xs);
+        for op in [UnOp::Not, UnOp::IsZero] {
+            let c = vm.unop(op, a);
+            let want: Vec<u64> = xs.iter().map(|&x| op.apply(x)).collect();
+            prop_assert_eq!(vm.read_back(c), want);
+        }
+    }
+
+    /// Determinism: the same program on the same seed costs the same.
+    #[test]
+    fn costs_are_deterministic(m in arb_machine(), xs in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let run = || {
+            let mut vm = Executor::seeded(m, 9);
+            let a = vm.constant(&xs);
+            let idx = vm.binop_imm(BinOp::And, a, (xs.len() - 1) as u64 | 1);
+            let clamped = vm.binop_imm(BinOp::Min, idx, xs.len() as u64 - 1);
+            let g = vm.gather(a, clamped);
+            let _ = vm.scan_exclusive(BinOp::Add, g);
+            vm.cycles()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,276 @@
+//! Graph generators for the connected-components experiments (§6).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An undirected multigraph on vertices `0..n`, stored as an edge list
+/// (the representation Greiner's data-parallel CC algorithm consumes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edges `(u, v)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Erdős–Rényi G(n, m): `m` edges drawn uniformly (self-loops
+    /// excluded, parallel edges allowed — the algorithm tolerates both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` and `m > 0`.
+    #[must_use]
+    pub fn random_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Self {
+        assert!(m == 0 || n >= 2, "edges need at least two vertices");
+        let edges = (0..m)
+            .map(|_| {
+                let u = rng.random_range(0..n as u32);
+                let mut v = rng.random_range(0..n as u32 - 1);
+                if v >= u {
+                    v += 1;
+                }
+                (u, v)
+            })
+            .collect();
+        Self { n, edges }
+    }
+
+    /// A path `0 − 1 − … − (n−1)`: the worst case for shortcutting
+    /// depth (Θ(log n) contraction rounds).
+    #[must_use]
+    pub fn chain(n: usize) -> Self {
+        let edges = (1..n as u32).map(|v| (v - 1, v)).collect();
+        Self { n, edges }
+    }
+
+    /// A star with vertex 0 at the center: maximum hooking contention
+    /// (every leaf hooks onto vertex 0).
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        let edges = (1..n as u32).map(|v| (0, v)).collect();
+        Self { n, edges }
+    }
+
+    /// A `rows × cols` 4-neighbour grid.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::with_capacity(2 * rows * cols);
+        let id = |r: usize, c: usize| (r * cols + c) as u32;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        Self { n: rows * cols, edges }
+    }
+
+    /// A complete binary tree rooted at vertex 0 (vertex `v`'s children
+    /// are `2v+1` and `2v+2`): logarithmic diameter, degree ≤ 3 — the
+    /// benign counterpart to [`Graph::star`].
+    #[must_use]
+    pub fn binary_tree(n: usize) -> Self {
+        let edges = (1..n as u32).map(|v| ((v - 1) / 2, v)).collect();
+        Self { n, edges }
+    }
+
+    /// A planted-community graph: `communities` dense clusters of
+    /// `n / communities` vertices (each cluster a random matching-rich
+    /// cluster with `intra` random internal edges) joined into one
+    /// component by a cycle of bridge edges. Hooking contention
+    /// concentrates on per-community representatives — between the
+    /// chain's 3 and the star's n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `communities == 0` or `n < communities`.
+    #[must_use]
+    pub fn communities<R: Rng + ?Sized>(
+        n: usize,
+        communities: usize,
+        intra: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(communities >= 1, "need at least one community");
+        assert!(n >= communities, "need at least one vertex per community");
+        let size = n / communities;
+        let mut edges = Vec::with_capacity(communities * intra + communities);
+        for c in 0..communities {
+            let base = (c * size) as u32;
+            let span = if c == communities - 1 { n - c * size } else { size };
+            // A spanning path keeps every cluster internally connected
+            // regardless of how the random intra edges fall.
+            for v in 1..span as u32 {
+                edges.push((base + v - 1, base + v));
+            }
+            if span >= 2 {
+                for _ in 0..intra {
+                    let u = base + rng.random_range(0..span as u32);
+                    let mut v = base + rng.random_range(0..span as u32 - 1);
+                    if v >= u {
+                        v += 1;
+                    }
+                    edges.push((u, v));
+                }
+            }
+            // Bridge to the next community (cycle).
+            let next = ((c + 1) % communities * size) as u32;
+            if communities > 1 {
+                edges.push((base, next));
+            }
+        }
+        Self { n, edges }
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Connected-component labels by sequential union–find: the oracle
+    /// the parallel algorithm is tested against. Labels are the minimum
+    /// vertex id of each component.
+    #[must_use]
+    pub fn components_oracle(&self) -> Vec<u32> {
+        let mut parent: Vec<u32> = (0..self.n as u32).collect();
+        fn find(parent: &mut [u32], v: u32) -> u32 {
+            let mut root = v;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            let mut cur = v;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for &(u, v) in &self.edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent[hi as usize] = lo;
+            }
+        }
+        (0..self.n as u32).map(|v| find(&mut parent, v)).collect()
+    }
+
+    /// Number of connected components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        let labels = self.components_oracle();
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_is_one_component() {
+        let g = Graph::chain(100);
+        assert_eq!(g.m(), 99);
+        assert_eq!(g.component_count(), 1);
+        assert!(g.components_oracle().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn star_is_one_component_with_min_label() {
+        let g = Graph::star(50);
+        assert_eq!(g.component_count(), 1);
+        assert!(g.components_oracle().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let g = Graph::empty(10);
+        assert_eq!(g.component_count(), 10);
+        assert_eq!(g.components_oracle(), (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let g = Graph::grid(8, 9);
+        assert_eq!(g.n, 72);
+        assert_eq!(g.m(), 8 * 8 + 7 * 9);
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn gnm_has_no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Graph::random_gnm(100, 500, &mut rng);
+        assert_eq!(g.m(), 500);
+        assert!(g.edges.iter().all(|&(u, v)| u != v));
+        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
+    }
+
+    #[test]
+    fn dense_gnm_is_connected_sparse_is_not() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dense = Graph::random_gnm(500, 4000, &mut rng);
+        assert_eq!(dense.component_count(), 1);
+        let sparse = Graph::random_gnm(500, 20, &mut rng);
+        assert!(sparse.component_count() > 100);
+    }
+
+    #[test]
+    fn binary_tree_is_connected_with_bounded_degree() {
+        let g = Graph::binary_tree(127);
+        assert_eq!(g.m(), 126);
+        assert_eq!(g.component_count(), 1);
+        let mut deg = vec![0usize; g.n];
+        for &(u, v) in &g.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d <= 3), "{deg:?}");
+    }
+
+    #[test]
+    fn communities_form_one_component() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Graph::communities(1000, 10, 200, &mut rng);
+        assert_eq!(g.component_count(), 1);
+        assert!(g.edges.iter().all(|&(u, v)| u != v));
+        assert!(g.edges.iter().all(|&(u, v)| (u as usize) < g.n && (v as usize) < g.n));
+    }
+
+    #[test]
+    fn single_community_is_just_a_random_cluster() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = Graph::communities(64, 1, 300, &mut rng);
+        assert_eq!(g.m(), 300 + 63); // spanning path + intra, no bridges
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn oracle_labels_are_component_minima() {
+        // Two triangles: {0,1,2} and {5,6,7}; isolated 3,4.
+        let g = Graph {
+            n: 8,
+            edges: vec![(0, 1), (1, 2), (2, 0), (5, 6), (6, 7), (7, 5)],
+        };
+        assert_eq!(g.components_oracle(), vec![0, 0, 0, 3, 4, 5, 5, 5]);
+        assert_eq!(g.component_count(), 4);
+    }
+}

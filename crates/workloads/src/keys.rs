@@ -1,0 +1,219 @@
+//! Scatter-key generators with controlled location contention.
+//!
+//! §3 Experiment 1 scatters `n` elements where a chosen address receives
+//! exactly `k` requests and the rest are spread uniformly; Experiment 2
+//! replaces the single hot address with `c` duplicates so each copy
+//! absorbs `⌈k/c⌉` requests. These generators produce those address
+//! vectors (the element→processor assignment is applied later by
+//! [`dxbsp_core::AccessPattern::scatter`]).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+/// `n` addresses drawn uniformly from `[0, range)`.
+///
+/// # Panics
+///
+/// Panics if `range == 0`.
+#[must_use]
+pub fn uniform_keys<R: Rng + ?Sized>(n: usize, range: u64, rng: &mut R) -> Vec<u64> {
+    assert!(range > 0, "address range must be nonempty");
+    (0..n).map(|_| rng.random_range(0..range)).collect()
+}
+
+/// `n` addresses where address `0` appears exactly `k` times and the
+/// remaining `n − k` are drawn uniformly from `[1, range)`, shuffled so
+/// the hot requests interleave with the background traffic the way a
+/// real scatter's would.
+///
+/// # Panics
+///
+/// Panics if `k > n` or `range < 2`.
+#[must_use]
+pub fn hotspot_keys<R: Rng + ?Sized>(n: usize, k: usize, range: u64, rng: &mut R) -> Vec<u64> {
+    assert!(k <= n, "contention k cannot exceed n");
+    assert!(range >= 2, "need room for background addresses");
+    let mut keys = Vec::with_capacity(n);
+    keys.extend(std::iter::repeat_n(0u64, k));
+    keys.extend((0..n - k).map(|_| rng.random_range(1..range)));
+    shuffle(&mut keys, rng);
+    keys
+}
+
+/// Experiment-2 keys: the hot address is split into `copies` replicas
+/// (addresses `0..copies`), with the `k` hot requests dealt round-robin
+/// among replicas (so each receives `⌈k/copies⌉` or `⌊k/copies⌋`).
+///
+/// # Panics
+///
+/// Panics if `copies == 0`, `k > n`, or `range ≤ copies`.
+#[must_use]
+pub fn duplicated_hotspot<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    copies: usize,
+    range: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(copies >= 1, "need at least one copy");
+    assert!(k <= n, "contention k cannot exceed n");
+    assert!(range > copies as u64, "need room for background addresses");
+    let mut keys = Vec::with_capacity(n);
+    keys.extend((0..k).map(|i| (i % copies) as u64));
+    keys.extend((0..n - k).map(|_| rng.random_range(copies as u64..range)));
+    shuffle(&mut keys, rng);
+    keys
+}
+
+/// Maximum multiplicity of any address in `keys` (the workload's `k`).
+#[must_use]
+pub fn max_contention(keys: &[u64]) -> usize {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+/// Fisher–Yates shuffle (kept local to avoid depending on `rand`'s
+/// `SliceRandom` across crate versions).
+fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_keys_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = uniform_keys(1000, 64, &mut rng);
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.iter().all(|&k| k < 64));
+    }
+
+    #[test]
+    fn hotspot_contention_is_exact_when_background_is_sparse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Huge range: background collisions are negligible, so the max
+        // contention is exactly k.
+        let keys = hotspot_keys(4096, 257, 1 << 40, &mut rng);
+        assert_eq!(keys.len(), 4096);
+        assert_eq!(keys.iter().filter(|&&k| k == 0).count(), 257);
+        assert_eq!(max_contention(&keys), 257);
+    }
+
+    #[test]
+    fn hotspot_k_equals_n_is_all_same() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys = hotspot_keys(128, 128, 1 << 20, &mut rng);
+        assert!(keys.iter().all(|&k| k == 0));
+    }
+
+    #[test]
+    fn hotspot_k_zero_has_no_forced_duplicates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let keys = hotspot_keys(100, 0, 1 << 40, &mut rng);
+        assert!(keys.iter().all(|&k| k != 0));
+    }
+
+    #[test]
+    fn duplication_splits_contention_evenly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys = duplicated_hotspot(4096, 600, 4, 1 << 40, &mut rng);
+        for copy in 0..4u64 {
+            assert_eq!(keys.iter().filter(|&&k| k == copy).count(), 150);
+        }
+        assert_eq!(max_contention(&keys), 150);
+    }
+
+    #[test]
+    fn duplication_with_one_copy_matches_hotspot() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let keys = duplicated_hotspot(1024, 99, 1, 1 << 40, &mut rng);
+        assert_eq!(keys.iter().filter(|&&k| k == 0).count(), 99);
+    }
+
+    #[test]
+    fn max_contention_of_empty_is_zero() {
+        assert_eq!(max_contention(&[]), 0);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut xs: Vec<u64> = (0..100).collect();
+        shuffle(&mut xs, &mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // And actually permutes (astronomically unlikely to be identity).
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn hotspot_k_above_n_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = hotspot_keys(10, 11, 100, &mut rng);
+    }
+}
+
+/// NAS-IS-style keys: each key is the scaled average of four uniform
+/// draws, giving the binomial-ish hump the NAS Integer Sort benchmark
+/// specifies (the paper's radix sort \[ZB91\] "is currently the fastest
+/// implementation of the NAS sorting benchmark").
+///
+/// Keys lie in `[0, 2^bits)` with mass concentrated near the middle —
+/// mild, realistic contention between `uniform` and `hotspot`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 62`.
+#[must_use]
+pub fn nas_is_keys<R: Rng + ?Sized>(n: usize, bits: u32, rng: &mut R) -> Vec<u64> {
+    assert!(bits >= 1 && bits <= 62, "bits must be in 1..=62");
+    let range = 1u64 << bits;
+    (0..n)
+        .map(|_| {
+            let sum: u64 = (0..4).map(|_| rng.random_range(0..range)).sum();
+            sum / 4
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod nas_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nas_keys_stay_in_range_and_hump_in_the_middle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits = 10u32;
+        let keys = nas_is_keys(40_000, bits, &mut rng);
+        assert!(keys.iter().all(|&k| k < 1 << bits));
+        // The middle half holds most of the mass (binomial hump).
+        let mid = keys
+            .iter()
+            .filter(|&&k| k >= 1 << (bits - 2) && k < 3 * (1 << (bits - 2)))
+            .count();
+        assert!(mid > keys.len() * 3 / 5, "mid mass {mid} of {}", keys.len());
+    }
+
+    #[test]
+    fn nas_keys_have_more_contention_than_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let uniform = max_contention(&uniform_keys(20_000, 1 << 12, &mut rng));
+        let nas = max_contention(&nas_is_keys(20_000, 12, &mut rng));
+        assert!(nas > uniform, "nas {nas} vs uniform {uniform}");
+    }
+}

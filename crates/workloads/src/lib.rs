@@ -1,0 +1,23 @@
+//! # dxbsp-workloads — workload generators for the experiments
+//!
+//! Every experiment in the paper is driven by a parameterized workload:
+//! hot-spot scatter keys with controlled contention (§3 Experiments
+//! 1–2), Thearling–Smith entropy distributions (§3 Experiment 3),
+//! constant-stride patterns (§4's module-map pathologies), random
+//! graphs (connected components, §6) and sparse matrices with a
+//! parameterized dense column (SpMV, §6). This crate generates all of
+//! them deterministically from a caller-supplied RNG.
+
+pub mod entropy;
+pub mod graphs;
+pub mod keys;
+pub mod matrices;
+pub mod strided;
+pub mod zipf;
+
+pub use entropy::{entropy_family, estimate_entropy_bits};
+pub use graphs::Graph;
+pub use keys::{duplicated_hotspot, hotspot_keys, max_contention, nas_is_keys, uniform_keys};
+pub use matrices::CsrMatrix;
+pub use strided::strided_addresses;
+pub use zipf::{bit_reversal_addresses, zipf_keys};

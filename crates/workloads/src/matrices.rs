@@ -1,0 +1,211 @@
+//! Sparse matrices for the SpMV experiment (§6, Figure 12).
+//!
+//! The paper's implementation is compressed-row: per-row nonzero
+//! counts, plus values and column indices. Contention in SpMV comes
+//! from gathering `x[col]` — a *dense column* means its index appears
+//! in many rows, so the gather hammers one location. Figure 12 sweeps
+//! the dense-column length.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A matrix in compressed sparse row (CSR) format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes row `r`'s nonzeros.
+    pub row_ptr: Vec<usize>,
+    /// Column index of each nonzero.
+    pub col_idx: Vec<u32>,
+    /// Value of each nonzero.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(col, value)` lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    #[must_use]
+    pub fn from_rows(cols: usize, rows: &[Vec<(u32, f64)>]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in rows {
+            for &(c, v) in row {
+                assert!((c as usize) < cols, "column index out of range");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { rows: rows.len(), cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of stored nonzeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The nonzeros of row `r` as `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        span.map(move |i| (self.col_idx[i], self.values[i]))
+    }
+
+    /// Serial reference SpMV: `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn multiply_serial(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(c, v)| v * x[c as usize]).sum())
+            .collect()
+    }
+
+    /// Occurrences of each column index across the matrix (the gather
+    /// contention profile: entry `c` is how many rows read `x[c]`).
+    #[must_use]
+    pub fn column_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Random matrix: `rows × cols` with exactly `nnz_per_row` nonzeros
+    /// per row at uniform distinct-ish columns (duplicates allowed when
+    /// `nnz_per_row` approaches `cols`; they're harmless to SpMV).
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        nnz_per_row: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(cols >= 1, "need at least one column");
+        let row_lists: Vec<Vec<(u32, f64)>> = (0..rows)
+            .map(|_| {
+                (0..nnz_per_row)
+                    .map(|_| (rng.random_range(0..cols as u32), rng.random_range(-1.0..1.0)))
+                    .collect()
+            })
+            .collect();
+        Self::from_rows(cols, &row_lists)
+    }
+
+    /// The Figure-12 workload: a random matrix where column 0 is made
+    /// *dense* — it appears in the first `dense_len` rows (replacing one
+    /// random entry in each), so the SpMV gather has location contention
+    /// `≈ dense_len` at `x[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense_len > rows` or `nnz_per_row == 0` with
+    /// `dense_len > 0`.
+    #[must_use]
+    pub fn random_with_dense_column<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        nnz_per_row: usize,
+        dense_len: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dense_len <= rows, "dense column cannot exceed the row count");
+        assert!(dense_len == 0 || nnz_per_row >= 1, "dense column needs a slot per row");
+        let mut m = Self::random(rows, cols, nnz_per_row, rng);
+        for r in 0..dense_len {
+            let span = m.row_ptr[r]..m.row_ptr[r + 1];
+            let slot = rng.random_range(span);
+            m.col_idx[slot] = 0;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_rows_builds_csr_offsets() {
+        let m = CsrMatrix::from_rows(
+            4,
+            &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(3, -1.0)]],
+        );
+        assert_eq!(m.rows, 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_ptr, vec![0, 2, 2, 3]);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+    }
+
+    #[test]
+    fn serial_multiply_matches_hand_computation() {
+        // [1 0 2; 0 3 0] · [1, 2, 3] = [7, 6]
+        let m = CsrMatrix::from_rows(3, &[vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]]);
+        assert_eq!(m.multiply_serial(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn random_matrix_has_exact_nnz() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CsrMatrix::random(100, 50, 7, &mut rng);
+        assert_eq!(m.nnz(), 700);
+        assert_eq!(m.column_counts().iter().sum::<usize>(), 700);
+    }
+
+    #[test]
+    fn dense_column_raises_column_zero_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CsrMatrix::random_with_dense_column(1000, 1000, 4, 600, &mut rng);
+        let counts = m.column_counts();
+        assert!(counts[0] >= 600, "column 0 count {}", counts[0]);
+        assert_eq!(m.nnz(), 4000); // densification replaces, not adds
+    }
+
+    #[test]
+    fn dense_len_zero_is_plain_random() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = CsrMatrix::random_with_dense_column(200, 100_000, 4, 0, &mut rng);
+        // With a huge column space, column 0 is almost surely sparse.
+        assert!(m.column_counts()[0] < 5);
+    }
+
+    #[test]
+    fn multiply_with_dense_column_still_correct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = CsrMatrix::random_with_dense_column(50, 30, 3, 50, &mut rng);
+        let x: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
+        let y = m.multiply_serial(&x);
+        assert_eq!(y.len(), 50);
+        // Spot check row 0 against a manual dot product.
+        let manual: f64 = m.row(0).map(|(c, v)| v * x[c as usize]).sum();
+        assert!((y[0] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_column_rejected() {
+        let _ = CsrMatrix::from_rows(2, &[vec![(2, 1.0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_vector_length_rejected() {
+        let m = CsrMatrix::from_rows(2, &[vec![(0, 1.0)]]);
+        let _ = m.multiply_serial(&[1.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Constant-stride address patterns.
+//!
+//! The paper points to [CS86, Soh93] for strided-access timings and
+//! focuses on irregular patterns, but strides remain the canonical
+//! adversary for interleaved bank mappings (§4): a stride sharing a
+//! factor with the bank count concentrates on `B / gcd(stride, B)`
+//! banks. We generate them for the mapping ablation (A1).
+
+/// `n` addresses `base, base+stride, base+2·stride, …`.
+#[must_use]
+pub fn strided_addresses(base: u64, stride: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| base.wrapping_add(i.wrapping_mul(stride))).collect()
+}
+
+/// Number of distinct banks a stride touches under `banks`-way
+/// interleaving: `banks / gcd(stride, banks)` (and 1 for stride 0).
+#[must_use]
+pub fn banks_touched_by_stride(stride: u64, banks: u64) -> u64 {
+    if stride == 0 {
+        return 1;
+    }
+    banks / gcd(stride % banks, banks).max(1)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_sequence_is_arithmetic() {
+        let a = strided_addresses(100, 7, 5);
+        assert_eq!(a, vec![100, 107, 114, 121, 128]);
+    }
+
+    #[test]
+    fn unit_stride_touches_all_banks() {
+        assert_eq!(banks_touched_by_stride(1, 64), 64);
+        assert_eq!(banks_touched_by_stride(63, 64), 64); // coprime
+    }
+
+    #[test]
+    fn power_of_two_stride_concentrates() {
+        assert_eq!(banks_touched_by_stride(16, 64), 4);
+        assert_eq!(banks_touched_by_stride(64, 64), 1);
+        assert_eq!(banks_touched_by_stride(128, 64), 1);
+    }
+
+    #[test]
+    fn zero_stride_hits_one_bank() {
+        assert_eq!(banks_touched_by_stride(0, 64), 1);
+    }
+
+    #[test]
+    fn interleaved_bank_count_matches_formula() {
+        use dxbsp_core::{BankMap, Interleaved};
+        for (stride, banks) in [(1u64, 32usize), (4, 32), (12, 32), (32, 32), (48, 32)] {
+            let map = Interleaved::new(banks);
+            let addrs = strided_addresses(0, stride, 4 * banks);
+            let mut hit: Vec<usize> = addrs.iter().map(|&a| map.bank_of(a)).collect();
+            hit.sort_unstable();
+            hit.dedup();
+            assert_eq!(hit.len() as u64, banks_touched_by_stride(stride, banks as u64));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Zipf-distributed scatter keys.
+//!
+//! The paper's §3 experiments use hot-spot and entropy families; real
+//! irregular applications (graph degrees, term frequencies) are closer
+//! to Zipfian, where contention comes from a *tail* of warm locations
+//! rather than a single hot one. This generator rounds out the
+//! workload set for the model-validation sweeps.
+
+use rand::Rng;
+
+/// `n` keys over `[0, universe)` with Zipf exponent `s` (`s = 0` is
+/// uniform; larger `s` concentrates mass on low-index keys). Uses
+/// inverse-CDF sampling over the exact normalized weights.
+///
+/// # Panics
+///
+/// Panics if `universe == 0` or `s` is negative or non-finite.
+#[must_use]
+pub fn zipf_keys<R: Rng + ?Sized>(n: usize, universe: usize, s: f64, rng: &mut R) -> Vec<u64> {
+    assert!(universe >= 1, "universe must be nonempty");
+    assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+    // Cumulative weights w_i = 1 / (i+1)^s.
+    let mut cdf = Vec::with_capacity(universe);
+    let mut acc = 0.0f64;
+    for i in 0..universe {
+        acc += 1.0 / ((i + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let u = rng.random_range(0.0..total);
+            cdf.partition_point(|&c| c < u) as u64
+        })
+        .collect()
+}
+
+/// The bit-reversal permutation addresses `rev(i)` for `i in 0..2^bits`
+/// — the classic FFT access pattern, pathological for some interleaved
+/// systems and a standard stress pattern for random mappings.
+///
+/// # Panics
+///
+/// Panics if `bits > 32`.
+#[must_use]
+pub fn bit_reversal_addresses(bits: u32) -> Vec<u64> {
+    assert!(bits <= 32, "keep the pattern in memory");
+    let n = 1u64 << bits;
+    (0..n).map(|i| (i.reverse_bits() >> (64 - bits)) & (n - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = zipf_keys(40_000, 16, 0.0, &mut rng);
+        let mut counts = vec![0usize; 16];
+        for &k in &keys {
+            counts[k as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < min * 2, "uniform counts too skewed: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = zipf_keys(40_000, 1024, 1.2, &mut rng);
+        let head = keys.iter().filter(|&&k| k < 8).count();
+        assert!(head > keys.len() / 3, "head mass only {head}");
+        assert!(keys.iter().all(|&k| k < 1024));
+    }
+
+    #[test]
+    fn zipf_contention_grows_with_exponent() {
+        use crate::keys::max_contention;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mild = max_contention(&zipf_keys(20_000, 4096, 0.5, &mut rng));
+        let harsh = max_contention(&zipf_keys(20_000, 4096, 1.5, &mut rng));
+        assert!(harsh > 2 * mild, "mild={mild} harsh={harsh}");
+    }
+
+    #[test]
+    fn bit_reversal_is_a_permutation() {
+        let addrs = bit_reversal_addresses(10);
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1024u64).collect::<Vec<_>>());
+        // Self-inverse: rev(rev(i)) = i.
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(addrs[a as usize], i as u64);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_small_cases_exact() {
+        assert_eq!(bit_reversal_addresses(1), vec![0, 1]);
+        assert_eq!(bit_reversal_addresses(2), vec![0, 2, 1, 3]);
+        assert_eq!(bit_reversal_addresses(3), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+}

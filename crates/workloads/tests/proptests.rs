@@ -1,0 +1,159 @@
+//! Property tests for the workload generators: the experiments depend
+//! on these invariants holding for *every* parameter combination, not
+//! just the ones the tables sweep.
+
+use dxbsp_workloads::{
+    duplicated_hotspot, entropy_family, hotspot_keys, max_contention, nas_is_keys,
+    strided_addresses, uniform_keys, zipf_keys, CsrMatrix, Graph,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Hot-spot keys contain exactly `k` copies of the hot address and
+    /// achieve max contention exactly `k` when the background space is
+    /// huge (collisions there are vanishingly unlikely).
+    #[test]
+    fn hotspot_contention_exact(n in 1usize..3000, k_frac in 0.0f64..=1.0, seed in 0u64..10_000) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = hotspot_keys(n, k, 1 << 60, &mut rng);
+        prop_assert_eq!(keys.len(), n);
+        prop_assert_eq!(keys.iter().filter(|&&a| a == 0).count(), k);
+        if k >= 2 {
+            prop_assert_eq!(max_contention(&keys), k);
+        }
+    }
+
+    /// Duplicated hot spots split the hot mass evenly across copies.
+    #[test]
+    fn duplication_splits_evenly(
+        n in 1usize..2000,
+        k_frac in 0.0f64..=1.0,
+        copies in 1usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = duplicated_hotspot(n, k, copies, 1 << 60, &mut rng);
+        let per_copy: Vec<usize> =
+            (0..copies as u64).map(|c| keys.iter().filter(|&&a| a == c).count()).collect();
+        prop_assert_eq!(per_copy.iter().sum::<usize>(), k);
+        let max = per_copy.iter().copied().max().unwrap_or(0);
+        let min = per_copy.iter().copied().min().unwrap_or(0);
+        prop_assert!(max - min <= 1, "uneven split {per_copy:?}");
+    }
+
+    /// Entropy families never grow in entropy and respect their mask.
+    #[test]
+    fn entropy_family_monotone(n in 2usize..1500, bits in 2u32..24, iters in 0usize..8, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fam = entropy_family(n, bits, iters, &mut rng);
+        prop_assert_eq!(fam.len(), iters + 1);
+        let mask = (1u64 << bits) - 1;
+        for generation in &fam {
+            prop_assert!(generation.iter().all(|&k| k & !mask == 0));
+        }
+        // Contention never decreases along the family (AND only merges
+        // values; w.h.p. strict growth, guaranteed non-decrease is too
+        // strong pointwise so compare first/last with slack).
+        let first = max_contention(&fam[0]);
+        let last = max_contention(fam.last().unwrap());
+        prop_assert!(last + 1 >= first, "contention fell {first} → {last}");
+    }
+
+    /// Zipf keys stay in the declared universe for every exponent.
+    #[test]
+    fn zipf_in_range(n in 0usize..2000, universe in 1usize..5000, s in 0.0f64..3.0, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = zipf_keys(n, universe, s, &mut rng);
+        prop_assert_eq!(keys.len(), n);
+        prop_assert!(keys.iter().all(|&k| (k as usize) < universe));
+    }
+
+    /// NAS-IS keys respect their bit bound.
+    #[test]
+    fn nas_in_range(n in 0usize..2000, bits in 1u32..40, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = nas_is_keys(n, bits, &mut rng);
+        prop_assert!(keys.iter().all(|&k| k < 1u64 << bits));
+    }
+
+    /// Strided addresses are an exact arithmetic sequence.
+    #[test]
+    fn strides_are_arithmetic(base in 0u64..1_000_000, stride in 0u64..10_000, n in 0usize..500) {
+        let addrs = strided_addresses(base, stride, n);
+        prop_assert_eq!(addrs.len(), n);
+        for (i, &a) in addrs.iter().enumerate() {
+            prop_assert_eq!(a, base.wrapping_add(stride.wrapping_mul(i as u64)));
+        }
+    }
+
+    /// Graph generators produce in-range endpoints, and the union-find
+    /// oracle agrees with a BFS oracle on every generated graph.
+    #[test]
+    fn graph_oracle_matches_bfs(n in 1usize..150, m in 0usize..300, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = if n >= 2 { Graph::random_gnm(n, m, &mut rng) } else { Graph::empty(n) };
+        let labels = g.components_oracle();
+        // BFS oracle.
+        let mut adj = vec![Vec::new(); g.n];
+        for &(u, v) in &g.edges {
+            adj[u as usize].push(v as usize);
+            adj[v as usize].push(u as usize);
+        }
+        let mut bfs = vec![u32::MAX; g.n];
+        for start in 0..g.n {
+            if bfs[start] != u32::MAX {
+                continue;
+            }
+            let mut queue = vec![start];
+            bfs[start] = start as u32;
+            while let Some(v) = queue.pop() {
+                for &w in &adj[v] {
+                    if bfs[w] == u32::MAX {
+                        bfs[w] = start as u32;
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        // Same-partition check between the two labelings.
+        for i in 0..g.n {
+            for j in (i + 1)..g.n.min(i + 20) {
+                prop_assert_eq!(labels[i] == labels[j], bfs[i] == bfs[j], "vertices {},{}", i, j);
+            }
+        }
+    }
+
+    /// CSR invariants: offsets are monotone and bound the arrays, and
+    /// the serial product matches a dense re-computation.
+    #[test]
+    fn csr_invariants(rows in 0usize..60, cols in 1usize..40, nnz in 0usize..6, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = CsrMatrix::random(rows, cols, nnz, &mut rng);
+        prop_assert_eq!(a.row_ptr.len(), rows + 1);
+        prop_assert!(a.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*a.row_ptr.last().unwrap_or(&0), a.nnz());
+        let x: Vec<f64> = (0..cols).map(|i| (i as f64).cos()).collect();
+        let y = a.multiply_serial(&x);
+        // Dense oracle.
+        for r in 0..rows {
+            let mut dense = vec![0.0f64; cols];
+            for (c, v) in a.row(r) {
+                dense[c as usize] += v;
+            }
+            let want: f64 = dense.iter().zip(&x).map(|(m, xv)| m * xv).sum();
+            prop_assert!((y[r] - want).abs() < 1e-9, "row {r}: {} vs {want}", y[r]);
+        }
+    }
+
+    /// Uniform keys honour their range.
+    #[test]
+    fn uniform_in_range(n in 0usize..2000, range in 1u64..1_000_000, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = uniform_keys(n, range, &mut rng);
+        prop_assert!(keys.iter().all(|&k| k < range));
+    }
+}

@@ -1,0 +1,54 @@
+//! Contention, duplication and expansion in one sweep.
+//!
+//! ```text
+//! cargo run --release -p dxbsp --example contention_sweep
+//! ```
+//!
+//! Demonstrates the paper's three §3 levers on one hot-spot workload:
+//! how time grows with contention `k`, how duplicating the hot
+//! location buys it back, and how the expansion factor moves the knee.
+
+use dxbsp::hash::{Degree, HashedBanks};
+use dxbsp::machine::{SimConfig, Simulator};
+use dxbsp::model::{contention_knee, predict_scatter_duplicated, AccessPattern, MachineParams};
+use dxbsp::workloads::duplicated_hotspot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure(m: &MachineParams, keys: &[u64], seed: u64) -> u64 {
+    let sim = Simulator::new(SimConfig::from_params(m));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+    sim.run(&AccessPattern::scatter(m.p, keys), &map).cycles
+}
+
+fn main() {
+    let m = MachineParams::new(8, 1, 0, 14, 32);
+    let n = 64 * 1024;
+    let k = n / 4;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!(
+        "J90-like machine: contention knee at k* = {} for n = {n}\n",
+        contention_knee(&m, n)
+    );
+
+    println!("duplicating a contention-{k} hot spot:");
+    println!("{:>8} {:>12} {:>12}", "copies", "measured", "predicted");
+    for copies in [1usize, 2, 4, 16, 64, 256, 1024] {
+        let keys = duplicated_hotspot(n, k, copies, 1 << 40, &mut rng);
+        let measured = measure(&m, &keys, 100 + copies as u64);
+        let predicted = predict_scatter_duplicated(&m, n, k, copies);
+        println!("{copies:>8} {measured:>12} {predicted:>12}");
+    }
+
+    println!("\nthe same workload across expansion factors (copies = 16):");
+    println!("{:>8} {:>12} {:>14}", "x", "measured", "cycles/element");
+    for x in [1usize, 2, 4, 8, 14, 32, 64] {
+        let mx = m.with_expansion(x);
+        let keys = duplicated_hotspot(n, k, 16, 1 << 40, &mut rng);
+        let measured = measure(&mx, &keys, 200 + x as u64);
+        println!("{x:>8} {measured:>12} {:>14.3}", measured as f64 / n as f64);
+    }
+    println!("\nExtra banks keep helping beyond x = d/g = 14 — the paper's expansion result.");
+}

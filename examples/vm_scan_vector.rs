@@ -1,0 +1,80 @@
+//! Programming the simulated machine in scan-vector style.
+//!
+//! ```text
+//! cargo run --release -p dxbsp --example vm_scan_vector
+//! ```
+//!
+//! Runs a complete SpMV and a radix sort *on* the VM — every gather,
+//! scatter and scan moves words through the simulated banked memory —
+//! and prints the per-op cost log, showing exactly which op carries the
+//! contention when the matrix has a dense column.
+
+use dxbsp::model::MachineParams;
+use dxbsp::vm::{programs, BinOp, Executor};
+use dxbsp::workloads::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn csr_inputs(vm: &mut Executor, a: &CsrMatrix) -> (dxbsp::vm::VecHandle, dxbsp::vm::VecHandle, dxbsp::vm::VecHandle, dxbsp::vm::VecHandle) {
+    let vals = vm.constant_f64(&a.values);
+    let cols = vm.constant(&a.col_idx.iter().map(|&c| u64::from(c)).collect::<Vec<_>>());
+    let mut flags = vec![0u64; a.nnz()];
+    let mut last = Vec::with_capacity(a.rows);
+    for r in 0..a.rows {
+        if a.row_ptr[r] < a.row_ptr[r + 1] {
+            flags[a.row_ptr[r]] = 1;
+        }
+        last.push(a.row_ptr[r + 1].saturating_sub(1) as u64);
+    }
+    (vals, cols, vm.constant(&flags), vm.constant(&last))
+}
+
+fn main() {
+    let m = MachineParams::new(8, 1, 0, 14, 32);
+    let mut rng = StdRng::seed_from_u64(1995);
+    let n = 4096;
+
+    println!("SpMV on the VM ({n}x{n}, 4 nnz/row, fully dense column 0):\n");
+    let a = CsrMatrix::random_with_dense_column(n, n, 4, n, &mut rng);
+    let mut vm = Executor::seeded(m, 1);
+    let (vals, cols, flags, last) = csr_inputs(&mut vm, &a);
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 / n as f64).collect();
+    let x_h = vm.constant_f64(&x);
+    let y = programs::spmv(&mut vm, vals, cols, flags, last, x_h);
+
+    // Verify against the host product.
+    let got = vm.read_back_f64(y);
+    let want = a.multiply_serial(&x);
+    assert!(got.iter().zip(&want).all(|(g, w)| (g - w).abs() < 1e-6 * w.abs().max(1.0)));
+
+    println!("{:>12} {:>10} {:>10} {:>12}", "op", "requests", "max k", "cycles");
+    for cost in vm.costs() {
+        println!(
+            "{:>12} {:>10} {:>10} {:>12}",
+            cost.label, cost.requests, cost.max_contention, cost.cycles
+        );
+    }
+    println!("\ntotal: {} cycles — the first gather (x[col]) carries the d·k bill.\n", vm.cycles());
+
+    println!("radix sort of 1024 random keys on the VM:");
+    let keys: Vec<u64> = (0..1024).map(|_| rng.random_range(0..1 << 16)).collect();
+    let mut vm2 = Executor::seeded(m, 2);
+    let h = vm2.constant(&keys);
+    let sorted = programs::radix_sort(&mut vm2, h, 4, 16);
+    let out = vm2.read_back(sorted);
+    assert!(out.is_sorted());
+    println!("  sorted ✓ in {} simulated cycles (all supersteps contention-free)", vm2.cycles());
+
+    // A tiny dataflow by hand: dot product via multiply + scan.
+    let mut vm3 = Executor::seeded(m, 3);
+    let u = vm3.constant_f64(&[1.0, 2.0, 3.0]);
+    let v = vm3.constant_f64(&[4.0, 5.0, 6.0]);
+    let prod = vm3.binop(BinOp::FMul, u, v);
+    // Single segment: flag only the first element; the last scan slot
+    // holds the full dot product.
+    let flags = vm3.constant(&[1, 0, 0]);
+    let sums = vm3.seg_scan_inclusive(BinOp::FAdd, prod, flags);
+    let last_idx = vm3.constant(&[2]);
+    let last = vm3.gather(sums, last_idx);
+    println!("\ndot([1,2,3],[4,5,6]) on the VM = {:?}", vm3.read_back_f64(last));
+}

@@ -1,0 +1,151 @@
+//! Empirical validation of the §5 emulation theorems: measured
+//! emulation cost must sit below the reconstructed Theorem 5.1/5.2
+//! bounds across the (d, x, contention, slackness) grid, and the work
+//! overhead must straddle the inevitable d/x floor.
+
+use dxbsp::hash::Degree;
+use dxbsp::model::MachineParams;
+use dxbsp::pram::{theory, Emulator, Op, Program, Step};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn hotspot_program(n: usize, k: usize, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut step = Step::new(n);
+    for v in 0..n {
+        let addr = if v < k { 0 } else { rng.random::<u64>() >> 8 };
+        step.push_op(v, Op::Write(addr));
+    }
+    let mut prog = Program::new(n);
+    prog.push(step);
+    prog
+}
+
+#[test]
+fn measured_cost_below_theory_bounds_on_grid() {
+    let p = 8usize;
+    let n = 8 * 1024;
+    for d in [2u64, 8, 16] {
+        for x in [1usize, 4, 16, 64] {
+            for k in [1usize, 128, 2048] {
+                let m = MachineParams::new(p, 1, 0, d, x);
+                let mut rng = StdRng::seed_from_u64(d * 1000 + x as u64 * 10 + k as u64);
+                let emu = Emulator::new(m, Degree::Linear, &mut rng);
+                let rep = emu.run(&hotspot_program(n, k, d + x as u64 + k as u64));
+                let bound = theory::step_bound(&m, n, k);
+                assert!(
+                    rep.measured_cycles <= bound,
+                    "d={d} x={x} k={k}: measured {} > bound {bound}",
+                    rep.measured_cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn work_overhead_straddles_the_inevitable_floor() {
+    let p = 8usize;
+    let n = 16 * 1024;
+    for d in [8u64, 16] {
+        for x in [1usize, 2, 4] {
+            let m = MachineParams::new(p, 1, 0, d, x);
+            let mut rng = StdRng::seed_from_u64(d + x as u64);
+            let emu = Emulator::new(m, Degree::Linear, &mut rng);
+            let rep = emu.run(&hotspot_program(n, 1, 7));
+            let floor = theory::work_overhead_lower_bound(&m);
+            assert!(
+                rep.work_ratio() >= floor * 0.9,
+                "d={d} x={x}: work ratio {} under the d/x floor {floor}",
+                rep.work_ratio()
+            );
+            assert!(
+                rep.work_ratio() <= floor * 4.0 + 4.0,
+                "d={d} x={x}: work ratio {} far above the floor {floor}",
+                rep.work_ratio()
+            );
+        }
+    }
+}
+
+#[test]
+fn balanced_machines_are_work_preserving() {
+    // Theorem 5.2 regime: x ≥ d with slackness — O(1) work inflation.
+    let p = 8usize;
+    let n = 32 * 1024;
+    for (d, x) in [(4u64, 8usize), (8, 16), (14, 32)] {
+        let m = MachineParams::new(p, 1, 0, d, x);
+        let mut rng = StdRng::seed_from_u64(d);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&hotspot_program(n, 1, 11));
+        assert!(
+            rep.work_ratio() < 3.0,
+            "d={d} x={x}: work ratio {} not O(1)",
+            rep.work_ratio()
+        );
+    }
+}
+
+#[test]
+fn slackness_amortizes_the_deviation_term() {
+    // With more virtual processors per physical one, the emulation's
+    // per-op overhead shrinks toward the flat regime.
+    let m = MachineParams::new(8, 1, 0, 14, 16);
+    let mut ratios = Vec::new();
+    for n in [1024usize, 8 * 1024, 64 * 1024] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let rep = emu.run(&hotspot_program(n, 1, 13));
+        ratios.push(rep.work_ratio());
+    }
+    assert!(
+        ratios[2] <= ratios[0],
+        "work ratio should not grow with slackness: {ratios:?}"
+    );
+    assert!(ratios[2] < 2.5, "{ratios:?}");
+}
+
+#[test]
+fn multi_step_programs_accumulate_correctly() {
+    let m = MachineParams::new(4, 1, 0, 8, 8);
+    let n = 2048;
+    let mut prog = Program::new(n);
+    for s in 0..4 {
+        let mut step = Step::new(n);
+        let mut rng = StdRng::seed_from_u64(s);
+        for v in 0..n {
+            step.push_op(v, Op::Write(rng.random::<u64>() >> 8));
+            step.push_op(v, Op::Local(2));
+        }
+        prog.push(step);
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    let emu = Emulator::new(m, Degree::Linear, &mut rng);
+    let rep = emu.run(&prog);
+    assert_eq!(rep.per_step.len(), 4);
+    let sum: u64 = rep.per_step.iter().map(|&(_, _, meas)| meas).sum();
+    assert_eq!(sum, rep.measured_cycles);
+    // Four steps of n memory ops and 2 local units each.
+    assert_eq!(rep.qrqw_time, prog.time(dxbsp::pram::CostRule::Qrqw));
+}
+
+#[test]
+fn erew_programs_emulate_with_low_contention_cost() {
+    // An EREW program (distinct addresses) on a balanced machine: the
+    // whole emulation is bandwidth-bound, no d·k term anywhere.
+    let m = MachineParams::new(8, 1, 0, 14, 32);
+    let n = 16 * 1024;
+    let mut step = Step::new(n);
+    for v in 0..n {
+        step.push_op(v, Op::Write(v as u64 * 31 + 1));
+    }
+    let mut prog = Program::new(n);
+    prog.push(step);
+    assert!(prog.is_erew_legal());
+    let mut rng = StdRng::seed_from_u64(23);
+    let emu = Emulator::new(m, Degree::Linear, &mut rng);
+    let rep = emu.run(&prog);
+    // Processor-bound: ≈ g·n/p cycles.
+    let ideal = (n / m.p) as u64;
+    assert!(rep.measured_cycles < 2 * ideal, "{} vs ideal {}", rep.measured_cycles, ideal);
+}

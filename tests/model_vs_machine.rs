@@ -1,0 +1,122 @@
+//! Model-vs-machine validation: on every workload family the paper
+//! uses, the (d,x)-BSP charge of the exact access pattern must track
+//! the simulator within small constants, on both Cray-like presets and
+//! on deliberately unbalanced machines.
+
+use dxbsp::hash::{Degree, HashedBanks};
+use dxbsp::machine::{SimConfig, Simulator};
+use dxbsp::model::{pattern_cost, presets, AccessPattern, CostModel, MachineParams};
+use dxbsp::workloads::{entropy_family, hotspot_keys, strided_addresses, uniform_keys};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measured cycles vs. the exact-pattern (d,x)-BSP charge: the charge
+/// uses the *realized* max bank load, so measured/charged must sit in
+/// a tight band (queueing can add, pipelining can shave constants).
+fn assert_tracks(m: &MachineParams, pat: &AccessPattern, seed: u64, what: &str) {
+    let sim = Simulator::new(SimConfig::from_params(m));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+    let measured = sim.run(pat, &map).cycles as f64;
+    let charged = pattern_cost(m, pat, &map, CostModel::DxBsp).max(1) as f64;
+    let ratio = measured / charged;
+    assert!(
+        ratio > 0.4 && ratio < 2.5,
+        "{what} on p={},d={},x={}: measured/charged = {ratio:.3}",
+        m.p,
+        m.d,
+        m.x
+    );
+}
+
+fn machines() -> Vec<MachineParams> {
+    vec![
+        presets::cray_c90(),
+        presets::cray_j90(),
+        presets::underbanked(8, 14, 2),
+        MachineParams::new(4, 2, 0, 6, 8),
+        MachineParams::new(1, 1, 0, 4, 16),
+    ]
+}
+
+#[test]
+fn uniform_scatters_track() {
+    for (i, m) in machines().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        let keys = uniform_keys(16 * 1024, 1 << 40, &mut rng);
+        let pat = AccessPattern::scatter(m.p, &keys);
+        assert_tracks(&m, &pat, 100 + i as u64, "uniform scatter");
+    }
+}
+
+#[test]
+fn hotspot_scatters_track() {
+    for (i, m) in machines().into_iter().enumerate() {
+        for k in [64usize, 1024, 8192] {
+            let mut rng = StdRng::seed_from_u64(10 * i as u64 + k as u64);
+            let keys = hotspot_keys(16 * 1024, k, 1 << 40, &mut rng);
+            let pat = AccessPattern::scatter(m.p, &keys);
+            assert_tracks(&m, &pat, 200 + i as u64, "hotspot scatter");
+        }
+    }
+}
+
+#[test]
+fn entropy_families_track() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let family = entropy_family(16 * 1024, 20, 6, &mut rng);
+    for m in [presets::cray_j90(), presets::underbanked(8, 14, 2)] {
+        for (gen, keys) in family.iter().enumerate() {
+            let pat = AccessPattern::scatter(m.p, keys);
+            assert_tracks(&m, &pat, 300 + gen as u64, "entropy scatter");
+        }
+    }
+}
+
+#[test]
+fn gathers_track_like_scatters() {
+    // "experiments with the gather operation give almost identical
+    // results" (§3).
+    let m = presets::cray_j90();
+    let mut rng = StdRng::seed_from_u64(4);
+    let keys = hotspot_keys(16 * 1024, 2048, 1 << 40, &mut rng);
+    let scatter = AccessPattern::scatter(m.p, &keys);
+    let gather = AccessPattern::gather(m.p, &keys);
+    let sim = Simulator::new(SimConfig::from_params(&m));
+    let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+    let sc = sim.run(&scatter, &map).cycles;
+    let gc = sim.run(&gather, &map).cycles;
+    assert_eq!(sc, gc, "reads and writes are charged identically");
+}
+
+#[test]
+fn strided_patterns_track_under_hashing() {
+    let m = presets::cray_j90();
+    for stride in [1u64, 8, 64, 256, 4096] {
+        let addrs = strided_addresses(0, stride, 16 * 1024);
+        let pat = AccessPattern::scatter(m.p, &addrs);
+        assert_tracks(&m, &pat, 500 + stride, "strided scatter");
+    }
+}
+
+#[test]
+fn the_bsp_charge_fails_where_the_paper_says() {
+    // Sanity check on the negative space: for the all-same-address
+    // pattern, the BSP charge is off by a factor ≈ d·p/g, the
+    // discrepancy the paper opens with.
+    let m = presets::cray_j90();
+    let n = 16 * 1024;
+    let keys = vec![42u64; n];
+    let pat = AccessPattern::scatter(m.p, &keys);
+    let sim = Simulator::new(SimConfig::from_params(&m));
+    let mut rng = StdRng::seed_from_u64(6);
+    let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+    let measured = sim.run(&pat, &map).cycles as f64;
+    let bsp = pattern_cost(&m, &pat, &map, CostModel::Bsp) as f64;
+    let expected_gap = (m.d * m.p as u64) as f64 / m.g as f64;
+    let gap = measured / bsp;
+    assert!(
+        gap > expected_gap * 0.9,
+        "BSP should be off by ≈ d·p/g = {expected_gap}, got {gap}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Consistency between the two execution styles: algorithms as traced
+//! host computations (`dxbsp-algos`) and as VM programs (`dxbsp-vm`)
+//! must tell the same performance story on the same machine.
+
+use dxbsp::algos::spmv::spmv_traced;
+use dxbsp::hash::{Degree, HashedBanks};
+use dxbsp::machine::{run_trace, SimConfig, Simulator};
+use dxbsp::model::MachineParams;
+use dxbsp::vm::{programs, Executor};
+use dxbsp::workloads::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn m() -> MachineParams {
+    MachineParams::new(8, 1, 0, 14, 32)
+}
+
+fn vm_spmv_cycles(machine: MachineParams, a: &CsrMatrix, x: &[f64], seed: u64) -> (Vec<f64>, u64) {
+    let mut vm = Executor::seeded(machine, seed);
+    let vals = vm.constant_f64(&a.values);
+    let cols = vm.constant(&a.col_idx.iter().map(|&c| u64::from(c)).collect::<Vec<_>>());
+    let mut flags = vec![0u64; a.nnz()];
+    let mut last = Vec::with_capacity(a.rows);
+    for r in 0..a.rows {
+        if a.row_ptr[r] < a.row_ptr[r + 1] {
+            flags[a.row_ptr[r]] = 1;
+        }
+        last.push(a.row_ptr[r + 1].saturating_sub(1) as u64);
+    }
+    let flags_h = vm.constant(&flags);
+    let last_h = vm.constant(&last);
+    let x_h = vm.constant_f64(x);
+    let before = vm.cycles();
+    let y = programs::spmv(&mut vm, vals, cols, flags_h, last_h, x_h);
+    let spent = vm.cycles() - before;
+    (vm.read_back_f64(y), spent)
+}
+
+fn traced_spmv_cycles(machine: MachineParams, a: &CsrMatrix, x: &[f64], seed: u64) -> u64 {
+    let t = spmv_traced(machine.p, a, x);
+    let sim = Simulator::new(SimConfig::from_params(&machine));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let map = HashedBanks::random(Degree::Linear, machine.banks(), &mut rng);
+    run_trace(&sim, &t.trace, &map).total_cycles
+}
+
+/// Both styles compute the right product, and their cycle counts agree
+/// within a small constant factor (they charge the same gathers, scans
+/// and sweeps, with slightly different superstep groupings).
+#[test]
+fn spmv_costs_agree_between_styles() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for dense in [0usize, 512, 2048] {
+        let a = CsrMatrix::random_with_dense_column(2048, 2048, 4, dense, &mut rng);
+        let x: Vec<f64> = (0..2048).map(|i| 1.0 + i as f64 / 1000.0).collect();
+        let (y, vm_cycles) = vm_spmv_cycles(m(), &a, &x, 7);
+        let want = a.multiply_serial(&x);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-6 * w.abs().max(1.0));
+        }
+        let traced_cycles = traced_spmv_cycles(m(), &a, &x, 7);
+        let ratio = vm_cycles as f64 / traced_cycles as f64;
+        assert!(
+            ratio > 0.4 && ratio < 2.5,
+            "dense={dense}: VM {vm_cycles} vs traced {traced_cycles} (ratio {ratio:.2})"
+        );
+    }
+}
+
+/// The dense column moves both styles by the same factor.
+#[test]
+fn dense_column_scales_both_styles_alike() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 2048;
+    let sparse = CsrMatrix::random(n, n, 4, &mut rng);
+    let dense = CsrMatrix::random_with_dense_column(n, n, 4, n, &mut rng);
+    let x: Vec<f64> = vec![1.0; n];
+
+    let (_, vm_sparse) = vm_spmv_cycles(m(), &sparse, &x, 3);
+    let (_, vm_dense) = vm_spmv_cycles(m(), &dense, &x, 3);
+    let tr_sparse = traced_spmv_cycles(m(), &sparse, &x, 3);
+    let tr_dense = traced_spmv_cycles(m(), &dense, &x, 3);
+
+    let vm_factor = vm_dense as f64 / vm_sparse as f64;
+    let tr_factor = tr_dense as f64 / tr_sparse as f64;
+    assert!(vm_factor > 1.5, "VM factor {vm_factor}");
+    assert!(tr_factor > 1.5, "traced factor {tr_factor}");
+    assert!(
+        (vm_factor / tr_factor - 1.0).abs() < 0.5,
+        "styles disagree: VM {vm_factor:.2} vs traced {tr_factor:.2}"
+    );
+}
+
+/// VM darts on the bigger machine still form permutations and beat the
+/// VM radix sort — Figure 11 retold end-to-end through simulated memory.
+#[test]
+fn vm_darts_beat_vm_sort_on_j90() {
+    let n = 2048;
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut vm_d = Executor::seeded(m(), 5);
+    let perm_h = programs::random_permutation_darts(&mut vm_d, n, 1.5, &mut rng);
+    let perm = vm_d.read_back(perm_h);
+    let mut sorted = perm.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+
+    use rand::Rng;
+    let mut vm_s = Executor::seeded(m(), 6);
+    let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << 22)).collect();
+    let h = vm_s.constant(&keys);
+    let _ = programs::radix_sort(&mut vm_s, h, 4, 22);
+    assert!(vm_d.cycles() < vm_s.cycles());
+}
