@@ -110,8 +110,7 @@ pub fn replicated_traced<R: Rng + ?Sized>(
     let out = tb.alloc(n);
     // Level ℓ replica array: node `mid` copy `r` lives at
     // level_base[ℓ] + mid·c_ℓ + r.
-    let level_base: Vec<u64> =
-        (0..depth).map(|l| tb.alloc(m.max(1) * copies_at(l))).collect();
+    let level_base: Vec<u64> = (0..depth).map(|l| tb.alloc(m.max(1) * copies_at(l))).collect();
 
     if include_setup {
         // Write each replica once: enumerate the canonical midpoints of

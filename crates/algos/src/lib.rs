@@ -43,4 +43,4 @@ pub mod scatter_gather;
 pub mod spmv;
 pub mod tracer;
 
-pub use tracer::{Traced, TraceBuilder};
+pub use tracer::{TraceBuilder, Traced};

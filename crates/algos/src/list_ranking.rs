@@ -112,9 +112,7 @@ pub fn wyllie_naive_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, Rank
             tb.read(v, rank_arr + u64::from(sv));
             *counts.entry(sv).or_insert(0usize) += 1;
         }
-        stats
-            .contention_per_round
-            .push(counts.values().copied().max().unwrap_or(0) * 2);
+        stats.contention_per_round.push(counts.values().copied().max().unwrap_or(0) * 2);
         let snapshot_s = s.clone();
         let snapshot_r = rank.clone();
         for v in 0..n {
@@ -160,10 +158,8 @@ pub fn wyllie_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, RankStats)
             tb.read(lane, rank_arr + u64::from(sv));
             *counts.entry(sv).or_insert(0usize) += 1;
         }
-        stats
-            .contention_per_round
-            .push(counts.values().copied().max().unwrap_or(0) * 2); // two reads per target
-        // Update in lockstep (reads above are from the pre-round state).
+        stats.contention_per_round.push(counts.values().copied().max().unwrap_or(0) * 2); // two reads per target
+                                                                                          // Update in lockstep (reads above are from the pre-round state).
         let snapshot_s = s.clone();
         let snapshot_r = rank.clone();
         for (lane, &v) in active.iter().enumerate() {

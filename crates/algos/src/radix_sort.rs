@@ -47,10 +47,7 @@ pub fn sort_permutation(keys: &[u64], radix_bits: u32) -> Vec<u32> {
 /// Sorted copy of `keys` (by [`sort_permutation`]).
 #[must_use]
 pub fn sort(keys: &[u64], radix_bits: u32) -> Vec<u64> {
-    sort_permutation(keys, radix_bits)
-        .into_iter()
-        .map(|i| keys[i as usize])
-        .collect()
+    sort_permutation(keys, radix_bits).into_iter().map(|i| keys[i as usize]).collect()
 }
 
 /// Number of digit passes needed to cover the largest key.
@@ -136,7 +133,10 @@ mod tests {
 
     #[test]
     fn sorts_small_example() {
-        assert_eq!(sort(&[170, 45, 75, 90, 802, 24, 2, 66], 4), vec![2, 24, 45, 66, 75, 90, 170, 802]);
+        assert_eq!(
+            sort(&[170, 45, 75, 90, 802, 24, 2, 66], 4),
+            vec![2, 24, 45, 66, 75, 90, 170, 802]
+        );
     }
 
     #[test]
@@ -152,7 +152,8 @@ mod tests {
     fn random_keys_match_std_sort() {
         let mut rng = StdRng::seed_from_u64(1);
         for radix_bits in [1u32, 4, 8, 11] {
-            let keys: Vec<u64> = (0..2000).map(|_| rng.random::<u64>() >> rng.random_range(0..60)).collect();
+            let keys: Vec<u64> =
+                (0..2000).map(|_| rng.random::<u64>() >> rng.random_range(0..60)).collect();
             let mut expect = keys.clone();
             expect.sort_unstable();
             assert_eq!(sort(&keys, radix_bits), expect, "radix_bits={radix_bits}");

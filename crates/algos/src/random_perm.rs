@@ -75,7 +75,8 @@ pub fn darts_traced<R: Rng + ?Sized>(
     // slot_owner[s] = element that claimed slot s.
     let mut slot_owner: Vec<Option<u32>> = vec![None; slots];
     let mut live: Vec<u32> = (0..n as u32).collect();
-    let mut stats = DartStats { rounds: 0, live_per_round: Vec::new(), contention_per_round: Vec::new() };
+    let mut stats =
+        DartStats { rounds: 0, live_per_round: Vec::new(), contention_per_round: Vec::new() };
 
     while !live.is_empty() {
         stats.rounds += 1;
@@ -85,7 +86,8 @@ pub fn darts_traced<R: Rng + ?Sized>(
         // free-or-not slot. Later writers win the race (any arbitration
         // works; the read-back detects it either way).
         let picks: Vec<usize> = live.iter().map(|_| rng.random_range(0..slots)).collect();
-        let mut round_winner: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut round_winner: std::collections::HashMap<usize, u32> =
+            std::collections::HashMap::new();
         let mut max_contention = 1usize;
         let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for (lane, (&e, &s)) in live.iter().zip(&picks).enumerate() {

@@ -60,8 +60,7 @@ pub fn sample_sort_traced<R: Rng + ?Sized>(
     let mut tb = TraceBuilder::new(procs);
     let keys_arr = tb.alloc(n);
     let sample_size = if n == 0 { 0 } else { (buckets * oversample).min(n) };
-    let mut sample: Vec<u64> =
-        (0..sample_size).map(|_| keys[rng.random_range(0..n)]).collect();
+    let mut sample: Vec<u64> = (0..sample_size).map(|_| keys[rng.random_range(0..n)]).collect();
     for (lane, _) in sample.iter().enumerate() {
         tb.read(lane, keys_arr + (lane % n.max(1)) as u64);
     }
@@ -71,9 +70,7 @@ pub fn sample_sort_traced<R: Rng + ?Sized>(
     let splitters: Vec<u64> = if sample.is_empty() {
         Vec::new()
     } else {
-        (1..buckets)
-            .map(|b| sample[(b * oversample - 1).min(sample.len() - 1)])
-            .collect()
+        (1..buckets).map(|b| sample[(b * oversample - 1).min(sample.len() - 1)]).collect()
     };
 
     // 2. Locate: QRQW replicated-tree search over the splitters. The
@@ -171,11 +168,7 @@ mod tests {
         let t = sample_sort_traced(8, &keys, 32, 16, &mut rng);
         let stats = &t.value.1;
         let even = keys.len() / stats.buckets;
-        assert!(
-            stats.max_bucket < 3 * even,
-            "max bucket {} vs even {even}",
-            stats.max_bucket
-        );
+        assert!(stats.max_bucket < 3 * even, "max bucket {} vs even {even}", stats.max_bucket);
     }
 
     #[test]

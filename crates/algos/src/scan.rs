@@ -55,12 +55,7 @@ pub fn segmented_inclusive_scan<T: Copy, F: Fn(T, T) -> T>(
 
 /// Sum of the last element of each segment (the "row totals" SpMV
 /// extracts after its segmented scan).
-pub fn segment_totals<T: Copy, F: Fn(T, T) -> T>(
-    xs: &[T],
-    heads: &[bool],
-    id: T,
-    op: F,
-) -> Vec<T> {
+pub fn segment_totals<T: Copy, F: Fn(T, T) -> T>(xs: &[T], heads: &[bool], id: T, op: F) -> Vec<T> {
     let scanned = segmented_inclusive_scan(xs, heads, id, op);
     let mut out = Vec::new();
     for i in 0..xs.len() {
@@ -77,13 +72,7 @@ pub fn segment_totals<T: Copy, F: Fn(T, T) -> T>(
 /// traffic is `3·len` element accesses plus the combine. Still
 /// contention-free — segmented scans are the reason SpMV's only
 /// contended step is the gather \[BHZ93\].
-pub fn trace_segmented_scan(
-    tb: &mut TraceBuilder,
-    base: u64,
-    flags: u64,
-    len: usize,
-    label: &str,
-) {
+pub fn trace_segmented_scan(tb: &mut TraceBuilder, base: u64, flags: u64, len: usize, label: &str) {
     for i in 0..len {
         tb.read(i, base + i as u64);
         tb.read(i, flags + i as u64);

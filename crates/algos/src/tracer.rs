@@ -140,11 +140,7 @@ pub fn trace_requests(trace: &Trace) -> usize {
 /// The largest per-superstep location contention across a trace.
 #[must_use]
 pub fn trace_max_contention(trace: &Trace) -> usize {
-    trace
-        .iter()
-        .map(|s| s.pattern.contention_profile().max_location_contention)
-        .max()
-        .unwrap_or(0)
+    trace.iter().map(|s| s.pattern.contention_profile().max_location_contention).max().unwrap_or(0)
 }
 
 #[cfg(test)]

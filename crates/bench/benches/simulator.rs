@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use dxbsp_core::{AccessPattern, Interleaved};
-use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_machine::{Backend, SimConfig, Simulator, SimulatorBackend};
 use dxbsp_workloads::{hotspot_keys, uniform_keys};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,5 +54,44 @@ fn bench_window_and_sections(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scatter_shapes, bench_window_and_sections);
+/// Session reuse vs. per-point allocation on an E4-style expansion
+/// sweep: 64 machine shapes (x = 1…64, up to 512 banks), one uniform
+/// scatter each. "fresh" pays a full `Simulator::run` allocation per
+/// point; "session" reconfigures one backend and reuses its scratch.
+fn bench_session_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/session_reuse");
+    let n = 4096;
+    let mut rng = StdRng::seed_from_u64(3);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = AccessPattern::scatter(8, &keys);
+    let xs: Vec<usize> = (1..=64).collect();
+
+    g.bench_function("fresh", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &x in &xs {
+                let cfg = SimConfig::new(8, 8 * x, 14);
+                let map = Interleaved::new(cfg.banks);
+                total += Simulator::new(cfg).run(&pat, &map).cycles;
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("session", |b| {
+        b.iter(|| {
+            let mut backend = SimulatorBackend::new(SimConfig::new(8, 8, 14));
+            let mut total = 0u64;
+            for &x in &xs {
+                let cfg = SimConfig::new(8, 8 * x, 14);
+                backend.reconfigure(cfg);
+                let map = Interleaved::new(cfg.banks);
+                total += backend.step(&pat, &map).cycles;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scatter_shapes, bench_window_and_sections, bench_session_reuse);
 criterion_main!(benches);

@@ -121,7 +121,52 @@ fn parse_args() -> Args {
         die("--sections and --ports must be given together");
     }
     args.cache = cache_lines.map(|l| (l, cache_hit));
+    validate(&args);
     args
+}
+
+/// Rejects configurations the simulator cannot represent before they
+/// turn into panics (zero banks, sections that do not tile the banks,
+/// cache hits slower than the bank itself).
+fn validate(args: &Args) {
+    if args.procs == 0 {
+        die("--procs must be at least 1");
+    }
+    if args.delay == 0 {
+        die("--delay must be at least 1");
+    }
+    if args.gap == 0 {
+        die("--gap must be at least 1");
+    }
+    if args.expansion == 0 {
+        die("--expansion must be at least 1");
+    }
+    let banks = args
+        .procs
+        .checked_mul(args.expansion)
+        .unwrap_or_else(|| die("--procs x --expansion overflows the bank count"));
+    if args.window == Some(0) {
+        die("--window must be at least 1");
+    }
+    if let Some((s, r)) = args.sections {
+        if s == 0 || banks % s != 0 {
+            die(&format!("--sections must be a nonzero divisor of the bank count ({banks})"));
+        }
+        if r == 0 {
+            die("--ports must be at least 1");
+        }
+    }
+    if let Some((lines, hit)) = args.cache {
+        if lines == 0 {
+            die("--cache must be at least 1 line");
+        }
+        if hit == 0 || hit > args.delay {
+            die(&format!("--hit must be between 1 and the bank delay ({})", args.delay));
+        }
+    }
+    if args.map != "hashed" && args.map != "interleaved" {
+        die(&format!("unknown map {} (hashed|interleaved)", args.map));
+    }
 }
 
 fn main() {
@@ -175,8 +220,14 @@ fn main() {
     println!("trace:   {} supersteps, {} requests", trace.len(), res.total_requests);
     println!();
     println!("measured cycles:   {}", res.total_cycles);
-    println!("(d,x)-BSP charge:  {dx}  (measured/charged = {:.3})", res.total_cycles as f64 / dx.max(1) as f64);
-    println!("plain-BSP charge:  {bsp}  (measured/charged = {:.3})", res.total_cycles as f64 / bsp.max(1) as f64);
+    println!(
+        "(d,x)-BSP charge:  {dx}  (measured/charged = {:.3})",
+        res.total_cycles as f64 / dx.max(1) as f64
+    );
+    println!(
+        "plain-BSP charge:  {bsp}  (measured/charged = {:.3})",
+        res.total_cycles as f64 / bsp.max(1) as f64
+    );
 
     if args.per_step {
         println!();
@@ -192,12 +243,7 @@ fn main() {
 
     if args.gantt {
         // Show the busiest superstep's occupancy.
-        if let Some((idx, sr)) = res
-            .steps
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, s)| s.cycles)
-        {
+        if let Some((idx, sr)) = res.steps.iter().enumerate().max_by_key(|(_, s)| s.cycles) {
             println!();
             println!("busiest superstep: #{idx} ({})", trace[idx].label);
             print!("{}", dxbsp_bench::plot::gantt_from_events(&sr.events, sr.cycles, 12, 64));

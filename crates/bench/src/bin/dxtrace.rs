@@ -57,21 +57,30 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--n" => args.n = val("--n").parse().unwrap_or_else(|_| die("--n must be an integer")),
             "--contention" => {
-                args.contention =
-                    val("--contention").parse().unwrap_or_else(|_| die("--contention must be an integer"));
+                args.contention = val("--contention")
+                    .parse()
+                    .unwrap_or_else(|_| die("--contention must be an integer"));
             }
             "--graph" => args.graph = val("--graph"),
-            "--m" => args.m = Some(val("--m").parse().unwrap_or_else(|_| die("--m must be an integer"))),
+            "--m" => {
+                args.m = Some(val("--m").parse().unwrap_or_else(|_| die("--m must be an integer")))
+            }
             "--dense" => {
-                args.dense = val("--dense").parse().unwrap_or_else(|_| die("--dense must be an integer"));
+                args.dense =
+                    val("--dense").parse().unwrap_or_else(|_| die("--dense must be an integer"));
             }
             "--tree" => {
-                args.tree = val("--tree").parse().unwrap_or_else(|_| die("--tree must be an integer"));
+                args.tree =
+                    val("--tree").parse().unwrap_or_else(|_| die("--tree must be an integer"));
             }
             "--procs" => {
-                args.procs = val("--procs").parse().unwrap_or_else(|_| die("--procs must be an integer"));
+                args.procs =
+                    val("--procs").parse().unwrap_or_else(|_| die("--procs must be an integer"));
             }
-            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| die("--seed must be an integer")),
+            "--seed" => {
+                args.seed =
+                    val("--seed").parse().unwrap_or_else(|_| die("--seed must be an integer"))
+            }
             "-o" | "--out" => args.out = Some(val("-o")),
             "--help" | "-h" => {
                 println!("usage: dxtrace <scatter|cc|spmv|randperm|binsearch> [--n N] [--contention K] [--graph G] [--m M] [--dense D] [--tree M] [--procs P] [--seed S] -o FILE");
@@ -84,6 +93,18 @@ fn parse_args() -> Args {
     }
     if args.algorithm.is_empty() {
         die("missing algorithm (try --help)");
+    }
+    if args.procs == 0 {
+        die("--procs must be at least 1");
+    }
+    if args.n == 0 {
+        die("--n must be at least 1");
+    }
+    if args.contention == 0 {
+        die("--contention must be at least 1");
+    }
+    if args.tree == 0 {
+        die("--tree must be at least 1");
     }
     args
 }
@@ -111,13 +132,20 @@ fn build_trace(args: &Args) -> Trace {
             connected::connected_traced(p, &g).trace
         }
         "spmv" => {
-            let a = CsrMatrix::random_with_dense_column(args.n, args.n, 4, args.dense.min(args.n), &mut rng);
+            let a = CsrMatrix::random_with_dense_column(
+                args.n,
+                args.n,
+                4,
+                args.dense.min(args.n),
+                &mut rng,
+            );
             let x: Vec<f64> = (0..args.n).map(|i| i as f64).collect();
             spmv::spmv_traced(p, &a, &x).trace
         }
         "randperm" => random_perm::darts_traced(p, args.n, 1.5, &mut rng).trace,
         "binsearch" => {
-            let mut keys: Vec<u64> = (0..args.tree).map(|_| rng.random_range(0..1u64 << 40)).collect();
+            let mut keys: Vec<u64> =
+                (0..args.tree).map(|_| rng.random_range(0..1u64 << 40)).collect();
             keys.sort_unstable();
             keys.dedup();
             let queries: Vec<u64> = (0..args.n).map(|_| rng.random_range(0..1u64 << 40)).collect();

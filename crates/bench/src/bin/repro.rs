@@ -27,37 +27,167 @@ struct Experiment {
 fn registry() -> Vec<Experiment> {
     let e = |name, desc, run, plot| Experiment { name, desc, run, plot };
     vec![
-        e("table1", "machine inventory (banks vs. processors)", (|_, _| exp::tables::table1()) as Runner, None),
+        e(
+            "table1",
+            "machine inventory (banks vs. processors)",
+            (|_, _| exp::tables::table1()) as Runner,
+            None,
+        ),
         e("table2", "calibrated simulator parameters", |s, _| exp::tables::table2(s), None),
-        e("fig1", "CC-trace patterns: measured vs. predicted", exp::fig1::fig1, Some((0, &[2, 3, 4], true))),
-        e("exp1", "scatter vs. contention sweep", exp::scatter::exp1_contention, Some((0, &[1, 2, 3], true))),
-        e("exp2", "duplicating a hot location", exp::scatter::exp2_duplication, Some((0, &[1, 2], true))),
+        e(
+            "fig1",
+            "CC-trace patterns: measured vs. predicted",
+            exp::fig1::fig1,
+            Some((0, &[2, 3, 4], true)),
+        ),
+        e(
+            "exp1",
+            "scatter vs. contention sweep",
+            exp::scatter::exp1_contention,
+            Some((0, &[1, 2, 3], true)),
+        ),
+        e(
+            "exp2",
+            "duplicating a hot location",
+            exp::scatter::exp2_duplication,
+            Some((0, &[1, 2], true)),
+        ),
         e("exp3", "entropy distributions", exp::scatter::exp3_entropy, Some((1, &[2, 3, 4], true))),
         e("exp4", "expansion-factor sweep", exp::scatter::exp4_expansion, Some((0, &[1, 2], true))),
         e("exp5", "sectioned-network congestion (a)(b)(c)", exp::network::exp5_network, None),
-        e("exp6", "module-map contention vs. expansion", exp::modmap::exp6_modmap, Some((0, &[3], false))),
-        e("exp6b", "slackness vs. bank-load balance", exp::modmap::exp6b_slackness, Some((0, &[3], false))),
+        e(
+            "exp6",
+            "module-map contention vs. expansion",
+            exp::modmap::exp6_modmap,
+            Some((0, &[3], false)),
+        ),
+        e(
+            "exp6b",
+            "slackness vs. bank-load balance",
+            exp::modmap::exp6b_slackness,
+            Some((0, &[3], false)),
+        ),
         e("table3", "hash evaluation costs", exp::tables::table3, None),
-        e("exp7", "binary search: naive / QRQW / EREW", exp::algo_bench::exp7_binary_search, Some((0, &[1, 2, 3], true))),
-        e("exp8", "random permutation: darts vs. radix sort", exp::algo_bench::exp8_random_perm, Some((0, &[2, 3], true))),
-        e("exp9", "SpMV vs. dense-column length", exp::algo_bench::exp9_spmv, Some((1, &[2, 3, 4], true))),
-        e("exp10", "connected components across graph families", exp::algo_bench::exp10_connected, None),
-        e("exp11", "QRQW emulation work ratio over (d,x)", exp::emulation::exp11_emulation, Some((0, &[1, 3], true))),
-        e("exp11b", "emulated step cost vs. contention", exp::emulation::exp11_contention, Some((0, &[2, 3], true))),
-        e("exp_machines", "C90 vs. J90 contention comparison", exp::scatter::exp_machines, Some((0, &[1, 3], true))),
-        e("exp12", "list ranking: textbook vs. deactivating Wyllie", exp::extensions::exp12_list_ranking, Some((0, &[3, 4], true))),
-        e("exp13", "CC variants: Greiner vs. random mate", exp::extensions::exp13_cc_variants, None),
-        e("exp14", "Zipf scatter model validation", exp::extensions::exp14_zipf, Some((1, &[2, 3, 4], true))),
-        e("exp15", "parallel co-ranking merge", exp::extensions::exp15_merge, Some((0, &[2], true))),
-        e("exp16", "(d,x)-LogP vs. classic LogP", exp::extensions::exp16_logp, Some((0, &[1, 2, 3], true))),
-        e("exp17", "hash-degree congestion comparison", exp::extensions::exp17_hash_congestion, None),
-        e("exp18", "contention remedies: duplication & combining", exp::extensions::exp18_remedies, Some((0, &[1, 2, 4], true))),
-        e("exp19", "EREW radix vs. QRQW sample sort", exp::extensions::exp19_sorts, Some((0, &[1, 2], true))),
-        e("ablation_mapping", "interleaved vs. hashed banks under strides", exp::modmap::ablation_mapping, Some((0, &[1, 2], true))),
-        e("ablation_window", "outstanding-request window sweep", exp::ablation::ablation_window, None),
-        e("ablation_cache", "Tera-style per-bank caches (§7)", exp::ablation::ablation_bank_cache, Some((0, &[1, 2], true))),
-        e("ablation_injection", "injection-order sensitivity (§7)", exp::scatter::ablation_injection_order, None),
-        e("ablation_strip", "vector strip-mining sensitivity", exp::ablation::ablation_strip_mining, None),
+        e(
+            "exp7",
+            "binary search: naive / QRQW / EREW",
+            exp::algo_bench::exp7_binary_search,
+            Some((0, &[1, 2, 3], true)),
+        ),
+        e(
+            "exp8",
+            "random permutation: darts vs. radix sort",
+            exp::algo_bench::exp8_random_perm,
+            Some((0, &[2, 3], true)),
+        ),
+        e(
+            "exp9",
+            "SpMV vs. dense-column length",
+            exp::algo_bench::exp9_spmv,
+            Some((1, &[2, 3, 4], true)),
+        ),
+        e(
+            "exp10",
+            "connected components across graph families",
+            exp::algo_bench::exp10_connected,
+            None,
+        ),
+        e(
+            "exp11",
+            "QRQW emulation work ratio over (d,x)",
+            exp::emulation::exp11_emulation,
+            Some((0, &[1, 3], true)),
+        ),
+        e(
+            "exp11b",
+            "emulated step cost vs. contention",
+            exp::emulation::exp11_contention,
+            Some((0, &[2, 3], true)),
+        ),
+        e(
+            "exp_machines",
+            "C90 vs. J90 contention comparison",
+            exp::scatter::exp_machines,
+            Some((0, &[1, 3], true)),
+        ),
+        e(
+            "exp12",
+            "list ranking: textbook vs. deactivating Wyllie",
+            exp::extensions::exp12_list_ranking,
+            Some((0, &[3, 4], true)),
+        ),
+        e(
+            "exp13",
+            "CC variants: Greiner vs. random mate",
+            exp::extensions::exp13_cc_variants,
+            None,
+        ),
+        e(
+            "exp14",
+            "Zipf scatter model validation",
+            exp::extensions::exp14_zipf,
+            Some((1, &[2, 3, 4], true)),
+        ),
+        e(
+            "exp15",
+            "parallel co-ranking merge",
+            exp::extensions::exp15_merge,
+            Some((0, &[2], true)),
+        ),
+        e(
+            "exp16",
+            "(d,x)-LogP vs. classic LogP",
+            exp::extensions::exp16_logp,
+            Some((0, &[1, 2, 3], true)),
+        ),
+        e(
+            "exp17",
+            "hash-degree congestion comparison",
+            exp::extensions::exp17_hash_congestion,
+            None,
+        ),
+        e(
+            "exp18",
+            "contention remedies: duplication & combining",
+            exp::extensions::exp18_remedies,
+            Some((0, &[1, 2, 4], true)),
+        ),
+        e(
+            "exp19",
+            "EREW radix vs. QRQW sample sort",
+            exp::extensions::exp19_sorts,
+            Some((0, &[1, 2], true)),
+        ),
+        e(
+            "ablation_mapping",
+            "interleaved vs. hashed banks under strides",
+            exp::modmap::ablation_mapping,
+            Some((0, &[1, 2], true)),
+        ),
+        e(
+            "ablation_window",
+            "outstanding-request window sweep",
+            exp::ablation::ablation_window,
+            None,
+        ),
+        e(
+            "ablation_cache",
+            "Tera-style per-bank caches (§7)",
+            exp::ablation::ablation_bank_cache,
+            Some((0, &[1, 2], true)),
+        ),
+        e(
+            "ablation_injection",
+            "injection-order sensitivity (§7)",
+            exp::scatter::ablation_injection_order,
+            None,
+        ),
+        e(
+            "ablation_strip",
+            "vector strip-mining sensitivity",
+            exp::ablation::ablation_strip_mining,
+            None,
+        ),
     ]
 }
 

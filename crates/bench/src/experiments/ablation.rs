@@ -8,7 +8,7 @@
 //! boundary of the paper's machine class.
 
 use dxbsp_core::{predict_scatter, ScatterShape};
-use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
 use dxbsp_workloads::uniform_keys;
 
 use crate::runner::parallel_map;
@@ -36,7 +36,7 @@ pub fn ablation_window(scale: Scale, seed: u64) -> Table {
         if let Some(w) = w {
             cfg = cfg.with_window(*w);
         }
-        let cycles = Simulator::new(cfg).run(&pat, &map).cycles;
+        let cycles = SimulatorBackend::new(cfg).step(&pat, &map).cycles;
         (*w, cycles)
     });
 
@@ -85,15 +85,15 @@ pub fn ablation_bank_cache(scale: Scale, seed: u64) -> Table {
     let ks: Vec<usize> = vec![1, 64, 1024, n / 4, n];
 
     let map = super::hashed_map(&m, seed);
-    let plain = Simulator::new(SimConfig::from_params(&m));
-    let cached = Simulator::new(SimConfig::from_params(&m).with_bank_cache(8, 1));
+    let plain_cfg = SimConfig::from_params(&m);
+    let cached_cfg = SimConfig::from_params(&m).with_bank_cache(8, 1);
 
     let rows = parallel_map(&ks, |&k| {
         let mut rng = super::point_rng(seed, k as u64 ^ 0xA3);
         let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
         let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
-        let p = plain.run(&pat, &map);
-        let c = cached.run(&pat, &map);
+        let p = SimulatorBackend::new(plain_cfg).step(&pat, &map);
+        let c = SimulatorBackend::new(cached_cfg).step(&pat, &map).into_result();
         let hits: usize = c.banks.iter().map(|b| b.cache_hits).sum();
         (k, p.cycles, c.cycles, hits)
     });
@@ -150,7 +150,7 @@ pub fn ablation_strip_mining(scale: Scale, seed: u64) -> Table {
         if let Some((vl, startup)) = c {
             cfg = cfg.with_strip_mining(*vl, *startup);
         }
-        let cycles = Simulator::new(cfg).run(&pat, &map).cycles;
+        let cycles = SimulatorBackend::new(cfg).step(&pat, &map).cycles;
         (*c, cycles)
     });
 

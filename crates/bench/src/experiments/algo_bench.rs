@@ -4,7 +4,7 @@
 
 use dxbsp_algos::{binary_search, connected::connected_traced, random_perm, spmv};
 use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
-use dxbsp_machine::run_trace;
+use dxbsp_machine::replay;
 use dxbsp_workloads::{CsrMatrix, Graph};
 
 use crate::runner::parallel_map;
@@ -12,9 +12,8 @@ use crate::table::{fmt_f, Table};
 use crate::Scale;
 
 fn trace_cycles(m: &dxbsp_core::MachineParams, trace: &dxbsp_machine::Trace, seed: u64) -> u64 {
-    let sim = super::simulator(m);
     let map = super::hashed_map(m, seed);
-    run_trace(&sim, trace, &map).total_cycles
+    replay(&mut super::backend(m), trace, &map).total_cycles
 }
 
 /// Experiment 7: QRQW replicated-tree binary search vs. the naive
@@ -24,17 +23,17 @@ pub fn exp7_binary_search(scale: Scale, seed: u64) -> Table {
     let m = super::default_machine();
     let tree_m = scale.algo_n();
     let mut rng = super::point_rng(seed, 7);
-    let mut keys: Vec<u64> = (0..tree_m).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
+    let mut keys: Vec<u64> =
+        (0..tree_m).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
     keys.sort_unstable();
     keys.dedup();
 
-    let ns: Vec<usize> = [tree_m / 16, tree_m / 4, tree_m, tree_m * 4]
-        .into_iter()
-        .filter(|&n| n >= 64)
-        .collect();
+    let ns: Vec<usize> =
+        [tree_m / 16, tree_m / 4, tree_m, tree_m * 4].into_iter().filter(|&n| n >= 64).collect();
     let rows = parallel_map(&ns, |&n| {
         let mut rng = super::point_rng(seed, n as u64);
-        let queries: Vec<u64> = (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
+        let queries: Vec<u64> =
+            (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
         let naive = binary_search::naive_traced(m.p, &keys, &queries);
         let qrqw = binary_search::replicated_traced(m.p, &keys, &queries, 8, false, &mut rng);
         let erew = binary_search::erew_traced(m.p, &keys, &queries);
@@ -61,7 +60,9 @@ pub fn exp7_binary_search(scale: Scale, seed: u64) -> Table {
             fmt_f(erew as f64 / qrqw as f64),
         ]);
     }
-    t.note("bounded replication beats both the contended naive walk and the sort-heavy EREW version");
+    t.note(
+        "bounded replication beats both the contended naive walk and the sort-heavy EREW version",
+    );
     t
 }
 
@@ -169,13 +170,9 @@ pub fn exp10_connected(scale: Scale, seed: u64) -> Table {
     );
     for (name, g) in &graphs {
         let traced = connected_traced(m.p, g);
-        assert!(dxbsp_algos::connected::same_partition(
-            &traced.value.0,
-            &g.components_oracle()
-        ));
-        let sim = super::simulator(&m);
+        assert!(dxbsp_algos::connected::same_partition(&traced.value.0, &g.components_oracle()));
         let map = super::hashed_map(&m, seed);
-        let res = run_trace(&sim, &traced.trace, &map);
+        let res = replay(&mut super::backend(&m), &traced.trace, &map);
         let mut hook_k = 0usize;
         let mut short_k = 0usize;
         for step in &traced.trace {
@@ -186,8 +183,12 @@ pub fn exp10_connected(scale: Scale, seed: u64) -> Table {
                 short_k = short_k.max(k);
             }
         }
-        let predicted =
-            dxbsp_machine::charge_trace(&m, &traced.trace, &map, dxbsp_core::CostModel::DxBsp);
+        let predicted = replay(
+            &mut super::model_backend(&m, dxbsp_core::CostModel::DxBsp),
+            &traced.trace,
+            &map,
+        )
+        .total_cycles;
         t.push_row(vec![
             (*name).into(),
             traced.value.1.rounds.to_string(),

@@ -44,7 +44,7 @@ pub fn exp11_emulation(scale: Scale, seed: u64) -> Table {
         for &d in &ds {
             let m = MachineParams::new(p, 1, 0, d, x);
             let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
-            let emu = Emulator::new(m, Degree::Linear, &mut rng);
+            let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
             let prog = hotspot_program(n, 1, seed ^ d);
             let rep = emu.run(&prog);
             cells.push(fmt_f(rep.work_ratio()));
@@ -53,9 +53,7 @@ pub fn exp11_emulation(scale: Scale, seed: u64) -> Table {
             let bound = theory::step_bound(&m, n, 1) as f64 * p as f64 / n as f64;
             cells.push(fmt_f(bound));
         }
-        cells.push(fmt_f(theory::work_overhead_lower_bound(
-            &MachineParams::new(p, 1, 0, 16, x),
-        )));
+        cells.push(fmt_f(theory::work_overhead_lower_bound(&MachineParams::new(p, 1, 0, 16, x))));
         cells
     });
     for row in rows {
@@ -76,7 +74,7 @@ pub fn exp11_contention(scale: Scale, seed: u64) -> Table {
 
     let rows = parallel_map(&ks, |&k| {
         let mut rng = super::point_rng(seed, k as u64);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let prog = hotspot_program(n, k, seed ^ k as u64);
         let rep = emu.run(&prog);
         (k, rep.qrqw_time, rep.measured_cycles, theory::step_bound(&m, n, k))

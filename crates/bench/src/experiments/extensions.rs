@@ -4,7 +4,7 @@
 
 use dxbsp_algos::{connected, list_ranking, merge};
 use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
-use dxbsp_machine::run_trace;
+use dxbsp_machine::{replay, Backend};
 use dxbsp_workloads::{max_contention, zipf_keys, Graph};
 
 use crate::runner::parallel_map;
@@ -12,9 +12,8 @@ use crate::table::{fmt_f, Table};
 use crate::Scale;
 
 fn trace_cycles(m: &dxbsp_core::MachineParams, trace: &dxbsp_machine::Trace, seed: u64) -> u64 {
-    let sim = super::simulator(m);
     let map = super::hashed_map(m, seed);
-    run_trace(&sim, trace, &map).total_cycles
+    replay(&mut super::backend(m), trace, &map).total_cycles
 }
 
 /// Extension E12: list ranking — textbook Wyllie (tail hot spot) vs.
@@ -149,8 +148,10 @@ pub fn exp15_merge(scale: Scale, seed: u64) -> Table {
 
     let rows = parallel_map(&ns, |&n| {
         let mut rng = super::point_rng(seed, n as u64);
-        let mut a: Vec<u64> = (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
-        let mut b: Vec<u64> = (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
+        let mut a: Vec<u64> =
+            (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
+        let mut b: Vec<u64> =
+            (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
         a.sort_unstable();
         b.sort_unstable();
         let t = merge::merge_traced(m.p, &a, &b);
@@ -246,7 +247,7 @@ pub fn exp16_logp(scale: Scale, seed: u64) -> Table {
         let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
         let pat = dxbsp_core::AccessPattern::scatter(lp.p, &keys);
         let map = super::hashed_map(&m, seed);
-        let measured = super::simulator(&m).run(&pat, &map).cycles;
+        let measured = super::backend(&m).step(&pat, &map).cycles;
         let dx_logp = lp.pattern_cost(&pat, &map);
         let classic = lp.pattern_cost_classic(&pat);
         (k, measured, dx_logp, classic)
@@ -345,8 +346,7 @@ pub fn exp18_remedies(scale: Scale, seed: u64) -> Table {
     let ks = [1usize, 256, 4096, n / 2, n];
 
     let rows = parallel_map(&ks, |&k| {
-        let keys: Vec<u64> =
-            (0..n).map(|i| if i < k { 0 } else { 1000 + i as u64 }).collect();
+        let keys: Vec<u64> = (0..n).map(|i| if i < k { 0 } else { 1000 + i as u64 }).collect();
         let src: HashMap<u64, u64> = keys.iter().map(|&a| (a, a)).collect();
         let values = vec![1u64; n];
         let plain_g = scatter_gather::gather_traced(m.p, &keys, &src);

@@ -10,7 +10,6 @@
 //! compare against both predictions.
 
 use dxbsp_algos::connected::connected_traced;
-use dxbsp_core::{pattern_breakdown, CostModel};
 use dxbsp_workloads::Graph;
 
 use crate::table::{fmt_f, Table};
@@ -33,7 +32,12 @@ pub fn fig1(scale: Scale, seed: u64) -> Table {
     }
     let traced = connected_traced(m.p, &g);
 
-    let sim = super::simulator(&m);
+    // One backend per cost lens, reused across every trace step.
+    use dxbsp_core::CostModel;
+    use dxbsp_machine::Backend;
+    let mut hardware = super::backend(&m);
+    let mut dx_model = super::model_backend(&m, CostModel::DxBsp);
+    let mut bsp_model = super::model_backend(&m, CostModel::Bsp);
     let map = super::hashed_map(&m, seed);
     let mut points: Vec<(usize, usize, u64, u64, u64)> = Vec::new();
     for step in &traced.trace {
@@ -41,9 +45,9 @@ pub fn fig1(scale: Scale, seed: u64) -> Table {
             continue;
         }
         let prof = step.pattern.contention_profile();
-        let measured = sim.run(&step.pattern, &map).cycles;
-        let dx = pattern_breakdown(&m, &step.pattern, &map, CostModel::DxBsp).total();
-        let bsp = pattern_breakdown(&m, &step.pattern, &map, CostModel::Bsp).total();
+        let measured = hardware.step(&step.pattern, &map).cycles;
+        let dx = dx_model.step(&step.pattern, &map).cycles;
+        let bsp = bsp_model.step(&step.pattern, &map).cycles;
         points.push((prof.max_location_contention, prof.total_requests, measured, dx, bsp));
     }
     points.sort_unstable();

@@ -17,9 +17,9 @@ pub mod scatter;
 pub mod shapes;
 pub mod tables;
 
-use dxbsp_core::MachineParams;
+use dxbsp_core::{AccessPattern, BankMap, CostModel, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_machine::{Backend, ModelBackend, SimulatorBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,10 +43,33 @@ pub fn hashed_map(m: &MachineParams, seed: u64) -> HashedBanks {
     HashedBanks::random(Degree::Linear, m.banks(), &mut point_rng(seed, 0xBA17))
 }
 
-/// A simulator realizing `m`.
+/// A simulator backend realizing `m` — the "measured" side of every
+/// experiment. Step many patterns through one backend to reuse its
+/// per-run working state.
 #[must_use]
-pub fn simulator(m: &MachineParams) -> Simulator {
-    Simulator::new(SimConfig::from_params(m))
+pub fn backend(m: &MachineParams) -> SimulatorBackend {
+    SimulatorBackend::from_params(m)
+}
+
+/// A model backend charging `model` costs on `m` — the "predicted"
+/// side of every experiment.
+#[must_use]
+pub fn model_backend(m: &MachineParams, model: CostModel) -> ModelBackend {
+    ModelBackend::new(*m, model)
+}
+
+/// One pattern through all three cost lenses: `(measured, dx, bsp)` —
+/// simulated cycles, the (d,x)-BSP charge, and the plain-BSP charge.
+#[must_use]
+pub fn predicted_and_measured(
+    m: &MachineParams,
+    pat: &AccessPattern,
+    map: &dyn BankMap,
+) -> (u64, u64, u64) {
+    let measured = backend(m).step(pat, map).cycles;
+    let dx = model_backend(m, CostModel::DxBsp).step(pat, map).cycles;
+    let bsp = model_backend(m, CostModel::Bsp).step(pat, map).cycles;
+    (measured, dx, bsp)
 }
 
 /// Measured cycles of scattering `keys` on the simulated `m` under a
@@ -54,8 +77,8 @@ pub fn simulator(m: &MachineParams) -> Simulator {
 #[must_use]
 pub fn measured_scatter(m: &MachineParams, keys: &[u64], seed: u64) -> u64 {
     let map = hashed_map(m, seed);
-    let pat = dxbsp_core::AccessPattern::scatter(m.p, keys);
-    simulator(m).run(&pat, &map).cycles
+    let pat = AccessPattern::scatter(m.p, keys);
+    backend(m).step(&pat, &map).cycles
 }
 
 #[cfg(test)]

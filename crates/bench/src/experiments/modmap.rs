@@ -8,6 +8,7 @@
 //! factor, for a worst-case reference pattern.
 
 use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
+use dxbsp_machine::Backend;
 use dxbsp_workloads::strided_addresses;
 
 use crate::runner::parallel_map;
@@ -27,16 +28,19 @@ pub fn exp6_modmap(scale: Scale, seed: u64) -> Table {
         let m = MachineParams::new(8, 1, 0, 14, x);
         // Distinct addresses with a pseudo-random spacing (keeps the
         // hashed mapping honest; any fixed set works).
-        let addrs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 4).collect();
+        let addrs: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 4).collect();
         let pat = AccessPattern::scatter(m.p, &addrs);
-        let sim = super::simulator(&m);
-        let hashed = sim.run(&pat, &super::hashed_map(&m, seed ^ x as u64)).cycles;
+        // One backend per sweep point, stepped twice: the ideal run
+        // reuses the hashed run's buffers.
+        let mut backend = super::backend(&m);
+        let hashed = backend.step(&pat, &super::hashed_map(&m, seed ^ x as u64)).cycles;
         // Ideal: the same request volume dealt perfectly evenly —
         // element i to bank i mod B, i.e. interleaved consecutive
         // addresses (module-map contention exactly ⌈n/B⌉, the minimum).
         let ideal_addrs: Vec<u64> = (0..n as u64).collect();
         let ideal_pat = AccessPattern::scatter(m.p, &ideal_addrs);
-        let ideal = sim.run(&ideal_pat, &Interleaved::new(m.banks())).cycles;
+        let ideal = backend.step(&ideal_pat, &Interleaved::new(m.banks())).cycles;
         (x, hashed, ideal)
     });
 
@@ -67,9 +71,9 @@ pub fn ablation_mapping(scale: Scale, seed: u64) -> Table {
     let rows = parallel_map(&strides, |&s| {
         let addrs = strided_addresses(0, s, n);
         let pat = AccessPattern::scatter(m.p, &addrs);
-        let sim = super::simulator(&m);
-        let inter = sim.run(&pat, &Interleaved::new(m.banks())).cycles;
-        let hashed = sim.run(&pat, &super::hashed_map(&m, seed ^ s)).cycles;
+        let mut backend = super::backend(&m);
+        let inter = backend.step(&pat, &Interleaved::new(m.banks())).cycles;
+        let hashed = backend.step(&pat, &super::hashed_map(&m, seed ^ s)).cycles;
         (s, inter, hashed)
     });
 
@@ -85,7 +89,9 @@ pub fn ablation_mapping(scale: Scale, seed: u64) -> Table {
             fmt_f(inter as f64 / hashed as f64),
         ]);
     }
-    t.note("power-of-two strides collapse interleaving onto few banks; hashing is stride-oblivious");
+    t.note(
+        "power-of-two strides collapse interleaving onto few banks; hashing is stride-oblivious",
+    );
     t
 }
 

@@ -16,7 +16,7 @@
 //!   the worst case the predictions are not catastrophic."
 
 use dxbsp_core::{predict_scatter, Interleaved, MachineParams, ScatterShape};
-use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
 
 use crate::table::{fmt_f, Table};
 use crate::Scale;
@@ -32,13 +32,14 @@ pub fn exp5_network(scale: Scale, seed: u64) -> Table {
     let banks = m.banks();
     let per_section = banks / sections;
     let cfg = SimConfig::from_params(&m).with_sections(sections, ports);
-    let sim = Simulator::new(cfg);
+    let mut backend = SimulatorBackend::new(cfg);
     let map = Interleaved::new(banks);
     let mut rng = super::point_rng(seed, 5);
 
     // Uniform random bank targets, then constrain per version. Using
     // bank-index addresses directly keeps placements exact.
-    let uniform: Vec<u64> = (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..banks as u64)).collect();
+    let uniform: Vec<u64> =
+        (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..banks as u64)).collect();
     let version_a = uniform.clone();
     // (b): processor i (element index mod p) uses section i % sections.
     let version_b: Vec<u64> = uniform
@@ -57,9 +58,13 @@ pub fn exp5_network(scale: Scale, seed: u64) -> Table {
         format!("Experiment 5: sectioned network, {sections} sections x {ports} ports (n={n})"),
         &["version", "measured", "sectionless pred", "meas/pred"],
     );
-    for (name, keys) in [("(a) uniform", &version_a), ("(b) per-proc section", &version_b), ("(c) one section", &version_c)] {
+    for (name, keys) in [
+        ("(a) uniform", &version_a),
+        ("(b) per-proc section", &version_b),
+        ("(c) one section", &version_c),
+    ] {
         let pat = dxbsp_core::AccessPattern::scatter(m.p, keys);
-        let res = sim.run(&pat, &map);
+        let res = backend.step(&pat, &map);
         t.push_row(vec![
             name.into(),
             res.cycles.to_string(),

@@ -54,9 +54,8 @@ pub fn exp2_duplication(scale: Scale, seed: u64) -> Table {
     let m = super::default_machine();
     let n = scale.scatter_n();
     let k = n / 8;
-    let copies: Vec<usize> = std::iter::successors(Some(1usize), |&c| Some(c * 2))
-        .take_while(|&c| c <= k)
-        .collect();
+    let copies: Vec<usize> =
+        std::iter::successors(Some(1usize), |&c| Some(c * 2)).take_while(|&c| c <= k).collect();
 
     let rows = parallel_map(&copies, |&c| {
         let mut rng = super::point_rng(seed, c as u64);
@@ -256,7 +255,7 @@ pub fn ablation_injection_order(scale: Scale, seed: u64) -> Table {
     let mut rng = super::point_rng(seed, 0xA4);
     let keys = dxbsp_workloads::uniform_keys(n, 1 << 24, &mut rng);
     let map = super::hashed_map(&m, seed);
-    let sim = super::simulator(&m);
+    let mut backend = super::backend(&m);
 
     // Per-processor reorderings of the same element set.
     let original = dxbsp_core::AccessPattern::scatter(m.p, &keys);
@@ -293,12 +292,9 @@ pub fn ablation_injection_order(scale: Scale, seed: u64) -> Table {
         ("sorted by bank", &sorted),
         ("bank-interleaved", &interleaved),
     ] {
-        let res = sim.run(pat, &map);
-        t.push_row(vec![
-            name.into(),
-            res.cycles.to_string(),
-            res.total_queue_wait().to_string(),
-        ]);
+        use dxbsp_machine::Backend;
+        let res = backend.step(pat, &map).into_result();
+        t.push_row(vec![name.into(), res.cycles.to_string(), res.total_queue_wait().to_string()]);
     }
     t.note("§7: the (d,x)-BSP ignores injection order; this bounds how much that can matter");
     t

@@ -165,10 +165,7 @@ pub fn verify_all(scale: Scale, seed: u64) -> Vec<ShapeCheck> {
 pub fn render_checks(checks: &[ShapeCheck]) -> String {
     let mut out = String::new();
     let passed = checks.iter().filter(|c| c.pass).count();
-    out.push_str(&format!(
-        "== shape verification: {passed}/{} claims hold ==\n",
-        checks.len()
-    ));
+    out.push_str(&format!("== shape verification: {passed}/{} claims hold ==\n", checks.len()));
     for c in checks {
         out.push_str(&format!(
             "  [{}] {:<14} {}\n{:20}observed: {}\n",

@@ -44,8 +44,8 @@ pub fn table2(scale: Scale) -> Table {
         &["machine", "p", "x", "configured d", "fitted d", "configured g", "fitted g"],
     );
     for (name, m) in [("C90-like", presets::cray_c90()), ("J90-like", presets::cray_j90())] {
-        let sim = super::simulator(&m);
-        let cal = calibrate(&sim, n);
+        let backend = super::backend(&m);
+        let cal = calibrate(backend.simulator(), n);
         t.push_row(vec![
             name.into(),
             m.p.to_string(),
@@ -71,10 +71,8 @@ pub fn table3(scale: Scale, seed: u64) -> Table {
     };
     let mut rng = super::point_rng(seed, 3);
     let keys: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37_79B9)).collect();
-    let mut t = Table::new(
-        "Table 3: hash-function evaluation cost",
-        &["hash", "ns/element", "relative"],
-    );
+    let mut t =
+        Table::new("Table 3: hash-function evaluation cost", &["hash", "ns/element", "relative"]);
     let mut base = None;
     for deg in Degree::all() {
         let h = PolyHash::random(deg, 64, 10, &mut rng);

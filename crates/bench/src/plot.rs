@@ -258,9 +258,8 @@ pub fn gantt_from_events(
     order.sort_unstable_by_key(|&b| std::cmp::Reverse(busy[b]));
     order.truncate(max_rows);
 
-    let scale = |t: u64| -> usize {
-        ((t as f64 / total_cycles as f64) * width as f64).floor() as usize
-    };
+    let scale =
+        |t: u64| -> usize { ((t as f64 / total_cycles as f64) * width as f64).floor() as usize };
     let mut out = String::new();
     out.push_str(&format!(
         "-- bank occupancy (top {} of {} active banks, {} cycles) --\n",

@@ -1,14 +1,11 @@
 //! Parallel parameter sweeps.
 //!
 //! Each sweep point is an independent deterministic simulation, so
-//! experiments fan points out across OS threads: a shared atomic work
-//! index hands out points, `parking_lot`-guarded slots collect results
-//! in order. Determinism is preserved because every point derives its
-//! RNG from `(seed, point index)`, never from thread identity.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+//! experiments fan points out across OS threads: the input is split
+//! into contiguous chunks, one per worker, and each worker returns its
+//! results as one contiguous block — no per-item locks. Determinism is
+//! preserved because every point derives its RNG from `(seed, point
+//! index)`, never from thread identity.
 
 /// Applies `f` to every item, in parallel, preserving order.
 ///
@@ -20,27 +17,22 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-    let threads = threads.min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Each worker owns one contiguous chunk of the input and builds its
+    // block of results locally; concatenating the blocks in spawn order
+    // restores the input order.
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("all slots filled"))
-        .collect()
+        let workers: Vec<_> = items
+            .chunks(chunk)
+            .map(|block| scope.spawn(move || block.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        workers.into_iter().flat_map(|w| w.join().expect("sweep worker panicked")).collect()
+    })
 }
 
 #[cfg(test)]
@@ -74,6 +66,16 @@ mod tests {
         });
         for (i, &v) in out.iter().enumerate() {
             assert!(v >= i && v < i + 7);
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_scramble_results() {
+        // Lengths around typical core counts exercise uneven last chunks.
+        for len in [2usize, 3, 5, 7, 8, 9, 15, 16, 17, 63, 65] {
+            let items: Vec<usize> = (0..len).collect();
+            let out = parallel_map(&items, |&x| x + 100);
+            assert_eq!(out, (100..100 + len).collect::<Vec<_>>(), "len={len}");
         }
     }
 }

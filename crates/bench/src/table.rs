@@ -79,10 +79,7 @@ impl Table {
     /// tests and for the EXPERIMENTS.md shape checks).
     #[must_use]
     pub fn column_f64(&self, col: usize) -> Vec<f64> {
-        self.rows
-            .iter()
-            .map(|r| r[col].trim().parse::<f64>().unwrap_or(f64::NAN))
-            .collect()
+        self.rows.iter().map(|r| r[col].trim().parse::<f64>().unwrap_or(f64::NAN)).collect()
     }
 }
 

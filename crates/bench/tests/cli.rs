@@ -42,11 +42,8 @@ fn measured_cycles(stdout: &str) -> u64 {
 #[test]
 fn scatter_trace_round_trips_through_both_tools() {
     let path = tmp("scatter.dxtr");
-    let out = run_ok(
-        dxtrace()
-            .args(["scatter", "--n", "8192", "--contention", "2048", "-o"])
-            .arg(&path),
-    );
+    let out =
+        run_ok(dxtrace().args(["scatter", "--n", "8192", "--contention", "2048", "-o"]).arg(&path));
     assert!(out.contains("max contention 2048"), "{out}");
 
     let sim_out = run_ok(dxsim().arg("--trace").arg(&path).arg("--per-step"));
@@ -60,11 +57,7 @@ fn scatter_trace_round_trips_through_both_tools() {
 #[test]
 fn bank_delay_flag_changes_the_replay() {
     let path = tmp("hot.dxtr");
-    run_ok(
-        dxtrace()
-            .args(["scatter", "--n", "4096", "--contention", "4096", "-o"])
-            .arg(&path),
-    );
+    run_ok(dxtrace().args(["scatter", "--n", "4096", "--contention", "4096", "-o"]).arg(&path));
     let slow = measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path).args(["--delay", "14"])));
     let fast = measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path).args(["--delay", "2"])));
     assert_eq!(slow, 14 * 4096);
@@ -74,17 +67,10 @@ fn bank_delay_flag_changes_the_replay() {
 #[test]
 fn cc_trace_replays_with_model_agreement() {
     let path = tmp("cc.dxtr");
-    run_ok(
-        dxtrace()
-            .args(["cc", "--n", "2048", "--graph", "star", "-o"])
-            .arg(&path),
-    );
+    run_ok(dxtrace().args(["cc", "--n", "2048", "--graph", "star", "-o"]).arg(&path));
     let out = run_ok(dxsim().arg("--trace").arg(&path));
     // measured/charged printed on the (d,x)-BSP line must be near 1.
-    let line = out
-        .lines()
-        .find(|l| l.contains("(d,x)-BSP charge"))
-        .expect("charge line");
+    let line = out.lines().find(|l| l.contains("(d,x)-BSP charge")).expect("charge line");
     let ratio: f64 = line
         .split("measured/charged = ")
         .nth(1)
@@ -96,11 +82,7 @@ fn cc_trace_replays_with_model_agreement() {
 #[test]
 fn bank_cache_flag_defuses_the_hot_spot() {
     let path = tmp("cached.dxtr");
-    run_ok(
-        dxtrace()
-            .args(["scatter", "--n", "4096", "--contention", "4096", "-o"])
-            .arg(&path),
-    );
+    run_ok(dxtrace().args(["scatter", "--n", "4096", "--contention", "4096", "-o"]).arg(&path));
     let plain = measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path)));
     let cached = measured_cycles(&run_ok(
         dxsim().arg("--trace").arg(&path).args(["--cache", "8", "--hit", "1"]),
@@ -112,12 +94,7 @@ fn bank_cache_flag_defuses_the_hot_spot() {
 fn wrong_processor_count_is_a_clear_error() {
     let path = tmp("p8.dxtr");
     run_ok(dxtrace().args(["scatter", "--n", "1024", "-o"]).arg(&path));
-    let out = dxsim()
-        .arg("--trace")
-        .arg(&path)
-        .args(["--procs", "4"])
-        .output()
-        .expect("spawn");
+    let out = dxsim().arg("--trace").arg(&path).args(["--procs", "4"]).output().expect("spawn");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("pass --procs 8"), "{stderr}");
@@ -127,6 +104,73 @@ fn wrong_processor_count_is_a_clear_error() {
 fn missing_trace_file_is_a_clear_error() {
     let out = dxsim().args(["--trace", "/nonexistent/file.dxtr"]).output().expect("spawn");
     assert!(!out.status.success());
+}
+
+#[test]
+fn malformed_trace_file_is_a_diagnostic_not_a_panic() {
+    let path = tmp("garbage.dxtr");
+    std::fs::write(&path, b"this is not a trace file at all").expect("write");
+    let out = dxsim().arg("--trace").arg(&path).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad magic"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn truncated_trace_file_is_a_diagnostic_not_a_panic() {
+    let path = tmp("whole.dxtr");
+    run_ok(dxtrace().args(["scatter", "--n", "256", "-o"]).arg(&path));
+    let bytes = std::fs::read(&path).expect("read");
+    let cut = tmp("truncated.dxtr");
+    std::fs::write(&cut, &bytes[..bytes.len() / 2]).expect("write");
+    let out = dxsim().arg("--trace").arg(&cut).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn degenerate_machine_flags_are_rejected_up_front() {
+    let path = tmp("flags.dxtr");
+    run_ok(dxtrace().args(["scatter", "--n", "256", "-o"]).arg(&path));
+    for bad in [
+        vec!["--procs", "0"],
+        vec!["--delay", "0"],
+        vec!["--gap", "0"],
+        vec!["--expansion", "0"],
+        vec!["--window", "0"],
+        vec!["--sections", "7", "--ports", "1"], // 7 does not divide 256 banks
+        vec!["--sections", "8", "--ports", "0"],
+        vec!["--cache", "0"],
+        vec!["--cache", "8", "--hit", "99"], // hit > delay 14
+        vec!["--map", "banana"],
+        vec!["--delay", "notanumber"],
+    ] {
+        let out = dxsim().arg("--trace").arg(&path).args(&bad).output().expect("spawn");
+        assert!(!out.status.success(), "{bad:?} was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("dxsim:"), "{bad:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{bad:?}: {stderr}");
+    }
+}
+
+#[test]
+fn dxtrace_rejects_degenerate_sizes() {
+    for bad in [
+        vec!["scatter", "--procs", "0"],
+        vec!["scatter", "--n", "0"],
+        vec!["scatter", "--contention", "0"],
+        vec!["binsearch", "--tree", "0"],
+        vec!["scatter", "--n", "many"],
+    ] {
+        let out = dxtrace().args(&bad).output().expect("spawn");
+        assert!(!out.status.success(), "{bad:?} was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("dxtrace:"), "{bad:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{bad:?}: {stderr}");
+    }
 }
 
 #[test]

@@ -112,13 +112,7 @@ pub fn diagnose<M: BankMap>(m: &MachineParams, pat: &AccessPattern, map: &M) -> 
         // duplication cannot help, so there is no advice to give.
         .filter(|a| a.copies >= 2);
 
-    Diagnosis {
-        binding,
-        charged_cycles: charged,
-        contention: k,
-        max_bank_load: r,
-        duplication,
-    }
+    Diagnosis { binding, charged_cycles: charged, contention: k, max_bank_load: r, duplication }
 }
 
 #[cfg(test)]
@@ -200,10 +194,7 @@ mod tests {
         let pat = AccessPattern::scatter(8, &addrs);
         let d = diagnose(&j90(), &pat, &map());
         let advice = d.duplication.unwrap();
-        let manual = predict_scatter(
-            &j90(),
-            ScatterShape::new(n, k.div_ceil(advice.copies)),
-        );
+        let manual = predict_scatter(&j90(), ScatterShape::new(n, k.div_ceil(advice.copies)));
         assert_eq!(advice.predicted_cycles, manual);
     }
 }

@@ -65,11 +65,7 @@ pub fn superstep_cost(m: &MachineParams, h: usize, r: usize) -> u64 {
 /// The per-term breakdown of [`superstep_cost`].
 #[must_use]
 pub fn superstep_breakdown(m: &MachineParams, h: usize, r: usize) -> CostBreakdown {
-    CostBreakdown {
-        latency: m.l,
-        processor: m.g * h as u64,
-        bank: m.d * r as u64,
-    }
+    CostBreakdown { latency: m.l, processor: m.g * h as u64, bank: m.d * r as u64 }
 }
 
 /// Plain-BSP superstep cost: `max(L, g·h)`.

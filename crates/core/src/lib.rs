@@ -63,6 +63,5 @@ pub use logp::LogPParams;
 pub use params::MachineParams;
 pub use pattern::{AccessKind, AccessPattern, ContentionProfile, Request};
 pub use predict::{
-    contention_knee, predict_scatter, predict_scatter_bsp, predict_scatter_duplicated,
-    ScatterShape,
+    contention_knee, predict_scatter, predict_scatter_bsp, predict_scatter_duplicated, ScatterShape,
 };

@@ -18,8 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::pattern::AccessPattern;
 use crate::bankmap::BankMap;
+use crate::pattern::AccessPattern;
 
 /// Parameters of a (d,x)-LogP machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -194,7 +194,7 @@ mod tests {
         assert_eq!(bsp.x, 32);
         assert_eq!(bsp.g, 2); // max(g, o)
         assert_eq!(bsp.l, 24); // 2o + 2L
-        // The two models agree on the hot-bank asymptotics.
+                               // The two models agree on the hot-bank asymptotics.
         let map = Interleaved::new(p.banks());
         let hot = AccessPattern::scatter(p.p, &vec![0u64; 1000]);
         let logp = p.pattern_cost(&hot, &map);

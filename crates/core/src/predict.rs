@@ -52,9 +52,7 @@ pub fn predict_scatter(m: &MachineParams, shape: ScatterShape) -> u64 {
     let n = shape.n as u64;
     let per_proc = n.div_ceil(m.p as u64);
     let per_bank_even = n.div_ceil(m.banks() as u64);
-    m.l.max(m.g * per_proc)
-        .max(m.d * per_bank_even)
-        .max(m.d * shape.k as u64)
+    m.l.max(m.g * per_proc).max(m.d * per_bank_even).max(m.d * shape.k as u64)
 }
 
 /// Plain-BSP prediction: `max(L, g·⌈n/p⌉)` — no bank terms, which is

@@ -19,7 +19,11 @@ fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
                 let proc = i % procs;
                 // Restrict to a modest address space so collisions occur.
                 let addr = addr % 512;
-                pat.push(if is_read { Request::read(proc, addr) } else { Request::write(proc, addr) });
+                pat.push(if is_read {
+                    Request::read(proc, addr)
+                } else {
+                    Request::write(proc, addr)
+                });
             }
             pat
         },

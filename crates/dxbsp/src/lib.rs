@@ -22,23 +22,33 @@
 //!
 //! ## Quickstart
 //!
+//! Execution goes through the engine layer of [`machine`]: any
+//! [`machine::Backend`] — the event-driven simulator, the naive
+//! cycle-stepped reference, or the closed-form (d,x)-BSP model — can
+//! step an access pattern, and a [`machine::Session`] reuses bank and
+//! processor state across supersteps while accumulating totals.
+//!
 //! ```
-//! use dxbsp::model::{predict_scatter, MachineParams, ScatterShape};
-//! use dxbsp::machine::{SimConfig, Simulator};
-//! use dxbsp::model::{AccessPattern, Interleaved};
+//! use dxbsp::machine::{Backend, ModelBackend, Session, SimulatorBackend};
+//! use dxbsp::model::{AccessPattern, CostModel, Interleaved, MachineParams};
 //!
 //! // A J90-like machine: 8 processors, bank delay 14, expansion 32.
 //! let m = MachineParams::new(8, 1, 0, 14, 32);
+//! let map = Interleaved::new(m.banks());
 //!
 //! // Scatter 64 writes into one hot location.
 //! let pattern = AccessPattern::scatter(m.p, &vec![7u64; 64]);
-//! let sim = Simulator::new(SimConfig::from_params(&m));
-//! let measured = sim.run(&pattern, &Interleaved::new(m.banks())).cycles;
 //!
-//! // The (d,x)-BSP predicts the d·k serialization; the BSP can't.
-//! let predicted = predict_scatter(&m, ScatterShape::new(64, 64));
+//! // Two interchangeable machines behind one interface: measured…
+//! let mut measured = Session::new(SimulatorBackend::from_params(&m));
+//! let cycles = measured.step(&pattern, &map).cycles;
+//!
+//! // …and predicted. The (d,x)-BSP charges the d·k serialization;
+//! // the plain BSP can't.
+//! let mut model = ModelBackend::new(m, CostModel::DxBsp);
+//! let predicted = model.step(&pattern, &map).cycles;
 //! assert_eq!(predicted, 14 * 64);
-//! assert!(measured >= predicted);
+//! assert!(cycles >= predicted);
 //! ```
 
 /// The (d,x)-BSP cost model (re-export of `dxbsp-core`).

@@ -1,0 +1,595 @@
+//! The execution-engine layer: interchangeable [`Backend`]s behind one
+//! seam, and a [`Session`] that amortizes per-run state across
+//! supersteps.
+//!
+//! The paper's whole argument is *predicted vs. measured*: every table
+//! pairs a closed-form (d,x)-BSP charge against simulated cycles. This
+//! module makes that pairing a first-class operation instead of an
+//! ad-hoc `Simulator` + `pattern_cost` duet re-implemented at every
+//! call site. Three backends execute the same [`AccessPattern`]s:
+//!
+//! * [`SimulatorBackend`] — the event-driven [`Simulator`], the
+//!   repository's "hardware";
+//! * [`ReferenceBackend`] — the naive cycle-stepped reference machine,
+//!   used to cross-check the event-driven core;
+//! * [`ModelBackend`] — no machine at all: it charges the closed-form
+//!   (d,x)-BSP or plain-BSP cost from `dxbsp-core`, so predictions run
+//!   through the very same replay loop as measurements.
+//!
+//! A [`Session`] wraps a backend and owns everything that persists
+//! across supersteps: the simulator's scratch state (bank queues,
+//! processor streams, LRU caches, the event heap) is reused rather than
+//! reallocated per run — on the paper's machines that is up to
+//! `x·p = 1024` bank slots per superstep — and cumulative cycle,
+//! request, and per-bank/per-processor statistics accrue across steps.
+//!
+//! ```
+//! use dxbsp_core::{AccessPattern, CostModel, Interleaved, MachineParams};
+//! use dxbsp_machine::{ModelBackend, Session, SimulatorBackend};
+//!
+//! let m = MachineParams::new(8, 1, 0, 14, 8);
+//! let map = Interleaved::new(m.banks());
+//! let pattern = AccessPattern::scatter(m.p, &vec![7u64; 64]);
+//!
+//! // Measured and predicted cycles through the same engine seam.
+//! let mut measured = Session::new(SimulatorBackend::from_params(&m));
+//! let mut predicted = Session::new(ModelBackend::new(m, CostModel::DxBsp));
+//! let meas = measured.step(&pattern, &map).cycles;
+//! let pred = predicted.step(&pattern, &map).cycles;
+//! assert_eq!(pred, 14 * 64); // d·k: the hot bank serializes.
+//! assert!(meas >= pred);
+//! ```
+
+use dxbsp_core::{pattern_cost, AccessPattern, BankMap, CostModel, MachineParams};
+
+use crate::config::SimConfig;
+use crate::reference::run_reference;
+use crate::sim::{Scratch, Simulator};
+use crate::stats::{BankStats, ProcStats, SimResult};
+use crate::trace::{Trace, TraceResult};
+
+/// What one superstep cost, as reported by a [`Backend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Cycles charged or measured for the superstep (excluding the
+    /// per-barrier `sync_overhead`, which [`Session`] and [`replay`]
+    /// add).
+    pub cycles: u64,
+    /// Number of memory requests in the superstep.
+    pub requests: usize,
+    /// Full simulation statistics, when the backend produces them.
+    /// `None` for analytic backends like [`ModelBackend`].
+    pub result: Option<SimResult>,
+}
+
+impl StepOutcome {
+    /// Per-bank request counts, when the backend tracked them.
+    #[must_use]
+    pub fn bank_requests(&self) -> Option<Vec<usize>> {
+        self.result.as_ref().map(|r| r.banks.iter().map(|b| b.requests).collect())
+    }
+
+    /// A `SimResult` view of this outcome: the real one if the backend
+    /// produced statistics, otherwise a skeleton carrying only cycles
+    /// and the request count.
+    #[must_use]
+    pub fn into_result(self) -> SimResult {
+        let (cycles, requests) = (self.cycles, self.requests);
+        self.result.unwrap_or_else(|| SimResult {
+            cycles,
+            requests,
+            banks: Vec::new(),
+            procs: Vec::new(),
+            network_wait: 0,
+            events: Vec::new(),
+        })
+    }
+}
+
+/// An execution backend: anything that can charge or measure one
+/// superstep of memory traffic.
+///
+/// Backends take `&mut self` so they may keep reusable working state
+/// (the simulator's scratch buffers) or internal counters between
+/// steps; a step's *outcome* must nonetheless be independent of prior
+/// steps — replaying the same pattern twice yields identical outcomes.
+pub trait Backend {
+    /// A short human-readable name for reports ("simulator", "model").
+    fn name(&self) -> &'static str;
+
+    /// The machine configuration this backend executes under.
+    fn config(&self) -> &SimConfig;
+
+    /// Executes (or charges) one superstep.
+    fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome;
+}
+
+/// The event-driven [`Simulator`] behind the [`Backend`] seam, with a
+/// persistent [`Scratch`] so repeated steps reuse bank queues,
+/// processor streams, cache storage, and the event heap instead of
+/// reallocating them.
+#[derive(Debug, Clone)]
+pub struct SimulatorBackend {
+    sim: Simulator,
+    scratch: Scratch,
+}
+
+impl SimulatorBackend {
+    /// A backend simulating under `cfg`.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        Self { sim: Simulator::new(cfg), scratch: Scratch::default() }
+    }
+
+    /// A backend for the machine described by `m` (via
+    /// [`SimConfig::from_params`]).
+    #[must_use]
+    pub fn from_params(m: &MachineParams) -> Self {
+        Self::new(SimConfig::from_params(m))
+    }
+
+    /// The underlying simulator (e.g. for calibration routines that
+    /// want `Simulator` directly).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Swaps the configuration while keeping the scratch allocations —
+    /// the cheap way to sweep many machine shapes through one backend.
+    pub fn reconfigure(&mut self, cfg: SimConfig) {
+        self.sim = Simulator::new(cfg);
+    }
+}
+
+impl Backend for SimulatorBackend {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn config(&self) -> &SimConfig {
+        self.sim.config()
+    }
+
+    fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
+        let res = self.sim.run_reusing(&mut self.scratch, pattern, map);
+        StepOutcome { cycles: res.cycles, requests: res.requests, result: Some(res) }
+    }
+}
+
+/// The naive cycle-stepped reference machine behind the [`Backend`]
+/// seam. Orders of magnitude slower than [`SimulatorBackend`] but
+/// obviously correct — the differential tests run the two against each
+/// other.
+#[derive(Debug, Clone)]
+pub struct ReferenceBackend {
+    cfg: SimConfig,
+}
+
+impl ReferenceBackend {
+    /// A reference backend under `cfg`.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Backend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
+        let res = run_reference(&self.cfg, pattern, &map);
+        let requests: usize = res.bank_requests.iter().sum();
+        let banks: Vec<BankStats> = res
+            .bank_requests
+            .iter()
+            .map(|&r| BankStats { requests: r, ..BankStats::default() })
+            .collect();
+        StepOutcome {
+            cycles: res.cycles,
+            requests,
+            result: Some(SimResult {
+                cycles: res.cycles,
+                requests,
+                banks,
+                procs: Vec::new(),
+                network_wait: 0,
+                events: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// The closed-form cost model behind the [`Backend`] seam: no machine
+/// is simulated; each step charges the (d,x)-BSP (or plain-BSP)
+/// superstep cost `max(L, g·h, d·R)` from `dxbsp-core`. The third
+/// "machine" of the repository — predictions flow through the same
+/// replay loop as measurements.
+#[derive(Debug, Clone)]
+pub struct ModelBackend {
+    machine: MachineParams,
+    model: CostModel,
+    cfg: SimConfig,
+}
+
+impl ModelBackend {
+    /// A model backend charging `model` costs on machine `m`. The
+    /// derived [`SimConfig`] carries `sync_overhead = L`, so replaying
+    /// a trace charges one `L` per superstep exactly as
+    /// `charge_trace` always did.
+    #[must_use]
+    pub fn new(m: MachineParams, model: CostModel) -> Self {
+        Self { machine: m, model, cfg: SimConfig::from_params(&m) }
+    }
+
+    /// The machine parameters being charged.
+    #[must_use]
+    pub fn machine(&self) -> &MachineParams {
+        &self.machine
+    }
+
+    /// The cost model in force.
+    #[must_use]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+}
+
+impl Backend for ModelBackend {
+    fn name(&self) -> &'static str {
+        match self.model {
+            CostModel::DxBsp => "dxbsp-model",
+            CostModel::Bsp => "bsp-model",
+        }
+    }
+
+    fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
+        let cycles = pattern_cost(&self.machine, pattern, &map, self.model);
+        StepOutcome { cycles, requests: pattern.len(), result: None }
+    }
+}
+
+/// Replays a trace through any backend, charging one `sync_overhead`
+/// per superstep barrier — the generic engine behind both
+/// `run_trace` (simulator backend) and `charge_trace` (model backend).
+#[must_use]
+pub fn replay<B: Backend>(backend: &mut B, trace: &Trace, map: &dyn BankMap) -> TraceResult {
+    let sync = backend.config().sync_overhead;
+    let mut steps = Vec::with_capacity(trace.len());
+    let mut labels = Vec::with_capacity(trace.len());
+    let mut total = 0u64;
+    let mut requests = 0usize;
+    for step in trace {
+        let out = backend.step(&step.pattern, map);
+        total += out.cycles + step.local_work + sync;
+        requests += out.requests;
+        labels.push(step.label.clone());
+        steps.push(out.into_result());
+    }
+    TraceResult { total_cycles: total, total_requests: requests, steps, labels }
+}
+
+/// A long-lived execution context: one backend plus cumulative
+/// statistics across every superstep stepped through it.
+///
+/// Consumers that execute many supersteps — the scan-vector VM, the
+/// PRAM emulator, sweep-style experiments — hold a `Session` instead of
+/// a raw `Simulator`. The backend's working state (bank queues,
+/// processor state, cache storage) is reused between steps, and the
+/// session accrues total cycles (including per-barrier sync overhead),
+/// requests, and merged per-bank/per-processor statistics.
+#[derive(Debug, Clone)]
+pub struct Session<B: Backend> {
+    backend: B,
+    cycles: u64,
+    memory_cycles: u64,
+    requests: usize,
+    supersteps: usize,
+    bank_totals: Vec<BankStats>,
+    proc_totals: Vec<ProcStats>,
+}
+
+impl<B: Backend> Session<B> {
+    /// Wraps `backend` in a fresh session.
+    #[must_use]
+    pub fn new(backend: B) -> Self {
+        Self {
+            backend,
+            cycles: 0,
+            memory_cycles: 0,
+            requests: 0,
+            supersteps: 0,
+            bank_totals: Vec::new(),
+            proc_totals: Vec::new(),
+        }
+    }
+
+    /// The wrapped backend.
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the wrapped backend (e.g. to reconfigure a
+    /// [`SimulatorBackend`] mid-sweep).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// The backend's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        self.backend.config()
+    }
+
+    /// Unwraps the session, returning the backend.
+    #[must_use]
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Total cycles across all steps, each charged as
+    /// `step cycles + local work + sync_overhead`.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles attributable to memory alone (no local work, no sync).
+    #[must_use]
+    pub fn memory_cycles(&self) -> u64 {
+        self.memory_cycles
+    }
+
+    /// Total memory requests stepped through the session.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Number of supersteps executed.
+    #[must_use]
+    pub fn supersteps(&self) -> usize {
+        self.supersteps
+    }
+
+    /// Per-bank statistics summed across all steps (empty for analytic
+    /// backends). `max_queue_wait` is the max over steps.
+    #[must_use]
+    pub fn bank_totals(&self) -> &[BankStats] {
+        &self.bank_totals
+    }
+
+    /// Per-processor statistics summed across all steps (`done_at` is
+    /// the max over steps).
+    #[must_use]
+    pub fn proc_totals(&self) -> &[ProcStats] {
+        &self.proc_totals
+    }
+
+    /// Resets the cumulative counters without touching the backend's
+    /// reusable working state.
+    pub fn reset_totals(&mut self) {
+        self.cycles = 0;
+        self.memory_cycles = 0;
+        self.requests = 0;
+        self.supersteps = 0;
+        self.bank_totals.clear();
+        self.proc_totals.clear();
+    }
+
+    /// Executes one pure-memory superstep (no local work).
+    pub fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
+        self.step_with_local(pattern, map, 0)
+    }
+
+    /// Executes one superstep and charges `local_work` cycles of local
+    /// computation alongside the memory time and the per-barrier
+    /// `sync_overhead`.
+    pub fn step_with_local(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        local_work: u64,
+    ) -> StepOutcome {
+        let out = self.backend.step(pattern, map);
+        self.supersteps += 1;
+        self.requests += out.requests;
+        self.memory_cycles += out.cycles;
+        self.cycles += out.cycles + local_work + self.backend.config().sync_overhead;
+        if let Some(res) = &out.result {
+            if self.bank_totals.len() < res.banks.len() {
+                self.bank_totals.resize(res.banks.len(), BankStats::default());
+            }
+            for (tot, b) in self.bank_totals.iter_mut().zip(&res.banks) {
+                tot.requests += b.requests;
+                tot.busy_cycles += b.busy_cycles;
+                tot.queue_wait += b.queue_wait;
+                tot.max_queue_wait = tot.max_queue_wait.max(b.max_queue_wait);
+                tot.cache_hits += b.cache_hits;
+            }
+            if self.proc_totals.len() < res.procs.len() {
+                self.proc_totals.resize(res.procs.len(), ProcStats::default());
+            }
+            for (tot, p) in self.proc_totals.iter_mut().zip(&res.procs) {
+                tot.issued += p.issued;
+                tot.window_stall += p.window_stall;
+                tot.done_at = tot.done_at.max(p.done_at);
+            }
+        }
+        out
+    }
+
+    /// Replays a whole trace through the session, accumulating into the
+    /// session totals and returning the per-trace result.
+    pub fn run_trace(&mut self, trace: &Trace, map: &dyn BankMap) -> TraceResult {
+        let mut steps = Vec::with_capacity(trace.len());
+        let mut labels = Vec::with_capacity(trace.len());
+        let mut total = 0u64;
+        let mut requests = 0usize;
+        for step in trace {
+            let out = self.step_with_local(&step.pattern, map, step.local_work);
+            total += out.cycles + step.local_work + self.backend.config().sync_overhead;
+            requests += out.requests;
+            labels.push(step.label.clone());
+            steps.push(out.into_result());
+        }
+        TraceResult { total_cycles: total, total_requests: requests, steps, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceStep;
+    use dxbsp_core::Interleaved;
+
+    fn hot(procs: usize, n: usize) -> AccessPattern {
+        AccessPattern::scatter(procs, &vec![0u64; n])
+    }
+
+    #[test]
+    fn simulator_backend_matches_simulator_run() {
+        let cfg = SimConfig::new(8, 64, 14).with_latency(7).with_window(4);
+        let map = Interleaved::new(64);
+        let mut pat = AccessPattern::new(8);
+        for i in 0..200u64 {
+            pat.push(dxbsp_core::Request::write((i % 8) as usize, i * 31 % 97));
+        }
+        let mut backend = SimulatorBackend::new(cfg);
+        let direct = Simulator::new(cfg).run(&pat, &map);
+        // Repeated steps through one backend reproduce independent runs
+        // bit for bit.
+        for _ in 0..3 {
+            let out = backend.step(&pat, &map);
+            assert_eq!(out.result.as_ref(), Some(&direct));
+            assert_eq!(out.cycles, direct.cycles);
+        }
+    }
+
+    #[test]
+    fn model_backend_charges_closed_form() {
+        let m = MachineParams::new(8, 1, 0, 14, 8);
+        let map = Interleaved::new(64);
+        let pat = hot(8, 64);
+        let mut dx = ModelBackend::new(m, CostModel::DxBsp);
+        let mut bsp = ModelBackend::new(m, CostModel::Bsp);
+        // 64 requests to one bank: d·R dominates for the (d,x)-BSP; the
+        // plain BSP only sees the per-processor load of 8.
+        assert_eq!(dx.step(&pat, &map).cycles, 14 * 64);
+        assert_eq!(bsp.step(&pat, &map).cycles, 8);
+        assert!(dx.step(&pat, &map).result.is_none());
+    }
+
+    #[test]
+    fn reference_backend_reports_bank_requests() {
+        let cfg = SimConfig::new(2, 8, 6);
+        let map = Interleaved::new(8);
+        let pat = AccessPattern::scatter(2, &[0u64, 1, 2, 0]);
+        let mut backend = ReferenceBackend::new(cfg);
+        let out = backend.step(&pat, &map);
+        assert_eq!(out.requests, 4);
+        assert_eq!(out.bank_requests().unwrap()[0], 2);
+    }
+
+    #[test]
+    fn backends_agree_on_contended_scatter() {
+        let cfg = SimConfig::new(4, 16, 5).with_latency(3);
+        let map = Interleaved::new(16);
+        let mut pat = AccessPattern::new(4);
+        for i in 0..80u64 {
+            pat.push(dxbsp_core::Request::write((i % 4) as usize, i * 7 % 23));
+        }
+        let mut fast = SimulatorBackend::new(cfg);
+        let mut slow = ReferenceBackend::new(cfg);
+        let a = fast.step(&pat, &map);
+        let b = slow.step(&pat, &map);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.bank_requests(), b.bank_requests());
+    }
+
+    #[test]
+    fn session_accumulates_across_supersteps() {
+        let cfg = SimConfig::new(1, 4, 6).with_sync_overhead(100);
+        let map = Interleaved::new(4);
+        let mut session = Session::new(SimulatorBackend::new(cfg));
+        session.step_with_local(&hot(1, 1), &map, 50);
+        session.step(&hot(1, 2), &map);
+        // Step 1: 6 memory + 50 local + 100 sync; step 2: 12 + 100.
+        assert_eq!(session.cycles(), 6 + 50 + 100 + 12 + 100);
+        assert_eq!(session.memory_cycles(), 18);
+        assert_eq!(session.requests(), 3);
+        assert_eq!(session.supersteps(), 2);
+        assert_eq!(session.bank_totals()[0].requests, 3);
+        assert_eq!(session.proc_totals()[0].issued, 3);
+        session.reset_totals();
+        assert_eq!(session.cycles(), 0);
+        assert_eq!(session.supersteps(), 0);
+    }
+
+    #[test]
+    fn session_run_trace_matches_replay() {
+        let cfg = SimConfig::new(1, 4, 6).with_sync_overhead(9);
+        let map = Interleaved::new(4);
+        let trace = vec![
+            TraceStep::new(hot(1, 3)).with_local_work(5).labeled("a"),
+            TraceStep::new(hot(1, 1)).labeled("b"),
+        ];
+        let mut session = Session::new(SimulatorBackend::new(cfg));
+        let via_session = session.run_trace(&trace, &map);
+        let via_replay = replay(&mut SimulatorBackend::new(cfg), &trace, &map);
+        assert_eq!(via_session, via_replay);
+        assert_eq!(session.cycles(), via_replay.total_cycles);
+        assert_eq!(session.supersteps(), 2);
+    }
+
+    #[test]
+    fn replay_through_model_backend_charges_l_per_step() {
+        let m = MachineParams::new(1, 1, 7, 6, 4);
+        let map = Interleaved::new(4);
+        let trace = vec![
+            TraceStep::new(hot(1, 5)).with_local_work(3),
+            TraceStep::new(AccessPattern::scatter(1, &[1, 2, 3])),
+        ];
+        let mut model = ModelBackend::new(m, CostModel::DxBsp);
+        let res = replay(&mut model, &trace, &map);
+        // Identical to the historical charge_trace sum: 30+3+7, then
+        // max(7, 3, 6) = 7 plus 7.
+        assert_eq!(res.total_cycles, 30 + 3 + 7 + 7 + 7);
+        assert_eq!(res.total_requests, 8);
+        assert!(res.steps.iter().all(|s| s.banks.is_empty()));
+    }
+
+    #[test]
+    fn reconfigure_keeps_scratch_but_changes_machine() {
+        let map_a = Interleaved::new(64);
+        let map_b = Interleaved::new(16);
+        let mut backend = SimulatorBackend::new(SimConfig::new(8, 64, 14));
+        let first = backend.step(&hot(8, 32), &map_a);
+        assert_eq!(first.cycles, 14 * 32);
+        backend.reconfigure(SimConfig::new(4, 16, 6));
+        let second = backend.step(&hot(4, 32), &map_b);
+        assert_eq!(second.cycles, 6 * 32);
+        assert_eq!(second.result.unwrap().banks.len(), 16);
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let m = MachineParams::new(2, 1, 0, 6, 4);
+        let cfg = SimConfig::from_params(&m);
+        assert_eq!(SimulatorBackend::new(cfg).name(), "simulator");
+        assert_eq!(ReferenceBackend::new(cfg).name(), "reference");
+        assert_eq!(ModelBackend::new(m, CostModel::DxBsp).name(), "dxbsp-model");
+        assert_eq!(ModelBackend::new(m, CostModel::Bsp).name(), "bsp-model");
+    }
+}

@@ -19,24 +19,39 @@
 //! configuration always produces the same cycle count, so every
 //! experiment in `dxbsp-bench` is reproducible from its RNG seed.
 //!
+//! All execution flows through the [`engine`] layer: a [`Backend`]
+//! trait with three machines — the event-driven [`Simulator`]
+//! ([`SimulatorBackend`]), the naive cycle-stepped reference
+//! ([`ReferenceBackend`]), and the closed-form cost model
+//! ([`ModelBackend`]) — plus a [`Session`] that reuses per-run state
+//! across supersteps and accumulates statistics.
+//!
 //! ## Quick example
 //!
 //! ```
-//! use dxbsp_core::{AccessPattern, Interleaved};
-//! use dxbsp_machine::{SimConfig, Simulator};
+//! use dxbsp_core::{AccessPattern, CostModel, Interleaved, MachineParams};
+//! use dxbsp_machine::{Backend, ModelBackend, Session, SimulatorBackend};
 //!
-//! // A J90-like machine: 8 processors, 256 banks, bank delay 14.
-//! let cfg = SimConfig::new(8, 256, 14);
-//! let sim = Simulator::new(cfg);
+//! // A J90-like machine: 8 processors, bank delay 14, expansion 32.
+//! let m = MachineParams::new(8, 1, 0, 14, 32);
+//! let map = Interleaved::new(m.banks());
 //!
 //! // Everyone hammers one address: the hot bank serializes.
 //! let pat = AccessPattern::scatter(8, &vec![0u64; 64]);
-//! let res = sim.run(&pat, &Interleaved::new(256));
-//! assert!(res.cycles >= 14 * 64); // d·k lower bound
+//!
+//! // Measured cycles from the simulator, predicted from the model —
+//! // both through the same engine seam.
+//! let mut hardware = Session::new(SimulatorBackend::from_params(&m));
+//! let mut model = ModelBackend::new(m, CostModel::DxBsp);
+//! let measured = hardware.step(&pat, &map).cycles;
+//! let predicted = model.step(&pat, &map).cycles;
+//! assert_eq!(predicted, 14 * 64); // the d·k serialization charge
+//! assert!(measured >= predicted);
 //! ```
 
 pub mod calibrate;
 pub mod config;
+pub mod engine;
 pub mod reference;
 pub mod sim;
 pub mod stats;
@@ -45,6 +60,9 @@ pub mod tracefile;
 
 pub use calibrate::{calibrate, Calibration};
 pub use config::{NetworkModel, SimConfig};
+pub use engine::{
+    replay, Backend, ModelBackend, ReferenceBackend, Session, SimulatorBackend, StepOutcome,
+};
 pub use reference::{run_reference, ReferenceResult};
 pub use sim::Simulator;
 pub use stats::{BankStats, LoadSummary, ProcStats, RequestEvent, SimResult};

@@ -14,6 +14,12 @@
 //! bounded) reply completions. This keeps the simulator at a few heap
 //! operations per request — experiments with millions of requests run
 //! in milliseconds — while still modelling bank queueing exactly.
+//!
+//! The per-run working state (bank occupancy, processor streams, LRU
+//! caches, the event heap) lives in a [`Scratch`] that the engine layer
+//! ([`crate::engine`]) reuses across supersteps; [`Simulator::run`]
+//! allocates a fresh one per call, so its results are independent of
+//! any prior run either way.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -52,14 +58,17 @@ struct SectionGate {
 
 impl SectionGate {
     /// Admits a request arriving at `cycle`; returns the cycle at which
-    /// it is forwarded to its bank.
+    /// it is forwarded to its bank. Saturates instead of wrapping when
+    /// `cycle * ports` exceeds `u64::MAX` (pathological but reachable:
+    /// virtual time is kept in units of 1/ports of a cycle).
     fn admit(&mut self, cycle: u64, ports: u64) -> u64 {
-        let slot = self.virtual_time.max(cycle * ports);
-        self.virtual_time = slot + 1;
+        let slot = self.virtual_time.max(cycle.saturating_mul(ports));
+        self.virtual_time = slot.saturating_add(1);
         slot / ports
     }
 }
 
+#[derive(Debug, Clone, Default)]
 struct ProcState {
     /// This processor's requests, as `(bank, address)`, in issue order
     /// (the address is only consulted by the bank cache).
@@ -71,6 +80,68 @@ struct ProcState {
     /// next completion, which also reschedules the issue attempt.
     blocked_since: Option<u64>,
     stats: ProcStats,
+}
+
+impl ProcState {
+    /// Clears per-run state, keeping the stream's allocation.
+    fn reset(&mut self) {
+        self.stream.clear();
+        self.next = 0;
+        self.next_issue = 0;
+        self.outstanding = 0;
+        self.blocked_since = None;
+        self.stats = ProcStats::default();
+    }
+}
+
+/// Reusable per-run working state: bank occupancy and statistics,
+/// per-processor request streams, per-bank LRU caches, section gates,
+/// and the event heap. Resetting a `Scratch` clears contents but keeps
+/// allocations, so replaying many supersteps (or sweeping many
+/// patterns) through one `Scratch` avoids reallocating `O(banks)`
+/// vectors per run — up to `x·p = 1024` banks on the paper's machines.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scratch {
+    procs: Vec<ProcState>,
+    bank_free: Vec<u64>,
+    bank_stats: Vec<BankStats>,
+    caches: Vec<Vec<u64>>,
+    gates: Vec<SectionGate>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Scratch {
+    /// Prepares the scratch for one run under `cfg`: every container is
+    /// emptied and resized, so results are bit-identical to a run on a
+    /// freshly allocated `Scratch` (bank-cache contents included —
+    /// caches start cold each superstep).
+    fn reset(&mut self, cfg: &SimConfig) {
+        self.procs.truncate(cfg.procs);
+        for st in &mut self.procs {
+            st.reset();
+        }
+        self.procs.resize_with(cfg.procs, ProcState::default);
+        self.bank_free.clear();
+        self.bank_free.resize(cfg.banks, 0);
+        self.bank_stats.clear();
+        self.bank_stats.resize(cfg.banks, BankStats::default());
+        if cfg.bank_cache.is_some() {
+            self.caches.truncate(cfg.banks);
+            for c in &mut self.caches {
+                c.clear();
+            }
+            self.caches.resize_with(cfg.banks, Vec::new);
+        } else {
+            self.caches.clear();
+        }
+        let sections = match cfg.network {
+            NetworkModel::Uniform => 1,
+            NetworkModel::Sectioned { sections, .. } => sections,
+        };
+        self.gates.clear();
+        self.gates.resize(sections, SectionGate::default());
+        self.heap.clear();
+    }
 }
 
 impl Simulator {
@@ -96,14 +167,26 @@ impl Simulator {
     /// or `map` targets a different bank count than the configuration.
     #[must_use]
     pub fn run<M: BankMap>(&self, pat: &AccessPattern, map: &M) -> SimResult {
+        let mut scratch = Scratch::default();
+        self.run_reusing(&mut scratch, pat, map)
+    }
+
+    /// Like [`Simulator::run`], but reusing `scratch`'s allocations.
+    /// The scratch is fully reset first, so the result is bit-identical
+    /// to an independent [`Simulator::run`] call.
+    pub(crate) fn run_reusing(
+        &self,
+        scratch: &mut Scratch,
+        pat: &AccessPattern,
+        map: &dyn BankMap,
+    ) -> SimResult {
         assert_eq!(pat.procs(), self.cfg.procs, "pattern/processor-count mismatch");
         assert_eq!(map.num_banks(), self.cfg.banks, "map/bank-count mismatch");
-        let streams: Vec<Vec<(usize, u64)>> = pat
-            .per_processor()
-            .into_iter()
-            .map(|reqs| reqs.into_iter().map(|r| (map.bank_of(r.addr), r.addr)).collect())
-            .collect();
-        self.run_resolved(streams)
+        scratch.reset(&self.cfg);
+        for r in pat.requests() {
+            scratch.procs[r.proc].stream.push((map.bank_of(r.addr), r.addr));
+        }
+        self.run_scratch(scratch)
     }
 
     /// Simulates raw per-processor bank-index streams (useful when the
@@ -113,51 +196,31 @@ impl Simulator {
     ///
     /// Panics if a bank cache is configured — cache behaviour depends
     /// on addresses, which bank-index streams no longer carry; use
-    /// [`Simulator::run`] instead.
+    /// [`Simulator::run`] instead. Also panics on a stream/processor
+    /// count mismatch.
     #[must_use]
     pub fn run_streams(&self, streams: Vec<Vec<usize>>) -> SimResult {
-        assert!(
-            self.cfg.bank_cache.is_none(),
-            "bank caches need addresses: use Simulator::run"
-        );
-        self.run_resolved(
-            streams
-                .into_iter()
-                .map(|s| s.into_iter().map(|b| (b, b as u64)).collect())
-                .collect(),
-        )
+        assert!(self.cfg.bank_cache.is_none(), "bank caches need addresses: use Simulator::run");
+        assert_eq!(streams.len(), self.cfg.procs, "stream/processor-count mismatch");
+        let mut scratch = Scratch::default();
+        scratch.reset(&self.cfg);
+        for (p, s) in streams.into_iter().enumerate() {
+            scratch.procs[p].stream.extend(s.into_iter().map(|b| (b, b as u64)));
+        }
+        self.run_scratch(&mut scratch)
     }
 
-    fn run_resolved(&self, streams: Vec<Vec<(usize, u64)>>) -> SimResult {
-        assert_eq!(streams.len(), self.cfg.procs, "stream/processor-count mismatch");
+    fn run_scratch(&self, scratch: &mut Scratch) -> SimResult {
         let cfg = &self.cfg;
-        let requests: usize = streams.iter().map(Vec::len).sum();
+        let Scratch { procs, bank_free, bank_stats, caches, gates, heap } = scratch;
+        let requests: usize = procs.iter().map(|st| st.stream.len()).sum();
 
-        let (sections, ports) = match cfg.network {
+        let (_sections, ports) = match cfg.network {
             NetworkModel::Uniform => (1usize, u64::MAX),
             NetworkModel::Sectioned { sections, ports } => (sections, ports as u64),
         };
-        let banks_per_section = cfg.banks / sections;
+        let banks_per_section = cfg.banks / gates.len();
 
-        let mut procs: Vec<ProcState> = streams
-            .into_iter()
-            .map(|stream| ProcState {
-                stream,
-                next: 0,
-                next_issue: 0,
-                outstanding: 0,
-                blocked_since: None,
-                stats: ProcStats::default(),
-            })
-            .collect();
-        let mut bank_free = vec![0u64; cfg.banks];
-        let mut bank_stats = vec![BankStats::default(); cfg.banks];
-        // Per-bank LRU of recently served addresses (front = MRU).
-        let mut caches: Vec<Vec<u64>> = match cfg.bank_cache {
-            Some(c) => vec![Vec::with_capacity(c.lines); cfg.banks],
-            None => Vec::new(),
-        };
-        let mut gates = vec![SectionGate::default(); sections];
         let mut network_wait = 0u64;
         let mut last_done = 0u64;
         let mut events: Vec<crate::stats::RequestEvent> =
@@ -175,15 +238,14 @@ impl Simulator {
             }
         };
         let mut seq = 0u64;
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
-        let push = |heap: &mut BinaryHeap<_>, t: u64, ev: Event, seq: &mut u64| {
+        let push = |heap: &mut BinaryHeap<HeapEntry>, t: u64, ev: Event, seq: &mut u64| {
             let (k, p) = rank(ev);
             heap.push(Reverse((t, k, p, *seq, ev)));
             *seq += 1;
         };
         for (p, st) in procs.iter_mut().enumerate() {
             if !st.stream.is_empty() {
-                push(&mut heap, 0, Event::Issue(p), &mut seq);
+                push(heap, 0, Event::Issue(p), &mut seq);
             }
         }
 
@@ -264,12 +326,12 @@ impl Simulator {
                     }
 
                     if cfg.window.is_some() {
-                        push(&mut heap, done, Event::Complete(p), &mut seq);
+                        push(heap, done, Event::Complete(p), &mut seq);
                     } else {
                         st.outstanding -= 1;
                     }
                     if st.next < st.stream.len() {
-                        push(&mut heap, st.next_issue, Event::Issue(p), &mut seq);
+                        push(heap, st.next_issue, Event::Issue(p), &mut seq);
                     }
                 }
                 Event::Complete(p) => {
@@ -278,7 +340,7 @@ impl Simulator {
                     if let Some(since) = st.blocked_since.take() {
                         st.stats.window_stall += now - since;
                         if st.next < st.stream.len() {
-                            push(&mut heap, now.max(st.next_issue), Event::Issue(p), &mut seq);
+                            push(heap, now.max(st.next_issue), Event::Issue(p), &mut seq);
                         }
                     }
                 }
@@ -288,8 +350,8 @@ impl Simulator {
         SimResult {
             cycles: last_done,
             requests,
-            banks: bank_stats,
-            procs: procs.into_iter().map(|s| s.stats).collect(),
+            banks: bank_stats.clone(),
+            procs: procs.iter().map(|s| s.stats).collect(),
             network_wait,
             events,
         }
@@ -424,6 +486,32 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        // The same scratch replayed across different patterns (and even
+        // different configurations) must reproduce independent runs
+        // bit for bit.
+        let cfg_a = SimConfig::new(8, 64, 14).with_window(4).with_latency(7);
+        let cfg_b = SimConfig::new(4, 16, 6).with_sections(2, 1);
+        let map_a = Interleaved::new(64);
+        let map_b = Interleaved::new(16);
+        let mut pat_a = AccessPattern::new(8);
+        let mut pat_b = AccessPattern::new(4);
+        for i in 0..300u64 {
+            pat_a.push(dxbsp_core::Request::write((i % 8) as usize, i * 37 % 101));
+            pat_b.push(dxbsp_core::Request::read((i % 4) as usize, i * 13 % 53));
+        }
+        let sim_a = Simulator::new(cfg_a);
+        let sim_b = Simulator::new(cfg_b);
+        let mut scratch = Scratch::default();
+        for _ in 0..3 {
+            let ra = sim_a.run_reusing(&mut scratch, &pat_a, &map_a);
+            assert_eq!(ra, sim_a.run(&pat_a, &map_a));
+            let rb = sim_b.run_reusing(&mut scratch, &pat_b, &map_b);
+            assert_eq!(rb, sim_b.run(&pat_b, &map_b));
+        }
+    }
+
+    #[test]
     fn empty_pattern_is_zero_cycles() {
         let sim = Simulator::new(SimConfig::new(2, 8, 6));
         let res = sim.run(&AccessPattern::new(2), &Interleaved::new(8));
@@ -439,6 +527,24 @@ mod tests {
         assert_eq!(f, vec![0, 0, 1, 1, 2]);
         // A later arrival resets to its own cycle.
         assert_eq!(g.admit(10, 2), 10);
+    }
+
+    #[test]
+    fn section_gate_saturates_at_extreme_cycles() {
+        // cycle * ports would wrap; the gate must saturate, keep its
+        // virtual time monotone, and never forward earlier than a
+        // previously admitted request.
+        let mut g = SectionGate::default();
+        let ports = 1u64 << 32;
+        let first = g.admit(u64::MAX / 2, ports);
+        assert_eq!(first, u64::MAX / ports);
+        let second = g.admit(u64::MAX, ports);
+        assert!(second >= first, "forwarding went backwards: {second} < {first}");
+        // Repeated admissions at the saturation point stay pinned
+        // rather than wrapping around to cycle 0.
+        for _ in 0..4 {
+            assert_eq!(g.admit(u64::MAX, ports), u64::MAX / ports);
+        }
     }
 
     #[test]

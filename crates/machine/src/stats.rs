@@ -165,8 +165,20 @@ mod tests {
             cycles: 100,
             requests: 10,
             banks: vec![
-                BankStats { requests: 7, busy_cycles: 42, queue_wait: 30, max_queue_wait: 12, cache_hits: 0 },
-                BankStats { requests: 3, busy_cycles: 18, queue_wait: 0, max_queue_wait: 0, cache_hits: 0 },
+                BankStats {
+                    requests: 7,
+                    busy_cycles: 42,
+                    queue_wait: 30,
+                    max_queue_wait: 12,
+                    cache_hits: 0,
+                },
+                BankStats {
+                    requests: 3,
+                    busy_cycles: 18,
+                    queue_wait: 0,
+                    max_queue_wait: 0,
+                    cache_hits: 0,
+                },
             ],
             procs: vec![ProcStats { issued: 10, window_stall: 5, done_at: 100 }],
             network_wait: 0,

@@ -9,8 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use dxbsp_core::{pattern_cost, AccessPattern, BankMap, CostModel, MachineParams};
+use dxbsp_core::{AccessPattern, BankMap, CostModel, MachineParams};
 
+use crate::engine::{replay, ModelBackend, SimulatorBackend};
 use crate::sim::Simulator;
 use crate::stats::SimResult;
 
@@ -75,36 +76,25 @@ impl TraceResult {
     /// The single most expensive superstep (index, cycles).
     #[must_use]
     pub fn hottest_step(&self) -> Option<(usize, u64)> {
-        self.steps
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, s)| s.cycles)
-            .map(|(i, s)| (i, s.cycles))
+        self.steps.iter().enumerate().max_by_key(|(_, s)| s.cycles).map(|(i, s)| (i, s.cycles))
     }
 }
 
 /// Runs every superstep of `trace` on `sim`, charging `sync_overhead`
-/// per superstep boundary.
+/// per superstep boundary. A thin wrapper over the generic
+/// [`replay`] with a [`SimulatorBackend`]; callers replaying many
+/// traces should hold a backend (or [`crate::engine::Session`])
+/// themselves to reuse its working state.
 #[must_use]
 pub fn run_trace<M: BankMap>(sim: &Simulator, trace: &Trace, map: &M) -> TraceResult {
-    let mut steps = Vec::with_capacity(trace.len());
-    let mut labels = Vec::with_capacity(trace.len());
-    let mut total = 0u64;
-    let mut requests = 0usize;
-    for step in trace {
-        let res = sim.run(&step.pattern, map);
-        total += res.cycles + step.local_work + sim.config().sync_overhead;
-        requests += res.requests;
-        labels.push(step.label.clone());
-        steps.push(res);
-    }
-    TraceResult { total_cycles: total, total_requests: requests, steps, labels }
+    replay(&mut SimulatorBackend::new(*sim.config()), trace, &map)
 }
 
 /// Charges a whole trace under a cost model: the sum over supersteps
 /// of the pattern charge, the declared local work, and one `L` per
 /// superstep — the analytic counterpart of [`run_trace`], used to put
-/// "predicted" next to "measured" in the experiment tables.
+/// "predicted" next to "measured" in the experiment tables. A thin
+/// wrapper over the generic [`replay`] with a [`ModelBackend`].
 #[must_use]
 pub fn charge_trace<M: BankMap>(
     m: &MachineParams,
@@ -112,10 +102,7 @@ pub fn charge_trace<M: BankMap>(
     map: &M,
     model: CostModel,
 ) -> u64 {
-    trace
-        .iter()
-        .map(|step| pattern_cost(m, &step.pattern, map, model) + step.local_work + m.l)
-        .sum()
+    replay(&mut ModelBackend::new(*m, model), trace, &map).total_cycles
 }
 
 #[cfg(test)]

@@ -127,10 +127,7 @@ mod strip_mining {
 
     #[test]
     fn strip_mining_matches_reference() {
-        let cfg = SimConfig::new(3, 12, 5)
-            .with_latency(2)
-            .with_window(3)
-            .with_strip_mining(4, 7);
+        let cfg = SimConfig::new(3, 12, 5).with_latency(2).with_window(3).with_strip_mining(4, 7);
         let mut pat = AccessPattern::new(3);
         for i in 0..60u64 {
             pat.push(dxbsp_core::Request::write((i % 3) as usize, i * 11 % 23));
@@ -186,12 +183,8 @@ mod event_log {
         }
         // Per-bank service intervals never overlap.
         for b in 0..8 {
-            let mut spans: Vec<(u64, u64)> = res
-                .events
-                .iter()
-                .filter(|e| e.bank == b)
-                .map(|e| (e.start, e.end))
-                .collect();
+            let mut spans: Vec<(u64, u64)> =
+                res.events.iter().filter(|e| e.bank == b).map(|e| (e.start, e.end)).collect();
             spans.sort_unstable();
             for w in spans.windows(2) {
                 assert!(w[1].0 >= w[0].1, "bank {b} overlap: {w:?}");

@@ -1,10 +1,15 @@
-//! Differential testing: the event-driven simulator against the
-//! cycle-stepped reference, which implements the same semantics the
-//! slow, obvious way. On every generated input the two must agree on
-//! the cycle count and the per-bank request totals exactly.
+//! Differential testing across execution backends: the event-driven
+//! simulator against the cycle-stepped reference (same semantics, the
+//! slow obvious way), the closed-form model against the simulator
+//! (bounded disagreement on pipelined machines), and scratch reuse
+//! through a [`Session`] against independent fresh runs (bit-identical).
 
-use dxbsp_core::{AccessPattern, Interleaved, Request};
-use dxbsp_machine::{run_reference, SimConfig, Simulator};
+use dxbsp_core::{
+    pattern_breakdown, AccessPattern, BankMap, CostModel, Interleaved, MachineParams, Request,
+};
+use dxbsp_machine::{
+    Backend, ModelBackend, ReferenceBackend, Session, SimConfig, Simulator, SimulatorBackend,
+};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
@@ -40,22 +45,93 @@ fn arb_requests(max_procs: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
     proptest::collection::vec((0..max_procs, 0u64..64), 0..120)
 }
 
+fn pattern_from(procs: usize, raw: &[(usize, u64)]) -> AccessPattern {
+    let mut pat = AccessPattern::new(procs);
+    for &(p, a) in raw {
+        pat.push(Request::write(p % procs, a));
+    }
+    pat
+}
+
+/// Steps any two backends on the same pattern and asserts exact
+/// agreement on the cycle count and (when both report them) the
+/// per-bank request totals.
+fn assert_backends_agree<A: Backend, B: Backend>(
+    a: &mut A,
+    b: &mut B,
+    pat: &AccessPattern,
+    map: &dyn BankMap,
+) {
+    let oa = a.step(pat, map);
+    let ob = b.step(pat, map);
+    assert_eq!(
+        oa.cycles,
+        ob.cycles,
+        "{} vs {} cycle mismatch on {:?}",
+        a.name(),
+        b.name(),
+        a.config()
+    );
+    if let (Some(la), Some(lb)) = (oa.bank_requests(), ob.bank_requests()) {
+        assert_eq!(la, lb, "{} vs {} bank-load mismatch", a.name(), b.name());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
     /// The fast simulator and the naive reference agree exactly.
     #[test]
     fn fast_simulator_matches_reference(cfg in arb_config(), raw in arb_requests(4)) {
-        let mut pat = AccessPattern::new(cfg.procs);
-        for (p, a) in raw {
-            pat.push(Request::write(p % cfg.procs, a));
-        }
+        let pat = pattern_from(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
-        let fast = Simulator::new(cfg).run(&pat, &map);
-        let slow = run_reference(&cfg, &pat, &map);
-        prop_assert_eq!(fast.cycles, slow.cycles, "cycle mismatch on {:?}", cfg);
-        let fast_loads: Vec<usize> = fast.banks.iter().map(|b| b.requests).collect();
-        prop_assert_eq!(fast_loads, slow.bank_requests);
+        assert_backends_agree(
+            &mut SimulatorBackend::new(cfg),
+            &mut ReferenceBackend::new(cfg),
+            &pat,
+            &map,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On the machine class the closed form describes (pipelined issue,
+    /// uniform network, no latency, no window, no strips, no caches)
+    /// the (d,x)-BSP charge brackets the simulation:
+    ///
+    /// * `model ≤ simulated + g` — the simulator can undercut the
+    ///   charge by less than one issue gap (the charge rounds the
+    ///   issue stream up to whole gaps);
+    /// * `simulated ≤ g·h + d·R` — issue and bank serialization can at
+    ///   worst add, never multiply, so the simulation stays within the
+    ///   sum of the model's two terms (≤ 2× the charge).
+    #[test]
+    fn model_brackets_simulation_on_pipelined_machines(
+        p in 1usize..=4,
+        x in 1usize..=8,
+        d in 1u64..=10,
+        g in 1u64..=3,
+        raw in arb_requests(4),
+    ) {
+        let m = MachineParams::new(p, g, 0, d, x);
+        let pat = pattern_from(p, &raw);
+        let map = Interleaved::new(m.banks());
+        let simulated = SimulatorBackend::from_params(&m).step(&pat, &map).cycles;
+        let model = ModelBackend::new(m, CostModel::DxBsp).step(&pat, &map).cycles;
+        let b = pattern_breakdown(&m, &pat, &map, CostModel::DxBsp);
+        prop_assert_eq!(model, b.total());
+        prop_assert!(
+            model <= simulated + m.g,
+            "model {} above simulated {} + g {} on {:?}",
+            model, simulated, m.g, m
+        );
+        prop_assert!(
+            simulated <= b.processor + b.bank,
+            "simulated {} above g*h {} + d*R {} on {:?}",
+            simulated, b.processor, b.bank, m
+        );
     }
 }
 
@@ -70,15 +146,9 @@ fn pinned_corner_cases_agree() {
             vec![(0, 0), (1, 0), (0, 0), (1, 0)],
         ),
         // Section port of 1 throttles everything.
-        (
-            SimConfig::new(4, 8, 2).with_sections(1, 1),
-            (0..32).map(|i| (i % 4, i as u64)).collect(),
-        ),
+        (SimConfig::new(4, 8, 2).with_sections(1, 1), (0..32).map(|i| (i % 4, i as u64)).collect()),
         // Slow issue, fast banks.
-        (
-            SimConfig::new(1, 2, 1).with_issue_gap(7),
-            vec![(0, 0), (0, 1), (0, 0), (0, 1)],
-        ),
+        (SimConfig::new(1, 2, 1).with_issue_gap(7), vec![(0, 0), (0, 1), (0, 0), (0, 1)]),
         // Window 2 with section contention and latency.
         (
             SimConfig::new(3, 6, 4).with_latency(5).with_window(2).with_sections(2, 1),
@@ -86,13 +156,50 @@ fn pinned_corner_cases_agree() {
         ),
     ];
     for (cfg, raw) in cases {
-        let mut pat = AccessPattern::new(cfg.procs);
-        for (p, a) in raw {
-            pat.push(Request::write(p, a));
-        }
+        let pat = pattern_from(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
-        let fast = Simulator::new(cfg).run(&pat, &map);
-        let slow = run_reference(&cfg, &pat, &map);
-        assert_eq!(fast.cycles, slow.cycles, "mismatch on {cfg:?}");
+        assert_backends_agree(
+            &mut SimulatorBackend::new(cfg),
+            &mut ReferenceBackend::new(cfg),
+            &pat,
+            &map,
+        );
     }
+}
+
+/// N supersteps through one Session (reusing one scratch allocation)
+/// are bit-identical to N independent fresh `Simulator::run` calls —
+/// the guarantee that makes the reuse optimization safe to adopt.
+#[test]
+fn session_reuse_is_bit_identical_to_fresh_runs() {
+    let cfg = SimConfig::new(4, 16, 7).with_latency(3).with_window(4);
+    let mut session = Session::new(SimulatorBackend::new(cfg));
+    let map = Interleaved::new(cfg.banks);
+    let patterns: Vec<AccessPattern> = (0..8)
+        .map(|round| {
+            let raw: Vec<(usize, u64)> = (0..(20 + round * 13))
+                .map(|i| (i % 4, ((i * 31 + round * 7) % 40) as u64))
+                .collect();
+            pattern_from(4, &raw)
+        })
+        .collect();
+
+    let mut expected_cycles = 0u64;
+    for pat in &patterns {
+        let fresh = Simulator::new(cfg).run(pat, &map);
+        let reused = session.step(pat, &map).into_result();
+        assert_eq!(reused, fresh, "session diverged from a fresh run");
+        expected_cycles += fresh.cycles + cfg.sync_overhead;
+    }
+    assert_eq!(session.cycles(), expected_cycles);
+    assert_eq!(session.supersteps(), patterns.len());
+
+    // Reconfiguring keeps the scratch but must not leak state either.
+    let cfg2 = SimConfig::new(2, 8, 3).with_sections(2, 1);
+    session.backend_mut().reconfigure(cfg2);
+    session.reset_totals();
+    let pat = pattern_from(2, &[(0, 1), (1, 1), (0, 2), (1, 5), (0, 1)]);
+    let map2 = Interleaved::new(cfg2.banks);
+    let fresh = Simulator::new(cfg2).run(&pat, &map2);
+    assert_eq!(session.step(&pat, &map2).into_result(), fresh);
 }

@@ -7,7 +7,14 @@ use dxbsp_machine::{SimConfig, Simulator};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
-    (1usize..=8, 1usize..=6, 1u64..=20, 1u64..=4, 0u64..=16, prop_oneof![Just(None), (1usize..=8).prop_map(Some)])
+    (
+        1usize..=8,
+        1usize..=6,
+        1u64..=20,
+        1u64..=4,
+        0u64..=16,
+        prop_oneof![Just(None), (1usize..=8).prop_map(Some)],
+    )
         .prop_map(|(p, xb, d, g, lat, win)| {
             let mut cfg = SimConfig::new(p, p * xb, d).with_issue_gap(g).with_latency(lat);
             if let Some(w) = win {
@@ -130,8 +137,8 @@ fn hammer_time_scales_linearly_in_d() {
 }
 
 mod tracefile_fuzz {
-    use dxbsp_machine::{decode_trace, encode_trace, TraceStep};
     use dxbsp_core::{AccessPattern, Request};
+    use dxbsp_machine::{decode_trace, encode_trace, TraceStep};
     use proptest::prelude::*;
 
     proptest! {

@@ -80,10 +80,7 @@ mod tests {
         // distinct.
         assert_eq!(step.max_write_contention(), 10);
         assert_eq!(step.max_read_contention(), 1);
-        assert_eq!(
-            step.max_contention(),
-            pat.contention_profile().max_location_contention
-        );
+        assert_eq!(step.max_contention(), pat.contention_profile().max_location_contention);
         assert_eq!(step.memory_ops(), pat.len());
     }
 

@@ -133,9 +133,15 @@ mod tests {
             let lg = (usize::BITS - n.max(1).leading_zeros()) as usize;
             assert!(prog.steps().len() <= lg, "n={n}: {} steps", prog.steps().len());
             // Every cell 1..n is written exactly once across the program.
-            let writes: usize = prog.steps().iter().map(|s| {
-                (0..s.procs()).map(|v| s.ops_of(v).iter().filter(|o| matches!(o, Op::Write(_))).count()).sum::<usize>()
-            }).sum();
+            let writes: usize = prog
+                .steps()
+                .iter()
+                .map(|s| {
+                    (0..s.procs())
+                        .map(|v| s.ops_of(v).iter().filter(|o| matches!(o, Op::Write(_))).count())
+                        .sum::<usize>()
+                })
+                .sum();
             assert_eq!(writes, n.saturating_sub(1));
         }
     }

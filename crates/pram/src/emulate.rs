@@ -19,9 +19,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dxbsp_core::{pattern_cost, AccessPattern, CostModel, MachineParams, Request};
+use dxbsp_core::{AccessPattern, CostModel, MachineParams, Request};
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_machine::{ModelBackend, Session, SimulatorBackend};
 
 use crate::program::Program;
 use crate::step::{CostRule, Op};
@@ -80,12 +80,16 @@ impl EmulationReport {
     }
 }
 
-/// A configured emulator: physical machine + memory hash.
+/// A configured emulator: physical machine + memory hash, executing
+/// through two engine [`Session`]s — the simulator backend for
+/// *measured* cycles and the closed-form (d,x)-BSP [`ModelBackend`] for
+/// *predicted* charges — so both series run the very same phases.
 #[derive(Debug, Clone)]
 pub struct Emulator {
     machine: MachineParams,
     map: HashedBanks,
-    sim: Simulator,
+    measured: Session<SimulatorBackend>,
+    charged: Session<ModelBackend>,
 }
 
 impl Emulator {
@@ -94,8 +98,9 @@ impl Emulator {
     #[must_use]
     pub fn new<R: Rng + ?Sized>(machine: MachineParams, degree: Degree, rng: &mut R) -> Self {
         let map = HashedBanks::random(degree, machine.banks(), rng);
-        let sim = Simulator::new(SimConfig::from_params(&machine));
-        Self { machine, map, sim }
+        let measured = Session::new(SimulatorBackend::from_params(&machine));
+        let charged = Session::new(ModelBackend::new(machine, CostModel::DxBsp));
+        Self { machine, map, measured, charged }
     }
 
     /// The bank mapping in force.
@@ -112,8 +117,11 @@ impl Emulator {
         (v / block).min(self.machine.p - 1)
     }
 
-    /// Emulates `prog`, returning predicted and measured costs.
-    pub fn run(&self, prog: &Program) -> EmulationReport {
+    /// Emulates `prog`, returning predicted and measured costs. Takes
+    /// `&mut self` because the underlying sessions reuse their bank
+    /// queues and processor state between phases; the report itself is
+    /// independent of any earlier `run`.
+    pub fn run(&mut self, prog: &Program) -> EmulationReport {
         let n = prog.procs();
         let p = self.machine.p;
         let mut per_step = Vec::with_capacity(prog.steps().len());
@@ -141,9 +149,8 @@ impl Emulator {
                 if phase.is_empty() {
                     continue;
                 }
-                pred += pattern_cost(&self.machine, phase, &self.map, CostModel::DxBsp)
-                    + self.machine.l;
-                meas += self.sim.run(phase, &self.map).cycles + self.machine.l;
+                pred += self.charged.step(phase, &self.map).cycles + self.machine.l;
+                meas += self.measured.step(phase, &self.map).cycles + self.machine.l;
             }
             predicted += pred;
             measured += meas;
@@ -200,7 +207,7 @@ mod tests {
     fn measured_at_least_contention_bound() {
         let mut rng = StdRng::seed_from_u64(2);
         let m = machine(8, 14, 32);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&hotspot_program(1024, 300, 3));
         // The hot cell's bank serializes at least d·k cycles.
         assert!(rep.measured_cycles >= 14 * 300);
@@ -213,7 +220,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         // Balanced machine x ≥ d with plenty of slack: work ratio O(1).
         let m = machine(8, 8, 16);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&hotspot_program(64 * 1024, 1, 5));
         assert!(rep.work_ratio() < 3.0, "work ratio {}", rep.work_ratio());
         // And prediction tracks measurement within a small factor.
@@ -226,7 +233,7 @@ mod tests {
         // x = 1, d = 8: every bank absorbs ~n/p requests at 8 cycles
         // each → work ratio ≈ d/x = 8 (times small constants).
         let m = machine(8, 8, 1);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&hotspot_program(32 * 1024, 1, 7));
         assert!(rep.work_ratio() > 4.0, "work ratio {}", rep.work_ratio());
         assert!(rep.work_ratio() < 16.0, "work ratio {}", rep.work_ratio());
@@ -236,7 +243,7 @@ mod tests {
     fn local_work_accumulates_on_hosts() {
         let mut rng = StdRng::seed_from_u64(8);
         let m = machine(2, 2, 2);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let mut step = Step::new(4);
         for v in 0..4 {
             step.push_op(v, Op::Local(10));
@@ -252,7 +259,7 @@ mod tests {
     #[test]
     fn empty_program_reports_unity_ratios() {
         let mut rng = StdRng::seed_from_u64(9);
-        let emu = Emulator::new(machine(2, 2, 2), Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(machine(2, 2, 2), Degree::Linear, &mut rng);
         let rep = emu.run(&Program::new(4));
         assert_eq!(rep.measured_cycles, 0);
         assert_eq!(rep.slowdown(), 1.0);

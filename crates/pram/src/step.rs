@@ -118,11 +118,7 @@ impl Step {
     /// The longest per-processor operation sequence, in time units.
     #[must_use]
     pub fn max_op_units(&self) -> u64 {
-        self.ops
-            .iter()
-            .map(|seq| seq.iter().map(Op::units).sum::<u64>())
-            .max()
-            .unwrap_or(0)
+        self.ops.iter().map(|seq| seq.iter().map(Op::units).sum::<u64>()).max().unwrap_or(0)
     }
 
     /// Maximum *read* contention: the most readers any one cell has.

@@ -9,11 +9,14 @@ use rand::SeedableRng;
 
 fn arb_step(n: usize) -> impl Strategy<Value = Step> {
     proptest::collection::vec(
-        (0..n, prop_oneof![
-            (0u64..64).prop_map(Op::Read),
-            (0u64..64).prop_map(Op::Write),
-            (1u32..5).prop_map(Op::Local),
-        ]),
+        (
+            0..n,
+            prop_oneof![
+                (0u64..64).prop_map(Op::Read),
+                (0u64..64).prop_map(Op::Write),
+                (1u32..5).prop_map(Op::Local),
+            ],
+        ),
         0..150,
     )
     .prop_map(move |ops| {
@@ -68,7 +71,7 @@ proptest! {
         prog.push(step);
         let m = MachineParams::new(4, 1, 0, d, x);
         let mut rng = StdRng::seed_from_u64(seed);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&prog);
         prop_assert!(rep.measured_cycles >= d * k as u64,
             "measured {} below d·k = {}", rep.measured_cycles, d * k as u64);
@@ -91,7 +94,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let prog = dxbsp_pram::builders::hotspot_program(n, k, &mut rng);
         let m = MachineParams::new(4, 1, 0, d, x);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&prog);
         let bound = 2 * theory::step_bound(&m, n, k);
         prop_assert!(rep.measured_cycles <= bound,

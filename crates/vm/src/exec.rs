@@ -2,7 +2,7 @@
 
 use dxbsp_core::{AccessPattern, MachineParams, Request};
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{SimConfig, Simulator};
+use dxbsp_machine::{Session, SimulatorBackend};
 use serde::{Deserialize, Serialize};
 
 use crate::ops::{BinOp, UnOp};
@@ -30,14 +30,15 @@ struct VecMeta {
 }
 
 /// The virtual machine: executes vector ops, accounting every memory
-/// access on the simulated (d,x)-BSP machine.
+/// access on the simulated (d,x)-BSP machine. All execution flows
+/// through a [`Session`] over the simulator backend, so bank queues and
+/// processor state are reused across ops instead of reallocated.
 pub struct Executor {
     machine: MachineParams,
-    sim: Simulator,
+    session: Session<SimulatorBackend>,
     map: HashedBanks,
     vectors: Vec<VecMeta>,
     next_addr: u64,
-    cycles: u64,
     costs: Vec<OpCost>,
 }
 
@@ -51,11 +52,10 @@ impl Executor {
         let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
         Self {
             machine: m,
-            sim: Simulator::new(SimConfig::from_params(&m)),
+            session: Session::new(SimulatorBackend::from_params(&m)),
             map,
             vectors: Vec::new(),
             next_addr: 0,
-            cycles: 0,
             costs: Vec::new(),
         }
     }
@@ -66,10 +66,17 @@ impl Executor {
         &self.machine
     }
 
-    /// Total simulated cycles so far.
+    /// The execution session: cumulative cycles, requests, and per-bank
+    /// statistics across every op executed so far.
+    #[must_use]
+    pub fn session(&self) -> &Session<SimulatorBackend> {
+        &self.session
+    }
+
+    /// Total simulated cycles so far (each op's memory time plus `L`).
     #[must_use]
     pub fn cycles(&self) -> u64 {
-        self.cycles
+        self.session.cycles()
     }
 
     /// Per-op cost log, in execution order.
@@ -102,14 +109,15 @@ impl Executor {
     }
 
     fn charge(&mut self, label: &'static str, pattern: &AccessPattern) {
-        let cycles = self.sim.run(pattern, &self.map).cycles + self.machine.l;
+        // The session adds `sync_overhead = L` per superstep itself;
+        // the per-op record carries the same total.
+        let out = self.session.step(pattern, &self.map);
         let prof = pattern.contention_profile();
-        self.cycles += cycles;
         self.costs.push(OpCost {
             label,
             requests: prof.total_requests,
             max_contention: prof.max_location_contention,
-            cycles,
+            cycles: out.cycles + self.machine.l,
         });
     }
 
@@ -348,7 +356,8 @@ impl Executor {
             pass2.push(Request::read(proc, totals + proc as u64));
         }
         for lane in 0..n {
-            pass2.push(Request::write(self.lane_proc(lane), self.vectors[dst.0].base + lane as u64));
+            pass2
+                .push(Request::write(self.lane_proc(lane), self.vectors[dst.0].base + lane as u64));
         }
         self.charge(label, &pass2);
     }

@@ -127,7 +127,9 @@ mod tests {
 
     #[test]
     fn identities_are_identities() {
-        for op in [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Min, BinOp::And, BinOp::Or, BinOp::Xor] {
+        for op in
+            [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Min, BinOp::And, BinOp::Or, BinOp::Xor]
+        {
             let id = op.identity().unwrap();
             for x in [0u64, 1, 7, u64::MAX / 3] {
                 assert_eq!(op.apply(id, x), x, "{op:?}");

@@ -266,10 +266,7 @@ mod tests {
     #[test]
     fn oracle_labels_are_component_minima() {
         // Two triangles: {0,1,2} and {5,6,7}; isolated 3,4.
-        let g = Graph {
-            n: 8,
-            edges: vec![(0, 1), (1, 2), (2, 0), (5, 6), (6, 7), (7, 5)],
-        };
+        let g = Graph { n: 8, edges: vec![(0, 1), (1, 2), (2, 0), (5, 6), (6, 7), (7, 5)] };
         assert_eq!(g.components_oracle(), vec![0, 0, 0, 3, 4, 5, 5, 5]);
         assert_eq!(g.component_count(), 4);
     }

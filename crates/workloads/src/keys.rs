@@ -202,10 +202,8 @@ mod nas_tests {
         let keys = nas_is_keys(40_000, bits, &mut rng);
         assert!(keys.iter().all(|&k| k < 1 << bits));
         // The middle half holds most of the mass (binomial hump).
-        let mid = keys
-            .iter()
-            .filter(|&&k| k >= 1 << (bits - 2) && k < 3 * (1 << (bits - 2)))
-            .count();
+        let mid =
+            keys.iter().filter(|&&k| k >= 1 << (bits - 2) && k < 3 * (1 << (bits - 2))).count();
         assert!(mid > keys.len() * 3 / 5, "mid mass {mid} of {}", keys.len());
     }
 

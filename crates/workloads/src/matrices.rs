@@ -67,9 +67,7 @@ impl CsrMatrix {
     #[must_use]
     pub fn multiply_serial(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).map(|(c, v)| v * x[c as usize]).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).map(|(c, v)| v * x[c as usize]).sum()).collect()
     }
 
     /// Occurrences of each column index across the matrix (the gather
@@ -141,10 +139,7 @@ mod tests {
 
     #[test]
     fn from_rows_builds_csr_offsets() {
-        let m = CsrMatrix::from_rows(
-            4,
-            &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(3, -1.0)]],
-        );
+        let m = CsrMatrix::from_rows(4, &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(3, -1.0)]]);
         assert_eq!(m.rows, 3);
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.row_ptr, vec![0, 2, 2, 3]);

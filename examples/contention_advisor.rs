@@ -33,12 +33,12 @@ fn main() {
 
     println!(
         "machine: p={} d={} x={} — diagnosing {} patterns of n={n}\n",
-        m.p, m.d, m.x, patterns.len()
+        m.p,
+        m.d,
+        m.x,
+        patterns.len()
     );
-    println!(
-        "{:>30} {:>14} {:>8} {:>8} {:>22}",
-        "pattern", "binding", "k", "max R", "advice"
-    );
+    println!("{:>30} {:>14} {:>8} {:>8} {:>22}", "pattern", "binding", "k", "max R", "advice");
     for (name, keys) in &patterns {
         let pat = AccessPattern::scatter(m.p, keys);
         let d = diagnose(&m, &pat, &map);

@@ -28,10 +28,7 @@ fn main() {
     let k = n / 4;
     let mut rng = StdRng::seed_from_u64(7);
 
-    println!(
-        "J90-like machine: contention knee at k* = {} for n = {n}\n",
-        contention_knee(&m, n)
-    );
+    println!("J90-like machine: contention knee at k* = {} for n = {n}\n", contention_knee(&m, n));
 
     println!("duplicating a contention-{k} hot spot:");
     println!("{:>8} {:>12} {:>12}", "copies", "measured", "predicted");

@@ -25,7 +25,7 @@ fn main() {
     println!("{:>6} {:>12} {:>12} {:>12}", "x", "work ratio", "d/x floor", "regime");
     for x in [1usize, 2, 4, 8, 16, 32, 64] {
         let m = MachineParams::new(8, 1, 0, d, x);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let prog = builders::hotspot_program(n, 1, &mut rng);
         let rep = emu.run(&prog);
         println!(
@@ -38,7 +38,7 @@ fn main() {
 
     println!("\nbroadcast to {0} vprocs: QRQW direct read vs. EREW doubling tree\n", 4096);
     let m = MachineParams::new(8, 1, 0, 14, 32);
-    let emu = Emulator::new(m, Degree::Linear, &mut rng);
+    let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
     let direct = builders::broadcast_direct_program(4096);
     let tree = builders::broadcast_tree_program(4096);
     let rd = emu.run(&direct);

@@ -49,10 +49,7 @@ fn main() {
     let mut keys: Vec<u64> = (0..m_tree).map(|_| rng.random_range(0..1u64 << 40)).collect();
     keys.sort_unstable();
     keys.dedup();
-    println!(
-        "{:>8} {:>12} {:>12} {:>12}",
-        "queries", "naive", "qrqw", "erew"
-    );
+    println!("{:>8} {:>12} {:>12} {:>12}", "queries", "naive", "qrqw", "erew");
     for n in [4 * 1024usize, 16 * 1024, 64 * 1024] {
         let queries: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << 40)).collect();
         let naive = binary_search::naive_traced(m.p, &keys, &queries);

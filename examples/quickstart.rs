@@ -11,7 +11,9 @@
 
 use dxbsp::hash::{Degree, HashedBanks};
 use dxbsp::machine::{SimConfig, Simulator};
-use dxbsp::model::{predict_scatter, predict_scatter_bsp, AccessPattern, MachineParams, ScatterShape};
+use dxbsp::model::{
+    predict_scatter, predict_scatter_bsp, AccessPattern, MachineParams, ScatterShape,
+};
 use dxbsp::workloads::hotspot_keys;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -15,7 +15,10 @@ use dxbsp::workloads::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn csr_inputs(vm: &mut Executor, a: &CsrMatrix) -> (dxbsp::vm::VecHandle, dxbsp::vm::VecHandle, dxbsp::vm::VecHandle, dxbsp::vm::VecHandle) {
+fn csr_inputs(
+    vm: &mut Executor,
+    a: &CsrMatrix,
+) -> (dxbsp::vm::VecHandle, dxbsp::vm::VecHandle, dxbsp::vm::VecHandle, dxbsp::vm::VecHandle) {
     let vals = vm.constant_f64(&a.values);
     let cols = vm.constant(&a.col_idx.iter().map(|&c| u64::from(c)).collect::<Vec<_>>());
     let mut flags = vec![0u64; a.nnz()];

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, lints, formatting.
+#
+#   scripts/verify.sh
+#
+# Tier-1 (build + tests) must pass for every commit; clippy and fmt
+# keep the workspace warning-free and uniformly formatted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

@@ -30,7 +30,7 @@ fn measured_cost_below_theory_bounds_on_grid() {
             for k in [1usize, 128, 2048] {
                 let m = MachineParams::new(p, 1, 0, d, x);
                 let mut rng = StdRng::seed_from_u64(d * 1000 + x as u64 * 10 + k as u64);
-                let emu = Emulator::new(m, Degree::Linear, &mut rng);
+                let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
                 let rep = emu.run(&hotspot_program(n, k, d + x as u64 + k as u64));
                 let bound = theory::step_bound(&m, n, k);
                 assert!(
@@ -51,7 +51,7 @@ fn work_overhead_straddles_the_inevitable_floor() {
         for x in [1usize, 2, 4] {
             let m = MachineParams::new(p, 1, 0, d, x);
             let mut rng = StdRng::seed_from_u64(d + x as u64);
-            let emu = Emulator::new(m, Degree::Linear, &mut rng);
+            let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
             let rep = emu.run(&hotspot_program(n, 1, 7));
             let floor = theory::work_overhead_lower_bound(&m);
             assert!(
@@ -76,13 +76,9 @@ fn balanced_machines_are_work_preserving() {
     for (d, x) in [(4u64, 8usize), (8, 16), (14, 32)] {
         let m = MachineParams::new(p, 1, 0, d, x);
         let mut rng = StdRng::seed_from_u64(d);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&hotspot_program(n, 1, 11));
-        assert!(
-            rep.work_ratio() < 3.0,
-            "d={d} x={x}: work ratio {} not O(1)",
-            rep.work_ratio()
-        );
+        assert!(rep.work_ratio() < 3.0, "d={d} x={x}: work ratio {} not O(1)", rep.work_ratio());
     }
 }
 
@@ -94,14 +90,11 @@ fn slackness_amortizes_the_deviation_term() {
     let mut ratios = Vec::new();
     for n in [1024usize, 8 * 1024, 64 * 1024] {
         let mut rng = StdRng::seed_from_u64(n as u64);
-        let emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
         let rep = emu.run(&hotspot_program(n, 1, 13));
         ratios.push(rep.work_ratio());
     }
-    assert!(
-        ratios[2] <= ratios[0],
-        "work ratio should not grow with slackness: {ratios:?}"
-    );
+    assert!(ratios[2] <= ratios[0], "work ratio should not grow with slackness: {ratios:?}");
     assert!(ratios[2] < 2.5, "{ratios:?}");
 }
 
@@ -120,7 +113,7 @@ fn multi_step_programs_accumulate_correctly() {
         prog.push(step);
     }
     let mut rng = StdRng::seed_from_u64(17);
-    let emu = Emulator::new(m, Degree::Linear, &mut rng);
+    let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
     let rep = emu.run(&prog);
     assert_eq!(rep.per_step.len(), 4);
     let sum: u64 = rep.per_step.iter().map(|&(_, _, meas)| meas).sum();
@@ -143,7 +136,7 @@ fn erew_programs_emulate_with_low_contention_cost() {
     prog.push(step);
     assert!(prog.is_erew_legal());
     let mut rng = StdRng::seed_from_u64(23);
-    let emu = Emulator::new(m, Degree::Linear, &mut rng);
+    let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
     let rep = emu.run(&prog);
     // Processor-bound: ≈ g·n/p cycles.
     let ideal = (n / m.p) as u64;

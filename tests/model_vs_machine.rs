@@ -115,8 +115,5 @@ fn the_bsp_charge_fails_where_the_paper_says() {
     let bsp = pattern_cost(&m, &pat, &map, CostModel::Bsp) as f64;
     let expected_gap = (m.d * m.p as u64) as f64 / m.g as f64;
     let gap = measured / bsp;
-    assert!(
-        gap > expected_gap * 0.9,
-        "BSP should be off by ≈ d·p/g = {expected_gap}, got {gap}"
-    );
+    assert!(gap > expected_gap * 0.9, "BSP should be off by ≈ d·p/g = {expected_gap}, got {gap}");
 }
