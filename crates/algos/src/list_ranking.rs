@@ -102,11 +102,10 @@ pub fn wyllie_naive_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, Rank
     while (0..n).any(|v| s[v] != s[s[v] as usize]) {
         stats.rounds += 1;
         let mut counts = std::collections::HashMap::new();
-        for v in 0..n {
-            if s[v] == v as u32 {
+        for (v, &sv) in s.iter().enumerate() {
+            if sv == v as u32 {
                 continue; // the tail itself has nothing to do
             }
-            let sv = s[v];
             tb.read(v, succ_arr + v as u64);
             tb.read(v, succ_arr + u64::from(sv));
             tb.read(v, rank_arr + u64::from(sv));

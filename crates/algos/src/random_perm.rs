@@ -128,8 +128,8 @@ pub fn darts_traced<R: Rng + ?Sized>(
     let mut perm = vec![0u32; n];
     let mut rank = 0usize;
     let mut lane = 0usize;
-    for s in 0..slots {
-        if let Some(e) = slot_owner[s] {
+    for (s, owner) in slot_owner.iter().enumerate() {
+        if let Some(e) = *owner {
             perm[rank] = e;
             tb.read(lane, target + s as u64);
             tb.write(lane, out + rank as u64);

@@ -15,15 +15,19 @@
 //!   --cache LINES --hit H                  per-bank cache
 //!   --map hashed|interleaved               bank mapping (default hashed)
 //!   --seed S                               hash draw (default 1995)
+//!   --threads N     replay worker threads  (default: available parallelism)
 //!   --per-step                             print each superstep
 //! ```
 //!
 //! Prints measured cycles next to the (d,x)-BSP and plain-BSP charges —
 //! the paper's predicted-vs-measured methodology on stored traces.
 
-use dxbsp_core::{CostModel, Interleaved, MachineParams};
+use dxbsp_bench::runner::{parallel_map_with, set_sweep_threads};
+use dxbsp_core::{BankMap, CostModel, Interleaved, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{charge_trace, load_trace, run_trace, SimConfig, Simulator};
+use dxbsp_machine::{
+    charge_trace, load_trace, Backend, SimConfig, SimulatorBackend, Trace, TraceResult,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,6 +44,7 @@ struct Args {
     cache: Option<(usize, u64)>,
     map: String,
     seed: u64,
+    threads: Option<usize>,
     per_step: bool,
     gantt: bool,
 }
@@ -58,6 +63,7 @@ fn parse_args() -> Args {
         cache: None,
         map: "hashed".into(),
         seed: 1995,
+        threads: None,
         per_step: false,
         gantt: false,
     };
@@ -106,10 +112,11 @@ fn parse_args() -> Args {
             "--hit" => cache_hit = parse("--hit", val("--hit")),
             "--map" => args.map = val("--map"),
             "--seed" => args.seed = parse("--seed", val("--seed")),
+            "--threads" => args.threads = Some(parse("--threads", val("--threads")) as usize),
             "--per-step" => args.per_step = true,
             "--gantt" => args.gantt = true,
             "--help" | "-h" => {
-                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--seed S] [--per-step]");
+                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--seed S] [--threads N] [--per-step]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument {other}")),
@@ -167,6 +174,31 @@ fn validate(args: &Args) {
     if args.map != "hashed" && args.map != "interleaved" {
         die(&format!("unknown map {} (hashed|interleaved)", args.map));
     }
+    if args.threads == Some(0) {
+        die("--threads must be at least 1");
+    }
+}
+
+/// Replays the trace with supersteps fanned across the sweep workers:
+/// each worker owns one simulator backend (reusing its scratch across
+/// its chunk of supersteps). Supersteps are independent — every scratch
+/// reset is bit-exact — so the result is identical to a sequential
+/// replay for any worker count.
+fn replay_parallel<M: BankMap + Sync>(cfg: SimConfig, trace: &Trace, map: &M) -> TraceResult {
+    let outs = parallel_map_with(
+        trace.as_slice(),
+        || SimulatorBackend::new(cfg),
+        |backend, step| backend.step(&step.pattern, map).into_result(),
+    );
+    let mut total = 0u64;
+    let mut requests = 0usize;
+    let mut labels = Vec::with_capacity(trace.len());
+    for (step, res) in trace.iter().zip(&outs) {
+        total += res.cycles + step.local_work + cfg.sync_overhead;
+        requests += res.requests;
+        labels.push(step.label.clone());
+    }
+    TraceResult { total_cycles: total, total_requests: requests, steps: outs, labels }
 }
 
 fn main() {
@@ -199,19 +231,26 @@ fn main() {
     if args.gantt {
         cfg = cfg.with_event_log();
     }
-    let sim = Simulator::new(cfg);
+    if let Some(t) = args.threads {
+        set_sweep_threads(t);
+    }
 
-    let run = |map: &dyn dxbsp_core::BankMap| {
-        let res = run_trace(&sim, &trace, &map);
-        let dx = charge_trace(&m, &trace, &map, CostModel::DxBsp);
-        let bsp = charge_trace(&m, &trace, &map, CostModel::Bsp);
+    fn run<M: BankMap + Sync>(
+        cfg: SimConfig,
+        m: &MachineParams,
+        trace: &Trace,
+        map: &M,
+    ) -> (TraceResult, u64, u64) {
+        let res = replay_parallel(cfg, trace, map);
+        let dx = charge_trace(m, trace, map, CostModel::DxBsp);
+        let bsp = charge_trace(m, trace, map, CostModel::Bsp);
         (res, dx, bsp)
-    };
+    }
     let (res, dx, bsp) = match args.map.as_str() {
-        "interleaved" => run(&Interleaved::new(m.banks())),
+        "interleaved" => run(cfg, &m, &trace, &Interleaved::new(m.banks())),
         "hashed" => {
             let mut rng = StdRng::seed_from_u64(args.seed);
-            run(&HashedBanks::random(Degree::Linear, m.banks(), &mut rng))
+            run(cfg, &m, &trace, &HashedBanks::random(Degree::Linear, m.banks(), &mut rng))
         }
         other => die(&format!("unknown map {other}")),
     };

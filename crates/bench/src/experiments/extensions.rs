@@ -110,15 +110,19 @@ pub fn exp14_zipf(scale: Scale, seed: u64) -> Table {
     let exponents = [0.0f64, 0.5, 0.8, 1.0, 1.2, 1.5];
 
     let idx: Vec<usize> = (0..exponents.len()).collect();
-    let rows = parallel_map(&idx, |&i| {
-        let s = exponents[i];
-        let mut rng = super::point_rng(seed, i as u64);
-        let keys = zipf_keys(n, 64 * 1024, s, &mut rng);
-        let k = max_contention(&keys);
-        let measured = super::measured_scatter(&m, &keys, seed ^ i as u64);
-        let shape = ScatterShape::new(n, k);
-        (s, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
-    });
+    let rows = crate::runner::parallel_map_with(
+        &idx,
+        || super::backend(&m),
+        |be, &i| {
+            let s = exponents[i];
+            let mut rng = super::point_rng(seed, i as u64);
+            let keys = zipf_keys(n, 64 * 1024, s, &mut rng);
+            let k = max_contention(&keys);
+            let measured = super::measured_scatter_in(be, &m, &keys, seed ^ i as u64);
+            let shape = ScatterShape::new(n, k);
+            (s, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
+        },
+    );
 
     let mut t = Table::new(
         format!("Extension E14: Zipf scatters (n={n}, universe 64K)"),

@@ -19,7 +19,7 @@ pub mod tables;
 
 use dxbsp_core::{AccessPattern, BankMap, CostModel, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{Backend, ModelBackend, SimulatorBackend};
+use dxbsp_machine::{Backend, ModelBackend, SimConfig, SimulatorBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -76,9 +76,28 @@ pub fn predicted_and_measured(
 /// seeded random bank mapping.
 #[must_use]
 pub fn measured_scatter(m: &MachineParams, keys: &[u64], seed: u64) -> u64 {
+    measured_scatter_in(&mut backend(m), m, keys, seed)
+}
+
+/// Like [`measured_scatter`], but through a caller-owned backend so a
+/// sweep worker reuses one scratch allocation across its grid points
+/// (reconfiguring when `m` differs from the backend's current machine).
+/// The scratch reset is bit-exact, so the result is identical to a
+/// fresh [`measured_scatter`] call.
+#[must_use]
+pub fn measured_scatter_in(
+    backend: &mut SimulatorBackend,
+    m: &MachineParams,
+    keys: &[u64],
+    seed: u64,
+) -> u64 {
+    let cfg = SimConfig::from_params(m);
+    if *backend.simulator().config() != cfg {
+        backend.reconfigure(cfg);
+    }
     let map = hashed_map(m, seed);
     let pat = AccessPattern::scatter(m.p, keys);
-    backend(m).step(&pat, &map).cycles
+    backend.step(&pat, &map).cycles
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
 use dxbsp_workloads::{duplicated_hotspot, entropy_family, hotspot_keys, max_contention};
 
-use crate::runner::parallel_map;
+use crate::runner::parallel_map_with;
 use crate::table::{fmt_f, Table};
 use crate::Scale;
 
@@ -20,14 +20,18 @@ pub fn exp1_contention(scale: Scale, seed: u64) -> Table {
         .chain(std::iter::once(n))
         .collect();
 
-    let rows = parallel_map(&ks, |&k| {
-        let mut rng = super::point_rng(seed, k as u64);
-        let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
-        let k_real = max_contention(&keys);
-        let measured = super::measured_scatter(&m, &keys, seed ^ k as u64);
-        let shape = ScatterShape::new(n, k_real);
-        (k, k_real, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
-    });
+    let rows = parallel_map_with(
+        &ks,
+        || super::backend(&m),
+        |be, &k| {
+            let mut rng = super::point_rng(seed, k as u64);
+            let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
+            let k_real = max_contention(&keys);
+            let measured = super::measured_scatter_in(be, &m, &keys, seed ^ k as u64);
+            let shape = ScatterShape::new(n, k_real);
+            (k, k_real, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
+        },
+    );
 
     let mut t = Table::new(
         format!("Experiment 1: scatter vs. contention (n={n}, p={}, d={}, x={})", m.p, m.d, m.x),
@@ -57,13 +61,17 @@ pub fn exp2_duplication(scale: Scale, seed: u64) -> Table {
     let copies: Vec<usize> =
         std::iter::successors(Some(1usize), |&c| Some(c * 2)).take_while(|&c| c <= k).collect();
 
-    let rows = parallel_map(&copies, |&c| {
-        let mut rng = super::point_rng(seed, c as u64);
-        let keys = duplicated_hotspot(n, k, c, 1 << 40, &mut rng);
-        let measured = super::measured_scatter(&m, &keys, seed ^ c as u64);
-        let predicted = predict_scatter(&m, ScatterShape::new(n, k.div_ceil(c)));
-        (c, measured, predicted)
-    });
+    let rows = parallel_map_with(
+        &copies,
+        || super::backend(&m),
+        |be, &c| {
+            let mut rng = super::point_rng(seed, c as u64);
+            let keys = duplicated_hotspot(n, k, c, 1 << 40, &mut rng);
+            let measured = super::measured_scatter_in(be, &m, &keys, seed ^ c as u64);
+            let predicted = predict_scatter(&m, ScatterShape::new(n, k.div_ceil(c)));
+            (c, measured, predicted)
+        },
+    );
 
     let mut t = Table::new(
         format!("Experiment 2: duplicating a contention-{k} location (n={n})"),
@@ -92,13 +100,17 @@ pub fn exp3_entropy(scale: Scale, seed: u64) -> Table {
     let family = entropy_family(n, 22, iterations, &mut rng);
 
     let idx: Vec<usize> = (0..family.len()).collect();
-    let rows = parallel_map(&idx, |&i| {
-        let keys = &family[i];
-        let k = max_contention(keys);
-        let measured = super::measured_scatter(&m, keys, seed ^ i as u64);
-        let shape = ScatterShape::new(n, k);
-        (i, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
-    });
+    let rows = parallel_map_with(
+        &idx,
+        || super::backend(&m),
+        |be, &i| {
+            let keys = &family[i];
+            let k = max_contention(keys);
+            let measured = super::measured_scatter_in(be, &m, keys, seed ^ i as u64);
+            let shape = ScatterShape::new(n, k);
+            (i, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
+        },
+    );
 
     let mut t = Table::new(
         format!("Experiment 3: entropy distributions (n={n}, iterated AND)"),
@@ -132,23 +144,27 @@ pub fn exp4_expansion(scale: Scale, seed: u64) -> Table {
         format!("Experiment 4: expansion sweep (uniform scatter, n={n}, p=8)"),
         &["x", "cyc/elem d=6", "cyc/elem d=14", "pred d=6", "pred d=14"],
     );
-    let rows = parallel_map(&xs, |&x| {
-        let mut cells = vec![x.to_string()];
-        let mut meas = Vec::new();
-        let mut pred = Vec::new();
-        for &d in &ds {
-            let m = dxbsp_core::MachineParams::new(8, 1, 0, d, x);
-            let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
-            let keys = dxbsp_workloads::uniform_keys(n, 1 << 40, &mut rng);
-            let cycles = super::measured_scatter(&m, &keys, seed ^ (x as u64 * d));
-            meas.push(cycles as f64 / n as f64);
-            let k = max_contention(&keys);
-            pred.push(predict_scatter(&m, ScatterShape::new(n, k)) as f64 / n as f64);
-        }
-        cells.extend(meas.iter().map(|&c| fmt_f(c)));
-        cells.extend(pred.iter().map(|&c| fmt_f(c)));
-        cells
-    });
+    let rows = parallel_map_with(
+        &xs,
+        || super::backend(&super::default_machine()),
+        |be, &x| {
+            let mut cells = vec![x.to_string()];
+            let mut meas = Vec::new();
+            let mut pred = Vec::new();
+            for &d in &ds {
+                let m = dxbsp_core::MachineParams::new(8, 1, 0, d, x);
+                let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
+                let keys = dxbsp_workloads::uniform_keys(n, 1 << 40, &mut rng);
+                let cycles = super::measured_scatter_in(be, &m, &keys, seed ^ (x as u64 * d));
+                meas.push(cycles as f64 / n as f64);
+                let k = max_contention(&keys);
+                pred.push(predict_scatter(&m, ScatterShape::new(n, k)) as f64 / n as f64);
+            }
+            cells.extend(meas.iter().map(|&c| fmt_f(c)));
+            cells.extend(pred.iter().map(|&c| fmt_f(c)));
+            cells
+        },
+    );
     for row in rows {
         t.push_row(row);
     }
@@ -222,21 +238,25 @@ pub fn exp_machines(scale: Scale, seed: u64) -> Table {
         format!("Machine comparison: contention sweep on both Cray presets (n={n})"),
         &["k", "C90 measured", "C90 pred", "J90 measured", "J90 pred", "J90/C90"],
     );
-    let rows = parallel_map(&ks, |&k| {
-        let mut cells = vec![k.to_string()];
-        let mut measured = Vec::new();
-        for (_, m) in &machines {
-            let mut rng = super::point_rng(seed, (k as u64) << 8 | m.d);
-            let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
-            let k_real = max_contention(&keys);
-            let meas = super::measured_scatter(m, &keys, seed ^ (k as u64 * m.d));
-            measured.push(meas);
-            cells.push(meas.to_string());
-            cells.push(predict_scatter(m, ScatterShape::new(n, k_real)).to_string());
-        }
-        cells.push(fmt_f(measured[1] as f64 / measured[0] as f64));
-        cells
-    });
+    let rows = parallel_map_with(
+        &ks,
+        || super::backend(&machines[0].1),
+        |be, &k| {
+            let mut cells = vec![k.to_string()];
+            let mut measured = Vec::new();
+            for (_, m) in &machines {
+                let mut rng = super::point_rng(seed, (k as u64) << 8 | m.d);
+                let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
+                let k_real = max_contention(&keys);
+                let meas = super::measured_scatter_in(be, m, &keys, seed ^ (k as u64 * m.d));
+                measured.push(meas);
+                cells.push(meas.to_string());
+                cells.push(predict_scatter(m, ScatterShape::new(n, k_real)).to_string());
+            }
+            cells.push(fmt_f(measured[1] as f64 / measured[0] as f64));
+            cells
+        },
+    );
     for row in rows {
         t.push_row(row);
     }

@@ -5,7 +5,40 @@
 //! into contiguous chunks, one per worker, and each worker returns its
 //! results as one contiguous block — no per-item locks. Determinism is
 //! preserved because every point derives its RNG from `(seed, point
-//! index)`, never from thread identity.
+//! index)`, never from thread identity, and per-worker state is fully
+//! reset per point — so the output is byte-identical for any thread
+//! count.
+//!
+//! Workers can carry reusable state ([`parallel_map_with`]): a sweep
+//! hands each worker one simulator session whose scratch allocations
+//! (bank vectors, event queue, streams) persist across the grid points
+//! of its chunk instead of being reallocated per point.
+//!
+//! The worker count defaults to the machine's available parallelism
+//! and can be pinned process-wide ([`set_sweep_threads`]) — the `dxsim`
+//! `--threads` flag plumbs through here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "auto" (available
+/// parallelism).
+static SWEEP_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the number of sweep worker threads process-wide. `0` restores
+/// the default (the machine's available parallelism). Results do not
+/// depend on this — only wall-clock time does.
+pub fn set_sweep_threads(threads: usize) {
+    SWEEP_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count sweeps currently run with.
+#[must_use]
+pub fn sweep_threads() -> usize {
+    match SWEEP_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
+        n => n,
+    }
+}
 
 /// Applies `f` to every item, in parallel, preserving order.
 ///
@@ -16,20 +49,45 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-    let threads = threads.min(items.len());
+    parallel_map_with(items, || (), move |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but each worker thread first builds its own
+/// state with `init` and threads it through every item of its chunk —
+/// the hook that lets a sweep reuse one simulator session (scratch
+/// allocations and all) across grid points instead of rebuilding it
+/// per point.
+///
+/// `f` must produce the same result for an item regardless of what the
+/// state previously processed (simulator sessions guarantee this: the
+/// scratch is reset bit-exactly per run), so the output is identical
+/// for any worker count.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = sweep_threads().min(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     // Each worker owns one contiguous chunk of the input and builds its
     // block of results locally; concatenating the blocks in spawn order
     // restores the input order.
     let chunk = items.len().div_ceil(threads);
-    let f = &f;
+    let (init, f) = (&init, &f);
     std::thread::scope(|scope| {
         let workers: Vec<_> = items
             .chunks(chunk)
-            .map(|block| scope.spawn(move || block.iter().map(f).collect::<Vec<R>>()))
+            .map(|block| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    block.iter().map(|item| f(&mut state, item)).collect::<Vec<R>>()
+                })
+            })
             .collect();
         workers.into_iter().flat_map(|w| w.join().expect("sweep worker panicked")).collect()
     })
@@ -76,6 +134,41 @@ mod tests {
             let items: Vec<usize> = (0..len).collect();
             let out = parallel_map(&items, |&x| x + 100);
             assert_eq!(out, (100..100 + len).collect::<Vec<_>>(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_per_thread_and_reused() {
+        // Each worker increments its own counter: totals per result
+        // reflect positions within a chunk, never cross-thread sharing.
+        let items: Vec<usize> = (0..40).collect();
+        let out = parallel_map_with(
+            &items,
+            || 0usize,
+            |count, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        for (i, &(x, count)) in out.iter().enumerate() {
+            assert_eq!(x, i);
+            assert!(count >= 1, "state not threaded through");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let items: Vec<u64> = (0..257).collect();
+        let mut snapshots = Vec::new();
+        for threads in [1usize, 2, 3, 8] {
+            set_sweep_threads(threads);
+            assert_eq!(sweep_threads(), threads);
+            snapshots.push(parallel_map_with(&items, || 7u64, |s, &x| x.wrapping_mul(*s)));
+        }
+        set_sweep_threads(0);
+        for pair in snapshots.windows(2) {
+            assert_eq!(pair[0], pair[1]);
         }
     }
 }

@@ -181,6 +181,39 @@ fn dxtrace_without_output_prints_summary() {
 }
 
 #[test]
+fn thread_count_does_not_change_the_output() {
+    // The replay fans supersteps across worker threads; the output
+    // tables must be byte-identical regardless of the worker count.
+    let path = tmp("threads.dxtr");
+    run_ok(dxtrace().args(["randperm", "--n", "4096", "-o"]).arg(&path));
+    let outputs: Vec<String> = ["1", "4"]
+        .iter()
+        .map(|t| {
+            run_ok(dxsim().arg("--trace").arg(&path).args([
+                "--window",
+                "8",
+                "--latency",
+                "5",
+                "--per-step",
+                "--threads",
+                t,
+            ]))
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1], "--threads 1 and --threads 4 disagree");
+    assert!(outputs[0].contains("measured cycles:"), "{}", outputs[0]);
+}
+
+#[test]
+fn zero_threads_is_rejected() {
+    let path = tmp("threads0.dxtr");
+    run_ok(dxtrace().args(["scatter", "--n", "256", "-o"]).arg(&path));
+    let out = dxsim().arg("--trace").arg(&path).args(["--threads", "0"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"), "wrong diagnostic");
+}
+
+#[test]
 fn presets_select_paper_machines() {
     let path = tmp("preset.dxtr");
     run_ok(

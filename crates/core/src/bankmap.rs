@@ -19,6 +19,20 @@ pub trait BankMap {
 
     /// The bank holding `addr`.
     fn bank_of(&self, addr: u64) -> usize;
+
+    /// Maps a whole address stream into `out` (cleared first), one
+    /// `u32` bank index per address. Bank counts must fit `u32`.
+    ///
+    /// This is the simulator's bulk entry point: one virtual call per
+    /// pattern instead of one per request, so implementations get a
+    /// devirtualized inner loop. The default delegates to [`bank_of`].
+    ///
+    /// [`bank_of`]: BankMap::bank_of
+    fn fill_banks(&self, addrs: &[u64], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(addrs.len());
+        out.extend(addrs.iter().map(|&a| self.bank_of(a) as u32));
+    }
 }
 
 /// Classic low-order interleaving: `bank = addr mod B`.
@@ -27,9 +41,19 @@ pub trait BankMap {
 /// consecutive banks, so unit-stride access is conflict-free but strides
 /// sharing a factor with `B` concentrate on few banks (the motivation
 /// for hashing in paper §4).
+///
+/// The modulo is strength-reduced at construction time: power-of-two
+/// bank counts use a bitmask, all others a Lemire fastmod reciprocal,
+/// so the per-address cost never includes a hardware divide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interleaved {
     banks: usize,
+    /// `banks - 1` when `banks` is a power of two; `u64::MAX` sentinel
+    /// otherwise (never a valid mask, since `banks` fits in `usize`).
+    mask: u64,
+    /// Fastmod reciprocal `floor(2^128 / banks) + 1` for the non-power
+    /// -of-two path; 0 when the mask path is active.
+    magic: u128,
 }
 
 impl Interleaved {
@@ -41,7 +65,22 @@ impl Interleaved {
     #[must_use]
     pub fn new(banks: usize) -> Self {
         assert!(banks >= 1, "need at least one bank");
-        Self { banks }
+        if banks.is_power_of_two() {
+            Self { banks, mask: banks as u64 - 1, magic: 0 }
+        } else {
+            Self { banks, mask: u64::MAX, magic: u128::MAX / banks as u128 + 1 }
+        }
+    }
+
+    /// `addr mod banks` via the fastmod reciprocal (non-pow2 only):
+    /// the low 128 bits of `addr * magic` scaled by `banks` yield the
+    /// remainder in the high word.
+    #[inline]
+    fn fastmod(magic: u128, banks: u64, addr: u64) -> u64 {
+        let low = magic.wrapping_mul(u128::from(addr));
+        let hi = (low >> 64) * u128::from(banks);
+        let lo = ((low & u128::from(u64::MAX)) * u128::from(banks)) >> 64;
+        ((hi + lo) >> 64) as u64
     }
 }
 
@@ -50,8 +89,25 @@ impl BankMap for Interleaved {
         self.banks
     }
 
+    #[inline]
     fn bank_of(&self, addr: u64) -> usize {
-        (addr % self.banks as u64) as usize
+        if self.mask != u64::MAX {
+            (addr & self.mask) as usize
+        } else {
+            Self::fastmod(self.magic, self.banks as u64, addr) as usize
+        }
+    }
+
+    fn fill_banks(&self, addrs: &[u64], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(addrs.len());
+        if self.mask != u64::MAX {
+            let mask = self.mask;
+            out.extend(addrs.iter().map(|&a| (a & mask) as u32));
+        } else {
+            let (magic, banks) = (self.magic, self.banks as u64);
+            out.extend(addrs.iter().map(|&a| Self::fastmod(magic, banks, a) as u32));
+        }
     }
 }
 
@@ -63,6 +119,10 @@ impl<M: BankMap + ?Sized> BankMap for &M {
     fn bank_of(&self, addr: u64) -> usize {
         (**self).bank_of(addr)
     }
+
+    fn fill_banks(&self, addrs: &[u64], out: &mut Vec<u32>) {
+        (**self).fill_banks(addrs, out);
+    }
 }
 
 impl<M: BankMap + ?Sized> BankMap for Box<M> {
@@ -72,6 +132,10 @@ impl<M: BankMap + ?Sized> BankMap for Box<M> {
 
     fn bank_of(&self, addr: u64) -> usize {
         (**self).bank_of(addr)
+    }
+
+    fn fill_banks(&self, addrs: &[u64], out: &mut Vec<u32>) {
+        (**self).fill_banks(addrs, out);
     }
 }
 
@@ -111,10 +175,54 @@ mod tests {
     }
 
     #[test]
+    fn fast_paths_agree_with_plain_modulo() {
+        let edge_addrs = [
+            0u64,
+            1,
+            2,
+            62,
+            63,
+            64,
+            65,
+            255,
+            256,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX - 1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0x5555_5555_5555_5555,
+        ];
+        for banks in (1usize..=300).chain([511, 512, 513, 1023, 1024, 4095, 4096]) {
+            let m = Interleaved::new(banks);
+            for &a in &edge_addrs {
+                assert_eq!(m.bank_of(a), (a % banks as u64) as usize, "banks={banks} addr={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_banks_matches_bank_of() {
+        let addrs: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9e37_79b9_97f4_a7c1)).collect();
+        for banks in [1usize, 2, 3, 7, 8, 100, 256, 257] {
+            let m = Interleaved::new(banks);
+            let mut out = Vec::new();
+            m.fill_banks(&addrs, &mut out);
+            assert_eq!(out.len(), addrs.len());
+            for (&a, &b) in addrs.iter().zip(&out) {
+                assert_eq!(b as usize, m.bank_of(a), "banks={banks} addr={a}");
+            }
+        }
+    }
+
+    #[test]
     fn trait_objects_and_references_delegate() {
         let m = Interleaved::new(4);
         let by_ref: &dyn BankMap = &m;
         assert_eq!(by_ref.bank_of(5), 1);
+        let mut out = Vec::new();
+        by_ref.fill_banks(&[5, 6, 7, 8], &mut out);
+        assert_eq!(out, [1, 2, 3, 0]);
         let boxed: Box<dyn BankMap> = Box::new(m);
         assert_eq!(boxed.bank_of(5), 1);
         assert_eq!(boxed.num_banks(), 4);

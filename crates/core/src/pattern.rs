@@ -10,6 +10,12 @@
 //!   (requests landing on one bank, which includes both location
 //!   contention and *module-map* contention from distinct co-resident
 //!   addresses).
+//!
+//! Patterns are stored struct-of-arrays: processor ids, addresses, and
+//! a read/write bitset live in separate dense vectors, so the simulator
+//! and the analytic accounting stream over exactly the fields they
+//! need (the hot loops touch only `addrs`). [`Request`] remains the
+//! per-element view; [`AccessPattern::requests`] yields it by value.
 
 use std::collections::HashMap;
 
@@ -53,7 +59,7 @@ impl Request {
     }
 }
 
-/// A superstep's worth of memory requests.
+/// A superstep's worth of memory requests, struct-of-arrays.
 ///
 /// # Example
 ///
@@ -72,7 +78,12 @@ impl Request {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessPattern {
     procs: usize,
-    requests: Vec<Request>,
+    /// Issuing processor per request, parallel to `addrs`.
+    proc_ids: Vec<u32>,
+    /// Word address per request.
+    addrs: Vec<u64>,
+    /// Bitset parallel to `addrs`: bit `i` set means request `i` writes.
+    writes: Vec<u64>,
 }
 
 /// Aggregate contention statistics of an [`AccessPattern`].
@@ -97,14 +108,19 @@ impl AccessPattern {
     #[must_use]
     pub fn new(procs: usize) -> Self {
         assert!(procs >= 1, "need at least one processor");
-        Self { procs, requests: Vec::new() }
+        Self { procs, proc_ids: Vec::new(), addrs: Vec::new(), writes: Vec::new() }
     }
 
     /// An empty pattern with room for `cap` requests.
     #[must_use]
     pub fn with_capacity(procs: usize, cap: usize) -> Self {
         assert!(procs >= 1, "need at least one processor");
-        Self { procs, requests: Vec::with_capacity(cap) }
+        Self {
+            procs,
+            proc_ids: Vec::with_capacity(cap),
+            addrs: Vec::with_capacity(cap),
+            writes: Vec::with_capacity(cap.div_ceil(64)),
+        }
     }
 
     /// Builds a scatter pattern: element `i` of `addrs` is written by
@@ -114,7 +130,7 @@ impl AccessPattern {
     pub fn scatter(procs: usize, addrs: &[u64]) -> Self {
         let mut pat = Self::with_capacity(procs, addrs.len());
         for (i, &a) in addrs.iter().enumerate() {
-            pat.push(Request::write(i % procs, a));
+            pat.push_write(i % procs, a);
         }
         pat
     }
@@ -125,7 +141,7 @@ impl AccessPattern {
     pub fn gather(procs: usize, addrs: &[u64]) -> Self {
         let mut pat = Self::with_capacity(procs, addrs.len());
         for (i, &a) in addrs.iter().enumerate() {
-            pat.push(Request::read(i % procs, a));
+            pat.push_read(i % procs, a);
         }
         pat
     }
@@ -136,23 +152,55 @@ impl AccessPattern {
         self.procs
     }
 
-    /// The requests, in issue order (per-processor order is the order of
-    /// insertion filtered to that processor).
+    /// The requests by value, in issue order (per-processor order is
+    /// the order of insertion filtered to that processor).
+    pub fn requests(&self) -> impl ExactSizeIterator<Item = Request> + '_ {
+        (0..self.addrs.len()).map(move |i| self.request_at(i))
+    }
+
+    /// The request at index `i` (issue order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
     #[must_use]
-    pub fn requests(&self) -> &[Request] {
-        &self.requests
+    pub fn request_at(&self, i: usize) -> Request {
+        Request {
+            proc: self.proc_ids[i] as usize,
+            addr: self.addrs[i],
+            kind: if self.is_write(i) { AccessKind::Write } else { AccessKind::Read },
+        }
+    }
+
+    /// The addresses, one per request, in issue order.
+    #[must_use]
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The issuing processor ids, one per request, in issue order.
+    #[must_use]
+    pub fn proc_ids(&self) -> &[u32] {
+        &self.proc_ids
+    }
+
+    /// Whether request `i` is a write.
+    #[must_use]
+    pub fn is_write(&self, i: usize) -> bool {
+        debug_assert!(i < self.addrs.len());
+        self.writes[i / 64] >> (i % 64) & 1 != 0
     }
 
     /// Number of requests.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.requests.len()
+        self.addrs.len()
     }
 
     /// Whether the pattern has no requests.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
+        self.addrs.is_empty()
     }
 
     /// Appends a request.
@@ -161,8 +209,36 @@ impl AccessPattern {
     ///
     /// Panics if `req.proc` is out of range.
     pub fn push(&mut self, req: Request) {
-        assert!(req.proc < self.procs, "processor index out of range");
-        self.requests.push(req);
+        self.push_kind(req.proc, req.addr, req.kind == AccessKind::Write);
+    }
+
+    /// Appends a read by `proc` from `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn push_read(&mut self, proc: usize, addr: u64) {
+        self.push_kind(proc, addr, false);
+    }
+
+    /// Appends a write by `proc` to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn push_write(&mut self, proc: usize, addr: u64) {
+        self.push_kind(proc, addr, true);
+    }
+
+    fn push_kind(&mut self, proc: usize, addr: u64, write: bool) {
+        assert!(proc < self.procs, "processor index out of range");
+        let i = self.addrs.len();
+        if i % 64 == 0 {
+            self.writes.push(0);
+        }
+        self.writes[i / 64] |= u64::from(write) << (i % 64);
+        self.proc_ids.push(proc as u32);
+        self.addrs.push(addr);
     }
 
     /// Exact contention statistics (one pass, hash-map based).
@@ -170,12 +246,12 @@ impl AccessPattern {
     pub fn contention_profile(&self) -> ContentionProfile {
         let mut per_proc = vec![0usize; self.procs];
         let mut per_addr: HashMap<u64, usize> = HashMap::new();
-        for r in &self.requests {
-            per_proc[r.proc] += 1;
-            *per_addr.entry(r.addr).or_insert(0) += 1;
+        for (&p, &a) in self.proc_ids.iter().zip(&self.addrs) {
+            per_proc[p as usize] += 1;
+            *per_addr.entry(a).or_insert(0) += 1;
         }
         ContentionProfile {
-            total_requests: self.requests.len(),
+            total_requests: self.addrs.len(),
             max_processor_load: per_proc.iter().copied().max().unwrap_or(0),
             max_location_contention: per_addr.values().copied().max().unwrap_or(0),
             distinct_addresses: per_addr.len(),
@@ -187,9 +263,8 @@ impl AccessPattern {
     #[must_use]
     pub fn bank_loads<M: BankMap>(&self, map: &M) -> Vec<usize> {
         let mut loads = vec![0usize; map.num_banks()];
-        for r in &self.requests {
-            let b = map.bank_of(r.addr);
-            loads[b] += 1;
+        for &a in &self.addrs {
+            loads[map.bank_of(a)] += 1;
         }
         loads
     }
@@ -207,8 +282,8 @@ impl AccessPattern {
     #[must_use]
     pub fn module_map_contention<M: BankMap>(&self, map: &M) -> usize {
         let mut distinct: Vec<HashMap<u64, ()>> = vec![HashMap::new(); map.num_banks()];
-        for r in &self.requests {
-            distinct[map.bank_of(r.addr)].insert(r.addr, ());
+        for &a in &self.addrs {
+            distinct[map.bank_of(a)].insert(a, ());
         }
         distinct.iter().map(HashMap::len).max().unwrap_or(0)
     }
@@ -218,8 +293,8 @@ impl AccessPattern {
     #[must_use]
     pub fn contention_histogram(&self) -> Vec<usize> {
         let mut per_addr: HashMap<u64, usize> = HashMap::new();
-        for r in &self.requests {
-            *per_addr.entry(r.addr).or_insert(0) += 1;
+        for &a in &self.addrs {
+            *per_addr.entry(a).or_insert(0) += 1;
         }
         let max = per_addr.values().copied().max().unwrap_or(0);
         let mut hist = vec![0usize; max + 1];
@@ -230,12 +305,12 @@ impl AccessPattern {
     }
 
     /// Splits the pattern into per-processor request streams (used by
-    /// the simulator to feed processor issue pipelines).
+    /// the reference simulator to feed processor issue pipelines).
     #[must_use]
     pub fn per_processor(&self) -> Vec<Vec<Request>> {
         let mut streams = vec![Vec::new(); self.procs];
-        for r in &self.requests {
-            streams[r.proc].push(*r);
+        for r in self.requests() {
+            streams[r.proc].push(r);
         }
         streams
     }
@@ -316,13 +391,13 @@ mod tests {
         assert_eq!(prof.total_requests, 10);
         // 10 elements over 4 procs: loads 3,3,2,2.
         assert_eq!(prof.max_processor_load, 3);
-        assert!(pat.requests().iter().all(|r| r.kind == AccessKind::Write));
+        assert!(pat.requests().all(|r| r.kind == AccessKind::Write));
     }
 
     #[test]
     fn gather_issues_reads() {
         let pat = AccessPattern::gather(2, &[5, 5, 5]);
-        assert!(pat.requests().iter().all(|r| r.kind == AccessKind::Read));
+        assert!(pat.requests().all(|r| r.kind == AccessKind::Read));
         assert_eq!(pat.contention_profile().max_location_contention, 3);
     }
 
@@ -346,6 +421,30 @@ mod tests {
         for (p, s) in streams.iter().enumerate() {
             assert!(s.iter().all(|r| r.proc == p));
         }
+    }
+
+    #[test]
+    fn soa_views_agree_with_request_views() {
+        let mut pat = AccessPattern::new(3);
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                pat.push_read((i % 3) as usize, i * 7);
+            } else {
+                pat.push_write((i % 3) as usize, i * 7);
+            }
+        }
+        assert_eq!(pat.addrs().len(), 200);
+        assert_eq!(pat.proc_ids().len(), 200);
+        for (i, r) in pat.requests().enumerate() {
+            assert_eq!(r.addr, pat.addrs()[i]);
+            assert_eq!(r.proc, pat.proc_ids()[i] as usize);
+            assert_eq!(r.kind == AccessKind::Write, pat.is_write(i));
+            assert_eq!(pat.request_at(i), r);
+        }
+        // Bitset tail: request 64, 127, 128 straddle word boundaries.
+        assert_eq!(pat.is_write(63), 63 % 3 != 0);
+        assert_eq!(pat.is_write(64), 64 % 3 != 0);
+        assert_eq!(pat.is_write(128), 128 % 3 != 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use dxbsp_core::{
     bsp_superstep_cost, pattern_cost, predict_scatter, predict_scatter_bsp, superstep_cost,
-    AccessPattern, CostModel, Interleaved, MachineParams, Request, ScatterShape,
+    AccessPattern, BankMap, CostModel, Interleaved, MachineParams, Request, ScatterShape,
 };
 use proptest::prelude::*;
 
@@ -114,5 +114,46 @@ proptest! {
     fn bsp_ignores_d_and_x(m in arb_machine(), h in 0usize..10_000) {
         let other = m.with_delay(m.d + 17).with_expansion(m.x + 3);
         prop_assert_eq!(bsp_superstep_cost(&m, h), bsp_superstep_cost(&other, h));
+    }
+
+    /// The strength-reduced `Interleaved` paths (power-of-two bitmask
+    /// and Lemire fastmod) agree with plain `%` on random addresses for
+    /// any bank count in the supported sweep range, per-address and
+    /// through the bulk `fill_banks` entry point alike.
+    #[test]
+    fn interleaved_fast_paths_agree_with_modulo(
+        banks in 1usize..=4096,
+        addrs in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let map = Interleaved::new(banks);
+        let mut out = Vec::new();
+        map.fill_banks(&addrs, &mut out);
+        prop_assert_eq!(out.len(), addrs.len());
+        for (&a, &b) in addrs.iter().zip(&out) {
+            let expect = (a % banks as u64) as usize;
+            prop_assert_eq!(map.bank_of(a), expect, "bank_of({}) with banks={}", a, banks);
+            prop_assert_eq!(b as usize, expect, "fill_banks({}) with banks={}", a, banks);
+        }
+    }
+}
+
+/// Exhaustive companion to the property above: every bank count
+/// 1..=4096 is checked against `%` on a fixed set of adversarial
+/// addresses (the property test samples bank counts; this nails down
+/// the whole range, in particular every power of two and its
+/// neighbours).
+#[test]
+fn interleaved_agrees_with_modulo_for_every_bank_count() {
+    let addrs =
+        [0u64, 1, 63, 64, 4095, 4096, 4097, u32::MAX as u64, u64::MAX - 1, u64::MAX, !0 >> 1];
+    let mut out = Vec::new();
+    for banks in 1usize..=4096 {
+        let map = Interleaved::new(banks);
+        map.fill_banks(&addrs, &mut out);
+        for (&a, &b) in addrs.iter().zip(&out) {
+            let expect = (a % banks as u64) as usize;
+            assert_eq!(map.bank_of(a), expect, "banks={banks} addr={a}");
+            assert_eq!(b as usize, expect, "banks={banks} addr={a}");
+        }
     }
 }

@@ -34,6 +34,23 @@ pub struct BankCache {
     pub hit_delay: u64,
 }
 
+/// Which event-queue implementation drives the discrete-event loop.
+///
+/// Both schedulers realize the same total order on events —
+/// `(time, kind, proc, seq)` — so simulation results are bit-identical;
+/// the choice only affects speed. The heap is kept as the
+/// differential-testing oracle for the wheel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Hierarchical bucketed time wheel: `O(1)` push, amortized `O(1)`
+    /// pop for the near-sorted event streams the simulator produces.
+    #[default]
+    Wheel,
+    /// Binary min-heap: `O(log n)` per operation, the original
+    /// implementation.
+    Heap,
+}
+
 /// Vector strip-mining: a Cray-style processor issues memory requests
 /// through vector registers of `vector_length` elements; finishing a
 /// strip costs `startup` extra cycles before the next strip begins
@@ -75,6 +92,9 @@ pub struct SimConfig {
     /// request through the pipeline). Off by default: the log costs
     /// memory proportional to the request count.
     pub record_events: bool,
+    /// Event-queue implementation (time wheel by default; results are
+    /// identical either way).
+    pub scheduler: SchedulerKind,
 }
 
 impl SimConfig {
@@ -101,6 +121,7 @@ impl SimConfig {
             bank_cache: None,
             strip: None,
             record_events: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -208,6 +229,15 @@ impl SimConfig {
         self
     }
 
+    /// Selects the event-queue implementation. Results are bit-identical
+    /// across schedulers; this exists for differential testing and for
+    /// benchmarking one against the other.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Banks per section (the whole machine is one section under
     /// [`NetworkModel::Uniform`]).
     #[must_use]
@@ -249,6 +279,14 @@ mod tests {
         assert_eq!(cfg.network, NetworkModel::Sectioned { sections: 4, ports: 2 });
         assert_eq!(cfg.banks_per_section(), 16);
         assert_eq!(cfg.sync_overhead, 100);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_wheel() {
+        let cfg = SimConfig::new(4, 64, 6);
+        assert_eq!(cfg.scheduler, SchedulerKind::Wheel);
+        let cfg = cfg.with_scheduler(SchedulerKind::Heap);
+        assert_eq!(cfg.scheduler, SchedulerKind::Heap);
     }
 
     #[test]

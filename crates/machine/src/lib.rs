@@ -57,9 +57,10 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 pub mod tracefile;
+mod wheel;
 
 pub use calibrate::{calibrate, Calibration};
-pub use config::{NetworkModel, SimConfig};
+pub use config::{NetworkModel, SchedulerKind, SimConfig};
 pub use engine::{
     replay, Backend, ModelBackend, ReferenceBackend, Session, SimulatorBackend, StepOutcome,
 };

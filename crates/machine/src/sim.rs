@@ -11,12 +11,19 @@
 //! issue order, so the section limiter and bank occupancy can be
 //! resolved *inline* at issue time; the event queue only carries
 //! processor issue attempts and (when the outstanding-request window is
-//! bounded) reply completions. This keeps the simulator at a few heap
+//! bounded) reply completions. This keeps the simulator at a few queue
 //! operations per request — experiments with millions of requests run
 //! in milliseconds — while still modelling bank queueing exactly.
 //!
+//! The event queue itself is pluggable ([`SchedulerKind`]): the default
+//! is a hierarchical time wheel ([`crate::wheel`]) with `O(1)` pushes
+//! and amortized `O(1)` pops; a binary heap is retained as the
+//! differential-testing oracle. Both realize the identical total order
+//! `(time, kind, proc, seq)` — completions before issues at equal
+//! times, then processor index — so results are bit-identical.
+//!
 //! The per-run working state (bank occupancy, processor streams, LRU
-//! caches, the event heap) lives in a [`Scratch`] that the engine layer
+//! caches, the event queue) lives in a [`Scratch`] that the engine layer
 //! ([`crate::engine`]) reuses across supersteps; [`Simulator::run`]
 //! allocates a fresh one per call, so its results are independent of
 //! any prior run either way.
@@ -26,8 +33,9 @@ use std::collections::BinaryHeap;
 
 use dxbsp_core::{AccessPattern, BankMap};
 
-use crate::config::{NetworkModel, SimConfig};
+use crate::config::{NetworkModel, SchedulerKind, SimConfig};
 use crate::stats::{BankStats, ProcStats, SimResult};
+use crate::wheel::TimeWheel;
 
 /// A configured simulator. Cheap to clone; every [`Simulator::run`] is
 /// independent and deterministic.
@@ -36,18 +44,121 @@ pub struct Simulator {
     cfg: SimConfig,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    /// Processor `p` attempts to issue its next request.
-    Issue(usize),
-    /// A reply returns to processor `p`, freeing a window slot.
-    Complete(usize),
+/// Events are packed into a `u64` key whose numeric order is the
+/// simulator's arbitration order at equal times: event kind in the top
+/// bits (completions rank below issues), then processor index, then a
+/// sequence number breaking remaining ties in scheduling order. Both
+/// schedulers order entries by `(time, key)`, so the packing *is* the
+/// total order `(time, kind, proc, seq)` of the original heap tuple.
+const KIND_SHIFT: u32 = 62;
+const PROC_SHIFT: u32 = 40;
+const PROC_MASK: u64 = (1 << (KIND_SHIFT - PROC_SHIFT)) - 1;
+const KIND_COMPLETE: u64 = 0;
+const KIND_ISSUE: u64 = 1;
+
+#[inline]
+fn pack(kind: u64, proc: usize, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << PROC_SHIFT, "sequence number overflowed the event key");
+    (kind << KIND_SHIFT) | ((proc as u64) << PROC_SHIFT) | seq
 }
 
-/// Heap entry: `(time, event-kind rank, processor, sequence, event)` —
-/// the tuple ordering gives completions-before-issues and
-/// processor-index arbitration at equal times.
-type HeapEntry = Reverse<(u64, u8, usize, u64, Event)>;
+/// Heap entry: `(time, packed key)` — `Reverse` makes the max-heap a
+/// min-queue on the same order the wheel realizes.
+type HeapEntry = Reverse<(u64, u64)>;
+
+/// The operations the event loop needs from a scheduler. Implemented by
+/// the binary heap (oracle) and the time wheel (default); the loop is
+/// monomorphized over this, so neither pays dynamic dispatch.
+trait EventQueue {
+    fn push(&mut self, time: u64, key: u64);
+    fn pop(&mut self) -> Option<(u64, u64)>;
+}
+
+impl EventQueue for BinaryHeap<HeapEntry> {
+    #[inline]
+    fn push(&mut self, time: u64, key: u64) {
+        BinaryHeap::push(self, Reverse((time, key)));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        BinaryHeap::pop(self).map(|Reverse(e)| e)
+    }
+}
+
+impl EventQueue for TimeWheel {
+    #[inline]
+    fn push(&mut self, time: u64, key: u64) {
+        TimeWheel::push(self, time, key);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        TimeWheel::pop(self)
+    }
+}
+
+/// Degenerate queue for the unbounded-window machine class: with no
+/// completions, the queue holds at most one pending Issue event per
+/// processor, so a per-processor slot array plus an occupancy bitmask
+/// replaces any general priority queue. Pop is an argmin over the
+/// occupied slots on `(time, key)` — identical order to the heap and
+/// the wheel (the packed key embeds the processor index, so equal-time
+/// ties resolve by processor exactly as the tuple order does).
+///
+/// Only valid when `window.is_none()` and `procs <= 64` (one mask
+/// word); the simulator falls back to the wheel otherwise.
+#[derive(Debug, Clone, Default)]
+struct IssueRing {
+    times: Vec<u64>,
+    keys: Vec<u64>,
+    /// Bit `p` set ⇔ processor `p` has a pending issue event.
+    mask: u64,
+}
+
+impl IssueRing {
+    /// Capacity for one pending event per processor.
+    fn reset(&mut self, procs: usize) {
+        debug_assert!(procs <= 64, "issue ring is one mask word wide");
+        self.times.clear();
+        self.times.resize(procs, 0);
+        self.keys.clear();
+        self.keys.resize(procs, 0);
+        self.mask = 0;
+    }
+}
+
+impl EventQueue for IssueRing {
+    #[inline]
+    fn push(&mut self, time: u64, key: u64) {
+        let p = ((key >> PROC_SHIFT) & PROC_MASK) as usize;
+        debug_assert_eq!(self.mask >> p & 1, 0, "processor {p} already has a pending event");
+        self.times[p] = time;
+        self.keys[p] = key;
+        self.mask |= 1 << p;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let mut occ = self.mask;
+        if occ == 0 {
+            return None;
+        }
+        let mut best = usize::MAX;
+        let mut best_entry = (u64::MAX, u64::MAX);
+        while occ != 0 {
+            let p = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let entry = (self.times[p], self.keys[p]);
+            if entry < best_entry {
+                best_entry = entry;
+                best = p;
+            }
+        }
+        self.mask &= !(1 << best);
+        Some(best_entry)
+    }
+}
 
 /// Per-section rate limiter: a virtual-time token bucket admitting
 /// `ports` requests per cycle, in units of 1/ports of a cycle.
@@ -70,9 +181,13 @@ impl SectionGate {
 
 #[derive(Debug, Clone, Default)]
 struct ProcState {
-    /// This processor's requests, as `(bank, address)`, in issue order
-    /// (the address is only consulted by the bank cache).
-    stream: Vec<(usize, u64)>,
+    /// This processor's requests as bank indices, in issue order.
+    stream_banks: Vec<u32>,
+    /// The matching addresses — filled only when a bank cache is
+    /// configured (the only consumer), so the common no-cache path
+    /// streams through one u32 per request instead of a (usize, u64)
+    /// pair.
+    stream_addrs: Vec<u64>,
     next: usize,
     next_issue: u64,
     outstanding: usize,
@@ -83,9 +198,10 @@ struct ProcState {
 }
 
 impl ProcState {
-    /// Clears per-run state, keeping the stream's allocation.
+    /// Clears per-run state, keeping the streams' allocations.
     fn reset(&mut self) {
-        self.stream.clear();
+        self.stream_banks.clear();
+        self.stream_addrs.clear();
         self.next = 0;
         self.next_issue = 0;
         self.outstanding = 0;
@@ -96,10 +212,11 @@ impl ProcState {
 
 /// Reusable per-run working state: bank occupancy and statistics,
 /// per-processor request streams, per-bank LRU caches, section gates,
-/// and the event heap. Resetting a `Scratch` clears contents but keeps
-/// allocations, so replaying many supersteps (or sweeping many
-/// patterns) through one `Scratch` avoids reallocating `O(banks)`
-/// vectors per run — up to `x·p = 1024` banks on the paper's machines.
+/// and the event queue (both scheduler variants; the unused one stays
+/// empty). Resetting a `Scratch` clears contents but keeps allocations,
+/// so replaying many supersteps (or sweeping many patterns) through one
+/// `Scratch` avoids reallocating `O(banks)` vectors per run — up to
+/// `x·p = 1024` banks on the paper's machines.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Scratch {
     procs: Vec<ProcState>,
@@ -108,6 +225,10 @@ pub(crate) struct Scratch {
     caches: Vec<Vec<u64>>,
     gates: Vec<SectionGate>,
     heap: BinaryHeap<HeapEntry>,
+    wheel: TimeWheel,
+    ring: IssueRing,
+    /// Staging buffer for the bulk address→bank translation.
+    bank_buf: Vec<u32>,
 }
 
 impl Scratch {
@@ -140,7 +261,14 @@ impl Scratch {
         };
         self.gates.clear();
         self.gates.resize(sections, SectionGate::default());
+        // All queues drain fully in any completed run; the clear/rewind
+        // here also covers runs abandoned by a panic the caller caught.
         self.heap.clear();
+        if Simulator::use_ring(cfg) {
+            self.ring.reset(cfg.procs);
+        } else if cfg.scheduler == SchedulerKind::Wheel {
+            self.wheel.reset();
+        }
     }
 }
 
@@ -183,8 +311,20 @@ impl Simulator {
         assert_eq!(pat.procs(), self.cfg.procs, "pattern/processor-count mismatch");
         assert_eq!(map.num_banks(), self.cfg.banks, "map/bank-count mismatch");
         scratch.reset(&self.cfg);
-        for r in pat.requests() {
-            scratch.procs[r.proc].stream.push((map.bank_of(r.addr), r.addr));
+        let Scratch { procs, bank_buf, .. } = &mut *scratch;
+        // One virtual call translates the whole address stream; the
+        // per-processor distribution is then branch-free u32 pushes.
+        map.fill_banks(pat.addrs(), bank_buf);
+        if self.cfg.bank_cache.is_some() {
+            for ((&p, &b), &a) in pat.proc_ids().iter().zip(&*bank_buf).zip(pat.addrs()) {
+                let st = &mut procs[p as usize];
+                st.stream_banks.push(b);
+                st.stream_addrs.push(a);
+            }
+        } else {
+            for (&p, &b) in pat.proc_ids().iter().zip(&*bank_buf) {
+                procs[p as usize].stream_banks.push(b);
+            }
         }
         self.run_scratch(scratch)
     }
@@ -205,15 +345,69 @@ impl Simulator {
         let mut scratch = Scratch::default();
         scratch.reset(&self.cfg);
         for (p, s) in streams.into_iter().enumerate() {
-            scratch.procs[p].stream.extend(s.into_iter().map(|b| (b, b as u64)));
+            scratch.procs[p].stream_banks.extend(s.into_iter().map(|b| b as u32));
         }
         self.run_scratch(&mut scratch)
     }
 
+    /// Whether the per-processor issue ring can stand in for the wheel:
+    /// with an unbounded window there are no completion events, so at
+    /// most one issue event per processor is ever pending. The heap is
+    /// exempt — it stays the unmodified differential oracle.
+    fn use_ring(cfg: &SimConfig) -> bool {
+        cfg.scheduler == SchedulerKind::Wheel && cfg.window.is_none() && cfg.procs <= 64
+    }
+
+    /// Whether every optional pipeline feature is off, so the event
+    /// loop can drop to its branch-free `SIMPLE` instantiation. Each
+    /// skipped branch is a no-op under these conditions: no window ⇒
+    /// no stalls or completion events, no strip ⇒ no startup charge,
+    /// uniform network ⇒ the section gate forwards at arrival, no
+    /// cache ⇒ service is always the bank delay.
+    fn simple(cfg: &SimConfig) -> bool {
+        cfg.window.is_none()
+            && cfg.strip.is_none()
+            && cfg.bank_cache.is_none()
+            && !cfg.record_events
+            && matches!(cfg.network, NetworkModel::Uniform)
+    }
+
     fn run_scratch(&self, scratch: &mut Scratch) -> SimResult {
-        let cfg = &self.cfg;
-        let Scratch { procs, bank_free, bank_stats, caches, gates, heap } = scratch;
-        let requests: usize = procs.iter().map(|st| st.stream.len()).sum();
+        let Scratch { procs, bank_free, bank_stats, caches, gates, heap, wheel, ring, .. } =
+            &mut *scratch;
+        if Self::use_ring(&self.cfg) {
+            return if Self::simple(&self.cfg) {
+                Self::run_events::<_, true>(
+                    &self.cfg, ring, procs, bank_free, bank_stats, caches, gates,
+                )
+            } else {
+                Self::run_events::<_, false>(
+                    &self.cfg, ring, procs, bank_free, bank_stats, caches, gates,
+                )
+            };
+        }
+        match self.cfg.scheduler {
+            SchedulerKind::Wheel => Self::run_events::<_, false>(
+                &self.cfg, wheel, procs, bank_free, bank_stats, caches, gates,
+            ),
+            SchedulerKind::Heap => Self::run_events::<_, false>(
+                &self.cfg, heap, procs, bank_free, bank_stats, caches, gates,
+            ),
+        }
+    }
+
+    fn run_events<Q: EventQueue, const SIMPLE: bool>(
+        cfg: &SimConfig,
+        queue: &mut Q,
+        procs: &mut [ProcState],
+        bank_free: &mut [u64],
+        bank_stats: &mut [BankStats],
+        caches: &mut [Vec<u64>],
+        gates: &mut [SectionGate],
+    ) -> SimResult {
+        assert!(procs.len() as u64 <= PROC_MASK, "processor index must fit the packed event key");
+        debug_assert!(!SIMPLE || Self::simple(cfg), "SIMPLE loop needs every feature off");
+        let requests: usize = procs.iter().map(|st| st.stream_banks.len()).sum();
 
         let (_sections, ports) = match cfg.network {
             NetworkModel::Uniform => (1usize, u64::MAX),
@@ -226,36 +420,30 @@ impl Simulator {
         let mut events: Vec<crate::stats::RequestEvent> =
             if cfg.record_events { Vec::with_capacity(requests) } else { Vec::new() };
 
-        // Min-heap keyed (time, kind, proc, seq): at equal times all
-        // completions land before any issue, and issues order by
-        // processor index — the same arbitration as the cycle-stepped
+        // The queue orders events by (time, kind, proc, seq): at equal
+        // times all completions land before any issue, and issues order
+        // by processor index — the same arbitration as the cycle-stepped
         // reference simulator, so the two agree exactly. `seq` breaks
         // the remaining ties deterministically.
-        let rank = |ev: Event| -> (u8, usize) {
-            match ev {
-                Event::Complete(p) => (0, p),
-                Event::Issue(p) => (1, p),
-            }
-        };
         let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<HeapEntry>, t: u64, ev: Event, seq: &mut u64| {
-            let (k, p) = rank(ev);
-            heap.push(Reverse((t, k, p, *seq, ev)));
-            *seq += 1;
+        let mut push = |queue: &mut Q, t: u64, kind: u64, p: usize| {
+            queue.push(t, pack(kind, p, seq));
+            seq += 1;
         };
         for (p, st) in procs.iter_mut().enumerate() {
-            if !st.stream.is_empty() {
-                push(heap, 0, Event::Issue(p), &mut seq);
+            if !st.stream_banks.is_empty() {
+                push(queue, 0, KIND_ISSUE, p);
             }
         }
 
-        while let Some(Reverse((now, _, _, _, ev))) = heap.pop() {
-            match ev {
-                Event::Issue(p) => {
-                    let st = &mut procs[p];
-                    if st.next >= st.stream.len() {
-                        continue;
-                    }
+        while let Some((now, key)) = queue.pop() {
+            let p = ((key >> PROC_SHIFT) & PROC_MASK) as usize;
+            if key >> KIND_SHIFT == KIND_ISSUE {
+                let st = &mut procs[p];
+                if st.next >= st.stream_banks.len() {
+                    continue;
+                }
+                if !SIMPLE {
                     if let Some(w) = cfg.window {
                         if st.outstanding >= w {
                             // Stall until a completion wakes us.
@@ -265,30 +453,38 @@ impl Simulator {
                             continue;
                         }
                     }
-                    let (bank, addr) = st.stream[st.next];
-                    st.next += 1;
-                    st.outstanding += 1;
-                    st.stats.issued += 1;
-                    st.next_issue = now + cfg.issue_gap;
+                }
+                let idx = st.next;
+                let bank = st.stream_banks[idx] as usize;
+                st.next += 1;
+                st.outstanding += 1;
+                st.stats.issued += 1;
+                st.next_issue = now + cfg.issue_gap;
+                if !SIMPLE {
                     if let Some(strip) = cfg.strip {
                         if st.stats.issued % strip.vector_length == 0 {
                             st.next_issue += strip.startup;
                         }
                     }
+                }
 
-                    // Resolve the request's pipeline inline.
-                    let arrive = now + cfg.latency;
+                // Resolve the request's pipeline inline.
+                let arrive = now + cfg.latency;
+                let forwarded = if SIMPLE || ports == u64::MAX {
+                    arrive
+                } else {
                     let section = bank / banks_per_section;
-                    let forwarded = if ports == u64::MAX {
-                        arrive
-                    } else {
-                        gates[section].admit(arrive, ports)
-                    };
-                    network_wait += forwarded - arrive;
-                    // A bank-cache hit shortens the service time; the
-                    // LRU is updated in service order.
-                    let service = match cfg.bank_cache {
+                    gates[section].admit(arrive, ports)
+                };
+                network_wait += forwarded - arrive;
+                // A bank-cache hit shortens the service time; the
+                // LRU is updated in service order.
+                let service = if SIMPLE {
+                    cfg.bank_delay
+                } else {
+                    match cfg.bank_cache {
                         Some(c) => {
+                            let addr = st.stream_addrs[idx];
                             let lru = &mut caches[bank];
                             if let Some(pos) = lru.iter().position(|&a| a == addr) {
                                 lru.remove(pos);
@@ -302,46 +498,45 @@ impl Simulator {
                             }
                         }
                         None => cfg.bank_delay,
-                    };
-                    let start = forwarded.max(bank_free[bank]);
-                    bank_free[bank] = start + service;
-                    let wait = start - forwarded;
-                    let bs = &mut bank_stats[bank];
-                    bs.requests += 1;
-                    bs.busy_cycles += service;
-                    bs.queue_wait += wait;
-                    bs.max_queue_wait = bs.max_queue_wait.max(wait);
+                    }
+                };
+                let start = forwarded.max(bank_free[bank]);
+                bank_free[bank] = start + service;
+                let wait = start - forwarded;
+                let bs = &mut bank_stats[bank];
+                bs.requests += 1;
+                bs.busy_cycles += service;
+                bs.queue_wait += wait;
+                bs.max_queue_wait = bs.max_queue_wait.max(wait);
 
-                    let done = start + service + cfg.latency;
-                    st.stats.done_at = st.stats.done_at.max(done);
-                    last_done = last_done.max(done);
-                    if cfg.record_events {
-                        events.push(crate::stats::RequestEvent {
-                            proc: p,
-                            bank,
-                            issued: now,
-                            start,
-                            end: start + service,
-                        });
-                    }
-
-                    if cfg.window.is_some() {
-                        push(heap, done, Event::Complete(p), &mut seq);
-                    } else {
-                        st.outstanding -= 1;
-                    }
-                    if st.next < st.stream.len() {
-                        push(heap, st.next_issue, Event::Issue(p), &mut seq);
-                    }
+                let done = start + service + cfg.latency;
+                st.stats.done_at = st.stats.done_at.max(done);
+                last_done = last_done.max(done);
+                if !SIMPLE && cfg.record_events {
+                    events.push(crate::stats::RequestEvent {
+                        proc: p,
+                        bank,
+                        issued: now,
+                        start,
+                        end: start + service,
+                    });
                 }
-                Event::Complete(p) => {
-                    let st = &mut procs[p];
+
+                if !SIMPLE && cfg.window.is_some() {
+                    push(queue, done, KIND_COMPLETE, p);
+                } else {
                     st.outstanding -= 1;
-                    if let Some(since) = st.blocked_since.take() {
-                        st.stats.window_stall += now - since;
-                        if st.next < st.stream.len() {
-                            push(heap, now.max(st.next_issue), Event::Issue(p), &mut seq);
-                        }
+                }
+                if st.next < st.stream_banks.len() {
+                    push(queue, st.next_issue, KIND_ISSUE, p);
+                }
+            } else {
+                let st = &mut procs[p];
+                st.outstanding -= 1;
+                if let Some(since) = st.blocked_since.take() {
+                    st.stats.window_stall += now - since;
+                    if st.next < st.stream_banks.len() {
+                        push(queue, now.max(st.next_issue), KIND_ISSUE, p);
                     }
                 }
             }
@@ -350,7 +545,7 @@ impl Simulator {
         SimResult {
             cycles: last_done,
             requests,
-            banks: bank_stats.clone(),
+            banks: bank_stats.to_vec(),
             procs: procs.iter().map(|s| s.stats).collect(),
             network_wait,
             events,
@@ -508,6 +703,26 @@ mod tests {
             assert_eq!(ra, sim_a.run(&pat_a, &map_a));
             let rb = sim_b.run_reusing(&mut scratch, &pat_b, &map_b);
             assert_eq!(rb, sim_b.run(&pat_b, &map_b));
+        }
+    }
+
+    #[test]
+    fn reused_scratch_alternates_schedulers() {
+        // One scratch serving wheel and heap runs back to back must
+        // leave no state behind in either queue.
+        let cfg = SimConfig::new(8, 64, 14).with_window(4).with_latency(7);
+        let map = Interleaved::new(64);
+        let mut pat = AccessPattern::new(8);
+        for i in 0..400u64 {
+            pat.push(dxbsp_core::Request::write((i % 8) as usize, i * 29 % 173));
+        }
+        let wheel_sim = Simulator::new(cfg.with_scheduler(SchedulerKind::Wheel));
+        let heap_sim = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap));
+        let mut scratch = Scratch::default();
+        let expect = wheel_sim.run(&pat, &map);
+        for _ in 0..2 {
+            assert_eq!(wheel_sim.run_reusing(&mut scratch, &pat, &map), expect);
+            assert_eq!(heap_sim.run_reusing(&mut scratch, &pat, &map), expect);
         }
     }
 

@@ -1,0 +1,278 @@
+//! Hierarchical bucketed time wheel (calendar queue) for the
+//! discrete-event loop.
+//!
+//! The simulator's event queue is almost always near-sorted: events are
+//! scheduled a bounded distance into the future (issue gap, bank
+//! service, round-trip latency), and the loop pops in nondecreasing
+//! time order. A binary heap pays `O(log n)` per operation for fully
+//! general reordering it never needs; this wheel pays `O(1)` per push
+//! and amortized `O(1)` per pop by bucketing events on their cycle
+//! time.
+//!
+//! # Structure
+//!
+//! Eleven levels of 64 slots each cover all 64 bits of a cycle count
+//! (6 bits per level; the top level holds the residual 4 bits). An
+//! entry `(time, key)` lives at the level of the highest bit in which
+//! `time` differs from the wheel's current time `now`, in the slot
+//! given by `time`'s 6-bit block at that level:
+//!
+//! * level 0 buckets exact times — every entry in a level-0 slot is due
+//!   at the same cycle;
+//! * level `l ≥ 1` slots each span `64^l` cycles and are cascaded down
+//!   one level when `now` reaches them.
+//!
+//! # Ordering contract
+//!
+//! [`TimeWheel::pop`] returns entries in exactly nondecreasing
+//! `(time, key)` order — bit-identical to a min-heap on the same
+//! pairs. Equal-time entries live in one level-0 slot and are
+//! disambiguated by a linear minimum-key scan there, so the caller's
+//! packed key (event kind, processor, sequence number) fully determines
+//! same-cycle arbitration. Advancing skips empty regions in `O(levels)`
+//! by jumping straight to the lowest occupied slot, so sparse
+//! far-future events (e.g. a reply after a huge backlog) cost no
+//! per-cycle stepping.
+//!
+//! Pushes must not be scheduled in the past (`time >= now`); the
+//! discrete-event loop only ever schedules at or after the cycle it is
+//! processing.
+
+const BITS: usize = 6;
+const SLOTS: usize = 1 << BITS; // 64
+const LEVELS: usize = 11; // ceil(64 / 6)
+
+#[derive(Debug, Clone)]
+struct Level {
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: u64,
+    slots: [Vec<(u64, u64)>; SLOTS],
+}
+
+impl Default for Level {
+    fn default() -> Self {
+        Level { occupied: 0, slots: std::array::from_fn(|_| Vec::new()) }
+    }
+}
+
+/// A hierarchical time wheel over `(time, key)` entries. See the
+/// module docs for the ordering contract.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TimeWheel {
+    /// Lower bound on every queued entry's time; the time of the most
+    /// recent pop.
+    now: u64,
+    len: usize,
+    levels: Vec<Level>, // LEVELS entries, lazily allocated
+}
+
+impl TimeWheel {
+    /// Empties the wheel and rewinds it to cycle 0, keeping slot
+    /// allocations for reuse.
+    pub(crate) fn reset(&mut self) {
+        if self.levels.is_empty() {
+            self.levels.resize_with(LEVELS, Level::default);
+        }
+        for level in &mut self.levels {
+            let mut occ = level.occupied;
+            while occ != 0 {
+                let s = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                level.slots[s].clear();
+            }
+            level.occupied = 0;
+        }
+        self.now = 0;
+        self.len = 0;
+    }
+
+    /// The level holding a time that differs from `now` at bit position
+    /// `63 - leading_zeros`.
+    #[inline]
+    fn level_for(now: u64, time: u64) -> usize {
+        let diff = now ^ time;
+        if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros() as usize) / BITS
+        }
+    }
+
+    /// Queues `key` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `time` is in the past.
+    #[inline]
+    pub(crate) fn push(&mut self, time: u64, key: u64) {
+        debug_assert!(time >= self.now, "push into the past: {time} < {}", self.now);
+        let l = Self::level_for(self.now, time);
+        let s = (time >> (BITS * l)) as usize & (SLOTS - 1);
+        let level = &mut self.levels[l];
+        level.occupied |= 1 << s;
+        level.slots[s].push((time, key));
+        self.len += 1;
+    }
+
+    /// Removes and returns the minimum `(time, key)` entry.
+    pub(crate) fn pop(&mut self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Level 0: slots at or after the cursor hold entries of the
+            // current 64-cycle window, in exact-time buckets.
+            let cursor0 = (self.now as usize) & (SLOTS - 1);
+            let ready = self.levels[0].occupied & (u64::MAX << cursor0);
+            if ready != 0 {
+                let s = ready.trailing_zeros() as usize;
+                let slot = &mut self.levels[0].slots[s];
+                // All entries here share one time; pick the least key.
+                let mut best = 0;
+                for i in 1..slot.len() {
+                    if slot[i].1 < slot[best].1 {
+                        best = i;
+                    }
+                }
+                let entry = slot.swap_remove(best);
+                if slot.is_empty() {
+                    self.levels[0].occupied &= !(1 << s);
+                }
+                self.len -= 1;
+                debug_assert_eq!(entry.0, (self.now & !(SLOTS as u64 - 1)) | s as u64);
+                self.now = entry.0;
+                return Some(entry);
+            }
+
+            // Nothing left in the current window: jump to the lowest
+            // occupied level (its candidate time is provably minimal)
+            // and cascade that slot down.
+            let l = (1..LEVELS)
+                .find(|&l| self.levels[l].occupied != 0)
+                .expect("len > 0 but no occupied slot");
+            let s = self.levels[l].occupied.trailing_zeros() as usize;
+            let shift = BITS * (l + 1);
+            let high = if shift >= 64 { 0 } else { self.now & (u64::MAX << shift) };
+            self.now = high | ((s as u64) << (BITS * l));
+            let drained = std::mem::take(&mut self.levels[l].slots[s]);
+            self.levels[l].occupied &= !(1 << s);
+            self.len -= drained.len();
+            for (t, k) in drained {
+                debug_assert!(Self::level_for(self.now, t) < l);
+                self.push(t, k);
+            }
+        }
+    }
+
+    /// Number of queued entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn fresh() -> TimeWheel {
+        let mut w = TimeWheel::default();
+        w.reset();
+        w
+    }
+
+    #[test]
+    fn pops_in_time_then_key_order() {
+        let mut w = fresh();
+        w.push(5, 2);
+        w.push(5, 1);
+        w.push(3, 9);
+        w.push(70, 0);
+        w.push(5, 0);
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(order, [(3, 9), (5, 0), (5, 1), (5, 2), (70, 0)]);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn skips_huge_gaps_without_stepping() {
+        let mut w = fresh();
+        w.push(0, 1);
+        assert_eq!(w.pop(), Some((0, 1)));
+        w.push(u64::MAX - 1, 7);
+        w.push(1 << 40, 3);
+        assert_eq!(w.pop(), Some((1 << 40, 3)));
+        assert_eq!(w.pop(), Some((u64::MAX - 1, 7)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        // Deterministic pseudo-random workload mirroring the event
+        // loop: pops interleaved with pushes at now + small delta, with
+        // occasional far-future jumps.
+        let mut w = fresh();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..20_000 {
+            let spawn = round < 10_000;
+            if spawn {
+                let delta = match rng() % 10 {
+                    0 => rng() % (1 << 20),
+                    1..=3 => 0,
+                    _ => rng() % 64,
+                };
+                let t = now + delta;
+                w.push(t, seq);
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+            if !spawn || rng() % 2 == 0 {
+                let expect = heap.pop().map(|Reverse(e)| e);
+                let got = w.pop();
+                assert_eq!(got, expect, "round {round}");
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+        while let Some(Reverse(e)) = heap.pop() {
+            assert_eq!(w.pop(), Some(e));
+        }
+        assert_eq!(w.pop(), None);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn reset_rewinds_and_keeps_capacity() {
+        let mut w = fresh();
+        w.push(1000, 1);
+        w.push(2000, 2);
+        w.reset();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.pop(), None);
+        // After reset, time 0 pushes are valid again.
+        w.push(0, 5);
+        assert_eq!(w.pop(), Some((0, 5)));
+    }
+
+    #[test]
+    fn equal_time_buckets_scan_min_key() {
+        let mut w = fresh();
+        for key in (0..100u64).rev() {
+            w.push(42, key);
+        }
+        for key in 0..100u64 {
+            assert_eq!(w.pop(), Some((42, key)));
+        }
+    }
+}

@@ -202,7 +202,7 @@ mod event_log {
     fn hot_bank_events_serialize_back_to_back() {
         let cfg = SimConfig::new(1, 4, 5).with_event_log();
         let sim = Simulator::new(cfg);
-        let res = sim.run(&AccessPattern::scatter(1, &vec![0u64; 6]), &Interleaved::new(4));
+        let res = sim.run(&AccessPattern::scatter(1, &[0u64; 6]), &Interleaved::new(4));
         let mut starts: Vec<u64> = res.events.iter().map(|e| e.start).collect();
         starts.sort_unstable();
         assert_eq!(starts, vec![0, 5, 10, 15, 20, 25]);

@@ -8,7 +8,8 @@ use dxbsp_core::{
     pattern_breakdown, AccessPattern, BankMap, CostModel, Interleaved, MachineParams, Request,
 };
 use dxbsp_machine::{
-    Backend, ModelBackend, ReferenceBackend, Session, SimConfig, Simulator, SimulatorBackend,
+    Backend, ModelBackend, ReferenceBackend, SchedulerKind, Session, SimConfig, Simulator,
+    SimulatorBackend,
 };
 use proptest::prelude::*;
 
@@ -95,6 +96,36 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The time-wheel scheduler is bit-identical to the binary-heap
+    /// oracle: full [`dxbsp_machine::SimResult`] equality — cycle
+    /// count, per-bank statistics, per-processor statistics, network
+    /// wait, and (when recorded) the per-request event log — across
+    /// randomized configurations including bank caches.
+    #[test]
+    fn wheel_matches_heap_bit_identically(
+        cfg in arb_config(),
+        cache in prop_oneof![Just(None), ((1usize..=4), (1u64..=3)).prop_map(Some)],
+        log in any::<bool>(),
+        raw in arb_requests(4),
+    ) {
+        let mut cfg = cfg;
+        if let Some((lines, hit)) = cache {
+            cfg = cfg.with_bank_cache(lines, hit.min(cfg.bank_delay));
+        }
+        if log {
+            cfg = cfg.with_event_log();
+        }
+        let pat = pattern_from(cfg.procs, &raw);
+        let map = Interleaved::new(cfg.banks);
+        let wheel = Simulator::new(cfg.with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
+        let heap = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
+        prop_assert_eq!(wheel, heap);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// On the machine class the closed form describes (pipelined issue,
@@ -165,6 +196,28 @@ fn pinned_corner_cases_agree() {
             &map,
         );
     }
+}
+
+/// Two Sessions differing only in scheduler replay the same superstep
+/// sequence and accumulate identical totals: scratch reuse does not
+/// open a gap between the wheel and the heap either.
+#[test]
+fn wheel_and_heap_sessions_agree_across_supersteps() {
+    let base = SimConfig::new(4, 32, 9).with_latency(4).with_window(3).with_sync_overhead(50);
+    let map = Interleaved::new(base.banks);
+    let mut wheel = Session::new(SimulatorBackend::new(base.with_scheduler(SchedulerKind::Wheel)));
+    let mut heap = Session::new(SimulatorBackend::new(base.with_scheduler(SchedulerKind::Heap)));
+    for round in 0..10u64 {
+        let raw: Vec<(usize, u64)> = (0..(30 + round * 17))
+            .map(|i| ((i % 4) as usize, (i * 13 + round * 29) % 48))
+            .collect();
+        let pat = pattern_from(4, &raw);
+        let a = wheel.step(&pat, &map).into_result();
+        let b = heap.step(&pat, &map).into_result();
+        assert_eq!(a, b, "schedulers diverged on superstep {round}");
+    }
+    assert_eq!(wheel.cycles(), heap.cycles());
+    assert_eq!(wheel.supersteps(), heap.supersteps());
 }
 
 /// N supersteps through one Session (reusing one scratch allocation)

@@ -20,7 +20,7 @@ use crate::step::{Op, Step};
 pub fn step_from_pattern(pat: &AccessPattern) -> Step {
     let n = pat.len().max(1);
     let mut step = Step::new(n);
-    for (v, r) in pat.requests().iter().enumerate() {
+    for (v, r) in pat.requests().enumerate() {
         let op = match r.kind {
             AccessKind::Read => Op::Read(r.addr),
             AccessKind::Write => Op::Write(r.addr),

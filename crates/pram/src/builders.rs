@@ -101,8 +101,8 @@ pub fn permutation_program<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Program {
     }
     let mut prog = Program::new(n.max(1));
     let mut step = Step::new(n.max(1));
-    for v in 0..n {
-        step.push_op(v, Op::Write(targets[v]));
+    for (v, &t) in targets.iter().enumerate() {
+        step.push_op(v, Op::Write(t));
     }
     prog.push(step);
     prog

@@ -179,7 +179,7 @@ mod tests {
 /// Panics if `bits == 0` or `bits > 62`.
 #[must_use]
 pub fn nas_is_keys<R: Rng + ?Sized>(n: usize, bits: u32, rng: &mut R) -> Vec<u64> {
-    assert!(bits >= 1 && bits <= 62, "bits must be in 1..=62");
+    assert!((1..=62).contains(&bits), "bits must be in 1..=62");
     let range = 1u64 << bits;
     (0..n)
         .map(|_| {

@@ -139,13 +139,13 @@ proptest! {
         let x: Vec<f64> = (0..cols).map(|i| (i as f64).cos()).collect();
         let y = a.multiply_serial(&x);
         // Dense oracle.
-        for r in 0..rows {
+        for (r, &yr) in y.iter().enumerate() {
             let mut dense = vec![0.0f64; cols];
             for (c, v) in a.row(r) {
                 dense[c as usize] += v;
             }
             let want: f64 = dense.iter().zip(&x).map(|(m, xv)| m * xv).sum();
-            prop_assert!((y[r] - want).abs() < 1e-9, "row {r}: {} vs {want}", y[r]);
+            prop_assert!((yr - want).abs() < 1e-9, "row {r}: {yr} vs {want}");
         }
     }
 

@@ -1,0 +1,296 @@
+//! Offline stand-in for `criterion`: a real wall-clock benchmark
+//! harness covering the API the workspace uses. Each bench is warmed
+//! up, then timed over fixed-duration batches; the **median ns per
+//! iteration** is printed and written to
+//! `target/criterion/<group>/<id>/new/estimates.json` in the same
+//! `median.point_estimate` shape real criterion emits (which is all
+//! `scripts/bench.sh` scrapes). No statistical analysis, plots, or
+//! change detection.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Times batches of calls to the closure under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Accepted for API compatibility; the stub reports plain ns/iter.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Anything usable as a bench id: a `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+    filter: Option<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+            sample_count: 20,
+            filter: None,
+        }
+    }
+}
+
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; any bare trailing argument is a
+        // substring filter on the full bench id, like real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            settings: Settings {
+                filter,
+                ..Settings::default()
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            settings_override: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let settings = self.settings.clone();
+        run_benchmark(&settings, id, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings_override: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn settings(&self) -> Settings {
+        self.settings_override
+            .clone()
+            .unwrap_or_else(|| self.criterion.settings.clone())
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut s = self.settings();
+        s.sample_count = n.max(2);
+        self.settings_override = Some(s);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let mut s = self.settings();
+        s.measurement = d;
+        self.settings_override = Some(s);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        let mut s = self.settings();
+        s.warm_up = d;
+        self.settings_override = Some(s);
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&self.settings(), &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(settings: &Settings, full_id: &str, mut f: F) {
+    if let Some(filter) = &settings.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm up and discover a batch size: grow iters until one batch
+    // fills its share of the warm-up budget.
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        if warm_start.elapsed() >= settings.warm_up {
+            break;
+        }
+        if b.elapsed < settings.warm_up / 10 {
+            b.iters = b.iters.saturating_mul(2);
+        }
+    }
+
+    // Size batches so all samples fit the measurement budget.
+    let per_iter = (b.elapsed.as_nanos() / u128::from(b.iters.max(1))).max(1);
+    let budget_per_sample = settings.measurement.as_nanos() / settings.sample_count as u128;
+    b.iters = u64::try_from((budget_per_sample / per_iter).clamp(1, u128::from(u64::MAX)))
+        .unwrap_or(u64::MAX);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_count);
+    for _ in 0..settings.sample_count {
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = if samples_ns.len() % 2 == 1 {
+        samples_ns[samples_ns.len() / 2]
+    } else {
+        (samples_ns[samples_ns.len() / 2 - 1] + samples_ns[samples_ns.len() / 2]) / 2.0
+    };
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    println!(
+        "{full_id:<50} median {:>12.1} ns/iter  ({} samples x {} iters)",
+        median,
+        samples_ns.len(),
+        b.iters,
+    );
+    write_estimates(full_id, median, mean);
+}
+
+fn target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Bench binaries live at <target>/<profile>/deps/<name>-<hash>.
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(target) = exe.ancestors().nth(3) {
+            return target.to_path_buf();
+        }
+    }
+    PathBuf::from("target")
+}
+
+fn write_estimates(full_id: &str, median_ns: f64, mean_ns: f64) {
+    let mut dir = target_dir().join("criterion");
+    for part in full_id.split('/') {
+        // Mirror real criterion's directory-per-id-segment layout.
+        let safe: String = part
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || "-_.".contains(c) { c } else { '_' })
+            .collect();
+        dir.push(safe);
+    }
+    dir.push("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean_ns}}},\"median\":{{\"point_estimate\":{median_ns}}}}}",
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

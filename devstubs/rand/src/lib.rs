@@ -1,0 +1,201 @@
+//! Offline stand-in for `rand` 0.9: the `Rng`/`SeedableRng` surface the
+//! workspace uses, backed by xoshiro256++ seeded via SplitMix64.
+//!
+//! Deterministic per seed, statistically solid, but the stream differs
+//! from the real crate's `StdRng` — exact-draw pins will not transfer.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Value samplable uniformly over its whole domain (`rng.random()`).
+pub trait StandardSample {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Range samplable uniformly (`rng.random_range(range)`).
+pub trait SampleRange<T> {
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_range(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform draw from `[0, span)`; Lemire widening-multiply rejection.
+/// `span == 0` or `span > u64::MAX` means the full 64-bit domain.
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    if span == 0 || span > u128::from(u64::MAX) {
+        return rng.next_u64();
+    }
+    let s = span as u64;
+    let reject_below = s.wrapping_neg() % s;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(s);
+        if (m as u64) >= reject_below {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sampling {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + sample_below(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + sample_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++, state expanded from the seed with SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let (x, y, z): (u64, u64, u64) = (a.random(), b.random(), c.random());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0..=5usize);
+            assert!(w <= 5);
+            let f = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let s = rng.random_range(-8..9i64);
+            assert!((-8..9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..1u64 << 40)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(draw(&mut rng) < 1 << 40);
+    }
+}

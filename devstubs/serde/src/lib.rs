@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: the derive macros plus empty marker
+//! traits. The workspace derives `Serialize`/`Deserialize` on model
+//! types but never serializes through them (the on-disk trace format
+//! is hand-rolled in `dxbsp-machine::tracefile`), so markers suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

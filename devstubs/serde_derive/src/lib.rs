@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives for offline type-checking.
+//! The workspace only ever derives the traits; nothing calls their
+//! (absent) methods, so deriving nothing at all type-checks.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Run the simulator Criterion benches and emit machine-readable medians.
+#
+#   scripts/bench.sh --baseline   run benches, snapshot medians to
+#                                 BENCH_baseline.json (not committed)
+#   scripts/bench.sh              run benches, write BENCH_sim.json at
+#                                 the repo root with the current median
+#                                 ns/op per bench plus, when a baseline
+#                                 snapshot exists, baseline_ns and
+#                                 speedup (baseline/current) per bench
+#
+# Works with real criterion or the devstubs harness: both write
+# target/criterion/<group>/<bench>/new/estimates.json with
+# median.point_estimate in nanoseconds, which is all this scrapes.
+# On hosts without registry access the benches are built through
+# scripts/offline-dev.sh automatically.
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$root"
+
+mode=current
+if [ "${1:-}" = "--baseline" ]; then
+    mode=baseline
+fi
+
+bench_cmd=(cargo bench --bench simulator)
+if ! cargo bench --bench simulator --no-run >/dev/null 2>&1; then
+    bench_cmd=(scripts/offline-dev.sh cargo bench --bench simulator)
+fi
+
+rm -rf target/criterion
+"${bench_cmd[@]}"
+
+MODE="$mode" python3 - <<'EOF'
+import json, os, time
+
+root = "target/criterion"
+medians = {}
+for dirpath, _dirnames, filenames in os.walk(root):
+    if "estimates.json" not in filenames or os.path.basename(dirpath) != "new":
+        continue
+    bench_id = os.path.relpath(os.path.dirname(dirpath), root).replace(os.sep, "/")
+    with open(os.path.join(dirpath, "estimates.json")) as f:
+        medians[bench_id] = json.load(f)["median"]["point_estimate"]
+
+if not medians:
+    raise SystemExit("no criterion estimates found under target/criterion")
+
+stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+if os.environ["MODE"] == "baseline":
+    with open("BENCH_baseline.json", "w") as f:
+        json.dump({"captured_utc": stamp, "medians_ns": medians}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote BENCH_baseline.json ({len(medians)} benches)")
+else:
+    baseline = {}
+    if os.path.exists("BENCH_baseline.json"):
+        with open("BENCH_baseline.json") as f:
+            baseline = json.load(f).get("medians_ns", {})
+    benches = {}
+    for bench_id, ns in sorted(medians.items()):
+        entry = {"median_ns": round(ns, 1)}
+        if bench_id in baseline:
+            entry["baseline_ns"] = round(baseline[bench_id], 1)
+            entry["speedup"] = round(baseline[bench_id] / ns, 3) if ns else None
+        benches[bench_id] = entry
+    with open("BENCH_sim.json", "w") as f:
+        json.dump({"captured_utc": stamp, "benches": benches}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote BENCH_sim.json ({len(medians)} benches)")
+    for bench_id, e in benches.items():
+        extra = f"  ({e['speedup']}x vs baseline)" if "speedup" in e else ""
+        print(f"  {bench_id:<40} {e['median_ns']:>14.1f} ns{extra}")
+EOF

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run a cargo command with the registry dependencies patched to the
+# functional stubs in devstubs/ (see devstubs/README.md). For build
+# hosts with no registry access; a normal host should not use this.
+#
+# Usage: scripts/offline-dev.sh cargo <subcommand> [args...]
+#
+# The patch is applied via `--config` on the command line only — the
+# committed manifests and any .cargo/config.toml are untouched, and no
+# registry is ever contacted (--offline).
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [ "${1:-}" != "cargo" ]; then
+    echo "usage: $0 cargo <subcommand> [args...]" >&2
+    exit 2
+fi
+shift
+
+flags=(--offline)
+for dep in rand serde bytes proptest criterion; do
+    flags+=(--config "patch.crates-io.${dep}.path='${root}/devstubs/${dep}'")
+done
+
+exec cargo "${flags[@]}" "$@"

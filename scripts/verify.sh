@@ -10,5 +10,6 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo bench --workspace --no-run
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
