@@ -40,9 +40,16 @@ pub fn ranks_oracle(sorted_keys: &[u64], queries: &[u64]) -> Vec<u32> {
 /// level; the root superstep has location contention `n`.
 #[must_use]
 pub fn naive_traced(procs: usize, sorted_keys: &[u64], queries: &[u64]) -> Traced<Vec<u32>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = naive_with(&mut tb, sorted_keys, queries);
+    tb.traced(value)
+}
+
+/// [`naive_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+pub fn naive_with(tb: &mut TraceBuilder, sorted_keys: &[u64], queries: &[u64]) -> Vec<u32> {
     let m = sorted_keys.len();
     let n = queries.len();
-    let mut tb = TraceBuilder::new(procs);
     let tree = tb.alloc(m);
     let out = tb.alloc(n);
 
@@ -71,8 +78,7 @@ pub fn naive_traced(procs: usize, sorted_keys: &[u64], queries: &[u64]) -> Trace
     }
     tb.scatter(out, (0..n as u64).collect::<Vec<_>>());
     tb.barrier("store-ranks");
-    let ranks = lo.into_iter().map(|r| r as u32).collect();
-    tb.traced(ranks)
+    lo.into_iter().map(|r| r as u32).collect()
 }
 
 /// The QRQW replicated-tree search \[GMR94a\]: level `ℓ` (with `2^ℓ`
@@ -97,6 +103,29 @@ pub fn replicated_traced<R: Rng + ?Sized>(
     include_setup: bool,
     rng: &mut R,
 ) -> Traced<Vec<u32>> {
+    let mut tb = TraceBuilder::new(procs);
+    let (value, _contention) =
+        replicated_with(&mut tb, sorted_keys, queries, target_contention, include_setup, rng);
+    tb.traced(value)
+}
+
+/// [`replicated_traced`] against a caller-supplied builder — the
+/// streaming entry point (and the composition hook). Also returns the
+/// realized maximum per-copy contention of the lookup supersteps
+/// (a balls-in-bins max near the target), since a streaming caller has
+/// no trace to measure it from.
+///
+/// # Panics
+///
+/// Panics if `target_contention == 0`.
+pub fn replicated_with<R: Rng + ?Sized>(
+    tb: &mut TraceBuilder,
+    sorted_keys: &[u64],
+    queries: &[u64],
+    target_contention: usize,
+    include_setup: bool,
+    rng: &mut R,
+) -> (Vec<u32>, usize) {
     assert!(target_contention >= 1, "contention target must be positive");
     let m = sorted_keys.len();
     let n = queries.len();
@@ -106,7 +135,6 @@ pub fn replicated_traced<R: Rng + ?Sized>(
         n.div_ceil(nodes.saturating_mul(target_contention)).max(1)
     };
 
-    let mut tb = TraceBuilder::new(procs);
     let out = tb.alloc(n);
     // Level ℓ replica array: node `mid` copy `r` lives at
     // level_base[ℓ] + mid·c_ℓ + r.
@@ -141,15 +169,21 @@ pub fn replicated_traced<R: Rng + ?Sized>(
 
     let mut lo = vec![0usize; n];
     let mut hi = vec![m; n];
+    let mut lookup_contention = 0usize;
     for (level, &base) in level_base.iter().enumerate() {
         let c = copies_at(level);
         let mut active = false;
+        let mut reads: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for i in 0..n {
             if lo[i] < hi[i] {
                 active = true;
                 let mid = (lo[i] + hi[i]) / 2;
                 let copy = rng.random_range(0..c as u64);
-                tb.read(i, base + (mid * c) as u64 + copy);
+                let addr = base + (mid * c) as u64 + copy;
+                tb.read(i, addr);
+                let hits = reads.entry(addr).or_insert(0);
+                *hits += 1;
+                lookup_contention = lookup_contention.max(*hits);
                 if sorted_keys[mid] < queries[i] {
                     lo[i] = mid + 1;
                 } else {
@@ -164,8 +198,7 @@ pub fn replicated_traced<R: Rng + ?Sized>(
     }
     tb.scatter(out, (0..n as u64).collect::<Vec<_>>());
     tb.barrier("store-ranks");
-    let ranks = lo.into_iter().map(|r| r as u32).collect();
-    tb.traced(ranks)
+    (lo.into_iter().map(|r| r as u32).collect(), lookup_contention)
 }
 
 /// The EREW sort-and-merge baseline: radix-sort the queries, co-rank
@@ -173,19 +206,24 @@ pub fn replicated_traced<R: Rng + ?Sized>(
 /// back to query order. Location contention 1 in every superstep.
 #[must_use]
 pub fn erew_traced(procs: usize, sorted_keys: &[u64], queries: &[u64]) -> Traced<Vec<u32>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = erew_with(&mut tb, sorted_keys, queries);
+    tb.traced(value)
+}
+
+/// [`erew_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook). The query sort streams
+/// through the same builder, so its supersteps are part of this
+/// algorithm's bill.
+pub fn erew_with(tb: &mut TraceBuilder, sorted_keys: &[u64], queries: &[u64]) -> Vec<u32> {
     let m = sorted_keys.len();
     let n = queries.len();
 
-    // Sort the queries (value-traced separately so its supersteps are
-    // part of this algorithm's bill).
-    let sorted = radix_sort::sort_traced(procs, queries, 8);
-    let perm = sorted.value;
-    let mut tb = TraceBuilder::new(procs);
+    let perm = radix_sort::sort_with(tb, queries, 8);
     let q_sorted = tb.alloc(n);
     let keys_arr = tb.alloc(m);
     let ranks_sorted = tb.alloc(n);
     let out = tb.alloc(n);
-    let mut trace = sorted.trace;
 
     // Merge sweep: read both sorted arrays once, write the rank of
     // each sorted query.
@@ -215,8 +253,7 @@ pub fn erew_traced(procs: usize, sorted_keys: &[u64], queries: &[u64]) -> Traced
     }
     tb.barrier("unsort");
 
-    trace.extend(tb.finish());
-    Traced { value: ranks, trace }
+    ranks
 }
 
 #[cfg(test)]

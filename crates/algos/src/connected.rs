@@ -58,8 +58,15 @@ pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
 /// Returns component labels (a representative vertex per component).
 #[must_use]
 pub fn connected_traced(procs: usize, g: &Graph) -> Traced<(Vec<u32>, CcStats)> {
-    let n = g.n;
     let mut tb = TraceBuilder::new(procs.max(1));
+    let value = connected_with(&mut tb, g);
+    tb.traced(value)
+}
+
+/// [`connected_traced`] against a caller-supplied builder — the
+/// streaming entry point (and the composition hook).
+pub fn connected_with(tb: &mut TraceBuilder, g: &Graph) -> (Vec<u32>, CcStats) {
+    let n = g.n;
     let parent_arr = tb.alloc(n);
     let mut edge_arr = tb.alloc(g.m().max(1) * 2);
 
@@ -130,7 +137,7 @@ pub fn connected_traced(procs: usize, g: &Graph) -> Traced<(Vec<u32>, CcStats)> 
             .map(|&(u, v)| (parent[u as usize], parent[v as usize]))
             .filter(|&(pu, pv)| pu != pv)
             .collect();
-        trace_scan(&mut tb, edge_arr, m, &format!("round{round}:pack"));
+        trace_scan(tb, edge_arr, m, &format!("round{round}:pack"));
         let next_arr = tb.alloc(survivors.len().max(1) * 2);
         for (lane, _) in survivors.iter().enumerate() {
             tb.write(lane, next_arr + 2 * lane as u64);
@@ -141,7 +148,7 @@ pub fn connected_traced(procs: usize, g: &Graph) -> Traced<(Vec<u32>, CcStats)> 
         edges = survivors;
     }
 
-    tb.traced((parent, stats))
+    (parent, stats)
 }
 
 #[cfg(test)]
@@ -235,8 +242,19 @@ pub fn random_mate_traced<R: rand::Rng + ?Sized>(
     g: &Graph,
     rng: &mut R,
 ) -> Traced<(Vec<u32>, CcStats)> {
-    let n = g.n;
     let mut tb = TraceBuilder::new(procs.max(1));
+    let value = random_mate_with(&mut tb, g, rng);
+    tb.traced(value)
+}
+
+/// [`random_mate_traced`] against a caller-supplied builder — the
+/// streaming entry point (and the composition hook).
+pub fn random_mate_with<R: rand::Rng + ?Sized>(
+    tb: &mut TraceBuilder,
+    g: &Graph,
+    rng: &mut R,
+) -> (Vec<u32>, CcStats) {
+    let n = g.n;
     let parent_arr = tb.alloc(n);
     let coin_arr = tb.alloc(n);
 
@@ -324,7 +342,7 @@ pub fn random_mate_traced<R: rand::Rng + ?Sized>(
             .collect();
     }
 
-    tb.traced((parent, stats))
+    (parent, stats)
 }
 
 #[cfg(test)]

@@ -15,6 +15,17 @@
 //! The two faces are produced by the same code path, so the trace is
 //! the real algorithm's pattern rather than a synthetic approximation.
 //!
+//! Every algorithm comes as a `*_traced` function (materializes a
+//! [`Traced`] value + trace) and a `*_with` sibling taking a
+//! `&mut TraceBuilder`. The `_with` form is the streaming entry point:
+//! hand it a [`tracer::StreamingTracer`] attached to a
+//! `dxbsp_machine::SessionSink` and every superstep executes the moment
+//! its barrier fires — peak memory stays O(one superstep) however long
+//! the algorithm runs. It is also the composition hook: passing one
+//! builder through several `_with` calls concatenates their supersteps
+//! into a single stream (e.g. sample sort pipes the splitter search
+//! through its own builder).
+//!
 //! Algorithms:
 //!
 //! * [`scan`] — unsegmented and segmented prefix sums (the vectorizable
@@ -43,4 +54,4 @@ pub mod scatter_gather;
 pub mod spmv;
 pub mod tracer;
 
-pub use tracer::{TraceBuilder, Traced};
+pub use tracer::{StreamingTracer, TraceBuilder, Traced};

@@ -90,8 +90,15 @@ pub struct RankStats {
 /// reading it each remaining round.
 #[must_use]
 pub fn wyllie_naive_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, RankStats)> {
-    let n = succ.len();
     let mut tb = TraceBuilder::new(procs);
+    let value = wyllie_naive_with(&mut tb, succ);
+    tb.traced(value)
+}
+
+/// [`wyllie_naive_traced`] against a caller-supplied builder — the
+/// streaming entry point (and the composition hook).
+pub fn wyllie_naive_with(tb: &mut TraceBuilder, succ: &[u32]) -> (Vec<u32>, RankStats) {
+    let n = succ.len();
     let succ_arr = tb.alloc(n);
     let rank_arr = tb.alloc(n);
 
@@ -127,7 +134,7 @@ pub fn wyllie_naive_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, Rank
         tb.barrier(&format!("round{}", stats.rounds));
     }
 
-    tb.traced((rank, stats))
+    (rank, stats)
 }
 
 /// Low-contention Wyllie: nodes deactivate once their successor is the
@@ -136,8 +143,15 @@ pub fn wyllie_naive_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, Rank
 /// and round count as the textbook version, minus the hot spot.
 #[must_use]
 pub fn wyllie_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, RankStats)> {
-    let n = succ.len();
     let mut tb = TraceBuilder::new(procs);
+    let value = wyllie_with(&mut tb, succ);
+    tb.traced(value)
+}
+
+/// [`wyllie_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+pub fn wyllie_with(tb: &mut TraceBuilder, succ: &[u32]) -> (Vec<u32>, RankStats) {
+    let n = succ.len();
     let succ_arr = tb.alloc(n);
     let rank_arr = tb.alloc(n);
 
@@ -172,7 +186,7 @@ pub fn wyllie_traced(procs: usize, succ: &[u32]) -> Traced<(Vec<u32>, RankStats)
         active.retain(|&v| s[v as usize] != s[s[v as usize] as usize]);
     }
 
-    tb.traced((rank, stats))
+    (rank, stats)
 }
 
 #[cfg(test)]

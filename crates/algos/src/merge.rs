@@ -69,10 +69,22 @@ fn co_rank(a: &[u64], b: &[u64], k: usize) -> (usize, usize) {
 /// Parallel co-ranking merge with its memory trace.
 #[must_use]
 pub fn merge_traced(procs: usize, a: &[u64], b: &[u64]) -> Traced<Vec<u64>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = merge_with(&mut tb, a, b);
+    tb.traced(value)
+}
+
+/// [`merge_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+///
+/// # Panics
+///
+/// Panics if either input is unsorted.
+pub fn merge_with(tb: &mut TraceBuilder, a: &[u64], b: &[u64]) -> Vec<u64> {
     assert!(a.is_sorted(), "input a must be sorted");
     assert!(b.is_sorted(), "input b must be sorted");
     let total = a.len() + b.len();
-    let mut tb = TraceBuilder::new(procs);
+    let procs = tb.procs();
     let a_arr = tb.alloc(a.len());
     let b_arr = tb.alloc(b.len());
     let out_arr = tb.alloc(total);
@@ -129,7 +141,7 @@ pub fn merge_traced(procs: usize, a: &[u64], b: &[u64]) -> Traced<Vec<u64>> {
     }
     tb.barrier("chunk-merge");
 
-    tb.traced(out)
+    out
 }
 
 #[cfg(test)]

@@ -38,9 +38,20 @@ pub fn multiprefix_oracle(keys: &[u64], values: &[u64]) -> Vec<u64> {
 /// at `d` per queued request.
 #[must_use]
 pub fn direct_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u64>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = direct_with(&mut tb, keys, values);
+    tb.traced(value)
+}
+
+/// [`direct_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+///
+/// # Panics
+///
+/// Panics if `keys.len() != values.len()`.
+pub fn direct_with(tb: &mut TraceBuilder, keys: &[u64], values: &[u64]) -> Vec<u64> {
     assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     let n = keys.len();
-    let mut tb = TraceBuilder::new(procs);
     // Accumulator cells indexed by key (virtual address space: the key
     // itself offsets into a table sized by the key universe).
     let table = tb.alloc(0);
@@ -54,7 +65,7 @@ pub fn direct_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u
     tb.scatter(out, (0..n as u64).collect::<Vec<_>>());
     tb.barrier("store");
 
-    tb.traced(multiprefix_oracle(keys, values))
+    multiprefix_oracle(keys, values)
 }
 
 /// Sort-based (EREW) multiprefix: stable radix sort by key brings equal
@@ -62,13 +73,23 @@ pub fn direct_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u
 /// sums; an unscatter returns them to input order. Contention-free.
 #[must_use]
 pub fn sorted_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u64>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = sorted_with(&mut tb, keys, values);
+    tb.traced(value)
+}
+
+/// [`sorted_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook). The sort's supersteps flow
+/// through the same builder as the scan's — one contiguous stream.
+///
+/// # Panics
+///
+/// Panics if `keys.len() != values.len()`.
+pub fn sorted_with(tb: &mut TraceBuilder, keys: &[u64], values: &[u64]) -> Vec<u64> {
     assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     let n = keys.len();
-    let sorted = radix_sort::sort_traced(procs, keys, 8);
-    let perm = sorted.value;
-    let mut trace = sorted.trace;
+    let perm = radix_sort::sort_with(tb, keys, 8);
 
-    let mut tb = TraceBuilder::new(procs);
     let vals_sorted = tb.alloc(n);
     let scanned = tb.alloc(n);
     let out = tb.alloc(n);
@@ -99,8 +120,7 @@ pub fn sorted_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Vec<u
     }
     tb.barrier("unsort");
 
-    trace.extend(tb.finish());
-    Traced { value: result, trace }
+    result
 }
 
 #[cfg(test)]

@@ -64,10 +64,18 @@ fn needed_passes(keys: &[u64], radix_bits: u32) -> u32 {
 /// this is what "EREW algorithm" means operationally.
 #[must_use]
 pub fn sort_traced(procs: usize, keys: &[u64], radix_bits: u32) -> Traced<Vec<u32>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = sort_with(&mut tb, keys, radix_bits);
+    tb.traced(value)
+}
+
+/// [`sort_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+pub fn sort_with(tb: &mut TraceBuilder, keys: &[u64], radix_bits: u32) -> Vec<u32> {
     let n = keys.len();
     let radix = 1usize << radix_bits;
     let passes = needed_passes(keys, radix_bits);
-    let mut tb = TraceBuilder::new(procs);
+    let procs = tb.procs();
     let src = tb.alloc(n);
     let dst = tb.alloc(n);
     let hist = tb.alloc(procs * radix);
@@ -121,7 +129,7 @@ pub fn sort_traced(procs: usize, keys: &[u64], radix_bits: u32) -> Traced<Vec<u3
         std::mem::swap(&mut perm, &mut next);
         std::mem::swap(&mut cur_base, &mut nxt_base);
     }
-    tb.traced(perm)
+    perm
 }
 
 #[cfg(test)]

@@ -66,9 +66,25 @@ pub fn darts_traced<R: Rng + ?Sized>(
     slack: f64,
     rng: &mut R,
 ) -> Traced<(Vec<u32>, DartStats)> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = darts_with(&mut tb, n, slack, rng);
+    tb.traced(value)
+}
+
+/// [`darts_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+///
+/// # Panics
+///
+/// Panics if `slack < 1.0`.
+pub fn darts_with<R: Rng + ?Sized>(
+    tb: &mut TraceBuilder,
+    n: usize,
+    slack: f64,
+    rng: &mut R,
+) -> (Vec<u32>, DartStats) {
     assert!(slack >= 1.0, "target array cannot be smaller than the input");
     let slots = ((n as f64 * slack).ceil() as usize).max(n);
-    let mut tb = TraceBuilder::new(procs);
     let target = tb.alloc(slots);
     let out = tb.alloc(n);
 
@@ -124,7 +140,7 @@ pub fn darts_traced<R: Rng + ?Sized>(
     }
 
     // Pack: scan the claim flags, scatter claimed indices into `out`.
-    trace_scan(&mut tb, target, slots, "pack");
+    trace_scan(tb, target, slots, "pack");
     let mut perm = vec![0u32; n];
     let mut rank = 0usize;
     let mut lane = 0usize;
@@ -140,7 +156,7 @@ pub fn darts_traced<R: Rng + ?Sized>(
     tb.barrier("pack:scatter");
     debug_assert_eq!(rank, n);
 
-    tb.traced((perm, stats))
+    (perm, stats)
 }
 
 /// EREW random permutation: random keys + radix sort. Key width is
@@ -148,10 +164,17 @@ pub fn darts_traced<R: Rng + ?Sized>(
 /// remaining ties deterministically).
 #[must_use]
 pub fn erew_traced<R: Rng + ?Sized>(procs: usize, n: usize, rng: &mut R) -> Traced<Vec<u32>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = erew_with(&mut tb, n, rng);
+    tb.traced(value)
+}
+
+/// [`erew_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+pub fn erew_with<R: Rng + ?Sized>(tb: &mut TraceBuilder, n: usize, rng: &mut R) -> Vec<u32> {
     let bits = (2 * (usize::BITS - n.saturating_sub(1).leading_zeros())).clamp(4, 62);
     let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << bits)).collect();
-    let sorted = radix_sort::sort_traced(procs, &keys, 8);
-    Traced { value: sorted.value, trace: sorted.trace }
+    radix_sort::sort_with(tb, &keys, 8)
 }
 
 #[cfg(test)]

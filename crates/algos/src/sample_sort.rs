@@ -51,13 +51,33 @@ pub fn sample_sort_traced<R: Rng + ?Sized>(
     oversample: usize,
     rng: &mut R,
 ) -> Traced<(Vec<u64>, SampleSortStats)> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = sample_sort_with(&mut tb, keys, buckets, oversample, rng);
+    tb.traced(value)
+}
+
+/// [`sample_sort_traced`] against a caller-supplied builder — the
+/// streaming entry point (and the composition hook). The splitter
+/// search's supersteps flow through the same builder as the sampling
+/// and distribution phases — one contiguous stream.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0` or `oversample == 0`.
+pub fn sample_sort_with<R: Rng + ?Sized>(
+    tb: &mut TraceBuilder,
+    keys: &[u64],
+    buckets: usize,
+    oversample: usize,
+    rng: &mut R,
+) -> (Vec<u64>, SampleSortStats) {
     assert!(buckets >= 1, "need at least one bucket");
     assert!(oversample >= 1, "oversample must be positive");
     let n = keys.len();
+    let procs = tb.procs();
 
     // 1. Sample and choose splitters (host-side scalar work on a small
     //    array; traced as a read of the sampled keys).
-    let mut tb = TraceBuilder::new(procs);
     let keys_arr = tb.alloc(n);
     let sample_size = if n == 0 { 0 } else { (buckets * oversample).min(n) };
     let mut sample: Vec<u64> = (0..sample_size).map(|_| keys[rng.random_range(0..n)]).collect();
@@ -73,26 +93,13 @@ pub fn sample_sort_traced<R: Rng + ?Sized>(
         (1..buckets).map(|b| sample[(b * oversample - 1).min(sample.len() - 1)]).collect()
     };
 
-    // 2. Locate: QRQW replicated-tree search over the splitters. The
-    //    search emits its own trace; splice it in.
-    let located = binary_search::replicated_traced(procs, &splitters, keys, 8, true, rng);
-    let bucket_of: Vec<usize> = located.value.iter().map(|&r| r as usize).collect();
-    let lookup_contention = located
-        .trace
-        .iter()
-        .filter(|s| !s.label.starts_with("setup"))
-        .map(|s| s.pattern.contention_profile().max_location_contention)
-        .max()
-        .unwrap_or(0);
-    let mut trace = tb.finish();
-    trace.extend(located.trace);
+    // 2. Locate: QRQW replicated-tree search over the splitters,
+    //    streamed through the same builder.
+    let (ranks, lookup_contention) =
+        binary_search::replicated_with(tb, &splitters, keys, 8, true, rng);
+    let bucket_of: Vec<usize> = ranks.iter().map(|&r| r as usize).collect();
 
     // 3. Distribute: counting scan then scatter to distinct slots.
-    // (Fresh builder, so re-allocate a keys mirror: builders restart
-    // their address spaces and mixing spaces within one superstep would
-    // fabricate collisions.)
-    let mut tb = TraceBuilder::new(procs);
-    let keys_arr = tb.alloc(n);
     let out_arr = tb.alloc(n);
     let mut counts = vec![0usize; buckets];
     for &b in &bucket_of {
@@ -123,10 +130,8 @@ pub fn sample_sort_traced<R: Rng + ?Sized>(
     let per_proc = n.div_ceil(procs).max(2);
     tb.local((per_proc as u64) * (usize::BITS - per_proc.leading_zeros()) as u64);
     tb.barrier("local-sort-write");
-    trace.extend(tb.finish());
 
-    let stats = SampleSortStats { buckets, max_bucket, lookup_contention };
-    Traced { value: (out, stats), trace }
+    (out, SampleSortStats { buckets, max_bucket, lookup_contention })
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //!   address combine pairwise in `⌈lg k⌉` low-contention rounds before
 //!   a single write, trading `d·k` for `O(lg k)` extra supersteps.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dxbsp_core::{contention_knee, MachineParams};
 
@@ -27,8 +27,19 @@ use crate::tracer::{TraceBuilder, Traced};
 /// writer per key wins, in lane order).
 #[must_use]
 pub fn scatter_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<HashMap<u64, u64>> {
-    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     let mut tb = TraceBuilder::new(procs);
+    let value = scatter_with(&mut tb, keys, values);
+    tb.traced(value)
+}
+
+/// [`scatter_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+///
+/// # Panics
+///
+/// Panics if `keys.len() != values.len()`.
+pub fn scatter_with(tb: &mut TraceBuilder, keys: &[u64], values: &[u64]) -> HashMap<u64, u64> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     let dst = tb.alloc(0);
     let mut out = HashMap::new();
     for (lane, (&k, &v)) in keys.iter().zip(values).enumerate() {
@@ -36,7 +47,7 @@ pub fn scatter_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Hash
         out.insert(k, v);
     }
     tb.barrier("scatter");
-    tb.traced(out)
+    out
 }
 
 /// A plain gather of `src[keys[i]]` (one superstep). `src` is modeled
@@ -44,13 +55,20 @@ pub fn scatter_traced(procs: usize, keys: &[u64], values: &[u64]) -> Traced<Hash
 #[must_use]
 pub fn gather_traced(procs: usize, keys: &[u64], src: &HashMap<u64, u64>) -> Traced<Vec<u64>> {
     let mut tb = TraceBuilder::new(procs);
+    let value = gather_with(&mut tb, keys, src);
+    tb.traced(value)
+}
+
+/// [`gather_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+pub fn gather_with(tb: &mut TraceBuilder, keys: &[u64], src: &HashMap<u64, u64>) -> Vec<u64> {
     let base = tb.alloc(0);
     let out: Vec<u64> = keys.iter().map(|k| src.get(k).copied().unwrap_or(0)).collect();
     for (lane, &k) in keys.iter().enumerate() {
         tb.read(lane, base + k);
     }
     tb.barrier("gather");
-    tb.traced(out)
+    out
 }
 
 /// Report of what a duplication-aware gather did.
@@ -75,6 +93,19 @@ pub fn gather_with_duplication_traced(
     keys: &[u64],
     src: &HashMap<u64, u64>,
 ) -> Traced<(Vec<u64>, DuplicationReport)> {
+    let mut tb = TraceBuilder::new(m.p);
+    let value = gather_with_duplication_with(&mut tb, m, keys, src);
+    tb.traced(value)
+}
+
+/// [`gather_with_duplication_traced`] against a caller-supplied builder
+/// — the streaming entry point (and the composition hook).
+pub fn gather_with_duplication_with(
+    tb: &mut TraceBuilder,
+    m: &MachineParams,
+    keys: &[u64],
+    src: &HashMap<u64, u64>,
+) -> (Vec<u64>, DuplicationReport) {
     let n = keys.len();
     let threshold = contention_knee(m, n).max(1);
     let mut counts: HashMap<u64, usize> = HashMap::new();
@@ -82,14 +113,14 @@ pub fn gather_with_duplication_traced(
         *counts.entry(k).or_insert(0) += 1;
     }
 
-    let mut tb = TraceBuilder::new(m.p);
     let base = tb.alloc(0);
     let copies_base = tb.alloc(0);
 
     // Replication: copy-doubling rounds, so round r reads the copies
     // made in round r−1 — contention per source cell stays ≤ 2 per
     // round and the number of rounds is ⌈lg copies⌉.
-    let mut copy_count: HashMap<u64, usize> = HashMap::new();
+    // Ordered so replication lanes are assigned identically every run.
+    let mut copy_count: BTreeMap<u64, usize> = BTreeMap::new();
     let mut duplicated = Vec::new();
     for (&k, &c) in counts.iter().filter(|&(_, &c)| c > threshold) {
         let copies = c.div_ceil(threshold);
@@ -142,7 +173,7 @@ pub fn gather_with_duplication_traced(
         threshold,
         residual_contention: residual.values().copied().max().unwrap_or(0),
     };
-    tb.traced((out, report))
+    (out, report)
 }
 
 /// Combining-tree *reducing* scatter: all lanes aimed at the same key
@@ -154,13 +185,30 @@ pub fn scatter_combining_traced(
     keys: &[u64],
     values: &[u64],
 ) -> Traced<HashMap<u64, u64>> {
-    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     let mut tb = TraceBuilder::new(procs);
+    let value = scatter_combining_with(&mut tb, keys, values);
+    tb.traced(value)
+}
+
+/// [`scatter_combining_traced`] against a caller-supplied builder — the
+/// streaming entry point (and the composition hook).
+///
+/// # Panics
+///
+/// Panics if `keys.len() != values.len()`.
+pub fn scatter_combining_with(
+    tb: &mut TraceBuilder,
+    keys: &[u64],
+    values: &[u64],
+) -> HashMap<u64, u64> {
+    assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     let dst = tb.alloc(0);
     let scratch = tb.alloc(keys.len());
 
-    // Group lanes by key.
-    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    // Group lanes by key — ordered, so the emitted trace is identical
+    // from run to run (the streaming/materialized differential relies
+    // on every generation pass producing the same supersteps).
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
     for (lane, &k) in keys.iter().enumerate() {
         groups.entry(k).or_default().push(lane);
     }
@@ -197,7 +245,7 @@ pub fn scatter_combining_traced(
         let e = sums.entry(k).or_insert(0);
         *e = e.wrapping_add(v);
     }
-    tb.traced(sums)
+    sums
 }
 
 #[cfg(test)]
@@ -268,19 +316,21 @@ mod tests {
 
     #[test]
     fn combining_beats_plain_scatter_under_the_model() {
-        use dxbsp_core::{pattern_cost, CostModel, Interleaved};
+        use dxbsp_core::{CostModel, Interleaved};
+        use dxbsp_machine::{ModelBackend, Session};
         let m = j90();
         let map = Interleaved::new(m.banks());
         let keys = hot_keys(8192, 8192);
         let values = vec![1u64; 8192];
         let plain = scatter_traced(m.p, &keys, &values);
         let combining = scatter_combining_traced(m.p, &keys, &values);
-        let charge = |trace: &dxbsp_machine::Trace| -> u64 {
-            trace.iter().map(|s| pattern_cost(&m, &s.pattern, &map, CostModel::DxBsp)).sum()
-        };
-        let pc = charge(&plain.trace);
-        let cc = charge(&combining.trace);
+        // Charge both traces through the engine seam (j90 has L = 0, so
+        // the session total is the pure (d,x)-BSP memory charge).
+        let mut session = Session::new(ModelBackend::new(m, CostModel::DxBsp));
+        let pc = session.run_trace(&plain.trace, &map).total_cycles;
+        let cc = session.run_trace(&combining.trace, &map).total_cycles;
         assert!(cc < pc / 10, "combining {cc} vs plain {pc}");
+        assert_eq!(session.memory_cycles(), pc + cc, "session accrues both replays");
     }
 
     #[test]

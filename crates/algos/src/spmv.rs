@@ -26,9 +26,21 @@ use crate::tracer::{TraceBuilder, Traced};
 /// Panics if `x.len() != a.cols`.
 #[must_use]
 pub fn spmv_traced(procs: usize, a: &CsrMatrix, x: &[f64]) -> Traced<Vec<f64>> {
+    let mut tb = TraceBuilder::new(procs);
+    let value = spmv_with(&mut tb, a, x);
+    tb.traced(value)
+}
+
+/// [`spmv_traced`] against a caller-supplied builder — the streaming
+/// entry point (and the composition hook).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols`.
+pub fn spmv_with(tb: &mut TraceBuilder, a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), a.cols, "vector length mismatch");
     let nnz = a.nnz();
-    let mut tb = TraceBuilder::new(procs);
+    let procs = tb.procs();
     let x_arr = tb.alloc(a.cols);
     let vals = tb.alloc(nnz);
     let prods = tb.alloc(nnz);
@@ -46,13 +58,13 @@ pub fn spmv_traced(procs: usize, a: &CsrMatrix, x: &[f64]) -> Traced<Vec<f64>> {
     tb.barrier("multiply");
 
     // Segmented sum over rows (segment heads mark row starts).
-    trace_segmented_scan(&mut tb, prods, flags, nnz, "rowsum");
+    trace_segmented_scan(tb, prods, flags, nnz, "rowsum");
 
     // Scatter one total per row into y.
     tb.scatter(y_arr, (0..a.rows as u64).collect::<Vec<_>>());
     tb.barrier("scatter-y");
 
-    tb.traced(a.multiply_serial(x))
+    a.multiply_serial(x)
 }
 
 /// The gather step's location contention: the heaviest column count.

@@ -1,16 +1,30 @@
-//! Building memory-access traces alongside computations.
+//! Building memory-access traces alongside computations — streamed or
+//! materialized.
 //!
 //! An algorithm instrumented with a [`TraceBuilder`] allocates its
 //! arrays in a flat simulated address space, records every data-parallel
 //! read/write (element `i` of an operation is issued by processor
 //! `i mod p`, the round-robin assignment of a vectorized loop), and
-//! cuts a superstep at every barrier. The result is a
-//! [`dxbsp_machine::Trace`] that replays on the simulator and charges
-//! under the cost models — the access pattern of the *actual* run, not
-//! a model of it.
+//! cuts a superstep at every barrier. What happens at the cut is the
+//! builder's mode:
+//!
+//! * **collecting** ([`TraceBuilder::new`]) — steps accumulate into a
+//!   [`dxbsp_machine::Trace`] returned by [`finish`](StreamingTracer::finish),
+//!   the materialized form tests and oracles replay at will;
+//! * **streaming** ([`TraceBuilder::streaming`]) — each step is handed
+//!   to an attached [`StepSink`] (typically a
+//!   [`dxbsp_machine::SessionSink`] executing it on the spot) the
+//!   moment the barrier fires, and the sink hands back a recycled
+//!   buffer. Peak memory is O(one superstep) however long the
+//!   algorithm runs, and after warm-up nothing is allocated at all.
+//!
+//! Both modes run the *identical* algorithm code path — same barriers,
+//! same tail cut — so a streamed execution is bit-identical to
+//! replaying the materialized trace (the differential tests in
+//! `tests/` pin this for every algorithm in the crate).
 
 use dxbsp_core::{AccessPattern, Request};
-use dxbsp_machine::{Trace, TraceStep};
+use dxbsp_machine::{StepSink, Trace, TraceStep};
 
 /// A computation result together with the memory trace that produced it.
 #[derive(Debug, Clone)]
@@ -21,18 +35,37 @@ pub struct Traced<T> {
     pub trace: Trace,
 }
 
-/// Records array allocations and per-superstep memory requests.
-#[derive(Debug, Clone)]
-pub struct TraceBuilder {
+/// Where finished supersteps go.
+enum Mode<'s> {
+    /// Accumulate into a materialized trace.
+    Collect(Trace),
+    /// Hand each step to the sink at the barrier; `spare` is the
+    /// recycled buffer the next step is packaged in, `emitted` counts
+    /// the hand-offs.
+    Stream { sink: &'s mut dyn StepSink, spare: TraceStep, emitted: usize },
+}
+
+/// Records array allocations and per-superstep memory requests,
+/// emitting a superstep at every barrier — into a collected trace or
+/// straight into a [`StepSink`].
+///
+/// [`TraceBuilder`] is an alias of this type; algorithm code is written
+/// against `&mut TraceBuilder` and works identically in both modes.
+pub struct StreamingTracer<'s> {
     procs: usize,
     next_addr: u64,
     current: AccessPattern,
     current_local: u64,
-    steps: Trace,
+    mode: Mode<'s>,
 }
 
-impl TraceBuilder {
-    /// A builder for a `procs`-processor machine.
+/// The historical name: every algorithm takes a `&mut TraceBuilder`.
+/// A collecting builder is `TraceBuilder<'static>`; a streaming one
+/// borrows its sink.
+pub type TraceBuilder<'s> = StreamingTracer<'s>;
+
+impl StreamingTracer<'static> {
+    /// A collecting builder for a `procs`-processor machine.
     ///
     /// # Panics
     ///
@@ -45,7 +78,42 @@ impl TraceBuilder {
             next_addr: 0,
             current: AccessPattern::new(procs),
             current_local: 0,
-            steps: Vec::new(),
+            mode: Mode::Collect(Vec::new()),
+        }
+    }
+}
+
+impl<'s> StreamingTracer<'s> {
+    /// A streaming builder: every barrier hands the finished superstep
+    /// to `sink` instead of collecting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0`.
+    #[must_use]
+    pub fn streaming(procs: usize, sink: &'s mut dyn StepSink) -> Self {
+        assert!(procs >= 1, "need at least one processor");
+        Self {
+            procs,
+            next_addr: 0,
+            current: AccessPattern::new(procs),
+            current_local: 0,
+            mode: Mode::Stream { sink, spare: TraceStep::default(), emitted: 0 },
+        }
+    }
+
+    /// Whether barriers stream to a sink (`true`) or collect (`false`).
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.mode, Mode::Stream { .. })
+    }
+
+    /// Supersteps cut so far (collected or already handed to the sink).
+    #[must_use]
+    pub fn supersteps(&self) -> usize {
+        match &self.mode {
+            Mode::Collect(steps) => steps.len(),
+            Mode::Stream { emitted, .. } => *emitted,
         }
     }
 
@@ -107,27 +175,62 @@ impl TraceBuilder {
         self.current_local += units;
     }
 
-    /// Ends the current superstep, labeling it.
+    /// Ends the current superstep, labeling it. In streaming mode this
+    /// is the hand-off point: the step leaves for the sink immediately
+    /// and its buffers come back recycled.
     pub fn barrier(&mut self, label: &str) {
         if self.current.is_empty() && self.current_local == 0 {
             return; // empty supersteps carry no information
         }
-        let pattern = std::mem::replace(&mut self.current, AccessPattern::new(self.procs));
         let local = std::mem::take(&mut self.current_local);
-        self.steps.push(TraceStep::new(pattern).labeled(label).with_local_work(local));
+        match &mut self.mode {
+            Mode::Collect(steps) => {
+                let pattern = std::mem::replace(&mut self.current, AccessPattern::new(self.procs));
+                steps.push(TraceStep::new(pattern).labeled(label).with_local_work(local));
+            }
+            Mode::Stream { sink, spare, emitted } => {
+                // Package the step in the recycled buffer, swap the
+                // buffer's old (cleared) pattern in as the new current.
+                std::mem::swap(&mut spare.pattern, &mut self.current);
+                spare.local_work = local;
+                spare.label.clear();
+                spare.label.push_str(label);
+                *spare = sink.emit(std::mem::take(spare));
+                self.current.reset(self.procs);
+                *emitted += 1;
+            }
+        }
     }
 
-    /// Finishes the trace (closing any open superstep).
+    /// Finishes the trace (closing any open superstep with a `"tail"`
+    /// barrier). Returns the collected steps; a streaming builder has
+    /// already delivered every step to its sink and returns an empty
+    /// trace.
     #[must_use]
     pub fn finish(mut self) -> Trace {
         self.barrier("tail");
-        self.steps
+        match self.mode {
+            Mode::Collect(steps) => steps,
+            Mode::Stream { .. } => Vec::new(),
+        }
     }
 
     /// Wraps a value with the finished trace.
     #[must_use]
     pub fn traced<T>(self, value: T) -> Traced<T> {
         Traced { value, trace: self.finish() }
+    }
+}
+
+impl std::fmt::Debug for StreamingTracer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingTracer")
+            .field("procs", &self.procs)
+            .field("next_addr", &self.next_addr)
+            .field("pending_requests", &self.current.len())
+            .field("streaming", &self.is_streaming())
+            .field("supersteps", &self.supersteps())
+            .finish_non_exhaustive()
     }
 }
 
@@ -146,6 +249,7 @@ pub fn trace_max_contention(trace: &Trace) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dxbsp_machine::CollectSink;
 
     #[test]
     fn alloc_returns_disjoint_ranges() {
@@ -222,5 +326,59 @@ mod tests {
         let t = tb.traced(123u32);
         assert_eq!(t.value, 123);
         assert_eq!(trace_requests(&t.trace), 1);
+    }
+
+    /// The same builder calls, streamed into a collector, produce the
+    /// identical trace a collecting builder materializes.
+    #[test]
+    fn streaming_and_collecting_agree_step_for_step() {
+        fn drive(tb: &mut TraceBuilder) {
+            let a = tb.alloc(16);
+            tb.sweep(a, 16, false);
+            tb.local(9);
+            tb.barrier("load");
+            tb.scatter(a, [0, 0, 1, 2]);
+            tb.barrier("scatter");
+            tb.read(0, a); // left open: finish() cuts the tail
+        }
+
+        let mut collecting = TraceBuilder::new(4);
+        drive(&mut collecting);
+        let materialized = collecting.finish();
+
+        let mut sink = CollectSink::new();
+        let mut streaming = TraceBuilder::streaming(4, &mut sink);
+        assert!(streaming.is_streaming());
+        drive(&mut streaming);
+        assert!(streaming.finish().is_empty(), "streamed steps are not re-collected");
+        let streamed = sink.into_trace();
+
+        assert_eq!(streamed, materialized);
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed[2].label, "tail");
+    }
+
+    /// Streaming recycles the sink's returned buffers instead of
+    /// allocating fresh patterns per barrier.
+    #[test]
+    fn streaming_counts_supersteps() {
+        struct CountSink(usize);
+        impl StepSink for CountSink {
+            fn emit(&mut self, mut step: TraceStep) -> TraceStep {
+                self.0 += 1;
+                step.recycle();
+                step
+            }
+        }
+        let mut sink = CountSink(0);
+        let mut tb = TraceBuilder::streaming(2, &mut sink);
+        let a = tb.alloc(4);
+        for round in 0..10 {
+            tb.sweep(a, 4, round % 2 == 0);
+            tb.barrier("round");
+        }
+        assert_eq!(tb.supersteps(), 10);
+        let _ = tb.finish();
+        assert_eq!(sink.0, 10, "nothing pending at finish: all steps were emitted live");
     }
 }

@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use dxbsp_core::{AccessPattern, Interleaved};
-use dxbsp_machine::{Backend, SimConfig, Simulator, SimulatorBackend};
+use dxbsp_algos::{radix_sort, TraceBuilder};
+use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
+use dxbsp_machine::{Backend, Session, SessionSink, SimConfig, Simulator, SimulatorBackend};
 use dxbsp_workloads::{hotspot_keys, uniform_keys};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,5 +94,48 @@ fn bench_session_reuse(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scatter_shapes, bench_window_and_sections, bench_session_reuse);
+/// Streaming vs. materialized execution of a multi-superstep trace
+/// (radix sort, 8k keys): "materialize" builds the full `Trace` and
+/// replays it with `Session::run_trace`; "stream" hands each superstep
+/// to the session at the barrier through a `SessionSink`, so at most
+/// one pooled pattern is resident regardless of trace length.
+fn bench_stream_vs_materialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/stream_vs_materialize");
+    let m = MachineParams::new(8, 1, 5, 14, 32);
+    let map = Interleaved::new(m.banks());
+    let mut rng = StdRng::seed_from_u64(4);
+    let keys = uniform_keys(8 * 1024, 1 << 32, &mut rng);
+
+    g.bench_function("materialize", |b| {
+        b.iter(|| {
+            let mut tb = TraceBuilder::new(m.p);
+            black_box(radix_sort::sort_with(&mut tb, &keys, 8));
+            let trace = tb.finish();
+            let mut session = Session::new(SimulatorBackend::from_params(&m));
+            session.run_trace(&trace, &map);
+            black_box(session.cycles())
+        })
+    });
+    g.bench_function("stream", |b| {
+        b.iter(|| {
+            let mut session = Session::new(SimulatorBackend::from_params(&m));
+            {
+                let mut sink = SessionSink::new(&mut session, &map);
+                let mut tb = TraceBuilder::streaming(m.p, &mut sink);
+                black_box(radix_sort::sort_with(&mut tb, &keys, 8));
+                let _ = tb.finish();
+            }
+            black_box(session.cycles())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scatter_shapes,
+    bench_window_and_sections,
+    bench_session_reuse,
+    bench_stream_vs_materialize
+);
 criterion_main!(benches);

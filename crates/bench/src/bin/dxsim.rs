@@ -21,15 +21,27 @@
 //!
 //! Prints measured cycles next to the (d,x)-BSP and plain-BSP charges —
 //! the paper's predicted-vs-measured methodology on stored traces.
+//!
+//! The replay streams: supersteps are read off disk in bounded chunks
+//! of [`CHUNK`] and their buffers recycled, so replaying a
+//! multi-gigabyte trace holds at most `CHUNK` supersteps in memory (the
+//! `peak resident supersteps` line reports the realized watermark).
+//! The chunk size is fixed regardless of `--threads`, so the printed
+//! tables are byte-identical for any worker count.
 
 use dxbsp_bench::runner::{parallel_map_with, set_sweep_threads};
 use dxbsp_core::{BankMap, CostModel, Interleaved, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{
-    charge_trace, load_trace, Backend, SimConfig, SimulatorBackend, Trace, TraceResult,
+    Backend, ModelBackend, SimConfig, SimResult, SimulatorBackend, TraceFileReader, TraceStep,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Supersteps resident at once: one chunk is read, fanned across the
+/// replay workers, folded into the running totals, and its buffers
+/// reused for the next chunk.
+const CHUNK: usize = 64;
 
 struct Args {
     trace: Option<String>,
@@ -179,43 +191,131 @@ fn validate(args: &Args) {
     }
 }
 
-/// Replays the trace with supersteps fanned across the sweep workers:
-/// each worker owns one simulator backend (reusing its scratch across
-/// its chunk of supersteps). Supersteps are independent — every scratch
-/// reset is bit-exact — so the result is identical to a sequential
-/// replay for any worker count.
-fn replay_parallel<M: BankMap + Sync>(cfg: SimConfig, trace: &Trace, map: &M) -> TraceResult {
-    let outs = parallel_map_with(
-        trace.as_slice(),
-        || SimulatorBackend::new(cfg),
-        |backend, step| backend.step(&step.pattern, map).into_result(),
-    );
-    let mut total = 0u64;
-    let mut requests = 0usize;
-    let mut labels = Vec::with_capacity(trace.len());
-    for (step, res) in trace.iter().zip(&outs) {
-        total += res.cycles + step.local_work + cfg.sync_overhead;
-        requests += res.requests;
-        labels.push(step.label.clone());
+/// One superstep's report-table row — O(label) metadata kept instead of
+/// the superstep itself, so `--per-step` works on streamed replays.
+struct StepMeta {
+    label: String,
+    requests: usize,
+    max_k: usize,
+    cycles: u64,
+}
+
+/// Everything one streamed replay accrues.
+struct Replay {
+    supersteps: usize,
+    requests: usize,
+    measured: u64,
+    dx: u64,
+    bsp: u64,
+    peak_resident: usize,
+    per_step: Vec<StepMeta>,
+    busiest: Option<(usize, String, SimResult)>,
+}
+
+/// Streams the trace off disk chunk by chunk, charging the simulator
+/// and both cost models in a single pass. Within a chunk, supersteps
+/// fan across the sweep workers (each owning one simulator plus the two
+/// model backends, reusing their scratch across its share); supersteps
+/// are independent, so the totals are identical to a sequential replay
+/// for any worker count — and at most [`CHUNK`] supersteps are ever in
+/// memory.
+fn replay_stream<M: BankMap + Sync>(
+    args: &Args,
+    path: &str,
+    cfg: SimConfig,
+    m: &MachineParams,
+    map: &M,
+) -> Replay {
+    let mut reader = TraceFileReader::open(std::path::Path::new(path))
+        .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
+    let mut chunk: Vec<TraceStep> = Vec::new();
+    let mut rep = Replay {
+        supersteps: 0,
+        requests: 0,
+        measured: 0,
+        dx: 0,
+        bsp: 0,
+        peak_resident: 0,
+        per_step: Vec::new(),
+        busiest: None,
+    };
+    loop {
+        let mut len = 0;
+        while len < CHUNK {
+            if chunk.len() == len {
+                chunk.push(TraceStep::default());
+            }
+            match reader.read_step(&mut chunk[len]) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => die(&format!("cannot load {path}: {e}")),
+            }
+            // Traces record their own processor counts; require consistency.
+            let step = &chunk[len];
+            if step.pattern.procs() != args.procs {
+                die(&format!(
+                    "trace was captured for {} processors (step '{}'); pass --procs {}",
+                    step.pattern.procs(),
+                    step.label,
+                    step.pattern.procs()
+                ));
+            }
+            len += 1;
+        }
+        if len == 0 {
+            break;
+        }
+        rep.peak_resident = rep.peak_resident.max(len);
+        let outs = parallel_map_with(
+            &chunk[..len],
+            || {
+                (
+                    SimulatorBackend::new(cfg),
+                    ModelBackend::new(*m, CostModel::DxBsp),
+                    ModelBackend::new(*m, CostModel::Bsp),
+                )
+            },
+            |(sim, dxm, bspm), step| {
+                (
+                    sim.step(&step.pattern, map).into_result(),
+                    dxm.step(&step.pattern, map).cycles,
+                    bspm.step(&step.pattern, map).cycles,
+                )
+            },
+        );
+        for (step, (res, dx, bsp)) in chunk[..len].iter().zip(outs) {
+            let idx = rep.supersteps;
+            rep.supersteps += 1;
+            rep.requests += res.requests;
+            rep.measured += res.cycles + step.local_work + cfg.sync_overhead;
+            rep.dx += dx + step.local_work + m.l;
+            rep.bsp += bsp + step.local_work + m.l;
+            if args.per_step {
+                let prof = step.pattern.contention_profile();
+                rep.per_step.push(StepMeta {
+                    label: step.label.clone(),
+                    requests: prof.total_requests,
+                    max_k: prof.max_location_contention,
+                    cycles: res.cycles,
+                });
+            }
+            if args.gantt {
+                let better = match &rep.busiest {
+                    Some((_, _, best)) => res.cycles >= best.cycles,
+                    None => true,
+                };
+                if better {
+                    rep.busiest = Some((idx, step.label.clone(), res));
+                }
+            }
+        }
     }
-    TraceResult { total_cycles: total, total_requests: requests, steps: outs, labels }
+    rep
 }
 
 fn main() {
     let args = parse_args();
     let path = args.trace.clone().unwrap_or_else(|| die("missing --trace FILE"));
-    let trace = load_trace(std::path::Path::new(&path))
-        .unwrap_or_else(|e| die(&format!("cannot load {path}: {e}")));
-
-    // Traces record their own processor counts; require consistency.
-    if let Some(step) = trace.iter().find(|s| s.pattern.procs() != args.procs) {
-        die(&format!(
-            "trace was captured for {} processors (step '{}'); pass --procs {}",
-            step.pattern.procs(),
-            step.label,
-            step.pattern.procs()
-        ));
-    }
 
     let m = MachineParams::new(args.procs, args.gap, args.sync, args.delay, args.expansion);
     let mut cfg = SimConfig::from_params(&m).with_latency(args.latency);
@@ -235,56 +335,48 @@ fn main() {
         set_sweep_threads(t);
     }
 
-    fn run<M: BankMap + Sync>(
-        cfg: SimConfig,
-        m: &MachineParams,
-        trace: &Trace,
-        map: &M,
-    ) -> (TraceResult, u64, u64) {
-        let res = replay_parallel(cfg, trace, map);
-        let dx = charge_trace(m, trace, map, CostModel::DxBsp);
-        let bsp = charge_trace(m, trace, map, CostModel::Bsp);
-        (res, dx, bsp)
-    }
-    let (res, dx, bsp) = match args.map.as_str() {
-        "interleaved" => run(cfg, &m, &trace, &Interleaved::new(m.banks())),
+    let rep = match args.map.as_str() {
+        "interleaved" => replay_stream(&args, &path, cfg, &m, &Interleaved::new(m.banks())),
         "hashed" => {
             let mut rng = StdRng::seed_from_u64(args.seed);
-            run(cfg, &m, &trace, &HashedBanks::random(Degree::Linear, m.banks(), &mut rng))
+            let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+            replay_stream(&args, &path, cfg, &m, &map)
         }
         other => die(&format!("unknown map {other}")),
     };
 
     println!("machine: p={} g={} L={} d={} x={} (B={})", m.p, m.g, m.l, m.d, m.x, m.banks());
-    println!("trace:   {} supersteps, {} requests", trace.len(), res.total_requests);
+    println!("trace:   {} supersteps, {} requests", rep.supersteps, rep.requests);
+    println!("peak resident supersteps: {} (of {})", rep.peak_resident, rep.supersteps);
     println!();
-    println!("measured cycles:   {}", res.total_cycles);
+    println!("measured cycles:   {}", rep.measured);
     println!(
-        "(d,x)-BSP charge:  {dx}  (measured/charged = {:.3})",
-        res.total_cycles as f64 / dx.max(1) as f64
+        "(d,x)-BSP charge:  {}  (measured/charged = {:.3})",
+        rep.dx,
+        rep.measured as f64 / rep.dx.max(1) as f64
     );
     println!(
-        "plain-BSP charge:  {bsp}  (measured/charged = {:.3})",
-        res.total_cycles as f64 / bsp.max(1) as f64
+        "plain-BSP charge:  {}  (measured/charged = {:.3})",
+        rep.bsp,
+        rep.measured as f64 / rep.bsp.max(1) as f64
     );
 
     if args.per_step {
         println!();
         println!("{:>4} {:>24} {:>10} {:>8} {:>10}", "#", "label", "requests", "max k", "cycles");
-        for (i, (step, sr)) in trace.iter().zip(&res.steps).enumerate() {
-            let prof = step.pattern.contention_profile();
+        for (i, meta) in rep.per_step.iter().enumerate() {
             println!(
                 "{i:>4} {:>24} {:>10} {:>8} {:>10}",
-                step.label, prof.total_requests, prof.max_location_contention, sr.cycles
+                meta.label, meta.requests, meta.max_k, meta.cycles
             );
         }
     }
 
     if args.gantt {
         // Show the busiest superstep's occupancy.
-        if let Some((idx, sr)) = res.steps.iter().enumerate().max_by_key(|(_, s)| s.cycles) {
+        if let Some((idx, label, sr)) = &rep.busiest {
             println!();
-            println!("busiest superstep: #{idx} ({})", trace[idx].label);
+            println!("busiest superstep: #{idx} ({label})");
             print!("{}", dxbsp_bench::plot::gantt_from_events(&sr.events, sr.cycles, 12, 64));
         }
     }

@@ -15,10 +15,19 @@
 //!
 //! The output replays with `dxsim` on any machine configuration —
 //! the trace-driven methodology of the paper's Figure 1 as a tool pair.
+//!
+//! Capture streams: each algorithm runs through its `*_with` entry
+//! point against a [`StreamingTracer`] whose sink writes every
+//! superstep to disk the moment its barrier fires, so the trace is
+//! never materialized and capture memory stays O(one superstep) no
+//! matter how long the algorithm runs.
 
-use dxbsp_algos::{binary_search, connected, random_perm, spmv};
+use std::fs::File;
+use std::io::BufWriter;
+
+use dxbsp_algos::{binary_search, connected, random_perm, spmv, TraceBuilder};
 use dxbsp_core::AccessPattern;
-use dxbsp_machine::{save_trace, Trace, TraceStep};
+use dxbsp_machine::{StepSink, TraceFileWriter, TraceStep};
 use dxbsp_workloads::{hotspot_keys, CsrMatrix, Graph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -109,13 +118,58 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_trace(args: &Args) -> Trace {
+/// The capture sink: accumulates the summary stats and, when `-o` was
+/// given, appends each superstep to the trace file as it arrives. The
+/// emitted buffer is recycled back to the tracer, so steady-state
+/// capture allocates nothing per superstep.
+struct CaptureSink {
+    writer: Option<(String, TraceFileWriter<BufWriter<File>>)>,
+    steps: usize,
+    requests: usize,
+    max_k: usize,
+}
+
+impl CaptureSink {
+    fn new(out: Option<&str>) -> Self {
+        let writer = out.map(|path| {
+            let w = TraceFileWriter::create(std::path::Path::new(path))
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            (path.to_string(), w)
+        });
+        Self { writer, steps: 0, requests: 0, max_k: 0 }
+    }
+
+    /// Patches the trace file's step count and flushes it.
+    fn finish(self) {
+        if let Some((path, writer)) = self.writer {
+            writer.finish().unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        }
+    }
+}
+
+impl StepSink for CaptureSink {
+    fn emit(&mut self, mut step: TraceStep) -> TraceStep {
+        self.steps += 1;
+        self.requests += step.pattern.len();
+        let k = step.pattern.contention_profile().max_location_contention;
+        self.max_k = self.max_k.max(k);
+        if let Some((path, writer)) = &mut self.writer {
+            writer.write_step(&step).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        }
+        step.recycle();
+        step
+    }
+}
+
+/// Runs the requested algorithm, streaming its supersteps into `sink`.
+fn capture(args: &Args, sink: &mut dyn StepSink) {
     let mut rng = StdRng::seed_from_u64(args.seed);
     let p = args.procs;
     match args.algorithm.as_str() {
         "scatter" => {
+            // A single synthesized superstep — no tracer needed.
             let keys = hotspot_keys(args.n, args.contention.min(args.n), 1 << 40, &mut rng);
-            vec![TraceStep::new(AccessPattern::scatter(p, &keys)).labeled("scatter")]
+            sink.emit(TraceStep::new(AccessPattern::scatter(p, &keys)).labeled("scatter"));
         }
         "cc" => {
             let n = args.n;
@@ -129,7 +183,9 @@ fn build_trace(args: &Args) -> Trace {
                 "star" => Graph::star(n),
                 other => die(&format!("unknown graph family {other}")),
             };
-            connected::connected_traced(p, &g).trace
+            let mut tb = TraceBuilder::streaming(p, sink);
+            connected::connected_with(&mut tb, &g);
+            let _ = tb.finish();
         }
         "spmv" => {
             let a = CsrMatrix::random_with_dense_column(
@@ -140,16 +196,24 @@ fn build_trace(args: &Args) -> Trace {
                 &mut rng,
             );
             let x: Vec<f64> = (0..args.n).map(|i| i as f64).collect();
-            spmv::spmv_traced(p, &a, &x).trace
+            let mut tb = TraceBuilder::streaming(p, sink);
+            spmv::spmv_with(&mut tb, &a, &x);
+            let _ = tb.finish();
         }
-        "randperm" => random_perm::darts_traced(p, args.n, 1.5, &mut rng).trace,
+        "randperm" => {
+            let mut tb = TraceBuilder::streaming(p, sink);
+            random_perm::darts_with(&mut tb, args.n, 1.5, &mut rng);
+            let _ = tb.finish();
+        }
         "binsearch" => {
             let mut keys: Vec<u64> =
                 (0..args.tree).map(|_| rng.random_range(0..1u64 << 40)).collect();
             keys.sort_unstable();
             keys.dedup();
             let queries: Vec<u64> = (0..args.n).map(|_| rng.random_range(0..1u64 << 40)).collect();
-            binary_search::replicated_traced(p, &keys, &queries, 8, false, &mut rng).trace
+            let mut tb = TraceBuilder::streaming(p, sink);
+            binary_search::replicated_with(&mut tb, &keys, &queries, 8, false, &mut rng);
+            let _ = tb.finish();
         }
         other => die(&format!("unknown algorithm {other} (try --help)")),
     }
@@ -157,18 +221,12 @@ fn build_trace(args: &Args) -> Trace {
 
 fn main() {
     let args = parse_args();
-    let trace = build_trace(&args);
-    let steps = trace.len();
-    let requests: usize = trace.iter().map(|s| s.pattern.len()).sum();
-    let max_k = trace
-        .iter()
-        .map(|s| s.pattern.contention_profile().max_location_contention)
-        .max()
-        .unwrap_or(0);
+    let mut sink = CaptureSink::new(args.out.as_deref());
+    capture(&args, &mut sink);
+    let (steps, requests, max_k) = (sink.steps, sink.requests, sink.max_k);
+    sink.finish();
     match &args.out {
         Some(path) => {
-            save_trace(std::path::Path::new(path), &trace)
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             println!(
                 "wrote {path}: {steps} supersteps, {requests} requests, max contention {max_k}"
             );

@@ -214,6 +214,40 @@ fn zero_threads_is_rejected() {
 }
 
 #[test]
+fn multi_megabyte_replay_is_bounded_memory() {
+    use dxbsp_core::AccessPattern;
+    use dxbsp_machine::{TraceFileWriter, TraceStep};
+
+    // Stream a trace to disk that is far bigger than anything dxsim
+    // should hold at once: 200 supersteps x 4096 requests ≈ 10 MB.
+    let path = tmp("big.dxtr");
+    let mut writer = TraceFileWriter::create(&path).expect("create");
+    let keys: Vec<u64> = (0..4096u64).map(|i| i * 7).collect();
+    let step = TraceStep::new(AccessPattern::scatter(8, &keys)).labeled("bulk");
+    for _ in 0..200 {
+        writer.write_step(&step).expect("write step");
+    }
+    writer.finish().expect("finish");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    assert!(bytes > 8 * 1024 * 1024, "trace only {bytes} bytes");
+
+    // The replay's own watermark proves the streaming path: the peak
+    // number of supersteps resident in memory stays at the bounded
+    // chunk size, well below the 200 steps replayed.
+    let out = run_ok(dxsim().arg("--trace").arg(&path));
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("peak resident supersteps:"))
+        .unwrap_or_else(|| panic!("no watermark line in:\n{out}"));
+    let mut words = line.split_whitespace();
+    let peak: usize = words.nth(3).and_then(|w| w.parse().ok()).expect("peak");
+    let total: usize =
+        words.nth(1).and_then(|w| w.trim_end_matches(')').parse().ok()).expect("total");
+    assert_eq!(total, 200, "{line}");
+    assert!(peak < total, "replay held every superstep at once: {line}");
+}
+
+#[test]
 fn presets_select_paper_machines() {
     let path = tmp("preset.dxtr");
     run_ok(

@@ -50,6 +50,7 @@ pub mod cost;
 pub mod logp;
 pub mod params;
 pub mod pattern;
+pub mod pool;
 pub mod predict;
 pub mod presets;
 
@@ -62,6 +63,7 @@ pub use cost::{
 pub use logp::LogPParams;
 pub use params::MachineParams;
 pub use pattern::{AccessKind, AccessPattern, ContentionProfile, Request};
+pub use pool::PatternPool;
 pub use predict::{
     contention_knee, predict_scatter, predict_scatter_bsp, predict_scatter_duplicated, ScatterShape,
 };

@@ -230,6 +230,36 @@ impl AccessPattern {
         self.push_kind(proc, addr, true);
     }
 
+    /// Removes every request while keeping the allocated capacity and
+    /// the processor count — the reuse hook the streaming pipeline's
+    /// buffer pool ([`crate::pool::PatternPool`]) leans on.
+    pub fn clear(&mut self) {
+        self.proc_ids.clear();
+        self.addrs.clear();
+        self.writes.clear();
+    }
+
+    /// Clears the pattern and re-targets it at a `procs`-processor
+    /// machine, keeping its allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0`.
+    pub fn reset(&mut self, procs: usize) {
+        assert!(procs >= 1, "need at least one processor");
+        self.procs = procs;
+        self.clear();
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing `self`'s
+    /// allocations where they suffice.
+    pub fn copy_from(&mut self, other: &AccessPattern) {
+        self.procs = other.procs;
+        self.proc_ids.clone_from(&other.proc_ids);
+        self.addrs.clone_from(&other.addrs);
+        self.writes.clone_from(&other.writes);
+    }
+
     fn push_kind(&mut self, proc: usize, addr: u64, write: bool) {
         assert!(proc < self.procs, "processor index out of range");
         let i = self.addrs.len();
@@ -452,5 +482,37 @@ mod tests {
     fn out_of_range_processor_rejected() {
         let mut pat = AccessPattern::new(2);
         pat.push(Request::read(2, 0));
+    }
+
+    #[test]
+    fn clear_keeps_procs_and_empties_requests() {
+        let mut pat = hotspot_pattern();
+        pat.clear();
+        assert_eq!(pat.procs(), 4);
+        assert!(pat.is_empty());
+        // Refilling after a clear behaves like a fresh pattern,
+        // including the write bitset (no stale bits survive).
+        pat.push(Request::read(0, 9));
+        assert!(!pat.is_write(0));
+        assert_eq!(pat.len(), 1);
+    }
+
+    #[test]
+    fn reset_retargets_processor_count() {
+        let mut pat = hotspot_pattern();
+        pat.reset(2);
+        assert_eq!(pat.procs(), 2);
+        assert!(pat.is_empty());
+        pat.push(Request::write(1, 3));
+        assert_eq!(pat.request_at(0).proc, 1);
+    }
+
+    #[test]
+    fn copy_from_reproduces_the_source_exactly() {
+        let src = hotspot_pattern();
+        let mut dst = AccessPattern::new(1);
+        dst.push(Request::write(0, 1));
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 }

@@ -50,6 +50,46 @@
 //! assert_eq!(predicted, 14 * 64);
 //! assert!(cycles >= predicted);
 //! ```
+//!
+//! Supersteps can also **stream**: instead of materializing a full
+//! trace and replaying it, [`algos::TraceBuilder::streaming`] hands
+//! every superstep to a sink at the barrier that ends it, and a
+//! [`machine::SessionSink`] runs each one through the engine and
+//! recycles the buffer — execution overlaps generation and resident
+//! memory stays constant no matter how long the trace is. The same
+//! seam replays recorded traces: any [`machine::SuperstepSource`] (an
+//! in-memory trace, a `.dxtr` file on disk, a bounded channel fed by a
+//! producer thread) drives [`machine::Session::run_stream`].
+//!
+//! ```
+//! use dxbsp::algos::{radix_sort, TraceBuilder};
+//! use dxbsp::machine::{Session, SessionSink, SimulatorBackend, TraceSource};
+//! use dxbsp::model::{Interleaved, MachineParams};
+//!
+//! let m = MachineParams::new(8, 1, 0, 14, 32);
+//! let map = Interleaved::new(m.banks());
+//! let keys = [9u64, 170, 3, 44, 96, 3];
+//!
+//! // Execute radix sort's supersteps as they are generated.
+//! let mut streamed = Session::new(SimulatorBackend::from_params(&m));
+//! let order = {
+//!     let mut sink = SessionSink::new(&mut streamed, &map);
+//!     let mut tb = TraceBuilder::streaming(m.p, &mut sink);
+//!     let order = radix_sort::sort_with(&mut tb, &keys, 4);
+//!     let _ = tb.finish(); // empty in streaming mode
+//!     order
+//! };
+//! assert!(order.windows(2).all(|w| keys[w[0] as usize] <= keys[w[1] as usize]));
+//!
+//! // A materialized trace replayed through the same streaming seam
+//! // costs exactly the same cycles.
+//! let mut tb = TraceBuilder::new(m.p);
+//! let _ = radix_sort::sort_with(&mut tb, &keys, 4);
+//! let trace = tb.finish();
+//! let mut replayed = Session::new(SimulatorBackend::from_params(&m));
+//! let summary = replayed.run_stream(&mut TraceSource::new(&trace), &map);
+//! assert_eq!(summary.cycles, streamed.cycles());
+//! ```
 
 /// The (d,x)-BSP cost model (re-export of `dxbsp-core`).
 pub mod model {

@@ -40,13 +40,14 @@
 //! assert!(meas >= pred);
 //! ```
 
-use dxbsp_core::{pattern_cost, AccessPattern, BankMap, CostModel, MachineParams};
+use dxbsp_core::{pattern_cost, AccessPattern, BankMap, CostModel, MachineParams, PatternPool};
 
 use crate::config::SimConfig;
 use crate::reference::run_reference;
 use crate::sim::{Scratch, Simulator};
 use crate::stats::{BankStats, ProcStats, SimResult};
-use crate::trace::{Trace, TraceResult};
+use crate::stream::{StreamSummary, SuperstepSource};
+use crate::trace::{Trace, TraceResult, TraceStep};
 
 /// What one superstep cost, as reported by a [`Backend`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -297,6 +298,7 @@ pub struct Session<B: Backend> {
     supersteps: usize,
     bank_totals: Vec<BankStats>,
     proc_totals: Vec<ProcStats>,
+    pool: PatternPool,
 }
 
 impl<B: Backend> Session<B> {
@@ -311,7 +313,16 @@ impl<B: Backend> Session<B> {
             supersteps: 0,
             bank_totals: Vec::new(),
             proc_totals: Vec::new(),
+            pool: PatternPool::new(),
         }
+    }
+
+    /// The session's pattern-buffer pool. Consumers that build patterns
+    /// superstep by superstep (the scan-vector VM, the PRAM emulator)
+    /// draw their buffers here so steady-state allocation is zero.
+    #[must_use]
+    pub fn pool(&self) -> &PatternPool {
+        &self.pool
     }
 
     /// The wrapped backend.
@@ -428,6 +439,34 @@ impl<B: Backend> Session<B> {
             }
         }
         out
+    }
+
+    /// Pulls supersteps from `source` one at a time and executes each
+    /// the moment it arrives — the streaming counterpart of
+    /// [`run_trace`](Session::run_trace). Only one [`TraceStep`] buffer
+    /// (drawn from the session's [`PatternPool`]) is resident at any
+    /// instant, so peak memory is O(one superstep) regardless of how
+    /// long the stream runs. Totals accrue into the session exactly as
+    /// stepping each pattern by hand would; the returned
+    /// [`StreamSummary`] is this call's delta.
+    pub fn run_stream<S: SuperstepSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        map: &dyn BankMap,
+    ) -> StreamSummary {
+        let (cycles0, mem0) = (self.cycles, self.memory_cycles);
+        let (req0, steps0) = (self.requests, self.supersteps);
+        let mut step = TraceStep::new(self.pool.acquire(1));
+        while source.fill_next(&mut step) {
+            self.step_with_local(&step.pattern, map, step.local_work);
+        }
+        self.pool.release(step.pattern);
+        StreamSummary {
+            supersteps: self.supersteps - steps0,
+            requests: self.requests - req0,
+            cycles: self.cycles - cycles0,
+            memory_cycles: self.memory_cycles - mem0,
+        }
     }
 
     /// Replays a whole trace through the session, accumulating into the

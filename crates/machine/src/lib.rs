@@ -24,7 +24,11 @@
 //! ([`SimulatorBackend`]), the naive cycle-stepped reference
 //! ([`ReferenceBackend`]), and the closed-form cost model
 //! ([`ModelBackend`]) — plus a [`Session`] that reuses per-run state
-//! across supersteps and accumulates statistics.
+//! across supersteps and accumulates statistics. Supersteps *stream*
+//! through that seam ([`stream`]): a session pulls them one at a time
+//! from any [`SuperstepSource`] — a trace file read off disk, a
+//! generator on another thread — executing each as it arrives, so peak
+//! memory is O(one superstep) however long the program runs.
 //!
 //! ## Quick example
 //!
@@ -48,6 +52,29 @@
 //! assert_eq!(predicted, 14 * 64); // the d·k serialization charge
 //! assert!(measured >= predicted);
 //! ```
+//!
+//! ## Streaming supersteps
+//!
+//! [`Session::run_stream`] executes a whole stream without ever
+//! materializing it; here the source is a stored trace, but a
+//! [`TraceFileReader`] (steps straight off disk) or a [`ChannelSource`]
+//! (generation overlapped on another thread, see [`run_overlapped`])
+//! plugs into the same seam:
+//!
+//! ```
+//! use dxbsp_core::Interleaved;
+//! use dxbsp_machine::{Session, SimConfig, SimulatorBackend, TraceSource, TraceStep};
+//! use dxbsp_core::AccessPattern;
+//!
+//! let cfg = SimConfig::new(8, 256, 14);
+//! let map = Interleaved::new(256);
+//! let trace = vec![TraceStep::new(AccessPattern::scatter(8, &vec![3u64; 32]))];
+//!
+//! let mut session = Session::new(SimulatorBackend::new(cfg));
+//! let summary = session.run_stream(&mut TraceSource::new(&trace), &map);
+//! assert_eq!(summary.supersteps, 1);
+//! assert_eq!(summary.cycles, 14 * 32);
+//! ```
 
 pub mod calibrate;
 pub mod config;
@@ -55,6 +82,7 @@ pub mod engine;
 pub mod reference;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod tracefile;
 mod wheel;
@@ -67,5 +95,12 @@ pub use engine::{
 pub use reference::{run_reference, ReferenceResult};
 pub use sim::Simulator;
 pub use stats::{BankStats, LoadSummary, ProcStats, RequestEvent, SimResult};
+pub use stream::{
+    run_overlapped, step_channel, ChannelSink, ChannelSource, CollectSink, SessionSink, StepSink,
+    StreamSummary, SuperstepSource, TraceSource,
+};
 pub use trace::{charge_trace, run_trace, Trace, TraceResult, TraceStep};
-pub use tracefile::{decode_trace, encode_trace, load_trace, save_trace, TraceFileError};
+pub use tracefile::{
+    decode_trace, encode_trace, load_trace, save_trace, TraceFileError, TraceFileReader,
+    TraceFileWriter,
+};

@@ -1,0 +1,387 @@
+//! The streaming superstep pipeline: supersteps flow through the
+//! engine as they are produced instead of accumulating in a
+//! materialized [`Trace`].
+//!
+//! The paper's machines never hold a whole program's memory traffic at
+//! once — each superstep's requests exist only while the banks serve
+//! them. This module gives the repository the same shape. Two seams
+//! meet in the middle:
+//!
+//! * a [`SuperstepSource`] is anything the engine can *pull* supersteps
+//!   from one at a time ([`Session::run_stream`]): a trace file read
+//!   off disk step by step ([`crate::tracefile::TraceFileReader`]), a
+//!   materialized trace ([`TraceSource`]), or the consumer end of a
+//!   bounded channel ([`ChannelSource`]);
+//! * a [`StepSink`] is anything a producer can *push* supersteps into:
+//!   a session executing them on the spot ([`SessionSink`]), a
+//!   collector materializing them ([`CollectSink`]), a trace-file
+//!   writer, or the producer end of a bounded channel ([`ChannelSink`]).
+//!
+//! Every hand-off recycles buffers: `fill_next` overwrites a
+//! caller-owned [`TraceStep`], and `emit` returns a spent step for the
+//! producer to refill, so after warm-up no allocation happens at all —
+//! peak memory is O(one superstep) regardless of trace length.
+//!
+//! [`run_overlapped`] connects a producer closure to a session through
+//! a bounded channel on a second thread: trace *generation* overlaps
+//! trace *execution*, with results bit-identical to the single-threaded
+//! run because the consumer steps supersteps in production order.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use dxbsp_core::BankMap;
+
+use crate::engine::{Backend, Session};
+use crate::trace::{Trace, TraceStep};
+
+/// A pull-based stream of supersteps.
+pub trait SuperstepSource {
+    /// Overwrites `step` with the next superstep, reusing its buffers,
+    /// and returns `true`; returns `false` when the stream is
+    /// exhausted (leaving `step` in an unspecified recycled state).
+    fn fill_next(&mut self, step: &mut TraceStep) -> bool;
+}
+
+/// A push-based consumer of supersteps.
+pub trait StepSink {
+    /// Consumes one superstep. The returned [`TraceStep`] is a recycled
+    /// buffer (typically a previously consumed step) for the producer
+    /// to refill — the hand-over-hand exchange that keeps steady-state
+    /// allocation at zero.
+    fn emit(&mut self, step: TraceStep) -> TraceStep;
+}
+
+/// What one streamed run amounted to — the totals accrued by a
+/// [`Session::run_stream`] call (also the per-call deltas of the
+/// session's cumulative counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Memory requests executed.
+    pub requests: usize,
+    /// Total cycles: per-step memory time + local work + one
+    /// `sync_overhead` per superstep.
+    pub cycles: u64,
+    /// Cycles attributable to memory alone.
+    pub memory_cycles: u64,
+}
+
+/// Streams a materialized [`Trace`] — the adapter that lets stored
+/// traces ride the same seam as generated ones.
+#[derive(Debug)]
+pub struct TraceSource<'t> {
+    steps: std::slice::Iter<'t, TraceStep>,
+}
+
+impl<'t> TraceSource<'t> {
+    /// A source yielding `trace`'s steps in order.
+    #[must_use]
+    pub fn new(trace: &'t Trace) -> Self {
+        Self { steps: trace.iter() }
+    }
+}
+
+impl SuperstepSource for TraceSource<'_> {
+    fn fill_next(&mut self, step: &mut TraceStep) -> bool {
+        match self.steps.next() {
+            Some(s) => {
+                step.copy_from(s);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A sink that executes every step on a [`Session`] the moment it
+/// arrives — the push-side twin of [`Session::run_stream`], used by
+/// producers (like the algo tracer) that drive the hand-off themselves.
+pub struct SessionSink<'a, B: Backend> {
+    session: &'a mut Session<B>,
+    map: &'a dyn BankMap,
+}
+
+impl<B: Backend + std::fmt::Debug> std::fmt::Debug for SessionSink<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionSink").field("session", &self.session).finish_non_exhaustive()
+    }
+}
+
+impl<'a, B: Backend> SessionSink<'a, B> {
+    /// A sink stepping every emitted superstep through `session` under
+    /// `map`.
+    pub fn new(session: &'a mut Session<B>, map: &'a dyn BankMap) -> Self {
+        Self { session, map }
+    }
+
+    /// The wrapped session.
+    #[must_use]
+    pub fn session(&self) -> &Session<B> {
+        self.session
+    }
+}
+
+impl<B: Backend> StepSink for SessionSink<'_, B> {
+    fn emit(&mut self, mut step: TraceStep) -> TraceStep {
+        self.session.step_with_local(&step.pattern, self.map, step.local_work);
+        step.recycle();
+        step
+    }
+}
+
+/// A sink that materializes the stream into a [`Trace`] — the bridge
+/// back from streaming to the stored-trace world (differential oracles,
+/// trace capture).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    steps: Trace,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.steps
+    }
+}
+
+impl StepSink for CollectSink {
+    fn emit(&mut self, step: TraceStep) -> TraceStep {
+        self.steps.push(step);
+        TraceStep::default()
+    }
+}
+
+/// The producer end of a bounded superstep channel (see
+/// [`step_channel`]). Emitting blocks once `depth` steps are in
+/// flight, so the producer can run at most `depth` supersteps ahead of
+/// the consumer — bounded memory even with an unboundedly fast
+/// producer. Dropping the sink ends the stream.
+#[derive(Debug)]
+pub struct ChannelSink {
+    data: SyncSender<TraceStep>,
+    free: Receiver<TraceStep>,
+}
+
+impl StepSink for ChannelSink {
+    fn emit(&mut self, step: TraceStep) -> TraceStep {
+        self.data.send(step).expect("superstep consumer hung up");
+        // Recycle a spent buffer from the consumer if one has come
+        // back; otherwise start a fresh one (only happens while the
+        // pipeline warms up).
+        self.free.try_recv().unwrap_or_default()
+    }
+}
+
+/// The consumer end of a bounded superstep channel (see
+/// [`step_channel`]): a [`SuperstepSource`] that pulls steps in
+/// production order and returns spent buffers to the producer.
+#[derive(Debug)]
+pub struct ChannelSource {
+    data: Receiver<TraceStep>,
+    free: SyncSender<TraceStep>,
+}
+
+impl SuperstepSource for ChannelSource {
+    fn fill_next(&mut self, step: &mut TraceStep) -> bool {
+        match self.data.recv() {
+            Ok(mut got) => {
+                std::mem::swap(step, &mut got);
+                got.recycle();
+                // Hand the spent buffer back; if the return lane is
+                // full (producer far behind on pickups) just drop it.
+                let _ = self.free.try_send(got);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// A bounded producer/consumer channel of supersteps with a buffer
+/// return lane: at most `depth` steps are ever in flight, and spent
+/// step buffers circulate back to the producer so the steady state
+/// allocates nothing.
+#[must_use]
+pub fn step_channel(depth: usize) -> (ChannelSink, ChannelSource) {
+    let depth = depth.max(1);
+    let (data_tx, data_rx) = sync_channel(depth);
+    // Room for every in-flight buffer plus the endpoints' working
+    // copies, so returns are non-blocking in practice.
+    let (free_tx, free_rx) = sync_channel(depth + 2);
+    (ChannelSink { data: data_tx, free: free_rx }, ChannelSource { data: data_rx, free: free_tx })
+}
+
+/// Runs `produce` on a second thread, streaming its supersteps through
+/// a bounded channel of `depth` steps into `session` on the calling
+/// thread — trace generation overlapped with execution.
+///
+/// The consumer executes steps strictly in production order, so the
+/// session totals are bit-identical to a single-threaded
+/// [`Session::run_stream`] over the same stream; only wall-clock time
+/// changes. The producer's return value is handed back alongside the
+/// run's [`StreamSummary`].
+///
+/// # Panics
+///
+/// Panics if the producer thread panics.
+pub fn run_overlapped<B, T, F>(
+    session: &mut Session<B>,
+    map: &dyn BankMap,
+    depth: usize,
+    produce: F,
+) -> (T, StreamSummary)
+where
+    B: Backend,
+    T: Send,
+    F: FnOnce(&mut dyn StepSink) -> T + Send,
+{
+    let (mut sink, mut source) = step_channel(depth);
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            let out = produce(&mut sink);
+            drop(sink); // closes the channel: the consumer sees the end
+            out
+        });
+        let summary = session.run_stream(&mut source, map);
+        (producer.join().expect("superstep producer panicked"), summary)
+    })
+}
+
+/// Drains any stragglers from a source into a sink (a utility for
+/// adapters that bridge the two seams).
+pub fn pump(source: &mut dyn SuperstepSource, sink: &mut dyn StepSink) -> usize {
+    let mut step = TraceStep::default();
+    let mut moved = 0;
+    while source.fill_next(&mut step) {
+        step = sink.emit(std::mem::take(&mut step));
+        moved += 1;
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::SimulatorBackend;
+    use dxbsp_core::{AccessPattern, Interleaved};
+
+    fn toy_trace(steps: usize) -> Trace {
+        (0..steps)
+            .map(|i| {
+                let pat = AccessPattern::scatter(2, &[i as u64 % 4, 0]);
+                TraceStep::new(pat).labeled(format!("s{i}")).with_local_work(i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_source_replays_steps_in_order() {
+        let trace = toy_trace(5);
+        let mut source = TraceSource::new(&trace);
+        let mut step = TraceStep::default();
+        let mut seen = Vec::new();
+        while source.fill_next(&mut step) {
+            seen.push(step.label.clone());
+        }
+        assert_eq!(seen, vec!["s0", "s1", "s2", "s3", "s4"]);
+        assert!(!source.fill_next(&mut step), "exhausted source must stay exhausted");
+    }
+
+    #[test]
+    fn collect_sink_materializes_the_stream() {
+        let trace = toy_trace(4);
+        let mut source = TraceSource::new(&trace);
+        let mut sink = CollectSink::new();
+        assert_eq!(pump(&mut source, &mut sink), 4);
+        assert_eq!(sink.into_trace(), trace);
+    }
+
+    #[test]
+    fn channel_round_trips_and_recycles_buffers() {
+        let trace = toy_trace(8);
+        let (mut sink, mut source) = step_channel(2);
+        let collected = std::thread::scope(|scope| {
+            let consumer = scope.spawn(move || {
+                let mut out = CollectSink::new();
+                let mut step = TraceStep::default();
+                while source.fill_next(&mut step) {
+                    step = out.emit(std::mem::take(&mut step));
+                }
+                out.into_trace()
+            });
+            let mut buf = TraceStep::default();
+            for s in &trace {
+                buf.copy_from(s);
+                buf = sink.emit(std::mem::take(&mut buf));
+            }
+            drop(sink);
+            consumer.join().expect("consumer")
+        });
+        assert_eq!(collected, trace);
+    }
+
+    #[test]
+    fn session_sink_matches_run_trace() {
+        let cfg = SimConfig::new(2, 8, 6).with_sync_overhead(3);
+        let map = Interleaved::new(8);
+        let trace = toy_trace(6);
+
+        let mut materialized = Session::new(SimulatorBackend::new(cfg));
+        materialized.run_trace(&trace, &map);
+
+        let mut streamed = Session::new(SimulatorBackend::new(cfg));
+        {
+            let mut sink = SessionSink::new(&mut streamed, &map);
+            let mut source = TraceSource::new(&trace);
+            pump(&mut source, &mut sink);
+        }
+        assert_eq!(streamed.cycles(), materialized.cycles());
+        assert_eq!(streamed.requests(), materialized.requests());
+        assert_eq!(streamed.bank_totals(), materialized.bank_totals());
+        assert_eq!(streamed.proc_totals(), materialized.proc_totals());
+    }
+
+    #[test]
+    fn overlapped_run_is_bit_identical_to_sequential() {
+        let cfg = SimConfig::new(2, 8, 6).with_sync_overhead(5);
+        let map = Interleaved::new(8);
+        let trace = toy_trace(32);
+
+        let mut sequential = Session::new(SimulatorBackend::new(cfg));
+        let mut source = TraceSource::new(&trace);
+        let seq = sequential.run_stream(&mut source, &map);
+
+        let mut overlapped = Session::new(SimulatorBackend::new(cfg));
+        let ((), ovl) = run_overlapped(&mut overlapped, &map, 4, |sink| {
+            let mut buf = TraceStep::default();
+            for s in &trace {
+                buf.copy_from(s);
+                buf = sink.emit(std::mem::take(&mut buf));
+            }
+        });
+        assert_eq!(seq, ovl);
+        assert_eq!(sequential.cycles(), overlapped.cycles());
+        assert_eq!(sequential.bank_totals(), overlapped.bank_totals());
+        assert_eq!(sequential.proc_totals(), overlapped.proc_totals());
+    }
+
+    #[test]
+    fn empty_stream_is_free() {
+        let cfg = SimConfig::new(2, 8, 6);
+        let map = Interleaved::new(8);
+        let mut session = Session::new(SimulatorBackend::new(cfg));
+        let trace = Trace::new();
+        let summary = session.run_stream(&mut TraceSource::new(&trace), &map);
+        assert_eq!(summary, StreamSummary::default());
+        assert_eq!(session.supersteps(), 0);
+    }
+}

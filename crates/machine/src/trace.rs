@@ -47,6 +47,24 @@ impl TraceStep {
         self.local_work = cycles;
         self
     }
+
+    /// Empties the step for refilling — pattern cleared (allocations
+    /// kept), local work zeroed, label truncated. The recycling hook of
+    /// the streaming pipeline.
+    pub fn recycle(&mut self) {
+        self.pattern.clear();
+        self.local_work = 0;
+        self.label.clear();
+    }
+
+    /// Overwrites this step with a copy of `other`, reusing this step's
+    /// allocations where they suffice.
+    pub fn copy_from(&mut self, other: &TraceStep) {
+        self.pattern.copy_from(&other.pattern);
+        self.local_work = other.local_work;
+        self.label.clear();
+        self.label.push_str(&other.label);
+    }
 }
 
 /// A sequence of supersteps.

@@ -15,10 +15,13 @@
 //!           request count u32 | requests: (proc u32, addr u64, kind u8)
 //! ```
 
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use dxbsp_core::{AccessKind, AccessPattern, Request};
 
+use crate::stream::SuperstepSource;
 use crate::trace::{Trace, TraceStep};
 
 /// Magic bytes identifying a trace file.
@@ -41,6 +44,9 @@ pub enum TraceFileError {
     BadKind(u8),
     /// A step declares zero processors.
     BadProcs,
+    /// An underlying I/O failure while streaming (carried as a message
+    /// so the error stays comparable).
+    Io(String),
 }
 
 impl std::fmt::Display for TraceFileError {
@@ -52,6 +58,7 @@ impl std::fmt::Display for TraceFileError {
             TraceFileError::BadLabel => write!(f, "step label is not valid UTF-8"),
             TraceFileError::BadKind(k) => write!(f, "invalid request kind byte {k}"),
             TraceFileError::BadProcs => write!(f, "step declares zero processors"),
+            TraceFileError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -68,21 +75,27 @@ pub fn encode_trace(trace: &Trace) -> Bytes {
     buf.put_u32_le(VERSION);
     buf.put_u32_le(u32::try_from(trace.len()).expect("trace step count fits u32"));
     for step in trace {
-        buf.put_u32_le(u32::try_from(step.pattern.procs()).expect("procs fits u32"));
-        buf.put_u64_le(step.local_work);
-        buf.put_u16_le(u16::try_from(step.label.len()).expect("label fits u16"));
-        buf.put_slice(step.label.as_bytes());
-        buf.put_u32_le(u32::try_from(step.pattern.len()).expect("request count fits u32"));
-        for r in step.pattern.requests() {
-            buf.put_u32_le(u32::try_from(r.proc).expect("proc fits u32"));
-            buf.put_u64_le(r.addr);
-            buf.put_u8(match r.kind {
-                AccessKind::Read => 0,
-                AccessKind::Write => 1,
-            });
-        }
+        encode_step(&mut buf, step);
     }
     buf.freeze()
+}
+
+/// Appends one step's encoding to `buf` (the per-step body shared by
+/// [`encode_trace`] and [`TraceFileWriter`]).
+fn encode_step(buf: &mut BytesMut, step: &TraceStep) {
+    buf.put_u32_le(u32::try_from(step.pattern.procs()).expect("procs fits u32"));
+    buf.put_u64_le(step.local_work);
+    buf.put_u16_le(u16::try_from(step.label.len()).expect("label fits u16"));
+    buf.put_slice(step.label.as_bytes());
+    buf.put_u32_le(u32::try_from(step.pattern.len()).expect("request count fits u32"));
+    for r in step.pattern.requests() {
+        buf.put_u32_le(u32::try_from(r.proc).expect("proc fits u32"));
+        buf.put_u64_le(r.addr);
+        buf.put_u8(match r.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+    }
 }
 
 /// Decodes a trace.
@@ -168,6 +181,228 @@ pub fn load_trace(path: &std::path::Path) -> std::io::Result<Trace> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// Maps a streaming-read failure onto the decode error vocabulary: a
+/// clean end-of-file mid-structure is a truncation, anything else is a
+/// transport failure.
+fn io_to_trace_error(e: &std::io::Error) -> TraceFileError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        TraceFileError::Truncated
+    } else {
+        TraceFileError::Io(e.to_string())
+    }
+}
+
+fn read_exact_or<R: Read>(inner: &mut R, buf: &mut [u8]) -> Result<(), TraceFileError> {
+    inner.read_exact(buf).map_err(|e| io_to_trace_error(&e))
+}
+
+/// Requests decoded per batch while streaming a step — bounds the
+/// reader's scratch buffer (13 bytes each) no matter what request count
+/// a (possibly hostile) header declares.
+const READ_BATCH: usize = 1 << 16;
+
+/// Streams a trace file step by step, never holding more than one
+/// superstep (plus a bounded scratch buffer) in memory — the
+/// [`SuperstepSource`] the replay tools use so multi-gigabyte traces
+/// replay in O(one superstep) space.
+///
+/// Decoding and I/O failures are stashed ([`TraceFileReader::error`])
+/// when driven through the infallible [`SuperstepSource`] seam; callers
+/// check after the stream ends. The explicit
+/// [`read_step`](TraceFileReader::read_step) API surfaces them
+/// directly.
+#[derive(Debug)]
+pub struct TraceFileReader<R: Read> {
+    inner: R,
+    declared: usize,
+    remaining: usize,
+    buf: Vec<u8>,
+    error: Option<TraceFileError>,
+}
+
+impl TraceFileReader<BufReader<std::fs::File>> {
+    /// Opens `path` and validates the file header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::Io`] if the file cannot be opened, plus any
+    /// header validation failure from [`TraceFileReader::new`].
+    pub fn open(path: &std::path::Path) -> Result<Self, TraceFileError> {
+        let file = std::fs::File::open(path).map_err(|e| TraceFileError::Io(e.to_string()))?;
+        Self::new(BufReader::new(file))
+    }
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Wraps a byte stream, reading and validating the file header.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceFileError`] the header bytes earn.
+    pub fn new(mut inner: R) -> Result<Self, TraceFileError> {
+        let mut header = [0u8; 12];
+        read_exact_or(&mut inner, &mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(TraceFileError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(TraceFileError::BadVersion(version));
+        }
+        let declared = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        Ok(Self { inner, declared, remaining: declared, buf: Vec::new(), error: None })
+    }
+
+    /// The step count the file header declares.
+    #[must_use]
+    pub fn declared_steps(&self) -> usize {
+        self.declared
+    }
+
+    /// The first error hit while streaming through the
+    /// [`SuperstepSource`] seam, if any. A stream that ends with
+    /// `error().is_none()` delivered every declared step intact.
+    #[must_use]
+    pub fn error(&self) -> Option<&TraceFileError> {
+        self.error.as_ref()
+    }
+
+    /// Reads the next step into `step` (reusing its buffers). Returns
+    /// `Ok(false)` at the clean end of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceFileError`]; [`TraceFileError::Truncated`] when the
+    /// file ends mid-step.
+    pub fn read_step(&mut self, step: &mut TraceStep) -> Result<bool, TraceFileError> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        let mut header = [0u8; 14];
+        read_exact_or(&mut self.inner, &mut header)?;
+        let procs = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        if procs == 0 {
+            return Err(TraceFileError::BadProcs);
+        }
+        step.local_work = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let label_len = u16::from_le_bytes(header[12..14].try_into().expect("2 bytes")) as usize;
+        self.buf.resize(label_len, 0);
+        read_exact_or(&mut self.inner, &mut self.buf)?;
+        let label = std::str::from_utf8(&self.buf).map_err(|_| TraceFileError::BadLabel)?;
+        step.label.clear();
+        step.label.push_str(label);
+
+        let mut count = [0u8; 4];
+        read_exact_or(&mut self.inner, &mut count)?;
+        let mut requests = u32::from_le_bytes(count) as usize;
+        step.pattern.reset(procs);
+        while requests > 0 {
+            let batch = requests.min(READ_BATCH);
+            self.buf.resize(13 * batch, 0);
+            read_exact_or(&mut self.inner, &mut self.buf)?;
+            for rec in self.buf.chunks_exact(13) {
+                let proc = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")) as usize;
+                let addr = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+                match rec[12] {
+                    0 => step.pattern.push_read(proc % procs, addr),
+                    1 => step.pattern.push_write(proc % procs, addr),
+                    other => return Err(TraceFileError::BadKind(other)),
+                }
+            }
+            requests -= batch;
+        }
+        self.remaining -= 1;
+        Ok(true)
+    }
+}
+
+impl<R: Read> SuperstepSource for TraceFileReader<R> {
+    fn fill_next(&mut self, step: &mut TraceStep) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        match self.read_step(step) {
+            Ok(more) => more,
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+}
+
+/// Writes a trace file step by step, so producers can stream captures
+/// to disk without materializing the trace. The header's step count is
+/// back-patched on [`finish`](TraceFileWriter::finish) (the output must
+/// therefore be seekable).
+#[derive(Debug)]
+pub struct TraceFileWriter<W: Write + Seek> {
+    inner: W,
+    steps: u32,
+    buf: BytesMut,
+}
+
+impl TraceFileWriter<BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and writes the file header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::new(BufWriter::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Seek> TraceFileWriter<W> {
+    /// Wraps a seekable byte sink and writes the file header (with a
+    /// zero step count, patched on finish).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn new(mut inner: W) -> std::io::Result<Self> {
+        inner.write_all(MAGIC)?;
+        inner.write_all(&VERSION.to_le_bytes())?;
+        inner.write_all(&0u32.to_le_bytes())?;
+        Ok(Self { inner, steps: 0, buf: BytesMut::new() })
+    }
+
+    /// Steps written so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps as usize
+    }
+
+    /// Appends one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace exceeds `u32::MAX` steps.
+    pub fn write_step(&mut self, step: &TraceStep) -> std::io::Result<()> {
+        self.buf.clear();
+        encode_step(&mut self.buf, step);
+        self.inner.write_all(&self.buf)?;
+        self.steps = self.steps.checked_add(1).expect("trace step count fits u32");
+        Ok(())
+    }
+
+    /// Patches the header's step count, flushes, and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.inner.seek(SeekFrom::Start(8))?;
+        self.inner.write_all(&self.steps.to_le_bytes())?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +473,75 @@ mod tests {
         save_trace(&path, &trace).unwrap();
         let back = load_trace(&path).unwrap();
         assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_reader_matches_bulk_decode() {
+        let trace = sample_trace();
+        let bytes = encode_trace(&trace);
+        let mut reader = TraceFileReader::new(&bytes[..]).expect("header");
+        assert_eq!(reader.declared_steps(), 2);
+        let mut step = TraceStep::default();
+        let mut streamed = Vec::new();
+        while reader.read_step(&mut step).expect("step") {
+            streamed.push(step.clone());
+        }
+        assert_eq!(streamed, trace);
+        assert!(reader.error().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_stashes_truncation() {
+        use crate::stream::SuperstepSource;
+        let bytes = encode_trace(&sample_trace());
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = TraceFileReader::new(cut).expect("header survives");
+        let mut step = TraceStep::default();
+        let mut delivered = 0;
+        while reader.fill_next(&mut step) {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 1, "only the intact step streams");
+        assert_eq!(reader.error(), Some(&TraceFileError::Truncated));
+    }
+
+    #[test]
+    fn streaming_writer_round_trips_through_both_decoders() {
+        let trace = sample_trace();
+        let mut writer =
+            TraceFileWriter::new(std::io::Cursor::new(Vec::new())).expect("header write");
+        for step in &trace {
+            writer.write_step(step).expect("step write");
+        }
+        assert_eq!(writer.steps(), 2);
+        let bytes = writer.finish().expect("finish").into_inner();
+        assert_eq!(bytes, encode_trace(&trace).to_vec(), "byte-identical to bulk encode");
+        assert_eq!(decode_trace(&bytes).expect("decode"), trace);
+    }
+
+    #[test]
+    fn file_streams_through_run_stream_like_a_replay() {
+        use crate::engine::{replay, Session, SimulatorBackend};
+        use crate::{SimConfig, TraceFileReader};
+        use dxbsp_core::Interleaved;
+        let dir = std::env::temp_dir().join("dxbsp-tracefile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streamed.dxtr");
+        let trace = sample_trace();
+        save_trace(&path, &trace).unwrap();
+
+        let cfg = SimConfig::new(4, 8, 6).with_sync_overhead(2);
+        let map = Interleaved::new(8);
+        let oracle = replay(&mut SimulatorBackend::new(cfg), &trace, &map);
+
+        let mut reader = TraceFileReader::open(&path).unwrap();
+        let mut session = Session::new(SimulatorBackend::new(cfg));
+        let summary = session.run_stream(&mut reader, &map);
+        assert!(reader.error().is_none());
+        assert_eq!(summary.cycles, oracle.total_cycles);
+        assert_eq!(summary.requests, oracle.total_requests);
+        assert_eq!(summary.supersteps, trace.len());
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,7 +19,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use dxbsp_core::{AccessPattern, CostModel, MachineParams, Request};
+use dxbsp_core::{CostModel, MachineParams, Request};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{ModelBackend, Session, SimulatorBackend};
 
@@ -128,9 +128,14 @@ impl Emulator {
         let mut predicted = 0u64;
         let mut measured = 0u64;
 
+        // Phase buffers come from the measured session's pool: after
+        // the first step every PRAM step reuses the same two patterns,
+        // so emulation allocates nothing per step.
+        let mut reads = self.measured.pool().acquire(p);
+        let mut writes = self.measured.pool().acquire(p);
         for step in prog.steps() {
-            let mut reads = AccessPattern::with_capacity(p, step.memory_ops());
-            let mut writes = AccessPattern::with_capacity(p, step.memory_ops());
+            reads.reset(p);
+            writes.reset(p);
             let mut local = vec![0u64; p];
             for v in 0..n {
                 let host = self.host_of(v, n);
@@ -156,6 +161,8 @@ impl Emulator {
             measured += meas;
             per_step.push((step.time(CostRule::Qrqw), pred, meas));
         }
+        self.measured.pool().release(reads);
+        self.measured.pool().release(writes);
 
         EmulationReport {
             machine: self.machine,

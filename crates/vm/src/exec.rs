@@ -108,10 +108,17 @@ impl Executor {
         lane % self.machine.p
     }
 
-    fn charge(&mut self, label: &'static str, pattern: &AccessPattern) {
+    /// A pattern buffer from the session pool: after the first few ops
+    /// every op recycles an old buffer, so steady-state execution
+    /// allocates nothing per superstep.
+    fn pattern(&self) -> AccessPattern {
+        self.session.pool().acquire(self.machine.p)
+    }
+
+    fn charge(&mut self, label: &'static str, pattern: AccessPattern) {
         // The session adds `sync_overhead = L` per superstep itself;
         // the per-op record carries the same total.
-        let out = self.session.step(pattern, &self.map);
+        let out = self.session.step(&pattern, &self.map);
         let prof = pattern.contention_profile();
         self.costs.push(OpCost {
             label,
@@ -119,13 +126,14 @@ impl Executor {
             max_contention: prof.max_location_contention,
             cycles: out.cycles + self.machine.l,
         });
+        self.session.pool().release(pattern);
     }
 
     /// Dense read sweep of `h` plus optional dense write of `dst`
     /// charged as one superstep.
     fn charge_map_op(&mut self, label: &'static str, srcs: &[VecHandle], dst: VecHandle) {
         let n = self.len(dst);
-        let mut pat = AccessPattern::with_capacity(self.machine.p, n * (srcs.len() + 1));
+        let mut pat = self.pattern();
         for lane in 0..n {
             let proc = self.lane_proc(lane);
             for &s in srcs {
@@ -133,7 +141,7 @@ impl Executor {
             }
             pat.push(Request::write(proc, self.vectors[dst.0].base + lane as u64));
         }
-        self.charge(label, &pat);
+        self.charge(label, pat);
     }
 
     /// Uploads host data into a fresh vector (charged as a write sweep).
@@ -141,11 +149,11 @@ impl Executor {
         let h = self.alloc(values.len());
         self.vectors[h.0].data.copy_from_slice(values);
         let base = self.vectors[h.0].base;
-        let mut pat = AccessPattern::with_capacity(self.machine.p, values.len());
+        let mut pat = self.pattern();
         for lane in 0..values.len() {
             pat.push(Request::write(self.lane_proc(lane), base + lane as u64));
         }
-        self.charge("constant", &pat);
+        self.charge("constant", pat);
         h
     }
 
@@ -176,22 +184,22 @@ impl Executor {
     fn charge_write_sweep(&mut self, label: &'static str, h: VecHandle) {
         let n = self.len(h);
         let base = self.vectors[h.0].base;
-        let mut pat = AccessPattern::with_capacity(self.machine.p, n);
+        let mut pat = self.pattern();
         for lane in 0..n {
             pat.push(Request::write(self.lane_proc(lane), base + lane as u64));
         }
-        self.charge(label, &pat);
+        self.charge(label, pat);
     }
 
     /// Reads a vector back to the host (charged as a read sweep).
     pub fn read_back(&mut self, h: VecHandle) -> Vec<u64> {
         let n = self.len(h);
         let base = self.vectors[h.0].base;
-        let mut pat = AccessPattern::with_capacity(self.machine.p, n);
+        let mut pat = self.pattern();
         for lane in 0..n {
             pat.push(Request::read(self.lane_proc(lane), base + lane as u64));
         }
-        self.charge("read-back", &pat);
+        self.charge("read-back", pat);
         self.vectors[h.0].data.clone()
     }
 
@@ -247,7 +255,7 @@ impl Executor {
         let dst = self.alloc(n);
         let src_base = self.vectors[src.0].base;
         let src_len = self.len(src);
-        let mut pat = AccessPattern::with_capacity(self.machine.p, 3 * n);
+        let mut pat = self.pattern();
         for lane in 0..n {
             let proc = self.lane_proc(lane);
             let j = self.vectors[idx.0].data[lane];
@@ -257,7 +265,7 @@ impl Executor {
             pat.push(Request::write(proc, self.vectors[dst.0].base + lane as u64));
             self.vectors[dst.0].data[lane] = self.vectors[src.0].data[j as usize];
         }
-        self.charge("gather", &pat);
+        self.charge("gather", pat);
         dst
     }
 
@@ -272,7 +280,7 @@ impl Executor {
         let n = self.len(idx);
         assert_eq!(self.len(src), n, "scatter length mismatch");
         let dst_len = self.len(dst);
-        let mut pat = AccessPattern::with_capacity(self.machine.p, 3 * n);
+        let mut pat = self.pattern();
         for lane in 0..n {
             let proc = self.lane_proc(lane);
             let j = self.vectors[idx.0].data[lane];
@@ -283,7 +291,7 @@ impl Executor {
             let v = self.vectors[src.0].data[lane];
             self.vectors[dst.0].data[j as usize] = v;
         }
-        self.charge("scatter", &pat);
+        self.charge("scatter", pat);
     }
 
     /// Exclusive scan with monoid `op`.
@@ -338,7 +346,7 @@ impl Executor {
         let totals = self.next_addr;
         self.next_addr += p as u64;
 
-        let mut pass1 = AccessPattern::with_capacity(p, 2 * n + p);
+        let mut pass1 = self.pattern();
         for lane in 0..n {
             let proc = self.lane_proc(lane);
             pass1.push(Request::read(proc, self.vectors[src.0].base + lane as u64));
@@ -349,9 +357,9 @@ impl Executor {
         for proc in 0..p {
             pass1.push(Request::write(proc, totals + proc as u64));
         }
-        self.charge(label, &pass1);
+        self.charge(label, pass1);
 
-        let mut pass2 = AccessPattern::with_capacity(p, n + p);
+        let mut pass2 = self.pattern();
         for proc in 0..p {
             pass2.push(Request::read(proc, totals + proc as u64));
         }
@@ -359,7 +367,7 @@ impl Executor {
             pass2
                 .push(Request::write(self.lane_proc(lane), self.vectors[dst.0].base + lane as u64));
         }
-        self.charge(label, &pass2);
+        self.charge(label, pass2);
     }
 
     /// Stream compaction: the elements of `src` whose flag is nonzero,
@@ -381,7 +389,7 @@ impl Executor {
         let dst = self.alloc(kept.len());
         self.vectors[dst.0].data.copy_from_slice(&kept);
         let _ = offsets; // the scan above carries the ranking cost
-        let mut pat = AccessPattern::with_capacity(self.machine.p, 2 * kept.len());
+        let mut pat = self.pattern();
         let mut out = 0usize;
         for lane in 0..n {
             if self.vectors[flags.0].data[lane] != 0 {
@@ -391,7 +399,7 @@ impl Executor {
                 out += 1;
             }
         }
-        self.charge("pack", &pat);
+        self.charge("pack", pat);
         dst
     }
 
@@ -412,14 +420,16 @@ impl Executor {
         let mut width = n;
         while width > 1 {
             let half = width.div_ceil(2);
-            let mut pat = AccessPattern::with_capacity(self.machine.p, width);
+            let mut pat = self.pattern();
             for i in 0..(width - half) {
                 let proc = self.lane_proc(i);
                 pat.push(Request::read(proc, scratch + (half + i) as u64));
                 pat.push(Request::write(proc, scratch + i as u64));
             }
-            if !pat.is_empty() {
-                self.charge("reduce", &pat);
+            if pat.is_empty() {
+                self.session.pool().release(pat);
+            } else {
+                self.charge("reduce", pat);
             }
             width = half;
         }
@@ -583,6 +593,21 @@ mod tests {
             last = vm.cycles();
         }
         assert_eq!(vm.costs().iter().filter(|c| c.label == "binop").count(), 3);
+    }
+
+    #[test]
+    fn ops_recycle_one_pattern_buffer() {
+        let mut vm = vm();
+        let a = vm.constant(&[1; 256]);
+        let b = vm.iota(256);
+        for _ in 0..20 {
+            let c = vm.binop(BinOp::Add, a, b);
+            let s = vm.scan_exclusive(BinOp::Add, c);
+            let _ = vm.reduce(BinOp::Max, s);
+        }
+        // Every op drew its pattern from the session pool and returned
+        // it; only the very first acquire allocated.
+        assert_eq!(vm.session().pool().allocations(), 1);
     }
 
     #[test]

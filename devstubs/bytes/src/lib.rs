@@ -64,6 +64,10 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
 }
 
 impl Deref for BytesMut {

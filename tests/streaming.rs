@@ -1,0 +1,315 @@
+//! Differential tests of the streaming superstep pipeline.
+//!
+//! Every algorithm is executed twice over: once materializing its
+//! trace and replaying it (`TraceBuilder::new` → `Session::run_trace`),
+//! and once streaming each superstep into the session the moment its
+//! barrier fires (`TraceBuilder::streaming` over a `SessionSink`). The
+//! two paths must be bit-identical — same cycles, same request counts,
+//! same per-bank and per-processor totals — or the streaming pipeline
+//! is not the same machine.
+//!
+//! A proptest additionally pits the overlapped two-thread mode
+//! (`run_overlapped`, generation on one thread, execution on the
+//! other) against a single-threaded `run_stream` on arbitrary traces.
+
+use std::collections::HashMap;
+
+use dxbsp::algos::{
+    binary_search, connected, list_ranking, merge, multiprefix, radix_sort, random_perm,
+    sample_sort, scan, scatter_gather, spmv, TraceBuilder,
+};
+use dxbsp::machine::{
+    run_overlapped, Session, SessionSink, SimulatorBackend, TraceSource, TraceStep,
+};
+use dxbsp::model::{AccessPattern, Interleaved, MachineParams};
+use dxbsp::workloads::{CsrMatrix, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PROCS: usize = 8;
+
+/// A J90-flavoured machine with a nonzero barrier cost, so the
+/// per-superstep `L` accounting is exercised too.
+fn machine() -> MachineParams {
+    MachineParams::new(PROCS, 1, 5, 14, 32)
+}
+
+/// Runs `generate` twice — once collecting then replaying the
+/// materialized trace, once streaming every superstep straight into a
+/// session — and requires bit-identical session totals.
+fn assert_streaming_matches_materialized(name: &str, generate: impl Fn(&mut TraceBuilder)) {
+    let m = machine();
+    let map = Interleaved::new(m.banks());
+
+    let mut tb = TraceBuilder::new(m.p);
+    generate(&mut tb);
+    let trace = tb.finish();
+    let mut materialized = Session::new(SimulatorBackend::from_params(&m));
+    materialized.run_trace(&trace, &map);
+
+    let mut streamed = Session::new(SimulatorBackend::from_params(&m));
+    {
+        let mut sink = SessionSink::new(&mut streamed, &map);
+        let mut tb = TraceBuilder::streaming(m.p, &mut sink);
+        generate(&mut tb);
+        let _ = tb.finish();
+    }
+
+    assert_eq!(streamed.supersteps(), materialized.supersteps(), "{name}: superstep count");
+    assert_eq!(streamed.cycles(), materialized.cycles(), "{name}: total cycles");
+    assert_eq!(streamed.memory_cycles(), materialized.memory_cycles(), "{name}: memory cycles");
+    assert_eq!(streamed.requests(), materialized.requests(), "{name}: request count");
+    assert_eq!(streamed.bank_totals(), materialized.bank_totals(), "{name}: per-bank stats");
+    assert_eq!(streamed.proc_totals(), materialized.proc_totals(), "{name}: per-proc stats");
+}
+
+#[test]
+fn scan_streams_identically() {
+    assert_streaming_matches_materialized("scan", |tb| {
+        let a = tb.alloc(2048);
+        scan::trace_scan(tb, a, 2048, "scan");
+    });
+}
+
+#[test]
+fn segmented_scan_streams_identically() {
+    assert_streaming_matches_materialized("segmented-scan", |tb| {
+        let a = tb.alloc(2048);
+        let flags = tb.alloc(2048);
+        scan::trace_segmented_scan(tb, a, flags, 2048, "segscan");
+    });
+}
+
+#[test]
+fn radix_sort_streams_identically() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys: Vec<u64> = (0..1024).map(|_| rng.random_range(0..1u64 << 32)).collect();
+    assert_streaming_matches_materialized("radix-sort", |tb| {
+        radix_sort::sort_with(tb, &keys, 8);
+    });
+}
+
+#[test]
+fn merge_streams_identically() {
+    let a: Vec<u64> = (0..512).map(|i| i * 3).collect();
+    let b: Vec<u64> = (0..512).map(|i| i * 5 + 1).collect();
+    assert_streaming_matches_materialized("merge", |tb| {
+        merge::merge_with(tb, &a, &b);
+    });
+}
+
+#[test]
+fn list_ranking_streams_identically() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let (succ, _head) = list_ranking::random_list(512, &mut rng);
+    assert_streaming_matches_materialized("wyllie", |tb| {
+        list_ranking::wyllie_with(tb, &succ);
+    });
+    assert_streaming_matches_materialized("wyllie-naive", |tb| {
+        list_ranking::wyllie_naive_with(tb, &succ);
+    });
+}
+
+#[test]
+fn binary_search_variants_stream_identically() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut keys: Vec<u64> = (0..1024).map(|_| rng.random_range(0..1u64 << 30)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let queries: Vec<u64> = (0..512).map(|_| rng.random_range(0..1u64 << 30)).collect();
+
+    assert_streaming_matches_materialized("binsearch-naive", |tb| {
+        binary_search::naive_with(tb, &keys, &queries);
+    });
+    assert_streaming_matches_materialized("binsearch-replicated", |tb| {
+        let mut rng = StdRng::seed_from_u64(19);
+        binary_search::replicated_with(tb, &keys, &queries, 8, true, &mut rng);
+    });
+    assert_streaming_matches_materialized("binsearch-erew", |tb| {
+        binary_search::erew_with(tb, &keys, &queries);
+    });
+}
+
+#[test]
+fn random_perm_variants_stream_identically() {
+    assert_streaming_matches_materialized("randperm-darts", |tb| {
+        let mut rng = StdRng::seed_from_u64(23);
+        random_perm::darts_with(tb, 1024, 1.5, &mut rng);
+    });
+    assert_streaming_matches_materialized("randperm-erew", |tb| {
+        let mut rng = StdRng::seed_from_u64(29);
+        random_perm::erew_with(tb, 1024, &mut rng);
+    });
+}
+
+#[test]
+fn sample_sort_streams_identically() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let keys: Vec<u64> = (0..1024).map(|_| rng.random_range(0..1u64 << 32)).collect();
+    assert_streaming_matches_materialized("sample-sort", |tb| {
+        let mut rng = StdRng::seed_from_u64(37);
+        sample_sort::sample_sort_with(tb, &keys, 8, 4, &mut rng);
+    });
+}
+
+#[test]
+fn connected_components_stream_identically() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = Graph::random_gnm(512, 1024, &mut rng);
+    assert_streaming_matches_materialized("cc-hook", |tb| {
+        connected::connected_with(tb, &g);
+    });
+    assert_streaming_matches_materialized("cc-random-mate", |tb| {
+        let mut rng = StdRng::seed_from_u64(43);
+        connected::random_mate_with(tb, &g, &mut rng);
+    });
+}
+
+#[test]
+fn multiprefix_variants_stream_identically() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let keys: Vec<u64> = (0..1024).map(|_| rng.random_range(0..32)).collect();
+    let values: Vec<u64> = (0..1024).map(|_| rng.random_range(0..100)).collect();
+    assert_streaming_matches_materialized("multiprefix-direct", |tb| {
+        multiprefix::direct_with(tb, &keys, &values);
+    });
+    assert_streaming_matches_materialized("multiprefix-sorted", |tb| {
+        multiprefix::sorted_with(tb, &keys, &values);
+    });
+}
+
+#[test]
+fn spmv_streams_identically() {
+    let mut rng = StdRng::seed_from_u64(53);
+    let a = CsrMatrix::random_with_dense_column(256, 256, 4, 64, &mut rng);
+    let x: Vec<f64> = (0..256).map(|i| i as f64).collect();
+    assert_streaming_matches_materialized("spmv", |tb| {
+        spmv::spmv_with(tb, &a, &x);
+    });
+}
+
+#[test]
+fn scatter_gather_pipelines_stream_identically() {
+    let m = machine();
+    let mut rng = StdRng::seed_from_u64(59);
+    let keys: Vec<u64> = (0..1024).map(|_| rng.random_range(0..64)).collect();
+    let values: Vec<u64> = (0..1024).collect();
+    assert_streaming_matches_materialized("scatter+gather", |tb| {
+        let src = scatter_gather::scatter_with(tb, &keys, &values);
+        scatter_gather::gather_with(tb, &keys, &src);
+    });
+    assert_streaming_matches_materialized("scatter-combining", |tb| {
+        scatter_gather::scatter_combining_with(tb, &keys, &values);
+    });
+    let src: HashMap<u64, u64> = keys.iter().map(|&k| (k, k * 2)).collect();
+    assert_streaming_matches_materialized("gather-duplicated", |tb| {
+        scatter_gather::gather_with_duplication_with(tb, &m, &keys, &src);
+    });
+}
+
+/// The overlapped producer/consumer mode on a real algorithm: trace
+/// generation runs on a second thread, execution on this one, and both
+/// the algorithm's value and the session totals must match the
+/// single-threaded streaming run.
+#[test]
+fn overlapped_radix_sort_matches_single_thread() {
+    let m = machine();
+    let map = Interleaved::new(m.banks());
+    let mut rng = StdRng::seed_from_u64(61);
+    let keys: Vec<u64> = (0..2048).map(|_| rng.random_range(0..1u64 << 40)).collect();
+
+    let mut sequential = Session::new(SimulatorBackend::from_params(&m));
+    let perm_seq = {
+        let mut sink = SessionSink::new(&mut sequential, &map);
+        let mut tb = TraceBuilder::streaming(PROCS, &mut sink);
+        let perm = radix_sort::sort_with(&mut tb, &keys, 8);
+        let _ = tb.finish();
+        perm
+    };
+
+    let mut overlapped = Session::new(SimulatorBackend::from_params(&m));
+    let (perm_ovl, _summary) = run_overlapped(&mut overlapped, &map, 4, |sink| {
+        let mut tb = TraceBuilder::streaming(PROCS, sink);
+        let perm = radix_sort::sort_with(&mut tb, &keys, 8);
+        let _ = tb.finish();
+        perm
+    });
+
+    assert_eq!(perm_seq, perm_ovl, "the computed value must not depend on the threading mode");
+    assert_eq!(sequential.cycles(), overlapped.cycles());
+    assert_eq!(sequential.requests(), overlapped.requests());
+    assert_eq!(sequential.bank_totals(), overlapped.bank_totals());
+    assert_eq!(sequential.proc_totals(), overlapped.proc_totals());
+}
+
+/// Streaming replay must not allocate proportionally to trace length:
+/// however many supersteps flow through `run_stream`, the session pool
+/// hands out the same number of pattern buffers.
+#[test]
+fn streaming_pool_allocation_is_independent_of_trace_length() {
+    let m = machine();
+    let map = Interleaved::new(m.banks());
+    let allocs: Vec<usize> = [8usize, 512]
+        .iter()
+        .map(|&n| {
+            let trace: Vec<TraceStep> = (0..n)
+                .map(|i| {
+                    let keys = [i as u64 % 32; 16];
+                    TraceStep::new(AccessPattern::scatter(PROCS, &keys)).labeled("bulk")
+                })
+                .collect();
+            let mut session = Session::new(SimulatorBackend::from_params(&m));
+            session.run_stream(&mut TraceSource::new(&trace), &map);
+            session.pool().allocations()
+        })
+        .collect();
+    assert_eq!(allocs[0], allocs[1], "pool allocations grew with trace length: {allocs:?}");
+}
+
+fn step_strategy() -> impl Strategy<Value = TraceStep> {
+    (collection::vec((0..PROCS, 0u64..128, any::<bool>()), 0..32), 0u64..8).prop_map(
+        |(reqs, local)| {
+            let mut pat = AccessPattern::new(PROCS);
+            for (proc, addr, write) in reqs {
+                if write {
+                    pat.push_write(proc, addr);
+                } else {
+                    pat.push_read(proc, addr);
+                }
+            }
+            TraceStep::new(pat).with_local_work(local).labeled("prop")
+        },
+    )
+}
+
+proptest! {
+    /// Arbitrary traces through the bounded channel: the overlapped
+    /// two-thread run must be bit-identical to the single-threaded one
+    /// for any trace shape and any channel depth.
+    #[test]
+    fn overlapped_mode_matches_single_thread(
+        trace in collection::vec(step_strategy(), 0..24),
+        depth in 1usize..6,
+    ) {
+        let m = machine();
+        let map = Interleaved::new(m.banks());
+
+        let mut sequential = Session::new(SimulatorBackend::from_params(&m));
+        let seq = sequential.run_stream(&mut TraceSource::new(&trace), &map);
+
+        let mut overlapped = Session::new(SimulatorBackend::from_params(&m));
+        let ((), ovl) = run_overlapped(&mut overlapped, &map, depth, |sink| {
+            let mut buf = TraceStep::default();
+            for s in &trace {
+                buf.copy_from(s);
+                buf = sink.emit(std::mem::take(&mut buf));
+            }
+        });
+
+        prop_assert_eq!(seq, ovl);
+        prop_assert_eq!(sequential.cycles(), overlapped.cycles());
+        prop_assert_eq!(sequential.bank_totals(), overlapped.bank_totals());
+        prop_assert_eq!(sequential.proc_totals(), overlapped.proc_totals());
+    }
+}
