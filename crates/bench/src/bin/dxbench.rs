@@ -1,0 +1,145 @@
+//! dxbench — run declarative scenarios.
+//!
+//!     dxbench list
+//!     dxbench dump <name> [--quick] [--seed N]
+//!     dxbench run <file.toml|file.json|builtin-name> [options]
+//!
+//! `list` prints the built-in scenario names. `dump` prints a built-in
+//! as a TOML scenario file (the starting point for editing your own).
+//! `run` executes a scenario file — or a built-in by name — and prints
+//! its table; `--json PATH` additionally writes the unified JSON-lines
+//! records (one object per run, measurement and predictions side by
+//! side), with `-` for stdout.
+//!
+//! Options for `run`:
+//!   --quick        built-in names only: reduced problem sizes
+//!   --seed N       built-in names only: override the RNG seed
+//!   --json PATH    write JSON-lines records to PATH (`-` = stdout)
+//!   --threads N    override the scenario's worker thread count
+
+use std::process::ExitCode;
+
+use dxbsp_bench::{records_to_jsonl, run_scenario, scenarios, Scale};
+use dxbsp_core::{DxError, Scenario};
+
+fn die(msg: &str) -> ! {
+    eprintln!("dxbench: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    target: String,
+    scale: Scale,
+    seed: Option<u64>,
+    json: Option<String>,
+    threads: Option<usize>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut target = None;
+    let mut scale = Scale::Full;
+    let mut seed = None;
+    let mut json = None;
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
+                seed = Some(v.parse().unwrap_or_else(|_| die("--seed needs an integer")));
+            }
+            "--json" => {
+                json = Some(it.next().unwrap_or_else(|| die("--json needs a path")).clone())
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
+                threads = Some(v.parse().unwrap_or_else(|_| die("--threads needs an integer")));
+            }
+            other if other.starts_with('-') => die(&format!("unknown option {other}")),
+            other => {
+                if target.replace(other.to_string()).is_some() {
+                    die("expected exactly one scenario");
+                }
+            }
+        }
+    }
+    let Some(target) = target else { usage() };
+    Opts { target, scale, seed, json, threads }
+}
+
+/// A scenario from a `.toml`/`.json` file path, or a built-in by name.
+fn load(opts: &Opts) -> Result<Scenario, DxError> {
+    let t = &opts.target;
+    if t.ends_with(".toml") || t.ends_with(".json") {
+        let text = std::fs::read_to_string(t)
+            .map_err(|e| DxError::invalid(format!("cannot read {t}: {e}")))?;
+        let mut sc = if t.ends_with(".toml") {
+            Scenario::from_toml(&text)?
+        } else {
+            Scenario::from_json(&text)?
+        };
+        if let Some(seed) = opts.seed {
+            sc.seed = seed;
+        }
+        Ok(sc)
+    } else {
+        scenarios::builtin(t, opts.scale, opts.seed.unwrap_or(1995))
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), DxError> {
+    let opts = parse_opts(args);
+    let mut sc = load(&opts)?;
+    if let Some(threads) = opts.threads {
+        sc.threads = threads;
+    }
+    let out = run_scenario(&sc)?;
+    if let Some(path) = &opts.json {
+        let jsonl = records_to_jsonl(&sc.name, &out.records);
+        if path == "-" {
+            print!("{jsonl}");
+            return Ok(());
+        }
+        std::fs::write(path, jsonl)
+            .map_err(|e| DxError::invalid(format!("cannot write {path}: {e}")))?;
+    }
+    print!("{}", out.table.render());
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), DxError> {
+    let opts = parse_opts(args);
+    let sc = scenarios::builtin(&opts.target, opts.scale, opts.seed.unwrap_or(1995))?;
+    print!("{}", sc.to_toml());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in scenarios::builtin_names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("dxbench: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! the trace-driven methodology of the paper's Figure 1 as a tool pair.
 //!
 //! Capture streams: each algorithm runs through its `*_with` entry
-//! point against a [`StreamingTracer`] whose sink writes every
+//! point against a `StreamingTracer` whose sink writes every
 //! superstep to disk the moment its barrier fires, so the trace is
 //! never materialized and capture memory stays O(one superstep) no
 //! matter how long the algorithm runs.

@@ -1,58 +1,174 @@
-//! Ablation A2: how the latency-hiding assumption (unbounded
-//! outstanding requests) affects the model's validity.
+//! Ablations A2/A3/A5: the latency-hiding window, per-bank caches,
+//! and vector strip-mining.
 //!
 //! The (d,x)-BSP charges supersteps as if processors can keep issuing
 //! while earlier requests are in flight — true of vectorized Cray code,
-//! not of a blocking-load processor. This ablation bounds the window
-//! and shows where the model's predictions stop applying, which is the
-//! boundary of the paper's machine class.
+//! not of a blocking-load processor. The `window-ablation` kind bounds
+//! the window and shows where the model's predictions stop applying,
+//! which is the boundary of the paper's machine class; `bank-cache` and
+//! `strip-mining` probe two hardware remedies/second-order effects.
 
-use dxbsp_core::{predict_scatter, ScatterShape};
+use dxbsp_core::{predict_scatter, DxError, ScatterShape, Scenario};
 use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
 use dxbsp_workloads::uniform_keys;
 
+use crate::record::Cell;
 use crate::runner::parallel_map;
-use crate::table::{fmt_f, Table};
+use crate::sweep::ScenarioOutput;
+use crate::table::Table;
 use crate::Scale;
 
-/// Sweeps the per-processor outstanding-request window for a uniform
-/// scatter with nonzero memory latency.
-#[must_use]
-pub fn ablation_window(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let latency = 20u64;
-    let n = scale.scatter_n();
-    let windows: Vec<Option<usize>> =
-        vec![Some(1), Some(2), Some(4), Some(8), Some(16), Some(64), None];
-
-    let mut rng = super::point_rng(seed, 0xA2);
+/// The `window-ablation` executor: sweep the per-processor
+/// outstanding-request window (the `window` axis; 0 = unbounded) for a
+/// uniform scatter with nonzero memory latency (param `latency`).
+pub fn run_window(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("window-ablation needs `n`"))?;
+    let latency = sc.param_u64("latency", 20)?;
+    let mut rng = super::point_rng(sc.seed, sc.param_u64("salt", 0xA2)?);
     let keys = uniform_keys(n, 1 << 40, &mut rng);
     let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
-    let map = super::hashed_map(&m, seed);
+    let map = super::hashed_map(&m, sc.seed);
     let pred = predict_scatter(&m, ScatterShape::new(n, dxbsp_workloads::max_contention(&keys)));
 
-    let rows = parallel_map(&windows, |w| {
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let w = pt
+            .u64("window")
+            .ok_or_else(|| DxError::invalid("window-ablation needs a `window` axis"))?;
         let mut cfg = SimConfig::from_params(&m).with_latency(latency);
-        if let Some(w) = w {
-            cfg = cfg.with_window(*w);
+        if w > 0 {
+            cfg = cfg.with_window(
+                usize::try_from(w).map_err(|_| DxError::invalid("window out of range"))?,
+            );
         }
         let cycles = SimulatorBackend::new(cfg).step(&pat, &map).cycles;
-        (*w, cycles)
-    });
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            if w == 0 { Cell::str("unbounded") } else { Cell::int(w) },
+            Cell::int(cycles),
+            Cell::Float(cycles as f64 / pred as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["window", "measured", "meas/dxbsp-pred"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
 
-    let mut t = Table::new(
-        format!("Ablation A2: outstanding-request window (n={n}, latency={latency})"),
-        &["window", "measured", "meas/dxbsp-pred"],
-    );
-    for (w, cycles) in rows {
-        t.push_row(vec![
-            w.map_or_else(|| "unbounded".into(), |w| w.to_string()),
-            cycles.to_string(),
-            fmt_f(cycles as f64 / pred as f64),
-        ]);
+/// The `bank-cache` executor (§7 extension): per-bank caches defuse
+/// hot-spot contention — "the effects of caching at the memory banks
+/// (available on the Tera and discussed by Hsu and Smith \[HS93\])".
+/// The d·k serialization becomes ≈ hit_delay·k once the hot line is
+/// resident. Sweeps the hot-spot contention `k` axis.
+pub fn run_bank_cache(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("bank-cache needs `n`"))?;
+    let lines = usize::try_from(sc.param_u64("cache_lines", 8)?)
+        .map_err(|_| DxError::invalid("cache_lines out of range"))?;
+    let hit = sc.param_u64("cache_hit", 1)?;
+    let salt_xor = sc.param_u64("salt_xor", 0xA3)?;
+    let map = super::hashed_map(&m, sc.seed);
+    let plain_cfg = SimConfig::from_params(&m);
+    let cached_cfg = SimConfig::from_params(&m).with_bank_cache(lines, hit);
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let k = pt.u64("k").ok_or_else(|| DxError::invalid("bank-cache needs a `k` axis"))?;
+        let k = usize::try_from(k).map_err(|_| DxError::invalid("k out of range"))?;
+        let mut rng = super::point_rng(sc.seed, pt.salt() ^ salt_xor);
+        let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
+        let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+        let p = SimulatorBackend::new(plain_cfg).step(&pat, &map);
+        let c = SimulatorBackend::new(cached_cfg).step(&pat, &map).into_result();
+        let hits: usize = c.banks.iter().map(|b| b.cache_hits).sum();
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(k),
+            Cell::int(p.cycles),
+            Cell::int(c.cycles),
+            Cell::Float(p.cycles as f64 / c.cycles as f64),
+            Cell::size(hits),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["k", "no cache", "with cache", "speedup", "cache hits"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// The `strip-mining` executor: Cray processors issue through
+/// 64-element vector registers with a startup cost per strip; the
+/// `strip` axis (`"none"` or `"vl=V startup=S"`) shows when that
+/// second-order effect matters (short strips or big startup) and when
+/// the model's perfectly pipelined issue assumption is safe.
+pub fn run_strip_mining(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("strip-mining needs `n`"))?;
+    let mut rng = super::point_rng(sc.seed, sc.param_u64("salt", 0xA5)?);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+    let map = super::hashed_map(&m, sc.seed);
+    let pred = predict_scatter(&m, ScatterShape::new(n, dxbsp_workloads::max_contention(&keys)));
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let spec = pt
+            .str("strip")
+            .ok_or_else(|| DxError::invalid("strip-mining needs a string `strip` axis"))?;
+        let mut cfg = SimConfig::from_params(&m);
+        if let Some((vl, startup)) = parse_strip(spec)? {
+            cfg = cfg.with_strip_mining(vl, startup);
+        }
+        let cycles = SimulatorBackend::new(cfg).step(&pat, &map).cycles;
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![Cell::str(spec), Cell::int(cycles), Cell::Float(cycles as f64 / pred as f64)])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["strip", "measured", "meas/dxbsp-pred"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Parse a `strip` coordinate: `"none"`, or `"vl=64 startup=5"`.
+fn parse_strip(spec: &str) -> Result<Option<(usize, u64)>, DxError> {
+    if spec == "none" {
+        return Ok(None);
     }
-    t.note("the model assumes latency hiding: narrow windows break the prediction, wide ones restore it");
-    t
+    let mut vl = None;
+    let mut startup = None;
+    for part in spec.split_whitespace() {
+        if let Some(v) = part.strip_prefix("vl=") {
+            vl = v.parse::<usize>().ok();
+        } else if let Some(v) = part.strip_prefix("startup=") {
+            startup = v.parse::<u64>().ok();
+        }
+    }
+    match (vl, startup) {
+        (Some(vl), Some(su)) if vl > 0 => Ok(Some((vl, su))),
+        _ => Err(DxError::invalid(format!(
+            "strip coordinate `{spec}` is not `none` or `vl=V startup=S`"
+        ))),
+    }
+}
+
+/// Ablation A2: sweeps the per-processor outstanding-request window for
+/// a uniform scatter with nonzero memory latency.
+#[must_use]
+pub fn ablation_window(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("ablation_window", scale, seed)
+}
+
+/// Ablation A3: per-bank caches vs. hot-spot contention.
+#[must_use]
+pub fn ablation_bank_cache(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("ablation_cache", scale, seed)
+}
+
+/// Ablation A5: vector strip-mining vs. the pipelined-issue assumption.
+#[must_use]
+pub fn ablation_strip_mining(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("ablation_strip", scale, seed)
 }
 
 #[cfg(test)]
@@ -72,47 +188,14 @@ mod tests {
             assert!(w[1] <= w[0] * 1.01, "{ratios:?}");
         }
     }
-}
 
-/// Ablation A3 (§7 extension): per-bank caches defuse hot-spot
-/// contention — "the effects of caching at the memory banks (available
-/// on the Tera and discussed by Hsu and Smith \[HS93\])". The d·k
-/// serialization becomes ≈ hit_delay·k once the hot line is resident.
-#[must_use]
-pub fn ablation_bank_cache(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let ks: Vec<usize> = vec![1, 64, 1024, n / 4, n];
-
-    let map = super::hashed_map(&m, seed);
-    let plain_cfg = SimConfig::from_params(&m);
-    let cached_cfg = SimConfig::from_params(&m).with_bank_cache(8, 1);
-
-    let rows = parallel_map(&ks, |&k| {
-        let mut rng = super::point_rng(seed, k as u64 ^ 0xA3);
-        let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
-        let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
-        let p = SimulatorBackend::new(plain_cfg).step(&pat, &map);
-        let c = SimulatorBackend::new(cached_cfg).step(&pat, &map).into_result();
-        let hits: usize = c.banks.iter().map(|b| b.cache_hits).sum();
-        (k, p.cycles, c.cycles, hits)
-    });
-
-    let mut t = Table::new(
-        format!("Ablation A3: per-bank caches vs. hot-spot contention (n={n}, 8 lines, hit=1)"),
-        &["k", "no cache", "with cache", "speedup", "cache hits"],
-    );
-    for (k, p, c, hits) in rows {
-        t.push_row(vec![
-            k.to_string(),
-            p.to_string(),
-            c.to_string(),
-            fmt_f(p as f64 / c as f64),
-            hits.to_string(),
-        ]);
+    #[test]
+    fn strip_axis_parser_rejects_garbage() {
+        assert_eq!(parse_strip("none").unwrap(), None);
+        assert_eq!(parse_strip("vl=64 startup=5").unwrap(), Some((64, 5)));
+        assert!(parse_strip("vl=64").is_err());
+        assert!(parse_strip("vl=0 startup=5").is_err());
     }
-    t.note("a Tera-style bank cache converts d·k serialization into ≈ k cycles at the hot bank");
-    t
 }
 
 #[cfg(test)]
@@ -126,47 +209,6 @@ mod cache_tests {
         assert!(speedup[0] < 1.5, "no contention, no effect: {speedup:?}");
         assert!(speedup.last().unwrap() > &5.0, "hot spot must benefit: {speedup:?}");
     }
-}
-
-/// Ablation A5: vector strip-mining. Cray processors issue through
-/// 64-element vector registers with a startup cost per strip; this
-/// sweep shows when that second-order effect matters (short strips or
-/// big startup) and when the model's perfectly pipelined issue
-/// assumption is safe.
-#[must_use]
-pub fn ablation_strip_mining(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let mut rng = super::point_rng(seed, 0xA5);
-    let keys = uniform_keys(n, 1 << 40, &mut rng);
-    let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
-    let map = super::hashed_map(&m, seed);
-    let pred = predict_scatter(&m, ScatterShape::new(n, dxbsp_workloads::max_contention(&keys)));
-
-    let configs: Vec<Option<(usize, u64)>> =
-        vec![None, Some((64, 5)), Some((64, 50)), Some((16, 50)), Some((4, 50))];
-    let rows = parallel_map(&configs, |c| {
-        let mut cfg = SimConfig::from_params(&m);
-        if let Some((vl, startup)) = c {
-            cfg = cfg.with_strip_mining(*vl, *startup);
-        }
-        let cycles = SimulatorBackend::new(cfg).step(&pat, &map).cycles;
-        (*c, cycles)
-    });
-
-    let mut t = Table::new(
-        format!("Ablation A5: vector strip-mining (uniform scatter, n={n})"),
-        &["strip", "measured", "meas/dxbsp-pred"],
-    );
-    for (c, cycles) in rows {
-        t.push_row(vec![
-            c.map_or_else(|| "none".into(), |(vl, su)| format!("vl={vl} startup={su}")),
-            cycles.to_string(),
-            fmt_f(cycles as f64 / pred as f64),
-        ]);
-    }
-    t.note("Cray-like vl=64 with modest startup stays within a few % of the pipelined model");
-    t
 }
 
 #[cfg(test)]

@@ -3,175 +3,182 @@
 //! (Exp 10).
 
 use dxbsp_algos::{binary_search, connected::connected_traced, random_perm, spmv};
-use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
+use dxbsp_core::{predict_scatter, predict_scatter_bsp, DxError, ScatterShape, Scenario};
 use dxbsp_machine::replay;
 use dxbsp_workloads::{CsrMatrix, Graph};
 
+use crate::record::Cell;
 use crate::runner::parallel_map;
-use crate::table::{fmt_f, Table};
+use crate::sweep::ScenarioOutput;
+use crate::table::Table;
 use crate::Scale;
 
-fn trace_cycles(m: &dxbsp_core::MachineParams, trace: &dxbsp_machine::Trace, seed: u64) -> u64 {
+pub(super) fn trace_cycles(
+    m: &dxbsp_core::MachineParams,
+    trace: &dxbsp_machine::Trace,
+    seed: u64,
+) -> u64 {
     let map = super::hashed_map(m, seed);
     replay(&mut super::backend(m), trace, &map).total_cycles
 }
 
-/// Experiment 7: QRQW replicated-tree binary search vs. the naive
-/// shared tree and the EREW sort-merge baseline, across query counts.
-#[must_use]
-pub fn exp7_binary_search(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let tree_m = scale.algo_n();
-    let mut rng = super::point_rng(seed, 7);
+/// Build one of the named graph families used by the `connected` and
+/// `cc-variants` kinds. Only the random family consumes the RNG, so
+/// per-point construction reproduces the legacy shared-stream graphs.
+pub(super) fn graph_family(name: &str, n: usize, seed: u64, salt: u64) -> Result<Graph, DxError> {
+    let mut rng = super::point_rng(seed, salt);
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let side = (n as f64).sqrt() as usize;
+    match name {
+        "random m=2n" => Ok(Graph::random_gnm(n, 2 * n, &mut rng)),
+        "grid" => Ok(Graph::grid(side, side)),
+        "chain" => Ok(Graph::chain(n)),
+        "star" => Ok(Graph::star(n)),
+        other => Err(DxError::unknown("graph family", other.to_string())),
+    }
+}
+
+/// The `binary-search` executor (Exp 7): QRQW replicated-tree binary
+/// search vs. the naive shared tree and the EREW sort-merge baseline,
+/// across the `queries` axis. The scenario's `n` is the tree size.
+pub fn run_binary_search(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let tree_m = sc.n.ok_or_else(|| DxError::invalid("binary-search needs `n` (tree size)"))?;
+    let mut rng = super::point_rng(sc.seed, sc.param_u64("salt", 7)?);
     let mut keys: Vec<u64> =
         (0..tree_m).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
     keys.sort_unstable();
     keys.dedup();
+    let replication = usize::try_from(sc.param_u64("replication", 8)?)
+        .map_err(|_| DxError::invalid("replication out of range"))?;
 
-    let ns: Vec<usize> =
-        [tree_m / 16, tree_m / 4, tree_m, tree_m * 4].into_iter().filter(|&n| n >= 64).collect();
-    let rows = parallel_map(&ns, |&n| {
-        let mut rng = super::point_rng(seed, n as u64);
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let n = pt
+            .u64("queries")
+            .ok_or_else(|| DxError::invalid("binary-search needs a `queries` axis"))?;
+        let n = usize::try_from(n).map_err(|_| DxError::invalid("queries out of range"))?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
         let queries: Vec<u64> =
             (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
         let naive = binary_search::naive_traced(m.p, &keys, &queries);
-        let qrqw = binary_search::replicated_traced(m.p, &keys, &queries, 8, false, &mut rng);
+        let qrqw =
+            binary_search::replicated_traced(m.p, &keys, &queries, replication, false, &mut rng);
         let erew = binary_search::erew_traced(m.p, &keys, &queries);
-        assert_eq!(naive.value, qrqw.value);
-        assert_eq!(naive.value, erew.value);
-        (
-            n,
-            trace_cycles(&m, &naive.trace, seed ^ n as u64),
-            trace_cycles(&m, &qrqw.trace, seed ^ n as u64),
-            trace_cycles(&m, &erew.trace, seed ^ n as u64),
-        )
-    });
-
-    let mut t = Table::new(
-        format!("Experiment 7: binary search, m={} tree keys (cycles)", keys.len()),
-        &["queries n", "naive", "qrqw-replicated", "erew-sortmerge", "erew/qrqw"],
-    );
-    for (n, naive, qrqw, erew) in rows {
-        t.push_row(vec![
-            n.to_string(),
-            naive.to_string(),
-            qrqw.to_string(),
-            erew.to_string(),
-            fmt_f(erew as f64 / qrqw as f64),
-        ]);
-    }
-    t.note(
-        "bounded replication beats both the contended naive walk and the sort-heavy EREW version",
-    );
-    t
+        if naive.value != qrqw.value || naive.value != erew.value {
+            return Err(DxError::invalid("binary-search variants disagree"));
+        }
+        let trace_seed = sc.seed ^ pt.salt();
+        let nc = trace_cycles(&m, &naive.trace, trace_seed);
+        let qc = trace_cycles(&m, &qrqw.trace, trace_seed);
+        let ec = trace_cycles(&m, &erew.trace, trace_seed);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(n),
+            Cell::int(nc),
+            Cell::int(qc),
+            Cell::int(ec),
+            Cell::Float(ec as f64 / qc as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["queries n", "naive", "qrqw-replicated", "erew-sortmerge", "erew/qrqw"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Experiment 8 (Figure 11): QRQW dart-throwing random permutation vs.
-/// the EREW radix-sort permutation across sizes.
-#[must_use]
-pub fn exp8_random_perm(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let base = scale.algo_n();
-    let ns = [base / 4, base, base * 4];
-
-    let rows = parallel_map(&ns, |&n| {
-        let mut rng = super::point_rng(seed, n as u64);
+/// The `random-perm` executor (Exp 8, Figure 11): QRQW dart-throwing
+/// random permutation vs. the EREW radix-sort permutation across the
+/// `n` axis.
+pub fn run_random_perm(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let n = crate::sweep::point_n(sc, pt)?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
         let qrqw = random_perm::darts_traced(m.p, n, 1.5, &mut rng);
         let erew = random_perm::erew_traced(m.p, n, &mut rng);
-        assert!(random_perm::is_permutation(&qrqw.value.0));
-        assert!(random_perm::is_permutation(&erew.value));
-        let qc = trace_cycles(&m, &qrqw.trace, seed ^ n as u64);
-        let ec = trace_cycles(&m, &erew.trace, seed ^ n as u64);
-        (n, qrqw.value.1.rounds, qc, ec)
-    });
-
-    let mut t = Table::new(
-        "Experiment 8 (Fig 11): random permutation, QRQW darts vs. EREW radix sort (cycles)"
-            .to_string(),
-        &["n", "dart rounds", "qrqw-darts", "erew-sort", "erew/qrqw"],
-    );
-    for (n, rounds, qc, ec) in rows {
-        t.push_row(vec![
-            n.to_string(),
-            rounds.to_string(),
-            qc.to_string(),
-            ec.to_string(),
-            fmt_f(ec as f64 / qc as f64),
-        ]);
-    }
-    t.note("paper: the QRQW algorithm wins over a wide range of problem sizes");
-    t
+        if !random_perm::is_permutation(&qrqw.value.0) || !random_perm::is_permutation(&erew.value)
+        {
+            return Err(DxError::invalid("random-perm produced a non-permutation"));
+        }
+        let trace_seed = sc.seed ^ pt.salt();
+        let qc = trace_cycles(&m, &qrqw.trace, trace_seed);
+        let ec = trace_cycles(&m, &erew.trace, trace_seed);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(n),
+            Cell::size(qrqw.value.1.rounds),
+            Cell::int(qc),
+            Cell::int(ec),
+            Cell::Float(ec as f64 / qc as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["n", "dart rounds", "qrqw-darts", "erew-sort", "erew/qrqw"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Experiment 9 (Figure 12): SpMV time vs. dense-column length,
-/// measured against the (d,x)-BSP and BSP predictions for the gather.
-#[must_use]
-pub fn exp9_spmv(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let rows_n = scale.algo_n();
-    let nnz_per_row = 4usize;
-    let mut dense: Vec<usize> = [0usize, 1, 4, 16, 64, 256, 1024]
-        .into_iter()
-        .map(|d| (d * rows_n) / 1024)
-        .chain(std::iter::once(rows_n))
-        .collect();
-    dense.dedup();
+/// The `spmv` executor (Exp 9, Figure 12): SpMV time vs. the
+/// `dense_len` axis, measured against the (d,x)-BSP and BSP predictions
+/// for the gather. The scenario's `n` is the row count.
+pub fn run_spmv(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let rows_n = sc.n.ok_or_else(|| DxError::invalid("spmv needs `n` (row count)"))?;
+    let nnz_per_row = usize::try_from(sc.param_u64("nnz_per_row", 4)?)
+        .map_err(|_| DxError::invalid("nnz_per_row out of range"))?;
 
-    let rows = parallel_map(&dense, |&len| {
-        let mut rng = super::point_rng(seed, len as u64);
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let len =
+            pt.u64("dense_len").ok_or_else(|| DxError::invalid("spmv needs a `dense_len` axis"))?;
+        let len = usize::try_from(len).map_err(|_| DxError::invalid("dense_len out of range"))?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
         let a = CsrMatrix::random_with_dense_column(rows_n, rows_n, nnz_per_row, len, &mut rng);
+        #[allow(clippy::cast_precision_loss)]
         let x: Vec<f64> = (0..rows_n).map(|i| i as f64).collect();
         let traced = spmv::spmv_traced(m.p, &a, &x);
-        let measured = trace_cycles(&m, &traced.trace, seed ^ len as u64);
+        let measured = trace_cycles(&m, &traced.trace, sc.seed ^ pt.salt());
         let k = spmv::gather_contention(&a);
         let nnz = a.nnz();
         // The gather is the contended superstep; the rest is dense.
         let shape = ScatterShape::new(nnz, k);
-        let pred_gather = predict_scatter(&m, shape);
-        let pred_bsp = predict_scatter_bsp(&m, shape);
-        (len, k, measured, pred_gather, pred_bsp)
-    });
-
-    let mut t = Table::new(
-        format!("Experiment 9 (Fig 12): SpMV vs. dense-column length ({rows_n} rows, {nnz_per_row}/row)"),
-        &["dense len", "gather k", "measured", "gather dxbsp-pred", "gather bsp-pred"],
-    );
-    for (len, k, meas, dx, bsp) in rows {
-        t.push_row(vec![
-            len.to_string(),
-            k.to_string(),
-            meas.to_string(),
-            dx.to_string(),
-            bsp.to_string(),
-        ]);
-    }
-    t.note("measured = whole SpMV; once d·k passes the dense phases the dense column dominates");
-    t
+        Ok(vec![
+            Cell::size(len),
+            Cell::size(k),
+            Cell::int(measured),
+            Cell::int(predict_scatter(&m, shape)),
+            Cell::int(predict_scatter_bsp(&m, shape)),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["dense len", "gather k", "measured", "gather dxbsp-pred", "gather bsp-pred"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Experiment 10: connected components across graph families —
-/// per-phase contention and measured vs. predicted totals.
-#[must_use]
-pub fn exp10_connected(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.algo_n();
-    let mut rng = super::point_rng(seed, 10);
-    let side = (n as f64).sqrt() as usize;
-    let graphs: Vec<(&str, Graph)> = vec![
-        ("random m=2n", Graph::random_gnm(n, 2 * n, &mut rng)),
-        ("grid", Graph::grid(side, side)),
-        ("chain", Graph::chain(n)),
-        ("star", Graph::star(n)),
-    ];
+/// The `connected` executor (Exp 10): connected components across the
+/// `graph` axis — per-phase contention and measured vs. predicted
+/// totals. Needs a `graph-family` workload for the RNG salt.
+pub fn run_connected(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("connected needs `n`"))?;
+    let dxbsp_core::WorkloadSpec::GraphFamily { salt } = sc.workload else {
+        return Err(DxError::invalid("connected needs a `graph-family` workload"));
+    };
 
-    let mut t = Table::new(
-        format!("Experiment 10: connected components (n={n}, cycles)"),
-        &["graph", "rounds", "max k (hook)", "max k (shortcut)", "measured", "dxbsp-pred"],
-    );
-    for (name, g) in &graphs {
-        let traced = connected_traced(m.p, g);
-        assert!(dxbsp_algos::connected::same_partition(&traced.value.0, &g.components_oracle()));
-        let map = super::hashed_map(&m, seed);
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let name = pt
+            .str("graph")
+            .ok_or_else(|| DxError::invalid("connected needs a string `graph` axis"))?;
+        let g = graph_family(name, n, sc.seed, salt)?;
+        let traced = connected_traced(m.p, &g);
+        if !dxbsp_algos::connected::same_partition(&traced.value.0, &g.components_oracle()) {
+            return Err(DxError::invalid("connected components disagree with the oracle"));
+        }
+        let map = super::hashed_map(&m, sc.seed);
         let res = replay(&mut super::backend(&m), &traced.trace, &map);
         let mut hook_k = 0usize;
         let mut short_k = 0usize;
@@ -189,17 +196,43 @@ pub fn exp10_connected(scale: Scale, seed: u64) -> Table {
             &map,
         )
         .total_cycles;
-        t.push_row(vec![
-            (*name).into(),
-            traced.value.1.rounds.to_string(),
-            hook_k.to_string(),
-            short_k.to_string(),
-            res.total_cycles.to_string(),
-            predicted.to_string(),
-        ]);
-    }
-    t.note("star graphs concentrate hooking/shortcutting on one vertex: the paper's high-contention case");
-    t
+        Ok(vec![
+            Cell::str(name),
+            Cell::size(traced.value.1.rounds),
+            Cell::size(hook_k),
+            Cell::size(short_k),
+            Cell::int(res.total_cycles),
+            Cell::int(predicted),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["graph", "rounds", "max k (hook)", "max k (shortcut)", "measured", "dxbsp-pred"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Experiment 7: binary search across query counts.
+#[must_use]
+pub fn exp7_binary_search(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp7", scale, seed)
+}
+
+/// Experiment 8 (Figure 11): random permutation, darts vs. radix sort.
+#[must_use]
+pub fn exp8_random_perm(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp8", scale, seed)
+}
+
+/// Experiment 9 (Figure 12): SpMV vs. dense-column length.
+#[must_use]
+pub fn exp9_spmv(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp9", scale, seed)
+}
+
+/// Experiment 10: connected components across graph families.
+#[must_use]
+pub fn exp10_connected(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp10", scale, seed)
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Experiment 11: QRQW-on-(d,x)-BSP emulation slowdown across the
 //! `(d, x)` grid (paper §5, Theorems 5.1 and 5.2).
 
-use dxbsp_core::MachineParams;
+use dxbsp_core::{DxError, MachineParams, Scenario};
 use dxbsp_hash::Degree;
 use dxbsp_pram::{theory, Emulator, Op, Program, Step};
 
+use crate::record::Cell;
 use crate::runner::parallel_map;
-use crate::table::{fmt_f, Table};
+use crate::sweep::ScenarioOutput;
+use crate::table::Table;
 use crate::Scale;
 
 /// A one-step QRQW program: `n` vprocs write distinct random cells
@@ -24,77 +26,104 @@ pub fn hotspot_program(n: usize, k: usize, seed: u64) -> Program {
     prog
 }
 
-/// Sweeps `x` for two bank delays and reports the emulation work ratio
-/// (physical work over PRAM work) against the theory bounds. For
-/// `x ≤ d` the ratio follows `d/x` (Thm 5.1's inevitable overhead);
-/// for `x ≥ d` it flattens to O(1) (Thm 5.2, work-preserving).
-#[must_use]
-pub fn exp11_emulation(scale: Scale, seed: u64) -> Table {
-    let p = 8usize;
-    let n = scale.scatter_n();
-    let ds = [4u64, 16];
-    let xs = [1usize, 2, 4, 8, 16, 32, 64];
+/// The `emulation` executor: sweep the `x` axis for the bank delays in
+/// param `d_grid` (comma-separated, default `4,16`) and report the
+/// emulation work ratio (physical work over PRAM work) against the
+/// theory bounds. For `x ≤ d` the ratio follows `d/x` (Thm 5.1's
+/// inevitable overhead); for `x ≥ d` it flattens to O(1) (Thm 5.2,
+/// work-preserving).
+pub fn run_emulation(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let n = sc.n.ok_or_else(|| DxError::invalid("emulation needs `n`"))?;
+    let base = sc.machine.resolve()?;
+    let p = base.p;
+    let ds: Vec<u64> = sc
+        .param_str("d_grid", "4,16")?
+        .split(',')
+        .map(|s| s.trim().parse::<u64>().map_err(|_| DxError::invalid("d_grid must be integers")))
+        .collect::<Result<_, _>>()?;
+    if ds.len() != 2 {
+        return Err(DxError::invalid("emulation expects exactly two `d_grid` values"));
+    }
+    let floor_d = sc.param_u64("floor_d", 16)?;
 
-    let mut t = Table::new(
-        format!("Experiment 11: QRQW emulation work ratio (n={n} vprocs, p={p})"),
-        &["x", "ratio d=4", "bound d=4", "ratio d=16", "bound d=16", "thm5.1 floor d=16"],
-    );
-    let rows = parallel_map(&xs, |&x| {
-        let mut cells = vec![x.to_string()];
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let x = pt.u64("x").ok_or_else(|| DxError::invalid("emulation needs an `x` axis"))?;
+        let x = usize::try_from(x).map_err(|_| DxError::invalid("x out of range"))?;
+        let mut cells = vec![Cell::size(x)];
         for &d in &ds {
-            let m = MachineParams::new(p, 1, 0, d, x);
-            let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
+            let m = MachineParams::try_new(p, base.g, base.l, d, x)?;
+            let mut rng = super::point_rng(sc.seed, (x as u64) << 8 | d);
             let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
-            let prog = hotspot_program(n, 1, seed ^ d);
+            let prog = hotspot_program(n, 1, sc.seed ^ d);
             let rep = emu.run(&prog);
-            cells.push(fmt_f(rep.work_ratio()));
+            cells.push(Cell::Float(rep.work_ratio()));
             // Theory bound expressed as a work ratio: the per-step
             // cycle bound times p over the PRAM work n·t.
+            #[allow(clippy::cast_precision_loss)]
             let bound = theory::step_bound(&m, n, 1) as f64 * p as f64 / n as f64;
-            cells.push(fmt_f(bound));
+            cells.push(Cell::Float(bound));
         }
-        cells.push(fmt_f(theory::work_overhead_lower_bound(&MachineParams::new(p, 1, 0, 16, x))));
-        cells
-    });
-    for row in rows {
-        t.push_row(row);
-    }
-    t.note("ratio ≈ d/x while x ≤ d (Thm 5.1), flattening to O(1) once x ≥ d (Thm 5.2)");
-    t
+        cells.push(Cell::Float(theory::work_overhead_lower_bound(&MachineParams::try_new(
+            p, base.g, base.l, floor_d, x,
+        )?)));
+        Ok(cells)
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+
+    let (d0, d1) = (ds[0], ds[1]);
+    let h1 = format!("ratio d={d0}");
+    let h2 = format!("bound d={d0}");
+    let h3 = format!("ratio d={d1}");
+    let h4 = format!("bound d={d1}");
+    let h5 = format!("thm5.1 floor d={floor_d}");
+    let headers = ["x", h1.as_str(), h2.as_str(), h3.as_str(), h4.as_str(), h5.as_str()];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Companion sweep: slowdown vs. hot-location contention under a fixed
-/// machine — the `d·k` term that distinguishes QRQW emulation cost from
-/// the contention-free case.
+/// The `emulation-contention` executor: slowdown vs. hot-location
+/// contention (the `k` axis) under a fixed machine — the `d·k` term
+/// that distinguishes QRQW emulation cost from the contention-free
+/// case.
+pub fn run_emulation_contention(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("emulation-contention needs `n`"))?;
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let k =
+            pt.u64("k").ok_or_else(|| DxError::invalid("emulation-contention needs a `k` axis"))?;
+        let ku = usize::try_from(k).map_err(|_| DxError::invalid("k out of range"))?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
+        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
+        let prog = hotspot_program(n, ku, sc.seed ^ pt.salt());
+        let rep = emu.run(&prog);
+        let bound = theory::step_bound(&m, n, ku);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(ku),
+            Cell::int(rep.qrqw_time),
+            Cell::int(rep.measured_cycles),
+            Cell::int(bound),
+            Cell::Float(rep.measured_cycles as f64 / bound as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["k", "qrqw time", "measured", "theory bound", "meas/bound"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Experiment 11: QRQW emulation work ratio over the `(d, x)` grid.
+#[must_use]
+pub fn exp11_emulation(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp11", scale, seed)
+}
+
+/// Experiment 11b: emulated step cost vs. QRQW contention.
 #[must_use]
 pub fn exp11_contention(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let ks = [1usize, 16, 256, 1024, 4096];
-
-    let rows = parallel_map(&ks, |&k| {
-        let mut rng = super::point_rng(seed, k as u64);
-        let mut emu = Emulator::new(m, Degree::Linear, &mut rng);
-        let prog = hotspot_program(n, k, seed ^ k as u64);
-        let rep = emu.run(&prog);
-        (k, rep.qrqw_time, rep.measured_cycles, theory::step_bound(&m, n, k))
-    });
-
-    let mut t = Table::new(
-        format!("Experiment 11b: emulated step cost vs. QRQW contention (n={n})"),
-        &["k", "qrqw time", "measured", "theory bound", "meas/bound"],
-    );
-    for (k, qt, meas, bound) in rows {
-        t.push_row(vec![
-            k.to_string(),
-            qt.to_string(),
-            meas.to_string(),
-            bound.to_string(),
-            fmt_f(meas as f64 / bound as f64),
-        ]);
-    }
-    t.note("measured cost stays under the reconstructed Thm 5.1/5.2 bounds at every k");
-    t
+    crate::run_builtin("exp11b", scale, seed)
 }
 
 #[cfg(test)]

@@ -1,157 +1,109 @@
 //! Extension experiments (paper §7's "currently looking into" list,
 //! implemented): list ranking, CC algorithm variants, Zipf validation,
-//! parallel merging.
+//! parallel merging, the (d,x)-LogP, hash congestion, contention
+//! remedies, and sorting.
 
 use dxbsp_algos::{connected, list_ranking, merge};
-use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
-use dxbsp_machine::{replay, Backend};
-use dxbsp_workloads::{max_contention, zipf_keys, Graph};
+use dxbsp_core::{DxError, Scenario};
 
+use super::algo_bench::{graph_family, trace_cycles};
+use crate::record::Cell;
 use crate::runner::parallel_map;
-use crate::table::{fmt_f, Table};
+use crate::sweep::ScenarioOutput;
+use crate::table::Table;
 use crate::Scale;
 
-fn trace_cycles(m: &dxbsp_core::MachineParams, trace: &dxbsp_machine::Trace, seed: u64) -> u64 {
-    let map = super::hashed_map(m, seed);
-    replay(&mut super::backend(m), trace, &map).total_cycles
-}
-
-/// Extension E12: list ranking — textbook Wyllie (tail hot spot) vs.
-/// the deactivating variant, across sizes. The §7 pointer to \[RM94\]:
-/// on a bank-delay machine the "EREW-looking" textbook version pays
-/// `d·Θ(n)` at the tail.
-#[must_use]
-pub fn exp12_list_ranking(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let base = scale.algo_n();
-    let ns = [base / 4, base, base * 2];
-
-    let rows = parallel_map(&ns, |&n| {
-        let mut rng = super::point_rng(seed, n as u64);
+/// The `list-ranking` executor (E12): textbook Wyllie (tail hot spot)
+/// vs. the deactivating variant, across the `n` axis. The §7 pointer to
+/// \[RM94\]: on a bank-delay machine the "EREW-looking" textbook
+/// version pays `d·Θ(n)` at the tail.
+pub fn run_list_ranking(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let n = crate::sweep::point_n(sc, pt)?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
         let (succ, _) = list_ranking::random_list(n, &mut rng);
         let naive = list_ranking::wyllie_naive_traced(m.p, &succ);
         let smart = list_ranking::wyllie_traced(m.p, &succ);
-        assert_eq!(naive.value.0, smart.value.0);
+        if naive.value.0 != smart.value.0 {
+            return Err(DxError::invalid("list-ranking variants disagree"));
+        }
         let peak_naive = *naive.value.1.contention_per_round.iter().max().unwrap_or(&0);
         let peak_smart = *smart.value.1.contention_per_round.iter().max().unwrap_or(&0);
-        (
-            n,
-            peak_naive,
-            peak_smart,
-            trace_cycles(&m, &naive.trace, seed ^ n as u64),
-            trace_cycles(&m, &smart.trace, seed ^ n as u64),
-        )
-    });
-
-    let mut t = Table::new(
-        "Extension E12: list ranking, textbook vs. deactivating Wyllie (cycles)".to_string(),
-        &["n", "peak k naive", "peak k deact", "naive", "deactivating", "speedup"],
-    );
-    for (n, kn, ks, cn, cs) in rows {
-        t.push_row(vec![
-            n.to_string(),
-            kn.to_string(),
-            ks.to_string(),
-            cn.to_string(),
-            cs.to_string(),
-            fmt_f(cn as f64 / cs as f64),
-        ]);
-    }
-    t.note("the tail hot spot costs the textbook version d·Θ(n); deactivation removes it");
-    t
+        let trace_seed = sc.seed ^ pt.salt();
+        let cn = trace_cycles(&m, &naive.trace, trace_seed);
+        let cs = trace_cycles(&m, &smart.trace, trace_seed);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(n),
+            Cell::size(peak_naive),
+            Cell::size(peak_smart),
+            Cell::int(cn),
+            Cell::int(cs),
+            Cell::Float(cn as f64 / cs as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["n", "peak k naive", "peak k deact", "naive", "deactivating", "speedup"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Extension E13: connected-components variants — deterministic
-/// hook-to-min (Greiner) vs. random mate, per graph family.
-#[must_use]
-pub fn exp13_cc_variants(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.algo_n();
-    let mut rng = super::point_rng(seed, 13);
-    let side = (n as f64).sqrt() as usize;
-    let graphs: Vec<(&str, Graph)> = vec![
-        ("random m=2n", Graph::random_gnm(n, 2 * n, &mut rng)),
-        ("grid", Graph::grid(side, side)),
-        ("chain", Graph::chain(n)),
-        ("star", Graph::star(n)),
-    ];
+/// The `cc-variants` executor (E13): deterministic hook-to-min
+/// (Greiner) vs. random mate, per `graph` axis family. Needs a
+/// `graph-family` workload for the RNG salt.
+pub fn run_cc_variants(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("cc-variants needs `n`"))?;
+    let dxbsp_core::WorkloadSpec::GraphFamily { salt } = sc.workload else {
+        return Err(DxError::invalid("cc-variants needs a `graph-family` workload"));
+    };
+    let coin_salt = sc.param_u64("coin_salt", 0xC0)?;
 
-    let mut t = Table::new(
-        format!("Extension E13: CC variants (n={n}, cycles)"),
-        &["graph", "greiner rounds", "greiner", "rmate rounds", "random-mate", "rmate/greiner"],
-    );
-    for (name, g) in &graphs {
-        let det = connected::connected_traced(m.p, g);
-        let mut coin = super::point_rng(seed, 0xC0);
-        let rnd = connected::random_mate_traced(m.p, g, &mut coin);
-        assert!(connected::same_partition(&det.value.0, &g.components_oracle()));
-        assert!(connected::same_partition(&rnd.value.0, &g.components_oracle()));
-        let dc = trace_cycles(&m, &det.trace, seed);
-        let rc = trace_cycles(&m, &rnd.trace, seed);
-        t.push_row(vec![
-            (*name).into(),
-            det.value.1.rounds.to_string(),
-            dc.to_string(),
-            rnd.value.1.rounds.to_string(),
-            rc.to_string(),
-            fmt_f(rc as f64 / dc as f64),
-        ]);
-    }
-    t.note("random mating spreads hook writes but pays more rounds; neither dominates everywhere");
-    t
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let name = pt
+            .str("graph")
+            .ok_or_else(|| DxError::invalid("cc-variants needs a string `graph` axis"))?;
+        let g = graph_family(name, n, sc.seed, salt)?;
+        let det = connected::connected_traced(m.p, &g);
+        let mut coin = super::point_rng(sc.seed, coin_salt);
+        let rnd = connected::random_mate_traced(m.p, &g, &mut coin);
+        let oracle = g.components_oracle();
+        if !connected::same_partition(&det.value.0, &oracle)
+            || !connected::same_partition(&rnd.value.0, &oracle)
+        {
+            return Err(DxError::invalid("cc-variants disagree with the oracle"));
+        }
+        let dc = trace_cycles(&m, &det.trace, sc.seed);
+        let rc = trace_cycles(&m, &rnd.trace, sc.seed);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::str(name),
+            Cell::size(det.value.1.rounds),
+            Cell::int(dc),
+            Cell::size(rnd.value.1.rounds),
+            Cell::int(rc),
+            Cell::Float(rc as f64 / dc as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers =
+        ["graph", "greiner rounds", "greiner", "rmate rounds", "random-mate", "rmate/greiner"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Extension E14: model validation on Zipf-distributed scatters — the
-/// (d,x)-BSP keeps tracking as the exponent raises tail contention.
-#[must_use]
-pub fn exp14_zipf(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let exponents = [0.0f64, 0.5, 0.8, 1.0, 1.2, 1.5];
-
-    let idx: Vec<usize> = (0..exponents.len()).collect();
-    let rows = crate::runner::parallel_map_with(
-        &idx,
-        || super::backend(&m),
-        |be, &i| {
-            let s = exponents[i];
-            let mut rng = super::point_rng(seed, i as u64);
-            let keys = zipf_keys(n, 64 * 1024, s, &mut rng);
-            let k = max_contention(&keys);
-            let measured = super::measured_scatter_in(be, &m, &keys, seed ^ i as u64);
-            let shape = ScatterShape::new(n, k);
-            (s, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
-        },
-    );
-
-    let mut t = Table::new(
-        format!("Extension E14: Zipf scatters (n={n}, universe 64K)"),
-        &["s", "max k", "measured", "dxbsp-pred", "bsp-pred", "meas/dxbsp"],
-    );
-    for (s, k, meas, dx, bsp) in rows {
-        t.push_row(vec![
-            fmt_f(s),
-            k.to_string(),
-            meas.to_string(),
-            dx.to_string(),
-            bsp.to_string(),
-            fmt_f(meas as f64 / dx as f64),
-        ]);
-    }
-    t.note("Zipf tails add many warm locations; the single-k model still brackets the cost");
-    t
-}
-
-/// Extension E15: parallel merge — cycles across sizes, with the
-/// co-rank boundary contention reported (bounded by p).
-#[must_use]
-pub fn exp15_merge(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let base = scale.algo_n();
-    let ns = [base / 2, base, base * 2];
-
-    let rows = parallel_map(&ns, |&n| {
-        let mut rng = super::point_rng(seed, n as u64);
+/// The `merge` executor (E15): parallel co-ranking merge — cycles
+/// across the `n` axis (per side), with the co-rank boundary contention
+/// reported (bounded by p).
+pub fn run_merge(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let n = crate::sweep::point_n(sc, pt)?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
         let mut a: Vec<u64> =
             (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
         let mut b: Vec<u64> =
@@ -159,30 +111,243 @@ pub fn exp15_merge(scale: Scale, seed: u64) -> Table {
         a.sort_unstable();
         b.sort_unstable();
         let t = merge::merge_traced(m.p, &a, &b);
-        assert_eq!(t.value, merge::merge_oracle(&a, &b));
+        if t.value != merge::merge_oracle(&a, &b) {
+            return Err(DxError::invalid("merge disagrees with the oracle"));
+        }
         let co_rank_k = t
             .trace
             .iter()
             .find(|s| s.label == "co-rank")
             .map_or(0, |s| s.pattern.contention_profile().max_location_contention);
-        let cycles = trace_cycles(&m, &t.trace, seed ^ n as u64);
-        (n, co_rank_k, cycles)
-    });
+        let cycles = trace_cycles(&m, &t.trace, sc.seed ^ pt.salt());
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(n),
+            Cell::size(co_rank_k),
+            Cell::int(cycles),
+            Cell::Float(cycles as f64 / (2 * n) as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["n per side", "co-rank k", "cycles", "cycles/elem"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
 
-    let mut t = Table::new(
-        "Extension E15: parallel co-ranking merge".to_string(),
-        &["n per side", "co-rank k", "cycles", "cycles/elem"],
-    );
-    for (n, k, cycles) in rows {
-        t.push_row(vec![
-            n.to_string(),
-            k.to_string(),
-            cycles.to_string(),
-            fmt_f(cycles as f64 / (2 * n) as f64),
-        ]);
+/// The `logp` executor (E16): the (d,x)-LogP. §2 says the d/x extension
+/// applies to LogP directly; the `k` axis shows the extended LogP
+/// tracking the simulator where classic LogP goes flat, mirroring
+/// Experiment 1.
+pub fn run_logp(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    use dxbsp_core::LogPParams;
+    use dxbsp_machine::Backend;
+    let n = sc.n.ok_or_else(|| DxError::invalid("logp needs `n`"))?;
+    let base = sc.machine.resolve()?;
+    let l = sc.param_u64("logp_l", 10)?;
+    let o = sc.param_u64("logp_o", 2)?;
+    let lp = LogPParams::new(l, o, base.g, base.p, base.d, base.x);
+    let m = dxbsp_core::MachineParams::try_new(lp.p, lp.g.max(lp.o), 0, lp.d, lp.x)?;
+    let salt_xor = sc.param_u64("salt_xor", 0x10)?;
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let k = pt.u64("k").ok_or_else(|| DxError::invalid("logp needs a `k` axis"))?;
+        let k = usize::try_from(k).map_err(|_| DxError::invalid("k out of range"))?;
+        let mut rng = super::point_rng(sc.seed, pt.salt() ^ salt_xor);
+        let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
+        let pat = dxbsp_core::AccessPattern::scatter(lp.p, &keys);
+        let map = super::hashed_map(&m, sc.seed);
+        let measured = super::backend(&m).step(&pat, &map).cycles;
+        let dx_logp = lp.pattern_cost(&pat, &map);
+        let classic = lp.pattern_cost_classic(&pat);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(k),
+            Cell::int(measured),
+            Cell::int(dx_logp),
+            Cell::int(classic),
+            Cell::Float(measured as f64 / dx_logp as f64),
+            Cell::Float(measured as f64 / classic as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["k", "measured", "dx-logp", "classic logp", "meas/dx", "meas/classic"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Build one of the named adversarial address patterns used by the
+/// `hash-congestion` kind.
+fn congestion_input(name: &str, n: usize) -> Result<Vec<u64>, DxError> {
+    use dxbsp_workloads::{bit_reversal_addresses, strided_addresses};
+    match name {
+        "consecutive" => Ok((0..n as u64).collect()),
+        "bit-reversal" => Ok(bit_reversal_addresses(16)),
+        "random-ish" => Ok((0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()),
+        other => match other.strip_prefix("stride ").and_then(|s| s.parse::<u64>().ok()) {
+            Some(stride) => Ok(strided_addresses(0, stride, n)),
+            None => Err(DxError::unknown("congestion pattern", other.to_string())),
+        },
     }
-    t.note("boundary searches contend at most p-fold; chunk merges are contention-free sweeps");
-    t
+}
+
+/// The `hash-congestion` executor (E17): congestion behaviour of the
+/// hash degrees (\[EK93\]'s comparison) — max bank load of adversarial
+/// inputs (the `pattern` axis) under h1/h2/h3.
+pub fn run_hash_congestion(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    use dxbsp_hash::{max_load_over_trials, Degree};
+    let n = sc.n.ok_or_else(|| DxError::invalid("hash-congestion needs `n`"))?;
+    let banks = usize::try_from(sc.param_u64("banks", 256)?)
+        .map_err(|_| DxError::invalid("banks out of range"))?;
+    let trials = usize::try_from(sc.param_u64("trials", 3)?)
+        .map_err(|_| DxError::invalid("trials out of range"))?;
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let name = pt
+            .str("pattern")
+            .ok_or_else(|| DxError::invalid("hash-congestion needs a string `pattern` axis"))?;
+        let addrs = congestion_input(name, n)?;
+        let mut cells = vec![Cell::str(name), Cell::size(addrs.len().div_ceil(banks))];
+        for deg in Degree::all() {
+            let mut rng = super::point_rng(sc.seed, deg.coefficients() as u64);
+            let rep = max_load_over_trials(&addrs, banks, deg, trials, &mut rng);
+            cells.push(Cell::Float(rep.mean_max_load));
+        }
+        Ok(cells)
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["pattern", "ideal", "h1 linear", "h2 quadratic", "h3 cubic"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// The `remedies` executor (E18): the §3 remedies as library primitives
+/// — plain gather vs. advisor-driven duplication vs. combining tree,
+/// across the hot-spot `k` axis, measured on the simulator.
+pub fn run_remedies(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    use dxbsp_algos::scatter_gather;
+    use std::collections::HashMap;
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("remedies needs `n`"))?;
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let k = pt.u64("k").ok_or_else(|| DxError::invalid("remedies needs a `k` axis"))?;
+        let k = usize::try_from(k).map_err(|_| DxError::invalid("k out of range"))?;
+        let keys: Vec<u64> = (0..n).map(|i| if i < k { 0 } else { 1000 + i as u64 }).collect();
+        let src: HashMap<u64, u64> = keys.iter().map(|&a| (a, a)).collect();
+        let values = vec![1u64; n];
+        let plain_g = scatter_gather::gather_traced(m.p, &keys, &src);
+        let dup = scatter_gather::gather_with_duplication_traced(&m, &keys, &src);
+        let combining = scatter_gather::scatter_combining_traced(m.p, &keys, &values);
+        let trace_seed = sc.seed ^ pt.salt();
+        Ok(vec![
+            Cell::size(k),
+            Cell::int(trace_cycles(&m, &plain_g.trace, trace_seed)),
+            Cell::int(trace_cycles(&m, &dup.trace, trace_seed)),
+            Cell::size(dup.value.1.duplicated.first().map_or(0, |d| d.1)),
+            Cell::int(trace_cycles(&m, &combining.trace, trace_seed)),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["k", "plain gather", "auto-duplicated", "copies", "combining scatter"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// The `sorts` executor (E19): three sorts on one machine — EREW radix
+/// \[ZB91\], QRQW sample sort (replicated-splitter lookup), and the
+/// contention each carries, across the `n` axis. The RV87 motivation
+/// for the binary-search experiment, completed.
+pub fn run_sorts(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    use dxbsp_algos::{radix_sort, sample_sort};
+    let m = sc.machine.resolve()?;
+    let radix_bits = u32::try_from(sc.param_u64("radix_bits", 8)?)
+        .map_err(|_| DxError::invalid("radix_bits out of range"))?;
+    let splitters = usize::try_from(sc.param_u64("splitters", 16)?)
+        .map_err(|_| DxError::invalid("splitters out of range"))?;
+    let replication = usize::try_from(sc.param_u64("replication", 8)?)
+        .map_err(|_| DxError::invalid("replication out of range"))?;
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let n = crate::sweep::point_n(sc, pt)?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
+        let keys: Vec<u64> =
+            (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
+        let radix = radix_sort::sort_traced(m.p, &keys, radix_bits);
+        let sample = sample_sort::sample_sort_traced(m.p, &keys, splitters, replication, &mut rng);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        if sample.value.0 != expect {
+            return Err(DxError::invalid("sample sort output is not sorted"));
+        }
+        let trace_seed = sc.seed ^ pt.salt();
+        let rc = trace_cycles(&m, &radix.trace, trace_seed);
+        let scy = trace_cycles(&m, &sample.trace, trace_seed);
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(n),
+            Cell::int(rc),
+            Cell::int(scy),
+            Cell::size(sample.value.1.lookup_contention),
+            Cell::Float(rc as f64 / scy as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["n", "radix (EREW)", "sample (QRQW)", "lookup k", "radix/sample"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Extension E12: list ranking, textbook vs. deactivating Wyllie.
+#[must_use]
+pub fn exp12_list_ranking(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp12", scale, seed)
+}
+
+/// Extension E13: CC variants per graph family.
+#[must_use]
+pub fn exp13_cc_variants(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp13", scale, seed)
+}
+
+/// Extension E14: model validation on Zipf-distributed scatters — the
+/// (d,x)-BSP keeps tracking as the exponent raises tail contention.
+#[must_use]
+pub fn exp14_zipf(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp14", scale, seed)
+}
+
+/// Extension E15: parallel co-ranking merge.
+#[must_use]
+pub fn exp15_merge(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp15", scale, seed)
+}
+
+/// Extension E16: the (d,x)-LogP vs. classic LogP.
+#[must_use]
+pub fn exp16_logp(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp16", scale, seed)
+}
+
+/// Extension E17: max bank load under each hash degree.
+#[must_use]
+pub fn exp17_hash_congestion(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp17", scale, seed)
+}
+
+/// Extension E18: contention remedies as primitives.
+#[must_use]
+pub fn exp18_remedies(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp18", scale, seed)
+}
+
+/// Extension E19: EREW radix sort vs. QRQW sample sort.
+#[must_use]
+pub fn exp19_sorts(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp19", scale, seed)
 }
 
 #[cfg(test)]
@@ -234,82 +399,6 @@ mod tests {
     }
 }
 
-/// Extension E16: the (d,x)-LogP. §2 says the d/x extension applies to
-/// LogP directly; this sweep shows the extended LogP tracking the
-/// simulator where classic LogP goes flat, mirroring Experiment 1.
-#[must_use]
-pub fn exp16_logp(scale: Scale, seed: u64) -> Table {
-    use dxbsp_core::LogPParams;
-    let n = scale.scatter_n();
-    // LogP-flavored parameters: o=2, L=10 bookends, g=1, p=8, d=14, x=32.
-    let lp = LogPParams::new(10, 2, 1, 8, 14, 32);
-    let m = dxbsp_core::MachineParams::new(lp.p, lp.g.max(lp.o), 0, lp.d, lp.x);
-    let ks = [1usize, 64, 1024, n / 4, n];
-
-    let rows = parallel_map(&ks, |&k| {
-        let mut rng = super::point_rng(seed, k as u64 ^ 0x10);
-        let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
-        let pat = dxbsp_core::AccessPattern::scatter(lp.p, &keys);
-        let map = super::hashed_map(&m, seed);
-        let measured = super::backend(&m).step(&pat, &map).cycles;
-        let dx_logp = lp.pattern_cost(&pat, &map);
-        let classic = lp.pattern_cost_classic(&pat);
-        (k, measured, dx_logp, classic)
-    });
-
-    let mut t = Table::new(
-        format!("Extension E16: (d,x)-LogP vs. classic LogP (n={n}, o=2, L=10)"),
-        &["k", "measured", "dx-logp", "classic logp", "meas/dx", "meas/classic"],
-    );
-    for (k, meas, dx, classic) in rows {
-        t.push_row(vec![
-            k.to_string(),
-            meas.to_string(),
-            dx.to_string(),
-            classic.to_string(),
-            fmt_f(meas as f64 / dx as f64),
-            fmt_f(meas as f64 / classic as f64),
-        ]);
-    }
-    t.note("same story as Exp 1: the bank terms rescue LogP exactly as they rescue BSP");
-    t
-}
-
-/// Extension E17: congestion behaviour of the hash degrees (\[EK93\]'s
-/// comparison): max bank load of adversarial inputs under h1/h2/h3.
-#[must_use]
-pub fn exp17_hash_congestion(scale: Scale, seed: u64) -> Table {
-    use dxbsp_hash::{max_load_over_trials, Degree};
-    use dxbsp_workloads::{bit_reversal_addresses, strided_addresses};
-    let banks = 256usize;
-    let n = scale.scatter_n();
-    let trials = scale.trials();
-
-    let inputs: Vec<(&str, Vec<u64>)> = vec![
-        ("consecutive", (0..n as u64).collect()),
-        ("stride 256", strided_addresses(0, 256, n)),
-        ("stride 4096", strided_addresses(0, 4096, n)),
-        ("bit-reversal", bit_reversal_addresses(16)),
-        ("random-ish", (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()),
-    ];
-
-    let mut t = Table::new(
-        format!("Extension E17: max bank load under each hash degree (B={banks})"),
-        &["pattern", "ideal", "h1 linear", "h2 quadratic", "h3 cubic"],
-    );
-    for (name, addrs) in &inputs {
-        let mut cells = vec![(*name).to_string(), addrs.len().div_ceil(banks).to_string()];
-        for deg in Degree::all() {
-            let mut rng = super::point_rng(seed, deg.coefficients() as u64);
-            let rep = max_load_over_trials(addrs, banks, deg, trials, &mut rng);
-            cells.push(fmt_f(rep.mean_max_load));
-        }
-        t.push_row(cells);
-    }
-    t.note("all degrees spread these adversaries comparably at this slackness ([EK93]'s finding)");
-    t
-}
-
 #[cfg(test)]
 mod logp_tests {
     use super::*;
@@ -338,50 +427,6 @@ mod logp_tests {
     }
 }
 
-/// Extension E18: the §3 remedies as library primitives — plain gather
-/// vs. advisor-driven duplication vs. combining tree, across hot-spot
-/// contention levels, measured on the simulator.
-#[must_use]
-pub fn exp18_remedies(scale: Scale, seed: u64) -> Table {
-    use dxbsp_algos::scatter_gather;
-    use std::collections::HashMap;
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let ks = [1usize, 256, 4096, n / 2, n];
-
-    let rows = parallel_map(&ks, |&k| {
-        let keys: Vec<u64> = (0..n).map(|i| if i < k { 0 } else { 1000 + i as u64 }).collect();
-        let src: HashMap<u64, u64> = keys.iter().map(|&a| (a, a)).collect();
-        let values = vec![1u64; n];
-        let plain_g = scatter_gather::gather_traced(m.p, &keys, &src);
-        let dup = scatter_gather::gather_with_duplication_traced(&m, &keys, &src);
-        let combining = scatter_gather::scatter_combining_traced(m.p, &keys, &values);
-        (
-            k,
-            trace_cycles(&m, &plain_g.trace, seed ^ k as u64),
-            trace_cycles(&m, &dup.trace, seed ^ k as u64),
-            dup.value.1.duplicated.first().map_or(0, |d| d.1),
-            trace_cycles(&m, &combining.trace, seed ^ k as u64),
-        )
-    });
-
-    let mut t = Table::new(
-        format!("Extension E18: contention remedies as primitives (n={n})"),
-        &["k", "plain gather", "auto-duplicated", "copies", "combining scatter"],
-    );
-    for (k, plain, dup, copies, comb) in rows {
-        t.push_row(vec![
-            k.to_string(),
-            plain.to_string(),
-            dup.to_string(),
-            copies.to_string(),
-            comb.to_string(),
-        ]);
-    }
-    t.note("duplication flattens reads (Exp 2's fix); combining flattens reducing writes");
-    t
-}
-
 #[cfg(test)]
 mod remedy_tests {
     use super::*;
@@ -399,48 +444,6 @@ mod remedy_tests {
         // At k=1 neither remedy should hurt by more than small factors.
         assert!(dup[0] <= plain[0] * 1.5, "{} vs {}", dup[0], plain[0]);
     }
-}
-
-/// Extension E19: three sorts on one machine — EREW radix \[ZB91\],
-/// QRQW sample sort (replicated-splitter lookup), and the contention
-/// each carries. The RV87 motivation for the binary-search experiment,
-/// completed.
-#[must_use]
-pub fn exp19_sorts(scale: Scale, seed: u64) -> Table {
-    use dxbsp_algos::{radix_sort, sample_sort};
-    let m = super::default_machine();
-    let base = scale.algo_n();
-    let ns = [base / 2, base, base * 2];
-
-    let rows = parallel_map(&ns, |&n| {
-        let mut rng = super::point_rng(seed, n as u64);
-        let keys: Vec<u64> =
-            (0..n).map(|_| rand::Rng::random_range(&mut rng, 0..1u64 << 40)).collect();
-        let radix = radix_sort::sort_traced(m.p, &keys, 8);
-        let sample = sample_sort::sample_sort_traced(m.p, &keys, 16, 8, &mut rng);
-        let mut expect = keys.clone();
-        expect.sort_unstable();
-        assert_eq!(sample.value.0, expect);
-        let rc = trace_cycles(&m, &radix.trace, seed ^ n as u64);
-        let sc = trace_cycles(&m, &sample.trace, seed ^ n as u64);
-        (n, rc, sc, sample.value.1.lookup_contention)
-    });
-
-    let mut t = Table::new(
-        "Extension E19: EREW radix sort vs. QRQW sample sort (cycles)".to_string(),
-        &["n", "radix (EREW)", "sample (QRQW)", "lookup k", "radix/sample"],
-    );
-    for (n, rc, sc, k) in rows {
-        t.push_row(vec![
-            n.to_string(),
-            rc.to_string(),
-            sc.to_string(),
-            k.to_string(),
-            fmt_f(rc as f64 / sc as f64),
-        ]);
-    }
-    t.note("bounded splitter contention buys fewer full passes than 8-bit radix on 40-bit keys");
-    t
 }
 
 #[cfg(test)]

@@ -10,35 +10,42 @@
 //! compare against both predictions.
 
 use dxbsp_algos::connected::connected_traced;
+use dxbsp_core::{CostModel, DxError, Scenario, WorkloadSpec};
+use dxbsp_machine::Backend;
 use dxbsp_workloads::Graph;
 
-use crate::table::{fmt_f, Table};
+use crate::record::{Cell, RunRecord};
+use crate::sweep::ScenarioOutput;
+use crate::table::Table;
 use crate::Scale;
 
-/// Builds Figure 1's series: per CC superstep, contention vs. measured
-/// and predicted cycles (sorted by contention, duplicates merged by
-/// keeping the largest pattern per contention level).
-#[must_use]
-pub fn fig1(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.algo_n();
-    let mut rng = super::point_rng(seed, 0xF1);
+/// The `cc-trace` executor: build the scenario's graph, trace connected
+/// components on it, replay every superstep through the hardware
+/// simulator and both cost models, and report per-step contention vs.
+/// measured and predicted cycles (sorted by contention).
+pub fn run_cc_trace(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("cc-trace needs `n`"))?;
+    let WorkloadSpec::CcGraph { star_leaves, edges_per_node, salt } = sc.workload else {
+        return Err(DxError::invalid("cc-trace needs a `cc-graph` workload"));
+    };
+    let mut rng = super::point_rng(sc.seed, salt);
     // A random graph plus a star component: the star is what generates
     // the high-contention patterns the figure needs.
-    let mut g = Graph::random_gnm(n, 2 * n, &mut rng);
+    let mut g = Graph::random_gnm(n, edges_per_node * n, &mut rng);
     let star_center = 0u32;
-    for leaf in 1..(n as u32 / 4) {
+    let leaves = u32::try_from(star_leaves)
+        .map_err(|_| DxError::invalid("cc-trace star_leaves out of range"))?;
+    for leaf in 1..leaves {
         g.edges.push((star_center, leaf));
     }
     let traced = connected_traced(m.p, &g);
 
     // One backend per cost lens, reused across every trace step.
-    use dxbsp_core::CostModel;
-    use dxbsp_machine::Backend;
     let mut hardware = super::backend(&m);
     let mut dx_model = super::model_backend(&m, CostModel::DxBsp);
     let mut bsp_model = super::model_backend(&m, CostModel::Bsp);
-    let map = super::hashed_map(&m, seed);
+    let map = super::hashed_map(&m, sc.seed);
     let mut points: Vec<(usize, usize, u64, u64, u64)> = Vec::new();
     for step in &traced.trace {
         if step.pattern.is_empty() {
@@ -52,22 +59,35 @@ pub fn fig1(scale: Scale, seed: u64) -> Table {
     }
     points.sort_unstable();
 
-    let mut t = Table::new(
-        format!("Figure 1: CC-trace access patterns, measured vs. predicted (n={n}, J90-like)"),
-        &["contention", "requests", "measured", "dxbsp-pred", "bsp-pred", "meas/bsp"],
-    );
-    for (k, reqs, meas, dx, bsp) in points {
-        t.push_row(vec![
-            k.to_string(),
-            reqs.to_string(),
-            meas.to_string(),
-            dx.to_string(),
-            bsp.to_string(),
-            fmt_f(meas as f64 / bsp as f64),
-        ]);
+    let headers = ["contention", "requests", "measured", "dxbsp-pred", "bsp-pred", "meas/bsp"];
+    #[allow(clippy::cast_precision_loss)]
+    let rows: Vec<Vec<Cell>> = points
+        .into_iter()
+        .map(|(k, reqs, meas, dx, bsp)| {
+            vec![
+                Cell::size(k),
+                Cell::size(reqs),
+                Cell::int(meas),
+                Cell::int(dx),
+                Cell::int(bsp),
+                Cell::Float(meas as f64 / bsp as f64),
+            ]
+        })
+        .collect();
+    let records: Vec<RunRecord> =
+        rows.iter().map(|row| RunRecord::from_row(&headers, row, 2)).collect();
+    let mut t = Table::from_cells(super::scatter::scenario_title(sc), &headers, &rows);
+    for note in &sc.notes {
+        t.note(note.clone());
     }
-    t.note("high-contention steps (the star's hooks/shortcuts) blow past the BSP prediction");
-    t
+    Ok(ScenarioOutput { records, table: t })
+}
+
+/// Builds Figure 1's series: per CC superstep, contention vs. measured
+/// and predicted cycles, via the built-in `fig1` scenario.
+#[must_use]
+pub fn fig1(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("fig1", scale, seed)
 }
 
 #[cfg(test)]

@@ -1,31 +1,34 @@
-//! Experiment 6 and ablation A1: module-map contention under random
-//! memory mappings (paper §4).
+//! Experiments 6/6b and ablation A1: module-map contention, mapping
+//! comparison, and parallel slackness (paper §4).
 //!
 //! Random hashing spreads concurrently requested locations over the
 //! banks, but distinct addresses can still *co-reside* on one bank
-//! (module-map contention). The paper plots the ratio of time with
-//! that effect to time without it, as a function of the expansion
-//! factor, for a worst-case reference pattern.
+//! (module-map contention). The `modmap` kind plots the ratio of time
+//! with that effect to time without it as a function of the expansion
+//! factor; `mapping-compare` pits hashed against interleaved banks
+//! under stride access; `slackness` measures bank-load balance as
+//! requests-per-bank grows.
 
-use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
+use dxbsp_core::{AccessPattern, DxError, Interleaved, Scenario};
+use dxbsp_hash::{max_load_over_trials, Degree};
 use dxbsp_machine::Backend;
 use dxbsp_workloads::strided_addresses;
 
+use crate::record::Cell;
 use crate::runner::parallel_map;
-use crate::table::{fmt_f, Table};
+use crate::sweep::{machine_for_point, point_n, ScenarioOutput};
+use crate::table::Table;
 use crate::Scale;
 
-/// Experiment 6: ratio of hashed-mapping time to the ideal (even
-/// round-robin) time, vs. expansion factor, for a worst-case pattern
-/// (`n` distinct addresses requested concurrently, exactly once each —
-/// all bank contention is module-map contention).
-#[must_use]
-pub fn exp6_modmap(scale: Scale, seed: u64) -> Table {
-    let n = scale.scatter_n();
-    let xs = [1usize, 2, 4, 8, 16, 32, 64, 128];
-
-    let rows = parallel_map(&xs, |&x| {
-        let m = MachineParams::new(8, 1, 0, 14, x);
+/// The `modmap` executor: ratio of hashed-mapping time to the ideal
+/// (even round-robin) time across the `x` axis, for a worst-case
+/// pattern (`n` distinct addresses requested concurrently, exactly once
+/// each — all bank contention is module-map contention).
+pub fn run_modmap(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let m = machine_for_point(sc, pt)?;
+        let n = point_n(sc, pt)?;
         // Distinct addresses with a pseudo-random spacing (keeps the
         // hashed mapping honest; any fixed set works).
         let addrs: Vec<u64> =
@@ -34,65 +37,109 @@ pub fn exp6_modmap(scale: Scale, seed: u64) -> Table {
         // One backend per sweep point, stepped twice: the ideal run
         // reuses the hashed run's buffers.
         let mut backend = super::backend(&m);
-        let hashed = backend.step(&pat, &super::hashed_map(&m, seed ^ x as u64)).cycles;
+        let hashed = backend.step(&pat, &super::hashed_map(&m, sc.seed ^ pt.salt())).cycles;
         // Ideal: the same request volume dealt perfectly evenly —
         // element i to bank i mod B, i.e. interleaved consecutive
         // addresses (module-map contention exactly ⌈n/B⌉, the minimum).
         let ideal_addrs: Vec<u64> = (0..n as u64).collect();
         let ideal_pat = AccessPattern::scatter(m.p, &ideal_addrs);
         let ideal = backend.step(&ideal_pat, &Interleaved::new(m.banks())).cycles;
-        (x, hashed, ideal)
-    });
-
-    let mut t = Table::new(
-        format!("Experiment 6: module-map contention vs. expansion (worst-case pattern, n={n})"),
-        &["x", "hashed cycles", "ideal cycles", "ratio"],
-    );
-    for (x, hashed, ideal) in rows {
-        t.push_row(vec![
-            x.to_string(),
-            hashed.to_string(),
-            ideal.to_string(),
-            fmt_f(hashed as f64 / ideal as f64),
-        ]);
-    }
-    t.note("ratio → 1 as expansion grows: extra banks absorb hashing imbalance (paper §4)");
-    t
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::from_axis(&pt.coords[0].value),
+            Cell::int(hashed),
+            Cell::int(ideal),
+            Cell::Float(hashed as f64 / ideal as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["x", "hashed cycles", "ideal cycles", "ratio"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Ablation A1: hashed vs. interleaved mapping under constant-stride
-/// access — why §4's random mappings exist at all.
-#[must_use]
-pub fn ablation_mapping(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let strides = [1u64, 2, 4, 8, 16, 64, 256, 1024];
-
-    let rows = parallel_map(&strides, |&s| {
+/// The `mapping-compare` executor: hashed vs. interleaved mapping under
+/// constant-stride access (the `stride` axis) — why §4's random
+/// mappings exist at all.
+pub fn run_mapping_compare(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let m = machine_for_point(sc, pt)?;
+        let n = point_n(sc, pt)?;
+        let s = pt
+            .u64("stride")
+            .ok_or_else(|| DxError::invalid("mapping-compare needs a `stride` axis"))?;
         let addrs = strided_addresses(0, s, n);
         let pat = AccessPattern::scatter(m.p, &addrs);
         let mut backend = super::backend(&m);
         let inter = backend.step(&pat, &Interleaved::new(m.banks())).cycles;
-        let hashed = backend.step(&pat, &super::hashed_map(&m, seed ^ s)).cycles;
-        (s, inter, hashed)
-    });
+        let hashed = backend.step(&pat, &super::hashed_map(&m, sc.seed ^ pt.salt())).cycles;
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::int(s),
+            Cell::int(inter),
+            Cell::int(hashed),
+            Cell::Float(inter as f64 / hashed as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["stride", "interleaved", "hashed", "inter/hashed"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
 
-    let mut t = Table::new(
-        format!("Ablation A1: interleaved vs. hashed banks under stride access (n={n})"),
-        &["stride", "interleaved", "hashed", "inter/hashed"],
-    );
-    for (s, inter, hashed) in rows {
-        t.push_row(vec![
-            s.to_string(),
-            inter.to_string(),
-            hashed.to_string(),
-            fmt_f(inter as f64 / hashed as f64),
-        ]);
-    }
-    t.note(
-        "power-of-two strides collapse interleaving onto few banks; hashing is stride-oblivious",
-    );
-    t
+/// The `slackness` executor: §4's balance claim ("if there is
+/// sufficient parallel slackness … the memory references will be
+/// reasonably balanced across the banks") is a statement about
+/// requests-per-bank. The `slack` axis sets the request volume to
+/// `slack · B` and we report the max-bank-load overhead over the even
+/// split.
+pub fn run_slackness(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let trials = usize::try_from(sc.param_u64("trials", 3)?)
+        .map_err(|_| DxError::invalid("trials out of range"))?;
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let m = machine_for_point(sc, pt)?;
+        let banks = m.banks();
+        let s =
+            pt.u64("slack").ok_or_else(|| DxError::invalid("slackness needs a `slack` axis"))?;
+        let n = banks
+            .checked_mul(usize::try_from(s).map_err(|_| DxError::invalid("slack too large"))?)
+            .ok_or_else(|| DxError::invalid("slack too large"))?;
+        let mut rng = super::point_rng(sc.seed, pt.salt());
+        // Distinct addresses: all imbalance is the hash's doing.
+        let addrs: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 3).collect();
+        let rep = max_load_over_trials(&addrs, banks, Degree::Linear, trials, &mut rng);
+        Ok(vec![
+            Cell::int(s),
+            Cell::size(rep.ideal_load),
+            Cell::Float(rep.mean_max_load),
+            Cell::Float(rep.overhead_ratio()),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+    let headers = ["n/B", "ideal load", "mean max load", "overhead"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Experiment 6: module-map contention vs. expansion factor.
+#[must_use]
+pub fn exp6_modmap(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp6", scale, seed)
+}
+
+/// Ablation A1: hashed vs. interleaved mapping under stride access.
+#[must_use]
+pub fn ablation_mapping(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("ablation_mapping", scale, seed)
+}
+
+/// Experiment 6b: slackness vs. bank-load balance.
+#[must_use]
+pub fn exp6b_slackness(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp6b", scale, seed)
 }
 
 #[cfg(test)]
@@ -119,41 +166,6 @@ mod tests {
         // Stride 1 is conflict-free interleaved: hashing cannot beat it.
         assert!(ratio[0] <= 1.1, "{ratio:?}");
     }
-}
-
-/// Experiment 6b: the role of parallel slackness. §4's balance claim
-/// ("if there is sufficient parallel slackness … the memory references
-/// will be reasonably balanced across the banks") is a statement about
-/// requests-per-bank: this sweep fixes the machine (J90-like, d=14)
-/// and varies the request volume so that the slackness `n/B` spans
-/// 1 … 256, reporting the max-bank-load overhead over the even split.
-#[must_use]
-pub fn exp6b_slackness(scale: Scale, seed: u64) -> Table {
-    use dxbsp_hash::{max_load_over_trials, Degree};
-    let m = super::default_machine();
-    let banks = m.banks();
-    let trials = scale.trials();
-    let slacks = [1usize, 2, 4, 16, 64, 256];
-
-    let rows = parallel_map(&slacks, |&s| {
-        let n = banks * s;
-        let mut rng = super::point_rng(seed, s as u64);
-        // Distinct addresses: all imbalance is the hash's doing.
-        let addrs: Vec<u64> =
-            (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 3).collect();
-        let rep = max_load_over_trials(&addrs, banks, Degree::Linear, trials, &mut rng);
-        (s, rep.ideal_load, rep.mean_max_load, rep.overhead_ratio())
-    });
-
-    let mut t = Table::new(
-        format!("Experiment 6b: slackness vs. bank-load balance (B={banks}, linear hash)"),
-        &["n/B", "ideal load", "mean max load", "overhead"],
-    );
-    for (s, ideal, mean, ratio) in rows {
-        t.push_row(vec![s.to_string(), ideal.to_string(), fmt_f(mean), fmt_f(ratio)]);
-    }
-    t.note("low slackness: balls-in-bins Θ(log B / log log B) overhead; high slackness: → 1");
-    t
 }
 
 #[cfg(test)]

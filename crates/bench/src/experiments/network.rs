@@ -15,26 +15,35 @@
 //!   take account of this \[ST91\], but … even in what we expect to be
 //!   the worst case the predictions are not catastrophic."
 
-use dxbsp_core::{predict_scatter, Interleaved, MachineParams, ScatterShape};
+use dxbsp_core::{predict_scatter, DxError, Interleaved, ScatterShape, Scenario};
 use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
 
-use crate::table::{fmt_f, Table};
+use crate::record::Cell;
+use crate::sweep::ScenarioOutput;
+use crate::table::Table;
 use crate::Scale;
 
-/// Builds the three placements over a sectioned machine and compares
-/// measured cycles with the sectionless (d,x)-BSP prediction.
-#[must_use]
-pub fn exp5_network(scale: Scale, seed: u64) -> Table {
-    let m = MachineParams::new(8, 1, 0, 14, 32);
-    let n = scale.scatter_n();
-    let sections = 8usize;
-    let ports = 2usize; // per-section injection, < p: saturable
+/// The `network-sections` executor: build the three placements over a
+/// sectioned machine (params `sections`, `ports`) and compare measured
+/// cycles with the sectionless (d,x)-BSP prediction.
+pub fn run_network_sections(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("network-sections needs `n`"))?;
+    let sections = usize::try_from(sc.param_u64("sections", 8)?)
+        .map_err(|_| DxError::invalid("sections out of range"))?;
+    let ports = usize::try_from(sc.param_u64("ports", 2)?)
+        .map_err(|_| DxError::invalid("ports out of range"))?;
     let banks = m.banks();
+    if sections == 0 || banks % sections != 0 {
+        return Err(DxError::invalid(format!(
+            "sections ({sections}) must divide the bank count ({banks})"
+        )));
+    }
     let per_section = banks / sections;
     let cfg = SimConfig::from_params(&m).with_sections(sections, ports);
     let mut backend = SimulatorBackend::new(cfg);
     let map = Interleaved::new(banks);
-    let mut rng = super::point_rng(seed, 5);
+    let mut rng = super::point_rng(sc.seed, sc.param_u64("salt", 5)?);
 
     // Uniform random bank targets, then constrain per version. Using
     // bank-index addresses directly keeps placements exact.
@@ -53,11 +62,15 @@ pub fn exp5_network(scale: Scale, seed: u64) -> Table {
     // (c): everything in section 0.
     let version_c: Vec<u64> = uniform.iter().map(|&a| a % per_section as u64).collect();
 
-    let pred = predict_scatter(&m, ScatterShape::new(n, 4)); // near-uniform k
-    let mut t = Table::new(
-        format!("Experiment 5: sectioned network, {sections} sections x {ports} ports (n={n})"),
-        &["version", "measured", "sectionless pred", "meas/pred"],
+    let pred_k = sc.param_u64("pred_k", 4)?; // near-uniform k
+    let pred = predict_scatter(
+        &m,
+        ScatterShape::new(
+            n,
+            usize::try_from(pred_k).map_err(|_| DxError::invalid("pred_k out of range"))?,
+        ),
     );
+    let mut rows = Vec::new();
     for (name, keys) in [
         ("(a) uniform", &version_a),
         ("(b) per-proc section", &version_b),
@@ -65,15 +78,23 @@ pub fn exp5_network(scale: Scale, seed: u64) -> Table {
     ] {
         let pat = dxbsp_core::AccessPattern::scatter(m.p, keys);
         let res = backend.step(&pat, &map);
-        t.push_row(vec![
-            name.into(),
-            res.cycles.to_string(),
-            pred.to_string(),
-            fmt_f(res.cycles as f64 / pred as f64),
+        #[allow(clippy::cast_precision_loss)]
+        rows.push(vec![
+            Cell::str(name),
+            Cell::int(res.cycles),
+            Cell::int(pred),
+            Cell::Float(res.cycles as f64 / pred as f64),
         ]);
     }
-    t.note("(c) saturates one section's ports; paper saw up to 2.5x over prediction");
-    t
+    let headers = ["version", "measured", "sectionless pred", "meas/pred"];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Builds the three placements over a sectioned machine and compares
+/// measured cycles with the sectionless (d,x)-BSP prediction.
+#[must_use]
+pub fn exp5_network(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp5", scale, seed)
 }
 
 /// The largest measured/predicted ratio of the three versions (used by

@@ -1,133 +1,361 @@
 //! §3 scatter experiments: contention sweep (Exp 1), duplication
-//! (Exp 2), entropy distributions (Exp 3), expansion sweep (Exp 4).
+//! (Exp 2), entropy distributions (Exp 3), expansion sweep (Exp 4),
+//! the cross-machine comparison, and the injection-order ablation.
+//!
+//! All of them are `scatter-sweep` scenarios now: the generic executor
+//! [`run_scatter_sweep`] expands the sweep axes, generates the workload
+//! family at each point, measures on per-worker simulator sessions and
+//! attaches the closed-form predictions. The public `expN_*` functions
+//! are thin wrappers over the built-in scenario definitions in
+//! [`crate::scenarios`].
 
-use dxbsp_core::{predict_scatter, predict_scatter_bsp, ScatterShape};
-use dxbsp_workloads::{duplicated_hotspot, entropy_family, hotspot_keys, max_contention};
+use dxbsp_core::{
+    predict_scatter, predict_scatter_bsp, DxError, MachineParams, ScatterShape, Scenario,
+    SweepPoint, WorkloadSpec,
+};
+use dxbsp_workloads::{generate_keys, max_contention, KeyRequest};
 
+use crate::record::{Cell, RunRecord};
 use crate::runner::parallel_map_with;
-use crate::table::{fmt_f, Table};
+use crate::sweep::{machine_for_point, point_n, ScenarioOutput};
+use crate::table::Table;
 use crate::Scale;
+
+/// One sweep point, resolved ahead of the parallel phase so machine or
+/// size errors surface before any worker starts.
+struct Prepared {
+    pt: SweepPoint,
+    m: MachineParams,
+    n: usize,
+    req: KeyRequest,
+}
+
+fn prepare(sc: &Scenario) -> Result<Vec<Prepared>, DxError> {
+    let param_k = sc.param_u64("k", 0)?;
+    let param_copies = sc.param_u64("copies", 1)?;
+    sc.sweep
+        .matrix()
+        .into_iter()
+        .map(|pt| {
+            let m = machine_for_point(sc, &pt)?;
+            let n = point_n(sc, &pt)?;
+            let k = pt.u64("k").unwrap_or(param_k);
+            let copies = pt.u64("copies").unwrap_or(param_copies);
+            let req = KeyRequest {
+                n,
+                k: usize::try_from(k).map_err(|_| DxError::invalid("k out of range"))?,
+                copies: usize::try_from(copies)
+                    .map_err(|_| DxError::invalid("copies out of range"))?,
+                iteration: usize::try_from(pt.u64("iter").unwrap_or(0))
+                    .map_err(|_| DxError::invalid("iter out of range"))?,
+                exponent: pt.f64("s").unwrap_or(0.0),
+            };
+            Ok(Prepared { pt, m, n, req })
+        })
+        .collect()
+}
+
+struct PointResult {
+    k_real: usize,
+    measured: u64,
+    preds: Vec<u64>,
+}
+
+/// Whether the workload's contention emerges from the distribution
+/// (worth a `max k` column) rather than being dialed in by an axis.
+fn contention_is_emergent(wl: &WorkloadSpec) -> bool {
+    matches!(
+        wl,
+        WorkloadSpec::Uniform { .. }
+            | WorkloadSpec::Entropy { .. }
+            | WorkloadSpec::Zipf { .. }
+            | WorkloadSpec::NasIs { .. }
+            | WorkloadSpec::GoldenDistinct { .. }
+    )
+}
+
+/// The generic scatter-sweep executor: workload keys → one measured
+/// superstep per point → predictions from every requested model.
+pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let prepared = prepare(sc)?;
+    let base_m = prepared.first().map_or_else(|| sc.machine.resolve(), |p| Ok(p.m))?;
+    let duplicated = matches!(sc.workload, WorkloadSpec::DuplicatedHotspot { .. });
+    let models = sc.models.clone();
+    let results: Vec<Result<PointResult, DxError>> = parallel_map_with(
+        &prepared,
+        || super::backend(&base_m),
+        |be, p| {
+            let salt = p.pt.salt();
+            let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;
+            let k_real = max_contention(&keys);
+            let measured = super::measured_scatter_in(be, &p.m, &keys, sc.seed ^ salt);
+            let k_pred = if duplicated { p.req.k.div_ceil(p.req.copies.max(1)) } else { k_real };
+            let shape = ScatterShape::new(p.n, k_pred);
+            let preds = models
+                .iter()
+                .map(|model| match model.as_str() {
+                    "bsp" => predict_scatter_bsp(&p.m, shape),
+                    _ => predict_scatter(&p.m, shape),
+                })
+                .collect();
+            Ok(PointResult { k_real, measured, preds })
+        },
+    );
+    let results: Vec<PointResult> = results.into_iter().collect::<Result<_, _>>()?;
+
+    let records: Vec<RunRecord> = prepared
+        .iter()
+        .zip(&results)
+        .map(|(p, r)| {
+            let mut rec = RunRecord::default();
+            for c in &p.pt.coords {
+                rec.point.push((c.axis.clone(), Cell::from_axis(&c.value)));
+            }
+            rec = rec
+                .with("n", Cell::size(p.n))
+                .with("k_real", Cell::size(r.k_real))
+                .with("measured", Cell::int(r.measured));
+            for (model, &pred) in sc.models.iter().zip(&r.preds) {
+                rec = rec.with(&format!("pred_{model}"), Cell::int(pred));
+            }
+            rec
+        })
+        .collect();
+
+    let table = match sc.param_str("report", "generic")? {
+        "per-element-by-d" => per_element_by_d_table(sc, &prepared, &results)?,
+        "by-machine" => by_machine_table(sc, &prepared, &results)?,
+        "generic" => generic_scatter_table(sc, &prepared, &results),
+        other => return Err(DxError::unknown("report", other)),
+    };
+    Ok(ScenarioOutput { records, table })
+}
+
+/// The default projection: axis coordinates, emergent contention,
+/// measured cycles, one prediction column and one measured/predicted
+/// ratio column per model.
+fn generic_scatter_table(sc: &Scenario, prepared: &[Prepared], results: &[PointResult]) -> Table {
+    let mut headers: Vec<String> = sc.sweep.axes.iter().map(|a| a.param.clone()).collect();
+    let emergent = contention_is_emergent(&sc.workload);
+    if emergent {
+        headers.push("max k".to_string());
+    }
+    headers.push("measured".to_string());
+    for model in &sc.models {
+        headers.push(format!("{model}-pred"));
+    }
+    for model in &sc.models {
+        headers.push(format!("meas/{model}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<Cell>> = prepared
+        .iter()
+        .zip(results)
+        .map(|(p, r)| {
+            let mut row: Vec<Cell> =
+                p.pt.coords.iter().map(|c| Cell::from_axis(&c.value)).collect();
+            if emergent {
+                row.push(Cell::size(r.k_real));
+            }
+            row.push(Cell::int(r.measured));
+            for &pred in &r.preds {
+                row.push(Cell::int(pred));
+            }
+            #[allow(clippy::cast_precision_loss)]
+            for &pred in &r.preds {
+                row.push(Cell::Float(r.measured as f64 / pred as f64));
+            }
+            row
+        })
+        .collect();
+    let mut t = Table::from_cells(scenario_title(sc), &header_refs, &rows);
+    for note in &sc.notes {
+        t.note(note.clone());
+    }
+    t
+}
+
+/// Experiment 4's projection: rows per `x`, measured and predicted
+/// cycles **per element** pivoted over the `d` axis.
+fn per_element_by_d_table(
+    sc: &Scenario,
+    prepared: &[Prepared],
+    results: &[PointResult],
+) -> Result<Table, DxError> {
+    let ds: Vec<u64> = sc
+        .sweep
+        .axes
+        .iter()
+        .find(|a| a.param == "d")
+        .ok_or_else(|| DxError::invalid("report per-element-by-d needs a `d` axis"))?
+        .values
+        .iter()
+        .filter_map(dxbsp_core::AxisValue::as_u64)
+        .collect();
+    let mut headers = vec!["x".to_string()];
+    headers.extend(ds.iter().map(|d| format!("cyc/elem d={d}")));
+    headers.extend(ds.iter().map(|d| format!("pred d={d}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for chunk in prepared.chunks(ds.len()).zip(results.chunks(ds.len())) {
+        let (ps, rs) = chunk;
+        let x = ps[0].pt.u64("x").ok_or_else(|| {
+            DxError::invalid("report per-element-by-d needs an `x` axis before `d`")
+        })?;
+        #[allow(clippy::cast_precision_loss)]
+        let mut row = vec![Cell::int(x)];
+        #[allow(clippy::cast_precision_loss)]
+        row.extend(ps.iter().zip(rs).map(|(p, r)| Cell::Float(r.measured as f64 / p.n as f64)));
+        #[allow(clippy::cast_precision_loss)]
+        row.extend(ps.iter().zip(rs).map(|(p, r)| Cell::Float(r.preds[0] as f64 / p.n as f64)));
+        rows.push(row);
+    }
+    let mut t = Table::from_cells(scenario_title(sc), &header_refs, &rows);
+    for note in &sc.notes {
+        t.note(note.clone());
+    }
+    Ok(t)
+}
+
+/// The machine-comparison projection: rows per leading axis value,
+/// measured and predicted pivoted over the `machine` axis, with a
+/// last-vs-first measured ratio.
+fn by_machine_table(
+    sc: &Scenario,
+    prepared: &[Prepared],
+    results: &[PointResult],
+) -> Result<Table, DxError> {
+    let machines: Vec<String> = sc
+        .sweep
+        .axes
+        .iter()
+        .find(|a| a.param == "machine")
+        .ok_or_else(|| DxError::invalid("report by-machine needs a `machine` axis"))?
+        .values
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_uppercase))
+        .collect();
+    let lead = sc
+        .sweep
+        .axes
+        .first()
+        .ok_or_else(|| DxError::invalid("report by-machine needs a leading axis"))?
+        .param
+        .clone();
+    let mut headers = vec![lead.clone()];
+    for name in &machines {
+        headers.push(format!("{name} measured"));
+        headers.push(format!("{name} pred"));
+    }
+    headers.push(format!(
+        "{}/{}",
+        machines.last().map_or("", String::as_str),
+        machines.first().map_or("", String::as_str)
+    ));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (ps, rs) in prepared.chunks(machines.len()).zip(results.chunks(machines.len())) {
+        let mut row = vec![ps[0].pt.get(&lead).map_or(Cell::str("-"), Cell::from_axis)];
+        for r in rs {
+            row.push(Cell::int(r.measured));
+            row.push(Cell::int(r.preds[0]));
+        }
+        #[allow(clippy::cast_precision_loss)]
+        row.push(Cell::Float(rs.last().map_or(0, |r| r.measured) as f64 / rs[0].measured as f64));
+        rows.push(row);
+    }
+    let mut t = Table::from_cells(scenario_title(sc), &header_refs, &rows);
+    for note in &sc.notes {
+        t.note(note.clone());
+    }
+    Ok(t)
+}
+
+pub(crate) fn scenario_title(sc: &Scenario) -> String {
+    if sc.title.is_empty() {
+        sc.name.clone()
+    } else {
+        sc.title.clone()
+    }
+}
+
+/// Ablation A4 (§7): the order of injecting messages into the network.
+/// The same multiset of requests is issued (a) in workload order,
+/// (b) sorted by destination bank — maximal burstiness per bank — and
+/// (c) bank-interleaved (round-robin over banks) — minimal burstiness.
+pub fn run_injection_order(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    use dxbsp_core::BankMap;
+    use dxbsp_machine::Backend;
+    let m = sc.machine.resolve()?;
+    let n = sc.n.ok_or_else(|| DxError::invalid("injection-order needs `n`"))?;
+    let salt = sc.param_u64("salt", 0xA4)?;
+    if !matches!(sc.workload, WorkloadSpec::Uniform { .. }) {
+        return Err(DxError::invalid("injection-order needs a uniform workload"));
+    }
+    let keys = generate_keys(&sc.workload, &KeyRequest::of(n), sc.seed, salt)?;
+    let map = super::hashed_map(&m, sc.seed);
+    let mut backend = super::backend(&m);
+
+    // Per-processor reorderings of the same element set.
+    let original = dxbsp_core::AccessPattern::scatter(m.p, &keys);
+    let mut sorted_keys = keys.clone();
+    sorted_keys.sort_unstable_by_key(|&a| map.bank_of(a));
+    let sorted = dxbsp_core::AccessPattern::scatter(m.p, &sorted_keys);
+    // Round-robin over banks: take one element per bank in rotation.
+    let mut by_bank: Vec<Vec<u64>> = vec![Vec::new(); m.banks()];
+    for &a in &keys {
+        by_bank[map.bank_of(a)].push(a);
+    }
+    let mut interleaved_keys = Vec::with_capacity(n);
+    let mut level = 0usize;
+    while interleaved_keys.len() < n {
+        for bank in &by_bank {
+            if let Some(&a) = bank.get(level) {
+                interleaved_keys.push(a);
+            }
+        }
+        level += 1;
+    }
+    let interleaved = dxbsp_core::AccessPattern::scatter(m.p, &interleaved_keys);
+
+    let headers = ["order", "measured", "total queue wait"];
+    let mut rows = Vec::new();
+    for (name, pat) in [
+        ("workload order", &original),
+        ("sorted by bank", &sorted),
+        ("bank-interleaved", &interleaved),
+    ] {
+        let res = backend.step(pat, &map).into_result();
+        rows.push(vec![Cell::str(name), Cell::int(res.cycles), Cell::int(res.total_queue_wait())]);
+    }
+    let records = rows.iter().map(|row| RunRecord::from_row(&headers, row, 1)).collect();
+    let mut t = Table::from_cells(scenario_title(sc), &headers, &rows);
+    for note in &sc.notes {
+        t.note(note.clone());
+    }
+    Ok(ScenarioOutput { records, table: t })
+}
 
 /// Experiment 1: scatter time vs. maximum location contention `k`.
 /// Measured cycles against the (d,x)-BSP and plain-BSP predictions:
 /// flat until the knee `d·k > max(g·n/p, d·n/(x·p))`, then slope `d`.
 #[must_use]
 pub fn exp1_contention(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let ks: Vec<usize> = std::iter::successors(Some(1usize), |&k| Some(k * 4))
-        .take_while(|&k| k <= n)
-        .chain(std::iter::once(n))
-        .collect();
-
-    let rows = parallel_map_with(
-        &ks,
-        || super::backend(&m),
-        |be, &k| {
-            let mut rng = super::point_rng(seed, k as u64);
-            let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
-            let k_real = max_contention(&keys);
-            let measured = super::measured_scatter_in(be, &m, &keys, seed ^ k as u64);
-            let shape = ScatterShape::new(n, k_real);
-            (k, k_real, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
-        },
-    );
-
-    let mut t = Table::new(
-        format!("Experiment 1: scatter vs. contention (n={n}, p={}, d={}, x={})", m.p, m.d, m.x),
-        &["k", "measured", "dxbsp-pred", "bsp-pred", "meas/dxbsp", "meas/bsp"],
-    );
-    for (k, _k_real, meas, dx, bsp) in rows {
-        t.push_row(vec![
-            k.to_string(),
-            meas.to_string(),
-            dx.to_string(),
-            bsp.to_string(),
-            fmt_f(meas as f64 / dx as f64),
-            fmt_f(meas as f64 / bsp as f64),
-        ]);
-    }
-    t.note("paper Fig: BSP stays flat while measured time grows with slope d·k past the knee");
-    t
+    crate::run_builtin("exp1", scale, seed)
 }
 
 /// Experiment 2: duplicating the hot location into `c` copies recovers
 /// performance (`k` effective contention drops to `⌈k/c⌉`).
 #[must_use]
 pub fn exp2_duplication(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let k = n / 8;
-    let copies: Vec<usize> =
-        std::iter::successors(Some(1usize), |&c| Some(c * 2)).take_while(|&c| c <= k).collect();
-
-    let rows = parallel_map_with(
-        &copies,
-        || super::backend(&m),
-        |be, &c| {
-            let mut rng = super::point_rng(seed, c as u64);
-            let keys = duplicated_hotspot(n, k, c, 1 << 40, &mut rng);
-            let measured = super::measured_scatter_in(be, &m, &keys, seed ^ c as u64);
-            let predicted = predict_scatter(&m, ScatterShape::new(n, k.div_ceil(c)));
-            (c, measured, predicted)
-        },
-    );
-
-    let mut t = Table::new(
-        format!("Experiment 2: duplicating a contention-{k} location (n={n})"),
-        &["copies", "measured", "dxbsp-pred", "meas/pred"],
-    );
-    for (c, meas, pred) in rows {
-        t.push_row(vec![
-            c.to_string(),
-            meas.to_string(),
-            pred.to_string(),
-            fmt_f(meas as f64 / pred as f64),
-        ]);
-    }
-    t.note("each copy absorbs ⌈k/c⌉ requests; enough copies restores the flat regime");
-    t
+    crate::run_builtin("exp2", scale, seed)
 }
 
 /// Experiment 3: Thearling–Smith entropy distributions — predicted vs.
 /// measured as the AND-iterations concentrate the key distribution.
 #[must_use]
 pub fn exp3_entropy(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let iterations = 8usize;
-    let mut rng = super::point_rng(seed, 0xE27);
-    let family = entropy_family(n, 22, iterations, &mut rng);
-
-    let idx: Vec<usize> = (0..family.len()).collect();
-    let rows = parallel_map_with(
-        &idx,
-        || super::backend(&m),
-        |be, &i| {
-            let keys = &family[i];
-            let k = max_contention(keys);
-            let measured = super::measured_scatter_in(be, &m, keys, seed ^ i as u64);
-            let shape = ScatterShape::new(n, k);
-            (i, k, measured, predict_scatter(&m, shape), predict_scatter_bsp(&m, shape))
-        },
-    );
-
-    let mut t = Table::new(
-        format!("Experiment 3: entropy distributions (n={n}, iterated AND)"),
-        &["iters", "max k", "measured", "dxbsp-pred", "bsp-pred", "meas/dxbsp"],
-    );
-    for (i, k, meas, dx, bsp) in rows {
-        t.push_row(vec![
-            i.to_string(),
-            k.to_string(),
-            meas.to_string(),
-            dx.to_string(),
-            bsp.to_string(),
-            fmt_f(meas as f64 / dx as f64),
-        ]);
-    }
-    t.note("contention rises with each AND iteration; the (d,x)-BSP keeps tracking it");
-    t
+    crate::run_builtin("exp3", scale, seed)
 }
 
 /// Experiment 4: effect of the expansion factor — cycles per element of
@@ -136,40 +364,22 @@ pub fn exp3_entropy(scale: Scale, seed: u64) -> Table {
 /// second headline result.
 #[must_use]
 pub fn exp4_expansion(scale: Scale, seed: u64) -> Table {
-    let n = scale.scatter_n();
-    let xs: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, 128].to_vec();
-    let ds = [6u64, 14];
+    crate::run_builtin("exp4", scale, seed)
+}
 
-    let mut t = Table::new(
-        format!("Experiment 4: expansion sweep (uniform scatter, n={n}, p=8)"),
-        &["x", "cyc/elem d=6", "cyc/elem d=14", "pred d=6", "pred d=14"],
-    );
-    let rows = parallel_map_with(
-        &xs,
-        || super::backend(&super::default_machine()),
-        |be, &x| {
-            let mut cells = vec![x.to_string()];
-            let mut meas = Vec::new();
-            let mut pred = Vec::new();
-            for &d in &ds {
-                let m = dxbsp_core::MachineParams::new(8, 1, 0, d, x);
-                let mut rng = super::point_rng(seed, (x as u64) << 8 | d);
-                let keys = dxbsp_workloads::uniform_keys(n, 1 << 40, &mut rng);
-                let cycles = super::measured_scatter_in(be, &m, &keys, seed ^ (x as u64 * d));
-                meas.push(cycles as f64 / n as f64);
-                let k = max_contention(&keys);
-                pred.push(predict_scatter(&m, ScatterShape::new(n, k)) as f64 / n as f64);
-            }
-            cells.extend(meas.iter().map(|&c| fmt_f(c)));
-            cells.extend(pred.iter().map(|&c| fmt_f(c)));
-            cells
-        },
-    );
-    for row in rows {
-        t.push_row(row);
-    }
-    t.note("the model's even-spread term flattens at x = d; measured time keeps improving a little past it");
-    t
+/// Machine comparison: the same contention sweep on the C90-like
+/// (SRAM, d=6, x=64) and J90-like (DRAM, d=14, x=32) presets — the
+/// paper validates its model on both and notes "cray C90 results are
+/// qualitatively similar".
+#[must_use]
+pub fn exp_machines(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("exp_machines", scale, seed)
+}
+
+/// Ablation A4 wrapper: see [`run_injection_order`].
+#[must_use]
+pub fn ablation_injection_order(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("ablation_injection", scale, seed)
 }
 
 #[cfg(test)]
@@ -221,103 +431,6 @@ mod tests {
             assert!(w[1] <= w[0] * 1.05, "{d14:?}");
         }
     }
-}
-
-/// Machine comparison: the same contention sweep on the C90-like
-/// (SRAM, d=6, x=64) and J90-like (DRAM, d=14, x=32) presets — the
-/// paper validates its model on both and notes "cray C90 results are
-/// qualitatively similar".
-#[must_use]
-pub fn exp_machines(scale: Scale, seed: u64) -> Table {
-    use dxbsp_core::presets;
-    let n = scale.scatter_n();
-    let machines = [("C90", presets::cray_c90()), ("J90", presets::cray_j90())];
-    let ks: Vec<usize> = vec![1, 64, 1024, n / 4, n];
-
-    let mut t = Table::new(
-        format!("Machine comparison: contention sweep on both Cray presets (n={n})"),
-        &["k", "C90 measured", "C90 pred", "J90 measured", "J90 pred", "J90/C90"],
-    );
-    let rows = parallel_map_with(
-        &ks,
-        || super::backend(&machines[0].1),
-        |be, &k| {
-            let mut cells = vec![k.to_string()];
-            let mut measured = Vec::new();
-            for (_, m) in &machines {
-                let mut rng = super::point_rng(seed, (k as u64) << 8 | m.d);
-                let keys = hotspot_keys(n, k, 1 << 40, &mut rng);
-                let k_real = max_contention(&keys);
-                let meas = super::measured_scatter_in(be, m, &keys, seed ^ (k as u64 * m.d));
-                measured.push(meas);
-                cells.push(meas.to_string());
-                cells.push(predict_scatter(m, ScatterShape::new(n, k_real)).to_string());
-            }
-            cells.push(fmt_f(measured[1] as f64 / measured[0] as f64));
-            cells
-        },
-    );
-    for row in rows {
-        t.push_row(row);
-    }
-    t.note("at high contention the J90 pays d=14 per hot request vs the C90's d=6: ratio → 14/6");
-    t
-}
-
-/// Ablation A4 (§7): the order of injecting messages into the network.
-/// The same multiset of requests is issued (a) in workload order,
-/// (b) sorted by destination bank — maximal burstiness per bank — and
-/// (c) bank-interleaved (round-robin over banks) — minimal burstiness.
-#[must_use]
-pub fn ablation_injection_order(scale: Scale, seed: u64) -> Table {
-    let m = super::default_machine();
-    let n = scale.scatter_n();
-    let mut rng = super::point_rng(seed, 0xA4);
-    let keys = dxbsp_workloads::uniform_keys(n, 1 << 24, &mut rng);
-    let map = super::hashed_map(&m, seed);
-    let mut backend = super::backend(&m);
-
-    // Per-processor reorderings of the same element set.
-    let original = dxbsp_core::AccessPattern::scatter(m.p, &keys);
-    let mut sorted_keys = keys.clone();
-    sorted_keys.sort_unstable_by_key(|&a| {
-        use dxbsp_core::BankMap;
-        map.bank_of(a)
-    });
-    let sorted = dxbsp_core::AccessPattern::scatter(m.p, &sorted_keys);
-    // Round-robin over banks: take one element per bank in rotation.
-    let mut by_bank: Vec<Vec<u64>> = vec![Vec::new(); m.banks()];
-    for &a in &keys {
-        use dxbsp_core::BankMap;
-        by_bank[map.bank_of(a)].push(a);
-    }
-    let mut interleaved_keys = Vec::with_capacity(n);
-    let mut level = 0usize;
-    while interleaved_keys.len() < n {
-        for bank in &by_bank {
-            if let Some(&a) = bank.get(level) {
-                interleaved_keys.push(a);
-            }
-        }
-        level += 1;
-    }
-    let interleaved = dxbsp_core::AccessPattern::scatter(m.p, &interleaved_keys);
-
-    let mut t = Table::new(
-        format!("Ablation A4: injection order of the same request multiset (n={n})"),
-        &["order", "measured", "total queue wait"],
-    );
-    for (name, pat) in [
-        ("workload order", &original),
-        ("sorted by bank", &sorted),
-        ("bank-interleaved", &interleaved),
-    ] {
-        use dxbsp_machine::Backend;
-        let res = backend.step(pat, &map).into_result();
-        t.push_row(vec![name.into(), res.cycles.to_string(), res.total_queue_wait().to_string()]);
-    }
-    t.note("§7: the (d,x)-BSP ignores injection order; this bounds how much that can matter");
-    t
 }
 
 #[cfg(test)]

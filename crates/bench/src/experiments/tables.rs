@@ -1,78 +1,86 @@
 //! Tables 1–3: machine inventory, calibrated parameters, hash costs.
+//!
+//! Three scenario kinds live here: `inventory` (static machine table),
+//! `calibration` (fit `d`/`g` on each machine of a `machine` axis), and
+//! `hash-cost` (host-timed hash evaluation). The public `tableN`
+//! functions are wrappers over the built-in scenarios.
 
 use std::time::Instant;
 
-use dxbsp_core::presets;
+use dxbsp_core::{presets, DxError, Scenario};
 use dxbsp_hash::{Degree, PolyHash};
 use dxbsp_machine::calibrate;
 
-use crate::table::{fmt_f, Table};
+use crate::record::Cell;
+use crate::sweep::{machine_for_point, ScenarioOutput};
+use crate::table::Table;
 use crate::Scale;
 
-/// Table 1: memory banks vs. processors in commercial machines — the
-/// motivation for the expansion factor `x`.
-#[must_use]
-pub fn table1() -> Table {
-    let mut t = Table::new(
-        "Table 1: memory banks in commercial high-bandwidth machines",
-        &["machine", "procs", "banks", "expansion x", "bank delay d", "source"],
-    );
-    for row in presets::table1_inventory() {
-        t.push_row(vec![
-            row.name.to_string(),
-            row.processors.to_string(),
-            row.banks.to_string(),
-            row.expansion().to_string(),
-            row.bank_delay.map_or_else(|| "-".into(), |d| d.to_string()),
-            match row.provenance {
-                presets::Provenance::PaperText => "paper".into(),
-                presets::Provenance::Reconstructed => "reconstructed".into(),
-            },
-        ]);
-    }
-    t.note("Expansion factors far above 1 are the norm; the C90/J90 delays are the paper's.");
-    t
+/// The `inventory` executor: the paper's Table 1 rows, straight from
+/// the preset registry (no sweep, no measurement).
+pub fn run_inventory(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let headers = ["machine", "procs", "banks", "expansion x", "bank delay d", "source"];
+    let rows: Vec<Vec<Cell>> = presets::table1_inventory()
+        .iter()
+        .map(|row| {
+            vec![
+                Cell::str(row.name),
+                Cell::size(row.processors),
+                Cell::size(row.banks),
+                Cell::size(row.expansion()),
+                row.bank_delay.map_or(Cell::str("-"), Cell::int),
+                Cell::str(match row.provenance {
+                    presets::Provenance::PaperText => "paper",
+                    presets::Provenance::Reconstructed => "reconstructed",
+                }),
+            ]
+        })
+        .collect();
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Table 2: fitted model parameters of the simulated machines — the
-/// calibration the paper performs on the real C90/J90.
-#[must_use]
-pub fn table2(scale: Scale) -> Table {
-    let n = scale.scatter_n();
-    let mut t = Table::new(
-        "Table 2: calibrated (d,x)-BSP parameters of the simulated machines",
-        &["machine", "p", "x", "configured d", "fitted d", "configured g", "fitted g"],
-    );
-    for (name, m) in [("C90-like", presets::cray_c90()), ("J90-like", presets::cray_j90())] {
+/// The `calibration` executor: for every machine on the `machine` axis,
+/// fit `d` and `g` from micro-patterns and report them next to the
+/// configured values.
+pub fn run_calibration(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let n = sc.n.ok_or_else(|| DxError::invalid("calibration needs `n`"))?;
+    let headers = ["machine", "p", "x", "configured d", "fitted d", "configured g", "fitted g"];
+    let mut rows = Vec::new();
+    for pt in sc.sweep.matrix() {
+        let name = pt
+            .str("machine")
+            .ok_or_else(|| DxError::invalid("calibration needs a `machine` axis"))?;
+        let m = machine_for_point(sc, &pt)?;
         let backend = super::backend(&m);
         let cal = calibrate(backend.simulator(), n);
-        t.push_row(vec![
-            name.into(),
-            m.p.to_string(),
-            m.x.to_string(),
-            m.d.to_string(),
-            fmt_f(cal.d),
-            m.g.to_string(),
-            fmt_f(cal.g),
+        rows.push(vec![
+            Cell::str(format!("{}-like", name.to_uppercase())),
+            Cell::size(m.p),
+            Cell::size(m.x),
+            Cell::int(m.d),
+            Cell::Float(cal.d),
+            Cell::int(m.g),
+            Cell::Float(cal.g),
         ]);
     }
-    t.note(format!("fitted from {n}-request hammer and unit-stride micro-patterns"));
-    t
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }
 
-/// Table 3: evaluation cost of the hash functions (host wall-clock,
-/// ns/element; the paper reports Cray clocks/element — the *relative*
+/// The `hash-cost` executor: host wall-clock per element for each hash
+/// degree (the paper reports Cray clocks/element — the *relative*
 /// ordering linear < quadratic < cubic is the reproducible claim).
-#[must_use]
-pub fn table3(scale: Scale, seed: u64) -> Table {
-    let n = match scale {
-        Scale::Quick => 1 << 18,
-        Scale::Full => 1 << 21,
-    };
-    let mut rng = super::point_rng(seed, 3);
+///
+/// The degrees share one RNG stream in order, so this stays a
+/// sequential loop rather than a sweep axis.
+pub fn run_hash_cost(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let n = sc.n.ok_or_else(|| DxError::invalid("hash-cost needs `n`"))?;
+    let trials = usize::try_from(sc.param_u64("trials", 3)?)
+        .map_err(|_| DxError::invalid("trials out of range"))?;
+    let salt = sc.param_u64("salt", 3)?;
+    let mut rng = super::point_rng(sc.seed, salt);
     let keys: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37_79B9)).collect();
-    let mut t =
-        Table::new("Table 3: hash-function evaluation cost", &["hash", "ns/element", "relative"]);
+    let headers = ["hash", "ns/element", "relative"];
+    let mut rows = Vec::new();
     let mut base = None;
     for deg in Degree::all() {
         let h = PolyHash::random(deg, 64, 10, &mut rng);
@@ -81,9 +89,10 @@ pub fn table3(scale: Scale, seed: u64) -> Table {
         // estimator for a tight loop).
         h.eval_batch(&keys, &mut out);
         let mut best = f64::INFINITY;
-        for _ in 0..scale.trials() {
+        for _ in 0..trials {
             let start = Instant::now();
             h.eval_batch(&keys, &mut out);
+            #[allow(clippy::cast_precision_loss)]
             let per = start.elapsed().as_nanos() as f64 / n as f64;
             best = best.min(per);
         }
@@ -92,10 +101,30 @@ pub fn table3(scale: Scale, seed: u64) -> Table {
         if base.is_none() {
             base = Some(best);
         }
-        t.push_row(vec![deg.name().into(), fmt_f(best), fmt_f(rel)]);
+        rows.push(vec![Cell::str(deg.name()), Cell::Float(best), Cell::Float(rel)]);
     }
-    t.note("paper reports Cray C90 clocks/element; ordering and rough ratios are the claim");
-    t
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// Table 1: memory banks vs. processors in commercial machines — the
+/// motivation for the expansion factor `x`.
+#[must_use]
+pub fn table1() -> Table {
+    crate::run_builtin("table1", Scale::Quick, 0)
+}
+
+/// Table 2: fitted model parameters of the simulated machines — the
+/// calibration the paper performs on the real C90/J90.
+#[must_use]
+pub fn table2(scale: Scale) -> Table {
+    crate::run_builtin("table2", scale, 0)
+}
+
+/// Table 3: evaluation cost of the hash functions (host wall-clock,
+/// ns/element).
+#[must_use]
+pub fn table3(scale: Scale, seed: u64) -> Table {
+    crate::run_builtin("table3", scale, seed)
 }
 
 #[cfg(test)]

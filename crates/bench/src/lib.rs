@@ -1,18 +1,41 @@
 //! # dxbsp-bench — the experiment harness
 //!
-//! One module per table/figure of the paper (see DESIGN.md §4 for the
-//! experiment index). Every experiment is a pure function from a
-//! [`Scale`] (and a seed) to a printable [`table::Table`], so the same
-//! code drives the `repro` binary, the Criterion benches, and the
-//! integration tests that assert the paper's qualitative claims.
+//! Every experiment is a declarative [`dxbsp_core::Scenario`] (see
+//! [`scenarios`] for the built-ins, or write your own `.toml` for
+//! `dxbench run`) executed by the generic sweep driver in [`sweep`].
+//! The same pipeline drives the `repro` and `dxbench` binaries, the
+//! Criterion benches, and the integration tests that assert the
+//! paper's qualitative claims; the per-experiment functions in
+//! [`experiments`] are thin wrappers over [`run_builtin`].
 
 pub mod experiments;
 pub mod plot;
+pub mod record;
 pub mod runner;
+pub mod scenarios;
+pub mod sweep;
 pub mod table;
 
 pub use plot::{chart_from_table, Chart};
+pub use record::{records_to_jsonl, Cell, RunRecord};
+pub use sweep::{run_scenario, ScenarioOutput};
 pub use table::Table;
+
+/// Run a built-in scenario by name and return its table.
+///
+/// Built-in definitions are static and validated, so failures here are
+/// programming errors; this panics rather than forcing every legacy
+/// `expN(scale, seed)` wrapper to thread a `Result`.
+///
+/// # Panics
+///
+/// If `name` is not a built-in or its executor reports an error.
+#[must_use]
+pub fn run_builtin(name: &str, scale: Scale, seed: u64) -> Table {
+    let sc = scenarios::builtin(name, scale, seed)
+        .unwrap_or_else(|e| panic!("built-in scenario {name}: {e}"));
+    sweep::run_scenario(&sc).unwrap_or_else(|e| panic!("scenario {name}: {e}")).table
+}
 
 /// How big to run an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,201 @@
+//! The unified result schema.
+//!
+//! Every executed scenario point becomes a [`RunRecord`]: named,
+//! typed cells split into the *point* (where in the sweep grid the run
+//! sits) and the *values* (what was measured, and what each cost model
+//! predicted, side by side). Tables are projections of records
+//! ([`crate::table::Table::from_cells`]) and the JSON-lines sink
+//! ([`records_to_jsonl`]) serializes them one object per line, so a
+//! scenario's numbers leave the process exactly once, in one shape.
+
+use dxbsp_core::SpecValue;
+
+use crate::table::fmt_f;
+
+/// One typed cell of a result record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// An integer (cycle counts, contention, sizes).
+    Int(i64),
+    /// A float (ratios, per-element costs, entropies).
+    Float(f64),
+    /// A label (machine names, graph families, orderings).
+    Str(String),
+}
+
+impl Cell {
+    /// An integer cell from any unsigned count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds `i64::MAX` (no experiment measures 2^63
+    /// cycles).
+    #[must_use]
+    pub fn int(v: u64) -> Self {
+        Cell::Int(i64::try_from(v).expect("count fits i64"))
+    }
+
+    /// An integer cell from a size.
+    #[must_use]
+    pub fn size(v: usize) -> Self {
+        Cell::int(v as u64)
+    }
+
+    /// A string cell.
+    #[must_use]
+    pub fn str(v: impl Into<String>) -> Self {
+        Cell::Str(v.into())
+    }
+
+    /// A cell from a sweep-axis coordinate.
+    #[must_use]
+    pub fn from_axis(value: &dxbsp_core::AxisValue) -> Self {
+        use dxbsp_core::AxisValue;
+        match value {
+            #[allow(clippy::cast_possible_wrap)]
+            AxisValue::Int(v) => Cell::Int(*v as i64),
+            AxisValue::Float(v) => Cell::Float(*v),
+            AxisValue::Str(v) => Cell::str(v.clone()),
+        }
+    }
+
+    /// Numeric view (integers widened); `None` for strings.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            #[allow(clippy::cast_precision_loss)]
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Float(v) => Some(*v),
+            Cell::Str(_) => None,
+        }
+    }
+
+    /// Render for a table cell: integers exactly, floats via
+    /// [`fmt_f`], strings verbatim.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match self {
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => fmt_f(*v),
+            Cell::Str(v) => v.clone(),
+        }
+    }
+
+    fn to_spec(&self) -> SpecValue {
+        match self {
+            Cell::Int(v) => SpecValue::Int(*v),
+            Cell::Float(v) => SpecValue::Float(*v),
+            Cell::Str(v) => SpecValue::Str(v.clone()),
+        }
+    }
+}
+
+/// One executed run: sweep-point coordinates plus named result values
+/// (measurements and model predictions side by side).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunRecord {
+    /// Sweep-grid coordinates (`k = 256`, `machine = "c90"`, …).
+    pub point: Vec<(String, Cell)>,
+    /// Named results (`measured`, `pred_dxbsp`, `k_real`, …).
+    pub values: Vec<(String, Cell)>,
+}
+
+impl RunRecord {
+    /// Build a record from one row of named cells: the first
+    /// `point_cols` columns are sweep coordinates, the rest results.
+    #[must_use]
+    pub fn from_row(headers: &[&str], row: &[Cell], point_cols: usize) -> Self {
+        assert_eq!(headers.len(), row.len(), "record width mismatch");
+        let mut rec = RunRecord::default();
+        for (i, (h, cell)) in headers.iter().zip(row).enumerate() {
+            let slot = if i < point_cols { &mut rec.point } else { &mut rec.values };
+            slot.push(((*h).to_string(), cell.clone()));
+        }
+        rec
+    }
+
+    /// Look up a cell by name, points first.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Cell> {
+        self.point.iter().chain(&self.values).find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Append a result value (builder-style).
+    #[must_use]
+    pub fn with(mut self, name: &str, cell: Cell) -> Self {
+        self.values.push((name.to_string(), cell));
+        self
+    }
+
+    /// Serialize as one JSON object: `{"scenario": …, "point": {…},
+    /// "values": {…}}`.
+    #[must_use]
+    pub fn to_json(&self, scenario: &str) -> String {
+        let pairs = |items: &[(String, Cell)]| {
+            SpecValue::Table(items.iter().map(|(k, v)| (k.clone(), v.to_spec())).collect())
+        };
+        let mut obj = SpecValue::table();
+        obj.set("scenario", SpecValue::Str(scenario.to_string()));
+        obj.set("point", pairs(&self.point));
+        obj.set("values", pairs(&self.values));
+        obj.to_json()
+    }
+}
+
+/// Serialize records as JSON-lines (one record object per line).
+#[must_use]
+pub fn records_to_jsonl(scenario: &str, records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_json(scenario));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_row_splits_point_and_values() {
+        let rec = RunRecord::from_row(
+            &["k", "measured", "pred_dxbsp"],
+            &[Cell::Int(256), Cell::Int(3976), Cell::Int(3584)],
+            1,
+        );
+        assert_eq!(rec.point.len(), 1);
+        assert_eq!(rec.values.len(), 2);
+        assert_eq!(rec.get("measured"), Some(&Cell::Int(3976)));
+        assert_eq!(rec.get("k"), Some(&Cell::Int(256)));
+        assert_eq!(rec.get("nope"), None);
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let rec = RunRecord::from_row(
+            &["k", "measured", "ratio", "machine"],
+            &[Cell::Int(1), Cell::Int(1059), Cell::Float(1.034), Cell::str("j90")],
+            1,
+        );
+        let text = records_to_jsonl("exp1", &[rec.clone(), rec]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = SpecValue::from_json(line).unwrap();
+            assert_eq!(v.get("scenario").and_then(SpecValue::as_str), Some("exp1"));
+            assert_eq!(v.get("point").unwrap().get("k").and_then(SpecValue::as_int), Some(1));
+            let values = v.get("values").unwrap();
+            assert_eq!(values.get("measured").and_then(SpecValue::as_int), Some(1059));
+            assert_eq!(values.get("ratio").and_then(SpecValue::as_float), Some(1.034));
+            assert_eq!(values.get("machine").and_then(SpecValue::as_str), Some("j90"));
+        }
+    }
+
+    #[test]
+    fn cell_display_matches_table_conventions() {
+        assert_eq!(Cell::Int(14336).display(), "14336");
+        assert_eq!(Cell::Float(1.0).display(), "1.000");
+        assert_eq!(Cell::str("star").display(), "star");
+    }
+}

@@ -1,0 +1,486 @@
+//! The built-in scenario definitions.
+//!
+//! Every experiment the repo reproduces is expressed as a declarative
+//! [`Scenario`] here — the same structure a user writes in a `.toml`
+//! file for `dxbench run`. The legacy `expN_*` functions are wrappers
+//! over these definitions, so "the experiment" and "its scenario file"
+//! cannot drift apart. `dxbench dump <name>` prints any of them.
+
+use dxbsp_core::{Axis, DxError, MachineSpec, Scenario, SpecValue, Sweep, WorkloadSpec};
+
+use crate::Scale;
+
+/// The names of all built-in scenarios, in `repro` registry order.
+#[must_use]
+pub fn builtin_names() -> Vec<&'static str> {
+    vec![
+        "table1",
+        "table2",
+        "fig1",
+        "exp1",
+        "exp2",
+        "exp3",
+        "exp4",
+        "exp5",
+        "exp6",
+        "exp6b",
+        "table3",
+        "exp7",
+        "exp8",
+        "exp9",
+        "exp10",
+        "exp11",
+        "exp11b",
+        "exp_machines",
+        "exp12",
+        "exp13",
+        "exp14",
+        "exp15",
+        "exp16",
+        "exp17",
+        "exp18",
+        "exp19",
+        "ablation_mapping",
+        "ablation_window",
+        "ablation_cache",
+        "ablation_injection",
+        "ablation_strip",
+    ]
+}
+
+fn ints(param: &str, values: impl IntoIterator<Item = usize>) -> Axis {
+    Axis::ints(param, values.into_iter().map(|v| v as u64))
+}
+
+/// Geometric series `1, 1·step, 1·step², … ≤ limit`, plus `limit`
+/// itself when `closed` (the Experiment 1/2 contention ladders).
+fn geometric(step: usize, limit: usize, closed: bool) -> Vec<usize> {
+    let mut v: Vec<usize> = std::iter::successors(Some(1usize), |&k| k.checked_mul(step))
+        .take_while(|&k| k <= limit)
+        .collect();
+    if closed && v.last() != Some(&limit) {
+        v.push(limit);
+    }
+    v
+}
+
+/// A custom machine with the paper's `g = 1`, `l = 0` defaults.
+fn machine_pdx(p: usize, d: u64, x: usize) -> MachineSpec {
+    MachineSpec { p: Some(p), d: Some(d), x: Some(x), ..MachineSpec::default() }
+}
+
+/// Build the built-in scenario `name` at the given scale and seed.
+///
+/// # Errors
+///
+/// [`DxError::Unknown`] for a name that is not a built-in. Every
+/// returned scenario is already validated.
+#[allow(clippy::too_many_lines)]
+pub fn builtin(name: &str, scale: Scale, seed: u64) -> Result<Scenario, DxError> {
+    let n = scale.scatter_n();
+    let an = scale.algo_n();
+    let sc = match name {
+        "table1" => Scenario {
+            title: "Table 1: memory banks in commercial high-bandwidth machines".into(),
+            notes: vec![
+                "Expansion factors far above 1 are the norm; the C90/J90 delays are the paper's."
+                    .into(),
+            ],
+            ..Scenario::new(name, "inventory", seed)
+        },
+        "table2" => Scenario {
+            title: "Table 2: calibrated (d,x)-BSP parameters of the simulated machines".into(),
+            n: Some(n),
+            sweep: Sweep::new(vec![Axis::strs("machine", ["c90", "j90"])]),
+            notes: vec![format!("fitted from {n}-request hammer and unit-stride micro-patterns")],
+            ..Scenario::new(name, "calibration", seed)
+        },
+        "table3" => {
+            let hn = match scale {
+                Scale::Quick => 1usize << 18,
+                Scale::Full => 1 << 21,
+            };
+            Scenario {
+                title: "Table 3: hash-function evaluation cost".into(),
+                n: Some(hn),
+                notes: vec![
+                    "paper reports Cray C90 clocks/element; ordering and rough ratios are the claim"
+                        .into(),
+                ],
+                ..Scenario::new(name, "hash-cost", seed)
+            }
+            .with_param("trials", SpecValue::Int(scale.trials() as i64))
+        }
+        "fig1" => Scenario {
+            title: format!(
+                "Figure 1: CC-trace access patterns, measured vs. predicted (n={an}, J90-like)"
+            ),
+            n: Some(an),
+            workload: WorkloadSpec::CcGraph { star_leaves: an / 4, edges_per_node: 2, salt: 0xF1 },
+            notes: vec![
+                "high-contention steps (the star's hooks/shortcuts) blow past the BSP prediction"
+                    .into(),
+            ],
+            ..Scenario::new(name, "cc-trace", seed)
+        },
+        "exp1" => Scenario {
+            title: format!("Experiment 1: scatter vs. contention (n={n}, p=8, d=14, x=32)"),
+            n: Some(n),
+            workload: WorkloadSpec::Hotspot { range: 1 << 40 },
+            sweep: Sweep::new(vec![ints("k", geometric(4, n, true))]),
+            notes: vec![
+                "paper Fig: BSP stays flat while measured time grows with slope d·k past the knee"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        },
+        "exp2" => {
+            let k = n / 8;
+            Scenario {
+                title: format!("Experiment 2: duplicating a contention-{k} location (n={n})"),
+                n: Some(n),
+                workload: WorkloadSpec::DuplicatedHotspot { range: 1 << 40 },
+                sweep: Sweep::new(vec![ints("copies", geometric(2, k, false))]),
+                models: vec!["dxbsp".into()],
+                notes: vec![
+                    "each copy absorbs ⌈k/c⌉ requests; enough copies restores the flat regime"
+                        .into(),
+                ],
+                ..Scenario::new(name, "scatter-sweep", seed)
+            }
+            .with_param("k", SpecValue::Int(k as i64))
+        }
+        "exp3" => Scenario {
+            title: format!("Experiment 3: entropy distributions (n={n}, iterated AND)"),
+            n: Some(n),
+            workload: WorkloadSpec::Entropy { bits: 22, iterations: 8, salt: 0xE27 },
+            sweep: Sweep::new(vec![ints("iter", 0..=8)]),
+            notes: vec![
+                "contention rises with each AND iteration; the (d,x)-BSP keeps tracking it".into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        },
+        "exp4" => Scenario {
+            title: format!("Experiment 4: expansion sweep (uniform scatter, n={n}, p=8)"),
+            n: Some(n),
+            machine: machine_pdx(8, 6, 1),
+            workload: WorkloadSpec::Uniform { range: 1 << 40 },
+            sweep: Sweep::new(vec![
+                ints("x", [1, 2, 4, 8, 16, 32, 64, 128]),
+                Axis::ints("d", [6, 14]),
+            ]),
+            models: vec!["dxbsp".into()],
+            notes: vec![
+                "the model's even-spread term flattens at x = d; measured time keeps improving a little past it"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        }
+        .with_param("report", SpecValue::Str("per-element-by-d".into())),
+        "exp_machines" => Scenario {
+            title: format!("Machine comparison: contention sweep on both Cray presets (n={n})"),
+            n: Some(n),
+            workload: WorkloadSpec::Hotspot { range: 1 << 40 },
+            sweep: Sweep::new(vec![
+                ints("k", [1, 64, 1024, n / 4, n]),
+                Axis::strs("machine", ["c90", "j90"]),
+            ]),
+            models: vec!["dxbsp".into()],
+            notes: vec![
+                "at high contention the J90 pays d=14 per hot request vs the C90's d=6: ratio → 14/6"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        }
+        .with_param("report", SpecValue::Str("by-machine".into())),
+        "exp5" => Scenario {
+            title: format!("Experiment 5: sectioned network, 8 sections x 2 ports (n={n})"),
+            n: Some(n),
+            machine: machine_pdx(8, 14, 32),
+            notes: vec![
+                "(c) saturates one section's ports; paper saw up to 2.5x over prediction".into(),
+            ],
+            ..Scenario::new(name, "network-sections", seed)
+        }
+        .with_param("sections", SpecValue::Int(8))
+        .with_param("ports", SpecValue::Int(2)),
+        "exp6" => Scenario {
+            title: format!(
+                "Experiment 6: module-map contention vs. expansion (worst-case pattern, n={n})"
+            ),
+            n: Some(n),
+            machine: machine_pdx(8, 14, 1),
+            sweep: Sweep::new(vec![ints("x", [1, 2, 4, 8, 16, 32, 64, 128])]),
+            notes: vec![
+                "ratio → 1 as expansion grows: extra banks absorb hashing imbalance (paper §4)"
+                    .into(),
+            ],
+            ..Scenario::new(name, "modmap", seed)
+        },
+        "exp6b" => Scenario {
+            title: "Experiment 6b: slackness vs. bank-load balance (B=256, linear hash)".into(),
+            sweep: Sweep::new(vec![ints("slack", [1, 2, 4, 16, 64, 256])]),
+            notes: vec![
+                "low slackness: balls-in-bins Θ(log B / log log B) overhead; high slackness: → 1"
+                    .into(),
+            ],
+            ..Scenario::new(name, "slackness", seed)
+        }
+        .with_param("trials", SpecValue::Int(scale.trials() as i64)),
+        "exp7" => Scenario {
+            title: format!("Experiment 7: binary search, m={an} tree keys (cycles)"),
+            n: Some(an),
+            sweep: Sweep::new(vec![ints(
+                "queries",
+                [an / 16, an / 4, an, an * 4].into_iter().filter(|&q| q >= 64),
+            )]),
+            notes: vec![
+                "bounded replication beats both the contended naive walk and the sort-heavy EREW version"
+                    .into(),
+            ],
+            ..Scenario::new(name, "binary-search", seed)
+        },
+        "exp8" => Scenario {
+            title: "Experiment 8 (Fig 11): random permutation, QRQW darts vs. EREW radix sort (cycles)"
+                .into(),
+            sweep: Sweep::new(vec![ints("n", [an / 4, an, an * 4])]),
+            notes: vec!["paper: the QRQW algorithm wins over a wide range of problem sizes".into()],
+            ..Scenario::new(name, "random-perm", seed)
+        },
+        "exp9" => {
+            let mut dense: Vec<usize> = [0usize, 1, 4, 16, 64, 256, 1024]
+                .into_iter()
+                .map(|d| (d * an) / 1024)
+                .chain(std::iter::once(an))
+                .collect();
+            dense.dedup();
+            Scenario {
+                title: format!(
+                    "Experiment 9 (Fig 12): SpMV vs. dense-column length ({an} rows, 4/row)"
+                ),
+                n: Some(an),
+                sweep: Sweep::new(vec![ints("dense_len", dense)]),
+                notes: vec![
+                    "measured = whole SpMV; once d·k passes the dense phases the dense column dominates"
+                        .into(),
+                ],
+                ..Scenario::new(name, "spmv", seed)
+            }
+        }
+        "exp10" => Scenario {
+            title: format!("Experiment 10: connected components (n={an}, cycles)"),
+            n: Some(an),
+            workload: WorkloadSpec::GraphFamily { salt: 10 },
+            sweep: Sweep::new(vec![Axis::strs("graph", ["random m=2n", "grid", "chain", "star"])]),
+            notes: vec![
+                "star graphs concentrate hooking/shortcutting on one vertex: the paper's high-contention case"
+                    .into(),
+            ],
+            ..Scenario::new(name, "connected", seed)
+        },
+        "exp11" => Scenario {
+            title: format!("Experiment 11: QRQW emulation work ratio (n={n} vprocs, p=8)"),
+            n: Some(n),
+            machine: machine_pdx(8, 4, 1),
+            sweep: Sweep::new(vec![ints("x", [1, 2, 4, 8, 16, 32, 64])]),
+            notes: vec![
+                "ratio ≈ d/x while x ≤ d (Thm 5.1), flattening to O(1) once x ≥ d (Thm 5.2)".into(),
+            ],
+            ..Scenario::new(name, "emulation", seed)
+        },
+        "exp11b" => Scenario {
+            title: format!("Experiment 11b: emulated step cost vs. QRQW contention (n={n})"),
+            n: Some(n),
+            sweep: Sweep::new(vec![ints("k", [1, 16, 256, 1024, 4096])]),
+            notes: vec![
+                "measured cost stays under the reconstructed Thm 5.1/5.2 bounds at every k".into(),
+            ],
+            ..Scenario::new(name, "emulation-contention", seed)
+        },
+        "exp12" => Scenario {
+            title: "Extension E12: list ranking, textbook vs. deactivating Wyllie (cycles)".into(),
+            sweep: Sweep::new(vec![ints("n", [an / 4, an, an * 2])]),
+            notes: vec![
+                "the tail hot spot costs the textbook version d·Θ(n); deactivation removes it"
+                    .into(),
+            ],
+            ..Scenario::new(name, "list-ranking", seed)
+        },
+        "exp13" => Scenario {
+            title: format!("Extension E13: CC variants (n={an}, cycles)"),
+            n: Some(an),
+            workload: WorkloadSpec::GraphFamily { salt: 13 },
+            sweep: Sweep::new(vec![Axis::strs("graph", ["random m=2n", "grid", "chain", "star"])]),
+            notes: vec![
+                "random mating spreads hook writes but pays more rounds; neither dominates everywhere"
+                    .into(),
+            ],
+            ..Scenario::new(name, "cc-variants", seed)
+        },
+        "exp14" => Scenario {
+            title: format!("Extension E14: Zipf scatters (n={n}, universe 64K)"),
+            n: Some(n),
+            workload: WorkloadSpec::Zipf { universe: 64 * 1024 },
+            sweep: Sweep::new(vec![Axis::floats("s", [0.0, 0.5, 0.8, 1.0, 1.2, 1.5])]),
+            notes: vec![
+                "Zipf tails add many warm locations; the single-k model still brackets the cost"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        },
+        "exp15" => Scenario {
+            title: "Extension E15: parallel co-ranking merge".into(),
+            sweep: Sweep::new(vec![ints("n", [an / 2, an, an * 2])]),
+            notes: vec![
+                "boundary searches contend at most p-fold; chunk merges are contention-free sweeps"
+                    .into(),
+            ],
+            ..Scenario::new(name, "merge", seed)
+        },
+        "exp16" => Scenario {
+            title: format!("Extension E16: (d,x)-LogP vs. classic LogP (n={n}, o=2, L=10)"),
+            n: Some(n),
+            machine: machine_pdx(8, 14, 32),
+            sweep: Sweep::new(vec![ints("k", [1, 64, 1024, n / 4, n])]),
+            notes: vec![
+                "same story as Exp 1: the bank terms rescue LogP exactly as they rescue BSP".into(),
+            ],
+            ..Scenario::new(name, "logp", seed)
+        },
+        "exp17" => Scenario {
+            title: "Extension E17: max bank load under each hash degree (B=256)".into(),
+            n: Some(n),
+            sweep: Sweep::new(vec![Axis::strs(
+                "pattern",
+                ["consecutive", "stride 256", "stride 4096", "bit-reversal", "random-ish"],
+            )]),
+            notes: vec![
+                "all degrees spread these adversaries comparably at this slackness ([EK93]'s finding)"
+                    .into(),
+            ],
+            ..Scenario::new(name, "hash-congestion", seed)
+        }
+        .with_param("trials", SpecValue::Int(scale.trials() as i64)),
+        "exp18" => Scenario {
+            title: format!("Extension E18: contention remedies as primitives (n={n})"),
+            n: Some(n),
+            sweep: Sweep::new(vec![ints("k", [1, 256, 4096, n / 2, n])]),
+            notes: vec![
+                "duplication flattens reads (Exp 2's fix); combining flattens reducing writes"
+                    .into(),
+            ],
+            ..Scenario::new(name, "remedies", seed)
+        },
+        "exp19" => Scenario {
+            title: "Extension E19: EREW radix sort vs. QRQW sample sort (cycles)".into(),
+            sweep: Sweep::new(vec![ints("n", [an / 2, an, an * 2])]),
+            notes: vec![
+                "bounded splitter contention buys fewer full passes than 8-bit radix on 40-bit keys"
+                    .into(),
+            ],
+            ..Scenario::new(name, "sorts", seed)
+        },
+        "ablation_mapping" => Scenario {
+            title: format!("Ablation A1: interleaved vs. hashed banks under stride access (n={n})"),
+            n: Some(n),
+            sweep: Sweep::new(vec![ints("stride", [1, 2, 4, 8, 16, 64, 256, 1024])]),
+            notes: vec![
+                "power-of-two strides collapse interleaving onto few banks; hashing is stride-oblivious"
+                    .into(),
+            ],
+            ..Scenario::new(name, "mapping-compare", seed)
+        },
+        "ablation_window" => Scenario {
+            title: format!("Ablation A2: outstanding-request window (n={n}, latency=20)"),
+            n: Some(n),
+            sweep: Sweep::new(vec![ints("window", [1, 2, 4, 8, 16, 64, 0])]),
+            notes: vec![
+                "the model assumes latency hiding: narrow windows break the prediction, wide ones restore it"
+                    .into(),
+            ],
+            ..Scenario::new(name, "window-ablation", seed)
+        },
+        "ablation_cache" => Scenario {
+            title: format!(
+                "Ablation A3: per-bank caches vs. hot-spot contention (n={n}, 8 lines, hit=1)"
+            ),
+            n: Some(n),
+            sweep: Sweep::new(vec![ints("k", [1, 64, 1024, n / 4, n])]),
+            notes: vec![
+                "a Tera-style bank cache converts d·k serialization into ≈ k cycles at the hot bank"
+                    .into(),
+            ],
+            ..Scenario::new(name, "bank-cache", seed)
+        },
+        "ablation_injection" => Scenario {
+            title: format!("Ablation A4: injection order of the same request multiset (n={n})"),
+            n: Some(n),
+            workload: WorkloadSpec::Uniform { range: 1 << 24 },
+            notes: vec![
+                "§7: the (d,x)-BSP ignores injection order; this bounds how much that can matter"
+                    .into(),
+            ],
+            ..Scenario::new(name, "injection-order", seed)
+        },
+        "ablation_strip" => Scenario {
+            title: format!("Ablation A5: vector strip-mining (uniform scatter, n={n})"),
+            n: Some(n),
+            sweep: Sweep::new(vec![Axis::strs(
+                "strip",
+                ["none", "vl=64 startup=5", "vl=64 startup=50", "vl=16 startup=50", "vl=4 startup=50"],
+            )]),
+            notes: vec![
+                "Cray-like vl=64 with modest startup stays within a few % of the pipelined model"
+                    .into(),
+            ],
+            ..Scenario::new(name, "strip-mining", seed)
+        },
+        other => return Err(DxError::unknown("built-in scenario", other.to_string())),
+    };
+    sc.validate()?;
+    Ok(sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_validates_at_both_scales() {
+        for name in builtin_names() {
+            for scale in [Scale::Quick, Scale::Full] {
+                let sc = builtin(name, scale, 1).unwrap();
+                assert_eq!(sc.name, name);
+                sc.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn every_builtin_round_trips_through_toml_and_json() {
+        for name in builtin_names() {
+            let sc = builtin(name, Scale::Quick, 42).unwrap();
+            let toml = sc.to_toml();
+            let back = Scenario::from_toml(&toml).unwrap_or_else(|e| panic!("{name}: {e}\n{toml}"));
+            assert_eq!(sc, back, "TOML round-trip for {name}");
+            let json = sc.to_json();
+            let back = Scenario::from_json(&json).unwrap();
+            assert_eq!(sc, back, "JSON round-trip for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_builtin_is_a_clean_error() {
+        let err = builtin("exp99", Scale::Quick, 0).unwrap_err();
+        assert!(err.to_string().contains("exp99"), "{err}");
+    }
+
+    #[test]
+    fn builtin_kinds_are_registered() {
+        let kinds = crate::sweep::kinds();
+        for name in builtin_names() {
+            let sc = builtin(name, Scale::Quick, 0).unwrap();
+            assert!(kinds.contains(&sc.kind.as_str()), "{name} kind {} unregistered", sc.kind);
+        }
+    }
+}

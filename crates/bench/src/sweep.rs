@@ -1,0 +1,176 @@
+//! The generic scenario driver.
+//!
+//! [`run_scenario`] is the single entry point from a declarative
+//! [`Scenario`] to structured results: it validates the scenario,
+//! dispatches on the scenario's `kind` to an executor, and returns the
+//! unified output — [`RunRecord`]s carrying measurement and prediction
+//! side by side, plus the rendered-table projection. Executors expand
+//! the sweep axes with [`Sweep::matrix`](dxbsp_core::Sweep::matrix) and
+//! run points on per-worker sessions via
+//! [`parallel_map_with`](crate::runner::parallel_map_with), so results
+//! are byte-identical at any thread count.
+
+use dxbsp_core::{DxError, MachineParams, MachineSpec, Scenario, SweepPoint};
+
+use crate::experiments;
+use crate::record::RunRecord;
+use crate::table::Table;
+
+/// The structured result of executing a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutput {
+    /// One record per executed run (measurement + predictions).
+    pub records: Vec<RunRecord>,
+    /// The table projection of the records.
+    pub table: Table,
+}
+
+impl ScenarioOutput {
+    /// Assemble the unified output from one set of typed rows: the
+    /// first `point_cols` columns are sweep coordinates, the rest
+    /// results. The table projection gets the scenario's title and
+    /// notes.
+    #[must_use]
+    pub(crate) fn build(
+        sc: &Scenario,
+        headers: &[&str],
+        rows: &[Vec<crate::record::Cell>],
+        point_cols: usize,
+    ) -> Self {
+        let records =
+            rows.iter().map(|row| RunRecord::from_row(headers, row, point_cols)).collect();
+        let mut table =
+            Table::from_cells(crate::experiments::scatter::scenario_title(sc), headers, rows);
+        for note in &sc.notes {
+            table.note(note.clone());
+        }
+        ScenarioOutput { records, table }
+    }
+}
+
+/// An executor for one scenario kind.
+pub type Executor = fn(&Scenario) -> Result<ScenarioOutput, DxError>;
+
+/// The kind registry: every scenario `kind` the driver can execute.
+pub const KINDS: &[(&str, Executor)] = &[
+    ("scatter-sweep", experiments::scatter::run_scatter_sweep),
+    ("injection-order", experiments::scatter::run_injection_order),
+    ("cc-trace", experiments::fig1::run_cc_trace),
+    ("inventory", experiments::tables::run_inventory),
+    ("calibration", experiments::tables::run_calibration),
+    ("hash-cost", experiments::tables::run_hash_cost),
+    ("modmap", experiments::modmap::run_modmap),
+    ("mapping-compare", experiments::modmap::run_mapping_compare),
+    ("slackness", experiments::modmap::run_slackness),
+    ("network-sections", experiments::network::run_network_sections),
+    ("window-ablation", experiments::ablation::run_window),
+    ("bank-cache", experiments::ablation::run_bank_cache),
+    ("strip-mining", experiments::ablation::run_strip_mining),
+    ("emulation", experiments::emulation::run_emulation),
+    ("emulation-contention", experiments::emulation::run_emulation_contention),
+    ("binary-search", experiments::algo_bench::run_binary_search),
+    ("random-perm", experiments::algo_bench::run_random_perm),
+    ("spmv", experiments::algo_bench::run_spmv),
+    ("connected", experiments::algo_bench::run_connected),
+    ("list-ranking", experiments::extensions::run_list_ranking),
+    ("cc-variants", experiments::extensions::run_cc_variants),
+    ("merge", experiments::extensions::run_merge),
+    ("logp", experiments::extensions::run_logp),
+    ("hash-congestion", experiments::extensions::run_hash_congestion),
+    ("remedies", experiments::extensions::run_remedies),
+    ("sorts", experiments::extensions::run_sorts),
+];
+
+/// The registered scenario kinds, in registry order.
+#[must_use]
+pub fn kinds() -> Vec<&'static str> {
+    KINDS.iter().map(|(name, _)| *name).collect()
+}
+
+/// Validate and execute a scenario.
+///
+/// # Errors
+///
+/// Anything [`Scenario::validate`] rejects, [`DxError::Unknown`] for an
+/// unregistered kind, and whatever the executor reports about
+/// kind-specific parameters.
+pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    sc.validate()?;
+    let (_, exec) = KINDS
+        .iter()
+        .find(|(name, _)| *name == sc.kind)
+        .ok_or_else(|| DxError::unknown("scenario kind", sc.kind.clone()))?;
+    if sc.threads > 0 {
+        crate::runner::set_sweep_threads(sc.threads);
+    }
+    exec(sc)
+}
+
+/// The machine a sweep point runs on: the scenario's machine spec, with
+/// a string-valued `machine` axis replacing the preset and integer axes
+/// `p`/`g`/`l`/`d`/`x` overriding individual parameters.
+///
+/// # Errors
+///
+/// [`DxError::Unknown`] for an unknown `machine` coordinate,
+/// [`DxError::Invalid`] for degenerate overrides.
+pub fn machine_for_point(sc: &Scenario, pt: &SweepPoint) -> Result<MachineParams, DxError> {
+    let base = match pt.str("machine") {
+        Some(name) => MachineSpec::lookup_preset(name)?,
+        None => sc.machine.resolve()?,
+    };
+    let to_usize = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| DxError::invalid(format!("axis `{what}` out of range")))
+    };
+    MachineParams::try_new(
+        pt.u64("p").map_or(Ok(base.p), |v| to_usize(v, "p"))?,
+        pt.u64("g").unwrap_or(base.g),
+        pt.u64("l").unwrap_or(base.l),
+        pt.u64("d").unwrap_or(base.d),
+        pt.u64("x").map_or(Ok(base.x), |v| to_usize(v, "x"))?,
+    )
+}
+
+/// The problem size at a sweep point: an `n` axis if present, else the
+/// scenario's `n` field.
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] when neither is given.
+pub fn point_n(sc: &Scenario, pt: &SweepPoint) -> Result<usize, DxError> {
+    if let Some(n) = pt.u64("n") {
+        return usize::try_from(n).map_err(|_| DxError::invalid("axis `n` out of range"));
+    }
+    sc.n.ok_or_else(|| DxError::invalid("scenario needs `n` (field or sweep axis)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kind_is_a_clean_error() {
+        let sc = Scenario::new("x", "no-such-kind", 1);
+        let err = run_scenario(&sc).unwrap_err();
+        assert!(err.to_string().contains("no-such-kind"), "{err}");
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names = kinds();
+        for (i, a) in names.iter().enumerate() {
+            assert!(!names[i + 1..].contains(a), "duplicate kind {a}");
+        }
+    }
+
+    #[test]
+    fn machine_axis_replaces_preset_and_int_axes_override() {
+        use dxbsp_core::{Axis, Sweep};
+        let mut sc = Scenario::new("x", "scatter-sweep", 1);
+        sc.sweep = Sweep::new(vec![Axis::strs("machine", ["c90"]), Axis::ints("d", [30])]);
+        let pt = &sc.sweep.matrix()[0];
+        let m = machine_for_point(&sc, pt).unwrap();
+        // C90 base (p=16, x=64) with the d axis applied on top.
+        assert_eq!((m.p, m.d, m.x), (16, 30, 64));
+    }
+}

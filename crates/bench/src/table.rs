@@ -1,6 +1,13 @@
 //! Fixed-width table rendering for experiment output.
+//!
+//! Tables are presentation only: experiments produce typed rows
+//! ([`crate::record::Cell`]) that become both [`Table`]s (via
+//! [`Table::from_cells`]) and [`crate::record::RunRecord`]s, so the
+//! rendered text and the JSON-lines output always agree.
 
 use std::fmt::Write as _;
+
+use crate::record::Cell;
 
 /// A printable experiment result: a title, column headers, data rows,
 /// and free-form notes (the "how to read this" the paper's captions
@@ -27,6 +34,22 @@ impl Table {
             rows: Vec::new(),
             notes: Vec::new(),
         }
+    }
+
+    /// Build a table from typed rows: integers render exactly, floats
+    /// via [`fmt_f`], strings verbatim — the one formatting convention
+    /// every experiment shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the header count.
+    #[must_use]
+    pub fn from_cells(title: impl Into<String>, headers: &[&str], rows: &[Vec<Cell>]) -> Self {
+        let mut t = Table::new(title, headers);
+        for row in rows {
+            t.push_row(row.iter().map(Cell::display).collect());
+        }
+        t
     }
 
     /// Appends a row.

@@ -1,0 +1,75 @@
+//! Differential tests: the scenario pipeline must reproduce the
+//! numbers the pre-refactor per-experiment code produced.
+//!
+//! The CSVs under `tests/golden/` were written by the old monolithic
+//! experiment functions (`repro --quick --seed 1995 --csv ...`) before
+//! the declarative scenario layer existed. `exp1` and `fig1` must match
+//! bit-for-bit including headers; `exp2`/`exp3` changed cosmetic header
+//! names (and `exp3` gained a trailing `meas/bsp` column), so those
+//! compare data values only.
+
+use dxbsp_bench::{run_builtin, Scale, Table};
+
+const SEED: u64 = 1995;
+
+/// Render a table the way `repro --csv` writes it.
+fn csv(t: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&t.headers.join(","));
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn exp1_matches_pre_refactor_golden_exactly() {
+    let t = run_builtin("exp1", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/exp1.csv"));
+}
+
+#[test]
+fn fig1_matches_pre_refactor_golden_exactly() {
+    let t = run_builtin("fig1", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/fig1.csv"));
+}
+
+#[test]
+fn exp2_matches_pre_refactor_golden_data() {
+    // Header renamed meas/pred → meas/dxbsp; the data is unchanged.
+    let t = run_builtin("exp2", Scale::Quick, SEED);
+    let golden: Vec<&str> = include_str!("golden/exp2.csv").lines().skip(1).collect();
+    let got: Vec<String> = t.rows.iter().map(|r| r.join(",")).collect();
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn exp3_matches_pre_refactor_golden_data() {
+    // Header renamed iters → iter and a trailing meas/bsp column was
+    // added; the first six columns carry the pre-refactor data.
+    let t = run_builtin("exp3", Scale::Quick, SEED);
+    let golden: Vec<&str> = include_str!("golden/exp3.csv").lines().skip(1).collect();
+    let got: Vec<String> = t.rows.iter().map(|r| r[..6].join(",")).collect();
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn every_builtin_is_committed_as_a_scenario_file() {
+    // examples/scenarios/builtin/<name>.toml is the dump of each
+    // built-in at Full scale — the committed, runnable form of every
+    // experiment. Regenerate with
+    // `for n in $(dxbench list); do dxbench dump $n > .../$n.toml; done`.
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios/builtin");
+    for name in dxbsp_bench::scenarios::builtin_names() {
+        let path = dir.join(format!("{name}.toml"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let committed =
+            dxbsp_core::Scenario::from_toml(&text).unwrap_or_else(|e| panic!("{name}.toml: {e}"));
+        let in_code = dxbsp_bench::scenarios::builtin(name, Scale::Full, 1995).unwrap();
+        assert_eq!(committed, in_code, "{name}.toml drifted from the in-code definition");
+    }
+}

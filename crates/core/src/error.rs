@@ -1,0 +1,123 @@
+//! `DxError` — the workspace-wide error type.
+//!
+//! Scenario files, machine specifications and trace files are all
+//! user-supplied inputs; a bad input must surface as a diagnostic the
+//! caller can print, not as a panic inside the library. Every fallible
+//! constructor and codec in the workspace returns `Result<_, DxError>`.
+
+use std::fmt;
+
+/// Errors produced while validating or decoding user-facing inputs
+/// (scenario specs, machine parameters, trace files).
+#[derive(Debug)]
+pub enum DxError {
+    /// A structurally well-formed input with an invalid value
+    /// (`x = 0`, `k > n`, empty sweep axis, …).
+    Invalid(String),
+    /// A syntax error while decoding a scenario file. `line` is
+    /// 1-based; 0 means "not attributable to a line" (e.g. JSON fed
+    /// through a streaming decoder).
+    Parse {
+        /// 1-based line of the offending input, 0 if unknown.
+        line: usize,
+        /// Human-readable description of the syntax error.
+        msg: String,
+    },
+    /// A name that is not in the relevant registry: an unknown machine
+    /// preset, scenario kind, workload family or built-in scenario.
+    Unknown {
+        /// What kind of name was looked up ("preset", "kind", …).
+        what: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An underlying I/O failure while reading or writing a file.
+    Io(std::io::Error),
+}
+
+impl DxError {
+    /// Shorthand for [`DxError::Invalid`] from any displayable message.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        DxError::Invalid(msg.into())
+    }
+
+    /// Shorthand for [`DxError::Parse`].
+    pub fn parse(line: usize, msg: impl Into<String>) -> Self {
+        DxError::Parse { line, msg: msg.into() }
+    }
+
+    /// Shorthand for [`DxError::Unknown`].
+    pub fn unknown(what: &'static str, name: impl Into<String>) -> Self {
+        DxError::Unknown { what, name: name.into() }
+    }
+
+    /// True if this is a validation error (as opposed to a syntax or
+    /// I/O error). Used by tests asserting *why* an input was rejected.
+    #[must_use]
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, DxError::Invalid(_))
+    }
+
+    /// True if this is a syntax error from one of the spec codecs.
+    #[must_use]
+    pub fn is_parse(&self) -> bool {
+        matches!(self, DxError::Parse { .. })
+    }
+}
+
+impl fmt::Display for DxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DxError::Invalid(msg) => write!(f, "invalid: {msg}"),
+            DxError::Parse { line: 0, msg } => write!(f, "parse error: {msg}"),
+            DxError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            DxError::Unknown { what, name } => write!(f, "unknown {what} `{name}`"),
+            DxError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DxError {
+    fn from(e: std::io::Error) -> Self {
+        DxError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_line_number() {
+        let e = DxError::parse(7, "expected `=`");
+        assert_eq!(e.to_string(), "parse error at line 7: expected `=`");
+        let e = DxError::parse(0, "unexpected end of input");
+        assert_eq!(e.to_string(), "parse error: unexpected end of input");
+    }
+
+    #[test]
+    fn predicates_distinguish_variants() {
+        assert!(DxError::invalid("x must be >= 1").is_invalid());
+        assert!(!DxError::invalid("x").is_parse());
+        assert!(DxError::parse(1, "bad").is_parse());
+        assert!(!DxError::unknown("preset", "cray-3").is_invalid());
+    }
+
+    #[test]
+    fn io_errors_chain_as_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = DxError::from(io);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("eof"));
+    }
+}

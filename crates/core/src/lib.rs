@@ -47,12 +47,15 @@
 pub mod advisor;
 pub mod bankmap;
 pub mod cost;
+pub mod error;
 pub mod logp;
 pub mod params;
 pub mod pattern;
 pub mod pool;
 pub mod predict;
 pub mod presets;
+pub mod scenario;
+pub mod spec;
 
 pub use advisor::{diagnose, Binding, Diagnosis, DuplicationAdvice};
 pub use bankmap::{BankMap, Interleaved};
@@ -60,6 +63,7 @@ pub use cost::{
     bsp_superstep_cost, pattern_breakdown, pattern_cost, superstep_breakdown, superstep_cost,
     CostBreakdown, CostModel,
 };
+pub use error::DxError;
 pub use logp::LogPParams;
 pub use params::MachineParams;
 pub use pattern::{AccessKind, AccessPattern, ContentionProfile, Request};
@@ -67,3 +71,7 @@ pub use pool::PatternPool;
 pub use predict::{
     contention_knee, predict_scatter, predict_scatter_bsp, predict_scatter_duplicated, ScatterShape,
 };
+pub use scenario::{
+    Axis, AxisValue, BackendSel, Coord, MachineSpec, Scenario, Sweep, SweepPoint, WorkloadSpec,
+};
+pub use spec::SpecValue;

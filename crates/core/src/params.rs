@@ -52,6 +52,31 @@ impl MachineParams {
         Self { p, g, l, d, x }
     }
 
+    /// Fallible constructor: the same invariants as [`MachineParams::new`]
+    /// reported as a [`crate::DxError`] instead of a panic. This is the entry
+    /// point for user-supplied machines (scenario files, CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DxError::Invalid`] naming the offending parameter when `p`,
+    /// `g`, `d` or `x` is zero.
+    pub fn try_new(p: usize, g: u64, l: u64, d: u64, x: usize) -> Result<Self, crate::DxError> {
+        use crate::DxError;
+        if p < 1 {
+            return Err(DxError::invalid("machine: p must be >= 1 (need a processor)"));
+        }
+        if g < 1 {
+            return Err(DxError::invalid("machine: g must be >= 1 cycle per request"));
+        }
+        if d < 1 {
+            return Err(DxError::invalid("machine: d must be >= 1 cycle of bank delay"));
+        }
+        if x < 1 {
+            return Err(DxError::invalid("machine: x must be >= 1 bank per processor"));
+        }
+        Ok(Self { p, g, l, d, x })
+    }
+
     /// Total number of memory banks, `B = x·p`.
     #[must_use]
     pub fn banks(&self) -> usize {

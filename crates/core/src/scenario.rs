@@ -1,0 +1,1203 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] is the serializable description of one experiment: a
+//! machine (preset plus overrides), a workload family, sweep axes, the
+//! cost models to attach as predictions, and kind-specific parameters.
+//! Every built-in experiment in `dxbsp-bench` is a `Scenario` value, and
+//! user-authored TOML/JSON files decode into the same type, so "add an
+//! experiment" is a data change, not a code change.
+//!
+//! Scenarios are validated at construction ([`Scenario::validate`]) and
+//! round-trip through TOML and JSON via [`crate::spec::SpecValue`]:
+//!
+//! ```
+//! use dxbsp_core::scenario::Scenario;
+//! let text = r#"
+//! name = "demo"
+//! kind = "scatter-sweep"
+//! seed = 1995
+//! n = 8192
+//!
+//! [machine]
+//! preset = "j90"
+//!
+//! [workload]
+//! family = "hotspot"
+//! range = 1099511627776
+//!
+//! [sweep]
+//! k = [1, 64, 4096]
+//! "#;
+//! let sc = Scenario::from_toml(text).unwrap();
+//! assert_eq!(sc.sweep.size(), 3);
+//! assert_eq!(Scenario::from_toml(&sc.to_toml()).unwrap(), sc);
+//! ```
+
+use crate::error::DxError;
+use crate::params::MachineParams;
+use crate::presets;
+use crate::spec::SpecValue;
+
+/// A machine description: an optional named preset plus per-parameter
+/// overrides. `resolve()` turns it into concrete [`MachineParams`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MachineSpec {
+    /// Named base machine: `"c90"` (Cray C90) or `"j90"` (Cray J90).
+    pub preset: Option<String>,
+    /// Processor-count override.
+    pub p: Option<usize>,
+    /// Gap (per-request issue cost) override.
+    pub g: Option<u64>,
+    /// Latency/synchronization override.
+    pub l: Option<u64>,
+    /// Bank-delay override.
+    pub d: Option<u64>,
+    /// Expansion-factor (banks per processor) override.
+    pub x: Option<usize>,
+}
+
+impl MachineSpec {
+    /// A spec that is exactly a named preset.
+    #[must_use]
+    pub fn preset(name: &str) -> Self {
+        MachineSpec { preset: Some(name.to_string()), ..MachineSpec::default() }
+    }
+
+    /// Look up a preset machine by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Unknown`] for names outside the registry.
+    pub fn lookup_preset(name: &str) -> Result<MachineParams, DxError> {
+        match name {
+            "c90" | "cray-c90" => Ok(presets::cray_c90()),
+            "j90" | "cray-j90" => Ok(presets::cray_j90()),
+            _ => Err(DxError::unknown("machine preset", name)),
+        }
+    }
+
+    /// Resolve to concrete parameters: preset (or the defaults `g=1`,
+    /// `l=0` when absent) with the overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Unknown`] for an unknown preset; [`DxError::Invalid`]
+    /// if no preset is given and `p`/`d`/`x` are not all present, or if
+    /// any resolved parameter is zero where the model requires ≥ 1.
+    pub fn resolve(&self) -> Result<MachineParams, DxError> {
+        let (p, g, l, d, x) = match &self.preset {
+            Some(name) => {
+                let base = Self::lookup_preset(name)?;
+                (base.p, base.g, base.l, base.d, base.x)
+            }
+            None => {
+                let (Some(p), Some(d), Some(x)) = (self.p, self.d, self.x) else {
+                    return Err(DxError::invalid(
+                        "machine: give a `preset` or all of `p`, `d`, `x`",
+                    ));
+                };
+                (p, self.g.unwrap_or(1), self.l.unwrap_or(0), d, x)
+            }
+        };
+        MachineParams::try_new(
+            self.p.unwrap_or(p),
+            self.g.unwrap_or(g),
+            self.l.unwrap_or(l),
+            self.d.unwrap_or(d),
+            self.x.unwrap_or(x),
+        )
+    }
+
+    fn to_value(&self) -> SpecValue {
+        let mut t = SpecValue::table();
+        if let Some(preset) = &self.preset {
+            t.set("preset", SpecValue::Str(preset.clone()));
+        }
+        for (key, v) in [("p", self.p.map(|v| v as i64)), ("x", self.x.map(|v| v as i64))] {
+            if let Some(v) = v {
+                t.set(key, SpecValue::Int(v));
+            }
+        }
+        #[allow(clippy::cast_possible_wrap)]
+        for (key, v) in [("g", self.g), ("l", self.l), ("d", self.d)] {
+            if let Some(v) = v {
+                t.set(key, SpecValue::Int(v as i64));
+            }
+        }
+        t
+    }
+
+    fn from_value(v: &SpecValue) -> Result<Self, DxError> {
+        let entries = v.as_table().ok_or_else(|| DxError::invalid("machine: expected a table"))?;
+        let mut spec = MachineSpec::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "preset" => spec.preset = Some(req_str(value, "machine.preset")?.to_string()),
+                "p" => spec.p = Some(req_usize(value, "machine.p")?),
+                "g" => spec.g = Some(req_u64(value, "machine.g")?),
+                "l" => spec.l = Some(req_u64(value, "machine.l")?),
+                "d" => spec.d = Some(req_u64(value, "machine.d")?),
+                "x" => spec.x = Some(req_usize(value, "machine.x")?),
+                other => return Err(DxError::invalid(format!("machine: unknown key `{other}`"))),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// The workload a scenario runs: which family of address vectors (or
+/// graphs) the generators in `dxbsp-workloads` should produce.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum WorkloadSpec {
+    /// No generated workload — the scenario's kind builds its own
+    /// input (algorithm traces, inventories, calibration runs, …).
+    #[default]
+    None,
+    /// Uniform addresses in `[0, range)`.
+    Uniform {
+        /// Exclusive upper bound of the address space.
+        range: u64,
+    },
+    /// One hot address hit `k` times, background uniform (Experiment 1).
+    Hotspot {
+        /// Exclusive upper bound of the address space.
+        range: u64,
+    },
+    /// The hot address split into `copies` replicas (Experiment 2).
+    DuplicatedHotspot {
+        /// Exclusive upper bound of the address space.
+        range: u64,
+    },
+    /// The entropy ladder of Experiment 3: successive butterfly-merge
+    /// iterations over a `bits`-bit space.
+    Entropy {
+        /// Address-space width in bits.
+        bits: u32,
+        /// Number of ladder levels generated (axis `iter` selects one).
+        iterations: u32,
+        /// Salt for the family's base RNG stream.
+        salt: u64,
+    },
+    /// Zipf-distributed addresses over `[0, universe)`; the sweep axis
+    /// `s` selects the exponent.
+    Zipf {
+        /// Size of the address universe.
+        universe: u64,
+    },
+    /// NAS-IS-style binomial-hump keys over `bits` bits.
+    NasIs {
+        /// Address-space width in bits.
+        bits: u32,
+    },
+    /// Deterministic distinct addresses from a golden-ratio stride
+    /// (the bank-mapping experiments' address family).
+    GoldenDistinct {
+        /// Right-shift applied to the multiplied index.
+        shift: u32,
+    },
+    /// The Figure 1 connected-components input: a random `G(n, m)`
+    /// graph with a star glued on.
+    CcGraph {
+        /// Extra edges `(0, leaf)` for `leaf` in `1..star_leaves`.
+        star_leaves: usize,
+        /// Edge count as a multiple of the node count.
+        edges_per_node: usize,
+        /// Salt for the graph RNG stream.
+        salt: u64,
+    },
+    /// A named family of graphs (random/grid/chain/star …) selected by
+    /// a string-valued `graph` axis; all families draw from one RNG
+    /// stream seeded with `salt`, in axis order.
+    GraphFamily {
+        /// Salt for the shared graph RNG stream.
+        salt: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The family name used in scenario files.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            WorkloadSpec::None => "none",
+            WorkloadSpec::Uniform { .. } => "uniform",
+            WorkloadSpec::Hotspot { .. } => "hotspot",
+            WorkloadSpec::DuplicatedHotspot { .. } => "duplicated-hotspot",
+            WorkloadSpec::Entropy { .. } => "entropy",
+            WorkloadSpec::Zipf { .. } => "zipf",
+            WorkloadSpec::NasIs { .. } => "nas-is",
+            WorkloadSpec::GoldenDistinct { .. } => "golden-distinct",
+            WorkloadSpec::CcGraph { .. } => "cc-graph",
+            WorkloadSpec::GraphFamily { .. } => "graph-family",
+        }
+    }
+
+    fn validate(&self) -> Result<(), DxError> {
+        match *self {
+            WorkloadSpec::None | WorkloadSpec::GoldenDistinct { .. } => Ok(()),
+            WorkloadSpec::Uniform { range } => {
+                check(range >= 1, "workload: uniform needs range >= 1")
+            }
+            WorkloadSpec::Hotspot { range } => {
+                check(range >= 2, "workload: hotspot needs range >= 2")
+            }
+            WorkloadSpec::DuplicatedHotspot { range } => {
+                check(range >= 2, "workload: duplicated-hotspot needs range >= 2")
+            }
+            WorkloadSpec::Entropy { bits, iterations, .. } => {
+                check((1..=62).contains(&bits), "workload: entropy bits must be in 1..=62")?;
+                check(iterations >= 1, "workload: entropy needs iterations >= 1")
+            }
+            WorkloadSpec::Zipf { universe } => {
+                check(universe >= 1, "workload: zipf needs universe >= 1")
+            }
+            WorkloadSpec::NasIs { bits } => {
+                check((1..=62).contains(&bits), "workload: nas-is bits must be in 1..=62")
+            }
+            WorkloadSpec::CcGraph { edges_per_node, .. } => {
+                check(edges_per_node >= 1, "workload: cc-graph needs edges_per_node >= 1")
+            }
+            WorkloadSpec::GraphFamily { .. } => Ok(()),
+        }
+    }
+
+    #[allow(clippy::cast_possible_wrap)]
+    fn to_value(&self) -> SpecValue {
+        let mut t = SpecValue::table();
+        t.set("family", SpecValue::Str(self.family().to_string()));
+        match *self {
+            WorkloadSpec::None | WorkloadSpec::GraphFamily { salt: 0 } => {}
+            WorkloadSpec::Uniform { range }
+            | WorkloadSpec::Hotspot { range }
+            | WorkloadSpec::DuplicatedHotspot { range } => {
+                t.set("range", SpecValue::Int(range as i64));
+            }
+            WorkloadSpec::Entropy { bits, iterations, salt } => {
+                t.set("bits", SpecValue::Int(i64::from(bits)));
+                t.set("iterations", SpecValue::Int(i64::from(iterations)));
+                t.set("salt", SpecValue::Int(salt as i64));
+            }
+            WorkloadSpec::Zipf { universe } => {
+                t.set("universe", SpecValue::Int(universe as i64));
+            }
+            WorkloadSpec::NasIs { bits } => {
+                t.set("bits", SpecValue::Int(i64::from(bits)));
+            }
+            WorkloadSpec::GoldenDistinct { shift } => {
+                t.set("shift", SpecValue::Int(i64::from(shift)));
+            }
+            WorkloadSpec::CcGraph { star_leaves, edges_per_node, salt } => {
+                t.set("star_leaves", SpecValue::Int(star_leaves as i64));
+                t.set("edges_per_node", SpecValue::Int(edges_per_node as i64));
+                t.set("salt", SpecValue::Int(salt as i64));
+            }
+            WorkloadSpec::GraphFamily { salt } => {
+                t.set("salt", SpecValue::Int(salt as i64));
+            }
+        }
+        t
+    }
+
+    fn from_value(v: &SpecValue) -> Result<Self, DxError> {
+        let entries = v.as_table().ok_or_else(|| DxError::invalid("workload: expected a table"))?;
+        let family = v
+            .get("family")
+            .ok_or_else(|| DxError::invalid("workload: missing `family`"))
+            .and_then(|f| req_str(f, "workload.family"))?;
+        let allowed: &[&str] = match family {
+            "none" => &[],
+            "uniform" | "hotspot" | "duplicated-hotspot" => &["range"],
+            "entropy" => &["bits", "iterations", "salt"],
+            "zipf" => &["universe"],
+            "nas-is" => &["bits"],
+            "golden-distinct" => &["shift"],
+            "cc-graph" => &["star_leaves", "edges_per_node", "salt"],
+            "graph-family" => &["salt"],
+            other => return Err(DxError::unknown("workload family", other)),
+        };
+        for (key, _) in entries {
+            if key != "family" && !allowed.contains(&key.as_str()) {
+                return Err(DxError::invalid(format!(
+                    "workload: key `{key}` does not apply to family `{family}`"
+                )));
+            }
+        }
+        let int = |key: &str| -> Result<u64, DxError> {
+            v.get(key)
+                .ok_or_else(|| DxError::invalid(format!("workload: `{family}` needs `{key}`")))
+                .and_then(|val| req_u64(val, key))
+        };
+        let int_or = |key: &str, default: u64| -> Result<u64, DxError> {
+            v.get(key).map_or(Ok(default), |val| req_u64(val, key))
+        };
+        Ok(match family {
+            "none" => WorkloadSpec::None,
+            "uniform" => WorkloadSpec::Uniform { range: int("range")? },
+            "hotspot" => WorkloadSpec::Hotspot { range: int("range")? },
+            "duplicated-hotspot" => WorkloadSpec::DuplicatedHotspot { range: int("range")? },
+            "entropy" => WorkloadSpec::Entropy {
+                bits: u32::try_from(int("bits")?)
+                    .map_err(|_| DxError::invalid("workload: entropy bits out of range"))?,
+                iterations: u32::try_from(int("iterations")?)
+                    .map_err(|_| DxError::invalid("workload: entropy iterations out of range"))?,
+                salt: int_or("salt", 0)?,
+            },
+            "zipf" => WorkloadSpec::Zipf { universe: int("universe")? },
+            "nas-is" => WorkloadSpec::NasIs {
+                bits: u32::try_from(int("bits")?)
+                    .map_err(|_| DxError::invalid("workload: nas-is bits out of range"))?,
+            },
+            "golden-distinct" => WorkloadSpec::GoldenDistinct {
+                shift: u32::try_from(int_or("shift", 4)?)
+                    .map_err(|_| DxError::invalid("workload: golden shift out of range"))?,
+            },
+            "cc-graph" => WorkloadSpec::CcGraph {
+                star_leaves: usize::try_from(int_or("star_leaves", 0)?)
+                    .map_err(|_| DxError::invalid("workload: star_leaves out of range"))?,
+                edges_per_node: usize::try_from(int_or("edges_per_node", 2)?)
+                    .map_err(|_| DxError::invalid("workload: edges_per_node out of range"))?,
+                salt: int_or("salt", 0)?,
+            },
+            "graph-family" => WorkloadSpec::GraphFamily { salt: int_or("salt", 0)? },
+            _ => unreachable!("family checked above"),
+        })
+    }
+}
+
+/// One coordinate of a sweep axis: the values experiments iterate over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisValue {
+    /// An integer coordinate (`k`, `n`, `d`, `x`, thread counts, …).
+    Int(u64),
+    /// A float coordinate (Zipf exponents, …).
+    Float(f64),
+    /// A symbolic coordinate (preset names, graph families, `"unbounded"`).
+    Str(String),
+}
+
+impl AxisValue {
+    /// Integer value, if this coordinate is an integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AxisValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float value (integers widened), if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AxisValue::Float(v) => Some(*v),
+            #[allow(clippy::cast_precision_loss)]
+            AxisValue::Int(v) => Some(*v as f64),
+            AxisValue::Str(_) => None,
+        }
+    }
+
+    /// String value, if symbolic.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AxisValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Render for table cells and JSON point coordinates.
+    #[must_use]
+    pub fn display(&self) -> String {
+        match self {
+            AxisValue::Int(v) => v.to_string(),
+            AxisValue::Float(v) => format!("{v}"),
+            AxisValue::Str(v) => v.clone(),
+        }
+    }
+
+    #[allow(clippy::cast_possible_wrap)]
+    fn to_value(&self) -> SpecValue {
+        match self {
+            AxisValue::Int(v) => SpecValue::Int(*v as i64),
+            AxisValue::Float(v) => SpecValue::Float(*v),
+            AxisValue::Str(v) => SpecValue::Str(v.clone()),
+        }
+    }
+
+    fn from_value(v: &SpecValue, axis: &str) -> Result<Self, DxError> {
+        match v {
+            SpecValue::Int(i) if *i >= 0 => Ok(AxisValue::Int(u64::try_from(*i).unwrap())),
+            SpecValue::Int(_) => {
+                Err(DxError::invalid(format!("sweep.{axis}: negative axis value")))
+            }
+            SpecValue::Float(f) => Ok(AxisValue::Float(*f)),
+            SpecValue::Str(s) => Ok(AxisValue::Str(s.clone())),
+            other => Err(DxError::invalid(format!(
+                "sweep.{axis}: axis values must be numbers or strings, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// A named sweep axis and the coordinates it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Parameter name (`"k"`, `"n"`, `"d"`, `"x"`, `"machine"`, …).
+    pub param: String,
+    /// The coordinates, in iteration order.
+    pub values: Vec<AxisValue>,
+}
+
+impl Axis {
+    /// An integer-valued axis.
+    #[must_use]
+    pub fn ints(param: &str, values: impl IntoIterator<Item = u64>) -> Self {
+        Axis { param: param.to_string(), values: values.into_iter().map(AxisValue::Int).collect() }
+    }
+
+    /// A float-valued axis.
+    #[must_use]
+    pub fn floats(param: &str, values: impl IntoIterator<Item = f64>) -> Self {
+        Axis {
+            param: param.to_string(),
+            values: values.into_iter().map(AxisValue::Float).collect(),
+        }
+    }
+
+    /// A string-valued axis.
+    #[must_use]
+    pub fn strs<S: Into<String>>(param: &str, values: impl IntoIterator<Item = S>) -> Self {
+        Axis {
+            param: param.to_string(),
+            values: values.into_iter().map(|s| AxisValue::Str(s.into())).collect(),
+        }
+    }
+}
+
+/// The sweep grid: the cartesian product of the axes, first axis
+/// outermost (slowest-varying).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sweep {
+    /// Axes in declaration order. Order is semantic: it fixes both the
+    /// run-matrix iteration order and each point's RNG salt.
+    pub axes: Vec<Axis>,
+}
+
+impl Sweep {
+    /// A sweep over the given axes.
+    #[must_use]
+    pub fn new(axes: Vec<Axis>) -> Self {
+        Sweep { axes }
+    }
+
+    /// Number of points in the grid (product of axis lengths; 1 for an
+    /// axis-less sweep — a single unparameterized run).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Expand the grid into concrete points, first axis outermost.
+    #[must_use]
+    pub fn matrix(&self) -> Vec<SweepPoint> {
+        let total = self.size();
+        let mut points = Vec::with_capacity(total);
+        for flat in 0..total {
+            // Mixed-radix decomposition of `flat`, last axis fastest.
+            let mut rem = flat;
+            let mut indices = vec![0usize; self.axes.len()];
+            for (slot, axis) in indices.iter_mut().zip(&self.axes).rev() {
+                let len = axis.values.len();
+                *slot = rem % len;
+                rem /= len;
+            }
+            let coords = self
+                .axes
+                .iter()
+                .zip(&indices)
+                .map(|(axis, &idx)| Coord {
+                    axis: axis.param.clone(),
+                    value: axis.values[idx].clone(),
+                    idx,
+                })
+                .collect();
+            points.push(SweepPoint { coords, index: flat });
+        }
+        points
+    }
+
+    fn to_value(&self) -> SpecValue {
+        let mut t = SpecValue::table();
+        for axis in &self.axes {
+            t.set(
+                axis.param.clone(),
+                SpecValue::List(axis.values.iter().map(AxisValue::to_value).collect()),
+            );
+        }
+        t
+    }
+
+    fn from_value(v: &SpecValue) -> Result<Self, DxError> {
+        let entries = v.as_table().ok_or_else(|| DxError::invalid("sweep: expected a table"))?;
+        let mut axes = Vec::new();
+        for (param, value) in entries {
+            let list = value.as_list().ok_or_else(|| {
+                DxError::invalid(format!("sweep.{param}: expected a list of values"))
+            })?;
+            let values = list
+                .iter()
+                .map(|item| AxisValue::from_value(item, param))
+                .collect::<Result<Vec<_>, _>>()?;
+            axes.push(Axis { param: param.clone(), values });
+        }
+        Ok(Sweep { axes })
+    }
+}
+
+/// One coordinate of a sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coord {
+    /// The axis this coordinate came from.
+    pub axis: String,
+    /// The coordinate value.
+    pub value: AxisValue,
+    /// The value's index within its axis.
+    pub idx: usize,
+}
+
+/// One point of the expanded run matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Coordinates in axis-declaration order.
+    pub coords: Vec<Coord>,
+    /// Flat index of this point in the matrix.
+    pub index: usize,
+}
+
+impl SweepPoint {
+    /// The coordinate for axis `param`, if present.
+    #[must_use]
+    pub fn get(&self, param: &str) -> Option<&AxisValue> {
+        self.coords.iter().find(|c| c.axis == param).map(|c| &c.value)
+    }
+
+    /// Integer coordinate for axis `param`.
+    #[must_use]
+    pub fn u64(&self, param: &str) -> Option<u64> {
+        self.get(param).and_then(AxisValue::as_u64)
+    }
+
+    /// Float coordinate for axis `param`.
+    #[must_use]
+    pub fn f64(&self, param: &str) -> Option<f64> {
+        self.get(param).and_then(AxisValue::as_f64)
+    }
+
+    /// String coordinate for axis `param`.
+    #[must_use]
+    pub fn str(&self, param: &str) -> Option<&str> {
+        self.get(param).and_then(AxisValue::as_str)
+    }
+
+    /// The point's RNG salt: axis coordinates folded base-256 in axis
+    /// order. Integer coordinates contribute their value; float and
+    /// string coordinates contribute their index within the axis. A
+    /// single integer axis therefore salts with the value itself,
+    /// which keeps per-point RNG streams stable when unrelated axes
+    /// are reordered only at the byte level, and distinct across the
+    /// grid for the small coordinate ranges experiments sweep.
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        let mut salt = 0u64;
+        for c in &self.coords {
+            let component = match &c.value {
+                AxisValue::Int(v) => *v,
+                AxisValue::Float(_) | AxisValue::Str(_) => c.idx as u64,
+            };
+            salt = salt.wrapping_mul(256).wrapping_add(component);
+        }
+        salt
+    }
+}
+
+/// Which execution engine measures the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSel {
+    /// The cycle-level bank simulator (the default).
+    #[default]
+    Simulator,
+    /// The analytic reference engine (exact cost accounting, no
+    /// cycle-level queueing).
+    Reference,
+}
+
+impl BackendSel {
+    /// The name used in scenario files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendSel::Simulator => "simulator",
+            BackendSel::Reference => "reference",
+        }
+    }
+
+    /// Parse a scenario-file backend name.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Unknown`] for anything else.
+    pub fn from_name(name: &str) -> Result<Self, DxError> {
+        match name {
+            "simulator" => Ok(BackendSel::Simulator),
+            "reference" => Ok(BackendSel::Reference),
+            _ => Err(DxError::unknown("backend", name)),
+        }
+    }
+}
+
+/// Cost models whose closed-form predictions can ride along with each
+/// measurement.
+pub const KNOWN_MODELS: &[&str] = &["dxbsp", "bsp"];
+
+/// A complete, serializable experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Short identifier (`"exp1"`, file-name friendly).
+    pub name: String,
+    /// Human-readable title for tables and listings.
+    pub title: String,
+    /// Which executor runs this scenario (`"scatter-sweep"`, …).
+    pub kind: String,
+    /// Base RNG seed; every sweep point derives its stream from
+    /// `(seed, point salt)`.
+    pub seed: u64,
+    /// Problem size (requests per superstep, elements, nodes) when not
+    /// itself a sweep axis.
+    pub n: Option<usize>,
+    /// The machine under test.
+    pub machine: MachineSpec,
+    /// The workload family.
+    pub workload: WorkloadSpec,
+    /// The sweep grid.
+    pub sweep: Sweep,
+    /// Cost models attached as predictions (`"dxbsp"`, `"bsp"`).
+    pub models: Vec<String>,
+    /// Execution engine.
+    pub backend: BackendSel,
+    /// Worker threads for the sweep (0 = automatic).
+    pub threads: usize,
+    /// Kind-specific parameters, preserved in declaration order.
+    pub params: Vec<(String, SpecValue)>,
+    /// Free-form notes echoed under the rendered table.
+    pub notes: Vec<String>,
+}
+
+impl Scenario {
+    /// A minimal scenario of the given name and kind; callers fill in
+    /// the rest with struct-update syntax.
+    #[must_use]
+    pub fn new(name: &str, kind: &str, seed: u64) -> Self {
+        Scenario {
+            name: name.to_string(),
+            title: String::new(),
+            kind: kind.to_string(),
+            seed,
+            n: None,
+            machine: MachineSpec::preset("j90"),
+            workload: WorkloadSpec::None,
+            sweep: Sweep::default(),
+            models: vec!["dxbsp".to_string(), "bsp".to_string()],
+            backend: BackendSel::Simulator,
+            threads: 0,
+            params: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Kind-specific parameter lookup.
+    #[must_use]
+    pub fn param(&self, key: &str) -> Option<&SpecValue> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Integer parameter with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`] if the parameter exists but is not a
+    /// non-negative integer.
+    pub fn param_u64(&self, key: &str, default: u64) -> Result<u64, DxError> {
+        self.param(key).map_or(Ok(default), |v| req_u64(v, key))
+    }
+
+    /// String parameter with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`] if the parameter exists but is not a string.
+    pub fn param_str<'a>(&'a self, key: &str, default: &'a str) -> Result<&'a str, DxError> {
+        self.param(key).map_or(Ok(default), |v| req_str(v, key))
+    }
+
+    /// Set a kind-specific parameter (builder-style).
+    #[must_use]
+    pub fn with_param(mut self, key: &str, value: SpecValue) -> Self {
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.params.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Validate the scenario: machine resolvable, axes well-formed,
+    /// workload parameters in range, contention `k` within `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`] or [`DxError::Unknown`] describing the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), DxError> {
+        check(!self.name.is_empty(), "scenario: `name` must be nonempty")?;
+        check(!self.kind.is_empty(), "scenario: `kind` must be nonempty")?;
+        self.machine.resolve()?;
+        self.workload.validate()?;
+        let mut seen = BTreeSetLite::new();
+        for axis in &self.sweep.axes {
+            check(!axis.param.is_empty(), "sweep: axis name must be nonempty")?;
+            if !seen.insert(&axis.param) {
+                return Err(DxError::invalid(format!("sweep: duplicate axis `{}`", axis.param)));
+            }
+            if axis.values.is_empty() {
+                return Err(DxError::invalid(format!(
+                    "sweep: axis `{}` has no values",
+                    axis.param
+                )));
+            }
+        }
+        for model in &self.models {
+            if !KNOWN_MODELS.contains(&model.as_str()) {
+                return Err(DxError::unknown("model", model.clone()));
+            }
+        }
+        if let Some(n) = self.n {
+            check(n >= 1, "scenario: `n` must be >= 1")?;
+        }
+        // Contention can't exceed the element count: compare the
+        // largest swept/fixed `k` against the smallest swept/fixed `n`.
+        let axis_max = |name: &str| {
+            self.sweep
+                .axes
+                .iter()
+                .find(|a| a.param == name)
+                .and_then(|a| a.values.iter().filter_map(AxisValue::as_u64).max())
+        };
+        let axis_min = |name: &str| {
+            self.sweep
+                .axes
+                .iter()
+                .find(|a| a.param == name)
+                .and_then(|a| a.values.iter().filter_map(AxisValue::as_u64).min())
+        };
+        if matches!(
+            self.workload,
+            WorkloadSpec::Hotspot { .. } | WorkloadSpec::DuplicatedHotspot { .. }
+        ) {
+            let k_max = match axis_max("k") {
+                Some(k) => Some(k),
+                None => self.param("k").map(|v| req_u64(v, "k")).transpose()?,
+            };
+            let n_min = axis_min("n").or(self.n.map(|n| n as u64));
+            if let (Some(k), Some(n)) = (k_max, n_min) {
+                if k > n {
+                    return Err(DxError::invalid(format!(
+                        "scenario: contention k = {k} exceeds n = {n}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode into a [`SpecValue`] tree (the TOML/JSON document shape).
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn to_value(&self) -> SpecValue {
+        let mut t = SpecValue::table();
+        t.set("name", SpecValue::Str(self.name.clone()));
+        if !self.title.is_empty() {
+            t.set("title", SpecValue::Str(self.title.clone()));
+        }
+        t.set("kind", SpecValue::Str(self.kind.clone()));
+        t.set("seed", SpecValue::Int(self.seed as i64));
+        if let Some(n) = self.n {
+            t.set("n", SpecValue::Int(n as i64));
+        }
+        t.set(
+            "models",
+            SpecValue::List(self.models.iter().map(|m| SpecValue::Str(m.clone())).collect()),
+        );
+        if self.backend != BackendSel::Simulator {
+            t.set("backend", SpecValue::Str(self.backend.name().to_string()));
+        }
+        if self.threads != 0 {
+            t.set("threads", SpecValue::Int(self.threads as i64));
+        }
+        if !self.notes.is_empty() {
+            t.set(
+                "notes",
+                SpecValue::List(self.notes.iter().map(|s| SpecValue::Str(s.clone())).collect()),
+            );
+        }
+        t.set("machine", self.machine.to_value());
+        if self.workload != WorkloadSpec::None {
+            t.set("workload", self.workload.to_value());
+        }
+        if !self.sweep.axes.is_empty() {
+            t.set("sweep", self.sweep.to_value());
+        }
+        if !self.params.is_empty() {
+            t.set("params", SpecValue::Table(self.params.clone()));
+        }
+        t
+    }
+
+    /// Decode from a [`SpecValue`] tree and validate.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`]/[`DxError::Unknown`] for missing or
+    /// malformed fields and for anything [`Scenario::validate`]
+    /// rejects.
+    pub fn from_value(v: &SpecValue) -> Result<Self, DxError> {
+        let entries = v.as_table().ok_or_else(|| DxError::invalid("scenario: expected a table"))?;
+        let str_field = |key: &str| -> Result<String, DxError> {
+            v.get(key)
+                .ok_or_else(|| DxError::invalid(format!("scenario: missing `{key}`")))
+                .and_then(|val| req_str(val, key))
+                .map(String::from)
+        };
+        let mut sc = Scenario::new("", "", 0);
+        sc.machine = MachineSpec::default();
+        sc.models.clear();
+        let mut models_given = false;
+        for (key, value) in entries {
+            match key.as_str() {
+                "name" => sc.name = str_field("name")?,
+                "title" => sc.title = str_field("title")?,
+                "kind" => sc.kind = str_field("kind")?,
+                "seed" => sc.seed = req_u64(value, "seed")?,
+                "n" => {
+                    sc.n = Some(
+                        usize::try_from(req_u64(value, "n")?)
+                            .map_err(|_| DxError::invalid("scenario: `n` out of range"))?,
+                    );
+                }
+                "models" => {
+                    models_given = true;
+                    let list = value
+                        .as_list()
+                        .ok_or_else(|| DxError::invalid("scenario: `models` must be a list"))?;
+                    sc.models = list
+                        .iter()
+                        .map(|m| req_str(m, "models").map(String::from))
+                        .collect::<Result<_, _>>()?;
+                }
+                "backend" => sc.backend = BackendSel::from_name(req_str(value, "backend")?)?,
+                "threads" => {
+                    sc.threads = usize::try_from(req_u64(value, "threads")?)
+                        .map_err(|_| DxError::invalid("scenario: `threads` out of range"))?;
+                }
+                "notes" => {
+                    let list = value
+                        .as_list()
+                        .ok_or_else(|| DxError::invalid("scenario: `notes` must be a list"))?;
+                    sc.notes = list
+                        .iter()
+                        .map(|m| req_str(m, "notes").map(String::from))
+                        .collect::<Result<_, _>>()?;
+                }
+                "machine" => sc.machine = MachineSpec::from_value(value)?,
+                "workload" => sc.workload = WorkloadSpec::from_value(value)?,
+                "sweep" => sc.sweep = Sweep::from_value(value)?,
+                "params" => {
+                    sc.params = value
+                        .as_table()
+                        .ok_or_else(|| DxError::invalid("scenario: `params` must be a table"))?
+                        .to_vec();
+                }
+                other => return Err(DxError::invalid(format!("scenario: unknown key `{other}`"))),
+            }
+        }
+        if !models_given {
+            sc.models = vec!["dxbsp".to_string(), "bsp".to_string()];
+        }
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Encode as a TOML document.
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        self.to_value().to_toml()
+    }
+
+    /// Decode and validate a TOML document.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Parse`] for syntax errors, [`DxError::Invalid`]
+    /// /[`DxError::Unknown`] for semantic ones.
+    pub fn from_toml(text: &str) -> Result<Self, DxError> {
+        Scenario::from_value(&SpecValue::from_toml(text)?)
+    }
+
+    /// Encode as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Decode and validate a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::from_toml`].
+    pub fn from_json(text: &str) -> Result<Self, DxError> {
+        Scenario::from_value(&SpecValue::from_json(text)?)
+    }
+}
+
+fn check(cond: bool, msg: &str) -> Result<(), DxError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(DxError::invalid(msg))
+    }
+}
+
+fn req_str<'a>(v: &'a SpecValue, what: &str) -> Result<&'a str, DxError> {
+    v.as_str().ok_or_else(|| {
+        DxError::invalid(format!("`{what}`: expected a string, got {}", v.type_name()))
+    })
+}
+
+fn req_u64(v: &SpecValue, what: &str) -> Result<u64, DxError> {
+    v.as_int().and_then(|i| u64::try_from(i).ok()).ok_or_else(|| {
+        DxError::invalid(format!(
+            "`{what}`: expected a non-negative integer, got {}",
+            v.type_name()
+        ))
+    })
+}
+
+fn req_usize(v: &SpecValue, what: &str) -> Result<usize, DxError> {
+    usize::try_from(req_u64(v, what)?)
+        .map_err(|_| DxError::invalid(format!("`{what}`: out of range")))
+}
+
+/// Tiny insertion-checked set over borrowed strings (avoids pulling
+/// `HashSet` into a hot path that sees at most a handful of axes).
+struct BTreeSetLite<'a> {
+    items: Vec<&'a str>,
+}
+
+impl<'a> BTreeSetLite<'a> {
+    fn new() -> Self {
+        BTreeSetLite { items: Vec::new() }
+    }
+
+    fn insert(&mut self, item: &'a str) -> bool {
+        if self.items.contains(&item) {
+            false
+        } else {
+            self.items.push(item);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Scenario {
+        let mut sc = Scenario::new("exp1", "scatter-sweep", 1995);
+        sc.title = "Experiment 1".to_string();
+        sc.n = Some(8192);
+        sc.workload = WorkloadSpec::Hotspot { range: 1 << 40 };
+        sc.sweep = Sweep::new(vec![Axis::ints("k", [1, 4, 16, 64, 256, 1024, 4096, 8192])]);
+        sc
+    }
+
+    #[test]
+    fn toml_round_trip_is_exact() {
+        let sc = demo();
+        let text = sc.to_toml();
+        assert_eq!(Scenario::from_toml(&text).unwrap(), sc);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let sc = demo();
+        assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+    }
+
+    #[test]
+    fn toml_and_json_produce_the_same_scenario() {
+        let sc = demo();
+        assert_eq!(
+            Scenario::from_toml(&sc.to_toml()).unwrap(),
+            Scenario::from_json(&sc.to_json()).unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_expansion_counts_multiply() {
+        let sweep = Sweep::new(vec![
+            Axis::ints("x", [1, 2, 4, 8]),
+            Axis::ints("d", [6, 14]),
+            Axis::strs("machine", ["c90", "j90", "tera"]),
+        ]);
+        assert_eq!(sweep.size(), 24);
+        let pts = sweep.matrix();
+        assert_eq!(pts.len(), 24);
+        // First axis outermost: x stays put while machine cycles.
+        assert_eq!(pts[0].u64("x"), Some(1));
+        assert_eq!(pts[0].str("machine"), Some("c90"));
+        assert_eq!(pts[1].str("machine"), Some("j90"));
+        assert_eq!(pts[5].u64("x"), Some(1));
+        assert_eq!(pts[6].u64("x"), Some(2));
+        assert_eq!(pts[23].u64("x"), Some(8));
+        assert_eq!(pts[23].u64("d"), Some(14));
+        assert_eq!(pts[23].str("machine"), Some("tera"));
+    }
+
+    #[test]
+    fn empty_sweep_is_one_point() {
+        let sweep = Sweep::default();
+        assert_eq!(sweep.size(), 1);
+        assert_eq!(sweep.matrix().len(), 1);
+        assert_eq!(sweep.matrix()[0].salt(), 0);
+    }
+
+    #[test]
+    fn salt_matches_legacy_derivations() {
+        // Single integer axis: salt is the value itself.
+        let one = Sweep::new(vec![Axis::ints("k", [1, 256, 8192])]);
+        let salts: Vec<u64> = one.matrix().iter().map(SweepPoint::salt).collect();
+        assert_eq!(salts, vec![1, 256, 8192]);
+        // Two integer axes fold base 256 (the legacy `(x << 8) | d`).
+        let two = Sweep::new(vec![Axis::ints("x", [3]), Axis::ints("d", [14])]);
+        assert_eq!(two.matrix()[0].salt(), (3 << 8) | 14);
+        // Float axes contribute their index.
+        let fl = Sweep::new(vec![Axis::floats("s", [0.0, 0.5, 1.2])]);
+        let salts: Vec<u64> = fl.matrix().iter().map(SweepPoint::salt).collect();
+        assert_eq!(salts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validation_rejects_zero_expansion() {
+        let mut sc = demo();
+        sc.machine = MachineSpec { x: Some(0), ..MachineSpec::preset("j90") };
+        let err = sc.validate().unwrap_err();
+        assert!(err.is_invalid(), "{err}");
+        assert!(err.to_string().contains('x'), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_empty_axis() {
+        let mut sc = demo();
+        sc.sweep = Sweep::new(vec![Axis { param: "k".into(), values: vec![] }]);
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("no values"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_axes() {
+        let mut sc = demo();
+        sc.sweep = Sweep::new(vec![Axis::ints("k", [1]), Axis::ints("k", [2])]);
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("duplicate axis"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_k_above_n() {
+        let mut sc = demo();
+        sc.sweep = Sweep::new(vec![Axis::ints("k", [1, 16384])]);
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // Also via the `k` param when k is not an axis.
+        let mut sc = demo();
+        sc.sweep = Sweep::new(vec![Axis::ints("copies", [1, 2])]);
+        sc = sc.with_param("k", SpecValue::Int(100_000));
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_unknown_preset_and_model() {
+        let mut sc = demo();
+        sc.machine = MachineSpec::preset("cray-3");
+        assert!(matches!(sc.validate().unwrap_err(), DxError::Unknown { .. }));
+        let mut sc = demo();
+        sc.models = vec!["qrqw".to_string()];
+        assert!(matches!(sc.validate().unwrap_err(), DxError::Unknown { .. }));
+    }
+
+    #[test]
+    fn machine_overrides_apply_on_top_of_preset() {
+        let spec = MachineSpec { d: Some(30), ..MachineSpec::preset("j90") };
+        let m = spec.resolve().unwrap();
+        assert_eq!((m.p, m.g, m.l, m.d, m.x), (8, 1, 0, 30, 32));
+    }
+
+    #[test]
+    fn machine_without_preset_needs_p_d_x() {
+        let spec = MachineSpec { p: Some(8), d: Some(14), ..MachineSpec::default() };
+        assert!(spec.resolve().is_err());
+        let spec = MachineSpec { p: Some(8), d: Some(14), x: Some(32), ..MachineSpec::default() };
+        let m = spec.resolve().unwrap();
+        assert_eq!((m.p, m.g, m.l, m.d, m.x), (8, 1, 0, 14, 32));
+    }
+
+    #[test]
+    fn unknown_scenario_keys_are_rejected() {
+        let text =
+            "name = \"x\"\nkind = \"k\"\nseed = 1\nbogus = 2\n\n[machine]\npreset = \"j90\"\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("unknown key `bogus`"), "{err}");
+    }
+
+    #[test]
+    fn workload_field_mismatch_is_rejected() {
+        let mut sc = demo();
+        sc.workload = WorkloadSpec::Hotspot { range: 1 };
+        assert!(sc.validate().is_err());
+        let text = "name = \"x\"\nkind = \"k\"\nseed = 1\n\n[machine]\npreset = \"j90\"\n\n[workload]\nfamily = \"zipf\"\nrange = 7\n";
+        let err = Scenario::from_toml(text).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+    }
+
+    #[test]
+    fn all_workload_families_round_trip() {
+        for wl in [
+            WorkloadSpec::None,
+            WorkloadSpec::Uniform { range: 1 << 30 },
+            WorkloadSpec::Hotspot { range: 1 << 40 },
+            WorkloadSpec::DuplicatedHotspot { range: 1 << 40 },
+            WorkloadSpec::Entropy { bits: 22, iterations: 8, salt: 0xE27 },
+            WorkloadSpec::Zipf { universe: 64 * 1024 },
+            WorkloadSpec::NasIs { bits: 20 },
+            WorkloadSpec::GoldenDistinct { shift: 4 },
+            WorkloadSpec::CcGraph { star_leaves: 1024, edges_per_node: 2, salt: 0xF1 },
+            WorkloadSpec::GraphFamily { salt: 13 },
+        ] {
+            let mut sc = demo();
+            sc.sweep = Sweep::default();
+            sc.workload = wl.clone();
+            let back = Scenario::from_toml(&sc.to_toml()).unwrap();
+            assert_eq!(back.workload, wl);
+        }
+    }
+}

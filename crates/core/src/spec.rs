@@ -1,0 +1,787 @@
+//! `SpecValue` — the self-describing value model behind scenario files.
+//!
+//! Scenario files are written in a TOML subset (the natural format for
+//! hand-edited experiment specs) or JSON (the natural format for
+//! machine-generated ones). Both decode into the same [`SpecValue`]
+//! tree, and [`crate::scenario::Scenario`] converts to/from that tree,
+//! so the two formats are guaranteed to stay in sync.
+//!
+//! The TOML subset covers what scenario files need and nothing more:
+//! `key = value` pairs, `[section]` and `[section.sub]` headers,
+//! strings, integers, floats, booleans, single-line arrays and inline
+//! tables, and `#` comments. Tables preserve insertion order, which
+//! matters: sweep-axis order is semantic (it fixes the run-matrix
+//! iteration order and the per-point RNG salt).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::error::DxError;
+
+/// A dynamically-typed value in a scenario file.
+///
+/// Tables are ordered association lists rather than maps: scenario
+/// semantics (sweep-axis order) and faithful round-tripping both
+/// require insertion order to survive decode → encode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecValue {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list of values.
+    List(Vec<SpecValue>),
+    /// An ordered key → value table.
+    Table(Vec<(String, SpecValue)>),
+}
+
+impl SpecValue {
+    /// Empty table.
+    #[must_use]
+    pub fn table() -> Self {
+        SpecValue::Table(Vec::new())
+    }
+
+    /// Look up `key` in a table value. Returns `None` for non-tables.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&SpecValue> {
+        match self {
+            SpecValue::Table(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace `key` in a table value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a table (internal misuse, not input).
+    pub fn set(&mut self, key: impl Into<String>, value: SpecValue) {
+        let SpecValue::Table(entries) = self else {
+            panic!("SpecValue::set on a non-table");
+        };
+        let key = key.into();
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            entries.push((key, value));
+        }
+    }
+
+    /// The value as `i64`, if it is an integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SpecValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`: floats directly, integers widened.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            SpecValue::Float(v) => Some(*v),
+            #[allow(clippy::cast_precision_loss)]
+            SpecValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            SpecValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            SpecValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a list slice, if it is a list.
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[SpecValue]> {
+        match self {
+            SpecValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as table entries, if it is a table.
+    #[must_use]
+    pub fn as_table(&self) -> Option<&[(String, SpecValue)]> {
+        match self {
+            SpecValue::Table(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the value's type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SpecValue::Bool(_) => "bool",
+            SpecValue::Int(_) => "integer",
+            SpecValue::Float(_) => "float",
+            SpecValue::Str(_) => "string",
+            SpecValue::List(_) => "list",
+            SpecValue::Table(_) => "table",
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TOML
+    // ------------------------------------------------------------------
+
+    /// Decode a TOML document into a table value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DxError::Parse`] with a 1-based line number for any
+    /// syntax error, duplicate key, or construct outside the subset.
+    pub fn from_toml(text: &str) -> Result<SpecValue, DxError> {
+        let mut root = SpecValue::table();
+        // Path of the table the current `key = value` lines land in.
+        let mut section: Vec<String> = Vec::new();
+        let mut seen_sections: BTreeSet<String> = BTreeSet::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let inner = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| DxError::parse(lineno, "unterminated `[section]` header"))?
+                    .trim();
+                if inner.is_empty() {
+                    return Err(DxError::parse(lineno, "empty `[section]` header"));
+                }
+                section = inner.split('.').map(|s| s.trim().to_string()).collect();
+                for part in &section {
+                    check_bare_key(part, lineno)?;
+                }
+                if !seen_sections.insert(section.join(".")) {
+                    return Err(DxError::parse(lineno, format!("duplicate section `[{inner}]`")));
+                }
+                table_at_path(&mut root, &section, lineno)?;
+                continue;
+            }
+            let eq =
+                line.find('=').ok_or_else(|| DxError::parse(lineno, "expected `key = value`"))?;
+            let key = line[..eq].trim();
+            check_bare_key(key, lineno)?;
+            let mut cursor = Cursor::new(line[eq + 1..].trim(), lineno);
+            let value = cursor.parse_toml_value()?;
+            cursor.expect_end()?;
+            let target = table_at_path(&mut root, &section, lineno)?;
+            let SpecValue::Table(entries) = target else { unreachable!() };
+            if entries.iter().any(|(k, _)| k == key) {
+                return Err(DxError::parse(lineno, format!("duplicate key `{key}`")));
+            }
+            entries.push((key.to_string(), value));
+        }
+        Ok(root)
+    }
+
+    /// Encode a table value as a TOML document.
+    ///
+    /// Scalar and list entries are emitted first, then each table entry
+    /// becomes a `[section]`. Nesting deeper than one table level below
+    /// a section is emitted as dotted headers (`[a.b]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a table (only tables are documents).
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        let SpecValue::Table(_) = self else {
+            panic!("to_toml on a non-table SpecValue");
+        };
+        let mut out = String::new();
+        emit_toml_table(&mut out, self, &mut Vec::new());
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // JSON
+    // ------------------------------------------------------------------
+
+    /// Decode a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DxError::Parse`] for any syntax error. `null` is
+    /// outside the value model and is rejected.
+    pub fn from_json(text: &str) -> Result<SpecValue, DxError> {
+        let mut cursor = Cursor::new(text, 1);
+        let value = cursor.parse_json_value()?;
+        cursor.expect_end()?;
+        Ok(value)
+    }
+
+    /// Encode as a single-line JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        emit_json(&mut out, self);
+        out
+    }
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn check_bare_key(key: &str, lineno: usize) -> Result<(), DxError> {
+    if key.is_empty() {
+        return Err(DxError::parse(lineno, "empty key"));
+    }
+    if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        return Err(DxError::parse(lineno, format!("invalid key `{key}`")));
+    }
+    Ok(())
+}
+
+/// Walk (creating as needed) to the table at `path` under `root`.
+fn table_at_path<'a>(
+    root: &'a mut SpecValue,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut SpecValue, DxError> {
+    let mut node = root;
+    for part in path {
+        let SpecValue::Table(entries) = node else {
+            return Err(DxError::parse(lineno, format!("`{part}` is not a table")));
+        };
+        let pos = match entries.iter().position(|(k, _)| k == part) {
+            Some(pos) => pos,
+            None => {
+                entries.push((part.clone(), SpecValue::table()));
+                entries.len() - 1
+            }
+        };
+        node = &mut entries[pos].1;
+        if !matches!(node, SpecValue::Table(_)) {
+            return Err(DxError::parse(lineno, format!("`{part}` is not a table")));
+        }
+    }
+    Ok(node)
+}
+
+fn emit_toml_table(out: &mut String, table: &SpecValue, path: &mut Vec<String>) {
+    let SpecValue::Table(entries) = table else { unreachable!() };
+    let mut subtables = Vec::new();
+    for (key, value) in entries {
+        if matches!(value, SpecValue::Table(_)) {
+            subtables.push((key, value));
+        } else {
+            let _ = writeln!(out, "{key} = {}", toml_value(value));
+        }
+    }
+    for (key, value) in subtables {
+        path.push(key.clone());
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "[{}]", path.join("."));
+        emit_toml_table(out, value, path);
+        path.pop();
+    }
+}
+
+fn toml_value(value: &SpecValue) -> String {
+    match value {
+        SpecValue::Bool(b) => b.to_string(),
+        SpecValue::Int(i) => i.to_string(),
+        SpecValue::Float(f) => float_repr(*f),
+        SpecValue::Str(s) => quoted(s),
+        SpecValue::List(items) => {
+            let inner: Vec<String> = items.iter().map(toml_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        SpecValue::Table(entries) => {
+            // Inline table — only reachable for tables nested inside lists.
+            let inner: Vec<String> =
+                entries.iter().map(|(k, v)| format!("{k} = {}", toml_value(v))).collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+    }
+}
+
+/// Shortest round-trip float syntax that still reads back as a float.
+fn float_repr(f: f64) -> String {
+    let s = format!("{f:?}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn emit_json(out: &mut String, value: &SpecValue) {
+    match value {
+        SpecValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        SpecValue::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        SpecValue::Float(f) => out.push_str(&float_repr(*f)),
+        SpecValue::Str(s) => out.push_str(&quoted(s)),
+        SpecValue::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_json(out, item);
+            }
+            out.push(']');
+        }
+        SpecValue::Table(entries) => {
+            out.push('{');
+            for (i, (key, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&quoted(key));
+                out.push(':');
+                emit_json(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A character cursor shared by the TOML value parser (single line) and
+/// the JSON parser (whole document). Tracks the 1-based line for
+/// diagnostics.
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        Cursor { text, pos: 0, line }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DxError {
+        DxError::parse(self.line, msg)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), DxError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{c}`, found {}",
+                self.peek().map_or("end of input".to_string(), |f| format!("`{f}`"))
+            )))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), DxError> {
+        self.skip_ws();
+        match self.peek() {
+            None => Ok(()),
+            Some(c) => Err(self.err(format!("trailing input starting at `{c}`"))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, DxError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| self.err("bad \\u code point"))?,
+                        );
+                    }
+                    _ => return Err(self.err("bad escape in string")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<SpecValue, DxError> {
+        let start = self.pos;
+        if self.peek() == Some('-') || self.peek() == Some('+') {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' | '_' => {
+                    self.bump();
+                }
+                '.' | 'e' | 'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some('-' | '+')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let raw: String = self.text[start..self.pos].chars().filter(|&c| c != '_').collect();
+        if is_float {
+            raw.parse::<f64>()
+                .map(SpecValue::Float)
+                .map_err(|_| self.err(format!("bad float `{raw}`")))
+        } else {
+            raw.parse::<i64>()
+                .map(SpecValue::Int)
+                .map_err(|_| self.err(format!("bad integer `{raw}`")))
+        }
+    }
+
+    fn parse_keyword(&mut self) -> Result<SpecValue, DxError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+            self.bump();
+        }
+        match &self.text[start..self.pos] {
+            "true" => Ok(SpecValue::Bool(true)),
+            "false" => Ok(SpecValue::Bool(false)),
+            "null" => Err(self.err("`null` is not a scenario value")),
+            other => Err(self.err(format!("unexpected token `{other}`"))),
+        }
+    }
+
+    // TOML value grammar (right-hand side of `key = …`).
+    fn parse_toml_value(&mut self) -> Result<SpecValue, DxError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(SpecValue::Str(self.parse_string()?)),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.eat(']') {
+                        return Ok(SpecValue::List(items));
+                    }
+                    items.push(self.parse_toml_value()?);
+                    self.skip_ws();
+                    if !self.eat(',') {
+                        self.expect(']')?;
+                        return Ok(SpecValue::List(items));
+                    }
+                }
+            }
+            Some('{') => {
+                self.bump();
+                let mut entries: Vec<(String, SpecValue)> = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.eat('}') {
+                        return Ok(SpecValue::Table(entries));
+                    }
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                    {
+                        self.bump();
+                    }
+                    let key = self.text[start..self.pos].to_string();
+                    check_bare_key(&key, self.line)?;
+                    if entries.iter().any(|(k, _)| *k == key) {
+                        return Err(self.err(format!("duplicate key `{key}`")));
+                    }
+                    self.skip_ws();
+                    self.expect('=')?;
+                    let value = self.parse_toml_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    if !self.eat(',') {
+                        self.expect('}')?;
+                        return Ok(SpecValue::Table(entries));
+                    }
+                }
+            }
+            Some(c) if c == '-' || c == '+' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => self.parse_keyword(),
+            None => Err(self.err("missing value")),
+        }
+    }
+
+    // JSON value grammar.
+    fn parse_json_value(&mut self) -> Result<SpecValue, DxError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(SpecValue::Str(self.parse_string()?)),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(']') {
+                    return Ok(SpecValue::List(items));
+                }
+                loop {
+                    items.push(self.parse_json_value()?);
+                    self.skip_ws();
+                    if self.eat(']') {
+                        return Ok(SpecValue::List(items));
+                    }
+                    self.expect(',')?;
+                }
+            }
+            Some('{') => {
+                self.bump();
+                let mut entries: Vec<(String, SpecValue)> = Vec::new();
+                self.skip_ws();
+                if self.eat('}') {
+                    return Ok(SpecValue::Table(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    if entries.iter().any(|(k, _)| *k == key) {
+                        return Err(self.err(format!("duplicate key `{key}`")));
+                    }
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let value = self.parse_json_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    if self.eat('}') {
+                        return Ok(SpecValue::Table(entries));
+                    }
+                    self.expect(',')?;
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => self.parse_keyword(),
+            None => Err(self.err("empty document")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, value: SpecValue) -> (String, SpecValue) {
+        (key.to_string(), value)
+    }
+
+    #[test]
+    fn toml_scalars_round_trip() {
+        let doc = "name = \"exp1\"\nseed = 1995\nscale = 0.5\nquick = true\n";
+        let v = SpecValue::from_toml(doc).unwrap();
+        assert_eq!(v.get("name").and_then(SpecValue::as_str), Some("exp1"));
+        assert_eq!(v.get("seed").and_then(SpecValue::as_int), Some(1995));
+        assert_eq!(v.get("scale").and_then(SpecValue::as_float), Some(0.5));
+        assert_eq!(v.get("quick").and_then(SpecValue::as_bool), Some(true));
+        assert_eq!(SpecValue::from_toml(&v.to_toml()).unwrap(), v);
+    }
+
+    #[test]
+    fn toml_sections_nest_and_preserve_order() {
+        let doc = "top = 1\n[b]\nz = 1\na = 2\n[a.inner]\nk = [1, 2, 3]\n";
+        let v = SpecValue::from_toml(doc).unwrap();
+        let b = v.get("b").unwrap();
+        assert_eq!(
+            b.as_table().unwrap(),
+            &[entry("z", SpecValue::Int(1)), entry("a", SpecValue::Int(2))]
+        );
+        let k = v.get("a").unwrap().get("inner").unwrap().get("k").unwrap();
+        assert_eq!(
+            k.as_list().unwrap(),
+            &[SpecValue::Int(1), SpecValue::Int(2), SpecValue::Int(3)]
+        );
+        // Round-trip preserves structure and order.
+        assert_eq!(SpecValue::from_toml(&v.to_toml()).unwrap(), v);
+    }
+
+    #[test]
+    fn toml_comments_and_strings_with_hashes() {
+        let doc = "a = 1 # trailing\n# full line\nb = \"has # inside\"\n";
+        let v = SpecValue::from_toml(doc).unwrap();
+        assert_eq!(v.get("a").and_then(SpecValue::as_int), Some(1));
+        assert_eq!(v.get("b").and_then(SpecValue::as_str), Some("has # inside"));
+    }
+
+    #[test]
+    fn toml_mixed_list_and_inline_table() {
+        let doc = "axis = [1, \"auto\", 2.5]\ncfg = { lines = 8, hit = 1 }\n";
+        let v = SpecValue::from_toml(doc).unwrap();
+        assert_eq!(
+            v.get("axis").unwrap().as_list().unwrap(),
+            &[SpecValue::Int(1), SpecValue::Str("auto".into()), SpecValue::Float(2.5)]
+        );
+        assert_eq!(v.get("cfg").unwrap().get("lines").and_then(SpecValue::as_int), Some(8));
+        assert_eq!(SpecValue::from_toml(&v.to_toml()).unwrap(), v);
+    }
+
+    #[test]
+    fn toml_errors_carry_line_numbers() {
+        let e = SpecValue::from_toml("ok = 1\nbroken\n").unwrap_err();
+        assert_eq!(e.to_string(), "parse error at line 2: expected `key = value`");
+        let e = SpecValue::from_toml("a = 1\na = 2\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate key `a`"), "{e}");
+        let e = SpecValue::from_toml("[s]\nx = 1\n[s]\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate section"), "{e}");
+        let e = SpecValue::from_toml("a = [1, 2\n").unwrap_err();
+        assert!(e.is_parse(), "{e}");
+    }
+
+    #[test]
+    fn toml_rejects_bad_keys_and_values() {
+        assert!(SpecValue::from_toml("bad key = 1\n").is_err());
+        assert!(SpecValue::from_toml("a = nottrue\n").is_err());
+        assert!(SpecValue::from_toml("a = 1 2\n").is_err());
+        assert!(SpecValue::from_toml("a = \"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let doc = r#"{"name":"exp1","seed":1995,"axes":[1,2.5,"j90",true],"m":{"p":8}}"#;
+        let v = SpecValue::from_json(doc).unwrap();
+        assert_eq!(v.get("name").and_then(SpecValue::as_str), Some("exp1"));
+        assert_eq!(v.get("m").unwrap().get("p").and_then(SpecValue::as_int), Some(8));
+        assert_eq!(v.to_json(), doc);
+        assert_eq!(SpecValue::from_json(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn json_escapes_and_whitespace() {
+        let v = SpecValue::from_json(" { \"a\" : \"x\\n\\\"y\\u0041\" , \"b\" : [ ] } ").unwrap();
+        assert_eq!(v.get("a").and_then(SpecValue::as_str), Some("x\n\"yA"));
+        assert_eq!(v.get("b").unwrap().as_list().unwrap().len(), 0);
+        assert_eq!(SpecValue::from_json(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn json_rejects_null_and_trailing_garbage() {
+        assert!(SpecValue::from_json("null").is_err());
+        assert!(SpecValue::from_json("{\"a\":1} extra").is_err());
+        assert!(SpecValue::from_json("{\"a\":}").is_err());
+        assert!(SpecValue::from_json("").is_err());
+    }
+
+    #[test]
+    fn toml_and_json_agree_on_the_same_tree() {
+        let toml = "seed = 7\nks = [1, 64, 4096]\n\n[machine]\npreset = \"c90\"\n";
+        let via_toml = SpecValue::from_toml(toml).unwrap();
+        let via_json = SpecValue::from_json(&via_toml.to_json()).unwrap();
+        assert_eq!(via_toml, via_json);
+        assert_eq!(SpecValue::from_toml(&via_json.to_toml()).unwrap(), via_json);
+    }
+
+    #[test]
+    fn negative_and_underscored_numbers() {
+        let v = SpecValue::from_toml("a = -3\nb = 1_000_000\nc = -2.5\n").unwrap();
+        assert_eq!(v.get("a").and_then(SpecValue::as_int), Some(-3));
+        assert_eq!(v.get("b").and_then(SpecValue::as_int), Some(1_000_000));
+        assert_eq!(v.get("c").and_then(SpecValue::as_float), Some(-2.5));
+    }
+
+    #[test]
+    fn float_repr_round_trips_exactly() {
+        for f in [0.5, 1.0, 0.1, 1e300, -2.25, 123_456.789_f64] {
+            let s = float_repr(f);
+            assert_eq!(s.parse::<f64>().unwrap(), f, "{s}");
+        }
+    }
+}

@@ -106,7 +106,7 @@ pub trait Backend {
 }
 
 /// The event-driven [`Simulator`] behind the [`Backend`] seam, with a
-/// persistent [`Scratch`] so repeated steps reuse bank queues,
+/// persistent `Scratch` so repeated steps reuse bank queues,
 /// processor streams, cache storage, and the event heap instead of
 /// reallocating them.
 #[derive(Debug, Clone)]

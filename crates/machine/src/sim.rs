@@ -16,14 +16,14 @@
 //! in milliseconds — while still modelling bank queueing exactly.
 //!
 //! The event queue itself is pluggable ([`SchedulerKind`]): the default
-//! is a hierarchical time wheel ([`crate::wheel`]) with `O(1)` pushes
+//! is a hierarchical time wheel (the `wheel` module) with `O(1)` pushes
 //! and amortized `O(1)` pops; a binary heap is retained as the
 //! differential-testing oracle. Both realize the identical total order
 //! `(time, kind, proc, seq)` — completions before issues at equal
 //! times, then processor index — so results are bit-identical.
 //!
 //! The per-run working state (bank occupancy, processor streams, LRU
-//! caches, the event queue) lives in a [`Scratch`] that the engine layer
+//! caches, the event queue) lives in a `Scratch` that the engine layer
 //! ([`crate::engine`]) reuses across supersteps; [`Simulator::run`]
 //! allocates a fresh one per call, so its results are independent of
 //! any prior run either way.

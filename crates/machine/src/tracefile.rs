@@ -44,6 +44,9 @@ pub enum TraceFileError {
     BadKind(u8),
     /// A step declares zero processors.
     BadProcs,
+    /// An in-memory trace too big for the format's u32/u16 length
+    /// fields (the field that overflowed is named).
+    TooLarge(&'static str),
     /// An underlying I/O failure while streaming (carried as a message
     /// so the error stays comparable).
     Io(String),
@@ -58,6 +61,9 @@ impl std::fmt::Display for TraceFileError {
             TraceFileError::BadLabel => write!(f, "step label is not valid UTF-8"),
             TraceFileError::BadKind(k) => write!(f, "invalid request kind byte {k}"),
             TraceFileError::BadProcs => write!(f, "step declares zero processors"),
+            TraceFileError::TooLarge(what) => {
+                write!(f, "trace too large for the format: {what} overflows its length field")
+            }
             TraceFileError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -65,37 +71,69 @@ impl std::fmt::Display for TraceFileError {
 
 impl std::error::Error for TraceFileError {}
 
+impl From<TraceFileError> for dxbsp_core::DxError {
+    fn from(e: TraceFileError) -> Self {
+        match e {
+            TraceFileError::Io(msg) => dxbsp_core::DxError::Io(std::io::Error::other(msg)),
+            other => dxbsp_core::DxError::invalid(format!("trace file: {other}")),
+        }
+    }
+}
+
+impl From<TraceFileError> for std::io::Error {
+    fn from(e: TraceFileError) -> Self {
+        match e {
+            TraceFileError::Io(msg) => std::io::Error::other(msg),
+            TraceFileError::Truncated => {
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, e.to_string())
+            }
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
 /// Encodes a trace.
-#[must_use]
-pub fn encode_trace(trace: &Trace) -> Bytes {
+///
+/// # Errors
+///
+/// [`TraceFileError::TooLarge`] if a count or label length overflows
+/// its fixed-width field.
+pub fn encode_trace(trace: &Trace) -> Result<Bytes, TraceFileError> {
     let mut buf = BytesMut::with_capacity(
         16 + trace.iter().map(|s| 32 + s.label.len() + 13 * s.pattern.len()).sum::<usize>(),
     );
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
-    buf.put_u32_le(u32::try_from(trace.len()).expect("trace step count fits u32"));
+    buf.put_u32_le(fit_u32(trace.len(), "trace step count")?);
     for step in trace {
-        encode_step(&mut buf, step);
+        encode_step(&mut buf, step)?;
     }
-    buf.freeze()
+    Ok(buf.freeze())
+}
+
+fn fit_u32(v: usize, what: &'static str) -> Result<u32, TraceFileError> {
+    u32::try_from(v).map_err(|_| TraceFileError::TooLarge(what))
 }
 
 /// Appends one step's encoding to `buf` (the per-step body shared by
 /// [`encode_trace`] and [`TraceFileWriter`]).
-fn encode_step(buf: &mut BytesMut, step: &TraceStep) {
-    buf.put_u32_le(u32::try_from(step.pattern.procs()).expect("procs fits u32"));
+fn encode_step(buf: &mut BytesMut, step: &TraceStep) -> Result<(), TraceFileError> {
+    buf.put_u32_le(fit_u32(step.pattern.procs(), "processor count")?);
     buf.put_u64_le(step.local_work);
-    buf.put_u16_le(u16::try_from(step.label.len()).expect("label fits u16"));
+    let label_len =
+        u16::try_from(step.label.len()).map_err(|_| TraceFileError::TooLarge("step label"))?;
+    buf.put_u16_le(label_len);
     buf.put_slice(step.label.as_bytes());
-    buf.put_u32_le(u32::try_from(step.pattern.len()).expect("request count fits u32"));
+    buf.put_u32_le(fit_u32(step.pattern.len(), "request count")?);
     for r in step.pattern.requests() {
-        buf.put_u32_le(u32::try_from(r.proc).expect("proc fits u32"));
+        buf.put_u32_le(fit_u32(r.proc, "processor index")?);
         buf.put_u64_le(r.addr);
         buf.put_u8(match r.kind {
             AccessKind::Read => 0,
             AccessKind::Write => 1,
         });
     }
+    Ok(())
 }
 
 /// Decodes a trace.
@@ -164,9 +202,10 @@ pub fn decode_trace(mut buf: &[u8]) -> Result<Trace, TraceFileError> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors.
+/// Propagates I/O errors; an unencodable trace surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
 pub fn save_trace(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
-    std::fs::write(path, encode_trace(trace))
+    std::fs::write(path, encode_trace(trace)?)
 }
 
 /// Reads a trace from a file.
@@ -194,6 +233,22 @@ fn io_to_trace_error(e: &std::io::Error) -> TraceFileError {
 
 fn read_exact_or<R: Read>(inner: &mut R, buf: &mut [u8]) -> Result<(), TraceFileError> {
     inner.read_exact(buf).map_err(|e| io_to_trace_error(&e))
+}
+
+/// Little-endian field reads from an in-bounds slice offset — written
+/// index-by-index so no `try_into().expect` lands in the decode path.
+fn u16_at(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([b[off], b[off + 1]])
+}
+
+fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+fn u64_at(b: &[u8], off: usize) -> u64 {
+    let mut le = [0u8; 8];
+    le.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(le)
 }
 
 /// Requests decoded per batch while streaming a step — bounds the
@@ -245,11 +300,11 @@ impl<R: Read> TraceFileReader<R> {
         if &header[0..4] != MAGIC {
             return Err(TraceFileError::BadMagic);
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let version = u32_at(&header, 4);
         if version != VERSION {
             return Err(TraceFileError::BadVersion(version));
         }
-        let declared = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        let declared = u32_at(&header, 8) as usize;
         Ok(Self { inner, declared, remaining: declared, buf: Vec::new(), error: None })
     }
 
@@ -280,12 +335,12 @@ impl<R: Read> TraceFileReader<R> {
         }
         let mut header = [0u8; 14];
         read_exact_or(&mut self.inner, &mut header)?;
-        let procs = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let procs = u32_at(&header, 0) as usize;
         if procs == 0 {
             return Err(TraceFileError::BadProcs);
         }
-        step.local_work = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
-        let label_len = u16::from_le_bytes(header[12..14].try_into().expect("2 bytes")) as usize;
+        step.local_work = u64_at(&header, 4);
+        let label_len = u16_at(&header, 12) as usize;
         self.buf.resize(label_len, 0);
         read_exact_or(&mut self.inner, &mut self.buf)?;
         let label = std::str::from_utf8(&self.buf).map_err(|_| TraceFileError::BadLabel)?;
@@ -301,8 +356,8 @@ impl<R: Read> TraceFileReader<R> {
             self.buf.resize(13 * batch, 0);
             read_exact_or(&mut self.inner, &mut self.buf)?;
             for rec in self.buf.chunks_exact(13) {
-                let proc = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")) as usize;
-                let addr = u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes"));
+                let proc = u32_at(rec, 0) as usize;
+                let addr = u64_at(rec, 4);
                 match rec[12] {
                     0 => step.pattern.push_read(proc % procs, addr),
                     1 => step.pattern.push_write(proc % procs, addr),
@@ -377,16 +432,16 @@ impl<W: Write + Seek> TraceFileWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace exceeds `u32::MAX` steps.
+    /// Propagates I/O errors; an unencodable step (or a trace past
+    /// `u32::MAX` steps) surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
     pub fn write_step(&mut self, step: &TraceStep) -> std::io::Result<()> {
         self.buf.clear();
-        encode_step(&mut self.buf, step);
+        encode_step(&mut self.buf, step)?;
+        let steps =
+            self.steps.checked_add(1).ok_or(TraceFileError::TooLarge("trace step count"))?;
         self.inner.write_all(&self.buf)?;
-        self.steps = self.steps.checked_add(1).expect("trace step count fits u32");
+        self.steps = steps;
         Ok(())
     }
 
@@ -421,34 +476,34 @@ mod tests {
     #[test]
     fn round_trip_preserves_everything() {
         let trace = sample_trace();
-        let bytes = encode_trace(&trace);
+        let bytes = encode_trace(&trace).expect("encode");
         let back = decode_trace(&bytes).expect("decode");
         assert_eq!(back, trace);
     }
 
     #[test]
     fn empty_trace_round_trips() {
-        let bytes = encode_trace(&Vec::new());
+        let bytes = encode_trace(&Vec::new()).expect("encode");
         assert_eq!(decode_trace(&bytes).expect("decode"), Vec::new());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = encode_trace(&sample_trace()).to_vec();
+        let mut bytes = encode_trace(&sample_trace()).expect("encode").to_vec();
         bytes[0] = b'X';
         assert_eq!(decode_trace(&bytes), Err(TraceFileError::BadMagic));
     }
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = encode_trace(&sample_trace()).to_vec();
+        let mut bytes = encode_trace(&sample_trace()).expect("encode").to_vec();
         bytes[4] = 99;
         assert_eq!(decode_trace(&bytes), Err(TraceFileError::BadVersion(99)));
     }
 
     #[test]
     fn truncation_rejected_everywhere() {
-        let bytes = encode_trace(&sample_trace());
+        let bytes = encode_trace(&sample_trace()).expect("encode");
         for cut in 0..bytes.len() {
             let r = decode_trace(&bytes[..cut]);
             assert!(r.is_err(), "decode succeeded on a {cut}-byte prefix");
@@ -457,7 +512,7 @@ mod tests {
 
     #[test]
     fn bad_kind_rejected() {
-        let bytes = encode_trace(&sample_trace()).to_vec();
+        let bytes = encode_trace(&sample_trace()).expect("encode").to_vec();
         // Last byte of the stream is the final request's kind.
         let mut bad = bytes.clone();
         *bad.last_mut().unwrap() = 7;
@@ -479,7 +534,7 @@ mod tests {
     #[test]
     fn streaming_reader_matches_bulk_decode() {
         let trace = sample_trace();
-        let bytes = encode_trace(&trace);
+        let bytes = encode_trace(&trace).expect("encode");
         let mut reader = TraceFileReader::new(&bytes[..]).expect("header");
         assert_eq!(reader.declared_steps(), 2);
         let mut step = TraceStep::default();
@@ -494,7 +549,7 @@ mod tests {
     #[test]
     fn streaming_reader_stashes_truncation() {
         use crate::stream::SuperstepSource;
-        let bytes = encode_trace(&sample_trace());
+        let bytes = encode_trace(&sample_trace()).expect("encode");
         let cut = &bytes[..bytes.len() - 3];
         let mut reader = TraceFileReader::new(cut).expect("header survives");
         let mut step = TraceStep::default();
@@ -516,7 +571,11 @@ mod tests {
         }
         assert_eq!(writer.steps(), 2);
         let bytes = writer.finish().expect("finish").into_inner();
-        assert_eq!(bytes, encode_trace(&trace).to_vec(), "byte-identical to bulk encode");
+        assert_eq!(
+            bytes,
+            encode_trace(&trace).expect("encode").to_vec(),
+            "byte-identical to bulk encode"
+        );
         assert_eq!(decode_trace(&bytes).expect("decode"), trace);
     }
 
@@ -550,7 +609,7 @@ mod tests {
         use crate::{run_trace, SimConfig, Simulator};
         use dxbsp_core::Interleaved;
         let trace = sample_trace();
-        let bytes = encode_trace(&trace);
+        let bytes = encode_trace(&trace).expect("encode");
         let back = decode_trace(&bytes).unwrap();
         let sim = Simulator::new(SimConfig::new(4, 8, 6));
         let map = Interleaved::new(8);

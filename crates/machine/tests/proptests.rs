@@ -167,7 +167,7 @@ mod tracefile_fuzz {
                     TraceStep { pattern: pat, local_work: local, label }
                 })
                 .collect();
-            let back = decode_trace(&encode_trace(&trace)).expect("round trip decodes");
+            let back = decode_trace(&encode_trace(&trace).expect("encodes")).expect("round trip decodes");
             prop_assert_eq!(back, trace);
         }
 
@@ -180,7 +180,7 @@ mod tracefile_fuzz {
                 pat.push(Request::write((i % 2) as usize, i));
             }
             let trace = vec![TraceStep { pattern: pat, local_work: 3, label: "x".into() }];
-            let mut bytes = encode_trace(&trace).to_vec();
+            let mut bytes = encode_trace(&trace).expect("encodes").to_vec();
             if flip < bytes.len() {
                 bytes[flip] = val;
             }

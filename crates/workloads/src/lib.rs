@@ -12,6 +12,7 @@ pub mod entropy;
 pub mod graphs;
 pub mod keys;
 pub mod matrices;
+pub mod spec;
 pub mod strided;
 pub mod zipf;
 
@@ -19,5 +20,6 @@ pub use entropy::{entropy_family, estimate_entropy_bits};
 pub use graphs::Graph;
 pub use keys::{duplicated_hotspot, hotspot_keys, max_contention, nas_is_keys, uniform_keys};
 pub use matrices::CsrMatrix;
+pub use spec::{generate_keys, point_rng, KeyRequest};
 pub use strided::strided_addresses;
 pub use zipf::{bit_reversal_addresses, zipf_keys};

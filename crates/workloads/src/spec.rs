@@ -1,0 +1,194 @@
+//! Spec-driven workload construction.
+//!
+//! [`dxbsp_core::WorkloadSpec`] describes a workload *family*; a sweep
+//! point supplies the per-point knobs (`n`, `k`, `copies`, …). This
+//! module turns the pair into concrete address vectors, deterministically:
+//! every point derives its RNG stream from `(seed, salt)` via
+//! [`point_rng`], so a scenario re-run — at any thread count — produces
+//! byte-identical workloads.
+
+use dxbsp_core::{DxError, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    duplicated_hotspot, entropy_family, hotspot_keys, nas_is_keys, uniform_keys, zipf_keys,
+};
+
+/// The deterministic per-point RNG: a fixed odd multiplier spreads the
+/// base seed, the salt separates points (and independent streams within
+/// a point).
+#[must_use]
+pub fn point_rng(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt))
+}
+
+/// Per-point knobs a sweep supplies on top of the workload family.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyRequest {
+    /// Number of addresses to generate.
+    pub n: usize,
+    /// Location contention for hotspot families.
+    pub k: usize,
+    /// Replica count for the duplicated-hotspot family.
+    pub copies: usize,
+    /// Ladder level for the entropy family.
+    pub iteration: usize,
+    /// Zipf exponent.
+    pub exponent: f64,
+}
+
+impl KeyRequest {
+    /// A request for `n` addresses with all knobs at their neutral
+    /// values (`k = 0`, one copy, level 0, exponent 0).
+    #[must_use]
+    pub fn of(n: usize) -> Self {
+        KeyRequest { n, k: 0, copies: 1, iteration: 0, exponent: 0.0 }
+    }
+}
+
+/// Generate the address vector a workload spec describes at one sweep
+/// point.
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] when the family and the request disagree
+/// (`k > n`, entropy level beyond the ladder, a non-key family such as
+/// `cc-graph`, …). The underlying generators' panics are all pre-checked
+/// here so corrupt scenarios surface as diagnostics.
+pub fn generate_keys(
+    spec: &WorkloadSpec,
+    req: &KeyRequest,
+    seed: u64,
+    salt: u64,
+) -> Result<Vec<u64>, DxError> {
+    let rng = &mut point_rng(seed, salt);
+    match *spec {
+        WorkloadSpec::Uniform { range } => {
+            if range == 0 {
+                return Err(DxError::invalid("uniform workload needs range >= 1"));
+            }
+            Ok(uniform_keys(req.n, range, rng))
+        }
+        WorkloadSpec::Hotspot { range } => {
+            if req.k > req.n {
+                return Err(DxError::invalid(format!(
+                    "hotspot contention k = {} exceeds n = {}",
+                    req.k, req.n
+                )));
+            }
+            if range < 2 {
+                return Err(DxError::invalid("hotspot workload needs range >= 2"));
+            }
+            Ok(hotspot_keys(req.n, req.k, range, rng))
+        }
+        WorkloadSpec::DuplicatedHotspot { range } => {
+            if req.copies == 0 {
+                return Err(DxError::invalid("duplicated hotspot needs copies >= 1"));
+            }
+            if req.k > req.n {
+                return Err(DxError::invalid(format!(
+                    "hotspot contention k = {} exceeds n = {}",
+                    req.k, req.n
+                )));
+            }
+            if range <= req.copies as u64 {
+                return Err(DxError::invalid("duplicated hotspot needs range > copies"));
+            }
+            Ok(duplicated_hotspot(req.n, req.k, req.copies, range, rng))
+        }
+        WorkloadSpec::Entropy { bits, iterations, salt: family_salt } => {
+            if req.iteration > iterations as usize {
+                return Err(DxError::invalid(format!(
+                    "entropy level {} beyond the ladder's {} iterations",
+                    req.iteration, iterations
+                )));
+            }
+            // The whole ladder is one RNG stream: regenerate it from the
+            // family salt and select the requested level, so any point
+            // (on any worker) sees the same family.
+            let family =
+                entropy_family(req.n, bits, iterations as usize, &mut point_rng(seed, family_salt));
+            Ok(family.into_iter().nth(req.iteration).expect("level checked above"))
+        }
+        WorkloadSpec::Zipf { universe } => {
+            if universe == 0 {
+                return Err(DxError::invalid("zipf workload needs universe >= 1"));
+            }
+            let universe = usize::try_from(universe)
+                .map_err(|_| DxError::invalid("zipf universe out of range"))?;
+            Ok(zipf_keys(req.n, universe, req.exponent, rng))
+        }
+        WorkloadSpec::NasIs { bits } => {
+            if !(1..=62).contains(&bits) {
+                return Err(DxError::invalid("nas-is bits must be in 1..=62"));
+            }
+            Ok(nas_is_keys(req.n, bits, rng))
+        }
+        WorkloadSpec::GoldenDistinct { shift } => {
+            Ok((0..req.n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift).collect())
+        }
+        WorkloadSpec::None | WorkloadSpec::CcGraph { .. } | WorkloadSpec::GraphFamily { .. } => {
+            Err(DxError::invalid(format!(
+                "workload family `{}` does not generate scatter keys",
+                spec.family()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_contention;
+
+    #[test]
+    fn hotspot_matches_direct_generator() {
+        let direct = hotspot_keys(4096, 64, 1 << 40, &mut point_rng(1995, 64));
+        let via_spec = generate_keys(
+            &WorkloadSpec::Hotspot { range: 1 << 40 },
+            &KeyRequest { k: 64, ..KeyRequest::of(4096) },
+            1995,
+            64,
+        )
+        .unwrap();
+        assert_eq!(direct, via_spec);
+    }
+
+    #[test]
+    fn entropy_levels_share_one_family() {
+        let spec = WorkloadSpec::Entropy { bits: 18, iterations: 4, salt: 0xE27 };
+        let family = entropy_family(1024, 18, 4, &mut point_rng(7, 0xE27));
+        for (level, expect) in family.iter().enumerate() {
+            let keys = generate_keys(
+                &spec,
+                &KeyRequest { iteration: level, ..KeyRequest::of(1024) },
+                7,
+                level as u64,
+            )
+            .unwrap();
+            assert_eq!(&keys, expect, "level {level}");
+        }
+        assert!(generate_keys(&spec, &KeyRequest { iteration: 5, ..KeyRequest::of(1024) }, 7, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_requests_are_errors_not_panics() {
+        let hot = WorkloadSpec::Hotspot { range: 1 << 40 };
+        assert!(generate_keys(&hot, &KeyRequest { k: 11, ..KeyRequest::of(10) }, 1, 0).is_err());
+        let dup = WorkloadSpec::DuplicatedHotspot { range: 4 };
+        assert!(generate_keys(&dup, &KeyRequest { copies: 8, k: 8, ..KeyRequest::of(64) }, 1, 0)
+            .is_err());
+        assert!(generate_keys(&WorkloadSpec::None, &KeyRequest::of(8), 1, 0).is_err());
+    }
+
+    #[test]
+    fn golden_distinct_has_no_contention() {
+        let keys =
+            generate_keys(&WorkloadSpec::GoldenDistinct { shift: 4 }, &KeyRequest::of(4096), 0, 0)
+                .unwrap();
+        assert_eq!(keys.len(), 4096);
+        assert_eq!(max_contention(&keys), 1);
+    }
+}

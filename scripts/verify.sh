@@ -13,3 +13,11 @@ cargo test -q
 cargo bench --workspace --no-run
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# Smoke-test the scenario pipeline end to end: a committed scenario
+# file must load, validate, run, and emit JSON-lines records.
+target/release/dxbench list >/dev/null
+target/release/dxbench run examples/scenarios/exp1_quick.toml --json /tmp/dxbench-smoke.jsonl >/dev/null
+grep -q '"measured"' /tmp/dxbench-smoke.jsonl
+rm -f /tmp/dxbench-smoke.jsonl
