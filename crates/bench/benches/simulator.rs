@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 use dxbsp_algos::{radix_sort, TraceBuilder};
 use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
-use dxbsp_machine::{Backend, Session, SessionSink, SimConfig, Simulator, SimulatorBackend};
+use dxbsp_machine::{
+    Backend, NoopProbe, Session, SessionSink, SimConfig, Simulator, SimulatorBackend,
+};
+use dxbsp_telemetry::Recorder;
 use dxbsp_workloads::{hotspot_keys, uniform_keys};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +55,34 @@ fn bench_window_and_sections(c: &mut Criterion) {
             b.iter(|| black_box(sim.run(&pat, &map)))
         });
     }
+    g.finish();
+}
+
+/// The probe seam's cost on the hot loop, pinned three ways on the
+/// `sim/scatter` uniform shape: "unprobed" is the plain `run` path,
+/// "noop" threads a monomorphized `NoopProbe` through `run_probed`
+/// (must stay within ~2% of unprobed — the seam's zero-cost claim),
+/// and "recorder" measures what full telemetry actually costs.
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/probe");
+    let n = 64 * 1024;
+    g.throughput(Throughput::Elements(n as u64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = SimConfig::new(8, 256, 14);
+    let map = Interleaved::new(256);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = AccessPattern::scatter(8, &keys);
+    let sim = Simulator::new(cfg);
+
+    g.bench_function("unprobed", |b| b.iter(|| black_box(sim.run(&pat, &map))));
+    g.bench_function("noop", |b| b.iter(|| black_box(sim.run_probed(&pat, &map, &mut NoopProbe))));
+    g.bench_function("recorder", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new();
+            black_box(sim.run_probed(&pat, &map, &mut rec));
+            black_box(rec.requests())
+        })
+    });
     g.finish();
 }
 
@@ -135,6 +166,7 @@ criterion_group!(
     benches,
     bench_scatter_shapes,
     bench_window_and_sections,
+    bench_probe_overhead,
     bench_session_reuse,
     bench_stream_vs_materialize
 );

@@ -12,14 +12,19 @@
 //! side), with `-` for stdout.
 //!
 //! Options for `run`:
-//!   --quick        built-in names only: reduced problem sizes
-//!   --seed N       built-in names only: override the RNG seed
-//!   --json PATH    write JSON-lines records to PATH (`-` = stdout)
-//!   --threads N    override the scenario's worker thread count
+//!   --quick           built-in names only: reduced problem sizes
+//!   --seed N          built-in names only: override the RNG seed
+//!   --json PATH       write JSON-lines records to PATH (`-` = stdout)
+//!   --threads N       override the scenario's worker thread count
+//!   --telemetry PATH  run with probes on and write one telemetry
+//!                     summary object per point as JSON-lines (`-` =
+//!                     stdout); `--json` records also gain a
+//!                     `telemetry` field. Measurements are unchanged:
+//!                     probed runs are bit-identical.
 
 use std::process::ExitCode;
 
-use dxbsp_bench::{records_to_jsonl, run_scenario, scenarios, Scale};
+use dxbsp_bench::{records_to_jsonl, run_scenario, scenarios, telemetry_to_jsonl, Scale};
 use dxbsp_core::{DxError, Scenario};
 
 fn die(msg: &str) -> ! {
@@ -29,7 +34,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N]"
+        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--telemetry PATH]"
     );
     std::process::exit(2);
 }
@@ -40,6 +45,7 @@ struct Opts {
     seed: Option<u64>,
     json: Option<String>,
     threads: Option<usize>,
+    telemetry: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -48,6 +54,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut seed = None;
     let mut json = None;
     let mut threads = None;
+    let mut telemetry = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -63,6 +70,10 @@ fn parse_opts(args: &[String]) -> Opts {
                 let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
                 threads = Some(v.parse().unwrap_or_else(|_| die("--threads needs an integer")));
             }
+            "--telemetry" => {
+                telemetry =
+                    Some(it.next().unwrap_or_else(|| die("--telemetry needs a path")).clone());
+            }
             other if other.starts_with('-') => die(&format!("unknown option {other}")),
             other => {
                 if target.replace(other.to_string()).is_some() {
@@ -72,7 +83,7 @@ fn parse_opts(args: &[String]) -> Opts {
         }
     }
     let Some(target) = target else { usage() };
-    Opts { target, scale, seed, json, threads }
+    Opts { target, scale, seed, json, threads, telemetry }
 }
 
 /// A scenario from a `.toml`/`.json` file path, or a built-in by name.
@@ -101,17 +112,34 @@ fn cmd_run(args: &[String]) -> Result<(), DxError> {
     if let Some(threads) = opts.threads {
         sc.threads = threads;
     }
+    if opts.telemetry.is_some() {
+        sc.telemetry = true;
+    }
     let out = run_scenario(&sc)?;
+    let mut stdout_taken = false;
+    if let Some(path) = &opts.telemetry {
+        let jsonl = telemetry_to_jsonl(&sc.name, &out.records);
+        if path == "-" {
+            print!("{jsonl}");
+            stdout_taken = true;
+        } else {
+            std::fs::write(path, jsonl)
+                .map_err(|e| DxError::invalid(format!("cannot write {path}: {e}")))?;
+        }
+    }
     if let Some(path) = &opts.json {
         let jsonl = records_to_jsonl(&sc.name, &out.records);
         if path == "-" {
             print!("{jsonl}");
-            return Ok(());
+            stdout_taken = true;
+        } else {
+            std::fs::write(path, jsonl)
+                .map_err(|e| DxError::invalid(format!("cannot write {path}: {e}")))?;
         }
-        std::fs::write(path, jsonl)
-            .map_err(|e| DxError::invalid(format!("cannot write {path}: {e}")))?;
     }
-    print!("{}", out.table.render());
+    if !stdout_taken {
+        print!("{}", out.table.render());
+    }
     Ok(())
 }
 

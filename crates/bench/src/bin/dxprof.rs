@@ -1,0 +1,214 @@
+//! `dxprof` — profile a scenario or trace file with probes on.
+//!
+//! ```text
+//! dxprof --scenario <name|file.toml|file.json> [--point I] [--quick] [--seed N]
+//! dxprof --trace FILE [--preset c90|j90|t90] [--procs P] [--delay D]
+//!        [--expansion X] [--gap G] [--latency L] [--sync L] [--window W]
+//!        [--map hashed|interleaved] [--seed S]
+//!
+//! outputs (any combination; `-` writes to stdout):
+//!   --chrome PATH    Chrome trace_event JSON (chrome://tracing, Perfetto)
+//!   --prom PATH      Prometheus text-format metrics
+//!   --summary PATH   compact JSON summary
+//!   --top N          banks shown in the dwell report (default 16)
+//! ```
+//!
+//! The run executes with a telemetry [`Recorder`] on the probe seam —
+//! bit-identical cycles to an unprobed run — then prints a dwell
+//! report: which banks the time went to, how much of it was queueing,
+//! and which `max(L, g·h, d·R)` term bound each superstep.
+//!
+//! [`Recorder`]: dxbsp_telemetry::Recorder
+
+use dxbsp_bench::{profile_scenario, profile_trace, scenarios, text_report, Profile, Scale};
+use dxbsp_core::{DxError, Interleaved, MachineParams, Scenario};
+use dxbsp_hash::{Degree, HashedBanks};
+use dxbsp_machine::SimConfig;
+use dxbsp_telemetry::{chrome, prometheus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn die(msg: &str) -> ! {
+    eprintln!("dxprof: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dxprof --scenario <name|file.toml|file.json> [--point I] [--quick] [--seed N]\n       dxprof --trace FILE [--preset c90|j90|t90] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--map hashed|interleaved] [--seed S]\noutputs: [--chrome PATH] [--prom PATH] [--summary PATH] [--top N]  (`-` = stdout)"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    scenario: Option<String>,
+    trace: Option<String>,
+    point: Option<usize>,
+    quick: bool,
+    seed: Option<u64>,
+    procs: usize,
+    delay: u64,
+    expansion: usize,
+    gap: u64,
+    latency: u64,
+    sync: u64,
+    window: Option<usize>,
+    map: String,
+    chrome: Option<String>,
+    prom: Option<String>,
+    summary: Option<String>,
+    top: usize,
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenario: None,
+        trace: None,
+        point: None,
+        quick: false,
+        seed: None,
+        procs: 8,
+        delay: 14,
+        expansion: 32,
+        gap: 1,
+        latency: 0,
+        sync: 0,
+        window: None,
+        map: "hashed".into(),
+        chrome: None,
+        prom: None,
+        summary: None,
+        top: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        let parse = |name: &str, v: String| -> u64 {
+            v.parse().unwrap_or_else(|_| die(&format!("{name} must be an integer")))
+        };
+        match a.as_str() {
+            "--scenario" => args.scenario = Some(val("--scenario")),
+            "--trace" => args.trace = Some(val("--trace")),
+            "--point" => args.point = Some(parse("--point", val("--point")) as usize),
+            "--quick" => args.quick = true,
+            "--seed" => args.seed = Some(parse("--seed", val("--seed"))),
+            "--preset" => match val("--preset").as_str() {
+                "c90" => {
+                    args.procs = 16;
+                    args.delay = 6;
+                    args.expansion = 64;
+                }
+                "j90" => {
+                    args.procs = 8;
+                    args.delay = 14;
+                    args.expansion = 32;
+                }
+                "t90" => {
+                    args.procs = 32;
+                    args.delay = 4;
+                    args.expansion = 32;
+                }
+                other => die(&format!("unknown preset {other} (c90|j90|t90)")),
+            },
+            "--procs" => args.procs = parse("--procs", val("--procs")) as usize,
+            "--delay" => args.delay = parse("--delay", val("--delay")),
+            "--expansion" => args.expansion = parse("--expansion", val("--expansion")) as usize,
+            "--gap" => args.gap = parse("--gap", val("--gap")),
+            "--latency" => args.latency = parse("--latency", val("--latency")),
+            "--sync" => args.sync = parse("--sync", val("--sync")),
+            "--window" => args.window = Some(parse("--window", val("--window")) as usize),
+            "--map" => args.map = val("--map"),
+            "--chrome" => args.chrome = Some(val("--chrome")),
+            "--prom" => args.prom = Some(val("--prom")),
+            "--summary" => args.summary = Some(val("--summary")),
+            "--top" => args.top = parse("--top", val("--top")) as usize,
+            "--help" | "-h" => usage(),
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if args.scenario.is_some() == args.trace.is_some() {
+        die("pass exactly one of --scenario or --trace");
+    }
+    if args.procs == 0 || args.delay == 0 || args.gap == 0 || args.expansion == 0 {
+        die("--procs, --delay, --gap and --expansion must be at least 1");
+    }
+    if args.window == Some(0) {
+        die("--window must be at least 1");
+    }
+    if args.map != "hashed" && args.map != "interleaved" {
+        die(&format!("unknown map {} (hashed|interleaved)", args.map));
+    }
+    args
+}
+
+/// A scenario from a `.toml`/`.json` file path, or a built-in by name.
+fn load_scenario(target: &str, quick: bool, seed: Option<u64>) -> Result<Scenario, DxError> {
+    if target.ends_with(".toml") || target.ends_with(".json") {
+        let text = std::fs::read_to_string(target)
+            .map_err(|e| DxError::invalid(format!("cannot read {target}: {e}")))?;
+        let mut sc = if target.ends_with(".toml") {
+            Scenario::from_toml(&text)?
+        } else {
+            Scenario::from_json(&text)?
+        };
+        if let Some(seed) = seed {
+            sc.seed = seed;
+        }
+        Ok(sc)
+    } else {
+        let scale = if quick { Scale::Quick } else { Scale::Full };
+        scenarios::builtin(target, scale, seed.unwrap_or(1995))
+    }
+}
+
+fn run(args: &Args) -> Result<Profile, DxError> {
+    if let Some(target) = &args.scenario {
+        let sc = load_scenario(target, args.quick, args.seed)?;
+        return profile_scenario(&sc, args.point);
+    }
+    let path = args.trace.as_deref().expect("checked in parse_args");
+    let m = MachineParams::new(args.procs, args.gap, args.sync, args.delay, args.expansion);
+    let mut cfg = SimConfig::from_params(&m).with_latency(args.latency);
+    if let Some(w) = args.window {
+        cfg = cfg.with_window(w);
+    }
+    match args.map.as_str() {
+        "interleaved" => profile_trace(path, cfg, &Interleaved::new(m.banks())),
+        _ => {
+            let mut rng = StdRng::seed_from_u64(args.seed.unwrap_or(1995));
+            let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+            profile_trace(path, cfg, &map)
+        }
+    }
+}
+
+fn emit(path: &str, what: &str, content: &str) {
+    if path == "-" {
+        print!("{content}");
+        if !content.ends_with('\n') {
+            println!();
+        }
+    } else if let Err(e) = std::fs::write(path, content) {
+        die(&format!("cannot write {what} to {path}: {e}"));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let profile = run(&args).unwrap_or_else(|e| die(&e.to_string()));
+    if let Some(path) = &args.chrome {
+        emit(path, "chrome trace", &chrome::trace_json(&profile.recorder));
+    }
+    if let Some(path) = &args.prom {
+        emit(path, "prometheus metrics", &prometheus::render(&profile.recorder.registry()));
+    }
+    if let Some(path) = &args.summary {
+        let mut json = profile.recorder.summary().to_json();
+        json.push('\n');
+        emit(path, "summary", &json);
+    }
+    print!("{}", text_report(&profile, args.top));
+}

@@ -17,6 +17,7 @@
 //!   --seed S                               hash draw (default 1995)
 //!   --threads N     replay worker threads  (default: available parallelism)
 //!   --per-step                             print each superstep
+//!   --profile OUT   write a Chrome trace_event profile of the replay
 //! ```
 //!
 //! Prints measured cycles next to the (d,x)-BSP and plain-BSP charges —
@@ -28,6 +29,12 @@
 //! `peak resident supersteps` line reports the realized watermark).
 //! The chunk size is fixed regardless of `--threads`, so the printed
 //! tables are byte-identical for any worker count.
+//!
+//! `--profile OUT.json` runs a second, sequential probed replay after
+//! the normal one and writes a Chrome `trace_event` profile (load it in
+//! chrome://tracing or Perfetto). The probed replay is bit-identical to
+//! the main one, so the printed tables do not change — at any thread
+//! count.
 
 use dxbsp_bench::runner::{parallel_map_with, set_sweep_threads};
 use dxbsp_core::{BankMap, CostModel, Interleaved, MachineParams};
@@ -59,6 +66,7 @@ struct Args {
     threads: Option<usize>,
     per_step: bool,
     gantt: bool,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -78,6 +86,7 @@ fn parse_args() -> Args {
         threads: None,
         per_step: false,
         gantt: false,
+        profile: None,
     };
     let mut sections = None;
     let mut ports = None;
@@ -127,8 +136,9 @@ fn parse_args() -> Args {
             "--threads" => args.threads = Some(parse("--threads", val("--threads")) as usize),
             "--per-step" => args.per_step = true,
             "--gantt" => args.gantt = true,
+            "--profile" => args.profile = Some(val("--profile")),
             "--help" | "-h" => {
-                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--seed S] [--threads N] [--per-step]");
+                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--seed S] [--threads N] [--per-step] [--profile OUT.json]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument {other}")),
@@ -379,6 +389,26 @@ fn main() {
             println!("busiest superstep: #{idx} ({label})");
             print!("{}", dxbsp_bench::plot::gantt_from_events(&sr.events, sr.cycles, 12, 64));
         }
+    }
+
+    if let Some(out) = &args.profile {
+        // A second, sequential probed replay: bit-identical cycles (the
+        // differential tests pin this), so everything printed above is
+        // unchanged by profiling.
+        let profile = match args.map.as_str() {
+            "interleaved" => dxbsp_bench::profile_trace(&path, cfg, &Interleaved::new(m.banks())),
+            _ => {
+                let mut rng = StdRng::seed_from_u64(args.seed);
+                let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
+                dxbsp_bench::profile_trace(&path, cfg, &map)
+            }
+        }
+        .unwrap_or_else(|e| die(&e.to_string()));
+        let json = dxbsp_telemetry::chrome::trace_json(&profile.recorder);
+        std::fs::write(out, json)
+            .unwrap_or_else(|e| die(&format!("cannot write profile to {out}: {e}")));
+        println!();
+        println!("profile: {out} ({} supersteps probed)", profile.supersteps);
     }
 }
 

@@ -17,9 +17,9 @@ pub mod scatter;
 pub mod shapes;
 pub mod tables;
 
-use dxbsp_core::{AccessPattern, BankMap, CostModel, MachineParams};
+use dxbsp_core::{pattern_breakdown, AccessPattern, BankMap, CostModel, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{Backend, ModelBackend, SimConfig, SimulatorBackend};
+use dxbsp_machine::{Backend, ModelBackend, Probe, SimConfig, SimulatorBackend, StepReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -98,6 +98,41 @@ pub fn measured_scatter_in(
     let map = hashed_map(m, seed);
     let pat = AccessPattern::scatter(m.p, keys);
     backend.step(&pat, &map).cycles
+}
+
+/// Like [`measured_scatter_in`], but with a telemetry probe observing
+/// the superstep. The probe sees the same begin/end hooks a
+/// [`dxbsp_machine::Session`] fires, so a `Recorder` attached here
+/// yields a complete per-point summary — and because instrumentation
+/// never perturbs the simulation, the returned cycle count is
+/// bit-identical to the unprobed helper's.
+#[must_use]
+pub fn measured_scatter_probed_in<P: Probe>(
+    backend: &mut SimulatorBackend,
+    m: &MachineParams,
+    keys: &[u64],
+    seed: u64,
+    probe: &mut P,
+) -> u64 {
+    let cfg = SimConfig::from_params(m);
+    if *backend.simulator().config() != cfg {
+        backend.reconfigure(cfg);
+    }
+    let map = hashed_map(m, seed);
+    let pat = AccessPattern::scatter(m.p, keys);
+    probe.superstep_begin(0, pat.len());
+    let out = backend.step_probed(&pat, &map, probe);
+    let report = StepReport {
+        index: 0,
+        requests: pat.len(),
+        memory_cycles: out.cycles,
+        local_work: 0,
+        sync_overhead: 0,
+        total_cycles: out.cycles,
+        model: pattern_breakdown(m, &pat, &map, CostModel::DxBsp),
+    };
+    probe.superstep_end("scatter", &report);
+    out.cycles
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@
 
 use dxbsp_core::{
     predict_scatter, predict_scatter_bsp, DxError, MachineParams, ScatterShape, Scenario,
-    SweepPoint, WorkloadSpec,
+    SpecValue, SweepPoint, WorkloadSpec,
 };
+use dxbsp_telemetry::Recorder;
 use dxbsp_workloads::{generate_keys, max_contention, KeyRequest};
 
 use crate::record::{Cell, RunRecord};
@@ -22,15 +23,16 @@ use crate::table::Table;
 use crate::Scale;
 
 /// One sweep point, resolved ahead of the parallel phase so machine or
-/// size errors surface before any worker starts.
-struct Prepared {
-    pt: SweepPoint,
-    m: MachineParams,
-    n: usize,
-    req: KeyRequest,
+/// size errors surface before any worker starts. Shared with
+/// [`crate::profile`], which profiles a single prepared point.
+pub(crate) struct Prepared {
+    pub(crate) pt: SweepPoint,
+    pub(crate) m: MachineParams,
+    pub(crate) n: usize,
+    pub(crate) req: KeyRequest,
 }
 
-fn prepare(sc: &Scenario) -> Result<Vec<Prepared>, DxError> {
+pub(crate) fn prepare(sc: &Scenario) -> Result<Vec<Prepared>, DxError> {
     let param_k = sc.param_u64("k", 0)?;
     let param_copies = sc.param_u64("copies", 1)?;
     sc.sweep
@@ -59,6 +61,7 @@ struct PointResult {
     k_real: usize,
     measured: u64,
     preds: Vec<u64>,
+    telemetry: Option<SpecValue>,
 }
 
 /// Whether the workload's contention emerges from the distribution
@@ -88,7 +91,17 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
             let salt = p.pt.salt();
             let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;
             let k_real = max_contention(&keys);
-            let measured = super::measured_scatter_in(be, &p.m, &keys, sc.seed ^ salt);
+            // Probed and unprobed measurements are bit-identical (the
+            // differential tests pin this), so the telemetry flag never
+            // changes a scenario's numbers — only its payload.
+            let (measured, telemetry) = if sc.telemetry {
+                let mut rec = Recorder::new();
+                let cycles =
+                    super::measured_scatter_probed_in(be, &p.m, &keys, sc.seed ^ salt, &mut rec);
+                (cycles, Some(rec.summary()))
+            } else {
+                (super::measured_scatter_in(be, &p.m, &keys, sc.seed ^ salt), None)
+            };
             let k_pred = if duplicated { p.req.k.div_ceil(p.req.copies.max(1)) } else { k_real };
             let shape = ScatterShape::new(p.n, k_pred);
             let preds = models
@@ -98,7 +111,7 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
                     _ => predict_scatter(&p.m, shape),
                 })
                 .collect();
-            Ok(PointResult { k_real, measured, preds })
+            Ok(PointResult { k_real, measured, preds, telemetry })
         },
     );
     let results: Vec<PointResult> = results.into_iter().collect::<Result<_, _>>()?;
@@ -117,6 +130,9 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
                 .with("measured", Cell::int(r.measured));
             for (model, &pred) in sc.models.iter().zip(&r.preds) {
                 rec = rec.with(&format!("pred_{model}"), Cell::int(pred));
+            }
+            if let Some(t) = &r.telemetry {
+                rec = rec.with_telemetry(t.clone());
             }
             rec
         })

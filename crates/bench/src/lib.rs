@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod plot;
+pub mod profile;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
@@ -17,7 +18,8 @@ pub mod sweep;
 pub mod table;
 
 pub use plot::{chart_from_table, Chart};
-pub use record::{records_to_jsonl, Cell, RunRecord};
+pub use profile::{profile_scenario, profile_trace, text_report, Profile};
+pub use record::{records_to_jsonl, telemetry_to_jsonl, Cell, RunRecord};
 pub use sweep::{run_scenario, ScenarioOutput};
 pub use table::Table;
 

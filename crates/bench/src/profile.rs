@@ -1,0 +1,253 @@
+//! Probed profiling runs — the library behind the `dxprof` binary and
+//! `dxsim --profile`.
+//!
+//! A profile run executes a workload with a live
+//! [`Recorder`] attached to the probe seam
+//! and returns everything the exporters need: per-bank dwell tracks,
+//! queue-wait distributions, stall intervals, and the per-superstep
+//! `max(L, g·h, d·R)` attribution. Two sources are supported:
+//!
+//! - **Scenarios** ([`profile_scenario`]): any `scatter-sweep` scenario
+//!   (built-in or file), profiling one sweep point end to end;
+//! - **Trace files** ([`profile_trace`]): any `.dxt` capture, streamed
+//!   through a probed [`Session`] so arbitrarily long programs profile
+//!   in O(one superstep) memory.
+//!
+//! Instrumentation never perturbs the run: the profiled cycle count is
+//! bit-identical to the unprobed run's (pinned by the differential
+//! tests in `dxbsp-machine`), and the recorder attributes every cycle
+//! of the clock — `recorder.attributed_cycles() == cycles`.
+
+use dxbsp_core::{AxisValue, BankMap, DxError, Scenario};
+use dxbsp_machine::{Session, SimConfig, SimulatorBackend, TraceFileReader};
+use dxbsp_telemetry::Recorder;
+use dxbsp_workloads::generate_keys;
+
+use crate::experiments;
+use crate::experiments::scatter::prepare;
+
+/// Everything one probed run produced.
+#[derive(Debug)]
+pub struct Profile {
+    /// The recorder that observed the run, ready for the exporters.
+    pub recorder: Recorder,
+    /// Human-readable description of what ran (scenario point or trace
+    /// path), for report headers.
+    pub source: String,
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Memory requests executed.
+    pub requests: usize,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+/// Profiles one sweep point of a scenario with probes on.
+///
+/// `point` selects the sweep-grid point (row-major, as `dxbench run`
+/// would execute them); `None` profiles the **last** point — in the
+/// contention ladders of the paper's experiments that is the most
+/// contended, most interesting one.
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] for kinds without a profiled executor (capture
+/// a trace and use [`profile_trace`]), out-of-range points, and
+/// whatever scenario validation or workload generation reports.
+pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, DxError> {
+    sc.validate()?;
+    if sc.kind != "scatter-sweep" {
+        return Err(DxError::invalid(format!(
+            "scenario kind `{}` has no profiled executor; capture a trace with dxtrace and \
+             profile it with --trace",
+            sc.kind
+        )));
+    }
+    let prepared = prepare(sc)?;
+    let idx = point.unwrap_or(prepared.len() - 1);
+    let p = prepared.get(idx).ok_or_else(|| {
+        DxError::invalid(format!(
+            "point {idx} out of range: scenario `{}` has {} sweep points",
+            sc.name,
+            prepared.len()
+        ))
+    })?;
+    let salt = p.pt.salt();
+    let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;
+    let mut rec = Recorder::new();
+    let mut backend = experiments::backend(&p.m);
+    let cycles = experiments::measured_scatter_probed_in(
+        &mut backend,
+        &p.m,
+        &keys,
+        sc.seed ^ salt,
+        &mut rec,
+    );
+    let fmt_axis = |v: &AxisValue| match v {
+        AxisValue::Int(i) => i.to_string(),
+        AxisValue::Float(f) => f.to_string(),
+        AxisValue::Str(s) => s.clone(),
+    };
+    let coords: Vec<String> =
+        p.pt.coords.iter().map(|c| format!("{}={}", c.axis, fmt_axis(&c.value))).collect();
+    let source = if coords.is_empty() {
+        format!("scenario {} (single point)", sc.name)
+    } else {
+        format!("scenario {} point {idx} [{}]", sc.name, coords.join(", "))
+    };
+    Ok(Profile { recorder: rec, source, supersteps: 1, requests: keys.len(), cycles })
+}
+
+/// Profiles a stored trace file with probes on, streaming supersteps
+/// through a probed [`Session`] on the machine described by `cfg`.
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] for unreadable or corrupt trace files.
+pub fn profile_trace(path: &str, cfg: SimConfig, map: &dyn BankMap) -> Result<Profile, DxError> {
+    let mut reader = TraceFileReader::open(std::path::Path::new(path))
+        .map_err(|e| DxError::invalid(format!("cannot load {path}: {e}")))?;
+    let mut rec = Recorder::new();
+    let mut session = Session::new(SimulatorBackend::new(cfg));
+    let summary = session.run_stream_probed(&mut reader, map, &mut rec);
+    if let Some(e) = reader.error() {
+        return Err(DxError::invalid(format!("trace {path}: {e}")));
+    }
+    Ok(Profile {
+        recorder: rec,
+        source: format!("trace {path}"),
+        supersteps: summary.supersteps,
+        requests: summary.requests,
+        cycles: summary.cycles,
+    })
+}
+
+/// The plain-text report `dxprof` prints: run header, cost-attribution
+/// split, queueing and stall aggregates, and the flame-style per-bank
+/// dwell profile.
+#[must_use]
+pub fn text_report(p: &Profile, top: usize) -> String {
+    let rec = &p.recorder;
+    let (l, pr, b) = rec.bound_counts();
+    let (hot_bank, hot_dwell) = rec.hottest_bank();
+    let mut out = String::new();
+    out.push_str(&format!("profiled: {}\n", p.source));
+    out.push_str(&format!(
+        "{} supersteps, {} requests, {} cycles (attributed: {})\n",
+        p.supersteps,
+        p.requests,
+        p.cycles,
+        rec.attributed_cycles()
+    ));
+    out.push_str(&format!(
+        "bound by: latency {l}, processor {pr}, bank {b} (of {} supersteps)\n",
+        rec.supersteps()
+    ));
+    out.push_str(&format!(
+        "queue wait: {} cycles total, p99 ≤ {}; window stalls: {} cycles; cascades: {}\n",
+        rec.queue_wait_hist().sum(),
+        rec.queue_wait_hist().quantile_bound(0.99),
+        rec.stall_cycles(),
+        rec.cascades()
+    ));
+    out.push_str(&format!("hottest bank: #{hot_bank} with {hot_dwell} dwell cycles\n\n"));
+    out.push_str(&rec.dwell_report(top, 48));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::Scale;
+    use dxbsp_core::SpecValue;
+    use dxbsp_telemetry::{chrome, prometheus};
+
+    fn exp1_profile() -> Profile {
+        let sc = scenarios::builtin("exp1", Scale::Quick, 1995).unwrap();
+        profile_scenario(&sc, None).unwrap()
+    }
+
+    #[test]
+    fn scenario_profile_attributes_every_cycle() {
+        let p = exp1_profile();
+        assert_eq!(p.recorder.attributed_cycles(), p.cycles);
+        assert_eq!(p.recorder.requests(), p.requests as u64);
+        assert_eq!(p.recorder.supersteps(), 1);
+        // exp1's last point is the full-contention scatter: bank-bound.
+        assert_eq!(p.recorder.bound_counts().2, 1);
+    }
+
+    #[test]
+    fn scenario_profile_round_trips_through_the_exporters() {
+        let p = exp1_profile();
+        let json = chrome::trace_json(&p.recorder);
+        let events = chrome::validate(&json).expect("chrome trace validates");
+        assert!(events > 0, "trace must carry events");
+        let prom = prometheus::render(&p.recorder.registry());
+        let samples = prometheus::lint(&prom).expect("prometheus output lints");
+        assert!(samples > 0, "metrics must carry samples");
+        let summary = p.recorder.summary();
+        assert_eq!(
+            summary.get("attributed_cycles").and_then(SpecValue::as_int),
+            Some(i64::try_from(p.cycles).unwrap())
+        );
+    }
+
+    #[test]
+    fn profile_is_deterministic_and_matches_the_unprobed_sweep() {
+        let a = exp1_profile();
+        let b = exp1_profile();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.recorder.summary(), b.recorder.summary());
+    }
+
+    #[test]
+    fn point_selection_and_errors() {
+        let sc = scenarios::builtin("exp1", Scale::Quick, 1995).unwrap();
+        let first = profile_scenario(&sc, Some(0)).unwrap();
+        let last = profile_scenario(&sc, None).unwrap();
+        // Contention ladder: the last (k = n) point costs far more.
+        assert!(last.cycles > first.cycles * 4, "{} vs {}", last.cycles, first.cycles);
+        let err = profile_scenario(&sc, Some(10_000)).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let other = scenarios::builtin("table1", Scale::Quick, 1995).unwrap();
+        let err = profile_scenario(&other, None).unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn trace_profile_streams_and_attributes() {
+        use dxbsp_core::{AccessPattern, Interleaved};
+        use dxbsp_machine::{TraceFileWriter, TraceStep};
+        let path = std::env::temp_dir().join("dxbsp_profile_trace_test.dxt");
+        let mut w = TraceFileWriter::create(&path).unwrap();
+        let mut hot = TraceStep::new(AccessPattern::scatter(4, &vec![7u64; 64]));
+        hot.label = "hot".into();
+        let spread = TraceStep::new(AccessPattern::scatter(4, &(0..64u64).collect::<Vec<_>>()));
+        w.write_step(&hot).unwrap();
+        w.write_step(&spread).unwrap();
+        w.finish().unwrap();
+
+        let cfg = SimConfig::new(4, 32, 8);
+        let p = profile_trace(path.to_str().unwrap(), cfg, &Interleaved::new(32)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(p.supersteps, 2);
+        assert_eq!(p.requests, 128);
+        assert_eq!(p.recorder.attributed_cycles(), p.cycles);
+        // The hot superstep's label survives into the step tracks.
+        assert_eq!(p.recorder.steps()[0].label, "hot");
+        assert_eq!(p.recorder.steps()[0].report.binding(), "bank");
+        let err = profile_trace("/no/such/file.dxt", cfg, &Interleaved::new(32)).unwrap_err();
+        assert!(err.to_string().contains("cannot load"), "{err}");
+    }
+
+    #[test]
+    fn text_report_names_the_hot_bank() {
+        let p = exp1_profile();
+        let report = text_report(&p, 8);
+        let (hot, _) = p.recorder.hottest_bank();
+        assert!(report.contains(&format!("hottest bank: #{hot}")), "{report}");
+        assert!(report.contains("dwell profile"), "{report}");
+    }
+}

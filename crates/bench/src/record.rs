@@ -98,6 +98,9 @@ pub struct RunRecord {
     pub point: Vec<(String, Cell)>,
     /// Named results (`measured`, `pred_dxbsp`, `k_real`, …).
     pub values: Vec<(String, Cell)>,
+    /// Compact telemetry summary (present only when the scenario ran
+    /// with probes on; see `dxbsp_telemetry::Recorder::summary`).
+    pub telemetry: Option<SpecValue>,
 }
 
 impl RunRecord {
@@ -127,6 +130,13 @@ impl RunRecord {
         self
     }
 
+    /// Attach a telemetry summary (builder-style).
+    #[must_use]
+    pub fn with_telemetry(mut self, summary: SpecValue) -> Self {
+        self.telemetry = Some(summary);
+        self
+    }
+
     /// Serialize as one JSON object: `{"scenario": …, "point": {…},
     /// "values": {…}}`.
     #[must_use]
@@ -138,6 +148,9 @@ impl RunRecord {
         obj.set("scenario", SpecValue::Str(scenario.to_string()));
         obj.set("point", pairs(&self.point));
         obj.set("values", pairs(&self.values));
+        if let Some(t) = &self.telemetry {
+            obj.set("telemetry", t.clone());
+        }
         obj.to_json()
     }
 }
@@ -148,6 +161,27 @@ pub fn records_to_jsonl(scenario: &str, records: &[RunRecord]) -> String {
     let mut out = String::new();
     for rec in records {
         out.push_str(&rec.to_json(scenario));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize just the telemetry payloads as JSON-lines: one
+/// `{"scenario": …, "point": {…}, "telemetry": {…}}` object per record
+/// that carries a summary. Records without telemetry are skipped.
+#[must_use]
+pub fn telemetry_to_jsonl(scenario: &str, records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let Some(t) = &rec.telemetry else { continue };
+        let mut obj = SpecValue::table();
+        obj.set("scenario", SpecValue::Str(scenario.to_string()));
+        obj.set(
+            "point",
+            SpecValue::Table(rec.point.iter().map(|(k, v)| (k.clone(), v.to_spec())).collect()),
+        );
+        obj.set("telemetry", t.clone());
+        out.push_str(&obj.to_json());
         out.push('\n');
     }
     out
@@ -190,6 +224,35 @@ mod tests {
             assert_eq!(values.get("ratio").and_then(SpecValue::as_float), Some(1.034));
             assert_eq!(values.get("machine").and_then(SpecValue::as_str), Some("j90"));
         }
+    }
+
+    #[test]
+    fn telemetry_payload_rides_along_only_when_present() {
+        let rec = RunRecord::from_row(&["k", "measured"], &[Cell::Int(4), Cell::Int(99)], 1);
+        assert!(!rec.to_json("exp1").contains("telemetry"));
+        let mut summary = SpecValue::table();
+        summary.set("hot_bank", SpecValue::Int(3));
+        let rec = rec.with_telemetry(summary);
+        let v = SpecValue::from_json(&rec.to_json("exp1")).unwrap();
+        let tele = v.get("telemetry").expect("telemetry object");
+        assert_eq!(tele.get("hot_bank").and_then(SpecValue::as_int), Some(3));
+    }
+
+    #[test]
+    fn telemetry_jsonl_skips_unprobed_records() {
+        let plain = RunRecord::from_row(&["k", "measured"], &[Cell::Int(4), Cell::Int(99)], 1);
+        let mut summary = SpecValue::table();
+        summary.set("requests", SpecValue::Int(64));
+        let probed = plain.clone().with_telemetry(summary);
+        let text = telemetry_to_jsonl("exp1", &[plain, probed]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "unprobed record is skipped");
+        let v = SpecValue::from_json(lines[0]).unwrap();
+        assert_eq!(v.get("scenario").and_then(SpecValue::as_str), Some("exp1"));
+        assert_eq!(v.get("point").unwrap().get("k").and_then(SpecValue::as_int), Some(4));
+        let tele = v.get("telemetry").unwrap();
+        assert_eq!(tele.get("requests").and_then(SpecValue::as_int), Some(64));
+        assert!(v.get("values").is_none(), "measurement values live in --json, not here");
     }
 
     #[test]

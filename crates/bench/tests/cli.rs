@@ -260,6 +260,125 @@ fn presets_select_paper_machines() {
     assert_eq!(measured_cycles(&out), 6 * 4096);
 }
 
+mod telemetry_cli {
+    use super::{dxsim, dxtrace, run_ok, tmp};
+    use dxbsp_core::SpecValue;
+    use dxbsp_telemetry::{chrome, prometheus};
+    use std::process::Command;
+
+    fn dxprof() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_dxprof"))
+    }
+
+    fn dxbench() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_dxbench"))
+    }
+
+    #[test]
+    fn dxprof_scenario_exports_round_trip_through_the_validators() {
+        let chrome_path = tmp("prof.chrome.json");
+        let prom_path = tmp("prof.prom");
+        let summary_path = tmp("prof.summary.json");
+        let out = run_ok(
+            dxprof()
+                .args(["--scenario", "exp1", "--quick", "--chrome"])
+                .arg(&chrome_path)
+                .arg("--prom")
+                .arg(&prom_path)
+                .arg("--summary")
+                .arg(&summary_path),
+        );
+        assert!(out.contains("profiled: scenario exp1"), "{out}");
+        assert!(out.contains("hottest bank:"), "{out}");
+
+        let trace = std::fs::read_to_string(&chrome_path).expect("chrome trace");
+        let events = chrome::validate(&trace).expect("valid trace_event JSON");
+        assert!(events > 0, "empty chrome trace");
+
+        let prom = std::fs::read_to_string(&prom_path).expect("prometheus text");
+        let series = prometheus::lint(&prom).expect("lintable exposition");
+        assert!(series > 0, "no prometheus series");
+
+        let summary = std::fs::read_to_string(&summary_path).expect("summary");
+        let v = SpecValue::from_json(summary.trim()).expect("summary parses");
+        let attributed =
+            v.get("attributed_cycles").and_then(SpecValue::as_int).expect("attributed_cycles");
+        assert!(attributed > 0, "no cycles attributed");
+    }
+
+    #[test]
+    fn dxprof_profiles_a_trace_file() {
+        let path = tmp("prof.dxtr");
+        run_ok(dxtrace().args(["scatter", "--n", "2048", "--contention", "512", "-o"]).arg(&path));
+        let out = run_ok(dxprof().arg("--trace").arg(&path).args(["--preset", "j90"]));
+        assert!(out.contains("bound by:"), "{out}");
+        assert!(out.contains("bank"), "{out}");
+    }
+
+    #[test]
+    fn dxprof_requires_exactly_one_input() {
+        for args in [vec![], vec!["--scenario", "exp1", "--trace", "x.dxtr"]] {
+            let out = dxprof().args(&args).output().expect("spawn");
+            assert!(!out.status.success(), "{args:?} was accepted");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(stderr.contains("--scenario") || stderr.contains("usage"), "{stderr}");
+        }
+    }
+
+    #[test]
+    fn dxsim_profile_leaves_the_replay_untouched_across_threads() {
+        // The --profile flag reruns the trace sequentially with probes
+        // on; the replay's own output — including under a parallel
+        // fan-out — must be byte-identical to each other and to an
+        // unprofiled run, and the emitted profile must be valid.
+        let path = tmp("profthreads.dxtr");
+        run_ok(dxtrace().args(["randperm", "--n", "4096", "-o"]).arg(&path));
+        let plain = run_ok(dxsim().arg("--trace").arg(&path).args(["--per-step"]));
+        let heads: Vec<String> = ["1", "4"]
+            .iter()
+            .map(|t| {
+                let profile = tmp(&format!("profthreads.{t}.json"));
+                let out = run_ok(
+                    dxsim()
+                        .arg("--trace")
+                        .arg(&path)
+                        .args(["--per-step", "--threads", t, "--profile"])
+                        .arg(&profile),
+                );
+                let trace = std::fs::read_to_string(&profile).expect("profile written");
+                chrome::validate(&trace).expect("valid trace_event JSON");
+                // Everything before the trailing `profile:` line (its
+                // path embeds the thread count, so it is stripped
+                // before comparing).
+                out.split("\nprofile:").next().expect("head").to_string() + "\n"
+            })
+            .collect();
+        assert_eq!(heads[0], heads[1], "--threads 1 and --threads 4 disagree");
+        assert_eq!(plain, heads[0].trim_end_matches('\n').to_string() + "\n");
+    }
+
+    #[test]
+    fn dxbench_telemetry_rides_along_without_changing_the_table() {
+        let tele_path = tmp("bench.tele.jsonl");
+        let plain = run_ok(dxbench().args(["run", "exp1", "--quick"]));
+        let probed =
+            run_ok(dxbench().args(["run", "exp1", "--quick", "--telemetry"]).arg(&tele_path));
+        assert_eq!(plain, probed, "telemetry changed the measured table");
+
+        let tele = std::fs::read_to_string(&tele_path).expect("telemetry jsonl");
+        let lines: Vec<&str> = tele.lines().collect();
+        assert!(!lines.is_empty(), "no telemetry records");
+        for line in lines {
+            let v = SpecValue::from_json(line).expect("telemetry line parses");
+            assert_eq!(v.get("scenario").and_then(SpecValue::as_str), Some("exp1"));
+            let t = v.get("telemetry").expect("telemetry object");
+            let attributed =
+                t.get("attributed_cycles").and_then(SpecValue::as_int).expect("attributed");
+            assert!(attributed > 0, "{line}");
+        }
+    }
+}
+
 mod repro_csv {
     use super::{run_ok, tmp};
     use std::process::Command;

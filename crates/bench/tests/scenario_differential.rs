@@ -1,12 +1,13 @@
 //! Differential tests: the scenario pipeline must reproduce the
 //! numbers the pre-refactor per-experiment code produced.
 //!
-//! The CSVs under `tests/golden/` were written by the old monolithic
-//! experiment functions (`repro --quick --seed 1995 --csv ...`) before
-//! the declarative scenario layer existed. `exp1` and `fig1` must match
-//! bit-for-bit including headers; `exp2`/`exp3` changed cosmetic header
-//! names (and `exp3` gained a trailing `meas/bsp` column), so those
-//! compare data values only.
+//! The CSVs under `tests/golden/` are written by
+//! `repro --quick --seed 1995 --csv ...` and pinned bit-for-bit,
+//! headers included. The data columns of `exp2`/`exp3` still carry the
+//! exact values of the old monolithic experiment functions; their
+//! headers were regenerated once after the cosmetic renames
+//! (`meas/pred` → `meas/dxbsp`, `iters` → `iter`) and `exp3`'s added
+//! `meas/bsp` column, so every golden now pins the full CSV shape.
 
 use dxbsp_bench::{run_builtin, Scale, Table};
 
@@ -37,22 +38,15 @@ fn fig1_matches_pre_refactor_golden_exactly() {
 }
 
 #[test]
-fn exp2_matches_pre_refactor_golden_data() {
-    // Header renamed meas/pred → meas/dxbsp; the data is unchanged.
+fn exp2_matches_golden_exactly() {
     let t = run_builtin("exp2", Scale::Quick, SEED);
-    let golden: Vec<&str> = include_str!("golden/exp2.csv").lines().skip(1).collect();
-    let got: Vec<String> = t.rows.iter().map(|r| r.join(",")).collect();
-    assert_eq!(got, golden);
+    assert_eq!(csv(&t), include_str!("golden/exp2.csv"));
 }
 
 #[test]
-fn exp3_matches_pre_refactor_golden_data() {
-    // Header renamed iters → iter and a trailing meas/bsp column was
-    // added; the first six columns carry the pre-refactor data.
+fn exp3_matches_golden_exactly() {
     let t = run_builtin("exp3", Scale::Quick, SEED);
-    let golden: Vec<&str> = include_str!("golden/exp3.csv").lines().skip(1).collect();
-    let got: Vec<String> = t.rows.iter().map(|r| r[..6].join(",")).collect();
-    assert_eq!(got, golden);
+    assert_eq!(csv(&t), include_str!("golden/exp3.csv"));
 }
 
 #[test]

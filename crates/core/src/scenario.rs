@@ -687,6 +687,10 @@ pub struct Scenario {
     pub backend: BackendSel,
     /// Worker threads for the sweep (0 = automatic).
     pub threads: usize,
+    /// Collect telemetry (probes on, per-point summaries in the run
+    /// record). Off by default: probes cost nothing when disabled, but
+    /// recorded runs carry extra payload.
+    pub telemetry: bool,
     /// Kind-specific parameters, preserved in declaration order.
     pub params: Vec<(String, SpecValue)>,
     /// Free-form notes echoed under the rendered table.
@@ -710,6 +714,7 @@ impl Scenario {
             models: vec!["dxbsp".to_string(), "bsp".to_string()],
             backend: BackendSel::Simulator,
             threads: 0,
+            telemetry: false,
             params: Vec::new(),
             notes: Vec::new(),
         }
@@ -844,6 +849,9 @@ impl Scenario {
         if self.threads != 0 {
             t.set("threads", SpecValue::Int(self.threads as i64));
         }
+        if self.telemetry {
+            t.set("telemetry", SpecValue::Bool(true));
+        }
         if !self.notes.is_empty() {
             t.set(
                 "notes",
@@ -908,6 +916,11 @@ impl Scenario {
                 "threads" => {
                     sc.threads = usize::try_from(req_u64(value, "threads")?)
                         .map_err(|_| DxError::invalid("scenario: `threads` out of range"))?;
+                }
+                "telemetry" => {
+                    sc.telemetry = value
+                        .as_bool()
+                        .ok_or_else(|| DxError::invalid("scenario: `telemetry` must be a bool"))?;
                 }
                 "notes" => {
                     let list = value
@@ -1041,6 +1054,18 @@ mod tests {
     #[test]
     fn json_round_trip_is_exact() {
         let sc = demo();
+        assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+    }
+
+    #[test]
+    fn telemetry_flag_round_trips_and_defaults_off() {
+        let mut sc = demo();
+        assert!(!sc.telemetry);
+        // Off is the default, so the encoding omits it entirely.
+        assert!(!sc.to_toml().contains("telemetry"));
+        sc.telemetry = true;
+        assert!(sc.to_toml().contains("telemetry = true"));
+        assert_eq!(Scenario::from_toml(&sc.to_toml()).unwrap(), sc);
         assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
     }
 

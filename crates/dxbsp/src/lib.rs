@@ -125,3 +125,8 @@ pub mod workloads {
 pub mod vm {
     pub use dxbsp_vm::*;
 }
+
+/// Probes, recorders, and exporters (re-export of `dxbsp-telemetry`).
+pub mod telemetry {
+    pub use dxbsp_telemetry::*;
+}

@@ -40,7 +40,10 @@
 //! assert!(meas >= pred);
 //! ```
 
-use dxbsp_core::{pattern_cost, AccessPattern, BankMap, CostModel, MachineParams, PatternPool};
+use dxbsp_core::{
+    pattern_breakdown, pattern_cost, AccessPattern, BankMap, CostModel, MachineParams, PatternPool,
+};
+use dxbsp_telemetry::{NoopProbe, Probe, StepReport};
 
 use crate::config::SimConfig;
 use crate::reference::run_reference;
@@ -103,6 +106,23 @@ pub trait Backend {
 
     /// Executes (or charges) one superstep.
     fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome;
+
+    /// Executes one superstep with a live [`Probe`]. Backends with
+    /// internal pipeline events ([`SimulatorBackend`]) feed the probe;
+    /// analytic backends have no events to report and fall back to a
+    /// plain [`Backend::step`] — either way the outcome is identical
+    /// to the unprobed call.
+    fn step_probed<P: Probe>(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        _probe: &mut P,
+    ) -> StepOutcome
+    where
+        Self: Sized,
+    {
+        self.step(pattern, map)
+    }
 }
 
 /// The event-driven [`Simulator`] behind the [`Backend`] seam, with a
@@ -154,6 +174,16 @@ impl Backend for SimulatorBackend {
 
     fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
         let res = self.sim.run_reusing(&mut self.scratch, pattern, map);
+        StepOutcome { cycles: res.cycles, requests: res.requests, result: Some(res) }
+    }
+
+    fn step_probed<P: Probe>(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        probe: &mut P,
+    ) -> StepOutcome {
+        let res = self.sim.run_reusing_probed(&mut self.scratch, pattern, map, probe);
         StepOutcome { cycles: res.cycles, requests: res.requests, result: Some(res) }
     }
 }
@@ -413,30 +443,81 @@ impl<B: Backend> Session<B> {
         map: &dyn BankMap,
         local_work: u64,
     ) -> StepOutcome {
-        let out = self.backend.step(pattern, map);
+        self.step_inner(pattern, map, local_work, "", &mut NoopProbe)
+    }
+
+    /// [`Session::step`] with a live [`Probe`]: the backend feeds the
+    /// probe its pipeline events, and the session closes the superstep
+    /// with a [`StepReport`] carrying the closed-form
+    /// `max(L, g·h, d·R)` attribution for `pattern`. The per-report
+    /// `total_cycles` sum to exactly [`Session::cycles`], so a probed
+    /// run attributes every simulated cycle to one superstep.
+    pub fn step_probed<P: Probe>(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        probe: &mut P,
+    ) -> StepOutcome {
+        self.step_inner(pattern, map, 0, "", probe)
+    }
+
+    /// [`Session::step_with_local`] with a live [`Probe`].
+    pub fn step_with_local_probed<P: Probe>(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        local_work: u64,
+        probe: &mut P,
+    ) -> StepOutcome {
+        self.step_inner(pattern, map, local_work, "", probe)
+    }
+
+    pub(crate) fn step_inner<P: Probe>(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        local_work: u64,
+        label: &str,
+        probe: &mut P,
+    ) -> StepOutcome {
+        if P::ENABLED {
+            probe.superstep_begin(self.supersteps, pattern.len());
+        }
+        let out = self.backend.step_probed(pattern, map, probe);
+        let sync = self.backend.config().sync_overhead;
         self.supersteps += 1;
         self.requests += out.requests;
         self.memory_cycles += out.cycles;
-        self.cycles += out.cycles + local_work + self.backend.config().sync_overhead;
+        self.cycles += out.cycles + local_work + sync;
         if let Some(res) = &out.result {
             if self.bank_totals.len() < res.banks.len() {
                 self.bank_totals.resize(res.banks.len(), BankStats::default());
             }
             for (tot, b) in self.bank_totals.iter_mut().zip(&res.banks) {
-                tot.requests += b.requests;
-                tot.busy_cycles += b.busy_cycles;
-                tot.queue_wait += b.queue_wait;
-                tot.max_queue_wait = tot.max_queue_wait.max(b.max_queue_wait);
-                tot.cache_hits += b.cache_hits;
+                tot.merge(b);
             }
             if self.proc_totals.len() < res.procs.len() {
                 self.proc_totals.resize(res.procs.len(), ProcStats::default());
             }
             for (tot, p) in self.proc_totals.iter_mut().zip(&res.procs) {
-                tot.issued += p.issued;
-                tot.window_stall += p.window_stall;
-                tot.done_at = tot.done_at.max(p.done_at);
+                tot.merge(p);
             }
+        }
+        if P::ENABLED {
+            let model =
+                pattern_breakdown(&self.backend.config().params(), pattern, &map, CostModel::DxBsp);
+            probe.superstep_end(
+                label,
+                &StepReport {
+                    index: self.supersteps - 1,
+                    requests: out.requests,
+                    memory_cycles: out.cycles,
+                    local_work,
+                    sync_overhead: sync,
+                    total_cycles: out.cycles + local_work + sync,
+                    model,
+                },
+            );
         }
         out
     }
@@ -454,11 +535,23 @@ impl<B: Backend> Session<B> {
         source: &mut S,
         map: &dyn BankMap,
     ) -> StreamSummary {
+        self.run_stream_probed(source, map, &mut NoopProbe)
+    }
+
+    /// [`Session::run_stream`] with a live [`Probe`]: every superstep's
+    /// pipeline events and cost attribution (labelled with the trace
+    /// step's label) flow into `probe` as the stream executes.
+    pub fn run_stream_probed<S: SuperstepSource + ?Sized, P: Probe>(
+        &mut self,
+        source: &mut S,
+        map: &dyn BankMap,
+        probe: &mut P,
+    ) -> StreamSummary {
         let (cycles0, mem0) = (self.cycles, self.memory_cycles);
         let (req0, steps0) = (self.requests, self.supersteps);
         let mut step = TraceStep::new(self.pool.acquire(1));
         while source.fill_next(&mut step) {
-            self.step_with_local(&step.pattern, map, step.local_work);
+            self.step_inner(&step.pattern, map, step.local_work, &step.label, probe);
         }
         self.pool.release(step.pattern);
         StreamSummary {

@@ -96,9 +96,13 @@ pub use reference::{run_reference, ReferenceResult};
 pub use sim::Simulator;
 pub use stats::{BankStats, LoadSummary, ProcStats, RequestEvent, SimResult};
 pub use stream::{
-    run_overlapped, step_channel, ChannelSink, ChannelSource, CollectSink, SessionSink, StepSink,
-    StreamSummary, SuperstepSource, TraceSource,
+    run_overlapped, step_channel, ChannelSink, ChannelSource, CollectSink, ProbedSessionSink,
+    SessionSink, StepSink, StreamSummary, SuperstepSource, TraceSource,
 };
+// The probe seam the simulator and engine are instrumented over (the
+// full telemetry toolkit — recorder, exporters — lives in
+// `dxbsp-telemetry`).
+pub use dxbsp_telemetry::{NoopProbe, Probe, RequestTiming, StepReport};
 pub use trace::{charge_trace, run_trace, Trace, TraceResult, TraceStep};
 pub use tracefile::{
     decode_trace, encode_trace, load_trace, save_trace, TraceFileError, TraceFileReader,

@@ -32,6 +32,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dxbsp_core::{AccessPattern, BankMap};
+use dxbsp_telemetry::{NoopProbe, Probe, RequestTiming};
 
 use crate::config::{NetworkModel, SchedulerKind, SimConfig};
 use crate::stats::{BankStats, ProcStats, SimResult};
@@ -72,6 +73,11 @@ type HeapEntry = Reverse<(u64, u64)>;
 trait EventQueue {
     fn push(&mut self, time: u64, key: u64);
     fn pop(&mut self) -> Option<(u64, u64)>;
+    /// Cascade operations performed this run (time wheel only — the
+    /// heap and the ring never re-bucket entries).
+    fn cascades(&self) -> u64 {
+        0
+    }
 }
 
 impl EventQueue for BinaryHeap<HeapEntry> {
@@ -95,6 +101,10 @@ impl EventQueue for TimeWheel {
     #[inline]
     fn pop(&mut self) -> Option<(u64, u64)> {
         TimeWheel::pop(self)
+    }
+
+    fn cascades(&self) -> u64 {
+        TimeWheel::cascades(self)
     }
 }
 
@@ -295,8 +305,22 @@ impl Simulator {
     /// or `map` targets a different bank count than the configuration.
     #[must_use]
     pub fn run<M: BankMap>(&self, pat: &AccessPattern, map: &M) -> SimResult {
+        self.run_probed(pat, map, &mut NoopProbe)
+    }
+
+    /// Like [`Simulator::run`], with every hook of `probe` live: the
+    /// probe observes each request's pipeline timing, window stalls,
+    /// and scheduler cascades. Probing never changes the result — a
+    /// probed run is bit-identical to an unprobed one.
+    #[must_use]
+    pub fn run_probed<M: BankMap, P: Probe>(
+        &self,
+        pat: &AccessPattern,
+        map: &M,
+        probe: &mut P,
+    ) -> SimResult {
         let mut scratch = Scratch::default();
-        self.run_reusing(&mut scratch, pat, map)
+        self.run_reusing_probed(&mut scratch, pat, map, probe)
     }
 
     /// Like [`Simulator::run`], but reusing `scratch`'s allocations.
@@ -307,6 +331,17 @@ impl Simulator {
         scratch: &mut Scratch,
         pat: &AccessPattern,
         map: &dyn BankMap,
+    ) -> SimResult {
+        self.run_reusing_probed(scratch, pat, map, &mut NoopProbe)
+    }
+
+    /// [`Simulator::run_reusing`] with a live probe.
+    pub(crate) fn run_reusing_probed<P: Probe>(
+        &self,
+        scratch: &mut Scratch,
+        pat: &AccessPattern,
+        map: &dyn BankMap,
+        probe: &mut P,
     ) -> SimResult {
         assert_eq!(pat.procs(), self.cfg.procs, "pattern/processor-count mismatch");
         assert_eq!(map.num_banks(), self.cfg.banks, "map/bank-count mismatch");
@@ -326,7 +361,7 @@ impl Simulator {
                 procs[p as usize].stream_banks.push(b);
             }
         }
-        self.run_scratch(scratch)
+        self.run_scratch(scratch, probe)
     }
 
     /// Simulates raw per-processor bank-index streams (useful when the
@@ -347,7 +382,7 @@ impl Simulator {
         for (p, s) in streams.into_iter().enumerate() {
             scratch.procs[p].stream_banks.extend(s.into_iter().map(|b| b as u32));
         }
-        self.run_scratch(&mut scratch)
+        self.run_scratch(&mut scratch, &mut NoopProbe)
     }
 
     /// Whether the per-processor issue ring can stand in for the wheel:
@@ -372,31 +407,32 @@ impl Simulator {
             && matches!(cfg.network, NetworkModel::Uniform)
     }
 
-    fn run_scratch(&self, scratch: &mut Scratch) -> SimResult {
+    fn run_scratch<P: Probe>(&self, scratch: &mut Scratch, probe: &mut P) -> SimResult {
         let Scratch { procs, bank_free, bank_stats, caches, gates, heap, wheel, ring, .. } =
             &mut *scratch;
         if Self::use_ring(&self.cfg) {
             return if Self::simple(&self.cfg) {
-                Self::run_events::<_, true>(
-                    &self.cfg, ring, procs, bank_free, bank_stats, caches, gates,
+                Self::run_events::<_, _, true>(
+                    &self.cfg, ring, procs, bank_free, bank_stats, caches, gates, probe,
                 )
             } else {
-                Self::run_events::<_, false>(
-                    &self.cfg, ring, procs, bank_free, bank_stats, caches, gates,
+                Self::run_events::<_, _, false>(
+                    &self.cfg, ring, procs, bank_free, bank_stats, caches, gates, probe,
                 )
             };
         }
         match self.cfg.scheduler {
-            SchedulerKind::Wheel => Self::run_events::<_, false>(
-                &self.cfg, wheel, procs, bank_free, bank_stats, caches, gates,
+            SchedulerKind::Wheel => Self::run_events::<_, _, false>(
+                &self.cfg, wheel, procs, bank_free, bank_stats, caches, gates, probe,
             ),
-            SchedulerKind::Heap => Self::run_events::<_, false>(
-                &self.cfg, heap, procs, bank_free, bank_stats, caches, gates,
+            SchedulerKind::Heap => Self::run_events::<_, _, false>(
+                &self.cfg, heap, procs, bank_free, bank_stats, caches, gates, probe,
             ),
         }
     }
 
-    fn run_events<Q: EventQueue, const SIMPLE: bool>(
+    #[allow(clippy::too_many_arguments)] // the monomorphized hot loop takes the scratch by parts
+    fn run_events<Q: EventQueue, P: Probe, const SIMPLE: bool>(
         cfg: &SimConfig,
         queue: &mut Q,
         procs: &mut [ProcState],
@@ -404,6 +440,7 @@ impl Simulator {
         bank_stats: &mut [BankStats],
         caches: &mut [Vec<u64>],
         gates: &mut [SectionGate],
+        probe: &mut P,
     ) -> SimResult {
         assert!(procs.len() as u64 <= PROC_MASK, "processor index must fit the packed event key");
         debug_assert!(!SIMPLE || Self::simple(cfg), "SIMPLE loop needs every feature off");
@@ -479,6 +516,7 @@ impl Simulator {
                 network_wait += forwarded - arrive;
                 // A bank-cache hit shortens the service time; the
                 // LRU is updated in service order.
+                let mut cache_hit = false;
                 let service = if SIMPLE {
                     cfg.bank_delay
                 } else {
@@ -490,6 +528,7 @@ impl Simulator {
                                 lru.remove(pos);
                                 lru.insert(0, addr);
                                 bank_stats[bank].cache_hits += 1;
+                                cache_hit = true;
                                 c.hit_delay
                             } else {
                                 lru.insert(0, addr);
@@ -512,6 +551,19 @@ impl Simulator {
                 let done = start + service + cfg.latency;
                 st.stats.done_at = st.stats.done_at.max(done);
                 last_done = last_done.max(done);
+                if P::ENABLED {
+                    probe.request(RequestTiming {
+                        proc: p,
+                        bank,
+                        issued: now,
+                        arrived: arrive,
+                        forwarded,
+                        start,
+                        end: start + service,
+                        done,
+                        cache_hit,
+                    });
+                }
                 if !SIMPLE && cfg.record_events {
                     events.push(crate::stats::RequestEvent {
                         proc: p,
@@ -535,11 +587,18 @@ impl Simulator {
                 st.outstanding -= 1;
                 if let Some(since) = st.blocked_since.take() {
                     st.stats.window_stall += now - since;
+                    if P::ENABLED {
+                        probe.window_stall(p, since, now);
+                    }
                     if st.next < st.stream_banks.len() {
                         push(queue, now.max(st.next_issue), KIND_ISSUE, p);
                     }
                 }
             }
+        }
+
+        if P::ENABLED {
+            probe.scheduler_cascades(queue.cascades());
         }
 
         SimResult {

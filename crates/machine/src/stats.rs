@@ -17,6 +17,23 @@ pub struct BankStats {
     pub cache_hits: usize,
 }
 
+impl BankStats {
+    /// Folds another run's statistics for the same bank into this one.
+    ///
+    /// Counters accumulate with *saturating* addition: a session
+    /// summing millions of supersteps must not wrap in release builds
+    /// or panic in debug builds when a counter tops out — a saturated
+    /// total is still an honest "at least this much". `max_queue_wait`
+    /// takes the maximum over runs.
+    pub fn merge(&mut self, other: &BankStats) {
+        self.requests = self.requests.saturating_add(other.requests);
+        self.busy_cycles = self.busy_cycles.saturating_add(other.busy_cycles);
+        self.queue_wait = self.queue_wait.saturating_add(other.queue_wait);
+        self.max_queue_wait = self.max_queue_wait.max(other.max_queue_wait);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+    }
+}
+
 /// Statistics for one processor over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProcStats {
@@ -27,6 +44,17 @@ pub struct ProcStats {
     pub window_stall: u64,
     /// Cycle at which this processor's last request completed.
     pub done_at: u64,
+}
+
+impl ProcStats {
+    /// Folds another run's statistics for the same processor into this
+    /// one. Counters saturate (see [`BankStats::merge`]); `done_at`
+    /// takes the maximum over runs.
+    pub fn merge(&mut self, other: &ProcStats) {
+        self.issued = self.issued.saturating_add(other.issued);
+        self.window_stall = self.window_stall.saturating_add(other.window_stall);
+        self.done_at = self.done_at.max(other.done_at);
+    }
 }
 
 /// Timing of one request through the pipeline (recorded only when
@@ -193,6 +221,54 @@ mod tests {
         assert!((r.cycles_per_request() - 10.0).abs() < 1e-12);
         assert!((r.bank_utilization() - 60.0 / 200.0).abs() < 1e-12);
         assert_eq!(r.total_queue_wait(), 30);
+    }
+
+    #[test]
+    fn bank_stats_merge_sums_and_maxes() {
+        let mut a = BankStats {
+            requests: 7,
+            busy_cycles: 42,
+            queue_wait: 30,
+            max_queue_wait: 12,
+            cache_hits: 1,
+        };
+        let b = BankStats {
+            requests: 3,
+            busy_cycles: 18,
+            queue_wait: 5,
+            max_queue_wait: 40,
+            cache_hits: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 10);
+        assert_eq!(a.busy_cycles, 60);
+        assert_eq!(a.queue_wait, 35);
+        assert_eq!(a.max_queue_wait, 40); // max, not sum
+        assert_eq!(a.cache_hits, 3);
+    }
+
+    #[test]
+    fn bank_stats_merge_saturates_instead_of_wrapping() {
+        let mut a = BankStats {
+            requests: usize::MAX - 1,
+            busy_cycles: u64::MAX - 1,
+            queue_wait: u64::MAX,
+            max_queue_wait: 3,
+            cache_hits: 0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.requests, usize::MAX);
+        assert_eq!(a.busy_cycles, u64::MAX);
+        assert_eq!(a.queue_wait, u64::MAX);
+    }
+
+    #[test]
+    fn proc_stats_merge_sums_and_maxes() {
+        let mut a = ProcStats { issued: 10, window_stall: 5, done_at: 100 };
+        a.merge(&ProcStats { issued: 4, window_stall: u64::MAX, done_at: 60 });
+        assert_eq!(a.issued, 14);
+        assert_eq!(a.window_stall, u64::MAX); // saturated
+        assert_eq!(a.done_at, 100);
     }
 
     #[test]

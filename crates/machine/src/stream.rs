@@ -30,6 +30,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use dxbsp_core::BankMap;
+use dxbsp_telemetry::Probe;
 
 use crate::engine::{Backend, Session};
 use crate::trace::{Trace, TraceStep};
@@ -125,6 +126,45 @@ impl<'a, B: Backend> SessionSink<'a, B> {
 impl<B: Backend> StepSink for SessionSink<'_, B> {
     fn emit(&mut self, mut step: TraceStep) -> TraceStep {
         self.session.step_with_local(&step.pattern, self.map, step.local_work);
+        step.recycle();
+        step
+    }
+}
+
+/// [`SessionSink`] with a live [`Probe`]: every emitted superstep's
+/// pipeline events and labelled cost attribution flow into the probe —
+/// the push-side twin of [`Session::run_stream_probed`], so producers
+/// that drive the hand-off themselves (the algo tracer, the VM) get
+/// the same telemetry as pull-side streams.
+pub struct ProbedSessionSink<'a, B: Backend, P: Probe> {
+    session: &'a mut Session<B>,
+    map: &'a dyn BankMap,
+    probe: &'a mut P,
+}
+
+impl<B: Backend + std::fmt::Debug, P: Probe> std::fmt::Debug for ProbedSessionSink<'_, B, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbedSessionSink").field("session", &self.session).finish_non_exhaustive()
+    }
+}
+
+impl<'a, B: Backend, P: Probe> ProbedSessionSink<'a, B, P> {
+    /// A sink stepping every emitted superstep through `session` under
+    /// `map`, reporting to `probe`.
+    pub fn new(session: &'a mut Session<B>, map: &'a dyn BankMap, probe: &'a mut P) -> Self {
+        Self { session, map, probe }
+    }
+
+    /// The wrapped session.
+    #[must_use]
+    pub fn session(&self) -> &Session<B> {
+        self.session
+    }
+}
+
+impl<B: Backend, P: Probe> StepSink for ProbedSessionSink<'_, B, P> {
+    fn emit(&mut self, mut step: TraceStep) -> TraceStep {
+        self.session.step_inner(&step.pattern, self.map, step.local_work, &step.label, self.probe);
         step.recycle();
         step
     }

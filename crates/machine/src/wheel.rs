@@ -64,6 +64,10 @@ pub(crate) struct TimeWheel {
     now: u64,
     len: usize,
     levels: Vec<Level>, // LEVELS entries, lazily allocated
+    /// Upper-level slot drains performed (each re-buckets one slot's
+    /// entries a level down) — the wheel's only amortized cost, and
+    /// the scheduler-health number telemetry probes surface.
+    cascades: u64,
 }
 
 impl TimeWheel {
@@ -84,6 +88,12 @@ impl TimeWheel {
         }
         self.now = 0;
         self.len = 0;
+        self.cascades = 0;
+    }
+
+    /// Cascade operations since the last reset.
+    pub(crate) fn cascades(&self) -> u64 {
+        self.cascades
     }
 
     /// The level holding a time that differs from `now` at bit position
@@ -157,6 +167,7 @@ impl TimeWheel {
             let drained = std::mem::take(&mut self.levels[l].slots[s]);
             self.levels[l].occupied &= !(1 << s);
             self.len -= drained.len();
+            self.cascades += 1;
             for (t, k) in drained {
                 debug_assert!(Self::level_for(self.now, t) < l);
                 self.push(t, k);
@@ -250,6 +261,18 @@ mod tests {
         }
         assert_eq!(w.pop(), None);
         assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn cascades_counted_and_reset() {
+        let mut w = fresh();
+        assert_eq!(w.cascades(), 0);
+        // An entry one level up forces exactly one cascade to pop.
+        w.push(70, 1);
+        assert_eq!(w.pop(), Some((70, 1)));
+        assert!(w.cascades() >= 1);
+        w.reset();
+        assert_eq!(w.cascades(), 0);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Chrome `trace_event` JSON export: load the output in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) to see one
+//! lane per bank (service spans) and per processor (stall spans), plus
+//! a superstep marker lane.
+//!
+//! The format is the stable subset of the Trace Event Format: a
+//! top-level `{"traceEvents": [...]}` object of complete-duration
+//! (`"ph": "X"`) and metadata (`"ph": "M"`) events. Timestamps map one
+//! simulated cycle to one microsecond, so viewer timings read directly
+//! as cycles.
+
+use dxbsp_core::{DxError, SpecValue};
+
+use crate::recorder::Recorder;
+
+/// Process IDs grouping the lanes in the viewer.
+const PID_BANKS: i64 = 1;
+const PID_PROCS: i64 = 2;
+const PID_STEPS: i64 = 3;
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_span(out: &mut String, name: &str, pid: i64, tid: usize, ts: u64, dur: u64, args: &str) {
+    out.push_str("{\"name\":");
+    push_str(out, name);
+    out.push_str(&format!(",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur}"));
+    if !args.is_empty() {
+        out.push_str(",\"args\":{");
+        out.push_str(args);
+        out.push('}');
+    }
+    out.push_str("},");
+}
+
+fn push_meta(out: &mut String, name: &str, pid: i64, tid: Option<usize>, value: &str) {
+    out.push_str("{\"name\":");
+    push_str(out, name);
+    out.push_str(&format!(",\"ph\":\"M\",\"pid\":{pid}"));
+    if let Some(t) = tid {
+        out.push_str(&format!(",\"tid\":{t}"));
+    }
+    out.push_str(",\"args\":{\"name\":");
+    let label = match (name, tid) {
+        ("process_name", _) => value.to_string(),
+        (_, Some(t)) => format!("{value} {t}"),
+        _ => value.to_string(),
+    };
+    push_str(out, &label);
+    out.push_str("}},");
+}
+
+/// Renders the recorder's retained events as Chrome trace JSON.
+///
+/// Lanes: one thread per bank under a "banks" process (each retained
+/// request is a service span, with queue wait in its args), one thread
+/// per processor under "processors" (window-stall spans), and one
+/// "supersteps" lane of attribution spans (`args` carry the
+/// `max(L, g·h, d·R)` terms and the binding one).
+#[must_use]
+pub fn trace_json(rec: &Recorder) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    push_meta(&mut out, "process_name", PID_BANKS, None, "banks");
+    push_meta(&mut out, "process_name", PID_PROCS, None, "processors");
+    push_meta(&mut out, "process_name", PID_STEPS, None, "supersteps");
+    let mut named_banks = vec![false; rec.banks().len()];
+    let mut named_procs = vec![false; rec.procs().len()];
+
+    for t in rec.events() {
+        if let Some(n) = named_banks.get_mut(t.bank) {
+            if !*n {
+                push_meta(&mut out, "thread_name", PID_BANKS, Some(t.bank), "bank");
+                *n = true;
+            }
+        }
+        push_span(
+            &mut out,
+            &format!("p{}", t.proc),
+            PID_BANKS,
+            t.bank,
+            t.start,
+            t.service().max(1),
+            &format!("\"queue_wait\":{},\"cache_hit\":{}", t.queue_wait(), t.cache_hit),
+        );
+    }
+
+    // Window-stall spans, one lane per processor. Reconstructed from
+    // the per-proc aggregates only when interval events were retained.
+    for (p, track) in rec.procs().iter().enumerate() {
+        if track.stalls > 0 {
+            if let Some(n) = named_procs.get_mut(p) {
+                if !*n {
+                    push_meta(&mut out, "thread_name", PID_PROCS, Some(p), "proc");
+                    *n = true;
+                }
+            }
+        }
+    }
+    for iv in rec.stall_intervals() {
+        push_span(&mut out, "window stall", PID_PROCS, iv.proc, iv.from, iv.until - iv.from, "");
+    }
+
+    // Superstep attribution lane: consecutive spans on one clock.
+    let mut clock = 0u64;
+    for (i, st) in rec.steps().iter().enumerate() {
+        let r = &st.report;
+        let name = if st.label.is_empty() { format!("step {i}") } else { st.label.clone() };
+        push_span(
+            &mut out,
+            &name,
+            PID_STEPS,
+            0,
+            clock,
+            r.total_cycles.max(1),
+            &format!(
+                "\"binding\":\"{}\",\"latency\":{},\"processor\":{},\"bank\":{},\"requests\":{}",
+                r.binding(),
+                r.model.latency,
+                r.model.processor,
+                r.model.bank,
+                r.requests
+            ),
+        );
+        clock += r.total_cycles;
+    }
+
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Schema check for [`trace_json`] output (and any external trace):
+/// parses the JSON, requires a `traceEvents` list whose entries carry
+/// `name`/`ph`/`pid`, requires duration events to have nonnegative
+/// `ts`/`dur`, and returns the event count.
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] describing the first malformed event, or a
+/// parse error from the JSON decoder.
+pub fn validate(json: &str) -> Result<usize, DxError> {
+    let v = SpecValue::from_json(json)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_list())
+        .ok_or_else(|| DxError::invalid("chrome trace: missing traceEvents list"))?;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev.get("name").and_then(|n| n.as_str());
+        if name.is_none() {
+            return Err(DxError::invalid(format!("chrome trace: event {i} has no name")));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| DxError::invalid(format!("chrome trace: event {i} has no ph")))?;
+        if ev.get("pid").and_then(SpecValue::as_int).is_none() {
+            return Err(DxError::invalid(format!("chrome trace: event {i} has no pid")));
+        }
+        if ph == "X" {
+            let ts = ev.get("ts").and_then(SpecValue::as_int);
+            let dur = ev.get("dur").and_then(SpecValue::as_int);
+            match (ts, dur) {
+                (Some(ts), Some(dur)) if ts >= 0 && dur >= 0 => {}
+                _ => {
+                    return Err(DxError::invalid(format!(
+                        "chrome trace: duration event {i} needs nonnegative ts/dur"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{Probe, RequestTiming, StepReport};
+    use dxbsp_core::CostBreakdown;
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.request(RequestTiming {
+            proc: 0,
+            bank: 2,
+            issued: 0,
+            arrived: 3,
+            forwarded: 3,
+            start: 3,
+            end: 17,
+            done: 20,
+            cache_hit: false,
+        });
+        r.window_stall(1, 5, 9);
+        r.superstep_end(
+            "scatter",
+            &StepReport {
+                index: 0,
+                requests: 1,
+                memory_cycles: 20,
+                local_work: 0,
+                sync_overhead: 0,
+                total_cycles: 20,
+                model: CostBreakdown { latency: 3, processor: 1, bank: 14 },
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn trace_round_trips_through_validate() {
+        let json = trace_json(&sample_recorder());
+        let n = validate(&json).expect("valid trace");
+        // 3 process metas + bank meta + proc meta + 1 request span +
+        // 1 stall span + 1 step span.
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn empty_recorder_still_valid() {
+        let json = trace_json(&Recorder::new());
+        assert_eq!(validate(&json).unwrap(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"traceEvents\": [{}]}").is_err());
+        assert!(
+            validate("{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"pid\": 1}]}").is_err()
+        );
+        assert!(validate("not json").is_err());
+    }
+
+    #[test]
+    fn spans_carry_attribution_args() {
+        let json = trace_json(&sample_recorder());
+        let v = SpecValue::from_json(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_list().unwrap();
+        let step = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("scatter"))
+            .expect("superstep span present");
+        let args = step.get("args").unwrap();
+        assert_eq!(args.get("binding").unwrap().as_str(), Some("bank"));
+        assert_eq!(args.get("bank").unwrap().as_int(), Some(14));
+    }
+}

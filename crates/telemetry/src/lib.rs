@@ -1,0 +1,36 @@
+//! # dxbsp-telemetry — observability for the (d,x)-BSP simulator
+//!
+//! The paper's argument is that aggregate cost formulas hide *where*
+//! time goes: bank dwell (`d·R`) vs. issue bandwidth (`g·h`) vs.
+//! latency (`L`). This crate makes every simulated run explain itself:
+//!
+//! * [`Probe`] — the instrumentation seam. The simulator's event loop
+//!   and the engine's superstep loop in `dxbsp-machine` are
+//!   monomorphized over a `P: Probe`; every hook site is guarded by
+//!   `if P::ENABLED`, so the default [`NoopProbe`] compiles the seam
+//!   away entirely (the criterion bench `sim/probe` pins this).
+//! * [`Recorder`] — a probe that aggregates per-bank dwell and queue
+//!   wait, per-processor window stalls, queue-wait histograms
+//!   ([`LogHistogram`]), bounded time series ([`Sampler`]), and
+//!   per-superstep `max(L, g·h, d·R)` attribution ([`StepReport`]) in
+//!   memory that is O(1) in run length.
+//! * Exporters — [`chrome::trace_json`] (one lane per bank/processor,
+//!   loadable in `chrome://tracing`/Perfetto), [`prometheus::render`]
+//!   (scrape-ready text format), and [`Recorder::summary`] (compact
+//!   JSON via `SpecValue`, embedded in bench run records).
+//!
+//! The invariant everything hangs on: probing never changes results. A
+//! probed run's `SimResult` is bit-identical to an unprobed run's, and
+//! the per-superstep attributed cycles sum exactly to the session's
+//! clock — both pinned by differential tests in `dxbsp-machine` and
+//! `dxbsp-bench`.
+
+pub mod chrome;
+pub mod metrics;
+pub mod probe;
+pub mod prometheus;
+pub mod recorder;
+
+pub use metrics::{Counter, Family, Gauge, LogHistogram, Registry, Sampler, HISTOGRAM_BUCKETS};
+pub use probe::{NoopProbe, Probe, RequestTiming, StepReport};
+pub use recorder::{BankTrack, ProcTrack, Recorder, StallInterval, StepTrack, DEFAULT_EVENT_CAP};

@@ -1,0 +1,429 @@
+//! The metrics core: counters, gauges, log-bucketed histograms and
+//! bounded time-series samplers, plus a [`Registry`] snapshot the
+//! Prometheus exporter renders.
+//!
+//! Everything here is deterministic and allocation-bounded: histograms
+//! have a fixed 65-bucket layout (one per power of two), and samplers
+//! decimate in place once full, so telemetry memory is O(1) in run
+//! length — a probed run over millions of requests cannot balloon.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter. Saturates instead of wrapping on
+/// overflow — a saturated count is still an honest lower bound, while
+/// a wrapped one silently lies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n` to the count, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A last-value-wins instantaneous measurement that also tracks its
+/// running maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Gauge {
+    value: f64,
+    max: f64,
+}
+
+impl Gauge {
+    /// Records a new value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// The most recent value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// The largest value ever set.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds exact
+/// zeros, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-layout base-2 logarithmic histogram (HDR-style): 65 buckets
+/// cover the full `u64` range with ≤ 2× relative error, no allocation,
+/// and O(1) recording. The natural shape for queue-wait distributions,
+/// which span zero (uncontended) to thousands of cycles (hot bank).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `v`: 0 for 0, else `1 + floor(log2 v)`.
+    #[inline]
+    #[must_use]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation recorded (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`) — exact to within the bucket's 2× width.
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A bounded `(time, value)` time series. Once `cap` samples are held,
+/// the series decimates itself — every other sample is dropped and the
+/// acceptance stride doubles — so arbitrarily long runs keep a bounded,
+/// evenly thinned timeline. Deterministic: the kept samples depend only
+/// on the push sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sampler {
+    cap: usize,
+    /// Keep one sample out of every `stride` pushes.
+    stride: u64,
+    pushes: u64,
+    samples: Vec<(u64, u64)>,
+}
+
+impl Sampler {
+    /// A sampler holding at most `cap` samples (min 2).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self { cap: cap.max(2), stride: 1, pushes: 0, samples: Vec::new() }
+    }
+
+    /// Offers one `(time, value)` observation.
+    pub fn push(&mut self, time: u64, value: u64) {
+        if self.pushes % self.stride == 0 {
+            if self.samples.len() == self.cap {
+                // Thin to every other sample and accept half as often.
+                let mut keep = 0;
+                for i in (0..self.samples.len()).step_by(2) {
+                    self.samples[keep] = self.samples[i];
+                    keep += 1;
+                }
+                self.samples.truncate(keep);
+                self.stride *= 2;
+                if self.pushes % self.stride != 0 {
+                    self.pushes += 1;
+                    return;
+                }
+            }
+            self.samples.push((time, value));
+        }
+        self.pushes += 1;
+    }
+
+    /// The retained samples, in push order.
+    #[must_use]
+    pub fn samples(&self) -> &[(u64, u64)] {
+        &self.samples
+    }
+
+    /// Total observations offered (retained or not).
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.pushes
+    }
+}
+
+/// One metric family in a [`Registry`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line help string.
+    pub help: String,
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: &'static str,
+    /// Samples: label pairs plus a value. Histogram families carry
+    /// their expanded `_bucket`/`_sum`/`_count` series here with the
+    /// `le` label already attached.
+    pub samples: Vec<(Vec<(String, String)>, f64)>,
+}
+
+/// An ordered snapshot of metric families, ready for the Prometheus
+/// text exporter ([`crate::prometheus::render`]). Built on demand from
+/// a recorder; not a live registry — the simulator's hot loop never
+/// touches it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a counter family with one unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: "counter",
+            samples: vec![(Vec::new(), value as f64)],
+        });
+    }
+
+    /// Adds a gauge family with one unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: "gauge",
+            samples: vec![(Vec::new(), value)],
+        });
+    }
+
+    /// Adds a labelled counter family (one sample per label set).
+    pub fn labelled_counter(
+        &mut self,
+        name: &str,
+        help: &str,
+        samples: Vec<(Vec<(String, String)>, f64)>,
+    ) {
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: "counter",
+            samples,
+        });
+    }
+
+    /// Adds a histogram family in expanded Prometheus form: cumulative
+    /// `_bucket{le=...}` series, then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &LogHistogram) {
+        let mut samples = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &c) in h.buckets().iter().take(64).enumerate() {
+            cumulative += c;
+            if c == 0 && i != 0 {
+                continue;
+            }
+            let le = format!("{}", LogHistogram::bucket_bound(i));
+            samples.push((vec![("le".to_string(), le)], cumulative as f64));
+        }
+        samples.push((vec![("le".to_string(), "+Inf".to_string())], h.count() as f64));
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: "histogram",
+            samples,
+        });
+        self.counter(&format!("{name}_sum"), &format!("{help} (sum)"), h.sum());
+        self.counter(&format!("{name}_count"), &format!("{help} (count)"), h.count());
+    }
+
+    /// The snapshot's families, in insertion order.
+    #[must_use]
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_tracks_max() {
+        let mut g = Gauge::default();
+        g.set(3.0);
+        g.set(9.0);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+        assert_eq!(g.max(), 9.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[2], 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_hit_bucket_bounds() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_bound(0.5), 1);
+        // The p100 falls in the 2^20 bucket, clipped to the true max.
+        assert_eq!(h.quantile_bound(1.0), 1 << 20);
+        assert_eq!(LogHistogram::new().quantile_bound(0.99), 0);
+    }
+
+    #[test]
+    fn sampler_stays_bounded_and_thins_evenly() {
+        let mut s = Sampler::new(64);
+        for t in 0..10_000u64 {
+            s.push(t, t * 2);
+        }
+        assert!(s.samples().len() <= 64);
+        assert!(s.samples().len() >= 32, "kept {}", s.samples().len());
+        assert_eq!(s.offered(), 10_000);
+        // Samples stay in time order and span the run.
+        let times: Vec<u64> = s.samples().iter().map(|&(t, _)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(times[0], 0);
+        assert!(*times.last().unwrap() > 9_000 - 256);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let run = || {
+            let mut s = Sampler::new(16);
+            for t in 0..1000u64 {
+                s.push(t, t);
+            }
+            s.samples().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn registry_expands_histograms() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(5);
+        let mut reg = Registry::new();
+        reg.histogram("queue_wait", "waits", &h);
+        let names: Vec<&str> = reg.families().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["queue_wait", "queue_wait_sum", "queue_wait_count"]);
+        let hist = &reg.families()[0];
+        assert_eq!(hist.kind, "histogram");
+        // Cumulative buckets end at the +Inf catch-all == count.
+        let last = hist.samples.last().unwrap();
+        assert_eq!(last.0[0].1, "+Inf");
+        assert_eq!(last.1, 2.0);
+    }
+}

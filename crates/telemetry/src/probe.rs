@@ -1,0 +1,214 @@
+//! The probe seam: a trait the simulator's event loop and the engine's
+//! superstep loop are monomorphized over, so instrumentation is free
+//! when disabled.
+//!
+//! Every hook site in `dxbsp-machine` is guarded by `if P::ENABLED`,
+//! a constant the compiler folds away: with [`NoopProbe`] (the
+//! default), the instrumented loop compiles to exactly the code it was
+//! before the seam existed. A real probe (e.g.
+//! [`crate::Recorder`]) flips `ENABLED` on and receives every request
+//! timing, stall interval, and per-superstep cost attribution.
+
+use dxbsp_core::CostBreakdown;
+
+/// The full pipeline timing of one memory request, as resolved by the
+/// discrete-event simulator at issue time.
+///
+/// Cycle stamps are in simulated time and ordered
+/// `issued ≤ arrived ≤ forwarded ≤ start ≤ end ≤ done`:
+///
+/// ```text
+/// issued ─latency→ arrived ─section gate→ forwarded ─queue→ start ─service→ end ─latency→ done
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Issuing processor.
+    pub proc: usize,
+    /// Bank that serviced the request.
+    pub bank: usize,
+    /// Cycle the processor issued the request.
+    pub issued: u64,
+    /// Cycle the request reached its network section (`issued + L`).
+    pub arrived: u64,
+    /// Cycle the section gate forwarded it to the bank (equals
+    /// `arrived` on an uncongested or uniform network).
+    pub forwarded: u64,
+    /// Cycle the bank began service (queue wait is
+    /// `start - forwarded`).
+    pub start: u64,
+    /// Cycle service finished (`start + d`, or `start + hit_delay` on a
+    /// bank-cache hit).
+    pub end: u64,
+    /// Cycle the reply reached the processor (`end + L`).
+    pub done: u64,
+    /// Whether the bank cache served the request.
+    pub cache_hit: bool,
+}
+
+impl RequestTiming {
+    /// Cycles spent waiting in the bank queue.
+    #[must_use]
+    pub fn queue_wait(&self) -> u64 {
+        self.start - self.forwarded
+    }
+
+    /// Cycles the bank was busy servicing this request.
+    #[must_use]
+    pub fn service(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// What one superstep cost and which (d,x)-BSP term the model says
+/// bound it — delivered to [`Probe::superstep_end`] by the engine's
+/// [`Session`](../dxbsp_machine/struct.Session.html) layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// Zero-based superstep index within the session.
+    pub index: usize,
+    /// Memory requests executed this superstep.
+    pub requests: usize,
+    /// Measured (or charged) memory cycles for the superstep.
+    pub memory_cycles: u64,
+    /// Local-computation cycles charged alongside the memory time.
+    pub local_work: u64,
+    /// The per-barrier synchronization overhead charged.
+    pub sync_overhead: u64,
+    /// What the session's clock advanced by:
+    /// `memory_cycles + local_work + sync_overhead`.
+    pub total_cycles: u64,
+    /// The closed-form `max(L, g·h, d·R)` attribution for the
+    /// superstep's pattern — which term bound it, and by how much.
+    pub model: CostBreakdown,
+}
+
+impl StepReport {
+    /// Which model term bound this superstep (`"latency"`,
+    /// `"processor"` or `"bank"`).
+    #[must_use]
+    pub fn binding(&self) -> &'static str {
+        self.model.binding()
+    }
+
+    /// How far the binding term exceeds the runner-up — the margin by
+    /// which the superstep was latency/bandwidth/bank bound.
+    #[must_use]
+    pub fn margin(&self) -> u64 {
+        let mut terms = [self.model.latency, self.model.processor, self.model.bank];
+        terms.sort_unstable();
+        terms[2] - terms[1]
+    }
+}
+
+/// Observer of simulator and engine internals.
+///
+/// All methods have empty default bodies, and `ENABLED` gates every
+/// call site: implementors only override what they consume, and the
+/// [`NoopProbe`] compiles instrumentation out entirely. Hooks must not
+/// influence simulation — a probed run is bit-identical to an unprobed
+/// one (a property the differential tests pin).
+pub trait Probe {
+    /// Whether hook sites should call into this probe at all. Hot-loop
+    /// call sites are guarded by `if P::ENABLED`, which constant-folds
+    /// to nothing for [`NoopProbe`].
+    const ENABLED: bool = true;
+
+    /// A superstep is about to execute.
+    fn superstep_begin(&mut self, _index: usize, _requests: usize) {}
+
+    /// One request finished its trip through the pipeline. Called at
+    /// issue resolution (the simulator resolves the whole pipeline
+    /// inline), in issue order.
+    fn request(&mut self, _t: RequestTiming) {}
+
+    /// Processor `proc` was stalled on a full outstanding-request
+    /// window from cycle `from` until the completion at cycle `until`.
+    fn window_stall(&mut self, _proc: usize, _from: u64, _until: u64) {}
+
+    /// The event queue performed `count` cascade operations over the
+    /// run (time-wheel scheduler only; 0 for the heap and the ring).
+    fn scheduler_cascades(&mut self, _count: u64) {}
+
+    /// A superstep finished; `label` is the trace step's label (empty
+    /// when stepping bare patterns).
+    fn superstep_end(&mut self, _label: &str, _report: &StepReport) {}
+}
+
+/// The default probe: all hooks disabled at compile time. Code paths
+/// instrumented with `NoopProbe` monomorphize to exactly their
+/// pre-instrumentation form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    const ENABLED: bool = false;
+}
+
+/// `&mut P` forwards to `P`, so call sites can hand a borrowed probe
+/// down through nested loops without re-threading lifetimes.
+impl<P: Probe> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    fn superstep_begin(&mut self, index: usize, requests: usize) {
+        (**self).superstep_begin(index, requests);
+    }
+
+    fn request(&mut self, t: RequestTiming) {
+        (**self).request(t);
+    }
+
+    fn window_stall(&mut self, proc: usize, from: u64, until: u64) {
+        (**self).window_stall(proc, from, until);
+    }
+
+    fn scheduler_cascades(&mut self, count: u64) {
+        (**self).scheduler_cascades(count);
+    }
+
+    fn superstep_end(&mut self, label: &str, report: &StepReport) {
+        (**self).superstep_end(label, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_probe_is_disabled() {
+        const { assert!(!NoopProbe::ENABLED) };
+        const { assert!(!<&mut NoopProbe as Probe>::ENABLED) };
+    }
+
+    #[test]
+    fn timing_derived_quantities() {
+        let t = RequestTiming {
+            proc: 0,
+            bank: 3,
+            issued: 10,
+            arrived: 17,
+            forwarded: 19,
+            start: 25,
+            end: 39,
+            done: 46,
+            cache_hit: false,
+        };
+        assert_eq!(t.queue_wait(), 6);
+        assert_eq!(t.service(), 14);
+    }
+
+    #[test]
+    fn report_margin_is_gap_to_runner_up() {
+        let r = StepReport {
+            index: 0,
+            requests: 64,
+            memory_cycles: 900,
+            local_work: 0,
+            sync_overhead: 0,
+            total_cycles: 900,
+            model: CostBreakdown { latency: 100, processor: 256, bank: 896 },
+        };
+        assert_eq!(r.binding(), "bank");
+        assert_eq!(r.margin(), 896 - 256);
+    }
+}

@@ -1,0 +1,173 @@
+//! Prometheus text-format export (version 0.0.4): `# HELP` / `# TYPE`
+//! headers followed by `name{labels} value` samples, one family per
+//! metric, scrape-ready.
+
+use dxbsp_core::DxError;
+
+use crate::metrics::Registry;
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a [`Registry`] snapshot as Prometheus exposition text.
+#[must_use]
+pub fn render(reg: &Registry) -> String {
+    let mut out = String::new();
+    for fam in reg.families() {
+        out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+        out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind));
+        for (labels, value) in &fam.samples {
+            // Histogram bucket series append the conventional suffix.
+            let series = if fam.kind == "histogram" {
+                format!("{}_bucket", fam.name)
+            } else {
+                fam.name.clone()
+            };
+            out.push_str(&series);
+            if !labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+                }
+                out.push('}');
+            }
+            // Integral values print without a fractional part — the
+            // format accepts any float syntax.
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                out.push_str(&format!(" {}\n", *value as i64));
+            } else {
+                out.push_str(&format!(" {value}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Lints Prometheus exposition text: every sample's metric name must be
+/// legal, every value parseable as a float, every `# TYPE` must precede
+/// its family's samples, and label syntax must balance. Returns the
+/// number of samples.
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] naming the first offending line.
+pub fn lint(text: &str) -> Result<usize, DxError> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| DxError::invalid(format!("line {n}: TYPE without name")))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| DxError::invalid(format!("line {n}: TYPE without kind")))?;
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(DxError::invalid(format!("line {n}: unknown TYPE {kind}")));
+                }
+                if !valid_name(name) {
+                    return Err(DxError::invalid(format!("line {n}: bad metric name {name}")));
+                }
+                typed.push(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        // A sample: name[{labels}] value
+        let (series, value) = match line.rfind(' ') {
+            Some(i) => (&line[..i], &line[i + 1..]),
+            None => return Err(DxError::invalid(format!("line {n}: sample without value"))),
+        };
+        let name = match series.find('{') {
+            Some(b) => {
+                if !series.ends_with('}') {
+                    return Err(DxError::invalid(format!("line {n}: unbalanced labels")));
+                }
+                &series[..b]
+            }
+            None => series,
+        };
+        if !valid_name(name) {
+            return Err(DxError::invalid(format!("line {n}: bad metric name {name}")));
+        }
+        if value.parse::<f64>().is_err() {
+            return Err(DxError::invalid(format!("line {n}: unparseable value {value}")));
+        }
+        // The sample must belong to a previously TYPE-declared family
+        // (histogram samples use the _bucket/_sum/_count suffixes).
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !typed.iter().any(|t| t == name || t == base) {
+            return Err(DxError::invalid(format!("line {n}: sample {name} precedes its TYPE")));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LogHistogram;
+
+    #[test]
+    fn render_then_lint_round_trips() {
+        let mut reg = Registry::new();
+        reg.counter("dxbsp_requests_total", "Requests", 42);
+        reg.gauge("dxbsp_hot_bank", "Hot bank", 7.0);
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(9);
+        reg.histogram("dxbsp_queue_wait", "Waits", &h);
+        reg.labelled_counter(
+            "dxbsp_bank_busy_cycles_total",
+            "Dwell",
+            vec![(vec![("bank".to_string(), "3".to_string())], 84.0)],
+        );
+        let text = render(&reg);
+        let n = lint(&text).expect("lint-clean output");
+        assert!(n >= 6, "expected several samples, got {n} in:\n{text}");
+        assert!(text.contains("# TYPE dxbsp_requests_total counter"));
+        assert!(text.contains("dxbsp_bank_busy_cycles_total{bank=\"3\"} 84"));
+        assert!(text.contains("dxbsp_queue_wait_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn lint_rejects_bad_input() {
+        assert!(lint("bad-name 1\n").is_err());
+        assert!(lint("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(lint("orphan 1\n").is_err());
+        assert!(lint("# TYPE x bogus\n").is_err());
+        assert!(lint("# TYPE x counter\nx{unbalanced 1\n").is_err());
+    }
+
+    #[test]
+    fn lint_counts_samples() {
+        let text = "# HELP a b\n# TYPE a counter\na 1\na{x=\"y\"} 2\n";
+        assert_eq!(lint(text).unwrap(), 2);
+    }
+}

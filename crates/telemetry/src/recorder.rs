@@ -1,0 +1,545 @@
+//! The [`Recorder`]: a [`Probe`] that turns hook calls into bounded
+//! per-bank/per-processor telemetry, superstep cost attribution, and
+//! export-ready snapshots ([`Registry`], Chrome trace, JSON summary).
+
+use dxbsp_core::SpecValue;
+
+use crate::metrics::{Counter, LogHistogram, Registry, Sampler};
+use crate::probe::{Probe, RequestTiming, StepReport};
+
+/// How many raw [`RequestTiming`]s to retain for timeline export.
+/// Beyond the cap, requests still feed every aggregate (dwell, queue
+/// histogram, samplers) but their individual spans are dropped and
+/// counted in `events_dropped` — the Chrome trace stays loadable even
+/// for multi-million-request runs.
+pub const DEFAULT_EVENT_CAP: usize = 65_536;
+
+/// Retained samples per bounded time series.
+const SAMPLER_CAP: usize = 512;
+
+/// Per-superstep records retained verbatim (aggregates keep counting
+/// past the cap).
+const STEP_CAP: usize = 8_192;
+
+/// Window-stall intervals retained verbatim for the timeline.
+const STALL_CAP: usize = 16_384;
+
+/// One retained window-stall interval: processor `proc` could not
+/// issue from cycle `from` until the completion at `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInterval {
+    /// The stalled processor.
+    pub proc: usize,
+    /// First stalled cycle.
+    pub from: u64,
+    /// Cycle the unblocking completion arrived.
+    pub until: u64,
+}
+
+/// Aggregated telemetry for one memory bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankTrack {
+    /// Requests serviced.
+    pub requests: u64,
+    /// Total service (dwell) cycles.
+    pub busy_cycles: u64,
+    /// Total queue-wait cycles.
+    pub queue_wait: u64,
+    /// Largest single queue wait.
+    pub max_queue_wait: u64,
+    /// Bank-cache hits.
+    pub cache_hits: u64,
+}
+
+/// Aggregated telemetry for one processor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcTrack {
+    /// Requests issued.
+    pub requests: u64,
+    /// Cycles stalled on a full outstanding-request window.
+    pub stall_cycles: u64,
+    /// Number of distinct stall intervals.
+    pub stalls: u64,
+}
+
+/// One superstep's retained attribution record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepTrack {
+    /// Superstep label ("" when stepping bare patterns).
+    pub label: String,
+    /// The engine's report: cycles, requests, and the
+    /// `max(L, g·h, d·R)` breakdown.
+    pub report: StepReport,
+}
+
+/// A probe that records everything the exporters need, in bounded
+/// memory. Create one per profiled run; snapshots ([`Recorder::summary`],
+/// [`Recorder::registry`], [`crate::chrome::trace_json`]) can be taken
+/// at any point.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    banks: Vec<BankTrack>,
+    procs: Vec<ProcTrack>,
+    steps: Vec<StepTrack>,
+    events: Vec<RequestTiming>,
+    stalls: Vec<StallInterval>,
+    event_cap: usize,
+    /// Bounded (cycle, cumulative queue-wait) series for the hottest
+    /// dimension of the paper's story: queue growth over time.
+    queue_wait_series: Sampler,
+    queue_wait_hist: LogHistogram,
+    stall_hist: LogHistogram,
+    requests: Counter,
+    events_dropped: Counter,
+    steps_dropped: Counter,
+    cascades: Counter,
+    stall_cycles: Counter,
+    supersteps: Counter,
+    /// Σ total_cycles over superstep reports — must equal the driving
+    /// session's clock (the attribution-sums-to-total invariant).
+    attributed_cycles: Counter,
+    /// Σ per-term binding counts/cycles.
+    bound_latency: Counter,
+    bound_processor: Counter,
+    bound_bank: Counter,
+    cumulative_queue_wait: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder with the default event cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_event_cap(DEFAULT_EVENT_CAP)
+    }
+
+    /// A recorder retaining at most `cap` raw request timings.
+    #[must_use]
+    pub fn with_event_cap(cap: usize) -> Self {
+        Self {
+            banks: Vec::new(),
+            procs: Vec::new(),
+            steps: Vec::new(),
+            events: Vec::new(),
+            stalls: Vec::new(),
+            event_cap: cap,
+            queue_wait_series: Sampler::new(SAMPLER_CAP),
+            queue_wait_hist: LogHistogram::new(),
+            stall_hist: LogHistogram::new(),
+            requests: Counter::default(),
+            events_dropped: Counter::default(),
+            steps_dropped: Counter::default(),
+            cascades: Counter::default(),
+            stall_cycles: Counter::default(),
+            supersteps: Counter::default(),
+            attributed_cycles: Counter::default(),
+            bound_latency: Counter::default(),
+            bound_processor: Counter::default(),
+            bound_bank: Counter::default(),
+            cumulative_queue_wait: 0,
+        }
+    }
+
+    fn bank_mut(&mut self, bank: usize) -> &mut BankTrack {
+        if self.banks.len() <= bank {
+            self.banks.resize_with(bank + 1, BankTrack::default);
+        }
+        &mut self.banks[bank]
+    }
+
+    fn proc_mut(&mut self, proc: usize) -> &mut ProcTrack {
+        if self.procs.len() <= proc {
+            self.procs.resize_with(proc + 1, ProcTrack::default);
+        }
+        &mut self.procs[proc]
+    }
+
+    /// Per-bank aggregates (length = highest bank index observed + 1).
+    #[must_use]
+    pub fn banks(&self) -> &[BankTrack] {
+        &self.banks
+    }
+
+    /// Per-processor aggregates.
+    #[must_use]
+    pub fn procs(&self) -> &[ProcTrack] {
+        &self.procs
+    }
+
+    /// Retained per-superstep attribution records.
+    #[must_use]
+    pub fn steps(&self) -> &[StepTrack] {
+        &self.steps
+    }
+
+    /// Retained raw request timings, in issue order.
+    #[must_use]
+    pub fn events(&self) -> &[RequestTiming] {
+        &self.events
+    }
+
+    /// Retained window-stall intervals, in occurrence order.
+    #[must_use]
+    pub fn stall_intervals(&self) -> &[StallInterval] {
+        &self.stalls
+    }
+
+    /// Raw timings dropped past the event cap.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.get()
+    }
+
+    /// Total requests observed.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Supersteps observed.
+    #[must_use]
+    pub fn supersteps(&self) -> u64 {
+        self.supersteps.get()
+    }
+
+    /// Σ `total_cycles` over all superstep reports. For a session-driven
+    /// run this equals the session's total clock — every simulated
+    /// cycle is attributed to exactly one superstep.
+    #[must_use]
+    pub fn attributed_cycles(&self) -> u64 {
+        self.attributed_cycles.get()
+    }
+
+    /// Time-wheel cascade operations observed.
+    #[must_use]
+    pub fn cascades(&self) -> u64 {
+        self.cascades.get()
+    }
+
+    /// Total window-stall cycles across all processors.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles.get()
+    }
+
+    /// The queue-wait distribution across all requests.
+    #[must_use]
+    pub fn queue_wait_hist(&self) -> &LogHistogram {
+        &self.queue_wait_hist
+    }
+
+    /// Bounded (cycle, cumulative queue-wait) time series.
+    #[must_use]
+    pub fn queue_wait_series(&self) -> &Sampler {
+        &self.queue_wait_series
+    }
+
+    /// How many supersteps each term bound: `(latency, processor,
+    /// bank)`.
+    #[must_use]
+    pub fn bound_counts(&self) -> (u64, u64, u64) {
+        (self.bound_latency.get(), self.bound_processor.get(), self.bound_bank.get())
+    }
+
+    /// A compact JSON-able summary of the run — the payload embedded in
+    /// bench `RunRecord`s and written by `dxprof --summary`.
+    #[must_use]
+    pub fn summary(&self) -> SpecValue {
+        let mut t = SpecValue::table();
+        t.set("supersteps", SpecValue::Int(self.supersteps.get() as i64));
+        t.set("requests", SpecValue::Int(self.requests.get() as i64));
+        t.set("attributed_cycles", SpecValue::Int(self.attributed_cycles.get() as i64));
+        let (l, p, b) = self.bound_counts();
+        let mut bound = SpecValue::table();
+        bound.set("latency", SpecValue::Int(l as i64));
+        bound.set("processor", SpecValue::Int(p as i64));
+        bound.set("bank", SpecValue::Int(b as i64));
+        t.set("bound_supersteps", bound);
+        t.set("queue_wait_total", SpecValue::Int(self.queue_wait_hist.sum() as i64));
+        t.set("queue_wait_max", SpecValue::Int(self.queue_wait_hist.max() as i64));
+        t.set("queue_wait_p99", SpecValue::Int(self.queue_wait_hist.quantile_bound(0.99) as i64));
+        t.set("window_stall_cycles", SpecValue::Int(self.stall_cycles.get() as i64));
+        t.set("scheduler_cascades", SpecValue::Int(self.cascades.get() as i64));
+        let (hot_bank, hot) = self.hottest_bank();
+        t.set("hot_bank", SpecValue::Int(hot_bank as i64));
+        t.set("hot_bank_busy_cycles", SpecValue::Int(hot as i64));
+        let total_busy: u64 = self.banks.iter().map(|b| b.busy_cycles).sum();
+        t.set("busy_cycles_total", SpecValue::Int(total_busy as i64));
+        t.set("events_retained", SpecValue::Int(self.events.len() as i64));
+        t.set("events_dropped", SpecValue::Int(self.events_dropped.get() as i64));
+        t
+    }
+
+    /// The bank with the most dwell (busy) cycles, and its dwell.
+    #[must_use]
+    pub fn hottest_bank(&self) -> (usize, u64) {
+        self.banks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.busy_cycles)
+            .map(|(i, b)| (i, b.busy_cycles))
+            .unwrap_or((0, 0))
+    }
+
+    /// A [`Registry`] snapshot of every metric, ready for
+    /// [`crate::prometheus::render`].
+    #[must_use]
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.counter("dxbsp_requests_total", "Memory requests simulated", self.requests.get());
+        reg.counter("dxbsp_supersteps_total", "Supersteps executed", self.supersteps.get());
+        reg.counter(
+            "dxbsp_attributed_cycles_total",
+            "Cycles attributed across supersteps (equals the session clock)",
+            self.attributed_cycles.get(),
+        );
+        let (l, p, b) = self.bound_counts();
+        reg.labelled_counter(
+            "dxbsp_bound_supersteps_total",
+            "Supersteps bound by each (d,x)-BSP cost term",
+            vec![
+                (vec![("term".to_string(), "latency".to_string())], l as f64),
+                (vec![("term".to_string(), "processor".to_string())], p as f64),
+                (vec![("term".to_string(), "bank".to_string())], b as f64),
+            ],
+        );
+        reg.counter(
+            "dxbsp_window_stall_cycles_total",
+            "Cycles processors spent stalled on a full issue window",
+            self.stall_cycles.get(),
+        );
+        reg.counter(
+            "dxbsp_scheduler_cascades_total",
+            "Time-wheel cascade operations",
+            self.cascades.get(),
+        );
+        reg.histogram(
+            "dxbsp_bank_queue_wait_cycles",
+            "Per-request bank queue wait",
+            &self.queue_wait_hist,
+        );
+        reg.labelled_counter(
+            "dxbsp_bank_busy_cycles_total",
+            "Service (dwell) cycles per bank",
+            self.banks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.requests > 0)
+                .map(|(i, t)| (vec![("bank".to_string(), i.to_string())], t.busy_cycles as f64))
+                .collect(),
+        );
+        reg.labelled_counter(
+            "dxbsp_bank_requests_total",
+            "Requests serviced per bank",
+            self.banks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.requests > 0)
+                .map(|(i, t)| (vec![("bank".to_string(), i.to_string())], t.requests as f64))
+                .collect(),
+        );
+        let (hot_bank, hot) = self.hottest_bank();
+        reg.gauge("dxbsp_hot_bank", "Index of the bank with the most dwell", hot_bank as f64);
+        reg.gauge("dxbsp_hot_bank_busy_cycles", "Dwell cycles of the hottest bank", hot as f64);
+        reg
+    }
+
+    /// A flame-style text report: banks ranked by dwell, widest bar =
+    /// hottest bank, annotated with queue wait. `top` limits the rows;
+    /// `width` the bar width in characters.
+    #[must_use]
+    pub fn dwell_report(&self, top: usize, width: usize) -> String {
+        let mut ranked: Vec<(usize, &BankTrack)> =
+            self.banks.iter().enumerate().filter(|(_, b)| b.requests > 0).collect();
+        ranked.sort_by(|a, b| b.1.busy_cycles.cmp(&a.1.busy_cycles).then(a.0.cmp(&b.0)));
+        let hottest = ranked.first().map_or(0, |(_, b)| b.busy_cycles);
+        let mut out = String::new();
+        out.push_str("bank    requests      dwell   q-wait  dwell profile\n");
+        for (i, b) in ranked.into_iter().take(top) {
+            let bar = if hottest == 0 {
+                0
+            } else {
+                ((b.busy_cycles as u128 * width as u128) / hottest as u128) as usize
+            };
+            out.push_str(&format!(
+                "{i:>4} {:>11} {:>10} {:>8}  {}\n",
+                b.requests,
+                b.busy_cycles,
+                b.queue_wait,
+                "#".repeat(bar.max(1)),
+            ));
+        }
+        out
+    }
+}
+
+impl Probe for Recorder {
+    fn superstep_begin(&mut self, _index: usize, _requests: usize) {}
+
+    fn request(&mut self, t: RequestTiming) {
+        self.requests.inc();
+        let wait = t.queue_wait();
+        self.queue_wait_hist.record(wait);
+        self.cumulative_queue_wait = self.cumulative_queue_wait.saturating_add(wait);
+        self.queue_wait_series.push(t.start, self.cumulative_queue_wait);
+        let bank = self.bank_mut(t.bank);
+        bank.requests += 1;
+        bank.busy_cycles = bank.busy_cycles.saturating_add(t.service());
+        bank.queue_wait = bank.queue_wait.saturating_add(wait);
+        bank.max_queue_wait = bank.max_queue_wait.max(wait);
+        if t.cache_hit {
+            bank.cache_hits += 1;
+        }
+        self.proc_mut(t.proc).requests += 1;
+        if self.events.len() < self.event_cap {
+            self.events.push(t);
+        } else {
+            self.events_dropped.inc();
+        }
+    }
+
+    fn window_stall(&mut self, proc: usize, from: u64, until: u64) {
+        let stalled = until - from;
+        self.stall_cycles.add(stalled);
+        self.stall_hist.record(stalled);
+        let p = self.proc_mut(proc);
+        p.stall_cycles = p.stall_cycles.saturating_add(stalled);
+        p.stalls += 1;
+        if self.stalls.len() < STALL_CAP {
+            self.stalls.push(StallInterval { proc, from, until });
+        }
+    }
+
+    fn scheduler_cascades(&mut self, count: u64) {
+        self.cascades.add(count);
+    }
+
+    fn superstep_end(&mut self, label: &str, report: &StepReport) {
+        self.supersteps.inc();
+        self.attributed_cycles.add(report.total_cycles);
+        match report.binding() {
+            "latency" => self.bound_latency.inc(),
+            "processor" => self.bound_processor.inc(),
+            _ => self.bound_bank.inc(),
+        }
+        if self.steps.len() < STEP_CAP {
+            self.steps.push(StepTrack { label: label.to_string(), report: report.clone() });
+        } else {
+            self.steps_dropped.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxbsp_core::CostBreakdown;
+
+    fn timing(proc: usize, bank: usize, issued: u64) -> RequestTiming {
+        RequestTiming {
+            proc,
+            bank,
+            issued,
+            arrived: issued + 2,
+            forwarded: issued + 2,
+            start: issued + 5,
+            end: issued + 19,
+            done: issued + 21,
+            cache_hit: false,
+        }
+    }
+
+    fn report(total: u64, bank: u64) -> StepReport {
+        StepReport {
+            index: 0,
+            requests: 4,
+            memory_cycles: total,
+            local_work: 0,
+            sync_overhead: 0,
+            total_cycles: total,
+            model: CostBreakdown { latency: 1, processor: 2, bank },
+        }
+    }
+
+    #[test]
+    fn aggregates_per_bank_and_proc() {
+        let mut r = Recorder::new();
+        r.request(timing(0, 3, 0));
+        r.request(timing(1, 3, 4));
+        r.request(timing(0, 1, 8));
+        assert_eq!(r.requests(), 3);
+        assert_eq!(r.banks()[3].requests, 2);
+        assert_eq!(r.banks()[3].busy_cycles, 28);
+        assert_eq!(r.banks()[3].queue_wait, 6);
+        assert_eq!(r.procs()[0].requests, 2);
+        assert_eq!(r.hottest_bank().0, 3);
+    }
+
+    #[test]
+    fn event_cap_drops_but_keeps_counting() {
+        let mut r = Recorder::with_event_cap(2);
+        for i in 0..5 {
+            r.request(timing(0, 0, i));
+        }
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events_dropped(), 3);
+        assert_eq!(r.requests(), 5);
+        assert_eq!(r.banks()[0].requests, 5);
+    }
+
+    #[test]
+    fn attribution_accumulates_and_classifies() {
+        let mut r = Recorder::new();
+        r.superstep_end("a", &report(100, 50));
+        r.superstep_end("b", &report(7, 0));
+        assert_eq!(r.supersteps(), 2);
+        assert_eq!(r.attributed_cycles(), 107);
+        let (l, p, b) = r.bound_counts();
+        assert_eq!((l, p, b), (0, 1, 1));
+        assert_eq!(r.steps()[0].label, "a");
+    }
+
+    #[test]
+    fn summary_has_the_headline_fields() {
+        let mut r = Recorder::new();
+        r.request(timing(0, 2, 0));
+        r.superstep_end("", &report(21, 21));
+        let s = r.summary();
+        assert_eq!(s.get("requests").unwrap().as_int(), Some(1));
+        assert_eq!(s.get("attributed_cycles").unwrap().as_int(), Some(21));
+        assert_eq!(s.get("hot_bank").unwrap().as_int(), Some(2));
+        // Round-trips through JSON.
+        let json = s.to_json();
+        let back = SpecValue::from_json(&json).unwrap();
+        assert_eq!(back.get("requests").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn stalls_and_cascades_counted() {
+        let mut r = Recorder::new();
+        r.window_stall(1, 10, 25);
+        r.window_stall(1, 30, 32);
+        r.scheduler_cascades(7);
+        assert_eq!(r.stall_cycles(), 17);
+        assert_eq!(r.procs()[1].stalls, 2);
+        assert_eq!(r.cascades(), 7);
+    }
+
+    #[test]
+    fn dwell_report_ranks_banks() {
+        let mut r = Recorder::new();
+        r.request(timing(0, 5, 0));
+        r.request(timing(0, 5, 4));
+        r.request(timing(0, 2, 8));
+        let rep = r.dwell_report(8, 20);
+        let lines: Vec<&str> = rep.lines().collect();
+        assert!(lines[0].starts_with("bank"));
+        assert!(lines[1].trim_start().starts_with('5'), "hottest first: {rep}");
+        assert_eq!(lines.len(), 3);
+    }
+}

@@ -1,6 +1,8 @@
 //! The VM executor: vector operations over simulated banked memory.
 
-use dxbsp_core::{AccessPattern, MachineParams, Request};
+use dxbsp_core::{
+    pattern_breakdown, AccessPattern, CostBreakdown, CostModel, MachineParams, Request,
+};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{Session, SimulatorBackend};
 use serde::{Deserialize, Serialize};
@@ -22,6 +24,19 @@ pub struct OpCost {
     pub max_contention: usize,
     /// Simulated cycles (including `L` per superstep).
     pub cycles: u64,
+    /// The (d,x)-BSP prediction `max(L, g·h, d·R)` for this op's
+    /// pattern, kept per-term so profiles can attribute each op to the
+    /// resource that bound it.
+    pub predicted: CostBreakdown,
+}
+
+impl OpCost {
+    /// Which predicted term bound this op (`"latency"`, `"processor"`
+    /// or `"bank"`).
+    #[must_use]
+    pub fn binding(&self) -> &'static str {
+        self.predicted.binding()
+    }
 }
 
 struct VecMeta {
@@ -120,11 +135,13 @@ impl Executor {
         // the per-op record carries the same total.
         let out = self.session.step(&pattern, &self.map);
         let prof = pattern.contention_profile();
+        let predicted = pattern_breakdown(&self.machine, &pattern, &self.map, CostModel::DxBsp);
         self.costs.push(OpCost {
             label,
             requests: prof.total_requests,
             max_contention: prof.max_location_contention,
             cycles: out.cycles + self.machine.l,
+            predicted,
         });
         self.session.pool().release(pattern);
     }
@@ -510,6 +527,26 @@ mod tests {
         assert_eq!(cost.max_contention, 64);
         // The hot read serializes: at least d·64 cycles.
         assert!(cost.cycles >= 8 * 64, "cycles {}", cost.cycles);
+        // Attribution: the bank term d·R dominates and says so.
+        assert!(cost.predicted.bank >= 8 * 64, "bank term {}", cost.predicted.bank);
+        assert_eq!(cost.binding(), "bank");
+    }
+
+    #[test]
+    fn every_op_carries_a_prediction() {
+        let mut vm = vm();
+        let a = vm.constant(&[1; 32]);
+        let b = vm.iota(32);
+        let _ = vm.binop(BinOp::Add, a, b);
+        for cost in vm.costs() {
+            assert!(cost.predicted.total() > 0, "{} predicted nothing", cost.label);
+            assert!(
+                ["latency", "processor", "bank"].contains(&cost.binding()),
+                "{} binding {}",
+                cost.label,
+                cost.binding()
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,11 @@
 # median.point_estimate in nanoseconds, which is all this scrapes.
 # On hosts without registry access the benches are built through
 # scripts/offline-dev.sh automatically.
+#
+# The scrape includes the sim/probe group, which records the telemetry
+# seam's overhead: sim/probe/noop must track sim/probe/unprobed within
+# ~2% (the zero-cost-when-disabled guard), and sim/probe/recorder is
+# the tracked price of running with full telemetry on.
 set -euo pipefail
 
 root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -21,3 +21,24 @@ target/release/dxbench list >/dev/null
 target/release/dxbench run examples/scenarios/exp1_quick.toml --json /tmp/dxbench-smoke.jsonl >/dev/null
 grep -q '"measured"' /tmp/dxbench-smoke.jsonl
 rm -f /tmp/dxbench-smoke.jsonl
+
+# Smoke-test the profiler: dxprof on a committed scenario must emit a
+# Chrome trace that parses as JSON and Prometheus output that lints
+# (non-comment lines are `name{labels} value` with a numeric value).
+target/release/dxprof --scenario examples/scenarios/exp1_quick.toml \
+    --chrome /tmp/dxprof-smoke.chrome.json \
+    --prom /tmp/dxprof-smoke.prom >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/dxprof-smoke.chrome.json") as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "empty chrome trace"
+with open("/tmp/dxprof-smoke.prom") as f:
+    samples = [l for l in f if l.strip() and not l.startswith("#")]
+assert samples, "no prometheus samples"
+for line in samples:
+    name, _, value = line.rpartition(" ")
+    assert name, f"malformed sample: {line!r}"
+    float(value)
+EOF
+rm -f /tmp/dxprof-smoke.chrome.json /tmp/dxprof-smoke.prom
