@@ -190,13 +190,17 @@ impl<'s> StreamingTracer<'s> {
             }
             Mode::Stream { sink, spare, emitted } => {
                 // Package the step in the recycled buffer, swap the
-                // buffer's old (cleared) pattern in as the new current.
+                // buffer's old pattern in as the new current. The sink
+                // recycles (clears) every buffer before handing it
+                // back, so the swapped-in pattern only needs
+                // re-targeting at this builder's processor count — no
+                // second clear pass per barrier.
                 std::mem::swap(&mut spare.pattern, &mut self.current);
                 spare.local_work = local;
                 spare.label.clear();
                 spare.label.push_str(label);
                 *spare = sink.emit(std::mem::take(spare));
-                self.current.reset(self.procs);
+                self.current.retarget(self.procs);
                 *emitted += 1;
             }
         }

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use dxbsp_algos::{radix_sort, TraceBuilder};
+use dxbsp_bench::{run_builtin, Scale};
 use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
 use dxbsp_machine::{
     Backend, NoopProbe, Session, SessionSink, SimConfig, Simulator, SimulatorBackend,
@@ -162,12 +163,35 @@ fn bench_stream_vs_materialize(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sweep throughput of hybrid execution: the event-level exp4 grid
+/// (16 expansion × delay points) against the hybrid `exp4_hybrid` grid
+/// (1600 points — every `(x, d)` pair). Classification depends on the
+/// bank assignment but not on `d`, so the hybrid executor analyzes
+/// each expansion row once and charges every delay point closed-form;
+/// 100× the points must finish in *less* wall-clock than the
+/// event-level grid, which is the headline claim of hybrid mode.
+/// Throughput is reported in sweep points per second.
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/sweep_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("full_grid_16", |b| {
+        b.iter(|| black_box(run_builtin("exp4", Scale::Quick, 1995)))
+    });
+    g.throughput(Throughput::Elements(1600));
+    g.bench_function("hybrid_grid_1600", |b| {
+        b.iter(|| black_box(run_builtin("exp4_hybrid", Scale::Quick, 1995)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_scatter_shapes,
     bench_window_and_sections,
     bench_probe_overhead,
     bench_session_reuse,
-    bench_stream_vs_materialize
+    bench_stream_vs_materialize,
+    bench_sweep_throughput
 );
 criterion_main!(benches);

@@ -21,11 +21,18 @@
 //!                     stdout); `--json` records also gain a
 //!                     `telemetry` field. Measurements are unchanged:
 //!                     probed runs are bit-identical.
+//!   --check-hybrid    differential mode for hybrid scenarios: run as
+//!                     declared, rerun forced to full simulation, and
+//!                     fail unless every point's cycles agree within
+//!                     the declared `hybrid_error_bound`. `--json`
+//!                     records gain `full_measured` and `err` columns.
 
 use std::process::ExitCode;
 
-use dxbsp_bench::{records_to_jsonl, run_scenario, scenarios, telemetry_to_jsonl, Scale};
-use dxbsp_core::{DxError, Scenario};
+use dxbsp_bench::{
+    records_to_jsonl, run_scenario, scenarios, telemetry_to_jsonl, Cell, RunRecord, Scale,
+};
+use dxbsp_core::{DxError, ExecMode, Scenario};
 
 fn die(msg: &str) -> ! {
     eprintln!("dxbench: {msg}");
@@ -34,7 +41,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--telemetry PATH]"
+        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--telemetry PATH] [--check-hybrid]"
     );
     std::process::exit(2);
 }
@@ -46,6 +53,7 @@ struct Opts {
     json: Option<String>,
     threads: Option<usize>,
     telemetry: Option<String>,
+    check_hybrid: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -55,6 +63,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut json = None;
     let mut threads = None;
     let mut telemetry = None;
+    let mut check_hybrid = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -74,6 +83,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 telemetry =
                     Some(it.next().unwrap_or_else(|| die("--telemetry needs a path")).clone());
             }
+            "--check-hybrid" => check_hybrid = true,
             other if other.starts_with('-') => die(&format!("unknown option {other}")),
             other => {
                 if target.replace(other.to_string()).is_some() {
@@ -83,7 +93,7 @@ fn parse_opts(args: &[String]) -> Opts {
         }
     }
     let Some(target) = target else { usage() };
-    Opts { target, scale, seed, json, threads, telemetry }
+    Opts { target, scale, seed, json, threads, telemetry, check_hybrid }
 }
 
 /// A scenario from a `.toml`/`.json` file path, or a built-in by name.
@@ -106,6 +116,64 @@ fn load(opts: &Opts) -> Result<Scenario, DxError> {
     }
 }
 
+/// The differential hybrid check: run the scenario as declared
+/// (hybrid), rerun it forced to full event-level simulation, and assert
+/// every point's cycle count sits within the declared error bound.
+/// Returns the hybrid records augmented with `full_measured` and `err`
+/// columns so `--json` captures the realized-vs-declared comparison.
+fn check_hybrid(sc: &Scenario, hybrid: &[RunRecord]) -> Result<Vec<RunRecord>, DxError> {
+    let Some(bound) = sc.exec.error_bound() else {
+        return Err(DxError::invalid(
+            "--check-hybrid needs a scenario declaring `hybrid_error_bound`",
+        ));
+    };
+    let mut full_sc = sc.clone();
+    full_sc.exec = ExecMode::Full;
+    let full = run_scenario(&full_sc)?;
+    if hybrid.len() != full.records.len() {
+        return Err(DxError::invalid(format!(
+            "check-hybrid: {} hybrid records vs {} full records",
+            hybrid.len(),
+            full.records.len()
+        )));
+    }
+    let mut augmented = Vec::with_capacity(hybrid.len());
+    let mut max_err = 0.0f64;
+    let mut violations = 0usize;
+    for (h, f) in hybrid.iter().zip(&full.records) {
+        if h.point != f.point {
+            return Err(DxError::invalid(format!(
+                "check-hybrid: point mismatch {:?} vs {:?}",
+                h.point, f.point
+            )));
+        }
+        let cycles = |rec: &RunRecord| {
+            rec.get("measured")
+                .and_then(Cell::as_f64)
+                .ok_or_else(|| DxError::invalid("check-hybrid: record lacks a numeric `measured`"))
+        };
+        let (hv, fv) = (cycles(h)?, cycles(f)?);
+        let err = if fv == 0.0 { f64::from(u8::from(hv != 0.0)) } else { (fv - hv).abs() / fv };
+        max_err = max_err.max(err);
+        if err > bound {
+            violations += 1;
+            eprintln!("check-hybrid: point {:?}: hybrid {hv} vs full {fv} (err {err:.6})", h.point);
+        }
+        augmented
+            .push(h.clone().with("full_measured", Cell::Float(fv)).with("err", Cell::Float(err)));
+    }
+    println!(
+        "check-hybrid: {} points, max realized error {max_err:.6} within declared bound {bound}",
+        hybrid.len()
+    );
+    if violations > 0 {
+        return Err(DxError::invalid(format!(
+            "check-hybrid: {violations} point(s) exceed the declared bound {bound}"
+        )));
+    }
+    Ok(augmented)
+}
+
 fn cmd_run(args: &[String]) -> Result<(), DxError> {
     let opts = parse_opts(args);
     let mut sc = load(&opts)?;
@@ -115,7 +183,10 @@ fn cmd_run(args: &[String]) -> Result<(), DxError> {
     if opts.telemetry.is_some() {
         sc.telemetry = true;
     }
-    let out = run_scenario(&sc)?;
+    let mut out = run_scenario(&sc)?;
+    if opts.check_hybrid {
+        out.records = check_hybrid(&sc, &out.records)?;
+    }
     let mut stdout_taken = false;
     if let Some(path) = &opts.telemetry {
         let jsonl = telemetry_to_jsonl(&sc.name, &out.records);
@@ -155,7 +226,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("list") => {
             for name in scenarios::builtin_names() {
-                println!("{name}");
+                let marker = if scenarios::has_golden(name) { "golden" } else { "-" };
+                println!("{name:<18} {marker}");
             }
             Ok(())
         }

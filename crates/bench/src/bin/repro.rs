@@ -54,6 +54,12 @@ fn registry() -> Vec<Experiment> {
         ),
         e("exp3", "entropy distributions", exp::scatter::exp3_entropy, Some((1, &[2, 3, 4], true))),
         e("exp4", "expansion-factor sweep", exp::scatter::exp4_expansion, Some((0, &[1, 2], true))),
+        e(
+            "exp4_hybrid",
+            "hybrid 100x expansion x delay grid",
+            exp::hybrid::exp4_hybrid_sweep,
+            None,
+        ),
         e("exp5", "sectioned-network congestion (a)(b)(c)", exp::network::exp5_network, None),
         e(
             "exp6",

@@ -1,0 +1,184 @@
+//! The hybrid large-grid sweep: classification reuse across the `d`
+//! axis.
+//!
+//! A `hybrid-sweep` scenario sweeps `x` (outer) × `d` (inner) over one
+//! workload. Which bank each key resolves to depends on the bank count
+//! `x·p` but not on the bank delay, so the [`Classifier`] runs **once
+//! per `x` row** and the resulting [`StepShape`](dxbsp_core::StepShape)
+//! is charged closed-form at every `d` point in O(1) — this is what
+//! lets a hybrid run cover a grid two orders of magnitude denser than
+//! the event-level Experiment 4 in less wall-clock than the original
+//! needed. Points the classifier refuses (and every point of a run
+//! forced to [`ExecMode::Full`], as `dxbench run --check-hybrid` does)
+//! fall back to the discrete-event simulator on the *same* pattern and
+//! bank mapping, so the two modes are directly comparable per point.
+
+use dxbsp_core::{
+    AccessPattern, BankMap, ChargeParams, Classifier, DxError, ExecMode, Scenario, SweepPoint,
+};
+use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
+use dxbsp_workloads::{generate_keys, KeyRequest};
+
+use crate::record::{Cell, RunRecord};
+use crate::sweep::{machine_for_point, ScenarioOutput};
+use crate::table::Table;
+
+/// The generic hybrid-sweep executor. Requires sweep axes `x` then `d`
+/// and a fixed `n`; contention comes from the workload (plus an
+/// optional `k` parameter, as in scatter sweeps).
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] for a malformed sweep (missing axes, missing
+/// `n`) and anything machine resolution or key generation reports.
+pub fn run_hybrid_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let axes = &sc.sweep.axes;
+    if axes.len() != 2 || axes[0].param != "x" || axes[1].param != "d" {
+        return Err(DxError::invalid("hybrid-sweep needs sweep axes `x` then `d`"));
+    }
+    let n = sc.n.ok_or_else(|| DxError::invalid("hybrid-sweep needs `n`"))?;
+    let k =
+        usize::try_from(sc.param_u64("k", 0)?).map_err(|_| DxError::invalid("k out of range"))?;
+    let bound_ppm = match sc.exec {
+        ExecMode::Hybrid { error_bound_ppm } => Some(error_bound_ppm),
+        ExecMode::Full => None,
+    };
+    let d_count = axes[1].values.len();
+    let matrix = sc.sweep.matrix();
+
+    let mut classifier = Classifier::new();
+    // The event-level fallback, built lazily: an all-analytic hybrid
+    // run never constructs a simulator at all.
+    let mut backend: Option<SimulatorBackend> = None;
+    let mut bank_buf: Vec<u32> = Vec::new();
+    let mut records = Vec::with_capacity(matrix.len());
+    let mut summary = Vec::new();
+
+    for chunk in matrix.chunks(d_count) {
+        let m0 = machine_for_point(sc, &chunk[0])?;
+        let x = chunk[0].u64("x").unwrap_or(m0.x as u64);
+        // Keys, bank mapping and hence the step classification are
+        // shared by the whole d-row; only the charge parameters change
+        // along it.
+        let req = KeyRequest { n, k, copies: 1, iteration: 0, exponent: 0.0 };
+        let keys = generate_keys(&sc.workload, &req, sc.seed, x)?;
+        let map = super::hashed_map(&m0, sc.seed ^ x);
+        let pat = AccessPattern::scatter(m0.p, &keys);
+        map.fill_banks(pat.addrs(), &mut bank_buf);
+        let shape = classifier.analyze(&pat, &bank_buf, m0.banks());
+
+        let mut modeled = 0usize;
+        let mut simulated = 0usize;
+        let mut row_cycles: Vec<u64> = Vec::with_capacity(chunk.len());
+        for pt in chunk {
+            let m = machine_for_point(sc, pt)?;
+            let verdict = bound_ppm.map(|ppm| shape.charge(&ChargeParams::new(m.g, m.d, 0, ppm)));
+            let (measured, was_modeled) = match verdict {
+                Some(v) if v.is_analytic() => (v.cycles, true),
+                _ => {
+                    let be = backend.get_or_insert_with(|| super::backend(&m));
+                    let cfg = SimConfig::from_params(&m);
+                    if *be.simulator().config() != cfg {
+                        be.reconfigure(cfg);
+                    }
+                    (be.step(&pat, &map).cycles, false)
+                }
+            };
+            if was_modeled {
+                modeled += 1;
+            } else {
+                simulated += 1;
+            }
+            row_cycles.push(measured);
+            records.push(point_record(pt, n, measured, was_modeled));
+        }
+        summary.push(summary_row(x, &row_cycles, n, modeled, simulated));
+    }
+
+    let headers = ["x", "points", "modeled", "simulated", "cyc/elem @ d_min", "cyc/elem @ d_max"];
+    let mut table = Table::from_cells(super::scatter::scenario_title(sc), &headers, &summary);
+    for note in &sc.notes {
+        table.note(note.clone());
+    }
+    Ok(ScenarioOutput { records, table })
+}
+
+fn point_record(pt: &SweepPoint, n: usize, measured: u64, modeled: bool) -> RunRecord {
+    let mut rec = RunRecord::default();
+    for c in &pt.coords {
+        rec.point.push((c.axis.clone(), Cell::from_axis(&c.value)));
+    }
+    rec.with("n", Cell::size(n))
+        .with("measured", Cell::int(measured))
+        .with("modeled", Cell::int(u64::from(modeled)))
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn summary_row(x: u64, cycles: &[u64], n: usize, modeled: usize, simulated: usize) -> Vec<Cell> {
+    let cpe = |c: u64| Cell::Float(c as f64 / n as f64);
+    vec![
+        Cell::int(x),
+        Cell::size(cycles.len()),
+        Cell::size(modeled),
+        Cell::size(simulated),
+        cpe(cycles.first().copied().unwrap_or(0)),
+        cpe(cycles.last().copied().unwrap_or(0)),
+    ]
+}
+
+/// Experiment 4H wrapper: the 100×-denser hybrid expansion × delay
+/// grid. See [`run_hybrid_sweep`].
+#[must_use]
+pub fn exp4_hybrid_sweep(scale: crate::Scale, seed: u64) -> Table {
+    crate::run_builtin("exp4_hybrid", scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    fn hybrid_sc(scale: Scale) -> Scenario {
+        crate::scenarios::builtin("exp4_hybrid", scale, 1995).unwrap()
+    }
+
+    #[test]
+    fn hybrid_sweep_models_the_whole_grid() {
+        let sc = hybrid_sc(Scale::Quick);
+        let out = run_hybrid_sweep(&sc).unwrap();
+        assert_eq!(out.records.len(), sc.sweep.size());
+        // The hotspot rows classify as Bounded with slack well inside
+        // the declared 5% bound at every d ≥ 6: everything is modeled.
+        for rec in &out.records {
+            assert_eq!(rec.get("modeled"), Some(&Cell::Int(1)), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn forced_full_matches_hybrid_within_declared_bound() {
+        let mut sc = hybrid_sc(Scale::Quick);
+        let bound = sc.exec.error_bound().unwrap();
+        // Shrink the grid so the event-level arm stays test-sized.
+        sc.sweep.axes[0] = dxbsp_core::Axis::ints("x", [1, 8]);
+        sc.sweep.axes[1] = dxbsp_core::Axis::ints("d", [6, 50, 205]);
+        let hybrid = run_hybrid_sweep(&sc).unwrap();
+        sc.exec = ExecMode::Full;
+        let full = run_hybrid_sweep(&sc).unwrap();
+        assert_eq!(hybrid.records.len(), full.records.len());
+        for (h, f) in hybrid.records.iter().zip(&full.records) {
+            let hv = h.get("measured").and_then(Cell::as_f64).unwrap();
+            let fv = f.get("measured").and_then(Cell::as_f64).unwrap();
+            assert_eq!(f.get("modeled"), Some(&Cell::Int(0)));
+            let err = (fv - hv).abs() / fv;
+            assert!(err <= bound, "point {:?}: hybrid {hv} vs full {fv} (err {err})", h.point);
+        }
+    }
+
+    #[test]
+    fn hybrid_sweep_rejects_malformed_axes() {
+        let mut sc = hybrid_sc(Scale::Quick);
+        sc.sweep.axes.swap(0, 1);
+        let err = run_hybrid_sweep(&sc).unwrap_err();
+        assert!(err.to_string().contains("`x` then `d`"), "{err}");
+    }
+}

@@ -11,13 +11,14 @@ pub mod algo_bench;
 pub mod emulation;
 pub mod extensions;
 pub mod fig1;
+pub mod hybrid;
 pub mod modmap;
 pub mod network;
 pub mod scatter;
 pub mod shapes;
 pub mod tables;
 
-use dxbsp_core::{pattern_breakdown, AccessPattern, BankMap, CostModel, MachineParams};
+use dxbsp_core::{pattern_breakdown, AccessPattern, BankMap, CostModel, ExecMode, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{Backend, ModelBackend, Probe, SimConfig, SimulatorBackend, StepReport};
 use rand::rngs::StdRng;
@@ -49,6 +50,14 @@ pub fn hashed_map(m: &MachineParams, seed: u64) -> HashedBanks {
 #[must_use]
 pub fn backend(m: &MachineParams) -> SimulatorBackend {
     SimulatorBackend::from_params(m)
+}
+
+/// A simulator backend realizing `m` under execution mode `exec` —
+/// hybrid scenarios route here so provably cheap supersteps take the
+/// closed-form path instead of the event loop.
+#[must_use]
+pub fn backend_with(m: &MachineParams, exec: ExecMode) -> SimulatorBackend {
+    SimulatorBackend::new(SimConfig::from_params(m).with_exec(exec))
 }
 
 /// A model backend charging `model` costs on `m` — the "predicted"
@@ -91,7 +100,9 @@ pub fn measured_scatter_in(
     keys: &[u64],
     seed: u64,
 ) -> u64 {
-    let cfg = SimConfig::from_params(m);
+    // Reconfiguring preserves the backend's execution mode: a hybrid
+    // sweep stays hybrid across grid points, a full run stays full.
+    let cfg = SimConfig::from_params(m).with_exec(backend.simulator().config().exec);
     if *backend.simulator().config() != cfg {
         backend.reconfigure(cfg);
     }
@@ -114,7 +125,7 @@ pub fn measured_scatter_probed_in<P: Probe>(
     seed: u64,
     probe: &mut P,
 ) -> u64 {
-    let cfg = SimConfig::from_params(m);
+    let cfg = SimConfig::from_params(m).with_exec(backend.simulator().config().exec);
     if *backend.simulator().config() != cfg {
         backend.reconfigure(cfg);
     }
@@ -129,6 +140,7 @@ pub fn measured_scatter_probed_in<P: Probe>(
         local_work: 0,
         sync_overhead: 0,
         total_cycles: out.cycles,
+        modeled: out.modeled,
         model: pattern_breakdown(m, &pat, &map, CostModel::DxBsp),
     };
     probe.superstep_end("scatter", &report);

@@ -86,7 +86,9 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
     let models = sc.models.clone();
     let results: Vec<Result<PointResult, DxError>> = parallel_map_with(
         &prepared,
-        || super::backend(&base_m),
+        // Workers inherit the scenario's execution mode: hybrid sweeps
+        // charge eligible supersteps closed-form, full sweeps simulate.
+        || super::backend_with(&base_m, sc.exec),
         |be, p| {
             let salt = p.pt.salt();
             let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;

@@ -56,7 +56,7 @@ pub struct Profile {
 /// whatever scenario validation or workload generation reports.
 pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, DxError> {
     sc.validate()?;
-    if sc.kind != "scatter-sweep" {
+    if sc.kind != "scatter-sweep" && sc.kind != "hybrid-sweep" {
         return Err(DxError::invalid(format!(
             "scenario kind `{}` has no profiled executor; capture a trace with dxtrace and \
              profile it with --trace",
@@ -75,7 +75,10 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
     let salt = p.pt.salt();
     let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;
     let mut rec = Recorder::new();
-    let mut backend = experiments::backend(&p.m);
+    // The backend inherits the scenario's execution mode, so profiling
+    // a hybrid scenario shows its closed-form charges as
+    // `modeled_steps` in the summary.
+    let mut backend = experiments::backend_with(&p.m, sc.exec);
     let cycles = experiments::measured_scatter_probed_in(
         &mut backend,
         &p.m,
@@ -142,6 +145,11 @@ pub fn text_report(p: &Profile, top: usize) -> String {
     out.push_str(&format!(
         "bound by: latency {l}, processor {pr}, bank {b} (of {} supersteps)\n",
         rec.supersteps()
+    ));
+    out.push_str(&format!(
+        "execution: {} event-level simulated, {} charged closed-form\n",
+        rec.simulated_steps(),
+        rec.modeled_steps()
     ));
     out.push_str(&format!(
         "queue wait: {} cycles total, p99 ≤ {}; window stalls: {} cycles; cascades: {}\n",
@@ -214,6 +222,21 @@ mod tests {
         let other = scenarios::builtin("table1", Scale::Quick, 1995).unwrap();
         let err = profile_scenario(&other, None).unwrap_err();
         assert!(err.to_string().contains("--trace"), "{err}");
+    }
+
+    #[test]
+    fn hybrid_scenario_profile_reports_modeled_steps() {
+        let sc = scenarios::builtin("exp4_hybrid", Scale::Quick, 1995).unwrap();
+        let p = profile_scenario(&sc, Some(0)).unwrap();
+        // The hotspot point classifies inside the declared bound: the
+        // superstep is charged closed-form, not event-level simulated.
+        assert_eq!(p.recorder.modeled_steps(), 1);
+        assert_eq!(p.recorder.simulated_steps(), 0);
+        assert_eq!(p.recorder.attributed_cycles(), p.cycles);
+        let summary = p.recorder.summary();
+        assert_eq!(summary.get("modeled_steps").and_then(SpecValue::as_int), Some(1));
+        let report = text_report(&p, 4);
+        assert!(report.contains("1 charged closed-form"), "{report}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub fn builtin_names() -> Vec<&'static str> {
         "exp2",
         "exp3",
         "exp4",
+        "exp4_hybrid",
         "exp5",
         "exp6",
         "exp6b",
@@ -46,6 +47,16 @@ pub fn builtin_names() -> Vec<&'static str> {
         "ablation_injection",
         "ablation_strip",
     ]
+}
+
+/// Built-ins whose rendered table is pinned bit-for-bit by a golden
+/// CSV under `tests/golden/` (`dxbench list` marks them).
+pub const GOLDEN_PINNED: &[&str] = &["exp1", "exp2", "exp3", "fig1"];
+
+/// Whether the built-in `name` has a pinned golden CSV.
+#[must_use]
+pub fn has_golden(name: &str) -> bool {
+    GOLDEN_PINNED.contains(&name)
 }
 
 fn ints(param: &str, values: impl IntoIterator<Item = usize>) -> Axis {
@@ -177,6 +188,27 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Result<Scenario, DxError>
             ..Scenario::new(name, "scatter-sweep", seed)
         }
         .with_param("report", SpecValue::Str("per-element-by-d".into())),
+        "exp4_hybrid" => Scenario {
+            title: format!(
+                "Experiment 4H: hybrid 100x grid — expansion x delay (hotspot n={n}, k={})",
+                n / 2
+            ),
+            n: Some(n),
+            machine: machine_pdx(8, 6, 1),
+            workload: WorkloadSpec::Hotspot { range: 1 << 40 },
+            sweep: Sweep::new(vec![
+                ints("x", [1, 2, 4, 8, 16, 32, 64, 128]),
+                ints("d", 6..=205),
+            ]),
+            models: vec![],
+            exec: dxbsp_core::ExecMode::hybrid(0.05),
+            notes: vec![
+                "1600 grid points vs exp4's 16: classification runs once per x row, every d point is an O(1) closed-form charge within the declared 5% bound"
+                    .into(),
+            ],
+            ..Scenario::new(name, "hybrid-sweep", seed)
+        }
+        .with_param("k", SpecValue::Int((n / 2) as i64)),
         "exp_machines" => Scenario {
             title: format!("Machine comparison: contention sweep on both Cray presets (n={n})"),
             n: Some(n),

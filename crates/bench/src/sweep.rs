@@ -54,6 +54,7 @@ pub type Executor = fn(&Scenario) -> Result<ScenarioOutput, DxError>;
 /// The kind registry: every scenario `kind` the driver can execute.
 pub const KINDS: &[(&str, Executor)] = &[
     ("scatter-sweep", experiments::scatter::run_scatter_sweep),
+    ("hybrid-sweep", experiments::hybrid::run_hybrid_sweep),
     ("injection-order", experiments::scatter::run_injection_order),
     ("cc-trace", experiments::fig1::run_cc_trace),
     ("inventory", experiments::tables::run_inventory),

@@ -358,6 +358,50 @@ mod telemetry_cli {
     }
 
     #[test]
+    fn dxbench_check_hybrid_holds_the_declared_bound() {
+        let json_path = tmp("hybrid.check.jsonl");
+        let out = run_ok(
+            dxbench()
+                .args(["run", "exp4_hybrid", "--quick", "--check-hybrid", "--json"])
+                .arg(&json_path),
+        );
+        assert!(out.contains("check-hybrid:"), "{out}");
+        assert!(out.contains("within declared bound"), "{out}");
+
+        let text = std::fs::read_to_string(&json_path).expect("check records");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "no records written");
+        for line in lines {
+            let v = SpecValue::from_json(line).expect("record parses");
+            let values = v.get("values").expect("values object");
+            let err = values.get("err").and_then(SpecValue::as_float).expect("err column");
+            assert!(err <= 0.05, "realized error {err} exceeds the declared bound: {line}");
+            assert!(values.get("full_measured").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn dxbench_check_hybrid_rejects_non_hybrid_scenarios() {
+        let out =
+            dxbench().args(["run", "exp1", "--quick", "--check-hybrid"]).output().expect("spawn");
+        assert!(!out.status.success(), "exp1 has no hybrid bound but was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("hybrid_error_bound"), "{stderr}");
+    }
+
+    #[test]
+    fn dxbench_list_marks_golden_pinned_scenarios() {
+        let out = run_ok(dxbench().arg("list"));
+        for line in out.lines() {
+            let mut cols = line.split_whitespace();
+            let (name, marker) = (cols.next().expect("name"), cols.next().expect("marker"));
+            let expect =
+                if ["exp1", "exp2", "exp3", "fig1"].contains(&name) { "golden" } else { "-" };
+            assert_eq!(marker, expect, "{line}");
+        }
+    }
+
+    #[test]
     fn dxbench_telemetry_rides_along_without_changing_the_table() {
         let tele_path = tmp("bench.tele.jsonl");
         let plain = run_ok(dxbench().args(["run", "exp1", "--quick"]));

@@ -54,7 +54,7 @@ fn every_builtin_is_committed_as_a_scenario_file() {
     // examples/scenarios/builtin/<name>.toml is the dump of each
     // built-in at Full scale — the committed, runnable form of every
     // experiment. Regenerate with
-    // `for n in $(dxbench list); do dxbench dump $n > .../$n.toml; done`.
+    // `for n in $(dxbench list | awk '{print $1}'); do dxbench dump $n > .../$n.toml; done`.
     let dir =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios/builtin");
     for name in dxbsp_bench::scenarios::builtin_names() {
@@ -66,4 +66,37 @@ fn every_builtin_is_committed_as_a_scenario_file() {
         let in_code = dxbsp_bench::scenarios::builtin(name, Scale::Full, 1995).unwrap();
         assert_eq!(committed, in_code, "{name}.toml drifted from the in-code definition");
     }
+}
+
+#[test]
+fn every_committed_scenario_file_parses_validates_and_names_a_known_kind() {
+    // The converse of the test above: whatever sits in the committed
+    // scenario directory — including files no built-in claims — must be
+    // loadable by `dxbench run` (parse, validate, registered kind).
+    let dir =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios/builtin");
+    let kinds = dxbsp_bench::sweep::kinds();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let sc = dxbsp_core::Scenario::from_toml(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        sc.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            kinds.contains(&sc.kind.as_str()),
+            "{}: unregistered kind {}",
+            path.display(),
+            sc.kind
+        );
+        seen += 1;
+    }
+    assert!(
+        seen >= dxbsp_bench::scenarios::builtin_names().len(),
+        "only {seen} scenario files found"
+    );
 }

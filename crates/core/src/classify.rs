@@ -1,0 +1,403 @@
+//! Per-superstep contention classification for hybrid execution.
+//!
+//! The engine's event-level simulator is exact but pays ~tens of
+//! nanoseconds per request. For many supersteps the (d,x)-BSP charge
+//! `max(L, g·h, d·R)` is not just a good model — it is *provably* the
+//! simulated answer, or brackets it within a declared error bound.
+//! This module classifies a superstep from its SoA [`AccessPattern`]
+//! and the bank indices produced by `fill_banks`, so the engine can
+//! charge the cheap classes closed-form and reserve the time wheel for
+//! the genuinely contended ones.
+//!
+//! The closed forms assume the *simple* machine: uniform network,
+//! unbounded request window, no strip-mining, no bank cache. Under
+//! those conditions a processor with `k` requests issues them at
+//! cycles `0, g, 2g, …, (k−1)·g`, each request takes one transit leg
+//! (`lat`) to its bank, queues FIFO behind earlier arrivals, holds the
+//! bank for `d` cycles, and takes one leg back:
+//!
+//! - **Conflict-free** (`R ≤ 1`): no request queues, so the last
+//!   completion is exactly `(h−1)·g + d + 2·lat`.
+//! - **Hot bank** (every request on one bank, `g ≤ d`): the bank never
+//!   idles after its first arrival — the `k`-th smallest issue time is
+//!   at most `(k−1)·g ≤ (k−1)·d` — so the run takes exactly
+//!   `n·d + 2·lat`.
+//! - **Bounded** (anything else): the true time `C` satisfies
+//!   `LB ≤ C ≤ UB` with `LB = max((h−1)·g + d, R·d) + 2·lat` and
+//!   `UB = (h−1)·g + R·d + 2·lat`. Charging `LB` keeps the relative
+//!   error at most `(UB−LB)/LB = min((R−1)·d, (h−1)·g)/LB`; the
+//!   classifier accepts the step only when that ratio is within the
+//!   declared bound, so the guarantee holds *by construction*.
+//!
+//! The fast path is refused (class [`StepClass::Simulate`]) when the
+//! bracket is too loose for the declared bound, or when the step
+//! hammers a single hot *location* with writes — those are exactly the
+//! QRQW contention events the event-level probes exist to observe.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::AccessPattern;
+
+/// How the engine executes supersteps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Event-level simulation for every superstep (the default; exact).
+    #[default]
+    Full,
+    /// Charge provably cheap supersteps closed-form; simulate the rest.
+    Hybrid {
+        /// Maximum relative cycle error accepted per superstep, in
+        /// parts per million of the charged time (integer so the mode
+        /// stays `Copy + Eq` and round-trips exactly).
+        error_bound_ppm: u32,
+    },
+}
+
+impl ExecMode {
+    /// Hybrid mode with `error_bound` given as a fraction (e.g. `0.05`
+    /// for 5%). Values are clamped to `[0, 1)`.
+    #[must_use]
+    pub fn hybrid(error_bound: f64) -> Self {
+        let clamped = error_bound.clamp(0.0, 0.999_999);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        ExecMode::Hybrid { error_bound_ppm: (clamped * 1_000_000.0).round() as u32 }
+    }
+
+    /// Whether the mode charges any superstep analytically.
+    #[must_use]
+    pub fn is_hybrid(&self) -> bool {
+        matches!(self, ExecMode::Hybrid { .. })
+    }
+
+    /// The declared error bound as a fraction, when hybrid.
+    #[must_use]
+    pub fn error_bound(&self) -> Option<f64> {
+        match self {
+            ExecMode::Full => None,
+            ExecMode::Hybrid { error_bound_ppm } => Some(f64::from(*error_bound_ppm) / 1e6),
+        }
+    }
+}
+
+/// The scalar machine parameters the closed forms need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChargeParams {
+    /// Issue gap `g` (cycles between a processor's requests).
+    pub issue_gap: u64,
+    /// Bank service time `d`.
+    pub bank_delay: u64,
+    /// One-way network transit `lat` (each request pays two legs).
+    pub latency: u64,
+    /// Accepted relative error for the [`StepClass::Bounded`] class,
+    /// in parts per million of the charged time.
+    pub error_bound_ppm: u32,
+}
+
+impl ChargeParams {
+    /// Parameters for a machine with issue gap `g`, bank delay `d` and
+    /// one-way latency `lat`, accepting `error_bound_ppm` of model
+    /// slack.
+    #[must_use]
+    pub fn new(issue_gap: u64, bank_delay: u64, latency: u64, error_bound_ppm: u32) -> Self {
+        Self { issue_gap, bank_delay, latency, error_bound_ppm }
+    }
+}
+
+/// Which execution class a superstep falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepClass {
+    /// No requests: zero memory cycles, exactly.
+    Empty,
+    /// `R ≤ 1` — nothing queues; the closed form is exact.
+    ConflictFree,
+    /// Every request on one bank with `g ≤ d` — the bank pipeline
+    /// never bubbles; the closed form is exact.
+    HotBank,
+    /// Mixed contention whose `[LB, UB]` bracket fits the declared
+    /// error bound; charged `LB`, guaranteed within the bound.
+    Bounded,
+    /// Must run through the event-level simulator (bracket too loose,
+    /// or a hot-location write conflict the probes should see).
+    Simulate,
+}
+
+/// The contention summary of one superstep: everything the closed
+/// forms need, computed in one pass over the filled bank indices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepShape {
+    /// Total requests `n`.
+    pub requests: usize,
+    /// Maximum per-processor load `h`.
+    pub max_proc_load: u64,
+    /// Maximum per-bank load `R` under the active bank map.
+    pub max_bank_load: u64,
+    /// When every request lands on one bank, that bank's index.
+    pub single_bank: Option<u32>,
+    /// Every request targets one *location* and at least one writes —
+    /// the QRQW race the fast path refuses to paper over.
+    pub hot_write_conflict: bool,
+}
+
+/// What a classified superstep costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// The class the step fell in.
+    pub class: StepClass,
+    /// Charged memory cycles (0 for [`StepClass::Simulate`]).
+    pub cycles: u64,
+    /// Provable lower bound on the simulated time.
+    pub lower: u64,
+    /// Provable upper bound on the simulated time.
+    pub upper: u64,
+}
+
+impl Verdict {
+    /// Whether the step can be charged without simulating.
+    #[must_use]
+    pub fn is_analytic(&self) -> bool {
+        !matches!(self.class, StepClass::Simulate)
+    }
+
+    /// The bracket width `UB − LB`: the worst-case absolute cycle
+    /// error of the charge (0 for the exact classes).
+    #[must_use]
+    pub fn slack(&self) -> u64 {
+        self.upper - self.lower
+    }
+}
+
+impl StepShape {
+    /// Classify the step and price it under `p`, without touching the
+    /// pattern again — `O(1)`, so a sweep that holds the pattern (and
+    /// thus the shape) fixed can re-charge it across an axis of `d` or
+    /// `g` values for free.
+    #[must_use]
+    pub fn charge(&self, p: &ChargeParams) -> Verdict {
+        let n = self.requests as u64;
+        if n == 0 {
+            return Verdict { class: StepClass::Empty, cycles: 0, lower: 0, upper: 0 };
+        }
+        let (g, d, lat) = (p.issue_gap, p.bank_delay, p.latency);
+        let (h, r) = (self.max_proc_load, self.max_bank_load);
+        let round_trip = 2 * lat;
+        if r <= 1 {
+            let exact = (h - 1) * g + d + round_trip;
+            return Verdict {
+                class: StepClass::ConflictFree,
+                cycles: exact,
+                lower: exact,
+                upper: exact,
+            };
+        }
+        if self.hot_write_conflict {
+            return Verdict { class: StepClass::Simulate, cycles: 0, lower: 0, upper: 0 };
+        }
+        if self.single_bank.is_some() && g <= d {
+            let exact = n * d + round_trip;
+            return Verdict {
+                class: StepClass::HotBank,
+                cycles: exact,
+                lower: exact,
+                upper: exact,
+            };
+        }
+        let lower = ((h - 1) * g + d).max(r * d) + round_trip;
+        let upper = (h - 1) * g + r * d + round_trip;
+        let slack = upper - lower;
+        // Accept iff slack/lower ≤ bound, in exact integer arithmetic.
+        if u128::from(slack) * 1_000_000 <= u128::from(p.error_bound_ppm) * u128::from(lower) {
+            Verdict { class: StepClass::Bounded, cycles: lower, lower, upper }
+        } else {
+            Verdict { class: StepClass::Simulate, cycles: 0, lower, upper }
+        }
+    }
+}
+
+/// Reusable analysis state: per-bank and per-processor load counters
+/// sized once and reset sparsely, so classifying a superstep is one
+/// `O(n)` pass with no allocation in the steady state.
+#[derive(Debug, Clone, Default)]
+pub struct Classifier {
+    bank_counts: Vec<u32>,
+    touched: Vec<u32>,
+    proc_counts: Vec<u32>,
+    shape: StepShape,
+}
+
+impl Classifier {
+    /// A classifier with empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyze one superstep: `banks[i]` is the bank request `i`
+    /// resolves to (the buffer `fill_banks` produced), `num_banks` the
+    /// machine's bank count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not exactly one bank index per request.
+    pub fn analyze(&mut self, pat: &AccessPattern, banks: &[u32], num_banks: usize) -> StepShape {
+        assert_eq!(banks.len(), pat.len(), "one bank index per request");
+        if self.bank_counts.len() < num_banks {
+            self.bank_counts.resize(num_banks, 0);
+        }
+        for &b in &self.touched {
+            self.bank_counts[b as usize] = 0;
+        }
+        self.touched.clear();
+        self.proc_counts.clear();
+        self.proc_counts.resize(pat.procs(), 0);
+
+        for (&b, &p) in banks.iter().zip(pat.proc_ids()) {
+            let c = &mut self.bank_counts[b as usize];
+            if *c == 0 {
+                self.touched.push(b);
+            }
+            *c += 1;
+            self.proc_counts[p as usize] += 1;
+        }
+
+        let max_bank_load = self.touched.iter().map(|&b| self.bank_counts[b as usize]).max();
+        let single_bank = if self.touched.len() == 1 { Some(self.touched[0]) } else { None };
+        // Hot-location detection is only needed (and only cheap) when
+        // one bank holds the whole step: a location conflict forces a
+        // bank conflict, so multi-bank steps with R ≤ 1 are clean, and
+        // multi-bank steps with R > 1 are priced by the bracket, where
+        // location identity cannot change the timing.
+        let hot_write_conflict = single_bank.is_some()
+            && pat.len() > 1
+            && pat.addrs().iter().all(|&a| a == pat.addrs()[0])
+            && pat.has_writes();
+        self.shape = StepShape {
+            requests: pat.len(),
+            max_proc_load: self.proc_counts.iter().copied().max().unwrap_or(0).into(),
+            max_bank_load: max_bank_load.unwrap_or(0).into(),
+            single_bank,
+            hot_write_conflict,
+        };
+        self.shape
+    }
+
+    /// The shape computed by the last [`Classifier::analyze`] call.
+    #[must_use]
+    pub fn shape(&self) -> &StepShape {
+        &self.shape
+    }
+
+    /// Per-processor request counts from the last analysis.
+    #[must_use]
+    pub fn proc_loads(&self) -> &[u32] {
+        &self.proc_counts
+    }
+
+    /// The banks the last-analyzed step touched, with their loads.
+    pub fn touched_banks(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.touched.iter().map(|&b| (b as usize, self.bank_counts[b as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bankmap::{BankMap, Interleaved};
+
+    fn shape_of(pat: &AccessPattern, banks_n: usize) -> (Classifier, StepShape) {
+        let map = Interleaved::new(banks_n);
+        let mut banks = Vec::new();
+        map.fill_banks(pat.addrs(), &mut banks);
+        let mut cl = Classifier::new();
+        let shape = cl.analyze(pat, &banks, banks_n);
+        (cl, shape)
+    }
+
+    #[test]
+    fn conflict_free_is_exact_closed_form() {
+        // 4 procs × 4 requests, unit stride: every request its own bank.
+        let keys: Vec<u64> = (0..16).collect();
+        let pat = AccessPattern::scatter(4, &keys);
+        let (_, shape) = shape_of(&pat, 16);
+        assert_eq!(shape.max_bank_load, 1);
+        assert_eq!(shape.max_proc_load, 4);
+        let v = shape.charge(&ChargeParams::new(1, 14, 0, 0));
+        assert_eq!(v.class, StepClass::ConflictFree);
+        // (h−1)·g + d = 3 + 14.
+        assert_eq!(v.cycles, 17);
+        assert_eq!(v.slack(), 0);
+    }
+
+    #[test]
+    fn hot_bank_reads_are_exact_writes_are_refused() {
+        let keys = vec![7u64; 32];
+        let reads = AccessPattern::gather(8, &keys);
+        let (_, shape) = shape_of(&reads, 64);
+        assert_eq!(shape.single_bank, Some(7));
+        let v = shape.charge(&ChargeParams::new(1, 6, 10, 0));
+        assert_eq!(v.class, StepClass::HotBank);
+        // n·d + 2·lat.
+        assert_eq!(v.cycles, 32 * 6 + 20);
+
+        let writes = AccessPattern::scatter(8, &keys);
+        let (_, shape) = shape_of(&writes, 64);
+        assert!(shape.hot_write_conflict);
+        let v = shape.charge(&ChargeParams::new(1, 6, 10, 1_000_000 - 1));
+        assert_eq!(v.class, StepClass::Simulate);
+    }
+
+    #[test]
+    fn bounded_accepts_within_declared_slack_only() {
+        // 2 procs, 8 requests each, all on bank 0 and 1: R = 8, h = 8.
+        let keys: Vec<u64> = (0..16).map(|i| u64::from(i % 2 == 0)).collect();
+        let pat = AccessPattern::scatter(2, &keys);
+        let (_, shape) = shape_of(&pat, 4);
+        assert_eq!(shape.max_bank_load, 8);
+        assert_eq!(shape.single_bank, None);
+        // g=1, d=20: LB = max(7+20, 160) = 160, UB = 7+160 = 167,
+        // slack 7 → ratio 7/160 ≈ 4.4%.
+        let p = |ppm| ChargeParams::new(1, 20, 0, ppm);
+        let refused = shape.charge(&p(40_000));
+        assert_eq!(refused.class, StepClass::Simulate);
+        let accepted = shape.charge(&p(50_000));
+        assert_eq!(accepted.class, StepClass::Bounded);
+        assert_eq!(accepted.cycles, 160);
+        assert_eq!(accepted.upper, 167);
+    }
+
+    #[test]
+    fn empty_step_is_free() {
+        let pat = AccessPattern::new(4);
+        let (_, shape) = shape_of(&pat, 8);
+        let v = shape.charge(&ChargeParams::new(1, 14, 5, 0));
+        assert_eq!(v.class, StepClass::Empty);
+        assert_eq!(v.cycles, 0);
+    }
+
+    #[test]
+    fn classifier_scratch_resets_between_steps() {
+        let mut cl = Classifier::new();
+        let hot = AccessPattern::gather(2, &[3u64; 10]);
+        let map = Interleaved::new(8);
+        let mut banks = Vec::new();
+        map.fill_banks(hot.addrs(), &mut banks);
+        cl.analyze(&hot, &banks, 8);
+        assert_eq!(cl.shape().max_bank_load, 10);
+
+        let spread = AccessPattern::scatter(2, &[0, 1, 2, 3]);
+        map.fill_banks(spread.addrs(), &mut banks);
+        let shape = cl.analyze(&spread, &banks, 8);
+        assert_eq!(shape.max_bank_load, 1);
+        assert_eq!(shape.max_proc_load, 2);
+        assert_eq!(cl.touched_banks().count(), 4);
+        assert_eq!(cl.proc_loads(), &[2, 2]);
+    }
+
+    #[test]
+    fn exec_mode_round_trips_ppm() {
+        assert_eq!(ExecMode::hybrid(0.05), ExecMode::Hybrid { error_bound_ppm: 50_000 });
+        assert_eq!(ExecMode::hybrid(0.05).error_bound(), Some(0.05));
+        assert_eq!(ExecMode::Full.error_bound(), None);
+        assert!(!ExecMode::Full.is_hybrid());
+        assert!(ExecMode::hybrid(0.0).is_hybrid());
+    }
+}

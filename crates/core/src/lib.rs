@@ -46,6 +46,7 @@
 
 pub mod advisor;
 pub mod bankmap;
+pub mod classify;
 pub mod cost;
 pub mod error;
 pub mod logp;
@@ -59,6 +60,7 @@ pub mod spec;
 
 pub use advisor::{diagnose, Binding, Diagnosis, DuplicationAdvice};
 pub use bankmap::{BankMap, Interleaved};
+pub use classify::{ChargeParams, Classifier, ExecMode, StepClass, StepShape, Verdict};
 pub use cost::{
     bsp_superstep_cost, pattern_breakdown, pattern_cost, superstep_breakdown, superstep_cost,
     CostBreakdown, CostModel,

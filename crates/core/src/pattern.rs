@@ -191,6 +191,12 @@ impl AccessPattern {
         self.writes[i / 64] >> (i % 64) & 1 != 0
     }
 
+    /// Whether any request in the pattern is a write.
+    #[must_use]
+    pub fn has_writes(&self) -> bool {
+        self.writes.iter().any(|&w| w != 0)
+    }
+
     /// Number of requests.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -249,6 +255,21 @@ impl AccessPattern {
         assert!(procs >= 1, "need at least one processor");
         self.procs = procs;
         self.clear();
+    }
+
+    /// Re-targets an already-empty pattern at a `procs`-processor
+    /// machine without the clear pass [`AccessPattern::reset`] pays —
+    /// the hand-off hook for recycled buffers that a sink has already
+    /// cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs == 0` or the pattern still holds requests
+    /// (their processor ids would silently go out of range).
+    pub fn retarget(&mut self, procs: usize) {
+        assert!(procs >= 1, "need at least one processor");
+        assert!(self.is_empty(), "retarget requires an empty pattern");
+        self.procs = procs;
     }
 
     /// Overwrites `self` with a copy of `other`, reusing `self`'s
@@ -451,6 +472,25 @@ mod tests {
         for (p, s) in streams.iter().enumerate() {
             assert!(s.iter().all(|r| r.proc == p));
         }
+    }
+
+    #[test]
+    fn retarget_skips_the_clear_but_guards_emptiness() {
+        let mut pat = AccessPattern::with_capacity(2, 16);
+        pat.push_write(1, 7);
+        pat.clear();
+        pat.retarget(4);
+        assert_eq!(pat.procs(), 4);
+        pat.push_write(3, 1); // proc 3 only in range after the retarget
+        assert_eq!(pat.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retarget requires an empty pattern")]
+    fn retarget_rejects_pending_requests() {
+        let mut pat = AccessPattern::new(2);
+        pat.push_read(0, 1);
+        pat.retarget(4);
     }
 
     #[test]

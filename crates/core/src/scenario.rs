@@ -33,6 +33,7 @@
 //! assert_eq!(Scenario::from_toml(&sc.to_toml()).unwrap(), sc);
 //! ```
 
+use crate::classify::ExecMode;
 use crate::error::DxError;
 use crate::params::MachineParams;
 use crate::presets;
@@ -691,6 +692,10 @@ pub struct Scenario {
     /// record). Off by default: probes cost nothing when disabled, but
     /// recorded runs carry extra payload.
     pub telemetry: bool,
+    /// Execution mode: full event-level simulation (the default), or
+    /// hybrid, where provably cheap supersteps are charged closed-form
+    /// under a declared per-superstep relative error bound.
+    pub exec: ExecMode,
     /// Kind-specific parameters, preserved in declaration order.
     pub params: Vec<(String, SpecValue)>,
     /// Free-form notes echoed under the rendered table.
@@ -715,6 +720,7 @@ impl Scenario {
             backend: BackendSel::Simulator,
             threads: 0,
             telemetry: false,
+            exec: ExecMode::Full,
             params: Vec::new(),
             notes: Vec::new(),
         }
@@ -852,6 +858,9 @@ impl Scenario {
         if self.telemetry {
             t.set("telemetry", SpecValue::Bool(true));
         }
+        if let Some(bound) = self.exec.error_bound() {
+            t.set("hybrid_error_bound", SpecValue::Float(bound));
+        }
         if !self.notes.is_empty() {
             t.set(
                 "notes",
@@ -921,6 +930,16 @@ impl Scenario {
                     sc.telemetry = value
                         .as_bool()
                         .ok_or_else(|| DxError::invalid("scenario: `telemetry` must be a bool"))?;
+                }
+                "hybrid_error_bound" => {
+                    let bound = value.as_float().ok_or_else(|| {
+                        DxError::invalid("scenario: `hybrid_error_bound` must be a number")
+                    })?;
+                    check(
+                        (0.0..1.0).contains(&bound),
+                        "scenario: `hybrid_error_bound` must be in [0, 1)",
+                    )?;
+                    sc.exec = ExecMode::hybrid(bound);
                 }
                 "notes" => {
                     let list = value
@@ -1067,6 +1086,30 @@ mod tests {
         assert!(sc.to_toml().contains("telemetry = true"));
         assert_eq!(Scenario::from_toml(&sc.to_toml()).unwrap(), sc);
         assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+    }
+
+    #[test]
+    fn hybrid_error_bound_round_trips_and_defaults_full() {
+        let mut sc = demo();
+        assert_eq!(sc.exec, ExecMode::Full);
+        // Full is the default, so the encoding omits the key entirely.
+        assert!(!sc.to_toml().contains("hybrid_error_bound"));
+        sc.exec = ExecMode::hybrid(0.05);
+        assert!(sc.to_toml().contains("hybrid_error_bound"));
+        assert_eq!(Scenario::from_toml(&sc.to_toml()).unwrap(), sc);
+        assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+    }
+
+    #[test]
+    fn hybrid_error_bound_rejects_out_of_range() {
+        let mut sc = demo();
+        sc.exec = ExecMode::hybrid(0.05);
+        let text = sc.to_toml().replace("hybrid_error_bound = 0.05", "hybrid_error_bound = 1.5");
+        assert!(text.contains("1.5"), "expected the bound key in {text}");
+        let err = Scenario::from_toml(&text).unwrap_err();
+        assert!(err.to_string().contains("hybrid_error_bound"), "{err}");
+        let neg = sc.to_toml().replace("hybrid_error_bound = 0.05", "hybrid_error_bound = -0.1");
+        assert!(Scenario::from_toml(&neg).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dxbsp_core::MachineParams;
+use dxbsp_core::{ExecMode, MachineParams};
 
 /// The interconnect between processors and banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +95,11 @@ pub struct SimConfig {
     /// Event-queue implementation (time wheel by default; results are
     /// identical either way).
     pub scheduler: SchedulerKind,
+    /// Execution mode: full event-level simulation (default), or
+    /// hybrid, where supersteps the classifier proves cheap are
+    /// charged closed-form (see [`dxbsp_core::classify`]).
+    #[serde(default)]
+    pub exec: ExecMode,
 }
 
 impl SimConfig {
@@ -122,6 +127,7 @@ impl SimConfig {
             strip: None,
             record_events: false,
             scheduler: SchedulerKind::default(),
+            exec: ExecMode::Full,
         }
     }
 
@@ -236,6 +242,28 @@ impl SimConfig {
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Sets the execution mode.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Whether the hybrid fast path may run under this configuration:
+    /// hybrid mode is on *and* the machine is "simple" — uniform
+    /// network, unbounded window, no strip-mining, no bank cache, no
+    /// event log. Any feature the closed forms do not model forces
+    /// every superstep through the event-level simulator.
+    #[must_use]
+    pub fn hybrid_eligible(&self) -> bool {
+        self.exec.is_hybrid()
+            && self.network == NetworkModel::Uniform
+            && self.window.is_none()
+            && self.strip.is_none()
+            && self.bank_cache.is_none()
+            && !self.record_events
     }
 
     /// Banks per section (the whole machine is one section under

@@ -41,7 +41,8 @@
 //! ```
 
 use dxbsp_core::{
-    pattern_breakdown, pattern_cost, AccessPattern, BankMap, CostModel, MachineParams, PatternPool,
+    pattern_breakdown, pattern_cost, AccessPattern, BankMap, ChargeParams, Classifier, CostModel,
+    ExecMode, MachineParams, PatternPool, StepClass, Verdict,
 };
 use dxbsp_telemetry::{NoopProbe, Probe, StepReport};
 
@@ -64,6 +65,9 @@ pub struct StepOutcome {
     /// Full simulation statistics, when the backend produces them.
     /// `None` for analytic backends like [`ModelBackend`].
     pub result: Option<SimResult>,
+    /// Whether the step was charged closed-form (the hybrid fast path,
+    /// or an analytic backend) rather than event-level simulated.
+    pub modeled: bool,
 }
 
 impl StepOutcome {
@@ -133,13 +137,18 @@ pub trait Backend {
 pub struct SimulatorBackend {
     sim: Simulator,
     scratch: Scratch,
+    classifier: Classifier,
 }
 
 impl SimulatorBackend {
     /// A backend simulating under `cfg`.
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
-        Self { sim: Simulator::new(cfg), scratch: Scratch::default() }
+        Self {
+            sim: Simulator::new(cfg),
+            scratch: Scratch::default(),
+            classifier: Classifier::new(),
+        }
     }
 
     /// A backend for the machine described by `m` (via
@@ -161,6 +170,152 @@ impl SimulatorBackend {
     pub fn reconfigure(&mut self, cfg: SimConfig) {
         self.sim = Simulator::new(cfg);
     }
+
+    /// One superstep under the configured [`ExecMode`]. In hybrid mode
+    /// on an eligible machine the classifier prices the prepared step
+    /// first; the event loop runs only when the verdict demands it,
+    /// and either way the step reuses the same prepared scratch.
+    fn step_impl<P: Probe>(
+        &mut self,
+        pattern: &AccessPattern,
+        map: &dyn BankMap,
+        probe: &mut P,
+    ) -> StepOutcome {
+        // Only the hybrid branch needs a config copy (the borrow on
+        // `self.sim` conflicts with `&mut self.scratch` below); the
+        // full-simulation path stays copy-free per step.
+        if self.sim.config().hybrid_eligible() {
+            let cfg = *self.sim.config();
+            let ExecMode::Hybrid { error_bound_ppm } = cfg.exec else {
+                unreachable!("hybrid_eligible implies hybrid mode");
+            };
+            self.sim.prepare(&mut self.scratch, pattern, map);
+            let shape = self.classifier.analyze(pattern, self.scratch.bank_indices(), cfg.banks);
+            let verdict = shape.charge(&ChargeParams::new(
+                cfg.issue_gap,
+                cfg.bank_delay,
+                cfg.latency,
+                error_bound_ppm,
+            ));
+            if verdict.is_analytic() {
+                let res = synthesize(&cfg, &self.classifier, &verdict);
+                return StepOutcome {
+                    cycles: res.cycles,
+                    requests: res.requests,
+                    result: Some(res),
+                    modeled: true,
+                };
+            }
+            let res = self.sim.run_prepared(&mut self.scratch, pattern, probe);
+            return StepOutcome {
+                cycles: res.cycles,
+                requests: res.requests,
+                result: Some(res),
+                modeled: false,
+            };
+        }
+        let res = self.sim.run_reusing_probed(&mut self.scratch, pattern, map, probe);
+        StepOutcome {
+            cycles: res.cycles,
+            requests: res.requests,
+            result: Some(res),
+            modeled: false,
+        }
+    }
+}
+
+/// The `SimResult` an analytically charged superstep would have
+/// produced, rebuilt from the classifier's load counts. Exact for the
+/// exact classes ([`StepClass::Empty`], [`StepClass::ConflictFree`],
+/// [`StepClass::HotBank`]); for [`StepClass::Bounded`] the per-bank
+/// request and busy-cycle counters are still exact but queue waits are
+/// reported as zero and every active processor's `done_at` is the
+/// charged time — the bracket prices the step without attributing
+/// waiting to individual requests.
+fn synthesize(cfg: &SimConfig, cl: &Classifier, v: &Verdict) -> SimResult {
+    let (g, d) = (cfg.issue_gap, cfg.bank_delay);
+    let round_trip = 2 * cfg.latency;
+    let mut banks = vec![BankStats::default(); cfg.banks];
+    let mut procs = vec![ProcStats::default(); cfg.procs];
+    let loads = cl.proc_loads();
+    let n: u64 = loads.iter().map(|&k| u64::from(k)).sum();
+    let h: u64 = loads.iter().copied().max().unwrap_or(0).into();
+    for (bank, load) in cl.touched_banks() {
+        banks[bank].requests = load as usize;
+        banks[bank].busy_cycles = u64::from(load) * d;
+    }
+    for (st, &k) in procs.iter_mut().zip(loads) {
+        st.issued = k as usize;
+    }
+    match v.class {
+        StepClass::Empty => {}
+        StepClass::ConflictFree => {
+            // Nothing queues: every request spends exactly one transit
+            // leg, `d` cycles of service, and one leg back.
+            for (st, &k) in procs.iter_mut().zip(loads) {
+                if k > 0 {
+                    st.done_at = (u64::from(k) - 1) * g + d + round_trip;
+                }
+            }
+        }
+        StepClass::HotBank => {
+            let hot = cl.shape().single_bank.expect("hot-bank step has its bank") as usize;
+            // The bank serves back to back in (issue time, processor)
+            // order: the j-th served request starts at `lat + (j−1)·d`
+            // after arriving at `issue + lat`, so total waiting is
+            // `d·n(n−1)/2` minus the sum of all issue offsets, and the
+            // longest wait belongs to the last-served request.
+            let issue_sum: u64 = loads
+                .iter()
+                .map(|&k| {
+                    // Triangular sum of issue slots 0..k; zero for
+                    // processors that issued nothing.
+                    let k = u64::from(k);
+                    k * k.saturating_sub(1) / 2
+                })
+                .sum();
+            banks[hot].queue_wait = d * (n * (n - 1) / 2) - g * issue_sum;
+            banks[hot].max_queue_wait = (n - 1) * d - (h - 1) * g;
+            for (p, &kp) in loads.iter().enumerate() {
+                if kp == 0 {
+                    continue;
+                }
+                let kp = u64::from(kp);
+                // Service position of processor p's last request, issued
+                // at `(k_p−1)·g`: requests from q ≤ p at slots `< k_p`
+                // precede it, requests from q > p only at slots
+                // `< k_p − 1` (equal slots order by processor index).
+                // With g = 0 every slot collides and the queue drains
+                // whole processors in index order instead.
+                let pos: u64 = if g == 0 {
+                    loads[..=p].iter().map(|&kq| u64::from(kq)).sum()
+                } else {
+                    loads
+                        .iter()
+                        .enumerate()
+                        .map(|(q, &kq)| u64::from(kq).min(if q <= p { kp } else { kp - 1 }))
+                        .sum()
+                };
+                procs[p].done_at = pos * d + round_trip;
+            }
+        }
+        StepClass::Bounded => {
+            for (st, &k) in procs.iter_mut().zip(loads) {
+                if k > 0 {
+                    st.done_at = v.cycles;
+                }
+            }
+        }
+        StepClass::Simulate => unreachable!("refused steps run the event loop"),
+    }
+    SimResult {
+        cycles: v.cycles,
+        requests: n as usize,
+        banks,
+        procs,
+        network_wait: 0,
+        events: Vec::new(),
+    }
 }
 
 impl Backend for SimulatorBackend {
@@ -173,8 +328,7 @@ impl Backend for SimulatorBackend {
     }
 
     fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
-        let res = self.sim.run_reusing(&mut self.scratch, pattern, map);
-        StepOutcome { cycles: res.cycles, requests: res.requests, result: Some(res) }
+        self.step_impl(pattern, map, &mut NoopProbe)
     }
 
     fn step_probed<P: Probe>(
@@ -183,8 +337,7 @@ impl Backend for SimulatorBackend {
         map: &dyn BankMap,
         probe: &mut P,
     ) -> StepOutcome {
-        let res = self.sim.run_reusing_probed(&mut self.scratch, pattern, map, probe);
-        StepOutcome { cycles: res.cycles, requests: res.requests, result: Some(res) }
+        self.step_impl(pattern, map, probe)
     }
 }
 
@@ -233,6 +386,7 @@ impl Backend for ReferenceBackend {
                 network_wait: 0,
                 events: Vec::new(),
             }),
+            modeled: false,
         }
     }
 }
@@ -286,7 +440,7 @@ impl Backend for ModelBackend {
 
     fn step(&mut self, pattern: &AccessPattern, map: &dyn BankMap) -> StepOutcome {
         let cycles = pattern_cost(&self.machine, pattern, &map, self.model);
-        StepOutcome { cycles, requests: pattern.len(), result: None }
+        StepOutcome { cycles, requests: pattern.len(), result: None, modeled: true }
     }
 }
 
@@ -326,6 +480,8 @@ pub struct Session<B: Backend> {
     memory_cycles: u64,
     requests: usize,
     supersteps: usize,
+    simulated_steps: usize,
+    modeled_steps: usize,
     bank_totals: Vec<BankStats>,
     proc_totals: Vec<ProcStats>,
     pool: PatternPool,
@@ -341,6 +497,8 @@ impl<B: Backend> Session<B> {
             memory_cycles: 0,
             requests: 0,
             supersteps: 0,
+            simulated_steps: 0,
+            modeled_steps: 0,
             bank_totals: Vec::new(),
             proc_totals: Vec::new(),
             pool: PatternPool::new(),
@@ -404,6 +562,20 @@ impl<B: Backend> Session<B> {
         self.supersteps
     }
 
+    /// Supersteps that ran through event-level simulation (all of
+    /// them, for a [`SimulatorBackend`] in [`ExecMode::Full`]).
+    #[must_use]
+    pub fn simulated_steps(&self) -> usize {
+        self.simulated_steps
+    }
+
+    /// Supersteps charged closed-form: the hybrid fast path, plus every
+    /// step of an analytic backend like [`ModelBackend`].
+    #[must_use]
+    pub fn modeled_steps(&self) -> usize {
+        self.modeled_steps
+    }
+
     /// Per-bank statistics summed across all steps (empty for analytic
     /// backends). `max_queue_wait` is the max over steps.
     #[must_use]
@@ -425,6 +597,8 @@ impl<B: Backend> Session<B> {
         self.memory_cycles = 0;
         self.requests = 0;
         self.supersteps = 0;
+        self.simulated_steps = 0;
+        self.modeled_steps = 0;
         self.bank_totals.clear();
         self.proc_totals.clear();
     }
@@ -486,6 +660,11 @@ impl<B: Backend> Session<B> {
         let out = self.backend.step_probed(pattern, map, probe);
         let sync = self.backend.config().sync_overhead;
         self.supersteps += 1;
+        if out.modeled {
+            self.modeled_steps += 1;
+        } else {
+            self.simulated_steps += 1;
+        }
         self.requests += out.requests;
         self.memory_cycles += out.cycles;
         self.cycles += out.cycles + local_work + sync;
@@ -515,6 +694,7 @@ impl<B: Backend> Session<B> {
                     local_work,
                     sync_overhead: sync,
                     total_cycles: out.cycles + local_work + sync,
+                    modeled: out.modeled,
                     model,
                 },
             );
@@ -713,6 +893,96 @@ mod tests {
         let second = backend.step(&hot(4, 32), &map_b);
         assert_eq!(second.cycles, 6 * 32);
         assert_eq!(second.result.unwrap().banks.len(), 16);
+    }
+
+    #[test]
+    fn hybrid_conflict_free_step_is_bit_identical_to_simulation() {
+        let cfg = SimConfig::new(4, 16, 14).with_latency(3).with_exec(ExecMode::hybrid(0.0));
+        let map = Interleaved::new(16);
+        let keys: Vec<u64> = (0..16).collect();
+        let pat = AccessPattern::scatter(4, &keys);
+        let a = SimulatorBackend::new(cfg).step(&pat, &map);
+        let b = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&pat, &map);
+        assert!(a.modeled, "conflict-free step must take the fast path");
+        assert!(!b.modeled);
+        assert_eq!(a.result, b.result, "synthesized stats must match the event loop exactly");
+    }
+
+    #[test]
+    fn hybrid_hot_bank_gather_is_bit_identical_to_simulation() {
+        // 33 reads of one location over 8 processors: uneven loads
+        // (5,4,…,4) exercise the service-position closed form.
+        let cfg = SimConfig::new(8, 64, 6)
+            .with_issue_gap(2)
+            .with_latency(10)
+            .with_exec(ExecMode::hybrid(0.0));
+        let map = Interleaved::new(64);
+        let pat = AccessPattern::gather(8, &vec![7u64; 33]);
+        let a = SimulatorBackend::new(cfg).step(&pat, &map);
+        let b = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&pat, &map);
+        assert!(a.modeled);
+        assert_eq!(a.cycles, 33 * 6 + 20);
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn hybrid_refuses_hot_write_conflicts() {
+        let cfg = SimConfig::new(8, 64, 6).with_exec(ExecMode::hybrid(0.99));
+        let map = Interleaved::new(64);
+        let writes = AccessPattern::scatter(8, &vec![7u64; 32]);
+        let out = SimulatorBackend::new(cfg).step(&writes, &map);
+        assert!(!out.modeled, "hot-location writes must run the event loop");
+        let full = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&writes, &map);
+        assert_eq!(out.result, full.result);
+    }
+
+    #[test]
+    fn hybrid_bounded_charge_stays_within_declared_bound() {
+        // 2 procs × 8 requests over two banks: LB 160, UB 167 at
+        // g=1, d=20 — accepted at 5%, and the simulated time must land
+        // in the bracket.
+        let keys: Vec<u64> = (0..16).map(|i| u64::from(i % 2 == 0)).collect();
+        let pat = AccessPattern::scatter(2, &keys);
+        let map = Interleaved::new(4);
+        let cfg = SimConfig::new(2, 4, 20).with_exec(ExecMode::hybrid(0.05));
+        let hybrid = SimulatorBackend::new(cfg).step(&pat, &map);
+        let full = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&pat, &map);
+        assert!(hybrid.modeled);
+        assert_eq!(hybrid.cycles, 160);
+        assert!(full.cycles >= 160 && full.cycles <= 167);
+        let err = (full.cycles - hybrid.cycles) as f64 / full.cycles as f64;
+        assert!(err <= 0.05, "realized error {err} exceeds the declared bound");
+        // The pricing counters stay exact even when timing is bracketed.
+        let (hr, fr) = (hybrid.result.unwrap(), full.result.unwrap());
+        for (h, f) in hr.banks.iter().zip(&fr.banks) {
+            assert_eq!(h.requests, f.requests);
+            assert_eq!(h.busy_cycles, f.busy_cycles);
+        }
+    }
+
+    #[test]
+    fn hybrid_ineligible_features_force_full_simulation() {
+        let cfg = SimConfig::new(4, 16, 6).with_window(2).with_exec(ExecMode::hybrid(0.99));
+        assert!(!cfg.hybrid_eligible());
+        let map = Interleaved::new(16);
+        let pat = AccessPattern::scatter(4, &(0..16).collect::<Vec<u64>>());
+        let out = SimulatorBackend::new(cfg).step(&pat, &map);
+        assert!(!out.modeled, "a bounded window is outside the closed forms");
+    }
+
+    #[test]
+    fn session_counts_modeled_and_simulated_steps() {
+        let cfg = SimConfig::new(8, 64, 6).with_exec(ExecMode::hybrid(0.0));
+        let map = Interleaved::new(64);
+        let mut session = Session::new(SimulatorBackend::new(cfg));
+        session.step(&AccessPattern::scatter(8, &(0..32).collect::<Vec<u64>>()), &map);
+        session.step(&AccessPattern::scatter(8, &vec![7u64; 32]), &map);
+        assert_eq!(session.supersteps(), 2);
+        assert_eq!(session.modeled_steps(), 1);
+        assert_eq!(session.simulated_steps(), 1);
+        session.reset_totals();
+        assert_eq!(session.modeled_steps(), 0);
+        assert_eq!(session.simulated_steps(), 0);
     }
 
     #[test]

@@ -242,6 +242,12 @@ pub(crate) struct Scratch {
 }
 
 impl Scratch {
+    /// The bank index of each request, as translated by the last
+    /// [`Simulator::prepare`] call.
+    pub(crate) fn bank_indices(&self) -> &[u32] {
+        &self.bank_buf
+    }
+
     /// Prepares the scratch for one run under `cfg`: every container is
     /// emptied and resized, so results are bit-identical to a run on a
     /// freshly allocated `Scratch` (bank-cache contents included —
@@ -326,6 +332,7 @@ impl Simulator {
     /// Like [`Simulator::run`], but reusing `scratch`'s allocations.
     /// The scratch is fully reset first, so the result is bit-identical
     /// to an independent [`Simulator::run`] call.
+    #[cfg(test)]
     pub(crate) fn run_reusing(
         &self,
         scratch: &mut Scratch,
@@ -343,13 +350,34 @@ impl Simulator {
         map: &dyn BankMap,
         probe: &mut P,
     ) -> SimResult {
+        self.prepare(scratch, pat, map);
+        self.run_prepared(scratch, pat, probe)
+    }
+
+    /// Resets `scratch` and translates `pat`'s address stream to bank
+    /// indices (`scratch.bank_indices()`), without running anything.
+    /// This is the natural seam for per-superstep classification: the
+    /// hybrid engine inspects the filled bank buffer and either charges
+    /// the step closed-form or continues with
+    /// [`Simulator::run_prepared`] — the exact event loop either way.
+    pub(crate) fn prepare(&self, scratch: &mut Scratch, pat: &AccessPattern, map: &dyn BankMap) {
         assert_eq!(pat.procs(), self.cfg.procs, "pattern/processor-count mismatch");
         assert_eq!(map.num_banks(), self.cfg.banks, "map/bank-count mismatch");
         scratch.reset(&self.cfg);
-        let Scratch { procs, bank_buf, .. } = &mut *scratch;
         // One virtual call translates the whole address stream; the
         // per-processor distribution is then branch-free u32 pushes.
-        map.fill_banks(pat.addrs(), bank_buf);
+        map.fill_banks(pat.addrs(), &mut scratch.bank_buf);
+    }
+
+    /// Runs the event loop on a scratch readied by
+    /// [`Simulator::prepare`] for this same pattern.
+    pub(crate) fn run_prepared<P: Probe>(
+        &self,
+        scratch: &mut Scratch,
+        pat: &AccessPattern,
+        probe: &mut P,
+    ) -> SimResult {
+        let Scratch { procs, bank_buf, .. } = &mut *scratch;
         if self.cfg.bank_cache.is_some() {
             for ((&p, &b), &a) in pat.proc_ids().iter().zip(&*bank_buf).zip(pat.addrs()) {
                 let st = &mut procs[p as usize];

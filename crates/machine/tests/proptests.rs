@@ -136,6 +136,142 @@ fn hammer_time_scales_linearly_in_d() {
     }
 }
 
+mod hybrid {
+    //! The hybrid execution mode's conservatism properties: a step the
+    //! classifier charges closed-form must agree with what the full
+    //! event-level simulation (under either scheduler) would have
+    //! produced, and `ExecMode::Full` must be bit-identical to the
+    //! plain simulator on every input.
+
+    use dxbsp_core::{AccessPattern, ExecMode, Interleaved, Request};
+    use dxbsp_machine::{Backend, SchedulerKind, SimConfig, Simulator, SimulatorBackend};
+    use proptest::prelude::*;
+
+    /// Hybrid-eligible machine shapes only: uniform network, no
+    /// window/strip/cache — the gate `SimConfig::hybrid_eligible`
+    /// demands before the classifier may bypass the event loop.
+    fn arb_eligible_config() -> impl Strategy<Value = SimConfig> {
+        (1usize..=8, 1usize..=6, 1u64..=20, 1u64..=4, 0u64..=16).prop_map(|(p, xb, d, g, lat)| {
+            SimConfig::new(p, p * xb, d).with_issue_gap(g).with_latency(lat)
+        })
+    }
+
+    /// Patterns skewed toward the classifier's analytic classes:
+    /// conflict-free spreads, single-location hammers, and arbitrary
+    /// read/write mixes (which mostly classify `Simulate`).
+    fn arb_step(max_procs: usize) -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
+        prop_oneof![
+            // Distinct addresses: R ≤ 1 whenever n ≤ banks.
+            (1usize..=48).prop_map(|n| (0..n).map(|i| (i, i as u64, false)).collect()),
+            // One hot location, reads only: the HotBank closed form.
+            (1usize..=64, 0u64..256).prop_map(|(n, a)| (0..n).map(|i| (i, a, false)).collect()),
+            // Anything goes, writes included.
+            proptest::collection::vec((0..max_procs, 0u64..256, any::<bool>()), 0..200),
+        ]
+    }
+
+    fn build(procs: usize, raw: &[(usize, u64, bool)]) -> AccessPattern {
+        let mut pat = AccessPattern::new(procs);
+        for &(p, a, w) in raw {
+            let p = p % procs;
+            pat.push(if w { Request::write(p, a) } else { Request::read(p, a) });
+        }
+        pat
+    }
+
+    proptest! {
+        /// With a zero error bound only exactly-priced classes may be
+        /// charged analytically, so every modeled step must reproduce
+        /// the full simulation's cycles, request count, and per-bank
+        /// request totals bit for bit — under the time wheel *and* the
+        /// binary-heap oracle scheduler.
+        #[test]
+        fn zero_bound_modeled_steps_match_full_simulation_exactly(
+            cfg in arb_eligible_config(),
+            raw in arb_step(8),
+        ) {
+            let pat = build(cfg.procs, &raw);
+            let map = Interleaved::new(cfg.banks);
+            let mut backend = SimulatorBackend::new(cfg.with_exec(ExecMode::hybrid(0.0)));
+            let out = backend.step(&pat, &map);
+            if out.modeled {
+                let wheel = Simulator::new(cfg).run(&pat, &map);
+                let heap = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
+                prop_assert_eq!(wheel.cycles, heap.cycles, "schedulers disagree");
+                prop_assert_eq!(out.cycles, wheel.cycles, "modeled charge drifts from simulation");
+                prop_assert_eq!(out.requests, wheel.requests);
+                let banks = out.bank_requests().expect("hybrid steps carry bank stats");
+                let full: Vec<usize> = wheel.banks.iter().map(|b| b.requests).collect();
+                prop_assert_eq!(banks, full);
+            }
+        }
+
+        /// With any declared bound, every modeled step's charge stays
+        /// within that bound of the full event-level simulation:
+        /// |full − charged| · 10⁶ ≤ ppm · full, in exact integer
+        /// arithmetic.
+        #[test]
+        fn modeled_steps_stay_within_the_declared_bound(
+            cfg in arb_eligible_config(),
+            raw in arb_step(8),
+            ppm in 0u32..=500_000,
+        ) {
+            let pat = build(cfg.procs, &raw);
+            let map = Interleaved::new(cfg.banks);
+            let exec = ExecMode::hybrid(f64::from(ppm) / 1e6);
+            let mut backend = SimulatorBackend::new(cfg.with_exec(exec));
+            let out = backend.step(&pat, &map);
+            if out.modeled {
+                let full = Simulator::new(cfg).run(&pat, &map).cycles;
+                let err = full.abs_diff(out.cycles);
+                prop_assert!(
+                    err * 1_000_000 <= u64::from(ppm) * full,
+                    "modeled {} vs full {}: err {} over bound {} ppm",
+                    out.cycles, full, err, ppm
+                );
+            }
+        }
+
+        /// A conflict-free spread (distinct banks for every request) is
+        /// never refused: the classifier must recognize it and charge
+        /// it closed-form even at a zero error bound.
+        #[test]
+        fn conflict_free_spreads_always_model(
+            cfg in arb_eligible_config(),
+            n in 1usize..=32,
+        ) {
+            let n = n.min(cfg.banks);
+            // Addresses 0..n land on distinct banks under interleaving.
+            let addrs: Vec<u64> = (0..n as u64).collect();
+            let pat = AccessPattern::gather(cfg.procs, &addrs);
+            let map = Interleaved::new(cfg.banks);
+            let mut backend = SimulatorBackend::new(cfg.with_exec(ExecMode::hybrid(0.0)));
+            let out = backend.step(&pat, &map);
+            prop_assert!(out.modeled, "R ≤ 1 step fell through to simulation");
+            prop_assert_eq!(out.cycles, Simulator::new(cfg).run(&pat, &map).cycles);
+        }
+
+        /// `ExecMode::Full` (the default) through the backend seam is
+        /// bit-identical to the plain simulator on arbitrary eligible
+        /// configurations and patterns — hybrid machinery must be
+        /// completely inert when not asked for.
+        #[test]
+        fn full_mode_is_bit_identical_to_the_plain_simulator(
+            cfg in arb_eligible_config(),
+            raw in arb_step(8),
+        ) {
+            let pat = build(cfg.procs, &raw);
+            let map = Interleaved::new(cfg.banks);
+            let mut backend = SimulatorBackend::new(cfg);
+            let out = backend.step(&pat, &map);
+            prop_assert!(!out.modeled);
+            let direct = Simulator::new(cfg).run(&pat, &map);
+            prop_assert_eq!(out.cycles, direct.cycles);
+            prop_assert_eq!(out.result, Some(direct));
+        }
+    }
+}
+
 mod tracefile_fuzz {
     use dxbsp_core::{AccessPattern, Request};
     use dxbsp_machine::{decode_trace, encode_trace, TraceStep};

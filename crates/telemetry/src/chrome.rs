@@ -213,6 +213,7 @@ mod tests {
                 local_work: 0,
                 sync_overhead: 0,
                 total_cycles: 20,
+                modeled: false,
                 model: CostBreakdown { latency: 3, processor: 1, bank: 14 },
             },
         );

@@ -77,6 +77,9 @@ pub struct StepReport {
     /// What the session's clock advanced by:
     /// `memory_cycles + local_work + sync_overhead`.
     pub total_cycles: u64,
+    /// Whether the superstep was charged closed-form (hybrid fast path
+    /// or an analytic backend) instead of event-level simulated.
+    pub modeled: bool,
     /// The closed-form `max(L, g·h, d·R)` attribution for the
     /// superstep's pattern — which term bound it, and by how much.
     pub model: CostBreakdown,
@@ -206,6 +209,7 @@ mod tests {
             local_work: 0,
             sync_overhead: 0,
             total_cycles: 900,
+            modeled: false,
             model: CostBreakdown { latency: 100, processor: 256, bank: 896 },
         };
         assert_eq!(r.binding(), "bank");

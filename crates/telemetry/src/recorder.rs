@@ -95,6 +95,11 @@ pub struct Recorder {
     cascades: Counter,
     stall_cycles: Counter,
     supersteps: Counter,
+    /// Supersteps that ran the event-level simulator.
+    simulated_steps: Counter,
+    /// Supersteps charged closed-form (hybrid fast path or an analytic
+    /// backend).
+    modeled_steps: Counter,
     /// Σ total_cycles over superstep reports — must equal the driving
     /// session's clock (the attribution-sums-to-total invariant).
     attributed_cycles: Counter,
@@ -137,6 +142,8 @@ impl Recorder {
             cascades: Counter::default(),
             stall_cycles: Counter::default(),
             supersteps: Counter::default(),
+            simulated_steps: Counter::default(),
+            modeled_steps: Counter::default(),
             attributed_cycles: Counter::default(),
             bound_latency: Counter::default(),
             bound_processor: Counter::default(),
@@ -207,6 +214,19 @@ impl Recorder {
         self.supersteps.get()
     }
 
+    /// Supersteps that ran through the event-level simulator.
+    #[must_use]
+    pub fn simulated_steps(&self) -> u64 {
+        self.simulated_steps.get()
+    }
+
+    /// Supersteps charged closed-form (the hybrid fast path, or an
+    /// analytic backend).
+    #[must_use]
+    pub fn modeled_steps(&self) -> u64 {
+        self.modeled_steps.get()
+    }
+
     /// Σ `total_cycles` over all superstep reports. For a session-driven
     /// run this equals the session's total clock — every simulated
     /// cycle is attributed to exactly one superstep.
@@ -252,6 +272,8 @@ impl Recorder {
     pub fn summary(&self) -> SpecValue {
         let mut t = SpecValue::table();
         t.set("supersteps", SpecValue::Int(self.supersteps.get() as i64));
+        t.set("simulated_steps", SpecValue::Int(self.simulated_steps.get() as i64));
+        t.set("modeled_steps", SpecValue::Int(self.modeled_steps.get() as i64));
         t.set("requests", SpecValue::Int(self.requests.get() as i64));
         t.set("attributed_cycles", SpecValue::Int(self.attributed_cycles.get() as i64));
         let (l, p, b) = self.bound_counts();
@@ -293,6 +315,16 @@ impl Recorder {
         let mut reg = Registry::new();
         reg.counter("dxbsp_requests_total", "Memory requests simulated", self.requests.get());
         reg.counter("dxbsp_supersteps_total", "Supersteps executed", self.supersteps.get());
+        reg.counter(
+            "dxbsp_simulated_steps_total",
+            "Supersteps run through the event-level simulator",
+            self.simulated_steps.get(),
+        );
+        reg.counter(
+            "dxbsp_modeled_steps_total",
+            "Supersteps charged closed-form by the hybrid fast path",
+            self.modeled_steps.get(),
+        );
         reg.counter(
             "dxbsp_attributed_cycles_total",
             "Cycles attributed across supersteps (equals the session clock)",
@@ -421,6 +453,11 @@ impl Probe for Recorder {
 
     fn superstep_end(&mut self, label: &str, report: &StepReport) {
         self.supersteps.inc();
+        if report.modeled {
+            self.modeled_steps.inc();
+        } else {
+            self.simulated_steps.inc();
+        }
         self.attributed_cycles.add(report.total_cycles);
         match report.binding() {
             "latency" => self.bound_latency.inc(),
@@ -462,6 +499,7 @@ mod tests {
             local_work: 0,
             sync_overhead: 0,
             total_cycles: total,
+            modeled: false,
             model: CostBreakdown { latency: 1, processor: 2, bank },
         }
     }
@@ -502,6 +540,23 @@ mod tests {
         let (l, p, b) = r.bound_counts();
         assert_eq!((l, p, b), (0, 1, 1));
         assert_eq!(r.steps()[0].label, "a");
+        assert_eq!(r.simulated_steps(), 2);
+        assert_eq!(r.modeled_steps(), 0);
+    }
+
+    #[test]
+    fn modeled_steps_counted_separately() {
+        let mut r = Recorder::new();
+        r.superstep_end("sim", &report(10, 5));
+        let mut charged = report(10, 5);
+        charged.modeled = true;
+        r.superstep_end("fast", &charged);
+        assert_eq!(r.supersteps(), 2);
+        assert_eq!(r.simulated_steps(), 1);
+        assert_eq!(r.modeled_steps(), 1);
+        let s = r.summary();
+        assert_eq!(s.get("simulated_steps").unwrap().as_int(), Some(1));
+        assert_eq!(s.get("modeled_steps").unwrap().as_int(), Some(1));
     }
 
     #[test]

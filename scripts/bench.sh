@@ -19,6 +19,11 @@
 # seam's overhead: sim/probe/noop must track sim/probe/unprobed within
 # ~2% (the zero-cost-when-disabled guard), and sim/probe/recorder is
 # the tracked price of running with full telemetry on.
+#
+# It also includes the sim/sweep_throughput group, which pins hybrid
+# sweep throughput: hybrid_grid_1600 covers 100x the points of
+# full_grid_16 and must stay well under 100x its wall-clock (the
+# classify-once-per-row, charge-per-point payoff).
 set -euo pipefail
 
 root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

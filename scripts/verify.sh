@@ -22,6 +22,12 @@ target/release/dxbench run examples/scenarios/exp1_quick.toml --json /tmp/dxbenc
 grep -q '"measured"' /tmp/dxbench-smoke.jsonl
 rm -f /tmp/dxbench-smoke.jsonl
 
+# Smoke-test hybrid execution: the builtin hybrid sweep must run with
+# every point charged closed-form, and --check-hybrid must confirm the
+# charges against the event-level simulator within the declared bound.
+target/release/dxbench run exp4_hybrid --quick --check-hybrid \
+    | grep -q 'check-hybrid: .* within declared bound'
+
 # Smoke-test the profiler: dxprof on a committed scenario must emit a
 # Chrome trace that parses as JSON and Prometheus output that lints
 # (non-comment lines are `name{labels} value` with a numeric value).
