@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use dxbsp_algos::{radix_sort, TraceBuilder};
 use dxbsp_bench::{run_builtin, Scale};
-use dxbsp_core::{AccessPattern, Interleaved, MachineParams};
+use dxbsp_core::{AccessPattern, EngineKind, Interleaved, MachineParams};
 use dxbsp_machine::{
     Backend, NoopProbe, Session, SessionSink, SimConfig, Simulator, SimulatorBackend,
 };
@@ -32,6 +32,27 @@ fn bench_scatter_shapes(c: &mut Criterion) {
         let pat = AccessPattern::scatter(8, &keys);
         let sim = Simulator::new(cfg);
         g.bench_function(name, |b| b.iter(|| black_box(sim.run(&pat, &map))));
+    }
+    g.finish();
+}
+
+/// The tentpole comparison: the bulk bank-epoch engine against the
+/// per-request event loop it is bit-identical to, on the uniform
+/// scatter shape. "epoch" is the default engine (and what every other
+/// `sim/*` bench exercises); "event" pins what the event-level oracle
+/// costs on the same workload.
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/engine");
+    let n = 64 * 1024;
+    g.throughput(Throughput::Elements(n as u64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = AccessPattern::scatter(8, &keys);
+    let map = Interleaved::new(256);
+
+    for engine in [EngineKind::BankEpoch, EngineKind::EventLevel] {
+        let sim = Simulator::new(SimConfig::new(8, 256, 14).with_engine(engine));
+        g.bench_function(engine.name(), |b| b.iter(|| black_box(sim.run(&pat, &map))));
     }
     g.finish();
 }
@@ -188,6 +209,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_scatter_shapes,
+    bench_engines,
     bench_window_and_sections,
     bench_probe_overhead,
     bench_session_reuse,

@@ -16,6 +16,11 @@
 //!   --seed N          built-in names only: override the RNG seed
 //!   --json PATH       write JSON-lines records to PATH (`-` = stdout)
 //!   --threads N       override the scenario's worker thread count
+//!   --engine E        override the simulator engine: `epoch` (bulk
+//!                     bank-epoch execution, the default) or `event`
+//!                     (the per-request event loop). Bit-identical
+//!                     measurements either way; `--json` records carry
+//!                     the engine used.
 //!   --telemetry PATH  run with probes on and write one telemetry
 //!                     summary object per point as JSON-lines (`-` =
 //!                     stdout); `--json` records also gain a
@@ -32,7 +37,7 @@ use std::process::ExitCode;
 use dxbsp_bench::{
     records_to_jsonl, run_scenario, scenarios, telemetry_to_jsonl, Cell, RunRecord, Scale,
 };
-use dxbsp_core::{DxError, ExecMode, Scenario};
+use dxbsp_core::{DxError, EngineKind, ExecMode, Scenario};
 
 fn die(msg: &str) -> ! {
     eprintln!("dxbench: {msg}");
@@ -41,7 +46,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--telemetry PATH] [--check-hybrid]"
+        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--engine epoch|event] [--telemetry PATH] [--check-hybrid]"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,7 @@ struct Opts {
     seed: Option<u64>,
     json: Option<String>,
     threads: Option<usize>,
+    engine: Option<EngineKind>,
     telemetry: Option<String>,
     check_hybrid: bool,
 }
@@ -62,6 +68,7 @@ fn parse_opts(args: &[String]) -> Opts {
     let mut seed = None;
     let mut json = None;
     let mut threads = None;
+    let mut engine = None;
     let mut telemetry = None;
     let mut check_hybrid = false;
     let mut it = args.iter();
@@ -79,6 +86,13 @@ fn parse_opts(args: &[String]) -> Opts {
                 let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
                 threads = Some(v.parse().unwrap_or_else(|_| die("--threads needs an integer")));
             }
+            "--engine" => {
+                let v = it.next().unwrap_or_else(|| die("--engine needs a value"));
+                engine = Some(
+                    EngineKind::parse(v)
+                        .unwrap_or_else(|| die(&format!("unknown engine {v} (epoch|event)"))),
+                );
+            }
             "--telemetry" => {
                 telemetry =
                     Some(it.next().unwrap_or_else(|| die("--telemetry needs a path")).clone());
@@ -93,7 +107,7 @@ fn parse_opts(args: &[String]) -> Opts {
         }
     }
     let Some(target) = target else { usage() };
-    Opts { target, scale, seed, json, threads, telemetry, check_hybrid }
+    Opts { target, scale, seed, json, threads, engine, telemetry, check_hybrid }
 }
 
 /// A scenario from a `.toml`/`.json` file path, or a built-in by name.
@@ -180,6 +194,9 @@ fn cmd_run(args: &[String]) -> Result<(), DxError> {
     if let Some(threads) = opts.threads {
         sc.threads = threads;
     }
+    if let Some(engine) = opts.engine {
+        sc.engine = engine;
+    }
     if opts.telemetry.is_some() {
         sc.telemetry = true;
     }
@@ -187,6 +204,13 @@ fn cmd_run(args: &[String]) -> Result<(), DxError> {
     if opts.check_hybrid {
         out.records = check_hybrid(&sc, &out.records)?;
     }
+    // The engine rides along in the JSON records (not the table, which
+    // stays byte-identical across engines).
+    out.records = out
+        .records
+        .into_iter()
+        .map(|r| r.with("engine", Cell::Str(sc.engine.name().to_string())))
+        .collect();
     let mut stdout_taken = false;
     if let Some(path) = &opts.telemetry {
         let jsonl = telemetry_to_jsonl(&sc.name, &out.records);

@@ -21,7 +21,7 @@
 //! [`Recorder`]: dxbsp_telemetry::Recorder
 
 use dxbsp_bench::{profile_scenario, profile_trace, scenarios, text_report, Profile, Scale};
-use dxbsp_core::{DxError, Interleaved, MachineParams, Scenario};
+use dxbsp_core::{DxError, Interleaved, MachineParams, Scenario, SpecValue};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::SimConfig;
 use dxbsp_telemetry::{chrome, prometheus};
@@ -206,7 +206,9 @@ fn main() {
         emit(path, "prometheus metrics", &prometheus::render(&profile.recorder.registry()));
     }
     if let Some(path) = &args.summary {
-        let mut json = profile.recorder.summary().to_json();
+        let mut summary = profile.recorder.summary();
+        summary.set("engine", SpecValue::Str(profile.engine.name().to_string()));
+        let mut json = summary.to_json();
         json.push('\n');
         emit(path, "summary", &json);
     }

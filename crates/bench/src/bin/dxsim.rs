@@ -14,6 +14,7 @@
 //!   --sections S --ports R                 sectioned network
 //!   --cache LINES --hit H                  per-bank cache
 //!   --map hashed|interleaved               bank mapping (default hashed)
+//!   --engine epoch|event                   simulator engine (default epoch)
 //!   --seed S                               hash draw (default 1995)
 //!   --threads N     replay worker threads  (default: available parallelism)
 //!   --per-step                             print each superstep
@@ -37,7 +38,7 @@
 //! count.
 
 use dxbsp_bench::runner::{parallel_map_with, set_sweep_threads};
-use dxbsp_core::{BankMap, CostModel, Interleaved, MachineParams};
+use dxbsp_core::{BankMap, CostModel, EngineKind, Interleaved, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{
     Backend, ModelBackend, SimConfig, SimResult, SimulatorBackend, TraceFileReader, TraceStep,
@@ -62,6 +63,7 @@ struct Args {
     sections: Option<(usize, usize)>,
     cache: Option<(usize, u64)>,
     map: String,
+    engine: EngineKind,
     seed: u64,
     threads: Option<usize>,
     per_step: bool,
@@ -82,6 +84,7 @@ fn parse_args() -> Args {
         sections: None,
         cache: None,
         map: "hashed".into(),
+        engine: EngineKind::default(),
         seed: 1995,
         threads: None,
         per_step: false,
@@ -132,13 +135,18 @@ fn parse_args() -> Args {
             "--cache" => cache_lines = Some(parse("--cache", val("--cache")) as usize),
             "--hit" => cache_hit = parse("--hit", val("--hit")),
             "--map" => args.map = val("--map"),
+            "--engine" => {
+                let v = val("--engine");
+                args.engine = EngineKind::parse(&v)
+                    .unwrap_or_else(|| die(&format!("unknown engine {v} (epoch|event)")));
+            }
             "--seed" => args.seed = parse("--seed", val("--seed")),
             "--threads" => args.threads = Some(parse("--threads", val("--threads")) as usize),
             "--per-step" => args.per_step = true,
             "--gantt" => args.gantt = true,
             "--profile" => args.profile = Some(val("--profile")),
             "--help" | "-h" => {
-                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--seed S] [--threads N] [--per-step] [--profile OUT.json]");
+                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--engine epoch|event] [--seed S] [--threads N] [--per-step] [--profile OUT.json]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument {other}")),
@@ -328,7 +336,7 @@ fn main() {
     let path = args.trace.clone().unwrap_or_else(|| die("missing --trace FILE"));
 
     let m = MachineParams::new(args.procs, args.gap, args.sync, args.delay, args.expansion);
-    let mut cfg = SimConfig::from_params(&m).with_latency(args.latency);
+    let mut cfg = SimConfig::from_params(&m).with_latency(args.latency).with_engine(args.engine);
     if let Some(w) = args.window {
         cfg = cfg.with_window(w);
     }
@@ -356,6 +364,7 @@ fn main() {
     };
 
     println!("machine: p={} g={} L={} d={} x={} (B={})", m.p, m.g, m.l, m.d, m.x, m.banks());
+    println!("engine:  {}", cfg.engine_in_force().name());
     println!("trace:   {} supersteps, {} requests", rep.supersteps, rep.requests);
     println!("peak resident supersteps: {} (of {})", rep.peak_resident, rep.supersteps);
     println!();

@@ -18,7 +18,9 @@ pub mod scatter;
 pub mod shapes;
 pub mod tables;
 
-use dxbsp_core::{pattern_breakdown, AccessPattern, BankMap, CostModel, ExecMode, MachineParams};
+use dxbsp_core::{
+    pattern_breakdown, AccessPattern, BankMap, CostModel, EngineKind, ExecMode, MachineParams,
+};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{Backend, ModelBackend, Probe, SimConfig, SimulatorBackend, StepReport};
 use rand::rngs::StdRng;
@@ -52,12 +54,13 @@ pub fn backend(m: &MachineParams) -> SimulatorBackend {
     SimulatorBackend::from_params(m)
 }
 
-/// A simulator backend realizing `m` under execution mode `exec` —
-/// hybrid scenarios route here so provably cheap supersteps take the
-/// closed-form path instead of the event loop.
+/// A simulator backend realizing `m` under execution mode `exec` and
+/// inner engine `engine` — hybrid scenarios route here so provably
+/// cheap supersteps take the closed-form path instead of the event
+/// loop, and `--engine event` scenarios pin the per-request oracle.
 #[must_use]
-pub fn backend_with(m: &MachineParams, exec: ExecMode) -> SimulatorBackend {
-    SimulatorBackend::new(SimConfig::from_params(m).with_exec(exec))
+pub fn backend_with(m: &MachineParams, exec: ExecMode, engine: EngineKind) -> SimulatorBackend {
+    SimulatorBackend::new(SimConfig::from_params(m).with_exec(exec).with_engine(engine))
 }
 
 /// A model backend charging `model` costs on `m` — the "predicted"
@@ -100,9 +103,12 @@ pub fn measured_scatter_in(
     keys: &[u64],
     seed: u64,
 ) -> u64 {
-    // Reconfiguring preserves the backend's execution mode: a hybrid
-    // sweep stays hybrid across grid points, a full run stays full.
-    let cfg = SimConfig::from_params(m).with_exec(backend.simulator().config().exec);
+    // Reconfiguring preserves the backend's execution mode and inner
+    // engine: a hybrid sweep stays hybrid across grid points, an
+    // event-engine sweep stays on the event loop.
+    let cfg = SimConfig::from_params(m)
+        .with_exec(backend.simulator().config().exec)
+        .with_engine(backend.simulator().config().engine);
     if *backend.simulator().config() != cfg {
         backend.reconfigure(cfg);
     }
@@ -125,7 +131,9 @@ pub fn measured_scatter_probed_in<P: Probe>(
     seed: u64,
     probe: &mut P,
 ) -> u64 {
-    let cfg = SimConfig::from_params(m).with_exec(backend.simulator().config().exec);
+    let cfg = SimConfig::from_params(m)
+        .with_exec(backend.simulator().config().exec)
+        .with_engine(backend.simulator().config().engine);
     if *backend.simulator().config() != cfg {
         backend.reconfigure(cfg);
     }

@@ -18,7 +18,7 @@
 //! tests in `dxbsp-machine`), and the recorder attributes every cycle
 //! of the clock — `recorder.attributed_cycles() == cycles`.
 
-use dxbsp_core::{AxisValue, BankMap, DxError, Scenario};
+use dxbsp_core::{AxisValue, BankMap, DxError, EngineKind, Scenario};
 use dxbsp_machine::{Session, SimConfig, SimulatorBackend, TraceFileReader};
 use dxbsp_telemetry::Recorder;
 use dxbsp_workloads::generate_keys;
@@ -40,6 +40,10 @@ pub struct Profile {
     pub requests: usize,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// The simulator engine actually in force for the run
+    /// ([`SimConfig::engine_in_force`]) — `BankEpoch` unless the
+    /// scenario pinned the event loop or a feature forced the punt.
+    pub engine: EngineKind,
 }
 
 /// Profiles one sweep point of a scenario with probes on.
@@ -78,7 +82,7 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
     // The backend inherits the scenario's execution mode, so profiling
     // a hybrid scenario shows its closed-form charges as
     // `modeled_steps` in the summary.
-    let mut backend = experiments::backend_with(&p.m, sc.exec);
+    let mut backend = experiments::backend_with(&p.m, sc.exec, sc.engine);
     let cycles = experiments::measured_scatter_probed_in(
         &mut backend,
         &p.m,
@@ -86,6 +90,7 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
         sc.seed ^ salt,
         &mut rec,
     );
+    let engine = backend.simulator().config().engine_in_force();
     let fmt_axis = |v: &AxisValue| match v {
         AxisValue::Int(i) => i.to_string(),
         AxisValue::Float(f) => f.to_string(),
@@ -98,7 +103,7 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
     } else {
         format!("scenario {} point {idx} [{}]", sc.name, coords.join(", "))
     };
-    Ok(Profile { recorder: rec, source, supersteps: 1, requests: keys.len(), cycles })
+    Ok(Profile { recorder: rec, source, supersteps: 1, requests: keys.len(), cycles, engine })
 }
 
 /// Profiles a stored trace file with probes on, streaming supersteps
@@ -122,6 +127,7 @@ pub fn profile_trace(path: &str, cfg: SimConfig, map: &dyn BankMap) -> Result<Pr
         supersteps: summary.supersteps,
         requests: summary.requests,
         cycles: summary.cycles,
+        engine: cfg.engine_in_force(),
     })
 }
 
@@ -147,8 +153,9 @@ pub fn text_report(p: &Profile, top: usize) -> String {
         rec.supersteps()
     ));
     out.push_str(&format!(
-        "execution: {} event-level simulated, {} charged closed-form\n",
+        "execution: {} simulated ({} engine), {} charged closed-form\n",
         rec.simulated_steps(),
+        p.engine.name(),
         rec.modeled_steps()
     ));
     out.push_str(&format!(

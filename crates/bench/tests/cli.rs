@@ -402,6 +402,34 @@ mod telemetry_cli {
     }
 
     #[test]
+    fn dxbench_engine_choice_never_changes_the_table() {
+        // The bank-epoch engine is bit-identical to the event-level
+        // oracle, so the rendered table of a golden scenario — every
+        // measured cycle count — must match byte for byte across
+        // `--engine epoch` and `--engine event`. The JSON records (not
+        // compared here) carry which engine ran.
+        let epoch = run_ok(dxbench().args(["run", "exp1", "--quick", "--engine", "epoch"]));
+        let event = run_ok(dxbench().args(["run", "exp1", "--quick", "--engine", "event"]));
+        assert_eq!(epoch, event, "engines disagree on the measured table");
+        let default = run_ok(dxbench().args(["run", "exp1", "--quick"]));
+        assert_eq!(default, epoch, "default engine differs from --engine epoch");
+
+        // The engine used rides along in the JSON records.
+        let json_path = tmp("engine.records.jsonl");
+        run_ok(
+            dxbench()
+                .args(["run", "exp1", "--quick", "--engine", "event", "--json"])
+                .arg(&json_path),
+        );
+        let text = std::fs::read_to_string(&json_path).expect("records");
+        for line in text.lines() {
+            let v = SpecValue::from_json(line).expect("record parses");
+            let values = v.get("values").expect("values object");
+            assert_eq!(values.get("engine").and_then(SpecValue::as_str), Some("event"), "{line}");
+        }
+    }
+
+    #[test]
     fn dxbench_telemetry_rides_along_without_changing_the_table() {
         let tele_path = tmp("bench.tele.jsonl");
         let plain = run_ok(dxbench().args(["run", "exp1", "--quick"]));

@@ -79,6 +79,49 @@ impl ExecMode {
     }
 }
 
+/// Which engine advances the supersteps that *are* simulated.
+///
+/// Orthogonal to [`ExecMode`]: hybrid mode decides *whether* a
+/// superstep is simulated at all; `EngineKind` decides *how* the
+/// simulated ones run. `BankEpoch` executes a whole superstep as one
+/// bulk pass — requests reach each bank in issue order under a uniform
+/// network, so every bank's service schedule is an arrival-sorted
+/// prefix recurrence, no event dispatch required. It produces
+/// bit-identical results and falls back to `EventLevel` explicitly for
+/// the features that genuinely interleave (issue windows, sectioned
+/// ports, bank caches, strip-mining). `EventLevel` is retained as the
+/// differential oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EngineKind {
+    /// Bulk per-bank epoch advancement (the default; bit-identical).
+    #[default]
+    BankEpoch,
+    /// Per-request discrete-event simulation (the oracle).
+    EventLevel,
+}
+
+impl EngineKind {
+    /// The CLI/scenario spelling: `"epoch"` or `"event"`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::BankEpoch => "epoch",
+            EngineKind::EventLevel => "event",
+        }
+    }
+
+    /// Parses the CLI/scenario spelling (`"epoch"` / `"event"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "epoch" => Some(EngineKind::BankEpoch),
+            "event" => Some(EngineKind::EventLevel),
+            _ => None,
+        }
+    }
+}
+
 /// The scalar machine parameters the closed forms need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChargeParams {

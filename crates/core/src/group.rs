@@ -1,0 +1,182 @@
+//! Reusable counting-sort scratch that groups one SoA column by
+//! another: given parallel `keys`/`values` arrays (e.g. the per-request
+//! processor ids and bank indices a pattern plus `fill_banks` produce),
+//! build contiguous per-key segments in two O(n) passes with no
+//! per-group allocation. The bank-epoch engine uses this to turn a
+//! superstep's flat request stream into per-processor bank streams it
+//! can walk in arrival order; the same scratch groups by bank index
+//! when a per-bank view is wanted.
+//!
+//! The grouping is *stable*: within a segment, values keep the order
+//! they had in the input stream. That property is load-bearing — under
+//! a uniform network every processor issues its `j`-th request at the
+//! same cycle, so stable per-processor segments walked position-major
+//! reproduce the event engine's arrival order exactly.
+
+/// Counting-sort scratch grouping `values` into contiguous segments by
+/// `keys`. All buffers are retained across calls, so steady-state use
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct StreamGroups {
+    /// CSR offsets: segment `k` is `values[offsets[k]..offsets[k+1]]`.
+    offsets: Vec<u32>,
+    /// The grouped values, segment by segment, input order within each.
+    values: Vec<u32>,
+    /// Scatter cursors, one per group (scratch for the second pass).
+    cursors: Vec<u32>,
+}
+
+impl StreamGroups {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Groups `values[i]` under `keys[i]` for `groups` distinct keys.
+    ///
+    /// Two passes: count per key, prefix-sum into offsets, then a
+    /// stable scatter. Previous contents are discarded; capacity is
+    /// kept.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `values` differ in length or a key is
+    /// `>= groups`.
+    pub fn group(&mut self, groups: usize, keys: &[u32], values: &[u32]) {
+        assert_eq!(keys.len(), values.len(), "keys/values must be parallel arrays");
+        self.offsets.clear();
+        self.offsets.resize(groups + 1, 0);
+        for &k in keys {
+            self.offsets[k as usize + 1] += 1;
+        }
+        let mut running = 0u32;
+        for off in &mut self.offsets {
+            running += *off;
+            *off = running;
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..groups]);
+        self.values.clear();
+        self.values.resize(values.len(), 0);
+        for (&k, &v) in keys.iter().zip(values) {
+            let c = &mut self.cursors[k as usize];
+            self.values[*c as usize] = v;
+            *c += 1;
+        }
+    }
+
+    /// Rebuilds the scratch from already-separated segments (one slice
+    /// per group, in group order). Used when the caller natively holds
+    /// per-group streams and only wants the flat CSR view.
+    pub fn from_segments<'a, I>(&mut self, segments: I)
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.values.clear();
+        for seg in segments {
+            self.values.extend_from_slice(seg);
+            self.offsets.push(self.values.len() as u32);
+        }
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of grouped values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values are grouped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values of group `k`, in input order.
+    #[must_use]
+    pub fn segment(&self, k: usize) -> &[u32] {
+        &self.values[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// The raw CSR offsets (`groups + 1` entries); segment `k` spans
+    /// `values()[offsets()[k]..offsets()[k+1]]`. Exposed so hot loops
+    /// can walk several segments in lockstep without re-slicing.
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat grouped values backing the segments.
+    #[must_use]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Iterates the segments in group order.
+    pub fn segments(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.groups()).map(move |k| self.segment(k))
+    }
+
+    /// The length of the longest segment.
+    #[must_use]
+    pub fn max_segment_len(&self) -> usize {
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_stably_by_key() {
+        let mut g = StreamGroups::new();
+        g.group(3, &[2, 0, 2, 1, 0, 2], &[10, 11, 12, 13, 14, 15]);
+        assert_eq!(g.groups(), 3);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.segment(0), &[11, 14]);
+        assert_eq!(g.segment(1), &[13]);
+        assert_eq!(g.segment(2), &[10, 12, 15]);
+        assert_eq!(g.max_segment_len(), 3);
+    }
+
+    #[test]
+    fn empty_groups_are_empty_segments() {
+        let mut g = StreamGroups::new();
+        g.group(4, &[], &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.groups(), 4);
+        for k in 0..4 {
+            assert!(g.segment(k).is_empty());
+        }
+        assert_eq!(g.max_segment_len(), 0);
+    }
+
+    #[test]
+    fn reuse_discards_previous_contents() {
+        let mut g = StreamGroups::new();
+        g.group(2, &[0, 1, 0], &[1, 2, 3]);
+        g.group(2, &[1, 1], &[9, 8]);
+        assert_eq!(g.segment(0), &[] as &[u32]);
+        assert_eq!(g.segment(1), &[9, 8]);
+    }
+
+    #[test]
+    fn from_segments_round_trips() {
+        let mut g = StreamGroups::new();
+        g.from_segments([&[1u32, 2][..], &[][..], &[3u32][..]]);
+        assert_eq!(g.groups(), 3);
+        assert_eq!(g.segment(0), &[1, 2]);
+        assert_eq!(g.segment(1), &[] as &[u32]);
+        assert_eq!(g.segment(2), &[3]);
+        let segs: Vec<&[u32]> = g.segments().collect();
+        assert_eq!(segs.len(), 3);
+    }
+}

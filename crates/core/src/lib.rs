@@ -49,6 +49,7 @@ pub mod bankmap;
 pub mod classify;
 pub mod cost;
 pub mod error;
+pub mod group;
 pub mod logp;
 pub mod params;
 pub mod pattern;
@@ -60,12 +61,13 @@ pub mod spec;
 
 pub use advisor::{diagnose, Binding, Diagnosis, DuplicationAdvice};
 pub use bankmap::{BankMap, Interleaved};
-pub use classify::{ChargeParams, Classifier, ExecMode, StepClass, StepShape, Verdict};
+pub use classify::{ChargeParams, Classifier, EngineKind, ExecMode, StepClass, StepShape, Verdict};
 pub use cost::{
     bsp_superstep_cost, pattern_breakdown, pattern_cost, superstep_breakdown, superstep_cost,
     CostBreakdown, CostModel,
 };
 pub use error::DxError;
+pub use group::StreamGroups;
 pub use logp::LogPParams;
 pub use params::MachineParams;
 pub use pattern::{AccessKind, AccessPattern, ContentionProfile, Request};

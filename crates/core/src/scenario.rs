@@ -33,7 +33,7 @@
 //! assert_eq!(Scenario::from_toml(&sc.to_toml()).unwrap(), sc);
 //! ```
 
-use crate::classify::ExecMode;
+use crate::classify::{EngineKind, ExecMode};
 use crate::error::DxError;
 use crate::params::MachineParams;
 use crate::presets;
@@ -696,6 +696,9 @@ pub struct Scenario {
     /// hybrid, where provably cheap supersteps are charged closed-form
     /// under a declared per-superstep relative error bound.
     pub exec: ExecMode,
+    /// Simulator inner engine: the bulk bank-epoch engine (the
+    /// default) or the per-request event loop it is bit-identical to.
+    pub engine: EngineKind,
     /// Kind-specific parameters, preserved in declaration order.
     pub params: Vec<(String, SpecValue)>,
     /// Free-form notes echoed under the rendered table.
@@ -721,6 +724,7 @@ impl Scenario {
             threads: 0,
             telemetry: false,
             exec: ExecMode::Full,
+            engine: EngineKind::default(),
             params: Vec::new(),
             notes: Vec::new(),
         }
@@ -861,6 +865,9 @@ impl Scenario {
         if let Some(bound) = self.exec.error_bound() {
             t.set("hybrid_error_bound", SpecValue::Float(bound));
         }
+        if self.engine != EngineKind::default() {
+            t.set("engine", SpecValue::Str(self.engine.name().to_string()));
+        }
         if !self.notes.is_empty() {
             t.set(
                 "notes",
@@ -940,6 +947,11 @@ impl Scenario {
                         "scenario: `hybrid_error_bound` must be in [0, 1)",
                     )?;
                     sc.exec = ExecMode::hybrid(bound);
+                }
+                "engine" => {
+                    let name = req_str(value, "engine")?;
+                    sc.engine =
+                        EngineKind::parse(name).ok_or_else(|| DxError::unknown("engine", name))?;
                 }
                 "notes" => {
                     let list = value

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dxbsp_core::{ExecMode, MachineParams};
+use dxbsp_core::{EngineKind, ExecMode, MachineParams};
 
 /// The interconnect between processors and banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +100,12 @@ pub struct SimConfig {
     /// charged closed-form (see [`dxbsp_core::classify`]).
     #[serde(default)]
     pub exec: ExecMode,
+    /// Which engine runs the simulated supersteps: bulk bank-epoch
+    /// advancement (default; bit-identical, falls back to events when
+    /// a feature it cannot model is on) or the per-request event-level
+    /// oracle.
+    #[serde(default)]
+    pub engine: EngineKind,
 }
 
 impl SimConfig {
@@ -128,6 +134,7 @@ impl SimConfig {
             record_events: false,
             scheduler: SchedulerKind::default(),
             exec: ExecMode::Full,
+            engine: EngineKind::default(),
         }
     }
 
@@ -249,6 +256,40 @@ impl SimConfig {
     pub fn with_exec(mut self, exec: ExecMode) -> Self {
         self.exec = exec;
         self
+    }
+
+    /// Sets the engine that runs simulated supersteps.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Whether the bank-epoch engine applies: it must be selected, and
+    /// the machine must be free of the features whose events genuinely
+    /// interleave across requests — issue windows, sectioned ports,
+    /// bank caches and strip-mining. When any of those is on the
+    /// simulator punts, explicitly, to the event-level loop (the
+    /// realized engine is [`Self::engine_in_force`]).
+    #[must_use]
+    pub fn epoch_applies(&self) -> bool {
+        self.engine == EngineKind::BankEpoch
+            && self.network == NetworkModel::Uniform
+            && self.window.is_none()
+            && self.strip.is_none()
+            && self.bank_cache.is_none()
+    }
+
+    /// The engine that actually runs simulated supersteps once the
+    /// punt rules are applied: [`EngineKind::BankEpoch`] only when
+    /// [`Self::epoch_applies`], else [`EngineKind::EventLevel`].
+    #[must_use]
+    pub fn engine_in_force(&self) -> EngineKind {
+        if self.epoch_applies() {
+            EngineKind::BankEpoch
+        } else {
+            EngineKind::EventLevel
+        }
     }
 
     /// Whether the hybrid fast path may run under this configuration:

@@ -89,6 +89,7 @@ mod wheel;
 
 pub use calibrate::{calibrate, Calibration};
 pub use config::{NetworkModel, SchedulerKind, SimConfig};
+pub use dxbsp_core::EngineKind;
 pub use engine::{
     replay, Backend, ModelBackend, ReferenceBackend, Session, SimulatorBackend, StepOutcome,
 };

@@ -22,6 +22,21 @@
 //! `(time, kind, proc, seq)` — completions before issues at equal
 //! times, then processor index — so results are bit-identical.
 //!
+//! The same arrival-order property admits a stronger shortcut, the
+//! **bank-epoch engine** ([`dxbsp_core::EngineKind::BankEpoch`], the
+//! default): when no optional feature interleaves events across
+//! requests — no issue window, uniform network, no bank cache, no
+//! strip-mining — every processor's `j`-th request issues at exactly
+//! `j·g`, so the event queue's `(time, proc)` order is a plain
+//! position-major walk of the per-processor streams and each FIFO
+//! bank's schedule collapses to the prefix recurrence
+//! `start = max(arrive, bank_free)`. `Simulator::run_prepared`
+//! dispatches whole supersteps through that single bulk pass
+//! (`run_epoch`), bit-identically, and punts — explicitly, via
+//! [`SimConfig::epoch_applies`] — to the event loop when a feature
+//! demands real event dispatch. The event engine remains the
+//! differential oracle.
+//!
 //! The per-run working state (bank occupancy, processor streams, LRU
 //! caches, the event queue) lives in a `Scratch` that the engine layer
 //! ([`crate::engine`]) reuses across supersteps; [`Simulator::run`]
@@ -31,8 +46,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dxbsp_core::{AccessPattern, BankMap};
-use dxbsp_telemetry::{NoopProbe, Probe, RequestTiming};
+use dxbsp_core::{AccessPattern, BankMap, StreamGroups};
+use dxbsp_telemetry::{BankTrack, NoopProbe, Probe, RequestTiming};
 
 use crate::config::{NetworkModel, SchedulerKind, SimConfig};
 use crate::stats::{BankStats, ProcStats, SimResult};
@@ -56,6 +71,11 @@ const PROC_SHIFT: u32 = 40;
 const PROC_MASK: u64 = (1 << (KIND_SHIFT - PROC_SHIFT)) - 1;
 const KIND_COMPLETE: u64 = 0;
 const KIND_ISSUE: u64 = 1;
+
+/// Timings per [`Probe::request_batch`] flush from the epoch engine:
+/// large enough to amortize the call, small enough (~72 KiB) that the
+/// slice is still cache-resident when the probe consumes it.
+const EPOCH_PROBE_CHUNK: usize = 1024;
 
 #[inline]
 fn pack(kind: u64, proc: usize, seq: u64) -> u64 {
@@ -239,6 +259,17 @@ pub(crate) struct Scratch {
     ring: IssueRing,
     /// Staging buffer for the bulk address→bank translation.
     bank_buf: Vec<u32>,
+    /// Per-processor CSR view of the bank stream (epoch engine input).
+    grouped: StreamGroups,
+    /// Probe delivery buffer for the epoch engine: resolved timings
+    /// accumulate here and flush to [`Probe::request_batch`] in
+    /// cache-sized slices.
+    timings: Vec<RequestTiming>,
+    /// Exact per-bank aggregates for [`Probe::epoch_end`], rebuilt
+    /// from `bank_stats` at the end of each epoch.
+    bank_tracks: Vec<BankTrack>,
+    /// Exact per-processor request counts for [`Probe::epoch_end`].
+    proc_reqs: Vec<u64>,
 }
 
 impl Scratch {
@@ -369,14 +400,40 @@ impl Simulator {
         map.fill_banks(pat.addrs(), &mut scratch.bank_buf);
     }
 
-    /// Runs the event loop on a scratch readied by
-    /// [`Simulator::prepare`] for this same pattern.
+    /// Runs a scratch readied by [`Simulator::prepare`] for this same
+    /// pattern: through the bulk bank-epoch engine when it applies
+    /// ([`SimConfig::epoch_applies`]), else through the event loop.
     pub(crate) fn run_prepared<P: Probe>(
         &self,
         scratch: &mut Scratch,
         pat: &AccessPattern,
         probe: &mut P,
     ) -> SimResult {
+        if self.cfg.epoch_applies() {
+            let Scratch {
+                procs,
+                bank_buf,
+                bank_free,
+                bank_stats,
+                grouped,
+                timings,
+                bank_tracks,
+                proc_reqs,
+                ..
+            } = &mut *scratch;
+            grouped.group(self.cfg.procs, pat.proc_ids(), bank_buf);
+            return Self::run_epoch(
+                &self.cfg,
+                grouped,
+                procs,
+                bank_free,
+                bank_stats,
+                timings,
+                bank_tracks,
+                proc_reqs,
+                probe,
+            );
+        }
         let Scratch { procs, bank_buf, .. } = &mut *scratch;
         if self.cfg.bank_cache.is_some() {
             for ((&p, &b), &a) in pat.proc_ids().iter().zip(&*bank_buf).zip(pat.addrs()) {
@@ -410,6 +467,30 @@ impl Simulator {
         for (p, s) in streams.into_iter().enumerate() {
             scratch.procs[p].stream_banks.extend(s.into_iter().map(|b| b as u32));
         }
+        if self.cfg.epoch_applies() {
+            let Scratch {
+                procs,
+                bank_free,
+                bank_stats,
+                grouped,
+                timings,
+                bank_tracks,
+                proc_reqs,
+                ..
+            } = &mut scratch;
+            grouped.from_segments(procs.iter().map(|st| st.stream_banks.as_slice()));
+            return Self::run_epoch(
+                &self.cfg,
+                grouped,
+                procs,
+                bank_free,
+                bank_stats,
+                timings,
+                bank_tracks,
+                proc_reqs,
+                &mut NoopProbe,
+            );
+        }
         self.run_scratch(&mut scratch, &mut NoopProbe)
     }
 
@@ -433,6 +514,135 @@ impl Simulator {
             && cfg.bank_cache.is_none()
             && !cfg.record_events
             && matches!(cfg.network, NetworkModel::Uniform)
+    }
+
+    /// Executes one whole superstep as a single bulk pass — the
+    /// bank-epoch engine. No event queue is involved: under the
+    /// [`SimConfig::epoch_applies`] conditions every processor's `j`-th
+    /// request issues at exactly `j·g`, so visiting requests
+    /// position-major (and processor-minor within a position) *is* the
+    /// event queue's `(time, kind, proc, seq)` order, and each FIFO
+    /// bank's service schedule is the arrival-ordered prefix recurrence
+    /// `start_i = max(arrive_i, start_{i-1} + d)` carried by
+    /// `bank_free`. Every statistic the event loop keeps is computed
+    /// from the same values in the same order, so the `SimResult` is
+    /// bit-identical to the oracle's — a property the three-way
+    /// differential proptests pin.
+    ///
+    /// Probes receive resolved timings through
+    /// [`Probe::request_batch`] in issue-ordered, cache-sized slices
+    /// instead of one callback per request — and may bound that stream:
+    /// once a flush returns a zero budget the engine stops
+    /// materializing timings entirely, leaving only the exact
+    /// per-epoch aggregates delivered through [`Probe::epoch_end`].
+    #[allow(clippy::too_many_arguments)] // the bulk hot loop takes the scratch by parts
+    fn run_epoch<P: Probe>(
+        cfg: &SimConfig,
+        grouped: &StreamGroups,
+        procs: &mut [ProcState],
+        bank_free: &mut [u64],
+        bank_stats: &mut [BankStats],
+        timings: &mut Vec<RequestTiming>,
+        bank_tracks: &mut Vec<BankTrack>,
+        proc_reqs: &mut Vec<u64>,
+        probe: &mut P,
+    ) -> SimResult {
+        debug_assert!(cfg.epoch_applies(), "epoch engine dispatched on an ineligible config");
+        let requests = grouped.len();
+        let offs = grouped.offsets();
+        let vals = grouped.values();
+        let (g, d, lat) = (cfg.issue_gap, cfg.bank_delay, cfg.latency);
+        let mut events: Vec<crate::stats::RequestEvent> =
+            if cfg.record_events { Vec::with_capacity(requests) } else { Vec::new() };
+        timings.clear();
+        // Remaining raw timings the probe wants; refreshed at each
+        // flush. At zero the loop stops building `RequestTiming`s —
+        // the probe's exact aggregates arrive via `epoch_end` below.
+        let mut budget = usize::MAX;
+        let mut last_done = 0u64;
+        let mut issue = 0u64;
+        for j in 0..grouped.max_segment_len() {
+            let arrive = issue + lat;
+            for (p, st) in procs.iter_mut().enumerate() {
+                let at = offs[p] as usize + j;
+                if at >= offs[p + 1] as usize {
+                    continue;
+                }
+                let bank = vals[at] as usize;
+                let start = arrive.max(bank_free[bank]);
+                bank_free[bank] = start + d;
+                let wait = start - arrive;
+                let bs = &mut bank_stats[bank];
+                bs.requests += 1;
+                bs.busy_cycles += d;
+                bs.queue_wait += wait;
+                bs.max_queue_wait = bs.max_queue_wait.max(wait);
+                let done = start + d + lat;
+                st.stats.issued += 1;
+                st.stats.done_at = st.stats.done_at.max(done);
+                last_done = last_done.max(done);
+                if P::ENABLED && budget > 0 {
+                    timings.push(RequestTiming {
+                        proc: p,
+                        bank,
+                        issued: issue,
+                        arrived: arrive,
+                        forwarded: arrive,
+                        start,
+                        end: start + d,
+                        done,
+                        cache_hit: false,
+                    });
+                    if timings.len() >= EPOCH_PROBE_CHUNK {
+                        budget = probe.request_batch(timings);
+                        timings.clear();
+                    }
+                }
+                if cfg.record_events {
+                    events.push(crate::stats::RequestEvent {
+                        proc: p,
+                        bank,
+                        issued: issue,
+                        start,
+                        end: start + d,
+                    });
+                }
+            }
+            issue += g;
+        }
+        if P::ENABLED {
+            if !timings.is_empty() {
+                probe.request_batch(timings);
+                timings.clear();
+            }
+            // The exact-aggregate channel: this epoch's per-bank and
+            // per-processor totals, straight from the statistics the
+            // loop just computed (the scratch was reset for this run,
+            // so they are this epoch's deltas).
+            bank_tracks.clear();
+            bank_tracks.extend(bank_stats.iter().map(|s| BankTrack {
+                requests: s.requests as u64,
+                busy_cycles: s.busy_cycles,
+                queue_wait: s.queue_wait,
+                max_queue_wait: s.max_queue_wait,
+                cache_hits: s.cache_hits as u64,
+            }));
+            proc_reqs.clear();
+            proc_reqs.extend(procs.iter().map(|st| st.stats.issued as u64));
+            probe.epoch_end(requests as u64, bank_tracks, proc_reqs);
+            // No event queue ran, so there are no cascades to report —
+            // but fire the hook anyway so probed epoch and ring/heap
+            // runs see the same hook sequence.
+            probe.scheduler_cascades(0);
+        }
+        SimResult {
+            cycles: last_done,
+            requests,
+            banks: bank_stats.to_vec(),
+            procs: procs.iter().map(|s| s.stats).collect(),
+            network_wait: 0,
+            events,
+        }
     }
 
     fn run_scratch<P: Probe>(&self, scratch: &mut Scratch, probe: &mut P) -> SimResult {

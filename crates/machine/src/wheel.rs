@@ -9,6 +9,17 @@
 //! and amortized `O(1)` per pop by bucketing events on their cycle
 //! time.
 //!
+//! Since the bank-epoch engine landed ([`EngineKind::BankEpoch`], the
+//! default), the event loop — and with it this wheel — runs only for
+//! the configurations that genuinely interleave: issue windows,
+//! strip-mining, bank caches, non-uniform networks
+//! (`SimConfig::epoch_applies` is false), or an explicit
+//! [`EngineKind::EventLevel`], which the differential proptests use as
+//! the oracle the epoch engine must match bit for bit.
+//!
+//! [`EngineKind::BankEpoch`]: dxbsp_core::EngineKind::BankEpoch
+//! [`EngineKind::EventLevel`]: dxbsp_core::EngineKind::EventLevel
+//!
 //! # Structure
 //!
 //! Eleven levels of 64 slots each cover all 64 bits of a cycle count

@@ -1,15 +1,19 @@
 //! Differential testing across execution backends: the event-driven
 //! simulator against the cycle-stepped reference (same semantics, the
 //! slow obvious way), the closed-form model against the simulator
-//! (bounded disagreement on pipelined machines), and scratch reuse
-//! through a [`Session`] against independent fresh runs (bit-identical).
+//! (bounded disagreement on pipelined machines), the bank-epoch engine
+//! against both event-level schedulers (three-way bit-identity, with
+//! explicit punting on the features the epoch path cannot model), and
+//! scratch reuse through a [`Session`] against independent fresh runs
+//! (bit-identical).
 
 use dxbsp_core::{
-    pattern_breakdown, AccessPattern, BankMap, CostModel, Interleaved, MachineParams, Request,
+    pattern_breakdown, AccessPattern, BankMap, CostModel, EngineKind, Interleaved, MachineParams,
+    Request,
 };
 use dxbsp_machine::{
-    Backend, ModelBackend, ReferenceBackend, SchedulerKind, Session, SimConfig, Simulator,
-    SimulatorBackend,
+    Backend, ModelBackend, NetworkModel, ReferenceBackend, SchedulerKind, Session, SimConfig,
+    Simulator, SimulatorBackend,
 };
 use proptest::prelude::*;
 
@@ -117,11 +121,63 @@ proptest! {
         if log {
             cfg = cfg.with_event_log();
         }
+        // Pin to the event engine: this property is about the two
+        // event-queue implementations, so neither side may take the
+        // epoch shortcut.
+        let cfg = cfg.with_engine(EngineKind::EventLevel);
         let pat = pattern_from(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
         let wheel = Simulator::new(cfg.with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
         let heap = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
         prop_assert_eq!(wheel, heap);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The three-way engine matrix: the bank-epoch engine agrees with
+    /// *both* event-level schedulers on the full
+    /// [`dxbsp_machine::SimResult`] — cycles, per-bank and
+    /// per-processor statistics, network wait, and (when recorded) the
+    /// event log — across the whole randomized config space, including
+    /// the corners the epoch path must punt back to events (issue
+    /// windows, sectioned ports, bank caches, strips). Punting is
+    /// asserted to be explicit: `epoch_applies` must be exactly the
+    /// feature predicate, never silently wrong on either side.
+    #[test]
+    fn epoch_matches_wheel_and_heap_bit_identically(
+        cfg in arb_config(),
+        cache in prop_oneof![Just(None), ((1usize..=4), (1u64..=3)).prop_map(Some)],
+        log in any::<bool>(),
+        raw in arb_requests(4),
+    ) {
+        let mut cfg = cfg;
+        if let Some((lines, hit)) = cache {
+            cfg = cfg.with_bank_cache(lines, hit.min(cfg.bank_delay));
+        }
+        if log {
+            cfg = cfg.with_event_log();
+        }
+        let epoch_cfg = cfg.with_engine(EngineKind::BankEpoch);
+        let interleaves = cfg.window.is_some()
+            || cfg.strip.is_some()
+            || cfg.bank_cache.is_some()
+            || !matches!(cfg.network, NetworkModel::Uniform);
+        prop_assert_eq!(epoch_cfg.epoch_applies(), !interleaves);
+        prop_assert_eq!(
+            epoch_cfg.engine_in_force(),
+            if interleaves { EngineKind::EventLevel } else { EngineKind::BankEpoch }
+        );
+
+        let pat = pattern_from(cfg.procs, &raw);
+        let map = Interleaved::new(cfg.banks);
+        let epoch = Simulator::new(epoch_cfg).run(&pat, &map);
+        let event = cfg.with_engine(EngineKind::EventLevel);
+        let wheel = Simulator::new(event.with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
+        let heap = Simulator::new(event.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
+        prop_assert_eq!(&epoch, &wheel);
+        prop_assert_eq!(&wheel, &heap);
     }
 }
 

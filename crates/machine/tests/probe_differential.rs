@@ -4,7 +4,7 @@
 //! bare simulator calls and through sessions — and the recorder's own
 //! aggregates must agree with the simulator's statistics.
 
-use dxbsp_core::{AccessPattern, Interleaved, Request};
+use dxbsp_core::{AccessPattern, EngineKind, Interleaved, Request};
 use dxbsp_machine::{SchedulerKind, Session, SimConfig, Simulator, SimulatorBackend};
 use dxbsp_telemetry::Recorder;
 use proptest::prelude::*;
@@ -68,6 +68,47 @@ proptest! {
         }
         let stall_total: u64 = plain.procs.iter().map(|p| p.window_stall).sum();
         prop_assert_eq!(rec.stall_cycles(), stall_total);
+    }
+
+    /// Feeding the recorder through the epoch engine's batched
+    /// [`dxbsp_telemetry::Probe::request_batch`] slices leaves it in
+    /// exactly the state per-request delivery through the event engine
+    /// does: same retained events (content *and* order), same per-bank
+    /// and per-processor aggregates, same queue-wait histogram and
+    /// sampled series. On configs the epoch engine punts, both sides
+    /// run events and the property is trivially preserved.
+    #[test]
+    fn epoch_batched_recorder_state_matches_event_level(
+        cfg in arb_config(),
+        raw in arb_pattern(8),
+    ) {
+        let pat = build_pattern(cfg.procs, &raw);
+        let map = Interleaved::new(cfg.banks);
+
+        // Both sides on the heap scheduler so neither an epoch-punted
+        // run nor the event run reports wheel cascades — the cascade
+        // counter is scheduler telemetry, not engine telemetry.
+        let mut rec_epoch = Recorder::new();
+        let epoch = Simulator::new(
+            cfg.with_engine(EngineKind::BankEpoch).with_scheduler(SchedulerKind::Heap),
+        )
+        .run_probed(&pat, &map, &mut rec_epoch);
+        let mut rec_event = Recorder::new();
+        let event = Simulator::new(
+            cfg.with_engine(EngineKind::EventLevel).with_scheduler(SchedulerKind::Heap),
+        )
+        .run_probed(&pat, &map, &mut rec_event);
+
+        prop_assert_eq!(epoch, event);
+        prop_assert_eq!(rec_epoch.requests(), rec_event.requests());
+        prop_assert_eq!(rec_epoch.banks(), rec_event.banks());
+        prop_assert_eq!(rec_epoch.procs(), rec_event.procs());
+        prop_assert_eq!(rec_epoch.events(), rec_event.events());
+        prop_assert_eq!(rec_epoch.events_dropped(), rec_event.events_dropped());
+        prop_assert_eq!(rec_epoch.queue_wait_hist(), rec_event.queue_wait_hist());
+        prop_assert_eq!(rec_epoch.queue_wait_series(), rec_event.queue_wait_series());
+        prop_assert_eq!(rec_epoch.cascades(), rec_event.cascades());
+        prop_assert_eq!(rec_epoch.stall_cycles(), rec_event.stall_cycles());
     }
 
     /// Probed sessions accumulate exactly the totals unprobed sessions

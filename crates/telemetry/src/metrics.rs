@@ -197,7 +197,10 @@ impl Sampler {
 
     /// Offers one `(time, value)` observation.
     pub fn push(&mut self, time: u64, value: u64) {
-        if self.pushes % self.stride == 0 {
+        // `stride` only ever doubles from 1, so it stays a power of two
+        // and the acceptance test is a mask instead of a division —
+        // this sits on the probed hot path.
+        if self.pushes & (self.stride - 1) == 0 {
             if self.samples.len() == self.cap {
                 // Thin to every other sample and accept half as often.
                 let mut keep = 0;
@@ -207,7 +210,7 @@ impl Sampler {
                 }
                 self.samples.truncate(keep);
                 self.stride *= 2;
-                if self.pushes % self.stride != 0 {
+                if self.pushes & (self.stride - 1) != 0 {
                     self.pushes += 1;
                     return;
                 }

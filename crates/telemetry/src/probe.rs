@@ -11,6 +11,8 @@
 
 use dxbsp_core::CostBreakdown;
 
+use crate::recorder::BankTrack;
+
 /// The full pipeline timing of one memory request, as resolved by the
 /// discrete-event simulator at issue time.
 ///
@@ -124,6 +126,36 @@ pub trait Probe {
     /// inline), in issue order.
     fn request(&mut self, _t: RequestTiming) {}
 
+    /// A bulk engine resolved a contiguous run of requests at once.
+    /// `ts` is in issue order, and the concatenation of slices across
+    /// calls equals the per-request sequence [`Probe::request`] would
+    /// have seen. Returns how many *further* raw timings the probe
+    /// wants: a bulk engine may stop materializing and delivering
+    /// timings once this reaches zero (per-request work it can then
+    /// skip entirely), so a probe that returns a bound must take its
+    /// exact aggregates from [`Probe::epoch_end`] instead.
+    ///
+    /// The default body loops [`Probe::request`] and never bounds the
+    /// stream — observationally identical to per-request delivery.
+    fn request_batch(&mut self, ts: &[RequestTiming]) -> usize {
+        for &t in ts {
+            self.request(t);
+        }
+        usize::MAX
+    }
+
+    /// A bulk engine finished a superstep (an "epoch"), reporting the
+    /// epoch's *exact* totals: request count, per-bank service
+    /// aggregates (indexed by bank), and per-processor request counts
+    /// (indexed by processor). Raw timings were offered beforehand
+    /// through [`Probe::request_batch`]; the two channels split exact
+    /// aggregation from bounded sampling, which is what keeps
+    /// always-on telemetry cheap on bulk engines. Probes that consume
+    /// everything per-request (the default) can ignore this hook —
+    /// with the default `request_batch` the full stream was already
+    /// delivered.
+    fn epoch_end(&mut self, _requests: u64, _banks: &[BankTrack], _proc_requests: &[u64]) {}
+
     /// Processor `proc` was stalled on a full outstanding-request
     /// window from cycle `from` until the completion at cycle `until`.
     fn window_stall(&mut self, _proc: usize, _from: u64, _until: u64) {}
@@ -158,6 +190,14 @@ impl<P: Probe> Probe for &mut P {
 
     fn request(&mut self, t: RequestTiming) {
         (**self).request(t);
+    }
+
+    fn request_batch(&mut self, ts: &[RequestTiming]) -> usize {
+        (**self).request_batch(ts)
+    }
+
+    fn epoch_end(&mut self, requests: u64, banks: &[BankTrack], proc_requests: &[u64]) {
+        (**self).epoch_end(requests, banks, proc_requests);
     }
 
     fn window_stall(&mut self, proc: usize, from: u64, until: u64) {

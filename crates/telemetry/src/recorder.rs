@@ -8,11 +8,14 @@ use crate::metrics::{Counter, LogHistogram, Registry, Sampler};
 use crate::probe::{Probe, RequestTiming, StepReport};
 
 /// How many raw [`RequestTiming`]s to retain for timeline export.
-/// Beyond the cap, requests still feed every aggregate (dwell, queue
-/// histogram, samplers) but their individual spans are dropped and
-/// counted in `events_dropped` — the Chrome trace stays loadable even
-/// for multi-million-request runs.
-pub const DEFAULT_EVENT_CAP: usize = 65_536;
+/// Beyond the cap, every *total* (request counts, per-bank dwell and
+/// queue wait, cumulative queue-wait) keeps counting exactly, but the
+/// per-request channels — retained spans, the queue-wait histogram and
+/// series — cover only the retained prefix; the overflow is counted in
+/// `events_dropped`. Bounding the per-request work is what keeps a
+/// live recorder within a few percent of an unprobed bulk run, and the
+/// Chrome trace stays loadable even for multi-million-request runs.
+pub const DEFAULT_EVENT_CAP: usize = 4_096;
 
 /// Retained samples per bounded time series.
 const SAMPLER_CAP: usize = 512;
@@ -108,6 +111,12 @@ pub struct Recorder {
     bound_processor: Counter,
     bound_bank: Counter,
     cumulative_queue_wait: u64,
+    /// Raw timings the sampling channel retained this epoch (reset by
+    /// [`Probe::epoch_end`], which accounts the unsampled tail).
+    epoch_sampled: u64,
+    /// Queue wait the sampling channel already added to
+    /// `cumulative_queue_wait` this epoch.
+    epoch_sampled_wait: u64,
 }
 
 impl Default for Recorder {
@@ -149,6 +158,8 @@ impl Recorder {
             bound_processor: Counter::default(),
             bound_bank: Counter::default(),
             cumulative_queue_wait: 0,
+            epoch_sampled: 0,
+            epoch_sampled_wait: 0,
         }
     }
 
@@ -282,8 +293,12 @@ impl Recorder {
         bound.set("processor", SpecValue::Int(p as i64));
         bound.set("bank", SpecValue::Int(b as i64));
         t.set("bound_supersteps", bound);
-        t.set("queue_wait_total", SpecValue::Int(self.queue_wait_hist.sum() as i64));
-        t.set("queue_wait_max", SpecValue::Int(self.queue_wait_hist.max() as i64));
+        // Totals and maxima come from the exact channels (cumulative
+        // counter, per-bank tracks) so they hold past the event cap;
+        // the p99 is histogram-derived and covers the sampled prefix.
+        t.set("queue_wait_total", SpecValue::Int(self.cumulative_queue_wait as i64));
+        let wait_max = self.banks.iter().map(|b| b.max_queue_wait).max().unwrap_or(0);
+        t.set("queue_wait_max", SpecValue::Int(wait_max as i64));
         t.set("queue_wait_p99", SpecValue::Int(self.queue_wait_hist.quantile_bound(0.99) as i64));
         t.set("window_stall_cycles", SpecValue::Int(self.stall_cycles.get() as i64));
         t.set("scheduler_cascades", SpecValue::Int(self.cascades.get() as i64));
@@ -433,6 +448,61 @@ impl Probe for Recorder {
         } else {
             self.events_dropped.inc();
         }
+    }
+
+    /// The bulk sampling channel: retain raw timings and feed the
+    /// queue-wait distribution/series up to the event cap, and tell the
+    /// engine how many more timings are wanted. Counters and per-bank /
+    /// per-processor aggregates deliberately do *not* move here — the
+    /// paired [`Probe::epoch_end`] hook reports them exactly, O(banks)
+    /// per superstep, which is what keeps a live recorder within a few
+    /// percent of an unprobed bulk run. Within the sampling window the
+    /// recorder state is bit-identical to per-request delivery; past
+    /// it, the histogram/series cover the sampled prefix while every
+    /// total stays exact.
+    fn request_batch(&mut self, ts: &[RequestTiming]) -> usize {
+        let room = self.event_cap.saturating_sub(self.events.len()).min(ts.len());
+        let sample = &ts[..room];
+        self.events.extend_from_slice(sample);
+        self.epoch_sampled += room as u64;
+        for t in sample {
+            let wait = t.queue_wait();
+            self.queue_wait_hist.record(wait);
+            self.cumulative_queue_wait = self.cumulative_queue_wait.saturating_add(wait);
+            self.epoch_sampled_wait = self.epoch_sampled_wait.saturating_add(wait);
+            self.queue_wait_series.push(t.start, self.cumulative_queue_wait);
+        }
+        self.event_cap - self.events.len()
+    }
+
+    fn epoch_end(&mut self, requests: u64, banks: &[BankTrack], proc_requests: &[u64]) {
+        self.requests.add(requests);
+        let mut total_wait = 0u64;
+        for (b, delta) in banks.iter().enumerate() {
+            if delta.requests == 0 {
+                continue;
+            }
+            total_wait = total_wait.saturating_add(delta.queue_wait);
+            let track = self.bank_mut(b);
+            track.requests += delta.requests;
+            track.busy_cycles = track.busy_cycles.saturating_add(delta.busy_cycles);
+            track.queue_wait = track.queue_wait.saturating_add(delta.queue_wait);
+            track.max_queue_wait = track.max_queue_wait.max(delta.max_queue_wait);
+            track.cache_hits += delta.cache_hits;
+        }
+        for (p, &r) in proc_requests.iter().enumerate() {
+            if r > 0 {
+                self.proc_mut(p).requests += r;
+            }
+        }
+        // The sampling channel only saw the retained prefix; top the
+        // exact totals up with the unsampled tail.
+        self.cumulative_queue_wait = self
+            .cumulative_queue_wait
+            .saturating_add(total_wait.saturating_sub(self.epoch_sampled_wait));
+        self.events_dropped.add(requests - self.epoch_sampled);
+        self.epoch_sampled = 0;
+        self.epoch_sampled_wait = 0;
     }
 
     fn window_stall(&mut self, proc: usize, from: u64, until: u64) {

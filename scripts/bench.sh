@@ -3,6 +3,10 @@
 #
 #   scripts/bench.sh --baseline   run benches, snapshot medians to
 #                                 BENCH_baseline.json (not committed)
+#   scripts/bench.sh --check      run benches, compare fresh medians
+#                                 against the committed BENCH_sim.json
+#                                 pins; print a table and exit nonzero
+#                                 if any tracked bench regressed >15%
 #   scripts/bench.sh              run benches, write BENCH_sim.json at
 #                                 the repo root with the current median
 #                                 ns/op per bench plus, when a baseline
@@ -30,9 +34,10 @@ root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$root"
 
 mode=current
-if [ "${1:-}" = "--baseline" ]; then
-    mode=baseline
-fi
+case "${1:-}" in
+--baseline) mode=baseline ;;
+--check) mode=check ;;
+esac
 
 bench_cmd=(cargo bench --bench simulator)
 if ! cargo bench --bench simulator --no-run >/dev/null 2>&1; then
@@ -58,7 +63,35 @@ if not medians:
     raise SystemExit("no criterion estimates found under target/criterion")
 
 stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
-if os.environ["MODE"] == "baseline":
+if os.environ["MODE"] == "check":
+    # Regression gate: fresh medians vs the committed BENCH_sim.json
+    # pins. Benches new since the pin (no entry) are reported but never
+    # fail the gate; tracked benches more than 15% slower do.
+    if not os.path.exists("BENCH_sim.json"):
+        raise SystemExit("--check needs a committed BENCH_sim.json (run scripts/bench.sh first)")
+    with open("BENCH_sim.json") as f:
+        pinned = {k: v["median_ns"] for k, v in json.load(f)["benches"].items()}
+    threshold = 0.15
+    regressions = []
+    print(f"{'bench':<40} {'pinned ns':>14} {'current ns':>14} {'delta':>8}")
+    for bench_id, ns in sorted(medians.items()):
+        if bench_id not in pinned:
+            print(f"{bench_id:<40} {'(new)':>14} {ns:>14.1f} {'-':>8}")
+            continue
+        base = pinned[bench_id]
+        delta = (ns - base) / base if base else 0.0
+        flag = "  REGRESSED" if delta > threshold else ""
+        print(f"{bench_id:<40} {base:>14.1f} {ns:>14.1f} {delta:>+7.1%}{flag}")
+        if delta > threshold:
+            regressions.append((bench_id, base, ns, delta))
+    for bench_id in sorted(set(pinned) - set(medians)):
+        print(f"{bench_id:<40} {pinned[bench_id]:>14.1f} {'(missing)':>14} {'-':>8}")
+    if regressions:
+        raise SystemExit(
+            f"{len(regressions)} bench(es) regressed more than {threshold:.0%} vs BENCH_sim.json"
+        )
+    print(f"ok: {len(medians)} benches within {threshold:.0%} of BENCH_sim.json pins")
+elif os.environ["MODE"] == "baseline":
     with open("BENCH_baseline.json", "w") as f:
         json.dump({"captured_utc": stamp, "medians_ns": medians}, f, indent=2, sort_keys=True)
         f.write("\n")

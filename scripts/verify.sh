@@ -25,8 +25,10 @@ rm -f /tmp/dxbench-smoke.jsonl
 # Smoke-test hybrid execution: the builtin hybrid sweep must run with
 # every point charged closed-form, and --check-hybrid must confirm the
 # charges against the event-level simulator within the declared bound.
-target/release/dxbench run exp4_hybrid --quick --check-hybrid \
-    | grep -q 'check-hybrid: .* within declared bound'
+# (captured, not piped: `grep -q` would close the pipe mid-table and
+# fail the run with SIGPIPE under pipefail)
+hybrid_out="$(target/release/dxbench run exp4_hybrid --quick --check-hybrid)"
+grep -q 'check-hybrid: .* within declared bound' <<<"$hybrid_out"
 
 # Smoke-test the profiler: dxprof on a committed scenario must emit a
 # Chrome trace that parses as JSON and Prometheus output that lints
