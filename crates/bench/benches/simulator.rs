@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use dxbsp_algos::{radix_sort, TraceBuilder};
 use dxbsp_bench::{run_builtin, Scale};
-use dxbsp_core::{AccessPattern, EngineKind, Interleaved, MachineParams};
+use dxbsp_core::{AccessPattern, BankDelayModel, EngineKind, Interleaved, MachineParams};
 use dxbsp_machine::{
     Backend, NoopProbe, Session, SessionSink, SimConfig, Simulator, SimulatorBackend,
 };
@@ -30,6 +30,34 @@ fn bench_scatter_shapes(c: &mut Criterion) {
         ("all_same", vec![0u64; n]),
     ] {
         let pat = AccessPattern::scatter(8, &keys);
+        let sim = Simulator::new(cfg.clone());
+        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&pat, &map))));
+    }
+    g.finish();
+}
+
+/// Cost of the delay-model generalization on the hot loop: "uniform"
+/// is the scalar fast path (`scripts/bench.sh --check` pins it against
+/// the pre-model baselines), "per_bank_flat" a vector of identical
+/// delays (the engines treat it like any per-bank vector), and
+/// "per_bank_mixed" a genuine two-tier C90/J90-style vector.
+fn bench_delay_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/delay_model");
+    let n = 64 * 1024;
+    g.throughput(Throughput::Elements(n as u64));
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+    let pat = AccessPattern::scatter(8, &keys);
+    let map = Interleaved::new(256);
+    let base = SimConfig::new(8, 256, 14);
+    let mut tiers = vec![6u64; 128];
+    tiers.resize(256, 14);
+
+    for (name, cfg) in [
+        ("uniform", base.clone()),
+        ("per_bank_flat", base.clone().with_delay_model(BankDelayModel::per_bank(vec![14; 256]))),
+        ("per_bank_mixed", base.clone().with_delay_model(BankDelayModel::per_bank(tiers))),
+    ] {
         let sim = Simulator::new(cfg);
         g.bench_function(name, |b| b.iter(|| black_box(sim.run(&pat, &map))));
     }
@@ -137,8 +165,8 @@ fn bench_session_reuse(c: &mut Criterion) {
             let mut total = 0u64;
             for &x in &xs {
                 let cfg = SimConfig::new(8, 8 * x, 14);
-                backend.reconfigure(cfg);
                 let map = Interleaved::new(cfg.banks);
+                backend.reconfigure(cfg);
                 total += backend.step(&pat, &map).cycles;
             }
             black_box(total)
@@ -209,6 +237,7 @@ fn bench_sweep_throughput(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_scatter_shapes,
+    bench_delay_models,
     bench_engines,
     bench_window_and_sections,
     bench_probe_overhead,

@@ -6,6 +6,7 @@
 //! machine options:
 //!   --procs P       processors             (default 8)
 //!   --delay D       bank delay d           (default 14, J90-like)
+//!   --tiers SPEC    per-bank delay tiers, e.g. 0..128=6,128..256=14
 //!   --expansion X   banks per processor    (default 32)
 //!   --gap G         issue gap g            (default 1)
 //!   --latency L     transit latency        (default 0)
@@ -38,7 +39,7 @@
 //! count.
 
 use dxbsp_bench::runner::{parallel_map_with, set_sweep_threads};
-use dxbsp_core::{BankMap, CostModel, EngineKind, Interleaved, MachineParams};
+use dxbsp_core::{BankDelayModel, BankMap, CostModel, EngineKind, Interleaved, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{
     Backend, ModelBackend, SimConfig, SimResult, SimulatorBackend, TraceFileReader, TraceStep,
@@ -55,6 +56,8 @@ struct Args {
     trace: Option<String>,
     procs: usize,
     delay: u64,
+    delay_given: bool,
+    tiers: Option<String>,
     expansion: usize,
     gap: u64,
     latency: u64,
@@ -76,6 +79,8 @@ fn parse_args() -> Args {
         trace: None,
         procs: 8,
         delay: 14,
+        delay_given: false,
+        tiers: None,
         expansion: 32,
         gap: 1,
         latency: 0,
@@ -124,7 +129,11 @@ fn parse_args() -> Args {
                 other => die(&format!("unknown preset {other} (c90|j90|t90)")),
             },
             "--procs" => args.procs = parse("--procs", val("--procs")) as usize,
-            "--delay" => args.delay = parse("--delay", val("--delay")),
+            "--delay" => {
+                args.delay = parse("--delay", val("--delay"));
+                args.delay_given = true;
+            }
+            "--tiers" => args.tiers = Some(val("--tiers")),
             "--expansion" => args.expansion = parse("--expansion", val("--expansion")) as usize,
             "--gap" => args.gap = parse("--gap", val("--gap")),
             "--latency" => args.latency = parse("--latency", val("--latency")),
@@ -146,7 +155,7 @@ fn parse_args() -> Args {
             "--gantt" => args.gantt = true,
             "--profile" => args.profile = Some(val("--profile")),
             "--help" | "-h" => {
-                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--engine epoch|event] [--seed S] [--threads N] [--per-step] [--profile OUT.json]");
+                println!("usage: dxsim --trace FILE [--preset c90|j90|t90] [--gantt] [--procs P] [--delay D] [--tiers 0..B1=D1,B1..B2=D2,...] [--expansion X] [--gap G] [--latency L] [--sync L] [--window W] [--sections S --ports R] [--cache LINES --hit H] [--map hashed|interleaved] [--engine epoch|event] [--seed S] [--threads N] [--per-step] [--profile OUT.json]");
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument {other}")),
@@ -171,6 +180,9 @@ fn validate(args: &Args) {
     }
     if args.delay == 0 {
         die("--delay must be at least 1");
+    }
+    if args.delay_given && args.tiers.is_some() {
+        die("give --delay or --tiers, not both");
     }
     if args.gap == 0 {
         die("--gap must be at least 1");
@@ -207,6 +219,48 @@ fn validate(args: &Args) {
     if args.threads == Some(0) {
         die("--threads must be at least 1");
     }
+}
+
+/// Parses a `--tiers` spec like `0..128=6,128..256=14` into a per-bank
+/// delay model. The half-open ranges must tile the banks contiguously
+/// from 0 and cover all of them, mirroring the scenario-TOML `tiers`
+/// table.
+fn parse_tiers(spec: &str, banks: usize) -> BankDelayModel {
+    let mut delays: Vec<u64> = Vec::new();
+    for part in spec.split(',') {
+        let (range, d) = part
+            .split_once('=')
+            .unwrap_or_else(|| die(&format!("--tiers segment `{part}` must be START..END=D")));
+        let (a, b) = range
+            .split_once("..")
+            .unwrap_or_else(|| die(&format!("--tiers range `{range}` must be START..END")));
+        let start: usize = a
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--tiers range start `{a}` must be an integer")));
+        let end: usize = b
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--tiers range end `{b}` must be an integer")));
+        let d: u64 = d
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| die(&format!("--tiers delay `{d}` must be an integer")));
+        if d == 0 {
+            die("--tiers delays must be at least 1");
+        }
+        if start != delays.len() || end <= start {
+            die(&format!(
+                "--tiers ranges must tile the banks contiguously from 0 (next range must start at {})",
+                delays.len()
+            ));
+        }
+        delays.resize(end, d);
+    }
+    if delays.len() != banks {
+        die(&format!("--tiers covers {} banks but the machine has {banks}", delays.len()));
+    }
+    BankDelayModel::per_bank(delays)
 }
 
 /// One superstep's report-table row — O(label) metadata kept instead of
@@ -288,7 +342,7 @@ fn replay_stream<M: BankMap + Sync>(
             &chunk[..len],
             || {
                 (
-                    SimulatorBackend::new(cfg),
+                    SimulatorBackend::new(cfg.clone()),
                     ModelBackend::new(*m, CostModel::DxBsp),
                     ModelBackend::new(*m, CostModel::Bsp),
                 )
@@ -335,8 +389,29 @@ fn main() {
     let args = parse_args();
     let path = args.trace.clone().unwrap_or_else(|| die("missing --trace FILE"));
 
-    let m = MachineParams::new(args.procs, args.gap, args.sync, args.delay, args.expansion);
-    let mut cfg = SimConfig::from_params(&m).with_latency(args.latency).with_engine(args.engine);
+    let model = match &args.tiers {
+        Some(spec) => parse_tiers(spec, args.procs * args.expansion),
+        None => BankDelayModel::uniform(args.delay),
+    };
+    if let Some((_, hit)) = args.cache {
+        if hit > model.min_service() {
+            die(&format!(
+                "--hit must be between 1 and the fastest tier's delay ({})",
+                model.min_service()
+            ));
+        }
+    }
+    let m = MachineParams::new(
+        args.procs,
+        args.gap,
+        args.sync,
+        model.uniform_summary(),
+        args.expansion,
+    );
+    let mut cfg = SimConfig::from_params(&m)
+        .with_delay_model(model.clone())
+        .with_latency(args.latency)
+        .with_engine(args.engine);
     if let Some(w) = args.window {
         cfg = cfg.with_window(w);
     }
@@ -354,16 +429,17 @@ fn main() {
     }
 
     let rep = match args.map.as_str() {
-        "interleaved" => replay_stream(&args, &path, cfg, &m, &Interleaved::new(m.banks())),
+        "interleaved" => replay_stream(&args, &path, cfg.clone(), &m, &Interleaved::new(m.banks())),
         "hashed" => {
             let mut rng = StdRng::seed_from_u64(args.seed);
             let map = HashedBanks::random(Degree::Linear, m.banks(), &mut rng);
-            replay_stream(&args, &path, cfg, &m, &map)
+            replay_stream(&args, &path, cfg.clone(), &m, &map)
         }
         other => die(&format!("unknown map {other}")),
     };
 
     println!("machine: p={} g={} L={} d={} x={} (B={})", m.p, m.g, m.l, m.d, m.x, m.banks());
+    println!("delay:   {}", model.describe());
     println!("engine:  {}", cfg.engine_in_force().name());
     println!("trace:   {} supersteps, {} requests", rep.supersteps, rep.requests);
     println!("peak resident supersteps: {} (of {})", rep.peak_resident, rep.supersteps);

@@ -60,6 +60,30 @@ fn registry() -> Vec<Experiment> {
             exp::hybrid::exp4_hybrid_sweep,
             None,
         ),
+        e(
+            "exp1_mixed",
+            "contention sweep on the mixed-tier machine",
+            |s, seed| dxbsp_bench::run_builtin("exp1_mixed", s, seed),
+            Some((0, &[1, 2, 3], true)),
+        ),
+        e(
+            "exp2_mixed",
+            "hot-location duplication on the mixed-tier machine",
+            |s, seed| dxbsp_bench::run_builtin("exp2_mixed", s, seed),
+            Some((0, &[1, 2], true)),
+        ),
+        e(
+            "exp3_mixed",
+            "entropy distributions on the mixed-tier machine",
+            |s, seed| dxbsp_bench::run_builtin("exp3_mixed", s, seed),
+            Some((1, &[2, 3], true)),
+        ),
+        e(
+            "exp4_mixed",
+            "degraded-bank ablation on the mixed-tier machine",
+            |s, seed| dxbsp_bench::run_builtin("exp4_mixed", s, seed),
+            None,
+        ),
         e("exp5", "sectioned-network congestion (a)(b)(c)", exp::network::exp5_network, None),
         e(
             "exp6",

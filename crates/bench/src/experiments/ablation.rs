@@ -79,8 +79,8 @@ pub fn run_bank_cache(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
         let mut rng = super::point_rng(sc.seed, pt.salt() ^ salt_xor);
         let keys = dxbsp_workloads::hotspot_keys(n, k, 1 << 40, &mut rng);
         let pat = dxbsp_core::AccessPattern::scatter(m.p, &keys);
-        let p = SimulatorBackend::new(plain_cfg).step(&pat, &map);
-        let c = SimulatorBackend::new(cached_cfg).step(&pat, &map).into_result();
+        let p = SimulatorBackend::new(plain_cfg.clone()).step(&pat, &map);
+        let c = SimulatorBackend::new(cached_cfg.clone()).step(&pat, &map).into_result();
         let hits: usize = c.banks.iter().map(|b| b.cache_hits).sum();
         #[allow(clippy::cast_precision_loss)]
         Ok(vec![

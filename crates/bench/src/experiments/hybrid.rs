@@ -14,7 +14,8 @@
 //! bank mapping, so the two modes are directly comparable per point.
 
 use dxbsp_core::{
-    AccessPattern, BankMap, ChargeParams, Classifier, DxError, ExecMode, Scenario, SweepPoint,
+    AccessPattern, BankDelayModel, BankMap, ChargeParams, Classifier, DxError, ExecMode, Scenario,
+    SweepPoint,
 };
 use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
 use dxbsp_workloads::{generate_keys, KeyRequest};
@@ -72,7 +73,8 @@ pub fn run_hybrid_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
         let mut row_cycles: Vec<u64> = Vec::with_capacity(chunk.len());
         for pt in chunk {
             let m = machine_for_point(sc, pt)?;
-            let verdict = bound_ppm.map(|ppm| shape.charge(&ChargeParams::new(m.g, m.d, 0, ppm)));
+            let dm = BankDelayModel::uniform(m.d);
+            let verdict = bound_ppm.map(|ppm| shape.charge(&ChargeParams::new(m.g, &dm, 0, ppm)));
             let (measured, was_modeled) = match verdict {
                 Some(v) if v.is_analytic() => (v.cycles, true),
                 _ => {

@@ -19,7 +19,8 @@ pub mod shapes;
 pub mod tables;
 
 use dxbsp_core::{
-    pattern_breakdown, AccessPattern, BankMap, CostModel, EngineKind, ExecMode, MachineParams,
+    pattern_breakdown_delayed, AccessPattern, BankDelayModel, BankMap, CostModel, EngineKind,
+    ExecMode, MachineParams,
 };
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{Backend, ModelBackend, Probe, SimConfig, SimulatorBackend, StepReport};
@@ -103,10 +104,26 @@ pub fn measured_scatter_in(
     keys: &[u64],
     seed: u64,
 ) -> u64 {
+    measured_scatter_model_in(backend, m, &BankDelayModel::uniform(m.d), keys, seed)
+}
+
+/// Like [`measured_scatter_in`], but realizing an explicit
+/// [`BankDelayModel`] instead of the uniform `m.d` — the mixed-tier
+/// and degraded-bank sweeps route here. With `Uniform(m.d)` this is
+/// exactly [`measured_scatter_in`] (same config, same cycles).
+#[must_use]
+pub fn measured_scatter_model_in(
+    backend: &mut SimulatorBackend,
+    m: &MachineParams,
+    delay: &BankDelayModel,
+    keys: &[u64],
+    seed: u64,
+) -> u64 {
     // Reconfiguring preserves the backend's execution mode and inner
     // engine: a hybrid sweep stays hybrid across grid points, an
     // event-engine sweep stays on the event loop.
     let cfg = SimConfig::from_params(m)
+        .with_delay_model(delay.clone())
         .with_exec(backend.simulator().config().exec)
         .with_engine(backend.simulator().config().engine);
     if *backend.simulator().config() != cfg {
@@ -131,7 +148,24 @@ pub fn measured_scatter_probed_in<P: Probe>(
     seed: u64,
     probe: &mut P,
 ) -> u64 {
+    measured_scatter_model_probed_in(backend, m, &BankDelayModel::uniform(m.d), keys, seed, probe)
+}
+
+/// Like [`measured_scatter_probed_in`], but realizing an explicit
+/// [`BankDelayModel`]. The attached step report's model attribution is
+/// the generalized `max(L, g·h, max_b d_b·R_b)` breakdown, which for
+/// `Uniform(m.d)` collapses to the scalar charge bit-for-bit.
+#[must_use]
+pub fn measured_scatter_model_probed_in<P: Probe>(
+    backend: &mut SimulatorBackend,
+    m: &MachineParams,
+    delay: &BankDelayModel,
+    keys: &[u64],
+    seed: u64,
+    probe: &mut P,
+) -> u64 {
     let cfg = SimConfig::from_params(m)
+        .with_delay_model(delay.clone())
         .with_exec(backend.simulator().config().exec)
         .with_engine(backend.simulator().config().engine);
     if *backend.simulator().config() != cfg {
@@ -149,7 +183,7 @@ pub fn measured_scatter_probed_in<P: Probe>(
         sync_overhead: 0,
         total_cycles: out.cycles,
         modeled: out.modeled,
-        model: pattern_breakdown(m, &pat, &map, CostModel::DxBsp),
+        model: pattern_breakdown_delayed(m, delay, &pat, &map),
     };
     probe.superstep_end("scatter", &report);
     out.cycles

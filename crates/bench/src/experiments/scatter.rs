@@ -10,15 +10,15 @@
 //! [`crate::scenarios`].
 
 use dxbsp_core::{
-    predict_scatter, predict_scatter_bsp, DxError, MachineParams, ScatterShape, Scenario,
-    SpecValue, SweepPoint, WorkloadSpec,
+    pattern_breakdown_delayed, predict_scatter, predict_scatter_bsp, AccessPattern, BankDelayModel,
+    DxError, MachineParams, ScatterShape, Scenario, SpecValue, SweepPoint, WorkloadSpec,
 };
 use dxbsp_telemetry::Recorder;
 use dxbsp_workloads::{generate_keys, max_contention, KeyRequest};
 
 use crate::record::{Cell, RunRecord};
 use crate::runner::parallel_map_with;
-use crate::sweep::{machine_for_point, point_n, ScenarioOutput};
+use crate::sweep::{machine_and_delay_for_point, point_n, ScenarioOutput};
 use crate::table::Table;
 use crate::Scale;
 
@@ -28,6 +28,7 @@ use crate::Scale;
 pub(crate) struct Prepared {
     pub(crate) pt: SweepPoint,
     pub(crate) m: MachineParams,
+    pub(crate) delay: BankDelayModel,
     pub(crate) n: usize,
     pub(crate) req: KeyRequest,
 }
@@ -39,7 +40,7 @@ pub(crate) fn prepare(sc: &Scenario) -> Result<Vec<Prepared>, DxError> {
         .matrix()
         .into_iter()
         .map(|pt| {
-            let m = machine_for_point(sc, &pt)?;
+            let (m, delay) = machine_and_delay_for_point(sc, &pt)?;
             let n = point_n(sc, &pt)?;
             let k = pt.u64("k").unwrap_or(param_k);
             let copies = pt.u64("copies").unwrap_or(param_copies);
@@ -52,7 +53,7 @@ pub(crate) fn prepare(sc: &Scenario) -> Result<Vec<Prepared>, DxError> {
                     .map_err(|_| DxError::invalid("iter out of range"))?,
                 exponent: pt.f64("s").unwrap_or(0.0),
             };
-            Ok(Prepared { pt, m, n, req })
+            Ok(Prepared { pt, m, delay, n, req })
         })
         .collect()
 }
@@ -61,6 +62,11 @@ struct PointResult {
     k_real: usize,
     measured: u64,
     preds: Vec<u64>,
+    /// The generalized `max(L, g·h, max_b d_b·R_b)` prediction, present
+    /// only at points whose delay model is non-uniform (where the
+    /// scalar `pred_*` columns are the uniform-`d` mispredictions the
+    /// mixed-tier experiments quantify).
+    pred_tiered: Option<u64>,
     telemetry: Option<SpecValue>,
 }
 
@@ -99,11 +105,20 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
             // changes a scenario's numbers — only its payload.
             let (measured, telemetry) = if sc.telemetry {
                 let mut rec = Recorder::new();
-                let cycles =
-                    super::measured_scatter_probed_in(be, &p.m, &keys, sc.seed ^ salt, &mut rec);
+                rec.set_delay_model(&p.delay);
+                let cycles = super::measured_scatter_model_probed_in(
+                    be,
+                    &p.m,
+                    &p.delay,
+                    &keys,
+                    sc.seed ^ salt,
+                    &mut rec,
+                );
                 (cycles, Some(rec.summary()))
             } else {
-                (super::measured_scatter_in(be, &p.m, &keys, sc.seed ^ salt), None)
+                let cycles =
+                    super::measured_scatter_model_in(be, &p.m, &p.delay, &keys, sc.seed ^ salt);
+                (cycles, None)
             };
             let k_pred = if duplicated { p.req.k.div_ceil(p.req.copies.max(1)) } else { k_real };
             let shape = ScatterShape::new(p.n, k_pred);
@@ -114,7 +129,17 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
                     _ => predict_scatter(&p.m, shape),
                 })
                 .collect();
-            Ok(PointResult { k_real, measured, preds, telemetry })
+            // At non-uniform points, also charge the generalized bank
+            // term on the *actual* per-point pattern and mapping — the
+            // tiered prediction the scalar models mispredict against.
+            let pred_tiered = if p.delay.as_uniform().is_none() {
+                let map = super::hashed_map(&p.m, sc.seed ^ salt);
+                let pat = AccessPattern::scatter(p.m.p, &keys);
+                Some(pattern_breakdown_delayed(&p.m, &p.delay, &pat, &map).total())
+            } else {
+                None
+            };
+            Ok(PointResult { k_real, measured, preds, pred_tiered, telemetry })
         },
     );
     let results: Vec<PointResult> = results.into_iter().collect::<Result<_, _>>()?;
@@ -133,6 +158,10 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
                 .with("measured", Cell::int(r.measured));
             for (model, &pred) in sc.models.iter().zip(&r.preds) {
                 rec = rec.with(&format!("pred_{model}"), Cell::int(pred));
+            }
+            if let Some(tiered) = r.pred_tiered {
+                rec = rec.with("pred_tiered", Cell::int(tiered));
+                rec = rec.with("delay_model", Cell::str(p.delay.describe()));
             }
             if let Some(t) = &r.telemetry {
                 rec = rec.with_telemetry(t.clone());
@@ -163,8 +192,18 @@ fn generic_scatter_table(sc: &Scenario, prepared: &[Prepared], results: &[PointR
     for model in &sc.models {
         headers.push(format!("{model}-pred"));
     }
+    // Non-uniform sweeps carry the generalized bank-term prediction
+    // next to the scalar models it corrects. Uniform sweeps (all the
+    // pinned goldens) never see these columns.
+    let tiered = results.iter().any(|r| r.pred_tiered.is_some());
+    if tiered {
+        headers.push("tiered-pred".to_string());
+    }
     for model in &sc.models {
         headers.push(format!("meas/{model}"));
+    }
+    if tiered {
+        headers.push("meas/tiered".to_string());
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let rows: Vec<Vec<Cell>> = prepared
@@ -180,9 +219,18 @@ fn generic_scatter_table(sc: &Scenario, prepared: &[Prepared], results: &[PointR
             for &pred in &r.preds {
                 row.push(Cell::int(pred));
             }
+            if tiered {
+                row.push(Cell::int(r.pred_tiered.unwrap_or(0)));
+            }
             #[allow(clippy::cast_precision_loss)]
             for &pred in &r.preds {
                 row.push(Cell::Float(r.measured as f64 / pred as f64));
+            }
+            #[allow(clippy::cast_precision_loss)]
+            if tiered {
+                row.push(Cell::Float(
+                    r.measured as f64 / r.pred_tiered.unwrap_or(r.measured).max(1) as f64,
+                ));
             }
             row
         })

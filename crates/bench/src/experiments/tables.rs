@@ -9,10 +9,10 @@ use std::time::Instant;
 
 use dxbsp_core::{presets, DxError, Scenario};
 use dxbsp_hash::{Degree, PolyHash};
-use dxbsp_machine::calibrate;
+use dxbsp_machine::{calibrate, calibrate_tiers, SimConfig, SimulatorBackend};
 
 use crate::record::Cell;
-use crate::sweep::{machine_for_point, ScenarioOutput};
+use crate::sweep::{machine_and_delay_for_point, ScenarioOutput};
 use crate::table::Table;
 use crate::Scale;
 
@@ -41,7 +41,9 @@ pub fn run_inventory(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
 
 /// The `calibration` executor: for every machine on the `machine` axis,
 /// fit `d` and `g` from micro-patterns and report them next to the
-/// configured values.
+/// configured values. Machines with non-uniform delay models (the
+/// `mixed` preset) calibrate per tier: one row per delay class, each
+/// fitted by hammering a bank of that tier.
 pub fn run_calibration(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
     let n = sc.n.ok_or_else(|| DxError::invalid("calibration needs `n`"))?;
     let headers = ["machine", "p", "x", "configured d", "fitted d", "configured g", "fitted g"];
@@ -50,18 +52,33 @@ pub fn run_calibration(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
         let name = pt
             .str("machine")
             .ok_or_else(|| DxError::invalid("calibration needs a `machine` axis"))?;
-        let m = machine_for_point(sc, &pt)?;
-        let backend = super::backend(&m);
+        let (m, delay) = machine_and_delay_for_point(sc, &pt)?;
+        let backend =
+            SimulatorBackend::new(SimConfig::from_params(&m).with_delay_model(delay.clone()));
         let cal = calibrate(backend.simulator(), n);
-        rows.push(vec![
-            Cell::str(format!("{}-like", name.to_uppercase())),
-            Cell::size(m.p),
-            Cell::size(m.x),
-            Cell::int(m.d),
-            Cell::Float(cal.d),
-            Cell::int(m.g),
-            Cell::Float(cal.g),
-        ]);
+        if delay.as_uniform().is_some() {
+            rows.push(vec![
+                Cell::str(format!("{}-like", name.to_uppercase())),
+                Cell::size(m.p),
+                Cell::size(m.x),
+                Cell::int(m.d),
+                Cell::Float(cal.d),
+                Cell::int(m.g),
+                Cell::Float(cal.g),
+            ]);
+        } else {
+            for tier in calibrate_tiers(backend.simulator(), n) {
+                rows.push(vec![
+                    Cell::str(format!("{}-like d={} tier", name.to_uppercase(), tier.d)),
+                    Cell::size(m.p),
+                    Cell::size(m.x),
+                    Cell::int(tier.d),
+                    Cell::Float(tier.fitted),
+                    Cell::int(m.g),
+                    Cell::Float(cal.g),
+                ]);
+            }
+        }
     }
     Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
 }

@@ -18,7 +18,7 @@
 //! tests in `dxbsp-machine`), and the recorder attributes every cycle
 //! of the clock — `recorder.attributed_cycles() == cycles`.
 
-use dxbsp_core::{AxisValue, BankMap, DxError, EngineKind, Scenario};
+use dxbsp_core::{AxisValue, BankDelayModel, BankMap, DxError, EngineKind, Scenario};
 use dxbsp_machine::{Session, SimConfig, SimulatorBackend, TraceFileReader};
 use dxbsp_telemetry::Recorder;
 use dxbsp_workloads::generate_keys;
@@ -44,6 +44,9 @@ pub struct Profile {
     /// ([`SimConfig::engine_in_force`]) — `BankEpoch` unless the
     /// scenario pinned the event loop or a feature forced the punt.
     pub engine: EngineKind,
+    /// The bank-delay model the run realized (uniform unless the
+    /// scenario described tiers, `per_bank`, or degraded banks).
+    pub delay: BankDelayModel,
 }
 
 /// Profiles one sweep point of a scenario with probes on.
@@ -79,13 +82,15 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
     let salt = p.pt.salt();
     let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;
     let mut rec = Recorder::new();
+    rec.set_delay_model(&p.delay);
     // The backend inherits the scenario's execution mode, so profiling
     // a hybrid scenario shows its closed-form charges as
     // `modeled_steps` in the summary.
     let mut backend = experiments::backend_with(&p.m, sc.exec, sc.engine);
-    let cycles = experiments::measured_scatter_probed_in(
+    let cycles = experiments::measured_scatter_model_probed_in(
         &mut backend,
         &p.m,
+        &p.delay,
         &keys,
         sc.seed ^ salt,
         &mut rec,
@@ -103,7 +108,15 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
     } else {
         format!("scenario {} point {idx} [{}]", sc.name, coords.join(", "))
     };
-    Ok(Profile { recorder: rec, source, supersteps: 1, requests: keys.len(), cycles, engine })
+    Ok(Profile {
+        recorder: rec,
+        source,
+        supersteps: 1,
+        requests: keys.len(),
+        cycles,
+        engine,
+        delay: p.delay.clone(),
+    })
 }
 
 /// Profiles a stored trace file with probes on, streaming supersteps
@@ -116,6 +129,9 @@ pub fn profile_trace(path: &str, cfg: SimConfig, map: &dyn BankMap) -> Result<Pr
     let mut reader = TraceFileReader::open(std::path::Path::new(path))
         .map_err(|e| DxError::invalid(format!("cannot load {path}: {e}")))?;
     let mut rec = Recorder::new();
+    let engine = cfg.engine_in_force();
+    let delay = cfg.delay.clone();
+    rec.set_delay_model(&delay);
     let mut session = Session::new(SimulatorBackend::new(cfg));
     let summary = session.run_stream_probed(&mut reader, map, &mut rec);
     if let Some(e) = reader.error() {
@@ -127,7 +143,8 @@ pub fn profile_trace(path: &str, cfg: SimConfig, map: &dyn BankMap) -> Result<Pr
         supersteps: summary.supersteps,
         requests: summary.requests,
         cycles: summary.cycles,
-        engine: cfg.engine_in_force(),
+        engine,
+        delay,
     })
 }
 
@@ -158,6 +175,7 @@ pub fn text_report(p: &Profile, top: usize) -> String {
         p.engine.name(),
         rec.modeled_steps()
     ));
+    out.push_str(&format!("delay model: {}\n", p.delay.describe()));
     out.push_str(&format!(
         "queue wait: {} cycles total, p99 ≤ {}; window stalls: {} cycles; cascades: {}\n",
         rec.queue_wait_hist().sum(),
@@ -260,7 +278,7 @@ mod tests {
         w.finish().unwrap();
 
         let cfg = SimConfig::new(4, 32, 8);
-        let p = profile_trace(path.to_str().unwrap(), cfg, &Interleaved::new(32)).unwrap();
+        let p = profile_trace(path.to_str().unwrap(), cfg.clone(), &Interleaved::new(32)).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(p.supersteps, 2);
         assert_eq!(p.requests, 128);

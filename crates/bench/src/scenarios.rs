@@ -22,6 +22,10 @@ pub fn builtin_names() -> Vec<&'static str> {
         "exp3",
         "exp4",
         "exp4_hybrid",
+        "exp1_mixed",
+        "exp2_mixed",
+        "exp3_mixed",
+        "exp4_mixed",
         "exp5",
         "exp6",
         "exp6b",
@@ -51,7 +55,8 @@ pub fn builtin_names() -> Vec<&'static str> {
 
 /// Built-ins whose rendered table is pinned bit-for-bit by a golden
 /// CSV under `tests/golden/` (`dxbench list` marks them).
-pub const GOLDEN_PINNED: &[&str] = &["exp1", "exp2", "exp3", "fig1"];
+pub const GOLDEN_PINNED: &[&str] =
+    &["exp1", "exp2", "exp3", "fig1", "exp1_mixed", "exp2_mixed", "exp3_mixed", "exp4_mixed"];
 
 /// Whether the built-in `name` has a pinned golden CSV.
 #[must_use]
@@ -102,7 +107,7 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Result<Scenario, DxError>
         "table2" => Scenario {
             title: "Table 2: calibrated (d,x)-BSP parameters of the simulated machines".into(),
             n: Some(n),
-            sweep: Sweep::new(vec![Axis::strs("machine", ["c90", "j90"])]),
+            sweep: Sweep::new(vec![Axis::strs("machine", ["c90", "j90", "mixed"])]),
             notes: vec![format!("fitted from {n}-request hammer and unit-stride micro-patterns")],
             ..Scenario::new(name, "calibration", seed)
         },
@@ -209,6 +214,76 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Result<Scenario, DxError>
             ..Scenario::new(name, "hybrid-sweep", seed)
         }
         .with_param("k", SpecValue::Int((n / 2) as i64)),
+        "exp1_mixed" => Scenario {
+            title: format!(
+                "Experiment 1M: scatter vs. contention on the mixed-tier machine (n={n})"
+            ),
+            n: Some(n),
+            machine: MachineSpec::preset("mixed"),
+            workload: WorkloadSpec::Hotspot { range: 1 << 40 },
+            sweep: Sweep::new(vec![ints("k", geometric(4, n, true))]),
+            notes: vec![
+                "exp1's ladder on the fused C90/J90 machine: the scalar models charge the \
+                 slow-tier d=14 everywhere, so they over-predict whenever the binding bank \
+                 is a fast SRAM one — the tiered-pred column charges the bank that binds"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        },
+        "exp2_mixed" => {
+            let k = n / 8;
+            Scenario {
+                title: format!(
+                    "Experiment 2M: duplicating a contention-{k} location on the mixed-tier \
+                     machine (n={n})"
+                ),
+                n: Some(n),
+                machine: MachineSpec::preset("mixed"),
+                workload: WorkloadSpec::DuplicatedHotspot { range: 1 << 40 },
+                sweep: Sweep::new(vec![ints("copies", geometric(2, k, false))]),
+                models: vec!["dxbsp".into()],
+                notes: vec![
+                    "copies land on both tiers; the uniform-d prediction misses that a \
+                     fast-tier replica clears its queue 2.3x sooner"
+                        .into(),
+                ],
+                ..Scenario::new(name, "scatter-sweep", seed)
+            }
+            .with_param("k", SpecValue::Int(k as i64))
+        }
+        "exp3_mixed" => Scenario {
+            title: format!(
+                "Experiment 3M: entropy distributions on the mixed-tier machine (n={n})"
+            ),
+            n: Some(n),
+            machine: MachineSpec::preset("mixed"),
+            workload: WorkloadSpec::Entropy { bits: 22, iterations: 8, salt: 0xE27 },
+            sweep: Sweep::new(vec![ints("iter", 0..=8)]),
+            notes: vec![
+                "as contention concentrates, which tier hosts the hot bank decides the cost; \
+                 uniform d=14 cannot express the distinction"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        },
+        "exp4_mixed" => Scenario {
+            title: format!(
+                "Experiment 4M: degraded-bank ablation on the mixed-tier machine (n={n})"
+            ),
+            n: Some(n),
+            machine: MachineSpec::preset("mixed"),
+            workload: WorkloadSpec::Uniform { range: 1 << 40 },
+            sweep: Sweep::new(vec![ints("degraded_banks", [0, 1, 8, 32, 128])]),
+            models: vec!["dxbsp".into()],
+            notes: vec![
+                "the first k banks degrade to d=56 (a failing DRAM row): the uniform model \
+                 must charge all 256 banks at 56 to stay sound, the tiered term charges \
+                 only the banks that are actually slow"
+                    .into(),
+            ],
+            ..Scenario::new(name, "scatter-sweep", seed)
+        }
+        .with_param("degraded_d", SpecValue::Int(56)),
         "exp_machines" => Scenario {
             title: format!("Machine comparison: contention sweep on both Cray presets (n={n})"),
             n: Some(n),

@@ -10,7 +10,7 @@
 //! [`parallel_map_with`](crate::runner::parallel_map_with), so results
 //! are byte-identical at any thread count.
 
-use dxbsp_core::{DxError, MachineParams, MachineSpec, Scenario, SweepPoint};
+use dxbsp_core::{BankDelayModel, DxError, MachineParams, MachineSpec, Scenario, SweepPoint};
 
 use crate::experiments;
 use crate::record::RunRecord;
@@ -101,6 +101,18 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
         .iter()
         .find(|(name, _)| *name == sc.kind)
         .ok_or_else(|| DxError::unknown("scenario kind", sc.kind.clone()))?;
+    // Only the sweep kinds that thread the full BankDelayModel into
+    // their workers can honor non-uniform delays; every other kind
+    // would silently run the scalar summary `d` instead.
+    let nonuniform = sc.machine.has_nonuniform_delay()
+        || sc.sweep.axes.iter().any(|a| a.param == "degraded_banks");
+    if nonuniform && sc.kind != "scatter-sweep" && sc.kind != "hybrid-sweep" {
+        return Err(DxError::invalid(format!(
+            "scenario kind `{}` supports uniform bank delay only; non-uniform machines \
+             (per_bank/tiers/degraded_banks) need kind `scatter-sweep` or `hybrid-sweep`",
+            sc.kind
+        )));
+    }
     if sc.threads > 0 {
         crate::runner::set_sweep_threads(sc.threads);
     }
@@ -116,20 +128,71 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
 /// [`DxError::Unknown`] for an unknown `machine` coordinate,
 /// [`DxError::Invalid`] for degenerate overrides.
 pub fn machine_for_point(sc: &Scenario, pt: &SweepPoint) -> Result<MachineParams, DxError> {
-    let base = match pt.str("machine") {
-        Some(name) => MachineSpec::lookup_preset(name)?,
-        None => sc.machine.resolve()?,
+    machine_and_delay_for_point(sc, pt).map(|(m, _)| m)
+}
+
+/// [`machine_for_point`] plus the bank-delay model in force at the
+/// point. The model comes from the `machine` axis preset (or the
+/// scenario's machine spec); a `d` axis resets it to `Uniform(d)`, and
+/// a `degraded_banks` axis then overwrites the first `k` banks with the
+/// scenario's `degraded_d` parameter — the degraded-bank ablation.
+///
+/// # Errors
+///
+/// Everything [`machine_for_point`] rejects, plus [`DxError::Invalid`]
+/// when a `degraded_banks` axis lacks the `degraded_d` parameter,
+/// degrades more banks than the machine has, or the resolved model does
+/// not fit the (possibly axis-overridden) machine shape.
+pub fn machine_and_delay_for_point(
+    sc: &Scenario,
+    pt: &SweepPoint,
+) -> Result<(MachineParams, BankDelayModel), DxError> {
+    let (base, base_model) = match pt.str("machine") {
+        Some(name) => MachineSpec::lookup_preset_model(name)?,
+        None => sc.machine.resolve_model()?,
     };
     let to_usize = |v: u64, what: &str| {
         usize::try_from(v).map_err(|_| DxError::invalid(format!("axis `{what}` out of range")))
     };
-    MachineParams::try_new(
-        pt.u64("p").map_or(Ok(base.p), |v| to_usize(v, "p"))?,
+    let p = pt.u64("p").map_or(Ok(base.p), |v| to_usize(v, "p"))?;
+    let x = pt.u64("x").map_or(Ok(base.x), |v| to_usize(v, "x"))?;
+    let banks =
+        p.checked_mul(x).ok_or_else(|| DxError::invalid("machine: bank count p*x overflows"))?;
+    // A `d` axis dials the uniform delay, replacing whatever model the
+    // spec carried (exp4-style sweeps assume this).
+    let mut model = match pt.u64("d") {
+        Some(d) => BankDelayModel::uniform(d),
+        None => base_model,
+    };
+    if let Some(k) = pt.u64("degraded_banks") {
+        let k = to_usize(k, "degraded_banks")?;
+        let degraded_d = sc.param_u64("degraded_d", 0)?;
+        if degraded_d == 0 {
+            return Err(DxError::invalid(
+                "sweep axis `degraded_banks` needs params.degraded_d (> 0)",
+            ));
+        }
+        if k > banks {
+            return Err(DxError::invalid(format!(
+                "axis `degraded_banks` = {k} exceeds the machine's {banks} banks"
+            )));
+        }
+        model.validate(p, banks)?;
+        let mut delays: Vec<u64> = (0..banks).map(|b| model.service(b)).collect();
+        for slot in delays.iter_mut().take(k) {
+            *slot = degraded_d;
+        }
+        model = BankDelayModel::per_bank(delays);
+    }
+    model.validate(p, banks)?;
+    let m = MachineParams::try_new(
+        p,
         pt.u64("g").unwrap_or(base.g),
         pt.u64("l").unwrap_or(base.l),
-        pt.u64("d").unwrap_or(base.d),
-        pt.u64("x").map_or(Ok(base.x), |v| to_usize(v, "x"))?,
-    )
+        model.uniform_summary(),
+        x,
+    )?;
+    Ok((m, model))
 }
 
 /// The problem size at a sweep point: an `n` axis if present, else the

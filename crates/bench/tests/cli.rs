@@ -91,6 +91,22 @@ fn bank_cache_flag_defuses_the_hot_spot() {
 }
 
 #[test]
+fn tiered_delay_replay_is_byte_identical_across_threads() {
+    let path = tmp("tiered.dxtr");
+    run_ok(dxtrace().args(["scatter", "--n", "8192", "--contention", "1024", "-o"]).arg(&path));
+    let tiers = ["--tiers", "0..128=6,128..256=14", "--per-step"];
+    let one = run_ok(dxsim().arg("--trace").arg(&path).args(["--threads", "1"]).args(tiers));
+    let four = run_ok(dxsim().arg("--trace").arg(&path).args(["--threads", "4"]).args(tiers));
+    assert_eq!(one, four, "per-bank tables must not depend on the worker count");
+    assert!(one.contains("delay:   per-bank(d=6 x128, d=14 x128)"), "{one}");
+    // The summary machine charges every bank at the slowest tier, so the
+    // tiered replay can only be at or under the uniform-d one.
+    let uniform =
+        measured_cycles(&run_ok(dxsim().arg("--trace").arg(&path).args(["--delay", "14"])));
+    assert!(measured_cycles(&one) <= uniform, "tiered {one} vs uniform {uniform}");
+}
+
+#[test]
 fn wrong_processor_count_is_a_clear_error() {
     let path = tmp("p8.dxtr");
     run_ok(dxtrace().args(["scatter", "--n", "1024", "-o"]).arg(&path));
@@ -147,6 +163,11 @@ fn degenerate_machine_flags_are_rejected_up_front() {
         vec!["--cache", "8", "--hit", "99"], // hit > delay 14
         vec!["--map", "banana"],
         vec!["--delay", "notanumber"],
+        vec!["--delay", "6", "--tiers", "0..256=6"], // give one or the other
+        vec!["--tiers", "0..10=6"],                  // does not cover the 256 banks
+        vec!["--tiers", "0..128=6,200..256=14"],     // gap: must tile contiguously
+        vec!["--tiers", "0..256=0"],                 // zero-delay tier
+        vec!["--tiers", "0..256"],                   // missing =D
     ] {
         let out = dxsim().arg("--trace").arg(&path).args(&bad).output().expect("spawn");
         assert!(!out.status.success(), "{bad:?} was accepted");
@@ -307,6 +328,22 @@ mod telemetry_cli {
     }
 
     #[test]
+    fn dxprof_surfaces_the_delay_model_on_mixed_tier_scenarios() {
+        let summary_path = tmp("prof.mixed.summary.json");
+        let out = run_ok(
+            dxprof().args(["--scenario", "exp1_mixed", "--quick", "--summary"]).arg(&summary_path),
+        );
+        assert!(out.contains("delay model: per-bank(d=6 x128, d=14 x128)"), "{out}");
+
+        let summary = std::fs::read_to_string(&summary_path).expect("summary");
+        let v = SpecValue::from_json(summary.trim()).expect("summary parses");
+        let model = v.get("delay_model").and_then(SpecValue::as_str).expect("delay_model key");
+        assert_eq!(model, "per-bank(d=6 x128, d=14 x128)");
+        let tiers = v.get("tier_busy_cycles").expect("tier_busy_cycles table");
+        assert!(tiers.get("d6").is_some() && tiers.get("d14").is_some(), "{summary}");
+    }
+
+    #[test]
     fn dxprof_profiles_a_trace_file() {
         let path = tmp("prof.dxtr");
         run_ok(dxtrace().args(["scatter", "--n", "2048", "--contention", "512", "-o"]).arg(&path));
@@ -395,8 +432,22 @@ mod telemetry_cli {
         for line in out.lines() {
             let mut cols = line.split_whitespace();
             let (name, marker) = (cols.next().expect("name"), cols.next().expect("marker"));
-            let expect =
-                if ["exp1", "exp2", "exp3", "fig1"].contains(&name) { "golden" } else { "-" };
+            let expect = if [
+                "exp1",
+                "exp2",
+                "exp3",
+                "fig1",
+                "exp1_mixed",
+                "exp2_mixed",
+                "exp3_mixed",
+                "exp4_mixed",
+            ]
+            .contains(&name)
+            {
+                "golden"
+            } else {
+                "-"
+            };
             assert_eq!(marker, expect, "{line}");
         }
     }
@@ -426,6 +477,34 @@ mod telemetry_cli {
             let v = SpecValue::from_json(line).expect("record parses");
             let values = v.get("values").expect("values object");
             assert_eq!(values.get("engine").and_then(SpecValue::as_str), Some("event"), "{line}");
+        }
+    }
+
+    #[test]
+    fn dxbench_records_carry_the_delay_model_on_mixed_tier_runs() {
+        // Non-uniform points stamp their delay model and the tiered
+        // prediction into the JSON records; uniform runs never do.
+        let json_path = tmp("mixed.records.jsonl");
+        run_ok(dxbench().args(["run", "exp1_mixed", "--quick", "--json"]).arg(&json_path));
+        let text = std::fs::read_to_string(&json_path).expect("records");
+        assert!(!text.is_empty(), "no records written");
+        for line in text.lines() {
+            let v = SpecValue::from_json(line).expect("record parses");
+            let values = v.get("values").expect("values object");
+            assert_eq!(
+                values.get("delay_model").and_then(SpecValue::as_str),
+                Some("per-bank(d=6 x128, d=14 x128)"),
+                "{line}"
+            );
+            assert!(values.get("pred_tiered").and_then(SpecValue::as_int).is_some(), "{line}");
+        }
+
+        let uniform_path = tmp("uniform.records.jsonl");
+        run_ok(dxbench().args(["run", "exp1", "--quick", "--json"]).arg(&uniform_path));
+        let text = std::fs::read_to_string(&uniform_path).expect("records");
+        for line in text.lines() {
+            let v = SpecValue::from_json(line).expect("record parses");
+            assert!(v.get("values").expect("values").get("delay_model").is_none(), "{line}");
         }
     }
 

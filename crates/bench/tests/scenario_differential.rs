@@ -50,6 +50,48 @@ fn exp3_matches_golden_exactly() {
 }
 
 #[test]
+fn exp1_mixed_matches_golden_exactly() {
+    let t = run_builtin("exp1_mixed", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/exp1_mixed.csv"));
+}
+
+#[test]
+fn exp2_mixed_matches_golden_exactly() {
+    let t = run_builtin("exp2_mixed", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/exp2_mixed.csv"));
+}
+
+#[test]
+fn exp3_mixed_matches_golden_exactly() {
+    let t = run_builtin("exp3_mixed", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/exp3_mixed.csv"));
+}
+
+#[test]
+fn exp4_mixed_matches_golden_exactly() {
+    let t = run_builtin("exp4_mixed", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/exp4_mixed.csv"));
+}
+
+#[test]
+fn mixed_tier_goldens_quantify_the_uniform_misprediction() {
+    // The point of the mixed-tier reruns: at full contention the hot
+    // bank lands in the fast d=6 tier, so the scalar dxbsp prediction
+    // (which must charge the slow tier's d=14 to stay sound) over-
+    // predicts by more than 2x, while the generalized per-bank term
+    // stays within a few percent of measured.
+    let t = run_builtin("exp1_mixed", Scale::Quick, SEED);
+    let h = &t.headers;
+    let col = |name: &str| h.iter().position(|c| c == name).unwrap_or_else(|| panic!("{name}?"));
+    let last = t.rows.last().expect("rows");
+    let measured: f64 = last[col("measured")].parse().unwrap();
+    let uniform: f64 = last[col("dxbsp-pred")].parse().unwrap();
+    let tiered: f64 = last[col("tiered-pred")].parse().unwrap();
+    assert!(uniform > measured * 2.0, "uniform {uniform} vs measured {measured}");
+    assert!((measured - tiered).abs() / measured < 0.05, "tiered {tiered} vs {measured}");
+}
+
+#[test]
 fn every_builtin_is_committed_as_a_scenario_file() {
     // examples/scenarios/builtin/<name>.toml is the dump of each
     // built-in at Full scale — the committed, runnable form of every

@@ -36,6 +36,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::delay::BankDelayModel;
 use crate::pattern::AccessPattern;
 
 /// How the engine executes supersteps.
@@ -122,13 +123,15 @@ impl EngineKind {
     }
 }
 
-/// The scalar machine parameters the closed forms need.
+/// The machine parameters the closed forms need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ChargeParams {
+pub struct ChargeParams<'a> {
     /// Issue gap `g` (cycles between a processor's requests).
     pub issue_gap: u64,
-    /// Bank service time `d`.
-    pub bank_delay: u64,
+    /// The bank delay model. The exact closed forms assume a uniform
+    /// `d`; under a non-uniform model the classifier stays conservative
+    /// (see [`StepShape::charge`]).
+    pub delay: &'a BankDelayModel,
     /// One-way network transit `lat` (each request pays two legs).
     pub latency: u64,
     /// Accepted relative error for the [`StepClass::Bounded`] class,
@@ -136,13 +139,18 @@ pub struct ChargeParams {
     pub error_bound_ppm: u32,
 }
 
-impl ChargeParams {
-    /// Parameters for a machine with issue gap `g`, bank delay `d` and
-    /// one-way latency `lat`, accepting `error_bound_ppm` of model
-    /// slack.
+impl<'a> ChargeParams<'a> {
+    /// Parameters for a machine with issue gap `g`, delay model
+    /// `delay` and one-way latency `lat`, accepting `error_bound_ppm`
+    /// of model slack.
     #[must_use]
-    pub fn new(issue_gap: u64, bank_delay: u64, latency: u64, error_bound_ppm: u32) -> Self {
-        Self { issue_gap, bank_delay, latency, error_bound_ppm }
+    pub fn new(
+        issue_gap: u64,
+        delay: &'a BankDelayModel,
+        latency: u64,
+        error_bound_ppm: u32,
+    ) -> Self {
+        Self { issue_gap, delay, latency, error_bound_ppm }
     }
 }
 
@@ -214,41 +222,91 @@ impl StepShape {
     /// pattern again — `O(1)`, so a sweep that holds the pattern (and
     /// thus the shape) fixed can re-charge it across an axis of `d` or
     /// `g` values for free.
+    ///
+    /// Under a uniform delay model this is the exact three-class
+    /// analysis from the module docs. Under a non-uniform model the
+    /// classifier stays conservative: the hot-bank form is still exact
+    /// (the single bank's own `d_b` prices it), the conflict-free form
+    /// degrades to a `[d_min, d_max]` bracket (without per-request bank
+    /// identity the closed form cannot know *which* bank each request
+    /// pays), and the mixed bracket widens to
+    /// `LB = max((h−1)·g + d_min, R·d_min) + 2·lat`,
+    /// `UB = (h−1)·g + R·d_max + 2·lat` — still provable, since every
+    /// bank serves at least `d_min` and at most `d_max` per request.
+    /// `Distance` models add per-pair transit the closed forms don't
+    /// see, so every non-empty step simulates.
     #[must_use]
     pub fn charge(&self, p: &ChargeParams) -> Verdict {
         let n = self.requests as u64;
         if n == 0 {
             return Verdict { class: StepClass::Empty, cycles: 0, lower: 0, upper: 0 };
         }
-        let (g, d, lat) = (p.issue_gap, p.bank_delay, p.latency);
+        let (g, lat) = (p.issue_gap, p.latency);
         let (h, r) = (self.max_proc_load, self.max_bank_load);
         let round_trip = 2 * lat;
-        if r <= 1 {
-            let exact = (h - 1) * g + d + round_trip;
-            return Verdict {
-                class: StepClass::ConflictFree,
-                cycles: exact,
-                lower: exact,
-                upper: exact,
-            };
+        if let Some(d) = p.delay.as_uniform() {
+            if r <= 1 {
+                let exact = (h - 1) * g + d + round_trip;
+                return Verdict {
+                    class: StepClass::ConflictFree,
+                    cycles: exact,
+                    lower: exact,
+                    upper: exact,
+                };
+            }
+            if self.hot_write_conflict {
+                return Verdict { class: StepClass::Simulate, cycles: 0, lower: 0, upper: 0 };
+            }
+            if self.single_bank.is_some() && g <= d {
+                let exact = n * d + round_trip;
+                return Verdict {
+                    class: StepClass::HotBank,
+                    cycles: exact,
+                    lower: exact,
+                    upper: exact,
+                };
+            }
+            let lower = ((h - 1) * g + d).max(r * d) + round_trip;
+            let upper = (h - 1) * g + r * d + round_trip;
+            return Self::bracket(lower, upper, p.error_bound_ppm);
+        }
+        // Non-uniform delay. Distance adds per-pair transit legs the
+        // closed forms do not account for: simulate everything.
+        if p.delay.has_distance() {
+            return Verdict { class: StepClass::Simulate, cycles: 0, lower: 0, upper: 0 };
         }
         if self.hot_write_conflict {
             return Verdict { class: StepClass::Simulate, cycles: 0, lower: 0, upper: 0 };
         }
-        if self.single_bank.is_some() && g <= d {
-            let exact = n * d + round_trip;
-            return Verdict {
-                class: StepClass::HotBank,
-                cycles: exact,
-                lower: exact,
-                upper: exact,
-            };
+        if let Some(b) = self.single_bank {
+            let d_b = p.delay.service(b as usize);
+            if g <= d_b {
+                // The hot-bank argument needs only that one bank's own
+                // delay: it never idles after the first arrival.
+                let exact = n * d_b + round_trip;
+                return Verdict {
+                    class: StepClass::HotBank,
+                    cycles: exact,
+                    lower: exact,
+                    upper: exact,
+                };
+            }
         }
-        let lower = ((h - 1) * g + d).max(r * d) + round_trip;
-        let upper = (h - 1) * g + r * d + round_trip;
+        // The general bracket with the model's delay range. For R ≤ 1
+        // this degrades to `(h−1)·g + [d_min, d_max] + 2·lat`, which is
+        // the conflict-free form without knowing which bank binds.
+        let (d_min, d_max) = (p.delay.min_service(), p.delay.max_service());
+        let lower = ((h - 1) * g + d_min).max(r * d_min) + round_trip;
+        let upper = (h - 1) * g + r * d_max + round_trip;
+        Self::bracket(lower, upper, p.error_bound_ppm)
+    }
+
+    /// Accept a `[lower, upper]` bracket iff `slack/lower ≤ bound`, in
+    /// exact integer arithmetic; otherwise refuse with the bracket kept
+    /// for diagnostics.
+    fn bracket(lower: u64, upper: u64, error_bound_ppm: u32) -> Verdict {
         let slack = upper - lower;
-        // Accept iff slack/lower ≤ bound, in exact integer arithmetic.
-        if u128::from(slack) * 1_000_000 <= u128::from(p.error_bound_ppm) * u128::from(lower) {
+        if u128::from(slack) * 1_000_000 <= u128::from(error_bound_ppm) * u128::from(lower) {
             Verdict { class: StepClass::Bounded, cycles: lower, lower, upper }
         } else {
             Verdict { class: StepClass::Simulate, cycles: 0, lower, upper }
@@ -363,7 +421,8 @@ mod tests {
         let (_, shape) = shape_of(&pat, 16);
         assert_eq!(shape.max_bank_load, 1);
         assert_eq!(shape.max_proc_load, 4);
-        let v = shape.charge(&ChargeParams::new(1, 14, 0, 0));
+        let d = BankDelayModel::uniform(14);
+        let v = shape.charge(&ChargeParams::new(1, &d, 0, 0));
         assert_eq!(v.class, StepClass::ConflictFree);
         // (h−1)·g + d = 3 + 14.
         assert_eq!(v.cycles, 17);
@@ -376,7 +435,8 @@ mod tests {
         let reads = AccessPattern::gather(8, &keys);
         let (_, shape) = shape_of(&reads, 64);
         assert_eq!(shape.single_bank, Some(7));
-        let v = shape.charge(&ChargeParams::new(1, 6, 10, 0));
+        let d = BankDelayModel::uniform(6);
+        let v = shape.charge(&ChargeParams::new(1, &d, 10, 0));
         assert_eq!(v.class, StepClass::HotBank);
         // n·d + 2·lat.
         assert_eq!(v.cycles, 32 * 6 + 20);
@@ -384,7 +444,7 @@ mod tests {
         let writes = AccessPattern::scatter(8, &keys);
         let (_, shape) = shape_of(&writes, 64);
         assert!(shape.hot_write_conflict);
-        let v = shape.charge(&ChargeParams::new(1, 6, 10, 1_000_000 - 1));
+        let v = shape.charge(&ChargeParams::new(1, &d, 10, 1_000_000 - 1));
         assert_eq!(v.class, StepClass::Simulate);
     }
 
@@ -398,7 +458,8 @@ mod tests {
         assert_eq!(shape.single_bank, None);
         // g=1, d=20: LB = max(7+20, 160) = 160, UB = 7+160 = 167,
         // slack 7 → ratio 7/160 ≈ 4.4%.
-        let p = |ppm| ChargeParams::new(1, 20, 0, ppm);
+        let d = BankDelayModel::uniform(20);
+        let p = |ppm| ChargeParams::new(1, &d, 0, ppm);
         let refused = shape.charge(&p(40_000));
         assert_eq!(refused.class, StepClass::Simulate);
         let accepted = shape.charge(&p(50_000));
@@ -411,7 +472,8 @@ mod tests {
     fn empty_step_is_free() {
         let pat = AccessPattern::new(4);
         let (_, shape) = shape_of(&pat, 8);
-        let v = shape.charge(&ChargeParams::new(1, 14, 5, 0));
+        let d = BankDelayModel::uniform(14);
+        let v = shape.charge(&ChargeParams::new(1, &d, 5, 0));
         assert_eq!(v.class, StepClass::Empty);
         assert_eq!(v.cycles, 0);
     }
@@ -433,6 +495,59 @@ mod tests {
         assert_eq!(shape.max_proc_load, 2);
         assert_eq!(cl.touched_banks().count(), 4);
         assert_eq!(cl.proc_loads(), &[2, 2]);
+    }
+
+    #[test]
+    fn non_uniform_hot_bank_uses_that_banks_delay() {
+        let keys = vec![7u64; 32];
+        let reads = AccessPattern::gather(8, &keys);
+        let (_, shape) = shape_of(&reads, 64);
+        assert_eq!(shape.single_bank, Some(7));
+        let mut delays = vec![6u64; 64];
+        delays[7] = 14;
+        let d = BankDelayModel::per_bank(delays);
+        let v = shape.charge(&ChargeParams::new(1, &d, 10, 0));
+        assert_eq!(v.class, StepClass::HotBank);
+        assert_eq!(v.cycles, 32 * 14 + 20);
+        assert_eq!(v.slack(), 0);
+    }
+
+    #[test]
+    fn non_uniform_conflict_free_brackets_by_delay_range() {
+        // Every request its own bank, so R ≤ 1 — exact under a uniform
+        // d, a [d_min, d_max] bracket under a mixed model.
+        let keys: Vec<u64> = (0..16).collect();
+        let pat = AccessPattern::scatter(4, &keys);
+        let (_, shape) = shape_of(&pat, 16);
+        let d = BankDelayModel::per_bank(
+            (0..16).map(|b| if b < 8 { 6 } else { 14 }).collect::<Vec<_>>(),
+        );
+        let refused = shape.charge(&ChargeParams::new(1, &d, 0, 0));
+        assert_eq!(refused.class, StepClass::Simulate);
+        // (h−1)·g = 3, so LB = 3+6 = 9, UB = 3+14 = 17.
+        assert_eq!((refused.lower, refused.upper), (9, 17));
+        let accepted = shape.charge(&ChargeParams::new(1, &d, 0, 900_000));
+        assert_eq!(accepted.class, StepClass::Bounded);
+        assert_eq!(accepted.cycles, 9);
+    }
+
+    #[test]
+    fn distance_models_simulate_every_nonempty_step() {
+        use crate::delay::ProcBankDistance;
+        let keys: Vec<u64> = (0..16).collect();
+        let pat = AccessPattern::scatter(4, &keys);
+        let (_, shape) = shape_of(&pat, 16);
+        let d = BankDelayModel::Distance {
+            base: vec![6; 16],
+            matrix: ProcBankDistance::new(4, 16, vec![1; 64]).unwrap(),
+        };
+        let v = shape.charge(&ChargeParams::new(1, &d, 0, 1_000_000 - 1));
+        assert_eq!(v.class, StepClass::Simulate);
+
+        let empty = AccessPattern::new(4);
+        let (_, shape) = shape_of(&empty, 16);
+        let v = shape.charge(&ChargeParams::new(1, &d, 0, 0));
+        assert_eq!(v.class, StepClass::Empty);
     }
 
     #[test]

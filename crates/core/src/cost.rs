@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bankmap::BankMap;
+use crate::delay::BankDelayModel;
 use crate::params::MachineParams;
 use crate::pattern::AccessPattern;
 
@@ -30,11 +31,24 @@ pub struct CostBreakdown {
     pub latency: u64,
     /// The processor/network bandwidth term `g·h`.
     pub processor: u64,
-    /// The memory-bank term `d·R` (zero under the plain BSP).
+    /// The memory-bank term: `d·R` under a uniform delay, and the
+    /// generalized `max_b d_b·R_b` under a [`BankDelayModel`] (zero
+    /// under the plain BSP).
     pub bank: u64,
+    /// The bank realizing the bank term's maximum — set only when the
+    /// charge was evaluated under a non-uniform delay model, where
+    /// *which* bank binds is part of the story (under a uniform `d` the
+    /// binding bank is just any most-loaded one).
+    #[serde(default)]
+    pub bound_bank: Option<u32>,
 }
 
 impl CostBreakdown {
+    /// A breakdown from the three uniform-delay terms.
+    #[must_use]
+    pub fn new(latency: u64, processor: u64, bank: u64) -> Self {
+        Self { latency, processor, bank, bound_bank: None }
+    }
     /// The superstep charge: the maximum of the three terms.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -65,7 +79,7 @@ pub fn superstep_cost(m: &MachineParams, h: usize, r: usize) -> u64 {
 /// The per-term breakdown of [`superstep_cost`].
 #[must_use]
 pub fn superstep_breakdown(m: &MachineParams, h: usize, r: usize) -> CostBreakdown {
-    CostBreakdown { latency: m.l, processor: m.g * h as u64, bank: m.d * r as u64 }
+    CostBreakdown::new(m.l, m.g * h as u64, m.d * r as u64)
 }
 
 /// Plain-BSP superstep cost: `max(L, g·h)`.
@@ -116,14 +130,60 @@ pub fn pattern_breakdown<M: BankMap>(
         CostModel::Bsp => 0,
         CostModel::DxBsp => pat.max_bank_load(map),
     };
-    CostBreakdown {
-        latency: m.l,
-        processor: m.g * h as u64,
-        bank: match model {
+    CostBreakdown::new(
+        m.l,
+        m.g * h as u64,
+        match model {
             CostModel::Bsp => 0,
             CostModel::DxBsp => m.d * r as u64,
         },
+    )
+}
+
+/// The bank term of `max(L, g·h, max_b d_b·R_b)` under a
+/// [`BankDelayModel`]: the maximum over banks of that bank's delay
+/// times its load, together with the bank realizing it. Collapses to
+/// `(d·R, most-loaded bank)` for uniform models.
+#[must_use]
+pub fn delayed_bank_term(delay: &BankDelayModel, bank_loads: &[usize]) -> (u64, Option<u32>) {
+    let mut best = 0u64;
+    let mut who: Option<u32> = None;
+    for (b, &load) in bank_loads.iter().enumerate() {
+        if load == 0 {
+            continue;
+        }
+        let term = delay.service(b) * load as u64;
+        if term > best {
+            best = term;
+            who = Some(b as u32);
+        }
     }
+    (best, who)
+}
+
+/// Charges a full access pattern under the (d,x)-BSP with a
+/// heterogeneous [`BankDelayModel`]: `max(L, g·h, max_b d_b·R_b)`.
+///
+/// For a uniform model this is exactly [`pattern_breakdown`] under
+/// [`CostModel::DxBsp`] — same terms, `bound_bank` left unset — so the
+/// scalar-`d` callers and their pinned outputs are unchanged. For a
+/// non-uniform model the bank term weighs each bank's load by its own
+/// delay and `bound_bank` names the bank that binds, which is how the
+/// mixed-tier experiments show the uniform-`d` prediction missing.
+#[must_use]
+pub fn pattern_breakdown_delayed<M: BankMap>(
+    m: &MachineParams,
+    delay: &BankDelayModel,
+    pat: &AccessPattern,
+    map: &M,
+) -> CostBreakdown {
+    if let Some(d) = delay.as_uniform() {
+        let scalar = MachineParams { d, ..*m };
+        return pattern_breakdown(&scalar, pat, map, CostModel::DxBsp);
+    }
+    let h = pat.contention_profile().max_processor_load;
+    let (bank, bound_bank) = delayed_bank_term(delay, &pat.bank_loads(map));
+    CostBreakdown { latency: m.l, processor: m.g * h as u64, bank, bound_bank }
 }
 
 #[cfg(test)]
@@ -189,5 +249,55 @@ mod tests {
         let map = Interleaved::new(m.banks());
         let pat = AccessPattern::new(4);
         assert_eq!(pattern_cost(&m, &pat, &map, CostModel::DxBsp), m.l);
+    }
+
+    #[test]
+    fn delayed_breakdown_matches_uniform_for_uniform_models() {
+        use crate::delay::BankDelayModel;
+        let m = machine();
+        let map = Interleaved::new(m.banks());
+        let mut pat = AccessPattern::new(4);
+        for i in 0..40u64 {
+            pat.push(Request::write((i % 4) as usize, i * 7 % 13));
+        }
+        for model in [BankDelayModel::uniform(m.d), BankDelayModel::per_bank(vec![m.d; m.banks()])]
+        {
+            let delayed = pattern_breakdown_delayed(&m, &model, &pat, &map);
+            assert_eq!(delayed, pattern_breakdown(&m, &pat, &map, CostModel::DxBsp));
+            assert_eq!(delayed.bound_bank, None);
+        }
+    }
+
+    #[test]
+    fn delayed_breakdown_weighs_each_bank_by_its_own_delay() {
+        use crate::delay::BankDelayModel;
+        // 4 banks: two fast (d=2), two slow (d=20). 8 requests on fast
+        // bank 0, 1 request on slow bank 2.
+        let m = MachineParams::new(1, 1, 0, 20, 4);
+        let map = Interleaved::new(4);
+        let mut pat = AccessPattern::new(1);
+        for _ in 0..8 {
+            pat.push(Request::write(0, 0));
+        }
+        pat.push(Request::write(0, 2));
+        let model = BankDelayModel::per_bank(vec![2, 2, 20, 20]);
+        let bd = pattern_breakdown_delayed(&m, &model, &pat, &map);
+        // max_b d_b·R_b = max(2·8, 20·1) = 20 at bank 2 — while the
+        // uniform-summary model (d = 20) would charge 20·8 = 160 for
+        // the most-loaded bank.
+        assert_eq!(bd.bank, 20);
+        assert_eq!(bd.bound_bank, Some(2));
+        let uniform = pattern_breakdown(&m, &pat, &map, CostModel::DxBsp);
+        assert_eq!(uniform.bank, 160);
+        assert_ne!(uniform.binding(), "latency");
+    }
+
+    #[test]
+    fn delayed_bank_term_skips_idle_banks() {
+        use crate::delay::BankDelayModel;
+        let model = BankDelayModel::per_bank(vec![50, 1, 3]);
+        let (term, who) = delayed_bank_term(&model, &[0, 4, 2]);
+        assert_eq!((term, who), (6, Some(2)));
+        assert_eq!(delayed_bank_term(&model, &[0, 0, 0]), (0, None));
     }
 }

@@ -1,0 +1,366 @@
+//! Bank delay models: how many cycles a bank is busy per access.
+//!
+//! The paper charges one uniform bank delay `d` in `max(L, g·h, d·R)`,
+//! but real high-bandwidth machines are heterogeneous: SRAM and DRAM
+//! banks coexist (a C90-like `d = 6` tier next to a J90-like `d = 14`
+//! tier), individual banks degrade, and on NUMA-ish interconnects the
+//! processor↔bank distance itself varies. [`BankDelayModel`] captures
+//! the three shapes every execution layer consumes:
+//!
+//! * [`Uniform`](BankDelayModel::Uniform) — the paper's scalar `d`;
+//!   every consumer's fast path, bit-identical to the pre-model code.
+//! * [`PerBank`](BankDelayModel::PerBank) — one service delay per bank
+//!   (`d_b`). The bank-epoch engine keeps its prefix recurrence (the
+//!   recurrence is already per-bank), the analytical side generalizes
+//!   the bank term to `max_b d_b·R_b`.
+//! * [`Distance`](BankDelayModel::Distance) — per-bank service delays
+//!   plus a processor×bank transit-distance matrix `dist(p, b)` added
+//!   to each leg of the trip. Requests still arbitrate at banks in
+//!   issue order (the crossbar preserves it), so results stay
+//!   deterministic and scheduler-independent, but the bulk engines punt
+//!   to the event-level loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DxError;
+
+/// A dense processor×bank one-way transit-distance matrix, in cycles,
+/// stored row-major by processor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcBankDistance {
+    procs: usize,
+    banks: usize,
+    dist: Vec<u64>,
+}
+
+impl ProcBankDistance {
+    /// Builds a distance matrix from row-major `dist` (`procs × banks`
+    /// entries, processor-major).
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`] when the matrix shape does not match.
+    pub fn new(procs: usize, banks: usize, dist: Vec<u64>) -> Result<Self, DxError> {
+        if procs == 0 || banks == 0 {
+            return Err(DxError::invalid("distance matrix needs procs >= 1 and banks >= 1"));
+        }
+        if dist.len() != procs * banks {
+            return Err(DxError::invalid(format!(
+                "distance matrix has {} entries, expected {procs}x{banks} = {}",
+                dist.len(),
+                procs * banks
+            )));
+        }
+        Ok(Self { procs, banks, dist })
+    }
+
+    /// One-way extra transit cycles between processor `p` and bank `b`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, p: usize, b: usize) -> u64 {
+        self.dist[p * self.banks + b]
+    }
+
+    /// Processor rows in the matrix.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Bank columns in the matrix.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+}
+
+/// How long each bank is busy per access — the model behind every `d`
+/// in the stack (see the module docs for the three shapes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankDelayModel {
+    /// One scalar delay for every bank: the paper's `d`.
+    Uniform(u64),
+    /// An explicit per-bank service delay `d_b`, indexed by bank.
+    PerBank(Vec<u64>),
+    /// Per-bank service delays plus a processor↔bank distance matrix:
+    /// a request from processor `p` to bank `b` pays `dist(p, b)` extra
+    /// transit cycles each way on top of the machine latency.
+    Distance {
+        /// Per-bank service delay `d_b` (as in [`Self::PerBank`]).
+        base: Vec<u64>,
+        /// One-way transit distances `dist(p, b)`.
+        matrix: ProcBankDistance,
+    },
+}
+
+impl Default for BankDelayModel {
+    fn default() -> Self {
+        BankDelayModel::Uniform(1)
+    }
+}
+
+impl BankDelayModel {
+    /// The uniform model (the paper's scalar `d`).
+    #[must_use]
+    pub fn uniform(d: u64) -> Self {
+        BankDelayModel::Uniform(d)
+    }
+
+    /// A per-bank model from explicit delays.
+    #[must_use]
+    pub fn per_bank(delays: Vec<u64>) -> Self {
+        BankDelayModel::PerBank(delays)
+    }
+
+    /// A per-bank model built from contiguous tiers: `tiers` lists
+    /// `(bank_count, delay)` runs laid out in order. The C90/J90 fused
+    /// machine is `from_tiers(&[(128, 6), (128, 14)])`.
+    #[must_use]
+    pub fn from_tiers(tiers: &[(usize, u64)]) -> Self {
+        let mut delays = Vec::with_capacity(tiers.iter().map(|(n, _)| n).sum());
+        for &(count, d) in tiers {
+            delays.extend(std::iter::repeat_n(d, count));
+        }
+        BankDelayModel::PerBank(delays)
+    }
+
+    /// Checks the model against a machine shape.
+    ///
+    /// Uniform delays must be at least one cycle (the paper's `d ≥ 1`).
+    /// Per-bank vectors must have one entry per bank with at least one
+    /// nonzero entry (individual banks may be zero-delay — degraded
+    /// corners and proptests use that — but a machine whose every bank
+    /// is free is degenerate). Distance matrices must match
+    /// `procs × banks`.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`] naming the mismatch.
+    pub fn validate(&self, procs: usize, banks: usize) -> Result<(), DxError> {
+        match self {
+            BankDelayModel::Uniform(d) => {
+                if *d == 0 {
+                    return Err(DxError::invalid("delay: uniform d must be >= 1 cycle"));
+                }
+            }
+            BankDelayModel::PerBank(v) | BankDelayModel::Distance { base: v, .. } => {
+                if v.len() != banks {
+                    return Err(DxError::invalid(format!(
+                        "delay: {} per-bank entries for {banks} banks",
+                        v.len()
+                    )));
+                }
+                if v.iter().all(|&d| d == 0) {
+                    return Err(DxError::invalid("delay: at least one bank must have d >= 1"));
+                }
+                if let BankDelayModel::Distance { matrix, .. } = self {
+                    if matrix.procs() != procs || matrix.banks() != banks {
+                        return Err(DxError::invalid(format!(
+                            "delay: distance matrix is {}x{}, machine is {procs}x{banks}",
+                            matrix.procs(),
+                            matrix.banks()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Service delay `d_b` of bank `bank`.
+    #[inline]
+    #[must_use]
+    pub fn service(&self, bank: usize) -> u64 {
+        match self {
+            BankDelayModel::Uniform(d) => *d,
+            BankDelayModel::PerBank(v) | BankDelayModel::Distance { base: v, .. } => v[bank],
+        }
+    }
+
+    /// One-way extra transit cycles between `proc` and `bank` (zero for
+    /// every model but [`Self::Distance`]).
+    #[inline]
+    #[must_use]
+    pub fn travel(&self, proc: usize, bank: usize) -> u64 {
+        match self {
+            BankDelayModel::Distance { matrix, .. } => matrix.get(proc, bank),
+            _ => 0,
+        }
+    }
+
+    /// `Some(d)` when every bank has the same service delay and there
+    /// is no distance matrix — the configurations the scalar-`d` fast
+    /// paths and closed forms are exact for.
+    #[must_use]
+    pub fn as_uniform(&self) -> Option<u64> {
+        match self {
+            BankDelayModel::Uniform(d) => Some(*d),
+            BankDelayModel::PerBank(v) => {
+                let first = *v.first()?;
+                v.iter().all(|&d| d == first).then_some(first)
+            }
+            BankDelayModel::Distance { .. } => None,
+        }
+    }
+
+    /// Whether transit time depends on the (processor, bank) pair — the
+    /// one shape whose request interleaving the bulk engines cannot
+    /// reproduce, forcing the event-level punt.
+    #[must_use]
+    pub fn has_distance(&self) -> bool {
+        matches!(self, BankDelayModel::Distance { .. })
+    }
+
+    /// The slowest bank's service delay.
+    #[must_use]
+    pub fn max_service(&self) -> u64 {
+        match self {
+            BankDelayModel::Uniform(d) => *d,
+            BankDelayModel::PerBank(v) | BankDelayModel::Distance { base: v, .. } => {
+                v.iter().copied().max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The fastest bank's service delay.
+    #[must_use]
+    pub fn min_service(&self) -> u64 {
+        match self {
+            BankDelayModel::Uniform(d) => *d,
+            BankDelayModel::PerBank(v) | BankDelayModel::Distance { base: v, .. } => {
+                v.iter().copied().min().unwrap_or(0)
+            }
+        }
+    }
+
+    /// A scalar `d` summarizing the model for consumers that need one
+    /// number (e.g. [`crate::MachineParams`]): the slowest bank's
+    /// delay, clamped to the model invariant `d ≥ 1`. Exact for
+    /// uniform models; a conservative ceiling otherwise.
+    #[must_use]
+    pub fn uniform_summary(&self) -> u64 {
+        self.max_service().max(1)
+    }
+
+    /// The distinct service-delay classes (tiers) with their bank
+    /// counts, ordered by delay: `[(6, 128), (14, 128)]` for the
+    /// C90/J90 fused machine. Telemetry's per-tier dwell family and
+    /// the CLI headers group banks this way.
+    #[must_use]
+    pub fn tiers(&self) -> Vec<(u64, usize)> {
+        match self {
+            BankDelayModel::Uniform(d) => vec![(*d, 0)],
+            BankDelayModel::PerBank(v) | BankDelayModel::Distance { base: v, .. } => {
+                let mut sorted: Vec<u64> = v.clone();
+                sorted.sort_unstable();
+                let mut out: Vec<(u64, usize)> = Vec::new();
+                for d in sorted {
+                    match out.last_mut() {
+                        Some((last, n)) if *last == d => *n += 1,
+                        _ => out.push((d, 1)),
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// One-line human description, used by the CLI headers and the
+    /// telemetry summaries: `uniform(d=14)`,
+    /// `per-bank(d=6 x128, d=14 x128)`, `distance(d=6..14, matrix 8x256)`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            BankDelayModel::Uniform(d) => format!("uniform(d={d})"),
+            BankDelayModel::PerBank(_) => {
+                let tiers: Vec<String> =
+                    self.tiers().iter().map(|(d, n)| format!("d={d} x{n}")).collect();
+                format!("per-bank({})", tiers.join(", "))
+            }
+            BankDelayModel::Distance { matrix, .. } => format!(
+                "distance(d={}..{}, matrix {}x{})",
+                self.min_service(),
+                self.max_service(),
+                matrix.procs(),
+                matrix.banks()
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for BankDelayModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_the_scalar_model() {
+        let m = BankDelayModel::uniform(14);
+        assert_eq!(m.service(0), 14);
+        assert_eq!(m.service(255), 14);
+        assert_eq!(m.travel(3, 7), 0);
+        assert_eq!(m.as_uniform(), Some(14));
+        assert_eq!(m.uniform_summary(), 14);
+        assert!(m.validate(8, 256).is_ok());
+        assert_eq!(m.describe(), "uniform(d=14)");
+    }
+
+    #[test]
+    fn per_bank_indexes_and_summarizes() {
+        let m = BankDelayModel::from_tiers(&[(2, 6), (2, 14)]);
+        assert_eq!(m.service(0), 6);
+        assert_eq!(m.service(1), 6);
+        assert_eq!(m.service(2), 14);
+        assert_eq!(m.service(3), 14);
+        assert_eq!(m.as_uniform(), None);
+        assert_eq!(m.min_service(), 6);
+        assert_eq!(m.max_service(), 14);
+        assert_eq!(m.uniform_summary(), 14);
+        assert_eq!(m.tiers(), vec![(6, 2), (14, 2)]);
+        assert!(m.validate(2, 4).is_ok());
+        assert_eq!(m.describe(), "per-bank(d=6 x2, d=14 x2)");
+    }
+
+    #[test]
+    fn flat_per_bank_vector_is_uniform() {
+        let m = BankDelayModel::per_bank(vec![9; 16]);
+        assert_eq!(m.as_uniform(), Some(9));
+    }
+
+    #[test]
+    fn validation_rejects_shape_mismatches() {
+        assert!(BankDelayModel::uniform(0).validate(1, 4).is_err());
+        assert!(BankDelayModel::per_bank(vec![6; 3]).validate(1, 4).is_err());
+        assert!(BankDelayModel::per_bank(vec![0; 4]).validate(1, 4).is_err());
+        // Individual zero-delay banks are allowed.
+        assert!(BankDelayModel::per_bank(vec![0, 0, 0, 5]).validate(1, 4).is_ok());
+        let matrix = ProcBankDistance::new(2, 4, vec![1; 8]).unwrap();
+        let m = BankDelayModel::Distance { base: vec![6; 4], matrix };
+        assert!(m.validate(2, 4).is_ok());
+        assert!(m.validate(3, 4).is_err());
+        assert!(ProcBankDistance::new(2, 4, vec![1; 7]).is_err());
+        assert!(ProcBankDistance::new(0, 4, vec![]).is_err());
+    }
+
+    #[test]
+    fn distance_travel_is_pair_dependent() {
+        let matrix = ProcBankDistance::new(2, 3, vec![0, 1, 2, 10, 11, 12]).unwrap();
+        let m = BankDelayModel::Distance { base: vec![4, 5, 6], matrix };
+        assert_eq!(m.travel(0, 2), 2);
+        assert_eq!(m.travel(1, 0), 10);
+        assert_eq!(m.service(1), 5);
+        assert!(m.has_distance());
+        assert_eq!(m.as_uniform(), None);
+        assert!(m.describe().starts_with("distance(d=4..6"));
+    }
+
+    #[test]
+    fn default_is_the_unit_uniform_model() {
+        assert_eq!(BankDelayModel::default(), BankDelayModel::Uniform(1));
+    }
+}

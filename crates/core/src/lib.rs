@@ -48,6 +48,7 @@ pub mod advisor;
 pub mod bankmap;
 pub mod classify;
 pub mod cost;
+pub mod delay;
 pub mod error;
 pub mod group;
 pub mod logp;
@@ -63,9 +64,10 @@ pub use advisor::{diagnose, Binding, Diagnosis, DuplicationAdvice};
 pub use bankmap::{BankMap, Interleaved};
 pub use classify::{ChargeParams, Classifier, EngineKind, ExecMode, StepClass, StepShape, Verdict};
 pub use cost::{
-    bsp_superstep_cost, pattern_breakdown, pattern_cost, superstep_breakdown, superstep_cost,
-    CostBreakdown, CostModel,
+    bsp_superstep_cost, delayed_bank_term, pattern_breakdown, pattern_breakdown_delayed,
+    pattern_cost, superstep_breakdown, superstep_cost, CostBreakdown, CostModel,
 };
+pub use delay::{BankDelayModel, ProcBankDistance};
 pub use error::DxError;
 pub use group::StreamGroups;
 pub use logp::LogPParams;
@@ -76,6 +78,7 @@ pub use predict::{
     contention_knee, predict_scatter, predict_scatter_bsp, predict_scatter_duplicated, ScatterShape,
 };
 pub use scenario::{
-    Axis, AxisValue, BackendSel, Coord, MachineSpec, Scenario, Sweep, SweepPoint, WorkloadSpec,
+    Axis, AxisValue, BackendSel, Coord, DelayTierSpec, MachineSpec, Scenario, Sweep, SweepPoint,
+    WorkloadSpec,
 };
 pub use spec::SpecValue;

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::delay::BankDelayModel;
 use crate::params::MachineParams;
 
 /// How a Table-1 row was sourced.
@@ -109,6 +110,25 @@ pub fn cray_c90() -> MachineParams {
 #[must_use]
 pub fn cray_j90() -> MachineParams {
     MachineParams::new(8, 1, 0, 14, 32)
+}
+
+/// The fused C90/J90 "mixed-tier" machine of the heterogeneous-delay
+/// experiments: 8 processors and expansion 32 as in the paper's J90
+/// runs, but the 256 banks split into a fast SRAM half (C90-like
+/// `d = 6`) and a slow DRAM half (J90-like `d = 14`). The scalar `d`
+/// is the model summary — the slow tier's 14 — so uniform-`d`
+/// predictions on this machine are the conservative ceiling the
+/// mixed-tier experiments measure against.
+#[must_use]
+pub fn mixed_tier() -> MachineParams {
+    MachineParams::new(8, 1, 0, 14, 32)
+}
+
+/// The per-bank delay model of [`mixed_tier`]: banks `0..128` at
+/// `d = 6`, banks `128..256` at `d = 14`.
+#[must_use]
+pub fn mixed_tier_delay() -> BankDelayModel {
+    BankDelayModel::from_tiers(&[(128, 6), (128, 14)])
 }
 
 /// A deliberately under-banked machine (`x < d`) for exercising the

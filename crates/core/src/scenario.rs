@@ -34,16 +34,42 @@
 //! ```
 
 use crate::classify::{EngineKind, ExecMode};
+use crate::delay::BankDelayModel;
 use crate::error::DxError;
 use crate::params::MachineParams;
 use crate::presets;
 use crate::spec::SpecValue;
 
+/// One tier of a tiered machine delay: the half-open bank range
+/// `start..end` shares the service delay `d`. The TOML form is
+/// `tiers = [{ banks = "0..128", d = 6 }, { banks = "128..256", d = 14 }]`;
+/// tiers must tile the machine's banks contiguously from 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayTierSpec {
+    /// First bank of the tier (inclusive).
+    pub start: usize,
+    /// One past the last bank of the tier.
+    pub end: usize,
+    /// Service delay of every bank in the tier.
+    pub d: u64,
+}
+
+impl DelayTierSpec {
+    /// A tier covering `start..end` at delay `d`.
+    #[must_use]
+    pub fn new(start: usize, end: usize, d: u64) -> Self {
+        DelayTierSpec { start, end, d }
+    }
+}
+
 /// A machine description: an optional named preset plus per-parameter
-/// overrides. `resolve()` turns it into concrete [`MachineParams`].
+/// overrides. `resolve()` turns it into concrete [`MachineParams`];
+/// [`MachineSpec::resolve_model`] additionally yields the
+/// [`BankDelayModel`] when the spec describes non-uniform bank delays.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MachineSpec {
-    /// Named base machine: `"c90"` (Cray C90) or `"j90"` (Cray J90).
+    /// Named base machine: `"c90"` (Cray C90), `"j90"` (Cray J90), or
+    /// `"mixed"` (the fused C90/J90 mixed-tier machine).
     pub preset: Option<String>,
     /// Processor-count override.
     pub p: Option<usize>,
@@ -51,10 +77,15 @@ pub struct MachineSpec {
     pub g: Option<u64>,
     /// Latency/synchronization override.
     pub l: Option<u64>,
-    /// Bank-delay override.
+    /// Bank-delay override (`d = 6`; `delay = 6` is an accepted alias).
     pub d: Option<u64>,
     /// Expansion-factor (banks per processor) override.
     pub x: Option<usize>,
+    /// Explicit per-bank delay vector
+    /// (TOML `[machine.delay]` / `delay = { per_bank = [...] }`).
+    pub per_bank: Option<Vec<u64>>,
+    /// Tiered delay shorthand; see [`DelayTierSpec`].
+    pub tiers: Vec<DelayTierSpec>,
 }
 
 impl MachineSpec {
@@ -70,15 +101,30 @@ impl MachineSpec {
     ///
     /// [`DxError::Unknown`] for names outside the registry.
     pub fn lookup_preset(name: &str) -> Result<MachineParams, DxError> {
+        Self::lookup_preset_model(name).map(|(m, _)| m)
+    }
+
+    /// Look up a preset machine together with its bank-delay model.
+    /// Uniform-delay presets (`c90`, `j90`) pair with
+    /// `Uniform(d)`; the `mixed` preset carries the C90/J90 fused
+    /// per-bank tiers.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Unknown`] for names outside the registry.
+    pub fn lookup_preset_model(name: &str) -> Result<(MachineParams, BankDelayModel), DxError> {
         match name {
-            "c90" | "cray-c90" => Ok(presets::cray_c90()),
-            "j90" | "cray-j90" => Ok(presets::cray_j90()),
+            "c90" | "cray-c90" => Ok((presets::cray_c90(), BankDelayModel::uniform(6))),
+            "j90" | "cray-j90" => Ok((presets::cray_j90(), BankDelayModel::uniform(14))),
+            "mixed" | "mixed-tier" => Ok((presets::mixed_tier(), presets::mixed_tier_delay())),
             _ => Err(DxError::unknown("machine preset", name)),
         }
     }
 
     /// Resolve to concrete parameters: preset (or the defaults `g=1`,
-    /// `l=0` when absent) with the overrides applied.
+    /// `l=0` when absent) with the overrides applied. For specs with
+    /// non-uniform delays the scalar `d` is the model's summary (the
+    /// slowest bank); see [`MachineSpec::resolve_model`].
     ///
     /// # Errors
     ///
@@ -86,27 +132,104 @@ impl MachineSpec {
     /// if no preset is given and `p`/`d`/`x` are not all present, or if
     /// any resolved parameter is zero where the model requires ≥ 1.
     pub fn resolve(&self) -> Result<MachineParams, DxError> {
-        let (p, g, l, d, x) = match &self.preset {
+        self.resolve_model().map(|(m, _)| m)
+    }
+
+    /// Resolve to concrete parameters plus the bank-delay model.
+    ///
+    /// The model comes from, in priority order: `delay.per_bank`,
+    /// `tiers`, a scalar `d` override, the preset's own model. The
+    /// returned [`MachineParams::d`] is the model's
+    /// [`uniform_summary`](BankDelayModel::uniform_summary) (exact for
+    /// uniform models, the slowest bank otherwise), so all scalar-`d`
+    /// consumers stay conservative.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MachineSpec::resolve`] rejects, plus
+    /// [`DxError::Invalid`] for conflicting delay descriptions
+    /// (`d` next to `per_bank`/`tiers`, or both of those), tiers that
+    /// do not tile the banks, and model/machine shape mismatches.
+    pub fn resolve_model(&self) -> Result<(MachineParams, BankDelayModel), DxError> {
+        let (p, g, l, d, x, preset_model) = match &self.preset {
             Some(name) => {
-                let base = Self::lookup_preset(name)?;
-                (base.p, base.g, base.l, base.d, base.x)
+                let (base, model) = Self::lookup_preset_model(name)?;
+                (base.p, base.g, base.l, base.d, base.x, Some(model))
             }
             None => {
-                let (Some(p), Some(d), Some(x)) = (self.p, self.d, self.x) else {
+                let (Some(p), Some(x)) = (self.p, self.x) else {
                     return Err(DxError::invalid(
                         "machine: give a `preset` or all of `p`, `d`, `x`",
                     ));
                 };
-                (p, self.g.unwrap_or(1), self.l.unwrap_or(0), d, x)
+                let d = match self.d {
+                    Some(d) => d,
+                    None if self.per_bank.is_some() || !self.tiers.is_empty() => 1,
+                    None => {
+                        return Err(DxError::invalid(
+                            "machine: give a `preset` or all of `p`, `d`, `x`",
+                        ))
+                    }
+                };
+                (p, self.g.unwrap_or(1), self.l.unwrap_or(0), d, x, None)
             }
         };
-        MachineParams::try_new(
-            self.p.unwrap_or(p),
-            self.g.unwrap_or(g),
-            self.l.unwrap_or(l),
-            self.d.unwrap_or(d),
-            self.x.unwrap_or(x),
-        )
+        let p = self.p.unwrap_or(p);
+        let g = self.g.unwrap_or(g);
+        let l = self.l.unwrap_or(l);
+        let d = self.d.unwrap_or(d);
+        let x = self.x.unwrap_or(x);
+        let banks = p
+            .checked_mul(x)
+            .ok_or_else(|| DxError::invalid("machine: bank count p*x overflows"))?;
+
+        if self.per_bank.is_some() && !self.tiers.is_empty() {
+            return Err(DxError::invalid("machine: give `delay.per_bank` or `tiers`, not both"));
+        }
+        if self.d.is_some() && (self.per_bank.is_some() || !self.tiers.is_empty()) {
+            return Err(DxError::invalid(
+                "machine: give `d` or a non-uniform delay (`delay.per_bank`/`tiers`), not both",
+            ));
+        }
+        let model = if let Some(per_bank) = &self.per_bank {
+            BankDelayModel::per_bank(per_bank.clone())
+        } else if !self.tiers.is_empty() {
+            let mut delays = Vec::with_capacity(banks);
+            for tier in &self.tiers {
+                if tier.start != delays.len() || tier.end <= tier.start {
+                    return Err(DxError::invalid(format!(
+                        "machine: tiers must tile the banks contiguously from 0; \
+                         tier {}..{} starts at bank {}",
+                        tier.start,
+                        tier.end,
+                        delays.len()
+                    )));
+                }
+                delays.resize(tier.end, tier.d);
+            }
+            if delays.len() != banks {
+                return Err(DxError::invalid(format!(
+                    "machine: tiers cover {} banks, machine has {banks}",
+                    delays.len()
+                )));
+            }
+            BankDelayModel::per_bank(delays)
+        } else if self.d.is_some() || preset_model.is_none() {
+            BankDelayModel::uniform(d)
+        } else {
+            preset_model.unwrap_or(BankDelayModel::Uniform(d))
+        };
+        model.validate(p, banks)?;
+        let m = MachineParams::try_new(p, g, l, model.uniform_summary(), x)?;
+        Ok((m, model))
+    }
+
+    /// Whether the spec describes non-uniform bank delays (an explicit
+    /// `per_bank` vector, `tiers`, or a non-uniform preset like
+    /// `mixed`). Errors count as uniform — validation reports them.
+    #[must_use]
+    pub fn has_nonuniform_delay(&self) -> bool {
+        self.resolve_model().map(|(_, dm)| dm.as_uniform().is_none()).unwrap_or(false)
     }
 
     fn to_value(&self) -> SpecValue {
@@ -125,25 +248,114 @@ impl MachineSpec {
                 t.set(key, SpecValue::Int(v as i64));
             }
         }
+        #[allow(clippy::cast_possible_wrap)]
+        if !self.tiers.is_empty() {
+            let tiers = self
+                .tiers
+                .iter()
+                .map(|tier| {
+                    let mut row = SpecValue::table();
+                    row.set("banks", SpecValue::Str(format!("{}..{}", tier.start, tier.end)));
+                    row.set("d", SpecValue::Int(tier.d as i64));
+                    row
+                })
+                .collect();
+            t.set("tiers", SpecValue::List(tiers));
+        }
+        #[allow(clippy::cast_possible_wrap)]
+        if let Some(per_bank) = &self.per_bank {
+            let mut delay = SpecValue::table();
+            delay.set(
+                "per_bank",
+                SpecValue::List(per_bank.iter().map(|&d| SpecValue::Int(d as i64)).collect()),
+            );
+            t.set("delay", delay);
+        }
         t
     }
 
     fn from_value(v: &SpecValue) -> Result<Self, DxError> {
         let entries = v.as_table().ok_or_else(|| DxError::invalid("machine: expected a table"))?;
         let mut spec = MachineSpec::default();
+        let set_d = |spec: &mut MachineSpec, d: u64| -> Result<(), DxError> {
+            if spec.d.is_some() {
+                return Err(DxError::invalid("machine: give `d` or `delay`, not both"));
+            }
+            spec.d = Some(d);
+            Ok(())
+        };
         for (key, value) in entries {
             match key.as_str() {
                 "preset" => spec.preset = Some(req_str(value, "machine.preset")?.to_string()),
                 "p" => spec.p = Some(req_usize(value, "machine.p")?),
                 "g" => spec.g = Some(req_u64(value, "machine.g")?),
                 "l" => spec.l = Some(req_u64(value, "machine.l")?),
-                "d" => spec.d = Some(req_u64(value, "machine.d")?),
+                "d" => set_d(&mut spec, req_u64(value, "machine.d")?)?,
                 "x" => spec.x = Some(req_usize(value, "machine.x")?),
+                // `delay = 6` is a uniform alias for `d`; the table form
+                // `delay = { per_bank = [...] }` gives explicit delays.
+                "delay" => match value {
+                    SpecValue::Int(_) => set_d(&mut spec, req_u64(value, "machine.delay")?)?,
+                    SpecValue::Table(_) => {
+                        let list = value
+                            .get("per_bank")
+                            .ok_or_else(|| {
+                                DxError::invalid("machine.delay: table form needs `per_bank`")
+                            })?
+                            .as_list()
+                            .ok_or_else(|| {
+                                DxError::invalid("machine.delay.per_bank: expected a list")
+                            })?;
+                        spec.per_bank = Some(
+                            list.iter()
+                                .map(|item| req_u64(item, "machine.delay.per_bank"))
+                                .collect::<Result<_, _>>()?,
+                        );
+                    }
+                    other => {
+                        return Err(DxError::invalid(format!(
+                            "machine.delay: expected an integer or a table, got {}",
+                            other.type_name()
+                        )))
+                    }
+                },
+                "tiers" => {
+                    let list = value
+                        .as_list()
+                        .ok_or_else(|| DxError::invalid("machine.tiers: expected a list"))?;
+                    spec.tiers = list
+                        .iter()
+                        .map(|item| {
+                            let banks = item
+                                .get("banks")
+                                .ok_or_else(|| DxError::invalid("machine.tiers: needs `banks`"))
+                                .and_then(|b| req_str(b, "machine.tiers.banks"))?;
+                            let (start, end) = parse_bank_range(banks)?;
+                            let d = item
+                                .get("d")
+                                .ok_or_else(|| DxError::invalid("machine.tiers: needs `d`"))
+                                .and_then(|d| req_u64(d, "machine.tiers.d"))?;
+                            Ok(DelayTierSpec::new(start, end, d))
+                        })
+                        .collect::<Result<Vec<_>, DxError>>()?;
+                }
                 other => return Err(DxError::invalid(format!("machine: unknown key `{other}`"))),
             }
         }
         Ok(spec)
     }
+}
+
+/// Parses the tier bank-range syntax `"start..end"` (half-open).
+fn parse_bank_range(s: &str) -> Result<(usize, usize), DxError> {
+    let err = || DxError::invalid(format!("machine.tiers.banks: expected `start..end`, got `{s}`"));
+    let (a, b) = s.split_once("..").ok_or_else(err)?;
+    let start = a.trim().parse::<usize>().map_err(|_| err())?;
+    let end = b.trim().parse::<usize>().map_err(|_| err())?;
+    if end <= start {
+        return Err(DxError::invalid(format!("machine.tiers.banks: empty range `{s}`")));
+    }
+    Ok((start, end))
 }
 
 /// The workload a scenario runs: which family of address vectors (or
@@ -1257,6 +1469,115 @@ mod tests {
         let text = "name = \"x\"\nkind = \"k\"\nseed = 1\n\n[machine]\npreset = \"j90\"\n\n[workload]\nfamily = \"zipf\"\nrange = 7\n";
         let err = Scenario::from_toml(text).unwrap_err();
         assert!(err.to_string().contains("does not apply"), "{err}");
+    }
+
+    #[test]
+    fn tiered_machine_round_trips_through_toml() {
+        let mut sc = demo();
+        sc.machine = MachineSpec {
+            p: Some(8),
+            x: Some(32),
+            tiers: vec![DelayTierSpec::new(0, 128, 6), DelayTierSpec::new(128, 256, 14)],
+            ..MachineSpec::default()
+        };
+        let text = sc.to_toml();
+        assert!(text.contains("tiers = [{ banks = \"0..128\", d = 6 }"), "{text}");
+        assert_eq!(Scenario::from_toml(&text).unwrap(), sc);
+        assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+        let (m, model) = sc.machine.resolve_model().unwrap();
+        assert_eq!((m.p, m.d, m.x), (8, 14, 32));
+        assert_eq!(model.service(0), 6);
+        assert_eq!(model.service(255), 14);
+        assert!(sc.machine.has_nonuniform_delay());
+    }
+
+    #[test]
+    fn per_bank_machine_round_trips_through_toml() {
+        let mut sc = demo();
+        sc.machine = MachineSpec {
+            p: Some(2),
+            x: Some(2),
+            per_bank: Some(vec![6, 6, 14, 56]),
+            ..MachineSpec::default()
+        };
+        let text = sc.to_toml();
+        assert!(text.contains("per_bank = [6, 6, 14, 56]"), "{text}");
+        assert_eq!(Scenario::from_toml(&text).unwrap(), sc);
+        let (m, model) = sc.machine.resolve_model().unwrap();
+        assert_eq!(m.d, 56);
+        assert_eq!(model.service(3), 56);
+    }
+
+    #[test]
+    fn mixed_preset_resolves_to_the_tiered_model() {
+        let (m, model) = MachineSpec::preset("mixed").resolve_model().unwrap();
+        assert_eq!((m.p, m.d, m.x), (8, 14, 32));
+        assert!(model.as_uniform().is_none());
+        assert_eq!(model.tiers(), vec![(6, 128), (14, 128)]);
+        // Uniform presets keep uniform models.
+        let (_, c90) = MachineSpec::preset("c90").resolve_model().unwrap();
+        assert_eq!(c90.as_uniform(), Some(6));
+        assert!(!MachineSpec::preset("c90").has_nonuniform_delay());
+    }
+
+    #[test]
+    fn delay_description_conflicts_are_rejected() {
+        let both = MachineSpec {
+            p: Some(2),
+            x: Some(2),
+            d: Some(6),
+            per_bank: Some(vec![6, 6, 6, 6]),
+            ..MachineSpec::default()
+        };
+        let err = both.resolve_model().unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+        let twice = MachineSpec {
+            p: Some(2),
+            x: Some(2),
+            per_bank: Some(vec![6, 6, 6, 6]),
+            tiers: vec![DelayTierSpec::new(0, 4, 6)],
+            ..MachineSpec::default()
+        };
+        assert!(twice.resolve_model().is_err());
+        let err = Scenario::from_toml(
+            "name = \"x\"\nkind = \"k\"\nseed = 1\n\n[machine]\np = 2\nx = 2\nd = 6\ndelay = 7\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("`d` or `delay`"), "{err}");
+    }
+
+    #[test]
+    fn tiers_must_tile_the_banks() {
+        let gap = MachineSpec {
+            p: Some(2),
+            x: Some(4),
+            tiers: vec![DelayTierSpec::new(0, 2, 6), DelayTierSpec::new(4, 8, 14)],
+            ..MachineSpec::default()
+        };
+        let err = gap.resolve_model().unwrap_err();
+        assert!(err.to_string().contains("contiguously"), "{err}");
+        let short = MachineSpec {
+            p: Some(2),
+            x: Some(4),
+            tiers: vec![DelayTierSpec::new(0, 4, 6)],
+            ..MachineSpec::default()
+        };
+        let err = short.resolve_model().unwrap_err();
+        assert!(err.to_string().contains("cover"), "{err}");
+    }
+
+    #[test]
+    fn bad_tier_ranges_are_rejected() {
+        assert_eq!(parse_bank_range("0..128").unwrap(), (0, 128));
+        assert_eq!(parse_bank_range(" 128 .. 256 ").unwrap(), (128, 256));
+        for bad in ["128", "8..8", "9..4", "a..b", ".."] {
+            assert!(parse_bank_range(bad).is_err(), "accepted `{bad}`");
+        }
+        let err = Scenario::from_toml(
+            "name = \"x\"\nkind = \"k\"\nseed = 1\n\n[machine]\np = 2\nx = 2\ntiers = [{ banks = \"oops\", d = 6 }]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("start..end"), "{err}");
     }
 
     #[test]

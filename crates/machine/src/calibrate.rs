@@ -60,6 +60,48 @@ pub fn calibrate(sim: &Simulator, n: usize) -> Calibration {
     Calibration { d, g, l: cfg.sync_overhead }
 }
 
+/// One fitted delay tier of a (possibly non-uniform) machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierCalibration {
+    /// Configured service delay of the tier.
+    pub d: u64,
+    /// Banks in the tier (0 means "all" — the uniform case).
+    pub banks: usize,
+    /// Fitted delay: asymptotic cycles/request hammering one bank of
+    /// the tier.
+    pub fitted: f64,
+}
+
+/// Fits each delay tier separately by hammering one representative
+/// bank per tier — the per-tier generalization of [`calibrate`]'s `d`
+/// fit. A uniform machine yields a single tier; the C90/J90 fused
+/// machine yields one row per tier (`d = 6` and `d = 14`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn calibrate_tiers(sim: &Simulator, n: usize) -> Vec<TierCalibration> {
+    assert!(n > 0, "calibration needs at least one request");
+    let cfg = sim.config();
+    let map = Interleaved::new(cfg.banks);
+    cfg.delay
+        .tiers()
+        .into_iter()
+        .map(|(d, banks)| {
+            // Interleaved maps address b to bank b, so hammering the
+            // tier's first bank times that tier's service delay.
+            let bank = (0..cfg.banks).find(|&b| cfg.delay.service(b) == d).unwrap_or(0);
+            let mut hammer = AccessPattern::new(cfg.procs);
+            for _ in 0..n {
+                hammer.push(dxbsp_core::Request::write(0, bank as u64));
+            }
+            let fitted = sim.run(&hammer, &map).cycles as f64 / n as f64;
+            TierCalibration { d, banks, fitted }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +132,28 @@ mod tests {
         let cfg = SimConfig::new(1, 16, 8);
         let cal = calibrate(&Simulator::new(cfg), 2048);
         assert!(cal.g < 1.2, "fitted g = {}", cal.g);
+    }
+
+    #[test]
+    fn tier_calibration_recovers_each_tier() {
+        use dxbsp_core::BankDelayModel;
+        let cfg = SimConfig::new(8, 256, 14)
+            .with_delay_model(BankDelayModel::from_tiers(&[(128, 6), (128, 14)]));
+        let tiers = calibrate_tiers(&Simulator::new(cfg), 4096);
+        assert_eq!(tiers.len(), 2);
+        assert_eq!((tiers[0].d, tiers[0].banks), (6, 128));
+        assert_eq!((tiers[1].d, tiers[1].banks), (14, 128));
+        assert!((tiers[0].fitted - 6.0).abs() < 0.1, "fitted {}", tiers[0].fitted);
+        assert!((tiers[1].fitted - 14.0).abs() < 0.1, "fitted {}", tiers[1].fitted);
+    }
+
+    #[test]
+    fn tier_calibration_of_a_uniform_machine_is_one_tier() {
+        let cfg = SimConfig::new(4, 64, 6);
+        let tiers = calibrate_tiers(&Simulator::new(cfg), 1024);
+        assert_eq!(tiers.len(), 1);
+        assert_eq!(tiers[0].d, 6);
+        assert!((tiers[0].fitted - 6.0).abs() < 0.1, "fitted {}", tiers[0].fitted);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dxbsp_core::{EngineKind, ExecMode, MachineParams};
+use dxbsp_core::{BankDelayModel, EngineKind, ExecMode, MachineParams};
 
 /// The interconnect between processors and banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,14 +64,15 @@ pub struct StripMining {
 }
 
 /// Full configuration of a simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Processor count `p`.
     pub procs: usize,
     /// Bank count `B` (so the expansion factor is `B / p`).
     pub banks: usize,
-    /// Bank delay `d`: cycles a bank is busy per access.
-    pub bank_delay: u64,
+    /// Bank delay model: cycles a bank is busy per access, uniform or
+    /// per-bank, plus optional processor↔bank distances.
+    pub delay: BankDelayModel,
     /// Issue gap `g`: cycles between requests from one processor.
     pub issue_gap: u64,
     /// One-way processor↔bank transit latency in cycles.
@@ -123,7 +124,7 @@ impl SimConfig {
         Self {
             procs,
             banks,
-            bank_delay,
+            delay: BankDelayModel::uniform(bank_delay),
             issue_gap: 1,
             latency: 0,
             window: None,
@@ -149,16 +150,40 @@ impl SimConfig {
     }
 
     /// The (d,x)-BSP parameters this configuration realizes (expansion
-    /// rounds down if `banks` is not a multiple of `procs`).
+    /// rounds down if `banks` is not a multiple of `procs`). Under a
+    /// non-uniform delay model the scalar `d` is the uniform summary
+    /// (the worst bank's delay), which is what a modeler who ignores
+    /// heterogeneity would plug in.
     #[must_use]
     pub fn params(&self) -> MachineParams {
         MachineParams::new(
             self.procs,
             self.issue_gap,
             self.sync_overhead,
-            self.bank_delay,
+            self.delay.uniform_summary(),
             (self.banks / self.procs).max(1),
         )
+    }
+
+    /// The scalar bank delay when the model is uniform across banks,
+    /// else the uniform summary (the worst bank's delay, clamped ≥ 1).
+    #[must_use]
+    pub fn bank_delay(&self) -> u64 {
+        self.delay.uniform_summary()
+    }
+
+    /// Installs a bank delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not validate against this machine's
+    /// processor and bank counts (wrong vector length, all-zero
+    /// delays, mis-shaped distance matrix).
+    #[must_use]
+    pub fn with_delay_model(mut self, delay: BankDelayModel) -> Self {
+        delay.validate(self.procs, self.banks).expect("delay model must fit the machine");
+        self.delay = delay;
+        self
     }
 
     /// Sets the issue gap.
@@ -217,7 +242,7 @@ impl SimConfig {
     pub fn with_bank_cache(mut self, lines: usize, hit_delay: u64) -> Self {
         assert!(lines >= 1, "cache needs at least one line");
         assert!(hit_delay >= 1, "hits take at least one cycle");
-        assert!(hit_delay <= self.bank_delay, "hits must not be slower than the bank");
+        assert!(hit_delay <= self.delay.min_service(), "hits must not be slower than any bank");
         self.bank_cache = Some(BankCache { lines, hit_delay });
         self
     }
@@ -268,9 +293,13 @@ impl SimConfig {
     /// Whether the bank-epoch engine applies: it must be selected, and
     /// the machine must be free of the features whose events genuinely
     /// interleave across requests — issue windows, sectioned ports,
-    /// bank caches and strip-mining. When any of those is on the
-    /// simulator punts, explicitly, to the event-level loop (the
-    /// realized engine is [`Self::engine_in_force`]).
+    /// bank caches, strip-mining, and processor↔bank distance models
+    /// (per-pair transit breaks the issue-order-equals-arrival-order
+    /// invariant the bulk walk relies on; plain per-bank delays do
+    /// not, since the prefix recurrence already runs per bank). When
+    /// any of those is on the simulator punts, explicitly, to the
+    /// event-level loop (the realized engine is
+    /// [`Self::engine_in_force`]).
     #[must_use]
     pub fn epoch_applies(&self) -> bool {
         self.engine == EngineKind::BankEpoch
@@ -278,6 +307,7 @@ impl SimConfig {
             && self.window.is_none()
             && self.strip.is_none()
             && self.bank_cache.is_none()
+            && !self.delay.has_distance()
     }
 
     /// The engine that actually runs simulated supersteps once the
@@ -328,7 +358,8 @@ mod tests {
         let cfg = SimConfig::from_params(&m);
         assert_eq!(cfg.procs, 8);
         assert_eq!(cfg.banks, 256);
-        assert_eq!(cfg.bank_delay, 14);
+        assert_eq!(cfg.bank_delay(), 14);
+        assert_eq!(cfg.delay, BankDelayModel::uniform(14));
         assert_eq!(cfg.issue_gap, 2);
         assert_eq!(cfg.sync_overhead, 5);
         assert_eq!(cfg.params(), m);
@@ -368,5 +399,28 @@ mod tests {
     fn uniform_network_is_one_section() {
         let cfg = SimConfig::new(4, 64, 6);
         assert_eq!(cfg.banks_per_section(), 64);
+    }
+
+    #[test]
+    fn per_bank_delay_keeps_the_epoch_engine_distance_punts() {
+        use dxbsp_core::ProcBankDistance;
+        let mixed = SimConfig::new(4, 8, 6)
+            .with_delay_model(BankDelayModel::per_bank(vec![6, 6, 6, 6, 14, 14, 14, 14]));
+        assert!(mixed.epoch_applies());
+        assert_eq!(mixed.bank_delay(), 14); // uniform summary = worst bank
+        assert_eq!(mixed.params().d, 14);
+
+        let distance = SimConfig::new(4, 8, 6).with_delay_model(BankDelayModel::Distance {
+            base: vec![6; 8],
+            matrix: ProcBankDistance::new(4, 8, vec![1; 32]).unwrap(),
+        });
+        assert!(!distance.epoch_applies());
+        assert_eq!(distance.engine_in_force(), EngineKind::EventLevel);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the machine")]
+    fn delay_model_must_match_bank_count() {
+        let _ = SimConfig::new(4, 8, 6).with_delay_model(BankDelayModel::per_bank(vec![6, 14]));
     }
 }

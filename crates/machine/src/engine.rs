@@ -41,8 +41,8 @@
 //! ```
 
 use dxbsp_core::{
-    pattern_breakdown, pattern_cost, AccessPattern, BankMap, ChargeParams, Classifier, CostModel,
-    ExecMode, MachineParams, PatternPool, StepClass, Verdict,
+    pattern_breakdown_delayed, pattern_cost, AccessPattern, BankMap, ChargeParams, Classifier,
+    CostModel, ExecMode, MachineParams, PatternPool, StepClass, Verdict,
 };
 use dxbsp_telemetry::{NoopProbe, Probe, StepReport};
 
@@ -181,11 +181,11 @@ impl SimulatorBackend {
         map: &dyn BankMap,
         probe: &mut P,
     ) -> StepOutcome {
-        // Only the hybrid branch needs a config copy (the borrow on
+        // Only the hybrid branch needs a config clone (the borrow on
         // `self.sim` conflicts with `&mut self.scratch` below); the
-        // full-simulation path stays copy-free per step.
+        // full-simulation path stays clone-free per step.
         if self.sim.config().hybrid_eligible() {
-            let cfg = *self.sim.config();
+            let cfg = self.sim.config().clone();
             let ExecMode::Hybrid { error_bound_ppm } = cfg.exec else {
                 unreachable!("hybrid_eligible implies hybrid mode");
             };
@@ -193,7 +193,7 @@ impl SimulatorBackend {
             let shape = self.classifier.analyze(pattern, self.scratch.bank_indices(), cfg.banks);
             let verdict = shape.charge(&ChargeParams::new(
                 cfg.issue_gap,
-                cfg.bank_delay,
+                &cfg.delay,
                 cfg.latency,
                 error_bound_ppm,
             ));
@@ -233,7 +233,7 @@ impl SimulatorBackend {
 /// charged time — the bracket prices the step without attributing
 /// waiting to individual requests.
 fn synthesize(cfg: &SimConfig, cl: &Classifier, v: &Verdict) -> SimResult {
-    let (g, d) = (cfg.issue_gap, cfg.bank_delay);
+    let g = cfg.issue_gap;
     let round_trip = 2 * cfg.latency;
     let mut banks = vec![BankStats::default(); cfg.banks];
     let mut procs = vec![ProcStats::default(); cfg.procs];
@@ -242,7 +242,7 @@ fn synthesize(cfg: &SimConfig, cl: &Classifier, v: &Verdict) -> SimResult {
     let h: u64 = loads.iter().copied().max().unwrap_or(0).into();
     for (bank, load) in cl.touched_banks() {
         banks[bank].requests = load as usize;
-        banks[bank].busy_cycles = u64::from(load) * d;
+        banks[bank].busy_cycles = u64::from(load) * cfg.delay.service(bank);
     }
     for (st, &k) in procs.iter_mut().zip(loads) {
         st.issued = k as usize;
@@ -251,7 +251,10 @@ fn synthesize(cfg: &SimConfig, cl: &Classifier, v: &Verdict) -> SimResult {
         StepClass::Empty => {}
         StepClass::ConflictFree => {
             // Nothing queues: every request spends exactly one transit
-            // leg, `d` cycles of service, and one leg back.
+            // leg, `d` cycles of service, and one leg back. The
+            // classifier only produces this class under a uniform
+            // model (per-request bank identity is gone by now).
+            let d = cfg.delay.as_uniform().expect("conflict-free class is uniform-only");
             for (st, &k) in procs.iter_mut().zip(loads) {
                 if k > 0 {
                     st.done_at = (u64::from(k) - 1) * g + d + round_trip;
@@ -260,6 +263,7 @@ fn synthesize(cfg: &SimConfig, cl: &Classifier, v: &Verdict) -> SimResult {
         }
         StepClass::HotBank => {
             let hot = cl.shape().single_bank.expect("hot-bank step has its bank") as usize;
+            let d = cfg.delay.service(hot);
             // The bank serves back to back in (issue time, processor)
             // order: the j-th served request starts at `lat + (j−1)·d`
             // after arriving at `issue + lat`, so total waiting is
@@ -683,8 +687,8 @@ impl<B: Backend> Session<B> {
             }
         }
         if P::ENABLED {
-            let model =
-                pattern_breakdown(&self.backend.config().params(), pattern, &map, CostModel::DxBsp);
+            let cfg = self.backend.config();
+            let model = pattern_breakdown_delayed(&cfg.params(), &cfg.delay, pattern, &map);
             probe.superstep_end(
                 label,
                 &StepReport {
@@ -778,7 +782,7 @@ mod tests {
         for i in 0..200u64 {
             pat.push(dxbsp_core::Request::write((i % 8) as usize, i * 31 % 97));
         }
-        let mut backend = SimulatorBackend::new(cfg);
+        let mut backend = SimulatorBackend::new(cfg.clone());
         let direct = Simulator::new(cfg).run(&pat, &map);
         // Repeated steps through one backend reproduce independent runs
         // bit for bit.
@@ -822,7 +826,7 @@ mod tests {
         for i in 0..80u64 {
             pat.push(dxbsp_core::Request::write((i % 4) as usize, i * 7 % 23));
         }
-        let mut fast = SimulatorBackend::new(cfg);
+        let mut fast = SimulatorBackend::new(cfg.clone());
         let mut slow = ReferenceBackend::new(cfg);
         let a = fast.step(&pat, &map);
         let b = slow.step(&pat, &map);
@@ -857,7 +861,7 @@ mod tests {
             TraceStep::new(hot(1, 3)).with_local_work(5).labeled("a"),
             TraceStep::new(hot(1, 1)).labeled("b"),
         ];
-        let mut session = Session::new(SimulatorBackend::new(cfg));
+        let mut session = Session::new(SimulatorBackend::new(cfg.clone()));
         let via_session = session.run_trace(&trace, &map);
         let via_replay = replay(&mut SimulatorBackend::new(cfg), &trace, &map);
         assert_eq!(via_session, via_replay);
@@ -901,7 +905,7 @@ mod tests {
         let map = Interleaved::new(16);
         let keys: Vec<u64> = (0..16).collect();
         let pat = AccessPattern::scatter(4, &keys);
-        let a = SimulatorBackend::new(cfg).step(&pat, &map);
+        let a = SimulatorBackend::new(cfg.clone()).step(&pat, &map);
         let b = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&pat, &map);
         assert!(a.modeled, "conflict-free step must take the fast path");
         assert!(!b.modeled);
@@ -918,7 +922,7 @@ mod tests {
             .with_exec(ExecMode::hybrid(0.0));
         let map = Interleaved::new(64);
         let pat = AccessPattern::gather(8, &vec![7u64; 33]);
-        let a = SimulatorBackend::new(cfg).step(&pat, &map);
+        let a = SimulatorBackend::new(cfg.clone()).step(&pat, &map);
         let b = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&pat, &map);
         assert!(a.modeled);
         assert_eq!(a.cycles, 33 * 6 + 20);
@@ -930,7 +934,7 @@ mod tests {
         let cfg = SimConfig::new(8, 64, 6).with_exec(ExecMode::hybrid(0.99));
         let map = Interleaved::new(64);
         let writes = AccessPattern::scatter(8, &vec![7u64; 32]);
-        let out = SimulatorBackend::new(cfg).step(&writes, &map);
+        let out = SimulatorBackend::new(cfg.clone()).step(&writes, &map);
         assert!(!out.modeled, "hot-location writes must run the event loop");
         let full = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&writes, &map);
         assert_eq!(out.result, full.result);
@@ -945,7 +949,7 @@ mod tests {
         let pat = AccessPattern::scatter(2, &keys);
         let map = Interleaved::new(4);
         let cfg = SimConfig::new(2, 4, 20).with_exec(ExecMode::hybrid(0.05));
-        let hybrid = SimulatorBackend::new(cfg).step(&pat, &map);
+        let hybrid = SimulatorBackend::new(cfg.clone()).step(&pat, &map);
         let full = SimulatorBackend::new(cfg.with_exec(ExecMode::Full)).step(&pat, &map);
         assert!(hybrid.modeled);
         assert_eq!(hybrid.cycles, 160);
@@ -989,7 +993,7 @@ mod tests {
     fn backend_names_are_distinct() {
         let m = MachineParams::new(2, 1, 0, 6, 4);
         let cfg = SimConfig::from_params(&m);
-        assert_eq!(SimulatorBackend::new(cfg).name(), "simulator");
+        assert_eq!(SimulatorBackend::new(cfg.clone()).name(), "simulator");
         assert_eq!(ReferenceBackend::new(cfg).name(), "reference");
         assert_eq!(ModelBackend::new(m, CostModel::DxBsp).name(), "dxbsp-model");
         assert_eq!(ModelBackend::new(m, CostModel::Bsp).name(), "bsp-model");

@@ -87,7 +87,7 @@ pub mod trace;
 pub mod tracefile;
 mod wheel;
 
-pub use calibrate::{calibrate, Calibration};
+pub use calibrate::{calibrate, calibrate_tiers, Calibration, TierCalibration};
 pub use config::{NetworkModel, SchedulerKind, SimConfig};
 pub use dxbsp_core::EngineKind;
 pub use engine::{

@@ -46,6 +46,16 @@ pub fn run_reference<M: BankMap>(cfg: &SimConfig, pat: &AccessPattern, map: &M) 
     assert_eq!(pat.procs(), cfg.procs, "pattern/processor-count mismatch");
     assert_eq!(map.num_banks(), cfg.banks, "map/bank-count mismatch");
     assert!(cfg.bank_cache.is_none(), "the reference simulator does not model bank caches");
+    assert!(
+        !cfg.delay.has_distance(),
+        "the reference simulator does not model distance delays; \
+         differential-test those via wheel vs heap instead"
+    );
+    assert!(
+        cfg.delay.min_service() >= 1,
+        "the cycle-stepped reference serves one request per bank per cycle; \
+         zero-delay banks need the event engines"
+    );
 
     let (sections, ports) = match cfg.network {
         NetworkModel::Uniform => (1usize, usize::MAX),
@@ -133,13 +143,15 @@ pub fn run_reference<M: BankMap>(cfg: &SimConfig, pat: &AccessPattern, map: &M) 
             }
         }
 
-        // 5. Free banks start the next queued request.
+        // 5. Free banks start the next queued request, each holding
+        //    its own bank's service time.
         for b in 0..cfg.banks {
             if bank_busy_until[b] <= cycle {
                 if let Some(p) = bank_q[b].pop_front() {
-                    bank_busy_until[b] = cycle + cfg.bank_delay;
+                    let d = cfg.delay.service(b);
+                    bank_busy_until[b] = cycle + d;
                     bank_requests[b] += 1;
-                    replies.push_back((cycle + cfg.bank_delay + cfg.latency, p));
+                    replies.push_back((cycle + d + cfg.latency, p));
                 }
             }
         }

@@ -11,7 +11,12 @@
 //! issue order, so the section limiter and bank occupancy can be
 //! resolved *inline* at issue time; the event queue only carries
 //! processor issue attempts and (when the outstanding-request window is
-//! bounded) reply completions. This keeps the simulator at a few queue
+//! bounded) reply completions. Under a
+//! [`BankDelayModel::Distance`] model the per-pair travel term shifts
+//! arrival times, but the crossbar is defined to preserve issue order
+//! at each bank (requests are tagged at injection), so arbitration
+//! stays issue-ordered and the inline resolution — and the wheel/heap
+//! bit-identity — carries over unchanged. This keeps the simulator at a few queue
 //! operations per request — experiments with millions of requests run
 //! in milliseconds — while still modelling bank queueing exactly.
 //!
@@ -46,7 +51,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dxbsp_core::{AccessPattern, BankMap, StreamGroups};
+use dxbsp_core::{AccessPattern, BankDelayModel, BankMap, StreamGroups};
 use dxbsp_telemetry::{BankTrack, NoopProbe, Probe, RequestTiming};
 
 use crate::config::{NetworkModel, SchedulerKind, SimConfig};
@@ -86,6 +91,33 @@ fn pack(kind: u64, proc: usize, seq: u64) -> u64 {
 /// Heap entry: `(time, packed key)` — `Reverse` makes the max-heap a
 /// min-queue on the same order the wheel realizes.
 type HeapEntry = Reverse<(u64, u64)>;
+
+/// Per-bank service-time lookup the epoch engine's hot loop is
+/// monomorphized over: the `Uniform` instantiation keeps the loop's
+/// register-resident scalar (no per-request load), `PerBank` indexes
+/// its slice. `Distance` never reaches the epoch engine
+/// ([`SimConfig::epoch_applies`] punts it).
+trait EpochDelay {
+    fn service(&self, bank: usize) -> u64;
+}
+
+struct UniformDelay(u64);
+
+impl EpochDelay for UniformDelay {
+    #[inline(always)]
+    fn service(&self, _bank: usize) -> u64 {
+        self.0
+    }
+}
+
+struct PerBankDelay<'a>(&'a [u64]);
+
+impl EpochDelay for PerBankDelay<'_> {
+    #[inline(always)]
+    fn service(&self, bank: usize) -> u64 {
+        self.0[bank]
+    }
+}
 
 /// The operations the event loop needs from a scheduler. Implemented by
 /// the binary heap (oracle) and the time wheel (default); the loop is
@@ -548,10 +580,54 @@ impl Simulator {
         probe: &mut P,
     ) -> SimResult {
         debug_assert!(cfg.epoch_applies(), "epoch engine dispatched on an ineligible config");
+        match &cfg.delay {
+            BankDelayModel::Uniform(d) => Self::run_epoch_with(
+                UniformDelay(*d),
+                cfg,
+                grouped,
+                procs,
+                bank_free,
+                bank_stats,
+                timings,
+                bank_tracks,
+                proc_reqs,
+                probe,
+            ),
+            BankDelayModel::PerBank(v) => Self::run_epoch_with(
+                PerBankDelay(v),
+                cfg,
+                grouped,
+                procs,
+                bank_free,
+                bank_stats,
+                timings,
+                bank_tracks,
+                proc_reqs,
+                probe,
+            ),
+            BankDelayModel::Distance { .. } => {
+                unreachable!("distance models punt the epoch engine to the event loop")
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // the bulk hot loop takes the scratch by parts
+    fn run_epoch_with<D: EpochDelay, P: Probe>(
+        delay: D,
+        cfg: &SimConfig,
+        grouped: &StreamGroups,
+        procs: &mut [ProcState],
+        bank_free: &mut [u64],
+        bank_stats: &mut [BankStats],
+        timings: &mut Vec<RequestTiming>,
+        bank_tracks: &mut Vec<BankTrack>,
+        proc_reqs: &mut Vec<u64>,
+        probe: &mut P,
+    ) -> SimResult {
         let requests = grouped.len();
         let offs = grouped.offsets();
         let vals = grouped.values();
-        let (g, d, lat) = (cfg.issue_gap, cfg.bank_delay, cfg.latency);
+        let (g, lat) = (cfg.issue_gap, cfg.latency);
         let mut events: Vec<crate::stats::RequestEvent> =
             if cfg.record_events { Vec::with_capacity(requests) } else { Vec::new() };
         timings.clear();
@@ -569,6 +645,7 @@ impl Simulator {
                     continue;
                 }
                 let bank = vals[at] as usize;
+                let d = delay.service(bank);
                 let start = arrive.max(bank_free[bank]);
                 bank_free[bank] = start + d;
                 let wait = start - arrive;
@@ -743,8 +820,11 @@ impl Simulator {
                     }
                 }
 
-                // Resolve the request's pipeline inline.
-                let arrive = now + cfg.latency;
+                // Resolve the request's pipeline inline. A distance
+                // model adds its per-pair travel term to both legs
+                // (zero for uniform and per-bank models).
+                let travel = cfg.delay.travel(p, bank);
+                let arrive = now + cfg.latency + travel;
                 let forwarded = if SIMPLE || ports == u64::MAX {
                     arrive
                 } else {
@@ -756,7 +836,7 @@ impl Simulator {
                 // LRU is updated in service order.
                 let mut cache_hit = false;
                 let service = if SIMPLE {
-                    cfg.bank_delay
+                    cfg.delay.service(bank)
                 } else {
                     match cfg.bank_cache {
                         Some(c) => {
@@ -771,10 +851,10 @@ impl Simulator {
                             } else {
                                 lru.insert(0, addr);
                                 lru.truncate(c.lines);
-                                cfg.bank_delay
+                                cfg.delay.service(bank)
                             }
                         }
-                        None => cfg.bank_delay,
+                        None => cfg.delay.service(bank),
                     }
                 };
                 let start = forwarded.max(bank_free[bank]);
@@ -786,7 +866,7 @@ impl Simulator {
                 bs.queue_wait += wait;
                 bs.max_queue_wait = bs.max_queue_wait.max(wait);
 
-                let done = start + service + cfg.latency;
+                let done = start + service + cfg.latency + travel;
                 st.stats.done_at = st.stats.done_at.max(done);
                 last_done = last_done.max(done);
                 if P::ENABLED {
@@ -938,7 +1018,7 @@ mod tests {
         let base = SimConfig::new(4, 64, 14).with_latency(20);
         let spread = spread_pattern(4, 256);
         let map = Interleaved::new(64);
-        let free = Simulator::new(base).run(&spread, &map);
+        let free = Simulator::new(base.clone()).run(&spread, &map);
         let tight = Simulator::new(base.with_window(2)).run(&spread, &map);
         assert!(tight.cycles > free.cycles);
     }
@@ -1013,7 +1093,7 @@ mod tests {
         for i in 0..400u64 {
             pat.push(dxbsp_core::Request::write((i % 8) as usize, i * 29 % 173));
         }
-        let wheel_sim = Simulator::new(cfg.with_scheduler(SchedulerKind::Wheel));
+        let wheel_sim = Simulator::new(cfg.clone().with_scheduler(SchedulerKind::Wheel));
         let heap_sim = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap));
         let mut scratch = Scratch::default();
         let expect = wheel_sim.run(&pat, &map);

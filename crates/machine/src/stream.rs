@@ -375,7 +375,7 @@ mod tests {
         let map = Interleaved::new(8);
         let trace = toy_trace(6);
 
-        let mut materialized = Session::new(SimulatorBackend::new(cfg));
+        let mut materialized = Session::new(SimulatorBackend::new(cfg.clone()));
         materialized.run_trace(&trace, &map);
 
         let mut streamed = Session::new(SimulatorBackend::new(cfg));
@@ -396,7 +396,7 @@ mod tests {
         let map = Interleaved::new(8);
         let trace = toy_trace(32);
 
-        let mut sequential = Session::new(SimulatorBackend::new(cfg));
+        let mut sequential = Session::new(SimulatorBackend::new(cfg.clone()));
         let mut source = TraceSource::new(&trace);
         let seq = sequential.run_stream(&mut source, &map);
 

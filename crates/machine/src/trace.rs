@@ -105,7 +105,7 @@ impl TraceResult {
 /// themselves to reuse its working state.
 #[must_use]
 pub fn run_trace<M: BankMap>(sim: &Simulator, trace: &Trace, map: &M) -> TraceResult {
-    replay(&mut SimulatorBackend::new(*sim.config()), trace, &map)
+    replay(&mut SimulatorBackend::new(sim.config().clone()), trace, &map)
 }
 
 /// Charges a whole trace under a cost model: the sum over supersteps

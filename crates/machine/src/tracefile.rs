@@ -592,7 +592,7 @@ mod tests {
 
         let cfg = SimConfig::new(4, 8, 6).with_sync_overhead(2);
         let map = Interleaved::new(8);
-        let oracle = replay(&mut SimulatorBackend::new(cfg), &trace, &map);
+        let oracle = replay(&mut SimulatorBackend::new(cfg.clone()), &trace, &map);
 
         let mut reader = TraceFileReader::open(&path).unwrap();
         let mut session = Session::new(SimulatorBackend::new(cfg));

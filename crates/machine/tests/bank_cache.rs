@@ -116,7 +116,7 @@ mod strip_mining {
     #[test]
     fn single_strip_has_no_overhead() {
         let plain = SimConfig::new(1, 8, 1);
-        let strip = plain.with_strip_mining(64, 50);
+        let strip = plain.clone().with_strip_mining(64, 50);
         let addrs: Vec<u64> = (0..8).collect();
         let pat = AccessPattern::scatter(1, &addrs);
         let map = Interleaved::new(8);
@@ -133,7 +133,7 @@ mod strip_mining {
             pat.push(dxbsp_core::Request::write((i % 3) as usize, i * 11 % 23));
         }
         let map = Interleaved::new(12);
-        let fast = Simulator::new(cfg).run(&pat, &map);
+        let fast = Simulator::new(cfg.clone()).run(&pat, &map);
         let slow = dxbsp_machine::run_reference(&cfg, &pat, &map);
         assert_eq!(fast.cycles, slow.cycles);
     }

@@ -91,7 +91,7 @@ proptest! {
         let pat = pattern_from(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
         assert_backends_agree(
-            &mut SimulatorBackend::new(cfg),
+            &mut SimulatorBackend::new(cfg.clone()),
             &mut ReferenceBackend::new(cfg),
             &pat,
             &map,
@@ -116,7 +116,8 @@ proptest! {
     ) {
         let mut cfg = cfg;
         if let Some((lines, hit)) = cache {
-            cfg = cfg.with_bank_cache(lines, hit.min(cfg.bank_delay));
+            let cap = cfg.bank_delay();
+            cfg = cfg.with_bank_cache(lines, hit.min(cap));
         }
         if log {
             cfg = cfg.with_event_log();
@@ -127,7 +128,8 @@ proptest! {
         let cfg = cfg.with_engine(EngineKind::EventLevel);
         let pat = pattern_from(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
-        let wheel = Simulator::new(cfg.with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
+        let wheel =
+            Simulator::new(cfg.clone().with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
         let heap = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
         prop_assert_eq!(wheel, heap);
     }
@@ -154,12 +156,13 @@ proptest! {
     ) {
         let mut cfg = cfg;
         if let Some((lines, hit)) = cache {
-            cfg = cfg.with_bank_cache(lines, hit.min(cfg.bank_delay));
+            let cap = cfg.bank_delay();
+            cfg = cfg.with_bank_cache(lines, hit.min(cap));
         }
         if log {
             cfg = cfg.with_event_log();
         }
-        let epoch_cfg = cfg.with_engine(EngineKind::BankEpoch);
+        let epoch_cfg = cfg.clone().with_engine(EngineKind::BankEpoch);
         let interleaves = cfg.window.is_some()
             || cfg.strip.is_some()
             || cfg.bank_cache.is_some()
@@ -174,7 +177,8 @@ proptest! {
         let map = Interleaved::new(cfg.banks);
         let epoch = Simulator::new(epoch_cfg).run(&pat, &map);
         let event = cfg.with_engine(EngineKind::EventLevel);
-        let wheel = Simulator::new(event.with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
+        let wheel =
+            Simulator::new(event.clone().with_scheduler(SchedulerKind::Wheel)).run(&pat, &map);
         let heap = Simulator::new(event.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
         prop_assert_eq!(&epoch, &wheel);
         prop_assert_eq!(&wheel, &heap);
@@ -246,7 +250,7 @@ fn pinned_corner_cases_agree() {
         let pat = pattern_from(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
         assert_backends_agree(
-            &mut SimulatorBackend::new(cfg),
+            &mut SimulatorBackend::new(cfg.clone()),
             &mut ReferenceBackend::new(cfg),
             &pat,
             &map,
@@ -261,7 +265,8 @@ fn pinned_corner_cases_agree() {
 fn wheel_and_heap_sessions_agree_across_supersteps() {
     let base = SimConfig::new(4, 32, 9).with_latency(4).with_window(3).with_sync_overhead(50);
     let map = Interleaved::new(base.banks);
-    let mut wheel = Session::new(SimulatorBackend::new(base.with_scheduler(SchedulerKind::Wheel)));
+    let mut wheel =
+        Session::new(SimulatorBackend::new(base.clone().with_scheduler(SchedulerKind::Wheel)));
     let mut heap = Session::new(SimulatorBackend::new(base.with_scheduler(SchedulerKind::Heap)));
     for round in 0..10u64 {
         let raw: Vec<(usize, u64)> = (0..(30 + round * 17))
@@ -282,7 +287,7 @@ fn wheel_and_heap_sessions_agree_across_supersteps() {
 #[test]
 fn session_reuse_is_bit_identical_to_fresh_runs() {
     let cfg = SimConfig::new(4, 16, 7).with_latency(3).with_window(4);
-    let mut session = Session::new(SimulatorBackend::new(cfg));
+    let mut session = Session::new(SimulatorBackend::new(cfg.clone()));
     let map = Interleaved::new(cfg.banks);
     let patterns: Vec<AccessPattern> = (0..8)
         .map(|round| {
@@ -295,7 +300,7 @@ fn session_reuse_is_bit_identical_to_fresh_runs() {
 
     let mut expected_cycles = 0u64;
     for pat in &patterns {
-        let fresh = Simulator::new(cfg).run(pat, &map);
+        let fresh = Simulator::new(cfg.clone()).run(pat, &map);
         let reused = session.step(pat, &map).into_result();
         assert_eq!(reused, fresh, "session diverged from a fresh run");
         expected_cycles += fresh.cycles + cfg.sync_overhead;
@@ -305,7 +310,7 @@ fn session_reuse_is_bit_identical_to_fresh_runs() {
 
     // Reconfiguring keeps the scratch but must not leak state either.
     let cfg2 = SimConfig::new(2, 8, 3).with_sections(2, 1);
-    session.backend_mut().reconfigure(cfg2);
+    session.backend_mut().reconfigure(cfg2.clone());
     session.reset_totals();
     let pat = pattern_from(2, &[(0, 1), (1, 1), (0, 2), (1, 5), (0, 1)]);
     let map2 = Interleaved::new(cfg2.banks);

@@ -90,12 +90,12 @@ proptest! {
         // counter is scheduler telemetry, not engine telemetry.
         let mut rec_epoch = Recorder::new();
         let epoch = Simulator::new(
-            cfg.with_engine(EngineKind::BankEpoch).with_scheduler(SchedulerKind::Heap),
+            cfg.clone().with_engine(EngineKind::BankEpoch).with_scheduler(SchedulerKind::Heap),
         )
         .run_probed(&pat, &map, &mut rec_epoch);
         let mut rec_event = Recorder::new();
         let event = Simulator::new(
-            cfg.with_engine(EngineKind::EventLevel).with_scheduler(SchedulerKind::Heap),
+            cfg.clone().with_engine(EngineKind::EventLevel).with_scheduler(SchedulerKind::Heap),
         )
         .run_probed(&pat, &map, &mut rec_event);
 
@@ -119,8 +119,8 @@ proptest! {
         raws in proptest::collection::vec(arb_pattern(8), 1..5),
     ) {
         let map = Interleaved::new(cfg.banks);
-        let mut plain = Session::new(SimulatorBackend::new(cfg));
-        let mut probed = Session::new(SimulatorBackend::new(cfg));
+        let mut plain = Session::new(SimulatorBackend::new(cfg.clone()));
+        let mut probed = Session::new(SimulatorBackend::new(cfg.clone()));
         let mut rec = Recorder::new();
         for raw in &raws {
             let pat = build_pattern(cfg.procs, raw);

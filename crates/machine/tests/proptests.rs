@@ -44,14 +44,14 @@ proptest! {
         let pat = build_pattern(cfg.procs, &raw);
         prop_assume!(!pat.is_empty());
         let map = Interleaved::new(cfg.banks);
-        let res = Simulator::new(cfg).run(&pat, &map);
+        let res = Simulator::new(cfg.clone()).run(&pat, &map);
         let r = pat.max_bank_load(&map) as u64;
         let h = pat.contention_profile().max_processor_load as u64;
-        prop_assert!(res.cycles >= cfg.bank_delay * r,
-            "cycles {} < d·R = {}·{}", res.cycles, cfg.bank_delay, r);
-        prop_assert!(res.cycles >= cfg.issue_gap * (h - 1) + cfg.bank_delay,
+        prop_assert!(res.cycles >= cfg.bank_delay() * r,
+            "cycles {} < d·R = {}·{}", res.cycles, cfg.bank_delay(), r);
+        prop_assert!(res.cycles >= cfg.issue_gap * (h - 1) + cfg.bank_delay(),
             "cycles {} < issue bound", res.cycles);
-        prop_assert!(res.cycles >= 2 * cfg.latency + cfg.bank_delay);
+        prop_assert!(res.cycles >= 2 * cfg.latency + cfg.bank_delay());
     }
 
     /// Simulated cycles never exceed the fully serialized work bound.
@@ -60,11 +60,11 @@ proptest! {
         let pat = build_pattern(cfg.procs, &raw);
         prop_assume!(!pat.is_empty());
         let map = Interleaved::new(cfg.banks);
-        let res = Simulator::new(cfg).run(&pat, &map);
+        let res = Simulator::new(cfg.clone()).run(&pat, &map);
         let n = pat.len() as u64;
         // Worst case: every request fully serialized through issue,
         // two transit legs and its bank.
-        let bound = n * (cfg.issue_gap + cfg.bank_delay + 2 * cfg.latency);
+        let bound = n * (cfg.issue_gap + cfg.bank_delay() + 2 * cfg.latency);
         prop_assert!(res.cycles <= bound, "cycles {} > serial bound {}", res.cycles, bound);
     }
 
@@ -74,11 +74,13 @@ proptest! {
     fn stats_are_consistent(cfg in arb_config(), raw in arb_pattern(8)) {
         let pat = build_pattern(cfg.procs, &raw);
         let map = Interleaved::new(cfg.banks);
-        let res = Simulator::new(cfg).run(&pat, &map);
+        let res = Simulator::new(cfg.clone()).run(&pat, &map);
         let loads = pat.bank_loads(&map);
         for (b, stat) in res.banks.iter().enumerate() {
             prop_assert_eq!(stat.requests, loads[b]);
-            prop_assert_eq!(stat.busy_cycles, cfg.bank_delay * loads[b] as u64);
+            // Per-bank service: each bank's busy time is its own d_b
+            // (identical to d·loads for the uniform configs here).
+            prop_assert_eq!(stat.busy_cycles, cfg.delay.service(b) * loads[b] as u64);
             prop_assert!(stat.max_queue_wait <= stat.queue_wait);
         }
         let issued: usize = res.procs.iter().map(|p| p.issued).sum();
@@ -94,8 +96,8 @@ proptest! {
         let base = SimConfig::new(4, 32, 8).with_latency(12);
         let pat = build_pattern(4, &raw);
         let map = Interleaved::new(32);
-        let tight = Simulator::new(base.with_window(w)).run(&pat, &map);
-        let loose = Simulator::new(base.with_window(w + 1)).run(&pat, &map);
+        let tight = Simulator::new(base.clone().with_window(w)).run(&pat, &map);
+        let loose = Simulator::new(base.clone().with_window(w + 1)).run(&pat, &map);
         let free = Simulator::new(base).run(&pat, &map);
         prop_assert!(loose.cycles <= tight.cycles);
         prop_assert!(free.cycles <= loose.cycles);
@@ -133,6 +135,125 @@ fn hammer_time_scales_linearly_in_d() {
     for d in [2u64, 4, 8, 16] {
         let res = Simulator::new(SimConfig::new(1, 8, d)).run(&pat, &map);
         assert_eq!(res.cycles, d * 100);
+    }
+}
+
+mod delay_models {
+    //! Non-uniform bank delay models across the three execution
+    //! engines: the bank-epoch bulk walk (whose prefix recurrence is
+    //! already per-bank, so [`PerBank`] stays on its fast path), the
+    //! event engine's time wheel, and the binary-heap oracle scheduler
+    //! must agree bit for bit on every random per-bank delay vector.
+    //!
+    //! [`PerBank`]: BankDelayModel::PerBank
+
+    use dxbsp_core::{AccessPattern, BankDelayModel, EngineKind, Interleaved, ProcBankDistance};
+    use dxbsp_machine::{SchedulerKind, SimConfig, Simulator};
+    use proptest::prelude::*;
+
+    /// The three engine configurations under test, from a shared base.
+    fn engines(base: &SimConfig) -> [SimConfig; 3] {
+        [
+            base.clone(),
+            base.clone().with_engine(EngineKind::EventLevel),
+            base.clone().with_engine(EngineKind::EventLevel).with_scheduler(SchedulerKind::Heap),
+        ]
+    }
+
+    proptest! {
+        /// Random per-bank delay vectors: epoch, wheel, and heap agree
+        /// on total cycles and on every bank's request and busy-cycle
+        /// totals — and the epoch engine really is the one in force
+        /// (per-bank delays must not punt it).
+        #[test]
+        fn per_bank_three_way_engine_agreement(
+            p in 1usize..=8,
+            xb in 1usize..=6,
+            // Drawn at the maximum machine width (8·6 banks) and
+            // truncated to the realized bank count below.
+            delays in proptest::collection::vec(1u64..=20, 48usize..=48),
+            raw in super::arb_pattern(8),
+            g in 1u64..=4,
+            lat in 0u64..=16,
+        ) {
+            let banks = p * xb;
+            let model = BankDelayModel::per_bank(delays[..banks].to_vec());
+            let base = SimConfig::new(p, banks, model.uniform_summary())
+                .with_delay_model(model)
+                .with_issue_gap(g)
+                .with_latency(lat);
+            prop_assert_eq!(base.engine_in_force(), EngineKind::BankEpoch);
+            let pat = super::build_pattern(p, &raw);
+            let map = Interleaved::new(banks);
+            let [epoch, wheel, heap] = engines(&base).map(|cfg| Simulator::new(cfg).run(&pat, &map));
+            prop_assert_eq!(epoch.cycles, wheel.cycles, "epoch vs wheel");
+            prop_assert_eq!(wheel.cycles, heap.cycles, "wheel vs heap");
+            for b in 0..banks {
+                prop_assert_eq!(epoch.banks[b].requests, wheel.banks[b].requests);
+                prop_assert_eq!(epoch.banks[b].busy_cycles, wheel.banks[b].busy_cycles);
+                prop_assert_eq!(wheel.banks[b].busy_cycles, heap.banks[b].busy_cycles);
+            }
+        }
+
+        /// A distance matrix punts the bulk engines to the event loop
+        /// (per-pair transit breaks issue-order-equals-arrival-order),
+        /// but the two event schedulers must still agree exactly.
+        #[test]
+        fn distance_model_punts_epoch_and_schedulers_agree(
+            raw in super::arb_pattern(4),
+            extra in 0u64..=5,
+        ) {
+            let model = BankDelayModel::Distance {
+                base: vec![4; 16],
+                matrix: ProcBankDistance::new(4, 16, vec![extra; 64]).unwrap(),
+            };
+            let base = SimConfig::new(4, 16, model.uniform_summary()).with_delay_model(model);
+            prop_assert_eq!(base.engine_in_force(), EngineKind::EventLevel);
+            let pat = super::build_pattern(4, &raw);
+            let map = Interleaved::new(16);
+            let [punted, wheel, heap] = engines(&base).map(|cfg| Simulator::new(cfg).run(&pat, &map));
+            prop_assert_eq!(punted.cycles, wheel.cycles, "punted epoch vs explicit wheel");
+            prop_assert_eq!(wheel.cycles, heap.cycles, "wheel vs heap");
+        }
+    }
+
+    /// One slow bank in an otherwise fast machine: a hammer on the
+    /// slow bank is charged at *its* delay — not the summary — by all
+    /// three engines, and only that bank accrues busy cycles.
+    #[test]
+    fn single_hot_slow_bank_is_charged_at_its_own_delay() {
+        let mut delays = vec![2u64; 8];
+        delays[0] = 20;
+        let model = BankDelayModel::per_bank(delays);
+        let base = SimConfig::new(1, 8, model.uniform_summary()).with_delay_model(model);
+        let pat = AccessPattern::scatter(1, &vec![0u64; 100]);
+        let map = Interleaved::new(8);
+        for cfg in engines(&base) {
+            let res = Simulator::new(cfg).run(&pat, &map);
+            assert_eq!(res.cycles, 20 * 100);
+            assert_eq!(res.banks[0].busy_cycles, 20 * 100);
+            assert!(res.banks[1..].iter().all(|b| b.busy_cycles == 0));
+        }
+    }
+
+    /// Zero-delay banks (free service, as long as one bank still costs
+    /// something) are a legal corner: the engines must agree rather
+    /// than divide by the free banks' service time.
+    #[test]
+    fn zero_delay_banks_agree_across_engines() {
+        let mut delays = vec![0u64; 16];
+        for d in &mut delays[..8] {
+            *d = 3;
+        }
+        let model = BankDelayModel::per_bank(delays);
+        let base = SimConfig::new(4, 16, model.uniform_summary()).with_delay_model(model);
+        let addrs: Vec<u64> = (0..64).map(|i| i % 16).collect();
+        let pat = AccessPattern::scatter(4, &addrs);
+        let map = Interleaved::new(16);
+        let [epoch, wheel, heap] = engines(&base).map(|cfg| Simulator::new(cfg).run(&pat, &map));
+        assert_eq!(epoch.cycles, wheel.cycles, "epoch vs wheel");
+        assert_eq!(wheel.cycles, heap.cycles, "wheel vs heap");
+        assert!(epoch.banks[8..].iter().all(|b| b.busy_cycles == 0));
     }
 }
 
@@ -192,11 +313,13 @@ mod hybrid {
         ) {
             let pat = build(cfg.procs, &raw);
             let map = Interleaved::new(cfg.banks);
-            let mut backend = SimulatorBackend::new(cfg.with_exec(ExecMode::hybrid(0.0)));
+            let mut backend =
+                SimulatorBackend::new(cfg.clone().with_exec(ExecMode::hybrid(0.0)));
             let out = backend.step(&pat, &map);
             if out.modeled {
-                let wheel = Simulator::new(cfg).run(&pat, &map);
-                let heap = Simulator::new(cfg.with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
+                let wheel = Simulator::new(cfg.clone()).run(&pat, &map);
+                let heap =
+                    Simulator::new(cfg.clone().with_scheduler(SchedulerKind::Heap)).run(&pat, &map);
                 prop_assert_eq!(wheel.cycles, heap.cycles, "schedulers disagree");
                 prop_assert_eq!(out.cycles, wheel.cycles, "modeled charge drifts from simulation");
                 prop_assert_eq!(out.requests, wheel.requests);
@@ -219,10 +342,10 @@ mod hybrid {
             let pat = build(cfg.procs, &raw);
             let map = Interleaved::new(cfg.banks);
             let exec = ExecMode::hybrid(f64::from(ppm) / 1e6);
-            let mut backend = SimulatorBackend::new(cfg.with_exec(exec));
+            let mut backend = SimulatorBackend::new(cfg.clone().with_exec(exec));
             let out = backend.step(&pat, &map);
             if out.modeled {
-                let full = Simulator::new(cfg).run(&pat, &map).cycles;
+                let full = Simulator::new(cfg.clone()).run(&pat, &map).cycles;
                 let err = full.abs_diff(out.cycles);
                 prop_assert!(
                     err * 1_000_000 <= u64::from(ppm) * full,
@@ -245,10 +368,11 @@ mod hybrid {
             let addrs: Vec<u64> = (0..n as u64).collect();
             let pat = AccessPattern::gather(cfg.procs, &addrs);
             let map = Interleaved::new(cfg.banks);
-            let mut backend = SimulatorBackend::new(cfg.with_exec(ExecMode::hybrid(0.0)));
+            let mut backend =
+                SimulatorBackend::new(cfg.clone().with_exec(ExecMode::hybrid(0.0)));
             let out = backend.step(&pat, &map);
             prop_assert!(out.modeled, "R ≤ 1 step fell through to simulation");
-            prop_assert_eq!(out.cycles, Simulator::new(cfg).run(&pat, &map).cycles);
+            prop_assert_eq!(out.cycles, Simulator::new(cfg.clone()).run(&pat, &map).cycles);
         }
 
         /// `ExecMode::Full` (the default) through the backend seam is
@@ -262,10 +386,10 @@ mod hybrid {
         ) {
             let pat = build(cfg.procs, &raw);
             let map = Interleaved::new(cfg.banks);
-            let mut backend = SimulatorBackend::new(cfg);
+            let mut backend = SimulatorBackend::new(cfg.clone());
             let out = backend.step(&pat, &map);
             prop_assert!(!out.modeled);
-            let direct = Simulator::new(cfg).run(&pat, &map);
+            let direct = Simulator::new(cfg.clone()).run(&pat, &map);
             prop_assert_eq!(out.cycles, direct.cycles);
             prop_assert_eq!(out.result, Some(direct));
         }

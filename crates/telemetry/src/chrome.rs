@@ -214,7 +214,7 @@ mod tests {
                 sync_overhead: 0,
                 total_cycles: 20,
                 modeled: false,
-                model: CostBreakdown { latency: 3, processor: 1, bank: 14 },
+                model: CostBreakdown { latency: 3, processor: 1, bank: 14, bound_bank: None },
             },
         );
         r

@@ -250,7 +250,7 @@ mod tests {
             sync_overhead: 0,
             total_cycles: 900,
             modeled: false,
-            model: CostBreakdown { latency: 100, processor: 256, bank: 896 },
+            model: CostBreakdown { latency: 100, processor: 256, bank: 896, bound_bank: None },
         };
         assert_eq!(r.binding(), "bank");
         assert_eq!(r.margin(), 896 - 256);

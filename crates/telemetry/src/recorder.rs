@@ -2,7 +2,7 @@
 //! per-bank/per-processor telemetry, superstep cost attribution, and
 //! export-ready snapshots ([`Registry`], Chrome trace, JSON summary).
 
-use dxbsp_core::SpecValue;
+use dxbsp_core::{BankDelayModel, SpecValue};
 
 use crate::metrics::{Counter, LogHistogram, Registry, Sampler};
 use crate::probe::{Probe, RequestTiming, StepReport};
@@ -117,6 +117,10 @@ pub struct Recorder {
     /// Queue wait the sampling channel already added to
     /// `cumulative_queue_wait` this epoch.
     epoch_sampled_wait: u64,
+    /// The non-uniform bank-delay model in force, when the driver
+    /// attached one ([`Recorder::set_delay_model`]); enables per-tier
+    /// dwell attribution. `None` for uniform machines.
+    delay: Option<BankDelayModel>,
 }
 
 impl Default for Recorder {
@@ -160,7 +164,32 @@ impl Recorder {
             cumulative_queue_wait: 0,
             epoch_sampled: 0,
             epoch_sampled_wait: 0,
+            delay: None,
         }
+    }
+
+    /// Attach the bank-delay model the run realizes, enabling per-tier
+    /// dwell attribution in the summary and the Prometheus registry.
+    /// Uniform models are dropped (a single tier adds nothing the
+    /// per-bank family doesn't already carry).
+    pub fn set_delay_model(&mut self, delay: &BankDelayModel) {
+        self.delay = if delay.as_uniform().is_none() { Some(delay.clone()) } else { None };
+    }
+
+    /// Dwell (busy) cycles grouped by service-delay tier, ordered by
+    /// delay. Empty unless a non-uniform model was attached via
+    /// [`Recorder::set_delay_model`].
+    #[must_use]
+    pub fn tier_dwell(&self) -> Vec<(u64, u64)> {
+        let Some(delay) = &self.delay else {
+            return Vec::new();
+        };
+        let mut map: std::collections::BTreeMap<u64, u64> =
+            delay.tiers().into_iter().map(|(d, _)| (d, 0)).collect();
+        for (i, t) in self.banks.iter().enumerate() {
+            *map.entry(delay.service(i)).or_insert(0) += t.busy_cycles;
+        }
+        map.into_iter().collect()
     }
 
     fn bank_mut(&mut self, bank: usize) -> &mut BankTrack {
@@ -309,6 +338,14 @@ impl Recorder {
         t.set("busy_cycles_total", SpecValue::Int(total_busy as i64));
         t.set("events_retained", SpecValue::Int(self.events.len() as i64));
         t.set("events_dropped", SpecValue::Int(self.events_dropped.get() as i64));
+        if let Some(delay) = &self.delay {
+            t.set("delay_model", SpecValue::Str(delay.describe()));
+            let mut tiers = SpecValue::table();
+            for (d, busy) in self.tier_dwell() {
+                tiers.set(format!("d{d}"), SpecValue::Int(busy as i64));
+            }
+            t.set("tier_busy_cycles", tiers);
+        }
         t
     }
 
@@ -393,6 +430,16 @@ impl Recorder {
         let (hot_bank, hot) = self.hottest_bank();
         reg.gauge("dxbsp_hot_bank", "Index of the bank with the most dwell", hot_bank as f64);
         reg.gauge("dxbsp_hot_bank_busy_cycles", "Dwell cycles of the hottest bank", hot as f64);
+        if self.delay.is_some() {
+            reg.labelled_counter(
+                "dxbsp_tier_busy_cycles_total",
+                "Service (dwell) cycles per bank-delay tier",
+                self.tier_dwell()
+                    .into_iter()
+                    .map(|(d, busy)| (vec![("d".to_string(), d.to_string())], busy as f64))
+                    .collect(),
+            );
+        }
         reg
     }
 
@@ -570,7 +617,7 @@ mod tests {
             sync_overhead: 0,
             total_cycles: total,
             modeled: false,
-            model: CostBreakdown { latency: 1, processor: 2, bank },
+            model: CostBreakdown { latency: 1, processor: 2, bank, bound_bank: None },
         }
     }
 
@@ -653,6 +700,35 @@ mod tests {
         assert_eq!(r.stall_cycles(), 17);
         assert_eq!(r.procs()[1].stalls, 2);
         assert_eq!(r.cascades(), 7);
+    }
+
+    #[test]
+    fn tier_dwell_groups_banks_by_delay_class() {
+        let mut r = Recorder::new();
+        // Banks 0..2 fast (d=6), banks 2..4 slow (d=14).
+        r.set_delay_model(&BankDelayModel::from_tiers(&[(2, 6), (2, 14)]));
+        r.request(timing(0, 0, 0)); // 14 dwell cycles each (timing fixture)
+        r.request(timing(0, 1, 4));
+        r.request(timing(0, 3, 8));
+        let tiers = r.tier_dwell();
+        assert_eq!(tiers, vec![(6, 28), (14, 14)]);
+        let s = r.summary();
+        assert_eq!(s.get("delay_model").unwrap().as_str(), Some("per-bank(d=6 x2, d=14 x2)"));
+        let busy = s.get("tier_busy_cycles").unwrap();
+        assert_eq!(busy.get("d6").unwrap().as_int(), Some(28));
+        assert_eq!(busy.get("d14").unwrap().as_int(), Some(14));
+        let prom = crate::prometheus::render(&r.registry());
+        assert!(prom.contains("dxbsp_tier_busy_cycles_total{d=\"6\"} 28"), "{prom}");
+        crate::prometheus::lint(&prom).expect("lints");
+    }
+
+    #[test]
+    fn uniform_delay_model_is_dropped() {
+        let mut r = Recorder::new();
+        r.set_delay_model(&BankDelayModel::uniform(14));
+        r.request(timing(0, 0, 0));
+        assert!(r.tier_dwell().is_empty());
+        assert!(r.summary().get("delay_model").is_none());
     }
 
     #[test]

@@ -30,6 +30,16 @@ rm -f /tmp/dxbench-smoke.jsonl
 hybrid_out="$(target/release/dxbench run exp4_hybrid --quick --check-hybrid)"
 grep -q 'check-hybrid: .* within declared bound' <<<"$hybrid_out"
 
+# Smoke-test the mixed-tier path: the fused C90/J90 builtin must run
+# on the per-bank delay model, carry the tiered prediction column, and
+# surface the model in the dxsim replay header.
+mixed_out="$(target/release/dxbench run exp1_mixed --quick)"
+grep -q 'tiered-pred' <<<"$mixed_out"
+target/release/dxtrace scatter --n 4096 --contention 512 -o /tmp/dxsim-smoke.dxtr >/dev/null
+tiers_out="$(target/release/dxsim --trace /tmp/dxsim-smoke.dxtr --tiers 0..128=6,128..256=14)"
+grep -q 'delay:   per-bank(d=6 x128, d=14 x128)' <<<"$tiers_out"
+rm -f /tmp/dxsim-smoke.dxtr
+
 # Smoke-test the profiler: dxprof on a committed scenario must emit a
 # Chrome trace that parses as JSON and Prometheus output that lints
 # (non-comment lines are `name{labels} value` with a numeric value).
