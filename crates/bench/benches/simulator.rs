@@ -234,6 +234,28 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Service-core throughput: the same Quick `exp1` scenario through
+/// [`ExecService`] on the cold path (a private service per iteration,
+/// so every run misses and executes) versus the hot path (one warm
+/// service, every run a content-addressed cache hit). The gap is what
+/// `dxserved` buys a scraping client replaying a sweep grid.
+fn bench_service_paths(c: &mut Criterion) {
+    use dxbsp_bench::{scenarios, ExecService, ServiceConfig};
+    let mut g = c.benchmark_group("serve/throughput");
+    g.sample_size(10);
+    let sc = scenarios::builtin("exp1", Scale::Quick, 1995).unwrap();
+    g.bench_function("cache_miss", |b| {
+        b.iter(|| {
+            let svc = ExecService::new(ServiceConfig::default());
+            black_box(svc.run(&sc).unwrap())
+        })
+    });
+    let warm = ExecService::new(ServiceConfig::default());
+    let _ = warm.run(&sc).unwrap();
+    g.bench_function("cache_hit", |b| b.iter(|| black_box(warm.run(&sc).unwrap())));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_scatter_shapes,
@@ -243,6 +265,7 @@ criterion_group!(
     bench_probe_overhead,
     bench_session_reuse,
     bench_stream_vs_materialize,
-    bench_sweep_throughput
+    bench_sweep_throughput,
+    bench_service_paths
 );
 criterion_main!(benches);

@@ -31,11 +31,33 @@
 //!                     fail unless every point's cycles agree within
 //!                     the declared `hybrid_error_bound`. `--json`
 //!                     records gain `full_measured` and `err` columns.
+//!
+//!     dxbench storm <file.toml|name> --addr HOST:PORT [options]
+//!
+//! `storm` is the load generator for `dxserved`: it replays the
+//! scenario (cycling `--variants` seed variants) from `--clients`
+//! concurrent connections until `--requests` total requests have been
+//! answered, verifies every JSON-lines body byte-for-byte against a
+//! local reference run, and reports a latency histogram plus the
+//! server's cache hit-rate and shed count scraped from `/metrics`.
+//!
+//! Options for `storm`:
+//!   --addr HOST:PORT  the running dxserved (required)
+//!   --clients N       concurrent client threads (default 16)
+//!   --requests N      total requests to issue (default 1000)
+//!   --variants N      distinct seed variants to cycle (default 2)
+//!
+//! Scenario execution — both `run` here and `POST /run` on `dxserved`
+//! — goes through the shared [`ExecService`]: a session pool of warm
+//! simulators, a content-addressed result cache, and admission
+//! control. The CLI and the server are the same code path, byte for
+//! byte.
 
 use std::process::ExitCode;
 
 use dxbsp_bench::{
-    records_to_jsonl, run_scenario, scenarios, telemetry_to_jsonl, Cell, RunRecord, Scale,
+    finalize_records, scenarios, storm, telemetry_to_jsonl, write_records_jsonl, Cell, ExecService,
+    RunRecord, Scale,
 };
 use dxbsp_core::{DxError, EngineKind, ExecMode, Scenario};
 
@@ -46,7 +68,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--engine epoch|event] [--telemetry PATH] [--check-hybrid]"
+        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--engine epoch|event] [--telemetry PATH] [--check-hybrid]\n       dxbench storm <file.toml|file.json|name> --addr HOST:PORT [--clients N] [--requests N] [--variants N] [--quick] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -143,7 +165,7 @@ fn check_hybrid(sc: &Scenario, hybrid: &[RunRecord]) -> Result<Vec<RunRecord>, D
     };
     let mut full_sc = sc.clone();
     full_sc.exec = ExecMode::Full;
-    let full = run_scenario(&full_sc)?;
+    let full = ExecService::global().run(&full_sc)?;
     if hybrid.len() != full.records.len() {
         return Err(DxError::invalid(format!(
             "check-hybrid: {} hybrid records vs {} full records",
@@ -200,40 +222,106 @@ fn cmd_run(args: &[String]) -> Result<(), DxError> {
     if opts.telemetry.is_some() {
         sc.telemetry = true;
     }
-    let mut out = run_scenario(&sc)?;
-    if opts.check_hybrid {
-        out.records = check_hybrid(&sc, &out.records)?;
-    }
+    // Execution goes through the shared service core — the same pool,
+    // cache and admission path `dxserved` serves from.
+    let out = ExecService::global().run(&sc)?;
+    let mut records =
+        if opts.check_hybrid { check_hybrid(&sc, &out.records)? } else { out.records.clone() };
     // The engine rides along in the JSON records (not the table, which
     // stays byte-identical across engines).
-    out.records = out
-        .records
-        .into_iter()
-        .map(|r| r.with("engine", Cell::Str(sc.engine.name().to_string())))
-        .collect();
+    records = finalize_records(&sc, &records);
     let mut stdout_taken = false;
     if let Some(path) = &opts.telemetry {
-        let jsonl = telemetry_to_jsonl(&sc.name, &out.records);
         if path == "-" {
+            let jsonl = telemetry_to_jsonl(&sc.name, &records);
             print!("{jsonl}");
             stdout_taken = true;
         } else {
-            std::fs::write(path, jsonl)
+            std::fs::write(path, telemetry_to_jsonl(&sc.name, &records))
                 .map_err(|e| DxError::invalid(format!("cannot write {path}: {e}")))?;
         }
     }
     if let Some(path) = &opts.json {
-        let jsonl = records_to_jsonl(&sc.name, &out.records);
+        // Stream with a flush per record, so a pipe reader sees each
+        // line as it is produced instead of a block-buffered burst.
+        let write_err = |e: std::io::Error| DxError::invalid(format!("cannot write {path}: {e}"));
         if path == "-" {
-            print!("{jsonl}");
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            write_records_jsonl(&mut lock, &sc.name, &records)
+                .map_err(|e| DxError::invalid(format!("cannot write to stdout: {e}")))?;
             stdout_taken = true;
         } else {
-            std::fs::write(path, jsonl)
-                .map_err(|e| DxError::invalid(format!("cannot write {path}: {e}")))?;
+            let mut file = std::fs::File::create(path).map_err(write_err)?;
+            write_records_jsonl(&mut file, &sc.name, &records).map_err(write_err)?;
         }
     }
     if !stdout_taken {
         print!("{}", out.table.render());
+    }
+    Ok(())
+}
+
+fn cmd_storm(args: &[String]) -> Result<(), DxError> {
+    let mut opts = storm::StormOpts::default();
+    let mut target = None;
+    let mut scale = Scale::Full;
+    let mut seed = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--clients" => {
+                opts.clients = value("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| die("--clients needs an integer"));
+            }
+            "--requests" => {
+                opts.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("--requests needs an integer"));
+            }
+            "--variants" => {
+                opts.variants = value("--variants")
+                    .parse()
+                    .unwrap_or_else(|_| die("--variants needs an integer"));
+            }
+            "--quick" => scale = Scale::Quick,
+            "--seed" => {
+                seed = Some(
+                    value("--seed").parse().unwrap_or_else(|_| die("--seed needs an integer")),
+                );
+            }
+            other if other.starts_with('-') => die(&format!("unknown option {other}")),
+            other => {
+                if target.replace(other.to_string()).is_some() {
+                    die("expected exactly one scenario");
+                }
+            }
+        }
+    }
+    let Some(target) = target else { usage() };
+    if opts.addr.is_empty() {
+        die("storm needs --addr HOST:PORT (a running dxserved)");
+    }
+    let load_opts = Opts {
+        target,
+        scale,
+        seed,
+        json: None,
+        threads: None,
+        engine: None,
+        telemetry: None,
+        check_hybrid: false,
+    };
+    let sc = load(&load_opts)?;
+    let report = storm::storm(&sc, &opts)?;
+    print!("{}", report.render());
+    if !report.clean() {
+        return Err(DxError::invalid("storm: records lost, duplicated, or mismatched"));
     }
     Ok(())
 }
@@ -257,6 +345,7 @@ fn main() -> ExitCode {
         }
         Some("dump") => cmd_dump(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("storm") => cmd_storm(&args[1..]),
         _ => usage(),
     };
     match result {

@@ -1,0 +1,205 @@
+//! dxserved — the scenario execution server.
+//!
+//!     dxserved [--addr HOST:PORT] [--workers N] [--cache N]
+//!              [--max-active N] [--queue-depth N]
+//!
+//! A hand-rolled HTTP/1.1 front-end over the same
+//! [`ExecService`] core the `dxbench`/`dxsim` CLIs run through: a
+//! session pool of warm simulators, a content-addressed RunRecord
+//! cache, and admission control (bounded queue, structured shed).
+//!
+//! Endpoints:
+//!   `POST /run`      body is a scenario spec (TOML, or JSON when it
+//!                    starts with `{`). Streams the run's JSON-lines
+//!                    records — byte-identical to
+//!                    `dxbench run <spec> --json -` — flushing each
+//!                    line as it is written. Overload is a `503` with
+//!                    a JSON error body, never a dropped connection.
+//!   `GET /metrics`   live Prometheus registry: pool occupancy, cache
+//!                    hit/miss, queue depth, shed count, latency.
+//!   `GET /healthz`   liveness probe.
+//!
+//! `--addr` defaults to `127.0.0.1:0` (ephemeral); the bound address
+//! is printed on stdout as `dxserved: listening on HOST:PORT` so
+//! scripts can scrape it. `--workers` sizes the connection-handling
+//! pool; actual run concurrency is governed by the service's
+//! admission control (`--max-active`/`--queue-depth`), and `--cache`
+//! bounds the result cache in records.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use dxbsp_bench::http;
+use dxbsp_bench::{finalize_records, write_records_jsonl, ExecService, ServiceConfig};
+use dxbsp_core::{DxError, Scenario};
+use dxbsp_telemetry::prometheus;
+
+fn die(msg: &str) -> ! {
+    eprintln!("dxserved: {msg}");
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: String,
+    workers: usize,
+    cfg: ServiceConfig,
+    custom_cfg: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 16,
+        cfg: ServiceConfig::default(),
+        custom_cfg: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        let parse = |what: &str, v: String| {
+            v.parse::<usize>().unwrap_or_else(|_| die(&format!("{what} needs an integer")))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => args.workers = parse("--workers", value("--workers")).max(1),
+            "--cache" => {
+                args.cfg.cache_records = parse("--cache", value("--cache"));
+                args.custom_cfg = true;
+            }
+            "--max-active" => {
+                args.cfg.max_active = parse("--max-active", value("--max-active")).max(1);
+                args.custom_cfg = true;
+            }
+            "--queue-depth" => {
+                args.cfg.queue_depth = parse("--queue-depth", value("--queue-depth"));
+                args.custom_cfg = true;
+            }
+            other => die(&format!(
+                "unknown option {other}\nusage: dxserved [--addr HOST:PORT] [--workers N] [--cache N] [--max-active N] [--queue-depth N]"
+            )),
+        }
+    }
+    args
+}
+
+/// Parse a request body as a scenario spec: JSON when it leads with
+/// `{`, TOML otherwise.
+fn parse_scenario(body: &[u8]) -> Result<Scenario, DxError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| DxError::invalid("request body is not valid UTF-8"))?;
+    if text.trim_start().starts_with('{') {
+        Scenario::from_json(text)
+    } else {
+        Scenario::from_toml(text)
+    }
+}
+
+fn error_body(err: &DxError) -> String {
+    let mut obj = dxbsp_core::SpecValue::table();
+    obj.set("error", dxbsp_core::SpecValue::Str(err.to_string()));
+    obj.set("retryable", dxbsp_core::SpecValue::Bool(err.is_overloaded()));
+    let mut body = obj.to_json();
+    body.push('\n');
+    body
+}
+
+fn handle_run(service: &ExecService, stream: &mut TcpStream, body: &[u8]) {
+    let result = parse_scenario(body).and_then(|sc| service.run(&sc).map(|out| (sc, out)));
+    match result {
+        Ok((sc, out)) => {
+            // Stream the records exactly as `dxbench run --json -`
+            // prints them: one JSON object per line, flushed per
+            // record so the client sees progress live.
+            let records = finalize_records(&sc, &out.records);
+            if http::write_head(stream, 200, "OK", "application/jsonl").is_ok() {
+                let _ = write_records_jsonl(stream, &sc.name, &records);
+            }
+        }
+        Err(err) if err.is_overloaded() => {
+            let _ = http::respond(
+                stream,
+                503,
+                "Service Unavailable",
+                "application/json",
+                error_body(&err).as_bytes(),
+            );
+        }
+        Err(err) => {
+            let _ = http::respond(
+                stream,
+                400,
+                "Bad Request",
+                "application/json",
+                error_body(&err).as_bytes(),
+            );
+        }
+    }
+}
+
+fn handle(service: &ExecService, mut stream: TcpStream) {
+    let req = match http::read_request(&stream) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = http::respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                format!("bad request: {e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/run") => handle_run(service, &mut stream, &req.body),
+        ("GET", "/metrics") => {
+            let text = prometheus::render(&service.registry());
+            let _ =
+                http::respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", text.as_bytes());
+        }
+        ("GET", "/healthz") => {
+            let _ = http::respond(&mut stream, 200, "OK", "text/plain", b"ok\n");
+        }
+        _ => {
+            let _ = http::respond(&mut stream, 404, "Not Found", "text/plain", b"not found\n");
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // A bespoke sizing gets its own service; the default shares the
+    // process-global instance (same object the CLIs use in-process).
+    let service: &'static ExecService = if args.custom_cfg {
+        Box::leak(Box::new(ExecService::new(args.cfg)))
+    } else {
+        ExecService::global()
+    };
+    let listener = TcpListener::bind(&args.addr)
+        .unwrap_or_else(|e| die(&format!("cannot bind {}: {e}", args.addr)));
+    let local = listener.local_addr().unwrap_or_else(|e| die(&format!("local_addr: {e}")));
+    println!("dxserved: listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let listener = Arc::new(listener);
+    let mut workers = Vec::new();
+    for _ in 0..args.workers {
+        let listener = Arc::clone(&listener);
+        workers.push(std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => handle(service, stream),
+                Err(e) => {
+                    eprintln!("dxserved: accept: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}

@@ -42,7 +42,7 @@ use dxbsp_bench::runner::{parallel_map_with, set_sweep_threads};
 use dxbsp_core::{BankDelayModel, BankMap, CostModel, EngineKind, Interleaved, MachineParams};
 use dxbsp_hash::{Degree, HashedBanks};
 use dxbsp_machine::{
-    Backend, ModelBackend, SimConfig, SimResult, SimulatorBackend, TraceFileReader, TraceStep,
+    Backend, ModelBackend, SessionPool, SimConfig, SimResult, TraceFileReader, TraceStep,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -342,7 +342,7 @@ fn replay_stream<M: BankMap + Sync>(
             &chunk[..len],
             || {
                 (
-                    SimulatorBackend::new(cfg.clone()),
+                    SessionPool::global().checkout(cfg.clone()),
                     ModelBackend::new(*m, CostModel::DxBsp),
                     ModelBackend::new(*m, CostModel::Bsp),
                 )

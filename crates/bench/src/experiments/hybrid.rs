@@ -17,7 +17,7 @@ use dxbsp_core::{
     AccessPattern, BankDelayModel, BankMap, ChargeParams, Classifier, DxError, ExecMode, Scenario,
     SweepPoint,
 };
-use dxbsp_machine::{Backend, SimConfig, SimulatorBackend};
+use dxbsp_machine::{Backend, SimConfig};
 use dxbsp_workloads::{generate_keys, KeyRequest};
 
 use crate::record::{Cell, RunRecord};
@@ -48,9 +48,10 @@ pub fn run_hybrid_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
     let matrix = sc.sweep.matrix();
 
     let mut classifier = Classifier::new();
-    // The event-level fallback, built lazily: an all-analytic hybrid
-    // run never constructs a simulator at all.
-    let mut backend: Option<SimulatorBackend> = None;
+    // The event-level fallback, checked out of the session pool
+    // lazily: an all-analytic hybrid run never touches a simulator at
+    // all, and a mixed run recycles a warm session.
+    let mut backend: Option<dxbsp_machine::PooledBackend<'static>> = None;
     let mut bank_buf: Vec<u32> = Vec::new();
     let mut records = Vec::with_capacity(matrix.len());
     let mut summary = Vec::new();
@@ -78,8 +79,10 @@ pub fn run_hybrid_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
             let (measured, was_modeled) = match verdict {
                 Some(v) if v.is_analytic() => (v.cycles, true),
                 _ => {
-                    let be = backend.get_or_insert_with(|| super::backend(&m));
                     let cfg = SimConfig::from_params(&m);
+                    let be = backend.get_or_insert_with(|| {
+                        dxbsp_machine::SessionPool::global().checkout(cfg.clone())
+                    });
                     if *be.simulator().config() != cfg {
                         be.reconfigure(cfg);
                     }

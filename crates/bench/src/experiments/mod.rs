@@ -23,7 +23,10 @@ use dxbsp_core::{
     ExecMode, MachineParams,
 };
 use dxbsp_hash::{Degree, HashedBanks};
-use dxbsp_machine::{Backend, ModelBackend, Probe, SimConfig, SimulatorBackend, StepReport};
+use dxbsp_machine::{
+    Backend, ModelBackend, PooledBackend, Probe, SessionPool, SimConfig, SimulatorBackend,
+    StepReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,6 +65,21 @@ pub fn backend(m: &MachineParams) -> SimulatorBackend {
 #[must_use]
 pub fn backend_with(m: &MachineParams, exec: ExecMode, engine: EngineKind) -> SimulatorBackend {
     SimulatorBackend::new(SimConfig::from_params(m).with_exec(exec).with_engine(engine))
+}
+
+/// Like [`backend_with`], but checked out of the process-wide
+/// [`SessionPool`] — sweep workers and service runs route here so a
+/// warm simulator session (scratch, classifier state) is recycled
+/// instead of rebuilt per worker. Checkout reconfigures the session
+/// when its config differs, which is bit-exact, so results are
+/// identical to a fresh [`backend_with`].
+#[must_use]
+pub fn pooled_backend_with(
+    m: &MachineParams,
+    exec: ExecMode,
+    engine: EngineKind,
+) -> PooledBackend<'static> {
+    SessionPool::global().checkout(SimConfig::from_params(m).with_exec(exec).with_engine(engine))
 }
 
 /// A model backend charging `model` costs on `m` — the "predicted"

@@ -92,11 +92,13 @@ pub fn run_scatter_sweep(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
     let models = sc.models.clone();
     let results: Vec<Result<PointResult, DxError>> = parallel_map_with(
         &prepared,
-        // Workers inherit the scenario's execution mode and engine:
-        // hybrid sweeps charge eligible supersteps closed-form, and
+        // Workers check a warm session out of the global pool (and
+        // inherit the scenario's execution mode and engine): hybrid
+        // sweeps charge eligible supersteps closed-form, and
         // `engine = "event"` scenarios pin the per-request oracle.
-        || super::backend_with(&base_m, sc.exec, sc.engine),
+        || super::pooled_backend_with(&base_m, sc.exec, sc.engine),
         |be, p| {
+            let be = &mut **be;
             let salt = p.pt.salt();
             let keys = generate_keys(&sc.workload, &p.req, sc.seed, salt)?;
             let k_real = max_contention(&keys);

@@ -1,0 +1,258 @@
+//! A deliberately tiny HTTP/1.1 layer over [`std::net`].
+//!
+//! `dxserved` and the `dxbench storm` client speak a small, strict
+//! subset of HTTP/1.1 — enough for `curl`, Prometheus scrapers and
+//! our own tools, with no dependency footprint:
+//!
+//! * requests carry an optional `Content-Length` body (no chunked
+//!   *request* bodies);
+//! * responses are `Connection: close` and close-delimited, which is
+//!   what lets `POST /run` *stream* JSON-lines records: the server
+//!   writes and flushes each line as it goes and the body ends when
+//!   the socket does — valid HTTP/1.1, zero framing overhead.
+//!
+//! Malformed input is an [`io::Error`]: the server turns it into a
+//! `400`, never a panic.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on request bodies (a scenario spec is a few KB; 4 MiB is
+/// generous) — keeps a hostile `Content-Length` from ballooning.
+pub const MAX_BODY: usize = 4 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one request from the stream (request line, headers, and a
+/// `Content-Length` body if declared).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for malformed syntax or an oversized
+/// body, plus any transport error.
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_string();
+    let path = parts.next().ok_or_else(|| bad("request line lacks a target"))?.to_string();
+    let version = parts.next().ok_or_else(|| bad("request line lacks a version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported protocol version"));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().map_err(|_| bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, headers, body })
+}
+
+/// Write a response head: status line, standard headers, and the blank
+/// line. The body follows on the raw stream — writers that stream
+/// (JSON-lines) flush per line; [`respond`] sends a complete body.
+///
+/// # Errors
+///
+/// Any transport error.
+pub fn write_head(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Write a complete, close-delimited response.
+///
+/// # Errors
+///
+/// Any transport error.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write_head(stream, status, reason, content_type)?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A response as the client sees it.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// The full (close-delimited) body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Client side: one request, one connection. Sends `body` with a
+/// `Content-Length`, reads the close-delimited response to EOF.
+///
+/// # Errors
+///
+/// Connection failures, transport errors, or a malformed status line.
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    // Skip response headers; the body is close-delimited.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line.trim_end_matches(['\r', '\n']).is_empty() {
+            break;
+        }
+    }
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    Ok(Response { status, body })
+}
+
+/// `GET` shorthand.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: &str, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, &[])
+}
+
+/// `POST` shorthand.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    request(addr, "POST", path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a request and a streamed response through a real
+    /// socket pair: the client helper against `read_request`/
+    /// `write_head` on an ephemeral port.
+    #[test]
+    fn client_and_server_halves_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let req = read_request(&stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/run");
+            assert_eq!(req.body, b"name = \"x\"");
+            assert_eq!(req.header("content-length"), Some("10"));
+            let mut stream = stream;
+            write_head(&mut stream, 200, "OK", "application/jsonl").unwrap();
+            // Stream two lines with a flush between — close-delimited.
+            stream.write_all(b"{\"a\":1}\n").unwrap();
+            stream.flush().unwrap();
+            stream.write_all(b"{\"a\":2}\n").unwrap();
+        });
+        let resp = post(&addr, "/run", b"name = \"x\"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "{\"a\":1}\n{\"a\":2}\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let err = read_request(&stream).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_up_front() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let err = read_request(&stream).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        client.join().unwrap();
+    }
+}

@@ -9,17 +9,21 @@
 //! [`experiments`] are thin wrappers over [`run_builtin`].
 
 pub mod experiments;
+pub mod http;
 pub mod plot;
 pub mod profile;
 pub mod record;
 pub mod runner;
 pub mod scenarios;
+pub mod service;
+pub mod storm;
 pub mod sweep;
 pub mod table;
 
 pub use plot::{chart_from_table, Chart};
 pub use profile::{profile_scenario, profile_trace, text_report, Profile};
-pub use record::{records_to_jsonl, telemetry_to_jsonl, Cell, RunRecord};
+pub use record::{records_to_jsonl, telemetry_to_jsonl, write_records_jsonl, Cell, RunRecord};
+pub use service::{finalize_records, ExecService, ServiceConfig, ServiceStats};
 pub use sweep::{run_scenario, ScenarioOutput};
 pub use table::Table;
 

@@ -85,8 +85,9 @@ pub fn profile_scenario(sc: &Scenario, point: Option<usize>) -> Result<Profile, 
     rec.set_delay_model(&p.delay);
     // The backend inherits the scenario's execution mode, so profiling
     // a hybrid scenario shows its closed-form charges as
-    // `modeled_steps` in the summary.
-    let mut backend = experiments::backend_with(&p.m, sc.exec, sc.engine);
+    // `modeled_steps` in the summary. It comes from the session pool,
+    // like every other service-core run.
+    let mut backend = experiments::pooled_backend_with(&p.m, sc.exec, sc.engine);
     let cycles = experiments::measured_scatter_model_probed_in(
         &mut backend,
         &p.m,

@@ -166,6 +166,26 @@ pub fn records_to_jsonl(scenario: &str, records: &[RunRecord]) -> String {
     out
 }
 
+/// Write records as JSON-lines, **flushing after every record** so a
+/// streaming consumer (a pipe reader, an HTTP client) sees each line
+/// as soon as it is serialized instead of waiting for a block buffer
+/// to fill. Bytes are identical to [`records_to_jsonl`].
+///
+/// # Errors
+///
+/// Any error from the underlying writer.
+pub fn write_records_jsonl<W: std::io::Write>(
+    w: &mut W,
+    scenario: &str,
+    records: &[RunRecord],
+) -> std::io::Result<()> {
+    for rec in records {
+        writeln!(w, "{}", rec.to_json(scenario))?;
+        w.flush()?;
+    }
+    Ok(())
+}
+
 /// Serialize just the telemetry payloads as JSON-lines: one
 /// `{"scenario": …, "point": {…}, "telemetry": {…}}` object per record
 /// that carries a summary. Records without telemetry are skipped.
@@ -253,6 +273,34 @@ mod tests {
         let tele = v.get("telemetry").unwrap();
         assert_eq!(tele.get("requests").and_then(SpecValue::as_int), Some(64));
         assert!(v.get("values").is_none(), "measurement values live in --json, not here");
+    }
+
+    #[test]
+    fn streaming_writer_is_byte_identical_and_flushes_per_record() {
+        struct CountingWriter {
+            buf: Vec<u8>,
+            flushes: usize,
+        }
+        impl std::io::Write for CountingWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.buf.extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes += 1;
+                Ok(())
+            }
+        }
+        let rec = RunRecord::from_row(
+            &["k", "measured", "machine"],
+            &[Cell::Int(1), Cell::Int(1059), Cell::str("j90")],
+            1,
+        );
+        let records = vec![rec.clone(), rec.clone(), rec];
+        let mut w = CountingWriter { buf: Vec::new(), flushes: 0 };
+        write_records_jsonl(&mut w, "exp1", &records).unwrap();
+        assert_eq!(w.buf, records_to_jsonl("exp1", &records).into_bytes());
+        assert_eq!(w.flushes, records.len(), "one flush per record");
     }
 
     #[test]

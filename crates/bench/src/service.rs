@@ -1,0 +1,388 @@
+//! `ExecService` — the shared execution service.
+//!
+//! One object owns the path from a validated [`Scenario`] to a
+//! [`ScenarioOutput`], for every consumer: the `dxbench`/`dxsim` CLIs,
+//! the `dxserved` HTTP front-end, benches and tests. It layers three
+//! things over [`run_scenario`]:
+//!
+//! * **Admission control** — at most `max_active` scenarios execute
+//!   concurrently; up to `queue_depth` more wait; beyond that the
+//!   request is *shed* with a structured [`DxError::Overloaded`]
+//!   (never a panic, never unbounded queueing).
+//! * **A content-addressed result cache** — keyed by
+//!   [`content_hash`] of the canonical spec
+//!   (seed, engine and exec mode included), bounded by total cached
+//!   [`RunRecord`]s, FIFO-evicted. Results are deterministic, so a
+//!   hit is byte-identical to a fresh run.
+//! * **Metrics** — request/hit/miss/shed counters, queue and
+//!   occupancy gauges, a log-bucket run-latency histogram, and the
+//!   [`SessionPool`] occupancy, exported
+//!   as a telemetry [`Registry`] (rendered live at `/metrics`).
+//!
+//! The CLI and the server share this one code path, so their outputs
+//! stay byte-identical by construction.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use dxbsp_core::{content_hash, DxError, Scenario};
+use dxbsp_machine::SessionPool;
+use dxbsp_telemetry::{LogHistogram, Registry};
+
+use crate::record::{Cell, RunRecord};
+use crate::sweep::{run_scenario, ScenarioOutput};
+
+/// Sizing knobs for an [`ExecService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Total [`RunRecord`]s retained across cached outputs; the oldest
+    /// entries are evicted to stay under this.
+    pub cache_records: usize,
+    /// Scenarios executing concurrently; further arrivals queue.
+    pub max_active: usize,
+    /// Arrivals waiting beyond the active set; further arrivals shed.
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        ServiceConfig { cache_records: 4096, max_active: cores.max(1), queue_depth: 64 }
+    }
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: VecDeque<(u128, Arc<ScenarioOutput>)>,
+    records: usize,
+}
+
+#[derive(Default)]
+struct Gate {
+    active: usize,
+    waiting: usize,
+}
+
+/// The shared execution service: admission control + content-addressed
+/// result cache over [`run_scenario`], with live metrics.
+pub struct ExecService {
+    cfg: ServiceConfig,
+    cache: Mutex<CacheState>,
+    gate: Mutex<Gate>,
+    admitted: Condvar,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    shed: AtomicU64,
+    latency_us: Mutex<LogHistogram>,
+}
+
+impl ExecService {
+    /// A service sized by `cfg`.
+    #[must_use]
+    pub fn new(cfg: ServiceConfig) -> Self {
+        ExecService {
+            cfg,
+            cache: Mutex::new(CacheState::default()),
+            gate: Mutex::new(Gate::default()),
+            admitted: Condvar::new(),
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            latency_us: Mutex::new(LogHistogram::new()),
+        }
+    }
+
+    /// The process-wide service the CLIs run through.
+    #[must_use]
+    pub fn global() -> &'static ExecService {
+        static GLOBAL: OnceLock<ExecService> = OnceLock::new();
+        GLOBAL.get_or_init(|| ExecService::new(ServiceConfig::default()))
+    }
+
+    /// This service's sizing.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Execute (or recall) a scenario. Cache hits return the stored
+    /// output — byte-identical to a fresh run, since runs are
+    /// deterministic functions of the canonical spec.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Overloaded`] when admission control sheds the
+    /// request, and anything [`run_scenario`] reports.
+    pub fn run(&self, sc: &Scenario) -> Result<Arc<ScenarioOutput>, DxError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let _slot = self.admit()?;
+        let started = Instant::now();
+        let key = content_hash(sc).0;
+        if let Some(out) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_latency(&started);
+            return Ok(out);
+        }
+        let out = Arc::new(run_scenario(sc)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, &out);
+        self.record_latency(&started);
+        Ok(out)
+    }
+
+    /// Claim an execution slot, waiting in the bounded queue if the
+    /// active set is full. The returned guard frees the slot on drop.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Overloaded`] when the queue is full too.
+    pub fn admit(&self) -> Result<AdmitSlot<'_>, DxError> {
+        let mut gate = self.gate.lock().expect("admission gate poisoned");
+        if gate.active >= self.cfg.max_active {
+            if gate.waiting >= self.cfg.queue_depth {
+                drop(gate);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(DxError::overloaded(
+                    self.cfg.max_active + self.cfg.queue_depth,
+                    self.cfg.max_active + self.cfg.queue_depth,
+                ));
+            }
+            gate.waiting += 1;
+            while gate.active >= self.cfg.max_active {
+                gate = self.admitted.wait(gate).expect("admission gate poisoned");
+            }
+            gate.waiting -= 1;
+        }
+        gate.active += 1;
+        Ok(AdmitSlot { service: self })
+    }
+
+    fn release(&self) {
+        let mut gate = self.gate.lock().expect("admission gate poisoned");
+        gate.active -= 1;
+        drop(gate);
+        self.admitted.notify_one();
+    }
+
+    fn lookup(&self, key: u128) -> Option<Arc<ScenarioOutput>> {
+        let cache = self.cache.lock().expect("result cache poisoned");
+        cache.entries.iter().find(|(k, _)| *k == key).map(|(_, out)| Arc::clone(out))
+    }
+
+    fn insert(&self, key: u128, out: &Arc<ScenarioOutput>) {
+        let mut cache = self.cache.lock().expect("result cache poisoned");
+        if cache.entries.iter().any(|(k, _)| *k == key) {
+            return; // a concurrent identical miss beat us to it
+        }
+        cache.records += out.records.len();
+        cache.entries.push_back((key, Arc::clone(out)));
+        while cache.records > self.cfg.cache_records && cache.entries.len() > 1 {
+            if let Some((_, old)) = cache.entries.pop_front() {
+                cache.records -= old.records.len();
+            }
+        }
+    }
+
+    fn record_latency(&self, started: &Instant) {
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.latency_us.lock().expect("latency histogram poisoned").record(us);
+    }
+
+    /// Point-in-time service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let gate = self.gate.lock().expect("admission gate poisoned");
+        let cache = self.cache.lock().expect("result cache poisoned");
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            active: gate.active,
+            queued: gate.waiting,
+            cache_entries: cache.entries.len(),
+            cache_records: cache.records,
+        }
+    }
+
+    /// A live metrics snapshot: service counters and gauges, the run
+    /// latency histogram, and the global session pool's occupancy —
+    /// the registry `dxserved` renders at `GET /metrics`.
+    #[must_use]
+    pub fn registry(&self) -> Registry {
+        let s = self.stats();
+        let pool = SessionPool::global().stats();
+        let mut reg = Registry::new();
+        reg.counter("dxbsp_service_requests_total", "scenario runs requested", s.requests);
+        reg.counter("dxbsp_service_cache_hits_total", "requests served from cache", s.hits);
+        reg.counter("dxbsp_service_cache_misses_total", "requests executed fresh", s.misses);
+        reg.counter("dxbsp_service_shed_total", "requests shed by admission control", s.shed);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            reg.gauge("dxbsp_service_active_runs", "scenarios executing now", s.active as f64);
+            reg.gauge("dxbsp_service_queue_depth", "requests waiting for a slot", s.queued as f64);
+            reg.gauge(
+                "dxbsp_service_cache_entries",
+                "cached scenario outputs",
+                s.cache_entries as f64,
+            );
+            reg.gauge("dxbsp_service_cache_records", "cached run records", s.cache_records as f64);
+            reg.gauge("dxbsp_pool_sessions_idle", "warm simulator sessions idle", pool.idle as f64);
+            reg.gauge(
+                "dxbsp_pool_sessions_in_use",
+                "simulator sessions checked out",
+                pool.in_use as f64,
+            );
+        }
+        reg.counter("dxbsp_pool_checkouts_total", "session checkouts served", pool.checkouts);
+        reg.counter("dxbsp_pool_reuses_total", "checkouts served by a warm session", pool.reuses);
+        let latency = self.latency_us.lock().expect("latency histogram poisoned");
+        reg.histogram("dxbsp_service_run_latency_us", "request latency (µs)", &latency);
+        reg
+    }
+}
+
+/// An execution slot claimed from [`ExecService::admit`]; freed (and
+/// the next waiter woken) on drop.
+pub struct AdmitSlot<'s> {
+    service: &'s ExecService,
+}
+
+impl Drop for AdmitSlot<'_> {
+    fn drop(&mut self) {
+        self.service.release();
+    }
+}
+
+/// Point-in-time counters from [`ExecService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Runs requested (admitted or shed).
+    pub requests: u64,
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests executed fresh.
+    pub misses: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Scenarios executing now.
+    pub active: usize,
+    /// Requests waiting for a slot.
+    pub queued: usize,
+    /// Cached scenario outputs.
+    pub cache_entries: usize,
+    /// Total cached run records.
+    pub cache_records: usize,
+}
+
+/// The records a consumer-facing JSON-lines stream carries: the run's
+/// records with the engine column appended. `dxbench run --json` and
+/// `dxserved POST /run` both emit exactly this, so their outputs are
+/// byte-identical per record.
+#[must_use]
+pub fn finalize_records(sc: &Scenario, records: &[RunRecord]) -> Vec<RunRecord> {
+    records
+        .iter()
+        .map(|r| r.clone().with("engine", Cell::Str(sc.engine.name().to_string())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::Scale;
+
+    fn small() -> Scenario {
+        scenarios::builtin("exp1", Scale::Quick, 7).unwrap()
+    }
+
+    #[test]
+    fn cache_hit_is_the_same_output() {
+        let svc = ExecService::new(ServiceConfig::default());
+        let sc = small();
+        let fresh = svc.run(&sc).unwrap();
+        let cached = svc.run(&sc).unwrap();
+        assert!(Arc::ptr_eq(&fresh, &cached), "second run must be the cached Arc");
+        let s = svc.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_seeds_do_not_share_cache_entries() {
+        let svc = ExecService::new(ServiceConfig::default());
+        let a = svc.run(&small()).unwrap();
+        let b = svc.run(&scenarios::builtin("exp1", Scale::Quick, 8).unwrap()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(svc.stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_is_bounded_by_record_count() {
+        // cache_records = 1: every insert evicts the previous entry
+        let svc = ExecService::new(ServiceConfig { cache_records: 1, ..ServiceConfig::default() });
+        svc.run(&small()).unwrap();
+        svc.run(&scenarios::builtin("exp1", Scale::Quick, 8).unwrap()).unwrap();
+        let s = svc.stats();
+        assert_eq!(s.cache_entries, 1, "bounded cache keeps only the newest entry");
+        // The first scenario was evicted: running it again misses.
+        svc.run(&small()).unwrap();
+        assert_eq!(svc.stats().misses, 3);
+    }
+
+    #[test]
+    fn full_gate_and_queue_shed_with_a_structured_error() {
+        let svc =
+            ExecService::new(ServiceConfig { cache_records: 16, max_active: 1, queue_depth: 0 });
+        let slot = svc.admit().unwrap();
+        let err = svc.run(&small()).unwrap_err();
+        assert!(err.is_overloaded(), "expected Overloaded, got {err}");
+        assert_eq!(svc.stats().shed, 1);
+        drop(slot);
+        svc.run(&small()).unwrap();
+    }
+
+    #[test]
+    fn queued_requests_proceed_once_a_slot_frees() {
+        let svc =
+            ExecService::new(ServiceConfig { cache_records: 16, max_active: 1, queue_depth: 4 });
+        let slot = svc.admit().unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| svc.run(&small()).map(|_| ()));
+            // Give the waiter time to enqueue, then free the slot.
+            while svc.stats().queued == 0 {
+                std::thread::yield_now();
+            }
+            drop(slot);
+            waiter.join().expect("waiter").expect("queued run succeeds");
+        });
+        assert_eq!(svc.stats().shed, 0);
+    }
+
+    #[test]
+    fn registry_renders_and_lints() {
+        let svc = ExecService::new(ServiceConfig::default());
+        svc.run(&small()).unwrap();
+        let text = dxbsp_telemetry::prometheus::render(&svc.registry());
+        let samples = dxbsp_telemetry::prometheus::lint(&text).expect("metrics lint");
+        assert!(samples > 0);
+        assert!(text.contains("dxbsp_service_cache_hits_total"), "{text}");
+        assert!(text.contains("dxbsp_pool_checkouts_total"), "{text}");
+    }
+
+    #[test]
+    fn finalized_records_match_the_cli_engine_column() {
+        let sc = small();
+        let svc = ExecService::new(ServiceConfig::default());
+        let out = svc.run(&sc).unwrap();
+        let recs = finalize_records(&sc, &out.records);
+        assert_eq!(recs.len(), out.records.len());
+        for r in &recs {
+            assert_eq!(r.get("engine"), Some(&Cell::Str(sc.engine.name().to_string())));
+        }
+    }
+}

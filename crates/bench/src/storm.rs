@@ -1,0 +1,318 @@
+//! `dxbench storm` — a load generator for `dxserved`.
+//!
+//! Storm replays a scenario grid against a running server from many
+//! concurrent clients and verifies the *service contract*, not just
+//! liveness: every response's JSON-lines body must be byte-identical
+//! to what `dxbench run --json` would print for the same spec, no
+//! record may be lost or duplicated, and overload must surface as a
+//! clean `503` (which storm retries and counts) rather than a dropped
+//! connection. Latencies go into the telemetry log-bucket histogram;
+//! cache hit/miss/shed deltas are scraped from `/metrics`, which is
+//! also run through the Prometheus linter.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dxbsp_core::{DxError, Scenario};
+use dxbsp_telemetry::prometheus;
+use dxbsp_telemetry::LogHistogram;
+
+use crate::http;
+use crate::record::records_to_jsonl;
+use crate::service::finalize_records;
+use crate::sweep::run_scenario;
+
+/// Load-generation knobs.
+#[derive(Debug, Clone)]
+pub struct StormOpts {
+    /// `host:port` of the running `dxserved`.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests to issue across all clients.
+    pub requests: usize,
+    /// Distinct scenario variants (seeds `seed..seed+variants`)
+    /// cycled across requests — >1 exercises both cache misses and
+    /// hits on repeated sweeps.
+    pub variants: u64,
+}
+
+impl Default for StormOpts {
+    fn default() -> Self {
+        StormOpts { addr: String::new(), clients: 16, requests: 1000, variants: 2 }
+    }
+}
+
+/// What a storm run observed.
+#[derive(Debug)]
+pub struct StormReport {
+    /// Requests issued (and answered `200`).
+    pub ok: usize,
+    /// `503 Overloaded` responses absorbed by retry.
+    pub shed_retries: u64,
+    /// Total JSON-lines records received.
+    pub records: usize,
+    /// Records expected (`requests × records-per-run`).
+    pub expected_records: usize,
+    /// Responses whose bytes differed from the local reference.
+    pub mismatches: usize,
+    /// Wall-clock for the whole storm.
+    pub elapsed: Duration,
+    /// Per-request latency, log-bucketed (µs).
+    pub latency_us: LogHistogram,
+    /// Cache hits gained server-side during the storm.
+    pub cache_hits: u64,
+    /// Cache misses gained server-side during the storm.
+    pub cache_misses: u64,
+    /// Requests the server shed during the storm.
+    pub shed: u64,
+    /// Samples in the final `/metrics` scrape (it linted clean).
+    pub metric_samples: usize,
+}
+
+impl StormReport {
+    /// True when the contract held: every request answered, bytes
+    /// identical, nothing lost or duplicated.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0 && self.records == self.expected_records
+    }
+
+    /// Server-side cache hit rate over the storm window.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn render(&self) -> String {
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "storm: {} requests in {:.2}s ({:.0} req/s), {} records ({} expected)\n",
+            self.ok,
+            secs,
+            self.ok as f64 / secs,
+            self.records,
+            self.expected_records,
+        ));
+        out.push_str(&format!(
+            "latency: p50 {}µs  p90 {}µs  p99 {}µs  max {}µs\n",
+            self.latency_us.quantile_bound(0.50),
+            self.latency_us.quantile_bound(0.90),
+            self.latency_us.quantile_bound(0.99),
+            self.latency_us.max(),
+        ));
+        out.push_str(&format!(
+            "cache: {} hits / {} misses ({:.1}% hit rate)  shed: {} ({} retried)\n",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.shed,
+            self.shed_retries,
+        ));
+        out.push_str(&format!(
+            "bytes: {}  metrics: {} samples lint clean\n",
+            if self.mismatches == 0 { "identical to dxbench run" } else { "MISMATCHED" },
+            self.metric_samples,
+        ));
+        out
+    }
+}
+
+/// One counter/gauge sample by exact name from a Prometheus text
+/// scrape (histogram series carry suffixes and never collide).
+fn scrape(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            let (n, v) = l.rsplit_once(' ')?;
+            (n == name).then(|| v.parse::<f64>().ok())?
+        })
+        .map_or(0, |v| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                v.round() as u64
+            }
+        })
+}
+
+fn io_err(what: &str, e: &std::io::Error) -> DxError {
+    DxError::invalid(format!("storm: {what}: {e}"))
+}
+
+/// Drive the storm: compute local reference outputs for each variant,
+/// hammer the server from `opts.clients` threads, and verify every
+/// byte. See [`StormReport`].
+///
+/// # Errors
+///
+/// [`DxError::Invalid`] for connection failures, non-`200`/`503`
+/// responses, metrics that fail the Prometheus linter, or a local
+/// reference run failing.
+#[allow(clippy::too_many_lines)]
+pub fn storm(sc: &Scenario, opts: &StormOpts) -> Result<StormReport, DxError> {
+    if opts.clients == 0 || opts.requests == 0 || opts.variants == 0 {
+        return Err(DxError::invalid("storm: clients, requests and variants must be > 0"));
+    }
+    // The scenario grid: one variant per seed. Reference bodies are
+    // computed locally through the same service core the server uses,
+    // so the comparison is exactly "dxbench run --json would print
+    // this".
+    let mut bodies = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..opts.variants {
+        let mut v = sc.clone();
+        v.seed = sc.seed.wrapping_add(i);
+        let out = run_scenario(&v)?;
+        expected.push(records_to_jsonl(&v.name, &finalize_records(&v, &out.records)));
+        bodies.push(v.to_toml());
+    }
+    let per_run: usize = expected.iter().map(|e| e.lines().count()).sum::<usize>() / expected.len();
+
+    let before = http::get(&opts.addr, "/metrics").map_err(|e| io_err("GET /metrics", &e))?;
+    let before = before.text();
+
+    let next = AtomicUsize::new(0);
+    let shed_retries = AtomicU64::new(0);
+    let mismatches = AtomicUsize::new(0);
+    let records = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+
+    std::thread::scope(|s| {
+        for _ in 0..opts.clients {
+            s.spawn(|| {
+                let mut local_lat = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= opts.requests {
+                        break;
+                    }
+                    let variant = idx % usize::try_from(opts.variants).unwrap_or(1);
+                    let body = bodies[variant].as_bytes();
+                    let t0 = Instant::now();
+                    let resp = loop {
+                        match http::post(&opts.addr, "/run", body) {
+                            Ok(r) if r.status == 503 => {
+                                shed_retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            other => break other,
+                        }
+                    };
+                    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    local_lat.push(us);
+                    match resp {
+                        Ok(r) if r.status == 200 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            let text = r.text();
+                            records.fetch_add(text.lines().count(), Ordering::Relaxed);
+                            if text != expected[variant] {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(r) => failures
+                            .lock()
+                            .expect("failure list")
+                            .push(format!("request {idx}: HTTP {}", r.status)),
+                        Err(e) => failures
+                            .lock()
+                            .expect("failure list")
+                            .push(format!("request {idx}: {e}")),
+                    }
+                }
+                latencies.lock().expect("latency list").extend(local_lat);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let failures = failures.into_inner().expect("failure list");
+    if let Some(first) = failures.first() {
+        return Err(DxError::invalid(format!(
+            "storm: {} request(s) failed; first: {first}",
+            failures.len()
+        )));
+    }
+
+    let after = http::get(&opts.addr, "/metrics").map_err(|e| io_err("GET /metrics", &e))?;
+    let after = after.text();
+    let metric_samples = prometheus::lint(&after)
+        .map_err(|e| DxError::invalid(format!("storm: /metrics failed lint: {e}")))?;
+
+    let mut latency_us = LogHistogram::new();
+    for us in latencies.into_inner().expect("latency list") {
+        latency_us.record(us);
+    }
+    let delta = |name: &str| scrape(&after, name).saturating_sub(scrape(&before, name));
+    Ok(StormReport {
+        ok: ok.into_inner(),
+        shed_retries: shed_retries.into_inner(),
+        records: records.into_inner(),
+        expected_records: opts.requests * per_run,
+        mismatches: mismatches.into_inner(),
+        elapsed,
+        latency_us,
+        cache_hits: delta("dxbsp_service_cache_hits_total"),
+        cache_misses: delta("dxbsp_service_cache_misses_total"),
+        shed: delta("dxbsp_service_shed_total"),
+        metric_samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_reads_exact_names_only() {
+        let text = "# HELP x y\ndxbsp_service_cache_hits_total 42\n\
+                    dxbsp_service_cache_misses_total 7\n";
+        assert_eq!(scrape(text, "dxbsp_service_cache_hits_total"), 42);
+        assert_eq!(scrape(text, "dxbsp_service_cache_misses_total"), 7);
+        assert_eq!(scrape(text, "dxbsp_service_cache"), 0);
+    }
+
+    #[test]
+    fn degenerate_opts_are_rejected() {
+        let sc = crate::scenarios::builtin("exp1", crate::Scale::Quick, 1).unwrap();
+        let opts = StormOpts { addr: "127.0.0.1:1".into(), clients: 0, ..StormOpts::default() };
+        assert!(storm(&sc, &opts).unwrap_err().is_invalid());
+    }
+
+    #[test]
+    fn report_renders_rates() {
+        let mut latency_us = LogHistogram::new();
+        latency_us.record(100);
+        let rep = StormReport {
+            ok: 10,
+            shed_retries: 1,
+            records: 40,
+            expected_records: 40,
+            mismatches: 0,
+            elapsed: Duration::from_millis(500),
+            latency_us,
+            cache_hits: 8,
+            cache_misses: 2,
+            shed: 1,
+            metric_samples: 30,
+        };
+        assert!(rep.clean());
+        assert!((rep.hit_rate() - 0.8).abs() < 1e-12);
+        let text = rep.render();
+        assert!(text.contains("80.0% hit rate"), "{text}");
+        assert!(text.contains("identical to dxbench run"), "{text}");
+    }
+}

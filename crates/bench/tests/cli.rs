@@ -579,3 +579,137 @@ mod repro_csv {
         assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
     }
 }
+
+/// End-to-end tests of the service front-end: `dxserved` must answer
+/// the HTTP contract, stream bytes identical to `dxbench run --json`,
+/// and absorb a `dxbench storm` without losing a record.
+mod serve {
+    use super::{run_ok, tmp};
+    use dxbsp_bench::http;
+    use dxbsp_telemetry::prometheus;
+    use std::io::{BufRead, BufReader};
+    use std::process::{Child, Command, Stdio};
+
+    fn dxbench() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_dxbench"))
+    }
+
+    /// A running dxserved on an ephemeral port, killed on drop.
+    struct Server {
+        child: Child,
+        addr: String,
+    }
+
+    impl Server {
+        fn start(extra: &[&str]) -> Server {
+            let mut child = Command::new(env!("CARGO_BIN_EXE_dxserved"))
+                .args(["--addr", "127.0.0.1:0"])
+                .args(extra)
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn dxserved");
+            let stdout = child.stdout.take().expect("stdout piped");
+            let mut line = String::new();
+            BufReader::new(stdout).read_line(&mut line).expect("banner");
+            let addr = line
+                .trim()
+                .strip_prefix("dxserved: listening on ")
+                .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+                .to_string();
+            Server { child, addr }
+        }
+    }
+
+    impl Drop for Server {
+        fn drop(&mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+
+    #[test]
+    fn dxserved_streams_bytes_identical_to_dxbench_run() {
+        let server = Server::start(&[]);
+
+        let health = http::get(&server.addr, "/healthz").expect("healthz");
+        assert_eq!((health.status, health.text().as_str()), (200, "ok\n"));
+
+        // The same spec through both front-ends: the committed TOML via
+        // `dxbench run --json`, and its bytes POSTed to the server.
+        let spec = run_ok(dxbench().args(["dump", "exp1", "--quick"]));
+        let spec_path = tmp("serve-exp1.toml");
+        std::fs::write(&spec_path, &spec).expect("write spec");
+        let json_path = tmp("serve-exp1.jsonl");
+        run_ok(dxbench().arg("run").arg(&spec_path).arg("--json").arg(&json_path));
+        let cli_bytes = std::fs::read_to_string(&json_path).expect("cli records");
+
+        let resp = http::post(&server.addr, "/run", spec.as_bytes()).expect("POST /run");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(resp.text(), cli_bytes, "served records differ from dxbench run --json");
+
+        // The JSON spelling of the same scenario hits the same cache
+        // entry (canonical content hash) and returns the same bytes.
+        let sc = dxbsp_core::Scenario::from_toml(&spec).expect("spec parses");
+        let resp2 = http::post(&server.addr, "/run", sc.to_json().as_bytes()).expect("POST json");
+        assert_eq!(resp2.status, 200);
+        assert_eq!(resp2.text(), cli_bytes, "JSON spelling diverged");
+
+        // Live metrics lint clean and show the run was cached once.
+        let metrics = http::get(&server.addr, "/metrics").expect("metrics").text();
+        let series = prometheus::lint(&metrics).expect("lintable exposition");
+        assert!(series > 0, "no series in {metrics}");
+        assert!(metrics.contains("dxbsp_service_cache_hits_total 1"), "{metrics}");
+
+        // Garbage specs are a clean 400, unknown paths a 404.
+        let bad = http::post(&server.addr, "/run", b"not a scenario").expect("POST garbage");
+        assert_eq!(bad.status, 400);
+        assert!(bad.text().contains("\"retryable\""), "{}", bad.text());
+        assert!(bad.text().contains("false"), "{}", bad.text());
+        let missing = http::get(&server.addr, "/nope").expect("GET /nope");
+        assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn storm_drives_a_thousand_requests_without_losing_a_record() {
+        let server = Server::start(&[]);
+        let out = run_ok(dxbench().args([
+            "storm",
+            "exp1",
+            "--quick",
+            "--addr",
+            &server.addr,
+            "--clients",
+            "16",
+            "--requests",
+            "1000",
+            "--variants",
+            "2",
+        ]));
+        assert!(out.contains("storm: 1000 requests"), "{out}");
+        assert!(out.contains("identical to dxbench run"), "{out}");
+        // Repeated sweeps must hit: 2 variants, 1000 requests → at
+        // most 2 misses, so the hit-rate is far above zero.
+        assert!(!out.contains(" 0 hits"), "{out}");
+        assert!(out.contains("lint clean"), "{out}");
+    }
+
+    #[test]
+    fn overload_is_a_structured_shed_not_a_panic() {
+        // A server sized to shed almost immediately: one active slot,
+        // no queue. Storm's retry loop must still land every request.
+        let server = Server::start(&["--max-active", "1", "--queue-depth", "0"]);
+        let out = run_ok(dxbench().args([
+            "storm",
+            "exp1",
+            "--quick",
+            "--addr",
+            &server.addr,
+            "--clients",
+            "8",
+            "--requests",
+            "64",
+        ]));
+        assert!(out.contains("storm: 64 requests"), "{out}");
+        assert!(out.contains("identical to dxbench run"), "{out}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Differential tests of the execution service: a cache hit must be
+//! indistinguishable from a fresh run, and the pooled sessions the
+//! service draws on must never leak state between checkouts.
+
+use dxbsp_bench::{records_to_jsonl, run_scenario, scenarios, ExecService, Scale, ServiceConfig};
+
+fn service() -> ExecService {
+    // Tests use private instances so hits/misses are attributable and
+    // independent of whatever other tests pushed through the global.
+    ExecService::new(ServiceConfig::default())
+}
+
+/// For every builtin scenario: a fresh `run_scenario` call, a service
+/// miss, and a service hit must all produce byte-identical records and
+/// tables. The only exception is the host-timed `hash-cost` kind
+/// (table 3 measures wall-clock per element, so no two executions
+/// agree); there the cache-hit identity is still asserted.
+#[test]
+fn cached_output_is_bit_identical_to_a_fresh_run_for_every_builtin() {
+    let svc = service();
+    for name in scenarios::builtin_names() {
+        let sc = scenarios::builtin(name, Scale::Quick, 1995).unwrap();
+        let deterministic = sc.kind != "hash-cost";
+        let fresh = run_scenario(&sc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let miss = svc.run(&sc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let hit = svc.run(&sc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if deterministic {
+            assert_eq!(fresh.records, miss.records, "{name}: miss diverged from fresh run");
+            assert_eq!(fresh.table.render(), miss.table.render(), "{name}: table diverged");
+        }
+        assert_eq!(
+            records_to_jsonl(name, &miss.records),
+            records_to_jsonl(name, &hit.records),
+            "{name}: cache hit not byte-identical"
+        );
+        assert!(std::sync::Arc::ptr_eq(&miss, &hit), "{name}: second run was not a hit");
+    }
+    let stats = svc.stats();
+    let n = scenarios::builtin_names().len() as u64;
+    assert_eq!(stats.misses, n, "one miss per builtin");
+    assert_eq!(stats.hits, n, "one hit per builtin");
+}
+
+/// SessionPool checkout under `--threads 1` and `--threads N` must be
+/// byte-identical: worker count changes scheduling only, never
+/// results. Separate service instances bypass the cache, so both runs
+/// execute for real through the shared global pool.
+#[test]
+fn thread_count_never_changes_service_output() {
+    let mut sc = scenarios::builtin("exp1", Scale::Quick, 7).unwrap();
+    sc.threads = 1;
+    let one = service().run(&sc).unwrap();
+    sc.threads = 4;
+    let four = service().run(&sc).unwrap();
+    assert_eq!(
+        records_to_jsonl(&sc.name, &one.records),
+        records_to_jsonl(&sc.name, &four.records),
+        "--threads 1 and --threads 4 disagree"
+    );
+    assert_eq!(one.table.render(), four.table.render());
+}
+
+/// The seed is part of the content hash: same grid, different seed,
+/// different cache entry — and genuinely different records.
+#[test]
+fn seeds_split_cache_entries() {
+    let svc = service();
+    let a = scenarios::builtin("exp1", Scale::Quick, 1).unwrap();
+    let b = scenarios::builtin("exp1", Scale::Quick, 2).unwrap();
+    let out_a = svc.run(&a).unwrap();
+    let out_b = svc.run(&b).unwrap();
+    assert_eq!(svc.stats().misses, 2, "both seeds must execute");
+    assert!(!std::sync::Arc::ptr_eq(&out_a, &out_b));
+}
+
+/// Presentational respellings of the same spec — the canonicalization
+/// satellite, end to end: a TOML round-trip with decorated title and
+/// thread count hits the cache entry of the original run.
+#[test]
+fn respelled_specs_hit_the_same_cache_entry() {
+    let svc = service();
+    let sc = scenarios::builtin("exp1", Scale::Quick, 1995).unwrap();
+    let first = svc.run(&sc).unwrap();
+    let mut respelled = dxbsp_core::Scenario::from_toml(&sc.to_toml()).unwrap();
+    respelled.title = "a different presentation".to_string();
+    respelled.threads = 3;
+    let second = svc.run(&respelled).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&first, &second), "respelled spec missed the cache");
+    assert_eq!(svc.stats().hits, 1);
+}

@@ -1,0 +1,316 @@
+//! Canonical scenario form and content hashing.
+//!
+//! The execution service caches results by *content*: two scenario
+//! specs that describe the same run must map to the same cache key no
+//! matter how they were spelled. [`Scenario::to_value`] already does
+//! most of the normalization — it is a typed re-encode, so field
+//! order, elided defaults and comments from the source text never
+//! survive the round trip. This module finishes the job:
+//!
+//! * execution-irrelevant fields (`title`, `notes`, `threads`) are
+//!   dropped — results are byte-identical at any thread count, and
+//!   presentation strings never change a cycle count;
+//! * every table is key-sorted (the `params` table preserves the
+//!   author's declaration order in the spec, which is presentational);
+//! * integral floats are folded to integers (`1.0` and `1` hash
+//!   identically), everywhere in the tree.
+//!
+//! Sweep *axis order* and per-axis *value order* are preserved: both
+//! are semantic — they set the grid's iteration order and each point's
+//! RNG salt — so reordering them is a different scenario.
+//!
+//! The hash itself is 128-bit FNV-1a over a type-tagged byte encoding
+//! of the canonical tree. It is stable across processes and platforms
+//! (everything is encoded little-endian) but is *not* cryptographic:
+//! it keys a cache, it does not authenticate inputs.
+
+use std::fmt;
+
+use crate::scenario::Scenario;
+use crate::spec::SpecValue;
+
+/// A 128-bit content hash of a canonical scenario spec.
+///
+/// Displays as 32 lowercase hex digits. `(ContentHash, seed, engine,
+/// exec mode)` identifies a run — and since seed, engine and exec mode
+/// are part of the scenario spec, the hash alone is the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u128);
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The canonical [`SpecValue`] form of a scenario: defaults elided
+/// (inherited from [`Scenario::to_value`]), execution-irrelevant
+/// fields dropped, tables key-sorted, integral floats folded to
+/// integers. Two specs describing the same run canonicalize to equal
+/// trees; [`content_hash`] is this tree's digest.
+#[must_use]
+pub fn canonical_value(sc: &Scenario) -> SpecValue {
+    let v = sc.to_value();
+    let SpecValue::Table(entries) = v else { unreachable!("scenario encodes as a table") };
+    let kept = entries
+        .into_iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "title" | "notes" | "threads"))
+        .map(|(k, v)| {
+            // The sweep encodes as a table keyed by axis name whose
+            // *entry order* is the axis order — semantic (iteration
+            // order, RNG salts), so it is exempt from key-sorting.
+            // Its value lists still get float folding.
+            let v = if k == "sweep" { canon_keep_order(v) } else { canon(v) };
+            (k, v)
+        })
+        .collect();
+    SpecValue::Table(sort_table(kept))
+}
+
+/// Canonicalize one subtree: sort table keys, fold integral floats.
+fn canon(v: SpecValue) -> SpecValue {
+    match v {
+        SpecValue::Float(f) => fold_float(f),
+        SpecValue::List(items) => SpecValue::List(items.into_iter().map(canon).collect()),
+        SpecValue::Table(entries) => {
+            let entries = entries.into_iter().map(|(k, v)| (k, canon(v))).collect();
+            SpecValue::Table(sort_table(entries))
+        }
+        other => other,
+    }
+}
+
+/// Like [`canon`], but preserves table entry order (the sweep table,
+/// where entry order is the axis order).
+fn canon_keep_order(v: SpecValue) -> SpecValue {
+    match v {
+        SpecValue::Table(entries) => {
+            SpecValue::Table(entries.into_iter().map(|(k, v)| (k, canon_keep_order(v))).collect())
+        }
+        other => canon(other),
+    }
+}
+
+fn sort_table(mut entries: Vec<(String, SpecValue)>) -> Vec<(String, SpecValue)> {
+    entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    entries
+}
+
+/// `1.0` → `Int(1)`; floats with a fractional part (and anything not
+/// exactly representable as an `i64`) stay floats.
+#[allow(clippy::cast_possible_truncation)]
+fn fold_float(f: f64) -> SpecValue {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if f.fract() == 0.0 && f.abs() < EXACT {
+        SpecValue::Int(f as i64)
+    } else {
+        SpecValue::Float(f)
+    }
+}
+
+/// The stable content hash of a scenario's canonical form: the cache
+/// key for `(canonical spec, seed, engine, exec mode)` — the latter
+/// three ride inside the spec itself.
+#[must_use]
+pub fn content_hash(sc: &Scenario) -> ContentHash {
+    hash_value(&canonical_value(sc))
+}
+
+/// Hash any [`SpecValue`] tree (after canonicalization) — exposed so
+/// callers can key on sub-specs, e.g. a single point's coordinates.
+#[must_use]
+pub fn hash_value(v: &SpecValue) -> ContentHash {
+    let mut h = Fnv128::new();
+    encode(v, &mut h);
+    ContentHash(h.finish())
+}
+
+/// Type-tagged byte encoding driven straight into the hasher; no
+/// intermediate buffer. Tags keep different shapes from colliding
+/// (`Str("1")` vs `Int(1)`, a 1-element list vs its element).
+fn encode(v: &SpecValue, h: &mut Fnv128) {
+    match v {
+        SpecValue::Bool(b) => {
+            h.write(&[b'B', u8::from(*b)]);
+        }
+        SpecValue::Int(i) => {
+            h.write(b"I");
+            h.write(&i.to_le_bytes());
+        }
+        SpecValue::Float(f) => {
+            h.write(b"F");
+            h.write(&f.to_bits().to_le_bytes());
+        }
+        SpecValue::Str(s) => {
+            h.write(b"S");
+            h.write(&(s.len() as u64).to_le_bytes());
+            h.write(s.as_bytes());
+        }
+        SpecValue::List(items) => {
+            h.write(b"L");
+            h.write(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode(item, h);
+            }
+        }
+        SpecValue::Table(entries) => {
+            h.write(b"T");
+            h.write(&(entries.len() as u64).to_le_bytes());
+            for (k, v) in entries {
+                h.write(&(k.len() as u64).to_le_bytes());
+                h.write(k.as_bytes());
+                encode(v, h);
+            }
+        }
+    }
+}
+
+/// 128-bit FNV-1a. Tiny, dependency-free, stable across platforms;
+/// the standard offset basis and prime from the FNV spec.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Axis, Sweep};
+
+    fn base() -> Scenario {
+        let mut sc = Scenario::new("t", "scatter-sweep", 42);
+        sc.n = Some(4096);
+        sc.sweep = Sweep::new(vec![Axis::ints("k", [1, 256])]);
+        sc
+    }
+
+    #[test]
+    fn hash_is_stable_across_calls_and_encodes() {
+        let sc = base();
+        assert_eq!(content_hash(&sc), content_hash(&sc));
+        let via_toml = Scenario::from_toml(&sc.to_toml()).unwrap();
+        let via_json = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(content_hash(&sc), content_hash(&via_toml));
+        assert_eq!(content_hash(&sc), content_hash(&via_json));
+    }
+
+    #[test]
+    fn presentation_fields_do_not_change_the_key() {
+        let mut a = base();
+        let mut b = base();
+        a.title = "Experiment 1".to_string();
+        a.notes = vec!["a note".to_string()];
+        a.threads = 1;
+        b.threads = 8;
+        assert_eq!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn params_declaration_order_does_not_change_the_key() {
+        let mut a = base();
+        a.params =
+            vec![("alpha".to_string(), SpecValue::Int(1)), ("beta".to_string(), SpecValue::Int(2))];
+        let mut b = base();
+        b.params =
+            vec![("beta".to_string(), SpecValue::Int(2)), ("alpha".to_string(), SpecValue::Int(1))];
+        assert_eq!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn integral_float_spelling_folds_to_the_integer_key() {
+        let mut a = base();
+        a.params = vec![("scale".to_string(), SpecValue::Float(2.0))];
+        let mut b = base();
+        b.params = vec![("scale".to_string(), SpecValue::Int(2))];
+        assert_eq!(content_hash(&a), content_hash(&b));
+        // A genuine fraction stays distinct.
+        let mut c = base();
+        c.params = vec![("scale".to_string(), SpecValue::Float(2.5))];
+        assert_ne!(content_hash(&a), content_hash(&c));
+    }
+
+    #[test]
+    fn execution_relevant_fields_change_the_key() {
+        use crate::classify::{EngineKind, ExecMode};
+        let a = base();
+        for (label, sc) in [
+            ("seed", {
+                let mut s = base();
+                s.seed = 43;
+                s
+            }),
+            ("engine", {
+                let mut s = base();
+                s.engine = EngineKind::EventLevel;
+                s
+            }),
+            ("exec", {
+                let mut s = base();
+                s.exec = ExecMode::hybrid(0.05);
+                s
+            }),
+            ("telemetry", {
+                let mut s = base();
+                s.telemetry = true;
+                s
+            }),
+            ("n", {
+                let mut s = base();
+                s.n = Some(8192);
+                s
+            }),
+        ] {
+            assert_ne!(content_hash(&a), content_hash(&sc), "{label} must key the cache");
+        }
+    }
+
+    #[test]
+    fn sweep_axis_order_is_semantic_and_keeps_distinct_keys() {
+        // Axis order sets grid iteration order and per-point salts:
+        // NOT normalized away.
+        let mut a = base();
+        a.sweep = Sweep::new(vec![Axis::ints("k", [1, 2]), Axis::ints("n", [8, 16])]);
+        let mut b = base();
+        b.sweep = Sweep::new(vec![Axis::ints("n", [8, 16]), Axis::ints("k", [1, 2])]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+        // Value order inside one axis likewise.
+        let mut c = base();
+        c.sweep = Sweep::new(vec![Axis::ints("k", [256, 1])]);
+        assert_ne!(content_hash(&base()), content_hash(&c));
+    }
+
+    #[test]
+    fn tagged_encoding_separates_shapes() {
+        assert_ne!(hash_value(&SpecValue::Str("1".into())), hash_value(&SpecValue::Int(1)));
+        assert_ne!(
+            hash_value(&SpecValue::List(vec![SpecValue::Int(1)])),
+            hash_value(&SpecValue::Int(1))
+        );
+        assert_eq!(hash_value(&SpecValue::Float(1.0)), hash_value(&SpecValue::Float(1.0)));
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let h = content_hash(&base());
+        let s = h.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

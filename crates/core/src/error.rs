@@ -33,6 +33,14 @@ pub enum DxError {
     },
     /// An underlying I/O failure while reading or writing a file.
     Io(std::io::Error),
+    /// The execution service shed the request: its admission queue is
+    /// full. The request was *not* executed; retrying later is safe.
+    Overloaded {
+        /// Requests currently executing.
+        active: usize,
+        /// The admission limit (active runs plus queued waiters).
+        limit: usize,
+    },
 }
 
 impl DxError {
@@ -63,6 +71,19 @@ impl DxError {
     pub fn is_parse(&self) -> bool {
         matches!(self, DxError::Parse { .. })
     }
+
+    /// Shorthand for [`DxError::Overloaded`].
+    #[must_use]
+    pub fn overloaded(active: usize, limit: usize) -> Self {
+        DxError::Overloaded { active, limit }
+    }
+
+    /// True if the request was shed by admission control (safe to
+    /// retry after a backoff).
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, DxError::Overloaded { .. })
+    }
 }
 
 impl fmt::Display for DxError {
@@ -73,6 +94,9 @@ impl fmt::Display for DxError {
             DxError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             DxError::Unknown { what, name } => write!(f, "unknown {what} `{name}`"),
             DxError::Io(e) => write!(f, "i/o error: {e}"),
+            DxError::Overloaded { active, limit } => {
+                write!(f, "overloaded: {active} of {limit} admission slots busy; retry later")
+            }
         }
     }
 }
@@ -110,6 +134,14 @@ mod tests {
         assert!(!DxError::invalid("x").is_parse());
         assert!(DxError::parse(1, "bad").is_parse());
         assert!(!DxError::unknown("preset", "cray-3").is_invalid());
+    }
+
+    #[test]
+    fn overloaded_is_structured_and_retryable() {
+        let e = DxError::overloaded(8, 8);
+        assert!(e.is_overloaded());
+        assert!(!e.is_invalid());
+        assert_eq!(e.to_string(), "overloaded: 8 of 8 admission slots busy; retry later");
     }
 
     #[test]

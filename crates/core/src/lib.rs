@@ -46,6 +46,7 @@
 
 pub mod advisor;
 pub mod bankmap;
+pub mod canon;
 pub mod classify;
 pub mod cost;
 pub mod delay;
@@ -62,6 +63,7 @@ pub mod spec;
 
 pub use advisor::{diagnose, Binding, Diagnosis, DuplicationAdvice};
 pub use bankmap::{BankMap, Interleaved};
+pub use canon::{canonical_value, content_hash, hash_value, ContentHash};
 pub use classify::{ChargeParams, Classifier, EngineKind, ExecMode, StepClass, StepShape, Verdict};
 pub use cost::{
     bsp_superstep_cost, delayed_bank_term, pattern_breakdown, pattern_breakdown_delayed,

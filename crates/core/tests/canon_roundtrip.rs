@@ -1,0 +1,107 @@
+//! Property tests for the canonical scenario form: any spec that
+//! round-trips through the TOML or JSON codec — losing comments,
+//! field order, and float spelling on the way — must keep its content
+//! hash, and presentational rewrites (param declaration order,
+//! `2.0`-for-`2`) must never split a cache key.
+
+use dxbsp_core::{content_hash, Axis, EngineKind, ExecMode, Scenario, SpecValue, Sweep};
+use proptest::prelude::*;
+
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    prop_oneof![
+        proptest::collection::vec(1u64..=4096, 1..4).prop_map(|vs| Axis::ints("k", vs)),
+        proptest::collection::vec(0u32..=40, 1..4)
+            .prop_map(|vs| Axis::floats("s", vs.into_iter().map(|v| f64::from(v) / 10.0))),
+        proptest::collection::vec(prop_oneof![Just("c90"), Just("j90")], 1..3)
+            .prop_map(|vs| Axis::strs("machine", vs)),
+    ]
+}
+
+fn param_strategy() -> impl Strategy<Value = (String, SpecValue)> {
+    let key = prop_oneof![Just("alpha"), Just("beta"), Just("gamma"), Just("delta")]
+        .prop_map(str::to_string);
+    let value = prop_oneof![
+        (-1000i64..1000).prop_map(SpecValue::Int),
+        (-1000i64..1000).prop_map(|v| SpecValue::Float(v as f64)),
+        (-1000i64..1000).prop_map(|v| SpecValue::Float(v as f64 + 0.5)),
+        Just(SpecValue::Str("label".to_string())),
+    ];
+    (key, value)
+}
+
+#[allow(clippy::too_many_lines)]
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let fields = (
+        0u64..u64::from(u32::MAX),
+        prop_oneof![Just(None), (1usize..100_000).prop_map(Some)],
+        proptest::collection::vec(axis_strategy(), 0..3),
+        proptest::collection::vec(param_strategy(), 0..4),
+        prop_oneof![Just(String::new()), Just("a title".to_string())],
+        0usize..9,
+        prop_oneof![Just(EngineKind::BankEpoch), Just(EngineKind::EventLevel)],
+        prop_oneof![Just(None), (0u32..1_000_000).prop_map(Some)],
+    );
+    fields.prop_map(|(seed, n, axes, params, title, threads, engine, hybrid)| {
+        let mut sc = Scenario::new("prop", "scatter-sweep", seed);
+        sc.n = n;
+        sc.sweep = Sweep::new(axes);
+        // Distinct param keys (duplicate table keys do not round-trip).
+        let mut seen = std::collections::BTreeSet::new();
+        sc.params = params.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect();
+        sc.title = title;
+        sc.threads = threads;
+        sc.engine = engine;
+        if let Some(ppm) = hybrid {
+            sc.exec = ExecMode::Hybrid { error_bound_ppm: ppm };
+        }
+        sc
+    })
+}
+
+proptest! {
+    /// TOML and JSON round trips re-encode the spec from its typed
+    /// form; neither may move the cache key.
+    #[test]
+    fn codec_round_trips_preserve_the_content_hash(sc in scenario_strategy()) {
+        let key = content_hash(&sc);
+        let toml = Scenario::from_toml(&sc.to_toml()).unwrap();
+        prop_assert_eq!(content_hash(&toml), key, "TOML round trip moved the key");
+        let json = Scenario::from_json(&sc.to_json()).unwrap();
+        prop_assert_eq!(content_hash(&json), key, "JSON round trip moved the key");
+    }
+
+    /// Reversing the params table (declaration order is
+    /// presentational) and spelling integral params as floats must
+    /// both land on the same key.
+    #[test]
+    fn presentational_rewrites_share_the_key(sc in scenario_strategy()) {
+        let key = content_hash(&sc);
+
+        let mut reordered = sc.clone();
+        reordered.params.reverse();
+        prop_assert_eq!(content_hash(&reordered), key, "param order moved the key");
+
+        let mut respelled = sc.clone();
+        for (_, v) in &mut respelled.params {
+            if let SpecValue::Int(i) = *v {
+                *v = SpecValue::Float(i as f64);
+            }
+        }
+        prop_assert_eq!(content_hash(&respelled), key, "float spelling moved the key");
+
+        let mut decorated = sc;
+        decorated.title = "presentation only".to_string();
+        decorated.notes = vec!["a note".to_string()];
+        decorated.threads = (decorated.threads + 1) % 9;
+        prop_assert_eq!(content_hash(&decorated), key, "presentation fields moved the key");
+    }
+
+    /// The key must still be *discriminating*: a different seed is a
+    /// different run.
+    #[test]
+    fn seed_always_splits_the_key(sc in scenario_strategy()) {
+        let mut other = sc.clone();
+        other.seed ^= 1;
+        prop_assert_ne!(content_hash(&other), content_hash(&sc));
+    }
+}

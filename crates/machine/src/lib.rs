@@ -80,6 +80,7 @@ pub mod calibrate;
 pub mod config;
 pub mod engine;
 pub mod reference;
+pub mod sessions;
 pub mod sim;
 pub mod stats;
 pub mod stream;
@@ -94,6 +95,7 @@ pub use engine::{
     replay, Backend, ModelBackend, ReferenceBackend, Session, SimulatorBackend, StepOutcome,
 };
 pub use reference::{run_reference, ReferenceResult};
+pub use sessions::{PoolStats, PooledBackend, SessionPool};
 pub use sim::Simulator;
 pub use stats::{BankStats, LoadSummary, ProcStats, RequestEvent, SimResult};
 pub use stream::{

@@ -1,0 +1,213 @@
+//! `SessionPool` — warm [`SimulatorBackend`] sessions, checked out
+//! and in.
+//!
+//! A `SimulatorBackend` is cheap to *step* but carries warm state that
+//! is expensive to rebuild: bank queues, processor streams, the event
+//! wheel, the classifier's scratch. The `session_reuse` benches pin
+//! reuse at >2× a cold build per sweep point — a win that used to be
+//! trapped inside one sweep's `parallel_map_with` worker loop. The
+//! pool hoists it to process scope: any number of sweeps, profiles,
+//! replays or server requests share one set of warm sessions.
+//!
+//! Checkout hands back a [`PooledBackend`] guard that dereferences to
+//! the backend and returns it to the pool on drop. A recycled backend
+//! is [`reconfigured`](SimulatorBackend::reconfigure) when the
+//! requested [`SimConfig`] differs from what it last ran — keeping the
+//! scratch allocations either way. Determinism is unaffected: a
+//! backend's results depend only on its configuration and inputs (the
+//! `--threads 1/N` byte-identity tests pin this through the pool).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::config::SimConfig;
+use crate::engine::SimulatorBackend;
+
+/// A pool of idle, warm simulator sessions.
+#[derive(Debug)]
+pub struct SessionPool {
+    idle: Mutex<Vec<SimulatorBackend>>,
+    /// Idle sessions retained beyond this are dropped at check-in.
+    max_idle: usize,
+    in_use: AtomicUsize,
+    checkouts: AtomicU64,
+    reuses: AtomicU64,
+}
+
+/// A point-in-time snapshot of pool occupancy and traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Warm sessions waiting in the pool.
+    pub idle: usize,
+    /// Sessions currently checked out.
+    pub in_use: usize,
+    /// Total checkouts served.
+    pub checkouts: u64,
+    /// Checkouts served by recycling a warm session (the rest built
+    /// fresh backends).
+    pub reuses: u64,
+}
+
+impl SessionPool {
+    /// An empty pool retaining at most `max_idle` warm sessions.
+    #[must_use]
+    pub fn new(max_idle: usize) -> Self {
+        SessionPool {
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+            in_use: AtomicUsize::new(0),
+            checkouts: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide pool shared by sweeps, profiling, replay and
+    /// the execution service.
+    #[must_use]
+    pub fn global() -> &'static SessionPool {
+        static GLOBAL: OnceLock<SessionPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| SessionPool::new(64))
+    }
+
+    /// Check out a session configured as `cfg`: a recycled warm
+    /// backend when one is idle (reconfigured only if its config
+    /// differs), a fresh one otherwise. The guard checks the session
+    /// back in on drop.
+    pub fn checkout(&self, cfg: SimConfig) -> PooledBackend<'_> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let recycled = self.idle.lock().expect("session pool poisoned").pop();
+        let backend = match recycled {
+            Some(mut b) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                if *b.simulator().config() != cfg {
+                    b.reconfigure(cfg);
+                }
+                b
+            }
+            None => SimulatorBackend::new(cfg),
+        };
+        self.in_use.fetch_add(1, Ordering::Relaxed);
+        PooledBackend { backend: Some(backend), pool: self }
+    }
+
+    fn checkin(&self, backend: SimulatorBackend) {
+        self.in_use.fetch_sub(1, Ordering::Relaxed);
+        let mut idle = self.idle.lock().expect("session pool poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(backend);
+        }
+    }
+
+    /// Current occupancy and lifetime traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            idle: self.idle.lock().expect("session pool poisoned").len(),
+            in_use: self.in_use.load(Ordering::Relaxed),
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A checked-out session; dereferences to the [`SimulatorBackend`] and
+/// returns it to its pool when dropped.
+#[derive(Debug)]
+pub struct PooledBackend<'p> {
+    backend: Option<SimulatorBackend>,
+    pool: &'p SessionPool,
+}
+
+impl std::ops::Deref for PooledBackend<'_> {
+    type Target = SimulatorBackend;
+    fn deref(&self) -> &SimulatorBackend {
+        self.backend.as_ref().expect("backend present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledBackend<'_> {
+    fn deref_mut(&mut self) -> &mut SimulatorBackend {
+        self.backend.as_mut().expect("backend present until drop")
+    }
+}
+
+impl Drop for PooledBackend<'_> {
+    fn drop(&mut self) {
+        if let Some(backend) = self.backend.take() {
+            self.pool.checkin(backend);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Backend;
+    use dxbsp_core::{AccessPattern, Interleaved};
+
+    fn cfg(delay: u64) -> SimConfig {
+        SimConfig::new(4, 16, delay)
+    }
+
+    #[test]
+    fn checkin_recycles_and_stats_track() {
+        let pool = SessionPool::new(8);
+        {
+            let _a = pool.checkout(cfg(14));
+            assert_eq!(pool.stats().in_use, 1);
+        }
+        assert_eq!(pool.stats(), PoolStats { idle: 1, in_use: 0, checkouts: 1, reuses: 0 });
+        {
+            let _b = pool.checkout(cfg(14));
+        }
+        let s = pool.stats();
+        assert_eq!((s.checkouts, s.reuses, s.idle), (2, 1, 1));
+    }
+
+    #[test]
+    fn max_idle_bounds_retention() {
+        let pool = SessionPool::new(1);
+        let a = pool.checkout(cfg(14));
+        let b = pool.checkout(cfg(14));
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().idle, 1, "second check-in is dropped, not retained");
+    }
+
+    #[test]
+    fn recycled_sessions_step_identically_to_fresh_ones() {
+        let pool = SessionPool::new(4);
+        let pat = AccessPattern::scatter(4, &[0, 1, 2, 3, 0, 0, 5, 9]);
+        let map = Interleaved::new(16);
+        let fresh = SimulatorBackend::new(cfg(6)).step(&pat, &map).cycles;
+        // Warm the pool with a *different* config, then check out with
+        // the target one: the reconfigure path must be bit-identical.
+        drop(pool.checkout(cfg(14)));
+        let mut warm = pool.checkout(cfg(6));
+        assert_eq!(warm.step(&pat, &map).cycles, fresh);
+        // And an untouched-config recycle too.
+        drop(warm);
+        let mut again = pool.checkout(cfg(6));
+        assert_eq!(again.step(&pat, &map).cycles, fresh);
+    }
+
+    #[test]
+    fn pool_is_shared_across_threads() {
+        let pool = SessionPool::new(16);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let mut b = pool.checkout(cfg(14));
+                        let pat = AccessPattern::scatter(4, &[0, 1, 2, 3]);
+                        let _ = b.step(&pat, &Interleaved::new(16));
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.checkouts, 32);
+        assert_eq!(s.in_use, 0);
+        assert!(s.reuses > 0, "threads must recycle warm sessions");
+    }
+}

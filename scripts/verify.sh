@@ -60,3 +60,44 @@ for line in samples:
     float(value)
 EOF
 rm -f /tmp/dxprof-smoke.chrome.json /tmp/dxprof-smoke.prom
+
+# Smoke-test the service front-end: dxserved on an ephemeral port must
+# stream POST /run records byte-identical to `dxbench run --json`,
+# expose lintable live /metrics, and absorb a small dxbench storm.
+target/release/dxserved >/tmp/dxserved-smoke.log &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    serve_addr="$(sed -n 's/^dxserved: listening on //p' /tmp/dxserved-smoke.log)"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "dxserved never came up"; exit 1; }
+target/release/dxbench run examples/scenarios/exp1_quick.toml --json /tmp/dxserved-want.jsonl >/dev/null
+python3 - "$serve_addr" <<'EOF'
+import sys, urllib.request
+addr = sys.argv[1]
+with open("examples/scenarios/exp1_quick.toml", "rb") as f:
+    spec = f.read()
+assert urllib.request.urlopen(f"http://{addr}/healthz").read() == b"ok\n"
+got = urllib.request.urlopen(
+    urllib.request.Request(f"http://{addr}/run", data=spec, method="POST")
+).read()
+with open("/tmp/dxserved-want.jsonl", "rb") as f:
+    want = f.read()
+assert got == want, "served records differ from dxbench run --json"
+metrics = urllib.request.urlopen(f"http://{addr}/metrics").read().decode()
+samples = [l for l in metrics.splitlines() if l.strip() and not l.startswith("#")]
+assert samples, "no metrics samples"
+for line in samples:
+    name, _, value = line.rpartition(" ")
+    assert name, f"malformed sample: {line!r}"
+    float(value)
+EOF
+storm_out="$(target/release/dxbench storm examples/scenarios/exp1_quick.toml \
+    --addr "$serve_addr" --clients 8 --requests 64)"
+grep -q 'identical to dxbench run' <<<"$storm_out"
+grep -q 'lint clean' <<<"$storm_out"
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f /tmp/dxserved-smoke.log /tmp/dxserved-want.jsonl
