@@ -3,7 +3,8 @@
 
 use dxbsp_algos::tracer::{trace_max_contention, TraceBuilder};
 use dxbsp_algos::{
-    binary_search, connected, list_ranking, merge, multiprefix, radix_sort, random_perm, scan,
+    binary_search, connected, list_ranking, merge, multiprefix, radix_sort, random_perm,
+    sample_sort, scan,
 };
 use dxbsp_workloads::Graph;
 use proptest::prelude::*;
@@ -153,6 +154,45 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let rnd = connected::random_mate_traced(4, &g, &mut rng);
         prop_assert!(connected::same_partition(&rnd.value.0, &oracle));
+    }
+
+    /// Sample sort sorts at every oversampling ratio, and bucket
+    /// balance is pinned across ratios: the largest bucket always
+    /// respects the pigeonhole floor, and with heavy oversampling the
+    /// median-of-5 largest bucket stays within 4x of perfectly even on
+    /// uniform keys (the median drowns individual sampling flukes).
+    #[test]
+    fn sample_sort_bucket_balance_across_oversampling(
+        n in 512usize..1536,
+        buckets in 2usize..=16,
+        oversample in 1usize..=16,
+        seed in 0u64..1000,
+    ) {
+        use rand::Rng;
+        let mut krng = StdRng::seed_from_u64(seed);
+        let keys: Vec<u64> = (0..n).map(|_| krng.random_range(0..1u64 << 40)).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A17);
+        let t = sample_sort::sample_sort_traced(8, &keys, buckets, oversample, &mut rng);
+        let (sorted, stats) = &t.value;
+        prop_assert_eq!(sorted, &expect);
+        prop_assert_eq!(stats.buckets, buckets);
+        prop_assert!(stats.max_bucket >= n.div_ceil(buckets));
+        prop_assert!(stats.max_bucket <= n);
+
+        let mut maxes: Vec<usize> = (0..5u64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i.wrapping_mul(7919)));
+                sample_sort::sample_sort_traced(8, &keys, buckets, 16, &mut rng).value.1.max_bucket
+            })
+            .collect();
+        maxes.sort_unstable();
+        prop_assert!(
+            maxes[2] <= 4 * n / buckets,
+            "median max bucket {} vs even {}", maxes[2], n / buckets
+        );
     }
 
     /// TraceBuilder invariant: allocations never overlap, and every

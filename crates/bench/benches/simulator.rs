@@ -5,12 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use dxbsp_algos::{radix_sort, TraceBuilder};
+use dxbsp_algos::{radix_sort, sample_sort, TraceBuilder};
 use dxbsp_bench::{run_builtin, Scale};
 use dxbsp_core::{AccessPattern, BankDelayModel, EngineKind, Interleaved, MachineParams};
 use dxbsp_machine::{
     Backend, NoopProbe, Session, SessionSink, SimConfig, Simulator, SimulatorBackend,
 };
+use dxbsp_pstream::{Kernel, PstreamSpec};
 use dxbsp_telemetry::Recorder;
 use dxbsp_workloads::{hotspot_keys, uniform_keys};
 use rand::rngs::StdRng;
@@ -212,6 +213,73 @@ fn bench_stream_vs_materialize(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sorting workload family's hot path: both sorts streamed
+/// through a `SessionSink` (trace never materialized), 8k uniform
+/// 40-bit keys on the J90 shape. "sample" is the QRQW sample sort
+/// (16 buckets, oversample 8); "radix" the EREW radix sort at 8-bit
+/// digits — the two sides of the `sort_radix_vs_sample` scenario.
+fn bench_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/sort");
+    let n = 8 * 1024;
+    g.throughput(Throughput::Elements(n as u64));
+    let m = MachineParams::new(8, 1, 5, 14, 32);
+    let map = Interleaved::new(m.banks());
+    let mut rng = StdRng::seed_from_u64(5);
+    let keys = uniform_keys(n, 1 << 40, &mut rng);
+
+    g.bench_function("sample_streamed", |b| {
+        b.iter(|| {
+            let mut session = Session::new(SimulatorBackend::from_params(&m));
+            {
+                let mut sink = SessionSink::new(&mut session, &map);
+                let mut tb = TraceBuilder::streaming(m.p, &mut sink);
+                let mut rng = StdRng::seed_from_u64(6);
+                black_box(sample_sort::sample_sort_with(&mut tb, &keys, 16, 8, &mut rng));
+                let _ = tb.finish();
+            }
+            black_box(session.cycles())
+        })
+    });
+    g.bench_function("radix_streamed", |b| {
+        b.iter(|| {
+            let mut session = Session::new(SimulatorBackend::from_params(&m));
+            {
+                let mut sink = SessionSink::new(&mut session, &map);
+                let mut tb = TraceBuilder::streaming(m.p, &mut sink);
+                black_box(radix_sort::sort_with(&mut tb, &keys, 8));
+                let _ = tb.finish();
+            }
+            black_box(session.cycles())
+        })
+    });
+    g.finish();
+}
+
+/// The pseudo-streaming kernels pulled through `Session::run_stream`:
+/// 64k virtual elements in 128-element chunks, so each iteration
+/// drives hundreds of generated supersteps with at most one resident.
+/// Throughput is virtual elements per second.
+fn bench_pstream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/pstream");
+    let n = 64 * 1024;
+    g.throughput(Throughput::Elements(n as u64));
+    let cfg = SimConfig::new(8, 256, 14);
+    let map = Interleaved::new(256);
+
+    for kernel in [Kernel::Scan, Kernel::Reduce, Kernel::Stencil] {
+        let spec = PstreamSpec::new(kernel, n, 128, 8, 9).expect("bench spec");
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut session = Session::new(SimulatorBackend::new(cfg.clone()));
+                let mut source = spec.source();
+                black_box(session.run_stream(&mut source, &map));
+                black_box(session.cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Sweep throughput of hybrid execution: the event-level exp4 grid
 /// (16 expansion × delay points) against the hybrid `exp4_hybrid` grid
 /// (1600 points — every `(x, d)` pair). Classification depends on the
@@ -265,6 +333,8 @@ criterion_group!(
     bench_probe_overhead,
     bench_session_reuse,
     bench_stream_vs_materialize,
+    bench_sorts,
+    bench_pstream,
     bench_sweep_throughput,
     bench_service_paths
 );

@@ -68,7 +68,7 @@ fn die(msg: &str) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--engine epoch|event] [--telemetry PATH] [--check-hybrid]\n       dxbench storm <file.toml|file.json|name> --addr HOST:PORT [--clients N] [--requests N] [--variants N] [--quick] [--seed N]"
+        "usage: dxbench list\n       dxbench dump <name> [--quick] [--seed N]\n       dxbench run <file.toml|file.json|name> [--quick] [--seed N] [--json PATH] [--threads N] [--engine epoch|event] [--telemetry PATH] [--check-hybrid]\n       dxbench storm <file.toml|file.json|name> --addr HOST:PORT [--clients N] [--requests N] [--variants N] [--keep-alive] [--quick] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -289,6 +289,7 @@ fn cmd_storm(args: &[String]) -> Result<(), DxError> {
                     .parse()
                     .unwrap_or_else(|_| die("--variants needs an integer"));
             }
+            "--keep-alive" => opts.keep_alive = true,
             "--quick" => scale = Scale::Quick,
             "--seed" => {
                 seed = Some(

@@ -107,21 +107,48 @@ fn error_body(err: &DxError) -> String {
     body
 }
 
-fn handle_run(service: &ExecService, stream: &mut TcpStream, body: &[u8]) {
+/// Answer with either framing, honoring the client's keep-alive
+/// choice: framed responses keep the connection open, close-delimited
+/// ones end it.
+fn reply(
+    stream: &mut TcpStream,
+    keep: bool,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) {
+    let _ = if keep {
+        http::respond_framed(stream, status, reason, content_type, body)
+    } else {
+        http::respond(stream, status, reason, content_type, body)
+    };
+}
+
+fn handle_run(service: &ExecService, stream: &mut TcpStream, body: &[u8], keep: bool) {
     let result = parse_scenario(body).and_then(|sc| service.run(&sc).map(|out| (sc, out)));
     match result {
         Ok((sc, out)) => {
-            // Stream the records exactly as `dxbench run --json -`
-            // prints them: one JSON object per line, flushed per
-            // record so the client sees progress live.
             let records = finalize_records(&sc, &out.records);
-            if http::write_head(stream, 200, "OK", "application/jsonl").is_ok() {
-                let _ = write_records_jsonl(stream, &sc.name, &records);
+            if keep {
+                // Keep-alive needs Content-Length framing, so the
+                // body is assembled up front — same bytes, buffered.
+                let mut body = Vec::new();
+                let _ = write_records_jsonl(&mut body, &sc.name, &records);
+                reply(stream, true, 200, "OK", "application/jsonl", &body);
+            } else {
+                // Stream the records exactly as `dxbench run --json -`
+                // prints them: one JSON object per line, flushed per
+                // record so the client sees progress live.
+                if http::write_head(stream, 200, "OK", "application/jsonl").is_ok() {
+                    let _ = write_records_jsonl(stream, &sc.name, &records);
+                }
             }
         }
         Err(err) if err.is_overloaded() => {
-            let _ = http::respond(
+            reply(
                 stream,
+                keep,
                 503,
                 "Service Unavailable",
                 "application/json",
@@ -129,8 +156,9 @@ fn handle_run(service: &ExecService, stream: &mut TcpStream, body: &[u8]) {
             );
         }
         Err(err) => {
-            let _ = http::respond(
+            reply(
                 stream,
+                keep,
                 400,
                 "Bad Request",
                 "application/json",
@@ -140,32 +168,47 @@ fn handle_run(service: &ExecService, stream: &mut TcpStream, body: &[u8]) {
     }
 }
 
-fn handle(service: &ExecService, mut stream: TcpStream) {
-    let req = match http::read_request(&stream) {
-        Ok(req) => req,
-        Err(e) => {
-            let _ = http::respond(
-                &mut stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                format!("bad request: {e}\n").as_bytes(),
-            );
+fn handle(service: &ExecService, stream: TcpStream) {
+    let Ok(mut conn) = http::ServerConn::new(stream) else { return };
+    loop {
+        let req = match conn.next_request() {
+            Ok(Some(req)) => req,
+            // Clean hangup between requests — done.
+            Ok(None) => return,
+            Err(e) => {
+                let _ = http::respond(
+                    conn.stream_mut(),
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    format!("bad request: {e}\n").as_bytes(),
+                );
+                return;
+            }
+        };
+        let keep = req.keep_alive();
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/run") => handle_run(service, conn.stream_mut(), &req.body, keep),
+            ("GET", "/metrics") => {
+                let text = prometheus::render(&service.registry());
+                reply(
+                    conn.stream_mut(),
+                    keep,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    text.as_bytes(),
+                );
+            }
+            ("GET", "/healthz") => {
+                reply(conn.stream_mut(), keep, 200, "OK", "text/plain", b"ok\n");
+            }
+            _ => {
+                reply(conn.stream_mut(), keep, 404, "Not Found", "text/plain", b"not found\n");
+            }
+        }
+        if !keep {
             return;
-        }
-    };
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/run") => handle_run(service, &mut stream, &req.body),
-        ("GET", "/metrics") => {
-            let text = prometheus::render(&service.registry());
-            let _ =
-                http::respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", text.as_bytes());
-        }
-        ("GET", "/healthz") => {
-            let _ = http::respond(&mut stream, 200, "OK", "text/plain", b"ok\n");
-        }
-        _ => {
-            let _ = http::respond(&mut stream, 404, "Not Found", "text/plain", b"not found\n");
         }
     }
 }

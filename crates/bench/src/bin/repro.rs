@@ -189,6 +189,30 @@ fn registry() -> Vec<Experiment> {
             Some((0, &[1, 2], true)),
         ),
         e(
+            "sort_oversample",
+            "sample-sort oversampling sweep",
+            |s, seed| dxbsp_bench::run_builtin("sort_oversample", s, seed),
+            Some((0, &[3], false)),
+        ),
+        e(
+            "sort_radix_vs_sample",
+            "EREW radix width vs. QRQW sample sort",
+            |s, seed| dxbsp_bench::run_builtin("sort_radix_vs_sample", s, seed),
+            Some((0, &[2, 4], true)),
+        ),
+        e(
+            "pstream_scan",
+            "out-of-core prefix scan, chunk-generated supersteps",
+            |s, seed| dxbsp_bench::run_builtin("pstream_scan", s, seed),
+            Some((0, &[4], true)),
+        ),
+        e(
+            "pstream_stencil",
+            "1-D stencil stream under the hybrid engine",
+            |s, seed| dxbsp_bench::run_builtin("pstream_stencil", s, seed),
+            Some((0, &[4], true)),
+        ),
+        e(
             "ablation_mapping",
             "interleaved vs. hashed banks under strides",
             exp::modmap::ablation_mapping,

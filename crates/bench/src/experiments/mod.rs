@@ -14,8 +14,10 @@ pub mod fig1;
 pub mod hybrid;
 pub mod modmap;
 pub mod network;
+pub mod pstream;
 pub mod scatter;
 pub mod shapes;
+pub mod sorting;
 pub mod tables;
 
 use dxbsp_core::{

@@ -1,0 +1,166 @@
+//! The `pstream` executor: bulk-synchronous pseudo-streaming kernels
+//! across the problem-size axis.
+//!
+//! Each point builds a [`PstreamSpec`] from the scenario's
+//! `pseudo-stream` workload (kernel + chunk budget) and pulls the
+//! generated supersteps straight through a simulator session with
+//! [`Session::run_stream`] — the trace never materializes, and the
+//! session's `peak_step_requests` watermark proves the bounded-memory
+//! claim: it stays within the declared [`PstreamSpec::step_budget`]
+//! however large `n` grows. The streamed checksum is verified against
+//! the sequential oracle, the same stream is re-generated through each
+//! requested [`CostModel`](dxbsp_core::CostModel) lens for
+//! predictions, and under a hybrid
+//! execution mode the conflict-free chunks charge closed-form
+//! (`modeled` column).
+
+use dxbsp_core::{BankDelayModel, DxError, Interleaved, Scenario, SpecValue, WorkloadSpec};
+use dxbsp_machine::Session;
+use dxbsp_pstream::{Kernel, PstreamSpec};
+use dxbsp_telemetry::Recorder;
+
+use crate::record::Cell;
+use crate::runner::parallel_map;
+use crate::sweep::{point_n, ScenarioOutput};
+
+/// Salt separating the virtual input's element stream per point.
+const INPUT_SALT: u64 = 0xF10;
+
+/// The `pstream` executor.
+pub fn run_pstream(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    let WorkloadSpec::PseudoStream { ref kernel, chunk } = sc.workload else {
+        return Err(DxError::invalid("pstream needs a `pseudo-stream` workload"));
+    };
+    let kernel = Kernel::parse(kernel)?;
+    // Contiguous chunks interleave conflict-free; a hashed map would
+    // turn the streaming story into a congestion one.
+    let map = Interleaved::new(m.banks());
+
+    let points = sc.sweep.matrix();
+    let results: Vec<(Vec<Cell>, Option<SpecValue>)> = parallel_map(&points, |pt| {
+        let n = point_n(sc, pt)?;
+        let salt = pt.salt();
+        let spec = PstreamSpec::new(kernel, n, chunk, m.p, sc.seed ^ salt ^ INPUT_SALT)?;
+
+        let mut session = Session::new(super::backend_with(&m, sc.exec, sc.engine));
+        let mut source = spec.source();
+        let (summary, telemetry) = if sc.telemetry {
+            let mut rec = Recorder::new();
+            rec.set_delay_model(&BankDelayModel::uniform(m.d));
+            let s = session.run_stream_probed(&mut source, &map, &mut rec);
+            (s, Some(rec.summary()))
+        } else {
+            (session.run_stream(&mut source, &map), None)
+        };
+        if source.checksum() != Some(spec.oracle()) {
+            return Err(DxError::invalid("streamed checksum disagrees with the oracle"));
+        }
+        let peak = session.peak_step_requests();
+        if peak > spec.step_budget() {
+            return Err(DxError::invalid(format!(
+                "peak-resident watermark {peak} exceeds the declared chunk budget {}",
+                spec.step_budget()
+            )));
+        }
+
+        #[allow(clippy::cast_precision_loss)]
+        let mut cells = vec![
+            Cell::size(n),
+            Cell::size(spec.chunks()),
+            Cell::size(summary.supersteps),
+            Cell::size(summary.requests),
+            Cell::int(summary.cycles),
+        ];
+        for model in &sc.models {
+            let mut ms = Session::new(super::model_backend(&m, super::sorting::cost_model(model)));
+            let pred = ms.run_stream(&mut spec.source(), &map).cycles;
+            cells.push(Cell::int(pred));
+        }
+        cells.push(Cell::size(session.modeled_steps()));
+        cells.push(Cell::size(peak));
+        cells.push(Cell::size(spec.step_budget()));
+        Ok((cells, telemetry))
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+
+    let (rows, telemetries): (Vec<Vec<Cell>>, Vec<Option<SpecValue>>) = results.into_iter().unzip();
+    let mut headers = vec!["n", "chunks", "supersteps", "requests", "measured"];
+    let pred_headers: Vec<String> = sc.models.iter().map(|mo| format!("{mo}-pred")).collect();
+    headers.extend(pred_headers.iter().map(String::as_str));
+    headers.extend(["modeled", "peak_resident", "budget"]);
+    let mut out = ScenarioOutput::build(sc, &headers, &rows, 1);
+    for (rec, telemetry) in out.records.iter_mut().zip(telemetries) {
+        if let Some(t) = telemetry {
+            *rec = std::mem::take(rec).with_telemetry(t);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxbsp_core::{Axis, Sweep};
+
+    fn scenario(kernel: &str) -> Scenario {
+        let mut sc = Scenario::new("t-pstream", "pstream", 1995);
+        sc.workload = WorkloadSpec::PseudoStream { kernel: kernel.into(), chunk: 128 };
+        sc.sweep = Sweep::new(vec![Axis::ints("n", [1 << 10, 1 << 13, 1 << 16])]);
+        sc
+    }
+
+    #[test]
+    fn peak_resident_is_flat_across_problem_sizes() {
+        for kernel in ["scan", "reduce", "stencil"] {
+            let out = run_pstream(&scenario(kernel)).unwrap();
+            let peaks = out.table.column_f64(8);
+            let budgets = out.table.column_f64(9);
+            assert!(
+                peaks.windows(2).all(|w| (w[0] - w[1]).abs() < f64::EPSILON),
+                "{kernel}: watermark must not grow with n: {peaks:?}"
+            );
+            for (p, b) in peaks.iter().zip(&budgets) {
+                assert!(p <= b, "{kernel}: peak {p} over budget {b}");
+            }
+            // Work grows with n even though residency does not.
+            let requests = out.table.column_f64(3);
+            assert!(requests.last().unwrap() > &(requests[0] * 10.0), "{requests:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_mode_models_every_chunk() {
+        let mut sc = scenario("scan");
+        sc.exec = dxbsp_core::ExecMode::hybrid(0.05);
+        let out = run_pstream(&sc).unwrap();
+        let modeled = out.table.column_f64(7);
+        let supersteps = out.table.column_f64(2);
+        assert_eq!(modeled, supersteps, "hybrid must charge every conflict-free chunk");
+        // And hybrid numbers are bit-identical to full simulation.
+        let full = run_pstream(&scenario("scan")).unwrap();
+        assert_eq!(out.table.column_f64(4), full.table.column_f64(4));
+    }
+
+    #[test]
+    fn telemetry_rides_along_without_changing_numbers() {
+        let mut sc = scenario("stencil");
+        sc.sweep = Sweep::new(vec![Axis::ints("n", [1 << 12])]);
+        let plain = run_pstream(&sc).unwrap();
+        sc.telemetry = true;
+        let probed = run_pstream(&sc).unwrap();
+        assert_eq!(plain.table.rows, probed.table.rows);
+        assert!(probed.records[0].telemetry.is_some());
+        assert!(plain.records[0].telemetry.is_none());
+    }
+
+    #[test]
+    fn pstream_rejects_wrong_workloads() {
+        let mut sc = scenario("scan");
+        sc.workload = WorkloadSpec::None;
+        assert!(run_pstream(&sc).is_err());
+        let bad = scenario("quicksort");
+        assert!(run_pstream(&bad).is_err());
+    }
+}

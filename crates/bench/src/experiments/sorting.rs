@@ -1,0 +1,325 @@
+//! BSP sorting scenarios: the oversampling sweep and the
+//! radix-vs-sample comparison.
+//!
+//! Both kinds stream their sorts — the algorithm drives a
+//! [`TraceBuilder::streaming`] builder whose sink executes each
+//! superstep on a simulator session the moment it closes, so the trace
+//! never materializes and the session's `peak_step_requests` watermark
+//! reports what a streamed run actually held resident. The same
+//! generator, re-seeded, streams through
+//! [`ModelBackend`](dxbsp_machine::ModelBackend) sessions to
+//! put the `max(L, g·h, max_b d_b·R_b)` predictions next to the
+//! measured cycles.
+//!
+//! `sort-oversample` sweeps the sample sort's oversampling ratio: more
+//! samples buy tighter bucket balance (max bucket → n/buckets) at the
+//! price of a larger, more contended sample-sort phase — the QRQW
+//! trade Gerbessiotis-style one-pass sorting rests on. `sort-compare`
+//! sweeps the radix width, putting the EREW multi-pass radix sort
+//! (passes = ⌈bits/width⌉) against the one-partition-pass QRQW sample
+//! sort on the same keys.
+
+use dxbsp_algos::{radix_sort, sample_sort, TraceBuilder};
+use dxbsp_core::{BankMap, CostModel, DxError, Scenario, WorkloadSpec};
+use dxbsp_machine::{Backend, Session, SessionSink};
+use dxbsp_workloads::{generate_keys, KeyRequest};
+
+use crate::record::Cell;
+use crate::runner::parallel_map;
+use crate::sweep::{point_n, ScenarioOutput};
+
+/// Salt separating the splitter-sampling RNG stream from the key
+/// stream, so re-streaming a sort for a prediction replays the exact
+/// same samples.
+const SAMPLE_SALT: u64 = 0x5A17;
+
+/// The cost model a scenario `models` entry names (anything but `bsp`
+/// means the (d,x)-BSP, matching the scatter executor's convention).
+pub(super) fn cost_model(name: &str) -> CostModel {
+    if name == "bsp" {
+        CostModel::Bsp
+    } else {
+        CostModel::DxBsp
+    }
+}
+
+/// Streams one sort through `session` and reports the session's delta
+/// cycles. The closure drives a streaming [`TraceBuilder`]; every
+/// superstep executes as it closes, so only one step is ever resident.
+fn streamed<B: Backend, T>(
+    session: &mut Session<B>,
+    map: &dyn BankMap,
+    procs: usize,
+    sort: impl FnOnce(&mut TraceBuilder) -> T,
+) -> (u64, T) {
+    let before = session.cycles();
+    let value = {
+        let mut sink = SessionSink::new(session, map);
+        let mut tb = TraceBuilder::streaming(procs, &mut sink);
+        let value = sort(&mut tb);
+        let _ = tb.finish();
+        value
+    };
+    (session.cycles() - before, value)
+}
+
+/// Digit passes an LSD radix sort needs for `keys` at `radix_bits` per
+/// pass (the EREW side of the comparison).
+fn radix_passes(keys: &[u64], radix_bits: u32) -> u32 {
+    let max = keys.iter().copied().max().unwrap_or(0);
+    (64 - max.leading_zeros()).div_ceil(radix_bits).max(1)
+}
+
+/// The `sort-oversample` executor: QRQW sample sort across the
+/// `oversample` axis — bucket balance, splitter-lookup contention,
+/// measured cycles with model predictions, and the streaming
+/// peak-resident watermark.
+pub fn run_sort_oversample(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    if !matches!(sc.workload, WorkloadSpec::SortKeys { .. }) {
+        return Err(DxError::invalid("sort-oversample needs a `sort-keys` workload"));
+    }
+    let buckets = usize::try_from(sc.param_u64("buckets", 16)?)
+        .map_err(|_| DxError::invalid("buckets out of range"))?;
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let n = point_n(sc, pt)?;
+        let oversample = usize::try_from(
+            pt.u64("oversample")
+                .ok_or_else(|| DxError::invalid("sort-oversample needs an `oversample` axis"))?,
+        )
+        .map_err(|_| DxError::invalid("oversample out of range"))?;
+        let salt = pt.salt();
+        let keys = generate_keys(&sc.workload, &KeyRequest::of(n), sc.seed, salt)?;
+        let map = super::hashed_map(&m, sc.seed ^ salt);
+
+        let mut session = Session::new(super::backend_with(&m, sc.exec, sc.engine));
+        let (measured, (sorted, stats)) = streamed(&mut session, &map, m.p, |tb| {
+            let mut rng = super::point_rng(sc.seed, salt ^ SAMPLE_SALT);
+            sample_sort::sample_sort_with(tb, &keys, buckets, oversample, &mut rng)
+        });
+        let peak = session.peak_step_requests();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        if sorted != expect {
+            return Err(DxError::invalid("sample sort output is not sorted"));
+        }
+
+        #[allow(clippy::cast_precision_loss)]
+        let mut cells = vec![
+            Cell::size(oversample),
+            Cell::size(n),
+            Cell::size(stats.max_bucket),
+            Cell::Float(stats.max_bucket as f64 / (n as f64 / stats.buckets as f64)),
+            Cell::size(stats.lookup_contention),
+            Cell::int(measured),
+        ];
+        // The same stream, re-seeded, through each requested cost lens.
+        for model in &sc.models {
+            let mut ms = Session::new(super::model_backend(&m, cost_model(model)));
+            let (pred, _) = streamed(&mut ms, &map, m.p, |tb| {
+                let mut rng = super::point_rng(sc.seed, salt ^ SAMPLE_SALT);
+                sample_sort::sample_sort_with(tb, &keys, buckets, oversample, &mut rng)
+            });
+            cells.push(Cell::int(pred));
+        }
+        cells.push(Cell::size(peak));
+        Ok(cells)
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+
+    let mut headers = vec!["oversample", "n", "max bucket", "balance", "lookup k", "measured"];
+    let pred_headers: Vec<String> = sc.models.iter().map(|mo| format!("{mo}-pred")).collect();
+    headers.extend(pred_headers.iter().map(String::as_str));
+    headers.push("peak_resident");
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+/// The `sort-compare` executor: EREW radix sort vs. QRQW sample sort
+/// across the `radix_bits` axis — the pass count ⌈bits/width⌉ against
+/// the bounded-contention single partition pass, measured and
+/// model-predicted on the same streamed supersteps.
+pub fn run_sort_compare(sc: &Scenario) -> Result<ScenarioOutput, DxError> {
+    let m = sc.machine.resolve()?;
+    if !matches!(sc.workload, WorkloadSpec::SortKeys { .. }) {
+        return Err(DxError::invalid("sort-compare needs a `sort-keys` workload"));
+    }
+    let buckets = usize::try_from(sc.param_u64("buckets", 16)?)
+        .map_err(|_| DxError::invalid("buckets out of range"))?;
+    let oversample = usize::try_from(sc.param_u64("oversample", 8)?)
+        .map_err(|_| DxError::invalid("oversample out of range"))?;
+
+    let points = sc.sweep.matrix();
+    let rows: Vec<Vec<Cell>> = parallel_map(&points, |pt| {
+        let radix_bits = u32::try_from(
+            pt.u64("radix_bits")
+                .ok_or_else(|| DxError::invalid("sort-compare needs a `radix_bits` axis"))?,
+        )
+        .map_err(|_| DxError::invalid("radix_bits out of range"))?;
+        let n = point_n(sc, pt)?;
+        let salt = pt.salt();
+        let keys = generate_keys(&sc.workload, &KeyRequest::of(n), sc.seed, salt)?;
+        let map = super::hashed_map(&m, sc.seed ^ salt);
+
+        let mut rsess = Session::new(super::backend_with(&m, sc.exec, sc.engine));
+        let (radix_meas, perm) =
+            streamed(&mut rsess, &map, m.p, |tb| radix_sort::sort_with(tb, &keys, radix_bits));
+        let radix_sorted: Vec<u64> = perm.iter().map(|&i| keys[i as usize]).collect();
+
+        let mut ssess = Session::new(super::backend_with(&m, sc.exec, sc.engine));
+        let (sample_meas, (sorted, stats)) = streamed(&mut ssess, &map, m.p, |tb| {
+            let mut rng = super::point_rng(sc.seed, salt ^ SAMPLE_SALT);
+            sample_sort::sample_sort_with(tb, &keys, buckets, oversample, &mut rng)
+        });
+        if radix_sorted != sorted {
+            return Err(DxError::invalid("radix and sample sorts disagree"));
+        }
+
+        let mut rmodel = Session::new(super::model_backend(&m, CostModel::DxBsp));
+        let (radix_pred, _) =
+            streamed(&mut rmodel, &map, m.p, |tb| radix_sort::sort_with(tb, &keys, radix_bits));
+        let mut smodel = Session::new(super::model_backend(&m, CostModel::DxBsp));
+        let (sample_pred, _) = streamed(&mut smodel, &map, m.p, |tb| {
+            let mut rng = super::point_rng(sc.seed, salt ^ SAMPLE_SALT);
+            sample_sort::sample_sort_with(tb, &keys, buckets, oversample, &mut rng)
+        });
+
+        #[allow(clippy::cast_precision_loss)]
+        Ok(vec![
+            Cell::size(radix_bits as usize),
+            Cell::size(radix_passes(&keys, radix_bits) as usize),
+            Cell::int(radix_meas),
+            Cell::int(radix_pred),
+            Cell::int(sample_meas),
+            Cell::int(sample_pred),
+            Cell::size(stats.lookup_contention),
+            Cell::Float(radix_meas as f64 / sample_meas as f64),
+        ])
+    })
+    .into_iter()
+    .collect::<Result<_, DxError>>()?;
+
+    let headers = [
+        "radix_bits",
+        "passes",
+        "radix (EREW)",
+        "radix dxbsp",
+        "sample (QRQW)",
+        "sample dxbsp",
+        "lookup k",
+        "radix/sample",
+    ];
+    Ok(ScenarioOutput::build(sc, &headers, &rows, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxbsp_core::{Axis, Sweep};
+
+    fn oversample_scenario() -> Scenario {
+        let mut sc = Scenario::new("t-oversample", "sort-oversample", 1995);
+        sc.n = Some(2048);
+        sc.workload = WorkloadSpec::SortKeys { bits: 40 };
+        sc.sweep = Sweep::new(vec![Axis::ints("oversample", [1, 4, 16])]);
+        sc
+    }
+
+    #[test]
+    fn oversampling_tightens_bucket_balance() {
+        let out = run_sort_oversample(&oversample_scenario()).unwrap();
+        assert_eq!(out.table.rows.len(), 3);
+        let balance = out.table.column_f64(3);
+        assert!(
+            balance.last().unwrap() < balance.first().unwrap(),
+            "more oversampling must tighten balance: {balance:?}"
+        );
+        // The watermark is bounded by the sort's own supersteps — far
+        // below the full trace's request total.
+        let peaks = out.table.column_f64(8);
+        for p in &peaks {
+            assert!(*p > 0.0 && *p < 3.0 * 2048.0, "{peaks:?}");
+        }
+    }
+
+    #[test]
+    fn oversample_executor_is_deterministic() {
+        let a = run_sort_oversample(&oversample_scenario()).unwrap();
+        let b = run_sort_oversample(&oversample_scenario()).unwrap();
+        assert_eq!(a.table.rows, b.table.rows);
+    }
+
+    #[test]
+    fn compare_wide_keys_favor_sample_sort() {
+        let mut sc = Scenario::new("t-compare", "sort-compare", 1995);
+        sc.n = Some(2048);
+        sc.workload = WorkloadSpec::SortKeys { bits: 40 };
+        sc.sweep = Sweep::new(vec![Axis::ints("radix_bits", [4, 8, 12])]);
+        let out = run_sort_compare(&sc).unwrap();
+        // Fewer bits → more EREW passes → worse radix/sample ratio.
+        let passes = out.table.column_f64(1);
+        assert!(passes.first().unwrap() > passes.last().unwrap(), "{passes:?}");
+        for r in out.table.column_f64(7) {
+            assert!(r > 1.0, "radix/sample ratio {r} not > 1");
+        }
+    }
+
+    /// Streaming a sort through [`SessionSink`] must be bit-identical
+    /// to collecting its full trace and replaying it — same cycles,
+    /// same request count, same per-bank totals — while the streamed
+    /// run's watermark stays at the biggest single superstep.
+    #[test]
+    fn streamed_sorts_equal_their_materialized_traces() {
+        let m = super::super::default_machine();
+        let map = super::super::hashed_map(&m, 71);
+        let keys: Vec<u64> = {
+            use rand::Rng;
+            let mut rng = super::super::point_rng(71, 1);
+            (0..4096).map(|_| rng.random_range(0..1u64 << 40)).collect()
+        };
+
+        type Drive = Box<dyn Fn(&mut TraceBuilder)>;
+        let drives: Vec<(&str, Drive)> = vec![
+            ("sample", {
+                let keys = keys.clone();
+                Box::new(move |tb: &mut TraceBuilder| {
+                    let mut rng = super::super::point_rng(71, 2);
+                    let _ = sample_sort::sample_sort_with(tb, &keys, 16, 8, &mut rng);
+                })
+            }),
+            ("radix", {
+                let keys = keys.clone();
+                Box::new(move |tb: &mut TraceBuilder| {
+                    let _ = radix_sort::sort_with(tb, &keys, 8);
+                })
+            }),
+        ];
+        for (name, drive) in &drives {
+            let mut live = Session::new(super::super::backend(&m));
+            let (_, ()) = streamed(&mut live, &map, m.p, |tb| drive(tb));
+
+            let mut tb = TraceBuilder::new(m.p);
+            drive(&mut tb);
+            let trace = tb.finish();
+            let mut replayed = Session::new(super::super::backend(&m));
+            let _ = replayed.run_trace(&trace, &map);
+
+            assert_eq!(live.cycles(), replayed.cycles(), "{name}: cycles diverge");
+            assert_eq!(live.requests(), replayed.requests(), "{name}: request counts diverge");
+            assert_eq!(live.bank_totals(), replayed.bank_totals(), "{name}: bank totals diverge");
+            let biggest = trace.iter().map(|s| s.pattern.len()).max().unwrap_or(0);
+            assert_eq!(live.peak_step_requests(), biggest, "{name}: watermark");
+        }
+    }
+
+    #[test]
+    fn sort_kinds_reject_wrong_workloads() {
+        let mut sc = oversample_scenario();
+        sc.workload = WorkloadSpec::None;
+        assert!(run_sort_oversample(&sc).is_err());
+        sc.kind = "sort-compare".into();
+        assert!(run_sort_compare(&sc).is_err());
+    }
+}

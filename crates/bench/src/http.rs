@@ -6,10 +6,17 @@
 //!
 //! * requests carry an optional `Content-Length` body (no chunked
 //!   *request* bodies);
-//! * responses are `Connection: close` and close-delimited, which is
-//!   what lets `POST /run` *stream* JSON-lines records: the server
-//!   writes and flushes each line as it goes and the body ends when
-//!   the socket does — valid HTTP/1.1, zero framing overhead.
+//! * by default responses are `Connection: close` and close-delimited,
+//!   which is what lets `POST /run` *stream* JSON-lines records: the
+//!   server writes and flushes each line as it goes and the body ends
+//!   when the socket does — valid HTTP/1.1, zero framing overhead;
+//! * a client that sends `Connection: keep-alive` explicitly opts into
+//!   persistent connections: the server answers with
+//!   `Content-Length`-framed responses ([`respond_framed`]) and reads
+//!   the next request off the same socket ([`ServerConn`]). Because
+//!   the reader survives between requests, *pipelined* requests —
+//!   several sent before the first response is read — are served in
+//!   order with nothing dropped. [`ClientConn`] is the client half.
 //!
 //! Malformed input is an [`io::Error`]: the server turns it into a
 //! `400`, never a panic.
@@ -40,6 +47,15 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
     }
+
+    /// Whether the client explicitly opted into a persistent
+    /// connection. Only `Connection: keep-alive` counts: clients that
+    /// send nothing (curl, urllib) get the legacy close-delimited
+    /// streaming responses, which is what they parse.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -54,9 +70,21 @@ fn bad(msg: &str) -> io::Error {
 /// [`io::ErrorKind::InvalidData`] for malformed syntax or an oversized
 /// body, plus any transport error.
 pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
-    let mut reader = BufReader::new(stream);
+    read_request_from(&mut BufReader::new(stream))?.ok_or_else(|| bad("empty request line"))
+}
+
+/// Read one request from a persistent reader. `Ok(None)` is a clean
+/// EOF at a request boundary — the client hung up between requests,
+/// which on a keep-alive connection is not an error.
+///
+/// # Errors
+///
+/// As [`read_request`].
+pub fn read_request_from<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_string();
     let path = parts.next().ok_or_else(|| bad("request line lacks a target"))?.to_string();
@@ -86,7 +114,46 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
     }
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, headers, body })
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+/// The server half of a (possibly persistent) connection: a buffered
+/// reader that survives between requests — so bytes a pipelining
+/// client sent early are never discarded — plus the raw stream for
+/// writing responses.
+#[derive(Debug)]
+pub struct ServerConn {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl ServerConn {
+    /// Wrap an accepted stream.
+    ///
+    /// # Errors
+    ///
+    /// If the stream cannot be cloned for the read half.
+    pub fn new(stream: TcpStream) -> io::Result<ServerConn> {
+        // Small framed responses must not sit in Nagle's buffer
+        // waiting for the client's ACK of the previous exchange.
+        stream.set_nodelay(true)?;
+        Ok(ServerConn { reader: BufReader::new(stream.try_clone()?), stream })
+    }
+
+    /// The next request on the connection; `Ok(None)` when the client
+    /// closed cleanly between requests.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_request`].
+    pub fn next_request(&mut self) -> io::Result<Option<Request>> {
+        read_request_from(&mut self.reader)
+    }
+
+    /// The write half, for responses.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
 }
 
 /// Write a response head: status line, standard headers, and the blank
@@ -122,6 +189,28 @@ pub fn respond(
     body: &[u8],
 ) -> io::Result<()> {
     write_head(stream, status, reason, content_type)?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write a complete, `Content-Length`-framed response that keeps the
+/// connection open — the keep-alive counterpart of [`respond`].
+///
+/// # Errors
+///
+/// Any transport error.
+pub fn respond_framed(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    )?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -178,6 +267,107 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<
     Ok(Response { status, body })
 }
 
+/// A persistent client connection: many requests over one socket,
+/// with `Content-Length`-framed responses. [`send`](ClientConn::send)
+/// and [`read_response`](ClientConn::read_response) are split so a
+/// caller can *pipeline* — queue several requests before reading the
+/// first response; the server answers in order.
+#[derive(Debug)]
+pub struct ClientConn {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl ClientConn {
+    /// Open a persistent connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        // `send` writes head then body; without nodelay the second
+        // write stalls on Nagle + the peer's delayed ACK (~40ms per
+        // request on loopback).
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream.try_clone()?),
+            stream,
+        })
+    }
+
+    /// Send one request (with `Connection: keep-alive`) without
+    /// waiting for its response.
+    ///
+    /// # Errors
+    ///
+    /// Any transport error.
+    pub fn send(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        )?;
+        self.stream.write_all(body)?;
+        self.stream.flush()
+    }
+
+    /// Read the next response off the connection. Requires the server
+    /// to frame with `Content-Length` (which keep-alive responses do);
+    /// a close-delimited response is an error — the connection is not
+    /// reusable after one.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, a malformed status line, or an unframed
+    /// response.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before a response"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut len: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed inside response headers"));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    len = Some(value.trim().parse().map_err(|_| bad("bad content-length"))?);
+                }
+            }
+        }
+        let len = len.ok_or_else(|| bad("keep-alive response lacks a content-length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, body })
+    }
+
+    /// One request/response round trip over the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`send`](ClientConn::send) and
+    /// [`read_response`](ClientConn::read_response).
+    pub fn call(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+}
+
 /// `GET` shorthand.
 ///
 /// # Errors
@@ -226,6 +416,71 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.text(), "{\"a\":1}\n{\"a\":2}\n");
         server.join().unwrap();
+    }
+
+    /// A keep-alive connection serves several requests in order, with
+    /// framed responses, and sees a clean EOF when the client is done.
+    #[test]
+    fn keep_alive_round_trips_many_requests_on_one_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = ServerConn::new(stream).unwrap();
+            let mut served = 0;
+            while let Some(req) = conn.next_request().unwrap() {
+                assert!(req.keep_alive());
+                let body = format!("echo:{}", String::from_utf8_lossy(&req.body));
+                respond_framed(conn.stream_mut(), 200, "OK", "text/plain", body.as_bytes())
+                    .unwrap();
+                served += 1;
+            }
+            served
+        });
+        let mut client = ClientConn::connect(&addr).unwrap();
+        for i in 0..3 {
+            let resp = client.call("POST", "/x", format!("{i}").as_bytes()).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.text(), format!("echo:{i}"));
+        }
+        drop(client);
+        assert_eq!(server.join().unwrap(), 3);
+    }
+
+    /// Pipelining: both requests hit the socket before the first
+    /// response is read, and nothing buffered is lost.
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = ServerConn::new(stream).unwrap();
+            while let Some(req) = conn.next_request().unwrap() {
+                respond_framed(conn.stream_mut(), 200, "OK", "text/plain", &req.body).unwrap();
+            }
+        });
+        let mut client = ClientConn::connect(&addr).unwrap();
+        client.send("POST", "/a", b"first").unwrap();
+        client.send("POST", "/b", b"second").unwrap();
+        assert_eq!(client.read_response().unwrap().text(), "first");
+        assert_eq!(client.read_response().unwrap().text(), "second");
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn plain_requests_do_not_opt_into_keep_alive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let req = read_request(&stream).unwrap();
+        assert!(!req.keep_alive());
+        client.join().unwrap();
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub fn builtin_names() -> Vec<&'static str> {
         "exp17",
         "exp18",
         "exp19",
+        "sort_oversample",
+        "sort_radix_vs_sample",
+        "pstream_scan",
+        "pstream_stencil",
         "ablation_mapping",
         "ablation_window",
         "ablation_cache",
@@ -55,8 +59,20 @@ pub fn builtin_names() -> Vec<&'static str> {
 
 /// Built-ins whose rendered table is pinned bit-for-bit by a golden
 /// CSV under `tests/golden/` (`dxbench list` marks them).
-pub const GOLDEN_PINNED: &[&str] =
-    &["exp1", "exp2", "exp3", "fig1", "exp1_mixed", "exp2_mixed", "exp3_mixed", "exp4_mixed"];
+pub const GOLDEN_PINNED: &[&str] = &[
+    "exp1",
+    "exp2",
+    "exp3",
+    "fig1",
+    "exp1_mixed",
+    "exp2_mixed",
+    "exp3_mixed",
+    "exp4_mixed",
+    "sort_oversample",
+    "sort_radix_vs_sample",
+    "pstream_scan",
+    "pstream_stencil",
+];
 
 /// Whether the built-in `name` has a pinned golden CSV.
 #[must_use]
@@ -486,6 +502,61 @@ pub fn builtin(name: &str, scale: Scale, seed: u64) -> Result<Scenario, DxError>
                     .into(),
             ],
             ..Scenario::new(name, "sorts", seed)
+        },
+        "sort_oversample" => Scenario {
+            title: format!("Sorting S1: sample-sort oversampling sweep (n={an}, 40-bit keys)"),
+            n: Some(an),
+            workload: WorkloadSpec::SortKeys { bits: 40 },
+            sweep: Sweep::new(vec![ints("oversample", [1, 2, 4, 8, 16, 32])]),
+            notes: vec![
+                "more samples tighten bucket balance toward n/buckets while the replicated \
+                 splitter lookup keeps its QRQW contention bounded — the streamed run's \
+                 peak-resident watermark rides along"
+                    .into(),
+            ],
+            ..Scenario::new(name, "sort-oversample", seed)
+        }
+        .with_param("buckets", SpecValue::Int(16)),
+        "sort_radix_vs_sample" => Scenario {
+            title: format!("Sorting S2: EREW radix width vs. QRQW sample sort (n={an}, 40-bit keys)"),
+            n: Some(an),
+            workload: WorkloadSpec::SortKeys { bits: 40 },
+            sweep: Sweep::new(vec![ints("radix_bits", [2, 4, 8, 12])]),
+            notes: vec![
+                "bounded splitter contention buys a single partition pass; radix pays \
+                 ⌈40/width⌉ full EREW passes (and a p·2^width histogram per pass past 8 bits)"
+                    .into(),
+            ],
+            ..Scenario::new(name, "sort-compare", seed)
+        }
+        .with_param("buckets", SpecValue::Int(16))
+        .with_param("oversample", SpecValue::Int(8)),
+        "pstream_scan" => Scenario {
+            title: "Pstream P1: out-of-core prefix scan, chunk-generated supersteps (chunk=128)"
+                .into(),
+            workload: WorkloadSpec::PseudoStream { kernel: "scan".into(), chunk: 128 },
+            sweep: Sweep::new(vec![ints("n", [an, an * 4, an * 16])]),
+            models: vec!["dxbsp".into()],
+            notes: vec![
+                "the trace never materializes: the peak-resident watermark stays at the \
+                 chunk budget while total requests grow 16x"
+                    .into(),
+            ],
+            ..Scenario::new(name, "pstream", seed)
+        },
+        "pstream_stencil" => Scenario {
+            title: "Pstream P2: 1-D stencil stream under the hybrid engine (chunk=128)".into(),
+            workload: WorkloadSpec::PseudoStream { kernel: "stencil".into(), chunk: 128 },
+            sweep: Sweep::new(vec![ints("n", [an, an * 4, an * 16])]),
+            models: vec!["dxbsp".into()],
+            exec: dxbsp_core::ExecMode::hybrid(0.05),
+            notes: vec![
+                "every halo chunk is conflict-free on the interleaved map, so the hybrid \
+                 engine charges the whole stream closed-form (modeled == supersteps), \
+                 bit-identical to event-level execution"
+                    .into(),
+            ],
+            ..Scenario::new(name, "pstream", seed)
         },
         "ablation_mapping" => Scenario {
             title: format!("Ablation A1: interleaved vs. hashed banks under stride access (n={n})"),

@@ -36,11 +36,21 @@ pub struct StormOpts {
     /// cycled across requests — >1 exercises both cache misses and
     /// hits on repeated sweeps.
     pub variants: u64,
+    /// Reuse one persistent connection per client (HTTP keep-alive
+    /// with `Content-Length`-framed responses) instead of a fresh
+    /// connection per request. Bytes are verified identically.
+    pub keep_alive: bool,
 }
 
 impl Default for StormOpts {
     fn default() -> Self {
-        StormOpts { addr: String::new(), clients: 16, requests: 1000, variants: 2 }
+        StormOpts {
+            addr: String::new(),
+            clients: 16,
+            requests: 1000,
+            variants: 2,
+            keep_alive: false,
+        }
     }
 }
 
@@ -195,6 +205,24 @@ pub fn storm(sc: &Scenario, opts: &StormOpts) -> Result<StormReport, DxError> {
         for _ in 0..opts.clients {
             s.spawn(|| {
                 let mut local_lat = Vec::new();
+                // The client's persistent connection in keep-alive
+                // mode; dropped (and re-dialed) on any transport
+                // error so one broken socket costs one reconnect.
+                let mut conn: Option<http::ClientConn> = None;
+                let post = |conn: &mut Option<http::ClientConn>, body: &[u8]| {
+                    if !opts.keep_alive {
+                        return http::post(&opts.addr, "/run", body);
+                    }
+                    if conn.is_none() {
+                        *conn = Some(http::ClientConn::connect(&opts.addr)?);
+                    }
+                    let c = conn.as_mut().expect("connection just dialed");
+                    let resp = c.call("POST", "/run", body);
+                    if resp.is_err() {
+                        *conn = None;
+                    }
+                    resp
+                };
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= opts.requests {
@@ -204,7 +232,7 @@ pub fn storm(sc: &Scenario, opts: &StormOpts) -> Result<StormReport, DxError> {
                     let body = bodies[variant].as_bytes();
                     let t0 = Instant::now();
                     let resp = loop {
-                        match http::post(&opts.addr, "/run", body) {
+                        match post(&mut conn, body) {
                             Ok(r) if r.status == 503 => {
                                 shed_retries.fetch_add(1, Ordering::Relaxed);
                                 std::thread::sleep(Duration::from_millis(2));

@@ -80,6 +80,9 @@ pub const KINDS: &[(&str, Executor)] = &[
     ("hash-congestion", experiments::extensions::run_hash_congestion),
     ("remedies", experiments::extensions::run_remedies),
     ("sorts", experiments::extensions::run_sorts),
+    ("sort-oversample", experiments::sorting::run_sort_oversample),
+    ("sort-compare", experiments::sorting::run_sort_compare),
+    ("pstream", experiments::pstream::run_pstream),
 ];
 
 /// The registered scenario kinds, in registry order.

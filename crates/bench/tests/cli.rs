@@ -441,6 +441,10 @@ mod telemetry_cli {
                 "exp2_mixed",
                 "exp3_mixed",
                 "exp4_mixed",
+                "sort_oversample",
+                "sort_radix_vs_sample",
+                "pstream_scan",
+                "pstream_stencil",
             ]
             .contains(&name)
             {
@@ -505,6 +509,39 @@ mod telemetry_cli {
         for line in text.lines() {
             let v = SpecValue::from_json(line).expect("record parses");
             assert!(v.get("values").expect("values").get("delay_model").is_none(), "{line}");
+        }
+    }
+
+    #[test]
+    fn dxbench_json_surfaces_the_streaming_watermark() {
+        // The pseudo-streaming scenarios stamp the session's
+        // peak-resident watermark into every RunRecord: it must stay
+        // at the declared chunk budget — flat across the n sweep —
+        // proving the trace never materializes.
+        let json_path = tmp("pstream.records.jsonl");
+        run_ok(dxbench().args(["run", "pstream_scan", "--quick", "--json"]).arg(&json_path));
+        let text = std::fs::read_to_string(&json_path).expect("records");
+        let mut peaks = Vec::new();
+        for line in text.lines() {
+            let v = SpecValue::from_json(line).expect("record parses");
+            let values = v.get("values").expect("values object");
+            let peak =
+                values.get("peak_resident").and_then(SpecValue::as_int).expect("peak_resident");
+            let budget = values.get("budget").and_then(SpecValue::as_int).expect("budget");
+            assert!(peak <= budget, "watermark {peak} over budget {budget}: {line}");
+            peaks.push(peak);
+        }
+        assert!(peaks.len() >= 2, "need a sweep to prove flatness");
+        assert!(peaks.windows(2).all(|w| w[0] == w[1]), "watermark grew with n: {peaks:?}");
+
+        // The sorting scenarios carry the watermark too.
+        let json_path = tmp("oversample.records.jsonl");
+        run_ok(dxbench().args(["run", "sort_oversample", "--quick", "--json"]).arg(&json_path));
+        let text = std::fs::read_to_string(&json_path).expect("records");
+        for line in text.lines() {
+            let v = SpecValue::from_json(line).expect("record parses");
+            let values = v.get("values").expect("values object");
+            assert!(values.get("peak_resident").and_then(SpecValue::as_int).is_some(), "{line}");
         }
     }
 
@@ -667,6 +704,69 @@ mod serve {
         assert!(bad.text().contains("false"), "{}", bad.text());
         let missing = http::get(&server.addr, "/nope").expect("GET /nope");
         assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_and_pipelines_on_one_connection() {
+        let server = Server::start(&[]);
+
+        // The reference bytes: the same spec through `dxbench run`.
+        let spec = run_ok(dxbench().args(["dump", "exp1", "--quick"]));
+        let spec_path = tmp("ka-exp1.toml");
+        std::fs::write(&spec_path, &spec).expect("write spec");
+        let json_path = tmp("ka-exp1.jsonl");
+        run_ok(dxbench().arg("run").arg(&spec_path).arg("--json").arg(&json_path));
+        let cli_bytes = std::fs::read_to_string(&json_path).expect("cli records");
+
+        let mut conn = http::ClientConn::connect(&server.addr).expect("connect");
+        // Several sequential requests over the one socket, each
+        // byte-identical to the CLI output.
+        for _ in 0..3 {
+            let resp = conn.call("POST", "/run", spec.as_bytes()).expect("keep-alive POST");
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.text(), cli_bytes, "keep-alive body differs from dxbench run --json");
+        }
+        // Mixed endpoints on the same connection.
+        let health = conn.call("GET", "/healthz", &[]).expect("healthz");
+        assert_eq!((health.status, health.text().as_str()), (200, "ok\n"));
+        let metrics = conn.call("GET", "/metrics", &[]).expect("metrics");
+        assert_eq!(metrics.status, 200);
+        prometheus::lint(&metrics.text()).expect("lintable exposition");
+        // Errors are framed too, so the connection survives a 400.
+        let bad = conn.call("POST", "/run", b"not a scenario").expect("bad spec");
+        assert_eq!(bad.status, 400);
+        let after = conn.call("POST", "/run", spec.as_bytes()).expect("POST after 400");
+        assert_eq!(after.status, 200);
+        assert_eq!(after.text(), cli_bytes);
+
+        // Pipelining: queue two runs before reading either response;
+        // both come back in order, bytes intact.
+        conn.send("POST", "/run", spec.as_bytes()).expect("pipeline send 1");
+        conn.send("POST", "/run", spec.as_bytes()).expect("pipeline send 2");
+        assert_eq!(conn.read_response().expect("pipelined 1").text(), cli_bytes);
+        assert_eq!(conn.read_response().expect("pipelined 2").text(), cli_bytes);
+    }
+
+    #[test]
+    fn storm_keep_alive_variant_verifies_every_byte() {
+        let server = Server::start(&[]);
+        let out = run_ok(dxbench().args([
+            "storm",
+            "exp1",
+            "--quick",
+            "--addr",
+            &server.addr,
+            "--clients",
+            "8",
+            "--requests",
+            "200",
+            "--variants",
+            "2",
+            "--keep-alive",
+        ]));
+        assert!(out.contains("storm: 200 requests"), "{out}");
+        assert!(out.contains("identical to dxbench run"), "{out}");
+        assert!(out.contains("lint clean"), "{out}");
     }
 
     #[test]

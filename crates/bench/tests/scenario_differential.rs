@@ -92,6 +92,30 @@ fn mixed_tier_goldens_quantify_the_uniform_misprediction() {
 }
 
 #[test]
+fn sort_oversample_matches_golden_exactly() {
+    let t = run_builtin("sort_oversample", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/sort_oversample.csv"));
+}
+
+#[test]
+fn sort_radix_vs_sample_matches_golden_exactly() {
+    let t = run_builtin("sort_radix_vs_sample", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/sort_radix_vs_sample.csv"));
+}
+
+#[test]
+fn pstream_scan_matches_golden_exactly() {
+    let t = run_builtin("pstream_scan", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/pstream_scan.csv"));
+}
+
+#[test]
+fn pstream_stencil_matches_golden_exactly() {
+    let t = run_builtin("pstream_stencil", Scale::Quick, SEED);
+    assert_eq!(csv(&t), include_str!("golden/pstream_stencil.csv"));
+}
+
+#[test]
 fn every_builtin_is_committed_as_a_scenario_file() {
     // examples/scenarios/builtin/<name>.toml is the dump of each
     // built-in at Full scale — the committed, runnable form of every

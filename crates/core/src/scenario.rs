@@ -425,6 +425,23 @@ pub enum WorkloadSpec {
         /// Salt for the shared graph RNG stream.
         salt: u64,
     },
+    /// Uniform random sort keys over `bits`-bit values — the input
+    /// family of the sorting scenarios (radix passes scale with
+    /// `ceil(bits / radix_bits)`).
+    SortKeys {
+        /// Key width in bits.
+        bits: u32,
+    },
+    /// An out-of-core bulk-synchronous pseudo-streaming kernel over a
+    /// virtual array: supersteps are generated chunk by chunk and never
+    /// materialize, so peak-resident memory is bounded by the declared
+    /// chunk budget regardless of problem size.
+    PseudoStream {
+        /// Kernel name: `scan`, `reduce`, or `stencil`.
+        kernel: String,
+        /// Chunk budget — elements resident per generated superstep.
+        chunk: usize,
+    },
 }
 
 impl WorkloadSpec {
@@ -442,6 +459,8 @@ impl WorkloadSpec {
             WorkloadSpec::GoldenDistinct { .. } => "golden-distinct",
             WorkloadSpec::CcGraph { .. } => "cc-graph",
             WorkloadSpec::GraphFamily { .. } => "graph-family",
+            WorkloadSpec::SortKeys { .. } => "sort-keys",
+            WorkloadSpec::PseudoStream { .. } => "pstream",
         }
     }
 
@@ -471,6 +490,16 @@ impl WorkloadSpec {
                 check(edges_per_node >= 1, "workload: cc-graph needs edges_per_node >= 1")
             }
             WorkloadSpec::GraphFamily { .. } => Ok(()),
+            WorkloadSpec::SortKeys { bits } => {
+                check((1..=62).contains(&bits), "workload: sort-keys bits must be in 1..=62")
+            }
+            WorkloadSpec::PseudoStream { ref kernel, chunk } => {
+                check(
+                    matches!(kernel.as_str(), "scan" | "reduce" | "stencil"),
+                    "workload: pstream kernel must be `scan`, `reduce`, or `stencil`",
+                )?;
+                check(chunk >= 1, "workload: pstream needs chunk >= 1")
+            }
         }
     }
 
@@ -507,6 +536,13 @@ impl WorkloadSpec {
             WorkloadSpec::GraphFamily { salt } => {
                 t.set("salt", SpecValue::Int(salt as i64));
             }
+            WorkloadSpec::SortKeys { bits } => {
+                t.set("bits", SpecValue::Int(i64::from(bits)));
+            }
+            WorkloadSpec::PseudoStream { ref kernel, chunk } => {
+                t.set("kernel", SpecValue::Str(kernel.clone()));
+                t.set("chunk", SpecValue::Int(chunk as i64));
+            }
         }
         t
     }
@@ -526,6 +562,8 @@ impl WorkloadSpec {
             "golden-distinct" => &["shift"],
             "cc-graph" => &["star_leaves", "edges_per_node", "salt"],
             "graph-family" => &["salt"],
+            "sort-keys" => &["bits"],
+            "pstream" => &["kernel", "chunk"],
             other => return Err(DxError::unknown("workload family", other)),
         };
         for (key, _) in entries {
@@ -572,6 +610,19 @@ impl WorkloadSpec {
                 salt: int_or("salt", 0)?,
             },
             "graph-family" => WorkloadSpec::GraphFamily { salt: int_or("salt", 0)? },
+            "sort-keys" => WorkloadSpec::SortKeys {
+                bits: u32::try_from(int("bits")?)
+                    .map_err(|_| DxError::invalid("workload: sort-keys bits out of range"))?,
+            },
+            "pstream" => WorkloadSpec::PseudoStream {
+                kernel: v
+                    .get("kernel")
+                    .ok_or_else(|| DxError::invalid("workload: `pstream` needs `kernel`"))
+                    .and_then(|val| req_str(val, "workload.kernel"))?
+                    .to_string(),
+                chunk: usize::try_from(int("chunk")?)
+                    .map_err(|_| DxError::invalid("workload: pstream chunk out of range"))?,
+            },
             _ => unreachable!("family checked above"),
         })
     }
@@ -1593,6 +1644,8 @@ mod tests {
             WorkloadSpec::GoldenDistinct { shift: 4 },
             WorkloadSpec::CcGraph { star_leaves: 1024, edges_per_node: 2, salt: 0xF1 },
             WorkloadSpec::GraphFamily { salt: 13 },
+            WorkloadSpec::SortKeys { bits: 40 },
+            WorkloadSpec::PseudoStream { kernel: "scan".into(), chunk: 4096 },
         ] {
             let mut sc = demo();
             sc.sweep = Sweep::default();

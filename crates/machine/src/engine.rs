@@ -486,6 +486,7 @@ pub struct Session<B: Backend> {
     supersteps: usize,
     simulated_steps: usize,
     modeled_steps: usize,
+    peak_step_requests: usize,
     bank_totals: Vec<BankStats>,
     proc_totals: Vec<ProcStats>,
     pool: PatternPool,
@@ -503,6 +504,7 @@ impl<B: Backend> Session<B> {
             supersteps: 0,
             simulated_steps: 0,
             modeled_steps: 0,
+            peak_step_requests: 0,
             bank_totals: Vec::new(),
             proc_totals: Vec::new(),
             pool: PatternPool::new(),
@@ -580,6 +582,17 @@ impl<B: Backend> Session<B> {
         self.modeled_steps
     }
 
+    /// The largest single-superstep request count stepped through the
+    /// session — the streaming peak-resident watermark. A streamed run
+    /// ([`Session::run_stream`] or a push-side
+    /// [`SessionSink`](crate::stream::SessionSink)) holds exactly one
+    /// superstep's requests in memory at a time, so this is its peak
+    /// resident footprint in requests, independent of stream length.
+    #[must_use]
+    pub fn peak_step_requests(&self) -> usize {
+        self.peak_step_requests
+    }
+
     /// Per-bank statistics summed across all steps (empty for analytic
     /// backends). `max_queue_wait` is the max over steps.
     #[must_use]
@@ -603,6 +616,7 @@ impl<B: Backend> Session<B> {
         self.supersteps = 0;
         self.simulated_steps = 0;
         self.modeled_steps = 0;
+        self.peak_step_requests = 0;
         self.bank_totals.clear();
         self.proc_totals.clear();
     }
@@ -670,6 +684,7 @@ impl<B: Backend> Session<B> {
             self.simulated_steps += 1;
         }
         self.requests += out.requests;
+        self.peak_step_requests = self.peak_step_requests.max(out.requests);
         self.memory_cycles += out.cycles;
         self.cycles += out.cycles + local_work + sync;
         if let Some(res) = &out.result {
@@ -987,6 +1002,22 @@ mod tests {
         session.reset_totals();
         assert_eq!(session.modeled_steps(), 0);
         assert_eq!(session.simulated_steps(), 0);
+    }
+
+    #[test]
+    fn session_tracks_the_peak_step_watermark() {
+        let cfg = SimConfig::new(2, 8, 6);
+        let map = Interleaved::new(8);
+        let mut session = Session::new(SimulatorBackend::new(cfg));
+        assert_eq!(session.peak_step_requests(), 0);
+        session.step(&hot(2, 3), &map);
+        session.step(&hot(2, 7), &map);
+        session.step(&hot(2, 1), &map);
+        // The watermark is the max over steps, not the total.
+        assert_eq!(session.peak_step_requests(), 7);
+        assert_eq!(session.requests(), 11);
+        session.reset_totals();
+        assert_eq!(session.peak_step_requests(), 0);
     }
 
     #[test]

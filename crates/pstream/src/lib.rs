@@ -1,0 +1,531 @@
+//! Bulk-synchronous pseudo-streaming kernels.
+//!
+//! An out-of-core workload's working set exceeds what any superstep
+//! should hold resident, so its trace must never materialize: the
+//! kernels here — prefix **scan**, **reduce**, and a 1-D **stencil**
+//! over a virtual array of `n` elements — are
+//! [`SuperstepSource`] generators that produce their supersteps chunk
+//! by chunk, on demand, straight into the engine's recycled
+//! [`TraceStep`] buffer. Peak-resident memory is bounded by the
+//! declared chunk budget ([`PstreamSpec::step_budget`]) regardless of
+//! `n`; a [`Session`](dxbsp_machine::Session) running the stream
+//! observes exactly that bound as its `peak_step_requests` watermark.
+//!
+//! The virtual input never exists either: element `i` is the
+//! deterministic hash [`elem`]`(seed, i)`, recomputed wherever a chunk
+//! (or a stencil halo) needs it. Block summaries — one word per chunk,
+//! the O(n/chunk) "small" structure of the out-of-core discipline
+//! (Buurlage et al.) — live host-side between passes and never hit the
+//! banked memory, so every generated superstep touches one contiguous
+//! address range, each address exactly once. On an interleaved bank map
+//! with at least `chunk + 2` banks that makes every step conflict-free,
+//! and a hybrid-mode simulator charges the whole stream closed-form,
+//! bit-identically to the event-level engine.
+//!
+//! Each kernel folds its output into a running checksum
+//! ([`PstreamSource::checksum`]) that the sequential oracle
+//! ([`PstreamSpec::oracle`]) reproduces, so a streamed run is checkable
+//! without ever holding the output.
+
+use dxbsp_core::DxError;
+use dxbsp_machine::{SuperstepSource, Trace, TraceStep};
+
+/// The pseudo-streaming kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Inclusive prefix sum (wrapping): two passes over the input with
+    /// a host-side block-summary scan in between.
+    Scan,
+    /// Total sum (wrapping): one pass, then the combined total lands in
+    /// its output cell.
+    Reduce,
+    /// 1-D three-point stencil `out[i] = in[i-1] + in[i] + in[i+1]`
+    /// (wrapping, zero boundary): one pass with a two-element halo per
+    /// chunk.
+    Stencil,
+}
+
+impl Kernel {
+    /// Parses the scenario-file kernel name.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Unknown`] for anything but `scan`/`reduce`/`stencil`.
+    pub fn parse(name: &str) -> Result<Self, DxError> {
+        match name {
+            "scan" => Ok(Kernel::Scan),
+            "reduce" => Ok(Kernel::Reduce),
+            "stencil" => Ok(Kernel::Stencil),
+            other => Err(DxError::unknown("pstream kernel", other.to_string())),
+        }
+    }
+
+    /// The scenario-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scan => "scan",
+            Kernel::Reduce => "reduce",
+            Kernel::Stencil => "stencil",
+        }
+    }
+}
+
+/// The `i`-th element of the virtual input: a SplitMix64 hash of the
+/// seeded index. Pure and O(1), so chunks and halos recompute it
+/// instead of storing anything.
+#[must_use]
+pub fn elem(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fully specified pseudo-streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PstreamSpec {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Virtual input length.
+    pub n: usize,
+    /// Chunk budget: input elements resident per generated superstep.
+    pub chunk: usize,
+    /// Processor count (vector lanes round-robin over processors).
+    pub procs: usize,
+    /// Seed of the virtual input.
+    pub seed: u64,
+}
+
+impl PstreamSpec {
+    /// Validates and builds a spec.
+    ///
+    /// # Errors
+    ///
+    /// [`DxError::Invalid`] when `chunk < 2` or `procs == 0`.
+    pub fn new(
+        kernel: Kernel,
+        n: usize,
+        chunk: usize,
+        procs: usize,
+        seed: u64,
+    ) -> Result<Self, DxError> {
+        if chunk < 2 {
+            return Err(DxError::invalid("pstream chunk budget must be >= 2"));
+        }
+        if procs == 0 {
+            return Err(DxError::invalid("pstream needs at least one processor"));
+        }
+        Ok(Self { kernel, n, chunk, procs, seed })
+    }
+
+    /// Number of input chunks.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.n.div_ceil(self.chunk)
+    }
+
+    /// The declared per-superstep request budget: no generated
+    /// superstep ever carries more requests than this, however large
+    /// `n` grows. Scan and reduce stay within the chunk itself (block
+    /// summaries are host state); the stencil reads a two-element halo
+    /// on top of its chunk.
+    #[must_use]
+    pub fn step_budget(&self) -> usize {
+        match self.kernel {
+            Kernel::Scan | Kernel::Reduce => self.chunk,
+            Kernel::Stencil => self.chunk + 2,
+        }
+    }
+
+    /// A fresh generator for this spec.
+    #[must_use]
+    pub fn source(&self) -> PstreamSource {
+        PstreamSource::new(*self)
+    }
+
+    /// The sequential checksum oracle: what a correct streamed run's
+    /// [`PstreamSource::checksum`] must equal. O(n) time, O(1) space.
+    #[must_use]
+    pub fn oracle(&self) -> u64 {
+        let mut checksum = 0u64;
+        match self.kernel {
+            Kernel::Scan => {
+                let mut acc = 0u64;
+                for i in 0..self.n as u64 {
+                    acc = acc.wrapping_add(elem(self.seed, i));
+                    checksum = checksum.wrapping_add(acc);
+                }
+            }
+            Kernel::Reduce => {
+                for i in 0..self.n as u64 {
+                    checksum = checksum.wrapping_add(elem(self.seed, i));
+                }
+            }
+            Kernel::Stencil => {
+                for i in 0..self.n as u64 {
+                    let l = if i > 0 { elem(self.seed, i - 1) } else { 0 };
+                    let r = if i + 1 < self.n as u64 { elem(self.seed, i + 1) } else { 0 };
+                    let out = l.wrapping_add(elem(self.seed, i)).wrapping_add(r);
+                    checksum = checksum.wrapping_add(out);
+                }
+            }
+        }
+        checksum
+    }
+
+    /// Materializes the whole stream into a stored [`Trace`] (the
+    /// differential oracle's side of streamed == materialized) along
+    /// with the checksum. This is the one deliberately *non*-streaming
+    /// entry point — tests only.
+    #[must_use]
+    pub fn materialize(&self) -> (Trace, u64) {
+        let mut source = self.source();
+        let mut trace = Trace::new();
+        let mut step = TraceStep::default();
+        while source.fill_next(&mut step) {
+            trace.push(step.clone());
+        }
+        (trace, source.checksum().expect("stream exhausted"))
+    }
+}
+
+/// Where a generator is in its kernel's superstep schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// First pass over input chunk `c` (scan/reduce: load + host block
+    /// sum; stencil: halo read + compute).
+    Load(usize),
+    /// Host-side combine over the block summaries (scan: exclusive
+    /// scan, no requests; reduce: fold + one total-cell write).
+    Combine,
+    /// Second-pass read of input chunk `c` (scan only; its carry is
+    /// host state).
+    RewriteRead(usize),
+    /// Output write of chunk `c` (scan pass 2; stencil store).
+    Write(usize),
+    Done,
+}
+
+/// The chunk-by-chunk superstep generator. Holds O(`chunks`) host-side
+/// block summaries (the out-of-core algorithm's "small" state) and O(1)
+/// running accumulators — never more than one superstep of banked
+/// traffic.
+#[derive(Debug, Clone)]
+pub struct PstreamSource {
+    spec: PstreamSpec,
+    phase: Phase,
+    /// Block summaries: per-chunk sums, exclusively scanned in place by
+    /// the `Combine` phase (scan only; reduce folds straight into
+    /// `acc`).
+    partials: Vec<u64>,
+    /// Running total (reduce) / carry accumulator (scan).
+    acc: u64,
+    checksum: u64,
+    emitted: usize,
+}
+
+impl PstreamSource {
+    /// A generator at the start of `spec`'s schedule.
+    #[must_use]
+    pub fn new(spec: PstreamSpec) -> Self {
+        Self {
+            spec,
+            phase: if spec.n == 0 { Phase::Done } else { Phase::Load(0) },
+            partials: Vec::new(),
+            acc: 0,
+            checksum: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The spec this generator realizes.
+    #[must_use]
+    pub fn spec(&self) -> &PstreamSpec {
+        &self.spec
+    }
+
+    /// Supersteps emitted so far.
+    #[must_use]
+    pub fn supersteps_emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The kernel's output checksum — `Some` once the stream is
+    /// exhausted, matching [`PstreamSpec::oracle`].
+    #[must_use]
+    pub fn checksum(&self) -> Option<u64> {
+        (self.phase == Phase::Done).then_some(self.checksum)
+    }
+
+    /// The half-open element range of chunk `c`.
+    fn range(&self, c: usize) -> (u64, u64) {
+        let start = (c * self.spec.chunk) as u64;
+        (start, (((c + 1) * self.spec.chunk).min(self.spec.n)) as u64)
+    }
+
+    /// Address bases of the virtual arrays: input, output, and the
+    /// reduce total's cell. Guard gaps keep them disjoint.
+    fn bases(&self) -> (u64, u64, u64) {
+        let n = self.spec.n as u64;
+        (0, n + 1, 2 * (n + 1))
+    }
+
+    fn fill(&mut self, step: &mut TraceStep) -> bool {
+        let spec = self.spec;
+        let (input, output, total_cell) = self.bases();
+        let chunks = spec.chunks();
+        step.recycle();
+        step.pattern.retarget(spec.procs);
+        match (spec.kernel, self.phase) {
+            (_, Phase::Done) => return false,
+
+            // First pass, chunk c.
+            (kernel, Phase::Load(c)) => {
+                let (start, end) = self.range(c);
+                let mut lane = 0usize;
+                // The stencil's halo: one element each side, clamped —
+                // the range stays contiguous.
+                if kernel == Kernel::Stencil && start > 0 {
+                    step.pattern.push_read(lane % spec.procs, input + start - 1);
+                    lane += 1;
+                }
+                for i in start..end {
+                    step.pattern.push_read(lane % spec.procs, input + i);
+                    lane += 1;
+                }
+                if kernel == Kernel::Stencil && end < spec.n as u64 {
+                    step.pattern.push_read(lane % spec.procs, input + end);
+                    lane += 1;
+                }
+                match kernel {
+                    Kernel::Scan | Kernel::Reduce => {
+                        let mut sum = 0u64;
+                        for i in start..end {
+                            sum = sum.wrapping_add(elem(spec.seed, i));
+                        }
+                        self.partials.push(sum);
+                        step.label.push_str(&format!("{}:load:{c}", kernel.name()));
+                        self.phase =
+                            if c + 1 < chunks { Phase::Load(c + 1) } else { Phase::Combine };
+                    }
+                    Kernel::Stencil => {
+                        for i in start..end {
+                            let l = if i > 0 { elem(spec.seed, i - 1) } else { 0 };
+                            let r = if i + 1 < spec.n as u64 { elem(spec.seed, i + 1) } else { 0 };
+                            let out = l.wrapping_add(elem(spec.seed, i)).wrapping_add(r);
+                            self.checksum = self.checksum.wrapping_add(out);
+                        }
+                        step.label.push_str(&format!("stencil:halo:{c}"));
+                        self.phase = Phase::Write(c);
+                    }
+                }
+                step.local_work = lane.div_ceil(spec.procs) as u64;
+            }
+
+            // Host-side combine over the block summaries.
+            (kernel, Phase::Combine) => {
+                match kernel {
+                    Kernel::Scan => {
+                        // Exclusive scan of the summaries, in place.
+                        for p in &mut self.partials {
+                            let sum = *p;
+                            *p = self.acc;
+                            self.acc = self.acc.wrapping_add(sum);
+                        }
+                        step.label.push_str("scan:combine");
+                        self.phase = Phase::RewriteRead(0);
+                    }
+                    Kernel::Reduce => {
+                        for &p in &self.partials {
+                            self.acc = self.acc.wrapping_add(p);
+                        }
+                        // The total lands in its output cell.
+                        step.pattern.push_write(0, total_cell);
+                        self.checksum = self.acc;
+                        step.label.push_str("reduce:combine");
+                        self.phase = Phase::Done;
+                    }
+                    Kernel::Stencil => unreachable!("stencil has no combine phase"),
+                }
+                step.local_work = chunks.div_ceil(spec.procs).max(1) as u64;
+            }
+
+            // Scan pass 2: reread the chunk (its carry is host state)…
+            (Kernel::Scan, Phase::RewriteRead(c)) => {
+                let (start, end) = self.range(c);
+                let mut lane = 0usize;
+                for i in start..end {
+                    step.pattern.push_read(lane % spec.procs, input + i);
+                    lane += 1;
+                }
+                let mut acc = self.partials[c];
+                for i in start..end {
+                    acc = acc.wrapping_add(elem(spec.seed, i));
+                    self.checksum = self.checksum.wrapping_add(acc);
+                }
+                step.label.push_str(&format!("scan:carry:{c}"));
+                step.local_work = lane.div_ceil(spec.procs) as u64;
+                self.phase = Phase::Write(c);
+            }
+            (Kernel::Reduce | Kernel::Stencil, Phase::RewriteRead(_)) => {
+                unreachable!("only scan rereads")
+            }
+
+            // …and write the output chunk (scan pass 2 / stencil store).
+            (kernel, Phase::Write(c)) => {
+                let (start, end) = self.range(c);
+                for i in start..end {
+                    step.pattern.push_write((i - start) as usize % spec.procs, output + i);
+                }
+                step.label.push_str(&format!("{}:store:{c}", kernel.name()));
+                step.local_work = 1;
+                self.phase = match (kernel, c + 1 < chunks) {
+                    (Kernel::Scan, true) => Phase::RewriteRead(c + 1),
+                    (Kernel::Stencil, true) => Phase::Load(c + 1),
+                    (_, false) => Phase::Done,
+                    (Kernel::Reduce, _) => unreachable!("reduce writes only its total"),
+                };
+            }
+        }
+        self.emitted += 1;
+        true
+    }
+}
+
+impl SuperstepSource for PstreamSource {
+    fn fill_next(&mut self, step: &mut TraceStep) -> bool {
+        self.fill(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dxbsp_core::Interleaved;
+    use dxbsp_machine::{Session, SimConfig, SimulatorBackend};
+
+    const KERNELS: [Kernel; 3] = [Kernel::Scan, Kernel::Reduce, Kernel::Stencil];
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in KERNELS {
+            assert_eq!(Kernel::parse(k.name()).unwrap(), k);
+        }
+        assert!(Kernel::parse("sort").is_err());
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        assert!(PstreamSpec::new(Kernel::Scan, 16, 1, 4, 0).is_err());
+        assert!(PstreamSpec::new(Kernel::Scan, 16, 4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn checksums_match_the_sequential_oracle() {
+        for kernel in KERNELS {
+            for (n, chunk) in [(0, 4), (1, 4), (5, 8), (64, 16), (1000, 64), (257, 32)] {
+                let spec = PstreamSpec::new(kernel, n, chunk, 4, 0xDEAD).unwrap();
+                let mut source = spec.source();
+                let mut step = TraceStep::default();
+                while source.fill_next(&mut step) {}
+                assert_eq!(
+                    source.checksum(),
+                    Some(spec.oracle()),
+                    "{} n={n} chunk={chunk}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_superstep_respects_the_budget_and_is_conflict_free() {
+        for kernel in KERNELS {
+            let spec = PstreamSpec::new(kernel, 10_000, 128, 8, 7).unwrap();
+            let mut source = spec.source();
+            let mut step = TraceStep::default();
+            while source.fill_next(&mut step) {
+                assert!(
+                    step.pattern.len() <= spec.step_budget(),
+                    "{}: step `{}` carries {} requests, budget {}",
+                    kernel.name(),
+                    step.label,
+                    step.pattern.len(),
+                    spec.step_budget()
+                );
+                assert!(
+                    step.pattern.contention_profile().max_location_contention <= 1,
+                    "{}: step `{}` is not conflict-free",
+                    kernel.name(),
+                    step.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_independent_of_problem_size() {
+        for kernel in KERNELS {
+            let budgets: Vec<usize> = [1 << 10, 1 << 14, 1 << 17]
+                .into_iter()
+                .map(|n| PstreamSpec::new(kernel, n, 256, 8, 1).unwrap().step_budget())
+                .collect();
+            assert!(budgets.windows(2).all(|w| w[0] == w[1]), "{budgets:?}");
+        }
+    }
+
+    /// The generated stream, materialized and replayed, is
+    /// bit-identical to running it streamed — and the streamed session
+    /// never holds more than the declared budget.
+    #[test]
+    fn streamed_equals_materialized_on_the_simulator() {
+        for kernel in KERNELS {
+            let spec = PstreamSpec::new(kernel, 4096, 64, 8, 3).unwrap();
+            let cfg = SimConfig::new(8, 256, 14).with_sync_overhead(4);
+            let map = Interleaved::new(256);
+
+            let (trace, materialized_sum) = spec.materialize();
+            let mut via_trace = Session::new(SimulatorBackend::new(cfg.clone()));
+            via_trace.run_trace(&trace, &map);
+
+            let mut via_stream = Session::new(SimulatorBackend::new(cfg));
+            let summary = via_stream.run_stream(&mut spec.source(), &map);
+
+            assert_eq!(via_stream.cycles(), via_trace.cycles(), "{}", kernel.name());
+            assert_eq!(via_stream.requests(), via_trace.requests());
+            assert_eq!(via_stream.bank_totals(), via_trace.bank_totals());
+            assert_eq!(summary.supersteps, trace.len());
+            assert_eq!(materialized_sum, spec.oracle());
+            assert!(
+                via_stream.peak_step_requests() <= spec.step_budget(),
+                "{}: watermark {} exceeds budget {}",
+                kernel.name(),
+                via_stream.peak_step_requests(),
+                spec.step_budget()
+            );
+        }
+    }
+
+    /// Conflict-free chunks take the hybrid engine's closed-form path
+    /// with bit-identical totals to full event-level execution.
+    #[test]
+    fn hybrid_charges_every_chunk_closed_form() {
+        use dxbsp_core::ExecMode;
+        for kernel in KERNELS {
+            let spec = PstreamSpec::new(kernel, 2048, 64, 8, 11).unwrap();
+            let map = Interleaved::new(256);
+            let full = SimConfig::new(8, 256, 14);
+            let hybrid = full.clone().with_exec(ExecMode::hybrid(0.05));
+
+            let mut a = Session::new(SimulatorBackend::new(full));
+            a.run_stream(&mut spec.source(), &map);
+            let mut b = Session::new(SimulatorBackend::new(hybrid));
+            b.run_stream(&mut spec.source(), &map);
+
+            assert_eq!(a.cycles(), b.cycles(), "{}", kernel.name());
+            assert_eq!(b.modeled_steps(), b.supersteps(), "every chunk must charge closed-form");
+            assert_eq!(a.modeled_steps(), 0);
+        }
+    }
+}

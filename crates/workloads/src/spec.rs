@@ -128,12 +128,19 @@ pub fn generate_keys(
         WorkloadSpec::GoldenDistinct { shift } => {
             Ok((0..req.n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift).collect())
         }
-        WorkloadSpec::None | WorkloadSpec::CcGraph { .. } | WorkloadSpec::GraphFamily { .. } => {
-            Err(DxError::invalid(format!(
-                "workload family `{}` does not generate scatter keys",
-                spec.family()
-            )))
+        WorkloadSpec::SortKeys { bits } => {
+            if !(1..=62).contains(&bits) {
+                return Err(DxError::invalid("sort-keys bits must be in 1..=62"));
+            }
+            Ok(uniform_keys(req.n, 1u64 << bits, rng))
         }
+        WorkloadSpec::None
+        | WorkloadSpec::CcGraph { .. }
+        | WorkloadSpec::GraphFamily { .. }
+        | WorkloadSpec::PseudoStream { .. } => Err(DxError::invalid(format!(
+            "workload family `{}` does not generate scatter keys",
+            spec.family()
+        ))),
     }
 }
 

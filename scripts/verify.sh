@@ -40,6 +40,26 @@ tiers_out="$(target/release/dxsim --trace /tmp/dxsim-smoke.dxtr --tiers 0..128=6
 grep -q 'delay:   per-bank(d=6 x128, d=14 x128)' <<<"$tiers_out"
 rm -f /tmp/dxsim-smoke.dxtr
 
+# Smoke-test the workload families: the sorting sweep must surface
+# bucket balance alongside the QRQW/EREW predictions, and the
+# pseudo-streaming kernels must report a peak-resident watermark no
+# larger than the declared chunk budget in the JSON records.
+sort_out="$(target/release/dxbench run sort_oversample --quick)"
+grep -q 'balance' <<<"$sort_out"
+grep -q 'bsp-pred' <<<"$sort_out"
+target/release/dxbench run pstream_scan --quick --json /tmp/dxbench-pstream.jsonl >/dev/null
+grep -q '"peak_resident"' /tmp/dxbench-pstream.jsonl
+python3 - <<'EOF'
+import json
+with open("/tmp/dxbench-pstream.jsonl") as f:
+    records = [json.loads(l) for l in f if l.strip()]
+assert records, "no pstream records"
+for r in records:
+    v = r["values"]
+    assert v["peak_resident"] <= v["budget"], r
+EOF
+rm -f /tmp/dxbench-pstream.jsonl
+
 # Smoke-test the profiler: dxprof on a committed scenario must emit a
 # Chrome trace that parses as JSON and Prometheus output that lints
 # (non-comment lines are `name{labels} value` with a numeric value).
@@ -98,6 +118,9 @@ storm_out="$(target/release/dxbench storm examples/scenarios/exp1_quick.toml \
     --addr "$serve_addr" --clients 8 --requests 64)"
 grep -q 'identical to dxbench run' <<<"$storm_out"
 grep -q 'lint clean' <<<"$storm_out"
+storm_ka_out="$(target/release/dxbench storm examples/scenarios/exp1_quick.toml \
+    --addr "$serve_addr" --clients 8 --requests 64 --keep-alive)"
+grep -q 'identical to dxbench run' <<<"$storm_ka_out"
 kill "$serve_pid" 2>/dev/null || true
 trap - EXIT
 rm -f /tmp/dxserved-smoke.log /tmp/dxserved-want.jsonl
